@@ -1,0 +1,102 @@
+//! Criterion benchmarks of the experiment pipelines themselves — one per
+//! reproduced artifact, on a reduced workload so `cargo bench` stays fast.
+//! (The harness *binaries* regenerate the paper tables at full scale;
+//! these benches track the cost of doing so.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::experiments::{
+    ablation_mln, ablation_radius, cost, fig2, fig7, fig8, table1, tracing,
+};
+use dummyloc_sim::workload;
+
+fn small_fleet() -> dummyloc_trajectory::Dataset {
+    workload::nara_fleet_sized(12, 300.0, 42)
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    let fleet = small_fleet();
+    c.bench_function("sim_single_run_12users_300s", |b| {
+        let config = SimConfig {
+            grid_size: 12,
+            dummy_count: 3,
+            generator: GeneratorKind::Mn { m: 120.0 },
+            ..SimConfig::nara_default(42)
+        };
+        let sim = Simulation::new(config).unwrap();
+        b.iter(|| sim.run(&fleet).unwrap());
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let fleet = small_fleet();
+    let params = fig7::Fig7Params {
+        grids: vec![8, 12],
+        dummy_counts: vec![0, 3, 6],
+        ..fig7::Fig7Params::default()
+    };
+    c.bench_function("fig7_sweep_reduced", |b| {
+        b.iter(|| fig7::run(42, &fleet, &params).unwrap());
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let fleet = small_fleet();
+    c.bench_function("fig8_three_generators", |b| {
+        b.iter(|| fig8::run(42, &fleet, &fig8::Fig8Params::default()).unwrap());
+    });
+}
+
+fn bench_static_artifacts(c: &mut Criterion) {
+    c.bench_function("table1_classification", |b| {
+        b.iter(|| table1::run(&table1::Table1Params::default()).unwrap());
+    });
+    c.bench_function("fig2_examples", |b| {
+        b.iter(|| fig2::run().unwrap());
+    });
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let fleet = small_fleet();
+    c.bench_function("tracing_four_techniques", |b| {
+        b.iter(|| tracing::run(42, &fleet, &tracing::TracingParams::default()).unwrap());
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let fleet = small_fleet();
+    let radius_params = ablation_radius::RadiusParams {
+        radii: vec![30.0, 120.0],
+        include_disc: false,
+        ..ablation_radius::RadiusParams::default()
+    };
+    c.bench_function("ablation_radius_reduced", |b| {
+        b.iter(|| ablation_radius::run(42, &fleet, &radius_params).unwrap());
+    });
+    let mln_params = ablation_mln::MlnParams {
+        budgets: vec![0, 3],
+        ..ablation_mln::MlnParams::default()
+    };
+    c.bench_function("ablation_mln_reduced", |b| {
+        b.iter(|| ablation_mln::run(42, &fleet, &mln_params).unwrap());
+    });
+    let cost_params = cost::CostParams {
+        dummy_counts: vec![0, 3, 9],
+        poi_count: 50,
+        ..cost::CostParams::default()
+    };
+    c.bench_function("cost_sweep_reduced", |b| {
+        b.iter(|| cost::run(42, &fleet, &cost_params).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_run,
+    bench_fig7,
+    bench_fig8,
+    bench_static_artifacts,
+    bench_tracing,
+    bench_ablations
+);
+criterion_main!(benches);

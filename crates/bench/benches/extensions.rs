@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the extension crate: Hungarian
+//! assignment, optimal chain linking, and the session driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dummyloc_core::client::Request;
+use dummyloc_core::generator::{DummyGenerator, MnGenerator};
+use dummyloc_ext::hungarian::min_cost_assignment;
+use dummyloc_ext::optimal_tracker::OptimalTracker;
+use dummyloc_ext::session::{run, SessionConfig};
+use dummyloc_geo::rng::{rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Point};
+use dummyloc_sim::workload;
+use rand::Rng;
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &n in &[4usize, 16, 64] {
+        let mut rng = rng_from_seed(1);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| min_cost_assignment(cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_linking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_chain_linking");
+    // A stream of `rounds` requests with `k` candidates each.
+    for &(k, rounds) in &[(4usize, 60usize), (10, 120)] {
+        let mut rng = rng_from_seed(2);
+        let stream: Vec<Request> = (0..rounds)
+            .map(|_| Request {
+                pseudonym: "p".into(),
+                positions: (0..k).map(|_| sample_uniform(&mut rng, &area())).collect(),
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}x{rounds}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| OptimalTracker::build_chains(stream));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let fleet = workload::nara_fleet_sized(12, 300.0, 42);
+    c.bench_function("session_12users_300s_mn", |b| {
+        let config = SessionConfig::nara_default(42);
+        b.iter(|| {
+            run(&fleet, &config, |_| {
+                Box::new(MnGenerator::new(config.area, 120.0).unwrap()) as Box<dyn DummyGenerator>
+            })
+        });
+    });
+}
+
+criterion_group!(benches, bench_hungarian, bench_chain_linking, bench_session);
+criterion_main!(benches);

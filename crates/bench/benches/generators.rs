@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the dummy generators: one simulated
+//! service round (39 users × k dummies) per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dummyloc_core::generator::{
+    DummyGenerator, MlnGenerator, MnGenerator, NoDensity, RandomGenerator,
+};
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::rng::{rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Grid, Point};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+/// 39 users × 3 dummies worth of previous positions.
+fn prev_positions(n: usize) -> Vec<Point> {
+    let mut rng = rng_from_seed(1);
+    (0..n).map(|_| sample_uniform(&mut rng, &area())).collect()
+}
+
+fn crowd_density() -> PopulationGrid {
+    let grid = Grid::square(area(), 12).unwrap();
+    let mut rng = rng_from_seed(2);
+    PopulationGrid::from_positions(&grid, (0..156).map(|_| sample_uniform(&mut rng, &area())))
+        .unwrap()
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_step");
+    let density = crowd_density();
+    for &n in &[39usize, 117, 390] {
+        let prev = prev_positions(n);
+        let mut random = RandomGenerator::new(area()).unwrap();
+        let mut mn = MnGenerator::new(area(), 120.0).unwrap();
+        let mut mln = MlnGenerator::new(area(), 120.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("random", n), &prev, |b, prev| {
+            let mut rng = rng_from_seed(3);
+            b.iter(|| random.step(&mut rng, prev, &NoDensity));
+        });
+        group.bench_with_input(BenchmarkId::new("mn", n), &prev, |b, prev| {
+            let mut rng = rng_from_seed(3);
+            b.iter(|| mn.step(&mut rng, prev, &NoDensity));
+        });
+        group.bench_with_input(BenchmarkId::new("mln", n), &prev, |b, prev| {
+            let mut rng = rng_from_seed(3);
+            b.iter(|| mln.step(&mut rng, prev, &density));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

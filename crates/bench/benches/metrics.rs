@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the anonymity metrics: per-round
+//! population counting, ubiquity F and Shift(P).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dummyloc_core::metrics::{shift_p, ubiquity_f};
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::rng::{rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Grid, Point};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+fn positions(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = rng_from_seed(seed);
+    (0..n).map(|_| sample_uniform(&mut rng, &area())).collect()
+}
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_grid");
+    // One paper round: 39 users × (1 + 3 dummies) = 156 positions; larger
+    // sizes probe scaling.
+    for &n in &[156usize, 1_560, 15_600] {
+        let pos = positions(n, 1);
+        for &g in &[8u32, 12] {
+            let grid = Grid::square(area(), g).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("build_{g}x{g}"), n),
+                &pos,
+                |b, pos| {
+                    b.iter(|| PopulationGrid::from_positions(&grid, pos.iter().copied()).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    let grid = Grid::square(area(), 12).unwrap();
+    let a = PopulationGrid::from_positions(&grid, positions(156, 1)).unwrap();
+    let b2 = PopulationGrid::from_positions(&grid, positions(156, 2)).unwrap();
+    group.bench_function("ubiquity_f_12x12", |b| b.iter(|| ubiquity_f(&a)));
+    group.bench_function("shift_p_12x12", |b| b.iter(|| shift_p(&a, &b2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_population, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the spatial index substrate: k-NN and
+//! range queries on the grid index, quadtree and k-d tree vs brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dummyloc_geo::rng::{rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Grid, Point};
+use dummyloc_index::{BruteForce, GridIndex, KdTree, PointIndex, QuadTree};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+fn points(n: usize) -> Vec<(Point, usize)> {
+    let mut rng = rng_from_seed(1);
+    (0..n)
+        .map(|i| (sample_uniform(&mut rng, &area()), i))
+        .collect()
+}
+
+fn queries(n: usize) -> Vec<Point> {
+    let mut rng = rng_from_seed(2);
+    (0..n).map(|_| sample_uniform(&mut rng, &area())).collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_k5");
+    let qs = queries(64);
+    for &n in &[1_000usize, 10_000] {
+        let pts = points(n);
+        let kd = KdTree::bulk_build(pts.clone());
+        let qt = QuadTree::bulk_build(area(), pts.clone()).unwrap();
+        let gi = GridIndex::bulk_build(Grid::square(area(), 32).unwrap(), pts.clone()).unwrap();
+        let bf = BruteForce::bulk_build(pts.clone());
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &kd, |b, ix| {
+            b.iter(|| qs.iter().map(|&q| ix.k_nearest(q, 5).len()).sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("quadtree", n), &qt, |b, ix| {
+            b.iter(|| qs.iter().map(|&q| ix.k_nearest(q, 5).len()).sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &gi, |b, ix| {
+            b.iter(|| qs.iter().map(|&q| ix.k_nearest(q, 5).len()).sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &bf, |b, ix| {
+            b.iter(|| qs.iter().map(|&q| ix.k_nearest(q, 5).len()).sum::<usize>());
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_100m");
+    let pts = points(10_000);
+    let kd = KdTree::bulk_build(pts.clone());
+    let qt = QuadTree::bulk_build(area(), pts.clone()).unwrap();
+    let gi = GridIndex::bulk_build(Grid::square(area(), 32).unwrap(), pts).unwrap();
+    let boxes: Vec<BBox> = queries(64)
+        .into_iter()
+        .map(|q| BBox::centered(q, 100.0).unwrap())
+        .collect();
+    group.bench_function("kdtree", |b| {
+        b.iter(|| boxes.iter().map(|q| kd.in_bbox(q).len()).sum::<usize>());
+    });
+    group.bench_function("quadtree", |b| {
+        b.iter(|| boxes.iter().map(|q| qt.in_bbox(q).len()).sum::<usize>());
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| boxes.iter().map(|q| gi.in_bbox(q).len()).sum::<usize>());
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_build_10k");
+    let pts = points(10_000);
+    group.bench_function("kdtree", |b| b.iter(|| KdTree::bulk_build(pts.clone())));
+    group.bench_function("quadtree", |b| {
+        b.iter(|| QuadTree::bulk_build(area(), pts.clone()).unwrap())
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| GridIndex::bulk_build(Grid::square(area(), 32).unwrap(), pts.clone()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_range, bench_build);
+criterion_main!(benches);

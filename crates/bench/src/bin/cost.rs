@@ -1,0 +1,12 @@
+//! Ablation A3: per-request bandwidth and provider work vs dummy count.
+
+use dummyloc_bench::{emit, parse_args, workload_for};
+use dummyloc_sim::experiments::cost;
+
+fn main() {
+    let args = parse_args();
+    let fleet = workload_for(&args);
+    let result =
+        cost::run(args.seed, &fleet, &cost::CostParams::default()).expect("cost sweep failed");
+    emit(&args, &cost::render(&result), &result);
+}

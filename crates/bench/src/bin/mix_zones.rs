@@ -1,0 +1,12 @@
+//! Extension X2: pseudonym rotation / mix-zone linkability — how often an
+//! observer re-links request streams across a pseudonym change.
+
+use dummyloc_bench::{emit, parse_args, workload_for};
+use dummyloc_ext::experiments::{mix_zones, render_mix_zones};
+
+fn main() {
+    let args = parse_args();
+    let fleet = workload_for(&args);
+    let result = mix_zones(args.seed, &fleet);
+    emit(&args, &render_mix_zones(&result), &result);
+}

@@ -1,0 +1,12 @@
+//! Extension X3: motion-distribution realism of every dummy algorithm vs
+//! the true fleet.
+
+use dummyloc_bench::{emit, parse_args, workload_for};
+use dummyloc_ext::experiments::{realism, render_realism};
+
+fn main() {
+    let args = parse_args();
+    let fleet = workload_for(&args);
+    let result = realism(args.seed, &fleet);
+    emit(&args, &render_realism(&result), &result);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 1: ubiquity/congestion classification of the
+//! Figure-3 example distributions.
+
+use dummyloc_bench::{emit, parse_args};
+use dummyloc_sim::experiments::table1;
+
+fn main() {
+    let args = parse_args();
+    let result =
+        table1::run(&table1::Table1Params::default()).expect("table-1 classification failed");
+    emit(&args, &table1::render(&result), &result);
+}

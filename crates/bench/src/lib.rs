@@ -1,0 +1,136 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every binary in this crate regenerates one paper artifact (see
+//! `DESIGN.md` §4) and speaks the same tiny CLI:
+//!
+//! ```text
+//! cargo run -p dummyloc-bench --bin fig7 -- [--seed N] [--json PATH] [--quick]
+//! ```
+//!
+//! * `--seed N` — master seed (default 42; every run is deterministic),
+//! * `--json PATH` — also write the structured result as JSON,
+//! * `--quick` — a reduced workload for smoke runs (16 rickshaws, 10
+//!   minutes instead of 39 over an hour).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use dummyloc_trajectory::Dataset;
+
+/// Default master seed used by `EXPERIMENTS.md`.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Master seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+    /// Reduced workload for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            seed: DEFAULT_SEED,
+            json: None,
+            quick: false,
+        }
+    }
+}
+
+/// Parses `std::env::args`; exits with a usage message on bad input.
+pub fn parse_args() -> CliArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Parses an explicit argument list (testable core of [`parse_args`]).
+pub fn parse_from(args: impl IntoIterator<Item = String>) -> CliArgs {
+    let mut out = CliArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                out.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"));
+            }
+            "--json" => {
+                let v = it.next().unwrap_or_else(|| usage("--json needs a path"));
+                out.json = Some(PathBuf::from(v));
+            }
+            "--quick" => out.quick = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    out
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: <bin> [--seed N] [--json PATH] [--quick]");
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
+
+/// The workload a binary should use: the paper's full 39-rickshaw hour, or
+/// the `--quick` reduction.
+pub fn workload_for(args: &CliArgs) -> Dataset {
+    if args.quick {
+        dummyloc_sim::workload::nara_fleet_sized(16, 600.0, args.seed)
+    } else {
+        dummyloc_sim::workload::nara_fleet(args.seed)
+    }
+}
+
+/// Prints the rendered table and writes the JSON sidecar if requested.
+pub fn emit<T: serde::Serialize>(args: &CliArgs, rendered: &str, result: &T) {
+    println!("{rendered}");
+    if let Some(path) = &args.json {
+        let json = dummyloc_sim::report::to_json(result)
+            .unwrap_or_else(|e| panic!("serializing result: {e}"));
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = parse_from(std::iter::empty());
+        assert_eq!(a, CliArgs::default());
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse_from(
+            ["--seed", "7", "--json", "/tmp/x.json", "--quick"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.json, Some(PathBuf::from("/tmp/x.json")));
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn quick_workload_is_smaller() {
+        let quick = workload_for(&CliArgs {
+            quick: true,
+            ..CliArgs::default()
+        });
+        assert_eq!(quick.len(), 16);
+        assert_eq!(quick.common_time_range(), Some((0.0, 600.0)));
+    }
+}

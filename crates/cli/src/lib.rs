@@ -1,0 +1,562 @@
+//! The `dummyloc` command-line tool.
+//!
+//! ```text
+//! dummyloc workload  --count 39 --duration 3600 --seed 42 --out fleet.csv
+//! dummyloc simulate  --workload fleet.csv --grid 12 --dummies 3 \
+//!                    --generator mn --m 120 --heatmap
+//! dummyloc experiment fig7 [--seed 42] [--quick] [--json out.json]
+//! dummyloc render    --workload fleet.csv --out tracks.svg
+//! ```
+//!
+//! The library half holds all the logic so it is testable; `main.rs` is a
+//! two-line wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::viz::{ascii_heatmap, user_color, SvgScene};
+use dummyloc_sim::workload;
+use dummyloc_trajectory::{io as tio, Dataset};
+
+/// CLI errors: either a usage problem (exit code 2) or a runtime failure
+/// (exit code 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the string is the message shown with usage help.
+    Usage(String),
+    /// The command itself failed.
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn runtime(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+dummyloc — dummy-based location privacy toolkit
+
+commands:
+  workload    generate a synthetic workload and write it as CSV
+  simulate    run one simulation over a workload and report the metrics
+  experiment  regenerate a paper artifact (fig7, fig8, table1, fig2,
+              tracing, ablation-radius, ablation-mln, ablation-precision,
+              cost, ext-tracing, mix-zones, realism, adoption)
+  render      draw a workload's trajectories as SVG
+
+run `dummyloc <command> --help` for the command's flags";
+
+/// Parsed key-value flags of one command invocation.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs and `--switch`es (a `--key` followed by
+    /// another `--…` or nothing is a switch).
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument '{arg}'")));
+            };
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.values.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.switches.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<String, CliError> {
+        self.values
+            .get(key)
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    }
+
+    /// Numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{key} got invalid value '{v}'"))),
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// Executes a full command line (without the program name); returns the
+/// text to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage("no command given".into()));
+    };
+    match command.as_str() {
+        "workload" => cmd_workload(&Flags::parse(rest)?),
+        "simulate" => cmd_simulate(&Flags::parse(rest)?),
+        "experiment" => {
+            let Some((name, rest)) = rest.split_first() else {
+                return Err(CliError::Usage("experiment needs a name".into()));
+            };
+            cmd_experiment(name, &Flags::parse(rest)?)
+        }
+        "render" => cmd_render(&Flags::parse(rest)?),
+        "--help" | "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+fn cmd_workload(flags: &Flags) -> Result<String, CliError> {
+    let count: usize = flags.num("count", 39)?;
+    let duration: f64 = flags.num("duration", 3600.0)?;
+    let seed: u64 = flags.num("seed", 42)?;
+    let out = PathBuf::from(flags.require("out")?);
+    let model = flags.get("model", "rickshaw");
+    let fleet = match model.as_str() {
+        "rickshaw" => workload::nara_fleet_sized(count, duration, seed),
+        "waypoint" => workload::pedestrian_crowd(count, duration, seed),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown model '{other}' (rickshaw | waypoint)"
+            )))
+        }
+    };
+    write_dataset(&fleet, &out)?;
+    let stats = dummyloc_trajectory::stats::dataset_stats(&fleet);
+    Ok(format!(
+        "wrote {} tracks ({} samples, mean speed {:.2} m/s) to {}",
+        stats.tracks,
+        stats.samples,
+        stats.mean_speed,
+        out.display()
+    ))
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
+    let fleet = load_workload(flags)?;
+    let seed: u64 = flags.num("seed", 42)?;
+    let generator = parse_generator(flags)?;
+    let config = SimConfig {
+        grid_size: flags.num("grid", 12)?,
+        dummy_count: flags.num("dummies", 3)?,
+        generator,
+        tick: flags.num("tick", 30.0)?,
+        quantize: flags.has("quantize"),
+        ..SimConfig::nara_default(seed)
+    };
+    let sim = Simulation::new(config).map_err(runtime)?;
+    let outcome = sim.run(&fleet).map_err(runtime)?;
+    let (p0, p12, p35, p6) = outcome.shift_buckets.percentages();
+    let mut out = String::new();
+    let _ = writeln!(out, "rounds:        {}", outcome.rounds);
+    let _ = writeln!(out, "mean F:        {:.1}%", outcome.mean_f * 100.0);
+    let _ = writeln!(
+        out,
+        "Shift(P):      mean {:.2}  [0: {p0:.1}%, 1-2: {p12:.1}%, 3-5: {p35:.1}%, 6+: {p6:.1}%]",
+        outcome.shift_mean
+    );
+    let _ = writeln!(out, "congestion CV: {:.3}", outcome.congestion_cv);
+    if flags.has("heatmap") {
+        let last = outcome.rounds - 1;
+        let positions = outcome
+            .streams
+            .iter()
+            .flat_map(|(reqs, _)| reqs[last].positions.iter().copied());
+        let pop = dummyloc_core::population::PopulationGrid::from_positions(sim.grid(), positions)
+            .map_err(runtime)?;
+        let _ = writeln!(out, "\nfinal-round population:\n{}", ascii_heatmap(&pop));
+    }
+    if let Some(path) = flags.values.get("json") {
+        let summary = serde_json::json!({
+            "rounds": outcome.rounds,
+            "mean_f": outcome.mean_f,
+            "shift_mean": outcome.shift_mean,
+            "congestion_cv": outcome.congestion_cv,
+            "f_series": outcome.f_series,
+        });
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&summary).map_err(runtime)?,
+        )
+        .map_err(runtime)?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_experiment(name: &str, flags: &Flags) -> Result<String, CliError> {
+    use dummyloc_sim::experiments as ex;
+    let seed: u64 = flags.num("seed", 42)?;
+    let fleet = if flags.has("quick") {
+        workload::nara_fleet_sized(16, 600.0, seed)
+    } else {
+        workload::nara_fleet(seed)
+    };
+    let (rendered, json) = match name {
+        "fig7" => {
+            let params = ex::fig7::Fig7Params::default();
+            let r = ex::fig7::run(seed, &fleet, &params).map_err(runtime)?;
+            (
+                ex::fig7::render(&r, &params),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        "fig8" => {
+            let r =
+                ex::fig8::run(seed, &fleet, &ex::fig8::Fig8Params::default()).map_err(runtime)?;
+            (ex::fig8::render(&r), serde_json::to_string_pretty(&r))
+        }
+        "table1" => {
+            let r = ex::table1::run(&ex::table1::Table1Params::default()).map_err(runtime)?;
+            (ex::table1::render(&r), serde_json::to_string_pretty(&r))
+        }
+        "fig2" => {
+            let r = ex::fig2::run().map_err(runtime)?;
+            (ex::fig2::render(&r), serde_json::to_string_pretty(&r))
+        }
+        "tracing" => {
+            let r = ex::tracing::run(seed, &fleet, &ex::tracing::TracingParams::default())
+                .map_err(runtime)?;
+            (ex::tracing::render(&r), serde_json::to_string_pretty(&r))
+        }
+        "ablation-radius" => {
+            let r = ex::ablation_radius::run(
+                seed,
+                &fleet,
+                &ex::ablation_radius::RadiusParams::default(),
+            )
+            .map_err(runtime)?;
+            (
+                ex::ablation_radius::render(&r),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        "ablation-mln" => {
+            let r = ex::ablation_mln::run(seed, &fleet, &ex::ablation_mln::MlnParams::default())
+                .map_err(runtime)?;
+            (
+                ex::ablation_mln::render(&r),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        "cost" => {
+            let r =
+                ex::cost::run(seed, &fleet, &ex::cost::CostParams::default()).map_err(runtime)?;
+            (ex::cost::render(&r), serde_json::to_string_pretty(&r))
+        }
+        "ablation-precision" => {
+            let r = ex::ablation_precision::run(
+                seed,
+                &fleet,
+                &ex::ablation_precision::PrecisionParams::default(),
+            )
+            .map_err(runtime)?;
+            (
+                ex::ablation_precision::render(&r),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        "ext-tracing" => {
+            let r = dummyloc_ext::experiments::ext_tracing(seed, &fleet);
+            (
+                dummyloc_ext::experiments::render_ext_tracing(&r),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        "mix-zones" => {
+            let r = dummyloc_ext::experiments::mix_zones(seed, &fleet);
+            (
+                dummyloc_ext::experiments::render_mix_zones(&r),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        "realism" => {
+            let r = dummyloc_ext::experiments::realism(seed, &fleet);
+            (
+                dummyloc_ext::experiments::render_realism(&r),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        "adoption" => {
+            let r = dummyloc_ext::experiments::adoption(seed, &fleet);
+            (
+                dummyloc_ext::experiments::render_adoption(&r),
+                serde_json::to_string_pretty(&r),
+            )
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown experiment '{other}' (fig7, fig8, table1, fig2, tracing, \
+                 ablation-radius, ablation-mln, ablation-precision, cost, \
+                 ext-tracing, mix-zones, realism, adoption)"
+            )))
+        }
+    };
+    let mut out = rendered;
+    if let Some(path) = flags.values.get("json") {
+        std::fs::write(path, json.map_err(runtime)?).map_err(runtime)?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_render(flags: &Flags) -> Result<String, CliError> {
+    let fleet = load_workload(flags)?;
+    let out = PathBuf::from(flags.require("out")?);
+    let width: f64 = flags.num("width", 800.0)?;
+    let bounds = fleet
+        .bounds()
+        .ok_or_else(|| CliError::Runtime("workload is empty".into()))?;
+    let padded = bounds
+        .expanded(bounds.width().max(1.0) * 0.05)
+        .map_err(runtime)?;
+    let mut scene = SvgScene::new(padded, width);
+    if let Ok(grid) = dummyloc_geo::Grid::square(padded, flags.num("grid", 12)?) {
+        scene.grid(&grid);
+    }
+    for (i, track) in fleet.tracks().iter().enumerate() {
+        scene.trajectory(track, user_color(i), 1.5);
+        if let Some(p) = track.points().first() {
+            scene.dot(p.pos, user_color(i), 3.0);
+        }
+    }
+    std::fs::write(&out, scene.render()).map_err(runtime)?;
+    Ok(format!("wrote {} tracks to {}", fleet.len(), out.display()))
+}
+
+/// Loads the workload named by `--workload <path.csv|path.json>`, or
+/// generates the standard fleet when the flag is absent.
+fn load_workload(flags: &Flags) -> Result<Dataset, CliError> {
+    match flags.values.get("workload") {
+        None => Ok(workload::nara_fleet_sized(
+            flags.num("count", 39)?,
+            flags.num("duration", 3600.0)?,
+            flags.num("seed", 42)?,
+        )),
+        Some(path) => read_dataset(Path::new(path)),
+    }
+}
+
+fn write_dataset(fleet: &Dataset, out: &Path) -> Result<(), CliError> {
+    let file = std::fs::File::create(out).map_err(runtime)?;
+    match out.extension().and_then(|e| e.to_str()) {
+        Some("json") => tio::write_json(fleet, file).map_err(runtime),
+        _ => tio::write_csv(fleet, file).map_err(runtime),
+    }
+}
+
+fn read_dataset(path: &Path) -> Result<Dataset, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::Runtime(format!("open {}: {e}", path.display())))?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("json") => tio::read_json(file).map_err(runtime),
+        _ => tio::read_csv(file).map_err(runtime),
+    }
+}
+
+fn parse_generator(flags: &Flags) -> Result<GeneratorKind, CliError> {
+    let m: f64 = flags.num("m", 120.0)?;
+    match flags.get("generator", "mn").as_str() {
+        "mn" => Ok(GeneratorKind::Mn { m }),
+        "mln" => Ok(GeneratorKind::Mln {
+            m,
+            retry_budget: flags.num("retry-budget", 3)?,
+        }),
+        "random" => Ok(GeneratorKind::Random),
+        "mn-disc" => Ok(GeneratorKind::MnDisc { m }),
+        "stationary" => Ok(GeneratorKind::Stationary),
+        other => Err(CliError::Usage(format!(
+            "unknown generator '{other}' (mn, mln, random, mn-disc, stationary)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dummyloc-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn flags_parse_values_and_switches() {
+        let f = Flags::parse(&args("--count 5 --quick --out x.csv")).unwrap();
+        assert_eq!(f.get("count", "0"), "5");
+        assert!(f.has("quick"));
+        assert!(!f.has("count"));
+        assert_eq!(f.require("out").unwrap(), "x.csv");
+        assert!(f.require("missing").is_err());
+        assert_eq!(f.num::<u64>("count", 0).unwrap(), 5);
+        assert!(f.num::<u64>("out", 0).is_err());
+        assert!(Flags::parse(&args("stray")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(matches!(run(&args("frobnicate")), Err(CliError::Usage(_))));
+        assert!(run(&args("help")).unwrap().contains("commands:"));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn workload_roundtrip_csv_and_json() {
+        for ext in ["csv", "json"] {
+            let path = tmp(&format!("fleet.{ext}"));
+            let msg = run(&args(&format!(
+                "workload --count 4 --duration 120 --seed 7 --out {}",
+                path.display()
+            )))
+            .unwrap();
+            assert!(msg.contains("4 tracks"));
+            let ds = read_dataset(&path).unwrap();
+            assert_eq!(ds.len(), 4);
+            assert_eq!(ds, workload::nara_fleet_sized(4, 120.0, 7));
+        }
+    }
+
+    #[test]
+    fn workload_waypoint_model() {
+        let path = tmp("walkers.csv");
+        run(&args(&format!(
+            "workload --count 3 --duration 60 --model waypoint --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let ds = read_dataset(&path).unwrap();
+        assert_eq!(ds.tracks()[0].id(), "walker-00");
+        assert!(matches!(
+            run(&args("workload --model hovercraft --out /tmp/x.csv")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_reports_metrics_and_heatmap() {
+        let path = tmp("simfleet.csv");
+        run(&args(&format!(
+            "workload --count 5 --duration 300 --seed 3 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "simulate --workload {} --dummies 2 --generator mln --heatmap",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("mean F:"));
+        assert!(out.contains("Shift(P):"));
+        assert!(out.contains("final-round population:"));
+        assert!(out.contains("max P ="));
+    }
+
+    #[test]
+    fn simulate_json_summary() {
+        let json_path = tmp("sim.json");
+        let out = run(&args(&format!(
+            "simulate --count 4 --duration 120 --json {}",
+            json_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert!(v["mean_f"].as_f64().unwrap() > 0.0);
+        assert!(v["f_series"].as_array().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_generator() {
+        assert!(matches!(
+            run(&args("simulate --count 2 --duration 60 --generator warp")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn experiment_quick_runs_fig2_and_table1() {
+        // The cheap, workload-independent artifacts keep this test fast.
+        let out = run(&args("experiment fig2 --quick")).unwrap();
+        assert!(out.contains("|AS_F|"));
+        let out = run(&args("experiment table1 --quick")).unwrap();
+        assert!(out.contains("congestion"));
+        assert!(matches!(
+            run(&args("experiment fig99")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&args("experiment")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn render_writes_svg() {
+        let fleet_path = tmp("renderfleet.csv");
+        run(&args(&format!(
+            "workload --count 3 --duration 120 --out {}",
+            fleet_path.display()
+        )))
+        .unwrap();
+        let svg_path = tmp("tracks.svg");
+        let msg = run(&args(&format!(
+            "render --workload {} --out {}",
+            fleet_path.display(),
+            svg_path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("3 tracks"));
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 3);
+    }
+
+    #[test]
+    fn missing_workload_file_is_runtime_error() {
+        assert!(matches!(
+            run(&args("simulate --workload /nonexistent/fleet.csv")),
+            Err(CliError::Runtime(_))
+        ));
+    }
+}

@@ -1,0 +1,16 @@
+//! `dummyloc` binary entry point; all logic lives in the library half.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dummyloc_cli::run(&args) {
+        Ok(output) => println!("{output}"),
+        Err(e @ dummyloc_cli::CliError::Usage(_)) => {
+            eprintln!("{e}\n\n{}", dummyloc_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

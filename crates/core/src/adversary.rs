@@ -1,0 +1,438 @@
+//! Observer (adversary) models.
+//!
+//! The paper's security argument is informal: *"the service provider
+//! cannot distinguish true position data from a set of position data if
+//! all dummies have temporal consistency."* These models make the claim
+//! measurable: each adversary watches the full request stream of one
+//! pseudonym and guesses which position in the **final** request is true.
+//! An identification rate at the chance level `1/(k+1)` means the scheme
+//! worked; a rate near 1 means the dummies gave themselves away.
+//!
+//! * [`RandomGuesser`] — the floor: uniform guess, rate `1/(k+1)`.
+//! * [`ContinuityTracker`] — links positions across rounds by greedy
+//!   nearest-neighbor matching into candidate trajectories (chains), then
+//!   picks the *most motion-plausible* chain. Random dummies teleport, so
+//!   their chains score terribly and the true track stands out; MN/MLN
+//!   chains are as smooth as the true one.
+//! * [`SpeedGate`] — the paper's temporal-consistency test in its purest
+//!   form: discard every candidate whose chain ever moved faster than a
+//!   plausible per-step bound, then guess uniformly among survivors.
+//!
+//! The positions inside each request are shuffled per round (see
+//! [`Client`](crate::client::Client)), so adversaries must link across
+//! rounds themselves — exactly the observer the paper worries about.
+//!
+//! ```
+//! use dummyloc_core::adversary::{Adversary, ChainScore, ContinuityTracker};
+//! use dummyloc_core::client::Request;
+//! use dummyloc_geo::{rng::rng_from_seed, Point};
+//!
+//! // Candidate 0 walks smoothly; candidate 1 teleports each round.
+//! let stream: Vec<Request> = (0..8)
+//!     .map(|t| Request {
+//!         pseudonym: "p".into(),
+//!         positions: vec![
+//!             Point::new(t as f64 * 2.0, 0.0),
+//!             Point::new((t * 397 % 900) as f64, (t * 611 % 900) as f64),
+//!         ],
+//!     })
+//!     .collect();
+//! let tracker = ContinuityTracker::new(ChainScore::MaxStep);
+//! let mut rng = rng_from_seed(1);
+//! assert_eq!(tracker.identify(&mut rng, &stream), Some(0));
+//! ```
+
+use dummyloc_geo::Point;
+use rand::{Rng, RngCore};
+
+use crate::client::Request;
+
+/// An observer trying to identify the true position in a request stream.
+pub trait Adversary {
+    /// Short name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes every request a pseudonym sent (in time order) and returns
+    /// a guessed index into the **last** request's positions, or `None`
+    /// for an empty stream.
+    fn identify(&self, rng: &mut dyn RngCore, requests: &[Request]) -> Option<usize>;
+}
+
+/// Uniform random guessing — the theoretical floor `1/(k+1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomGuesser;
+
+impl Adversary for RandomGuesser {
+    fn name(&self) -> &'static str {
+        "random-guess"
+    }
+
+    fn identify(&self, rng: &mut dyn RngCore, requests: &[Request]) -> Option<usize> {
+        let last = requests.last()?;
+        if last.positions.is_empty() {
+            return None;
+        }
+        Some(rng.gen_range(0..last.positions.len()))
+    }
+}
+
+/// How [`ContinuityTracker`] scores a candidate chain (lower = more
+/// plausible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainScore {
+    /// Largest single-step displacement — catches teleporting dummies.
+    MaxStep,
+    /// Variance of step lengths — catches erratic speed profiles even
+    /// when no single jump is extreme.
+    StepVariance,
+}
+
+/// Links positions across rounds into chains and picks the smoothest.
+#[derive(Debug, Clone, Copy)]
+pub struct ContinuityTracker {
+    score: ChainScore,
+}
+
+impl ContinuityTracker {
+    /// Creates a tracker with the given chain score.
+    pub fn new(score: ChainScore) -> Self {
+        ContinuityTracker { score }
+    }
+
+    /// Builds chains over the stream and returns, per chain, its final
+    /// index in the last request and its step-length history. Exposed so
+    /// other adversaries ([`SpeedGate`]) and tests can reuse the linking.
+    pub fn build_chains(requests: &[Request]) -> Vec<Chain> {
+        let Some(first) = requests.first() else {
+            return Vec::new();
+        };
+        let mut chains: Vec<Chain> = first
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Chain {
+                last: p,
+                final_index: i,
+                steps: Vec::new(),
+            })
+            .collect();
+        for req in &requests[1..] {
+            link_round(&mut chains, &req.positions);
+        }
+        chains
+    }
+
+    fn chain_score(&self, chain: &Chain) -> f64 {
+        match self.score {
+            ChainScore::MaxStep => chain.steps.iter().copied().fold(0.0, f64::max),
+            ChainScore::StepVariance => {
+                if chain.steps.len() < 2 {
+                    return 0.0;
+                }
+                let n = chain.steps.len() as f64;
+                let mean = chain.steps.iter().sum::<f64>() / n;
+                chain
+                    .steps
+                    .iter()
+                    .map(|s| (s - mean) * (s - mean))
+                    .sum::<f64>()
+                    / n
+            }
+        }
+    }
+}
+
+impl Adversary for ContinuityTracker {
+    fn name(&self) -> &'static str {
+        match self.score {
+            ChainScore::MaxStep => "tracker-maxstep",
+            ChainScore::StepVariance => "tracker-variance",
+        }
+    }
+
+    fn identify(&self, _rng: &mut dyn RngCore, requests: &[Request]) -> Option<usize> {
+        let chains = Self::build_chains(requests);
+        chains
+            .iter()
+            .min_by(|a, b| {
+                self.chain_score(a)
+                    .partial_cmp(&self.chain_score(b))
+                    .expect("scores are finite")
+                    .then(a.final_index.cmp(&b.final_index))
+            })
+            .map(|c| c.final_index)
+    }
+}
+
+/// Discards candidates whose chain ever stepped farther than `max_step`,
+/// then guesses uniformly among survivors (all candidates, if none
+/// survive).
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedGate {
+    max_step: f64,
+}
+
+impl SpeedGate {
+    /// Creates the gate; `max_step` is the largest per-round displacement
+    /// the adversary considers humanly/vehicularly possible.
+    pub fn new(max_step: f64) -> Self {
+        assert!(max_step > 0.0, "max_step must be positive");
+        SpeedGate { max_step }
+    }
+}
+
+impl Adversary for SpeedGate {
+    fn name(&self) -> &'static str {
+        "speed-gate"
+    }
+
+    fn identify(&self, rng: &mut dyn RngCore, requests: &[Request]) -> Option<usize> {
+        let chains = ContinuityTracker::build_chains(requests);
+        if chains.is_empty() {
+            return None;
+        }
+        let survivors: Vec<usize> = chains
+            .iter()
+            .filter(|c| c.steps.iter().all(|&s| s <= self.max_step))
+            .map(|c| c.final_index)
+            .collect();
+        let pool: &[usize] = if survivors.is_empty() {
+            // Gate eliminated everyone (bound too tight): fall back to all.
+            &[]
+        } else {
+            &survivors
+        };
+        if pool.is_empty() {
+            Some(rng.gen_range(0..chains.len()))
+        } else {
+            Some(pool[rng.gen_range(0..pool.len())])
+        }
+    }
+}
+
+/// One linked candidate trajectory through the request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chain {
+    /// Position in the most recent round.
+    pub last: Point,
+    /// Index of that position in the most recent request.
+    pub final_index: usize,
+    /// Per-round step displacements accumulated so far.
+    pub steps: Vec<f64>,
+}
+
+/// Greedily matches chain ends to this round's positions, smallest
+/// distance first; every chain gets exactly one candidate when counts
+/// match. Extra candidates start new chains; starved chains are dropped.
+fn link_round(chains: &mut Vec<Chain>, positions: &[Point]) {
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(chains.len() * positions.len());
+    for (ci, chain) in chains.iter().enumerate() {
+        for (pi, p) in positions.iter().enumerate() {
+            pairs.push((chain.last.distance_sq(p), ci, pi));
+        }
+    }
+    pairs.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("positions are finite")
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut chain_taken = vec![false; chains.len()];
+    let mut pos_taken = vec![false; positions.len()];
+    let mut assignment: Vec<Option<usize>> = vec![None; chains.len()];
+    for (_, ci, pi) in pairs {
+        if !chain_taken[ci] && !pos_taken[pi] {
+            chain_taken[ci] = true;
+            pos_taken[pi] = true;
+            assignment[ci] = Some(pi);
+        }
+    }
+    let mut next: Vec<Chain> = Vec::with_capacity(positions.len());
+    for (ci, chain) in chains.drain(..).enumerate() {
+        if let Some(pi) = assignment[ci] {
+            let mut c = chain;
+            c.steps.push(c.last.distance(&positions[pi]));
+            c.last = positions[pi];
+            c.final_index = pi;
+            next.push(c);
+        }
+    }
+    for (pi, &p) in positions.iter().enumerate() {
+        if !pos_taken[pi] {
+            next.push(Chain {
+                last: p,
+                final_index: pi,
+                steps: Vec::new(),
+            });
+        }
+    }
+    *chains = next;
+}
+
+/// Fraction of streams on which `adversary` names the true position.
+///
+/// `streams` pairs each pseudonym's full request sequence with the truth
+/// index of its final round (from [`Round`](crate::client::Round)).
+pub fn identification_rate<A: Adversary + ?Sized>(
+    adversary: &A,
+    rng: &mut dyn RngCore,
+    streams: &[(Vec<Request>, usize)],
+) -> f64 {
+    if streams.is_empty() {
+        return 0.0;
+    }
+    let hits = streams
+        .iter()
+        .filter(|(requests, truth)| adversary.identify(rng, requests) == Some(*truth))
+        .count();
+    hits as f64 / streams.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::rng::rng_from_seed;
+
+    /// A stream where candidate 0 walks smoothly and candidate 1 teleports.
+    fn smooth_vs_teleport() -> Vec<Request> {
+        let mut reqs = Vec::new();
+        for t in 0..10 {
+            let smooth = Point::new(t as f64 * 2.0, 0.0);
+            let jumpy = Point::new((t * 397 % 1000) as f64, (t * 611 % 1000) as f64);
+            reqs.push(Request {
+                pseudonym: "p".into(),
+                positions: vec![smooth, jumpy],
+            });
+        }
+        reqs
+    }
+
+    #[test]
+    fn tracker_finds_smooth_chain() {
+        let reqs = smooth_vs_teleport();
+        let mut rng = rng_from_seed(1);
+        for score in [ChainScore::MaxStep, ChainScore::StepVariance] {
+            let adv = ContinuityTracker::new(score);
+            assert_eq!(adv.identify(&mut rng, &reqs), Some(0), "{:?}", score);
+        }
+    }
+
+    #[test]
+    fn tracker_follows_shuffled_positions() {
+        // Same chains, but the smooth walker's slot alternates each round:
+        // linking must follow positions, not indices.
+        let mut reqs = Vec::new();
+        for t in 0..10 {
+            let smooth = Point::new(t as f64 * 2.0, 0.0);
+            let jumpy = Point::new((t * 397 % 1000) as f64, (t * 611 % 1000) as f64);
+            let positions = if t % 2 == 0 {
+                vec![smooth, jumpy]
+            } else {
+                vec![jumpy, smooth]
+            };
+            reqs.push(Request {
+                pseudonym: "p".into(),
+                positions,
+            });
+        }
+        let adv = ContinuityTracker::new(ChainScore::MaxStep);
+        let mut rng = rng_from_seed(2);
+        // Final round is t = 9 (odd): smooth sits at index 1.
+        assert_eq!(adv.identify(&mut rng, &reqs), Some(1));
+    }
+
+    #[test]
+    fn speed_gate_eliminates_teleporters() {
+        let reqs = smooth_vs_teleport();
+        let adv = SpeedGate::new(5.0);
+        let mut rng = rng_from_seed(3);
+        // Only the smooth chain survives a 5-unit step bound.
+        for _ in 0..20 {
+            assert_eq!(adv.identify(&mut rng, &reqs), Some(0));
+        }
+    }
+
+    #[test]
+    fn speed_gate_falls_back_when_everyone_filtered() {
+        let reqs = smooth_vs_teleport();
+        let adv = SpeedGate::new(0.001); // nobody passes
+        let mut rng = rng_from_seed(4);
+        let got = adv.identify(&mut rng, &reqs).unwrap();
+        assert!(got < 2);
+    }
+
+    #[test]
+    fn random_guesser_is_near_chance() {
+        let reqs = smooth_vs_teleport();
+        let adv = RandomGuesser;
+        let mut rng = rng_from_seed(5);
+        let hits = (0..2000)
+            .filter(|_| adv.identify(&mut rng, &reqs) == Some(0))
+            .count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn empty_stream_yields_none() {
+        let mut rng = rng_from_seed(6);
+        assert_eq!(RandomGuesser.identify(&mut rng, &[]), None);
+        assert_eq!(
+            ContinuityTracker::new(ChainScore::MaxStep).identify(&mut rng, &[]),
+            None
+        );
+        assert_eq!(SpeedGate::new(1.0).identify(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn single_round_stream_tracker_defaults_to_first() {
+        let reqs = vec![Request {
+            pseudonym: "p".into(),
+            positions: vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+        }];
+        let adv = ContinuityTracker::new(ChainScore::MaxStep);
+        let mut rng = rng_from_seed(7);
+        // No steps yet → all scores zero → deterministic tie-break on index.
+        assert_eq!(adv.identify(&mut rng, &reqs), Some(0));
+    }
+
+    #[test]
+    fn chains_handle_varying_position_counts() {
+        // 2 positions, then 3, then 2: extra candidate starts a chain,
+        // then one chain starves. No panics, sane indices.
+        let reqs = vec![
+            Request {
+                pseudonym: "p".into(),
+                positions: vec![Point::new(0.0, 0.0), Point::new(100.0, 100.0)],
+            },
+            Request {
+                pseudonym: "p".into(),
+                positions: vec![
+                    Point::new(1.0, 0.0),
+                    Point::new(101.0, 100.0),
+                    Point::new(500.0, 500.0),
+                ],
+            },
+            Request {
+                pseudonym: "p".into(),
+                positions: vec![Point::new(2.0, 0.0), Point::new(102.0, 100.0)],
+            },
+        ];
+        let chains = ContinuityTracker::build_chains(&reqs);
+        assert_eq!(chains.len(), 2);
+        for c in &chains {
+            assert!(c.final_index < 2);
+        }
+    }
+
+    #[test]
+    fn identification_rate_counts_hits() {
+        let reqs = smooth_vs_teleport();
+        let streams = vec![(reqs.clone(), 0), (reqs.clone(), 1), (reqs, 0)];
+        let adv = ContinuityTracker::new(ChainScore::MaxStep);
+        let mut rng = rng_from_seed(8);
+        // Tracker always answers 0 → hits streams 1 and 3 of the three.
+        let rate = identification_rate(&adv, &mut rng, &streams);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(identification_rate(&adv, &mut rng, &[]), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The extended Anonymity Set of §2.2.
+//!
+//! Chaum's *Anonymity Set* is "the set of all possible subjects"; Pfitzmann
+//! & Köhntopp's formulation is the one the paper extends to location:
+//! a piece of information `i` restricts the universe `A` to the subset
+//! consistent with `i`, and the cardinality of that subset measures
+//! anonymity. The paper instantiates two restriction functions:
+//!
+//! * `AS_F(i)` — the set of **regions** consistent with `i` ("I live in
+//!   the gray regions"); `|AS_F(i)|` counts regions when all regions have
+//!   the same scale (Figure 2(a): 9 gray regions → `|AS_F| = 9`).
+//! * `AS_P(i)` — the set of **persons** consistent with `i` ("I live in
+//!   the region the arrow points at"); `|AS_P(i)|` counts the persons in
+//!   the identified regions (Figure 2(b): 3 persons → `|AS_P| = 3`).
+//!
+//! Here information about a subject's whereabouts is represented as
+//! [`RegionInfo`] — the set of regions the subject might be in. That is
+//! exactly what an LBS provider learns from a dummy-protected request
+//! (the regions of the k+1 reported positions) or from a cloaked request
+//! (the cloaking region's cells).
+//!
+//! ```
+//! use dummyloc_core::anonymity::{as_f, RegionInfo};
+//! use dummyloc_geo::{BBox, Grid, Point};
+//!
+//! let area = BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)).unwrap();
+//! let grid = Grid::square(area, 5).unwrap();
+//! // A request with the truth and two dummies in distinct regions:
+//! let info = RegionInfo::from_positions(
+//!     &grid,
+//!     vec![Point::new(0.5, 0.5), Point::new(2.5, 2.5), Point::new(4.5, 0.5)],
+//! ).unwrap();
+//! assert_eq!(as_f(&info), 3); // |AS_F| = k + 1
+//! ```
+
+use dummyloc_geo::{CellId, Grid, Point};
+
+use crate::population::PopulationGrid;
+use crate::Result;
+
+/// Information restricting a subject to a set of candidate regions.
+///
+/// Duplicate cells are collapsed: reporting two positions in the same
+/// region narrows the set just as much as reporting one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    regions: Vec<CellId>,
+}
+
+impl RegionInfo {
+    /// Information naming an explicit set of candidate regions.
+    pub fn from_regions(mut regions: Vec<CellId>) -> Self {
+        regions.sort_unstable();
+        regions.dedup();
+        RegionInfo { regions }
+    }
+
+    /// The information a provider extracts from a set of reported
+    /// positions: "the subject is in one of the regions these positions
+    /// fall in". Fails if a position lies outside the grid.
+    pub fn from_positions(grid: &Grid, positions: impl IntoIterator<Item = Point>) -> Result<Self> {
+        let mut regions = Vec::new();
+        for p in positions {
+            regions.push(grid.cell_of(p).map_err(crate::CoreError::from)?);
+        }
+        Ok(RegionInfo::from_regions(regions))
+    }
+
+    /// The candidate regions, sorted and deduplicated.
+    pub fn regions(&self) -> &[CellId] {
+        &self.regions
+    }
+
+    /// Whether the information excludes nothing it could express.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// `|AS_F(i)|` with all regions at the same scale: the number of candidate
+/// regions (Figure 2(a)).
+pub fn as_f(info: &RegionInfo) -> usize {
+    info.regions.len()
+}
+
+/// `|AS_F(i)|` as a total scale (area) when regions may differ in size —
+/// the paper's more general reading ("shows the total scale of α_F").
+pub fn as_f_area(grid: &Grid, info: &RegionInfo) -> Result<f64> {
+    let mut area = 0.0;
+    for &cell in &info.regions {
+        area += grid.cell_bbox(cell).map_err(crate::CoreError::from)?.area();
+    }
+    Ok(area)
+}
+
+/// `|AS_P(i)|`: the number of persons consistent with the information —
+/// the total population of the candidate regions (Figure 2(b)).
+pub fn as_p(pop: &PopulationGrid, info: &RegionInfo) -> u64 {
+    info.regions.iter().map(|&c| u64::from(pop.count(c))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::BBox;
+
+    /// The 5×5 grid of Figure 2, unit-scale regions.
+    fn grid() -> Grid {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)).unwrap();
+        Grid::square(b, 5).unwrap()
+    }
+
+    #[test]
+    fn figure2a_nine_gray_regions() {
+        // "I live in the gray regions" with 9 gray regions → |AS_F(i)| = 9.
+        let gray: Vec<CellId> = (0..3)
+            .flat_map(|r| (0..3).map(move |c| CellId::new(c, r)))
+            .collect();
+        let info = RegionInfo::from_regions(gray);
+        assert_eq!(as_f(&info), 9);
+        // Unit-scale regions → area equals the count.
+        assert_eq!(as_f_area(&grid(), &info).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn figure2b_three_persons_in_pointed_region() {
+        // "I live in the region where an arrow points" holding 3 persons
+        // → |AS_P(i)| = 3.
+        let g = grid();
+        let pop = PopulationGrid::from_positions(
+            &g,
+            vec![
+                Point::new(2.2, 2.2),
+                Point::new(2.5, 2.5),
+                Point::new(2.8, 2.8), // three persons in region (2,2)
+                Point::new(0.5, 0.5), // someone elsewhere
+            ],
+        )
+        .unwrap();
+        let info = RegionInfo::from_regions(vec![CellId::new(2, 2)]);
+        assert_eq!(as_p(&pop, &info), 3);
+    }
+
+    #[test]
+    fn info_from_positions_dedups_shared_regions() {
+        let g = grid();
+        let info = RegionInfo::from_positions(
+            &g,
+            vec![
+                Point::new(0.1, 0.1),
+                Point::new(0.9, 0.9), // same region as above
+                Point::new(4.5, 4.5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(as_f(&info), 2);
+    }
+
+    #[test]
+    fn info_from_out_of_grid_position_fails() {
+        let g = grid();
+        assert!(RegionInfo::from_positions(&g, vec![Point::new(9.0, 9.0)]).is_err());
+    }
+
+    #[test]
+    fn dummies_grow_the_region_anonymity_set() {
+        // The provider's view of a protected request: true position plus
+        // k dummies in distinct regions → |AS_F| = k + 1.
+        let g = grid();
+        let truth = Point::new(1.5, 1.5);
+        let dummies = [
+            Point::new(3.5, 0.5),
+            Point::new(0.5, 3.5),
+            Point::new(4.5, 4.5),
+        ];
+        let info = RegionInfo::from_positions(&g, std::iter::once(truth).chain(dummies)).unwrap();
+        assert_eq!(as_f(&info), 4);
+    }
+
+    #[test]
+    fn as_p_counts_across_all_candidate_regions() {
+        let g = grid();
+        let pop = PopulationGrid::from_positions(
+            &g,
+            vec![
+                Point::new(0.5, 0.5),
+                Point::new(1.5, 0.5),
+                Point::new(1.6, 0.4),
+            ],
+        )
+        .unwrap();
+        let info = RegionInfo::from_regions(vec![CellId::new(0, 0), CellId::new(1, 0)]);
+        assert_eq!(as_p(&pop, &info), 3);
+        let empty_info = RegionInfo::from_regions(vec![CellId::new(4, 4)]);
+        assert_eq!(as_p(&pop, &empty_info), 0);
+        assert!(!info.is_empty());
+        assert!(RegionInfo::from_regions(vec![]).is_empty());
+    }
+}

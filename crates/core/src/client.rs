@@ -1,0 +1,359 @@
+//! The client agent: the paper's anonymous-LBS protocol (§3.1, Figure 5).
+//!
+//! Per service round the client (1) reads its own position, (2) moves its
+//! dummies, (3) sends one message `S` containing the true position and all
+//! dummy positions under its pseudonym, (4) receives one answer per
+//! position and (5) keeps only the answer matching the true position. The
+//! provider never learns which position was true — *if* the dummies are
+//! plausible, which is the generators' job.
+
+use dummyloc_geo::{Grid, Point};
+use rand::{Rng, RngCore};
+
+use crate::generator::{DensityView, DummyGenerator};
+use crate::{CoreError, Result};
+
+/// The anonymized message a client sends: a pseudonym and `k+1` positions
+/// with the true one shuffled in. This is everything the provider sees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Unlinkable pseudonym (the paper assumes the user id "cannot be
+    /// connected to the user's privacy information because of pseudonyms").
+    pub pseudonym: String,
+    /// Reported positions — one true, the rest dummies, order shuffled.
+    pub positions: Vec<Point>,
+}
+
+/// One client round: the outgoing [`Request`] plus the client-side secret
+/// of where the true position sits in it.
+///
+/// `truth_index` never goes on the wire; the evaluation harness uses it to
+/// score adversaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Round {
+    /// The message as the provider receives it.
+    pub request: Request,
+    /// Index of the true position within `request.positions`.
+    pub truth_index: usize,
+}
+
+impl Round {
+    /// The true position (client-side view).
+    pub fn true_position(&self) -> Point {
+        self.request.positions[self.truth_index]
+    }
+
+    /// The dummy positions (client-side view), in request order.
+    pub fn dummy_positions(&self) -> Vec<Point> {
+        self.request
+            .positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (i != self.truth_index).then_some(p))
+            .collect()
+    }
+}
+
+/// A client agent holding the per-dummy state the MN/MLN algorithms need
+/// (*"the communication device of the user memorizes the previous position
+/// of each dummy"*).
+#[derive(Debug, Clone)]
+pub struct Client<G> {
+    pseudonym: String,
+    generator: G,
+    dummy_count: usize,
+    dummies: Vec<Point>,
+    precision: Option<Grid>,
+    started: bool,
+}
+
+impl<G: DummyGenerator> Client<G> {
+    /// Creates a client that will hide its position among `dummy_count`
+    /// dummies produced by `generator`.
+    pub fn new(pseudonym: impl Into<String>, generator: G, dummy_count: usize) -> Self {
+        Client {
+            pseudonym: pseudonym.into(),
+            generator,
+            dummy_count,
+            dummies: Vec::new(),
+            precision: None,
+            started: false,
+        }
+    }
+
+    /// Reports positions at the precision of `grid`: every outgoing
+    /// position (true and dummy alike) is quantized to the center of its
+    /// region, implementing the paper's *"the precision of the position
+    /// data is the same scale as the regions"*.
+    ///
+    /// Quantization is applied on the wire only — dummy motion state
+    /// stays exact, so MN neighborhoods keep their semantics.
+    #[must_use]
+    pub fn with_precision(mut self, grid: Grid) -> Self {
+        self.precision = Some(grid);
+        self
+    }
+
+    /// The client's pseudonym.
+    pub fn pseudonym(&self) -> &str {
+        &self.pseudonym
+    }
+
+    /// The configured number of dummies.
+    pub fn dummy_count(&self) -> usize {
+        self.dummy_count
+    }
+
+    /// Current dummy positions (empty before [`Client::begin`]).
+    pub fn dummies(&self) -> &[Point] {
+        &self.dummies
+    }
+
+    /// The generator in use.
+    pub fn generator(&self) -> &G {
+        &self.generator
+    }
+
+    /// Starts a session: places the initial dummies and emits the first
+    /// request.
+    ///
+    /// Errors if the session already started or `true_pos` is outside the
+    /// service area.
+    pub fn begin(&mut self, rng: &mut dyn RngCore, true_pos: Point) -> Result<Round> {
+        if self.started {
+            return Err(CoreError::Protocol {
+                message: "session already started; use step",
+            });
+        }
+        self.check_in_area(true_pos)?;
+        self.dummies = self.generator.init(rng, true_pos, self.dummy_count);
+        self.started = true;
+        Ok(self.make_round(rng, true_pos))
+    }
+
+    /// Advances one service round: moves every dummy via the generator
+    /// (consulting `density`, last round's region populations) and emits
+    /// the next request.
+    ///
+    /// Errors if [`Client::begin`] has not run or `true_pos` left the
+    /// service area.
+    pub fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        true_pos: Point,
+        density: &dyn DensityView,
+    ) -> Result<Round> {
+        if !self.started {
+            return Err(CoreError::Protocol {
+                message: "session not started; use begin",
+            });
+        }
+        self.check_in_area(true_pos)?;
+        self.dummies = self.generator.step(rng, &self.dummies, density);
+        Ok(self.make_round(rng, true_pos))
+    }
+
+    /// Ends the session; a following [`Client::begin`] starts a fresh one
+    /// (fresh dummies, as after a pseudonym change).
+    pub fn reset(&mut self) {
+        self.started = false;
+        self.dummies.clear();
+    }
+
+    fn check_in_area(&self, p: Point) -> Result<()> {
+        if self.generator.area().contains(p) {
+            Ok(())
+        } else {
+            Err(CoreError::Geo(dummyloc_geo::GeoError::OutOfBounds {
+                point: (p.x, p.y),
+            }))
+        }
+    }
+
+    fn make_round(&self, rng: &mut dyn RngCore, true_pos: Point) -> Round {
+        // Insert the true position at a uniform index so position order
+        // carries no signal.
+        let truth_index = rng.gen_range(0..=self.dummies.len());
+        let mut positions = Vec::with_capacity(self.dummies.len() + 1);
+        positions.extend_from_slice(&self.dummies[..truth_index]);
+        positions.push(true_pos);
+        positions.extend_from_slice(&self.dummies[truth_index..]);
+        if let Some(grid) = &self.precision {
+            for p in &mut positions {
+                *p = quantize(grid, *p);
+            }
+        }
+        Round {
+            request: Request {
+                pseudonym: self.pseudonym.clone(),
+                positions,
+            },
+            truth_index,
+        }
+    }
+}
+
+/// Quantizes a position to the center of its region (clamping stray
+/// points into the grid first).
+fn quantize(grid: &Grid, p: Point) -> Point {
+    let cell = grid.cell_of_clamped(p);
+    grid.cell_center(cell).expect("clamped cells are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{MnGenerator, NoDensity, RandomGenerator};
+    use dummyloc_geo::rng::rng_from_seed;
+    use dummyloc_geo::{BBox, Point};
+
+    fn area() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap()
+    }
+
+    fn client(k: usize) -> Client<MnGenerator> {
+        Client::new("p1", MnGenerator::new(area(), 30.0).unwrap(), k)
+    }
+
+    #[test]
+    fn begin_emits_k_plus_one_positions() {
+        let mut c = client(3);
+        let mut rng = rng_from_seed(1);
+        let round = c.begin(&mut rng, Point::new(500.0, 500.0)).unwrap();
+        assert_eq!(round.request.positions.len(), 4);
+        assert_eq!(round.request.pseudonym, "p1");
+        assert_eq!(round.true_position(), Point::new(500.0, 500.0));
+        assert_eq!(round.dummy_positions().len(), 3);
+        assert_eq!(c.dummies().len(), 3);
+    }
+
+    #[test]
+    fn protocol_order_is_enforced() {
+        let mut c = client(2);
+        let mut rng = rng_from_seed(2);
+        let p = Point::new(10.0, 10.0);
+        assert!(matches!(
+            c.step(&mut rng, p, &NoDensity),
+            Err(CoreError::Protocol { .. })
+        ));
+        c.begin(&mut rng, p).unwrap();
+        assert!(matches!(
+            c.begin(&mut rng, p),
+            Err(CoreError::Protocol { .. })
+        ));
+        assert!(c.step(&mut rng, p, &NoDensity).is_ok());
+        c.reset();
+        assert!(c.dummies().is_empty());
+        assert!(c.begin(&mut rng, p).is_ok());
+    }
+
+    #[test]
+    fn out_of_area_truth_rejected() {
+        let mut c = client(2);
+        let mut rng = rng_from_seed(3);
+        assert!(c.begin(&mut rng, Point::new(-5.0, 0.0)).is_err());
+        assert!(!c.started);
+    }
+
+    #[test]
+    fn dummies_persist_between_rounds() {
+        // MN must move each dummy at most m per round — verifying the
+        // client feeds the generator its own previous output.
+        let mut c = client(4);
+        let mut rng = rng_from_seed(4);
+        c.begin(&mut rng, Point::new(500.0, 500.0)).unwrap();
+        let before = c.dummies().to_vec();
+        c.step(&mut rng, Point::new(501.0, 500.0), &NoDensity)
+            .unwrap();
+        let after = c.dummies().to_vec();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a.x - b.x).abs() <= 30.0 + 1e-9);
+            assert!((a.y - b.y).abs() <= 30.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn truth_index_is_uniformly_placed() {
+        let mut counts = [0usize; 4];
+        let mut rng = rng_from_seed(5);
+        for _ in 0..2000 {
+            let mut c = client(3);
+            let round = c.begin(&mut rng, Point::new(500.0, 500.0)).unwrap();
+            counts[round.truth_index] += 1;
+        }
+        // Each slot expects 500; allow generous sampling noise.
+        for (i, &n) in counts.iter().enumerate() {
+            assert!((380..=620).contains(&n), "slot {i} hit {n} times");
+        }
+    }
+
+    #[test]
+    fn round_views_are_consistent_with_request() {
+        let mut c = client(5);
+        let mut rng = rng_from_seed(6);
+        let round = c.begin(&mut rng, Point::new(123.0, 456.0)).unwrap();
+        let mut rebuilt = round.dummy_positions();
+        rebuilt.insert(round.truth_index, round.true_position());
+        assert_eq!(rebuilt, round.request.positions);
+    }
+
+    #[test]
+    fn precision_quantizes_all_reported_positions() {
+        let grid = Grid::square(area(), 10).unwrap(); // 100 m cells
+        let mut c = client(3).with_precision(grid.clone());
+        let mut rng = rng_from_seed(31);
+        let truth = Point::new(537.0, 468.0);
+        let round = c.begin(&mut rng, truth).unwrap();
+        for p in &round.request.positions {
+            // Every reported position is a cell center: ..50 offsets.
+            assert!((p.x % 100.0 - 50.0).abs() < 1e-9, "{p:?}");
+            assert!((p.y % 100.0 - 50.0).abs() < 1e-9, "{p:?}");
+        }
+        // The truth slot carries the *quantized* truth.
+        assert_eq!(round.true_position(), Point::new(550.0, 450.0));
+        // Internal dummy state stays exact (not cell centers in general).
+        let exact = c
+            .dummies()
+            .iter()
+            .any(|d| (d.x % 100.0 - 50.0).abs() > 1e-9 || (d.y % 100.0 - 50.0).abs() > 1e-9);
+        assert!(exact, "dummy motion state must not be quantized");
+    }
+
+    #[test]
+    fn precision_loss_is_bounded_by_half_cell_diagonal() {
+        let grid = Grid::square(area(), 8).unwrap(); // 125 m cells
+        let mut c = client(0).with_precision(grid);
+        let mut rng = rng_from_seed(32);
+        let half_diag = (62.5f64 * 62.5 + 62.5 * 62.5).sqrt();
+        let mut worst: f64 = 0.0;
+        let mut truth = Point::new(3.0, 7.0);
+        let round = c.begin(&mut rng, truth).unwrap();
+        worst = worst.max(truth.distance(&round.true_position()));
+        for k in 0..50 {
+            truth = Point::new(3.0 + k as f64 * 19.7, 7.0 + k as f64 * 17.3);
+            let round = c.step(&mut rng, truth, &NoDensity).unwrap();
+            worst = worst.max(truth.distance(&round.true_position()));
+        }
+        assert!(worst <= half_diag + 1e-9, "worst precision loss {worst}");
+    }
+    #[test]
+    fn zero_dummies_degenerates_to_plain_lbs() {
+        let mut c = Client::new("p", RandomGenerator::new(area()).unwrap(), 0);
+        let mut rng = rng_from_seed(7);
+        let round = c.begin(&mut rng, Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(round.request.positions.len(), 1);
+        assert_eq!(round.truth_index, 0);
+        let round = c.step(&mut rng, Point::new(2.0, 2.0), &NoDensity).unwrap();
+        assert_eq!(round.request.positions, vec![Point::new(2.0, 2.0)]);
+    }
+
+    #[test]
+    fn boxed_dyn_generator_client() {
+        let gen: Box<dyn DummyGenerator> = Box::new(RandomGenerator::new(area()).unwrap());
+        let mut c = Client::new("p", gen, 2);
+        let mut rng = rng_from_seed(8);
+        let round = c.begin(&mut rng, Point::new(9.0, 9.0)).unwrap();
+        assert_eq!(round.request.positions.len(), 3);
+    }
+}

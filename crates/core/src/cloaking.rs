@@ -1,0 +1,214 @@
+//! The accuracy-reduction baseline (Figure 4(a)).
+//!
+//! Gruteser & Grunwald's *spatial cloaking* lowers the precision of the
+//! reported position instead of adding noise: the user reports a region
+//! containing their position. The paper's critique (§3): *"observers can
+//! easily comprehend user moves when tracing data for several minutes
+//! because the position data chain creates a rough trajectory"* — a
+//! sequence of adjacent cloaks is itself a track.
+//!
+//! Two variants are implemented:
+//!
+//! * [`GridCloak`] — fixed-precision cloaking at the granularity of a
+//!   region grid (what Figure 4(a) draws, and the "0 dummies" comparator
+//!   in our Figure-7 reproduction).
+//! * [`adaptive_cloak`] — Gruteser & Grunwald's quadtree-style *k*-anonymous
+//!   cloaking: recursively quarter the service area and report the
+//!   smallest quadrant still containing at least `k` users.
+
+use dummyloc_geo::{BBox, Grid, Point};
+
+use crate::anonymity::RegionInfo;
+use crate::Result;
+
+/// Fixed-precision spatial cloaking over a region grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCloak {
+    grid: Grid,
+}
+
+/// The message a cloaking client sends: a pseudonym and a region instead
+/// of a point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloakedRequest {
+    /// Unlinkable pseudonym, as in the dummy scheme.
+    pub pseudonym: String,
+    /// The reported region containing the true position.
+    pub region: BBox,
+}
+
+impl GridCloak {
+    /// Creates the scheme at the precision of `grid` (the paper sets
+    /// position precision equal to the region scale).
+    pub fn new(grid: Grid) -> Self {
+        GridCloak { grid }
+    }
+
+    /// The region partition in use.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Cloaks a true position into its region.
+    pub fn cloak(&self, pseudonym: impl Into<String>, true_pos: Point) -> Result<CloakedRequest> {
+        let cell = self
+            .grid
+            .cell_of(true_pos)
+            .map_err(crate::CoreError::from)?;
+        let region = self.grid.cell_bbox(cell).map_err(crate::CoreError::from)?;
+        Ok(CloakedRequest {
+            pseudonym: pseudonym.into(),
+            region,
+        })
+    }
+
+    /// The anonymity-set information a provider extracts from a cloaked
+    /// request: exactly one candidate region — `|AS_F| = 1` at grid
+    /// precision, which is why cloaking needs *large* cells (hurting
+    /// service quality) to protect anyone.
+    pub fn info(&self, req: &CloakedRequest) -> RegionInfo {
+        // Closed-box intersection would also pick up cells merely touching
+        // the region's edges; keep only cells whose center the region
+        // contains (for grid-aligned cloaks this is exactly the covered
+        // cells).
+        let cells = self
+            .grid
+            .cells_intersecting(&req.region)
+            .into_iter()
+            .filter(|&c| {
+                self.grid
+                    .cell_center(c)
+                    .map(|p| req.region.contains(p))
+                    .unwrap_or(false)
+            })
+            .collect();
+        RegionInfo::from_regions(cells)
+    }
+}
+
+/// Gruteser & Grunwald's adaptive k-anonymous cloak: the smallest
+/// power-of-4 quadrant of `area` that contains `true_pos` and at least
+/// `k` of `users` (the true position's own user counts as one, so `k = 1`
+/// returns the deepest quadrant).
+///
+/// `max_depth` bounds the recursion (a depth of 10 over a 2 km area is
+/// ~2 m precision — far below GPS noise).
+pub fn adaptive_cloak(
+    area: BBox,
+    true_pos: Point,
+    users: &[Point],
+    k: usize,
+    max_depth: u32,
+) -> BBox {
+    let mut quad = area;
+    let mut inside: Vec<Point> = users
+        .iter()
+        .copied()
+        .filter(|p| quad.contains(*p))
+        .collect();
+    for _ in 0..max_depth {
+        let c = quad.center();
+        let east = true_pos.x >= c.x;
+        let north = true_pos.y >= c.y;
+        let (min, max) = match (east, north) {
+            (false, false) => (quad.min(), c),
+            (true, false) => (Point::new(c.x, quad.min().y), Point::new(quad.max().x, c.y)),
+            (false, true) => (Point::new(quad.min().x, c.y), Point::new(c.x, quad.max().y)),
+            (true, true) => (c, quad.max()),
+        };
+        let child = BBox::new(min, max).expect("quadrant of a valid box is valid");
+        let child_users: Vec<Point> = inside
+            .iter()
+            .copied()
+            .filter(|p| child.contains(*p))
+            .collect();
+        // +1 counts the cloaking user themself.
+        if child_users.len() + 1 < k {
+            break;
+        }
+        quad = child;
+        inside = child_users;
+    }
+    quad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1024.0, 1024.0)).unwrap()
+    }
+
+    #[test]
+    fn grid_cloak_reports_containing_cell() {
+        let grid = Grid::square(area(), 8).unwrap(); // 128 m cells
+        let scheme = GridCloak::new(grid);
+        let req = scheme.cloak("p", Point::new(200.0, 900.0)).unwrap();
+        assert!(req.region.contains(Point::new(200.0, 900.0)));
+        assert_eq!(req.region.width(), 128.0);
+        assert_eq!(req.pseudonym, "p");
+        assert!(scheme.cloak("p", Point::new(-1.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn grid_cloak_info_is_single_region() {
+        let grid = Grid::square(area(), 8).unwrap();
+        let scheme = GridCloak::new(grid);
+        let req = scheme.cloak("p", Point::new(200.0, 900.0)).unwrap();
+        let info = scheme.info(&req);
+        assert_eq!(crate::anonymity::as_f(&info), 1);
+    }
+
+    #[test]
+    fn adaptive_cloak_descends_to_max_depth_with_enough_users() {
+        // k = 1: only the user themself needed → full depth.
+        let cloak = adaptive_cloak(area(), Point::new(100.0, 100.0), &[], 1, 5);
+        assert_eq!(cloak.width(), 1024.0 / 32.0);
+        assert!(cloak.contains(Point::new(100.0, 100.0)));
+    }
+
+    #[test]
+    fn adaptive_cloak_stops_where_k_anonymity_would_break() {
+        // 4 other users in the SW quadrant, none deeper near the truth.
+        let users = vec![
+            Point::new(500.0, 500.0),
+            Point::new(400.0, 400.0),
+            Point::new(450.0, 300.0),
+            Point::new(300.0, 450.0),
+        ];
+        let truth = Point::new(10.0, 10.0);
+        let cloak = adaptive_cloak(area(), truth, &users, 5, 10);
+        // The SW 512-quadrant holds truth + 4 others = 5 ≥ k, but its SW
+        // 256-sub-quadrant holds only the truth → stop at 512.
+        assert_eq!(cloak.width(), 512.0);
+        assert!(cloak.contains(truth));
+        for u in &users {
+            assert!(cloak.contains(*u));
+        }
+    }
+
+    #[test]
+    fn adaptive_cloak_entire_area_when_k_unreachable() {
+        let cloak = adaptive_cloak(area(), Point::new(10.0, 10.0), &[], 99, 10);
+        assert_eq!(cloak, area());
+    }
+
+    #[test]
+    fn adaptive_cloak_always_contains_truth() {
+        let users: Vec<Point> = (0..50)
+            .map(|i| Point::new((i * 19 % 1024) as f64, (i * 37 % 1024) as f64))
+            .collect();
+        for k in [1usize, 3, 10, 30] {
+            for &(x, y) in &[(5.0, 5.0), (1000.0, 3.0), (512.0, 512.0), (1023.0, 1023.0)] {
+                let truth = Point::new(x, y);
+                let cloak = adaptive_cloak(area(), truth, &users, k, 8);
+                assert!(cloak.contains(truth), "k={k} truth={truth:?}");
+                // k-anonymity: the cloak holds at least k-1 other users or
+                // is the full area.
+                let others = users.iter().filter(|p| cloak.contains(**p)).count();
+                assert!(others + 1 >= k || cloak == area());
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+use dummyloc_geo::GeoError;
+
+/// Errors produced by the core privacy library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A geometric precondition failed (bad area, out-of-bounds point, …).
+    Geo(GeoError),
+    /// A generator was configured with an invalid parameter.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A client operation was called out of protocol order.
+    Protocol {
+        /// What went wrong.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Geo(e) => write!(f, "geometry error: {e}"),
+            CoreError::InvalidParameter { what, value } => {
+                write!(f, "invalid parameter {what}: {value}")
+            }
+            CoreError::Protocol { message } => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeoError> for CoreError {
+    fn from(e: GeoError) -> Self {
+        CoreError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(GeoError::EmptyGrid);
+        assert!(e.to_string().contains("geometry error"));
+        assert!(e.source().is_some());
+        let p = CoreError::InvalidParameter {
+            what: "m",
+            value: -1.0,
+        };
+        assert!(p.to_string().contains('m'));
+        assert!(p.source().is_none());
+    }
+}

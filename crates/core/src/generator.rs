@@ -1,0 +1,1154 @@
+//! Dummy generation algorithms (§3.2 of the paper).
+//!
+//! A dummy that teleports is no dummy at all: *"If dummies are generated
+//! randomly, we can easily find differences between true position data and
+//! dummies when using LBSs that need position data continuously."* The
+//! paper therefore constrains each dummy's next position to a neighborhood
+//! of its previous one:
+//!
+//! * [`RandomGenerator`] — the strawman: every step redraws every dummy
+//!   uniformly over the whole service area (no temporal consistency).
+//! * [`MnGenerator`] — **Moving in a Neighborhood** (Table 2): the next
+//!   position of each dummy is drawn uniformly from the `±m` box around
+//!   its previous position.
+//! * [`MlnGenerator`] — **Moving in a Limited Neighborhood** (Table 3):
+//!   like MN, but a candidate landing in a region already holding more
+//!   position data than a density threshold (`avep`) is rejected and
+//!   redrawn, up to a retry budget — steering dummies toward under-
+//!   populated regions and thereby balancing congestion.
+//!
+//! Two ablation variants are included: [`DiscMnGenerator`] (uniform draw
+//! from a disc instead of a box — DESIGN.md ablation A1) and
+//! [`StationaryGenerator`] (dummies never move — a degenerate lower bound
+//! for `Shift(P)`).
+//!
+//! All generators are deterministic given the caller's RNG and are
+//! object-safe (`Box<dyn DummyGenerator>` works), which is how the
+//! simulation engine mixes techniques in one experiment.
+
+use dummyloc_geo::rng::{sample_disc, sample_uniform};
+use dummyloc_geo::{BBox, Point, Vec2};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::population::PopulationGrid;
+use crate::{CoreError, Result};
+
+/// Read-only view of how many position data each region held at the
+/// previous step — the input to MLN's `position(x, y)` probe.
+///
+/// The paper's MLN assumes *"the communication device of the user can get
+/// other users' position data"*; the simulation engine passes last tick's
+/// [`PopulationGrid`], and clients without that capability pass
+/// [`NoDensity`].
+pub trait DensityView {
+    /// Number of position data in the region containing `p` at the
+    /// previous step (0 for positions outside the tracked area).
+    fn count_at(&self, p: Point) -> usize;
+
+    /// Mean count over occupied regions — the natural `avep` threshold.
+    fn mean_occupied(&self) -> f64;
+}
+
+/// A [`DensityView`] for clients that cannot observe other users: every
+/// region looks empty, so MLN degenerates to MN.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDensity;
+
+impl DensityView for NoDensity {
+    fn count_at(&self, _p: Point) -> usize {
+        0
+    }
+
+    fn mean_occupied(&self) -> f64 {
+        0.0
+    }
+}
+
+impl DensityView for PopulationGrid {
+    fn count_at(&self, p: Point) -> usize {
+        PopulationGrid::count_at(self, p).map_or(0, |c| c as usize)
+    }
+
+    fn mean_occupied(&self) -> f64 {
+        PopulationGrid::mean_occupied(self)
+    }
+}
+
+/// A [`DensityView`] over a global population *minus one client's own
+/// previously reported positions*.
+///
+/// The paper's MLN has the device consult *"the **other** user's position
+/// data"* — a dummy must not flee a region merely because it was standing
+/// in it itself last round. Feeding the raw global [`PopulationGrid`]
+/// instead makes MLN dummies self-repelling and visibly jumpier than MN
+/// (we measured it; see `EXPERIMENTS.md`), so the simulation engine wraps
+/// each client's density in this view.
+#[derive(Debug, Clone, Copy)]
+pub struct OthersDensity<'a> {
+    pop: &'a PopulationGrid,
+    own_prev: &'a [Point],
+}
+
+impl<'a> OthersDensity<'a> {
+    /// Wraps the previous round's global population, excluding
+    /// `own_prev` — the positions (true + dummies) this client itself
+    /// reported in that round.
+    pub fn new(pop: &'a PopulationGrid, own_prev: &'a [Point]) -> Self {
+        OthersDensity { pop, own_prev }
+    }
+}
+
+impl DensityView for OthersDensity<'_> {
+    fn count_at(&self, p: Point) -> usize {
+        let Ok(cell) = self.pop.grid().cell_of(p) else {
+            return 0;
+        };
+        let total = self.pop.count(cell) as usize;
+        let own = self
+            .own_prev
+            .iter()
+            .filter(|q| self.pop.grid().cell_of(**q) == Ok(cell))
+            .count();
+        total.saturating_sub(own)
+    }
+
+    fn mean_occupied(&self) -> f64 {
+        self.pop.mean_occupied()
+    }
+}
+
+/// A dummy-motion algorithm.
+///
+/// The trait is object-safe; the RNG comes in as `&mut dyn RngCore` so a
+/// boxed generator can still be driven from any seeded RNG.
+pub trait DummyGenerator {
+    /// Short algorithm name used in experiment reports ("random", "mn",
+    /// "mln", …).
+    fn name(&self) -> &'static str;
+
+    /// The service area dummies must stay inside.
+    fn area(&self) -> BBox;
+
+    /// Places `count` fresh dummies at the start of a session.
+    ///
+    /// The default draws them uniformly over the service area,
+    /// *independent of the true position*: seeding dummies near the user
+    /// would leak the very information they exist to hide, and uniform
+    /// placement maximizes ubiquity from the first report. `true_pos` is
+    /// provided for variants that trade leakage for realism.
+    fn init(&mut self, rng: &mut dyn RngCore, true_pos: Point, count: usize) -> Vec<Point> {
+        let _ = true_pos;
+        let area = self.area();
+        (0..count).map(|_| sample_uniform(rng, &area)).collect()
+    }
+
+    /// Moves every dummy one step: `prev` are the positions at `t−1`, the
+    /// result are the positions at `t`. `density` describes the previous
+    /// step's per-region population for density-aware algorithms.
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        density: &dyn DensityView,
+    ) -> Vec<Point>;
+}
+
+impl<G: DummyGenerator + ?Sized> DummyGenerator for Box<G> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn area(&self) -> BBox {
+        (**self).area()
+    }
+
+    fn init(&mut self, rng: &mut dyn RngCore, true_pos: Point, count: usize) -> Vec<Point> {
+        (**self).init(rng, true_pos, count)
+    }
+
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        density: &dyn DensityView,
+    ) -> Vec<Point> {
+        (**self).step(rng, prev, density)
+    }
+}
+
+fn validate_area(area: BBox) -> Result<()> {
+    if area.width() > 0.0 && area.height() > 0.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidParameter {
+            what: "service area extent",
+            value: area.area(),
+        })
+    }
+}
+
+fn validate_radius(m: f64) -> Result<()> {
+    if m.is_finite() && m > 0.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidParameter {
+            what: "neighborhood radius m",
+            value: m,
+        })
+    }
+}
+
+/// Draws the MN next position: uniform in the `±m` box around `prev`,
+/// clipped to the service area (a dummy drifting off the map would be a
+/// giveaway, so the feasible neighborhood is the intersection).
+fn mn_next(rng: &mut dyn RngCore, area: &BBox, prev: Point, m: f64) -> Point {
+    let hood = BBox::centered(prev, m).expect("m validated finite and positive");
+    let feasible = hood
+        .intersection(area)
+        .expect("previous dummy positions stay inside the area");
+    sample_uniform(rng, &feasible)
+}
+
+/// The random strawman: every dummy is redrawn uniformly over the whole
+/// service area at every step. Maximal ubiquity, no temporal consistency —
+/// the baseline MN/MLN beat in Figure 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomGenerator {
+    area: BBox,
+}
+
+impl RandomGenerator {
+    /// Creates the generator over a service area with positive extent.
+    pub fn new(area: BBox) -> Result<Self> {
+        validate_area(area)?;
+        Ok(RandomGenerator { area })
+    }
+}
+
+impl DummyGenerator for RandomGenerator {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn area(&self) -> BBox {
+        self.area
+    }
+
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        _density: &dyn DensityView,
+    ) -> Vec<Point> {
+        prev.iter()
+            .map(|_| sample_uniform(rng, &self.area))
+            .collect()
+    }
+}
+
+/// **Moving in a Neighborhood** (paper Table 2).
+///
+/// `next[i] = (random(prev[i].x ± m), random(prev[i].y ± m))`, clipped to
+/// the service area. The client device *"memorizes the previous position
+/// of each dummy"* (that state lives in [`Client`](crate::client::Client))
+/// *"and generates dummies around the memory"*.
+///
+/// ```
+/// use dummyloc_core::generator::{DummyGenerator, MnGenerator, NoDensity};
+/// use dummyloc_geo::{rng::rng_from_seed, BBox, Point};
+///
+/// let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+/// let mut gen = MnGenerator::new(area, 50.0).unwrap();
+/// let mut rng = rng_from_seed(1);
+/// let dummies = gen.init(&mut rng, Point::new(500.0, 500.0), 3);
+/// let moved = gen.step(&mut rng, &dummies, &NoDensity);
+/// for (a, b) in dummies.iter().zip(&moved) {
+///     assert!((a.x - b.x).abs() <= 50.0 && (a.y - b.y).abs() <= 50.0);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MnGenerator {
+    area: BBox,
+    m: f64,
+}
+
+impl MnGenerator {
+    /// Creates the generator; `m` is the paper's neighborhood half-extent.
+    pub fn new(area: BBox, m: f64) -> Result<Self> {
+        validate_area(area)?;
+        validate_radius(m)?;
+        Ok(MnGenerator { area, m })
+    }
+
+    /// The neighborhood half-extent `m`.
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+}
+
+impl DummyGenerator for MnGenerator {
+    fn name(&self) -> &'static str {
+        "mn"
+    }
+
+    fn area(&self) -> BBox {
+        self.area
+    }
+
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        _density: &dyn DensityView,
+    ) -> Vec<Point> {
+        prev.iter()
+            .map(|&p| mn_next(rng, &self.area, p, self.m))
+            .collect()
+    }
+}
+
+/// How [`MlnGenerator`] decides that a candidate region is "too crowded".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DensityThreshold {
+    /// Reject regions holding strictly more than this many position data —
+    /// the paper's explicit `avep` parameter.
+    Fixed(f64),
+    /// Reject regions holding strictly more than the previous step's mean
+    /// count over occupied regions (self-tuning `avep`).
+    MeanOccupied,
+}
+
+/// Per-step statistics of the MLN rejection loop, for the A2 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MlnStepStats {
+    /// Candidate draws rejected for landing in a crowded region.
+    pub rejections: u64,
+    /// Dummies that exhausted the retry budget and kept a crowded
+    /// candidate anyway.
+    pub budget_exhausted: u64,
+}
+
+/// **Moving in a Limited Neighborhood** (paper Table 3).
+///
+/// MN plus a density filter: a candidate next position whose region
+/// already holds more than `avep` position data is rejected and redrawn
+/// (*"if there are many users in the generated region, the device
+/// generates the dummy again. The process is repeated several times"* —
+/// the pseudocode's retry counter caps at 3, our `retry_budget` default).
+/// After the budget is exhausted the last candidate is accepted, matching
+/// the pseudocode's fall-through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlnGenerator {
+    area: BBox,
+    m: f64,
+    threshold: DensityThreshold,
+    retry_budget: u32,
+}
+
+impl MlnGenerator {
+    /// The paper's retry cap (`if (k <= 3)` in Table 3).
+    pub const DEFAULT_RETRY_BUDGET: u32 = 3;
+
+    /// Creates the generator with the paper's defaults: self-tuning
+    /// threshold, retry budget 3.
+    pub fn new(area: BBox, m: f64) -> Result<Self> {
+        Self::with_options(
+            area,
+            m,
+            DensityThreshold::MeanOccupied,
+            Self::DEFAULT_RETRY_BUDGET,
+        )
+    }
+
+    /// Creates the generator with an explicit threshold and retry budget.
+    pub fn with_options(
+        area: BBox,
+        m: f64,
+        threshold: DensityThreshold,
+        retry_budget: u32,
+    ) -> Result<Self> {
+        validate_area(area)?;
+        validate_radius(m)?;
+        if let DensityThreshold::Fixed(v) = threshold {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    what: "density threshold avep",
+                    value: v,
+                });
+            }
+        }
+        Ok(MlnGenerator {
+            area,
+            m,
+            threshold,
+            retry_budget,
+        })
+    }
+
+    /// The neighborhood half-extent `m`.
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+
+    /// The configured retry budget.
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
+    }
+
+    /// Like [`DummyGenerator::step`] but also reporting rejection-loop
+    /// statistics (ablation A2).
+    pub fn step_with_stats(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        density: &dyn DensityView,
+    ) -> (Vec<Point>, MlnStepStats) {
+        let avep = match self.threshold {
+            DensityThreshold::Fixed(v) => v,
+            DensityThreshold::MeanOccupied => density.mean_occupied(),
+        };
+        let mut stats = MlnStepStats::default();
+        let next = prev
+            .iter()
+            .map(|&p| {
+                let mut candidate = mn_next(rng, &self.area, p, self.m);
+                let mut tries = 0u32;
+                while (density.count_at(candidate) as f64) > avep {
+                    if tries >= self.retry_budget {
+                        stats.budget_exhausted += 1;
+                        break;
+                    }
+                    stats.rejections += 1;
+                    tries += 1;
+                    candidate = mn_next(rng, &self.area, p, self.m);
+                }
+                candidate
+            })
+            .collect();
+        (next, stats)
+    }
+}
+
+impl DummyGenerator for MlnGenerator {
+    fn name(&self) -> &'static str {
+        "mln"
+    }
+
+    fn area(&self) -> BBox {
+        self.area
+    }
+
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        density: &dyn DensityView,
+    ) -> Vec<Point> {
+        self.step_with_stats(rng, prev, density).0
+    }
+}
+
+/// Ablation variant of MN drawing the next position uniformly from the
+/// *disc* of radius `m` (isotropic steps) instead of the paper's box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscMnGenerator {
+    area: BBox,
+    m: f64,
+}
+
+impl DiscMnGenerator {
+    /// Creates the generator.
+    pub fn new(area: BBox, m: f64) -> Result<Self> {
+        validate_area(area)?;
+        validate_radius(m)?;
+        Ok(DiscMnGenerator { area, m })
+    }
+}
+
+impl DummyGenerator for DiscMnGenerator {
+    fn name(&self) -> &'static str {
+        "mn-disc"
+    }
+
+    fn area(&self) -> BBox {
+        self.area
+    }
+
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        _density: &dyn DensityView,
+    ) -> Vec<Point> {
+        prev.iter()
+            .map(|&p| {
+                // Rejection-sample into the area; a handful of tries covers
+                // all but pathological corner cases, then clamp.
+                for _ in 0..16 {
+                    let c = sample_disc(rng, p, self.m);
+                    if self.area.contains(c) {
+                        return c;
+                    }
+                }
+                self.area.clamp(sample_disc(rng, p, self.m))
+            })
+            .collect()
+    }
+}
+
+/// Degenerate baseline: dummies never move. Perfect temporal consistency
+/// (`Shift(P)` contribution of zero) but trivially identifiable as the
+/// only never-moving "users" — included to bound ablation plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationaryGenerator {
+    area: BBox,
+}
+
+impl StationaryGenerator {
+    /// Creates the generator.
+    pub fn new(area: BBox) -> Result<Self> {
+        validate_area(area)?;
+        Ok(StationaryGenerator { area })
+    }
+}
+
+impl DummyGenerator for StationaryGenerator {
+    fn name(&self) -> &'static str {
+        "stationary"
+    }
+
+    fn area(&self) -> BBox {
+        self.area
+    }
+
+    fn step(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        prev: &[Point],
+        _density: &dyn DensityView,
+    ) -> Vec<Point> {
+        prev.to_vec()
+    }
+}
+
+/// **Extension** (beyond the paper): heading-persistent dummies.
+///
+/// MN's next position is direction-free — a dummy is as likely to double
+/// back as to continue, while real movers keep their heading for many
+/// steps. `MomentumGenerator` gives each dummy a velocity that persists
+/// (`velocity <- rho*velocity + noise`, reflected at the service-area
+/// walls), producing smooth tracks whose turning statistics resemble
+/// pedestrians/vehicles rather than diffusing grains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentumGenerator {
+    area: BBox,
+    max_step: f64,
+    persistence: f64,
+    velocities: Vec<Vec2>,
+}
+
+impl MomentumGenerator {
+    /// Creates the generator: dummies move at most `max_step` per round
+    /// and keep a fraction `persistence` (in `[0, 1)`) of their velocity
+    /// between rounds (0 degenerates toward an MN-like diffusion).
+    pub fn new(area: BBox, max_step: f64, persistence: f64) -> Result<Self> {
+        validate_area(area)?;
+        validate_radius(max_step)?;
+        if !(persistence.is_finite() && (0.0..1.0).contains(&persistence)) {
+            return Err(CoreError::InvalidParameter {
+                what: "persistence (must be in [0, 1))",
+                value: persistence,
+            });
+        }
+        Ok(MomentumGenerator {
+            area,
+            max_step,
+            persistence,
+            velocities: Vec::new(),
+        })
+    }
+
+    fn noise(&self, rng: &mut dyn RngCore) -> Vec2 {
+        use rand::Rng;
+        let scale = self.max_step * (1.0 - self.persistence);
+        Vec2::new(rng.gen_range(-scale..=scale), rng.gen_range(-scale..=scale))
+    }
+
+    fn random_velocity(&self, rng: &mut dyn RngCore) -> Vec2 {
+        use rand::Rng;
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        Vec2::from_angle(angle) * (self.max_step * 0.6)
+    }
+}
+
+impl DummyGenerator for MomentumGenerator {
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+
+    fn area(&self) -> BBox {
+        self.area
+    }
+
+    fn init(&mut self, rng: &mut dyn RngCore, _true_pos: Point, count: usize) -> Vec<Point> {
+        self.velocities = (0..count).map(|_| self.random_velocity(rng)).collect();
+        (0..count)
+            .map(|_| sample_uniform(rng, &self.area))
+            .collect()
+    }
+
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        _density: &dyn DensityView,
+    ) -> Vec<Point> {
+        // Self-heal on count mismatch (client built around existing
+        // positions).
+        if self.velocities.len() != prev.len() {
+            self.velocities = prev.iter().map(|_| self.random_velocity(rng)).collect();
+        }
+        let persistence = self.persistence;
+        let max_step = self.max_step;
+        let area = self.area;
+        let noises: Vec<Vec2> = prev.iter().map(|_| self.noise(rng)).collect();
+        prev.iter()
+            .zip(self.velocities.iter_mut())
+            .zip(noises)
+            .map(|((&p, v), noise)| {
+                *v = (*v * persistence + noise).clamp_length(max_step);
+                let mut next = p + *v;
+                // Reflect at the walls so dummies don't pile up on edges.
+                let (min, max) = (area.min(), area.max());
+                if next.x < min.x || next.x > max.x {
+                    v.dx = -v.dx;
+                    next.x = next.x.clamp(min.x, max.x);
+                }
+                if next.y < min.y || next.y > max.y {
+                    v.dy = -v.dy;
+                    next.y = next.y.clamp(min.y, max.y);
+                }
+                next
+            })
+            .collect()
+    }
+}
+
+/// Per-dummy state of the [`AnchoredGenerator`].
+#[derive(Debug, Clone, PartialEq)]
+struct AnchorState {
+    anchors: [Point; 2],
+    target: usize,
+    dwell_left: u32,
+}
+
+/// **Extension** (beyond the paper): dummies that *commute*.
+///
+/// MN dummies diffuse: over many sessions they wander, so any region that
+/// recurs in a pseudonym's long-term history is almost surely the real
+/// user's home or workplace — a recurrence attack the paper does not
+/// address (its follow-up work on traceability does). `AnchoredGenerator`
+/// gives every dummy two fixed anchor points and has it walk between
+/// them, dwelling at each — the same two-place commuting pattern real
+/// users exhibit — so the observer sees `k+1` plausible home/work pairs
+/// instead of one.
+///
+/// This generator is stateful (anchors and dwell timers persist across
+/// steps), which is why [`DummyGenerator::step`] takes `&mut self`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnchoredGenerator {
+    area: BBox,
+    speed: f64,
+    dwell_range: (u32, u32),
+    state: Vec<AnchorState>,
+}
+
+impl AnchoredGenerator {
+    /// Creates the generator: dummies move at most `speed` per step and
+    /// dwell `dwell_range` steps (inclusive) at each anchor.
+    pub fn new(area: BBox, speed: f64, dwell_range: (u32, u32)) -> Result<Self> {
+        validate_area(area)?;
+        validate_radius(speed)?;
+        if dwell_range.0 > dwell_range.1 {
+            return Err(CoreError::InvalidParameter {
+                what: "dwell range order",
+                value: dwell_range.0 as f64,
+            });
+        }
+        Ok(AnchoredGenerator {
+            area,
+            speed,
+            dwell_range,
+            state: Vec::new(),
+        })
+    }
+
+    /// The anchor pairs currently in play (for tests and demos).
+    pub fn anchors(&self) -> Vec<[Point; 2]> {
+        self.state.iter().map(|s| s.anchors).collect()
+    }
+
+    fn sample_dwell(&self, rng: &mut dyn RngCore) -> u32 {
+        use rand::Rng;
+        if self.dwell_range.0 < self.dwell_range.1 {
+            rng.gen_range(self.dwell_range.0..=self.dwell_range.1)
+        } else {
+            self.dwell_range.0
+        }
+    }
+
+    fn fresh_state(&self, rng: &mut dyn RngCore, start: Point) -> AnchorState {
+        let other = sample_uniform(rng, &self.area);
+        AnchorState {
+            anchors: [start, other],
+            target: 1,
+            dwell_left: self.sample_dwell(rng),
+        }
+    }
+}
+
+impl DummyGenerator for AnchoredGenerator {
+    fn name(&self) -> &'static str {
+        "anchored"
+    }
+
+    fn area(&self) -> BBox {
+        self.area
+    }
+
+    fn init(&mut self, rng: &mut dyn RngCore, _true_pos: Point, count: usize) -> Vec<Point> {
+        let starts: Vec<Point> = (0..count)
+            .map(|_| sample_uniform(rng, &self.area))
+            .collect();
+        self.state = starts.iter().map(|&s| self.fresh_state(rng, s)).collect();
+        starts
+    }
+
+    fn step(
+        &mut self,
+        rng: &mut dyn RngCore,
+        prev: &[Point],
+        _density: &dyn DensityView,
+    ) -> Vec<Point> {
+        // Re-anchor from scratch if the caller's dummy count diverged from
+        // our state (e.g. a client constructed around existing positions).
+        if self.state.len() != prev.len() {
+            self.state = prev.iter().map(|&p| self.fresh_state(rng, p)).collect();
+        }
+        let dwell_range = self.dwell_range;
+        prev.iter()
+            .zip(self.state.iter_mut())
+            .map(|(&p, st)| {
+                if st.dwell_left > 0 {
+                    st.dwell_left -= 1;
+                    return p;
+                }
+                let target = st.anchors[st.target];
+                let to_target = p.to(target);
+                if to_target.length() <= self.speed {
+                    // Arrived: turn around and dwell.
+                    st.target ^= 1;
+                    st.dwell_left = if dwell_range.0 < dwell_range.1 {
+                        use rand::Rng;
+                        rng.gen_range(dwell_range.0..=dwell_range.1)
+                    } else {
+                        dwell_range.0
+                    };
+                    target
+                } else {
+                    p + to_target.clamp_length(self.speed)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::rng::rng_from_seed;
+    use dummyloc_geo::Grid;
+
+    fn area() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap()
+    }
+
+    #[test]
+    fn constructors_validate_parameters() {
+        let flat = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0)).unwrap();
+        assert!(RandomGenerator::new(flat).is_err());
+        assert!(MnGenerator::new(area(), 0.0).is_err());
+        assert!(MnGenerator::new(area(), f64::NAN).is_err());
+        assert!(
+            MlnGenerator::with_options(area(), 10.0, DensityThreshold::Fixed(-1.0), 3).is_err()
+        );
+        assert!(DiscMnGenerator::new(area(), -5.0).is_err());
+        assert!(MnGenerator::new(area(), 50.0).is_ok());
+    }
+
+    #[test]
+    fn default_init_is_uniform_in_area_and_ignores_truth() {
+        let mut g = MnGenerator::new(area(), 50.0).unwrap();
+        let truth = Point::new(1.0, 1.0);
+        let mut rng = rng_from_seed(1);
+        let dummies = g.init(&mut rng, truth, 200);
+        assert_eq!(dummies.len(), 200);
+        for d in &dummies {
+            assert!(area().contains(*d));
+        }
+        // Uniform placement: mean far from the corner truth position.
+        let mean_x = dummies.iter().map(|d| d.x).sum::<f64>() / 200.0;
+        assert!(mean_x > 300.0 && mean_x < 700.0, "mean_x {mean_x}");
+    }
+
+    #[test]
+    fn mn_steps_stay_within_m_and_area() {
+        let m = 25.0;
+        let mut g = MnGenerator::new(area(), m).unwrap();
+        let mut rng = rng_from_seed(2);
+        let mut prev = g.init(&mut rng, Point::ORIGIN, 10);
+        for _ in 0..200 {
+            let next = g.step(&mut rng, &prev, &NoDensity);
+            assert_eq!(next.len(), prev.len());
+            for (a, b) in prev.iter().zip(&next) {
+                assert!((a.x - b.x).abs() <= m + 1e-9);
+                assert!((a.y - b.y).abs() <= m + 1e-9);
+                assert!(area().contains(*b));
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn mn_near_boundary_still_produces_valid_positions() {
+        let mut g = MnGenerator::new(area(), 50.0).unwrap();
+        let mut rng = rng_from_seed(3);
+        let corner = vec![Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)];
+        for _ in 0..100 {
+            let next = g.step(&mut rng, &corner, &NoDensity);
+            for p in &next {
+                assert!(area().contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn random_redraws_have_no_temporal_consistency() {
+        let mut g = RandomGenerator::new(area()).unwrap();
+        let mut rng = rng_from_seed(4);
+        let prev = vec![Point::new(500.0, 500.0); 50];
+        let next = g.step(&mut rng, &prev, &NoDensity);
+        // Mean jump of a uniform redraw in a 1000² box from the center is
+        // ~382; with 50 samples it concentrates hard around that.
+        let mean_jump: f64 = prev
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| a.distance(b))
+            .sum::<f64>()
+            / 50.0;
+        assert!(
+            mean_jump > 200.0,
+            "mean jump {mean_jump} too small for random"
+        );
+    }
+
+    #[test]
+    fn mln_avoids_crowded_regions_when_it_can() {
+        let service = area();
+        let grid = Grid::square(service, 10).unwrap(); // 100 m regions
+                                                       // Crowd the region [500,600)²  with 50 people; elsewhere empty.
+        let crowd = (0..50).map(|i| Point::new(510.0 + (i % 10) as f64, 510.0 + (i / 10) as f64));
+        let pop = PopulationGrid::from_positions(&grid, crowd).unwrap();
+        let mut g =
+            MlnGenerator::with_options(service, 80.0, DensityThreshold::Fixed(5.0), 8).unwrap();
+        let mut rng = rng_from_seed(5);
+        // A dummy sitting inside the crowded region: most steps should
+        // escape it because candidates inside get rejected.
+        let prev = vec![Point::new(550.0, 550.0)];
+        let mut stayed = 0;
+        for _ in 0..200 {
+            let next = g.step(&mut rng, &prev, &pop);
+            if pop.count_at(next[0]).unwrap_or(0) > 5 {
+                stayed += 1;
+            }
+        }
+        // The neighborhood (±80 around 550) is mostly outside the crowded
+        // 100 m region, and 8 retries each: staying should be rare.
+        assert!(stayed < 20, "stayed in crowded region {stayed}/200 times");
+    }
+
+    #[test]
+    fn mln_with_zero_budget_behaves_like_mn_statistically() {
+        let service = area();
+        let mut g =
+            MlnGenerator::with_options(service, 30.0, DensityThreshold::Fixed(0.0), 0).unwrap();
+        let mut rng = rng_from_seed(6);
+        let prev = vec![Point::new(500.0, 500.0)];
+        let (next, stats) = g.step_with_stats(&mut rng, &prev, &NoDensity);
+        assert_eq!(next.len(), 1);
+        // NoDensity reports 0 everywhere, 0 > 0 is false → no rejections.
+        assert_eq!(stats.rejections, 0);
+        assert_eq!(stats.budget_exhausted, 0);
+    }
+
+    #[test]
+    fn mln_budget_exhaustion_is_reported() {
+        let service = area();
+        let grid = Grid::square(service, 1).unwrap(); // one giant region
+        let pop = PopulationGrid::from_positions(&grid, (0..10).map(|i| Point::new(i as f64, 0.0)))
+            .unwrap();
+        // Threshold 0 with everyone in the single region: every candidate
+        // is "crowded", so every dummy exhausts the budget.
+        let mut g =
+            MlnGenerator::with_options(service, 30.0, DensityThreshold::Fixed(0.0), 3).unwrap();
+        let mut rng = rng_from_seed(7);
+        let prev = vec![Point::new(500.0, 500.0); 4];
+        let (next, stats) = g.step_with_stats(&mut rng, &prev, &pop);
+        assert_eq!(next.len(), 4);
+        assert_eq!(stats.budget_exhausted, 4);
+        assert_eq!(stats.rejections, 12); // 3 retries each
+    }
+
+    #[test]
+    fn others_density_excludes_own_positions() {
+        let service = area();
+        let grid = Grid::square(service, 10).unwrap(); // 100 m regions
+                                                       // Region (0,0): two others + one own dummy; region (5,5): own only.
+        let pop = PopulationGrid::from_positions(
+            &grid,
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(6.0, 6.0),     // others in (0,0)
+                Point::new(7.0, 7.0),     // own dummy in (0,0)
+                Point::new(550.0, 550.0), // own true position in (5,5)
+            ],
+        )
+        .unwrap();
+        let own = vec![Point::new(7.0, 7.0), Point::new(550.0, 550.0)];
+        let view = OthersDensity::new(&pop, &own);
+        assert_eq!(view.count_at(Point::new(5.0, 5.0)), 2);
+        assert_eq!(view.count_at(Point::new(550.0, 550.0)), 0);
+        assert_eq!(view.count_at(Point::new(950.0, 950.0)), 0);
+        // Out-of-area probes read 0.
+        assert_eq!(view.count_at(Point::new(-10.0, 0.0)), 0);
+        // mean_occupied passes through the global value.
+        assert_eq!(view.mean_occupied(), pop.mean_occupied());
+    }
+
+    #[test]
+    fn mean_occupied_threshold_uses_density_view() {
+        let service = area();
+        let grid = Grid::square(service, 10).unwrap();
+        let pop = PopulationGrid::from_positions(
+            &grid,
+            vec![
+                Point::new(5.0, 5.0),
+                Point::new(6.0, 6.0),
+                Point::new(500.0, 500.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(DensityView::mean_occupied(&pop), 1.5);
+        assert_eq!(DensityView::count_at(&pop, Point::new(7.0, 7.0)), 2);
+        // Out-of-area probes read 0 rather than erroring.
+        assert_eq!(DensityView::count_at(&pop, Point::new(-10.0, 0.0)), 0);
+        assert_eq!(NoDensity.count_at(Point::ORIGIN), 0);
+        assert_eq!(NoDensity.mean_occupied(), 0.0);
+    }
+
+    #[test]
+    fn disc_variant_stays_in_area_and_radius() {
+        let m = 40.0;
+        let mut g = DiscMnGenerator::new(area(), m).unwrap();
+        let mut rng = rng_from_seed(8);
+        let mut prev = vec![
+            Point::new(0.0, 0.0),
+            Point::new(999.0, 999.0),
+            Point::new(500.0, 500.0),
+        ];
+        for _ in 0..100 {
+            let next = g.step(&mut rng, &prev, &NoDensity);
+            for (a, b) in prev.iter().zip(&next) {
+                assert!(area().contains(*b));
+                assert!(a.distance(b) <= m * std::f64::consts::SQRT_2 + 1e-9);
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut g = StationaryGenerator::new(area()).unwrap();
+        let mut rng = rng_from_seed(9);
+        let prev = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+        assert_eq!(g.step(&mut rng, &prev, &NoDensity), prev);
+    }
+
+    #[test]
+    fn boxed_generator_is_usable_through_the_trait() {
+        let mut boxed: Box<dyn DummyGenerator> = Box::new(MnGenerator::new(area(), 20.0).unwrap());
+        assert_eq!(boxed.name(), "mn");
+        let mut rng = rng_from_seed(10);
+        let d = boxed.init(&mut rng, Point::ORIGIN, 3);
+        let n = boxed.step(&mut rng, &d, &NoDensity);
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn momentum_respects_speed_and_area() {
+        let mut g = MomentumGenerator::new(area(), 20.0, 0.8).unwrap();
+        let mut rng = rng_from_seed(21);
+        let mut prev = g.init(&mut rng, Point::ORIGIN, 6);
+        for _ in 0..500 {
+            let next = g.step(&mut rng, &prev, &NoDensity);
+            for (a, b) in prev.iter().zip(&next) {
+                assert!(a.distance(b) <= 20.0 + 1e-9);
+                assert!(area().contains(*b));
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn momentum_has_heading_persistence() {
+        // Consecutive step directions should mostly agree (positive dot
+        // product) at high persistence — the property MN lacks.
+        let mut g = MomentumGenerator::new(area(), 20.0, 0.9).unwrap();
+        let mut rng = rng_from_seed(22);
+        let mut prev = g.init(&mut rng, Point::ORIGIN, 1);
+        let mut last_step: Option<Vec2> = None;
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for _ in 0..400 {
+            let next = g.step(&mut rng, &prev, &NoDensity);
+            let step = prev[0].to(next[0]);
+            if let Some(prev_step) = last_step {
+                if step.length() > 1e-9 && prev_step.length() > 1e-9 {
+                    total += 1;
+                    if step.dot(&prev_step) > 0.0 {
+                        agree += 1;
+                    }
+                }
+            }
+            last_step = Some(step);
+            prev = next;
+        }
+        assert!(
+            agree as f64 > 0.8 * total as f64,
+            "heading agreement only {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn momentum_rejects_bad_parameters() {
+        assert!(MomentumGenerator::new(area(), 0.0, 0.5).is_err());
+        assert!(MomentumGenerator::new(area(), 10.0, 1.0).is_err());
+        assert!(MomentumGenerator::new(area(), 10.0, -0.1).is_err());
+        assert!(MomentumGenerator::new(area(), 10.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn momentum_self_heals_on_count_mismatch() {
+        let mut g = MomentumGenerator::new(area(), 15.0, 0.5).unwrap();
+        let mut rng = rng_from_seed(23);
+        let prev = vec![Point::new(10.0, 10.0), Point::new(20.0, 20.0)];
+        let next = g.step(&mut rng, &prev, &NoDensity);
+        assert_eq!(next.len(), 2);
+    }
+
+    #[test]
+    fn anchored_dummies_commute_between_fixed_anchors() {
+        let mut g = AnchoredGenerator::new(area(), 25.0, (2, 5)).unwrap();
+        let mut rng = rng_from_seed(11);
+        let mut prev = g.init(&mut rng, Point::ORIGIN, 3);
+        let anchors = g.anchors();
+        assert_eq!(anchors.len(), 3);
+        // Dummies start at their first anchor.
+        for (p, pair) in prev.iter().zip(&anchors) {
+            assert_eq!(*p, pair[0]);
+        }
+        // Over many steps each dummy's positions stay on the segment
+        // between its two anchors (within speed tolerance) and it reaches
+        // both endpoints.
+        let mut reached = [[false, false]; 3];
+        for _ in 0..2000 {
+            let next = g.step(&mut rng, &prev, &NoDensity);
+            for (i, (p, pair)) in next.iter().zip(&anchors).enumerate() {
+                assert!(area().contains(*p));
+                // Distance from the segment a0–a1 is ~0 for commuting.
+                let seg = pair[0].to(pair[1]);
+                let t = if seg.length_sq() > 0.0 {
+                    (pair[0].to(*p).dot(&seg) / seg.length_sq()).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let on_seg = pair[0].lerp(&pair[1], t);
+                assert!(on_seg.distance(p) < 1e-6, "dummy {i} off its commute");
+                for (a, hit) in pair.iter().zip(reached[i].iter_mut()) {
+                    if a.distance(p) < 1e-6 {
+                        *hit = true;
+                    }
+                }
+            }
+            prev = next;
+        }
+        for (i, hits) in reached.iter().enumerate() {
+            assert!(hits[0] && hits[1], "dummy {i} never completed a commute");
+        }
+    }
+
+    #[test]
+    fn anchored_respects_speed_limit_and_dwells() {
+        let speed = 10.0;
+        let mut g = AnchoredGenerator::new(area(), speed, (3, 3)).unwrap();
+        let mut rng = rng_from_seed(12);
+        let mut prev = g.init(&mut rng, Point::ORIGIN, 2);
+        let mut stationary_steps = 0usize;
+        for _ in 0..500 {
+            let next = g.step(&mut rng, &prev, &NoDensity);
+            for (a, b) in prev.iter().zip(&next) {
+                assert!(a.distance(b) <= speed + 1e-9);
+                if a.distance(b) < 1e-12 {
+                    stationary_steps += 1;
+                }
+            }
+            prev = next;
+        }
+        assert!(stationary_steps > 0, "dwell steps must occur");
+    }
+
+    #[test]
+    fn anchored_reanchors_on_count_mismatch() {
+        let mut g = AnchoredGenerator::new(area(), 10.0, (0, 0)).unwrap();
+        let mut rng = rng_from_seed(13);
+        // Step without init: state is empty, must self-heal.
+        let prev = vec![Point::new(10.0, 10.0), Point::new(20.0, 20.0)];
+        let next = g.step(&mut rng, &prev, &NoDensity);
+        assert_eq!(next.len(), 2);
+        assert_eq!(g.anchors().len(), 2);
+    }
+
+    #[test]
+    fn anchored_rejects_bad_parameters() {
+        assert!(AnchoredGenerator::new(area(), 0.0, (0, 5)).is_err());
+        assert!(AnchoredGenerator::new(area(), 10.0, (5, 2)).is_err());
+    }
+
+    #[test]
+    fn generator_names_are_distinct() {
+        let names = [
+            AnchoredGenerator::new(area(), 1.0, (0, 1)).unwrap().name(),
+            MomentumGenerator::new(area(), 1.0, 0.5).unwrap().name(),
+            RandomGenerator::new(area()).unwrap().name(),
+            MnGenerator::new(area(), 1.0).unwrap().name(),
+            MlnGenerator::new(area(), 1.0).unwrap().name(),
+            DiscMnGenerator::new(area(), 1.0).unwrap().name(),
+            StationaryGenerator::new(area()).unwrap().name(),
+        ];
+        let mut uniq = names.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len());
+    }
+}

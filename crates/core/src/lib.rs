@@ -1,0 +1,87 @@
+//! # dummyloc-core — dummy-based location privacy
+//!
+//! Reproduction of the core contribution of *"Protection of Location
+//! Privacy using Dummies for Location-based Services"* (Kido, Yanagisawa,
+//! Satoh — ICDE 2005).
+//!
+//! An LBS user reveals their position to get service, and a provider that
+//! stores positions can mine them. The paper's countermeasure: send the
+//! true position together with several false positions (**dummies**) under
+//! one pseudonym; the provider answers all of them and the client discards
+//! everything but the true answer. For continuously queried services the
+//! dummies must *move plausibly*, which is the hard part this crate
+//! implements:
+//!
+//! * [`generator`] — the dummy-motion algorithms: the paper's **MN**
+//!   (Moving in a Neighborhood), **MLN** (Moving in a Limited Neighborhood)
+//!   and the **Random** strawman, plus ablation variants, all behind the
+//!   object-safe [`DummyGenerator`] trait.
+//! * [`client`] — the client agent that holds per-dummy state across steps
+//!   and emits anonymized requests with the true position shuffled in.
+//! * [`population`] / [`metrics`] — the paper's evaluation machinery:
+//!   per-region population counts, the ubiquity metric `F`, the congestion
+//!   metric `P`, and the motion-plausibility metric `Shift(P)` with the
+//!   paper's Figure-8 buckets.
+//! * [`anonymity`] — the extended Anonymity Set formalism (`AS_F`, `AS_P`)
+//!   of §2.2, with the worked examples of Figure 2 as tests.
+//! * [`cloaking`] — the accuracy-reduction baseline (Gruteser & Grunwald's
+//!   spatial cloaking) that the paper compares against.
+//! * [`adversary`] — observer models that try to pick the true position
+//!   out of each request stream; these operationalize "the provider cannot
+//!   distinguish true position data" as a measurable identification rate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dummyloc_core::client::Client;
+//! use dummyloc_core::generator::{MnGenerator, NoDensity};
+//! use dummyloc_core::population::PopulationGrid;
+//! use dummyloc_geo::{rng::rng_from_seed, BBox, Grid, Point};
+//!
+//! let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+//! let mut rng = rng_from_seed(7);
+//!
+//! // A client that hides its true position among 3 MN dummies.
+//! let generator = MnGenerator::new(area, 50.0).unwrap();
+//! let mut client = Client::new("pseudonym-1", generator, 3);
+//!
+//! // First round: dummies are placed, the request interleaves them with
+//! // the true position.
+//! let round = client.begin(&mut rng, Point::new(500.0, 500.0)).unwrap();
+//! assert_eq!(round.request.positions.len(), 4);
+//!
+//! // Later rounds: each dummy moves within its neighborhood.
+//! let round = client
+//!     .step(&mut rng, Point::new(503.0, 500.0), &NoDensity)
+//!     .unwrap();
+//! assert_eq!(round.request.positions.len(), 4);
+//!
+//! // The provider sees 4 plausible positions; region-level anonymity:
+//! let grid = Grid::square(area, 8).unwrap();
+//! let pop = PopulationGrid::from_positions(
+//!     &grid,
+//!     round.request.positions.iter().copied(),
+//! ).unwrap();
+//! assert!(pop.occupied_regions() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod anonymity;
+pub mod client;
+pub mod cloaking;
+mod error;
+pub mod generator;
+pub mod metrics;
+pub mod population;
+
+pub use client::{Client, Request, Round};
+pub use error::CoreError;
+pub use generator::{DensityView, DummyGenerator, MlnGenerator, MnGenerator, RandomGenerator};
+pub use metrics::{congestion_p, shift_p, ubiquity_f, ShiftBuckets, ShiftStats};
+pub use population::PopulationGrid;
+
+/// Result alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,291 @@
+//! The paper's location-anonymity metrics: ubiquity `F`, congestion `P`,
+//! and the motion-plausibility measure `Shift(P)`.
+//!
+//! * **Ubiquity `F`** (§2.3): *"a scale of all regions where people live"*
+//!   — the fraction of regions containing at least one position datum.
+//!   More occupied regions → an observer learns less from any single
+//!   report. Figure 7 plots `F` (%) against the number of dummies.
+//! * **Congestion `P`** (§2.3): the number of position data in a specific
+//!   region. More data in a region → harder to single a user out inside
+//!   it (the k-anonymity intuition the paper borrows from Gruteser &
+//!   Grunwald).
+//! * **`Shift(P)`** (§3.2): *"a shift of P in each region between times t
+//!   and t+1"* — the per-region population change across one step. Large
+//!   shifts mean position data appear/vanish abruptly, which is exactly
+//!   how an observer spots implausible dummies. Figure 8 reports the
+//!   distribution of `Shift(P)` in buckets {0, 1–2, 3–5, ≥6}.
+//!
+//! ```
+//! use dummyloc_core::metrics::{shift_p, ubiquity_f};
+//! use dummyloc_core::population::PopulationGrid;
+//! use dummyloc_geo::{BBox, Grid, Point};
+//!
+//! let area = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+//! let grid = Grid::square(area, 4).unwrap();
+//! let now = PopulationGrid::from_positions(
+//!     &grid,
+//!     vec![Point::new(10.0, 10.0), Point::new(80.0, 80.0)],
+//! ).unwrap();
+//! assert_eq!(ubiquity_f(&now), 2.0 / 16.0);
+//!
+//! let later = PopulationGrid::from_positions(
+//!     &grid,
+//!     vec![Point::new(12.0, 10.0), Point::new(80.0, 55.0)],
+//! ).unwrap();
+//! let shift = shift_p(&now, &later);
+//! assert_eq!(shift.buckets.total(), 3); // stayed, emptied, filled
+//! ```
+
+use dummyloc_geo::CellId;
+
+use crate::population::PopulationGrid;
+
+/// Ubiquity `F` of one population snapshot, in `[0, 1]`: the fraction of
+/// regions holding at least one position datum. Multiply by 100 for the
+/// paper's "Value: F (%)" axis.
+pub fn ubiquity_f(pop: &PopulationGrid) -> f64 {
+    pop.occupied_regions() as f64 / pop.region_count() as f64
+}
+
+/// Congestion `P` of one region: the number of position data it holds.
+pub fn congestion_p(pop: &PopulationGrid, cell: CellId) -> u32 {
+    pop.count(cell)
+}
+
+/// The paper's Figure-8 buckets for per-region `Shift(P)` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShiftBuckets {
+    /// Regions whose population did not change (`shift = 0`).
+    pub none: u64,
+    /// `shift ∈ {1, 2}`.
+    pub small: u64,
+    /// `shift ∈ {3, 4, 5}`.
+    pub medium: u64,
+    /// `shift ≥ 6`.
+    pub large: u64,
+}
+
+impl ShiftBuckets {
+    /// Total sampled regions.
+    pub fn total(&self) -> u64 {
+        self.none + self.small + self.medium + self.large
+    }
+
+    /// Percentages `(none, 1–2, 3–5, ≥6)`, the rows of Figure 8. All zero
+    /// for an empty sample.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let pct = |n: u64| n as f64 * 100.0 / t as f64;
+        (
+            pct(self.none),
+            pct(self.small),
+            pct(self.medium),
+            pct(self.large),
+        )
+    }
+
+    /// Adds one observed per-region shift into its bucket.
+    pub fn record(&mut self, shift: u32) {
+        match shift {
+            0 => self.none += 1,
+            1..=2 => self.small += 1,
+            3..=5 => self.medium += 1,
+            _ => self.large += 1,
+        }
+    }
+
+    /// Merges another sample into this one (used to accumulate over steps).
+    pub fn merge(&mut self, other: &ShiftBuckets) {
+        self.none += other.none;
+        self.small += other.small;
+        self.medium += other.medium;
+        self.large += other.large;
+    }
+}
+
+/// Aggregate `Shift(P)` statistics for one pair of consecutive snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShiftStats {
+    /// Bucketized per-region shifts (Figure 8's raw material).
+    pub buckets: ShiftBuckets,
+    /// Mean per-region |ΔP| over the sampled regions.
+    pub mean: f64,
+    /// Largest per-region |ΔP|.
+    pub max: u32,
+    /// Number of regions sampled.
+    pub regions: usize,
+}
+
+/// Computes `Shift(P)` between consecutive snapshots `prev` (time `t`) and
+/// `next` (time `t+1`): the per-region absolute population change,
+/// bucketized and summarized.
+///
+/// Regions empty in *both* snapshots are excluded from the sample — the
+/// paper discards `P = 0` regions (*"which are not considered because no
+/// people live in that region"*), and a region that stays empty carries no
+/// plausibility signal. A region that empties or fills *does* count.
+///
+/// # Panics
+///
+/// Panics if the two populations are counted over different grids — a
+/// programming error in experiment setup.
+pub fn shift_p(prev: &PopulationGrid, next: &PopulationGrid) -> ShiftStats {
+    assert_eq!(
+        prev.grid(),
+        next.grid(),
+        "Shift(P) requires both snapshots on the same region grid"
+    );
+    let mut buckets = ShiftBuckets::default();
+    let mut sum: u64 = 0;
+    let mut max: u32 = 0;
+    let mut regions = 0usize;
+    for (&a, &b) in prev.counts().iter().zip(next.counts()) {
+        if a == 0 && b == 0 {
+            continue;
+        }
+        let shift = a.abs_diff(b);
+        buckets.record(shift);
+        sum += u64::from(shift);
+        max = max.max(shift);
+        regions += 1;
+    }
+    ShiftStats {
+        buckets,
+        mean: if regions > 0 {
+            sum as f64 / regions as f64
+        } else {
+            0.0
+        },
+        max,
+        regions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::{BBox, Grid, Point};
+
+    fn grid() -> Grid {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        Grid::square(b, 2).unwrap() // 4 regions of 50 m
+    }
+
+    fn pop(points: &[(f64, f64)]) -> PopulationGrid {
+        PopulationGrid::from_positions(&grid(), points.iter().map(|&(x, y)| Point::new(x, y)))
+            .unwrap()
+    }
+
+    #[test]
+    fn ubiquity_fraction_of_occupied_regions() {
+        let p = pop(&[(10.0, 10.0), (60.0, 10.0), (61.0, 11.0)]);
+        assert_eq!(ubiquity_f(&p), 0.5); // 2 of 4 regions occupied
+        assert_eq!(ubiquity_f(&pop(&[])), 0.0);
+    }
+
+    #[test]
+    fn congestion_reads_single_region() {
+        let p = pop(&[(60.0, 10.0), (61.0, 11.0)]);
+        assert_eq!(congestion_p(&p, CellId::new(1, 0)), 2);
+        assert_eq!(congestion_p(&p, CellId::new(0, 0)), 0);
+    }
+
+    #[test]
+    fn shift_p_counts_changes_and_skips_doubly_empty() {
+        // t:   region(0,0)=2, region(1,0)=1, others empty.
+        // t+1: region(0,0)=2, region(1,0)=0, region(0,1)=4.
+        let a = pop(&[(10.0, 10.0), (20.0, 20.0), (60.0, 10.0)]);
+        let b = pop(&[
+            (10.0, 10.0),
+            (20.0, 20.0),
+            (10.0, 60.0),
+            (11.0, 61.0),
+            (12.0, 62.0),
+            (13.0, 63.0),
+        ]);
+        let s = shift_p(&a, &b);
+        // Sampled regions: (0,0) shift 0, (1,0) shift 1, (0,1) shift 4.
+        // (1,1) empty in both → excluded.
+        assert_eq!(s.regions, 3);
+        assert_eq!(s.buckets.none, 1);
+        assert_eq!(s.buckets.small, 1);
+        assert_eq!(s.buckets.medium, 1);
+        assert_eq!(s.buckets.large, 0);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_p_identical_snapshots_all_none() {
+        let a = pop(&[(10.0, 10.0), (60.0, 60.0)]);
+        let s = shift_p(&a, &a.clone());
+        assert_eq!(s.buckets.none, s.buckets.total());
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn shift_p_empty_snapshots() {
+        let s = shift_p(&pop(&[]), &pop(&[]));
+        assert_eq!(s.regions, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.buckets.percentages(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "same region grid")]
+    fn shift_p_grid_mismatch_panics() {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        let other = Grid::square(b, 4).unwrap();
+        let p1 = pop(&[]);
+        let p2 = PopulationGrid::empty(&other);
+        shift_p(&p1, &p2);
+    }
+
+    #[test]
+    fn bucket_boundaries_match_figure8() {
+        let mut b = ShiftBuckets::default();
+        for s in [0, 1, 2, 3, 4, 5, 6, 7, 100] {
+            b.record(s);
+        }
+        assert_eq!(b.none, 1);
+        assert_eq!(b.small, 2);
+        assert_eq!(b.medium, 3);
+        assert_eq!(b.large, 3);
+        assert_eq!(b.total(), 9);
+        let (n, s, m, l) = b.percentages();
+        assert!((n - 100.0 / 9.0).abs() < 1e-9);
+        assert!((s - 200.0 / 9.0).abs() < 1e-9);
+        assert!((m - 300.0 / 9.0).abs() < 1e-9);
+        assert!((l - 300.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_merge() {
+        let mut a = ShiftBuckets {
+            none: 1,
+            small: 2,
+            medium: 3,
+            large: 4,
+        };
+        let b = ShiftBuckets {
+            none: 10,
+            small: 20,
+            medium: 30,
+            large: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ShiftBuckets {
+                none: 11,
+                small: 22,
+                medium: 33,
+                large: 44
+            }
+        );
+    }
+}

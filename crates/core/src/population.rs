@@ -1,0 +1,180 @@
+//! Per-region population counts — the paper's `P` values.
+//!
+//! Every anonymity metric in the paper is a function of *how many position
+//! data lie in each region* at a time step. [`PopulationGrid`] is that
+//! counter: build one per snapshot from all reported positions (true data
+//! and dummies alike — the provider cannot tell them apart, which is the
+//! whole point), then feed pairs of them to
+//! [`shift_p`](crate::metrics::shift_p) and singles to
+//! [`ubiquity_f`](crate::metrics::ubiquity_f).
+
+use dummyloc_geo::{CellId, GeoError, Grid, Point};
+
+use crate::Result;
+
+/// Position-data counts per region of a [`Grid`] at one time step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationGrid {
+    grid: Grid,
+    counts: Vec<u32>,
+    total: u64,
+}
+
+impl PopulationGrid {
+    /// Creates an all-zero population over `grid`.
+    pub fn empty(grid: &Grid) -> Self {
+        PopulationGrid {
+            grid: grid.clone(),
+            counts: vec![0; grid.cell_count()],
+            total: 0,
+        }
+    }
+
+    /// Counts `positions` into the regions of `grid`; fails on the first
+    /// position outside the grid (reported positions are required to stay
+    /// inside the service area).
+    pub fn from_positions(grid: &Grid, positions: impl IntoIterator<Item = Point>) -> Result<Self> {
+        let mut pop = PopulationGrid::empty(grid);
+        for p in positions {
+            pop.add(p)?;
+        }
+        Ok(pop)
+    }
+
+    /// Adds one position.
+    pub fn add(&mut self, p: Point) -> Result<()> {
+        let cell = self.grid.cell_of(p).map_err(crate::CoreError::from)?;
+        let idx = self
+            .grid
+            .linear_index(cell)
+            .expect("cell_of returns valid cells");
+        self.counts[idx] += 1;
+        self.total += 1;
+        Ok(())
+    }
+
+    /// The region partition this population is counted over.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Count in one region (`P` of that region); zero for out-of-range
+    /// cells.
+    pub fn count(&self, cell: CellId) -> u32 {
+        self.grid.linear_index(cell).map_or(0, |i| self.counts[i])
+    }
+
+    /// Count in the region containing `p`.
+    pub fn count_at(&self, p: Point) -> std::result::Result<u32, GeoError> {
+        Ok(self.count(self.grid.cell_of(p)?))
+    }
+
+    /// Raw per-region counts in row-major order.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total position data counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of regions with at least one position datum — the numerator
+    /// of the ubiquity metric `F`.
+    pub fn occupied_regions(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total number of regions — the denominator of `F`.
+    pub fn region_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Mean count over *occupied* regions, the natural reading of the MLN
+    /// pseudocode's `avep` threshold (regions at `P = 0` are excluded
+    /// throughout the paper: *"An exception is the regions at P = 0"*).
+    /// Zero when nothing is counted.
+    pub fn mean_occupied(&self) -> f64 {
+        let occ = self.occupied_regions();
+        if occ == 0 {
+            0.0
+        } else {
+            self.total as f64 / occ as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::BBox;
+
+    fn grid() -> Grid {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        Grid::square(b, 4).unwrap() // 25 m cells
+    }
+
+    #[test]
+    fn from_positions_counts_per_region() {
+        let g = grid();
+        let pop = PopulationGrid::from_positions(
+            &g,
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(12.0, 9.0),
+                Point::new(80.0, 80.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(pop.total(), 3);
+        assert_eq!(pop.count(CellId::new(0, 0)), 2);
+        assert_eq!(pop.count(CellId::new(3, 3)), 1);
+        assert_eq!(pop.occupied_regions(), 2);
+        assert_eq!(pop.region_count(), 16);
+        assert_eq!(pop.count_at(Point::new(11.0, 11.0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_position_rejected() {
+        let g = grid();
+        let err = PopulationGrid::from_positions(&g, vec![Point::new(-1.0, 0.0)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn mean_occupied_excludes_empty_regions() {
+        let g = grid();
+        let pop = PopulationGrid::from_positions(
+            &g,
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(12.0, 9.0),
+                Point::new(11.0, 11.0),
+                Point::new(80.0, 80.0),
+            ],
+        )
+        .unwrap();
+        // 4 data in 2 occupied regions → mean 2, not 4/16.
+        assert_eq!(pop.mean_occupied(), 2.0);
+        assert_eq!(PopulationGrid::empty(&g).mean_occupied(), 0.0);
+    }
+
+    #[test]
+    fn counts_vector_is_row_major() {
+        let g = grid();
+        let pop = PopulationGrid::from_positions(&g, vec![Point::new(30.0, 5.0)]).unwrap();
+        // Cell (1, 0) → linear index 1.
+        assert_eq!(pop.counts()[1], 1);
+        assert_eq!(
+            pop.counts().iter().map(|&c| c as u64).sum::<u64>(),
+            pop.total()
+        );
+    }
+
+    #[test]
+    fn out_of_range_cell_counts_zero() {
+        let g = grid();
+        let pop = PopulationGrid::empty(&g);
+        assert_eq!(pop.count(CellId::new(40, 40)), 0);
+    }
+}

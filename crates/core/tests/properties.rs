@@ -1,0 +1,215 @@
+//! Property-based tests for the core privacy library.
+
+use dummyloc_core::adversary::{Adversary, ChainScore, ContinuityTracker};
+use dummyloc_core::anonymity::{as_f, as_p, RegionInfo};
+use dummyloc_core::client::Client;
+use dummyloc_core::cloaking::adaptive_cloak;
+use dummyloc_core::generator::{
+    DummyGenerator, MlnGenerator, MnGenerator, NoDensity, RandomGenerator,
+};
+use dummyloc_core::metrics::{shift_p, ubiquity_f, ShiftBuckets};
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::rng::rng_from_seed;
+use dummyloc_geo::{BBox, Grid, Point};
+use proptest::prelude::*;
+
+const SIDE: f64 = 1000.0;
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(SIDE, SIDE)).unwrap()
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..=SIDE, 0.0..=SIDE), 0..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn ubiquity_is_a_fraction_bounded_by_points(
+        points in arb_points(200),
+        n in 1u32..20,
+    ) {
+        let grid = Grid::square(area(), n).unwrap();
+        let pop = PopulationGrid::from_positions(&grid, points.iter().copied()).unwrap();
+        let f = ubiquity_f(&pop);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Occupied regions can't exceed point count or region count.
+        let cap = points.len().min(pop.region_count()) as f64 / pop.region_count() as f64;
+        prop_assert!(f <= cap + 1e-12);
+        prop_assert_eq!(f == 0.0, points.is_empty());
+    }
+
+    #[test]
+    fn shift_buckets_partition_sampled_regions(
+        a in arb_points(150),
+        b in arb_points(150),
+        n in 1u32..16,
+    ) {
+        let grid = Grid::square(area(), n).unwrap();
+        let pa = PopulationGrid::from_positions(&grid, a.iter().copied()).unwrap();
+        let pb = PopulationGrid::from_positions(&grid, b.iter().copied()).unwrap();
+        let s = shift_p(&pa, &pb);
+        prop_assert_eq!(s.buckets.total(), s.regions as u64);
+        let (p0, p1, p2, p3) = s.buckets.percentages();
+        if s.regions > 0 {
+            prop_assert!((p0 + p1 + p2 + p3 - 100.0).abs() < 1e-9);
+        }
+        // Shift is symmetric.
+        let s2 = shift_p(&pb, &pa);
+        prop_assert_eq!(s.buckets, s2.buckets);
+        prop_assert_eq!(s.max, s2.max);
+    }
+
+    #[test]
+    fn shift_zero_iff_identical_counts(points in arb_points(100), n in 1u32..12) {
+        let grid = Grid::square(area(), n).unwrap();
+        let p = PopulationGrid::from_positions(&grid, points.iter().copied()).unwrap();
+        let s = shift_p(&p, &p.clone());
+        prop_assert_eq!(s.max, 0);
+        prop_assert_eq!(s.mean, 0.0);
+        prop_assert_eq!(s.buckets.none, s.regions as u64);
+    }
+
+    #[test]
+    fn as_p_sums_what_as_f_names(points in arb_points(120), n in 1u32..12) {
+        let grid = Grid::square(area(), n).unwrap();
+        let pop = PopulationGrid::from_positions(&grid, points.iter().copied()).unwrap();
+        // Information = "somewhere among all occupied regions".
+        let occupied: Vec<_> = grid
+            .cells()
+            .filter(|&c| pop.count(c) > 0)
+            .collect();
+        let info = RegionInfo::from_regions(occupied.clone());
+        prop_assert_eq!(as_f(&info), occupied.len());
+        prop_assert_eq!(as_p(&pop, &info), points.len() as u64);
+    }
+
+    #[test]
+    fn mn_generator_never_escapes_area_or_radius(
+        seed in any::<u64>(),
+        m in 1.0..200.0f64,
+        k in 1usize..8,
+        steps in 1usize..30,
+    ) {
+        let mut g = MnGenerator::new(area(), m).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let mut prev = g.init(&mut rng, Point::new(500.0, 500.0), k);
+        for _ in 0..steps {
+            let next = g.step(&mut rng, &prev, &NoDensity);
+            prop_assert_eq!(next.len(), k);
+            for (a, b) in prev.iter().zip(&next) {
+                prop_assert!(area().contains(*b));
+                prop_assert!((a.x - b.x).abs() <= m + 1e-9);
+                prop_assert!((a.y - b.y).abs() <= m + 1e-9);
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn mln_respects_the_same_envelope_as_mn(
+        seed in any::<u64>(),
+        m in 1.0..200.0f64,
+        k in 1usize..6,
+    ) {
+        let grid = Grid::square(area(), 10).unwrap();
+        let crowd = PopulationGrid::from_positions(
+            &grid,
+            (0..40).map(|i| Point::new((i * 13 % 1000) as f64, (i * 29 % 1000) as f64)),
+        ).unwrap();
+        let mut g = MlnGenerator::new(area(), m).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let prev = g.init(&mut rng, Point::new(1.0, 1.0), k);
+        let next = g.step(&mut rng, &prev, &crowd);
+        for (a, b) in prev.iter().zip(&next) {
+            prop_assert!(area().contains(*b));
+            prop_assert!((a.x - b.x).abs() <= m + 1e-9);
+            prop_assert!((a.y - b.y).abs() <= m + 1e-9);
+        }
+    }
+
+    #[test]
+    fn client_requests_always_contain_truth_at_reported_index(
+        seed in any::<u64>(),
+        k in 0usize..8,
+        steps in 1usize..20,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut client = Client::new("p", MnGenerator::new(area(), 25.0).unwrap(), k);
+        let mut truth = Point::new(500.0, 500.0);
+        let round = client.begin(&mut rng, truth).unwrap();
+        prop_assert_eq!(round.request.positions.len(), k + 1);
+        prop_assert_eq!(round.request.positions[round.truth_index], truth);
+        for _ in 0..steps {
+            truth = Point::new(
+                (truth.x + 3.0).min(SIDE),
+                (truth.y + 1.0).min(SIDE),
+            );
+            let round = client.step(&mut rng, truth, &NoDensity).unwrap();
+            prop_assert_eq!(round.request.positions.len(), k + 1);
+            prop_assert_eq!(round.request.positions[round.truth_index], truth);
+            prop_assert_eq!(round.dummy_positions().len(), k);
+        }
+    }
+
+    #[test]
+    fn adaptive_cloak_invariants(
+        users in arb_points(60),
+        tx in 0.0..=SIDE,
+        ty in 0.0..=SIDE,
+        k in 1usize..20,
+        depth in 0u32..10,
+    ) {
+        let truth = Point::new(tx, ty);
+        let cloak = adaptive_cloak(area(), truth, &users, k, depth);
+        prop_assert!(cloak.contains(truth));
+        prop_assert!(area().contains_bbox(&cloak));
+        let inside = users.iter().filter(|p| cloak.contains(**p)).count();
+        prop_assert!(inside + 1 >= k || cloak == area());
+    }
+
+    #[test]
+    fn tracker_beats_chance_against_random_dummies(seed in any::<u64>()) {
+        // A user walking 3 m per step among 4 random dummies is almost
+        // always identifiable — the paper's motivation for MN. Individual
+        // streams can fool the greedy linker (a dummy occasionally lands
+        // right next to the truth), so assert on the rate over 25 streams:
+        // chance is 20 %, we require > 60 %.
+        let mut rng = rng_from_seed(seed);
+        let adv = ContinuityTracker::new(ChainScore::MaxStep);
+        let mut hits = 0;
+        let trials = 25;
+        for _ in 0..trials {
+            let mut client = Client::new("p", RandomGenerator::new(area()).unwrap(), 4);
+            let mut truth = Point::new(500.0, 500.0);
+            let mut requests = vec![client.begin(&mut rng, truth).unwrap()];
+            for _ in 0..15 {
+                truth = Point::new(truth.x + 3.0, truth.y);
+                requests.push(client.step(&mut rng, truth, &NoDensity).unwrap());
+            }
+            let stream: Vec<_> = requests.iter().map(|r| r.request.clone()).collect();
+            if adv.identify(&mut rng, &stream) == Some(requests.last().unwrap().truth_index) {
+                hits += 1;
+            }
+        }
+        prop_assert!(hits * 100 > trials * 60, "hit {hits}/{trials}");
+    }
+
+    #[test]
+    fn bucket_merge_is_additive(
+        shifts_a in prop::collection::vec(0u32..20, 0..50),
+        shifts_b in prop::collection::vec(0u32..20, 0..50),
+    ) {
+        let mut a = ShiftBuckets::default();
+        for s in &shifts_a { a.record(*s); }
+        let mut b = ShiftBuckets::default();
+        for s in &shifts_b { b.record(*s); }
+        let mut merged = a;
+        merged.merge(&b);
+        prop_assert_eq!(merged.total(), (shifts_a.len() + shifts_b.len()) as u64);
+        let mut direct = ShiftBuckets::default();
+        for s in shifts_a.iter().chain(&shifts_b) { direct.record(*s); }
+        prop_assert_eq!(merged, direct);
+    }
+}

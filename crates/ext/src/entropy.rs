@@ -1,0 +1,213 @@
+//! Graded privacy metrics: what does the observer *believe*?
+//!
+//! Identification rate is all-or-nothing; real privacy loss is graded.
+//! Here the observer turns chain plausibility scores into a belief
+//! distribution over candidates (a softmax over negated scores), and two
+//! metrics follow:
+//!
+//! * [`normalized_entropy`] — 1.0 means the observer learned nothing
+//!   beyond "one of k+1"; 0.0 means certainty. This is the
+//!   entropy-anonymity measure of Serjantov–Danezis/Díaz et al., applied
+//!   to the dummy candidate set.
+//! * [`expected_distance_error`] — how far, in metres, the observer's
+//!   belief-weighted position estimate is from the truth; the "expected
+//!   distance error" measure of the location-privacy literature.
+
+use dummyloc_core::adversary::{Chain, ChainScore};
+use dummyloc_core::client::Request;
+use dummyloc_geo::Point;
+
+use crate::optimal_tracker::OptimalTracker;
+
+/// The observer's belief over final-round candidates, plus the chains it
+/// was derived from.
+#[derive(Debug, Clone)]
+pub struct Belief {
+    /// Linked candidate chains (one per final-round position).
+    pub chains: Vec<Chain>,
+    /// Belief weight per chain, summing to 1 (empty if no chains).
+    pub weights: Vec<f64>,
+}
+
+/// Builds the observer's belief over one request stream: chains are
+/// linked optimally, scored with `score`, and weighted
+/// `∝ exp(−score / temperature)`.
+///
+/// `temperature` sets how sharply the observer commits to the most
+/// plausible chain; it has score units (metres for
+/// [`ChainScore::MaxStep`]).
+///
+/// # Panics
+///
+/// Panics on a non-positive temperature (an experiment-setup error).
+pub fn belief(requests: &[Request], score: ChainScore, temperature: f64) -> Belief {
+    assert!(
+        temperature.is_finite() && temperature > 0.0,
+        "temperature must be positive and finite"
+    );
+    let chains = OptimalTracker::build_chains(requests);
+    if chains.is_empty() {
+        return Belief {
+            chains,
+            weights: Vec::new(),
+        };
+    }
+    let scores: Vec<f64> = chains
+        .iter()
+        .map(|c| OptimalTracker::chain_score(score, c))
+        .collect();
+    // Softmax of -score/T, stabilized by the minimum score.
+    let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let raw: Vec<f64> = scores
+        .iter()
+        .map(|s| (-(s - min) / temperature).exp())
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    let weights = raw.into_iter().map(|w| w / sum).collect();
+    Belief { chains, weights }
+}
+
+impl Belief {
+    /// The candidate index the observer considers most likely.
+    pub fn top_candidate(&self) -> Option<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+            .map(|(i, _)| self.chains[i].final_index)
+    }
+
+    /// Belief mass on the candidate at `final_index` of the last round.
+    pub fn mass_on(&self, final_index: usize) -> f64 {
+        self.chains
+            .iter()
+            .zip(&self.weights)
+            .filter(|(c, _)| c.final_index == final_index)
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+/// Shannon entropy of the belief, normalized by `ln(candidates)` to
+/// `[0, 1]`. Zero or one candidate ⇒ 0 (the observer has nothing to be
+/// uncertain about).
+pub fn normalized_entropy(belief: &Belief) -> f64 {
+    let n = belief.weights.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let h: f64 = belief
+        .weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| -w * w.ln())
+        .sum();
+    h / (n as f64).ln()
+}
+
+/// Belief-weighted expected distance (metres) between the observer's
+/// candidate positions and the true final position — the graded cousin of
+/// identification rate. Zero weights/chains ⇒ 0.
+pub fn expected_distance_error(belief: &Belief, truth: Point) -> f64 {
+    belief
+        .chains
+        .iter()
+        .zip(&belief.weights)
+        .map(|(c, w)| w * c.last.distance(&truth))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(positions: Vec<Point>) -> Request {
+        Request {
+            pseudonym: "p".into(),
+            positions,
+        }
+    }
+
+    /// Candidate 0 walks smoothly; candidate 1 teleports.
+    fn smooth_vs_teleport() -> Vec<Request> {
+        (0..10)
+            .map(|t| {
+                req(vec![
+                    Point::new(t as f64 * 2.0, 0.0),
+                    Point::new((t * 397 % 1000) as f64, (t * 611 % 1000) as f64),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weights_are_a_distribution() {
+        let b = belief(&smooth_vs_teleport(), ChainScore::MaxStep, 50.0);
+        assert_eq!(b.weights.len(), 2);
+        let sum: f64 = b.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(b.weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
+    }
+
+    #[test]
+    fn smooth_chain_gets_the_mass() {
+        let b = belief(&smooth_vs_teleport(), ChainScore::MaxStep, 50.0);
+        assert_eq!(b.top_candidate(), Some(0));
+        assert!(b.mass_on(0) > 0.99, "mass on truth {}", b.mass_on(0));
+    }
+
+    #[test]
+    fn indistinguishable_chains_have_max_entropy() {
+        // Two identical walkers: same scores → uniform belief → entropy 1.
+        let reqs: Vec<Request> = (0..8)
+            .map(|t| {
+                req(vec![
+                    Point::new(t as f64 * 2.0, 0.0),
+                    Point::new(t as f64 * 2.0, 100.0),
+                ])
+            })
+            .collect();
+        let b = belief(&reqs, ChainScore::MaxStep, 10.0);
+        assert!((b.weights[0] - 0.5).abs() < 1e-12);
+        assert!((normalized_entropy(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_drops_as_temperature_sharpens() {
+        let reqs = smooth_vs_teleport();
+        let loose = normalized_entropy(&belief(&reqs, ChainScore::MaxStep, 10_000.0));
+        let tight = normalized_entropy(&belief(&reqs, ChainScore::MaxStep, 10.0));
+        assert!(tight < loose, "tight {tight} vs loose {loose}");
+        assert!(loose > 0.9, "huge temperature ≈ uniform, got {loose}");
+    }
+
+    #[test]
+    fn expected_error_small_when_belief_is_right() {
+        let reqs = smooth_vs_teleport();
+        let b = belief(&reqs, ChainScore::MaxStep, 50.0);
+        let truth = Point::new(18.0, 0.0); // the smooth walker's last position
+        let err = expected_distance_error(&b, truth);
+        assert!(err < 20.0, "expected error {err}");
+        // A wrong truth (the teleporter's spot) yields a large error.
+        let wrong = expected_distance_error(&b, Point::new(573.0, 499.0));
+        assert!(wrong > err);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let b = belief(&[], ChainScore::MaxStep, 1.0);
+        assert!(b.weights.is_empty());
+        assert_eq!(normalized_entropy(&b), 0.0);
+        assert_eq!(expected_distance_error(&b, Point::ORIGIN), 0.0);
+        assert_eq!(b.top_candidate(), None);
+        let single = belief(&[req(vec![Point::ORIGIN])], ChainScore::MaxStep, 1.0);
+        assert_eq!(normalized_entropy(&single), 0.0);
+        assert_eq!(single.top_candidate(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn zero_temperature_panics() {
+        belief(&[], ChainScore::MaxStep, 0.0);
+    }
+}

@@ -1,0 +1,610 @@
+//! The extension experiments X1 and X2 of `DESIGN.md` §4.
+
+use dummyloc_core::adversary::{Adversary, ChainScore, ContinuityTracker};
+use dummyloc_core::generator::{DummyGenerator, MlnGenerator, MnGenerator, RandomGenerator};
+use dummyloc_geo::rng::rng_from_seed;
+use dummyloc_geo::Point;
+use dummyloc_mobility::StreetGrid;
+use dummyloc_sim::report::{fmt, Table};
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::entropy::{belief, expected_distance_error, normalized_entropy};
+use crate::map_adversary::MapFilter;
+use crate::mix_zones::relink_rate;
+use crate::optimal_tracker::OptimalTracker;
+use crate::session::{run, Rotation, SessionConfig};
+use crate::street_dummies::StreetDummyGenerator;
+
+/// X1 result row: one dummy algorithm under the strongest observers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtTracingRow {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Greedy max-step tracker identification rate (paper-level observer).
+    pub greedy_rate: f64,
+    /// Optimal (Hungarian) max-step tracker identification rate.
+    pub optimal_rate: f64,
+    /// Map-equipped observer identification rate (discards off-street
+    /// chains first; the workload is street-bound).
+    pub map_rate: f64,
+    /// Mean normalized belief entropy (1 = observer learned nothing).
+    pub mean_entropy: f64,
+    /// Mean expected distance error of the belief-weighted estimate (m).
+    pub mean_distance_error: f64,
+}
+
+/// The full X1 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtTracingResult {
+    /// One row per algorithm.
+    pub rows: Vec<ExtTracingRow>,
+}
+
+/// Runs X1: every dummy algorithm (including street-constrained dummies)
+/// against the greedy and optimal trackers, plus graded belief metrics.
+pub fn ext_tracing(seed: u64, fleet: &Dataset) -> ExtTracingResult {
+    let config = SessionConfig::nara_default(seed);
+    let area = config.area;
+    let street_spacing = 100.0;
+
+    type Factory = Box<dyn FnMut(usize) -> Box<dyn DummyGenerator>>;
+    let algorithms: Vec<(&str, Factory)> = vec![
+        (
+            "random",
+            Box::new(move |_| {
+                Box::new(RandomGenerator::new(area).expect("valid area")) as Box<dyn DummyGenerator>
+            }),
+        ),
+        (
+            "mn (m=120)",
+            Box::new(move |_| {
+                Box::new(MnGenerator::new(area, 120.0).expect("valid m")) as Box<dyn DummyGenerator>
+            }),
+        ),
+        (
+            "mn (m=60)",
+            Box::new(move |_| {
+                Box::new(MnGenerator::new(area, 60.0).expect("valid m")) as Box<dyn DummyGenerator>
+            }),
+        ),
+        (
+            "mln (m=120)",
+            Box::new(move |_| {
+                Box::new(MlnGenerator::new(area, 120.0).expect("valid m"))
+                    as Box<dyn DummyGenerator>
+            }),
+        ),
+        (
+            "street",
+            Box::new(move |_| {
+                // Rickshaw-matched strides: 1.5–4 m/s over a 30 s round.
+                let streets = StreetGrid::new(area, street_spacing);
+                Box::new(StreetDummyGenerator::new(streets, (45.0, 120.0)))
+                    as Box<dyn DummyGenerator>
+            }),
+        ),
+        (
+            "tour",
+            Box::new(move |_| {
+                Box::new(crate::tour_dummies::TourDummyGenerator::nara_matched(
+                    StreetGrid::new(area, street_spacing),
+                    0xA11CE,
+                )) as Box<dyn DummyGenerator>
+            }),
+        ),
+    ];
+
+    let greedy = ContinuityTracker::new(ChainScore::MaxStep);
+    let optimal = OptimalTracker::new(ChainScore::MaxStep);
+    // The observer's map matches the rickshaw workload's street network;
+    // 5 m tolerance models GPS noise.
+    let map = MapFilter::new(StreetGrid::new(area, street_spacing), 5.0);
+    let mut rows = Vec::new();
+    for (label, mut factory) in algorithms {
+        let outcome = run(fleet, &config, &mut *factory);
+        let streams = outcome.into_streams();
+        let rate = |adv: &dyn Adversary| {
+            let mut rng = rng_from_seed(seed);
+            dummyloc_core::adversary::identification_rate(adv, &mut rng, &streams)
+        };
+        let mut entropy_sum = 0.0;
+        let mut err_sum = 0.0;
+        for (requests, truth_index) in &streams {
+            let b = belief(requests, ChainScore::MaxStep, 30.0);
+            entropy_sum += normalized_entropy(&b);
+            let truth: Point = requests
+                .last()
+                .map(|r| r.positions[*truth_index])
+                .expect("streams are non-empty");
+            err_sum += expected_distance_error(&b, truth);
+        }
+        let n = streams.len() as f64;
+        rows.push(ExtTracingRow {
+            algorithm: label.to_string(),
+            greedy_rate: rate(&greedy),
+            optimal_rate: rate(&optimal),
+            map_rate: rate(&map),
+            mean_entropy: entropy_sum / n,
+            mean_distance_error: err_sum / n,
+        });
+    }
+    ExtTracingResult { rows }
+}
+
+/// Renders the X1 table.
+pub fn render_ext_tracing(result: &ExtTracingResult) -> String {
+    let mut table = Table::new(
+        "X1 — strongest-observer tracing (3 dummies; chance 0.25)",
+        &[
+            "algorithm",
+            "greedy rate",
+            "optimal rate",
+            "map rate",
+            "belief entropy",
+            "E[dist err] (m)",
+        ],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.algorithm.clone(),
+            fmt(r.greedy_rate, 2),
+            fmt(r.optimal_rate, 2),
+            fmt(r.map_rate, 2),
+            fmt(r.mean_entropy, 2),
+            fmt(r.mean_distance_error, 0),
+        ]);
+    }
+    table.render()
+}
+
+/// X2 result row: one rotation policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixZoneRow {
+    /// Silent rounds at each pseudonym change.
+    pub silent_rounds: usize,
+    /// Dummies per user.
+    pub dummies: usize,
+    /// Observer's re-linking accuracy across changes (chance = 1/users).
+    pub relink_rate: f64,
+}
+
+/// The full X2 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixZoneResult {
+    /// Number of users (fixes the chance level `1/users`).
+    pub users: usize,
+    /// One row per (silence, dummies) combination.
+    pub rows: Vec<MixZoneRow>,
+}
+
+/// Runs X2: pseudonym rotation every 10 rounds with varying silent
+/// periods and dummy counts; reports the re-linking attack's accuracy.
+pub fn mix_zones(seed: u64, fleet: &Dataset) -> MixZoneResult {
+    let mut rows = Vec::new();
+    for &dummies in &[0usize, 3] {
+        for &silent in &[0usize, 1, 2, 4, 8] {
+            let mut config = SessionConfig::nara_default(seed);
+            config.dummies = dummies;
+            config.rotation = Some(Rotation {
+                period: 10,
+                silent_rounds: silent,
+            });
+            let area = config.area;
+            let outcome = run(fleet, &config, |_| {
+                Box::new(MnGenerator::new(area, 120.0).expect("valid m")) as Box<dyn DummyGenerator>
+            });
+            rows.push(MixZoneRow {
+                silent_rounds: silent,
+                dummies,
+                relink_rate: relink_rate(&outcome),
+            });
+        }
+    }
+    MixZoneResult {
+        users: fleet.len(),
+        rows,
+    }
+}
+
+/// Renders the X2 table.
+pub fn render_mix_zones(result: &MixZoneResult) -> String {
+    let mut table = Table::new(
+        format!(
+            "X2 — pseudonym-change re-linking accuracy ({} users; chance {:.3})",
+            result.users,
+            1.0 / result.users as f64
+        ),
+        &["dummies", "silent rounds", "relink rate"],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.dummies.to_string(),
+            r.silent_rounds.to_string(),
+            fmt(r.relink_rate, 3),
+        ]);
+    }
+    table.render()
+}
+
+/// X3 result row: motion-distribution fingerprint of one source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealismRow {
+    /// "true users" or an algorithm label.
+    pub source: String,
+    /// Mean per-round step (m).
+    pub mean_step: f64,
+    /// 95th-percentile step (m).
+    pub p95_step: f64,
+    /// Mean absolute turn angle (degrees).
+    pub mean_turn_deg: f64,
+    /// Fraction of rounds with essentially no movement (%).
+    pub stationary_pct: f64,
+}
+
+/// The full X3 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealismResult {
+    /// True-user reference first, then one row per algorithm.
+    pub rows: Vec<RealismRow>,
+}
+
+fn motion_row(source: &str, tracks: &[dummyloc_trajectory::Trajectory]) -> RealismRow {
+    use dummyloc_trajectory::stats::{summarize, turn_angles};
+    let mut steps = Vec::new();
+    let mut turns = Vec::new();
+    let mut stationary = 0usize;
+    for t in tracks {
+        for (_, d) in t.steps() {
+            if d < 0.5 {
+                stationary += 1;
+            }
+            steps.push(d);
+        }
+        turns.extend(turn_angles(t));
+    }
+    let step_summary = summarize(&steps);
+    let turn_summary = summarize(&turns);
+    RealismRow {
+        source: source.to_string(),
+        mean_step: step_summary.mean,
+        p95_step: step_summary.p95,
+        mean_turn_deg: turn_summary.mean.to_degrees(),
+        stationary_pct: if steps.is_empty() {
+            0.0
+        } else {
+            stationary as f64 * 100.0 / steps.len() as f64
+        },
+    }
+}
+
+/// Runs X3: compares the per-round motion distribution (step lengths,
+/// turn angles, dwell share) of every dummy algorithm against the true
+/// fleet's — the distributional-indistinguishability view of dummy
+/// quality that the identification rates only sample indirectly.
+pub fn realism(seed: u64, fleet: &Dataset) -> RealismResult {
+    use dummyloc_core::generator::{MomentumGenerator, NoDensity};
+    use dummyloc_geo::rng::rng_from_seed;
+    use dummyloc_trajectory::TrajectoryBuilder;
+
+    let config = SessionConfig::nara_default(seed);
+    let area = config.area;
+    let tick = config.tick;
+    let (start, end) = fleet
+        .common_time_range()
+        .expect("workload has a common window");
+    let rounds = ((end - start) / tick).floor() as usize + 1;
+
+    // Reference: the real fleet sampled at the service cadence.
+    let reference: Vec<dummyloc_trajectory::Trajectory> = fleet
+        .tracks()
+        .iter()
+        .map(|t| t.resample(tick).expect("tick is positive"))
+        .collect();
+    let mut rows = vec![motion_row("true users", &reference)];
+
+    type Factory = Box<dyn FnMut() -> Box<dyn DummyGenerator>>;
+    let algorithms: Vec<(&str, Factory)> = vec![
+        (
+            "random",
+            Box::new(move || Box::new(RandomGenerator::new(area).expect("valid area")) as _),
+        ),
+        (
+            "mn (m=120)",
+            Box::new(move || Box::new(MnGenerator::new(area, 120.0).expect("valid m")) as _),
+        ),
+        (
+            "mn (m=60)",
+            Box::new(move || Box::new(MnGenerator::new(area, 60.0).expect("valid m")) as _),
+        ),
+        (
+            "momentum",
+            Box::new(move || {
+                Box::new(MomentumGenerator::new(area, 90.0, 0.8).expect("valid params")) as _
+            }),
+        ),
+        (
+            "street",
+            Box::new(move || {
+                Box::new(StreetDummyGenerator::new(
+                    StreetGrid::new(area, 100.0),
+                    (45.0, 120.0),
+                )) as _
+            }),
+        ),
+        (
+            "street+dwell",
+            Box::new(move || {
+                Box::new(
+                    StreetDummyGenerator::new(StreetGrid::new(area, 100.0), (45.0, 120.0))
+                        .with_dwell(crate::street_dummies::DwellBehavior {
+                            prob: 0.08,
+                            rounds: (1, 5),
+                        }),
+                ) as _
+            }),
+        ),
+        (
+            "tour",
+            Box::new(move || {
+                Box::new(crate::tour_dummies::TourDummyGenerator::nara_matched(
+                    StreetGrid::new(area, 100.0),
+                    0xA11CE,
+                )) as _
+            }),
+        ),
+    ];
+
+    for (label, mut factory) in algorithms {
+        // One generator instance driving `fleet.len()` dummies through the
+        // same number of rounds as a session.
+        let mut generator = factory();
+        let mut rng = rng_from_seed(seed ^ 0xD157);
+        let mut positions = generator.init(&mut rng, Point::new(0.0, 0.0), fleet.len());
+        let mut builders: Vec<TrajectoryBuilder> = (0..fleet.len())
+            .map(|i| TrajectoryBuilder::with_capacity(format!("d{i}"), rounds))
+            .collect();
+        for (b, p) in builders.iter_mut().zip(&positions) {
+            b.push(0.0, *p);
+        }
+        for k in 1..rounds {
+            positions = generator.step(&mut rng, &positions, &NoDensity);
+            for (b, p) in builders.iter_mut().zip(&positions) {
+                b.push(k as f64 * tick, *p);
+            }
+        }
+        let tracks: Vec<dummyloc_trajectory::Trajectory> = builders
+            .into_iter()
+            .map(|b| b.build().expect("monotone round times"))
+            .collect();
+        rows.push(motion_row(label, &tracks));
+    }
+    RealismResult { rows }
+}
+
+/// Renders the X3 table.
+pub fn render_realism(result: &RealismResult) -> String {
+    let mut table = Table::new(
+        "X3 — motion-distribution realism (per 30 s service round)",
+        &[
+            "source",
+            "mean step (m)",
+            "p95 step (m)",
+            "mean turn (deg)",
+            "stationary (%)",
+        ],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.source.clone(),
+            fmt(r.mean_step, 1),
+            fmt(r.p95_step, 1),
+            fmt(r.mean_turn_deg, 1),
+            fmt(r.stationary_pct, 1),
+        ]);
+    }
+    table.render()
+}
+
+/// X4 result row: one adoption level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdoptionRow {
+    /// Fraction of users generating dummies.
+    pub adoption: f64,
+    /// Mean global ubiquity `F` over the run.
+    pub mean_f: f64,
+    /// Optimal-tracker identification rate over *protected* users
+    /// (`NaN`-free: 0 when there are none).
+    pub protected_rate: f64,
+    /// Identification rate over *unprotected* users (trivially 1.0 — one
+    /// candidate per round — reported to make the asymmetry explicit).
+    pub unprotected_rate: f64,
+}
+
+/// The full X4 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdoptionResult {
+    /// One row per adoption level.
+    pub rows: Vec<AdoptionRow>,
+}
+
+/// Runs X4: sweeps the fraction of users generating dummies. Stream-level
+/// anonymity is a *private* good (only adopters get it), but ubiquity `F`
+/// is a *public* one — every dummy on the map raises it for everyone,
+/// which matters because `F` is what makes region-level information
+/// worthless to the observer.
+pub fn adoption(seed: u64, fleet: &Dataset) -> AdoptionResult {
+    use dummyloc_core::metrics::ubiquity_f;
+    use dummyloc_core::population::PopulationGrid;
+    use dummyloc_geo::Grid;
+
+    let mut rows = Vec::new();
+    for &adoption in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut config = SessionConfig::nara_default(seed);
+        config.adoption = adoption;
+        let area = config.area;
+        let outcome = run(fleet, &config, |_| {
+            Box::new(MnGenerator::new(area, 120.0).expect("valid m")) as Box<dyn DummyGenerator>
+        });
+        let adopters = (adoption * fleet.len() as f64).round() as usize;
+        let streams = outcome.into_streams();
+
+        // Global F, reconstructed from the emitted streams per round.
+        let grid = Grid::square(area, config.grid_size).expect("valid grid");
+        let rounds = streams[0].0.len();
+        let mut f_sum = 0.0;
+        for k in 0..rounds {
+            let positions = streams
+                .iter()
+                .flat_map(|(reqs, _)| reqs[k].positions.iter().copied());
+            let pop = PopulationGrid::from_positions(&grid, positions)
+                .expect("positions stay in the area");
+            f_sum += ubiquity_f(&pop);
+        }
+
+        let tracker = OptimalTracker::new(ChainScore::MaxStep);
+        let rate_over = |range: std::ops::Range<usize>| -> f64 {
+            if range.is_empty() {
+                return 0.0;
+            }
+            let subset: Vec<_> = streams[range.clone()].to_vec();
+            let mut rng = rng_from_seed(seed);
+            dummyloc_core::adversary::identification_rate(&tracker, &mut rng, &subset)
+        };
+        rows.push(AdoptionRow {
+            adoption,
+            mean_f: f_sum / rounds as f64,
+            protected_rate: rate_over(0..adopters),
+            unprotected_rate: rate_over(adopters..fleet.len()),
+        });
+    }
+    AdoptionResult { rows }
+}
+
+/// Renders the X4 table.
+pub fn render_adoption(result: &AdoptionResult) -> String {
+    let mut table = Table::new(
+        "X4 — partial adoption (MN, m=120, 3 dummies for adopters)",
+        &[
+            "adoption (%)",
+            "global F (%)",
+            "tracker rate (adopters)",
+            "tracker rate (others)",
+        ],
+    );
+    for r in &result.rows {
+        table.row(&[
+            fmt(r.adoption * 100.0, 0),
+            fmt(r.mean_f * 100.0, 1),
+            fmt(r.protected_rate, 2),
+            fmt(r.unprotected_rate, 2),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_sim::workload;
+
+    fn small_fleet() -> Dataset {
+        workload::nara_fleet_sized(8, 600.0, 13)
+    }
+
+    #[test]
+    fn ext_tracing_covers_all_algorithms() {
+        let r = ext_tracing(1, &small_fleet());
+        assert_eq!(r.rows.len(), 6);
+        for row in &r.rows {
+            assert!((0.0..=1.0).contains(&row.greedy_rate));
+            assert!((0.0..=1.0).contains(&row.optimal_rate));
+            assert!((0.0..=1.0).contains(&row.map_rate));
+            assert!((0.0..=1.0).contains(&row.mean_entropy));
+            assert!(row.mean_distance_error >= 0.0);
+        }
+        let s = render_ext_tracing(&r);
+        assert!(s.contains("street"));
+        assert!(s.contains("optimal rate"));
+    }
+
+    #[test]
+    fn street_dummies_confuse_observers_at_least_as_well_as_matched_mn() {
+        let r = ext_tracing(2, &small_fleet());
+        let row = |name: &str| r.rows.iter().find(|x| x.algorithm == name).unwrap();
+        let random = row("random");
+        let street = row("street");
+        // Street dummies must leave the observer materially more
+        // uncertain than random dummies.
+        assert!(street.mean_entropy > random.mean_entropy);
+    }
+
+    #[test]
+    fn realism_reference_row_comes_first() {
+        let fleet = workload::nara_fleet_sized(6, 600.0, 15);
+        let r = realism(1, &fleet);
+        assert_eq!(r.rows.len(), 8);
+        assert_eq!(r.rows[0].source, "true users");
+        for row in &r.rows {
+            assert!(row.mean_step >= 0.0);
+            assert!((0.0..=180.0).contains(&row.mean_turn_deg));
+            assert!((0.0..=100.0).contains(&row.stationary_pct));
+        }
+        let s = render_realism(&r);
+        assert!(s.contains("true users"));
+        assert!(s.contains("momentum"));
+    }
+
+    #[test]
+    fn momentum_turns_less_than_mn() {
+        let fleet = workload::nara_fleet_sized(8, 900.0, 16);
+        let r = realism(2, &fleet);
+        let row = |name: &str| r.rows.iter().find(|x| x.source == name).unwrap();
+        assert!(
+            row("momentum").mean_turn_deg < row("mn (m=120)").mean_turn_deg,
+            "momentum {} vs mn {}",
+            row("momentum").mean_turn_deg,
+            row("mn (m=120)").mean_turn_deg
+        );
+        // True users dwell sometimes; random dummies never do.
+        assert!(row("true users").stationary_pct > row("random").stationary_pct);
+        // The dwell extension closes the stationarity gap plain street
+        // dummies leave open.
+        assert!(row("street+dwell").stationary_pct > row("street").stationary_pct + 3.0);
+    }
+
+    #[test]
+    fn adoption_sweep_shows_public_and_private_goods() {
+        let fleet = workload::nara_fleet_sized(8, 600.0, 17);
+        let r = adoption(1, &fleet);
+        assert_eq!(r.rows.len(), 5);
+        // F grows monotonically (within noise) with adoption.
+        assert!(r.rows[4].mean_f > r.rows[0].mean_f + 0.1);
+        // Unprotected users are always trivially identified.
+        for row in &r.rows[..4] {
+            assert_eq!(row.unprotected_rate, 1.0, "{row:?}");
+        }
+        // Zero-adoption has no adopters to rate.
+        assert_eq!(r.rows[0].protected_rate, 0.0);
+        let s = render_adoption(&r);
+        assert!(s.contains("adoption"));
+    }
+    #[test]
+    fn mix_zones_silence_reduces_relinking() {
+        let r = mix_zones(3, &small_fleet());
+        assert_eq!(r.rows.len(), 10);
+        let rate = |dummies: usize, silent: usize| {
+            r.rows
+                .iter()
+                .find(|x| x.dummies == dummies && x.silent_rounds == silent)
+                .unwrap()
+                .relink_rate
+        };
+        // Immediate re-linking with no silence is near-perfect.
+        assert!(rate(0, 0) > 0.9, "no-silence relink {}", rate(0, 0));
+        // Long silence must strictly help.
+        assert!(rate(0, 8) < rate(0, 0));
+        let s = render_mix_zones(&r);
+        assert!(s.contains("relink rate"));
+    }
+}

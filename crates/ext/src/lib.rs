@@ -1,0 +1,45 @@
+//! Extensions beyond the ICDE 2005 paper.
+//!
+//! The paper ends where a deployment would begin: its observer models are
+//! informal, its dummies diffuse rather than behave, and its pseudonyms
+//! never rotate. This crate supplies the pieces the authors' own
+//! follow-up work ("Location Traceability of Users in Location-based
+//! Services") points toward:
+//!
+//! * [`hungarian`] — an exact `O(n³)` minimum-cost assignment solver, the
+//!   substrate for everything below,
+//! * [`optimal_tracker`] — the strongest linking observer: per-round
+//!   *optimal* (not greedy) matching of candidate positions into chains,
+//! * [`entropy`] — graded privacy metrics: the observer's belief
+//!   distribution over candidates, its normalized entropy, and the
+//!   expected distance error of a Bayesian-ish guesser,
+//! * [`street_dummies`] — dummies that walk the same street network as
+//!   the real users (the behavioral-realism direction the paper's
+//!   conclusion gestures at),
+//! * [`tour_dummies`] — the strongest mimicry: dummies running the same
+//!   POI-to-POI tour loop as the rickshaw workload itself,
+//! * [`map_adversary`] — a map-equipped observer that discards
+//!   off-street candidate chains (why street dummies matter),
+//! * [`mix_zones`] — pseudonym rotation with silent periods, and the
+//!   re-linking attack that measures what rotation actually buys,
+//! * [`session`] — a light client-session driver used by the extension
+//!   experiments (and handy for custom evaluations),
+//! * [`experiments`] — the X1/X2 experiment runners indexed in
+//!   `DESIGN.md` §4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod experiments;
+pub mod hungarian;
+pub mod map_adversary;
+pub mod mix_zones;
+pub mod optimal_tracker;
+pub mod session;
+pub mod street_dummies;
+pub mod tour_dummies;
+
+pub use hungarian::min_cost_assignment;
+pub use optimal_tracker::OptimalTracker;
+pub use street_dummies::StreetDummyGenerator;

@@ -1,0 +1,218 @@
+//! The map-equipped observer.
+//!
+//! Real Nara users ride streets; an observer holding a city map can test
+//! each candidate chain against the street network and discard the ones
+//! that drift through buildings. Against street-bound populations this
+//! single test strips away every free-space dummy (MN, MLN, momentum…),
+//! leaving the observer to pick among the street-consistent remainder —
+//! exactly the argument for
+//! [`StreetDummyGenerator`](crate::street_dummies::StreetDummyGenerator).
+
+use dummyloc_core::adversary::{Adversary, ChainScore};
+use dummyloc_core::client::Request;
+use dummyloc_geo::Point;
+use dummyloc_mobility::map_match::snap_point;
+use dummyloc_mobility::StreetGrid;
+use rand::RngCore;
+
+use crate::optimal_tracker::OptimalTracker;
+
+/// An adversary that first discards candidates whose linked chain strays
+/// off the street network, then applies max-step scoring among the
+/// survivors (falling back to all candidates when the filter eliminates
+/// everyone — e.g. a pedestrian population).
+#[derive(Debug, Clone)]
+pub struct MapFilter {
+    streets: StreetGrid,
+    /// Mean snap distance above which a chain counts as off-network.
+    tolerance_m: f64,
+}
+
+impl MapFilter {
+    /// Creates the adversary with the observer's map and an off-network
+    /// tolerance in metres (GPS noise scale; a few metres is realistic,
+    /// larger values weaken the filter).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite tolerance.
+    pub fn new(streets: StreetGrid, tolerance_m: f64) -> Self {
+        assert!(
+            tolerance_m.is_finite() && tolerance_m >= 0.0,
+            "tolerance must be a non-negative number of metres"
+        );
+        MapFilter {
+            streets,
+            tolerance_m,
+        }
+    }
+
+    /// Mean snap distance of one linked chain's full position history —
+    /// the filter's per-chain statistic. Exposed for tests.
+    pub fn mean_chain_snap_distance(&self, history: &[Point]) -> f64 {
+        if history.is_empty() {
+            return 0.0;
+        }
+        history
+            .iter()
+            .map(|p| p.distance(&snap_point(&self.streets, *p)))
+            .sum::<f64>()
+            / history.len() as f64
+    }
+}
+
+impl Adversary for MapFilter {
+    fn name(&self) -> &'static str {
+        "map-filter"
+    }
+
+    fn identify(&self, rng: &mut dyn RngCore, requests: &[Request]) -> Option<usize> {
+        if requests.is_empty() {
+            return None;
+        }
+        let (chains, histories) = OptimalTracker::build_chains_with_history(requests);
+        if chains.is_empty() {
+            return None;
+        }
+        let mut survivors: Vec<usize> = Vec::new();
+        for (idx, history) in histories.iter().enumerate() {
+            if self.mean_chain_snap_distance(history) <= self.tolerance_m {
+                survivors.push(idx);
+            }
+        }
+        let pool: Vec<usize> = if survivors.is_empty() {
+            (0..chains.len()).collect()
+        } else {
+            survivors
+        };
+        // Among survivors, smallest max-step chain wins.
+        pool.into_iter()
+            .min_by(|&a, &b| {
+                OptimalTracker::chain_score(ChainScore::MaxStep, &chains[a])
+                    .partial_cmp(&OptimalTracker::chain_score(
+                        ChainScore::MaxStep,
+                        &chains[b],
+                    ))
+                    .expect("scores are finite")
+                    .then(chains[a].final_index.cmp(&chains[b].final_index))
+            })
+            .map(|i| chains[i].final_index)
+            .or_else(|| {
+                let last = requests.last()?;
+                if last.positions.is_empty() {
+                    None
+                } else {
+                    use rand::Rng;
+                    Some(rng.gen_range(0..last.positions.len()))
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::rng::rng_from_seed;
+    use dummyloc_geo::BBox;
+
+    fn streets() -> StreetGrid {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+        StreetGrid::new(area, 100.0)
+    }
+
+    fn req(positions: Vec<Point>) -> Request {
+        Request {
+            pseudonym: "p".into(),
+            positions,
+        }
+    }
+
+    #[test]
+    fn map_filter_discards_off_network_dummies() {
+        // True user rides the y=200 street; the dummy walks a diagonal
+        // through the blocks. Both move smoothly at the same speed, so a
+        // pure continuity tracker cannot separate them — the map can.
+        let mut reqs = Vec::new();
+        for t in 0..10 {
+            let street_user = Point::new(100.0 + t as f64 * 30.0, 200.0);
+            let block_ghost = Point::new(130.0 + t as f64 * 21.0, 330.0 + t as f64 * 21.0);
+            reqs.push(req(vec![block_ghost, street_user]));
+        }
+        let adv = MapFilter::new(streets(), 5.0);
+        let mut rng = rng_from_seed(1);
+        assert_eq!(adv.identify(&mut rng, &reqs), Some(1));
+        // A blind continuity tracker is indifferent (both chains smooth):
+        // it picks the lower index, i.e. the ghost.
+        let blind = OptimalTracker::new(ChainScore::MaxStep);
+        assert_eq!(blind.identify(&mut rng, &reqs), Some(0));
+    }
+
+    #[test]
+    fn falls_back_when_everyone_is_off_network() {
+        let mut reqs = Vec::new();
+        for t in 0..5 {
+            reqs.push(req(vec![
+                Point::new(133.0 + t as f64, 277.0),
+                Point::new(433.0 + t as f64, 677.0),
+            ]));
+        }
+        let adv = MapFilter::new(streets(), 1.0);
+        let mut rng = rng_from_seed(2);
+        let got = adv.identify(&mut rng, &reqs).unwrap();
+        assert!(got < 2);
+    }
+
+    #[test]
+    fn empty_stream_is_none() {
+        let adv = MapFilter::new(streets(), 5.0);
+        let mut rng = rng_from_seed(3);
+        assert_eq!(adv.identify(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn street_dummies_survive_the_map_filter() {
+        use crate::street_dummies::StreetDummyGenerator;
+        use dummyloc_core::client::Client;
+        use dummyloc_core::generator::NoDensity;
+        // A street-bound user with street-bound dummies: the filter keeps
+        // everyone, so identification stays ambiguous. Run several trials
+        // and require the adversary to be wrong at least sometimes.
+        let adv = MapFilter::new(streets(), 5.0);
+        let mut rng = rng_from_seed(4);
+        let mut hits = 0;
+        let trials = 30;
+        for _ in 0..trials {
+            let generator = StreetDummyGenerator::new(streets(), (25.0, 35.0));
+            let mut client = Client::new("p", generator, 3);
+            // True user also walks streets at a matched pace.
+            let g = streets();
+            let mut walker =
+                dummyloc_mobility::StreetWalker::new(g.clone(), g.random_node(&mut rng));
+            let mut truth = walker.position_point();
+            let mut rounds = vec![client.begin(&mut rng, truth).unwrap()];
+            for k in 0..12 {
+                // One block every ~3 rounds at 30 m/round on 100 m blocks:
+                // emulate by stepping the walker every 3rd round.
+                if k % 3 == 2 {
+                    walker.step(&mut rng);
+                }
+                truth = walker.position_point();
+                rounds.push(client.step(&mut rng, truth, &NoDensity).unwrap());
+            }
+            let stream: Vec<Request> = rounds.iter().map(|r| r.request.clone()).collect();
+            if adv.identify(&mut rng, &stream) == Some(rounds.last().unwrap().truth_index) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits < trials,
+            "street dummies should not be perfectly identifiable ({hits}/{trials})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn negative_tolerance_panics() {
+        MapFilter::new(streets(), -1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Pseudonym rotation and the re-linking attack.
+//!
+//! The paper assumes pseudonyms sever the link between requests and
+//! identity, but a pseudonym that *never changes* accumulates a lifetime
+//! trajectory. Beresford & Stajano (the paper's reference \[1\]) proposed
+//! changing pseudonyms inside *mix zones*; the temporal analogue is a
+//! silent period around each change. This module measures what rotation
+//! actually buys: an observer who sees all old segments end and all new
+//! segments begin solves the global assignment problem between them — if
+//! users barely move while silent, positions re-identify them and
+//! rotation bought nothing.
+
+use dummyloc_geo::Point;
+
+use crate::hungarian::min_cost_assignment;
+use crate::session::{SegmentStream, SessionOutcome};
+
+/// The observer's best guess linking old segments to new ones: entry `i`
+/// is the index of the new segment matched to old segment `i`.
+///
+/// The cost of pairing old `i` with new `j` is the smallest distance
+/// between any position in `i`'s final request and any position in `j`'s
+/// first request — the observer need only connect *one* plausible thread.
+pub fn relink_assignment(prev: &[SegmentStream], next: &[SegmentStream]) -> Vec<usize> {
+    assert_eq!(
+        prev.len(),
+        next.len(),
+        "synchronized rotation: equal segment counts"
+    );
+    if prev.is_empty() {
+        return Vec::new();
+    }
+    let cost: Vec<Vec<f64>> = prev
+        .iter()
+        .map(|old| {
+            let ends = old
+                .requests
+                .last()
+                .map(|r| r.positions.as_slice())
+                .unwrap_or(&[]);
+            next.iter()
+                .map(|new| {
+                    let starts = new
+                        .requests
+                        .first()
+                        .map(|r| r.positions.as_slice())
+                        .unwrap_or(&[]);
+                    min_pair_distance(ends, starts)
+                })
+                .collect()
+        })
+        .collect();
+    min_cost_assignment(&cost).0
+}
+
+fn min_pair_distance(a: &[Point], b: &[Point]) -> f64 {
+    let mut best = f64::MAX / 4.0; // finite sentinel keeps Hungarian happy
+    for p in a {
+        for q in b {
+            best = best.min(p.distance(q));
+        }
+    }
+    best
+}
+
+/// Per-boundary re-linking accuracy of a rotated session: the fraction of
+/// users whose old segment is matched to their own new segment, averaged
+/// over all consecutive segment boundaries. 1.0 = rotation bought
+/// nothing; `1/users` = chance.
+pub fn relink_rate(outcome: &SessionOutcome) -> f64 {
+    let users = outcome.segments.len();
+    let seg_count = outcome.segments_per_user();
+    if users == 0 || seg_count < 2 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for boundary in 0..seg_count - 1 {
+        let prev: Vec<SegmentStream> = outcome
+            .segments
+            .iter()
+            .map(|s| s[boundary].clone())
+            .collect();
+        let next: Vec<SegmentStream> = outcome
+            .segments
+            .iter()
+            .map(|s| s[boundary + 1].clone())
+            .collect();
+        let assignment = relink_assignment(&prev, &next);
+        for (i, &j) in assignment.iter().enumerate() {
+            total += 1;
+            if i == j {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_core::client::Request;
+
+    fn seg(last_positions: Vec<Point>, first_positions: Vec<Point>) -> SegmentStream {
+        SegmentStream {
+            requests: vec![
+                Request {
+                    pseudonym: "a#0".into(),
+                    positions: first_positions,
+                },
+                Request {
+                    pseudonym: "a#0".into(),
+                    positions: last_positions,
+                },
+            ],
+            final_truth_index: 0,
+        }
+    }
+
+    #[test]
+    fn relink_matches_continuous_users() {
+        // Two users far apart; new segments start where old ones ended.
+        let prev = vec![
+            seg(vec![Point::new(0.0, 0.0)], vec![Point::new(0.0, 5.0)]),
+            seg(
+                vec![Point::new(900.0, 900.0)],
+                vec![Point::new(900.0, 905.0)],
+            ),
+        ];
+        let next = vec![
+            seg(vec![Point::new(1.0, 9.0)], vec![Point::new(1.0, 1.0)]),
+            seg(
+                vec![Point::new(901.0, 909.0)],
+                vec![Point::new(901.0, 901.0)],
+            ),
+        ];
+        assert_eq!(relink_assignment(&prev, &next), vec![0, 1]);
+        // Swapped next segments get detected and unswapped by cost.
+        let swapped = vec![next[1].clone(), next[0].clone()];
+        assert_eq!(relink_assignment(&prev, &swapped), vec![1, 0]);
+    }
+
+    #[test]
+    fn relink_is_fooled_when_everyone_converges() {
+        // Both users end and restart at the same plaza: ties; assignment
+        // is arbitrary but valid (a permutation).
+        let plaza = Point::new(500.0, 500.0);
+        let prev = vec![
+            seg(vec![plaza], vec![Point::new(0.0, 0.0)]),
+            seg(vec![plaza], vec![Point::new(900.0, 900.0)]),
+        ];
+        let next = vec![
+            seg(vec![Point::new(0.0, 0.0)], vec![plaza]),
+            seg(vec![Point::new(900.0, 900.0)], vec![plaza]),
+        ];
+        let a = relink_assignment(&prev, &next);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(relink_assignment(&[], &[]).is_empty());
+        let out = SessionOutcome { segments: vec![] };
+        assert_eq!(relink_rate(&out), 0.0);
+    }
+
+    #[test]
+    fn relink_rate_counts_identity_matches() {
+        // Hand-build an outcome with two users, two segments, perfectly
+        // continuous → rate 1.0.
+        let mk = |x: f64| {
+            vec![
+                seg(vec![Point::new(x, 0.0)], vec![Point::new(x, 1.0)]),
+                seg(vec![Point::new(x, 3.0)], vec![Point::new(x, 2.0)]),
+            ]
+        };
+        let out = SessionOutcome {
+            segments: vec![mk(0.0), mk(800.0)],
+        };
+        assert_eq!(relink_rate(&out), 1.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! A light client-session driver for custom evaluations.
+//!
+//! The engine in `dummyloc-sim` runs the paper's fixed algorithm set; the
+//! extension experiments need arbitrary (stateful) generators and
+//! pseudonym rotation, so this driver re-implements just the client loop:
+//! per round, every user reports its true position plus dummies; MLN-
+//! style generators see the previous round's *other-users* density, as in
+//! the engine.
+
+use dummyloc_core::client::{Client, Request};
+use dummyloc_core::generator::{DummyGenerator, NoDensity, OthersDensity};
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_geo::{BBox, Grid, Point};
+use dummyloc_trajectory::Dataset;
+
+/// Pseudonym rotation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rotation {
+    /// Rounds per pseudonym segment (≥ 1).
+    pub period: usize,
+    /// Rounds of radio silence between segments (the "temporal mix
+    /// zone"); the user keeps moving but reports nothing.
+    pub silent_rounds: usize,
+}
+
+/// Configuration of a session run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Service area (must contain the workload).
+    pub area: BBox,
+    /// Region grid for the density view.
+    pub grid_size: u32,
+    /// Dummies per user.
+    pub dummies: usize,
+    /// Seconds between rounds.
+    pub tick: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Fraction of users generating dummies (the rest report bare
+    /// positions); 1.0 = the paper's every-user assumption.
+    pub adoption: f64,
+    /// Pseudonym rotation, or `None` for one segment per user.
+    pub rotation: Option<Rotation>,
+}
+
+impl SessionConfig {
+    /// Defaults matching the engine's Nara setting.
+    pub fn nara_default(seed: u64) -> Self {
+        SessionConfig {
+            area: BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0))
+                .expect("static bounds"),
+            grid_size: 12,
+            dummies: 3,
+            tick: 30.0,
+            seed,
+            adoption: 1.0,
+            rotation: None,
+        }
+    }
+}
+
+/// One pseudonym segment of one user: the requests sent under that
+/// pseudonym and the truth index of its final round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentStream {
+    /// Requests in time order.
+    pub requests: Vec<Request>,
+    /// Index of the true position in the final request.
+    pub final_truth_index: usize,
+}
+
+/// Everything a session run produces: `segments[user][segment]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Per user, the pseudonym segments in time order.
+    pub segments: Vec<Vec<SegmentStream>>,
+}
+
+impl SessionOutcome {
+    /// Flattens a non-rotating run into the `(stream, truth)` pairs the
+    /// adversary API consumes; for rotating runs, each segment becomes
+    /// its own stream (pseudonyms are unlinkable by assumption).
+    pub fn into_streams(self) -> Vec<(Vec<Request>, usize)> {
+        self.segments
+            .into_iter()
+            .flatten()
+            .map(|s| (s.requests, s.final_truth_index))
+            .collect()
+    }
+
+    /// Number of segments per user (uniform across users).
+    pub fn segments_per_user(&self) -> usize {
+        self.segments.first().map_or(0, Vec::len)
+    }
+}
+
+/// Runs the session loop. `make_generator` is called once per user (so
+/// stateful generators stay per-user); the same generator instance is
+/// reused across that user's pseudonym segments, but the client's dummy
+/// *positions* are re-initialized at each segment start.
+///
+/// # Panics
+///
+/// Panics if the workload has no common window, leaves the area, or the
+/// configuration is degenerate — session runs are experiment internals
+/// where these are setup bugs.
+pub fn run<F>(fleet: &Dataset, config: &SessionConfig, mut make_generator: F) -> SessionOutcome
+where
+    F: FnMut(usize) -> Box<dyn DummyGenerator>,
+{
+    assert!(
+        config.tick.is_finite() && config.tick > 0.0,
+        "tick must be positive"
+    );
+    if let Some(r) = config.rotation {
+        assert!(r.period >= 1, "rotation period must be at least 1 round");
+    }
+    let (start, end) = fleet
+        .common_time_range()
+        .expect("workload has a common window");
+    let grid = Grid::square(config.area, config.grid_size).expect("valid grid config");
+    let users = fleet.len();
+
+    assert!(
+        (0.0..=1.0).contains(&config.adoption),
+        "adoption must be a fraction in [0, 1]"
+    );
+    let adopters = (config.adoption * users as f64).round() as usize;
+    let mut clients: Vec<Client<Box<dyn DummyGenerator>>> = (0..users)
+        .map(|i| {
+            let dummies = if i < adopters { config.dummies } else { 0 };
+            Client::new(fleet.tracks()[i].id(), make_generator(i), dummies)
+        })
+        .collect();
+    let mut rngs: Vec<_> = (0..users)
+        .map(|i| rng_from_seed(derive_seed(config.seed, i as u64)))
+        .collect();
+
+    let rounds = ((end - start) / config.tick).floor() as usize + 1;
+    let mut segments: Vec<Vec<SegmentStream>> = vec![Vec::new(); users];
+    let mut current: Vec<SegmentStream> = (0..users)
+        .map(|_| SegmentStream {
+            requests: Vec::new(),
+            final_truth_index: 0,
+        })
+        .collect();
+    let mut prev_pop: Option<PopulationGrid> = None;
+    let mut emitted_in_segment = 0usize;
+    let mut silence_left = 0usize;
+
+    for k in 0..rounds {
+        let t = start + k as f64 * config.tick;
+        if silence_left > 0 {
+            // Radio silence: everyone moves, nobody transmits; the
+            // observer's density snapshot goes stale.
+            silence_left -= 1;
+            prev_pop = None;
+            continue;
+        }
+        let snapshot = fleet.snapshot(t);
+        let mut pop = PopulationGrid::empty(&grid);
+        for (i, maybe_pos) in snapshot.positions().iter().enumerate() {
+            let pos = maybe_pos.expect("common window guarantees activity");
+            let fresh_segment = current[i].requests.is_empty();
+            let round = if fresh_segment {
+                clients[i].reset();
+                clients[i]
+                    .begin(&mut rngs[i], pos)
+                    .expect("position inside area")
+            } else {
+                match &prev_pop {
+                    Some(density) => {
+                        let own_prev: &[Point] = current[i]
+                            .requests
+                            .last()
+                            .map(|r| r.positions.as_slice())
+                            .unwrap_or(&[]);
+                        let view = OthersDensity::new(density, own_prev);
+                        clients[i]
+                            .step(&mut rngs[i], pos, &view)
+                            .expect("position inside area")
+                    }
+                    None => clients[i]
+                        .step(&mut rngs[i], pos, &NoDensity)
+                        .expect("position inside area"),
+                }
+            };
+            for &p in &round.request.positions {
+                pop.add(p).expect("reported positions stay inside the area");
+            }
+            // Segments get distinct pseudonyms so the observer cannot key
+            // on the identifier.
+            let mut request = round.request;
+            request.pseudonym = format!("{}#{}", request.pseudonym, segments[i].len());
+            current[i].final_truth_index = round.truth_index;
+            current[i].requests.push(request);
+        }
+        prev_pop = Some(pop);
+        emitted_in_segment += 1;
+
+        if let Some(r) = config.rotation {
+            if emitted_in_segment >= r.period {
+                for i in 0..users {
+                    let seg = std::mem::replace(
+                        &mut current[i],
+                        SegmentStream {
+                            requests: Vec::new(),
+                            final_truth_index: 0,
+                        },
+                    );
+                    segments[i].push(seg);
+                }
+                emitted_in_segment = 0;
+                silence_left = r.silent_rounds;
+                prev_pop = None;
+            }
+        }
+    }
+    for i in 0..users {
+        if !current[i].requests.is_empty() {
+            let seg = std::mem::replace(
+                &mut current[i],
+                SegmentStream {
+                    requests: Vec::new(),
+                    final_truth_index: 0,
+                },
+            );
+            segments[i].push(seg);
+        }
+    }
+    SessionOutcome { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_core::generator::MnGenerator;
+    use dummyloc_sim::workload;
+
+    fn fleet() -> Dataset {
+        workload::nara_fleet_sized(5, 600.0, 17)
+    }
+
+    fn mn_factory(area: BBox) -> impl FnMut(usize) -> Box<dyn DummyGenerator> {
+        move |_| Box::new(MnGenerator::new(area, 100.0).expect("valid m"))
+    }
+
+    #[test]
+    fn non_rotating_run_yields_one_segment_per_user() {
+        let config = SessionConfig::nara_default(3);
+        let out = run(&fleet(), &config, mn_factory(config.area));
+        assert_eq!(out.segments.len(), 5);
+        assert_eq!(out.segments_per_user(), 1);
+        // 600 s at 30 s tick → 21 rounds.
+        for segs in &out.segments {
+            assert_eq!(segs[0].requests.len(), 21);
+            assert!(segs[0].requests.iter().all(|r| r.positions.len() == 4));
+        }
+        let streams = out.into_streams();
+        assert_eq!(streams.len(), 5);
+    }
+
+    #[test]
+    fn partial_adoption_mixes_protected_and_bare_users() {
+        let mut config = SessionConfig::nara_default(3);
+        config.adoption = 0.4; // 2 of 5 users
+        let out = run(&fleet(), &config, mn_factory(config.area));
+        let sizes: Vec<usize> = out
+            .segments
+            .iter()
+            .map(|s| s[0].requests[0].positions.len())
+            .collect();
+        assert_eq!(sizes, vec![4, 4, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "adoption")]
+    fn bad_adoption_panics() {
+        let mut config = SessionConfig::nara_default(3);
+        config.adoption = 1.5;
+        run(&fleet(), &config, mn_factory(config.area));
+    }
+    #[test]
+    fn rotation_splits_segments_and_renames_pseudonyms() {
+        let mut config = SessionConfig::nara_default(3);
+        config.rotation = Some(Rotation {
+            period: 8,
+            silent_rounds: 2,
+        });
+        let out = run(&fleet(), &config, mn_factory(config.area));
+        // 21 rounds: segment of 8, silence 2, segment of 8, silence 2,
+        // then 1 remaining round → 3 segments.
+        assert_eq!(out.segments_per_user(), 3);
+        let u0 = &out.segments[0];
+        assert_eq!(u0[0].requests.len(), 8);
+        assert_eq!(u0[1].requests.len(), 8);
+        assert_eq!(u0[2].requests.len(), 1);
+        // Pseudonyms differ across segments and agree within.
+        let p0 = &u0[0].requests[0].pseudonym;
+        assert!(u0[0].requests.iter().all(|r| &r.pseudonym == p0));
+        assert_ne!(p0, &u0[1].requests[0].pseudonym);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = SessionConfig::nara_default(5);
+        let f = fleet();
+        let a = run(&f, &config, mn_factory(config.area));
+        let b = run(&f, &config, mn_factory(config.area));
+        assert_eq!(a, b);
+        let mut config2 = config;
+        config2.seed = 6;
+        let c = run(&f, &config2, mn_factory(config.area));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_dummy_session_is_plain_lbs() {
+        let mut config = SessionConfig::nara_default(3);
+        config.dummies = 0;
+        let out = run(&fleet(), &config, mn_factory(config.area));
+        for segs in &out.segments {
+            for r in &segs[0].requests {
+                assert_eq!(r.positions.len(), 1);
+            }
+            assert_eq!(segs[0].final_truth_index, 0);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the extension crate.
+
+use dummyloc_core::adversary::ChainScore;
+use dummyloc_core::client::Request;
+use dummyloc_ext::entropy::{belief, expected_distance_error, normalized_entropy};
+use dummyloc_ext::hungarian::min_cost_assignment;
+use dummyloc_ext::optimal_tracker::OptimalTracker;
+use dummyloc_geo::Point;
+use proptest::prelude::*;
+
+fn arb_cost(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..1000.0f64, cols), rows)
+}
+
+fn arb_requests() -> impl Strategy<Value = Vec<Request>> {
+    // `rounds` requests of `k` positions each.
+    (1usize..8, 1usize..15).prop_flat_map(|(k, rounds)| {
+        prop::collection::vec(
+            prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), k),
+            rounds,
+        )
+        .prop_map(|rows| {
+            rows.into_iter()
+                .map(|row| Request {
+                    pseudonym: "p".into(),
+                    positions: row.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+                })
+                .collect()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_never_beats_itself_under_row_permutation(
+        cost in (1usize..6, 1usize..6).prop_flat_map(|(n, extra)| arb_cost(n, n + extra)),
+    ) {
+        // Optimal total is invariant under permuting the rows.
+        let (_, total) = min_cost_assignment(&cost);
+        let mut reversed = cost.clone();
+        reversed.reverse();
+        let (_, total_rev) = min_cost_assignment(&reversed);
+        prop_assert!((total - total_rev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hungarian_total_is_a_lower_bound_of_greedy(
+        cost in (1usize..6, 0usize..4).prop_flat_map(|(n, extra)| arb_cost(n, n + extra)),
+    ) {
+        let (assignment, total) = min_cost_assignment(&cost);
+        // Greedy row-by-row assignment can never be cheaper.
+        let mut taken = vec![false; cost[0].len()];
+        let mut greedy_total = 0.0;
+        for row in &cost {
+            let (j, c) = row
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !taken[*j])
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            taken[j] = true;
+            greedy_total += *c;
+        }
+        prop_assert!(total <= greedy_total + 1e-9);
+        // And the assignment is a valid injection.
+        let mut cols = assignment.clone();
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), cost.len());
+    }
+
+    #[test]
+    fn chains_partition_every_round(requests in arb_requests()) {
+        let chains = OptimalTracker::build_chains(&requests);
+        let k = requests[0].positions.len();
+        prop_assert_eq!(chains.len(), k);
+        // Final indexes are a permutation of the final round's slots.
+        let mut finals: Vec<usize> = chains.iter().map(|c| c.final_index).collect();
+        finals.sort_unstable();
+        prop_assert_eq!(finals, (0..k).collect::<Vec<_>>());
+        // Step counts equal rounds - 1 for every chain.
+        for c in &chains {
+            prop_assert_eq!(c.steps.len(), requests.len() - 1);
+        }
+    }
+
+    #[test]
+    fn chain_histories_are_consistent(requests in arb_requests()) {
+        let (chains, histories) = OptimalTracker::build_chains_with_history(&requests);
+        prop_assert_eq!(chains.len(), histories.len());
+        for (c, h) in chains.iter().zip(&histories) {
+            prop_assert_eq!(h.len(), requests.len());
+            prop_assert_eq!(*h.last().unwrap(), c.last);
+            // Steps match consecutive history distances.
+            for (step, w) in c.steps.iter().zip(h.windows(2)) {
+                prop_assert!((step - w[0].distance(&w[1])).abs() < 1e-9);
+            }
+            // Every history entry appears in its round's request.
+            for (round, p) in h.iter().enumerate() {
+                prop_assert!(requests[round].positions.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn beliefs_are_distributions_with_bounded_entropy(
+        requests in arb_requests(),
+        temp in 1.0..1000.0f64,
+    ) {
+        let b = belief(&requests, ChainScore::MaxStep, temp);
+        let sum: f64 = b.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let h = normalized_entropy(&b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        // Expected error is bounded by the farthest candidate distance.
+        let truth = requests.last().unwrap().positions[0];
+        let err = expected_distance_error(&b, truth);
+        let max_d = b
+            .chains
+            .iter()
+            .map(|c| c.last.distance(&truth))
+            .fold(0.0f64, f64::max);
+        prop_assert!(err <= max_d + 1e-9);
+        prop_assert!(err >= 0.0);
+    }
+
+    #[test]
+    fn entropy_monotone_in_temperature(requests in arb_requests()) {
+        let cool = normalized_entropy(&belief(&requests, ChainScore::MaxStep, 5.0));
+        let warm = normalized_entropy(&belief(&requests, ChainScore::MaxStep, 500.0));
+        prop_assert!(warm + 1e-9 >= cool, "warm {warm} < cool {cool}");
+    }
+}

@@ -1,0 +1,295 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point, Result, Vec2};
+
+/// An axis-aligned bounding box, closed on all sides: a point on the boundary
+/// is *contained*.
+///
+/// Bounding boxes play three roles in the reproduction:
+///
+/// * the **service area** every trajectory and grid lives in,
+/// * the **dummy neighborhood** of MN/MLN — the paper's
+///   `random(prev±m)` draws the next dummy position uniformly from the
+///   `2m × 2m` box centred on the previous one ([`BBox::centered`] +
+///   [`BBox::sample_uniform`](crate::rng::sample_uniform)),
+/// * the **cloaking region** of the accuracy-reduction baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    min: Point,
+    max: Point,
+}
+
+impl BBox {
+    /// Creates a bounding box from its min and max corners.
+    ///
+    /// Returns an error if any coordinate is non-finite or `min > max` on
+    /// either axis. Zero-extent boxes (a point or a segment) are allowed;
+    /// use [`Grid::new`](crate::Grid::new) callers reject them where a
+    /// positive extent matters.
+    pub fn new(min: Point, max: Point) -> Result<Self> {
+        if !min.is_finite() || !max.is_finite() {
+            return Err(GeoError::NonFiniteCoordinate {
+                context: "BBox::new",
+            });
+        }
+        if min.x > max.x || min.y > max.y {
+            return Err(GeoError::InvalidBBox {
+                min: (min.x, min.y),
+                max: (max.x, max.y),
+            });
+        }
+        Ok(BBox { min, max })
+    }
+
+    /// Creates the bounding box spanning two arbitrary corner points,
+    /// normalizing the corner order.
+    pub fn from_corners(a: Point, b: Point) -> Result<Self> {
+        BBox::new(
+            Point::new(a.x.min(b.x), a.y.min(b.y)),
+            Point::new(a.x.max(b.x), a.y.max(b.y)),
+        )
+    }
+
+    /// The `2·half_extent × 2·half_extent` box centred on `center` — the MN
+    /// neighborhood `[x−m, x+m] × [y−m, y+m]` from Table 2 of the paper.
+    pub fn centered(center: Point, half_extent: f64) -> Result<Self> {
+        if !(half_extent.is_finite() && half_extent >= 0.0) {
+            return Err(GeoError::NonFiniteCoordinate {
+                context: "BBox::centered",
+            });
+        }
+        BBox::new(
+            Point::new(center.x - half_extent, center.y - half_extent),
+            Point::new(center.x + half_extent, center.y + half_extent),
+        )
+    }
+
+    /// Smallest box containing every point of a non-empty iterator, or
+    /// `None` for an empty one.
+    pub fn enclosing<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for p in it {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        // Input points may be non-finite; `new` re-validates.
+        BBox::new(min, max).ok()
+    }
+
+    /// Minimum corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Maximum corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area (`width × height`).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `other` is entirely inside `self` (boundary touching allowed).
+    #[inline]
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// Whether the two boxes share any point (boundary touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The overlapping region of two boxes, or `None` if they are disjoint.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        BBox::new(
+            Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        )
+        .ok()
+    }
+
+    /// Smallest box containing both inputs.
+    pub fn union(&self, other: &BBox) -> BBox {
+        // Both inputs are valid boxes, so the component-wise min/max corners
+        // are finite and ordered; construction cannot fail.
+        BBox {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The point of `self` closest to `p` (i.e. `p` clamped to the box).
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Euclidean distance from `p` to the box (zero if contained).
+    pub fn distance_to(&self, p: Point) -> f64 {
+        self.clamp(p).distance(&p)
+    }
+
+    /// Squared Euclidean distance from `p` to the box (zero if contained).
+    pub fn distance_sq_to(&self, p: Point) -> f64 {
+        self.clamp(p).distance_sq(&p)
+    }
+
+    /// Box expanded by `margin` on all sides (shrunk if negative).
+    ///
+    /// Returns an error if a negative margin would invert the box.
+    pub fn expanded(&self, margin: f64) -> Result<BBox> {
+        BBox::new(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        )
+    }
+
+    /// Box translated by `v`.
+    pub fn translated(&self, v: Vec2) -> BBox {
+        BBox {
+            min: self.min + v,
+            max: self.max + v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x0: f64, y0: f64, x1: f64, y1: f64) -> BBox {
+        BBox::new(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_inverted_and_nonfinite() {
+        assert!(BBox::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0)).is_err());
+        assert!(BBox::new(Point::new(f64::NAN, 0.0), Point::new(1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn from_corners_normalizes() {
+        let b = BBox::from_corners(Point::new(5.0, 1.0), Point::new(1.0, 5.0)).unwrap();
+        assert_eq!(b.min(), Point::new(1.0, 1.0));
+        assert_eq!(b.max(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn centered_builds_mn_neighborhood() {
+        let b = BBox::centered(Point::new(10.0, 20.0), 3.0).unwrap();
+        assert_eq!(b.min(), Point::new(7.0, 17.0));
+        assert_eq!(b.max(), Point::new(13.0, 23.0));
+        assert_eq!(b.width(), 6.0);
+        assert!(BBox::centered(Point::ORIGIN, -1.0).is_err());
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let b = bb(0.0, 0.0, 10.0, 10.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(b.contains(Point::new(5.0, 10.0)));
+        assert!(!b.contains(Point::new(10.000001, 5.0)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = bb(0.0, 0.0, 10.0, 10.0);
+        let b = bb(5.0, 5.0, 15.0, 15.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, bb(5.0, 5.0, 10.0, 10.0));
+        let u = a.union(&b);
+        assert_eq!(u, bb(0.0, 0.0, 15.0, 15.0));
+        let disjoint = bb(20.0, 20.0, 30.0, 30.0);
+        assert!(a.intersection(&disjoint).is_none());
+        assert!(!a.intersects(&disjoint));
+        // Touching boxes intersect on the shared edge.
+        let touching = bb(10.0, 0.0, 20.0, 10.0);
+        assert!(a.intersects(&touching));
+        assert_eq!(a.intersection(&touching).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn clamp_and_distance() {
+        let b = bb(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(b.clamp(Point::new(-5.0, 5.0)), Point::new(0.0, 5.0));
+        assert_eq!(b.distance_to(Point::new(13.0, 14.0)), 5.0);
+        assert_eq!(b.distance_to(Point::new(3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn enclosing_spans_all_points() {
+        let pts = vec![
+            Point::new(1.0, 9.0),
+            Point::new(-2.0, 4.0),
+            Point::new(7.0, 0.0),
+        ];
+        let b = BBox::enclosing(pts.clone()).unwrap();
+        assert_eq!(b, bb(-2.0, 0.0, 7.0, 9.0));
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert!(BBox::enclosing(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn expanded_and_translated() {
+        let b = bb(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(b.expanded(2.0).unwrap(), bb(-2.0, -2.0, 12.0, 12.0));
+        assert!(b.expanded(-6.0).is_err());
+        assert_eq!(b.translated(Vec2::new(1.0, -1.0)), bb(1.0, -1.0, 11.0, 9.0));
+    }
+
+    #[test]
+    fn zero_extent_box_is_allowed() {
+        let p = Point::new(3.0, 3.0);
+        let b = BBox::new(p, p).unwrap();
+        assert_eq!(b.area(), 0.0);
+        assert!(b.contains(p));
+    }
+}

@@ -1,0 +1,109 @@
+//! Distance metrics.
+//!
+//! The reproduction runs in a planar coordinate system (metres), so
+//! [`Euclidean`] is the default everywhere. [`Haversine`] is provided for
+//! users feeding real GPS tracks (longitude as `x`, latitude as `y`, both in
+//! degrees) into the library; the mobility simulator never produces such
+//! tracks itself.
+
+use crate::Point;
+
+/// Mean Earth radius in metres (IUGG value), used by [`Haversine`].
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A distance metric over [`Point`]s.
+///
+/// Implementors must be symmetric and non-negative with `d(p, p) = 0`.
+pub trait Metric {
+    /// Distance between two points.
+    fn distance(&self, a: &Point, b: &Point) -> f64;
+
+    /// A value monotone in the distance, for comparisons; defaults to the
+    /// distance itself. [`Euclidean`] overrides it with the squared distance
+    /// to avoid square roots in k-NN loops.
+    fn distance_cmp(&self, a: &Point, b: &Point) -> f64 {
+        self.distance(a, b)
+    }
+}
+
+/// Planar Euclidean distance (the workspace default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        a.distance(b)
+    }
+
+    #[inline]
+    fn distance_cmp(&self, a: &Point, b: &Point) -> f64 {
+        a.distance_sq(b)
+    }
+}
+
+/// Great-circle distance on a spherical Earth for points given as
+/// `(longitude°, latitude°)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Haversine;
+
+impl Metric for Haversine {
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        haversine_m(a, b)
+    }
+}
+
+/// Great-circle distance in metres between `(lon°, lat°)` points.
+pub fn haversine_m(a: &Point, b: &Point) -> f64 {
+    let (lon1, lat1) = (a.x.to_radians(), a.y.to_radians());
+    let (lon2, lat2) = (b.x.to_radians(), b.y.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(Euclidean.distance_cmp(&a, &b), 25.0);
+    }
+
+    #[test]
+    fn haversine_identity_is_zero() {
+        let p = Point::new(135.839, 34.685); // Nara, Japan
+        assert_eq!(haversine_m(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn haversine_one_degree_latitude_is_about_111km() {
+        let a = Point::new(135.0, 34.0);
+        let b = Point::new(135.0, 35.0);
+        let d = haversine_m(&a, &b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = Point::new(135.839, 34.685);
+        let b = Point::new(135.805, 34.684); // ~3 km west
+        assert!((haversine_m(&a, &b) - haversine_m(&b, &a)).abs() < 1e-9);
+        // Sanity: central Nara is a few km across.
+        let d = haversine_m(&a, &b);
+        assert!(d > 2_000.0 && d < 4_000.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_antipodal_is_half_circumference() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(180.0, 0.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((haversine_m(&a, &b) - half).abs() < 1.0);
+    }
+}

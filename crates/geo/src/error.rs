@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Errors produced by the geometry substrate.
+///
+/// The crate is `forbid(unsafe_code)` and panic-free on its public surface:
+/// every constructor that can receive degenerate input returns a
+/// `Result<_, GeoError>` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Which operation rejected the coordinate.
+        context: &'static str,
+    },
+    /// A bounding box had `min > max` on some axis.
+    InvalidBBox {
+        /// Minimum corner as supplied.
+        min: (f64, f64),
+        /// Maximum corner as supplied.
+        max: (f64, f64),
+    },
+    /// A bounding box had zero width or height where a positive extent is
+    /// required (e.g. to build a grid over it).
+    DegenerateBBox {
+        /// Width of the rejected box.
+        width: f64,
+        /// Height of the rejected box.
+        height: f64,
+    },
+    /// A grid was requested with zero rows or columns.
+    EmptyGrid,
+    /// A point lies outside the domain it was required to be inside.
+    OutOfBounds {
+        /// The offending point.
+        point: (f64, f64),
+    },
+    /// A cell index addressed a cell that does not exist in the grid.
+    CellOutOfRange {
+        /// Requested column.
+        col: u32,
+        /// Requested row.
+        row: u32,
+        /// Grid columns.
+        cols: u32,
+        /// Grid rows.
+        rows: u32,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::NonFiniteCoordinate { context } => {
+                write!(f, "non-finite coordinate in {context}")
+            }
+            GeoError::InvalidBBox { min, max } => write!(
+                f,
+                "invalid bounding box: min ({}, {}) exceeds max ({}, {})",
+                min.0, min.1, max.0, max.1
+            ),
+            GeoError::DegenerateBBox { width, height } => write!(
+                f,
+                "degenerate bounding box: width {width}, height {height} (positive extent required)"
+            ),
+            GeoError::EmptyGrid => write!(f, "grid must have at least one row and one column"),
+            GeoError::OutOfBounds { point } => {
+                write!(f, "point ({}, {}) is outside the domain", point.0, point.1)
+            }
+            GeoError::CellOutOfRange {
+                col,
+                row,
+                cols,
+                rows,
+            } => write!(
+                f,
+                "cell ({col}, {row}) out of range for a {cols}x{rows} grid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_values() {
+        let err = GeoError::CellOutOfRange {
+            col: 9,
+            row: 1,
+            cols: 8,
+            rows: 8,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("(9, 1)"));
+        assert!(msg.contains("8x8"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GeoError::EmptyGrid);
+    }
+}

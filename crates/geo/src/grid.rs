@@ -1,0 +1,391 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{BBox, GeoError, Point, Result};
+
+/// Identifier of one region (cell) of a [`Grid`].
+///
+/// `col` increases with x (west → east), `row` with y (south → north).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId {
+    /// Column index, `0 ..= cols-1`.
+    pub col: u32,
+    /// Row index, `0 ..= rows-1`.
+    pub row: u32,
+}
+
+impl CellId {
+    /// Creates a cell id. Validity against a particular grid is checked by
+    /// the grid methods that consume it.
+    #[inline]
+    pub const fn new(col: u32, row: u32) -> Self {
+        CellId { col, row }
+    }
+
+    /// Chebyshev (chessboard) distance between two cells: the number of
+    /// region-steps an entity moving one ring per tick needs.
+    pub fn chebyshev_distance(&self, other: &CellId) -> u32 {
+        let dc = self.col.abs_diff(other.col);
+        let dr = self.row.abs_diff(other.row);
+        dc.max(dr)
+    }
+
+    /// Manhattan distance between two cells.
+    pub fn manhattan_distance(&self, other: &CellId) -> u32 {
+        self.col.abs_diff(other.col) + self.row.abs_diff(other.row)
+    }
+}
+
+/// A uniform partition of a bounding box into `cols × rows` equal regions.
+///
+/// This is the paper's region decomposition: *"All areas that provide the
+/// service are divided into regions … The precision of the position data is
+/// the same scale as the regions."* The anonymity metrics `F` (ubiquity),
+/// `P` (congestion) and `Shift(P)` are all computed per grid cell, and the
+/// experiments sweep the grid size over 8×8, 10×10 and 12×12.
+///
+/// Every cell is half-open `[x0, x1) × [y0, y1)` except the cells touching
+/// the grid's max edges, which are closed so that the whole service area —
+/// boundary included — maps to exactly one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    bounds: BBox,
+    cols: u32,
+    rows: u32,
+    cell_width: f64,
+    cell_height: f64,
+}
+
+impl Grid {
+    /// Creates a grid of `cols × rows` regions over `bounds`.
+    ///
+    /// Errors if `cols` or `rows` is zero or `bounds` has zero extent on
+    /// either axis.
+    pub fn new(bounds: BBox, cols: u32, rows: u32) -> Result<Self> {
+        if cols == 0 || rows == 0 {
+            return Err(GeoError::EmptyGrid);
+        }
+        if bounds.width() <= 0.0 || bounds.height() <= 0.0 {
+            return Err(GeoError::DegenerateBBox {
+                width: bounds.width(),
+                height: bounds.height(),
+            });
+        }
+        Ok(Grid {
+            bounds,
+            cols,
+            rows,
+            cell_width: bounds.width() / cols as f64,
+            cell_height: bounds.height() / rows as f64,
+        })
+    }
+
+    /// Convenience constructor for the paper's square `n × n` grids.
+    pub fn square(bounds: BBox, n: u32) -> Result<Self> {
+        Grid::new(bounds, n, n)
+    }
+
+    /// The partitioned area.
+    #[inline]
+    pub fn bounds(&self) -> BBox {
+        self.bounds
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of regions (`cols × rows`) — the paper's `|A_F|`.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// Width of one cell.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.cell_width
+    }
+
+    /// Height of one cell.
+    #[inline]
+    pub fn cell_height(&self) -> f64 {
+        self.cell_height
+    }
+
+    /// The region containing `p`, or an error if `p` is outside the grid.
+    pub fn cell_of(&self, p: Point) -> Result<CellId> {
+        if !self.bounds.contains(p) {
+            return Err(GeoError::OutOfBounds { point: (p.x, p.y) });
+        }
+        Ok(self.cell_of_unchecked(p))
+    }
+
+    /// The region containing the point of the grid closest to `p` — i.e.
+    /// `p` clamped into bounds first. Never fails for finite points.
+    pub fn cell_of_clamped(&self, p: Point) -> CellId {
+        self.cell_of_unchecked(self.bounds.clamp(p))
+    }
+
+    fn cell_of_unchecked(&self, p: Point) -> CellId {
+        let col = (((p.x - self.bounds.min().x) / self.cell_width) as u32).min(self.cols - 1);
+        let row = (((p.y - self.bounds.min().y) / self.cell_height) as u32).min(self.rows - 1);
+        CellId { col, row }
+    }
+
+    /// Whether `cell` addresses an existing region of this grid.
+    #[inline]
+    pub fn contains_cell(&self, cell: CellId) -> bool {
+        cell.col < self.cols && cell.row < self.rows
+    }
+
+    /// The bounding box of one region.
+    pub fn cell_bbox(&self, cell: CellId) -> Result<BBox> {
+        self.check_cell(cell)?;
+        let min = Point::new(
+            self.bounds.min().x + cell.col as f64 * self.cell_width,
+            self.bounds.min().y + cell.row as f64 * self.cell_height,
+        );
+        let max = Point::new(min.x + self.cell_width, min.y + self.cell_height);
+        BBox::new(min, max)
+    }
+
+    /// The center point of one region.
+    pub fn cell_center(&self, cell: CellId) -> Result<Point> {
+        Ok(self.cell_bbox(cell)?.center())
+    }
+
+    /// Row-major linear index of a cell (for dense per-region arrays such as
+    /// the population counters behind `P` and `Shift(P)`).
+    pub fn linear_index(&self, cell: CellId) -> Result<usize> {
+        self.check_cell(cell)?;
+        Ok(cell.row as usize * self.cols as usize + cell.col as usize)
+    }
+
+    /// Inverse of [`Grid::linear_index`].
+    pub fn cell_at_index(&self, index: usize) -> Result<CellId> {
+        if index >= self.cell_count() {
+            return Err(GeoError::CellOutOfRange {
+                col: (index % self.cols as usize) as u32,
+                row: (index / self.cols as usize) as u32,
+                cols: self.cols,
+                rows: self.rows,
+            });
+        }
+        Ok(CellId {
+            col: (index % self.cols as usize) as u32,
+            row: (index / self.cols as usize) as u32,
+        })
+    }
+
+    /// Iterates over all regions in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |row| (0..cols).map(move |col| CellId { col, row }))
+    }
+
+    /// The up-to-8 regions adjacent to `cell` (Moore neighborhood), clipped
+    /// at the grid edges.
+    pub fn neighbors8(&self, cell: CellId) -> Result<Vec<CellId>> {
+        self.check_cell(cell)?;
+        let mut out = Vec::with_capacity(8);
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let col = cell.col as i64 + dc;
+                let row = cell.row as i64 + dr;
+                if col >= 0 && row >= 0 && (col as u32) < self.cols && (row as u32) < self.rows {
+                    out.push(CellId {
+                        col: col as u32,
+                        row: row as u32,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The up-to-4 regions sharing an edge with `cell` (von Neumann
+    /// neighborhood), clipped at the grid edges.
+    pub fn neighbors4(&self, cell: CellId) -> Result<Vec<CellId>> {
+        self.check_cell(cell)?;
+        let mut out = Vec::with_capacity(4);
+        let (c, r) = (cell.col, cell.row);
+        if c > 0 {
+            out.push(CellId { col: c - 1, row: r });
+        }
+        if c + 1 < self.cols {
+            out.push(CellId { col: c + 1, row: r });
+        }
+        if r > 0 {
+            out.push(CellId { col: c, row: r - 1 });
+        }
+        if r + 1 < self.rows {
+            out.push(CellId { col: c, row: r + 1 });
+        }
+        Ok(out)
+    }
+
+    /// All regions whose bbox intersects `query` (used by range queries and
+    /// the cloaking baseline to enumerate candidate regions).
+    pub fn cells_intersecting(&self, query: &BBox) -> Vec<CellId> {
+        let Some(overlap) = self.bounds.intersection(query) else {
+            return Vec::new();
+        };
+        let lo = self.cell_of_unchecked(overlap.min());
+        let hi = self.cell_of_unchecked(overlap.max());
+        let mut out = Vec::with_capacity(((hi.col - lo.col + 1) * (hi.row - lo.row + 1)) as usize);
+        for row in lo.row..=hi.row {
+            for col in lo.col..=hi.col {
+                out.push(CellId { col, row });
+            }
+        }
+        out
+    }
+
+    fn check_cell(&self, cell: CellId) -> Result<()> {
+        if self.contains_cell(cell) {
+            Ok(())
+        } else {
+            Err(GeoError::CellOutOfRange {
+                col: cell.col,
+                row: cell.row,
+                cols: self.cols,
+                rows: self.rows,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1km(n: u32) -> Grid {
+        let bounds = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+        Grid::square(bounds, n).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_degenerate_inputs() {
+        let bounds = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+        assert!(Grid::new(bounds, 0, 8).is_err());
+        assert!(Grid::new(bounds, 8, 0).is_err());
+        let flat = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0)).unwrap();
+        assert!(Grid::new(flat, 8, 8).is_err());
+    }
+
+    #[test]
+    fn paper_grid_sizes() {
+        for n in [8u32, 10, 12] {
+            let g = grid_1km(n);
+            assert_eq!(g.cell_count(), (n * n) as usize);
+            assert_eq!(g.cell_width(), 1000.0 / n as f64);
+        }
+    }
+
+    #[test]
+    fn cell_of_maps_interior_points() {
+        let g = grid_1km(8); // cells are 125 m
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)).unwrap(), CellId::new(0, 0));
+        assert_eq!(
+            g.cell_of(Point::new(124.9, 0.0)).unwrap(),
+            CellId::new(0, 0)
+        );
+        assert_eq!(
+            g.cell_of(Point::new(125.0, 0.0)).unwrap(),
+            CellId::new(1, 0)
+        );
+        assert_eq!(
+            g.cell_of(Point::new(999.0, 999.0)).unwrap(),
+            CellId::new(7, 7)
+        );
+    }
+
+    #[test]
+    fn max_edge_maps_to_last_cell() {
+        let g = grid_1km(8);
+        assert_eq!(
+            g.cell_of(Point::new(1000.0, 1000.0)).unwrap(),
+            CellId::new(7, 7)
+        );
+        assert_eq!(
+            g.cell_of(Point::new(1000.0, 0.0)).unwrap(),
+            CellId::new(7, 0)
+        );
+    }
+
+    #[test]
+    fn cell_of_rejects_outside_points_but_clamped_does_not() {
+        let g = grid_1km(8);
+        assert!(g.cell_of(Point::new(-1.0, 500.0)).is_err());
+        assert_eq!(
+            g.cell_of_clamped(Point::new(-1.0, 500.0)),
+            CellId::new(0, 4)
+        );
+        assert_eq!(
+            g.cell_of_clamped(Point::new(5000.0, 5000.0)),
+            CellId::new(7, 7)
+        );
+    }
+
+    #[test]
+    fn cell_bbox_round_trips_with_cell_of() {
+        let g = grid_1km(10);
+        for cell in g.cells() {
+            let bbox = g.cell_bbox(cell).unwrap();
+            assert_eq!(g.cell_of(bbox.center()).unwrap(), cell);
+        }
+    }
+
+    #[test]
+    fn linear_index_round_trips() {
+        let g = grid_1km(12);
+        for (i, cell) in g.cells().enumerate() {
+            assert_eq!(g.linear_index(cell).unwrap(), i);
+            assert_eq!(g.cell_at_index(i).unwrap(), cell);
+        }
+        assert!(g.cell_at_index(144).is_err());
+        assert!(g.linear_index(CellId::new(12, 0)).is_err());
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let g = grid_1km(8);
+        assert_eq!(g.neighbors8(CellId::new(0, 0)).unwrap().len(), 3);
+        assert_eq!(g.neighbors8(CellId::new(4, 0)).unwrap().len(), 5);
+        assert_eq!(g.neighbors8(CellId::new(4, 4)).unwrap().len(), 8);
+        assert_eq!(g.neighbors4(CellId::new(0, 0)).unwrap().len(), 2);
+        assert_eq!(g.neighbors4(CellId::new(4, 4)).unwrap().len(), 4);
+        assert!(g.neighbors8(CellId::new(8, 8)).is_err());
+    }
+
+    #[test]
+    fn cells_intersecting_counts_overlapped_regions() {
+        let g = grid_1km(8); // 125 m cells
+        let q = BBox::new(Point::new(100.0, 100.0), Point::new(300.0, 150.0)).unwrap();
+        // x spans cells 0..=2, y spans cells 0..=1 → 6 cells
+        let cells = g.cells_intersecting(&q);
+        assert_eq!(cells.len(), 6);
+        let outside = BBox::new(Point::new(2000.0, 2000.0), Point::new(3000.0, 3000.0)).unwrap();
+        assert!(g.cells_intersecting(&outside).is_empty());
+    }
+
+    #[test]
+    fn chebyshev_and_manhattan_distance() {
+        let a = CellId::new(1, 1);
+        let b = CellId::new(4, 3);
+        assert_eq!(a.chebyshev_distance(&b), 3);
+        assert_eq!(a.manhattan_distance(&b), 5);
+        assert_eq!(a.chebyshev_distance(&a), 0);
+    }
+}

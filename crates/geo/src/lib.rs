@@ -1,0 +1,50 @@
+//! Geometry substrate for the `dummyloc` workspace.
+//!
+//! This crate supplies the spatial vocabulary shared by every other crate in
+//! the reproduction of *"Protection of Location Privacy using Dummies for
+//! Location-based Services"* (Kido, Yanagisawa, Satoh — ICDE 2005):
+//!
+//! * [`Point`] / [`Vec2`] — planar positions and displacements,
+//! * [`BBox`] — axis-aligned bounding boxes (the service area, dummy
+//!   neighborhoods, cloaking regions),
+//! * [`Grid`] — the uniform region partition the paper's anonymity metrics
+//!   (`F`, `P`, `Shift(P)`) are computed over,
+//! * [`distance`] — Euclidean and haversine metrics,
+//! * [`rng`] — deterministic random-sampling helpers so every experiment in
+//!   the workspace is reproducible from a seed.
+//!
+//! The paper works in an abstract planar coordinate system ("coordinates x
+//! and y and time t"); we default to planar Euclidean geometry and provide
+//! haversine only for users feeding real GPS tracks in.
+//!
+//! # Example
+//!
+//! ```
+//! use dummyloc_geo::{BBox, Grid, Point};
+//!
+//! // A 1 km × 1 km service area split into the paper's 8×8 regions.
+//! let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+//! let grid = Grid::new(area, 8, 8).unwrap();
+//! let cell = grid.cell_of(Point::new(10.0, 990.0)).unwrap();
+//! assert_eq!((cell.col, cell.row), (0, 7));
+//! assert_eq!(grid.cell_count(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod error;
+mod grid;
+mod point;
+
+pub mod distance;
+pub mod rng;
+
+pub use bbox::BBox;
+pub use error::GeoError;
+pub use grid::{CellId, Grid};
+pub use point::{Point, Vec2};
+
+/// Result alias used throughout the geometry crate.
+pub type Result<T> = std::result::Result<T, GeoError>;

@@ -1,0 +1,379 @@
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Result};
+
+/// A position in the planar coordinate system used throughout the workspace.
+///
+/// The paper models positions as `(x, y)` pairs in an abstract plane; we use
+/// `f64` metres by convention (the mobility models and experiment configs all
+/// speak metres), but nothing in this crate assumes a particular unit.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (east in map terms).
+    pub x: f64,
+    /// Vertical coordinate (north in map terms).
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s.
+///
+/// Kept distinct from `Point` so that APIs say what they mean: mobility
+/// models return velocities and step displacements as `Vec2`, never as
+/// absolute positions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub dx: f64,
+    /// Vertical component.
+    pub dy: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point. Accepts any `f64`s, including non-finite ones; use
+    /// [`Point::new_finite`] when input comes from untrusted data.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point, rejecting NaN and infinite coordinates.
+    pub fn new_finite(x: f64, y: f64) -> Result<Self> {
+        if x.is_finite() && y.is_finite() {
+            Ok(Point { x, y })
+        } else {
+            Err(GeoError::NonFiniteCoordinate {
+                context: "Point::new_finite",
+            })
+        }
+    }
+
+    /// Whether both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Displacement from `self` to `other` (`other - self`).
+    #[inline]
+    pub fn to(self, other: Point) -> Vec2 {
+        Vec2 {
+            dx: other.x - self.x,
+            dy: other.y - self.y,
+        }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper for comparisons).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    ///
+    /// `t` is *not* clamped; callers interpolating trajectory segments pass
+    /// `t ∈ [0, 1]` and extrapolating callers may exceed it deliberately.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+}
+
+impl Vec2 {
+    /// The zero displacement.
+    pub const ZERO: Vec2 = Vec2 { dx: 0.0, dy: 0.0 };
+
+    /// Creates a displacement vector.
+    #[inline]
+    pub const fn new(dx: f64, dy: f64) -> Self {
+        Vec2 { dx, dy }
+    }
+
+    /// A unit vector pointing at `angle` radians (0 = +x, counterclockwise).
+    #[inline]
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2 {
+            dx: angle.cos(),
+            dy: angle.sin(),
+        }
+    }
+
+    /// Euclidean length of the displacement.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.length_sq().sqrt()
+    }
+
+    /// Squared length (cheaper for comparisons).
+    #[inline]
+    pub fn length_sq(&self) -> f64 {
+        self.dx * self.dx + self.dy * self.dy
+    }
+
+    /// Angle of the displacement in radians, in `(-π, π]` (atan2 convention).
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.dy.atan2(self.dx)
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: &Vec2) -> f64 {
+        self.dx * other.dx + self.dy * other.dy
+    }
+
+    /// Returns this vector scaled to unit length, or `None` for the zero
+    /// vector (whose direction is undefined).
+    pub fn normalized(&self) -> Option<Vec2> {
+        let len = self.length();
+        if len > 0.0 {
+            Some(Vec2 {
+                dx: self.dx / len,
+                dy: self.dy / len,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the vector clamped to at most `max_len`, preserving direction.
+    ///
+    /// Mobility models use this to enforce per-step speed limits.
+    pub fn clamp_length(&self, max_len: f64) -> Vec2 {
+        debug_assert!(max_len >= 0.0, "clamp_length expects a non-negative bound");
+        let len_sq = self.length_sq();
+        if len_sq > max_len * max_len {
+            let scale = max_len / len_sq.sqrt();
+            Vec2 {
+                dx: self.dx * scale,
+                dy: self.dy * scale,
+            }
+        } else {
+            *self
+        }
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        Point {
+            x: self.x + rhs.dx,
+            y: self.y + rhs.dy,
+        }
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.dx;
+        self.y += rhs.dy;
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point {
+            x: self.x - rhs.dx,
+            y: self.y - rhs.dy,
+        }
+    }
+}
+
+impl Sub<Point> for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2 {
+            dx: self.x - rhs.x,
+            dy: self.y - rhs.y,
+        }
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2 {
+            dx: self.dx + rhs.dx,
+            dy: self.dy + rhs.dy,
+        }
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.dx += rhs.dx;
+        self.dy += rhs.dy;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2 {
+            dx: self.dx - rhs.dx,
+            dy: self.dy - rhs.dy,
+        }
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.dx -= rhs.dx;
+        self.dy -= rhs.dy;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2 {
+            dx: self.dx * rhs,
+            dy: self.dy * rhs,
+        }
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2 {
+            dx: self.dx / rhs,
+            dy: self.dy / rhs,
+        }
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2 {
+            dx: -self.dx,
+            dy: -self.dy,
+        }
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point { x, y }
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_finite_rejects_nan_and_inf() {
+        assert!(Point::new_finite(f64::NAN, 0.0).is_err());
+        assert!(Point::new_finite(0.0, f64::INFINITY).is_err());
+        assert!(Point::new_finite(1.0, -2.0).is_ok());
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 10.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.midpoint(&b), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn point_vector_arithmetic_round_trips() {
+        let p = Point::new(2.0, 3.0);
+        let v = Vec2::new(1.0, -1.0);
+        assert_eq!((p + v) - v, p);
+        assert_eq!(p + v - p, v);
+        let mut q = p;
+        q += v;
+        assert_eq!(q, p + v);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert_eq!(Vec2::ZERO.normalized(), None);
+        let n = Vec2::new(0.0, 5.0).normalized().unwrap();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+        assert_eq!(n, Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn clamp_length_preserves_short_vectors() {
+        let v = Vec2::new(1.0, 1.0);
+        assert_eq!(v.clamp_length(10.0), v);
+        let clamped = Vec2::new(3.0, 4.0).clamp_length(2.5);
+        assert!((clamped.length() - 2.5).abs() < 1e-12);
+        // direction preserved
+        assert!((clamped.angle() - Vec2::new(3.0, 4.0).angle()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_angle_is_unit_length() {
+        for k in 0..8 {
+            let a = k as f64 * std::f64::consts::FRAC_PI_4;
+            assert!((Vec2::from_angle(a).length() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dot_product_orthogonal_is_zero() {
+        assert_eq!(Vec2::new(1.0, 0.0).dot(&Vec2::new(0.0, 7.0)), 0.0);
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(p, Point::new(1.5, 2.5));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, 2.5));
+    }
+}

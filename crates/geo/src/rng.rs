@@ -1,0 +1,202 @@
+//! Deterministic random-sampling helpers.
+//!
+//! Every stochastic component in the workspace — dummy generators, mobility
+//! models, the experiment runner — draws randomness through an explicit
+//! `&mut impl Rng`, and top-level entry points construct their RNG from a
+//! `u64` seed via [`rng_from_seed`]. This makes every experiment in
+//! `EXPERIMENTS.md` exactly reproducible.
+//!
+//! Sub-streams: when one seed has to drive several independent components
+//! (e.g. one RNG per simulated user), derive child seeds with
+//! [`derive_seed`] instead of sharing one RNG, so adding a user never
+//! perturbs the streams of the others.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BBox, Point};
+
+/// Constructs the workspace-standard deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Uses the SplitMix64 finalizer, whose output is well distributed even for
+/// consecutive `(seed, index)` inputs.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a point uniformly from a bounding box.
+///
+/// This is exactly the paper's `random(x-m, x+m), random(y-m, y+m)` next-
+/// position draw when given the MN neighborhood box
+/// ([`BBox::centered`]). Zero-extent axes collapse to the corresponding
+/// coordinate.
+pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, bbox: &BBox) -> Point {
+    let x = sample_range(rng, bbox.min().x, bbox.max().x);
+    let y = sample_range(rng, bbox.min().y, bbox.max().y);
+    Point::new(x, y)
+}
+
+/// Samples uniformly from `[lo, hi]`, tolerating `lo == hi`.
+fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if lo < hi {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+/// Samples a point uniformly from the disc of radius `r` around `center`
+/// (used by the Gaussian/disc ablation variants of the MN generator).
+pub fn sample_disc<R: Rng + ?Sized>(rng: &mut R, center: Point, r: f64) -> Point {
+    debug_assert!(r >= 0.0);
+    // Inverse-CDF sampling: radius ∝ sqrt(u) gives an area-uniform draw.
+    let radius = r * rng.gen::<f64>().sqrt();
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    Point::new(
+        center.x + radius * angle.cos(),
+        center.y + radius * angle.sin(),
+    )
+}
+
+/// Fisher–Yates shuffle of a slice (thin wrapper so callers don't need the
+/// `rand` prelude in scope).
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, slice: &mut [T]) {
+    use rand::seq::SliceRandom;
+    slice.shuffle(rng);
+}
+
+/// Chooses `k` distinct indices out of `0..n` uniformly (partial
+/// Fisher–Yates; `O(n)` memory, `O(k)` swaps).
+pub fn choose_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_from_seed_is_deterministic() {
+        let a: Vec<u32> = (0..8).map(|_| rng_from_seed(42).gen()).collect();
+        let mut r = rng_from_seed(42);
+        let first: u32 = r.gen();
+        assert!(a.iter().all(|&v| v == first));
+        let mut r1 = rng_from_seed(42);
+        let mut r2 = rng_from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let s = 7;
+        let children: Vec<u64> = (0..100).map(|i| derive_seed(s, i)).collect();
+        let mut uniq = children.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), children.len(), "child seeds must be distinct");
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn sample_uniform_stays_in_bbox() {
+        let bbox = BBox::new(Point::new(-5.0, 10.0), Point::new(5.0, 20.0)).unwrap();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..1000 {
+            let p = sample_uniform(&mut rng, &bbox);
+            assert!(bbox.contains(p), "{p:?} escaped {bbox:?}");
+        }
+    }
+
+    #[test]
+    fn sample_uniform_handles_degenerate_box() {
+        let p0 = Point::new(3.0, 4.0);
+        let bbox = BBox::new(p0, p0).unwrap();
+        let mut rng = rng_from_seed(1);
+        assert_eq!(sample_uniform(&mut rng, &bbox), p0);
+    }
+
+    #[test]
+    fn sample_uniform_covers_all_quadrants() {
+        let bbox = BBox::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0)).unwrap();
+        let mut rng = rng_from_seed(3);
+        let mut quadrants = [false; 4];
+        for _ in 0..200 {
+            let p = sample_uniform(&mut rng, &bbox);
+            let q = (p.x >= 0.0) as usize * 2 + (p.y >= 0.0) as usize;
+            quadrants[q] = true;
+        }
+        assert!(
+            quadrants.iter().all(|&b| b),
+            "uniform draw missed a quadrant"
+        );
+    }
+
+    #[test]
+    fn sample_disc_stays_in_radius() {
+        let c = Point::new(10.0, -10.0);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..1000 {
+            let p = sample_disc(&mut rng, c, 3.0);
+            assert!(c.distance(&p) <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_disc_is_area_uniform_ish() {
+        // Half the samples should land beyond r/sqrt(2) (the equal-area split).
+        let c = Point::ORIGIN;
+        let mut rng = rng_from_seed(11);
+        let n = 10_000;
+        let outer = (0..n)
+            .filter(|_| {
+                c.distance(&sample_disc(&mut rng, c, 1.0)) > std::f64::consts::FRAC_1_SQRT_2
+            })
+            .count();
+        let frac = outer as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "outer fraction {frac}");
+    }
+
+    #[test]
+    fn choose_indices_are_distinct_and_in_range() {
+        let mut rng = rng_from_seed(9);
+        for _ in 0..50 {
+            let picks = choose_indices(&mut rng, 20, 5);
+            assert_eq!(picks.len(), 5);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+            assert!(picks.iter().all(|&i| i < 20));
+        }
+        assert_eq!(choose_indices(&mut rng, 3, 10).len(), 3);
+        assert!(choose_indices(&mut rng, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = rng_from_seed(2);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seeded shuffle should not be identity");
+    }
+}

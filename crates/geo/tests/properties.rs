@@ -1,0 +1,151 @@
+//! Property-based tests for the geometry substrate.
+
+use dummyloc_geo::{distance::haversine_m, rng, BBox, Grid, Point, Vec2};
+use proptest::prelude::*;
+
+const COORD: std::ops::RangeInclusive<f64> = -1.0e6..=1.0e6;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (COORD, COORD).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| BBox::from_corners(a, b).unwrap())
+}
+
+/// A bbox with strictly positive extent, suitable for grids.
+fn arb_fat_bbox() -> impl Strategy<Value = BBox> {
+    (COORD, COORD, 1.0..1.0e5f64, 1.0..1.0e5f64)
+        .prop_map(|(x, y, w, h)| BBox::new(Point::new(x, y), Point::new(x + w, y + h)).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric_and_triangular(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-6);
+        // Triangle inequality with a relative tolerance for fp error.
+        let lhs = a.distance(&c);
+        let rhs = a.distance(&b) + b.distance(&c);
+        prop_assert!(lhs <= rhs + 1e-6 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn lerp_stays_on_segment(a in arb_point(), b in arb_point(), t in 0.0..=1.0f64) {
+        let p = a.lerp(&b, t);
+        let seg = BBox::from_corners(a, b).unwrap();
+        // Allow fp slack proportional to the segment size.
+        let slack = 1e-9 * (1.0 + seg.width().max(seg.height()));
+        prop_assert!(seg.expanded(slack).unwrap().contains(p));
+    }
+
+    #[test]
+    fn bbox_clamp_is_contained_and_idempotent(bbox in arb_bbox(), p in arb_point()) {
+        let c = bbox.clamp(p);
+        prop_assert!(bbox.contains(c));
+        prop_assert_eq!(bbox.clamp(c), c);
+        if bbox.contains(p) {
+            prop_assert_eq!(c, p);
+        }
+    }
+
+    #[test]
+    fn bbox_union_contains_both(a in arb_bbox(), b in arb_bbox()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_bbox(&a));
+        prop_assert!(u.contains_bbox(&b));
+    }
+
+    #[test]
+    fn bbox_intersection_is_contained_in_both(a in arb_bbox(), b in arb_bbox()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_bbox(&i));
+            prop_assert!(b.contains_bbox(&i));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn grid_cell_of_agrees_with_cell_bbox(
+        bbox in arb_fat_bbox(),
+        n in 1u32..40,
+        fx in 0.0..1.0f64,
+        fy in 0.0..1.0f64,
+    ) {
+        let grid = Grid::square(bbox, n).unwrap();
+        let p = Point::new(
+            bbox.min().x + fx * bbox.width(),
+            bbox.min().y + fy * bbox.height(),
+        );
+        let cell = grid.cell_of(p).unwrap();
+        let cb = grid.cell_bbox(cell).unwrap();
+        // The cell's closed bbox must contain the point (up to fp slack at
+        // shared edges, where cell_of assigns the higher cell).
+        prop_assert!(cb.expanded(1e-6 * (1.0 + bbox.width())).unwrap().contains(p));
+    }
+
+    #[test]
+    fn grid_linear_index_bijective(bbox in arb_fat_bbox(), cols in 1u32..20, rows in 1u32..20) {
+        let grid = Grid::new(bbox, cols, rows).unwrap();
+        let mut seen = vec![false; grid.cell_count()];
+        for cell in grid.cells() {
+            let i = grid.linear_index(cell).unwrap();
+            prop_assert!(!seen[i], "index {} hit twice", i);
+            seen[i] = true;
+            prop_assert_eq!(grid.cell_at_index(i).unwrap(), cell);
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn grid_neighbors_are_adjacent_and_distinct(
+        bbox in arb_fat_bbox(),
+        n in 2u32..20,
+        c in 0u32..20,
+        r in 0u32..20,
+    ) {
+        let grid = Grid::square(bbox, n).unwrap();
+        let cell = dummyloc_geo::CellId::new(c % n, r % n);
+        let n8 = grid.neighbors8(cell).unwrap();
+        for nb in &n8 {
+            prop_assert_eq!(cell.chebyshev_distance(nb), 1);
+            prop_assert!(grid.contains_cell(*nb));
+        }
+        let mut uniq = n8.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), n8.len());
+        // neighbors4 ⊆ neighbors8
+        for nb in grid.neighbors4(cell).unwrap() {
+            prop_assert!(n8.contains(&nb));
+            prop_assert_eq!(cell.manhattan_distance(&nb), 1);
+        }
+    }
+
+    #[test]
+    fn sample_uniform_always_inside(bbox in arb_bbox(), seed in any::<u64>()) {
+        let mut r = rng::rng_from_seed(seed);
+        for _ in 0..32 {
+            prop_assert!(bbox.contains(rng::sample_uniform(&mut r, &bbox)));
+        }
+    }
+
+    #[test]
+    fn haversine_symmetric_nonnegative(
+        lon1 in -180.0..=180.0f64, lat1 in -89.0..=89.0f64,
+        lon2 in -180.0..=180.0f64, lat2 in -89.0..=89.0f64,
+    ) {
+        let a = Point::new(lon1, lat1);
+        let b = Point::new(lon2, lat2);
+        let d1 = haversine_m(&a, &b);
+        let d2 = haversine_m(&b, &a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6 * (1.0 + d1));
+    }
+
+    #[test]
+    fn vec2_clamp_length_never_exceeds(dx in COORD, dy in COORD, max in 0.0..1.0e6f64) {
+        let v = Vec2::new(dx, dy).clamp_length(max);
+        prop_assert!(v.length() <= max * (1.0 + 1e-9) + 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+use dummyloc_geo::Point;
+
+/// One indexed `(position, payload)` pair.
+///
+/// Each entry carries the sequence number it was inserted with; k-NN ties
+/// are broken on it so that query results are deterministic regardless of
+/// index internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry<T> {
+    pos: Point,
+    item: T,
+    seq: u64,
+}
+
+impl<T> Entry<T> {
+    /// Creates an entry (used by the index implementations).
+    pub(crate) fn new(pos: Point, item: T, seq: u64) -> Self {
+        Entry { pos, item, seq }
+    }
+
+    /// Indexed position.
+    #[inline]
+    pub fn pos(&self) -> Point {
+        self.pos
+    }
+
+    /// Payload reference.
+    #[inline]
+    pub fn item(&self) -> &T {
+        &self.item
+    }
+
+    /// Insertion sequence number (0-based, per index instance).
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Euclidean distance from this entry to `q`.
+    #[inline]
+    pub fn distance_to(&self, q: Point) -> f64 {
+        self.pos.distance(&q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = Entry::new(Point::new(3.0, 4.0), "poi", 7);
+        assert_eq!(e.pos(), Point::new(3.0, 4.0));
+        assert_eq!(*e.item(), "poi");
+        assert_eq!(e.seq(), 7);
+        assert_eq!(e.distance_to(Point::ORIGIN), 5.0);
+    }
+}

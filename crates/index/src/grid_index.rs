@@ -1,0 +1,359 @@
+use dummyloc_geo::{BBox, CellId, GeoError, Grid, Point};
+
+use crate::{Entry, PointIndex};
+
+/// A bucketing index over a uniform [`Grid`].
+///
+/// Besides the generic [`PointIndex`] queries, the grid index exposes the
+/// per-region counters the paper's machinery is built on:
+///
+/// * [`GridIndex::count_at`] is exactly MLN's `position(x, y)` probe —
+///   *"return the amount of position data where (x, y, t−1) belongs"*,
+/// * [`GridIndex::cell_counts`] is the population vector behind the `P`
+///   (congestion) and `Shift(P)` metrics,
+/// * [`GridIndex::occupied_cells`] is the region set behind `F` (ubiquity).
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    grid: Grid,
+    buckets: Vec<Vec<Entry<T>>>,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an empty index over `grid`.
+    pub fn new(grid: Grid) -> Self {
+        let buckets = (0..grid.cell_count()).map(|_| Vec::new()).collect();
+        GridIndex {
+            grid,
+            buckets,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Builds an index over `grid` from `(position, item)` pairs; fails on
+    /// the first out-of-bounds position.
+    pub fn bulk_build(
+        grid: Grid,
+        items: impl IntoIterator<Item = (Point, T)>,
+    ) -> Result<Self, GeoError> {
+        let mut ix = GridIndex::new(grid);
+        for (pos, item) in items {
+            ix.insert(pos, item)?;
+        }
+        Ok(ix)
+    }
+
+    /// The underlying region partition.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Adds one entry; errors if `pos` is outside the grid.
+    pub fn insert(&mut self, pos: Point, item: T) -> Result<(), GeoError> {
+        let cell = self.grid.cell_of(pos)?;
+        let idx = self
+            .grid
+            .linear_index(cell)
+            .expect("cell_of returns valid cells");
+        self.buckets[idx].push(Entry::new(pos, item, self.next_seq));
+        self.next_seq += 1;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Removes every entry while keeping the grid (bucket capacity is
+    /// retained, making per-tick rebuilds allocation-free in steady state).
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.next_seq = 0;
+    }
+
+    /// Number of entries in the region containing `p` — the MLN density
+    /// probe. Errors if `p` is outside the grid.
+    pub fn count_at(&self, p: Point) -> Result<usize, GeoError> {
+        let cell = self.grid.cell_of(p)?;
+        Ok(self.count_in_cell(cell))
+    }
+
+    /// Number of entries in one region (zero for out-of-range cells).
+    pub fn count_in_cell(&self, cell: CellId) -> usize {
+        self.grid
+            .linear_index(cell)
+            .map_or(0, |i| self.buckets[i].len())
+    }
+
+    /// Entries in one region, in insertion order.
+    pub fn entries_in_cell(&self, cell: CellId) -> &[Entry<T>] {
+        self.grid
+            .linear_index(cell)
+            .map_or(&[], |i| &self.buckets[i])
+    }
+
+    /// Per-region entry counts in row-major (linear-index) order.
+    pub fn cell_counts(&self) -> Vec<usize> {
+        self.buckets.iter().map(Vec::len).collect()
+    }
+
+    /// Number of regions holding at least one entry (the numerator of the
+    /// ubiquity metric `F`).
+    pub fn occupied_cells(&self) -> usize {
+        self.buckets.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Iterates over all entries in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> {
+        self.buckets.iter().flatten()
+    }
+
+    /// Minimum distance from `q` to any cell at Chebyshev ring `r` around
+    /// `center`, used to prune the ring expansion in k-NN. Returns 0 when no
+    /// useful bound exists (e.g. `q` outside the inner box).
+    fn ring_min_distance_sq(&self, q: Point, center: CellId, r: u32) -> f64 {
+        if r == 0 {
+            return 0.0;
+        }
+        // Cells at ring r lie outside the (unclipped) box of cells within
+        // Chebyshev distance r-1 of the center; the nearest a ring cell can
+        // be is q's distance to that box's boundary.
+        let cw = self.grid.cell_width();
+        let ch = self.grid.cell_height();
+        let min = self.grid.bounds().min();
+        let inner_min_x = min.x + (center.col as f64 - (r - 1) as f64) * cw;
+        let inner_max_x = min.x + (center.col as f64 + r as f64) * cw;
+        let inner_min_y = min.y + (center.row as f64 - (r - 1) as f64) * ch;
+        let inner_max_y = min.y + (center.row as f64 + r as f64) * ch;
+        let d = (q.x - inner_min_x)
+            .min(inner_max_x - q.x)
+            .min(q.y - inner_min_y)
+            .min(inner_max_y - q.y);
+        if d <= 0.0 {
+            0.0
+        } else {
+            d * d
+        }
+    }
+
+    /// Cells at exactly Chebyshev distance `r` from `center`, clipped to the
+    /// grid.
+    fn ring_cells(&self, center: CellId, r: u32) -> Vec<CellId> {
+        let (cols, rows) = (self.grid.cols() as i64, self.grid.rows() as i64);
+        let (c0, r0) = (center.col as i64, center.row as i64);
+        let ri = r as i64;
+        let mut out = Vec::new();
+        let mut push = |c: i64, w: i64| {
+            if c >= 0 && w >= 0 && c < cols && w < rows {
+                out.push(CellId::new(c as u32, w as u32));
+            }
+        };
+        if r == 0 {
+            push(c0, r0);
+            return out;
+        }
+        for c in (c0 - ri)..=(c0 + ri) {
+            push(c, r0 - ri);
+            push(c, r0 + ri);
+        }
+        for w in (r0 - ri + 1)..=(r0 + ri - 1) {
+            push(c0 - ri, w);
+            push(c0 + ri, w);
+        }
+        out
+    }
+}
+
+impl<T> PointIndex<T> for GridIndex<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn k_nearest(&self, query: Point, k: usize) -> Vec<&Entry<T>> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let center = self.grid.cell_of_clamped(query);
+        let max_ring = self.grid.cols().max(self.grid.rows());
+        let mut cands: Vec<(f64, &Entry<T>)> = Vec::new();
+        let mut kth_sq = f64::INFINITY;
+        for r in 0..=max_ring {
+            if cands.len() >= k && self.ring_min_distance_sq(query, center, r) > kth_sq {
+                break;
+            }
+            for cell in self.ring_cells(center, r) {
+                let idx = self
+                    .grid
+                    .linear_index(cell)
+                    .expect("ring cells are clipped");
+                if self.buckets[idx].is_empty() {
+                    continue;
+                }
+                if cands.len() >= k {
+                    let cb = self.grid.cell_bbox(cell).expect("valid cell");
+                    if cb.distance_sq_to(query) > kth_sq {
+                        continue;
+                    }
+                }
+                for e in &self.buckets[idx] {
+                    cands.push((e.pos().distance_sq(&query), e));
+                }
+            }
+            if cands.len() >= k {
+                cands.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("positions are finite")
+                        .then(a.1.seq().cmp(&b.1.seq()))
+                });
+                cands.truncate(k);
+                kth_sq = cands[cands.len() - 1].0;
+            }
+        }
+        cands.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("positions are finite")
+                .then(a.1.seq().cmp(&b.1.seq()))
+        });
+        cands.truncate(k);
+        cands.into_iter().map(|(_, e)| e).collect()
+    }
+
+    fn in_bbox(&self, bbox: &BBox) -> Vec<&Entry<T>> {
+        let mut out: Vec<&Entry<T>> = Vec::new();
+        for cell in self.grid.cells_intersecting(bbox) {
+            let idx = self
+                .grid
+                .linear_index(cell)
+                .expect("intersecting cells are valid");
+            for e in &self.buckets[idx] {
+                if bbox.contains(e.pos()) {
+                    out.push(e);
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        Grid::square(b, 10).unwrap()
+    }
+
+    #[test]
+    fn insert_rejects_out_of_bounds() {
+        let mut ix = GridIndex::new(grid());
+        assert!(ix.insert(Point::new(-1.0, 0.0), 0).is_err());
+        assert!(ix.insert(Point::new(50.0, 50.0), 1).is_ok());
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn count_at_is_the_mln_probe() {
+        let mut ix = GridIndex::new(grid());
+        // Three entries in the cell covering (5,5): cell (0,0) spans [0,10).
+        for i in 0..3 {
+            ix.insert(Point::new(2.0 + i as f64, 3.0), i).unwrap();
+        }
+        ix.insert(Point::new(55.0, 55.0), 9).unwrap();
+        assert_eq!(ix.count_at(Point::new(9.0, 9.0)).unwrap(), 3);
+        assert_eq!(ix.count_at(Point::new(55.0, 55.0)).unwrap(), 1);
+        assert_eq!(ix.count_at(Point::new(95.0, 95.0)).unwrap(), 0);
+        assert!(ix.count_at(Point::new(200.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn occupied_cells_and_counts() {
+        let mut ix = GridIndex::new(grid());
+        ix.insert(Point::new(5.0, 5.0), 0).unwrap();
+        ix.insert(Point::new(6.0, 6.0), 1).unwrap();
+        ix.insert(Point::new(95.0, 95.0), 2).unwrap();
+        assert_eq!(ix.occupied_cells(), 2);
+        let counts = ix.cell_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        assert_eq!(counts.iter().filter(|&&c| c > 0).count(), 2);
+        assert_eq!(ix.count_in_cell(CellId::new(0, 0)), 2);
+        assert_eq!(ix.entries_in_cell(CellId::new(0, 0)).len(), 2);
+        // Out-of-range cells report zero rather than panicking.
+        assert_eq!(ix.count_in_cell(CellId::new(99, 99)), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ix = GridIndex::new(grid());
+        ix.insert(Point::new(5.0, 5.0), 0).unwrap();
+        ix.clear();
+        assert!(ix.is_empty());
+        assert_eq!(ix.occupied_cells(), 0);
+        ix.insert(Point::new(5.0, 5.0), 0).unwrap();
+        assert_eq!(ix.iter().next().unwrap().seq(), 0);
+    }
+
+    #[test]
+    fn k_nearest_simple() {
+        let ix = GridIndex::bulk_build(
+            grid(),
+            vec![
+                (Point::new(10.0, 10.0), "a"),
+                (Point::new(90.0, 90.0), "b"),
+                (Point::new(12.0, 10.0), "c"),
+            ],
+        )
+        .unwrap();
+        let hits = ix.k_nearest(Point::new(11.0, 10.0), 2);
+        assert_eq!(hits.len(), 2);
+        // a and c are both at distance 1; insertion order puts a first.
+        assert_eq!(*hits[0].item(), "a");
+        assert_eq!(*hits[1].item(), "c");
+    }
+
+    #[test]
+    fn k_nearest_query_outside_grid() {
+        let ix = GridIndex::bulk_build(
+            grid(),
+            vec![(Point::new(10.0, 10.0), "a"), (Point::new(90.0, 90.0), "b")],
+        )
+        .unwrap();
+        let hits = ix.k_nearest(Point::new(-50.0, -50.0), 1);
+        assert_eq!(*hits[0].item(), "a");
+    }
+
+    #[test]
+    fn in_bbox_is_exact_and_insertion_ordered() {
+        let ix = GridIndex::bulk_build(
+            grid(),
+            vec![
+                (Point::new(10.0, 10.0), 0),
+                (Point::new(10.5, 10.5), 1),
+                (Point::new(30.0, 30.0), 2),
+            ],
+        )
+        .unwrap();
+        let q = BBox::new(Point::new(9.0, 9.0), Point::new(11.0, 11.0)).unwrap();
+        let hits = ix.in_bbox(&q);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(*hits[0].item(), 0);
+        assert_eq!(*hits[1].item(), 1);
+    }
+
+    #[test]
+    fn ring_cells_cover_grid_exactly_once() {
+        let ix: GridIndex<()> = GridIndex::new(grid());
+        let center = CellId::new(3, 7);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..=10 {
+            for c in ix.ring_cells(center, r) {
+                assert_eq!(center.chebyshev_distance(&c), r);
+                assert!(seen.insert(c), "cell {c:?} visited twice");
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+}

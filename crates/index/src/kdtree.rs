@@ -1,0 +1,276 @@
+use dummyloc_geo::{BBox, Point};
+
+use crate::{Entry, PointIndex};
+
+/// A statically bulk-built 2-d k-d tree.
+///
+/// Built once over a point set with median splits (guaranteeing a balanced
+/// tree of depth `⌈log₂ n⌉`), then queried read-only. This is the index of
+/// choice for the LBS provider's POI database, which never changes during a
+/// simulation.
+#[derive(Debug, Clone)]
+pub struct KdTree<T> {
+    entries: Vec<Entry<T>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+/// One tree node; `entry` indexes into `entries`, children into `nodes`.
+#[derive(Debug, Clone)]
+struct Node {
+    entry: usize,
+    axis: Axis,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+impl Axis {
+    fn coord(self, p: Point) -> f64 {
+        match self {
+            Axis::X => p.x,
+            Axis::Y => p.y,
+        }
+    }
+
+    fn next(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+impl<T> KdTree<T> {
+    /// Builds a balanced tree from `(position, item)` pairs.
+    pub fn bulk_build(items: impl IntoIterator<Item = (Point, T)>) -> Self {
+        let entries: Vec<Entry<T>> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pos, item))| Entry::new(pos, item, i as u64))
+            .collect();
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        let mut nodes = Vec::with_capacity(entries.len());
+        let root = Self::build(&entries, &mut order[..], Axis::X, &mut nodes);
+        KdTree {
+            entries,
+            nodes,
+            root,
+        }
+    }
+
+    fn build(
+        entries: &[Entry<T>],
+        order: &mut [usize],
+        axis: Axis,
+        nodes: &mut Vec<Node>,
+    ) -> Option<usize> {
+        if order.is_empty() {
+            return None;
+        }
+        let mid = order.len() / 2;
+        // Median split on the axis; ties broken by seq for determinism.
+        order.select_nth_unstable_by(mid, |&a, &b| {
+            axis.coord(entries[a].pos())
+                .partial_cmp(&axis.coord(entries[b].pos()))
+                .expect("positions are finite")
+                .then(entries[a].seq().cmp(&entries[b].seq()))
+        });
+        let entry = order[mid];
+        let node_idx = nodes.len();
+        nodes.push(Node {
+            entry,
+            axis,
+            left: None,
+            right: None,
+        });
+        let (lo, rest) = order.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = Self::build(entries, lo, axis.next(), nodes);
+        let right = Self::build(entries, hi, axis.next(), nodes);
+        nodes[node_idx].left = left;
+        nodes[node_idx].right = right;
+        Some(node_idx)
+    }
+
+    /// Depth of the tree (0 for an empty tree) — exposed for tests and
+    /// benches asserting balance.
+    pub fn depth(&self) -> usize {
+        fn go<T>(tree: &KdTree<T>, node: Option<usize>) -> usize {
+            node.map_or(0, |n| {
+                1 + go(tree, tree.nodes[n].left).max(go(tree, tree.nodes[n].right))
+            })
+        }
+        go(self, self.root)
+    }
+
+    fn knn_recurse<'a>(
+        &'a self,
+        node: Option<usize>,
+        query: Point,
+        k: usize,
+        best: &mut Vec<(f64, &'a Entry<T>)>,
+    ) {
+        let Some(idx) = node else { return };
+        let n = &self.nodes[idx];
+        let e = &self.entries[n.entry];
+        let d = e.pos().distance_sq(&query);
+        push_candidate(best, k, (d, e));
+
+        let diff = n.axis.coord(query) - n.axis.coord(e.pos());
+        let (near, far) = if diff <= 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        self.knn_recurse(near, query, k, best);
+        // Visit the far side only if the splitting plane is closer than the
+        // current kth distance (or we still lack k candidates).
+        let kth = if best.len() >= k {
+            best[best.len() - 1].0
+        } else {
+            f64::INFINITY
+        };
+        if diff * diff <= kth {
+            self.knn_recurse(far, query, k, best);
+        }
+    }
+
+    fn range_recurse<'a>(&'a self, node: Option<usize>, bbox: &BBox, out: &mut Vec<&'a Entry<T>>) {
+        let Some(idx) = node else { return };
+        let n = &self.nodes[idx];
+        let e = &self.entries[n.entry];
+        if bbox.contains(e.pos()) {
+            out.push(e);
+        }
+        let c = n.axis.coord(e.pos());
+        let (lo, hi) = match n.axis {
+            Axis::X => (bbox.min().x, bbox.max().x),
+            Axis::Y => (bbox.min().y, bbox.max().y),
+        };
+        if lo <= c {
+            self.range_recurse(n.left, bbox, out);
+        }
+        if hi >= c {
+            self.range_recurse(n.right, bbox, out);
+        }
+    }
+}
+
+/// Maintains `best` as the sorted top-k candidate list (shared with the
+/// quadtree's best-first search).
+pub(crate) fn push_candidate<'a, T>(
+    best: &mut Vec<(f64, &'a Entry<T>)>,
+    k: usize,
+    cand: (f64, &'a Entry<T>),
+) {
+    let pos = best
+        .binary_search_by(|probe| {
+            probe
+                .0
+                .partial_cmp(&cand.0)
+                .expect("positions are finite")
+                .then(probe.1.seq().cmp(&cand.1.seq()))
+        })
+        .unwrap_or_else(|p| p);
+    if pos < k {
+        best.insert(pos, cand);
+        best.truncate(k);
+    }
+}
+
+impl<T> PointIndex<T> for KdTree<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn k_nearest(&self, query: Point, k: usize) -> Vec<&Entry<T>> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut best = Vec::with_capacity(k.min(self.entries.len()) + 1);
+        self.knn_recurse(self.root, query, k, &mut best);
+        best.into_iter().map(|(_, e)| e).collect()
+    }
+
+    fn in_bbox(&self, bbox: &BBox) -> Vec<&Entry<T>> {
+        let mut out = Vec::new();
+        self.range_recurse(self.root, bbox, &mut out);
+        out.sort_by_key(|e| e.seq());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagonal(n: usize) -> KdTree<usize> {
+        KdTree::bulk_build((0..n).map(|i| (Point::new(i as f64, i as f64), i)))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: KdTree<()> = KdTree::bulk_build(std::iter::empty());
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 0);
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        assert!(t
+            .in_bbox(&BBox::centered(Point::ORIGIN, 10.0).unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn balanced_depth() {
+        let t = diagonal(1023);
+        assert_eq!(t.len(), 1023);
+        assert_eq!(t.depth(), 10); // perfectly balanced: 2^10 - 1 nodes
+    }
+
+    #[test]
+    fn nearest_finds_closest_diagonal_point() {
+        let t = diagonal(100);
+        let hit = t.nearest(Point::new(41.4, 41.7)).unwrap();
+        assert_eq!(*hit.item(), 42);
+        // (41.4, 41.6) is exactly equidistant to 41 and 42; the insertion-
+        // order tie-break must pick 41.
+        let tie = t.nearest(Point::new(41.4, 41.6)).unwrap();
+        assert_eq!(*tie.item(), 41);
+    }
+
+    #[test]
+    fn k_nearest_ordering_and_count() {
+        let t = diagonal(10);
+        let hits = t.k_nearest(Point::new(5.0, 5.0), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(*hits[0].item(), 5);
+        // 4 and 6 are equidistant; insertion order puts 4 first.
+        assert_eq!(*hits[1].item(), 4);
+        assert_eq!(*hits[2].item(), 6);
+        assert_eq!(t.k_nearest(Point::ORIGIN, 100).len(), 10);
+    }
+
+    #[test]
+    fn in_bbox_exact() {
+        let t = diagonal(10);
+        let b = BBox::new(Point::new(2.5, 0.0), Point::new(6.5, 9.0)).unwrap();
+        let hits = t.in_bbox(&b);
+        let items: Vec<usize> = hits.iter().map(|e| *e.item()).collect();
+        assert_eq!(items, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn duplicate_positions_all_returned() {
+        let p = Point::new(1.0, 1.0);
+        let t = KdTree::bulk_build(vec![(p, "x"), (p, "y"), (p, "z")]);
+        let hits = t.k_nearest(Point::ORIGIN, 3);
+        let items: Vec<&str> = hits.iter().map(|e| *e.item()).collect();
+        assert_eq!(items, vec!["x", "y", "z"]); // seq order on ties
+        assert_eq!(t.count_in_bbox(&BBox::centered(p, 0.5).unwrap()), 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Spatial index substrate for the `dummyloc` workspace.
+//!
+//! Three point indexes behind one trait:
+//!
+//! * [`GridIndex`] — bucketing over a [`Grid`](dummyloc_geo::Grid). This is
+//!   the workhorse: MLN's `position(x, y)` density probe is a grid-bucket
+//!   count, and the per-region population counters behind the paper's `P`
+//!   and `Shift(P)` metrics are grid buckets too.
+//! * [`QuadTree`] — a dynamically built point-region quadtree for POI
+//!   databases that grow at runtime.
+//! * [`KdTree`] — a statically bulk-built k-d tree, fastest for the
+//!   read-only POI sets the LBS provider serves.
+//!
+//! A fourth index, [`RTree`], stores *rectangles* rather than points —
+//! the shape produced by the spatial-cloaking baseline — with
+//! intersection, containment and nearest-rectangle queries.
+//!
+//! All three point indexes implement [`PointIndex`], so the provider, the adversary
+//! models and the benches can swap them freely. k-NN results are exact and
+//! returned in ascending distance order with deterministic tie-breaking (by
+//! insertion order), so experiments are reproducible across index choices.
+//!
+//! # Example
+//!
+//! ```
+//! use dummyloc_geo::Point;
+//! use dummyloc_index::{KdTree, PointIndex};
+//!
+//! let pois = vec![
+//!     (Point::new(0.0, 0.0), "station"),
+//!     (Point::new(50.0, 10.0), "temple"),
+//!     (Point::new(90.0, 90.0), "park"),
+//! ];
+//! let tree = KdTree::bulk_build(pois);
+//! let hits = tree.k_nearest(Point::new(60.0, 20.0), 1);
+//! assert_eq!(*hits[0].item(), "temple");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entry;
+mod grid_index;
+mod kdtree;
+mod quadtree;
+mod rtree;
+
+pub use entry::Entry;
+pub use grid_index::GridIndex;
+pub use kdtree::KdTree;
+pub use quadtree::QuadTree;
+pub use rtree::{RTree, RectEntry};
+
+use dummyloc_geo::{BBox, Point};
+
+/// Common interface over the point indexes.
+///
+/// Implementations must return *exact* answers: `k_nearest` is the true
+/// k-nearest-neighbor set in ascending distance order (ties broken by
+/// insertion order), and `in_bbox` returns exactly the entries whose
+/// position lies in the closed box.
+pub trait PointIndex<T> {
+    /// Number of indexed entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` entries nearest to `query`, ascending by Euclidean distance,
+    /// ties broken by insertion order. Returns fewer than `k` when the index
+    /// holds fewer entries.
+    fn k_nearest(&self, query: Point, k: usize) -> Vec<&Entry<T>>;
+
+    /// The nearest entry, or `None` for an empty index.
+    fn nearest(&self, query: Point) -> Option<&Entry<T>> {
+        self.k_nearest(query, 1).into_iter().next()
+    }
+
+    /// All entries whose position lies inside the closed `bbox`, in
+    /// insertion order.
+    fn in_bbox(&self, bbox: &BBox) -> Vec<&Entry<T>>;
+
+    /// Number of entries inside the closed `bbox`.
+    fn count_in_bbox(&self, bbox: &BBox) -> usize {
+        self.in_bbox(bbox).len()
+    }
+}
+
+/// Reference brute-force implementation used to cross-check the real
+/// indexes in tests and benches.
+#[derive(Debug, Clone, Default)]
+pub struct BruteForce<T> {
+    entries: Vec<Entry<T>>,
+}
+
+impl<T> BruteForce<T> {
+    /// Creates an empty brute-force index.
+    pub fn new() -> Self {
+        BruteForce {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from `(position, item)` pairs.
+    pub fn bulk_build(items: impl IntoIterator<Item = (Point, T)>) -> Self {
+        let mut ix = BruteForce::new();
+        for (pos, item) in items {
+            ix.insert(pos, item);
+        }
+        ix
+    }
+
+    /// Adds one entry.
+    pub fn insert(&mut self, pos: Point, item: T) {
+        let seq = self.entries.len() as u64;
+        self.entries.push(Entry::new(pos, item, seq));
+    }
+}
+
+impl<T> PointIndex<T> for BruteForce<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn k_nearest(&self, query: Point, k: usize) -> Vec<&Entry<T>> {
+        let mut refs: Vec<&Entry<T>> = self.entries.iter().collect();
+        refs.sort_by(|a, b| {
+            a.pos()
+                .distance_sq(&query)
+                .partial_cmp(&b.pos().distance_sq(&query))
+                .expect("positions are finite")
+                .then(a.seq().cmp(&b.seq()))
+        });
+        refs.truncate(k);
+        refs
+    }
+
+    fn in_bbox(&self, bbox: &BBox) -> Vec<&Entry<T>> {
+        self.entries
+            .iter()
+            .filter(|e| bbox.contains(e.pos()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_orders_by_distance_then_seq() {
+        let mut ix = BruteForce::new();
+        ix.insert(Point::new(1.0, 0.0), "b"); // same distance as "a"
+        ix.insert(Point::new(-1.0, 0.0), "a");
+        ix.insert(Point::new(5.0, 0.0), "c");
+        let hits = ix.k_nearest(Point::ORIGIN, 3);
+        // Tie between first two broken by insertion order: "b" first.
+        assert_eq!(*hits[0].item(), "b");
+        assert_eq!(*hits[1].item(), "a");
+        assert_eq!(*hits[2].item(), "c");
+        assert!(ix.nearest(Point::ORIGIN).is_some());
+        assert_eq!(ix.k_nearest(Point::ORIGIN, 10).len(), 3);
+    }
+
+    #[test]
+    fn brute_force_bbox_filter() {
+        let ix = BruteForce::bulk_build(vec![
+            (Point::new(0.0, 0.0), 1),
+            (Point::new(10.0, 10.0), 2),
+            (Point::new(5.0, 5.0), 3),
+        ]);
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(6.0, 6.0)).unwrap();
+        let hits = ix.in_bbox(&b);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(ix.count_in_bbox(&b), 2);
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let ix: BruteForce<()> = BruteForce::new();
+        assert!(ix.is_empty());
+        assert!(ix.nearest(Point::ORIGIN).is_none());
+        assert!(ix.k_nearest(Point::ORIGIN, 3).is_empty());
+    }
+}

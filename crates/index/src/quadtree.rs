@@ -1,0 +1,360 @@
+use dummyloc_geo::{BBox, GeoError, Point};
+
+use crate::{Entry, PointIndex};
+
+/// Default leaf capacity before a node splits.
+const DEFAULT_NODE_CAPACITY: usize = 8;
+
+/// A point-region quadtree supporting dynamic insertion.
+///
+/// The tree covers a fixed bounding box given at construction; insertions
+/// outside it are rejected. Leaves split into four quadrants when they
+/// exceed the node capacity. Points exactly on a split line go to the
+/// right/top child (half-open split), matching [`Grid`](dummyloc_geo::Grid)
+/// semantics.
+#[derive(Debug, Clone)]
+pub struct QuadTree<T> {
+    bounds: BBox,
+    capacity: usize,
+    nodes: Vec<QNode<T>>,
+    len: usize,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+enum QNode<T> {
+    Leaf {
+        bbox: BBox,
+        entries: Vec<Entry<T>>,
+    },
+    /// Children indexed `[sw, se, nw, ne]`.
+    Internal {
+        bbox: BBox,
+        children: [usize; 4],
+    },
+}
+
+impl<T> QNode<T> {
+    fn bbox(&self) -> &BBox {
+        match self {
+            QNode::Leaf { bbox, .. } | QNode::Internal { bbox, .. } => bbox,
+        }
+    }
+}
+
+impl<T> QuadTree<T> {
+    /// Creates an empty tree over `bounds` with the default leaf capacity.
+    pub fn new(bounds: BBox) -> Self {
+        Self::with_capacity(bounds, DEFAULT_NODE_CAPACITY)
+    }
+
+    /// Creates an empty tree over `bounds`, splitting leaves that exceed
+    /// `capacity` entries (minimum 1).
+    pub fn with_capacity(bounds: BBox, capacity: usize) -> Self {
+        QuadTree {
+            bounds,
+            capacity: capacity.max(1),
+            nodes: vec![QNode::Leaf {
+                bbox: bounds,
+                entries: Vec::new(),
+            }],
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Builds a tree over `bounds` from `(position, item)` pairs; fails on
+    /// the first out-of-bounds position.
+    pub fn bulk_build(
+        bounds: BBox,
+        items: impl IntoIterator<Item = (Point, T)>,
+    ) -> Result<Self, GeoError> {
+        let mut t = QuadTree::new(bounds);
+        for (pos, item) in items {
+            t.insert(pos, item)?;
+        }
+        Ok(t)
+    }
+
+    /// The covered area.
+    pub fn bounds(&self) -> BBox {
+        self.bounds
+    }
+
+    /// Adds one entry; errors if `pos` is outside the tree bounds.
+    pub fn insert(&mut self, pos: Point, item: T) -> Result<(), GeoError> {
+        if !self.bounds.contains(pos) {
+            return Err(GeoError::OutOfBounds {
+                point: (pos.x, pos.y),
+            });
+        }
+        let entry = Entry::new(pos, item, self.next_seq);
+        self.next_seq += 1;
+        self.len += 1;
+        let mut node = 0usize;
+        loop {
+            match &mut self.nodes[node] {
+                QNode::Internal { bbox, children } => {
+                    node = children[quadrant(bbox, pos)];
+                }
+                QNode::Leaf { bbox, entries } => {
+                    entries.push(entry);
+                    let should_split = entries.len() > self.capacity && splittable(bbox);
+                    if should_split {
+                        self.split(node);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn split(&mut self, node: usize) {
+        let (bbox, entries) = match &mut self.nodes[node] {
+            QNode::Leaf { bbox, entries } => (*bbox, std::mem::take(entries)),
+            QNode::Internal { .. } => unreachable!("split is only called on leaves"),
+        };
+        let c = bbox.center();
+        let quads = [
+            BBox::new(bbox.min(), c).expect("valid sub-box"),
+            BBox::new(Point::new(c.x, bbox.min().y), Point::new(bbox.max().x, c.y))
+                .expect("valid sub-box"),
+            BBox::new(Point::new(bbox.min().x, c.y), Point::new(c.x, bbox.max().y))
+                .expect("valid sub-box"),
+            BBox::new(c, bbox.max()).expect("valid sub-box"),
+        ];
+        let base = self.nodes.len();
+        for q in quads {
+            self.nodes.push(QNode::Leaf {
+                bbox: q,
+                entries: Vec::new(),
+            });
+        }
+        for e in entries {
+            let qi = quadrant(&bbox, e.pos());
+            match &mut self.nodes[base + qi] {
+                QNode::Leaf { entries, .. } => entries.push(e),
+                QNode::Internal { .. } => unreachable!("fresh children are leaves"),
+            }
+        }
+        self.nodes[node] = QNode::Internal {
+            bbox,
+            children: [base, base + 1, base + 2, base + 3],
+        };
+        // Note: children over capacity (duplicate points piling up in one
+        // quadrant) recursively split on the *next* insertion touching them;
+        // splittable() bounds the recursion for degenerate boxes.
+    }
+
+    /// Number of nodes (leaves + internals) — exposed for tests/benches.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over all entries in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                QNode::Leaf { entries, .. } => Some(entries.iter()),
+                QNode::Internal { .. } => None,
+            })
+            .flatten()
+    }
+}
+
+/// Which quadrant of `bbox` contains `pos`: 0=sw, 1=se, 2=nw, 3=ne.
+/// Points on the split lines go east/north (half-open semantics).
+fn quadrant(bbox: &BBox, pos: Point) -> usize {
+    let c = bbox.center();
+    let east = pos.x >= c.x;
+    let north = pos.y >= c.y;
+    (north as usize) * 2 + east as usize
+}
+
+/// A box is splittable while its children would still be distinguishable at
+/// f64 precision; stops pathological recursion on duplicate points.
+fn splittable(bbox: &BBox) -> bool {
+    let c = bbox.center();
+    (c.x > bbox.min().x || c.y > bbox.min().y)
+        && (bbox.width() > f64::EPSILON * c.x.abs().max(1.0)
+            || bbox.height() > f64::EPSILON * c.y.abs().max(1.0))
+}
+
+impl<T> PointIndex<T> for QuadTree<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn k_nearest(&self, query: Point, k: usize) -> Vec<&Entry<T>> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Best-first search over nodes ordered by bbox distance.
+        let mut best: Vec<(f64, &Entry<T>)> = Vec::new();
+        let mut stack: Vec<(f64, usize)> = vec![(self.bounds.distance_sq_to(query), 0)];
+        while let Some((dist, node)) = pop_nearest(&mut stack) {
+            let kth = if best.len() >= k {
+                best[best.len() - 1].0
+            } else {
+                f64::INFINITY
+            };
+            if dist > kth {
+                break;
+            }
+            match &self.nodes[node] {
+                QNode::Leaf { entries, .. } => {
+                    for e in entries {
+                        crate::kdtree::push_candidate(
+                            &mut best,
+                            k,
+                            (e.pos().distance_sq(&query), e),
+                        );
+                    }
+                }
+                QNode::Internal { children, .. } => {
+                    for &c in children {
+                        stack.push((self.nodes[c].bbox().distance_sq_to(query), c));
+                    }
+                }
+            }
+        }
+        best.into_iter().map(|(_, e)| e).collect()
+    }
+
+    fn in_bbox(&self, bbox: &BBox) -> Vec<&Entry<T>> {
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(node) = stack.pop() {
+            match &self.nodes[node] {
+                QNode::Leaf { bbox: nb, entries } => {
+                    if nb.intersects(bbox) {
+                        out.extend(entries.iter().filter(|e| bbox.contains(e.pos())));
+                    }
+                }
+                QNode::Internal { bbox: nb, children } => {
+                    if nb.intersects(bbox) {
+                        stack.extend_from_slice(children);
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq());
+        out
+    }
+}
+
+/// Pops the stack element with the smallest distance (linear scan; frontier
+/// stays small because children are pushed only when reachable).
+fn pop_nearest(stack: &mut Vec<(f64, usize)>) -> Option<(f64, usize)> {
+    if stack.is_empty() {
+        return None;
+    }
+    let mut min_i = 0;
+    for i in 1..stack.len() {
+        if stack[i].0 < stack[min_i].0 {
+            min_i = i;
+        }
+    }
+    Some(stack.swap_remove(min_i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap()
+    }
+
+    #[test]
+    fn insert_rejects_out_of_bounds() {
+        let mut t = QuadTree::new(bounds());
+        assert!(t.insert(Point::new(101.0, 0.0), 0).is_err());
+        assert!(t.insert(Point::new(100.0, 100.0), 1).is_ok());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn split_happens_beyond_capacity() {
+        let mut t = QuadTree::with_capacity(bounds(), 2);
+        assert_eq!(t.node_count(), 1);
+        t.insert(Point::new(10.0, 10.0), 0).unwrap();
+        t.insert(Point::new(90.0, 10.0), 1).unwrap();
+        assert_eq!(t.node_count(), 1);
+        t.insert(Point::new(10.0, 90.0), 2).unwrap();
+        assert_eq!(t.node_count(), 5); // root split into 4 leaves
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_recurse_forever() {
+        let mut t = QuadTree::with_capacity(bounds(), 2);
+        let p = Point::new(50.0, 50.0);
+        for i in 0..64 {
+            t.insert(p, i).unwrap();
+        }
+        assert_eq!(t.len(), 64);
+        let hits = t.k_nearest(p, 64);
+        assert_eq!(hits.len(), 64);
+        // seq order on ties
+        assert!(hits.windows(2).all(|w| w[0].seq() < w[1].seq()));
+    }
+
+    #[test]
+    fn nearest_matches_expectation() {
+        let t = QuadTree::bulk_build(
+            bounds(),
+            vec![
+                (Point::new(10.0, 10.0), "a"),
+                (Point::new(90.0, 90.0), "b"),
+                (Point::new(50.0, 40.0), "c"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(*t.nearest(Point::new(55.0, 45.0)).unwrap().item(), "c");
+        assert_eq!(*t.nearest(Point::new(0.0, 0.0)).unwrap().item(), "a");
+    }
+
+    #[test]
+    fn k_nearest_after_many_inserts() {
+        let mut t = QuadTree::with_capacity(bounds(), 4);
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 10.0 + 5.0;
+            let y = (i / 10) as f64 * 10.0 + 5.0;
+            t.insert(Point::new(x, y), i).unwrap();
+        }
+        let hits = t.k_nearest(Point::new(55.0, 55.0), 5);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(*hits[0].item(), 55);
+        // The next four are the 4-neighborhood at distance 10.
+        let mut items: Vec<usize> = hits[1..].iter().map(|e| *e.item()).collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![45, 54, 56, 65]);
+    }
+
+    #[test]
+    fn in_bbox_exact() {
+        let mut t = QuadTree::with_capacity(bounds(), 4);
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 10.0 + 5.0;
+            let y = (i / 10) as f64 * 10.0 + 5.0;
+            t.insert(Point::new(x, y), i).unwrap();
+        }
+        let q = BBox::new(Point::new(0.0, 0.0), Point::new(25.0, 25.0)).unwrap();
+        let items: Vec<usize> = t.in_bbox(&q).iter().map(|e| *e.item()).collect();
+        assert_eq!(items, vec![0, 1, 2, 10, 11, 12, 20, 21, 22]);
+    }
+
+    #[test]
+    fn boundary_point_on_split_line_is_findable() {
+        let mut t = QuadTree::with_capacity(bounds(), 1);
+        t.insert(Point::new(50.0, 50.0), "center").unwrap(); // exactly on split lines
+        t.insert(Point::new(10.0, 10.0), "sw").unwrap();
+        t.insert(Point::new(90.0, 90.0), "ne").unwrap();
+        assert_eq!(*t.nearest(Point::new(50.0, 50.0)).unwrap().item(), "center");
+        let all = t.in_bbox(&bounds());
+        assert_eq!(all.len(), 3);
+    }
+}

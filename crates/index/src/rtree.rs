@@ -1,0 +1,510 @@
+//! An R-tree over rectangles.
+//!
+//! The point indexes serve POIs and reported positions; the *cloaking*
+//! baseline produces **regions**, and a provider storing cloaked requests
+//! needs rectangle queries ("which stored cloaks intersect this area?",
+//! "which cloak is nearest to this point?"). This R-tree stores
+//! [`BBox`]-keyed entries with quadratic-split insertion — the classic
+//! Guttman formulation — and supports intersection and nearest-rectangle
+//! queries.
+
+use dummyloc_geo::{BBox, Point};
+
+/// Maximum entries per node before it splits.
+const MAX_ENTRIES: usize = 8;
+/// Minimum entries after a split (Guttman recommends ~40 % of max).
+const MIN_ENTRIES: usize = 3;
+
+/// One stored rectangle with its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RectEntry<T> {
+    /// The indexed rectangle.
+    pub bbox: BBox,
+    /// The payload.
+    pub item: T,
+    /// Insertion sequence number (deterministic tie-breaks).
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone)]
+enum RNode<T> {
+    Leaf {
+        bbox: BBox,
+        entries: Vec<RectEntry<T>>,
+    },
+    Internal {
+        bbox: BBox,
+        children: Vec<RNode<T>>,
+    },
+}
+
+impl<T> RNode<T> {
+    fn bbox(&self) -> BBox {
+        match self {
+            RNode::Leaf { bbox, .. } | RNode::Internal { bbox, .. } => *bbox,
+        }
+    }
+
+    fn recompute_bbox(&mut self) {
+        match self {
+            RNode::Leaf { bbox, entries } => {
+                *bbox = union_of(entries.iter().map(|e| e.bbox));
+            }
+            RNode::Internal { bbox, children } => {
+                *bbox = union_of(children.iter().map(|c| c.bbox()));
+            }
+        }
+    }
+}
+
+fn union_of<I: IntoIterator<Item = BBox>>(boxes: I) -> BBox {
+    let mut it = boxes.into_iter();
+    let first = it.next().expect("nodes are never empty");
+    it.fold(first, |acc, b| acc.union(&b))
+}
+
+/// How much `node` would have to grow to cover `bbox`.
+fn enlargement(node: &BBox, bbox: &BBox) -> f64 {
+    node.union(bbox).area() - node.area()
+}
+
+/// An R-tree mapping rectangles to payloads.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Option<RNode<T>>,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        RTree::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree {
+            root: None,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of stored rectangles.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts one rectangle.
+    pub fn insert(&mut self, bbox: BBox, item: T) {
+        let entry = RectEntry {
+            bbox,
+            item,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(RNode::Leaf {
+                    bbox,
+                    entries: vec![entry],
+                });
+            }
+            Some(mut root) => {
+                if let Some(sibling) = insert_recursive(&mut root, entry) {
+                    // Root split: grow the tree by one level.
+                    let bbox = root.bbox().union(&sibling.bbox());
+                    self.root = Some(RNode::Internal {
+                        bbox,
+                        children: vec![root, sibling],
+                    });
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Builds a tree from `(bbox, item)` pairs.
+    pub fn bulk_build(items: impl IntoIterator<Item = (BBox, T)>) -> Self {
+        let mut tree = RTree::new();
+        for (bbox, item) in items {
+            tree.insert(bbox, item);
+        }
+        tree
+    }
+
+    /// All entries whose rectangle intersects `query` (boundary touching
+    /// counts), in insertion order.
+    pub fn intersecting(&self, query: &BBox) -> Vec<&RectEntry<T>> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            collect_intersecting(root, query, &mut out);
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// All entries whose rectangle contains `p`, in insertion order.
+    pub fn containing(&self, p: Point) -> Vec<&RectEntry<T>> {
+        let pt = BBox::new(p, p).expect("a point is a valid degenerate box");
+        self.intersecting(&pt)
+            .into_iter()
+            .filter(|e| e.bbox.contains(p))
+            .collect()
+    }
+
+    /// The entry whose rectangle is nearest to `p` (distance 0 when `p`
+    /// is inside one); ties broken by insertion order.
+    pub fn nearest(&self, p: Point) -> Option<&RectEntry<T>> {
+        let root = self.root.as_ref()?;
+        let mut best: Option<(f64, &RectEntry<T>)> = None;
+        nearest_recursive(root, p, &mut best);
+        best.map(|(_, e)| e)
+    }
+
+    /// Iterates over all entries in no particular order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &RectEntry<T>> + '_> {
+        match &self.root {
+            None => Box::new(std::iter::empty()),
+            Some(root) => iter_node(root),
+        }
+    }
+
+    /// Height of the tree (0 when empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn go<T>(node: &RNode<T>) -> usize {
+            match node {
+                RNode::Leaf { .. } => 1,
+                RNode::Internal { children, .. } => 1 + go(&children[0]),
+            }
+        }
+        self.root.as_ref().map_or(0, go)
+    }
+}
+
+fn iter_node<'a, T>(node: &'a RNode<T>) -> Box<dyn Iterator<Item = &'a RectEntry<T>> + 'a> {
+    match node {
+        RNode::Leaf { entries, .. } => Box::new(entries.iter()),
+        RNode::Internal { children, .. } => Box::new(children.iter().flat_map(|c| iter_node(c))),
+    }
+}
+
+fn collect_intersecting<'a, T>(node: &'a RNode<T>, query: &BBox, out: &mut Vec<&'a RectEntry<T>>) {
+    if !node.bbox().intersects(query) {
+        return;
+    }
+    match node {
+        RNode::Leaf { entries, .. } => {
+            out.extend(entries.iter().filter(|e| e.bbox.intersects(query)));
+        }
+        RNode::Internal { children, .. } => {
+            for c in children {
+                collect_intersecting(c, query, out);
+            }
+        }
+    }
+}
+
+fn nearest_recursive<'a, T>(
+    node: &'a RNode<T>,
+    p: Point,
+    best: &mut Option<(f64, &'a RectEntry<T>)>,
+) {
+    if let Some((d, _)) = best {
+        if node.bbox().distance_sq_to(p) > *d {
+            return;
+        }
+    }
+    match node {
+        RNode::Leaf { entries, .. } => {
+            for e in entries {
+                let d = e.bbox.distance_sq_to(p);
+                let better = match best {
+                    None => true,
+                    Some((bd, be)) => d < *bd || (d == *bd && e.seq < be.seq),
+                };
+                if better {
+                    *best = Some((d, e));
+                }
+            }
+        }
+        RNode::Internal { children, .. } => {
+            // Visit children nearest-first for better pruning.
+            let mut order: Vec<&RNode<T>> = children.iter().collect();
+            order.sort_by(|a, b| {
+                a.bbox()
+                    .distance_sq_to(p)
+                    .partial_cmp(&b.bbox().distance_sq_to(p))
+                    .expect("finite boxes")
+            });
+            for c in order {
+                nearest_recursive(c, p, best);
+            }
+        }
+    }
+}
+
+/// Inserts into the subtree; returns a new sibling if the node split.
+fn insert_recursive<T>(node: &mut RNode<T>, entry: RectEntry<T>) -> Option<RNode<T>> {
+    match node {
+        RNode::Leaf { bbox, entries } => {
+            *bbox = if entries.is_empty() {
+                entry.bbox
+            } else {
+                bbox.union(&entry.bbox)
+            };
+            entries.push(entry);
+            if entries.len() > MAX_ENTRIES {
+                let (left, right) = quadratic_split(std::mem::take(entries));
+                let right_bbox = union_of(right.iter().map(|e| e.bbox));
+                *entries = left;
+                node.recompute_bbox();
+                Some(RNode::Leaf {
+                    bbox: right_bbox,
+                    entries: right,
+                })
+            } else {
+                None
+            }
+        }
+        RNode::Internal { bbox, children } => {
+            *bbox = bbox.union(&entry.bbox);
+            // Choose the child needing least enlargement (ties: smaller
+            // area, then first).
+            let chosen = (0..children.len())
+                .min_by(|&a, &b| {
+                    let ea = enlargement(&children[a].bbox(), &entry.bbox);
+                    let eb = enlargement(&children[b].bbox(), &entry.bbox);
+                    ea.partial_cmp(&eb).expect("finite boxes").then(
+                        children[a]
+                            .bbox()
+                            .area()
+                            .partial_cmp(&children[b].bbox().area())
+                            .expect("finite boxes"),
+                    )
+                })
+                .expect("internal nodes are never empty");
+            if let Some(sibling) = insert_recursive(&mut children[chosen], entry) {
+                children.push(sibling);
+                if children.len() > MAX_ENTRIES {
+                    let (left, right) = quadratic_split_nodes(std::mem::take(children));
+                    let right_bbox = union_of(right.iter().map(|n| n.bbox()));
+                    *children = left;
+                    node.recompute_bbox();
+                    return Some(RNode::Internal {
+                        bbox: right_bbox,
+                        children: right,
+                    });
+                }
+            }
+            node.recompute_bbox();
+            None
+        }
+    }
+}
+
+/// Guttman's quadratic split for leaf entries.
+fn quadratic_split<T>(entries: Vec<RectEntry<T>>) -> (Vec<RectEntry<T>>, Vec<RectEntry<T>>) {
+    split_generic(entries, |e| e.bbox)
+}
+
+/// Guttman's quadratic split for child nodes.
+fn quadratic_split_nodes<T>(nodes: Vec<RNode<T>>) -> (Vec<RNode<T>>, Vec<RNode<T>>) {
+    split_generic(nodes, |n| n.bbox())
+}
+
+fn split_generic<E>(mut items: Vec<E>, bbox_of: impl Fn(&E) -> BBox) -> (Vec<E>, Vec<E>) {
+    debug_assert!(items.len() >= 2);
+    // Pick the two seeds wasting the most area if grouped together.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            let a = bbox_of(&items[i]);
+            let b = bbox_of(&items[j]);
+            let waste = a.union(&b).area() - a.area() - b.area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    // Remove the higher index first so the lower stays valid.
+    let (hi, lo) = if seed_a > seed_b {
+        (seed_a, seed_b)
+    } else {
+        (seed_b, seed_a)
+    };
+    let item_hi = items.swap_remove(hi);
+    let item_lo = items.swap_remove(lo);
+    let mut left = vec![item_lo];
+    let mut right = vec![item_hi];
+    let mut left_bbox = bbox_of(&left[0]);
+    let mut right_bbox = bbox_of(&right[0]);
+
+    while let Some(item) = items.pop() {
+        // Honor the minimum fill: if one side must take everything left.
+        let remaining = items.len() + 1;
+        if left.len() + remaining <= MIN_ENTRIES {
+            left_bbox = left_bbox.union(&bbox_of(&item));
+            left.push(item);
+            continue;
+        }
+        if right.len() + remaining <= MIN_ENTRIES {
+            right_bbox = right_bbox.union(&bbox_of(&item));
+            right.push(item);
+            continue;
+        }
+        let b = bbox_of(&item);
+        let grow_l = enlargement(&left_bbox, &b);
+        let grow_r = enlargement(&right_bbox, &b);
+        if grow_l < grow_r || (grow_l == grow_r && left.len() <= right.len()) {
+            left_bbox = left_bbox.union(&b);
+            left.push(item);
+        } else {
+            right_bbox = right_bbox.union(&b);
+            right.push(item);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x0: f64, y0: f64, x1: f64, y1: f64) -> BBox {
+        BBox::new(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    /// A grid of 10×10 unit boxes spaced 10 apart.
+    fn grid_tree() -> RTree<usize> {
+        let mut t = RTree::new();
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 10.0;
+            let y = (i / 10) as f64 * 10.0;
+            t.insert(bb(x, y, x + 8.0, y + 8.0), i);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: RTree<()> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        assert!(t.intersecting(&bb(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.containing(Point::ORIGIN).is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let t = grid_tree();
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.iter().count(), 100);
+        assert!(t.height() >= 2, "100 entries at fanout 8 must split");
+    }
+
+    #[test]
+    fn intersecting_matches_brute_force() {
+        let t = grid_tree();
+        let queries = [
+            bb(0.0, 0.0, 9.0, 9.0),
+            bb(5.0, 5.0, 25.0, 25.0),
+            bb(95.0, 95.0, 200.0, 200.0),
+            bb(-10.0, -10.0, -1.0, -1.0),
+            bb(0.0, 0.0, 100.0, 100.0),
+        ];
+        let brute: Vec<RectEntry<usize>> = t.iter().cloned().collect();
+        for q in queries {
+            let got: Vec<usize> = t.intersecting(&q).iter().map(|e| e.item).collect();
+            let mut want: Vec<usize> = brute
+                .iter()
+                .filter(|e| e.bbox.intersects(&q))
+                .map(|e| e.item)
+                .collect();
+            want.sort_unstable();
+            let mut got_sorted = got.clone();
+            got_sorted.sort_unstable();
+            assert_eq!(got_sorted, want, "query {q:?}");
+            // Insertion order within results.
+            assert!(got.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn containing_point() {
+        let t = grid_tree();
+        // (4, 4) lies inside box 0 only.
+        let hits = t.containing(Point::new(4.0, 4.0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].item, 0);
+        // (9, 9) lies in the gap between boxes.
+        assert!(t.containing(Point::new(9.0, 9.0)).is_empty());
+    }
+
+    #[test]
+    fn nearest_rectangle() {
+        let t = grid_tree();
+        // Inside box 55 → distance 0.
+        let n = t.nearest(Point::new(53.0, 53.0)).unwrap();
+        assert_eq!(n.item, 55);
+        // In the gap at (9, 4): box 0 ends at x=8 (distance 1).
+        let n = t.nearest(Point::new(9.0, 4.0)).unwrap();
+        assert_eq!(n.item, 0);
+        // Far outside: the nearest corner box.
+        let n = t.nearest(Point::new(1000.0, 1000.0)).unwrap();
+        assert_eq!(n.item, 99);
+    }
+
+    #[test]
+    fn nearest_tie_breaks_by_insertion() {
+        let mut t = RTree::new();
+        t.insert(bb(0.0, 0.0, 1.0, 1.0), "first");
+        t.insert(bb(3.0, 0.0, 4.0, 1.0), "second");
+        // (2, 0.5) is exactly 1 away from both.
+        assert_eq!(t.nearest(Point::new(2.0, 0.5)).unwrap().item, "first");
+    }
+
+    #[test]
+    fn overlapping_rectangles_all_found() {
+        let mut t = RTree::new();
+        for i in 0..30 {
+            t.insert(bb(0.0, 0.0, 10.0 + i as f64, 10.0), i);
+        }
+        let hits = t.containing(Point::new(5.0, 5.0));
+        assert_eq!(hits.len(), 30);
+    }
+
+    #[test]
+    fn cloak_storage_use_case() {
+        // Store adaptive cloaks; ask which stored cloaks overlap a survey
+        // area — the provider-side analytics the baseline enables.
+        use dummyloc_geo::Grid;
+        let area = bb(0.0, 0.0, 1000.0, 1000.0);
+        let grid = Grid::square(area, 8).unwrap();
+        let mut t = RTree::new();
+        for (i, cell) in grid.cells().enumerate() {
+            if i % 3 == 0 {
+                t.insert(grid.cell_bbox(cell).unwrap(), i);
+            }
+        }
+        let survey = bb(0.0, 0.0, 250.0, 250.0);
+        let overlapping = t.intersecting(&survey);
+        assert!(!overlapping.is_empty());
+        for e in overlapping {
+            assert!(e.bbox.intersects(&survey));
+        }
+    }
+}

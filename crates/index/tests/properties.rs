@@ -1,0 +1,207 @@
+//! Property-based cross-checks: every index must agree exactly with the
+//! brute-force reference on k-NN and range queries.
+
+use dummyloc_geo::{BBox, Grid, Point};
+use dummyloc_index::{BruteForce, GridIndex, KdTree, PointIndex, QuadTree, RTree};
+use proptest::prelude::*;
+
+const SIDE: f64 = 1000.0;
+
+fn bounds() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(SIDE, SIDE)).unwrap()
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..=SIDE, 0.0..=SIDE), 0..120)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+fn arb_query() -> impl Strategy<Value = Point> {
+    (-100.0..=SIDE + 100.0, -100.0..=SIDE + 100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_query_bbox() -> impl Strategy<Value = BBox> {
+    (0.0..=SIDE, 0.0..=SIDE, 0.0..=SIDE, 0.0..=SIDE).prop_map(|(x0, y0, x1, y1)| {
+        BBox::from_corners(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    })
+}
+
+/// Same items (payload = index) for every implementation.
+fn items(points: &[Point]) -> Vec<(Point, usize)> {
+    points.iter().copied().zip(0..).collect()
+}
+
+fn assert_same_knn<A: PointIndex<usize>, B: PointIndex<usize>>(
+    a: &A,
+    b: &B,
+    query: Point,
+    k: usize,
+) -> Result<(), TestCaseError> {
+    let ha: Vec<usize> = a.k_nearest(query, k).iter().map(|e| *e.item()).collect();
+    let hb: Vec<usize> = b.k_nearest(query, k).iter().map(|e| *e.item()).collect();
+    prop_assert_eq!(ha, hb);
+    Ok(())
+}
+
+fn assert_same_range<A: PointIndex<usize>, B: PointIndex<usize>>(
+    a: &A,
+    b: &B,
+    query: &BBox,
+) -> Result<(), TestCaseError> {
+    let ha: Vec<usize> = a.in_bbox(query).iter().map(|e| *e.item()).collect();
+    let hb: Vec<usize> = b.in_bbox(query).iter().map(|e| *e.item()).collect();
+    prop_assert_eq!(ha, hb);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn kdtree_matches_brute_force(
+        points in arb_points(),
+        query in arb_query(),
+        k in 0usize..20,
+    ) {
+        let reference = BruteForce::bulk_build(items(&points));
+        let tree = KdTree::bulk_build(items(&points));
+        prop_assert_eq!(tree.len(), reference.len());
+        assert_same_knn(&tree, &reference, query, k)?;
+    }
+
+    #[test]
+    fn quadtree_matches_brute_force(
+        points in arb_points(),
+        query in arb_query(),
+        k in 0usize..20,
+        cap in 1usize..16,
+    ) {
+        let reference = BruteForce::bulk_build(items(&points));
+        let mut tree = QuadTree::with_capacity(bounds(), cap);
+        for (p, i) in items(&points) {
+            tree.insert(p, i).unwrap();
+        }
+        assert_same_knn(&tree, &reference, query, k)?;
+    }
+
+    #[test]
+    fn grid_index_matches_brute_force(
+        points in arb_points(),
+        query in arb_query(),
+        k in 0usize..20,
+        n in 1u32..24,
+    ) {
+        let reference = BruteForce::bulk_build(items(&points));
+        let grid = Grid::square(bounds(), n).unwrap();
+        let ix = GridIndex::bulk_build(grid, items(&points)).unwrap();
+        assert_same_knn(&ix, &reference, query, k)?;
+    }
+
+    #[test]
+    fn range_queries_match_brute_force(
+        points in arb_points(),
+        qb in arb_query_bbox(),
+        n in 1u32..24,
+        cap in 1usize..16,
+    ) {
+        let reference = BruteForce::bulk_build(items(&points));
+        let kd = KdTree::bulk_build(items(&points));
+        let grid = Grid::square(bounds(), n).unwrap();
+        let gi = GridIndex::bulk_build(grid, items(&points)).unwrap();
+        let mut qt = QuadTree::with_capacity(bounds(), cap);
+        for (p, i) in items(&points) {
+            qt.insert(p, i).unwrap();
+        }
+        assert_same_range(&kd, &reference, &qb)?;
+        assert_same_range(&gi, &reference, &qb)?;
+        assert_same_range(&qt, &reference, &qb)?;
+    }
+
+    #[test]
+    fn grid_counters_are_consistent(points in arb_points(), n in 1u32..24) {
+        let grid = Grid::square(bounds(), n).unwrap();
+        let ix = GridIndex::bulk_build(grid.clone(), items(&points)).unwrap();
+        let counts = ix.cell_counts();
+        prop_assert_eq!(counts.iter().sum::<usize>(), points.len());
+        prop_assert_eq!(
+            counts.iter().filter(|&&c| c > 0).count(),
+            ix.occupied_cells()
+        );
+        // count_at must agree with the per-cell counter for every point.
+        for p in &points {
+            let cell = grid.cell_of(*p).unwrap();
+            prop_assert_eq!(ix.count_at(*p).unwrap(), ix.count_in_cell(cell));
+            prop_assert!(ix.count_at(*p).unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn knn_distances_are_sorted(points in arb_points(), query in arb_query(), k in 1usize..30) {
+        let tree = KdTree::bulk_build(items(&points));
+        let hits = tree.k_nearest(query, k);
+        let dists: Vec<f64> = hits.iter().map(|e| e.distance_to(query)).collect();
+        for w in dists.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(hits.len(), k.min(points.len()));
+    }
+
+    #[test]
+    fn rtree_intersecting_matches_brute_force(
+        boxes in prop::collection::vec(
+            (0.0..=SIDE, 0.0..=SIDE, 0.0..=100.0f64, 0.0..=100.0f64),
+            0..80,
+        ),
+        qb in arb_query_bbox(),
+    ) {
+        let rects: Vec<BBox> = boxes
+            .iter()
+            .map(|&(x, y, w, h)| {
+                BBox::new(Point::new(x, y), Point::new(x + w, y + h)).unwrap()
+            })
+            .collect();
+        let tree = RTree::bulk_build(rects.iter().copied().zip(0usize..));
+        prop_assert_eq!(tree.len(), rects.len());
+        let got: Vec<usize> = tree.intersecting(&qb).iter().map(|e| e.item).collect();
+        let want: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&qb))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want); // both in insertion order
+    }
+
+    #[test]
+    fn rtree_nearest_matches_brute_force(
+        boxes in prop::collection::vec(
+            (0.0..=SIDE, 0.0..=SIDE, 0.0..=100.0f64, 0.0..=100.0f64),
+            1..80,
+        ),
+        qx in -100.0..=SIDE + 100.0,
+        qy in -100.0..=SIDE + 100.0,
+    ) {
+        let q = Point::new(qx, qy);
+        let rects: Vec<BBox> = boxes
+            .iter()
+            .map(|&(x, y, w, h)| {
+                BBox::new(Point::new(x, y), Point::new(x + w, y + h)).unwrap()
+            })
+            .collect();
+        let tree = RTree::bulk_build(rects.iter().copied().zip(0usize..));
+        let got = tree.nearest(q).unwrap();
+        let want = rects
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.distance_sq_to(q)
+                    .partial_cmp(&b.1.distance_sq_to(q))
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            })
+            .unwrap();
+        prop_assert_eq!(got.item, want.0);
+        // Containment query agrees with geometry.
+        for e in tree.containing(q) {
+            prop_assert!(e.bbox.contains(q));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Provider-side storage for the *cloaking* baseline.
+//!
+//! Under accuracy reduction the provider receives regions, not points
+//! (Figure 4(a)). This log is the rectangle counterpart of
+//! [`ObserverLog`](crate::provider::ObserverLog): it stores every cloak,
+//! indexed in an [`RTree`] so the mining queries the paper warns about —
+//! *"which pseudonyms were ever near the clinic?"* — run in logarithmic
+//! time. Its existence is the point: cloaks are cheap to store and cheap
+//! to mine, which is why the paper replaces them with dummies.
+
+use std::collections::HashMap;
+
+use dummyloc_geo::{BBox, Point};
+use dummyloc_index::RTree;
+
+/// One stored cloaked observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloakRecord {
+    /// The reporting pseudonym.
+    pub pseudonym: String,
+    /// Receipt time.
+    pub t: f64,
+    /// The reported region.
+    pub region: BBox,
+}
+
+/// An R-tree-indexed archive of cloaked requests.
+#[derive(Debug, Clone, Default)]
+pub struct CloakLog {
+    tree: RTree<CloakRecord>,
+    per_pseudonym: HashMap<String, usize>,
+}
+
+impl CloakLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        CloakLog::default()
+    }
+
+    /// Stores one cloaked observation.
+    pub fn record(&mut self, pseudonym: impl Into<String>, t: f64, region: BBox) {
+        let pseudonym = pseudonym.into();
+        *self.per_pseudonym.entry(pseudonym.clone()).or_insert(0) += 1;
+        self.tree.insert(
+            region,
+            CloakRecord {
+                pseudonym,
+                t,
+                region,
+            },
+        );
+    }
+
+    /// Total stored observations.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Observations per pseudonym.
+    pub fn count_of(&self, pseudonym: &str) -> usize {
+        self.per_pseudonym.get(pseudonym).copied().unwrap_or(0)
+    }
+
+    /// The mining query of the paper's §2.1 threat: every record whose
+    /// cloak covers `place` (e.g. the clinic), in arrival order.
+    pub fn records_covering(&self, place: Point) -> Vec<&CloakRecord> {
+        self.tree
+            .containing(place)
+            .into_iter()
+            .map(|e| &e.item)
+            .collect()
+    }
+
+    /// Distinct pseudonyms whose cloaks ever covered `place`, in first-
+    /// appearance order — the provider's "who visits the clinic" list.
+    pub fn pseudonyms_near(&self, place: Point) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for rec in self.records_covering(place) {
+            if !seen.contains(&rec.pseudonym.as_str()) {
+                seen.push(rec.pseudonym.as_str());
+            }
+        }
+        seen
+    }
+
+    /// All records whose cloak intersects `area`, in arrival order
+    /// (coarse survey queries).
+    pub fn records_intersecting(&self, area: &BBox) -> Vec<&CloakRecord> {
+        self.tree
+            .intersecting(area)
+            .into_iter()
+            .map(|e| &e.item)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_core::cloaking::GridCloak;
+    use dummyloc_geo::Grid;
+
+    fn area() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap()
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut log = CloakLog::new();
+        assert!(log.is_empty());
+        log.record(
+            "a",
+            0.0,
+            BBox::centered(Point::new(100.0, 100.0), 50.0).unwrap(),
+        );
+        log.record(
+            "a",
+            10.0,
+            BBox::centered(Point::new(110.0, 100.0), 50.0).unwrap(),
+        );
+        log.record(
+            "b",
+            0.0,
+            BBox::centered(Point::new(900.0, 900.0), 50.0).unwrap(),
+        );
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count_of("a"), 2);
+        assert_eq!(log.count_of("b"), 1);
+        assert_eq!(log.count_of("nobody"), 0);
+    }
+
+    #[test]
+    fn clinic_query_finds_the_weekly_patient() {
+        // The paper's §2.1 scenario on the provider's stored cloaks.
+        let grid = Grid::square(area(), 10).unwrap();
+        let cloak = GridCloak::new(grid);
+        let clinic = Point::new(420.0, 380.0);
+        let mut log = CloakLog::new();
+        // The patient visits weekly; others wander elsewhere.
+        for week in 0..4 {
+            let req = cloak.cloak("patient", clinic).unwrap();
+            log.record(req.pseudonym, week as f64 * 604_800.0, req.region);
+            let req = cloak
+                .cloak("other", Point::new(50.0 + week as f64, 900.0))
+                .unwrap();
+            log.record(req.pseudonym, week as f64 * 604_800.0, req.region);
+        }
+        let visitors = log.pseudonyms_near(clinic);
+        assert_eq!(visitors, vec!["patient"]);
+        let visits = log.records_covering(clinic);
+        assert_eq!(visits.len(), 4);
+        // Arrival order is preserved.
+        assert!(visits.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn survey_queries_intersecting() {
+        let mut log = CloakLog::new();
+        for i in 0..20 {
+            let c = Point::new(25.0 + i as f64 * 50.0, 500.0);
+            log.record(format!("u{i}"), i as f64, BBox::centered(c, 25.0).unwrap());
+        }
+        let west = BBox::new(Point::new(0.0, 0.0), Point::new(200.0, 1000.0)).unwrap();
+        let hits = log.records_intersecting(&west);
+        // Cloaks centred at 25, 75, 125, 175 lie inside; the one at 225
+        // spans [200, 250] and touches the survey's x = 200 edge, which
+        // counts as intersecting (closed boxes).
+        assert_eq!(hits.len(), 5);
+        for h in &hits {
+            assert!(h.region.intersects(&west));
+        }
+    }
+
+    #[test]
+    fn point_not_covered_by_anyone() {
+        let mut log = CloakLog::new();
+        log.record(
+            "a",
+            0.0,
+            BBox::centered(Point::new(100.0, 100.0), 10.0).unwrap(),
+        );
+        assert!(log.records_covering(Point::new(500.0, 500.0)).is_empty());
+        assert!(log.pseudonyms_near(Point::new(500.0, 500.0)).is_empty());
+    }
+}

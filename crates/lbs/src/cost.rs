@@ -1,0 +1,161 @@
+//! Communication and processing cost accounting.
+//!
+//! The dummy scheme is not free: a request with `k` dummies costs `k+1`
+//! positions of uplink, `k+1` answers of downlink and `k+1` index queries
+//! of provider work. Experiment A3 reports these curves; this module does
+//! the bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::query::{Answer, ServiceResponse};
+
+/// Byte-cost constants for the wire format. These model a compact binary
+/// encoding (not the JSON used for report files).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed per-message overhead (headers, pseudonym, query descriptor).
+    pub message_overhead: u64,
+    /// Bytes per reported position (two f64 coordinates).
+    pub position_bytes: u64,
+    /// Bytes per POI record in an answer.
+    pub poi_bytes: u64,
+    /// Bytes for an empty/None answer slot.
+    pub empty_answer_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            message_overhead: 24,
+            position_bytes: 16,
+            poi_bytes: 40,
+            empty_answer_bytes: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Uplink bytes of a request carrying `positions` positions.
+    pub fn request_bytes(&self, positions: usize) -> u64 {
+        self.message_overhead + self.position_bytes * positions as u64
+    }
+
+    /// Downlink bytes of a response.
+    pub fn response_bytes(&self, response: &ServiceResponse) -> u64 {
+        self.message_overhead
+            + response
+                .answers
+                .iter()
+                .map(|a| self.answer_bytes(a))
+                .sum::<u64>()
+    }
+
+    fn answer_bytes(&self, answer: &Answer) -> u64 {
+        match answer {
+            Answer::NearestPoi(Some(_)) => self.poi_bytes,
+            Answer::NearestPoi(None) => self.empty_answer_bytes,
+            Answer::PoisInRange(v) => self.empty_answer_bytes + self.poi_bytes * v.len() as u64,
+            Answer::NextBus(Some(_)) => self.poi_bytes + 8,
+            Answer::NextBus(None) => self.empty_answer_bytes,
+        }
+    }
+}
+
+/// Running totals kept by the provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostAccounting {
+    /// Messages handled.
+    pub requests: u64,
+    /// Positions processed (each costs one index query).
+    pub positions: u64,
+    /// Total uplink bytes.
+    pub uplink_bytes: u64,
+    /// Total downlink bytes.
+    pub downlink_bytes: u64,
+}
+
+impl CostAccounting {
+    /// Records one handled request/response pair.
+    pub fn record(&mut self, model: &CostModel, positions: usize, response: &ServiceResponse) {
+        self.requests += 1;
+        self.positions += positions as u64;
+        self.uplink_bytes += model.request_bytes(positions);
+        self.downlink_bytes += model.response_bytes(response);
+    }
+
+    /// Mean positions per request (the provider's work amplification
+    /// factor; `k+1` when everyone uses `k` dummies).
+    pub fn positions_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.positions as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean total bytes (up + down) per request.
+    pub fn bytes_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.uplink_bytes + self.downlink_bytes) as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::PoiInfo;
+    use dummyloc_geo::Point;
+
+    fn poi_info() -> PoiInfo {
+        PoiInfo {
+            id: 0,
+            name: "x".into(),
+            category: crate::poi::Category::Shop,
+            pos: Point::ORIGIN,
+            distance: 1.0,
+        }
+    }
+
+    #[test]
+    fn request_bytes_scale_with_positions() {
+        let m = CostModel::default();
+        assert_eq!(m.request_bytes(1), 24 + 16);
+        assert_eq!(m.request_bytes(4), 24 + 64);
+    }
+
+    #[test]
+    fn response_bytes_by_variant() {
+        let m = CostModel::default();
+        let r = ServiceResponse {
+            answers: vec![
+                Answer::NearestPoi(Some(poi_info())),
+                Answer::NearestPoi(None),
+                Answer::PoisInRange(vec![poi_info(), poi_info()]),
+                Answer::NextBus(None),
+            ],
+        };
+        assert_eq!(m.response_bytes(&r), 24 + 40 + 2 + (2 + 80) + 2);
+    }
+
+    #[test]
+    fn accounting_accumulates_and_averages() {
+        let m = CostModel::default();
+        let mut acc = CostAccounting::default();
+        assert_eq!(acc.positions_per_request(), 0.0);
+        assert_eq!(acc.bytes_per_request(), 0.0);
+        let resp = ServiceResponse {
+            answers: vec![Answer::NearestPoi(None), Answer::NearestPoi(None)],
+        };
+        acc.record(&m, 2, &resp);
+        acc.record(&m, 4, &ServiceResponse { answers: vec![] });
+        assert_eq!(acc.requests, 2);
+        assert_eq!(acc.positions, 6);
+        assert_eq!(acc.positions_per_request(), 3.0);
+        assert_eq!(acc.uplink_bytes, (24 + 32) + (24 + 64));
+        assert_eq!(acc.downlink_bytes, (24 + 4) + 24);
+        assert!(acc.bytes_per_request() > 0.0);
+    }
+}

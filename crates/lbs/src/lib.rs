@@ -1,0 +1,65 @@
+//! Location-based service provider simulation.
+//!
+//! The paper's protocol (Figure 5) has the provider answer *every*
+//! position in a request — it cannot tell which is true, so it must do
+//! `k+1` times the work and return `k+1` answers, of which the client
+//! keeps one. This crate implements that provider side:
+//!
+//! * [`poi`] — a POI database (restaurants, bus stops, landmarks, …) over
+//!   a bulk-built k-d tree, with a seeded synthetic generator,
+//! * [`query`] — the service vocabulary: nearest-POI, range, and the
+//!   paper's §2.1 motivating bus-timetable service,
+//! * [`provider`] — the [`Provider`] that answers requests position by
+//!   position and keeps an [`ObserverLog`] (this *is* the honest-but-
+//!   curious adversary's input: everything the provider stores),
+//! * [`cost`] — bandwidth/processing accounting, quantifying what the
+//!   dummy scheme costs (experiment A3),
+//! * [`cloak_log`] — the rectangle-indexed archive a provider keeps under
+//!   the *cloaking* baseline, with the mining queries that motivate
+//!   replacing cloaks with dummies.
+//!
+//! # Example
+//!
+//! ```
+//! use dummyloc_geo::{BBox, Point};
+//! use dummyloc_lbs::poi::{Category, PoiDatabase};
+//! use dummyloc_lbs::provider::Provider;
+//! use dummyloc_lbs::query::QueryKind;
+//! use dummyloc_core::client::Request;
+//!
+//! let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+//! let db = PoiDatabase::generate(area, 50, 7);
+//! let mut provider = Provider::new(db);
+//!
+//! // A request carrying one true position and two dummies.
+//! let request = Request {
+//!     pseudonym: "p1".into(),
+//!     positions: vec![
+//!         Point::new(100.0, 100.0),
+//!         Point::new(500.0, 900.0),
+//!         Point::new(850.0, 200.0),
+//!     ],
+//! };
+//! let response = provider.handle(
+//!     0.0,
+//!     &request,
+//!     &QueryKind::NearestPoi { category: Some(Category::Restaurant) },
+//! );
+//! // One answer per reported position — the client keeps only its own.
+//! assert_eq!(response.answers.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cloak_log;
+pub mod cost;
+pub mod poi;
+pub mod provider;
+pub mod query;
+
+pub use cloak_log::CloakLog;
+pub use cost::{CostAccounting, CostModel};
+pub use poi::{Category, Poi, PoiDatabase};
+pub use provider::{ObserverLog, Provider};
+pub use query::{Answer, PoiInfo, QueryKind, ServiceResponse};

@@ -1,0 +1,313 @@
+//! The provider's point-of-interest database.
+
+use dummyloc_geo::rng::{rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Point};
+use dummyloc_index::{KdTree, PointIndex};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// POI categories used by the example services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Restaurants — the paper's Figure 1 service.
+    Restaurant,
+    /// Bus stops — the paper's §2.1 timetable service. Bus-stop POIs carry
+    /// a [`BusSchedule`].
+    BusStop,
+    /// Tourist landmarks (temples, parks — what rickshaws tour between).
+    Landmark,
+    /// Hospitals/clinics — the paper's §2.1 privacy-invasion example.
+    Clinic,
+    /// Generic shops.
+    Shop,
+}
+
+impl Category {
+    /// All categories, for iteration.
+    pub const ALL: [Category; 5] = [
+        Category::Restaurant,
+        Category::BusStop,
+        Category::Landmark,
+        Category::Clinic,
+        Category::Shop,
+    ];
+
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Restaurant => "restaurant",
+            Category::BusStop => "bus-stop",
+            Category::Landmark => "landmark",
+            Category::Clinic => "clinic",
+            Category::Shop => "shop",
+        }
+    }
+}
+
+/// A periodic bus timetable: arrivals at `offset + n·headway` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusSchedule {
+    /// Seconds between consecutive buses (positive).
+    pub headway: f64,
+    /// Phase of the first bus of the day in seconds.
+    pub offset: f64,
+}
+
+impl BusSchedule {
+    /// The first arrival at or after time `t`.
+    pub fn next_arrival(&self, t: f64) -> f64 {
+        debug_assert!(self.headway > 0.0);
+        if t <= self.offset {
+            return self.offset;
+        }
+        let n = ((t - self.offset) / self.headway).ceil();
+        self.offset + n * self.headway
+    }
+}
+
+/// One point of interest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Stable identifier.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Location.
+    pub pos: Point,
+    /// Timetable, present on bus stops.
+    pub schedule: Option<BusSchedule>,
+}
+
+/// The provider's POI database: a global k-d tree plus one per category so
+/// category-filtered nearest-neighbor queries stay logarithmic.
+#[derive(Debug, Clone)]
+pub struct PoiDatabase {
+    area: BBox,
+    all: KdTree<Poi>,
+    by_category: Vec<(Category, KdTree<Poi>)>,
+}
+
+impl PoiDatabase {
+    /// Builds the database from a POI list.
+    pub fn new(area: BBox, pois: Vec<Poi>) -> Self {
+        let mut by_category = Vec::with_capacity(Category::ALL.len());
+        for cat in Category::ALL {
+            let subset: Vec<(Point, Poi)> = pois
+                .iter()
+                .filter(|p| p.category == cat)
+                .map(|p| (p.pos, p.clone()))
+                .collect();
+            by_category.push((cat, KdTree::bulk_build(subset)));
+        }
+        let all = KdTree::bulk_build(pois.into_iter().map(|p| (p.pos, p)));
+        PoiDatabase {
+            area,
+            all,
+            by_category,
+        }
+    }
+
+    /// Generates a synthetic database of `count` POIs uniformly placed in
+    /// `area`, cycling through all categories; deterministic per seed.
+    /// Bus stops get a schedule with a 300–1200 s headway.
+    pub fn generate(area: BBox, count: usize, seed: u64) -> Self {
+        let mut rng = rng_from_seed(seed);
+        let pois = (0..count)
+            .map(|i| {
+                let category = Category::ALL[i % Category::ALL.len()];
+                let schedule = (category == Category::BusStop).then(|| BusSchedule {
+                    headway: rng.gen_range(300.0..1200.0),
+                    offset: rng.gen_range(0.0..300.0),
+                });
+                Poi {
+                    id: i as u64,
+                    name: format!("{}-{i}", category.label()),
+                    category,
+                    pos: sample_uniform(&mut rng, &area),
+                    schedule,
+                }
+            })
+            .collect();
+        PoiDatabase::new(area, pois)
+    }
+
+    /// The service area.
+    pub fn area(&self) -> BBox {
+        self.area
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Nearest POI to `q`, optionally restricted to a category.
+    pub fn nearest(&self, q: Point, category: Option<Category>) -> Option<&Poi> {
+        let tree = match category {
+            None => &self.all,
+            Some(cat) => {
+                &self
+                    .by_category
+                    .iter()
+                    .find(|(c, _)| *c == cat)
+                    .expect("all categories are indexed")
+                    .1
+            }
+        };
+        tree.nearest(q).map(|e| e.item())
+    }
+
+    /// The `k` POIs nearest to `q` (unfiltered), ascending by distance.
+    pub fn k_nearest(&self, q: Point, k: usize) -> Vec<&Poi> {
+        self.all
+            .k_nearest(q, k)
+            .into_iter()
+            .map(|e| e.item())
+            .collect()
+    }
+
+    /// All POIs within `radius` of `q`, ascending by distance.
+    pub fn within_radius(&self, q: Point, radius: f64) -> Vec<&Poi> {
+        let bbox = match BBox::centered(q, radius) {
+            Ok(b) => b,
+            Err(_) => return Vec::new(), // negative/non-finite radius
+        };
+        let mut hits: Vec<&Poi> = self
+            .all
+            .in_bbox(&bbox)
+            .into_iter()
+            .map(|e| e.item())
+            .filter(|p| p.pos.distance(&q) <= radius)
+            .collect();
+        hits.sort_by(|a, b| {
+            a.pos
+                .distance_sq(&q)
+                .partial_cmp(&b.pos.distance_sq(&q))
+                .expect("positions are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap()
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_categorized() {
+        let a = PoiDatabase::generate(area(), 50, 1);
+        let b = PoiDatabase::generate(area(), 50, 1);
+        assert_eq!(a.len(), 50);
+        assert_eq!(
+            a.k_nearest(Point::new(500.0, 500.0), 5)
+                .iter()
+                .map(|p| p.id)
+                .collect::<Vec<_>>(),
+            b.k_nearest(Point::new(500.0, 500.0), 5)
+                .iter()
+                .map(|p| p.id)
+                .collect::<Vec<_>>()
+        );
+        // 50 POIs over 5 categories → 10 each.
+        for cat in Category::ALL {
+            let nearest = a.nearest(Point::new(500.0, 500.0), Some(cat)).unwrap();
+            assert_eq!(nearest.category, cat);
+        }
+    }
+
+    #[test]
+    fn bus_stops_have_schedules_others_do_not() {
+        let db = PoiDatabase::generate(area(), 50, 2);
+        let stop = db
+            .nearest(Point::new(1.0, 1.0), Some(Category::BusStop))
+            .unwrap();
+        assert!(stop.schedule.is_some());
+        let rest = db
+            .nearest(Point::new(1.0, 1.0), Some(Category::Restaurant))
+            .unwrap();
+        assert!(rest.schedule.is_none());
+    }
+
+    #[test]
+    fn nearest_filtered_vs_unfiltered() {
+        let pois = vec![
+            Poi {
+                id: 0,
+                name: "r".into(),
+                category: Category::Restaurant,
+                pos: Point::new(10.0, 10.0),
+                schedule: None,
+            },
+            Poi {
+                id: 1,
+                name: "b".into(),
+                category: Category::BusStop,
+                pos: Point::new(900.0, 900.0),
+                schedule: Some(BusSchedule {
+                    headway: 600.0,
+                    offset: 0.0,
+                }),
+            },
+        ];
+        let db = PoiDatabase::new(area(), pois);
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(db.nearest(q, None).unwrap().id, 0);
+        assert_eq!(db.nearest(q, Some(Category::BusStop)).unwrap().id, 1);
+        assert!(db.nearest(q, Some(Category::Clinic)).is_none());
+    }
+
+    #[test]
+    fn within_radius_is_exact_and_sorted() {
+        let db = PoiDatabase::generate(area(), 200, 3);
+        let q = Point::new(500.0, 500.0);
+        let hits = db.within_radius(q, 150.0);
+        for p in &hits {
+            assert!(p.pos.distance(&q) <= 150.0);
+        }
+        for w in hits.windows(2) {
+            assert!(w[0].pos.distance(&q) <= w[1].pos.distance(&q));
+        }
+        // Exactness: brute-force count matches.
+        let brute = db
+            .k_nearest(q, 200)
+            .iter()
+            .filter(|p| p.pos.distance(&q) <= 150.0)
+            .count();
+        assert_eq!(hits.len(), brute);
+        assert!(db.within_radius(q, -1.0).is_empty());
+    }
+
+    #[test]
+    fn bus_schedule_next_arrival() {
+        let s = BusSchedule {
+            headway: 600.0,
+            offset: 100.0,
+        };
+        assert_eq!(s.next_arrival(0.0), 100.0);
+        assert_eq!(s.next_arrival(100.0), 100.0);
+        assert_eq!(s.next_arrival(100.1), 700.0);
+        assert_eq!(s.next_arrival(700.0), 700.0);
+        assert_eq!(s.next_arrival(1900.5), 2500.0);
+    }
+
+    #[test]
+    fn empty_database_behaviour() {
+        let db = PoiDatabase::new(area(), vec![]);
+        assert!(db.is_empty());
+        assert!(db.nearest(Point::ORIGIN, None).is_none());
+        assert!(db.k_nearest(Point::ORIGIN, 3).is_empty());
+        assert!(db.within_radius(Point::ORIGIN, 100.0).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! The service provider: answers every position, remembers everything.
+
+use std::collections::HashMap;
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::Point;
+
+use crate::cost::{CostAccounting, CostModel};
+use crate::poi::{Category, PoiDatabase};
+use crate::query::{Answer, BusAnswer, PoiInfo, QueryKind, ServiceResponse};
+
+/// Everything an honest-but-curious provider retains about its users:
+/// per-pseudonym, the full time-ordered sequence of received requests.
+///
+/// This is precisely the input the paper's threat model gives the
+/// observer (*"users cannot prevent service providers from analyzing
+/// motion patterns using the stored true position data"*); the adversary
+/// models in `dummyloc-core` consume these streams.
+#[derive(Debug, Clone, Default)]
+pub struct ObserverLog {
+    order: Vec<String>,
+    streams: HashMap<String, Vec<(f64, Request)>>,
+}
+
+impl ObserverLog {
+    /// Records one received request at time `t`.
+    pub fn record(&mut self, t: f64, request: &Request) {
+        let stream = self
+            .streams
+            .entry(request.pseudonym.clone())
+            .or_insert_with(|| {
+                self.order.push(request.pseudonym.clone());
+                Vec::new()
+            });
+        stream.push((t, request.clone()));
+    }
+
+    /// Pseudonyms in order of first appearance.
+    pub fn pseudonyms(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The time-ordered request stream of one pseudonym.
+    pub fn stream(&self, pseudonym: &str) -> Option<&[(f64, Request)]> {
+        self.streams.get(pseudonym).map(Vec::as_slice)
+    }
+
+    /// The request sequence of one pseudonym without timestamps — the
+    /// shape the [`Adversary`](dummyloc_core::adversary::Adversary) trait
+    /// consumes.
+    pub fn requests_of(&self, pseudonym: &str) -> Vec<Request> {
+        self.streams
+            .get(pseudonym)
+            .map(|s| s.iter().map(|(_, r)| r.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total recorded requests.
+    pub fn len(&self) -> usize {
+        self.streams.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+/// The LBS provider of Figure 5: answers each position in a request
+/// independently, bills the cost, and logs the request.
+#[derive(Debug, Clone)]
+pub struct Provider {
+    pois: PoiDatabase,
+    cost_model: CostModel,
+    cost: CostAccounting,
+    log: ObserverLog,
+}
+
+impl Provider {
+    /// Creates a provider over a POI database with the default cost model.
+    pub fn new(pois: PoiDatabase) -> Self {
+        Provider {
+            pois,
+            cost_model: CostModel::default(),
+            cost: CostAccounting::default(),
+            log: ObserverLog::default(),
+        }
+    }
+
+    /// Creates a provider with an explicit cost model.
+    pub fn with_cost_model(pois: PoiDatabase, cost_model: CostModel) -> Self {
+        Provider {
+            pois,
+            cost_model,
+            cost: CostAccounting::default(),
+            log: ObserverLog::default(),
+        }
+    }
+
+    /// The POI database being served.
+    pub fn pois(&self) -> &PoiDatabase {
+        &self.pois
+    }
+
+    /// Accumulated cost counters.
+    pub fn cost(&self) -> &CostAccounting {
+        &self.cost
+    }
+
+    /// Everything the provider has stored about its users.
+    pub fn observer_log(&self) -> &ObserverLog {
+        &self.log
+    }
+
+    /// Handles one request at time `t`: answers every position (the
+    /// provider cannot know which is true), logs the request, and bills
+    /// the cost.
+    pub fn handle(&mut self, t: f64, request: &Request, query: &QueryKind) -> ServiceResponse {
+        let answers = request
+            .positions
+            .iter()
+            .map(|&p| self.answer_one(t, p, query))
+            .collect();
+        let response = ServiceResponse { answers };
+        self.cost
+            .record(&self.cost_model, request.positions.len(), &response);
+        self.log.record(t, request);
+        response
+    }
+
+    fn answer_one(&self, t: f64, pos: Point, query: &QueryKind) -> Answer {
+        match *query {
+            QueryKind::NearestPoi { category } => Answer::NearestPoi(
+                self.pois
+                    .nearest(pos, category)
+                    .map(|p| PoiInfo::for_poi(p, pos)),
+            ),
+            QueryKind::PoisInRange { radius } => Answer::PoisInRange(
+                self.pois
+                    .within_radius(pos, radius)
+                    .into_iter()
+                    .map(|p| PoiInfo::for_poi(p, pos))
+                    .collect(),
+            ),
+            QueryKind::NextBus => {
+                Answer::NextBus(self.pois.nearest(pos, Some(Category::BusStop)).map(|stop| {
+                    BusAnswer {
+                        stop: PoiInfo::for_poi(stop, pos),
+                        arrival: stop
+                            .schedule
+                            .expect("bus stops carry schedules")
+                            .next_arrival(t),
+                    }
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::BBox;
+
+    fn provider() -> Provider {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+        Provider::new(PoiDatabase::generate(area, 100, 5))
+    }
+
+    fn request(pseudonym: &str, positions: Vec<Point>) -> Request {
+        Request {
+            pseudonym: pseudonym.into(),
+            positions,
+        }
+    }
+
+    #[test]
+    fn one_answer_per_position_in_order() {
+        let mut p = provider();
+        let req = request(
+            "p1",
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(900.0, 900.0),
+                Point::new(500.0, 10.0),
+            ],
+        );
+        let resp = p.handle(0.0, &req, &QueryKind::NearestPoi { category: None });
+        assert_eq!(resp.answers.len(), 3);
+        // Each answer is the nearest POI to its own position.
+        for (i, a) in resp.answers.iter().enumerate() {
+            let Answer::NearestPoi(Some(info)) = a else {
+                panic!("expected a POI")
+            };
+            let expect = p.pois().nearest(req.positions[i], None).unwrap();
+            assert_eq!(info.id, expect.id);
+        }
+    }
+
+    #[test]
+    fn next_bus_answers_use_query_time() {
+        let mut p = provider();
+        let req = request("p1", vec![Point::new(500.0, 500.0)]);
+        let r1 = p.handle(0.0, &req, &QueryKind::NextBus);
+        let r2 = p.handle(100_000.0, &req, &QueryKind::NextBus);
+        let Answer::NextBus(Some(a1)) = &r1.answers[0] else {
+            panic!()
+        };
+        let Answer::NextBus(Some(a2)) = &r2.answers[0] else {
+            panic!()
+        };
+        assert_eq!(a1.stop.id, a2.stop.id);
+        assert!(a2.arrival >= 100_000.0);
+        assert!(a1.arrival < 100_000.0);
+    }
+
+    #[test]
+    fn range_answers_respect_radius() {
+        let mut p = provider();
+        let req = request("p1", vec![Point::new(500.0, 500.0)]);
+        let resp = p.handle(0.0, &req, &QueryKind::PoisInRange { radius: 120.0 });
+        let Answer::PoisInRange(hits) = &resp.answers[0] else {
+            panic!()
+        };
+        for h in hits {
+            assert!(h.distance <= 120.0);
+        }
+    }
+
+    #[test]
+    fn cost_grows_with_dummy_count() {
+        let mut p = provider();
+        let q = QueryKind::NearestPoi { category: None };
+        p.handle(0.0, &request("a", vec![Point::new(1.0, 1.0)]), &q);
+        let up1 = p.cost().uplink_bytes;
+        let mut p2 = provider();
+        p2.handle(0.0, &request("a", vec![Point::new(1.0, 1.0); 5]), &q);
+        assert!(p2.cost().uplink_bytes > up1);
+        assert!(p2.cost().downlink_bytes > p.cost().downlink_bytes);
+        assert_eq!(p2.cost().positions_per_request(), 5.0);
+    }
+
+    #[test]
+    fn observer_log_keeps_streams_in_order() {
+        let mut p = provider();
+        let q = QueryKind::NextBus;
+        p.handle(0.0, &request("a", vec![Point::new(1.0, 1.0)]), &q);
+        p.handle(1.0, &request("b", vec![Point::new(2.0, 2.0)]), &q);
+        p.handle(2.0, &request("a", vec![Point::new(3.0, 3.0)]), &q);
+        let log = p.observer_log();
+        assert_eq!(log.pseudonyms(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(log.len(), 3);
+        let a = log.stream("a").unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].0, 0.0);
+        assert_eq!(a[1].0, 2.0);
+        assert_eq!(log.requests_of("a").len(), 2);
+        assert!(log.requests_of("zz").is_empty());
+        assert!(log.stream("zz").is_none());
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn empty_database_yields_none_answers() {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let mut p = Provider::new(PoiDatabase::new(area, vec![]));
+        let resp = p.handle(
+            0.0,
+            &request("a", vec![Point::new(1.0, 1.0)]),
+            &QueryKind::NearestPoi { category: None },
+        );
+        assert_eq!(resp.answers, vec![Answer::NearestPoi(None)]);
+        let resp = p.handle(
+            0.0,
+            &request("a", vec![Point::new(1.0, 1.0)]),
+            &QueryKind::NextBus,
+        );
+        assert_eq!(resp.answers, vec![Answer::NextBus(None)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! The service vocabulary: what a client can ask and what it gets back.
+
+use dummyloc_geo::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::poi::{Category, Poi};
+
+/// What the client asks for. One query applies to *every* position in the
+/// request — the provider cannot know which position the user cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// "Where is the nearest …?" — the paper's Figure-1 restaurant
+    /// service when filtered to restaurants.
+    NearestPoi {
+        /// Restrict to one category, or `None` for any POI.
+        category: Option<Category>,
+    },
+    /// "What is around me?" — all POIs within `radius`.
+    PoisInRange {
+        /// Search radius in metres (non-negative).
+        radius: f64,
+    },
+    /// "When does the next bus arrive at the nearest stop in my current
+    /// vicinity?" — the paper's §2.1 motivating service.
+    NextBus,
+}
+
+/// A POI as reported to clients, with the distance from the queried
+/// position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoiInfo {
+    /// POI id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Location.
+    pub pos: Point,
+    /// Distance from the queried position in metres.
+    pub distance: f64,
+}
+
+impl PoiInfo {
+    /// Builds the client-facing record for `poi` as seen from `from`.
+    pub fn for_poi(poi: &Poi, from: Point) -> Self {
+        PoiInfo {
+            id: poi.id,
+            name: poi.name.clone(),
+            category: poi.category,
+            pos: poi.pos,
+            distance: poi.pos.distance(&from),
+        }
+    }
+}
+
+/// The answer for one reported position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Answer {
+    /// Nearest POI (if the database has any matching one).
+    NearestPoi(Option<PoiInfo>),
+    /// POIs within the requested radius, ascending by distance.
+    PoisInRange(Vec<PoiInfo>),
+    /// Nearest bus stop and its next arrival time, if any stop exists.
+    NextBus(Option<BusAnswer>),
+}
+
+/// The §2.1 timetable answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusAnswer {
+    /// The nearest stop.
+    pub stop: PoiInfo,
+    /// Seconds-of-day of the next arrival at that stop.
+    pub arrival: f64,
+}
+
+/// The provider's reply: exactly one [`Answer`] per position in the
+/// request, in request order (so the client can pick the answer at its
+/// private `truth_index` and discard the rest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceResponse {
+    /// Per-position answers.
+    pub answers: Vec<Answer>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poi_info_records_distance() {
+        let poi = Poi {
+            id: 3,
+            name: "x".into(),
+            category: Category::Shop,
+            pos: Point::new(3.0, 4.0),
+            schedule: None,
+        };
+        let info = PoiInfo::for_poi(&poi, Point::ORIGIN);
+        assert_eq!(info.distance, 5.0);
+        assert_eq!(info.id, 3);
+        assert_eq!(info.category, Category::Shop);
+    }
+
+    #[test]
+    fn query_kinds_serialize_round_trip() {
+        for q in [
+            QueryKind::NearestPoi {
+                category: Some(Category::Clinic),
+            },
+            QueryKind::NearestPoi { category: None },
+            QueryKind::PoisInRange { radius: 120.0 },
+            QueryKind::NextBus,
+        ] {
+            let s = serde_json::to_string(&q).unwrap();
+            let back: QueryKind = serde_json::from_str(&s).unwrap();
+            assert_eq!(q, back);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic mobility models for the `dummyloc` workspace.
+//!
+//! The paper evaluates on *"39 rickshaw trajectories from Nara, Japan"* — a
+//! proprietary GPS trace set we cannot obtain. This crate synthesizes
+//! workloads with the same relevant behaviour (see `DESIGN.md` §3 for the
+//! substitution argument):
+//!
+//! * [`RandomWaypoint`] — the classic mobility-simulation baseline: pick a
+//!   uniform waypoint, travel to it at a sampled speed, pause, repeat.
+//! * [`StreetGrid`] + [`StreetWalker`] — movement constrained to a
+//!   Manhattan street network, which is what distinguishes vehicles from
+//!   pedestrian noise in trace data.
+//! * [`RickshawModel`] — the Nara substitute: street-constrained tours
+//!   between points of interest with customer pickup/dropoff dwell times;
+//!   [`RickshawModel::generate_fleet`] emits the 39-track workload used by
+//!   every experiment.
+//!
+//! [`map_match`] snaps free-space trajectories onto a street network —
+//! useful both for normalizing external GPS traces and as the cheap
+//! "is this track street-bound?" classifier the extension adversaries
+//! build on.
+//!
+//! All models are deterministic given a seed and emit
+//! [`dummyloc_trajectory::Trajectory`] values sampled at a
+//! fixed tick, ready for the simulation engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod map_match;
+mod random_waypoint;
+mod rickshaw;
+mod street;
+
+pub use random_waypoint::{RandomWaypoint, RandomWaypointConfig};
+pub use rickshaw::{RickshawConfig, RickshawModel};
+pub use street::{StreetGrid, StreetWalker};
+
+use dummyloc_trajectory::Trajectory;
+use rand::Rng;
+
+/// A mobility model that can emit one trajectory per subject.
+pub trait MobilityModel {
+    /// Generates the trajectory of subject `id`, sampling randomness from
+    /// `rng`, starting at time `start` and spanning `duration` seconds.
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: &str,
+        start: f64,
+        duration: f64,
+    ) -> Trajectory;
+}

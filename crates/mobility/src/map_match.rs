@@ -1,0 +1,169 @@
+//! Map matching: snapping free-space trajectories onto a street network.
+//!
+//! Externally supplied GPS traces (and the random-waypoint crowd) move
+//! through buildings; to compare them against street-bound rickshaws —
+//! or to build street-consistent dummies from them — each sample is
+//! projected onto the nearest street of a [`StreetGrid`].
+
+use dummyloc_geo::Point;
+use dummyloc_trajectory::{Trajectory, TrajectoryBuilder};
+
+use crate::street::StreetGrid;
+
+/// Projects one point onto the nearest street of the network (clamping
+/// into the covered area first).
+///
+/// Streets run at multiples of the grid spacing along both axes; the
+/// nearest network point is on the nearest vertical or horizontal street
+/// line, whichever is closer.
+pub fn snap_point(streets: &StreetGrid, p: Point) -> Point {
+    let area = streets.area();
+    let q = area.clamp(p);
+    let sp = streets.spacing();
+    let rel_x = q.x - area.min().x;
+    let rel_y = q.y - area.min().y;
+    // Nearest street lines on each axis, clamped to existing streets.
+    let max_i = (streets.nx() - 1) as f64;
+    let max_j = (streets.ny() - 1) as f64;
+    let line_x = area.min().x + (rel_x / sp).round().min(max_i).max(0.0) * sp;
+    let line_y = area.min().y + (rel_y / sp).round().min(max_j).max(0.0) * sp;
+    let dx = (q.x - line_x).abs();
+    let dy = (q.y - line_y).abs();
+    if dx <= dy {
+        // Snap to the vertical street, keep the y coordinate (clamped to
+        // the street's extent, which spans the whole area).
+        Point::new(line_x, q.y)
+    } else {
+        Point::new(q.x, line_y)
+    }
+}
+
+/// Map-matches a whole trajectory: every sample is snapped with
+/// [`snap_point`]; timestamps are untouched.
+pub fn match_trajectory(streets: &StreetGrid, track: &Trajectory) -> Trajectory {
+    let mut b = TrajectoryBuilder::with_capacity(track.id(), track.len());
+    for p in track.points() {
+        b.push(p.t, snap_point(streets, p.pos));
+    }
+    b.build().expect("snapping preserves the time axis")
+}
+
+/// Mean snap displacement of a track (how far samples are from the
+/// network) — a cheap "is this thing street-bound?" classifier: near
+/// zero for vehicles on the network, ~spacing/4 for free movers.
+pub fn mean_snap_distance(streets: &StreetGrid, track: &Trajectory) -> f64 {
+    // Trajectories are non-empty by construction.
+    let total: f64 = track
+        .points()
+        .iter()
+        .map(|p| p.pos.distance(&snap_point(streets, p.pos)))
+        .sum();
+    total / track.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::BBox;
+
+    fn streets() -> StreetGrid {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+        StreetGrid::new(area, 100.0)
+    }
+
+    fn on_network(streets: &StreetGrid, p: Point) -> bool {
+        let sp = streets.spacing();
+        let on_x = (p.x / sp - (p.x / sp).round()).abs() < 1e-9;
+        let on_y = (p.y / sp - (p.y / sp).round()).abs() < 1e-9;
+        on_x || on_y
+    }
+
+    #[test]
+    fn snap_picks_the_nearest_axis() {
+        let g = streets();
+        // 10 m from the x=100 street, 30 m from y=200: snap west.
+        assert_eq!(
+            snap_point(&g, Point::new(110.0, 230.0)),
+            Point::new(100.0, 230.0)
+        );
+        // 30 m from x=100, 10 m from y=200: snap south.
+        assert_eq!(
+            snap_point(&g, Point::new(130.0, 210.0)),
+            Point::new(130.0, 200.0)
+        );
+        // Already on a street: fixed point.
+        assert_eq!(
+            snap_point(&g, Point::new(100.0, 237.0)),
+            Point::new(100.0, 237.0)
+        );
+        // Intersections are fixed points too.
+        assert_eq!(
+            snap_point(&g, Point::new(300.0, 400.0)),
+            Point::new(300.0, 400.0)
+        );
+    }
+
+    #[test]
+    fn snap_is_idempotent_and_bounded() {
+        let g = streets();
+        let mut worst: f64 = 0.0;
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(i as f64 * 25.3 + 1.7, j as f64 * 24.1 + 3.9);
+                let s = snap_point(&g, p);
+                assert!(on_network(&g, s), "{s:?} off network");
+                assert_eq!(snap_point(&g, s), s);
+                worst = worst.max(g.area().clamp(p).distance(&s));
+            }
+        }
+        // Never farther than half a block.
+        assert!(worst <= 50.0 + 1e-9, "worst snap {worst}");
+    }
+
+    #[test]
+    fn snap_clamps_outside_points() {
+        let g = streets();
+        let s = snap_point(&g, Point::new(-50.0, 1500.0));
+        assert!(g.area().contains(s));
+        assert!(on_network(&g, s));
+    }
+
+    #[test]
+    fn match_trajectory_preserves_time_and_snaps_all() {
+        let g = streets();
+        let track = dummyloc_trajectory::TrajectoryBuilder::new("free")
+            .point(0.0, Point::new(111.0, 222.0))
+            .point(10.0, Point::new(333.0, 444.0))
+            .point(20.0, Point::new(555.0, 666.0))
+            .build()
+            .unwrap();
+        let matched = match_trajectory(&g, &track);
+        assert_eq!(matched.len(), 3);
+        for (a, b) in track.points().iter().zip(matched.points()) {
+            assert_eq!(a.t, b.t);
+            assert!(on_network(&g, b.pos));
+        }
+    }
+
+    #[test]
+    fn snap_distance_separates_street_bound_from_free() {
+        use crate::{MobilityModel, RickshawConfig, RickshawModel};
+        use dummyloc_geo::rng::rng_from_seed;
+        let model = RickshawModel::new(RickshawConfig::nara(), 1);
+        let g = StreetGrid::new(RickshawConfig::nara().area, 100.0);
+        let mut rng = rng_from_seed(2);
+        let rickshaw = model.generate(&mut rng, "r", 0.0, 600.0);
+        // Rickshaws ride the same 100 m network → snap distance ~0.
+        assert!(mean_snap_distance(&g, &rickshaw) < 1e-6);
+        // A diagonal free mover sits well off the network on average.
+        let mut b = dummyloc_trajectory::TrajectoryBuilder::new("d");
+        for i in 0..100 {
+            b.push(
+                i as f64,
+                Point::new(7.0 + i as f64 * 9.7, 13.0 + i as f64 * 9.7),
+            );
+        }
+        let diagonal = b.build().unwrap();
+        assert!(mean_snap_distance(&g, &diagonal) > 10.0);
+    }
+}

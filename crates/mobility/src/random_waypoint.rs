@@ -1,0 +1,226 @@
+use dummyloc_geo::{rng::sample_uniform, BBox};
+use dummyloc_trajectory::{Trajectory, TrajectoryBuilder};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::MobilityModel;
+
+/// Configuration of the [`RandomWaypoint`] model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypointConfig {
+    /// Area the subject roams in.
+    pub area: BBox,
+    /// `(min, max)` travel speed in units/second, sampled per leg.
+    pub speed_range: (f64, f64),
+    /// `(min, max)` pause at each waypoint in seconds, sampled per
+    /// waypoint. Use `(0.0, 0.0)` for no pauses.
+    pub pause_range: (f64, f64),
+    /// Sampling interval of the emitted trajectory in seconds.
+    pub tick: f64,
+}
+
+impl RandomWaypointConfig {
+    /// Sensible pedestrian defaults in a given area: 0.5–2 m/s, 0–60 s
+    /// pauses, 1 s tick.
+    pub fn pedestrian(area: BBox) -> Self {
+        RandomWaypointConfig {
+            area,
+            speed_range: (0.5, 2.0),
+            pause_range: (0.0, 60.0),
+            tick: 1.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.tick > 0.0, "tick must be positive");
+        assert!(
+            self.speed_range.0 > 0.0 && self.speed_range.1 >= self.speed_range.0,
+            "speed range must be positive and ordered"
+        );
+        assert!(
+            self.pause_range.0 >= 0.0 && self.pause_range.1 >= self.pause_range.0,
+            "pause range must be non-negative and ordered"
+        );
+        assert!(
+            self.area.width() > 0.0 && self.area.height() > 0.0,
+            "area must have positive extent"
+        );
+    }
+}
+
+/// The classic random-waypoint mobility model.
+///
+/// The subject starts at a uniform position, repeatedly picks a uniform
+/// waypoint and a per-leg speed, travels there in a straight line, pauses,
+/// and repeats. Used as the non-vehicular baseline workload and to model
+/// "other users" populating the service area.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    config: RandomWaypointConfig,
+}
+
+impl RandomWaypoint {
+    /// Creates the model; panics on a non-sensical configuration (these are
+    /// programmer errors in experiment setup, not runtime conditions).
+    pub fn new(config: RandomWaypointConfig) -> Self {
+        config.validate();
+        RandomWaypoint { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RandomWaypointConfig {
+        &self.config
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: &str,
+        start: f64,
+        duration: f64,
+    ) -> Trajectory {
+        let c = &self.config;
+        let end = start + duration.max(0.0);
+        // Build the exact waypoint-level track first, then resample at the
+        // tick; Trajectory::resample interpolates linearly, which is exact
+        // for straight legs.
+        let mut b = TrajectoryBuilder::new(id);
+        let mut t = start;
+        let mut pos = sample_uniform(rng, &c.area);
+        b.push(t, pos);
+        while t < end {
+            // Pause at the current waypoint.
+            let pause = sample_in(rng, c.pause_range);
+            if pause > 0.0 {
+                t = (t + pause).min(end);
+                b.push(t, pos);
+                if t >= end {
+                    break;
+                }
+            }
+            // Travel to the next waypoint.
+            let next = sample_uniform(rng, &c.area);
+            let dist = pos.distance(&next);
+            if dist == 0.0 {
+                continue;
+            }
+            let speed = sample_in(rng, c.speed_range);
+            let legtime = dist / speed;
+            if t + legtime <= end {
+                t += legtime;
+                pos = next;
+            } else {
+                // Truncate the final leg at the horizon.
+                let frac = (end - t) / legtime;
+                pos = pos.lerp(&next, frac);
+                t = end;
+            }
+            b.push(t, pos);
+        }
+        let track = b.build().expect("builder fed strictly increasing times");
+        track.resample(c.tick).expect("tick validated positive")
+    }
+}
+
+fn sample_in<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (f64, f64)) -> f64 {
+    if lo < hi {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::{rng::rng_from_seed, Point};
+    use dummyloc_trajectory::stats::track_stats;
+
+    fn area() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap()
+    }
+
+    fn model() -> RandomWaypoint {
+        RandomWaypoint::new(RandomWaypointConfig {
+            area: area(),
+            speed_range: (1.0, 2.0),
+            pause_range: (0.0, 10.0),
+            tick: 1.0,
+        })
+    }
+
+    #[test]
+    fn generates_expected_span_and_tick() {
+        let mut rng = rng_from_seed(1);
+        let t = model().generate(&mut rng, "u", 100.0, 600.0);
+        assert_eq!(t.id(), "u");
+        assert_eq!(t.start_time(), 100.0);
+        assert_eq!(t.end_time(), 700.0);
+        // Tick of 1 s over 600 s → 601 samples.
+        assert_eq!(t.len(), 601);
+    }
+
+    #[test]
+    fn stays_inside_area() {
+        let mut rng = rng_from_seed(2);
+        let t = model().generate(&mut rng, "u", 0.0, 3600.0);
+        for p in t.points() {
+            assert!(area().contains(p.pos), "{:?} escaped", p.pos);
+        }
+    }
+
+    #[test]
+    fn respects_speed_limit() {
+        let mut rng = rng_from_seed(3);
+        let t = model().generate(&mut rng, "u", 0.0, 3600.0);
+        let s = track_stats(&t);
+        assert!(s.max_speed <= 2.0 + 1e-9, "max speed {}", s.max_speed);
+        assert!(s.mean_speed > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = model().generate(&mut rng_from_seed(42), "u", 0.0, 300.0);
+        let b = model().generate(&mut rng_from_seed(42), "u", 0.0, 300.0);
+        assert_eq!(a, b);
+        let c = model().generate(&mut rng_from_seed(43), "u", 0.0, 300.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_duration_yields_single_point() {
+        let mut rng = rng_from_seed(4);
+        let t = model().generate(&mut rng, "u", 5.0, 0.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.start_time(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn invalid_tick_panics() {
+        RandomWaypoint::new(RandomWaypointConfig {
+            area: area(),
+            speed_range: (1.0, 2.0),
+            pause_range: (0.0, 0.0),
+            tick: 0.0,
+        });
+    }
+
+    #[test]
+    fn no_pause_config_moves_constantly() {
+        let m = RandomWaypoint::new(RandomWaypointConfig {
+            area: area(),
+            speed_range: (2.0, 2.0),
+            pause_range: (0.0, 0.0),
+            tick: 1.0,
+        });
+        let mut rng = rng_from_seed(5);
+        let t = m.generate(&mut rng, "u", 0.0, 600.0);
+        // With fixed speed 2 and no pauses, nearly every 1 s step moves ~2
+        // units (less only at waypoint corners).
+        let moving = t.steps().filter(|&(_, d)| d > 1.0).count();
+        assert!(moving as f64 > 0.9 * (t.len() - 1) as f64);
+    }
+}

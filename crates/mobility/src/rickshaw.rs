@@ -1,0 +1,309 @@
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_geo::{BBox, Point};
+use dummyloc_trajectory::{Dataset, Trajectory, TrajectoryBuilder};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::street::{NodeId, StreetGrid};
+use crate::MobilityModel;
+
+/// Configuration of the [`RickshawModel`].
+///
+/// Defaults ([`RickshawConfig::nara`]) approximate the paper's setting:
+/// central Nara is a roughly 2 km × 2 km downtown with a street grid on the
+/// order of 100 m blocks; rickshaws tour tourists between sights at jogging
+/// speed and dwell minutes at each stop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RickshawConfig {
+    /// Service area covered by the tours.
+    pub area: BBox,
+    /// Street block spacing in metres.
+    pub street_spacing: f64,
+    /// Number of points of interest (tour stops) placed on intersections.
+    pub poi_count: usize,
+    /// `(min, max)` cruising speed in m/s, sampled per leg.
+    pub speed_range: (f64, f64),
+    /// `(min, max)` dwell at each stop in seconds (pickup/dropoff/waiting).
+    pub dwell_range: (f64, f64),
+    /// Sampling interval of the emitted trajectories in seconds.
+    pub tick: f64,
+}
+
+impl RickshawConfig {
+    /// The default Nara-like configuration used by the experiments: 2 km
+    /// square, 100 m blocks, 24 sights, 1.5–4 m/s, 30–180 s dwells, 1 s
+    /// tick.
+    pub fn nara() -> Self {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0))
+            .expect("static bounds are valid");
+        RickshawConfig {
+            area,
+            street_spacing: 100.0,
+            poi_count: 24,
+            speed_range: (1.5, 4.0),
+            dwell_range: (30.0, 180.0),
+            tick: 1.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.tick > 0.0, "tick must be positive");
+        assert!(
+            self.poi_count >= 2,
+            "need at least two POIs to tour between"
+        );
+        assert!(
+            self.speed_range.0 > 0.0 && self.speed_range.1 >= self.speed_range.0,
+            "speed range must be positive and ordered"
+        );
+        assert!(
+            self.dwell_range.0 >= 0.0 && self.dwell_range.1 >= self.dwell_range.0,
+            "dwell range must be non-negative and ordered"
+        );
+    }
+}
+
+/// The Nara rickshaw workload substitute (see `DESIGN.md` §3).
+///
+/// Each rickshaw starts at a point of interest and repeatedly: picks a
+/// different POI, rides there along a random shortest staircase route on
+/// the street network at a per-leg speed, then dwells (pickup/dropoff).
+/// [`RickshawModel::generate_fleet`] emits the full 39-track dataset.
+#[derive(Debug, Clone)]
+pub struct RickshawModel {
+    config: RickshawConfig,
+    streets: StreetGrid,
+    pois: Vec<NodeId>,
+}
+
+impl RickshawModel {
+    /// Builds the model, placing `poi_count` distinct POIs on random
+    /// intersections drawn from `poi_seed`.
+    ///
+    /// POI placement is seeded separately from trajectory generation so
+    /// that experiments can vary the fleet while holding the "city" fixed.
+    pub fn new(config: RickshawConfig, poi_seed: u64) -> Self {
+        config.validate();
+        let streets = StreetGrid::new(config.area, config.street_spacing);
+        assert!(
+            config.poi_count <= streets.node_count(),
+            "more POIs than intersections"
+        );
+        let mut rng = rng_from_seed(poi_seed);
+        let mut pois: Vec<NodeId> = Vec::with_capacity(config.poi_count);
+        while pois.len() < config.poi_count {
+            let n = streets.random_node(&mut rng);
+            if !pois.contains(&n) {
+                pois.push(n);
+            }
+        }
+        RickshawModel {
+            config,
+            streets,
+            pois,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RickshawConfig {
+        &self.config
+    }
+
+    /// The underlying street network.
+    pub fn streets(&self) -> &StreetGrid {
+        &self.streets
+    }
+
+    /// POI coordinates (tour stops).
+    pub fn poi_positions(&self) -> Vec<Point> {
+        self.pois
+            .iter()
+            .map(|&n| self.streets.node_pos(n))
+            .collect()
+    }
+
+    /// Generates the whole fleet: `count` rickshaws (the paper uses 39),
+    /// each from an independent sub-seed, all spanning `[start, start +
+    /// duration]`.
+    pub fn generate_fleet(&self, seed: u64, count: usize, start: f64, duration: f64) -> Dataset {
+        let mut ds = Dataset::new();
+        for k in 0..count {
+            let mut rng = rng_from_seed(derive_seed(seed, k as u64));
+            let track = self.generate(&mut rng, &format!("rickshaw-{k:02}"), start, duration);
+            ds.push(track).expect("fleet ids are distinct");
+        }
+        ds
+    }
+}
+
+impl MobilityModel for RickshawModel {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: &str,
+        start: f64,
+        duration: f64,
+    ) -> Trajectory {
+        let c = &self.config;
+        let end = start + duration.max(0.0);
+        let mut b = TrajectoryBuilder::new(id);
+        let mut at = self.pois[rng.gen_range(0..self.pois.len())];
+        let mut t = start;
+        b.push(t, self.streets.node_pos(at));
+        'tour: while t < end {
+            // Dwell at the current stop.
+            let dwell = sample_in(rng, c.dwell_range);
+            if dwell > 0.0 {
+                t = (t + dwell).min(end);
+                b.push(t, self.streets.node_pos(at));
+                if t >= end {
+                    break;
+                }
+            }
+            // Pick a different destination POI and ride there.
+            let dest = loop {
+                let cand = self.pois[rng.gen_range(0..self.pois.len())];
+                if cand != at {
+                    break cand;
+                }
+            };
+            let speed = sample_in(rng, c.speed_range);
+            let path = self.streets.route(rng, at, dest);
+            for w in path.windows(2) {
+                let from = self.streets.node_pos(w[0]);
+                let to = self.streets.node_pos(w[1]);
+                let legtime = from.distance(&to) / speed;
+                if t + legtime <= end {
+                    t += legtime;
+                    b.push(t, to);
+                    at = w[1];
+                } else {
+                    let frac = (end - t) / legtime;
+                    b.push(end, from.lerp(&to, frac));
+                    break 'tour;
+                }
+            }
+        }
+        let track = b.build().expect("builder fed strictly increasing times");
+        track.resample(c.tick).expect("tick validated positive")
+    }
+}
+
+fn sample_in<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (f64, f64)) -> f64 {
+    if lo < hi {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_trajectory::stats::{dataset_stats, track_stats};
+
+    fn model() -> RickshawModel {
+        RickshawModel::new(RickshawConfig::nara(), 1)
+    }
+
+    #[test]
+    fn poi_placement_is_distinct_and_seeded() {
+        let m = model();
+        let pois = m.poi_positions();
+        assert_eq!(pois.len(), 24);
+        let mut dedup = pois
+            .iter()
+            .map(|p| (p.x as i64, p.y as i64))
+            .collect::<Vec<_>>();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 24);
+        // Same seed → same city; different seed → different city.
+        let m2 = RickshawModel::new(RickshawConfig::nara(), 1);
+        assert_eq!(m.poi_positions(), m2.poi_positions());
+        let m3 = RickshawModel::new(RickshawConfig::nara(), 2);
+        assert_ne!(m.poi_positions(), m3.poi_positions());
+    }
+
+    #[test]
+    fn track_spans_requested_window() {
+        let m = model();
+        let mut rng = rng_from_seed(5);
+        let t = m.generate(&mut rng, "r", 0.0, 1800.0);
+        assert_eq!(t.start_time(), 0.0);
+        assert_eq!(t.end_time(), 1800.0);
+        assert_eq!(t.len(), 1801); // 1 s tick
+    }
+
+    #[test]
+    fn track_stays_in_area_and_speed_bounds() {
+        let m = model();
+        let mut rng = rng_from_seed(6);
+        let t = m.generate(&mut rng, "r", 0.0, 3600.0);
+        for p in t.points() {
+            assert!(m.config().area.contains(p.pos));
+        }
+        let s = track_stats(&t);
+        assert!(s.max_speed <= 4.0 + 1e-9, "max speed {}", s.max_speed);
+    }
+
+    #[test]
+    fn positions_lie_on_streets() {
+        let m = model();
+        let mut rng = rng_from_seed(7);
+        let t = m.generate(&mut rng, "r", 0.0, 600.0);
+        let sp = m.config().street_spacing;
+        for p in t.points() {
+            // On a street means x or y is a multiple of the spacing.
+            let on_x = (p.pos.x / sp - (p.pos.x / sp).round()).abs() < 1e-6;
+            let on_y = (p.pos.y / sp - (p.pos.y / sp).round()).abs() < 1e-6;
+            assert!(on_x || on_y, "{:?} is off the street network", p.pos);
+        }
+    }
+
+    #[test]
+    fn fleet_has_39_tracks_and_common_window() {
+        let m = model();
+        let fleet = m.generate_fleet(11, 39, 0.0, 900.0);
+        assert_eq!(fleet.len(), 39);
+        assert_eq!(fleet.common_time_range(), Some((0.0, 900.0)));
+        let stats = dataset_stats(&fleet);
+        assert_eq!(stats.tracks, 39);
+        // Rickshaws move at 1.5–4 m/s but dwell a lot; mean speed must land
+        // in a plausible sub-cruising band.
+        assert!(
+            stats.mean_speed > 0.3 && stats.mean_speed < 4.0,
+            "{}",
+            stats.mean_speed
+        );
+    }
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let m = model();
+        let a = m.generate_fleet(11, 5, 0.0, 300.0);
+        let b = m.generate_fleet(11, 5, 0.0, 300.0);
+        assert_eq!(a, b);
+        let c = m.generate_fleet(12, 5, 0.0, 300.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tracks_in_fleet_are_independent() {
+        // Adding a 6th rickshaw must not change the first five.
+        let m = model();
+        let five = m.generate_fleet(11, 5, 0.0, 300.0);
+        let six = m.generate_fleet(11, 6, 0.0, 300.0);
+        for k in 0..5 {
+            assert_eq!(five.tracks()[k], six.tracks()[k]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two POIs")]
+    fn single_poi_config_rejected() {
+        let mut c = RickshawConfig::nara();
+        c.poi_count = 1;
+        RickshawModel::new(c, 0);
+    }
+}

@@ -1,0 +1,300 @@
+use dummyloc_geo::{BBox, Point};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Manhattan street network: streets run at uniform `spacing` along both
+/// axes of `area`, intersecting at nodes.
+///
+/// Nodes are addressed `(i, j)` with `i` along x and `j` along y, both
+/// 0-based. The network always includes the boundary streets, so an area of
+/// width `w` has `⌊w / spacing⌋ + 1` north–south streets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreetGrid {
+    area: BBox,
+    spacing: f64,
+    nx: u32,
+    ny: u32,
+}
+
+/// A node address in a [`StreetGrid`].
+pub type NodeId = (u32, u32);
+
+impl StreetGrid {
+    /// Builds a street network over `area` with the given block `spacing`.
+    ///
+    /// Panics if `spacing` is non-positive or larger than either extent of
+    /// the area (experiment-setup errors).
+    pub fn new(area: BBox, spacing: f64) -> Self {
+        assert!(spacing > 0.0, "spacing must be positive");
+        assert!(
+            spacing <= area.width() && spacing <= area.height(),
+            "spacing must fit inside the area"
+        );
+        let nx = (area.width() / spacing).floor() as u32 + 1;
+        let ny = (area.height() / spacing).floor() as u32 + 1;
+        StreetGrid {
+            area,
+            spacing,
+            nx,
+            ny,
+        }
+    }
+
+    /// The covered area.
+    pub fn area(&self) -> BBox {
+        self.area
+    }
+
+    /// Block spacing.
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
+
+    /// Number of north–south streets (x positions).
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Number of east–west streets (y positions).
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Total number of intersections.
+    pub fn node_count(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// Coordinate of a node; panics on an out-of-range address.
+    pub fn node_pos(&self, (i, j): NodeId) -> Point {
+        assert!(i < self.nx && j < self.ny, "node ({i}, {j}) out of range");
+        Point::new(
+            self.area.min().x + i as f64 * self.spacing,
+            self.area.min().y + j as f64 * self.spacing,
+        )
+    }
+
+    /// The intersection nearest to `p` (clamped into the network).
+    pub fn snap(&self, p: Point) -> NodeId {
+        let q = self.area.clamp(p);
+        let i = ((q.x - self.area.min().x) / self.spacing).round() as u32;
+        let j = ((q.y - self.area.min().y) / self.spacing).round() as u32;
+        (i.min(self.nx - 1), j.min(self.ny - 1))
+    }
+
+    /// The 2–4 intersections adjacent to a node along its streets.
+    pub fn neighbors(&self, (i, j): NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(4);
+        if i > 0 {
+            out.push((i - 1, j));
+        }
+        if i + 1 < self.nx {
+            out.push((i + 1, j));
+        }
+        if j > 0 {
+            out.push((i, j - 1));
+        }
+        if j + 1 < self.ny {
+            out.push((i, j + 1));
+        }
+        out
+    }
+
+    /// A uniformly random intersection.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        (rng.gen_range(0..self.nx), rng.gen_range(0..self.ny))
+    }
+
+    /// A shortest staircase route from `a` to `b`: node-by-node, randomly
+    /// interleaving the required x and y moves so repeated trips between the
+    /// same endpoints take different streets.
+    ///
+    /// The result includes both endpoints; `a == b` yields `[a]`.
+    pub fn route<R: Rng + ?Sized>(&self, rng: &mut R, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut path = vec![a];
+        let (mut i, mut j) = a;
+        while (i, j) != b {
+            let dx = (b.0 as i64 - i as i64).signum();
+            let dy = (b.1 as i64 - j as i64).signum();
+            let move_x = match (dx != 0, dy != 0) {
+                (true, true) => rng.gen_bool(0.5),
+                (true, false) => true,
+                (false, _) => false,
+            };
+            if move_x {
+                i = (i as i64 + dx) as u32;
+            } else {
+                j = (j as i64 + dy) as u32;
+            }
+            path.push((i, j));
+        }
+        path
+    }
+
+    /// Manhattan distance (in metres) between two nodes along the streets.
+    pub fn street_distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let blocks = (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as f64;
+        blocks * self.spacing
+    }
+}
+
+/// A random walker on a [`StreetGrid`]: at every intersection it picks a
+/// random neighbor, avoiding an immediate U-turn when any other option
+/// exists. Produces the node sequence; speed/time assignment is the
+/// caller's concern (see the rickshaw model).
+#[derive(Debug, Clone)]
+pub struct StreetWalker {
+    grid: StreetGrid,
+    at: NodeId,
+    prev: Option<NodeId>,
+}
+
+impl StreetWalker {
+    /// Creates a walker standing at `start`.
+    pub fn new(grid: StreetGrid, start: NodeId) -> Self {
+        assert!(
+            start.0 < grid.nx() && start.1 < grid.ny(),
+            "start node out of range"
+        );
+        StreetWalker {
+            grid,
+            at: start,
+            prev: None,
+        }
+    }
+
+    /// Current node.
+    pub fn position(&self) -> NodeId {
+        self.at
+    }
+
+    /// Current node coordinate.
+    pub fn position_point(&self) -> Point {
+        self.grid.node_pos(self.at)
+    }
+
+    /// Advances one block and returns the new node.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> NodeId {
+        let mut options = self.grid.neighbors(self.at);
+        if options.len() > 1 {
+            if let Some(prev) = self.prev {
+                options.retain(|&n| n != prev);
+            }
+        }
+        let next = options[rng.gen_range(0..options.len())];
+        self.prev = Some(self.at);
+        self.at = next;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::rng::rng_from_seed;
+
+    fn grid() -> StreetGrid {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0)).unwrap();
+        StreetGrid::new(area, 100.0)
+    }
+
+    #[test]
+    fn node_counts_include_boundaries() {
+        let g = grid();
+        assert_eq!(g.nx(), 11);
+        assert_eq!(g.ny(), 9);
+        assert_eq!(g.node_count(), 99);
+        assert_eq!(g.node_pos((0, 0)), Point::new(0.0, 0.0));
+        assert_eq!(g.node_pos((10, 8)), Point::new(1000.0, 800.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_pos_panics_out_of_range() {
+        grid().node_pos((11, 0));
+    }
+
+    #[test]
+    fn snap_rounds_to_nearest_intersection() {
+        let g = grid();
+        assert_eq!(g.snap(Point::new(149.0, 51.0)), (1, 1));
+        assert_eq!(g.snap(Point::new(151.0, 49.0)), (2, 0));
+        // Outside points clamp into the network.
+        assert_eq!(g.snap(Point::new(-500.0, 5000.0)), (0, 8));
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let g = grid();
+        assert_eq!(g.neighbors((0, 0)).len(), 2);
+        assert_eq!(g.neighbors((5, 0)).len(), 3);
+        assert_eq!(g.neighbors((5, 4)).len(), 4);
+    }
+
+    #[test]
+    fn route_is_shortest_and_connected() {
+        let g = grid();
+        let mut rng = rng_from_seed(7);
+        for _ in 0..50 {
+            let a = g.random_node(&mut rng);
+            let b = g.random_node(&mut rng);
+            let path = g.route(&mut rng, a, b);
+            assert_eq!(path[0], a);
+            assert_eq!(*path.last().unwrap(), b);
+            // Shortest: Manhattan block count + 1 nodes.
+            let blocks = a.0.abs_diff(b.0) + a.1.abs_diff(b.1);
+            assert_eq!(path.len() as u32, blocks + 1);
+            // Connected: consecutive nodes are street neighbors.
+            for w in path.windows(2) {
+                assert!(g.neighbors(w[0]).contains(&w[1]), "{w:?} not adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn route_same_endpoints_is_single_node() {
+        let g = grid();
+        let mut rng = rng_from_seed(1);
+        assert_eq!(g.route(&mut rng, (3, 3), (3, 3)), vec![(3, 3)]);
+    }
+
+    #[test]
+    fn routes_vary_between_draws() {
+        let g = grid();
+        let mut rng = rng_from_seed(9);
+        let a = (0, 0);
+        let b = (5, 5);
+        let p1 = g.route(&mut rng, a, b);
+        let p2 = g.route(&mut rng, a, b);
+        // Overwhelmingly likely distinct staircases (C(10,5)=252 options).
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn street_distance_in_metres() {
+        let g = grid();
+        assert_eq!(g.street_distance((0, 0), (3, 2)), 500.0);
+        assert_eq!(g.street_distance((4, 4), (4, 4)), 0.0);
+    }
+
+    #[test]
+    fn walker_avoids_uturns_and_stays_on_grid() {
+        let g = grid();
+        let mut w = StreetWalker::new(g.clone(), (5, 4));
+        let mut rng = rng_from_seed(3);
+        let mut prev = w.position();
+        let mut prev2: Option<NodeId> = None;
+        for _ in 0..500 {
+            let next = w.step(&mut rng);
+            assert!(g.neighbors(prev).contains(&next));
+            if let Some(p2) = prev2 {
+                // No immediate backtrack unless forced at a corner.
+                if g.neighbors(prev).len() > 1 {
+                    assert_ne!(next, p2, "U-turn at {prev:?}");
+                }
+            }
+            prev2 = Some(prev);
+            prev = next;
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The discrete-time simulation loop.
+
+use dummyloc_core::adversary::Adversary;
+use dummyloc_core::client::{Client, Request};
+use dummyloc_core::generator::{
+    DiscMnGenerator, DummyGenerator, MlnGenerator, MnGenerator, NoDensity, OthersDensity,
+    RandomGenerator, StationaryGenerator,
+};
+use dummyloc_core::metrics::{shift_p, ubiquity_f, ShiftBuckets};
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_geo::{BBox, Grid, Point};
+use dummyloc_lbs::provider::Provider;
+use dummyloc_lbs::query::QueryKind;
+use dummyloc_lbs::PoiDatabase;
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SimError};
+
+/// Which dummy algorithm a simulation uses (serializable for experiment
+/// configs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GeneratorKind {
+    /// Uniform redraw each step (the paper's random strawman).
+    Random,
+    /// Moving in a Neighborhood with half-extent `m`.
+    Mn {
+        /// Neighborhood half-extent in metres.
+        m: f64,
+    },
+    /// Moving in a Limited Neighborhood with half-extent `m` and the
+    /// paper's retry budget.
+    Mln {
+        /// Neighborhood half-extent in metres.
+        m: f64,
+        /// Rejection retries before accepting a crowded candidate.
+        retry_budget: u32,
+    },
+    /// Ablation: MN with a disc neighborhood.
+    MnDisc {
+        /// Disc radius in metres.
+        m: f64,
+    },
+    /// Ablation: dummies never move.
+    Stationary,
+}
+
+impl GeneratorKind {
+    /// Instantiates the generator over the service area.
+    pub fn build(
+        &self,
+        area: BBox,
+    ) -> std::result::Result<Box<dyn DummyGenerator>, dummyloc_core::CoreError> {
+        Ok(match *self {
+            GeneratorKind::Random => Box::new(RandomGenerator::new(area)?),
+            GeneratorKind::Mn { m } => Box::new(MnGenerator::new(area, m)?),
+            GeneratorKind::Mln { m, retry_budget } => Box::new(MlnGenerator::with_options(
+                area,
+                m,
+                dummyloc_core::generator::DensityThreshold::MeanOccupied,
+                retry_budget,
+            )?),
+            GeneratorKind::MnDisc { m } => Box::new(DiscMnGenerator::new(area, m)?),
+            GeneratorKind::Stationary => Box::new(StationaryGenerator::new(area)?),
+        })
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GeneratorKind::Random => "random",
+            GeneratorKind::Mn { .. } => "mn",
+            GeneratorKind::Mln { .. } => "mln",
+            GeneratorKind::MnDisc { .. } => "mn-disc",
+            GeneratorKind::Stationary => "stationary",
+        }
+    }
+}
+
+/// Optional LBS-provider attachment: when present, every request is also
+/// served against a POI database and the provider's cost counters are
+/// reported in the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// POIs to generate.
+    pub poi_count: usize,
+    /// POI placement seed.
+    pub poi_seed: u64,
+    /// The query every client issues each tick.
+    pub query: QueryKind,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Service area (must contain the whole workload).
+    pub area: BBox,
+    /// Region grid is `grid_size × grid_size` (the paper sweeps 8/10/12).
+    pub grid_size: u32,
+    /// Dummies per user — the paper's simplifying assumption: *"All users
+    /// generated the same number of dummies."*
+    pub dummy_count: usize,
+    /// Dummy-motion algorithm.
+    pub generator: GeneratorKind,
+    /// Seconds between service rounds.
+    pub tick: f64,
+    /// Master seed; per-client streams are derived from it.
+    pub seed: u64,
+    /// Report positions quantized to region centers (the paper's
+    /// "position precision = region scale" setting) instead of exact
+    /// coordinates.
+    pub quantize: bool,
+    /// Optional LBS-provider attachment.
+    pub service: Option<ServiceConfig>,
+}
+
+impl SimConfig {
+    /// The experiments' default: the 2 km Nara area, 12×12 regions, 3 MN
+    /// dummies with `m` matched to one region (the paper's position
+    /// precision), 30 s service rounds.
+    pub fn nara_default(seed: u64) -> Self {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0))
+            .expect("static bounds are valid");
+        SimConfig {
+            area,
+            grid_size: 12,
+            dummy_count: 3,
+            generator: GeneratorKind::Mn { m: 120.0 },
+            tick: 30.0,
+            seed,
+            quantize: false,
+            service: None,
+        }
+    }
+}
+
+/// Everything one simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Number of service rounds simulated.
+    pub rounds: usize,
+    /// Ubiquity `F` per round, in `[0, 1]`.
+    pub f_series: Vec<f64>,
+    /// Mean of `f_series`.
+    pub mean_f: f64,
+    /// `Shift(P)` buckets accumulated over every consecutive round pair.
+    pub shift_buckets: ShiftBuckets,
+    /// Mean per-region `Shift(P)` over all sampled (region, step) pairs.
+    pub shift_mean: f64,
+    /// Mean (over rounds) coefficient of variation of occupied-region
+    /// populations — the congestion-balance measure MLN is supposed to
+    /// improve (0 = every occupied region equally crowded).
+    pub congestion_cv: f64,
+    /// Per-user request streams with the truth index of the final round —
+    /// the adversary-evaluation input.
+    pub streams: Vec<(Vec<Request>, usize)>,
+    /// Provider cost counters when a [`ServiceConfig`] was attached.
+    pub cost: Option<dummyloc_lbs::CostAccounting>,
+}
+
+impl SimOutcome {
+    /// Identification rate of `adversary` over this run's streams (seeded
+    /// independently of the simulation).
+    pub fn identification_rate<A: Adversary + ?Sized>(&self, adversary: &A, seed: u64) -> f64 {
+        let mut rng = rng_from_seed(seed);
+        dummyloc_core::adversary::identification_rate(adversary, &mut rng, &self.streams)
+    }
+}
+
+/// A configured simulation, ready to run over workloads.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+    grid: Grid,
+}
+
+impl Simulation {
+    /// Validates the configuration and builds the region grid.
+    pub fn new(config: SimConfig) -> Result<Self> {
+        let tick_valid = config.tick.is_finite() && config.tick > 0.0;
+        if !tick_valid {
+            return Err(SimError::InvalidConfig {
+                message: format!("tick must be positive, got {}", config.tick),
+            });
+        }
+        let grid = Grid::square(config.area, config.grid_size)?;
+        Ok(Simulation { config, grid })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The region grid metrics are computed over.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Runs the simulation over `workload`: every track becomes a client
+    /// reporting its (interpolated) true position plus dummies each tick
+    /// across the workload's common time window.
+    pub fn run(&self, workload: &Dataset) -> Result<SimOutcome> {
+        let cfg = &self.config;
+        let (start, end) = workload
+            .common_time_range()
+            .ok_or(SimError::NoCommonWindow)?;
+        if let Some(b) = workload.bounds() {
+            if !cfg.area.contains_bbox(&b) {
+                return Err(SimError::AreaMismatch {
+                    detail: format!("workload bounds {b:?} exceed service area {:?}", cfg.area),
+                });
+            }
+        }
+
+        let users = workload.len();
+        let mut clients: Vec<Client<Box<dyn DummyGenerator>>> = Vec::with_capacity(users);
+        let mut rngs = Vec::with_capacity(users);
+        for (i, track) in workload.tracks().iter().enumerate() {
+            let generator = cfg.generator.build(cfg.area)?;
+            let mut client = Client::new(track.id(), generator, cfg.dummy_count);
+            if cfg.quantize {
+                client = client.with_precision(self.grid.clone());
+            }
+            clients.push(client);
+            rngs.push(rng_from_seed(derive_seed(cfg.seed, i as u64)));
+        }
+
+        let mut provider = cfg
+            .service
+            .map(|s| Provider::new(PoiDatabase::generate(cfg.area, s.poi_count, s.poi_seed)));
+
+        let rounds = ((end - start) / cfg.tick).floor() as usize + 1;
+        let mut f_series = Vec::with_capacity(rounds);
+        let mut cv_series = Vec::with_capacity(rounds);
+        let mut shift_buckets = ShiftBuckets::default();
+        let mut shift_sum: u64 = 0;
+        let mut shift_regions: u64 = 0;
+        let mut prev_pop: Option<PopulationGrid> = None;
+        let mut streams: Vec<Vec<Request>> = vec![Vec::with_capacity(rounds); users];
+        let mut last_truth = vec![0usize; users];
+
+        for k in 0..rounds {
+            let t = start + k as f64 * cfg.tick;
+            let snapshot = workload.snapshot(t);
+            let mut pop = PopulationGrid::empty(&self.grid);
+            for (i, maybe_pos) in snapshot.positions().iter().enumerate() {
+                // Within the common window every track is active.
+                let pos = maybe_pos.expect("common window guarantees activity");
+                let round = if k == 0 {
+                    clients[i].begin(&mut rngs[i], pos)?
+                } else {
+                    // MLN consults "the other users' position data": the
+                    // previous round's global population minus this
+                    // client's own reported positions.
+                    match &prev_pop {
+                        Some(density) => {
+                            let own_prev: &[Point] = streams[i]
+                                .last()
+                                .map(|r| r.positions.as_slice())
+                                .unwrap_or(&[]);
+                            let view = OthersDensity::new(density, own_prev);
+                            clients[i].step(&mut rngs[i], pos, &view)?
+                        }
+                        None => clients[i].step(&mut rngs[i], pos, &NoDensity)?,
+                    }
+                };
+                for &p in &round.request.positions {
+                    pop.add(p)?;
+                }
+                if let Some(provider) = provider.as_mut() {
+                    let query = cfg.service.expect("provider implies service config").query;
+                    provider.handle(t, &round.request, &query);
+                }
+                last_truth[i] = round.truth_index;
+                streams[i].push(round.request);
+            }
+            f_series.push(ubiquity_f(&pop));
+            cv_series.push(occupied_cv(&pop));
+            if let Some(prev) = &prev_pop {
+                let s = shift_p(prev, &pop);
+                shift_buckets.merge(&s.buckets);
+                shift_sum += (s.mean * s.regions as f64).round() as u64;
+                shift_regions += s.regions as u64;
+            }
+            prev_pop = Some(pop);
+        }
+
+        let mean_f = if f_series.is_empty() {
+            0.0
+        } else {
+            f_series.iter().sum::<f64>() / f_series.len() as f64
+        };
+        Ok(SimOutcome {
+            rounds,
+            mean_f,
+            f_series,
+            shift_buckets,
+            shift_mean: if shift_regions > 0 {
+                shift_sum as f64 / shift_regions as f64
+            } else {
+                0.0
+            },
+            congestion_cv: if cv_series.is_empty() {
+                0.0
+            } else {
+                cv_series.iter().sum::<f64>() / cv_series.len() as f64
+            },
+            streams: streams.into_iter().zip(last_truth).collect(),
+            cost: provider.map(|p| *p.cost()),
+        })
+    }
+}
+
+/// Coefficient of variation (std/mean) of the populations of occupied
+/// regions; 0 when at most one region is occupied.
+fn occupied_cv(pop: &PopulationGrid) -> f64 {
+    let occupied: Vec<f64> = pop
+        .counts()
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as f64)
+        .collect();
+    if occupied.len() < 2 {
+        return 0.0;
+    }
+    let n = occupied.len() as f64;
+    let mean = occupied.iter().sum::<f64>() / n;
+    let var = occupied
+        .iter()
+        .map(|c| (c - mean) * (c - mean))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use dummyloc_core::adversary::RandomGuesser;
+    use dummyloc_lbs::poi::Category;
+
+    fn fleet() -> Dataset {
+        workload::nara_fleet_sized(6, 120.0, 3)
+    }
+
+    fn config(kind: GeneratorKind, dummies: usize) -> SimConfig {
+        SimConfig {
+            grid_size: 8,
+            dummy_count: dummies,
+            generator: kind,
+            ..SimConfig::nara_default(5)
+        }
+    }
+
+    #[test]
+    fn run_produces_expected_round_count_and_streams() {
+        let cfg = config(GeneratorKind::Mn { m: 100.0 }, 2);
+        let sim = Simulation::new(cfg).unwrap();
+        let out = sim.run(&fleet()).unwrap();
+        // 120 s window at 30 s tick → rounds at 0, 30, 60, 90, 120.
+        assert_eq!(out.rounds, 5);
+        assert_eq!(out.f_series.len(), 5);
+        assert_eq!(out.streams.len(), 6);
+        for (reqs, truth) in &out.streams {
+            assert_eq!(reqs.len(), 5);
+            assert!(reqs.iter().all(|r| r.positions.len() == 3));
+            assert!(*truth < 3);
+        }
+        assert!(out.mean_f > 0.0 && out.mean_f <= 1.0);
+        assert!(out.cost.is_none());
+    }
+
+    #[test]
+    fn more_dummies_more_ubiquity() {
+        let f0 = Simulation::new(config(GeneratorKind::Mn { m: 100.0 }, 0))
+            .unwrap()
+            .run(&fleet())
+            .unwrap()
+            .mean_f;
+        let f4 = Simulation::new(config(GeneratorKind::Mn { m: 100.0 }, 4))
+            .unwrap()
+            .run(&fleet())
+            .unwrap()
+            .mean_f;
+        assert!(
+            f4 > f0,
+            "F with 4 dummies ({f4}) should beat 0 dummies ({f0})"
+        );
+    }
+
+    #[test]
+    fn random_shifts_exceed_mn_shifts() {
+        let mn = Simulation::new(config(GeneratorKind::Mn { m: 100.0 }, 3))
+            .unwrap()
+            .run(&fleet())
+            .unwrap();
+        let random = Simulation::new(config(GeneratorKind::Random, 3))
+            .unwrap()
+            .run(&fleet())
+            .unwrap();
+        assert!(
+            random.shift_mean > mn.shift_mean,
+            "random {} should shift more than mn {}",
+            random.shift_mean,
+            mn.shift_mean
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = config(
+            GeneratorKind::Mln {
+                m: 100.0,
+                retry_budget: 3,
+            },
+            3,
+        );
+        let a = Simulation::new(cfg).unwrap().run(&fleet()).unwrap();
+        let b = Simulation::new(cfg).unwrap().run(&fleet()).unwrap();
+        assert_eq!(a.f_series, b.f_series);
+        assert_eq!(a.shift_buckets, b.shift_buckets);
+        assert_eq!(a.streams.len(), b.streams.len());
+        for ((ra, ta), (rb, tb)) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(ta, tb);
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn service_attachment_reports_cost() {
+        let mut cfg = config(GeneratorKind::Mn { m: 100.0 }, 3);
+        cfg.service = Some(ServiceConfig {
+            poi_count: 40,
+            poi_seed: 9,
+            query: QueryKind::NearestPoi {
+                category: Some(Category::Restaurant),
+            },
+        });
+        let out = Simulation::new(cfg).unwrap().run(&fleet()).unwrap();
+        let cost = out.cost.unwrap();
+        assert_eq!(cost.requests, 5 * 6);
+        assert_eq!(cost.positions_per_request(), 4.0);
+        assert!(cost.uplink_bytes > 0);
+    }
+
+    #[test]
+    fn adversary_hookup_runs() {
+        let cfg = config(GeneratorKind::Random, 3);
+        let out = Simulation::new(cfg).unwrap().run(&fleet()).unwrap();
+        let rate = out.identification_rate(&RandomGuesser, 1);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = config(GeneratorKind::Mn { m: 100.0 }, 1);
+        cfg.tick = 0.0;
+        assert!(matches!(
+            Simulation::new(cfg),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let mut cfg = config(GeneratorKind::Mn { m: 0.0 }, 1);
+        cfg.tick = 30.0;
+        let sim = Simulation::new(cfg).unwrap();
+        assert!(sim.run(&fleet()).is_err()); // bad m surfaces at generator build
+    }
+
+    #[test]
+    fn workload_outside_area_rejected() {
+        let cfg = config(GeneratorKind::Mn { m: 100.0 }, 1);
+        let sim = Simulation::new(cfg).unwrap();
+        let far = dummyloc_trajectory::TrajectoryBuilder::new("x")
+            .point(0.0, Point::new(5000.0, 5000.0))
+            .point(120.0, Point::new(5001.0, 5000.0))
+            .build()
+            .unwrap();
+        let ds = Dataset::from_tracks(vec![far]).unwrap();
+        assert!(matches!(sim.run(&ds), Err(SimError::AreaMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let cfg = config(GeneratorKind::Mn { m: 100.0 }, 1);
+        let sim = Simulation::new(cfg).unwrap();
+        assert!(matches!(
+            sim.run(&Dataset::new()),
+            Err(SimError::NoCommonWindow)
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+use std::fmt;
+
+use dummyloc_core::CoreError;
+use dummyloc_geo::GeoError;
+use dummyloc_trajectory::TrajectoryError;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug)]
+pub enum SimError {
+    /// The workload has no interval during which every track is active.
+    NoCommonWindow,
+    /// The workload leaves the configured service area.
+    AreaMismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Invalid simulation configuration.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+    /// Propagated core-library error.
+    Core(CoreError),
+    /// Propagated geometry error.
+    Geo(GeoError),
+    /// Propagated trajectory error.
+    Trajectory(TrajectoryError),
+    /// Report serialization failure.
+    Json(serde_json::Error),
+    /// Report I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoCommonWindow => {
+                write!(f, "workload tracks share no common active time window")
+            }
+            SimError::AreaMismatch { detail } => {
+                write!(f, "workload leaves the service area: {detail}")
+            }
+            SimError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::Geo(e) => write!(f, "geometry error: {e}"),
+            SimError::Trajectory(e) => write!(f, "trajectory error: {e}"),
+            SimError::Json(e) => write!(f, "json error: {e}"),
+            SimError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Geo(e) => Some(e),
+            SimError::Trajectory(e) => Some(e),
+            SimError::Json(e) => Some(e),
+            SimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<GeoError> for SimError {
+    fn from(e: GeoError) -> Self {
+        SimError::Geo(e)
+    }
+}
+
+impl From<TrajectoryError> for SimError {
+    fn from(e: TrajectoryError) -> Self {
+        SimError::Trajectory(e)
+    }
+}
+
+impl From<serde_json::Error> for SimError {
+    fn from(e: serde_json::Error) -> Self {
+        SimError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::NoCommonWindow.to_string().contains("common"));
+        let e = SimError::from(GeoError::EmptyGrid);
+        assert!(e.to_string().contains("geometry"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(SimError::NoCommonWindow.source().is_none());
+    }
+}

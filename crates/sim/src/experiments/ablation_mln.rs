@@ -1,0 +1,188 @@
+//! **A2 — ablation**: MLN's rejection loop.
+//!
+//! MLN differs from MN only in the density filter, so the question is
+//! what the filter buys and what its parameters matter. The sweep varies
+//! the retry budget (the paper's pseudocode hardcodes 3) and reports:
+//!
+//! * congestion balance (coefficient of variation of occupied-region
+//!   populations — the thing MLN is supposed to flatten),
+//! * mean ubiquity `F` (spreading dummies out should also raise it),
+//! * mean `Shift(P)` (does the filter cost plausibility?).
+//!
+//! Budget 0 is effectively MN (every candidate accepted); growing budgets
+//! should trade nothing visible in `Shift(P)` for a flatter population.
+
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{GeneratorKind, SimConfig, Simulation};
+use crate::report::{fmt, pct, Table};
+use crate::{workload, Result};
+
+/// Parameters of the MLN ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlnParams {
+    /// Retry budgets to sweep (0 ≈ MN; the paper uses 3).
+    pub budgets: Vec<u32>,
+    /// Region grid size.
+    pub grid: u32,
+    /// Dummies per user.
+    pub dummies: usize,
+    /// Neighborhood half-extent in metres.
+    pub m: f64,
+}
+
+impl Default for MlnParams {
+    fn default() -> Self {
+        MlnParams {
+            budgets: vec![0, 1, 3, 8],
+            grid: 12,
+            dummies: 3,
+            m: 120.0,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlnRow {
+    /// Retry budget.
+    pub budget: u32,
+    /// Mean ubiquity `F`.
+    pub f: f64,
+    /// Mean coefficient of variation of occupied-region populations.
+    pub congestion_cv: f64,
+    /// Mean per-region `Shift(P)`.
+    pub shift_mean: f64,
+}
+
+/// The full ablation result, with an MN reference row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlnResult {
+    /// MN at the same `m` for reference.
+    pub mn_reference: MlnRow,
+    /// One row per budget.
+    pub rows: Vec<MlnRow>,
+}
+
+/// Runs the sweep over a given workload.
+pub fn run(seed: u64, fleet: &Dataset, params: &MlnParams) -> Result<MlnResult> {
+    let mut kinds: Vec<(Option<u32>, GeneratorKind)> =
+        vec![(None, GeneratorKind::Mn { m: params.m })];
+    for &b in &params.budgets {
+        kinds.push((
+            Some(b),
+            GeneratorKind::Mln {
+                m: params.m,
+                retry_budget: b,
+            },
+        ));
+    }
+    let outcomes = super::run_parallel(&kinds, |(budget, generator)| -> Result<MlnRow> {
+        let config = SimConfig {
+            grid_size: params.grid,
+            dummy_count: params.dummies,
+            generator: *generator,
+            ..SimConfig::nara_default(seed)
+        };
+        let out = Simulation::new(config)?.run(fleet)?;
+        Ok(MlnRow {
+            budget: budget.unwrap_or(0),
+            f: out.mean_f,
+            congestion_cv: out.congestion_cv,
+            shift_mean: out.shift_mean,
+        })
+    });
+    let mut it = outcomes.into_iter();
+    let mn_reference = it.next().expect("MN reference is always swept")?;
+    let mut rows = Vec::new();
+    for o in it {
+        rows.push(o?);
+    }
+    Ok(MlnResult { mn_reference, rows })
+}
+
+/// Runs the sweep on the standard Nara workload.
+pub fn run_default(seed: u64) -> Result<MlnResult> {
+    run(seed, &workload::nara_fleet(seed), &MlnParams::default())
+}
+
+/// Renders the ablation table.
+pub fn render(result: &MlnResult) -> String {
+    let mut table = Table::new(
+        "Ablation A2 — MLN retry budget (threshold = mean occupied P)",
+        &[
+            "algorithm",
+            "budget",
+            "F (%)",
+            "congestion CV",
+            "mean Shift(P)",
+        ],
+    );
+    let mn = &result.mn_reference;
+    table.row(&[
+        "mn (reference)".into(),
+        "-".into(),
+        pct(mn.f),
+        fmt(mn.congestion_cv, 3),
+        fmt(mn.shift_mean, 2),
+    ]);
+    for r in &result.rows {
+        table.row(&[
+            "mln".into(),
+            r.budget.to_string(),
+            pct(r.f),
+            fmt(r.congestion_cv, 3),
+            fmt(r.shift_mean, 2),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_reference_and_rows() {
+        let fleet = workload::nara_fleet_sized(10, 300.0, 7);
+        let params = MlnParams {
+            budgets: vec![0, 4],
+            grid: 10,
+            dummies: 3,
+            m: 120.0,
+        };
+        let r = run(1, &fleet, &params).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        for row in std::iter::once(&r.mn_reference).chain(&r.rows) {
+            assert!((0.0..=1.0).contains(&row.f));
+            assert!(row.congestion_cv >= 0.0);
+            assert!(row.shift_mean >= 0.0);
+        }
+        let s = render(&r);
+        assert!(s.contains("mn (reference)"));
+        assert!(s.contains("mln"));
+    }
+
+    #[test]
+    fn mln_with_budget_flattens_congestion_vs_mn() {
+        // Use a crowded workload (many users, small area coverage) so the
+        // density filter has something to flatten.
+        let fleet = workload::nara_fleet_sized(24, 600.0, 8);
+        let params = MlnParams {
+            budgets: vec![8],
+            grid: 12,
+            dummies: 4,
+            m: 200.0,
+        };
+        let r = run(2, &fleet, &params).unwrap();
+        let mln = &r.rows[0];
+        // The filter must not make balance *worse* by more than noise.
+        assert!(
+            mln.congestion_cv <= r.mn_reference.congestion_cv * 1.1,
+            "mln cv {} vs mn cv {}",
+            mln.congestion_cv,
+            r.mn_reference.congestion_cv
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! **A1 — ablation**: the MN neighborhood half-extent `m`.
+//!
+//! `m` trades plausibility against coverage: tiny `m` makes dummies
+//! near-stationary (tiny `Shift(P)`, but a speed-profile outlier against
+//! real users and poor region coverage); huge `m` makes dummies teleport
+//! like the random strawman. The sweep reports, per `m` and per
+//! neighborhood shape (paper's box vs the disc variant):
+//!
+//! * mean ubiquity `F`,
+//! * mean `Shift(P)` and the share of zero-shift samples,
+//! * the max-step tracker's identification rate.
+
+use dummyloc_core::adversary::{ChainScore, ContinuityTracker};
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{GeneratorKind, SimConfig, Simulation};
+use crate::report::{fmt, pct, Table};
+use crate::{workload, Result};
+
+/// Parameters of the radius ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadiusParams {
+    /// Half-extents to sweep, in metres.
+    pub radii: Vec<f64>,
+    /// Region grid size.
+    pub grid: u32,
+    /// Dummies per user.
+    pub dummies: usize,
+    /// Sweep the disc variant too?
+    pub include_disc: bool,
+}
+
+impl Default for RadiusParams {
+    fn default() -> Self {
+        RadiusParams {
+            radii: vec![15.0, 30.0, 60.0, 120.0, 240.0, 480.0],
+            grid: 12,
+            dummies: 3,
+            include_disc: true,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadiusRow {
+    /// "mn" or "mn-disc".
+    pub shape: String,
+    /// Half-extent in metres.
+    pub m: f64,
+    /// Mean ubiquity `F`.
+    pub f: f64,
+    /// Mean per-region `Shift(P)`.
+    pub shift_mean: f64,
+    /// Percentage of zero-shift samples.
+    pub pct_shift_none: f64,
+    /// Max-step tracker identification rate.
+    pub tracker_rate: f64,
+}
+
+/// The full ablation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadiusResult {
+    /// One row per (shape, m).
+    pub rows: Vec<RadiusRow>,
+}
+
+/// Runs the sweep over a given workload.
+pub fn run(seed: u64, fleet: &Dataset, params: &RadiusParams) -> Result<RadiusResult> {
+    let mut cells: Vec<(String, GeneratorKind)> = Vec::new();
+    for &m in &params.radii {
+        cells.push(("mn".to_string(), GeneratorKind::Mn { m }));
+        if params.include_disc {
+            cells.push(("mn-disc".to_string(), GeneratorKind::MnDisc { m }));
+        }
+    }
+    let outcomes = super::run_parallel(&cells, |(shape, generator)| -> Result<RadiusRow> {
+        let config = SimConfig {
+            grid_size: params.grid,
+            dummy_count: params.dummies,
+            generator: *generator,
+            ..SimConfig::nara_default(seed)
+        };
+        let out = Simulation::new(config)?.run(fleet)?;
+        let m = match generator {
+            GeneratorKind::Mn { m } | GeneratorKind::MnDisc { m } => *m,
+            _ => unreachable!("radius sweep only builds MN variants"),
+        };
+        let (pct_none, _, _, _) = out.shift_buckets.percentages();
+        let tracker_rate =
+            out.identification_rate(&ContinuityTracker::new(ChainScore::MaxStep), seed);
+        Ok(RadiusRow {
+            shape: shape.clone(),
+            m,
+            f: out.mean_f,
+            shift_mean: out.shift_mean,
+            pct_shift_none: pct_none,
+            tracker_rate,
+        })
+    });
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        rows.push(o?);
+    }
+    Ok(RadiusResult { rows })
+}
+
+/// Runs the sweep on the standard Nara workload.
+pub fn run_default(seed: u64) -> Result<RadiusResult> {
+    run(seed, &workload::nara_fleet(seed), &RadiusParams::default())
+}
+
+/// Renders the ablation table.
+pub fn render(result: &RadiusResult) -> String {
+    let mut table = Table::new(
+        "Ablation A1 — MN neighborhood half-extent m",
+        &[
+            "shape",
+            "m (m)",
+            "F (%)",
+            "mean Shift(P)",
+            "shift=0 (%)",
+            "tracker rate",
+        ],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.shape.clone(),
+            fmt(r.m, 0),
+            pct(r.f),
+            fmt(r.shift_mean, 2),
+            fmt(r.pct_shift_none, 1),
+            fmt(r.tracker_rate, 2),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Dataset, RadiusParams) {
+        (
+            workload::nara_fleet_sized(10, 300.0, 6),
+            RadiusParams {
+                radii: vec![20.0, 400.0],
+                grid: 10,
+                dummies: 3,
+                include_disc: false,
+            },
+        )
+    }
+
+    #[test]
+    fn larger_m_shifts_more() {
+        let (fleet, params) = small();
+        let r = run(1, &fleet, &params).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let small_m = &r.rows[0];
+        let large_m = &r.rows[1];
+        assert!(small_m.m < large_m.m);
+        assert!(
+            small_m.shift_mean <= large_m.shift_mean,
+            "small m {} vs large m {}",
+            small_m.shift_mean,
+            large_m.shift_mean
+        );
+    }
+
+    #[test]
+    fn disc_variant_included_when_requested() {
+        let (fleet, mut params) = small();
+        params.include_disc = true;
+        let r = run(2, &fleet, &params).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        assert!(r.rows.iter().any(|row| row.shape == "mn-disc"));
+        let s = render(&r);
+        assert!(s.contains("mn-disc"));
+    }
+}

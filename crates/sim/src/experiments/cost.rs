@@ -1,0 +1,155 @@
+//! **A3 — cost accounting**: what the dummy scheme charges.
+//!
+//! Every dummy multiplies uplink positions, provider index queries and
+//! downlink answers. The sweep runs the full client–provider loop
+//! (nearest-restaurant queries) at increasing dummy counts and reports
+//! the per-request bandwidth and work amplification — the price axis
+//! readers must weigh against Figure 7's privacy axis.
+
+use dummyloc_lbs::poi::Category;
+use dummyloc_lbs::query::QueryKind;
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{GeneratorKind, ServiceConfig, SimConfig, Simulation};
+use crate::report::{fmt, Table};
+use crate::{workload, Result};
+
+/// Parameters of the cost sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Dummy counts to sweep.
+    pub dummy_counts: Vec<usize>,
+    /// Region grid size.
+    pub grid: u32,
+    /// MN neighborhood half-extent in metres.
+    pub m: f64,
+    /// POIs in the provider database.
+    pub poi_count: usize,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            dummy_counts: (0..=9).collect(),
+            grid: 12,
+            m: 120.0,
+            poi_count: 200,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostRow {
+    /// Dummies per user.
+    pub dummies: usize,
+    /// Positions the provider processes per request (work amplification).
+    pub positions_per_request: f64,
+    /// Mean uplink bytes per request.
+    pub uplink_per_request: f64,
+    /// Mean downlink bytes per request.
+    pub downlink_per_request: f64,
+    /// Mean ubiquity `F` bought at this cost.
+    pub f: f64,
+}
+
+/// The full cost result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostResult {
+    /// One row per dummy count.
+    pub rows: Vec<CostRow>,
+}
+
+/// Runs the sweep over a given workload.
+pub fn run(seed: u64, fleet: &Dataset, params: &CostParams) -> Result<CostResult> {
+    let outcomes = super::run_parallel(&params.dummy_counts, |&dummies| -> Result<CostRow> {
+        let config = SimConfig {
+            grid_size: params.grid,
+            dummy_count: dummies,
+            generator: GeneratorKind::Mn { m: params.m },
+            service: Some(ServiceConfig {
+                poi_count: params.poi_count,
+                poi_seed: seed ^ 0xC057,
+                query: QueryKind::NearestPoi {
+                    category: Some(Category::Restaurant),
+                },
+            }),
+            ..SimConfig::nara_default(seed)
+        };
+        let out = Simulation::new(config)?.run(fleet)?;
+        let cost = out.cost.expect("service config attached");
+        Ok(CostRow {
+            dummies,
+            positions_per_request: cost.positions_per_request(),
+            uplink_per_request: cost.uplink_bytes as f64 / cost.requests as f64,
+            downlink_per_request: cost.downlink_bytes as f64 / cost.requests as f64,
+            f: out.mean_f,
+        })
+    });
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        rows.push(o?);
+    }
+    Ok(CostResult { rows })
+}
+
+/// Runs the sweep on the standard Nara workload.
+pub fn run_default(seed: u64) -> Result<CostResult> {
+    run(seed, &workload::nara_fleet(seed), &CostParams::default())
+}
+
+/// Renders the cost table.
+pub fn render(result: &CostResult) -> String {
+    let mut table = Table::new(
+        "Ablation A3 — per-request cost vs dummy count (nearest-restaurant queries)",
+        &[
+            "dummies",
+            "positions/req",
+            "uplink B/req",
+            "downlink B/req",
+            "F (%)",
+        ],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.dummies.to_string(),
+            fmt(r.positions_per_request, 1),
+            fmt(r.uplink_per_request, 1),
+            fmt(r.downlink_per_request, 1),
+            crate::report::pct(r.f),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_linearly_with_dummies() {
+        let fleet = workload::nara_fleet_sized(8, 300.0, 9);
+        let params = CostParams {
+            dummy_counts: vec![0, 3, 9],
+            grid: 10,
+            m: 120.0,
+            poi_count: 50,
+        };
+        let r = run(1, &fleet, &params).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0].positions_per_request, 1.0);
+        assert_eq!(r.rows[1].positions_per_request, 4.0);
+        assert_eq!(r.rows[2].positions_per_request, 10.0);
+        // Uplink grows linearly in position count.
+        let up0 = r.rows[0].uplink_per_request;
+        let up9 = r.rows[2].uplink_per_request;
+        // 0 dummies: 24 + 16 = 40 B; 9 dummies: 24 + 160 = 184 B (the
+        // fixed header keeps it just under 5×).
+        assert!(up9 > up0 * 4.0, "uplink {up0} → {up9}");
+        // Privacy bought: F grows with dummies.
+        assert!(r.rows[2].f > r.rows[0].f);
+        let s = render(&r);
+        assert!(s.contains("positions/req"));
+    }
+}

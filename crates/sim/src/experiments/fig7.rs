@@ -1,0 +1,211 @@
+//! **E1 — Figure 7**: ubiquity `F` (%) vs number of dummies, for region
+//! grids 8×8, 10×10 and 12×12 over the 39-rickshaw workload.
+//!
+//! Paper findings the reproduction must match in shape:
+//!
+//! 1. `F` grows monotonically (and concavely) in the dummy count.
+//! 2. Generating even one dummy beats the no-dummy / accuracy-reduction
+//!    setting.
+//! 3. Coarser grids saturate first: reaching 80 % of `F` takes ~3 dummies
+//!    at 8×8, ~4 at 10×10 and ~6 at 12×12.
+
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{GeneratorKind, SimConfig, Simulation};
+use crate::report::{pct, Table};
+use crate::{workload, Result};
+
+/// Parameters of the Figure-7 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Params {
+    /// Region grid sizes to sweep (paper: 8, 10, 12).
+    pub grids: Vec<u32>,
+    /// Dummy counts to sweep (paper x-axis: 0 through 9).
+    pub dummy_counts: Vec<usize>,
+    /// MN neighborhood half-extent in metres.
+    pub m: f64,
+    /// The `F` level the paper reads dummy requirements off at (0.8).
+    pub target_f: f64,
+}
+
+impl Default for Fig7Params {
+    fn default() -> Self {
+        Fig7Params {
+            grids: vec![8, 10, 12],
+            dummy_counts: (0..=9).collect(),
+            m: 120.0,
+            target_f: 0.8,
+        }
+    }
+}
+
+/// One measured point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Point {
+    /// Grid size `n` (regions are `n × n`).
+    pub grid: u32,
+    /// Dummies per user.
+    pub dummies: usize,
+    /// Mean ubiquity `F` over the run, in `[0, 1]`.
+    pub f: f64,
+}
+
+/// The full Figure-7 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// Every measured `(grid, dummies, F)` point.
+    pub points: Vec<Fig7Point>,
+    /// Per grid, the smallest swept dummy count reaching `target_f`
+    /// (`None` if never reached) — the paper's "3 / 4 / 6 dummies" claim.
+    pub dummies_for_target: Vec<(u32, Option<usize>)>,
+}
+
+/// Runs the sweep over a given workload.
+pub fn run(seed: u64, fleet: &Dataset, params: &Fig7Params) -> Result<Fig7Result> {
+    let cells: Vec<(u32, usize)> = params
+        .grids
+        .iter()
+        .flat_map(|&g| params.dummy_counts.iter().map(move |&d| (g, d)))
+        .collect();
+    let outcomes = super::run_parallel(&cells, |&(grid, dummies)| -> Result<Fig7Point> {
+        let config = SimConfig {
+            grid_size: grid,
+            dummy_count: dummies,
+            generator: GeneratorKind::Mn { m: params.m },
+            ..SimConfig::nara_default(seed)
+        };
+        let out = Simulation::new(config)?.run(fleet)?;
+        Ok(Fig7Point {
+            grid,
+            dummies,
+            f: out.mean_f,
+        })
+    });
+    let mut points = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        points.push(o?);
+    }
+    let dummies_for_target = params
+        .grids
+        .iter()
+        .map(|&g| {
+            let need = points
+                .iter()
+                .filter(|p| p.grid == g && p.f >= params.target_f)
+                .map(|p| p.dummies)
+                .min();
+            (g, need)
+        })
+        .collect();
+    Ok(Fig7Result {
+        points,
+        dummies_for_target,
+    })
+}
+
+/// Runs the sweep on the standard 39-rickshaw Nara workload.
+pub fn run_default(seed: u64) -> Result<Fig7Result> {
+    run(seed, &workload::nara_fleet(seed), &Fig7Params::default())
+}
+
+/// Renders the paper's figure as a table: one row per dummy count, one
+/// `F (%)` column per grid, plus the dummies-to-80 % summary.
+pub fn render(result: &Fig7Result, params: &Fig7Params) -> String {
+    let mut headers: Vec<String> = vec!["dummies".into()];
+    headers.extend(params.grids.iter().map(|g| format!("F% {g}x{g}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Figure 7 — ubiquity F (%) vs number of dummies (MN dummies)",
+        &header_refs,
+    );
+    for &d in &params.dummy_counts {
+        let mut row = vec![d.to_string()];
+        for &g in &params.grids {
+            let f = result
+                .points
+                .iter()
+                .find(|p| p.grid == g && p.dummies == d)
+                .map(|p| p.f)
+                .unwrap_or(f64::NAN);
+            row.push(pct(f));
+        }
+        table.row(&row);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    for (g, need) in &result.dummies_for_target {
+        match need {
+            Some(d) => out.push_str(&format!(
+                "dummies needed for {:.0}% F at {g}x{g}: {d}\n",
+                params.target_f * 100.0
+            )),
+            None => out.push_str(&format!(
+                "F never reached {:.0}% at {g}x{g} in the swept range\n",
+                params.target_f * 100.0
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Fig7Params {
+        Fig7Params {
+            grids: vec![8, 12],
+            dummy_counts: vec![0, 2, 4],
+            m: 120.0,
+            target_f: 0.5,
+        }
+    }
+
+    fn small_fleet() -> Dataset {
+        workload::nara_fleet_sized(12, 300.0, 3)
+    }
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let r = run(1, &small_fleet(), &small_params()).unwrap();
+        assert_eq!(r.points.len(), 6);
+        assert_eq!(r.dummies_for_target.len(), 2);
+        for p in &r.points {
+            assert!((0.0..=1.0).contains(&p.f));
+        }
+    }
+
+    #[test]
+    fn f_increases_with_dummies_and_decreases_with_grid_size() {
+        let r = run(2, &small_fleet(), &small_params()).unwrap();
+        let f = |g: u32, d: usize| {
+            r.points
+                .iter()
+                .find(|p| p.grid == g && p.dummies == d)
+                .unwrap()
+                .f
+        };
+        assert!(f(8, 4) > f(8, 0));
+        assert!(f(12, 4) > f(12, 0));
+        // Same dummy count covers a smaller fraction of a finer grid.
+        assert!(f(8, 2) > f(12, 2));
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let p = small_params();
+        let r = run(3, &small_fleet(), &p).unwrap();
+        let s = render(&r, &p);
+        assert!(s.contains("Figure 7"));
+        assert!(s.contains("F% 8x8"));
+        assert!(s.lines().count() >= 3 + 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = small_params();
+        let fleet = small_fleet();
+        assert_eq!(run(7, &fleet, &p).unwrap(), run(7, &fleet, &p).unwrap());
+    }
+}

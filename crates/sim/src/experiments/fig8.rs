@@ -1,0 +1,163 @@
+//! **E2 — Figure 8**: distribution of `Shift(P)` for the Random, MN and
+//! MLN dummy algorithms, at 12×12 regions and 3 dummies.
+//!
+//! Paper finding the reproduction must match in shape: MN and MLN place
+//! far more probability mass on small shifts (especially `0`) than random
+//! generation, i.e. their dummies move plausibly.
+
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{GeneratorKind, SimConfig, Simulation};
+use crate::report::{fmt, Table};
+use crate::{workload, Result};
+
+/// Parameters of the Figure-8 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Params {
+    /// Region grid size (paper: 12).
+    pub grid: u32,
+    /// Dummies per user (paper: 3).
+    pub dummies: usize,
+    /// MN/MLN neighborhood half-extent in metres.
+    pub m: f64,
+    /// MLN retry budget (paper pseudocode: 3).
+    pub retry_budget: u32,
+}
+
+impl Default for Fig8Params {
+    fn default() -> Self {
+        Fig8Params {
+            grid: 12,
+            dummies: 3,
+            m: 120.0,
+            retry_budget: 3,
+        }
+    }
+}
+
+/// Measured `Shift(P)` distribution for one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Percentage of (region, step) samples with shift 0 (no change).
+    pub pct_none: f64,
+    /// Percentage with shift 1–2.
+    pub pct_small: f64,
+    /// Percentage with shift 3–5.
+    pub pct_medium: f64,
+    /// Percentage with shift ≥ 6.
+    pub pct_large: f64,
+    /// Mean per-region shift (not in the paper's figure; useful summary).
+    pub mean_shift: f64,
+}
+
+/// The full Figure-8 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Result {
+    /// One row per algorithm, in Random / MN / MLN order.
+    pub rows: Vec<Fig8Row>,
+}
+
+/// Runs the comparison over a given workload.
+pub fn run(seed: u64, fleet: &Dataset, params: &Fig8Params) -> Result<Fig8Result> {
+    let generators = [
+        GeneratorKind::Random,
+        GeneratorKind::Mn { m: params.m },
+        GeneratorKind::Mln {
+            m: params.m,
+            retry_budget: params.retry_budget,
+        },
+    ];
+    let outcomes = super::run_parallel(&generators, |&generator| -> Result<Fig8Row> {
+        let config = SimConfig {
+            grid_size: params.grid,
+            dummy_count: params.dummies,
+            generator,
+            ..SimConfig::nara_default(seed)
+        };
+        let out = Simulation::new(config)?.run(fleet)?;
+        let (pct_none, pct_small, pct_medium, pct_large) = out.shift_buckets.percentages();
+        Ok(Fig8Row {
+            algorithm: generator.label().to_string(),
+            pct_none,
+            pct_small,
+            pct_medium,
+            pct_large,
+            mean_shift: out.shift_mean,
+        })
+    });
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        rows.push(o?);
+    }
+    Ok(Fig8Result { rows })
+}
+
+/// Runs the comparison on the standard 39-rickshaw Nara workload.
+pub fn run_default(seed: u64) -> Result<Fig8Result> {
+    run(seed, &workload::nara_fleet(seed), &Fig8Params::default())
+}
+
+/// Renders the paper's figure as a table (percentages per bucket).
+pub fn render(result: &Fig8Result) -> String {
+    let mut table = Table::new(
+        "Figure 8 — Shift(P) distribution (%), 12x12 regions, 3 dummies",
+        &["algorithm", "0 (no change)", "1-2", "3-5", "6+", "mean"],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.algorithm.clone(),
+            fmt(r.pct_none, 1),
+            fmt(r.pct_small, 1),
+            fmt(r.pct_medium, 1),
+            fmt(r.pct_large, 1),
+            fmt(r.mean_shift, 2),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet() -> Dataset {
+        workload::nara_fleet_sized(12, 300.0, 4)
+    }
+
+    #[test]
+    fn rows_cover_three_algorithms_and_sum_to_100() {
+        let r = run(1, &small_fleet(), &Fig8Params::default()).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0].algorithm, "random");
+        assert_eq!(r.rows[1].algorithm, "mn");
+        assert_eq!(r.rows[2].algorithm, "mln");
+        for row in &r.rows {
+            let total = row.pct_none + row.pct_small + row.pct_medium + row.pct_large;
+            assert!((total - 100.0).abs() < 1e-6, "{total}");
+        }
+    }
+
+    #[test]
+    fn mn_and_mln_shift_less_than_random() {
+        let r = run(2, &small_fleet(), &Fig8Params::default()).unwrap();
+        let random = &r.rows[0];
+        let mn = &r.rows[1];
+        let mln = &r.rows[2];
+        assert!(mn.mean_shift < random.mean_shift);
+        assert!(mln.mean_shift < random.mean_shift);
+        assert!(mn.pct_none > random.pct_none);
+        assert!(mln.pct_none > random.pct_none);
+    }
+
+    #[test]
+    fn render_lists_buckets() {
+        let r = run(3, &small_fleet(), &Fig8Params::default()).unwrap();
+        let s = render(&r);
+        assert!(s.contains("no change"));
+        assert!(s.contains("random"));
+        assert!(s.contains("mln"));
+    }
+}

@@ -1,0 +1,84 @@
+//! One module per reproduced paper artifact (see `DESIGN.md` §4).
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig7`] | Figure 7 — ubiquity `F` (%) vs number of dummies for 8×8 / 10×10 / 12×12 regions |
+//! | [`fig8`] | Figure 8 — `Shift(P)` bucket distribution for Random / MN / MLN |
+//! | [`table1`] | Table 1 / Figure 3 — ubiquity & congestion of three example distributions |
+//! | [`fig2`] | Figure 2 — `AS_F` / `AS_P` worked examples |
+//! | [`tracing`] | Figure 4 / §3 — traceability of cloaking vs dummies |
+//! | [`ablation_radius`] | A1 — neighborhood radius `m` sweep |
+//! | [`ablation_mln`] | A2 — MLN retry budget / threshold sweep |
+//! | [`ablation_precision`] | A4 — wire-precision (quantization) sweep |
+//! | [`cost`] | A3 — bandwidth & provider work vs dummy count |
+//!
+//! Each module exposes a parameter struct (defaults matching the paper), a
+//! `run` function returning a serializable result, and a `render` helper
+//! producing the printable table. The binaries in `dummyloc-bench` are
+//! thin wrappers over these.
+
+pub mod ablation_mln;
+pub mod ablation_precision;
+pub mod ablation_radius;
+pub mod cost;
+pub mod fig2;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod tracing;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `f` over every item on a small thread pool, preserving input
+/// order. Parameter sweeps are embarrassingly parallel; this keeps the
+/// full Figure-7 sweep under a second on a laptop.
+pub(crate) fn run_parallel<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let o = f(&items[i]);
+                out.lock()[i] = Some(o);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_inner()
+        .into_iter()
+        .map(|o| o.expect("every sweep slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_parallel(&items, |&i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = vec![];
+        assert!(run_parallel(&empty, |&i: &u64| i).is_empty());
+    }
+}

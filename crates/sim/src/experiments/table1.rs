@@ -1,0 +1,209 @@
+//! **E3 — Table 1 / Figure 3**: ubiquity and congestion of three example
+//! position-data distributions.
+//!
+//! Figure 3 of the paper sketches three distributions over a small grid
+//! and Table 1 classifies them. The published scan garbles the check
+//! marks, so we reconstruct the obviously intended reading (documented in
+//! `DESIGN.md`):
+//!
+//! * **(a)** few subjects, spread out → ubiquity ✓, congestion ✗
+//! * **(b)** many subjects, spread out → ubiquity ✓, congestion ✓
+//! * **(c)** many subjects, packed into one region → ubiquity ✗,
+//!   congestion ✓
+//!
+//! The experiment builds the three distributions on a 5×5 grid, computes
+//! `F` and mean occupied-region `P`, and classifies against thresholds.
+
+use dummyloc_core::metrics::ubiquity_f;
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::{BBox, Grid, Point};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{fmt, pct, Table};
+use crate::Result;
+
+/// Classification thresholds: `F ≥ f_high` counts as ubiquitous, mean
+/// occupied-region population `≥ p_high` counts as congested.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Params {
+    /// Ubiquity threshold on `F` (fraction).
+    pub f_high: f64,
+    /// Congestion threshold on mean occupied `P`.
+    pub p_high: f64,
+}
+
+impl Default for Table1Params {
+    fn default() -> Self {
+        // (a)/(b) cover 8 of 25 regions (F = 0.32), (c) covers 2 (0.08):
+        // 0.2 separates "spread out" from "packed".
+        Table1Params {
+            f_high: 0.2,
+            p_high: 2.0,
+        }
+    }
+}
+
+/// Result for one of the three example distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// "(a)", "(b)" or "(c)".
+    pub case: String,
+    /// Subjects placed.
+    pub subjects: usize,
+    /// Measured ubiquity `F`.
+    pub f: f64,
+    /// Measured mean occupied-region `P`.
+    pub mean_p: f64,
+    /// Classified ubiquitous?
+    pub ubiquity: bool,
+    /// Classified congested?
+    pub congestion: bool,
+}
+
+/// The full Table-1 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Rows (a), (b), (c).
+    pub rows: Vec<Table1Row>,
+}
+
+/// The 5×5 example grid of Figures 2–3.
+fn example_grid() -> Grid {
+    let b = BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)).expect("static bounds");
+    Grid::square(b, 5).expect("5x5 over a positive area")
+}
+
+/// Center of cell `(c, r)` on the example grid.
+fn cell_pt(c: u32, r: u32) -> Point {
+    Point::new(c as f64 + 0.5, r as f64 + 0.5)
+}
+
+/// The three Figure-3 distributions.
+fn distributions() -> Vec<(String, Vec<Point>)> {
+    // (a) 8 subjects in 8 scattered regions — one each.
+    let a = vec![
+        cell_pt(0, 0),
+        cell_pt(2, 0),
+        cell_pt(4, 1),
+        cell_pt(1, 2),
+        cell_pt(3, 2),
+        cell_pt(0, 4),
+        cell_pt(2, 4),
+        cell_pt(4, 4),
+    ];
+    // (b) 24 subjects over 8 scattered regions — three each.
+    let mut b = Vec::new();
+    for p in &a {
+        for _ in 0..3 {
+            b.push(*p);
+        }
+    }
+    // (c) 24 subjects packed into two adjacent regions.
+    let mut c = Vec::new();
+    for i in 0..12 {
+        let _ = i;
+        c.push(cell_pt(2, 2));
+        c.push(cell_pt(3, 2));
+    }
+    vec![
+        ("(a)".to_string(), a),
+        ("(b)".to_string(), b),
+        ("(c)".to_string(), c),
+    ]
+}
+
+/// Runs the classification.
+pub fn run(params: &Table1Params) -> Result<Table1Result> {
+    let grid = example_grid();
+    let mut rows = Vec::new();
+    for (case, points) in distributions() {
+        let pop = PopulationGrid::from_positions(&grid, points.iter().copied())?;
+        let f = ubiquity_f(&pop);
+        let mean_p = pop.mean_occupied();
+        rows.push(Table1Row {
+            case,
+            subjects: points.len(),
+            f,
+            mean_p,
+            ubiquity: f >= params.f_high,
+            congestion: mean_p >= params.p_high,
+        });
+    }
+    Ok(Table1Result { rows })
+}
+
+/// Renders Table 1.
+pub fn render(result: &Table1Result) -> String {
+    let mut table = Table::new(
+        "Table 1 — location anonymity of the Figure-3 distributions",
+        &[
+            "case",
+            "subjects",
+            "F (%)",
+            "mean P",
+            "ubiquity",
+            "congestion",
+        ],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.case.clone(),
+            r.subjects.to_string(),
+            pct(r.f),
+            fmt(r.mean_p, 2),
+            check(r.ubiquity),
+            check(r.congestion),
+        ]);
+    }
+    table.render()
+}
+
+fn check(b: bool) -> String {
+    if b {
+        "yes".to_string()
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstructed_classification_matches_paper_reading() {
+        let r = run(&Table1Params::default()).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let a = &r.rows[0];
+        let b = &r.rows[1];
+        let c = &r.rows[2];
+        assert!(a.ubiquity && !a.congestion, "(a): {a:?}");
+        assert!(b.ubiquity && b.congestion, "(b): {b:?}");
+        assert!(!c.ubiquity && c.congestion, "(c): {c:?}");
+    }
+
+    #[test]
+    fn measured_values_are_sensible() {
+        let r = run(&Table1Params::default()).unwrap();
+        let a = &r.rows[0];
+        assert_eq!(a.subjects, 8);
+        assert!((a.f - 8.0 / 25.0).abs() < 1e-12 || a.f >= 0.3);
+        assert_eq!(a.mean_p, 1.0);
+        let b = &r.rows[1];
+        assert_eq!(b.mean_p, 3.0);
+        assert_eq!(b.f, a.f); // same regions, more people
+        let c = &r.rows[2];
+        assert_eq!(c.mean_p, 12.0);
+        assert!(c.f < a.f);
+    }
+
+    #[test]
+    fn render_has_three_rows() {
+        let r = run(&Table1Params::default()).unwrap();
+        let s = render(&r);
+        assert!(s.contains("(a)"));
+        assert!(s.contains("(b)"));
+        assert!(s.contains("(c)"));
+        assert!(s.contains("congestion"));
+    }
+}

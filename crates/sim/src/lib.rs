@@ -1,0 +1,53 @@
+//! Discrete-time multi-user simulation engine and experiment runner.
+//!
+//! This crate wires everything together to regenerate the paper's
+//! evaluation: it runs a fleet of trajectories (the synthetic Nara
+//! rickshaws) through [`Client`](dummyloc_core::client::Client)s, collects
+//! every reported position (true and dummy) into per-tick
+//! [`PopulationGrid`](dummyloc_core::population::PopulationGrid)s, and
+//! accumulates the paper's metrics:
+//!
+//! * [`engine`] — the [`engine::Simulation`] loop,
+//! * [`workload`] — the standard 39-rickshaw Nara workload and the other
+//!   example workloads,
+//! * [`experiments`] — one module per paper figure/table plus the
+//!   ablations of `DESIGN.md` §7 (E1–E5, A1–A3),
+//! * [`report`] — plain-text table rendering and JSON export for
+//!   `EXPERIMENTS.md`,
+//! * [`viz`] — ASCII heatmaps and SVG scenes for inspecting runs.
+//!
+//! # Example: one simulation run
+//!
+//! ```
+//! use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+//! use dummyloc_sim::workload;
+//!
+//! // A small fleet for doc-test speed; experiments use 39 tracks.
+//! let fleet = workload::nara_fleet_sized(4, 60.0, 42);
+//! let config = SimConfig {
+//!     grid_size: 8,
+//!     dummy_count: 3,
+//!     generator: GeneratorKind::Mn { m: 60.0 },
+//!     ..SimConfig::nara_default(7)
+//! };
+//! let outcome = Simulation::new(config).unwrap().run(&fleet).unwrap();
+//! assert!(outcome.mean_f > 0.0);
+//! assert_eq!(outcome.streams.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiments;
+pub mod report;
+pub mod viz;
+pub mod workload;
+
+mod error;
+
+pub use engine::{GeneratorKind, SimConfig, SimOutcome, Simulation};
+pub use error::SimError;
+
+/// Result alias used throughout the simulation crate.
+pub type Result<T> = std::result::Result<T, SimError>;

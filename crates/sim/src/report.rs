@@ -1,0 +1,140 @@
+//! Plain-text table rendering and JSON export for experiment results.
+//!
+//! Every experiment binary prints the same rows the paper reports, via
+//! [`Table`]; `EXPERIMENTS.md` embeds those tables, and the JSON export
+//! lets downstream tooling consume them.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the cell count does not match the headers
+    /// (a bug in the experiment code, not a runtime condition).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<width$}  ", h, width = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal ("82.4").
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Formats a float with `d` decimals.
+pub fn fmt(value: f64, d: usize) -> String {
+    format!("{value:.d$}")
+}
+
+/// Serializes any experiment result to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> crate::Result<String> {
+    Ok(serde_json::to_string_pretty(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("# Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, separator, two rows
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // Columns align: "1" and "2" start at the same offset.
+        let c1 = lines[3].find('1').unwrap();
+        let c2 = lines[4].find('2').unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.8249), "82.5");
+        assert_eq!(fmt(std::f64::consts::PI, 2), "3.14");
+    }
+
+    #[test]
+    fn json_export() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        let s = to_json(&R { x: 7 }).unwrap();
+        assert!(s.contains("\"x\": 7"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Visualization: ASCII heatmaps for terminals, SVG for reports.
+//!
+//! The paper's evaluation system "can deal with coordinates x and y and
+//! time t and display them"; this module is that display. No external
+//! dependencies — SVG is written directly.
+//!
+//! * [`ascii_heatmap`] — per-region population as a character ramp, handy
+//!   for eyeballing ubiquity/congestion in a terminal,
+//! * [`SvgScene`] — a small scene builder for trajectories, reported
+//!   positions, region grids and cloaking boxes.
+
+use std::fmt::Write as _;
+
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::{BBox, Grid, Point};
+use dummyloc_trajectory::Trajectory;
+
+/// Density ramp used by [`ascii_heatmap`], lightest to darkest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a population grid as an ASCII heatmap, one character per
+/// region, rows printed north-to-south (so the picture matches a map).
+/// Counts are scaled to the densest region.
+pub fn ascii_heatmap(pop: &PopulationGrid) -> String {
+    let grid = pop.grid();
+    let max = pop.counts().iter().copied().max().unwrap_or(0);
+    let mut out = String::with_capacity((grid.cols() as usize + 3) * grid.rows() as usize);
+    let _ = writeln!(out, "+{}+", "-".repeat(grid.cols() as usize));
+    for row in (0..grid.rows()).rev() {
+        out.push('|');
+        for col in 0..grid.cols() {
+            let count = pop.count(dummyloc_geo::CellId::new(col, row));
+            out.push(ramp_char(count, max));
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    let _ = writeln!(out, "+{}+", "-".repeat(grid.cols() as usize));
+    let _ = writeln!(
+        out,
+        "max P = {max}, occupied {}/{} regions",
+        pop.occupied_regions(),
+        pop.region_count()
+    );
+    out
+}
+
+fn ramp_char(count: u32, max: u32) -> char {
+    if count == 0 || max == 0 {
+        return RAMP[0] as char;
+    }
+    // count = 1 → lightest non-empty, count = max → darkest.
+    let idx = if max <= 1 {
+        RAMP.len() - 1
+    } else {
+        1 + ((count as usize - 1) * (RAMP.len() - 2)) / (max as usize - 1)
+    };
+    RAMP[idx.min(RAMP.len() - 1)] as char
+}
+
+/// A minimal SVG scene over a world-coordinate viewport.
+///
+/// The y axis is flipped at render time so north is up, matching the
+/// planar convention of the rest of the workspace.
+#[derive(Debug, Clone)]
+pub struct SvgScene {
+    viewport: BBox,
+    width_px: f64,
+    body: String,
+}
+
+impl SvgScene {
+    /// Creates a scene covering `viewport`, rendered `width_px` wide
+    /// (height follows the aspect ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-extent viewport or non-positive width.
+    pub fn new(viewport: BBox, width_px: f64) -> Self {
+        assert!(
+            viewport.width() > 0.0 && viewport.height() > 0.0,
+            "viewport needs positive extent"
+        );
+        assert!(width_px > 0.0, "width must be positive");
+        SvgScene {
+            viewport,
+            width_px,
+            body: String::new(),
+        }
+    }
+
+    fn scale(&self) -> f64 {
+        self.width_px / self.viewport.width()
+    }
+
+    fn height_px(&self) -> f64 {
+        self.viewport.height() * self.scale()
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        let s = self.scale();
+        (
+            (p.x - self.viewport.min().x) * s,
+            // Flip y: SVG grows downward.
+            (self.viewport.max().y - p.y) * s,
+        )
+    }
+
+    /// Draws the region grid as light lines.
+    pub fn grid(&mut self, grid: &Grid) -> &mut Self {
+        let b = grid.bounds();
+        for i in 0..=grid.cols() {
+            let x = b.min().x + i as f64 * grid.cell_width();
+            self.line(
+                Point::new(x, b.min().y),
+                Point::new(x, b.max().y),
+                "#ddd",
+                1.0,
+            );
+        }
+        for j in 0..=grid.rows() {
+            let y = b.min().y + j as f64 * grid.cell_height();
+            self.line(
+                Point::new(b.min().x, y),
+                Point::new(b.max().x, y),
+                "#ddd",
+                1.0,
+            );
+        }
+        self
+    }
+
+    /// Draws a straight line segment.
+    pub fn line(&mut self, a: Point, b: Point, color: &str, width: f64) -> &mut Self {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="{width}"/>"#,
+        );
+        self
+    }
+
+    /// Draws a trajectory as a polyline.
+    pub fn trajectory(&mut self, track: &Trajectory, color: &str, width: f64) -> &mut Self {
+        let mut points = String::new();
+        for p in track.points() {
+            let (x, y) = self.tx(p.pos);
+            let _ = write!(points, "{x:.1},{y:.1} ");
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{width}"/>"#,
+            points.trim_end(),
+        );
+        self
+    }
+
+    /// Draws a filled dot (e.g. one reported position).
+    pub fn dot(&mut self, p: Point, color: &str, radius: f64) -> &mut Self {
+        let (cx, cy) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{radius}" fill="{color}"/>"#,
+        );
+        self
+    }
+
+    /// Draws a rectangle outline (e.g. a cloaking region).
+    pub fn rect(&mut self, bbox: &BBox, color: &str, width: f64) -> &mut Self {
+        let (x, y) = self.tx(Point::new(bbox.min().x, bbox.max().y));
+        let s = self.scale();
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="none" stroke="{color}" stroke-width="{width}"/>"#,
+            w = bbox.width() * s,
+            h = bbox.height() * s,
+        );
+        self
+    }
+
+    /// Adds a text label at `p`.
+    pub fn label(&mut self, p: Point, text: &str, color: &str, size_px: f64) -> &mut Self {
+        let (x, y) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" fill="{color}" font-size="{size_px}">{}</text>"#,
+            escape(text),
+        );
+        self
+    }
+
+    /// Finalizes the SVG document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.0} {h:.0}\">\n\
+             <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{body}</svg>\n",
+            w = self.width_px,
+            h = self.height_px(),
+            body = self.body,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// A categorical color palette for per-user rendering (cycled).
+pub const PALETTE: [&str; 8] = [
+    "#1b6ca8", "#d7263d", "#2e933c", "#8b5cf6", "#e8871e", "#0e7c7b", "#c02942", "#5d4037",
+];
+
+/// Color for user index `i` (cycles the palette).
+pub fn user_color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Convenience: renders one round of the protocol — true positions and
+/// dummies of every stream over the region grid. True positions are drawn
+/// larger; an observer's view contains no such distinction, which is the
+/// point of the picture.
+pub fn render_round_svg(
+    grid: &Grid,
+    streams: &[(Vec<dummyloc_core::client::Request>, usize)],
+    round: usize,
+    width_px: f64,
+) -> String {
+    let mut scene = SvgScene::new(grid.bounds(), width_px);
+    scene.grid(grid);
+    for (i, (requests, _)) in streams.iter().enumerate() {
+        let Some(req) = requests.get(round) else {
+            continue;
+        };
+        for &p in &req.positions {
+            scene.dot(p, user_color(i), 3.0);
+        }
+    }
+    scene.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_trajectory::TrajectoryBuilder;
+
+    fn grid() -> Grid {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        Grid::square(b, 4).unwrap()
+    }
+
+    #[test]
+    fn heatmap_shape_and_ramp() {
+        let pop = PopulationGrid::from_positions(
+            &grid(),
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(11.0, 11.0),
+                Point::new(12.0, 12.0), // 3 in the SW region
+                Point::new(90.0, 90.0), // 1 in the NE region
+            ],
+        )
+        .unwrap();
+        let art = ascii_heatmap(&pop);
+        let lines: Vec<&str> = art.lines().collect();
+        // border + 4 rows + border + summary
+        assert_eq!(lines.len(), 7);
+        assert_eq!(lines[0], "+----+");
+        // North (top) row holds the single NE point in its last column.
+        assert_eq!(lines[1].len(), 6);
+        assert_ne!(lines[1].as_bytes()[4], b' ');
+        // South (bottom) row holds the dense SW region in its first column
+        // at the darkest ramp value.
+        let south = lines[4];
+        assert_eq!(south.as_bytes()[1], RAMP[RAMP.len() - 1]);
+        assert!(art.contains("max P = 3"));
+        assert!(art.contains("occupied 2/16"));
+    }
+
+    #[test]
+    fn heatmap_empty_population() {
+        let pop = PopulationGrid::empty(&grid());
+        let art = ascii_heatmap(&pop);
+        assert!(art.contains("max P = 0"));
+        // All interior cells blank.
+        for line in art.lines().skip(1).take(4) {
+            assert!(line[1..5].chars().all(|c| c == ' '), "{line}");
+        }
+    }
+
+    #[test]
+    fn svg_document_is_well_formed() {
+        let mut scene = SvgScene::new(grid().bounds(), 400.0);
+        let track = TrajectoryBuilder::new("t")
+            .point(0.0, Point::new(0.0, 0.0))
+            .point(1.0, Point::new(50.0, 50.0))
+            .build()
+            .unwrap();
+        scene
+            .grid(&grid())
+            .trajectory(&track, "#1b6ca8", 2.0)
+            .dot(Point::new(25.0, 25.0), "#d7263d", 3.0)
+            .rect(
+                &BBox::centered(Point::new(50.0, 50.0), 10.0).unwrap(),
+                "#000",
+                1.0,
+            )
+            .label(Point::new(5.0, 95.0), "round <1> & more", "#333", 12.0);
+        let svg = scene.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<rect"));
+        // Text is escaped.
+        assert!(svg.contains("&lt;1&gt; &amp; more"));
+        assert!(!svg.contains("<1>"));
+    }
+
+    #[test]
+    fn svg_y_axis_is_flipped() {
+        let mut scene = SvgScene::new(grid().bounds(), 100.0);
+        scene.dot(Point::new(0.0, 100.0), "#000", 1.0); // NW corner of the world
+        let svg = scene.render();
+        // NW world corner maps to the SVG origin (top-left).
+        assert!(svg.contains(r#"cx="0.0" cy="0.0""#), "{svg}");
+    }
+
+    #[test]
+    fn render_round_draws_all_positions() {
+        use dummyloc_core::client::Request;
+        let streams = vec![
+            (
+                vec![Request {
+                    pseudonym: "a".into(),
+                    positions: vec![Point::new(10.0, 10.0), Point::new(20.0, 20.0)],
+                }],
+                0,
+            ),
+            (
+                vec![Request {
+                    pseudonym: "b".into(),
+                    positions: vec![Point::new(80.0, 80.0)],
+                }],
+                0,
+            ),
+        ];
+        let svg = render_round_svg(&grid(), &streams, 0, 200.0);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        // Out-of-range round draws only the grid.
+        let svg2 = render_round_svg(&grid(), &streams, 99, 200.0);
+        assert_eq!(svg2.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(user_color(0), user_color(8));
+        assert_ne!(user_color(0), user_color(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn degenerate_viewport_panics() {
+        let line = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)).unwrap();
+        SvgScene::new(line, 100.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Standard workloads for the experiments.
+//!
+//! The paper evaluates on 39 rickshaw trajectories from Nara; our
+//! substitute (`DESIGN.md` §3) is the seeded rickshaw tour model from
+//! `dummyloc-mobility`, instantiated here with the canonical parameters
+//! every experiment shares.
+
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_mobility::{
+    MobilityModel, RandomWaypoint, RandomWaypointConfig, RickshawConfig, RickshawModel,
+};
+use dummyloc_trajectory::Dataset;
+
+/// The paper's fleet size.
+pub const NARA_FLEET_SIZE: usize = 39;
+
+/// Duration of the standard experiment window in seconds (one hour of
+/// touring).
+pub const NARA_DURATION: f64 = 3600.0;
+
+/// Seed offset separating POI-placement randomness from fleet randomness.
+const POI_SEED_STREAM: u64 = 0x505F;
+
+/// The standard 39-rickshaw, one-hour Nara workload.
+pub fn nara_fleet(seed: u64) -> Dataset {
+    nara_fleet_sized(NARA_FLEET_SIZE, NARA_DURATION, seed)
+}
+
+/// The Nara workload with an explicit fleet size and duration (smaller
+/// instances keep unit tests and doc tests fast).
+pub fn nara_fleet_sized(count: usize, duration: f64, seed: u64) -> Dataset {
+    let model = RickshawModel::new(RickshawConfig::nara(), derive_seed(seed, POI_SEED_STREAM));
+    model.generate_fleet(seed, count, 0.0, duration)
+}
+
+/// A pedestrian random-waypoint crowd over the Nara area — used as the
+/// "other users" population in examples and to contrast street-bound and
+/// free movement in tests.
+pub fn pedestrian_crowd(count: usize, duration: f64, seed: u64) -> Dataset {
+    let config = RandomWaypointConfig::pedestrian(RickshawConfig::nara().area);
+    let model = RandomWaypoint::new(config);
+    let mut ds = Dataset::new();
+    for k in 0..count {
+        let mut rng = rng_from_seed(derive_seed(seed, k as u64));
+        let track = model.generate(&mut rng, &format!("walker-{k:02}"), 0.0, duration);
+        ds.push(track).expect("walker ids are distinct");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_trajectory::stats::dataset_stats;
+
+    #[test]
+    fn nara_fleet_matches_paper_shape() {
+        let ds = nara_fleet_sized(39, 600.0, 1);
+        assert_eq!(ds.len(), 39);
+        assert_eq!(ds.common_time_range(), Some((0.0, 600.0)));
+        let area = dummyloc_mobility::RickshawConfig::nara().area;
+        assert!(area.contains_bbox(&ds.bounds().unwrap()));
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_seed_sensitive() {
+        assert_eq!(nara_fleet_sized(5, 120.0, 9), nara_fleet_sized(5, 120.0, 9));
+        assert_ne!(
+            nara_fleet_sized(5, 120.0, 9),
+            nara_fleet_sized(5, 120.0, 10)
+        );
+    }
+
+    #[test]
+    fn pedestrian_crowd_is_slower_than_rickshaws() {
+        let walkers = pedestrian_crowd(8, 600.0, 2);
+        let rickshaws = nara_fleet_sized(8, 600.0, 2);
+        let ws = dataset_stats(&walkers);
+        let rs = dataset_stats(&rickshaws);
+        assert_eq!(ws.tracks, 8);
+        assert!(ws.max_speed <= 2.0 + 1e-9);
+        assert!(rs.max_speed > ws.max_speed);
+    }
+}

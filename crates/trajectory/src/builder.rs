@@ -1,0 +1,167 @@
+use dummyloc_geo::Point;
+
+use crate::{Result, TrackPoint, Trajectory, TrajectoryError};
+
+/// Builder enforcing the [`Trajectory`] invariants: non-empty, finite
+/// values, strictly increasing timestamps.
+///
+/// ```
+/// use dummyloc_geo::Point;
+/// use dummyloc_trajectory::TrajectoryBuilder;
+///
+/// let t = TrajectoryBuilder::new("u1")
+///     .point(0.0, Point::new(0.0, 0.0))
+///     .point(1.0, Point::new(1.0, 1.0))
+///     .build()
+///     .unwrap();
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TrajectoryBuilder {
+    id: String,
+    points: Vec<TrackPoint>,
+    error: Option<TrajectoryError>,
+}
+
+impl TrajectoryBuilder {
+    /// Starts a trajectory for subject `id`.
+    pub fn new(id: impl Into<String>) -> Self {
+        TrajectoryBuilder {
+            id: id.into(),
+            points: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Pre-allocates capacity for `n` samples.
+    pub fn with_capacity(id: impl Into<String>, n: usize) -> Self {
+        TrajectoryBuilder {
+            id: id.into(),
+            points: Vec::with_capacity(n),
+            error: None,
+        }
+    }
+
+    /// Appends a sample. Errors are deferred to [`TrajectoryBuilder::build`]
+    /// so calls chain; the first violation wins.
+    #[must_use]
+    pub fn point(mut self, t: f64, pos: Point) -> Self {
+        self.push(t, pos);
+        self
+    }
+
+    /// Non-consuming variant of [`TrajectoryBuilder::point`] for loops.
+    pub fn push(&mut self, t: f64, pos: Point) {
+        if self.error.is_some() {
+            return;
+        }
+        if !t.is_finite() || !pos.is_finite() {
+            self.error = Some(TrajectoryError::NonFinite {
+                id: self.id.clone(),
+                index: self.points.len(),
+            });
+            return;
+        }
+        if let Some(last) = self.points.last() {
+            if t <= last.t {
+                self.error = Some(TrajectoryError::NonMonotonicTime {
+                    id: self.id.clone(),
+                    t,
+                    prev: last.t,
+                });
+                return;
+            }
+        }
+        self.points.push(TrackPoint::new(t, pos));
+    }
+
+    /// Number of samples accepted so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples have been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Finalizes the trajectory, reporting the first deferred violation or
+    /// an [`TrajectoryError::Empty`] error for a builder with no samples.
+    pub fn build(self) -> Result<Trajectory> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        if self.points.is_empty() {
+            return Err(TrajectoryError::Empty { id: self.id });
+        }
+        Ok(Trajectory {
+            id: self.id,
+            points: self.points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_empty_fails() {
+        let err = TrajectoryBuilder::new("e").build().unwrap_err();
+        assert!(matches!(err, TrajectoryError::Empty { .. }));
+    }
+
+    #[test]
+    fn non_monotonic_time_fails() {
+        let err = TrajectoryBuilder::new("m")
+            .point(0.0, Point::ORIGIN)
+            .point(0.0, Point::new(1.0, 1.0)) // equal timestamps rejected too
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, TrajectoryError::NonMonotonicTime { t, prev, .. }
+            if t == 0.0 && prev == 0.0)
+        );
+    }
+
+    #[test]
+    fn non_finite_fails_with_index() {
+        let err = TrajectoryBuilder::new("n")
+            .point(0.0, Point::ORIGIN)
+            .point(1.0, Point::new(f64::NAN, 0.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TrajectoryError::NonFinite { index: 1, .. }));
+        let err2 = TrajectoryBuilder::new("n2")
+            .point(f64::INFINITY, Point::ORIGIN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err2, TrajectoryError::NonFinite { index: 0, .. }));
+    }
+
+    #[test]
+    fn first_violation_wins() {
+        // After a violation, later (even valid) points are ignored and the
+        // original error is reported.
+        let err = TrajectoryBuilder::new("f")
+            .point(5.0, Point::ORIGIN)
+            .point(1.0, Point::ORIGIN) // violation: time goes backwards
+            .point(10.0, Point::ORIGIN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TrajectoryError::NonMonotonicTime { t, .. } if t == 1.0));
+    }
+
+    #[test]
+    fn push_loop_equivalent_to_chaining() {
+        let mut b = TrajectoryBuilder::with_capacity("p", 3);
+        for i in 0..3 {
+            b.push(i as f64, Point::new(i as f64, 0.0));
+        }
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let t = b.build().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id(), "p");
+    }
+}

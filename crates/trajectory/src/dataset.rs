@@ -1,0 +1,304 @@
+use dummyloc_geo::{BBox, Point};
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Trajectory, TrajectoryError};
+
+/// The positions of every dataset subject at one instant.
+///
+/// This is the unit the paper's anonymity metrics consume: `F` and `P` are
+/// functions of *which regions contain how many position data* at a time
+/// step, and `Shift(P)` compares two consecutive snapshots. A subject whose
+/// track does not span `t` contributes `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    t: f64,
+    positions: Vec<Option<Point>>,
+}
+
+impl Snapshot {
+    /// Creates a snapshot directly (mostly useful in tests; simulations get
+    /// snapshots from [`Dataset::snapshot`]).
+    pub fn new(t: f64, positions: Vec<Option<Point>>) -> Self {
+        Snapshot { t, positions }
+    }
+
+    /// The instant this snapshot was taken.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Per-subject positions, parallel to the dataset's track order.
+    #[inline]
+    pub fn positions(&self) -> &[Option<Point>] {
+        &self.positions
+    }
+
+    /// `(subject index, position)` for every subject active at this instant.
+    pub fn active(&self) -> impl Iterator<Item = (usize, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+    }
+
+    /// Number of active subjects.
+    pub fn active_count(&self) -> usize {
+        self.positions.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Total number of subjects (active or not).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the snapshot covers zero subjects.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// A set of trajectories over a shared area and time axis — e.g. the
+/// paper's 39-rickshaw workload.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    tracks: Vec<Trajectory>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Creates a dataset from tracks, rejecting duplicate subject ids.
+    pub fn from_tracks(tracks: impl IntoIterator<Item = Trajectory>) -> Result<Self> {
+        let mut ds = Dataset::new();
+        for t in tracks {
+            ds.push(t)?;
+        }
+        Ok(ds)
+    }
+
+    /// Adds one track, rejecting a duplicate subject id.
+    pub fn push(&mut self, track: Trajectory) -> Result<()> {
+        if self.tracks.iter().any(|t| t.id() == track.id()) {
+            return Err(TrajectoryError::DuplicateId {
+                id: track.id().to_owned(),
+            });
+        }
+        self.tracks.push(track);
+        Ok(())
+    }
+
+    /// All tracks in insertion order.
+    #[inline]
+    pub fn tracks(&self) -> &[Trajectory] {
+        &self.tracks
+    }
+
+    /// Track by subject id.
+    pub fn get(&self, id: &str) -> Option<&Trajectory> {
+        self.tracks.iter().find(|t| t.id() == id)
+    }
+
+    /// Number of tracks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Whether the dataset has no tracks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// Smallest box containing every sample of every track, or `None` for an
+    /// empty dataset.
+    pub fn bounds(&self) -> Option<BBox> {
+        let mut it = self.tracks.iter().map(|t| t.bounds());
+        let first = it.next()?;
+        Some(it.fold(first, |acc, b| acc.union(&b)))
+    }
+
+    /// `(earliest start, latest end)` over all tracks, or `None` if empty.
+    pub fn time_range(&self) -> Option<(f64, f64)> {
+        let start = self
+            .tracks
+            .iter()
+            .map(|t| t.start_time())
+            .fold(f64::INFINITY, f64::min);
+        let end = self
+            .tracks
+            .iter()
+            .map(|t| t.end_time())
+            .fold(f64::NEG_INFINITY, f64::max);
+        (!self.tracks.is_empty()).then_some((start, end))
+    }
+
+    /// The interval during which *every* track is active — `(latest start,
+    /// earliest end)` — or `None` if the dataset is empty or no such
+    /// interval exists.
+    ///
+    /// The paper's experiments assume all 39 subjects report at every step;
+    /// experiments therefore run over this common window.
+    pub fn common_time_range(&self) -> Option<(f64, f64)> {
+        let start = self
+            .tracks
+            .iter()
+            .map(|t| t.start_time())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let end = self
+            .tracks
+            .iter()
+            .map(|t| t.end_time())
+            .fold(f64::INFINITY, f64::min);
+        (!self.tracks.is_empty() && start <= end).then_some((start, end))
+    }
+
+    /// The positions of every subject at time `t` (interpolated), `None`
+    /// entries for tracks not spanning `t`.
+    pub fn snapshot(&self, t: f64) -> Snapshot {
+        Snapshot {
+            t,
+            positions: self.tracks.iter().map(|tr| tr.position_at(t)).collect(),
+        }
+    }
+
+    /// Snapshots at `interval` spacing across the common time window (both
+    /// endpoints included when they land on the lattice).
+    ///
+    /// Returns an error for a non-positive interval; returns an empty vector
+    /// if no common window exists.
+    pub fn snapshots(&self, interval: f64) -> Result<Vec<Snapshot>> {
+        let valid = interval.is_finite() && interval > 0.0;
+        if !valid {
+            return Err(TrajectoryError::InvalidInterval { interval });
+        }
+        let Some((start, end)) = self.common_time_range() else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        let steps = ((end - start) / interval).floor() as usize;
+        for k in 0..=steps {
+            out.push(self.snapshot(start + k as f64 * interval));
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy with every track time-shifted so the earliest start is
+    /// zero (a no-op on an empty dataset).
+    pub fn aligned_to_zero(&self) -> Dataset {
+        let Some((start, _)) = self.time_range() else {
+            return self.clone();
+        };
+        Dataset {
+            tracks: self.tracks.iter().map(|t| t.time_shifted(-start)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrajectoryBuilder;
+
+    fn track(id: &str, t0: f64, t1: f64, x: f64) -> Trajectory {
+        TrajectoryBuilder::new(id)
+            .point(t0, Point::new(x, 0.0))
+            .point(t1, Point::new(x, 100.0))
+            .build()
+            .unwrap()
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::from_tracks(vec![
+            track("a", 0.0, 10.0, 0.0),
+            track("b", 2.0, 12.0, 50.0),
+            track("c", 4.0, 8.0, 100.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut ds = dataset();
+        let err = ds.push(track("a", 0.0, 1.0, 0.0)).unwrap_err();
+        assert!(matches!(err, TrajectoryError::DuplicateId { id } if id == "a"));
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let ds = dataset();
+        assert_eq!(ds.get("b").unwrap().id(), "b");
+        assert!(ds.get("zz").is_none());
+    }
+
+    #[test]
+    fn time_ranges() {
+        let ds = dataset();
+        assert_eq!(ds.time_range(), Some((0.0, 12.0)));
+        assert_eq!(ds.common_time_range(), Some((4.0, 8.0)));
+        assert_eq!(Dataset::new().time_range(), None);
+        assert_eq!(Dataset::new().common_time_range(), None);
+    }
+
+    #[test]
+    fn no_common_window_when_disjoint() {
+        let ds = Dataset::from_tracks(vec![track("a", 0.0, 1.0, 0.0), track("b", 5.0, 6.0, 0.0)])
+            .unwrap();
+        assert_eq!(ds.common_time_range(), None);
+        assert!(ds.snapshots(1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_marks_inactive_subjects() {
+        let ds = dataset();
+        let s = ds.snapshot(1.0); // only "a" active
+        assert_eq!(s.time(), 1.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.active_count(), 1);
+        assert!(s.positions()[0].is_some());
+        assert!(s.positions()[1].is_none());
+        let active: Vec<_> = s.active().collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].0, 0);
+    }
+
+    #[test]
+    fn snapshot_in_common_window_covers_everyone() {
+        let ds = dataset();
+        let s = ds.snapshot(6.0);
+        assert_eq!(s.active_count(), 3);
+    }
+
+    #[test]
+    fn snapshots_cover_common_window() {
+        let ds = dataset();
+        let snaps = ds.snapshots(2.0).unwrap();
+        // common window [4, 8] at spacing 2 → t = 4, 6, 8
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].time(), 4.0);
+        assert_eq!(snaps[2].time(), 8.0);
+        assert!(snaps.iter().all(|s| s.active_count() == 3));
+        assert!(ds.snapshots(0.0).is_err());
+    }
+
+    #[test]
+    fn bounds_union() {
+        let ds = dataset();
+        let b = ds.bounds().unwrap();
+        assert_eq!(b.min(), Point::new(0.0, 0.0));
+        assert_eq!(b.max(), Point::new(100.0, 100.0));
+        assert!(Dataset::new().bounds().is_none());
+    }
+
+    #[test]
+    fn aligned_to_zero_shifts_all() {
+        let ds = Dataset::from_tracks(vec![track("a", 100.0, 110.0, 0.0)]).unwrap();
+        let a = ds.aligned_to_zero();
+        assert_eq!(a.time_range(), Some((0.0, 10.0)));
+    }
+}

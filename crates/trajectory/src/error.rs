@@ -1,0 +1,124 @@
+use std::fmt;
+
+/// Errors produced by the trajectory substrate.
+#[derive(Debug)]
+pub enum TrajectoryError {
+    /// A trajectory must contain at least one point.
+    Empty {
+        /// Id of the offending trajectory.
+        id: String,
+    },
+    /// Timestamps must be strictly increasing.
+    NonMonotonicTime {
+        /// Id of the offending trajectory.
+        id: String,
+        /// Timestamp that failed to advance.
+        t: f64,
+        /// The preceding timestamp.
+        prev: f64,
+    },
+    /// A coordinate or timestamp was NaN or infinite.
+    NonFinite {
+        /// Id of the offending trajectory.
+        id: String,
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// Resampling was requested with a non-positive interval.
+    InvalidInterval {
+        /// The rejected interval.
+        interval: f64,
+    },
+    /// Two trajectories in one dataset share an id.
+    DuplicateId {
+        /// The colliding id.
+        id: String,
+    },
+    /// A malformed record was encountered while parsing.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// An underlying JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::Empty { id } => {
+                write!(f, "trajectory '{id}' has no points")
+            }
+            TrajectoryError::NonMonotonicTime { id, t, prev } => write!(
+                f,
+                "trajectory '{id}': timestamp {t} does not advance past {prev}"
+            ),
+            TrajectoryError::NonFinite { id, index } => {
+                write!(f, "trajectory '{id}': non-finite value at sample {index}")
+            }
+            TrajectoryError::InvalidInterval { interval } => {
+                write!(f, "resample interval must be positive, got {interval}")
+            }
+            TrajectoryError::DuplicateId { id } => {
+                write!(f, "dataset already contains a trajectory with id '{id}'")
+            }
+            TrajectoryError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TrajectoryError::Io(e) => write!(f, "i/o error: {e}"),
+            TrajectoryError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrajectoryError::Io(e) => Some(e),
+            TrajectoryError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TrajectoryError {
+    fn from(e: std::io::Error) -> Self {
+        TrajectoryError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TrajectoryError {
+    fn from(e: serde_json::Error) -> Self {
+        TrajectoryError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_ids_and_values() {
+        let e = TrajectoryError::NonMonotonicTime {
+            id: "r7".into(),
+            t: 3.0,
+            prev: 5.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("r7"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('5'));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = TrajectoryError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,234 @@
+//! Trajectory (de)serialization.
+//!
+//! Two formats are supported:
+//!
+//! * **CSV** — one sample per line, `id,t,x,y`, with an optional header.
+//!   This is the interchange format for feeding external GPS datasets (e.g.
+//!   a real rickshaw trace set) into the reproduction.
+//! * **JSON** — the full [`Dataset`] structure via serde, used by the
+//!   experiment runner to checkpoint generated workloads.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use dummyloc_geo::Point;
+
+use crate::{Dataset, Result, Trajectory, TrajectoryBuilder, TrajectoryError};
+
+/// Writes a dataset as `id,t,x,y` CSV with a header line.
+///
+/// Samples are written track by track in time order, so the output parses
+/// back via [`read_csv`] into an equal dataset.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<()> {
+    writeln!(w, "id,t,x,y")?;
+    for track in dataset.tracks() {
+        for p in track.points() {
+            writeln!(
+                w,
+                "{},{},{},{}",
+                csv_escape(track.id()),
+                p.t,
+                p.pos.x,
+                p.pos.y
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an `id,t,x,y` CSV (header optional). Samples for one id must appear
+/// in time order; ids may interleave.
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset> {
+    let reader = BufReader::new(r);
+    // Keep insertion order of first appearance so the dataset's track order
+    // is stable across round trips.
+    let mut order: Vec<String> = Vec::new();
+    let mut builders: std::collections::HashMap<String, TrajectoryBuilder> =
+        std::collections::HashMap::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if lineno == 0 && line.eq_ignore_ascii_case("id,t,x,y") {
+            continue;
+        }
+        let mut fields = line.splitn(4, ',');
+        let (id, t, x, y) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(id), Some(t), Some(x), Some(y)) => (id, t, x, y),
+            _ => {
+                return Err(TrajectoryError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected 4 comma-separated fields, got '{line}'"),
+                })
+            }
+        };
+        let parse_f64 = |s: &str, what: &str| -> Result<f64> {
+            s.trim().parse::<f64>().map_err(|e| TrajectoryError::Parse {
+                line: lineno + 1,
+                message: format!("bad {what} '{s}': {e}"),
+            })
+        };
+        let t = parse_f64(t, "timestamp")?;
+        let x = parse_f64(x, "x coordinate")?;
+        let y = parse_f64(y, "y coordinate")?;
+        let id = csv_unescape(id);
+        let builder = builders.entry(id.clone()).or_insert_with(|| {
+            order.push(id.clone());
+            TrajectoryBuilder::new(id.clone())
+        });
+        builder.push(t, Point::new(x, y));
+    }
+
+    let mut dataset = Dataset::new();
+    for id in order {
+        let builder = builders
+            .remove(&id)
+            .expect("order and builders stay in sync");
+        dataset.push(builder.build()?)?;
+    }
+    Ok(dataset)
+}
+
+/// Serializes a dataset to pretty-printed JSON.
+pub fn write_json<W: Write>(dataset: &Dataset, w: W) -> Result<()> {
+    serde_json::to_writer_pretty(w, dataset)?;
+    Ok(())
+}
+
+/// Deserializes a dataset from JSON, re-validating every track's invariants
+/// (the JSON may come from outside the library).
+pub fn read_json<R: Read>(r: R) -> Result<Dataset> {
+    let raw: Dataset = serde_json::from_reader(r)?;
+    // serde bypasses the builder, so replay each track through it.
+    let mut dataset = Dataset::new();
+    for track in raw.tracks() {
+        let mut b = TrajectoryBuilder::with_capacity(track.id(), track.len());
+        for p in track.points() {
+            b.push(p.t, p.pos);
+        }
+        dataset.push(b.build()?)?;
+    }
+    Ok(dataset)
+}
+
+/// Serializes one trajectory to JSON (convenience for tools and tests).
+pub fn track_to_json(track: &Trajectory) -> Result<String> {
+    Ok(serde_json::to_string(track)?)
+}
+
+fn csv_escape(id: &str) -> String {
+    // Commas would corrupt the record structure; encode them.
+    id.replace('%', "%25").replace(',', "%2C")
+}
+
+fn csv_unescape(id: &str) -> String {
+    id.replace("%2C", ",").replace("%25", "%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        let a = TrajectoryBuilder::new("a")
+            .point(0.0, Point::new(1.5, 2.5))
+            .point(1.0, Point::new(3.0, 4.0))
+            .build()
+            .unwrap();
+        let b = TrajectoryBuilder::new("b")
+            .point(0.5, Point::new(-1.0, -2.0))
+            .point(2.5, Point::new(0.0, 0.0))
+            .build()
+            .unwrap();
+        Dataset::from_tracks(vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_dataset() {
+        let ds = dataset();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn csv_without_header_parses() {
+        let csv = "a,0,1,2\na,1,3,4\n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.tracks()[0].len(), 2);
+    }
+
+    #[test]
+    fn csv_interleaved_ids_parse() {
+        let csv = "id,t,x,y\na,0,0,0\nb,0,9,9\na,1,1,1\nb,1,8,8\n";
+        let ds = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.tracks()[0].id(), "a");
+        assert_eq!(ds.tracks()[1].id(), "b");
+        assert_eq!(ds.get("a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn csv_bad_field_count_is_a_parse_error_with_line() {
+        let err = read_csv("id,t,x,y\na,0,1\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, TrajectoryError::Parse { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn csv_bad_number_is_a_parse_error() {
+        let err = read_csv("a,zero,1,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TrajectoryError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn csv_non_monotonic_input_rejected() {
+        let err = read_csv("a,5,0,0\na,1,1,1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TrajectoryError::NonMonotonicTime { .. }));
+    }
+
+    #[test]
+    fn csv_id_with_comma_round_trips() {
+        let t = TrajectoryBuilder::new("weird,id%x")
+            .point(0.0, Point::ORIGIN)
+            .build()
+            .unwrap();
+        let ds = Dataset::from_tracks(vec![t]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.tracks()[0].id(), "weird,id%x");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_dataset() {
+        let ds = dataset();
+        let mut buf = Vec::new();
+        write_json(&ds, &mut buf).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn json_with_invalid_track_rejected() {
+        // Hand-crafted JSON with backwards time must fail revalidation.
+        let bad = r#"{"tracks":[{"id":"x","points":[
+            {"t":5.0,"pos":{"x":0.0,"y":0.0}},
+            {"t":1.0,"pos":{"x":1.0,"y":1.0}}]}]}"#;
+        assert!(read_json(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_csv_yields_empty_dataset() {
+        let ds = read_csv("".as_bytes()).unwrap();
+        assert!(ds.is_empty());
+        let ds2 = read_csv("id,t,x,y\n".as_bytes()).unwrap();
+        assert!(ds2.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Trajectory substrate for the `dummyloc` workspace.
+//!
+//! The paper's workload is trajectory data — *"39 rickshaw trajectories from
+//! Nara, Japan"* — sampled as `(x, y, t)` triples, and all of its anonymity
+//! metrics are computed over *snapshots*: the set of positions every subject
+//! reports at one time step. This crate supplies:
+//!
+//! * [`Trajectory`] — an immutable, time-sorted sequence of [`TrackPoint`]s
+//!   with linear interpolation ([`Trajectory::position_at`]) and fixed-rate
+//!   resampling,
+//! * [`TrajectoryBuilder`] — the only way to construct one, enforcing the
+//!   strictly-increasing-time invariant at build time,
+//! * [`Dataset`] — a collection of trajectories with snapshot extraction,
+//!   shared time range and bounding box,
+//! * [`io`] — CSV and JSON (de)serialization,
+//! * [`noise`] — the isotropic-Gaussian GPS error model,
+//! * [`simplify`] — Douglas–Peucker trajectory simplification,
+//! * [`stats`] — per-track and per-dataset statistics (speeds, step
+//!   displacements, coverage) used to validate the synthetic Nara workload
+//!   against the paper's description.
+//!
+//! # Example
+//!
+//! ```
+//! use dummyloc_geo::Point;
+//! use dummyloc_trajectory::TrajectoryBuilder;
+//!
+//! let track = TrajectoryBuilder::new("rickshaw-0")
+//!     .point(0.0, Point::new(0.0, 0.0))
+//!     .point(10.0, Point::new(100.0, 0.0))
+//!     .build()
+//!     .unwrap();
+//! // Linear interpolation half way along the segment:
+//! assert_eq!(track.position_at(5.0), Some(Point::new(50.0, 0.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dataset;
+mod error;
+mod track;
+
+pub mod io;
+pub mod noise;
+pub mod simplify;
+pub mod stats;
+
+pub use builder::TrajectoryBuilder;
+pub use dataset::{Dataset, Snapshot};
+pub use error::TrajectoryError;
+pub use track::{TrackPoint, Trajectory};
+
+/// Result alias used throughout the trajectory crate.
+pub type Result<T> = std::result::Result<T, TrajectoryError>;

@@ -1,0 +1,177 @@
+//! GPS noise injection.
+//!
+//! Real receivers jitter by metres; synthetic tracks are exact. Adding a
+//! noise model matters for two reasons:
+//!
+//! 1. **Fidelity** — feeding noisy tracks through the pipeline checks
+//!    that nothing (snapping, metrics, adversaries) silently depends on
+//!    exact positions.
+//! 2. **Security analysis** — observer filters (speed gates, map filters)
+//!    must budget for noise; their tolerances come from the same `sigma`
+//!    used here.
+//!
+//! The model is isotropic Gaussian noise per sample, the standard
+//! first-order GPS error model. Samples are drawn with the Box–Muller
+//! transform to stay within the workspace's `rand`-only dependency set.
+
+use dummyloc_geo::{BBox, Point};
+use rand::Rng;
+
+use crate::{Trajectory, TrajectoryBuilder};
+
+/// Draws one standard-normal value (Box–Muller; consumes two uniforms).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log: gen::<f64>() ∈ [0, 1); flip to (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Adds isotropic Gaussian noise of standard deviation `sigma` (metres,
+/// per axis) to every sample. When `clamp_to` is given, noisy positions
+/// are clamped into that area (receivers report positions, not walls,
+/// but simulations need the service-area invariant to hold).
+///
+/// # Panics
+///
+/// Panics on a negative or non-finite `sigma` (experiment-setup error).
+pub fn add_gps_noise<R: Rng + ?Sized>(
+    track: &Trajectory,
+    sigma: f64,
+    clamp_to: Option<BBox>,
+    rng: &mut R,
+) -> Trajectory {
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be a non-negative number of metres"
+    );
+    let mut b = TrajectoryBuilder::with_capacity(track.id(), track.len());
+    for p in track.points() {
+        let mut noisy = Point::new(
+            p.pos.x + sigma * standard_normal(rng),
+            p.pos.y + sigma * standard_normal(rng),
+        );
+        if let Some(area) = clamp_to {
+            noisy = area.clamp(noisy);
+        }
+        b.push(p.t, noisy);
+    }
+    b.build().expect("noise preserves the time axis")
+}
+
+/// Applies [`add_gps_noise`] to every track of a dataset, with an
+/// independent noise draw per track position.
+pub fn add_gps_noise_dataset<R: Rng + ?Sized>(
+    dataset: &crate::Dataset,
+    sigma: f64,
+    clamp_to: Option<BBox>,
+    rng: &mut R,
+) -> crate::Dataset {
+    let mut out = crate::Dataset::new();
+    for track in dataset.tracks() {
+        out.push(add_gps_noise(track, sigma, clamp_to, rng))
+            .expect("noise preserves track ids");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::rng::rng_from_seed;
+
+    fn straight(n: usize) -> Trajectory {
+        let mut b = TrajectoryBuilder::new("s");
+        for i in 0..n {
+            b.push(i as f64, Point::new(i as f64, 0.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let t = straight(20);
+        let mut rng = rng_from_seed(1);
+        assert_eq!(add_gps_noise(&t, 0.0, None, &mut rng), t);
+    }
+
+    #[test]
+    fn noise_statistics_match_sigma() {
+        let t = straight(4000);
+        let mut rng = rng_from_seed(2);
+        let sigma = 5.0;
+        let noisy = add_gps_noise(&t, sigma, None, &mut rng);
+        let residuals: Vec<f64> = t
+            .points()
+            .iter()
+            .zip(noisy.points())
+            .map(|(a, b)| b.pos.y - a.pos.y) // y axis is pure noise
+            .collect();
+        let n = residuals.len() as f64;
+        let mean = residuals.iter().sum::<f64>() / n;
+        let var = residuals
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn clamping_keeps_positions_in_area() {
+        let area = BBox::new(Point::new(0.0, 0.0), Point::new(19.0, 0.5)).unwrap();
+        let t = straight(20);
+        let mut rng = rng_from_seed(3);
+        let noisy = add_gps_noise(&t, 10.0, Some(area), &mut rng);
+        for p in noisy.points() {
+            assert!(area.contains(p.pos));
+        }
+    }
+
+    #[test]
+    fn timestamps_and_ids_survive() {
+        let t = straight(10);
+        let mut rng = rng_from_seed(4);
+        let noisy = add_gps_noise(&t, 3.0, None, &mut rng);
+        assert_eq!(noisy.id(), "s");
+        for (a, b) in t.points().iter().zip(noisy.points()) {
+            assert_eq!(a.t, b.t);
+        }
+    }
+
+    #[test]
+    fn dataset_noise_covers_all_tracks() {
+        let ds = crate::Dataset::from_tracks(vec![straight(5), {
+            let mut b = TrajectoryBuilder::new("s2");
+            for i in 0..5 {
+                b.push(i as f64, Point::new(0.0, i as f64));
+            }
+            b.build().unwrap()
+        }])
+        .unwrap();
+        let mut rng = rng_from_seed(5);
+        let noisy = add_gps_noise_dataset(&ds, 2.0, None, &mut rng);
+        assert_eq!(noisy.len(), 2);
+        assert_eq!(noisy.tracks()[1].id(), "s2");
+        assert_ne!(noisy, ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        let t = straight(3);
+        let mut rng = rng_from_seed(6);
+        add_gps_noise(&t, -1.0, None, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = straight(30);
+        let a = add_gps_noise(&t, 4.0, None, &mut rng_from_seed(7));
+        let b = add_gps_noise(&t, 4.0, None, &mut rng_from_seed(7));
+        assert_eq!(a, b);
+        let c = add_gps_noise(&t, 4.0, None, &mut rng_from_seed(8));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,178 @@
+//! Trajectory simplification (Douglas–Peucker).
+//!
+//! GPS tracks oversample straight stretches; simplification keeps the
+//! geometry within a spatial tolerance while dropping redundant samples.
+//! Used to shrink workloads for long simulations and to normalize
+//! externally supplied traces before statistics.
+
+use dummyloc_geo::Point;
+
+use crate::{Result, TrackPoint, Trajectory, TrajectoryError};
+
+/// Simplifies a track with the Douglas–Peucker algorithm: the result
+/// contains a subset of the original samples (always including the first
+/// and last) such that every dropped sample lies within `tolerance`
+/// metres of the simplified polyline.
+///
+/// Timestamps are preserved, so interpolating the simplified track stays
+/// time-consistent with the original.
+///
+/// Returns an error for a negative or non-finite tolerance.
+pub fn douglas_peucker(track: &Trajectory, tolerance: f64) -> Result<Trajectory> {
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        return Err(TrajectoryError::InvalidInterval {
+            interval: tolerance,
+        });
+    }
+    let points = track.points();
+    if points.len() <= 2 {
+        return Ok(track.clone());
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    // Iterative stack instead of recursion: GPS tracks can be long.
+    let mut stack = vec![(0usize, points.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (idx, dist) = farthest_from_segment(points, lo, hi);
+        if dist > tolerance {
+            keep[idx] = true;
+            stack.push((lo, idx));
+            stack.push((idx, hi));
+        }
+    }
+    let kept: Vec<TrackPoint> = points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect();
+    let mut builder = crate::TrajectoryBuilder::with_capacity(track.id(), kept.len());
+    for p in kept {
+        builder.push(p.t, p.pos);
+    }
+    builder.build()
+}
+
+/// Index and distance of the sample farthest from the `lo`–`hi` segment.
+fn farthest_from_segment(points: &[TrackPoint], lo: usize, hi: usize) -> (usize, f64) {
+    let a = points[lo].pos;
+    let b = points[hi].pos;
+    let mut best = (lo + 1, -1.0);
+    for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = point_segment_distance(p.pos, a, b);
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// Euclidean distance from `p` to the segment `a`–`b`.
+pub(crate) fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
+    let seg = a.to(b);
+    let len_sq = seg.length_sq();
+    if len_sq == 0.0 {
+        return p.distance(&a);
+    }
+    let t = (a.to(p).dot(&seg) / len_sq).clamp(0.0, 1.0);
+    p.distance(&a.lerp(&b, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrajectoryBuilder;
+
+    fn track_from(points: &[(f64, f64)]) -> Trajectory {
+        let mut b = TrajectoryBuilder::new("t");
+        for (i, &(x, y)) in points.iter().enumerate() {
+            b.push(i as f64, Point::new(x, y));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let t = track_from(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0)]);
+        let s = douglas_peucker(&t, 0.01).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[0].pos, Point::new(0.0, 0.0));
+        assert_eq!(s.points()[1].pos, Point::new(4.0, 0.0));
+        // Timestamps preserved.
+        assert_eq!(s.points()[1].t, 4.0);
+    }
+
+    #[test]
+    fn corner_is_kept() {
+        let t = track_from(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (2.0, 1.0), (2.0, 2.0)]);
+        let s = douglas_peucker(&t, 0.1).unwrap();
+        let kept: Vec<Point> = s.points().iter().map(|p| p.pos).collect();
+        assert!(
+            kept.contains(&Point::new(2.0, 0.0)),
+            "corner dropped: {kept:?}"
+        );
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_only_exactly_collinear_drops() {
+        let t = track_from(&[(0.0, 0.0), (1.0, 0.5), (2.0, 0.0)]);
+        let s = douglas_peucker(&t, 0.0).unwrap();
+        assert_eq!(s.len(), 3); // the bump survives
+        let straight = track_from(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(douglas_peucker(&straight, 0.0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        // A noisy sine-ish path: every original point must lie within the
+        // tolerance of the simplified polyline.
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = i as f64;
+                (x, (x * 0.3).sin() * 20.0)
+            })
+            .collect();
+        let t = track_from(&pts);
+        let tol = 2.5;
+        let s = douglas_peucker(&t, tol).unwrap();
+        assert!(s.len() < t.len());
+        let sp = s.points();
+        for orig in t.points() {
+            let mut best = f64::INFINITY;
+            for w in sp.windows(2) {
+                best = best.min(point_segment_distance(orig.pos, w[0].pos, w[1].pos));
+            }
+            assert!(best <= tol + 1e-9, "point {:?} is {best} away", orig.pos);
+        }
+    }
+
+    #[test]
+    fn tiny_tracks_pass_through() {
+        let one = track_from(&[(5.0, 5.0)]);
+        assert_eq!(douglas_peucker(&one, 1.0).unwrap(), one);
+        let two = track_from(&[(0.0, 0.0), (9.0, 9.0)]);
+        assert_eq!(douglas_peucker(&two, 1.0).unwrap(), two);
+    }
+
+    #[test]
+    fn invalid_tolerance_rejected() {
+        let t = track_from(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert!(douglas_peucker(&t, -1.0).is_err());
+        assert!(douglas_peucker(&t, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn point_segment_distance_cases() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(point_segment_distance(Point::new(5.0, 3.0), a, b), 3.0);
+        assert_eq!(point_segment_distance(Point::new(-4.0, 3.0), a, b), 5.0);
+        assert_eq!(point_segment_distance(Point::new(13.0, 4.0), a, b), 5.0);
+        // Degenerate segment.
+        assert_eq!(point_segment_distance(Point::new(3.0, 4.0), a, a), 5.0);
+    }
+}

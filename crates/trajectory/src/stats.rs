@@ -1,0 +1,372 @@
+//! Trajectory statistics.
+//!
+//! These summaries serve two purposes in the reproduction:
+//!
+//! 1. **Workload validation** — `EXPERIMENTS.md` reports the synthetic Nara
+//!    rickshaw workload's speed and coverage statistics so a reader can
+//!    check it is plausible for "rickshaws touring a downtown area".
+//! 2. **Plausibility analysis** — the per-step displacement distribution is
+//!    what an observer exploits to tell dummies from true tracks; the
+//!    adversary models in `dummyloc-core` consume these numbers.
+
+use dummyloc_geo::{Grid, Point};
+
+use crate::{Dataset, Trajectory};
+
+/// Summary statistics of one trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Track duration in seconds.
+    pub duration: f64,
+    /// Total path length.
+    pub path_length: f64,
+    /// Mean speed over moving segments (path length / duration); zero for
+    /// single-sample or zero-duration tracks.
+    pub mean_speed: f64,
+    /// Largest instantaneous (per-segment) speed.
+    pub max_speed: f64,
+    /// Mean per-step displacement distance.
+    pub mean_step: f64,
+    /// Largest per-step displacement distance.
+    pub max_step: f64,
+}
+
+/// Computes [`TrackStats`] for a trajectory.
+pub fn track_stats(track: &Trajectory) -> TrackStats {
+    let samples = track.len();
+    let duration = track.duration();
+    let path_length = track.path_length();
+    let mut max_speed: f64 = 0.0;
+    let mut max_step: f64 = 0.0;
+    let mut steps = 0usize;
+    for (dt, dist) in track.steps() {
+        if dt > 0.0 {
+            max_speed = max_speed.max(dist / dt);
+        }
+        max_step = max_step.max(dist);
+        steps += 1;
+    }
+    TrackStats {
+        samples,
+        duration,
+        path_length,
+        mean_speed: if duration > 0.0 {
+            path_length / duration
+        } else {
+            0.0
+        },
+        max_speed,
+        mean_step: if steps > 0 {
+            path_length / steps as f64
+        } else {
+            0.0
+        },
+        max_step,
+    }
+}
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of tracks.
+    pub tracks: usize,
+    /// Total samples across tracks.
+    pub samples: usize,
+    /// Mean of per-track mean speeds (unweighted).
+    pub mean_speed: f64,
+    /// Largest per-segment speed anywhere in the dataset.
+    pub max_speed: f64,
+    /// Mean per-step displacement across all steps of all tracks.
+    pub mean_step: f64,
+    /// Width and height of the dataset bounding box, zero when empty.
+    pub extent: (f64, f64),
+}
+
+/// Computes [`DatasetStats`] for a dataset.
+pub fn dataset_stats(dataset: &Dataset) -> DatasetStats {
+    let tracks = dataset.len();
+    let mut samples = 0usize;
+    let mut speed_sum = 0.0;
+    let mut max_speed: f64 = 0.0;
+    let mut step_sum = 0.0;
+    let mut step_count = 0usize;
+    for t in dataset.tracks() {
+        let s = track_stats(t);
+        samples += s.samples;
+        speed_sum += s.mean_speed;
+        max_speed = max_speed.max(s.max_speed);
+        step_sum += s.path_length;
+        step_count += t.len().saturating_sub(1);
+    }
+    let extent = dataset
+        .bounds()
+        .map_or((0.0, 0.0), |b| (b.width(), b.height()));
+    DatasetStats {
+        tracks,
+        samples,
+        mean_speed: if tracks > 0 {
+            speed_sum / tracks as f64
+        } else {
+            0.0
+        },
+        max_speed,
+        mean_step: if step_count > 0 {
+            step_sum / step_count as f64
+        } else {
+            0.0
+        },
+        extent,
+    }
+}
+
+/// Fraction of a grid's regions visited by at least one sample of the
+/// dataset — a static ubiquity measure of the *workload itself* (distinct
+/// from the per-snapshot `F` metric in `dummyloc-core`, which this
+/// upper-bounds).
+pub fn coverage(dataset: &Dataset, grid: &Grid) -> f64 {
+    let mut visited = vec![false; grid.cell_count()];
+    for t in dataset.tracks() {
+        for p in t.points() {
+            if let Ok(cell) = grid.cell_of(p.pos) {
+                let idx = grid
+                    .linear_index(cell)
+                    .expect("cell_of returns in-range cells");
+                visited[idx] = true;
+            }
+        }
+    }
+    let hit = visited.iter().filter(|&&v| v).count();
+    hit as f64 / grid.cell_count() as f64
+}
+
+/// Histogram of per-step displacement distances with uniform bins of width
+/// `bin_width`; the final bin is open-ended. Returns bin counts.
+pub fn step_histogram(dataset: &Dataset, bin_width: f64, bins: usize) -> Vec<usize> {
+    assert!(bin_width > 0.0, "bin_width must be positive");
+    assert!(bins > 0, "need at least one bin");
+    let mut hist = vec![0usize; bins];
+    for t in dataset.tracks() {
+        for (_, dist) in t.steps() {
+            let bin = ((dist / bin_width) as usize).min(bins - 1);
+            hist[bin] += 1;
+        }
+    }
+    hist
+}
+
+/// Mean position of all samples of all tracks, or `None` for an empty
+/// dataset (used to centre synthetic workloads in a service area).
+pub fn centroid(dataset: &Dataset) -> Option<Point> {
+    let mut n = 0usize;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    for t in dataset.tracks() {
+        for p in t.points() {
+            n += 1;
+            sx += p.pos.x;
+            sy += p.pos.y;
+        }
+    }
+    (n > 0).then(|| Point::new(sx / n as f64, sy / n as f64))
+}
+
+/// Turn angles of a track: the absolute heading change (radians, in
+/// `[0, π]`) at each interior sample with movement on both sides.
+///
+/// Turn statistics are a strong behavioral fingerprint: real movers go
+/// mostly straight (small angles) with occasional corners, diffusing
+/// dummies turn uniformly. The realism experiment (X3) compares these
+/// distributions between dummies and true users.
+pub fn turn_angles(track: &Trajectory) -> Vec<f64> {
+    let pts = track.points();
+    let mut out = Vec::new();
+    for w in pts.windows(3) {
+        let v1 = w[0].pos.to(w[1].pos);
+        let v2 = w[1].pos.to(w[2].pos);
+        if v1.length() > 1e-9 && v2.length() > 1e-9 {
+            let cos = (v1.dot(&v2) / (v1.length() * v2.length())).clamp(-1.0, 1.0);
+            out.push(cos.acos());
+        }
+    }
+    out
+}
+
+/// Summary of a sample of values: mean, p50, p95 (empty samples give
+/// zeros). Percentiles use the nearest-rank method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+}
+
+/// Summarizes a sample (see [`SampleSummary`]).
+pub fn summarize(values: &[f64]) -> SampleSummary {
+    if values.is_empty() {
+        return SampleSummary {
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+        };
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let rank = |q: f64| {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    };
+    SampleSummary {
+        mean,
+        p50: rank(0.50),
+        p95: rank(0.95),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrajectoryBuilder;
+    use dummyloc_geo::BBox;
+
+    fn l_track() -> Trajectory {
+        // 100 m east in 10 s (10 m/s), then 50 m north in 25 s (2 m/s).
+        TrajectoryBuilder::new("l")
+            .point(0.0, Point::new(0.0, 0.0))
+            .point(10.0, Point::new(100.0, 0.0))
+            .point(35.0, Point::new(100.0, 50.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn track_stats_basic() {
+        let s = track_stats(&l_track());
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.duration, 35.0);
+        assert_eq!(s.path_length, 150.0);
+        assert!((s.mean_speed - 150.0 / 35.0).abs() < 1e-12);
+        assert_eq!(s.max_speed, 10.0);
+        assert_eq!(s.mean_step, 75.0);
+        assert_eq!(s.max_step, 100.0);
+    }
+
+    #[test]
+    fn single_point_track_stats_are_zero() {
+        let t = TrajectoryBuilder::new("s")
+            .point(0.0, Point::ORIGIN)
+            .build()
+            .unwrap();
+        let s = track_stats(&t);
+        assert_eq!(s.mean_speed, 0.0);
+        assert_eq!(s.max_speed, 0.0);
+        assert_eq!(s.mean_step, 0.0);
+    }
+
+    #[test]
+    fn dataset_stats_aggregate() {
+        let ds = Dataset::from_tracks(vec![l_track()]).unwrap();
+        let s = dataset_stats(&ds);
+        assert_eq!(s.tracks, 1);
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.max_speed, 10.0);
+        assert_eq!(s.extent, (100.0, 50.0));
+        let empty = dataset_stats(&Dataset::new());
+        assert_eq!(empty.tracks, 0);
+        assert_eq!(empty.mean_speed, 0.0);
+        assert_eq!(empty.extent, (0.0, 0.0));
+    }
+
+    #[test]
+    fn coverage_counts_visited_cells() {
+        let ds = Dataset::from_tracks(vec![l_track()]).unwrap();
+        let bounds = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        let grid = Grid::square(bounds, 2).unwrap(); // 50 m cells
+                                                     // Samples: (0,0) → cell (0,0); (100,0) → (1,0); (100,50) → (1,1).
+        let c = coverage(&ds, &grid);
+        assert_eq!(c, 3.0 / 4.0);
+    }
+
+    #[test]
+    fn coverage_ignores_out_of_grid_samples() {
+        let ds = Dataset::from_tracks(vec![l_track()]).unwrap();
+        let bounds = BBox::new(Point::new(1000.0, 1000.0), Point::new(2000.0, 2000.0)).unwrap();
+        let grid = Grid::square(bounds, 4).unwrap();
+        assert_eq!(coverage(&ds, &grid), 0.0);
+    }
+
+    #[test]
+    fn step_histogram_bins_and_overflow() {
+        let ds = Dataset::from_tracks(vec![l_track()]).unwrap();
+        // Steps are 100 and 50. Bins of 40: 50 → bin 1, 100 → bin 2 (last, open).
+        let h = step_histogram(&ds, 40.0, 3);
+        assert_eq!(h, vec![0, 1, 1]);
+        // With 2 bins, 100 overflows into the last bin.
+        let h2 = step_histogram(&ds, 40.0, 2);
+        assert_eq!(h2, vec![0, 2]);
+    }
+
+    #[test]
+    fn turn_angles_straight_and_corner() {
+        let straight = TrajectoryBuilder::new("s")
+            .point(0.0, Point::new(0.0, 0.0))
+            .point(1.0, Point::new(1.0, 0.0))
+            .point(2.0, Point::new(2.0, 0.0))
+            .build()
+            .unwrap();
+        let a = turn_angles(&straight);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].abs() < 1e-9);
+
+        let corner = TrajectoryBuilder::new("c")
+            .point(0.0, Point::new(0.0, 0.0))
+            .point(1.0, Point::new(1.0, 0.0))
+            .point(2.0, Point::new(1.0, 1.0)) // 90 degree left turn
+            .point(3.0, Point::new(0.0, 1.0)) // another 90
+            .build()
+            .unwrap();
+        let a = turn_angles(&corner);
+        assert_eq!(a.len(), 2);
+        for angle in a {
+            assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn turn_angles_skip_stationary_segments() {
+        let t = TrajectoryBuilder::new("d")
+            .point(0.0, Point::new(0.0, 0.0))
+            .point(1.0, Point::new(0.0, 0.0)) // dwell
+            .point(2.0, Point::new(1.0, 0.0))
+            .build()
+            .unwrap();
+        assert!(turn_angles(&t).is_empty());
+    }
+
+    #[test]
+    fn summarize_basics() {
+        let s = summarize(&[]);
+        assert_eq!(s.mean, 0.0);
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(&values);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        let single = summarize(&[7.0]);
+        assert_eq!(single.p50, 7.0);
+        assert_eq!(single.p95, 7.0);
+    }
+    #[test]
+    fn centroid_weighted_by_samples() {
+        let ds = Dataset::from_tracks(vec![l_track()]).unwrap();
+        let c = centroid(&ds).unwrap();
+        assert!((c.x - 200.0 / 3.0).abs() < 1e-12);
+        assert!((c.y - 50.0 / 3.0).abs() < 1e-12);
+        assert!(centroid(&Dataset::new()).is_none());
+    }
+}

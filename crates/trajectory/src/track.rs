@@ -1,0 +1,275 @@
+use dummyloc_geo::{BBox, Point};
+use serde::{Deserialize, Serialize};
+
+/// One timestamped position sample: the paper's `(x, y, t)` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackPoint {
+    /// Sample time in seconds (any epoch; only differences matter).
+    pub t: f64,
+    /// Sampled position.
+    pub pos: Point,
+}
+
+impl TrackPoint {
+    /// Creates a track point.
+    #[inline]
+    pub const fn new(t: f64, pos: Point) -> Self {
+        TrackPoint { t, pos }
+    }
+}
+
+/// An immutable trajectory: a non-empty sequence of samples with strictly
+/// increasing timestamps.
+///
+/// Construct via [`TrajectoryBuilder`](crate::TrajectoryBuilder), which
+/// enforces the invariants; every method here may then rely on them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    pub(crate) id: String,
+    pub(crate) points: Vec<TrackPoint>,
+}
+
+impl Trajectory {
+    /// Stable identifier of the moving subject.
+    #[inline]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// All samples, in time order.
+    #[inline]
+    pub fn points(&self) -> &[TrackPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: the builder rejects empty trajectories. Provided for
+    /// API completeness alongside [`Trajectory::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Time of the first sample.
+    #[inline]
+    pub fn start_time(&self) -> f64 {
+        self.points[0].t
+    }
+
+    /// Time of the last sample.
+    #[inline]
+    pub fn end_time(&self) -> f64 {
+        self.points[self.points.len() - 1].t
+    }
+
+    /// `end_time - start_time` (zero for a single-sample track).
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end_time() - self.start_time()
+    }
+
+    /// Whether `t` falls inside the track's time span (inclusive).
+    #[inline]
+    pub fn is_active_at(&self, t: f64) -> bool {
+        t >= self.start_time() && t <= self.end_time()
+    }
+
+    /// The position at time `t`, linearly interpolated between the two
+    /// surrounding samples; `None` outside the track's time span.
+    ///
+    /// Linear interpolation is the standard reconstruction for GPS tracks
+    /// sampled faster than the subject turns; the rickshaw model emits
+    /// samples every tick so interpolation error is negligible there.
+    pub fn position_at(&self, t: f64) -> Option<Point> {
+        if !self.is_active_at(t) {
+            return None;
+        }
+        // partition_point: first index with points[i].t > t. The invariants
+        // guarantee idx >= 1 exactly when t >= start_time.
+        let idx = self.points.partition_point(|p| p.t <= t);
+        if idx == 0 {
+            return Some(self.points[0].pos); // t == start_time edge
+        }
+        let before = self.points[idx - 1];
+        if idx == self.points.len() {
+            return Some(before.pos); // t == end_time
+        }
+        let after = self.points[idx];
+        let frac = (t - before.t) / (after.t - before.t);
+        Some(before.pos.lerp(&after.pos, frac))
+    }
+
+    /// Resamples the track at a fixed interval starting from its first
+    /// sample. The final sample is always included so the resampled track
+    /// spans the full time range.
+    ///
+    /// Returns an error for a non-positive interval.
+    pub fn resample(&self, interval: f64) -> crate::Result<Trajectory> {
+        let valid = interval.is_finite() && interval > 0.0;
+        if !valid {
+            return Err(crate::TrajectoryError::InvalidInterval { interval });
+        }
+        let mut points = Vec::new();
+        let mut t = self.start_time();
+        let end = self.end_time();
+        while t < end {
+            // position_at cannot fail inside the span.
+            points.push(TrackPoint::new(
+                t,
+                self.position_at(t).expect("t inside span"),
+            ));
+            t += interval;
+        }
+        points.push(TrackPoint::new(end, self.points[self.points.len() - 1].pos));
+        Ok(Trajectory {
+            id: self.id.clone(),
+            points,
+        })
+    }
+
+    /// Total path length (sum of segment lengths).
+    pub fn path_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.distance(&w[1].pos))
+            .sum()
+    }
+
+    /// Smallest bounding box containing every sample.
+    pub fn bounds(&self) -> BBox {
+        BBox::enclosing(self.points.iter().map(|p| p.pos))
+            .expect("trajectory is non-empty with finite points")
+    }
+
+    /// Iterator over consecutive step displacements as
+    /// `(dt, distance)` pairs — the raw material of the `Shift(P)`
+    /// plausibility analysis and of the speed statistics.
+    pub fn steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].t - w[0].t, w[0].pos.distance(&w[1].pos)))
+    }
+
+    /// Returns a copy with all timestamps shifted by `dt` (used to align
+    /// datasets to a common origin).
+    pub fn time_shifted(&self, dt: f64) -> Trajectory {
+        Trajectory {
+            id: self.id.clone(),
+            points: self
+                .points
+                .iter()
+                .map(|p| TrackPoint::new(p.t + dt, p.pos))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrajectoryBuilder;
+
+    fn track() -> Trajectory {
+        TrajectoryBuilder::new("t")
+            .point(0.0, Point::new(0.0, 0.0))
+            .point(10.0, Point::new(100.0, 0.0))
+            .point(20.0, Point::new(100.0, 50.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn time_span_accessors() {
+        let t = track();
+        assert_eq!(t.start_time(), 0.0);
+        assert_eq!(t.end_time(), 20.0);
+        assert_eq!(t.duration(), 20.0);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn position_at_interpolates_linearly() {
+        let t = track();
+        assert_eq!(t.position_at(0.0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(t.position_at(5.0), Some(Point::new(50.0, 0.0)));
+        assert_eq!(t.position_at(10.0), Some(Point::new(100.0, 0.0)));
+        assert_eq!(t.position_at(15.0), Some(Point::new(100.0, 25.0)));
+        assert_eq!(t.position_at(20.0), Some(Point::new(100.0, 50.0)));
+        assert_eq!(t.position_at(-0.1), None);
+        assert_eq!(t.position_at(20.1), None);
+    }
+
+    #[test]
+    fn position_at_exact_sample_times_returns_samples() {
+        let t = track();
+        for p in t.points() {
+            assert_eq!(t.position_at(p.t), Some(p.pos));
+        }
+    }
+
+    #[test]
+    fn resample_covers_full_span() {
+        let t = track();
+        let r = t.resample(3.0).unwrap();
+        assert_eq!(r.start_time(), 0.0);
+        assert_eq!(r.end_time(), 20.0);
+        // 0,3,6,9,12,15,18 then the final 20 → 8 samples
+        assert_eq!(r.len(), 8);
+        // Resampled positions must sit on the original path.
+        for p in r.points() {
+            assert_eq!(t.position_at(p.t), Some(p.pos));
+        }
+        assert!(t.resample(0.0).is_err());
+        assert!(t.resample(-1.0).is_err());
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        assert_eq!(track().path_length(), 150.0);
+    }
+
+    #[test]
+    fn bounds_covers_every_sample() {
+        let t = track();
+        let b = t.bounds();
+        for p in t.points() {
+            assert!(b.contains(p.pos));
+        }
+        assert_eq!(b.width(), 100.0);
+        assert_eq!(b.height(), 50.0);
+    }
+
+    #[test]
+    fn steps_yields_dt_and_distance() {
+        let steps: Vec<_> = track().steps().collect();
+        assert_eq!(steps, vec![(10.0, 100.0), (10.0, 50.0)]);
+    }
+
+    #[test]
+    fn time_shift_moves_span_only() {
+        let t = track().time_shifted(100.0);
+        assert_eq!(t.start_time(), 100.0);
+        assert_eq!(t.end_time(), 120.0);
+        assert_eq!(t.path_length(), 150.0);
+    }
+
+    #[test]
+    fn single_point_track_has_zero_duration() {
+        let t = TrajectoryBuilder::new("s")
+            .point(5.0, Point::new(1.0, 1.0))
+            .build()
+            .unwrap();
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.position_at(5.0), Some(Point::new(1.0, 1.0)));
+        assert_eq!(t.position_at(5.1), None);
+        assert_eq!(t.path_length(), 0.0);
+        let r = t.resample(1.0).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

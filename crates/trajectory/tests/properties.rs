@@ -1,0 +1,188 @@
+//! Property-based tests for the trajectory substrate.
+
+use dummyloc_geo::Point;
+use dummyloc_trajectory::{io, Dataset, TrajectoryBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a valid list of (dt > 0, point) increments.
+fn arb_samples() -> impl Strategy<Value = Vec<(f64, Point)>> {
+    prop::collection::vec((0.001..100.0f64, -1.0e4..1.0e4f64, -1.0e4..1.0e4f64), 1..60).prop_map(
+        |raw| {
+            let mut t = 0.0;
+            raw.into_iter()
+                .map(|(dt, x, y)| {
+                    t += dt;
+                    (t, Point::new(x, y))
+                })
+                .collect()
+        },
+    )
+}
+
+fn build(id: &str, samples: &[(f64, Point)]) -> dummyloc_trajectory::Trajectory {
+    let mut b = TrajectoryBuilder::with_capacity(id, samples.len());
+    for (t, p) in samples {
+        b.push(*t, *p);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn interpolation_hits_every_sample(samples in arb_samples()) {
+        let track = build("t", &samples);
+        for p in track.points() {
+            let q = track.position_at(p.t).unwrap();
+            prop_assert!((q.x - p.pos.x).abs() < 1e-9);
+            prop_assert!((q.y - p.pos.y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_in_bounds(samples in arb_samples(), f in 0.0..1.0f64) {
+        let track = build("t", &samples);
+        let t = track.start_time() + f * track.duration();
+        let p = track.position_at(t).unwrap();
+        let b = track.bounds().expanded(1e-6).unwrap();
+        prop_assert!(b.contains(p));
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_path_containment(
+        samples in arb_samples(),
+        interval in 0.01..50.0f64,
+    ) {
+        let track = build("t", &samples);
+        let r = track.resample(interval).unwrap();
+        prop_assert_eq!(r.start_time(), track.start_time());
+        prop_assert_eq!(r.end_time(), track.end_time());
+        // Resampling cannot lengthen the path (triangle inequality).
+        prop_assert!(r.path_length() <= track.path_length() * (1.0 + 1e-9) + 1e-9);
+        // Every resampled point lies on the original path.
+        for p in r.points() {
+            let q = track.position_at(p.t).unwrap();
+            prop_assert!(q.distance(&p.pos) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip(samples in arb_samples(), samples2 in arb_samples()) {
+        let ds = Dataset::from_tracks(vec![
+            build("alpha", &samples),
+            build("beta", &samples2),
+        ]).unwrap();
+        let mut buf = Vec::new();
+        io::write_csv(&ds, &mut buf).unwrap();
+        let back = io::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.tracks().iter().zip(back.tracks()) {
+            prop_assert_eq!(a.id(), b.id());
+            prop_assert_eq!(a.len(), b.len());
+            for (pa, pb) in a.points().iter().zip(b.points()) {
+                // f64 Display in Rust round-trips exactly.
+                prop_assert_eq!(pa.t, pb.t);
+                prop_assert_eq!(pa.pos, pb.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip(samples in arb_samples()) {
+        let ds = Dataset::from_tracks(vec![build("only", &samples)]).unwrap();
+        let mut buf = Vec::new();
+        io::write_json(&ds, &mut buf).unwrap();
+        let back = io::read_json(buf.as_slice()).unwrap();
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn snapshot_active_iff_span_contains_t(samples in arb_samples(), f in -0.5..1.5f64) {
+        let track = build("t", &samples);
+        let span = (track.start_time(), track.end_time());
+        let ds = Dataset::from_tracks(vec![track]).unwrap();
+        let t = span.0 + f * (span.1 - span.0 + 1.0);
+        let snap = ds.snapshot(t);
+        let active = snap.positions()[0].is_some();
+        prop_assert_eq!(active, t >= span.0 && t <= span.1);
+    }
+
+    #[test]
+    fn time_shift_preserves_geometry(samples in arb_samples(), dt in -1.0e5..1.0e5f64) {
+        let track = build("t", &samples);
+        let shifted = track.time_shifted(dt);
+        prop_assert!((shifted.path_length() - track.path_length()).abs() < 1e-9);
+        prop_assert!((shifted.duration() - track.duration()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_parser_never_panics_on_arbitrary_input(input in ".{0,400}") {
+        // Any byte soup must yield Ok or a structured error — never a
+        // panic. (Catching the error content is the unit tests' job.)
+        let _ = io::read_csv(input.as_bytes());
+    }
+
+    #[test]
+    fn csv_parser_never_panics_on_structured_garbage(
+        rows in prop::collection::vec(
+            (".{0,12}", ".{0,8}", ".{0,8}", ".{0,8}"),
+            0..40,
+        ),
+    ) {
+        let mut csv = String::from("id,t,x,y\n");
+        for (id, t, x, y) in rows {
+            csv.push_str(&format!("{id},{t},{x},{y}\n"));
+        }
+        let _ = io::read_csv(csv.as_bytes());
+    }
+
+    #[test]
+    fn json_parser_never_panics_on_arbitrary_input(input in ".{0,400}") {
+        let _ = io::read_json(input.as_bytes());
+    }
+
+    #[test]
+    fn simplify_error_bound_holds(samples in arb_samples(), tol in 0.0..50.0f64) {
+        use dummyloc_trajectory::simplify::douglas_peucker;
+        let track = build("t", &samples);
+        let s = douglas_peucker(&track, tol).unwrap();
+        prop_assert!(s.len() <= track.len());
+        prop_assert_eq!(s.points()[0], track.points()[0]);
+        prop_assert_eq!(
+            *s.points().last().unwrap(),
+            *track.points().last().unwrap()
+        );
+        // Every original point within tol of the simplified polyline.
+        for orig in track.points() {
+            let mut best = f64::INFINITY;
+            if s.len() == 1 {
+                best = s.points()[0].pos.distance(&orig.pos);
+            }
+            for w in s.points().windows(2) {
+                let seg = w[0].pos.to(w[1].pos);
+                let t = if seg.length_sq() > 0.0 {
+                    (w[0].pos.to(orig.pos).dot(&seg) / seg.length_sq()).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                best = best.min(w[0].pos.lerp(&w[1].pos, t).distance(&orig.pos));
+            }
+            prop_assert!(best <= tol + 1e-6, "point {best} beyond tolerance {tol}");
+        }
+    }
+
+    #[test]
+    fn gps_noise_preserves_structure(samples in arb_samples(), sigma in 0.0..20.0f64) {
+        use dummyloc_trajectory::noise::add_gps_noise;
+        let track = build("t", &samples);
+        let mut rng = dummyloc_geo::rng::rng_from_seed(1);
+        let noisy = add_gps_noise(&track, sigma, None, &mut rng);
+        prop_assert_eq!(noisy.len(), track.len());
+        prop_assert_eq!(noisy.id(), track.id());
+        for (a, b) in track.points().iter().zip(noisy.points()) {
+            prop_assert_eq!(a.t, b.t);
+            // 6-sigma bound per axis fails with probability ~1e-9.
+            prop_assert!((a.pos.x - b.pos.x).abs() <= 6.5 * sigma + 1e-9);
+            prop_assert!((a.pos.y - b.pos.y).abs() <= 6.5 * sigma + 1e-9);
+        }
+    }
+}

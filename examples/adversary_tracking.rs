@@ -1,0 +1,77 @@
+//! An honest-but-curious provider tries to pick the true position out of
+//! each pseudonym's request stream — comparing the paper's dummy
+//! algorithms under several observer strategies.
+//!
+//! ```text
+//! cargo run -p dummyloc-examples --bin adversary_tracking
+//! ```
+
+use dummyloc_core::adversary::{
+    Adversary, ChainScore, ContinuityTracker, RandomGuesser, SpeedGate,
+};
+use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::workload;
+
+fn main() {
+    let fleet = workload::nara_fleet_sized(30, 1800.0, 42);
+    let dummies = 3;
+    println!(
+        "workload: {} rickshaws, {} dummies each → chance level {:.2}\n",
+        fleet.len(),
+        dummies,
+        1.0 / (dummies + 1) as f64
+    );
+
+    let adversaries: Vec<Box<dyn Adversary>> = vec![
+        Box::new(RandomGuesser),
+        Box::new(ContinuityTracker::new(ChainScore::MaxStep)),
+        Box::new(ContinuityTracker::new(ChainScore::StepVariance)),
+        Box::new(SpeedGate::new(130.0)),
+    ];
+
+    println!(
+        "{:<12} {:>14} {:>17} {:>18} {:>12}",
+        "dummies", "random-guess", "tracker-maxstep", "tracker-variance", "speed-gate"
+    );
+    for kind in [
+        GeneratorKind::Random,
+        GeneratorKind::Mn { m: 60.0 },
+        GeneratorKind::Mn { m: 120.0 },
+        GeneratorKind::Mln {
+            m: 120.0,
+            retry_budget: 3,
+        },
+    ] {
+        let config = SimConfig {
+            grid_size: 12,
+            dummy_count: dummies,
+            generator: kind,
+            ..SimConfig::nara_default(42)
+        };
+        let outcome = Simulation::new(config)
+            .expect("valid config")
+            .run(&fleet)
+            .expect("fleet fits the area");
+        let rates: Vec<f64> = adversaries
+            .iter()
+            .map(|adv| outcome.identification_rate(adv.as_ref(), 7))
+            .collect();
+        let label = match kind {
+            GeneratorKind::Mn { m } => format!("mn (m={m:.0})"),
+            GeneratorKind::Mln { m, .. } => format!("mln (m={m:.0})"),
+            other => other.label().to_string(),
+        };
+        println!(
+            "{:<12} {:>14.2} {:>17.2} {:>18.2} {:>12.2}",
+            label, rates[0], rates[1], rates[2], rates[3]
+        );
+    }
+
+    println!(
+        "\nReading: random dummies are exposed by temporal inconsistency;\n\
+         MN dummies with m matched to real per-round movement (60 m here)\n\
+         pin every adversary near the 0.25 chance level. Oversized m makes\n\
+         dummies out-run plausible speeds and hands the max-step tracker\n\
+         an edge — the A1 ablation quantifies that trade-off."
+    );
+}

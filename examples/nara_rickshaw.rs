@@ -1,0 +1,52 @@
+//! The paper's headline experiment in miniature: a fleet of rickshaws
+//! touring a Nara-like downtown, everyone protected by MN dummies, with
+//! the anonymity metrics printed per configuration.
+//!
+//! ```text
+//! cargo run -p dummyloc-examples --bin nara_rickshaw
+//! ```
+
+use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::workload;
+use dummyloc_trajectory::stats::dataset_stats;
+
+fn main() {
+    // The 39-rickshaw synthetic Nara workload (DESIGN.md §3 documents the
+    // substitution for the paper's proprietary traces).
+    let fleet = workload::nara_fleet_sized(39, 1800.0, 42);
+    let stats = dataset_stats(&fleet);
+    println!(
+        "workload: {} rickshaws, {:.0} m x {:.0} m downtown, mean speed {:.2} m/s\n",
+        stats.tracks, stats.extent.0, stats.extent.1, stats.mean_speed
+    );
+
+    println!("grid    dummies  F (%)   Shift(P)=0 (%)  mean Shift(P)");
+    for grid_size in [8u32, 10, 12] {
+        for dummies in [0usize, 3, 6] {
+            let config = SimConfig {
+                grid_size,
+                dummy_count: dummies,
+                generator: GeneratorKind::Mn { m: 120.0 },
+                ..SimConfig::nara_default(42)
+            };
+            let outcome = Simulation::new(config)
+                .expect("valid config")
+                .run(&fleet)
+                .expect("fleet fits the service area");
+            let (none_pct, _, _, _) = outcome.shift_buckets.percentages();
+            println!(
+                "{:>2}x{:<3}  {:>7}  {:>5.1}  {:>14.1}  {:>13.2}",
+                grid_size,
+                grid_size,
+                dummies,
+                outcome.mean_f * 100.0,
+                none_pct,
+                outcome.shift_mean,
+            );
+        }
+    }
+    println!(
+        "\nReading: more dummies → more occupied regions (higher F); the MN\n\
+         dummies move plausibly, so per-region populations change slowly."
+    );
+}

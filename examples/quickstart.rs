@@ -1,0 +1,73 @@
+//! Quickstart: protect one user's position with MN dummies while querying
+//! a location-based service.
+//!
+//! ```text
+//! cargo run -p dummyloc-examples --bin quickstart
+//! ```
+
+use dummyloc_core::client::Client;
+use dummyloc_core::generator::{MnGenerator, NoDensity};
+use dummyloc_geo::rng::rng_from_seed;
+use dummyloc_geo::{BBox, Point};
+use dummyloc_lbs::poi::{Category, PoiDatabase};
+use dummyloc_lbs::provider::Provider;
+use dummyloc_lbs::query::{Answer, QueryKind};
+
+fn main() {
+    // A 1 km × 1 km service area with 60 POIs, and a provider serving it.
+    let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).expect("static bounds");
+    let mut provider = Provider::new(PoiDatabase::generate(area, 60, 7));
+
+    // A client that hides its true position among 3 dummies moving in
+    // ±50 m neighborhoods (the paper's MN algorithm).
+    let generator = MnGenerator::new(area, 50.0).expect("valid parameters");
+    let mut client = Client::new("pseudonym-1", generator, 3);
+    let mut rng = rng_from_seed(42);
+
+    // The user walks east, querying the nearest restaurant each round.
+    let query = QueryKind::NearestPoi {
+        category: Some(Category::Restaurant),
+    };
+    println!("round  true position        nearest restaurant       provider saw");
+    for round_no in 0..5 {
+        let truth = Point::new(200.0 + 30.0 * round_no as f64, 400.0);
+        let round = if round_no == 0 {
+            client.begin(&mut rng, truth).expect("first round")
+        } else {
+            client
+                .step(&mut rng, truth, &NoDensity)
+                .expect("later round")
+        };
+
+        // The provider answers *every* position; it cannot tell which is
+        // true.
+        let response = provider.handle(round_no as f64 * 30.0, &round.request, &query);
+
+        // The client keeps only the answer at its private truth index.
+        let own = &response.answers[round.truth_index];
+        let Answer::NearestPoi(Some(poi)) = own else {
+            panic!("database has restaurants")
+        };
+        println!(
+            "{:>5}  ({:>5.0}, {:>4.0})        {:<22}  {} positions",
+            round_no,
+            truth.x,
+            truth.y,
+            format!("{} @ {:.0} m", poi.name, poi.distance),
+            round.request.positions.len(),
+        );
+    }
+
+    // What the provider learned: four plausible positions per round.
+    let log = provider.observer_log();
+    let stream = log.stream("pseudonym-1").expect("the client talked to us");
+    println!(
+        "\nprovider log for 'pseudonym-1': {} requests",
+        stream.len()
+    );
+    let (_, last) = stream.last().expect("non-empty");
+    for (i, p) in last.positions.iter().enumerate() {
+        println!("  candidate {i}: ({:.0}, {:.0})", p.x, p.y);
+    }
+    println!("…and no way to tell which candidate was the user.");
+}

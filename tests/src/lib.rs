@@ -1,0 +1,1 @@
+// integration test host crate; see tests/tests/

@@ -1,0 +1,119 @@
+//! End-to-end integration: mobility workload → simulation engine →
+//! anonymity metrics, asserting the paper's headline shapes on a reduced
+//! instance of the real pipeline.
+
+use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::workload;
+
+fn fleet() -> dummyloc_trajectory::Dataset {
+    workload::nara_fleet_sized(20, 900.0, 11)
+}
+
+fn run(grid: u32, dummies: usize, kind: GeneratorKind) -> dummyloc_sim::SimOutcome {
+    let config = SimConfig {
+        grid_size: grid,
+        dummy_count: dummies,
+        generator: kind,
+        ..SimConfig::nara_default(11)
+    };
+    Simulation::new(config).unwrap().run(&fleet()).unwrap()
+}
+
+#[test]
+fn figure7_shape_f_monotone_in_dummies() {
+    let mut last = 0.0;
+    for dummies in [0usize, 1, 2, 4, 6, 9] {
+        let f = run(10, dummies, GeneratorKind::Mn { m: 120.0 }).mean_f;
+        assert!(
+            f > last || (f - last).abs() < 0.02,
+            "F must grow (or plateau within noise) with dummies: {last} → {f} at {dummies}"
+        );
+        last = f;
+    }
+    // End-to-end magnitude: 20 users × 10 positions over 100 regions must
+    // cover most of the grid.
+    assert!(
+        last > 0.6,
+        "9 dummies should cover well over half the regions, got {last}"
+    );
+}
+
+#[test]
+fn figure7_shape_finer_grids_need_more_dummies() {
+    let target = 0.7;
+    let needed = |grid: u32| {
+        (0..=9)
+            .find(|&d| run(grid, d, GeneratorKind::Mn { m: 120.0 }).mean_f >= target)
+            .unwrap_or(10)
+    };
+    let n8 = needed(8);
+    let n12 = needed(12);
+    assert!(n8 <= n12, "8x8 needed {n8} dummies, 12x12 needed {n12}");
+}
+
+#[test]
+fn figure8_shape_mn_and_mln_beat_random_on_shift() {
+    let random = run(12, 3, GeneratorKind::Random);
+    let mn = run(12, 3, GeneratorKind::Mn { m: 120.0 });
+    let mln = run(
+        12,
+        3,
+        GeneratorKind::Mln {
+            m: 120.0,
+            retry_budget: 3,
+        },
+    );
+    assert!(mn.shift_mean < random.shift_mean);
+    assert!(mln.shift_mean < random.shift_mean);
+    let (r0, ..) = random.shift_buckets.percentages();
+    let (m0, ..) = mn.shift_buckets.percentages();
+    let (l0, ..) = mln.shift_buckets.percentages();
+    assert!(m0 > r0, "MN no-change {m0}% must beat random {r0}%");
+    assert!(l0 > r0, "MLN no-change {l0}% must beat random {r0}%");
+}
+
+#[test]
+fn stationary_dummies_minimize_shift() {
+    let stationary = run(12, 3, GeneratorKind::Stationary);
+    let mn = run(12, 3, GeneratorKind::Mn { m: 120.0 });
+    assert!(stationary.shift_mean <= mn.shift_mean);
+}
+
+#[test]
+fn outcome_streams_align_with_workload() {
+    let out = run(10, 2, GeneratorKind::Mn { m: 100.0 });
+    assert_eq!(out.streams.len(), 20);
+    // 900 s window at 30 s tick → 31 rounds.
+    assert_eq!(out.rounds, 31);
+    for (requests, truth_idx) in &out.streams {
+        assert_eq!(requests.len(), 31);
+        assert!(*truth_idx < 3);
+        for r in requests {
+            assert_eq!(r.positions.len(), 3);
+        }
+    }
+}
+
+#[test]
+fn full_lbs_loop_cost_matches_dummy_count() {
+    use dummyloc_lbs::poi::Category;
+    use dummyloc_lbs::query::QueryKind;
+    use dummyloc_sim::engine::ServiceConfig;
+    let config = SimConfig {
+        grid_size: 10,
+        dummy_count: 5,
+        generator: GeneratorKind::Mn { m: 100.0 },
+        service: Some(ServiceConfig {
+            poi_count: 30,
+            poi_seed: 3,
+            query: QueryKind::NearestPoi {
+                category: Some(Category::BusStop),
+            },
+        }),
+        ..SimConfig::nara_default(11)
+    };
+    let out = Simulation::new(config).unwrap().run(&fleet()).unwrap();
+    let cost = out.cost.expect("service attached");
+    assert_eq!(cost.positions_per_request(), 6.0);
+    assert_eq!(cost.requests, 31 * 20);
+}

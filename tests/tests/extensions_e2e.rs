@@ -1,0 +1,148 @@
+//! End-to-end integration of the extension crate with the full pipeline:
+//! street dummies vs the map-equipped observer over the real rickshaw
+//! workload, pseudonym rotation over real sessions, and noisy-GPS runs.
+
+use dummyloc_core::adversary::{Adversary, ChainScore, ContinuityTracker};
+use dummyloc_core::generator::{DummyGenerator, MnGenerator};
+use dummyloc_ext::map_adversary::MapFilter;
+use dummyloc_ext::mix_zones::relink_rate;
+use dummyloc_ext::optimal_tracker::OptimalTracker;
+use dummyloc_ext::session::{run, Rotation, SessionConfig};
+use dummyloc_ext::street_dummies::StreetDummyGenerator;
+use dummyloc_geo::rng::rng_from_seed;
+use dummyloc_mobility::StreetGrid;
+use dummyloc_sim::workload;
+
+fn fleet() -> dummyloc_trajectory::Dataset {
+    workload::nara_fleet_sized(14, 900.0, 51)
+}
+
+fn rate(adv: &dyn Adversary, streams: &[(Vec<dummyloc_core::client::Request>, usize)]) -> f64 {
+    let mut rng = rng_from_seed(99);
+    dummyloc_core::adversary::identification_rate(adv, &mut rng, streams)
+}
+
+#[test]
+fn map_observer_separates_free_space_from_street_dummies() {
+    let config = SessionConfig::nara_default(3);
+    let area = config.area;
+    let map = MapFilter::new(StreetGrid::new(area, 100.0), 5.0);
+
+    let mn_streams = run(&fleet(), &config, |_| {
+        Box::new(MnGenerator::new(area, 60.0).expect("valid m")) as Box<dyn DummyGenerator>
+    })
+    .into_streams();
+    let street_streams = run(&fleet(), &config, |_| {
+        Box::new(StreetDummyGenerator::new(
+            StreetGrid::new(area, 100.0),
+            (45.0, 120.0),
+        )) as Box<dyn DummyGenerator>
+    })
+    .into_streams();
+
+    let mn_rate = rate(&map, &mn_streams);
+    let street_rate = rate(&map, &street_streams);
+    assert!(
+        mn_rate > street_rate + 0.2,
+        "map observer: mn {mn_rate} should clearly beat street {street_rate}"
+    );
+    assert!(
+        street_rate < 0.5,
+        "street dummies too traceable: {street_rate}"
+    );
+}
+
+#[test]
+fn optimal_tracker_dominates_greedy_on_oversized_mn() {
+    // m = 240 makes dummy steps conspicuously larger than real movement;
+    // the scale-normalized optimal linker should exploit it at least as
+    // well as the greedy one.
+    let config = SessionConfig::nara_default(5);
+    let area = config.area;
+    let streams = run(&fleet(), &config, |_| {
+        Box::new(MnGenerator::new(area, 240.0).expect("valid m")) as Box<dyn DummyGenerator>
+    })
+    .into_streams();
+    let greedy = rate(&ContinuityTracker::new(ChainScore::MaxStep), &streams);
+    let optimal = rate(&OptimalTracker::new(ChainScore::MaxStep), &streams);
+    assert!(
+        optimal + 0.15 >= greedy,
+        "optimal {optimal} materially below greedy {greedy}"
+    );
+    assert!(
+        optimal > 0.25,
+        "oversized dummies should be exploitable, got {optimal}"
+    );
+}
+
+#[test]
+fn rotation_with_silence_defeats_relinking_on_real_sessions() {
+    let mut config = SessionConfig::nara_default(7);
+    config.dummies = 3;
+    config.rotation = Some(Rotation {
+        period: 8,
+        silent_rounds: 0,
+    });
+    let area = config.area;
+    let mn = move |_: usize| {
+        Box::new(MnGenerator::new(area, 120.0).expect("valid m")) as Box<dyn DummyGenerator>
+    };
+    let loud = relink_rate(&run(&fleet(), &config, mn));
+    config.rotation = Some(Rotation {
+        period: 8,
+        silent_rounds: 6,
+    });
+    let silent = relink_rate(&run(&fleet(), &config, mn));
+    assert!(
+        silent < loud,
+        "silence must reduce re-linking: loud {loud}, silent {silent}"
+    );
+}
+
+#[test]
+fn noisy_gps_does_not_break_the_pipeline() {
+    use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+    use dummyloc_trajectory::noise::add_gps_noise_dataset;
+    let clean = fleet();
+    let area = SimConfig::nara_default(1).area;
+    let mut rng = rng_from_seed(13);
+    let noisy = add_gps_noise_dataset(&clean, 5.0, Some(area), &mut rng);
+    let config = SimConfig {
+        grid_size: 12,
+        dummy_count: 3,
+        generator: GeneratorKind::Mn { m: 120.0 },
+        ..SimConfig::nara_default(1)
+    };
+    let out_clean = Simulation::new(config).unwrap().run(&clean).unwrap();
+    let out_noisy = Simulation::new(config).unwrap().run(&noisy).unwrap();
+    // 5 m of noise on a 167 m grid barely moves the metrics.
+    assert!((out_clean.mean_f - out_noisy.mean_f).abs() < 0.05);
+    assert_eq!(out_clean.rounds, out_noisy.rounds);
+}
+
+#[test]
+fn street_dummies_match_rickshaw_speed_statistics() {
+    // The whole point of street dummies: their per-round displacement
+    // distribution overlaps the real rickshaws'. Compare medians.
+    let config = SessionConfig::nara_default(9);
+    let area = config.area;
+    let f = fleet();
+    let streams = run(&f, &config, |_| {
+        Box::new(StreetDummyGenerator::new(
+            StreetGrid::new(area, 100.0),
+            (45.0, 120.0),
+        )) as Box<dyn DummyGenerator>
+    })
+    .into_streams();
+    // Collect per-round displacements of linked chains: truth chain vs
+    // dummy chains should live in the same range.
+    let (chains, _) = OptimalTracker::build_chains_with_history(&streams[0].0);
+    let mut maxima: Vec<f64> = chains
+        .iter()
+        .map(|c| c.steps.iter().copied().fold(0.0f64, f64::max))
+        .collect();
+    maxima.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // No chain (dummy or truth) tops the rickshaw physical max of 120
+    // m/round.
+    assert!(*maxima.last().unwrap() <= 120.0 + 1e-6, "{maxima:?}");
+}

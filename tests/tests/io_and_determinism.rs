@@ -1,0 +1,101 @@
+//! Integration: workload serialization round trips and whole-pipeline
+//! determinism (the reproducibility contract of `EXPERIMENTS.md`).
+
+use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::workload;
+use dummyloc_trajectory::io;
+
+#[test]
+fn fleet_csv_round_trip_preserves_simulation_results() {
+    let fleet = workload::nara_fleet_sized(8, 300.0, 21);
+    let mut buf = Vec::new();
+    io::write_csv(&fleet, &mut buf).unwrap();
+    let restored = io::read_csv(buf.as_slice()).unwrap();
+    assert_eq!(fleet, restored);
+
+    // Running the engine over the restored fleet gives identical metrics.
+    let config = SimConfig {
+        grid_size: 10,
+        dummy_count: 3,
+        generator: GeneratorKind::Mn { m: 100.0 },
+        ..SimConfig::nara_default(21)
+    };
+    let a = Simulation::new(config).unwrap().run(&fleet).unwrap();
+    let b = Simulation::new(config).unwrap().run(&restored).unwrap();
+    assert_eq!(a.f_series, b.f_series);
+    assert_eq!(a.shift_buckets, b.shift_buckets);
+}
+
+#[test]
+fn fleet_json_round_trip() {
+    let fleet = workload::nara_fleet_sized(5, 120.0, 22);
+    let mut buf = Vec::new();
+    io::write_json(&fleet, &mut buf).unwrap();
+    let restored = io::read_json(buf.as_slice()).unwrap();
+    assert_eq!(fleet, restored);
+}
+
+#[test]
+fn experiments_are_seed_deterministic() {
+    use dummyloc_sim::experiments::{fig7, fig8};
+    let fleet = workload::nara_fleet_sized(8, 300.0, 23);
+    let params = fig7::Fig7Params {
+        grids: vec![8],
+        dummy_counts: vec![0, 3],
+        ..fig7::Fig7Params::default()
+    };
+    assert_eq!(
+        fig7::run(5, &fleet, &params).unwrap(),
+        fig7::run(5, &fleet, &params).unwrap()
+    );
+    assert_ne!(
+        fig7::run(5, &fleet, &params).unwrap(),
+        fig7::run(6, &fleet, &params).unwrap()
+    );
+    let p8 = fig8::Fig8Params {
+        grid: 8,
+        ..fig8::Fig8Params::default()
+    };
+    assert_eq!(
+        fig8::run(5, &fleet, &p8).unwrap(),
+        fig8::run(5, &fleet, &p8).unwrap()
+    );
+}
+
+#[test]
+fn experiment_results_serialize_to_json() {
+    use dummyloc_sim::experiments::{fig2, table1};
+    use dummyloc_sim::report::to_json;
+    let t1 = table1::run(&table1::Table1Params::default()).unwrap();
+    let json = to_json(&t1).unwrap();
+    assert!(json.contains("\"rows\""));
+    let f2 = fig2::run().unwrap();
+    let json = to_json(&f2).unwrap();
+    assert!(json.contains("as_f_example"));
+    // And parse back as generic JSON.
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(v["as_f_example"], 9);
+}
+
+#[test]
+fn different_workload_seeds_change_tracks_not_shapes() {
+    // Reproducibility sanity: two different fleet seeds give different
+    // trajectories but the same qualitative Figure-7 ordering.
+    for seed in [31u64, 32] {
+        let fleet = workload::nara_fleet_sized(12, 300.0, seed);
+        let f = |dummies: usize| {
+            let config = SimConfig {
+                grid_size: 10,
+                dummy_count: dummies,
+                generator: GeneratorKind::Mn { m: 120.0 },
+                ..SimConfig::nara_default(seed)
+            };
+            Simulation::new(config).unwrap().run(&fleet).unwrap().mean_f
+        };
+        assert!(f(6) > f(0), "seed {seed}: dummies must raise F");
+    }
+    assert_ne!(
+        workload::nara_fleet_sized(12, 300.0, 31),
+        workload::nara_fleet_sized(12, 300.0, 32)
+    );
+}

@@ -1,0 +1,118 @@
+//! Cross-crate property tests: privacy invariants that must hold for any
+//! seed and any sane parameterization of the full pipeline.
+
+use dummyloc_core::anonymity::{as_f, RegionInfo};
+use dummyloc_core::metrics::ubiquity_f;
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::Grid;
+use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::workload;
+use proptest::prelude::*;
+
+proptest! {
+    // Whole-pipeline runs are expensive; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn requests_never_leak_positions_outside_the_area(
+        seed in any::<u64>(),
+        dummies in 0usize..5,
+        grid in 6u32..14,
+    ) {
+        let fleet = workload::nara_fleet_sized(5, 120.0, seed);
+        let config = SimConfig {
+            grid_size: grid,
+            dummy_count: dummies,
+            generator: GeneratorKind::Mn { m: 150.0 },
+            ..SimConfig::nara_default(seed)
+        };
+        let sim = Simulation::new(config).unwrap();
+        let area = sim.config().area;
+        let out = sim.run(&fleet).unwrap();
+        for (requests, _) in &out.streams {
+            for r in requests {
+                prop_assert_eq!(r.positions.len(), dummies + 1);
+                for p in &r.positions {
+                    prop_assert!(area.contains(*p), "{p:?} escaped the service area");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_anonymity_set_never_exceeds_k_plus_one(
+        seed in any::<u64>(),
+        dummies in 0usize..6,
+    ) {
+        let fleet = workload::nara_fleet_sized(4, 120.0, seed);
+        let config = SimConfig {
+            grid_size: 12,
+            dummy_count: dummies,
+            generator: GeneratorKind::Random,
+            ..SimConfig::nara_default(seed)
+        };
+        let sim = Simulation::new(config).unwrap();
+        let grid = sim.grid().clone();
+        let out = sim.run(&fleet).unwrap();
+        for (requests, _) in &out.streams {
+            for r in requests {
+                let info =
+                    RegionInfo::from_positions(&grid, r.positions.iter().copied()).unwrap();
+                let set = as_f(&info);
+                prop_assert!(set >= 1);
+                prop_assert!(set <= dummies + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn global_f_is_bounded_by_positions_over_regions(
+        seed in any::<u64>(),
+        dummies in 0usize..4,
+        grid_n in 6u32..14,
+    ) {
+        let users = 6;
+        let fleet = workload::nara_fleet_sized(users, 120.0, seed);
+        let config = SimConfig {
+            grid_size: grid_n,
+            dummy_count: dummies,
+            generator: GeneratorKind::Mln { m: 150.0, retry_budget: 3 },
+            ..SimConfig::nara_default(seed)
+        };
+        let out = Simulation::new(config).unwrap().run(&fleet).unwrap();
+        let regions = (grid_n * grid_n) as f64;
+        let cap = (users * (dummies + 1)) as f64 / regions;
+        for &f in &out.f_series {
+            prop_assert!(f <= cap.min(1.0) + 1e-12);
+            prop_assert!(f > 0.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_population_equals_reported_positions(
+        seed in any::<u64>(),
+        dummies in 0usize..4,
+    ) {
+        // Rebuild the population from the emitted streams and confirm the
+        // engine's F series is what an outside auditor would compute.
+        let fleet = workload::nara_fleet_sized(4, 60.0, seed);
+        let config = SimConfig {
+            grid_size: 10,
+            dummy_count: dummies,
+            generator: GeneratorKind::Mn { m: 100.0 },
+            ..SimConfig::nara_default(seed)
+        };
+        let sim = Simulation::new(config).unwrap();
+        let grid: Grid = sim.grid().clone();
+        let out = sim.run(&fleet).unwrap();
+        for (round, &f_engine) in out.f_series.iter().enumerate() {
+            let positions = out
+                .streams
+                .iter()
+                .flat_map(|(reqs, _)| reqs[round].positions.iter().copied());
+            let pop = PopulationGrid::from_positions(&grid, positions).unwrap();
+            let f_audit = ubiquity_f(&pop);
+            prop_assert!((f_engine - f_audit).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration of the client protocol with the provider: the full
+//! Figure-5 message loop, the observer log, and adversaries reading it.
+
+use dummyloc_core::adversary::{Adversary, ChainScore, ContinuityTracker};
+use dummyloc_core::client::Client;
+use dummyloc_core::generator::{MnGenerator, NoDensity, RandomGenerator};
+use dummyloc_geo::rng::rng_from_seed;
+use dummyloc_geo::{BBox, Point};
+use dummyloc_lbs::poi::{Category, PoiDatabase};
+use dummyloc_lbs::provider::Provider;
+use dummyloc_lbs::query::{Answer, QueryKind};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap()
+}
+
+/// Walks one protected client through `rounds` service rounds against a
+/// live provider; returns the truth index of the final round.
+fn drive_session(
+    provider: &mut Provider,
+    pseudonym: &str,
+    dummies: usize,
+    rounds: usize,
+    seed: u64,
+) -> usize {
+    let generator = MnGenerator::new(area(), 40.0).unwrap();
+    let mut client = Client::new(pseudonym, generator, dummies);
+    let mut rng = rng_from_seed(seed);
+    let mut truth_idx = 0;
+    for k in 0..rounds {
+        let pos = Point::new(100.0 + 5.0 * k as f64, 500.0);
+        let round = if k == 0 {
+            client.begin(&mut rng, pos).unwrap()
+        } else {
+            client.step(&mut rng, pos, &NoDensity).unwrap()
+        };
+        let response = provider.handle(
+            k as f64 * 30.0,
+            &round.request,
+            &QueryKind::NearestPoi { category: None },
+        );
+        // The client's own answer must be the nearest POI to the *true*
+        // position.
+        let Answer::NearestPoi(Some(own)) = &response.answers[round.truth_index] else {
+            panic!("database is non-empty");
+        };
+        let expected = provider.pois().nearest(pos, None).unwrap();
+        assert_eq!(
+            own.id, expected.id,
+            "round {k}: wrong answer for the true position"
+        );
+        truth_idx = round.truth_index;
+    }
+    truth_idx
+}
+
+#[test]
+fn client_gets_correct_service_despite_dummies() {
+    let mut provider = Provider::new(PoiDatabase::generate(area(), 50, 1));
+    drive_session(&mut provider, "u1", 4, 10, 2);
+    // Provider did 5× the work.
+    assert_eq!(provider.cost().positions_per_request(), 5.0);
+    assert_eq!(provider.cost().requests, 10);
+}
+
+#[test]
+fn observer_log_feeds_adversaries() {
+    let mut provider = Provider::new(PoiDatabase::generate(area(), 50, 1));
+    let truth_idx = drive_session(&mut provider, "victim", 4, 20, 3);
+    let stream = provider.observer_log().requests_of("victim");
+    assert_eq!(stream.len(), 20);
+    let adv = ContinuityTracker::new(ChainScore::MaxStep);
+    let mut rng = rng_from_seed(9);
+    let guess = adv.identify(&mut rng, &stream).unwrap();
+    assert!(guess < 5);
+    // Not asserting the guess is right or wrong — only that the pipeline
+    // from provider storage to adversary verdict is wired; statistical
+    // claims live in the tracing experiment. But the truth index is a
+    // valid comparison target:
+    assert!(truth_idx < 5);
+}
+
+#[test]
+fn tracker_reads_provider_log_and_exposes_random_dummies() {
+    // Same loop, but random dummies and a slow-walking user: the tracker
+    // reading the *provider's own log* finds the user. Statistical over 20
+    // victims: chance is 1/5 = 20 %, require > 60 %.
+    let adv = ContinuityTracker::new(ChainScore::MaxStep);
+    let mut hits = 0;
+    let victims = 20;
+    for v in 0..victims {
+        let mut provider = Provider::new(PoiDatabase::generate(area(), 50, 1));
+        let mut client = Client::new(format!("v{v}"), RandomGenerator::new(area()).unwrap(), 4);
+        let mut rng = rng_from_seed(100 + v);
+        let mut final_truth = 0;
+        for k in 0..15 {
+            let pos = Point::new(100.0 + 4.0 * k as f64, 500.0);
+            let round = if k == 0 {
+                client.begin(&mut rng, pos).unwrap()
+            } else {
+                client.step(&mut rng, pos, &NoDensity).unwrap()
+            };
+            provider.handle(k as f64, &round.request, &QueryKind::NextBus);
+            final_truth = round.truth_index;
+        }
+        let stream = provider.observer_log().requests_of(&format!("v{v}"));
+        let mut arng = rng_from_seed(7);
+        if adv.identify(&mut arng, &stream) == Some(final_truth) {
+            hits += 1;
+        }
+    }
+    assert!(
+        hits > 12,
+        "tracker found {hits}/{victims} victims (chance would be ~4)"
+    );
+}
+
+#[test]
+fn bus_service_answers_are_time_consistent_per_position() {
+    let mut provider = Provider::new(PoiDatabase::generate(area(), 60, 5));
+    let request = dummyloc_core::client::Request {
+        pseudonym: "p".into(),
+        positions: vec![Point::new(100.0, 100.0), Point::new(900.0, 900.0)],
+    };
+    let t = 1234.0;
+    let response = provider.handle(t, &request, &QueryKind::NextBus);
+    for (i, answer) in response.answers.iter().enumerate() {
+        let Answer::NextBus(Some(bus)) = answer else {
+            panic!("bus stops exist")
+        };
+        assert!(bus.arrival >= t, "answer {i} arrival in the past");
+        // The stop must actually be the nearest bus stop to that position.
+        let expected = provider
+            .pois()
+            .nearest(request.positions[i], Some(Category::BusStop))
+            .unwrap();
+        assert_eq!(bus.stop.id, expected.id);
+    }
+}
+
+#[test]
+fn cloaked_and_dummy_requests_cost_differently() {
+    // A cloaked request is one "position" (the region); a k-dummy request
+    // is k+1. The cost accounting must reflect the bandwidth asymmetry
+    // that motivates ablation A3.
+    let mut provider = Provider::new(PoiDatabase::generate(area(), 50, 1));
+    let grid = dummyloc_geo::Grid::square(area(), 8).unwrap();
+    let cloak = dummyloc_core::cloaking::GridCloak::new(grid);
+    let cloaked = cloak.cloak("c", Point::new(500.0, 500.0)).unwrap();
+    provider.handle(
+        0.0,
+        &dummyloc_core::client::Request {
+            pseudonym: "c".into(),
+            positions: vec![cloaked.region.center()],
+        },
+        &QueryKind::NearestPoi { category: None },
+    );
+    let cloak_up = provider.cost().uplink_bytes;
+
+    let mut provider2 = Provider::new(PoiDatabase::generate(area(), 50, 1));
+    let mut client = Client::new("d", MnGenerator::new(area(), 40.0).unwrap(), 6);
+    let mut rng = rng_from_seed(4);
+    let round = client.begin(&mut rng, Point::new(500.0, 500.0)).unwrap();
+    provider2.handle(
+        0.0,
+        &round.request,
+        &QueryKind::NearestPoi { category: None },
+    );
+    assert!(provider2.cost().uplink_bytes > cloak_up);
+}
