@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the online service: frame codec cost and
+//! full TCP round-trips against an in-process `dummyloc-server`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dummyloc_core::client::Request;
+use dummyloc_geo::{BBox, Point};
+use dummyloc_lbs::{PoiDatabase, QueryKind};
+use dummyloc_server::client::ServiceClient;
+use dummyloc_server::proto::ClientFrame;
+use dummyloc_server::server::{spawn, ServerConfig};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+/// `k + 1` positions scattered deterministically over the area.
+fn request(positions: usize) -> Request {
+    Request {
+        pseudonym: "bench".to_string(),
+        positions: (0..positions)
+            .map(|i| {
+                let i = i as f64;
+                Point::new((i * 733.0) % 1900.0 + 50.0, (i * 397.0) % 1900.0 + 50.0)
+            })
+            .collect(),
+    }
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_frame_codec");
+    for &n in &[4usize, 16, 64] {
+        let frame = ClientFrame::Query {
+            id: 7,
+            t: 30.0,
+            request: request(n),
+            query: QueryKind::NextBus,
+        };
+        let line = serde_json::to_string(&frame).unwrap();
+        group.bench_with_input(BenchmarkId::new("encode", n), &frame, |b, frame| {
+            b.iter(|| serde_json::to_string(frame).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &line, |b, line| {
+            b.iter(|| serde_json::from_str::<ClientFrame>(line).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let handle = spawn(
+        ServerConfig::default(),
+        PoiDatabase::generate(area(), 200, 42),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("server_roundtrip");
+    for &n in &[1usize, 4, 16] {
+        let request = request(n);
+        group.bench_with_input(BenchmarkId::new("next_bus", n), &request, |b, request| {
+            let mut client = ServiceClient::connect(handle.addr()).unwrap();
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 1.0;
+                client.query(t, request, &QueryKind::NextBus).unwrap()
+            });
+            client.bye().unwrap();
+        });
+    }
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_frame_codec, bench_roundtrip);
+criterion_main!(benches);

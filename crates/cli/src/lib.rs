@@ -6,6 +6,8 @@
 //!                    --generator mn --m 120 --heatmap
 //! dummyloc experiment fig7 [--seed 42] [--quick] [--json out.json]
 //! dummyloc render    --workload fleet.csv --out tracks.svg
+//! dummyloc serve     --addr 127.0.0.1:7878 --workers 4 --pois 200
+//! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1
 //! ```
 //!
 //! The library half holds all the logic so it is testable; `main.rs` is a
@@ -59,6 +61,8 @@ commands:
               tracing, ablation-radius, ablation-mln, ablation-precision,
               cost, ext-tracing, mix-zones, realism, adoption)
   render      draw a workload's trajectories as SVG
+  serve       run the online LBS query service over TCP
+  loadgen     drive a running server with concurrent simulated users
 
 run `dummyloc <command> --help` for the command's flags";
 
@@ -139,6 +143,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_experiment(name, &Flags::parse(rest)?)
         }
         "render" => cmd_render(&Flags::parse(rest)?),
+        "serve" => cmd_serve(&Flags::parse(rest)?),
+        "loadgen" => cmd_loadgen(&Flags::parse(rest)?),
         "--help" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -362,6 +368,101 @@ fn cmd_render(flags: &Flags) -> Result<String, CliError> {
     Ok(format!("wrote {} tracks to {}", fleet.len(), out.display()))
 }
 
+fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    use dummyloc_server::server::{spawn, ServerConfig};
+    // The service area matches the loadgen's (and the experiments') Nara
+    // default, so loadgen users stay in bounds.
+    let area = dummyloc_geo::BBox::new(
+        dummyloc_geo::Point::new(0.0, 0.0),
+        dummyloc_geo::Point::new(2000.0, 2000.0),
+    )
+    .map_err(runtime)?;
+    let pois = dummyloc_lbs::PoiDatabase::generate(
+        area,
+        flags.num("pois", 200)?,
+        flags.num("poi-seed", 42)?,
+    );
+    let config = ServerConfig {
+        addr: flags.get("addr", "127.0.0.1:7878"),
+        workers: flags.num("workers", 4)?,
+        shards: flags.num("shards", 8)?,
+        queue_depth: flags.num("queue", 1024)?,
+        max_frame_bytes: flags.num(
+            "max-frame-bytes",
+            dummyloc_server::proto::DEFAULT_MAX_FRAME_BYTES,
+        )?,
+        max_requests_per_conn: flags.num("max-requests-per-conn", u64::MAX)?,
+        worker_delay: None,
+    };
+    let handle = spawn(config, pois).map_err(runtime)?;
+    println!(
+        "dummyloc-server listening on {} (protocol v{})",
+        handle.addr(),
+        dummyloc_server::PROTOCOL_VERSION
+    );
+    match flags.values.get("duration") {
+        // Scriptable mode: serve for N seconds, then drain and report.
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --duration got invalid value '{v}'")))?;
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+            let report = handle.shutdown();
+            serde_json::to_string_pretty(&report.stats).map_err(runtime)
+        }
+        // Default: serve until the process is killed.
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        },
+    }
+}
+
+fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
+    use dummyloc_server::loadgen::{self, GeneratorChoice, LoadgenConfig};
+    let generator = match flags.get("generator", "mn").as_str() {
+        "mn" => GeneratorChoice::Mn,
+        "mln" => GeneratorChoice::Mln,
+        "random" => GeneratorChoice::Random,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown generator '{other}' (mn, mln, random)"
+            )))
+        }
+    };
+    let query = parse_query(flags)?;
+    let config = LoadgenConfig {
+        addr: flags.get("addr", "127.0.0.1:7878"),
+        users: flags.num("users", 8)?,
+        rounds: flags.num("rounds", 20)?,
+        dummy_count: flags.num("dummies", 3)?,
+        generator,
+        m: flags.num("m", 120.0)?,
+        tick: flags.num("tick", 30.0)?,
+        seed: flags.num("seed", 1)?,
+        query,
+    };
+    let report = loadgen::run(&config).map_err(runtime)?;
+    let json = serde_json::to_string_pretty(&report).map_err(runtime)?;
+    if let Some(path) = flags.values.get("json") {
+        std::fs::write(path, &json).map_err(runtime)?;
+    }
+    Ok(json)
+}
+
+fn parse_query(flags: &Flags) -> Result<dummyloc_lbs::QueryKind, CliError> {
+    use dummyloc_lbs::QueryKind;
+    match flags.get("query", "bus").as_str() {
+        "bus" => Ok(QueryKind::NextBus),
+        "nearest" => Ok(QueryKind::NearestPoi { category: None }),
+        "range" => Ok(QueryKind::PoisInRange {
+            radius: flags.num("radius", 150.0)?,
+        }),
+        other => Err(CliError::Usage(format!(
+            "unknown query '{other}' (bus, nearest, range)"
+        ))),
+    }
+}
+
 /// Loads the workload named by `--workload <path.csv|path.json>`, or
 /// generates the standard fleet when the flag is absent.
 fn load_workload(flags: &Flags) -> Result<Dataset, CliError> {
@@ -557,6 +658,56 @@ mod tests {
         assert!(matches!(
             run(&args("simulate --workload /nonexistent/fleet.csv")),
             Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn loadgen_drives_an_in_process_server() {
+        let area = dummyloc_geo::BBox::new(
+            dummyloc_geo::Point::new(0.0, 0.0),
+            dummyloc_geo::Point::new(2000.0, 2000.0),
+        )
+        .unwrap();
+        let handle = dummyloc_server::spawn(
+            dummyloc_server::ServerConfig::default(),
+            dummyloc_lbs::PoiDatabase::generate(area, 80, 42),
+        )
+        .unwrap();
+        let json_path = tmp("loadgen.json");
+        let out = run(&args(&format!(
+            "loadgen --addr {} --users 3 --rounds 4 --dummies 2 --generator mln \
+             --query nearest --seed 5 --json {}",
+            handle.addr(),
+            json_path.display()
+        )))
+        .unwrap();
+        let report: dummyloc_server::LoadgenReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.sent, 12);
+        assert_eq!(report.answered + report.overloaded, 12);
+        assert_eq!(report.user_errors, 0);
+        assert_eq!(report.per_user_digest.len(), 3);
+        // --json wrote the same report to disk.
+        let on_disk = std::fs::read_to_string(&json_path).unwrap();
+        assert_eq!(on_disk, out);
+        let stats = handle.shutdown().stats;
+        assert_eq!(stats.requests + stats.rejects, 12);
+        // Each request carried 2 dummies + the true position.
+        assert_eq!(stats.positions, stats.requests * 3);
+    }
+
+    #[test]
+    fn serve_and_loadgen_reject_bad_flags() {
+        assert!(matches!(
+            run(&args("loadgen --generator warp")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("loadgen --query palmistry")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("serve --workers nine")),
+            Err(CliError::Usage(_))
         ));
     }
 }

@@ -9,13 +9,15 @@
 
 use dummyloc_geo::{Grid, Point};
 use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
 
 use crate::generator::{DensityView, DummyGenerator};
 use crate::{CoreError, Result};
 
 /// The anonymized message a client sends: a pseudonym and `k+1` positions
-/// with the true one shuffled in. This is everything the provider sees.
-#[derive(Debug, Clone, PartialEq)]
+/// with the true one shuffled in. This is everything the provider sees
+/// (and exactly what goes on the wire in `dummyloc-server`'s protocol).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Unlinkable pseudonym (the paper assumes the user id "cannot be
     /// connected to the user's privacy information because of pseudonyms").

@@ -61,5 +61,5 @@ pub mod query;
 pub use cloak_log::CloakLog;
 pub use cost::{CostAccounting, CostModel};
 pub use poi::{Category, Poi, PoiDatabase};
-pub use provider::{ObserverLog, Provider};
+pub use provider::{answer_position, answer_request, ObserverLog, Provider, StreamView};
 pub use query::{Answer, PoiInfo, QueryKind, ServiceResponse};

@@ -9,6 +9,101 @@ use crate::cost::{CostAccounting, CostModel};
 use crate::poi::{Category, PoiDatabase};
 use crate::query::{Answer, BusAnswer, PoiInfo, QueryKind, ServiceResponse};
 
+/// One pseudonym's stream, stored as parallel arrays so request sequences
+/// can be handed to adversaries as a borrowed `&[Request]` slice without
+/// cloning.
+#[derive(Debug, Clone, Default)]
+struct Stream {
+    times: Vec<f64>,
+    requests: Vec<Request>,
+}
+
+impl Stream {
+    /// Appends `other` preserving time order: a plain append when `other`
+    /// starts no earlier than this stream ends (the common case when
+    /// merging shard logs that each saw disjoint pseudonyms or disjoint
+    /// time windows), a stable two-way merge otherwise.
+    fn merge(&mut self, mut other: Stream) {
+        let in_order = match (self.times.last(), other.times.first()) {
+            (Some(&a), Some(&b)) => a <= b,
+            _ => true,
+        };
+        if in_order {
+            self.times.append(&mut other.times);
+            self.requests.append(&mut other.requests);
+            return;
+        }
+        let mut a = std::mem::take(&mut self.times)
+            .into_iter()
+            .zip(std::mem::take(&mut self.requests))
+            .peekable();
+        let mut b = other.times.into_iter().zip(other.requests).peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some((ta, _)), Some((tb, _))) => ta <= tb,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (t, r) = if take_a { a.next() } else { b.next() }.expect("peeked");
+            self.times.push(t);
+            self.requests.push(r);
+        }
+    }
+}
+
+/// Borrowed view of one pseudonym's time-ordered stream: parallel
+/// timestamp and request slices of equal length.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamView<'a> {
+    times: &'a [f64],
+    requests: &'a [Request],
+}
+
+impl<'a> StreamView<'a> {
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Receive times, parallel to [`StreamView::requests`].
+    pub fn times(&self) -> &'a [f64] {
+        self.times
+    }
+
+    /// The requests in receive order.
+    pub fn requests(&self) -> &'a [Request] {
+        self.requests
+    }
+
+    /// `(time, request)` pairs in receive order.
+    pub fn iter(&self) -> std::iter::Zip<TimeIter<'a>, std::slice::Iter<'a, Request>> {
+        self.times.iter().copied().zip(self.requests.iter())
+    }
+
+    /// The most recent `(time, request)` pair.
+    pub fn last(&self) -> Option<(f64, &'a Request)> {
+        Some((*self.times.last()?, self.requests.last()?))
+    }
+}
+
+/// Iterator over a stream's receive times.
+pub type TimeIter<'a> = std::iter::Copied<std::slice::Iter<'a, f64>>;
+
+impl<'a> IntoIterator for StreamView<'a> {
+    type Item = (f64, &'a Request);
+    type IntoIter = std::iter::Zip<TimeIter<'a>, std::slice::Iter<'a, Request>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Everything an honest-but-curious provider retains about its users:
 /// per-pseudonym, the full time-ordered sequence of received requests.
 ///
@@ -19,20 +114,31 @@ use crate::query::{Answer, BusAnswer, PoiInfo, QueryKind, ServiceResponse};
 #[derive(Debug, Clone, Default)]
 pub struct ObserverLog {
     order: Vec<String>,
-    streams: HashMap<String, Vec<(f64, Request)>>,
+    streams: HashMap<String, Stream>,
 }
 
+/// What [`ObserverLog::requests_of`] returns for unknown pseudonyms.
+static NO_REQUESTS: &[Request] = &[];
+
 impl ObserverLog {
-    /// Records one received request at time `t`.
+    /// Records one received request at time `t` (clones the request; the
+    /// server's ingest path uses [`ObserverLog::record_owned`]).
     pub fn record(&mut self, t: f64, request: &Request) {
+        self.record_owned(t, request.clone());
+    }
+
+    /// Records one received request at time `t`, taking ownership so the
+    /// hot path never clones position vectors.
+    pub fn record_owned(&mut self, t: f64, request: Request) {
         let stream = self
             .streams
             .entry(request.pseudonym.clone())
             .or_insert_with(|| {
                 self.order.push(request.pseudonym.clone());
-                Vec::new()
+                Stream::default()
             });
-        stream.push((t, request.clone()));
+        stream.times.push(t);
+        stream.requests.push(request);
     }
 
     /// Pseudonyms in order of first appearance.
@@ -41,23 +147,51 @@ impl ObserverLog {
     }
 
     /// The time-ordered request stream of one pseudonym.
-    pub fn stream(&self, pseudonym: &str) -> Option<&[(f64, Request)]> {
-        self.streams.get(pseudonym).map(Vec::as_slice)
+    pub fn stream(&self, pseudonym: &str) -> Option<StreamView<'_>> {
+        self.streams.get(pseudonym).map(|s| StreamView {
+            times: &s.times,
+            requests: &s.requests,
+        })
     }
 
     /// The request sequence of one pseudonym without timestamps — the
     /// shape the [`Adversary`](dummyloc_core::adversary::Adversary) trait
-    /// consumes.
-    pub fn requests_of(&self, pseudonym: &str) -> Vec<Request> {
+    /// consumes. Borrowed: unknown pseudonyms yield an empty slice, and
+    /// no request is ever cloned.
+    pub fn requests_of(&self, pseudonym: &str) -> &[Request] {
         self.streams
             .get(pseudonym)
-            .map(|s| s.iter().map(|(_, r)| r.clone()).collect())
-            .unwrap_or_default()
+            .map_or(NO_REQUESTS, |s| &s.requests)
+    }
+
+    /// Iterates one pseudonym's requests in receive order without cloning.
+    pub fn iter_requests_of(&self, pseudonym: &str) -> std::slice::Iter<'_, Request> {
+        self.requests_of(pseudonym).iter()
+    }
+
+    /// Merges another log into this one, preserving per-stream time order
+    /// — how the server folds its per-shard logs into one observer view.
+    pub fn absorb(&mut self, other: ObserverLog) {
+        let ObserverLog { order, mut streams } = other;
+        for pseudonym in order {
+            let incoming = streams
+                .remove(&pseudonym)
+                .expect("order lists every stream");
+            match self.streams.entry(pseudonym.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.order.push(pseudonym);
+                    e.insert(incoming);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(incoming);
+                }
+            }
+        }
     }
 
     /// Total recorded requests.
     pub fn len(&self) -> usize {
-        self.streams.values().map(Vec::len).sum()
+        self.streams.values().map(|s| s.requests.len()).sum()
     }
 
     /// Whether nothing has been recorded.
@@ -116,44 +250,58 @@ impl Provider {
     /// provider cannot know which is true), logs the request, and bills
     /// the cost.
     pub fn handle(&mut self, t: f64, request: &Request, query: &QueryKind) -> ServiceResponse {
-        let answers = request
-            .positions
-            .iter()
-            .map(|&p| self.answer_one(t, p, query))
-            .collect();
-        let response = ServiceResponse { answers };
+        let response = answer_request(&self.pois, t, request, query);
         self.cost
             .record(&self.cost_model, request.positions.len(), &response);
         self.log.record(t, request);
         response
     }
+}
 
-    fn answer_one(&self, t: f64, pos: Point, query: &QueryKind) -> Answer {
-        match *query {
-            QueryKind::NearestPoi { category } => Answer::NearestPoi(
-                self.pois
-                    .nearest(pos, category)
-                    .map(|p| PoiInfo::for_poi(p, pos)),
-            ),
-            QueryKind::PoisInRange { radius } => Answer::PoisInRange(
-                self.pois
-                    .within_radius(pos, radius)
-                    .into_iter()
-                    .map(|p| PoiInfo::for_poi(p, pos))
-                    .collect(),
-            ),
-            QueryKind::NextBus => {
-                Answer::NextBus(self.pois.nearest(pos, Some(Category::BusStop)).map(|stop| {
-                    BusAnswer {
-                        stop: PoiInfo::for_poi(stop, pos),
-                        arrival: stop
-                            .schedule
-                            .expect("bus stops carry schedules")
-                            .next_arrival(t),
-                    }
-                }))
-            }
+/// Answers one position at time `t` against a POI database — the pure,
+/// stateless core of [`Provider::handle`], shared with the concurrent
+/// server (which holds the database read-only behind an `Arc` and keeps
+/// logging and billing elsewhere).
+pub fn answer_position(pois: &PoiDatabase, t: f64, pos: Point, query: &QueryKind) -> Answer {
+    match *query {
+        QueryKind::NearestPoi { category } => Answer::NearestPoi(
+            pois.nearest(pos, category)
+                .map(|p| PoiInfo::for_poi(p, pos)),
+        ),
+        QueryKind::PoisInRange { radius } => Answer::PoisInRange(
+            pois.within_radius(pos, radius)
+                .into_iter()
+                .map(|p| PoiInfo::for_poi(p, pos))
+                .collect(),
+        ),
+        QueryKind::NextBus => {
+            Answer::NextBus(pois.nearest(pos, Some(Category::BusStop)).map(|stop| {
+                BusAnswer {
+                    stop: PoiInfo::for_poi(stop, pos),
+                    arrival: stop
+                        .schedule
+                        .expect("bus stops carry schedules")
+                        .next_arrival(t),
+                }
+            }))
         }
+    }
+}
+
+/// Answers every position of `request` in order — exactly what the paper's
+/// provider must do, since it cannot tell truth from dummies.
+pub fn answer_request(
+    pois: &PoiDatabase,
+    t: f64,
+    request: &Request,
+    query: &QueryKind,
+) -> ServiceResponse {
+    ServiceResponse {
+        answers: request
+            .positions
+            .iter()
+            .map(|&p| answer_position(pois, t, p, query))
+            .collect(),
     }
 }
 
@@ -252,12 +400,38 @@ mod tests {
         assert_eq!(log.len(), 3);
         let a = log.stream("a").unwrap();
         assert_eq!(a.len(), 2);
-        assert_eq!(a[0].0, 0.0);
-        assert_eq!(a[1].0, 2.0);
+        assert_eq!(a.times(), &[0.0, 2.0]);
+        let (t_last, r_last) = a.last().unwrap();
+        assert_eq!(t_last, 2.0);
+        assert_eq!(r_last.positions, vec![Point::new(3.0, 3.0)]);
+        assert_eq!(a.iter().count(), 2);
         assert_eq!(log.requests_of("a").len(), 2);
+        assert_eq!(log.iter_requests_of("a").count(), 2);
         assert!(log.requests_of("zz").is_empty());
         assert!(log.stream("zz").is_none());
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_shards_preserving_time_order() {
+        let q = QueryKind::NextBus;
+        let mut shard0 = provider();
+        let mut shard1 = provider();
+        // Disjoint pseudonyms plus one pseudonym split across shards with
+        // interleaved timestamps.
+        shard0.handle(0.0, &request("a", vec![Point::new(1.0, 1.0)]), &q);
+        shard0.handle(2.0, &request("both", vec![Point::new(2.0, 2.0)]), &q);
+        shard1.handle(1.0, &request("both", vec![Point::new(3.0, 3.0)]), &q);
+        shard1.handle(3.0, &request("b", vec![Point::new(4.0, 4.0)]), &q);
+
+        let mut merged = shard0.observer_log().clone();
+        merged.absorb(shard1.observer_log().clone());
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.pseudonyms().len(), 3);
+        let both = merged.stream("both").unwrap();
+        assert_eq!(both.times(), &[1.0, 2.0]);
+        assert_eq!(merged.requests_of("a").len(), 1);
+        assert_eq!(merged.requests_of("b").len(), 1);
     }
 
     #[test]

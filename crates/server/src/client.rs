@@ -1,0 +1,125 @@
+//! Blocking protocol client used by the load generator and tests.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dummyloc_core::client::Request;
+use dummyloc_lbs::query::{QueryKind, ServiceResponse};
+
+use crate::error::{Result, ServerError};
+use crate::proto::{
+    write_frame, ClientFrame, FrameEvent, FrameReader, ServerFrame, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use crate::stats::StatsSnapshot;
+
+/// How the server disposed of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Answered in full — one answer per reported position.
+    Answered(ServiceResponse),
+    /// Bounced off the full work queue; not processed, safe to retry.
+    Overloaded,
+}
+
+/// One connection to a `dummyloc-server`, already past the `Hello`
+/// handshake. Queries are issued in lockstep (send, then wait for the
+/// matching reply).
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: FrameReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = BufWriter::new(stream.try_clone()?);
+        let mut client = ServiceClient {
+            reader: FrameReader::new(stream, DEFAULT_MAX_FRAME_BYTES),
+            writer,
+            next_id: 0,
+        };
+        write_frame(
+            &mut client.writer,
+            &ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match client.read_frame()? {
+            ServerFrame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            ServerFrame::Error { message, .. } => Err(ServerError::Handshake { message }),
+            other => Err(ServerError::Protocol {
+                message: format!("unexpected handshake reply: {other:?}"),
+            }),
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<ServerFrame> {
+        match self.reader.next_frame()? {
+            FrameEvent::Frame(line) => Ok(serde_json::from_str(&line)?),
+            FrameEvent::Eof => Err(ServerError::Protocol {
+                message: "server closed the connection".to_string(),
+            }),
+            FrameEvent::TooLarge => Err(ServerError::Protocol {
+                message: "oversized server frame".to_string(),
+            }),
+        }
+    }
+
+    /// Sends one service round and waits for its reply.
+    pub fn query(&mut self, t: f64, request: &Request, query: &QueryKind) -> Result<QueryOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &ClientFrame::Query {
+                id,
+                t,
+                request: request.clone(),
+                query: *query,
+            },
+        )?;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Answer { id: rid, response } if rid == id => {
+                    return Ok(QueryOutcome::Answered(response));
+                }
+                ServerFrame::Overloaded { id: rid } if rid == id => {
+                    return Ok(QueryOutcome::Overloaded);
+                }
+                ServerFrame::Error { kind, message, .. } => {
+                    return Err(ServerError::Protocol {
+                        message: format!("{kind:?}: {message}"),
+                    });
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Fetches the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        write_frame(&mut self.writer, &ClientFrame::Stats)?;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Stats { snapshot } => return Ok(snapshot),
+                ServerFrame::Error { kind, message, .. } => {
+                    return Err(ServerError::Protocol {
+                        message: format!("{kind:?}: {message}"),
+                    });
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn bye(mut self) -> Result<()> {
+        write_frame(&mut self.writer, &ClientFrame::Bye)?;
+        Ok(())
+    }
+}

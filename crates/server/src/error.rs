@@ -1,0 +1,58 @@
+//! Error type for the server crate.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+/// Anything that can go wrong serving or driving load.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame failed to encode or decode.
+    Json(serde_json::Error),
+    /// The peer violated the wire protocol.
+    Protocol {
+        /// What was violated.
+        message: String,
+    },
+    /// The server rejected the opening handshake.
+    Handshake {
+        /// The server's complaint.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Json(e) => write!(f, "frame codec error: {e}"),
+            ServerError::Protocol { message } => write!(f, "protocol error: {message}"),
+            ServerError::Handshake { message } => write!(f, "handshake rejected: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServerError {
+    fn from(e: serde_json::Error) -> Self {
+        ServerError::Json(e)
+    }
+}

@@ -1,0 +1,69 @@
+//! Online LBS query service and load generator.
+//!
+//! The paper's protocol is client–server: each user sends one message
+//! carrying the true position and `k` dummies, and the provider answers
+//! every position. The rest of the workspace exercises that protocol
+//! in-process; this crate serves it over TCP, pointing at the ROADMAP's
+//! production-scale north star:
+//!
+//! * [`proto`] — newline-delimited, length-checked JSON frames with a
+//!   version handshake and typed error / `Overloaded` frames,
+//! * [`server`] — acceptor + per-connection readers + a fixed worker pool
+//!   over one bounded `crossbeam` queue; answers come from the same
+//!   [`dummyloc_lbs::answer_request`] the in-process [`Provider`]
+//!   (re-exported below) uses, so online and offline runs agree exactly,
+//! * [`shard`] — the observer log split `N` ways by pseudonym hash so
+//!   concurrent workers rarely contend; folds back into one
+//!   [`dummyloc_lbs::ObserverLog`] for the adversary pipeline,
+//! * [`stats`] — relaxed atomic counters and fixed-bucket latency
+//!   histograms served over the protocol's `Stats` command,
+//! * [`client`] — a blocking protocol client,
+//! * [`loadgen`] — M concurrent simulated users (rickshaw tracks + MN/MLN
+//!   dummy generators) reporting throughput, latency percentiles and
+//!   per-user determinism digests.
+//!
+//! # Example
+//!
+//! ```
+//! use dummyloc_server::client::ServiceClient;
+//! use dummyloc_server::server::{spawn, ServerConfig};
+//! use dummyloc_core::client::Request;
+//! use dummyloc_geo::{BBox, Point};
+//! use dummyloc_lbs::{PoiDatabase, QueryKind};
+//!
+//! let area = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap();
+//! let handle = spawn(ServerConfig::default(), PoiDatabase::generate(area, 50, 7)).unwrap();
+//!
+//! let mut client = ServiceClient::connect(handle.addr()).unwrap();
+//! let request = Request {
+//!     pseudonym: "p1".into(),
+//!     positions: vec![Point::new(100.0, 100.0), Point::new(800.0, 300.0)],
+//! };
+//! let outcome = client
+//!     .query(0.0, &request, &QueryKind::NearestPoi { category: None })
+//!     .unwrap();
+//! # let dummyloc_server::client::QueryOutcome::Answered(response) = outcome else { panic!() };
+//! # assert_eq!(response.answers.len(), 2);
+//! client.bye().unwrap();
+//! let report = handle.shutdown();
+//! assert_eq!(report.stats.requests, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+pub mod shard;
+pub mod stats;
+
+pub use client::{QueryOutcome, ServiceClient};
+pub use error::{Result, ServerError};
+pub use loadgen::{GeneratorChoice, LoadgenConfig, LoadgenReport};
+pub use proto::{ClientFrame, ErrorKind, ServerFrame, PROTOCOL_VERSION};
+pub use server::{spawn, ServerConfig, ServerHandle, ShutdownReport};
+pub use shard::ShardedLog;
+pub use stats::{ServerStats, StatsSnapshot};

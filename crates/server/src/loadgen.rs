@@ -1,0 +1,304 @@
+//! Load generator: M concurrent simulated users against a live server.
+//!
+//! Each user owns one connection, one rickshaw track (the paper's Nara
+//! workload substitute from `dummyloc-mobility`), one dummy generator and
+//! one derived RNG stream, so a fixed master seed reproduces the exact
+//! same request sequences — and, against a server with the same POI seed,
+//! the exact same answers — run after run. The per-user answer digests in
+//! the report make that checkable: two runs with the same seed must
+//! produce identical `per_user_digest` vectors.
+
+use std::time::Instant;
+
+use dummyloc_core::client::Client;
+use dummyloc_core::generator::{
+    DensityThreshold, DummyGenerator, MlnGenerator, MnGenerator, NoDensity, RandomGenerator,
+};
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_lbs::query::QueryKind;
+use dummyloc_mobility::{RickshawConfig, RickshawModel};
+use serde::{Deserialize, Serialize};
+
+use crate::client::{QueryOutcome, ServiceClient};
+use crate::error::{Result, ServerError};
+use crate::stats::StatsSnapshot;
+
+/// Which dummy algorithm the simulated users run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeneratorChoice {
+    /// Uniform redraw each round (the paper's strawman).
+    Random,
+    /// Moving in a Neighborhood.
+    Mn,
+    /// Moving in a Limited Neighborhood (density view: none — users are
+    /// independent processes here).
+    Mln,
+}
+
+impl GeneratorChoice {
+    fn build(
+        self,
+        area: dummyloc_geo::BBox,
+        m: f64,
+    ) -> std::result::Result<Box<dyn DummyGenerator>, dummyloc_core::CoreError> {
+        Ok(match self {
+            GeneratorChoice::Random => Box::new(RandomGenerator::new(area)?),
+            GeneratorChoice::Mn => Box::new(MnGenerator::new(area, m)?),
+            GeneratorChoice::Mln => Box::new(MlnGenerator::with_options(
+                area,
+                m,
+                DensityThreshold::MeanOccupied,
+                6,
+            )?),
+        })
+    }
+}
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent simulated users (one thread + one connection each).
+    pub users: usize,
+    /// Service rounds per user.
+    pub rounds: usize,
+    /// Dummies per request (`k`; each request carries `k+1` positions).
+    pub dummy_count: usize,
+    /// Dummy-motion algorithm.
+    pub generator: GeneratorChoice,
+    /// MN/MLN neighborhood half-extent in metres.
+    pub m: f64,
+    /// Simulated seconds between rounds (logical time only; the load
+    /// generator sends as fast as the server answers).
+    pub tick: f64,
+    /// Master seed; user `i` derives stream `i`.
+    pub seed: u64,
+    /// The query every user issues each round.
+    pub query: QueryKind,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            users: 8,
+            rounds: 20,
+            dummy_count: 3,
+            generator: GeneratorChoice::Mn,
+            m: 120.0,
+            tick: 30.0,
+            seed: 1,
+            query: QueryKind::NextBus,
+        }
+    }
+}
+
+/// Latency percentiles over every answered query, in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+/// What one run produced (serialized as the `loadgen` subcommand output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Concurrent users driven.
+    pub users: usize,
+    /// Rounds attempted per user.
+    pub rounds: usize,
+    /// Queries sent.
+    pub sent: u64,
+    /// Queries answered in full.
+    pub answered: u64,
+    /// Queries bounced with `Overloaded`.
+    pub overloaded: u64,
+    /// Users whose session died on an error.
+    pub user_errors: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Answered queries per wall-clock second.
+    pub throughput_rps: f64,
+    /// Client-measured round-trip latency percentiles.
+    pub latency: LatencySummary,
+    /// FNV-1a digest (hex) of each user's answer sequence — identical
+    /// across runs for a fixed seed against the same server database.
+    pub per_user_digest: Vec<String>,
+    /// Server counters fetched after the run, when reachable.
+    pub server_stats: Option<StatsSnapshot>,
+}
+
+struct UserOutcome {
+    digest: u64,
+    latencies_us: Vec<u64>,
+    sent: u64,
+    answered: u64,
+    overloaded: u64,
+}
+
+fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn drive_user(
+    cfg: &LoadgenConfig,
+    track: &dummyloc_trajectory::Trajectory,
+    user: usize,
+) -> Result<UserOutcome> {
+    let area = RickshawConfig::nara().area;
+    let generator = cfg
+        .generator
+        .build(area, cfg.m)
+        .map_err(|e| ServerError::Protocol {
+            message: format!("generator config invalid: {e}"),
+        })?;
+    let mut rng = rng_from_seed(derive_seed(cfg.seed, user as u64));
+    let mut client = Client::new(track.id().to_string(), generator, cfg.dummy_count);
+    let mut svc = ServiceClient::connect(cfg.addr.as_str())?;
+    let mut out = UserOutcome {
+        digest: 0xcbf2_9ce4_8422_2325,
+        latencies_us: Vec::with_capacity(cfg.rounds),
+        sent: 0,
+        answered: 0,
+        overloaded: 0,
+    };
+    for k in 0..cfg.rounds {
+        let t = k as f64 * cfg.tick;
+        let pos = track
+            .position_at(t)
+            .expect("fleet tracks span the whole run");
+        let round = if k == 0 {
+            client.begin(&mut rng, pos)
+        } else {
+            client.step(&mut rng, pos, &NoDensity)
+        }
+        .map_err(|e| ServerError::Protocol {
+            message: format!("client protocol error: {e}"),
+        })?;
+        let start = Instant::now();
+        out.sent += 1;
+        match svc.query(t, &round.request, &cfg.query)? {
+            QueryOutcome::Answered(response) => {
+                out.latencies_us
+                    .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                out.answered += 1;
+                let rendered = serde_json::to_string(&response)?;
+                out.digest = fnv1a_fold(out.digest, rendered.as_bytes());
+            }
+            QueryOutcome::Overloaded => out.overloaded += 1,
+        }
+    }
+    svc.bye()?;
+    Ok(out)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs the load and gathers the report. Deterministic in everything but
+/// timing: the request streams and answer digests depend only on
+/// `config.seed` (and the server's POI database).
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
+    if config.users == 0 || config.rounds == 0 {
+        return Err(ServerError::Protocol {
+            message: "loadgen needs at least one user and one round".to_string(),
+        });
+    }
+    // The fleet is generated from the master seed alone, so track shapes —
+    // and therefore every true position — reproduce across runs.
+    let model = RickshawModel::new(RickshawConfig::nara(), derive_seed(config.seed, 1_000_003));
+    let duration = config.rounds as f64 * config.tick;
+    let fleet = model.generate_fleet(config.seed, config.users, 0.0, duration);
+
+    let started = Instant::now();
+    let results: Vec<Result<UserOutcome>> = std::thread::scope(|s| {
+        let handles: Vec<_> = fleet
+            .tracks()
+            .iter()
+            .enumerate()
+            .map(|(i, track)| s.spawn(move || drive_user(config, track, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(ServerError::Protocol {
+                    message: "user thread panicked".to_string(),
+                }),
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut sent = 0;
+    let mut answered = 0;
+    let mut overloaded = 0;
+    let mut user_errors = 0;
+    let mut digests = Vec::with_capacity(config.users);
+    let mut latencies: Vec<u64> = Vec::new();
+    for r in results {
+        match r {
+            Ok(u) => {
+                sent += u.sent;
+                answered += u.answered;
+                overloaded += u.overloaded;
+                digests.push(format!("{:016x}", u.digest));
+                latencies.extend(u.latencies_us);
+            }
+            Err(_) => {
+                user_errors += 1;
+                digests.push("error".to_string());
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let latency = LatencySummary {
+        p50_us: percentile(&latencies, 50.0),
+        p90_us: percentile(&latencies, 90.0),
+        p99_us: percentile(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+        mean_us: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+        },
+    };
+    let server_stats = ServiceClient::connect(config.addr.as_str())
+        .and_then(|mut c| c.stats())
+        .ok();
+    Ok(LoadgenReport {
+        users: config.users,
+        rounds: config.rounds,
+        sent,
+        answered,
+        overloaded,
+        user_errors,
+        elapsed_secs: elapsed,
+        throughput_rps: if elapsed > 0.0 {
+            answered as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency,
+        per_user_digest: digests,
+        server_stats,
+    })
+}

@@ -1,0 +1,261 @@
+//! The wire protocol: newline-delimited, length-checked JSON frames.
+//!
+//! Every frame is one JSON value on one line. A connection opens with a
+//! `Hello` exchange carrying [`PROTOCOL_VERSION`]; the server answers
+//! queries out of order (frames carry client-chosen `id`s), rejects work
+//! it cannot queue with a typed [`ServerFrame::Overloaded`], and reports
+//! protocol violations with [`ServerFrame::Error`] frames. Frames longer
+//! than the configured cap are rejected *before* being buffered in full,
+//! so a hostile peer cannot balloon server memory with one giant line.
+
+use std::io::{self, Read, Write};
+
+use dummyloc_core::client::Request;
+use dummyloc_lbs::query::{QueryKind, ServiceResponse};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::StatsSnapshot;
+
+/// Version spoken by this build. Bumped on any incompatible frame change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default per-frame size cap (bytes, excluding the newline).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Frames a client may send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Opening handshake; must be the first frame on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// One service round: answer every position of `request`.
+    Query {
+        /// Client-chosen correlation id, echoed in the reply.
+        id: u64,
+        /// Service time of the round (seconds).
+        t: f64,
+        /// The paper's message `S`: pseudonym plus `k+1` positions.
+        request: Request,
+        /// What to ask about each position.
+        query: QueryKind,
+    },
+    /// Request a counters snapshot.
+    Stats,
+    /// Orderly goodbye.
+    Bye,
+}
+
+/// Frames the server may send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// Handshake acknowledgement.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Reply to a [`ClientFrame::Query`] — one answer per position.
+    Answer {
+        /// The query's correlation id.
+        id: u64,
+        /// One [`dummyloc_lbs::query::Answer`] per reported position.
+        response: ServiceResponse,
+    },
+    /// Reply to [`ClientFrame::Stats`].
+    Stats {
+        /// Counter values at snapshot time.
+        snapshot: StatsSnapshot,
+    },
+    /// The bounded work queue was full; the query was *not* processed.
+    Overloaded {
+        /// The rejected query's correlation id.
+        id: u64,
+    },
+    /// The peer broke the protocol.
+    Error {
+        /// The offending query id, when one could be parsed.
+        id: Option<u64>,
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Categories of [`ServerFrame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The frame was not valid JSON or not a known frame.
+    Malformed,
+    /// The frame exceeded the server's size cap.
+    FrameTooLarge,
+    /// Handshake version differs from the server's.
+    VersionMismatch,
+    /// The connection exceeded its per-connection request budget.
+    TooManyRequests,
+}
+
+/// Serializes one frame and writes it as a single line.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, frame: &T) -> io::Result<()> {
+    let line = serde_json::to_string(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// What [`FrameReader::next_frame`] produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// One complete line (without the newline).
+    Frame(String),
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// The current line exceeded the size cap; the stream is no longer
+    /// line-synchronized and the connection should be closed.
+    TooLarge,
+}
+
+/// Incremental line reader that enforces the frame-size cap *while*
+/// reading and survives read timeouts (a timeout leaves any partial line
+/// buffered for the next call — the server uses this to poll its shutdown
+/// flag without dropping bytes).
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    max: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`, capping frames at `max_frame_bytes`.
+    pub fn new(inner: R, max_frame_bytes: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            max: max_frame_bytes,
+        }
+    }
+
+    /// The wrapped stream (e.g. to set socket options).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Reads until one full line, EOF, or the cap is hit. Timeout errors
+    /// (`WouldBlock`/`TimedOut`) propagate as `Err` with the partial line
+    /// retained.
+    pub fn next_frame(&mut self) -> io::Result<FrameEvent> {
+        loop {
+            if let Some(nl) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let end = self.start + nl;
+                let line = String::from_utf8_lossy(&self.buf[self.start..end]).into_owned();
+                self.start = end + 1;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                return Ok(FrameEvent::Frame(line));
+            }
+            if self.buf.len() - self.start > self.max {
+                return Ok(FrameEvent::TooLarge);
+            }
+            // Compact consumed bytes before growing the buffer.
+            if self.start > 0 {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.len() > self.start {
+                        // Final unterminated line: deliver it.
+                        let line = String::from_utf8_lossy(&self.buf[self.start..]).into_owned();
+                        self.buf.clear();
+                        self.start = 0;
+                        return Ok(FrameEvent::Frame(line));
+                    }
+                    return Ok(FrameEvent::Eof);
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        use dummyloc_geo::Point;
+        let frames = vec![
+            ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            ClientFrame::Query {
+                id: 7,
+                t: 30.0,
+                request: Request {
+                    pseudonym: "p1".into(),
+                    positions: vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)],
+                },
+                query: QueryKind::NextBus,
+            },
+            ClientFrame::Stats,
+            ClientFrame::Bye,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut reader = FrameReader::new(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        for f in &frames {
+            let FrameEvent::Frame(line) = reader.next_frame().unwrap() else {
+                panic!("expected frame");
+            };
+            let back: ClientFrame = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, f);
+        }
+        assert!(matches!(reader.next_frame().unwrap(), FrameEvent::Eof));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_without_buffering_it_all() {
+        // 1 MiB of garbage on one line against a 1 KiB cap: rejected after
+        // roughly one cap's worth of reading, not after swallowing the MiB.
+        let big = vec![b'x'; 1 << 20];
+        let mut reader = FrameReader::new(&big[..], 1024);
+        assert!(matches!(reader.next_frame().unwrap(), FrameEvent::TooLarge));
+    }
+
+    #[test]
+    fn partial_lines_survive_split_reads() {
+        struct TwoChunks<'a>(Vec<&'a [u8]>);
+        impl Read for TwoChunks<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                let c = self.0.remove(0);
+                buf[..c.len()].copy_from_slice(c);
+                Ok(c.len())
+            }
+        }
+        let mut reader = FrameReader::new(TwoChunks(vec![b"hel", b"lo\nwor", b"ld\n"]), 64);
+        let FrameEvent::Frame(a) = reader.next_frame().unwrap() else {
+            panic!()
+        };
+        let FrameEvent::Frame(b) = reader.next_frame().unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, "hello");
+        assert_eq!(b, "world");
+        assert!(matches!(reader.next_frame().unwrap(), FrameEvent::Eof));
+    }
+}

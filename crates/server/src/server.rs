@@ -1,0 +1,364 @@
+//! The concurrent query service.
+//!
+//! One acceptor thread hands each connection to its own reader thread; a
+//! fixed pool of worker threads consumes a single bounded job queue and
+//! answers against a shared read-only [`PoiDatabase`], recording into the
+//! [`ShardedLog`]. When the queue is full the reader bounces the query
+//! with a typed `Overloaded` frame instead of buffering — backpressure is
+//! explicit and memory stays bounded. Shutdown stops accepting, lets
+//! readers wind down, and drains every job already queued before workers
+//! exit (reply channels stay open while any queued job holds a sender).
+
+use std::io::{self, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use dummyloc_core::client::Request;
+use dummyloc_lbs::provider::{answer_request, ObserverLog};
+use dummyloc_lbs::query::QueryKind;
+use dummyloc_lbs::PoiDatabase;
+
+use crate::error::Result;
+use crate::proto::{
+    write_frame, ClientFrame, ErrorKind, FrameEvent, FrameReader, ServerFrame,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use crate::shard::ShardedLog;
+use crate::stats::{ServerStats, StatsSnapshot};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads answering queries.
+    pub workers: usize,
+    /// Observer-log shards.
+    pub shards: usize,
+    /// Bounded job-queue depth; a full queue answers `Overloaded`.
+    pub queue_depth: usize,
+    /// Per-frame size cap in bytes.
+    pub max_frame_bytes: usize,
+    /// Queries one connection may send before being cut off.
+    pub max_requests_per_conn: u64,
+    /// Test hook: artificial per-job service time, used to provoke
+    /// overload deterministically.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            shards: 8,
+            queue_depth: 1024,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_requests_per_conn: u64::MAX,
+            worker_delay: None,
+        }
+    }
+}
+
+/// One unit of work: a parsed query plus the channel its reply goes to.
+struct Job {
+    id: u64,
+    t: f64,
+    request: Request,
+    query: QueryKind,
+    enqueued: Instant,
+    reply: Sender<ServerFrame>,
+}
+
+/// A running server. Dropping the handle leaves the server running
+/// detached; call [`ServerHandle::shutdown`] for an orderly stop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    log: Arc<ShardedLog>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Final state returned by [`ServerHandle::shutdown`] after the drain.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Counter values after every queued job completed.
+    pub stats: StatsSnapshot,
+    /// The complete merged observer log.
+    pub log: ObserverLog,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Merged copy of the observer log as recorded so far.
+    pub fn observer_log(&self) -> ObserverLog {
+        self.log.merged()
+    }
+
+    /// Graceful stop: stop accepting, let connections wind down, drain
+    /// every queued job, then join all threads.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+        ShutdownReport {
+            stats: self.stats.snapshot(),
+            log: self.log.merged(),
+        }
+    }
+}
+
+/// Binds and starts a server over `pois`, returning once it accepts
+/// connections.
+pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::new());
+    let log = Arc::new(ShardedLog::new(config.shards));
+    let pois = Arc::new(pois);
+    let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_depth.max(1));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = job_rx.clone();
+            let pois = Arc::clone(&pois);
+            let log = Arc::clone(&log);
+            let stats = Arc::clone(&stats);
+            let delay = config.worker_delay;
+            std::thread::spawn(move || worker_loop(rx, pois, log, stats, delay))
+        })
+        .collect();
+    drop(job_rx);
+
+    let accept = {
+        let stats = Arc::clone(&stats);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || accept_loop(listener, config, job_tx, stats, shutdown))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        stats,
+        log,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    pois: Arc<PoiDatabase>,
+    log: Arc<ShardedLog>,
+    stats: Arc<ServerStats>,
+    delay: Option<Duration>,
+) {
+    // Ends when every job sender (acceptor + connections) is gone and the
+    // queue is drained — exactly the shutdown contract.
+    while let Ok(job) = rx.recv() {
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        let response = answer_request(&pois, job.t, &job.request, &job.query);
+        let positions = job.request.positions.len();
+        log.record_owned(job.t, job.request);
+        stats.record_answer(&job.query, positions, job.enqueued.elapsed());
+        let _ = job.reply.send(ServerFrame::Answer {
+            id: job.id,
+            response,
+        });
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: ServerConfig,
+    job_tx: Sender<Job>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for incoming in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        stats.record_connection();
+        let cfg = config.clone();
+        let job_tx = job_tx.clone();
+        let stats = Arc::clone(&stats);
+        let shutdown = Arc::clone(&shutdown);
+        conns.push(std::thread::spawn(move || {
+            connection_loop(stream, cfg, job_tx, stats, shutdown)
+        }));
+        conns.retain(|h| !h.is_finished());
+    }
+    drop(job_tx);
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    cfg: ServerConfig,
+    job_tx: Sender<Job>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout so the reader can poll the shutdown flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::unbounded::<ServerFrame>();
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(write_half);
+        for frame in reply_rx.iter() {
+            if write_frame(&mut w, &frame).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = FrameReader::new(stream, cfg.max_frame_bytes);
+    let mut greeted = false;
+    let mut served: u64 = 0;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let event = match reader.next_frame() {
+            Ok(ev) => ev,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        match event {
+            FrameEvent::Eof => break,
+            FrameEvent::TooLarge => {
+                stats.record_protocol_error();
+                let _ = reply_tx.send(ServerFrame::Error {
+                    id: None,
+                    kind: ErrorKind::FrameTooLarge,
+                    message: format!("frame exceeds {} bytes", cfg.max_frame_bytes),
+                });
+                break;
+            }
+            FrameEvent::Frame(line) => match serde_json::from_str::<ClientFrame>(&line) {
+                Err(e) => {
+                    stats.record_protocol_error();
+                    let _ = reply_tx.send(ServerFrame::Error {
+                        id: None,
+                        kind: ErrorKind::Malformed,
+                        message: e.to_string(),
+                    });
+                    break;
+                }
+                Ok(ClientFrame::Hello { version }) => {
+                    if version != PROTOCOL_VERSION {
+                        stats.record_protocol_error();
+                        let _ = reply_tx.send(ServerFrame::Error {
+                            id: None,
+                            kind: ErrorKind::VersionMismatch,
+                            message: format!(
+                                "server speaks version {PROTOCOL_VERSION}, client sent {version}"
+                            ),
+                        });
+                        break;
+                    }
+                    greeted = true;
+                    let _ = reply_tx.send(ServerFrame::Hello {
+                        version: PROTOCOL_VERSION,
+                    });
+                }
+                Ok(ClientFrame::Stats) => {
+                    let _ = reply_tx.send(ServerFrame::Stats {
+                        snapshot: stats.snapshot(),
+                    });
+                }
+                Ok(ClientFrame::Bye) => break,
+                Ok(ClientFrame::Query {
+                    id,
+                    t,
+                    request,
+                    query,
+                }) => {
+                    if !greeted {
+                        stats.record_protocol_error();
+                        let _ = reply_tx.send(ServerFrame::Error {
+                            id: Some(id),
+                            kind: ErrorKind::Malformed,
+                            message: "Hello must precede Query".to_string(),
+                        });
+                        break;
+                    }
+                    served += 1;
+                    if served > cfg.max_requests_per_conn {
+                        stats.record_protocol_error();
+                        let _ = reply_tx.send(ServerFrame::Error {
+                            id: Some(id),
+                            kind: ErrorKind::TooManyRequests,
+                            message: format!(
+                                "connection exceeded {} requests",
+                                cfg.max_requests_per_conn
+                            ),
+                        });
+                        break;
+                    }
+                    let job = Job {
+                        id,
+                        t,
+                        request,
+                        query,
+                        enqueued: Instant::now(),
+                        reply: reply_tx.clone(),
+                    };
+                    match job_tx.try_send(job) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(job)) => {
+                            stats.record_reject();
+                            let _ = reply_tx.send(ServerFrame::Overloaded { id: job.id });
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            },
+        }
+    }
+    // In-flight jobs still hold reply senders; the writer drains every
+    // queued answer before exiting.
+    drop(reply_tx);
+    let _ = writer.join();
+}

@@ -1,0 +1,132 @@
+//! N-way sharded observer log.
+//!
+//! Worker threads append to the shard owning the request's pseudonym, so
+//! writes for different users rarely contend; analysis folds the shards
+//! back into one [`ObserverLog`] with [`ObserverLog::absorb`]. Requests
+//! from one pseudonym always land in the same shard, which keeps each
+//! per-pseudonym stream time-ordered as long as one user's requests are
+//! serialized (true for one connection: its frames are parsed in order).
+
+use dummyloc_core::client::Request;
+use dummyloc_lbs::provider::ObserverLog;
+use parking_lot::RwLock;
+
+/// Stable FNV-1a shard assignment for a pseudonym.
+pub fn shard_index(pseudonym: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in pseudonym.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// The server's write-side observer state.
+#[derive(Debug)]
+pub struct ShardedLog {
+    shards: Vec<RwLock<ObserverLog>>,
+}
+
+impl ShardedLog {
+    /// Creates `shards` independent logs (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedLog {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(ObserverLog::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one request under its pseudonym's shard, taking ownership
+    /// (no clone on the hot path).
+    pub fn record_owned(&self, t: f64, request: Request) {
+        let i = shard_index(&request.pseudonym, self.shards.len());
+        self.shards[i].write().record_owned(t, request);
+    }
+
+    /// Total requests across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether nothing has been recorded anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Folds every shard into one log — the honest-but-curious provider's
+    /// complete view, ready for the adversaries in `dummyloc-core`.
+    pub fn merged(&self) -> ObserverLog {
+        let mut out = ObserverLog::default();
+        for shard in &self.shards {
+            out.absorb(shard.read().clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::Point;
+
+    fn req(pseudonym: &str, x: f64) -> Request {
+        Request {
+            pseudonym: pseudonym.into(),
+            positions: vec![Point::new(x, x)],
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1, 2, 8, 13] {
+            for name in ["a", "user-17", "長い仮名"] {
+                let i = shard_index(name, shards);
+                assert!(i < shards);
+                assert_eq!(i, shard_index(name, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_log_sees_every_sharded_record() {
+        let log = ShardedLog::new(4);
+        for k in 0..40 {
+            log.record_owned(k as f64, req(&format!("u{}", k % 10), k as f64));
+        }
+        assert_eq!(log.len(), 40);
+        assert!(!log.is_empty());
+        let merged = log.merged();
+        assert_eq!(merged.len(), 40);
+        assert_eq!(merged.pseudonyms().len(), 10);
+        for u in 0..10 {
+            let stream = merged.stream(&format!("u{u}")).unwrap();
+            assert_eq!(stream.len(), 4);
+            // Per-pseudonym time order survives the shard merge.
+            let times = stream.times();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let log = ShardedLog::new(8);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let log = &log;
+                s.spawn(move || {
+                    for k in 0..100 {
+                        log.record_owned(k as f64, req(&format!("w{w}-u{}", k % 5), 1.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 400);
+        assert_eq!(log.merged().pseudonyms().len(), 20);
+    }
+}

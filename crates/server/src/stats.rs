@@ -1,0 +1,186 @@
+//! Lock-free server counters and the snapshot served over the protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use dummyloc_lbs::query::QueryKind;
+use serde::{Deserialize, Serialize};
+
+/// Histogram bucket upper bounds in microseconds; one implicit overflow
+/// bucket follows the last entry.
+pub const LATENCY_BUCKETS_US: [u64; 10] = [
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 50_000, 100_000,
+];
+
+const BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+const KINDS: usize = 3;
+
+const KIND_LABELS: [&str; KINDS] = ["nearest_poi", "pois_in_range", "next_bus"];
+
+fn kind_index(query: &QueryKind) -> usize {
+    match query {
+        QueryKind::NearestPoi { .. } => 0,
+        QueryKind::PoisInRange { .. } => 1,
+        QueryKind::NextBus => 2,
+    }
+}
+
+/// Counters shared by every worker and connection thread. All plain
+/// relaxed atomics: the numbers are monotone tallies, not synchronization.
+#[derive(Debug)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    positions: AtomicU64,
+    rejects: AtomicU64,
+    protocol_errors: AtomicU64,
+    connections: AtomicU64,
+    latency: [[AtomicU64; BUCKETS]; KINDS],
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            positions: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One answered query: `positions` answers produced after `latency`
+    /// in queue + service.
+    pub fn record_answer(&self, query: &QueryKind, positions: usize, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.positions
+            .fetch_add(positions as u64, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&ub| us <= ub)
+            .unwrap_or(BUCKETS - 1);
+        self.latency[kind_index(query)][bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One query bounced off the full work queue.
+    pub fn record_reject(&self) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One malformed / oversized / out-of-protocol frame.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            positions: self.positions.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            latency: (0..KINDS)
+                .map(|k| KindHistogram {
+                    kind: KIND_LABELS[k].to_string(),
+                    bucket_upper_us: LATENCY_BUCKETS_US.to_vec(),
+                    counts: self.latency[k]
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serialized counter values (the payload of a `Stats` reply).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Queries answered.
+    pub requests: u64,
+    /// Positions answered (truth and dummies alike — the paper's `k+1`
+    /// cost multiplier shows up here).
+    pub positions: u64,
+    /// Queries rejected with `Overloaded`.
+    pub rejects: u64,
+    /// Malformed / oversized / out-of-protocol frames seen.
+    pub protocol_errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Per-query-kind latency histogram.
+    pub latency: Vec<KindHistogram>,
+}
+
+/// Latency histogram of one query kind. `counts` has one entry per bound
+/// in `bucket_upper_us` plus a final overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindHistogram {
+    /// Query-kind label (`nearest_poi`, `pois_in_range`, `next_bus`).
+    pub kind: String,
+    /// Inclusive upper bounds in microseconds.
+    pub bucket_upper_us: Vec<u64>,
+    /// Observations per bucket (last entry = over the largest bound).
+    pub counts: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// Total histogram observations of one kind (should equal the number
+    /// of answered queries of that kind).
+    pub fn histogram_total(&self, kind: &str) -> u64 {
+        self.latency
+            .iter()
+            .filter(|h| h.kind == kind)
+            .flat_map(|h| h.counts.iter())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_bucket() {
+        let s = ServerStats::new();
+        s.record_connection();
+        s.record_answer(&QueryKind::NextBus, 4, Duration::from_micros(30));
+        s.record_answer(&QueryKind::NextBus, 4, Duration::from_micros(400));
+        s.record_answer(
+            &QueryKind::PoisInRange { radius: 10.0 },
+            2,
+            Duration::from_secs(5),
+        );
+        s.record_reject();
+        s.record_protocol_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.positions, 10);
+        assert_eq!(snap.rejects, 1);
+        assert_eq!(snap.protocol_errors, 1);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.histogram_total("next_bus"), 2);
+        let bus = &snap.latency[2];
+        assert_eq!(bus.counts[0], 1); // 30 µs ≤ 50 µs
+        assert_eq!(bus.counts[3], 1); // 400 µs ≤ 500 µs
+        let range = &snap.latency[1];
+        assert_eq!(*range.counts.last().unwrap(), 1); // 5 s overflows
+                                                      // Round-trips through the wire format.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, build, and the full test suite.
+#
+# Works in two environments:
+#   * online (normal dev box / CI): real crates.io dependencies;
+#   * the offline growth container: crates.io is unreachable, so the
+#     API shims in vendor/ are injected via [patch.crates-io] and
+#     everything runs with --offline (see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATCH_FLAGS=(
+  --config "patch.crates-io.rand.path=\"$PWD/vendor/rand\""
+  --config "patch.crates-io.serde.path=\"$PWD/vendor/serde\""
+  --config "patch.crates-io.serde_json.path=\"$PWD/vendor/serde_json\""
+  --config "patch.crates-io.crossbeam.path=\"$PWD/vendor/crossbeam\""
+  --config "patch.crates-io.parking_lot.path=\"$PWD/vendor/parking_lot\""
+  --config "patch.crates-io.proptest.path=\"$PWD/vendor/proptest\""
+  --config "patch.crates-io.criterion.path=\"$PWD/vendor/criterion\""
+)
+
+# Flags go AFTER the subcommand: `cargo clippy` re-invokes cargo
+# internally and would drop pre-subcommand --config flags.
+FLAGS=()
+if ! cargo fetch >/dev/null 2>&1; then
+  echo "== crates.io unreachable; building offline against vendor/ shims"
+  FLAGS=("${PATCH_FLAGS[@]}" --offline)
+fi
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy "${FLAGS[@]}" --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test"
+cargo build "${FLAGS[@]}" --release --workspace
+cargo test "${FLAGS[@]}" --workspace -q
+
+echo "== all checks passed"

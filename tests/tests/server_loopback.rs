@@ -1,0 +1,291 @@
+//! Loopback integration tests for `dummyloc-server`: concurrency,
+//! online/offline agreement, protocol hygiene, backpressure, shutdown
+//! drain, and load-generator determinism.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::rng::{derive_seed, rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Point};
+use dummyloc_lbs::{PoiDatabase, Provider, QueryKind};
+use dummyloc_server::client::{QueryOutcome, ServiceClient};
+use dummyloc_server::loadgen::{self, GeneratorChoice, LoadgenConfig};
+use dummyloc_server::proto::{write_frame, ClientFrame, ErrorKind, ServerFrame};
+use dummyloc_server::server::{spawn, ServerConfig};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+fn pois() -> PoiDatabase {
+    PoiDatabase::generate(area(), 120, 42)
+}
+
+/// A deterministic request stream for one simulated user.
+fn user_requests(user: u64, rounds: usize) -> Vec<(f64, Request)> {
+    let mut rng = rng_from_seed(derive_seed(9000, user));
+    (0..rounds)
+        .map(|k| {
+            let positions = (0..4).map(|_| sample_uniform(&mut rng, &area())).collect();
+            (
+                k as f64 * 30.0,
+                Request {
+                    pseudonym: format!("user-{user}"),
+                    positions,
+                },
+            )
+        })
+        .collect()
+}
+
+/// N concurrent connections; every position of every query is answered,
+/// and each answer equals what the in-process `Provider` gives for the
+/// same request — the online path must not change results.
+#[test]
+fn concurrent_clients_match_in_process_provider() {
+    let handle = spawn(ServerConfig::default(), pois()).unwrap();
+    let addr = handle.addr();
+    let users = 6;
+    let rounds = 8;
+    let query = QueryKind::NearestPoi { category: None };
+
+    std::thread::scope(|s| {
+        for user in 0..users {
+            s.spawn(move || {
+                let mut reference = Provider::new(pois());
+                let mut client = ServiceClient::connect(addr).unwrap();
+                for (t, request) in user_requests(user, rounds) {
+                    let outcome = client.query(t, &request, &query).unwrap();
+                    let QueryOutcome::Answered(online) = outcome else {
+                        panic!("default queue depth should never overload here");
+                    };
+                    assert_eq!(online.answers.len(), request.positions.len());
+                    let offline = reference.handle(t, &request, &query);
+                    assert_eq!(online, offline, "user {user} diverged at t={t}");
+                }
+                client.bye().unwrap();
+            });
+        }
+    });
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.requests, users * rounds as u64);
+    assert_eq!(report.stats.positions, users * rounds as u64 * 4);
+    assert_eq!(report.stats.rejects, 0);
+    assert_eq!(report.stats.connections, users);
+    // The merged observer log saw every stream.
+    for user in 0..users {
+        assert_eq!(
+            report.log.requests_of(&format!("user-{user}")).len(),
+            rounds
+        );
+    }
+}
+
+/// Raw socket: a line that is not JSON gets a typed `Malformed` error.
+#[test]
+fn malformed_frame_is_rejected_with_typed_error() {
+    let handle = spawn(ServerConfig::default(), pois()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"this is not json\n").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let frame: ServerFrame = serde_json::from_str(&line).unwrap();
+    match frame {
+        ServerFrame::Error { kind, .. } => assert_eq!(kind, ErrorKind::Malformed),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    let stats = handle.shutdown().stats;
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+/// Raw socket: a frame above the size cap is refused without being
+/// buffered, with a typed `FrameTooLarge` error.
+#[test]
+fn oversized_frame_is_rejected_with_typed_error() {
+    let config = ServerConfig {
+        max_frame_bytes: 1024,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config, pois()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // One unterminated 4 KiB burst: over the cap, but small enough that
+    // the server reads it all before closing (no reset racing the reply).
+    let huge = vec![b'x'; 4096];
+    stream.write_all(&huge).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    let _ = BufReader::new(stream.try_clone().unwrap()).read_line(&mut line);
+    let frame: ServerFrame = serde_json::from_str(&line).unwrap();
+    match frame {
+        ServerFrame::Error { kind, .. } => assert_eq!(kind, ErrorKind::FrameTooLarge),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// A `Query` before `Hello` is a protocol error.
+#[test]
+fn query_before_hello_is_rejected() {
+    let handle = spawn(ServerConfig::default(), pois()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let frame = ClientFrame::Query {
+        id: 0,
+        t: 0.0,
+        request: Request {
+            pseudonym: "p".to_string(),
+            positions: vec![Point::new(1.0, 1.0)],
+        },
+        query: QueryKind::NextBus,
+    };
+    write_frame(&mut stream, &frame).unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert!(
+        matches!(
+            serde_json::from_str(&line),
+            Ok(ServerFrame::Error {
+                kind: ErrorKind::Malformed,
+                ..
+            })
+        ),
+        "got: {line}"
+    );
+    handle.shutdown();
+}
+
+/// A connection that exceeds its request budget is cut off with
+/// `TooManyRequests`.
+#[test]
+fn per_connection_request_cap_is_enforced() {
+    let config = ServerConfig {
+        max_requests_per_conn: 2,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config, pois()).unwrap();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    let (t, request) = user_requests(0, 1).pop().unwrap();
+    let query = QueryKind::NextBus;
+    assert!(client.query(t, &request, &query).is_ok());
+    assert!(client.query(t + 1.0, &request, &query).is_ok());
+    let third = client.query(t + 2.0, &request, &query);
+    assert!(third.is_err(), "third query should be refused: {third:?}");
+    handle.shutdown();
+}
+
+/// With a one-slot queue and a slow worker, a burst must bounce some
+/// queries with typed `Overloaded` frames — and the server's reject
+/// counter must agree with what clients saw.
+#[test]
+fn full_queue_answers_typed_overloaded() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        worker_delay: Some(Duration::from_millis(30)),
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config, pois()).unwrap();
+    let addr = handle.addr();
+    let users = 4;
+    let rounds = 6;
+    let overloaded: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..users)
+            .map(|user| {
+                s.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).unwrap();
+                    let mut bounced = 0;
+                    for (t, request) in user_requests(user, rounds) {
+                        match client.query(t, &request, &QueryKind::NextBus).unwrap() {
+                            QueryOutcome::Answered(_) => {}
+                            QueryOutcome::Overloaded => bounced += 1,
+                        }
+                    }
+                    client.bye().unwrap();
+                    bounced
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert!(
+        overloaded > 0,
+        "a 1-deep queue under {users}x{rounds} concurrent queries must bounce"
+    );
+    let stats = handle.shutdown().stats;
+    assert_eq!(stats.rejects, overloaded);
+    assert_eq!(stats.requests + stats.rejects, users * rounds as u64);
+}
+
+/// Two loadgen runs with one seed produce identical per-user answer
+/// digests, and the server's counters reconcile with the client's view.
+#[test]
+fn loadgen_is_deterministic_and_counts_reconcile() {
+    let run_once = || {
+        let handle = spawn(ServerConfig::default(), pois()).unwrap();
+        let config = LoadgenConfig {
+            addr: handle.addr().to_string(),
+            users: 4,
+            rounds: 5,
+            dummy_count: 3,
+            generator: GeneratorChoice::Mn,
+            seed: 77,
+            ..LoadgenConfig::default()
+        };
+        let report = loadgen::run(&config).unwrap();
+        let stats = handle.shutdown().stats;
+        (report, stats)
+    };
+    let (a, stats_a) = run_once();
+    let (b, _) = run_once();
+
+    assert_eq!(a.user_errors, 0);
+    assert_eq!(a.sent, 4 * 5);
+    assert_eq!(a.answered + a.overloaded, a.sent);
+    assert_eq!(a.per_user_digest.len(), 4);
+    assert_eq!(
+        a.per_user_digest, b.per_user_digest,
+        "fixed seed must reproduce every user's answer stream"
+    );
+    // Server-side requests + rejects account for every query sent.
+    assert_eq!(stats_a.requests + stats_a.rejects, a.sent);
+    // Each request carried k + 1 = 4 positions.
+    assert_eq!(stats_a.positions, stats_a.requests * 4);
+}
+
+/// Shutdown drains queued work: answers already accepted are delivered
+/// even though the flag is raised while they sit in the queue.
+#[test]
+fn shutdown_drains_inflight_jobs() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 64,
+        worker_delay: Some(Duration::from_millis(10)),
+        ..ServerConfig::default()
+    };
+    let handle = spawn(config, pois()).unwrap();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    let rounds = user_requests(3, 8);
+    // Lockstep queries: each is answered before shutdown, so this mostly
+    // exercises that a slow worker plus shutdown loses nothing.
+    let answered = rounds
+        .iter()
+        .filter(|(t, request)| {
+            matches!(
+                client.query(*t, request, &QueryKind::NextBus),
+                Ok(QueryOutcome::Answered(_))
+            )
+        })
+        .count();
+    client.bye().unwrap();
+    let report = handle.shutdown();
+    assert_eq!(answered, 8);
+    assert_eq!(report.stats.requests, 8);
+    assert_eq!(report.log.requests_of("user-3").len(), 8);
+}

@@ -71,7 +71,7 @@ fn observer_log_feeds_adversaries() {
     assert_eq!(stream.len(), 20);
     let adv = ContinuityTracker::new(ChainScore::MaxStep);
     let mut rng = rng_from_seed(9);
-    let guess = adv.identify(&mut rng, &stream).unwrap();
+    let guess = adv.identify(&mut rng, stream).unwrap();
     assert!(guess < 5);
     // Not asserting the guess is right or wrong — only that the pipeline
     // from provider storage to adversary verdict is wired; statistical
@@ -105,7 +105,7 @@ fn tracker_reads_provider_log_and_exposes_random_dummies() {
         }
         let stream = provider.observer_log().requests_of(&format!("v{v}"));
         let mut arng = rng_from_seed(7);
-        if adv.identify(&mut arng, &stream) == Some(final_truth) {
+        if adv.identify(&mut arng, stream) == Some(final_truth) {
             hits += 1;
         }
     }

@@ -1,0 +1,208 @@
+//! Offline shim for the `criterion` API subset used by this workspace.
+//!
+//! Each registered benchmark routine runs a single timed iteration (after
+//! one warm-up call when `CRITERION_SHIM_WARMUP=1`) and prints
+//! `name ... <duration>`; there is no sampling, statistics, or HTML output.
+//! Running with `--test` (as `cargo test` does for bench targets) skips the
+//! timed call entirely so test runs stay fast. See `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Collects nothing; prints one line per benchmark.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.test_mode, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks (`group/bench` naming, like real criterion).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.test_mode,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        dry_run: test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {name} ... ok (test mode)");
+    } else if b.iters > 0 {
+        println!("bench {name} ... {:?}/iter", b.elapsed / b.iters);
+    } else {
+        println!("bench {name} ... no iterations");
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's display convention.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+    dry_run: bool,
+}
+
+impl Bencher {
+    /// Times `routine`. The shim executes it once (not at all in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.dry_run {
+            return;
+        }
+        if std::env::var_os("CRITERION_SHIM_WARMUP").is_some() {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the routine.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("named", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("sized", 10), &10u32, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5u32, |b, &n| {
+            b.iter(|| n + n)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_smoke() {
+        let mut c = Criterion { test_mode: false };
+        routine(&mut c);
+        let mut c = Criterion { test_mode: true };
+        routine(&mut c);
+    }
+
+    criterion_group!(benches, routine);
+
+    #[test]
+    fn group_macro_compiles() {
+        benches();
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline shim for the `crossbeam` API subset used by this workspace:
+//! `thread::scope` (over `std::thread::scope`, returning `Err` instead of
+//! propagating child panics) and `channel` (MPMC over `Mutex<VecDeque>` +
+//! `Condvar`, bounded and unbounded). See `vendor/README.md`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,114 @@
+//! Scoped threads with crossbeam's `Result`-returning panic contract.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Panic payload of a scoped thread.
+pub type Payload = Box<dyn Any + Send + 'static>;
+
+/// `Ok` unless a spawned thread panicked.
+pub type Result<T> = std::result::Result<T, Payload>;
+
+/// Runs `f` with a scope handle; joins all spawned threads before returning.
+/// A child panic is captured and surfaced as `Err` (first payload wins)
+/// rather than unwinding into the caller.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
+    let result = std::thread::scope(|s| {
+        let scope = Scope {
+            inner: s,
+            panics: Arc::clone(&panics),
+        };
+        f(&scope)
+    });
+    let mut panics = panics.lock().unwrap_or_else(|e| e.into_inner());
+    if panics.is_empty() {
+        Ok(result)
+    } else {
+        Err(panics.remove(0))
+    }
+}
+
+/// Handle for spawning threads tied to the enclosing [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panics: Arc<Mutex<Vec<Payload>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle so it
+    /// can spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let child = Scope {
+            inner: self.inner,
+            panics: Arc::clone(&self.panics),
+        };
+        let handle = self.inner.spawn(move || {
+            let panics = Arc::clone(&child.panics);
+            match catch_unwind(AssertUnwindSafe(|| f(&child))) {
+                Ok(v) => Some(v),
+                Err(payload) => {
+                    // Captured here so the std scope sees a clean exit; the
+                    // payload resurfaces as `scope`'s Err.
+                    panics.lock().unwrap_or_else(|e| e.into_inner()).push(payload);
+                    None
+                }
+            }
+        });
+        ScopedJoinHandle { inner: handle }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread; `Err` if it panicked (payload is reported via
+    /// the scope result, so a placeholder message is returned here).
+    pub fn join(self) -> Result<T> {
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            _ => Err(Box::new("scoped thread panicked")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_collect() {
+        let data = [1, 2, 3];
+        let total = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let r = scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap()).unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,65 @@
+//! Exercises the shim's `proptest!` macro with the shapes the workspace uses.
+
+use proptest::prelude::*;
+
+const SIDE: f64 = 1000.0;
+
+fn arb_pair() -> impl Strategy<Value = (f64, f64)> {
+    (0.0..=SIDE, 0.0..=SIDE)
+}
+
+fn arb_sum() -> impl Strategy<Value = f64> {
+    (1usize..8, 0.001..100.0f64).prop_flat_map(|(k, scale)| {
+        prop::collection::vec(0.0..1.0f64, k).prop_map(move |v| v.iter().sum::<f64>() * scale)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ranges_in_bounds(x in 0u32..20, (a, b) in arb_pair(), seed in any::<u64>()) {
+        prop_assert!(x < 20);
+        prop_assert!((0.0..=SIDE).contains(&a) && (0.0..=SIDE).contains(&b));
+        let _ = seed; // any::<u64> covers the whole domain; nothing to bound.
+    }
+
+    #[test]
+    fn vec_sizes_respected(
+        v in prop::collection::vec((0.0..=SIDE, 0.0..=SIDE), 0..120),
+        w in prop::collection::vec(0u32..20, 0..50),
+    ) {
+        prop_assert!(v.len() < 120);
+        prop_assert!(w.len() < 50);
+        prop_assert!(w.iter().all(|&x| x < 20));
+    }
+
+    #[test]
+    fn flat_map_composes(s in arb_sum()) {
+        prop_assert!(s.is_finite());
+        prop_assert!(s >= 0.0);
+    }
+}
+
+proptest! {
+    #[test]
+    fn default_config_runs(x in -5i32..5) {
+        prop_assert!((-5..5).contains(&x));
+        prop_assert_eq!(x, x);
+        prop_assert_ne!(x, x + 1);
+    }
+}
+
+#[test]
+fn exact_size_vec() {
+    let mut rng = TestRng::from_seed(9);
+    let s = prop::collection::vec(0.0..1000.0f64, 7usize);
+    assert_eq!(s.sample(&mut rng).len(), 7);
+}
+
+#[test]
+fn deterministic_per_name() {
+    let mut a = TestRng::from_name("t");
+    let mut b = TestRng::from_name("t");
+    assert_eq!(a.next_u64(), b.next_u64());
+}

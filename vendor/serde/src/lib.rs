@@ -1,0 +1,394 @@
+//! Offline mini-serde shim.
+//!
+//! A value-tree (de)serialization framework that presents the same *surface*
+//! as real serde for the subset this workspace uses: `Serialize` /
+//! `Deserialize` traits, `#[derive(Serialize, Deserialize)]`, and (via the
+//! sibling `serde_json` shim) JSON text with serde-compatible conventions.
+//! Unlike real serde there is no visitor machinery: serialization goes
+//! through the [`value::Value`] tree. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{Map, Number, Value};
+
+/// (De)serialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the shim's [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the shim's [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("invalid type: expected {expected}, found {}", got.kind_name()))
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| type_err(stringify!($t), v)),
+                    _ => Err(type_err(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| type_err(stringify!($t), v)),
+                    _ => Err(type_err(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64_lossy() as $t),
+                    // serde_json serializes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(type_err(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(type_err("bool", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(type_err("char", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(type_err("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(type_err("array", v)),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    _ => Err(type_err("tuple array", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output (HashMap iteration order is random).
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| k.as_str().to_owned());
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(type_err("object", v)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(type_err("object", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ----------------------------------------------------- derive-support glue
+
+pub mod __private {
+    //! Helpers referenced by `#[derive(Serialize, Deserialize)]` expansions.
+    //! Not part of the public API.
+
+    use super::{Deserialize, Error, Value};
+    use crate::value::Map;
+
+    /// Deserializes struct field `name` from object `v`; a missing field is
+    /// treated as `null` so `Option` fields default to `None`.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(m) => match m.get(name) {
+                Some(fv) => T::from_value(fv)
+                    .map_err(|e| Error::custom(format!("field '{name}': {e}"))),
+                None => T::from_value(&Value::Null)
+                    .map_err(|_| Error::custom(format!("missing field '{name}'"))),
+            },
+            _ => Err(Error::custom(format!(
+                "invalid type: expected object with field '{name}', found {}",
+                v.kind_name()
+            ))),
+        }
+    }
+
+    /// Type-inferring `Deserialize::from_value`.
+    pub fn from<T: Deserialize>(v: &Value) -> Result<T, Error> {
+        T::from_value(v)
+    }
+
+    /// Externally tagged enum encoding: `{ tag: inner }`.
+    pub fn tag(name: &str, inner: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(name.to_string(), inner);
+        Value::Object(m)
+    }
+
+    /// Decodes an externally tagged enum value: a bare string is a unit
+    /// variant, a single-entry object is a data variant.
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::String(s) => Ok((s.as_str(), None)),
+            Value::Object(m) if m.len() == 1 => {
+                let (k, inner) = m.iter().next().unwrap();
+                Ok((k.as_str(), Some(inner)))
+            }
+            _ => Err(Error::custom(format!(
+                "invalid enum encoding: expected string or single-key object, found {}",
+                v.kind_name()
+            ))),
+        }
+    }
+
+    /// Expects an array of exactly `n` elements.
+    pub fn seq(v: &Value, n: usize) -> Result<&[Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "invalid length: expected {n} elements, found {}",
+                items.len()
+            ))),
+            _ => Err(super::type_err("array", v)),
+        }
+    }
+}
+
+// Real serde exposes `serde::de::Error`/`serde::ser::Error` traits; the shim
+// only needs the module paths to exist for `use serde::...` lines, which this
+// workspace currently doesn't have — omitted deliberately.

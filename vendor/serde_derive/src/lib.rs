@@ -1,0 +1,368 @@
+//! Offline shim for `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the mini-serde in `vendor/serde`.
+//!
+//! Parses the item's `TokenStream` directly (no `syn`/`quote`) and emits an
+//! impl of the shim traits (`serde::Serialize::to_value` /
+//! `serde::Deserialize::from_value`) using serde-compatible JSON conventions:
+//! structs as objects, unit enum variants as strings, data variants as
+//! externally tagged single-key objects. Supports plain (non-generic) structs
+//! and enums with named, tuple, or unit fields — the only shapes this
+//! workspace derives. Attributes (incl. doc comments) are skipped; `#[serde]`
+//! attributes are NOT interpreted and the workspace must not use any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("shim serde_derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Unnamed(usize),
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut Iter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // (crate) / (super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let is_enum = match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => return Err(format!("shim serde_derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("shim serde_derive: expected item name, got {other:?}")),
+    };
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("shim serde_derive: generic types are not supported".into())
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+            Err("shim serde_derive: where clauses are not supported".into())
+        }
+        None | Some(TokenTree::Punct(_)) => {
+            // `struct X;` — the trailing `;` (or nothing).
+            Ok(Item {
+                name,
+                kind: Kind::Struct(Fields::Unit),
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let kind = if is_enum {
+                Kind::Enum(parse_variants(g.stream())?)
+            } else {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            };
+            Ok(Item { name, kind })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+            name,
+            kind: Kind::Struct(Fields::Unnamed(count_tuple_slots(g.stream()))),
+        }),
+        other => Err(format!("shim serde_derive: unexpected token {other:?}")),
+    }
+}
+
+/// Counts comma-separated slots at angle-bracket depth 0.
+fn count_tuple_slots(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut slots = 0usize;
+    let mut any = false;
+    let mut prev_dash = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                ',' if depth == 0 => {
+                    slots += 1;
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+            any = true;
+        }
+    }
+    if any {
+        slots + 1
+    } else {
+        slots
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("shim serde_derive: expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("shim serde_derive: expected ':', got {other:?}")),
+        }
+        // Consume the type up to a top-level comma.
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!("shim serde_derive: expected variant name, got {other:?}"))
+            }
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Unnamed(count_tuple_slots(g.stream()));
+                iter.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` then the trailing comma.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn object_literal(out: &mut String, fields: &[String], access: &str) {
+    out.push_str("{ let mut __m = serde::value::Map::new(); ");
+    for f in fields {
+        let _ = write!(
+            out,
+            "__m.insert(::std::string::String::from({f:?}), serde::Serialize::to_value({access}{f})); "
+        );
+    }
+    out.push_str("serde::value::Value::Object(__m) }");
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::Struct(Fields::Unit) => body.push_str("serde::value::Value::Null"),
+        Kind::Struct(Fields::Named(fields)) => object_literal(&mut body, fields, "&self."),
+        Kind::Struct(Fields::Unnamed(1)) => {
+            body.push_str("serde::Serialize::to_value(&self.0)");
+        }
+        Kind::Struct(Fields::Unnamed(n)) => {
+            body.push_str("serde::value::Value::Array(vec![");
+            for i in 0..*n {
+                let _ = write!(body, "serde::Serialize::to_value(&self.{i}), ");
+            }
+            body.push_str("])");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self { ");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{v} => serde::value::Value::String(::std::string::String::from({v:?})), "
+                        );
+                    }
+                    Fields::Unnamed(1) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{v}(__f0) => serde::__private::tag({v:?}, serde::Serialize::to_value(__f0)), "
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{v}({}) => serde::__private::tag({v:?}, serde::value::Value::Array(vec![",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(body, "serde::Serialize::to_value({b}), ");
+                        }
+                        body.push_str("])), ");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{v} {{ {} }} => serde::__private::tag({v:?}, ",
+                            fields.join(", ")
+                        );
+                        object_literal(&mut body, fields, "");
+                        body.push_str("), ");
+                    }
+                }
+            }
+            body.push_str("}");
+        }
+    }
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {name} {{ \
+           fn to_value(&self) -> serde::value::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::Struct(Fields::Unit) => {
+            let _ = write!(body, "Ok({name})");
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let _ = write!(body, "Ok({name} {{ ");
+            for f in fields {
+                let _ = write!(body, "{f}: serde::__private::field(__v, {f:?})?, ");
+            }
+            body.push_str("})");
+        }
+        Kind::Struct(Fields::Unnamed(1)) => {
+            let _ = write!(body, "Ok({name}(serde::__private::from(__v)?))");
+        }
+        Kind::Struct(Fields::Unnamed(n)) => {
+            let _ = write!(body, "{{ let __s = serde::__private::seq(__v, {n})?; Ok({name}(");
+            for i in 0..*n {
+                let _ = write!(body, "serde::__private::from(&__s[{i}])?, ");
+            }
+            body.push_str(")) }");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match serde::__private::variant(__v)? { ");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(body, "({v:?}, _) => Ok({name}::{v}), ");
+                    }
+                    Fields::Unnamed(1) => {
+                        let _ = write!(
+                            body,
+                            "({v:?}, Some(__inner)) => Ok({name}::{v}(serde::__private::from(__inner)?)), "
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let _ = write!(
+                            body,
+                            "({v:?}, Some(__inner)) => {{ let __s = serde::__private::seq(__inner, {n})?; Ok({name}::{v}("
+                        );
+                        for i in 0..*n {
+                            let _ = write!(body, "serde::__private::from(&__s[{i}])?, ");
+                        }
+                        body.push_str(")) }, ");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(body, "({v:?}, Some(__inner)) => Ok({name}::{v} {{ ");
+                        for f in fields {
+                            let _ = write!(body, "{f}: serde::__private::field(__inner, {f:?})?, ");
+                        }
+                        body.push_str("}), ");
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "(__other, _) => Err(serde::Error::custom(format!(\
+                   \"unknown variant '{{__other}}' for {name}\"))), "
+            );
+            body.push_str("}");
+        }
+    }
+    format!(
+        "#[automatically_derived] impl serde::Deserialize for {name} {{ \
+           fn from_value(__v: &serde::value::Value) -> ::core::result::Result<Self, serde::Error> {{ {body} }} }}"
+    )
+}

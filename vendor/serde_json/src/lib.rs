@@ -1,0 +1,186 @@
+//! Offline shim for the `serde_json` API subset used by this workspace:
+//! `to_string[_pretty]`, `to_writer[_pretty]`, `from_str`, `from_reader`,
+//! `json!`, and [`Value`]. Text conventions follow real serde_json (pretty =
+//! two-space indent with `": "` separators; floats always carry a fraction
+//! or exponent; non-finite floats serialize as `null`). See
+//! `vendor/README.md`.
+
+pub use serde::value::{Map, Number, Value};
+
+mod read;
+mod write;
+
+pub use read::from_str;
+
+/// A JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(format!("io error: {e}"))
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a deserializable type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serializes to a pretty JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Serializes compactly into a writer.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(write::compact(&value.to_value()).as_bytes())?;
+    Ok(())
+}
+
+/// Serializes prettily into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(write::pretty(&value.to_value()).as_bytes())?;
+    Ok(())
+}
+
+/// Deserializes from a reader (reads to end first, like a buffered parse).
+pub fn from_reader<R: std::io::Read, T: serde::Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports objects with literal
+/// keys, arrays, and serializable expressions (the forms this workspace
+/// uses); object/array nesting works because each value position accepts
+/// another `json!` invocation or a serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(::std::string::String::from($key), $crate::to_value(&$value)); )*
+        $crate::Value::Object(__m)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let text = r#"{"a": 1, "b": [1.5, -2, true, null, "x\n\"y\""], "c": {"d": 9}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"].as_array().unwrap().len(), 5);
+        assert_eq!(v["b"][0].as_f64(), Some(1.5));
+        assert_eq!(v["b"][1], -2);
+        assert_eq!(v["b"][2], true);
+        assert!(v["b"][3].is_null());
+        assert_eq!(v["b"][4], "x\n\"y\"");
+        assert_eq!(v["c"]["d"], 9);
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_json() {
+        let v = json!({"x": 7u32});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"x\": 7\n}");
+        assert_eq!(to_string(&v).unwrap(), "{\"x\":7}");
+        let arr = json!([1u32, 2u32]);
+        assert_eq!(to_string_pretty(&arr).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn floats_keep_fraction() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let v: Value = from_str("2.0").unwrap();
+        assert_eq!(v.as_f64(), Some(2.0));
+        assert!(v.as_u64().is_none(), "2.0 parses as a float, not an int");
+    }
+
+    #[test]
+    fn json_macro_flat_object() {
+        let series = vec![0.25f64, 0.5];
+        let v = json!({
+            "rounds": 3u32,
+            "mean_f": 0.4f64,
+            "f_series": series,
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"rounds":3,"mean_f":0.4,"f_series":[0.25,0.5]}"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v, "é😀");
+        let round: Value = from_str(&to_string("é😀\u{7}").unwrap()).unwrap();
+        assert_eq!(round, "é😀\u{7}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = from_str::<Value>("{\"a\": }").unwrap_err();
+        assert!(err.to_string().contains("column"), "got: {err}");
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end checks for the shim `#[derive(Serialize, Deserialize)]`,
+//! mirroring the shapes the dummyloc workspace derives.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    Restaurant,
+    BusStop,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryKind {
+    NearestPoi { category: Option<Category> },
+    PoisInRange { radius: f64 },
+    NextBus,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    pub pseudonym: String,
+    pub positions: Vec<Point>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mixed {
+    Pair(u32, String),
+    One(f64),
+    Nothing,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Newtype(Vec<u32>);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    req: Request,
+    kind: QueryKind,
+    tags: Vec<Mixed>,
+    maybe: Option<Newtype>,
+}
+
+fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+    let s = serde_json::to_string(v).unwrap();
+    let back: T = serde_json::from_str(&s).unwrap();
+    assert_eq!(&back, v, "compact round trip via {s}");
+    let s = serde_json::to_string_pretty(v).unwrap();
+    let back: T = serde_json::from_str(&s).unwrap();
+    assert_eq!(&back, v, "pretty round trip");
+}
+
+#[test]
+fn struct_round_trip_and_field_order() {
+    let p = Point { x: 1.5, y: -2.0 };
+    assert_eq!(serde_json::to_string(&p).unwrap(), r#"{"x":1.5,"y":-2.0}"#);
+    round_trip(&p);
+}
+
+#[test]
+fn unit_enum_as_string() {
+    assert_eq!(
+        serde_json::to_string(&Category::BusStop).unwrap(),
+        "\"BusStop\""
+    );
+    round_trip(&Category::Restaurant);
+}
+
+#[test]
+fn externally_tagged_variants() {
+    let q = QueryKind::NearestPoi {
+        category: Some(Category::BusStop),
+    };
+    assert_eq!(
+        serde_json::to_string(&q).unwrap(),
+        r#"{"NearestPoi":{"category":"BusStop"}}"#
+    );
+    round_trip(&q);
+    let q = QueryKind::NearestPoi { category: None };
+    assert_eq!(
+        serde_json::to_string(&q).unwrap(),
+        r#"{"NearestPoi":{"category":null}}"#
+    );
+    round_trip(&q);
+    round_trip(&QueryKind::PoisInRange { radius: 120.0 });
+    assert_eq!(serde_json::to_string(&QueryKind::NextBus).unwrap(), "\"NextBus\"");
+    round_trip(&QueryKind::NextBus);
+    round_trip(&Mixed::Pair(7, "x".into()));
+    round_trip(&Mixed::One(0.125));
+    round_trip(&Mixed::Nothing);
+}
+
+#[test]
+fn newtype_is_transparent() {
+    let n = Newtype(vec![1, 2, 3]);
+    assert_eq!(serde_json::to_string(&n).unwrap(), "[1,2,3]");
+    round_trip(&n);
+}
+
+#[test]
+fn nested_structures() {
+    let nested = Nested {
+        req: Request {
+            pseudonym: "u-1".into(),
+            positions: vec![Point { x: 0.0, y: 0.0 }, Point { x: 3.0, y: 4.0 }],
+        },
+        kind: QueryKind::PoisInRange { radius: 50.0 },
+        tags: vec![Mixed::Nothing, Mixed::Pair(1, "a".into())],
+        maybe: None,
+    };
+    round_trip(&nested);
+    round_trip(&Nested {
+        maybe: Some(Newtype(vec![9])),
+        ..nested
+    });
+}
+
+#[test]
+fn missing_option_field_defaults_to_none() {
+    let q: QueryKind = serde_json::from_str(r#"{"NearestPoi":{}}"#).unwrap();
+    assert_eq!(q, QueryKind::NearestPoi { category: None });
+}
+
+#[test]
+fn missing_required_field_errors() {
+    let e = serde_json::from_str::<Request>(r#"{"pseudonym":"u-1"}"#).unwrap_err();
+    assert!(e.to_string().contains("positions"), "got: {e}");
+}
+
+#[test]
+fn unknown_variant_errors() {
+    assert!(serde_json::from_str::<Category>("\"Museum\"").is_err());
+}
