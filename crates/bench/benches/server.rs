@@ -32,6 +32,7 @@ fn bench_frame_codec(c: &mut Criterion) {
         let frame = ClientFrame::Query {
             id: 7,
             t: 30.0,
+            deadline_ms: None,
             request: request(n),
             query: QueryKind::NextBus,
         };

@@ -1,12 +1,5 @@
-//! Ablation A2: MLN retry budget and density threshold.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_sim::experiments::ablation_mln;
+//! Ablation A2: MLN retry budget / threshold sweep.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = ablation_mln::run(args.seed, &fleet, &ablation_mln::MlnParams::default())
-        .expect("mln ablation failed");
-    emit(&args, &ablation_mln::render(&result), &result);
+    dummyloc_bench::run_named("ablation-mln");
 }

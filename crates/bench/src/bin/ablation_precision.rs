@@ -1,16 +1,5 @@
-//! Ablation A4: wire precision — quantize reports to region centers.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_sim::experiments::ablation_precision;
+//! Ablation A4: wire-precision (quantization) sweep.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = ablation_precision::run(
-        args.seed,
-        &fleet,
-        &ablation_precision::PrecisionParams::default(),
-    )
-    .expect("precision ablation failed");
-    emit(&args, &ablation_precision::render(&result), &result);
+    dummyloc_bench::run_named("ablation-precision");
 }

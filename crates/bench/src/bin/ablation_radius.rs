@@ -1,12 +1,5 @@
-//! Ablation A1: MN neighborhood half-extent m.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_sim::experiments::ablation_radius;
+//! Ablation A1: neighborhood radius m sweep.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = ablation_radius::run(args.seed, &fleet, &ablation_radius::RadiusParams::default())
-        .expect("radius ablation failed");
-    emit(&args, &ablation_radius::render(&result), &result);
+    dummyloc_bench::run_named("ablation-radius");
 }

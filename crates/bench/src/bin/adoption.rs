@@ -1,12 +1,5 @@
-//! Extension X4: partial adoption — what a lone adopter gets, and what
-//! everyone gets from other people's dummies.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_ext::experiments::{adoption, render_adoption};
+//! Extension X4: partial-adoption anonymity — crowd privacy as adoption rate varies.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = adoption(args.seed, &fleet);
-    emit(&args, &render_adoption(&result), &result);
+    dummyloc_bench::run_named("adoption");
 }

@@ -1,12 +1,5 @@
-//! Ablation A3: per-request bandwidth and provider work vs dummy count.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_sim::experiments::cost;
+//! Ablation A3: bandwidth & provider work vs dummy count.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result =
-        cost::run(args.seed, &fleet, &cost::CostParams::default()).expect("cost sweep failed");
-    emit(&args, &cost::render(&result), &result);
+    dummyloc_bench::run_named("cost");
 }

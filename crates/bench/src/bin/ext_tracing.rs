@@ -1,13 +1,5 @@
-//! Extension X1: strongest-observer tracing — greedy vs optimal linking
-//! plus graded belief metrics, across all dummy algorithms including
-//! street-constrained dummies.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_ext::experiments::{ext_tracing, render_ext_tracing};
+//! Extension X1: strongest-observer tracing — greedy vs optimal linking plus graded belief metrics, across all dummy algorithms including street-constrained dummies.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = ext_tracing(args.seed, &fleet);
-    emit(&args, &render_ext_tracing(&result), &result);
+    dummyloc_bench::run_named("ext-tracing");
 }

@@ -1,10 +1,5 @@
-//! Regenerates Figure 2: the Anonymity-Set worked examples.
-
-use dummyloc_bench::{emit, parse_args};
-use dummyloc_sim::experiments::fig2;
+//! Regenerates Figure 2: AS_F / AS_P worked anonymity-set examples.
 
 fn main() {
-    let args = parse_args();
-    let result = fig2::run().expect("figure-2 examples failed");
-    emit(&args, &fig2::render(&result), &result);
+    dummyloc_bench::run_named("fig2");
 }

@@ -1,13 +1,5 @@
-//! Regenerates Figure 7: ubiquity F (%) vs number of dummies for 8x8,
-//! 10x10 and 12x12 region grids.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_sim::experiments::fig7;
+//! Regenerates Figure 7: ubiquity F (%) vs number of dummies for 8x8, 10x10 and 12x12 region grids.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let params = fig7::Fig7Params::default();
-    let result = fig7::run(args.seed, &fleet, &params).expect("figure-7 sweep failed");
-    emit(&args, &fig7::render(&result, &params), &result);
+    dummyloc_bench::run_named("fig7");
 }

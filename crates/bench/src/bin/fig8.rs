@@ -1,12 +1,5 @@
-//! Regenerates Figure 8: Shift(P) distribution for Random / MN / MLN.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_sim::experiments::fig8;
+//! Regenerates Figure 8: Shift(P) bucket distribution for Random / MN / MLN.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = fig8::run(args.seed, &fleet, &fig8::Fig8Params::default())
-        .expect("figure-8 comparison failed");
-    emit(&args, &fig8::render(&result), &result);
+    dummyloc_bench::run_named("fig8");
 }

@@ -1,12 +1,5 @@
-//! Extension X2: pseudonym rotation / mix-zone linkability — how often an
-//! observer re-links request streams across a pseudonym change.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_ext::experiments::{mix_zones, render_mix_zones};
+//! Extension X2: pseudonym-change mix zones layered on dummy generation.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = mix_zones(args.seed, &fleet);
-    emit(&args, &render_mix_zones(&result), &result);
+    dummyloc_bench::run_named("mix-zones");
 }

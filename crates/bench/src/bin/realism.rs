@@ -1,12 +1,5 @@
-//! Extension X3: motion-distribution realism of every dummy algorithm vs
-//! the true fleet.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_ext::experiments::{realism, render_realism};
+//! Extension X3: dummy realism under a map-matching observer.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = realism(args.seed, &fleet);
-    emit(&args, &render_realism(&result), &result);
+    dummyloc_bench::run_named("realism");
 }

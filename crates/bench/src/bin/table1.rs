@@ -1,12 +1,5 @@
-//! Regenerates Table 1: ubiquity/congestion classification of the
-//! Figure-3 example distributions.
-
-use dummyloc_bench::{emit, parse_args};
-use dummyloc_sim::experiments::table1;
+//! Regenerates Table 1: ubiquity/congestion classification of the Figure-3 example distributions.
 
 fn main() {
-    let args = parse_args();
-    let result =
-        table1::run(&table1::Table1Params::default()).expect("table-1 classification failed");
-    emit(&args, &table1::render(&result), &result);
+    dummyloc_bench::run_named("table1");
 }

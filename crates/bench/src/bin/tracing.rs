@@ -1,13 +1,5 @@
-//! Regenerates the Figure-4/§3 traceability comparison: identification
-//! rate of cloaking vs random/MN/MLN dummies under several adversaries.
-
-use dummyloc_bench::{emit, parse_args, workload_for};
-use dummyloc_sim::experiments::tracing;
+//! Regenerates the Figure-4 / §3 traceability comparison of cloaking vs dummies.
 
 fn main() {
-    let args = parse_args();
-    let fleet = workload_for(&args);
-    let result = tracing::run(args.seed, &fleet, &tracing::TracingParams::default())
-        .expect("tracing comparison failed");
-    emit(&args, &tracing::render(&result), &result);
+    dummyloc_bench::run_named("tracing");
 }

@@ -101,6 +101,35 @@ pub fn emit<T: serde::Serialize>(args: &CliArgs, rendered: &str, result: &T) {
     }
 }
 
+/// The whole body of a harness binary: parse args, build the workload,
+/// resolve `name` in the full experiment registry (paper artifacts plus
+/// extensions), run it, print the table and write the JSON sidecar.
+///
+/// Every `src/bin/*.rs` is a one-liner calling this, so the binaries can
+/// never drift from what `dummyloc experiments run <name>` does.
+pub fn run_named(name: &str) {
+    let args = parse_args();
+    let report = run_named_with(name, &args);
+    println!("{}", report.rendered);
+    if let Some(path) = &args.json {
+        std::fs::write(path, &report.json)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Testable core of [`run_named`]: resolves and runs, returning the report.
+pub fn run_named_with(name: &str, args: &CliArgs) -> dummyloc_sim::experiments::ExperimentReport {
+    let registry = dummyloc_ext::experiments::registry_with_extensions();
+    let experiment = registry
+        .get(name)
+        .unwrap_or_else(|| panic!("experiment '{name}' is not in the registry"));
+    let fleet = workload_for(args);
+    experiment
+        .run(args.seed, &fleet)
+        .unwrap_or_else(|e| panic!("experiment '{name}' failed: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

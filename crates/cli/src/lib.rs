@@ -4,10 +4,14 @@
 //! dummyloc workload  --count 39 --duration 3600 --seed 42 --out fleet.csv
 //! dummyloc simulate  --workload fleet.csv --grid 12 --dummies 3 \
 //!                    --generator mn --m 120 --heatmap
-//! dummyloc experiment fig7 [--seed 42] [--quick] [--json out.json]
+//! dummyloc experiments list [--names]
+//! dummyloc experiments run fig7 [--seed 42] [--quick] [--json out.json]
 //! dummyloc render    --workload fleet.csv --out tracks.svg
-//! dummyloc serve     --addr 127.0.0.1:7878 --workers 4 --pois 200
-//! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1
+//! dummyloc serve     --addr 127.0.0.1:7878 --workers 4 --pois 200 \
+//!                    [--max-connections N] [--idle-timeout-ms MS] \
+//!                    [--deadline-ms MS] [--fault-drop P] [--fault-delay P] ...
+//! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1 \
+//!                    [--retries N] [--deadline-ms MS]
 //! ```
 //!
 //! The library half holds all the logic so it is testable; `main.rs` is a
@@ -55,14 +59,17 @@ pub const USAGE: &str = "\
 dummyloc — dummy-based location privacy toolkit
 
 commands:
-  workload    generate a synthetic workload and write it as CSV
-  simulate    run one simulation over a workload and report the metrics
-  experiment  regenerate a paper artifact (fig7, fig8, table1, fig2,
-              tracing, ablation-radius, ablation-mln, ablation-precision,
-              cost, ext-tracing, mix-zones, realism, adoption)
-  render      draw a workload's trajectories as SVG
-  serve       run the online LBS query service over TCP
-  loadgen     drive a running server with concurrent simulated users
+  workload     generate a synthetic workload and write it as CSV
+  simulate     run one simulation over a workload and report the metrics
+  experiments  list the experiment registry, or run one entry by name
+               (`experiments list [--names]`, `experiments run <name>`)
+  experiment   alias for `experiments run <name>`
+  render       draw a workload's trajectories as SVG
+  serve        run the online LBS query service over TCP (supports
+               --max-connections, --idle-timeout-ms, --deadline-ms and
+               seeded --fault-* injection knobs)
+  loadgen      drive a running server with concurrent simulated users
+               (retries with backoff: --retries, --retry-base-ms, ...)
 
 run `dummyloc <command> --help` for the command's flags";
 
@@ -141,6 +148,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 return Err(CliError::Usage("experiment needs a name".into()));
             };
             cmd_experiment(name, &Flags::parse(rest)?)
+        }
+        "experiments" => {
+            let Some((sub, rest)) = rest.split_first() else {
+                return Err(CliError::Usage(
+                    "experiments needs a subcommand (list | run)".into(),
+                ));
+            };
+            match sub.as_str() {
+                "list" => cmd_experiments_list(&Flags::parse(rest)?),
+                "run" => {
+                    let Some((name, rest)) = rest.split_first() else {
+                        return Err(CliError::Usage("experiments run needs a name".into()));
+                    };
+                    cmd_experiment(name, &Flags::parse(rest)?)
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown experiments subcommand '{other}' (list | run)"
+                ))),
+            }
         }
         "render" => cmd_render(&Flags::parse(rest)?),
         "serve" => cmd_serve(&Flags::parse(rest)?),
@@ -229,117 +255,37 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_experiment(name: &str, flags: &Flags) -> Result<String, CliError> {
-    use dummyloc_sim::experiments as ex;
+    let registry = dummyloc_ext::experiments::registry_with_extensions();
+    let Some(experiment) = registry.get(name) else {
+        return Err(CliError::Usage(format!(
+            "unknown experiment '{name}' (one of: {})",
+            registry.names().join(", ")
+        )));
+    };
     let seed: u64 = flags.num("seed", 42)?;
     let fleet = if flags.has("quick") {
         workload::nara_fleet_sized(16, 600.0, seed)
     } else {
         workload::nara_fleet(seed)
     };
-    let (rendered, json) = match name {
-        "fig7" => {
-            let params = ex::fig7::Fig7Params::default();
-            let r = ex::fig7::run(seed, &fleet, &params).map_err(runtime)?;
-            (
-                ex::fig7::render(&r, &params),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        "fig8" => {
-            let r =
-                ex::fig8::run(seed, &fleet, &ex::fig8::Fig8Params::default()).map_err(runtime)?;
-            (ex::fig8::render(&r), serde_json::to_string_pretty(&r))
-        }
-        "table1" => {
-            let r = ex::table1::run(&ex::table1::Table1Params::default()).map_err(runtime)?;
-            (ex::table1::render(&r), serde_json::to_string_pretty(&r))
-        }
-        "fig2" => {
-            let r = ex::fig2::run().map_err(runtime)?;
-            (ex::fig2::render(&r), serde_json::to_string_pretty(&r))
-        }
-        "tracing" => {
-            let r = ex::tracing::run(seed, &fleet, &ex::tracing::TracingParams::default())
-                .map_err(runtime)?;
-            (ex::tracing::render(&r), serde_json::to_string_pretty(&r))
-        }
-        "ablation-radius" => {
-            let r = ex::ablation_radius::run(
-                seed,
-                &fleet,
-                &ex::ablation_radius::RadiusParams::default(),
-            )
-            .map_err(runtime)?;
-            (
-                ex::ablation_radius::render(&r),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        "ablation-mln" => {
-            let r = ex::ablation_mln::run(seed, &fleet, &ex::ablation_mln::MlnParams::default())
-                .map_err(runtime)?;
-            (
-                ex::ablation_mln::render(&r),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        "cost" => {
-            let r =
-                ex::cost::run(seed, &fleet, &ex::cost::CostParams::default()).map_err(runtime)?;
-            (ex::cost::render(&r), serde_json::to_string_pretty(&r))
-        }
-        "ablation-precision" => {
-            let r = ex::ablation_precision::run(
-                seed,
-                &fleet,
-                &ex::ablation_precision::PrecisionParams::default(),
-            )
-            .map_err(runtime)?;
-            (
-                ex::ablation_precision::render(&r),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        "ext-tracing" => {
-            let r = dummyloc_ext::experiments::ext_tracing(seed, &fleet);
-            (
-                dummyloc_ext::experiments::render_ext_tracing(&r),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        "mix-zones" => {
-            let r = dummyloc_ext::experiments::mix_zones(seed, &fleet);
-            (
-                dummyloc_ext::experiments::render_mix_zones(&r),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        "realism" => {
-            let r = dummyloc_ext::experiments::realism(seed, &fleet);
-            (
-                dummyloc_ext::experiments::render_realism(&r),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        "adoption" => {
-            let r = dummyloc_ext::experiments::adoption(seed, &fleet);
-            (
-                dummyloc_ext::experiments::render_adoption(&r),
-                serde_json::to_string_pretty(&r),
-            )
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown experiment '{other}' (fig7, fig8, table1, fig2, tracing, \
-                 ablation-radius, ablation-mln, ablation-precision, cost, \
-                 ext-tracing, mix-zones, realism, adoption)"
-            )))
-        }
-    };
-    let mut out = rendered;
+    let report = experiment.run(seed, &fleet).map_err(runtime)?;
+    let mut out = report.rendered;
     if let Some(path) = flags.values.get("json") {
-        std::fs::write(path, json.map_err(runtime)?).map_err(runtime)?;
+        std::fs::write(path, &report.json).map_err(runtime)?;
         let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_experiments_list(flags: &Flags) -> Result<String, CliError> {
+    let registry = dummyloc_ext::experiments::registry_with_extensions();
+    if flags.has("names") {
+        return Ok(registry.names().join("\n"));
+    }
+    let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for e in registry.iter() {
+        let _ = writeln!(out, "{:width$}  {}", e.name(), e.description());
     }
     Ok(out)
 }
@@ -369,7 +315,8 @@ fn cmd_render(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
-    use dummyloc_server::server::{spawn, ServerConfig};
+    use dummyloc_server::server::spawn;
+    use dummyloc_server::{FaultPlan, ServeOptions};
     // The service area matches the loadgen's (and the experiments') Nara
     // default, so loadgen users stay in bounds.
     let area = dummyloc_geo::BBox::new(
@@ -382,18 +329,32 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         flags.num("pois", 200)?,
         flags.num("poi-seed", 42)?,
     );
-    let config = ServerConfig {
-        addr: flags.get("addr", "127.0.0.1:7878"),
-        workers: flags.num("workers", 4)?,
-        shards: flags.num("shards", 8)?,
-        queue_depth: flags.num("queue", 1024)?,
-        max_frame_bytes: flags.num(
+    let faults = FaultPlan {
+        seed: flags.num("fault-seed", 1)?,
+        drop: flags.num("fault-drop", 0.0)?,
+        delay: flags.num("fault-delay", 0.0)?,
+        delay_ms: flags.num("fault-delay-ms", 5)?,
+        truncate: flags.num("fault-truncate", 0.0)?,
+        corrupt: flags.num("fault-corrupt", 0.0)?,
+        stall: flags.num("fault-stall", 0.0)?,
+        refuse_accept: flags.num("fault-refuse", 0.0)?,
+    };
+    let config = ServeOptions::new()
+        .addr(flags.get("addr", "127.0.0.1:7878"))
+        .workers(flags.num("workers", 4)?)
+        .shards(flags.num("shards", 8)?)
+        .queue_depth(flags.num("queue", 1024)?)
+        .max_frame_bytes(flags.num(
             "max-frame-bytes",
             dummyloc_server::proto::DEFAULT_MAX_FRAME_BYTES,
-        )?,
-        max_requests_per_conn: flags.num("max-requests-per-conn", u64::MAX)?,
-        worker_delay: None,
-    };
+        )?)
+        .max_requests_per_conn(flags.num("max-requests-per-conn", u64::MAX)?)
+        .max_connections(flags.num("max-connections", 1024)?)
+        .idle_timeout(millis_flag(flags, "idle-timeout-ms")?)
+        .default_deadline(millis_flag(flags, "deadline-ms")?)
+        .faults(faults)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
     let handle = spawn(config, pois).map_err(runtime)?;
     println!(
         "dummyloc-server listening on {} (protocol v{})",
@@ -418,7 +379,8 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
-    use dummyloc_server::loadgen::{self, GeneratorChoice, LoadgenConfig};
+    use dummyloc_server::loadgen::{self, GeneratorChoice};
+    use dummyloc_server::{LoadgenOptions, RetryPolicy};
     let generator = match flags.get("generator", "mn").as_str() {
         "mn" => GeneratorChoice::Mn,
         "mln" => GeneratorChoice::Mln,
@@ -430,23 +392,43 @@ fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
         }
     };
     let query = parse_query(flags)?;
-    let config = LoadgenConfig {
-        addr: flags.get("addr", "127.0.0.1:7878"),
-        users: flags.num("users", 8)?,
-        rounds: flags.num("rounds", 20)?,
-        dummy_count: flags.num("dummies", 3)?,
-        generator,
-        m: flags.num("m", 120.0)?,
-        tick: flags.num("tick", 30.0)?,
-        seed: flags.num("seed", 1)?,
-        query,
+    let defaults = RetryPolicy::default();
+    let retry = RetryPolicy {
+        max_attempts: flags.num("retries", defaults.max_attempts)?,
+        base_delay_ms: flags.num("retry-base-ms", defaults.base_delay_ms)?,
+        max_delay_ms: flags.num("retry-max-ms", defaults.max_delay_ms)?,
+        attempt_timeout_ms: flags.num("attempt-timeout-ms", defaults.attempt_timeout_ms)?,
+        jitter: flags.num("retry-jitter", defaults.jitter)?,
     };
+    let deadline_ms = millis_flag(flags, "deadline-ms")?.map(|d| d.as_millis() as u64);
+    let config = LoadgenOptions::new()
+        .addr(flags.get("addr", "127.0.0.1:7878"))
+        .users(flags.num("users", 8)?)
+        .rounds(flags.num("rounds", 20)?)
+        .dummy_count(flags.num("dummies", 3)?)
+        .generator(generator)
+        .neighborhood_m(flags.num("m", 120.0)?)
+        .tick(flags.num("tick", 30.0)?)
+        .seed(flags.num("seed", 1)?)
+        .query(query)
+        .retry(retry)
+        .deadline_ms(deadline_ms)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
     let report = loadgen::run(&config).map_err(runtime)?;
     let json = serde_json::to_string_pretty(&report).map_err(runtime)?;
     if let Some(path) = flags.values.get("json") {
         std::fs::write(path, &json).map_err(runtime)?;
     }
     Ok(json)
+}
+
+/// Optional duration flag in milliseconds; absent or 0 means "off".
+fn millis_flag(flags: &Flags, key: &str) -> Result<Option<std::time::Duration>, CliError> {
+    Ok(match flags.num::<u64>(key, 0)? {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    })
 }
 
 fn parse_query(flags: &Flags) -> Result<dummyloc_lbs::QueryKind, CliError> {
@@ -683,16 +665,80 @@ mod tests {
         .unwrap();
         let report: dummyloc_server::LoadgenReport = serde_json::from_str(&out).unwrap();
         assert_eq!(report.sent, 12);
-        assert_eq!(report.answered + report.overloaded, 12);
+        // Retries absorb any bounces: every query ends answered.
+        assert_eq!(report.answered, 12);
         assert_eq!(report.user_errors, 0);
         assert_eq!(report.per_user_digest.len(), 3);
         // --json wrote the same report to disk.
         let on_disk = std::fs::read_to_string(&json_path).unwrap();
         assert_eq!(on_disk, out);
         let stats = handle.shutdown().stats;
-        assert_eq!(stats.requests + stats.rejects, 12);
+        // Fault-free, no overload: one server-side request per query.
+        assert_eq!(stats.requests, 12);
         // Each request carried 2 dummies + the true position.
         assert_eq!(stats.positions, stats.requests * 3);
+    }
+
+    #[test]
+    fn experiments_list_and_run() {
+        let listing = run(&args("experiments list")).unwrap();
+        assert!(listing.contains("fig7"));
+        assert!(listing.contains("adoption"));
+        assert!(listing.contains("ubiquity"));
+        let names = run(&args("experiments list --names")).unwrap();
+        let names: Vec<&str> = names.lines().collect();
+        assert_eq!(names.len(), 13);
+        assert_eq!(names[0], "fig7");
+        assert_eq!(names[12], "adoption");
+        // `experiments run` and the `experiment` alias agree.
+        let via_run = run(&args("experiments run fig2 --quick")).unwrap();
+        assert!(via_run.contains("|AS_F|"));
+        assert_eq!(via_run, run(&args("experiment fig2 --quick")).unwrap());
+        // A bad name reports the full registry.
+        let err = run(&args("experiments run fig99")).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(m) if m.contains("mix-zones")),
+            "{err}"
+        );
+        assert!(matches!(run(&args("experiments")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args("experiments frobnicate")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("experiments run")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_and_loadgen_validate_new_knobs() {
+        // Builder validation surfaces as a usage error before any server
+        // starts (or any connection is attempted).
+        assert!(matches!(
+            run(&args("serve --workers 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("serve --max-connections 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("serve --fault-drop 1.5")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("loadgen --retries 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("loadgen --retry-jitter 7")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("loadgen --users 0")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use dummyloc_core::generator::{DummyGenerator, MlnGenerator, MnGenerator, Random
 use dummyloc_geo::rng::rng_from_seed;
 use dummyloc_geo::Point;
 use dummyloc_mobility::StreetGrid;
+use dummyloc_sim::experiments::{Experiment, ExperimentReport, Registry};
 use dummyloc_sim::report::{fmt, Table};
 use dummyloc_trajectory::Dataset;
 use serde::{Deserialize, Serialize};
@@ -503,10 +504,102 @@ pub fn render_adoption(result: &AdoptionResult) -> String {
     table.render()
 }
 
+struct ExtTracingExperiment;
+
+impl Experiment for ExtTracingExperiment {
+    fn name(&self) -> &'static str {
+        "ext-tracing"
+    }
+    fn description(&self) -> &'static str {
+        "X1 — strongest-observer tracing: greedy vs optimal linking + belief metrics"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> dummyloc_sim::Result<ExperimentReport> {
+        let r = ext_tracing(seed, fleet);
+        ExperimentReport::new(render_ext_tracing(&r), &r)
+    }
+}
+
+struct MixZonesExperiment;
+
+impl Experiment for MixZonesExperiment {
+    fn name(&self) -> &'static str {
+        "mix-zones"
+    }
+    fn description(&self) -> &'static str {
+        "X2 — pseudonym rotation + silent rounds vs re-linking adversaries"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> dummyloc_sim::Result<ExperimentReport> {
+        let r = mix_zones(seed, fleet);
+        ExperimentReport::new(render_mix_zones(&r), &r)
+    }
+}
+
+struct RealismExperiment;
+
+impl Experiment for RealismExperiment {
+    fn name(&self) -> &'static str {
+        "realism"
+    }
+    fn description(&self) -> &'static str {
+        "X3 — street-constrained dummies vs a map-equipped observer"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> dummyloc_sim::Result<ExperimentReport> {
+        let r = realism(seed, fleet);
+        ExperimentReport::new(render_realism(&r), &r)
+    }
+}
+
+struct AdoptionExperiment;
+
+impl Experiment for AdoptionExperiment {
+    fn name(&self) -> &'static str {
+        "adoption"
+    }
+    fn description(&self) -> &'static str {
+        "X4 — partial adoption: privacy of adopters among non-adopters"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> dummyloc_sim::Result<ExperimentReport> {
+        let r = adoption(seed, fleet);
+        ExperimentReport::new(render_adoption(&r), &r)
+    }
+}
+
+/// Adds the four extension experiments (X1–X4) to `registry`.
+pub fn register_all(registry: &mut Registry) {
+    registry.register(Box::new(ExtTracingExperiment));
+    registry.register(Box::new(MixZonesExperiment));
+    registry.register(Box::new(RealismExperiment));
+    registry.register(Box::new(AdoptionExperiment));
+}
+
+/// The full experiment registry: the paper's nine artifacts plus the four
+/// extensions — what the CLI and the bench binaries resolve names against.
+pub fn registry_with_extensions() -> Registry {
+    let mut registry = Registry::builtin();
+    register_all(&mut registry);
+    registry
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dummyloc_sim::workload;
+
+    #[test]
+    fn full_registry_has_thirteen_entries_in_order() {
+        let r = registry_with_extensions();
+        assert_eq!(r.len(), 13);
+        let names = r.names();
+        assert_eq!(names[..9], Registry::builtin().names()[..]);
+        assert_eq!(
+            &names[9..],
+            &["ext-tracing", "mix-zones", "realism", "adoption"]
+        );
+        // Registering twice must not duplicate entries.
+        let mut again = registry_with_extensions();
+        register_all(&mut again);
+        assert_eq!(again.len(), 13);
+    }
 
     fn small_fleet() -> Dataset {
         workload::nara_fleet_sized(8, 600.0, 13)

@@ -1,6 +1,6 @@
 //! The service provider: answers every position, remembers everything.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dummyloc_core::client::Request;
 use dummyloc_geo::Point;
@@ -11,43 +11,65 @@ use crate::query::{Answer, BusAnswer, PoiInfo, QueryKind, ServiceResponse};
 
 /// One pseudonym's stream, stored as parallel arrays so request sequences
 /// can be handed to adversaries as a borrowed `&[Request]` slice without
-/// cloning.
+/// cloning. Each record carries an arrival sequence number so merges stay
+/// stable even for equal timestamps, and a set of already-seen request
+/// ids so a retried (idempotent) report is never double-counted.
 #[derive(Debug, Clone, Default)]
 struct Stream {
     times: Vec<f64>,
+    seqs: Vec<u64>,
     requests: Vec<Request>,
+    seen: HashSet<u64>,
 }
 
 impl Stream {
-    /// Appends `other` preserving time order: a plain append when `other`
-    /// starts no earlier than this stream ends (the common case when
-    /// merging shard logs that each saw disjoint pseudonyms or disjoint
-    /// time windows), a stable two-way merge otherwise.
-    fn merge(&mut self, mut other: Stream) {
-        let in_order = match (self.times.last(), other.times.first()) {
-            (Some(&a), Some(&b)) => a <= b,
+    /// Appends `other` preserving `(time, sequence)` order: a plain append
+    /// when `other` starts no earlier than this stream ends (the common
+    /// case when merging shard logs that each saw disjoint pseudonyms or
+    /// disjoint time windows), a stable two-way merge otherwise. Ties on
+    /// the timestamp are broken by arrival sequence, then by taking this
+    /// stream's record first — so the merge result does not depend on
+    /// which shard happened to be folded in first.
+    fn merge(&mut self, other: Stream) {
+        self.seen.extend(other.seen);
+        let in_order = match (
+            self.times.last().zip(self.seqs.last()),
+            other.times.first().zip(other.seqs.first()),
+        ) {
+            (Some((&ta, &sa)), Some((&tb, &sb))) => ta < tb || (ta == tb && sa <= sb),
             _ => true,
         };
+        let (mut bt, mut bs, mut br) = (other.times, other.seqs, other.requests);
         if in_order {
-            self.times.append(&mut other.times);
-            self.requests.append(&mut other.requests);
+            self.times.append(&mut bt);
+            self.seqs.append(&mut bs);
+            self.requests.append(&mut br);
             return;
         }
-        let mut a = std::mem::take(&mut self.times)
-            .into_iter()
-            .zip(std::mem::take(&mut self.requests))
-            .peekable();
-        let mut b = other.times.into_iter().zip(other.requests).peekable();
-        loop {
-            let take_a = match (a.peek(), b.peek()) {
-                (Some((ta, _)), Some((tb, _))) => ta <= tb,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
+        let at = std::mem::take(&mut self.times);
+        let as_ = std::mem::take(&mut self.seqs);
+        let mut a_req = std::mem::take(&mut self.requests).into_iter();
+        let mut b_req = br.into_iter();
+        let (mut ai, mut bi) = (0, 0);
+        while ai < at.len() || bi < bt.len() {
+            let take_a = if ai == at.len() {
+                false
+            } else if bi == bt.len() {
+                true
+            } else {
+                at[ai] < bt[bi] || (at[ai] == bt[bi] && as_[ai] <= bs[bi])
             };
-            let (t, r) = if take_a { a.next() } else { b.next() }.expect("peeked");
-            self.times.push(t);
-            self.requests.push(r);
+            if take_a {
+                self.times.push(at[ai]);
+                self.seqs.push(as_[ai]);
+                self.requests.push(a_req.next().expect("parallel vecs"));
+                ai += 1;
+            } else {
+                self.times.push(bt[bi]);
+                self.seqs.push(bs[bi]);
+                self.requests.push(b_req.next().expect("parallel vecs"));
+                bi += 1;
+            }
         }
     }
 }
@@ -115,6 +137,7 @@ impl<'a> IntoIterator for StreamView<'a> {
 pub struct ObserverLog {
     order: Vec<String>,
     streams: HashMap<String, Stream>,
+    next_seq: u64,
 }
 
 /// What [`ObserverLog::requests_of`] returns for unknown pseudonyms.
@@ -130,6 +153,31 @@ impl ObserverLog {
     /// Records one received request at time `t`, taking ownership so the
     /// hot path never clones position vectors.
     pub fn record_owned(&mut self, t: f64, request: Request) {
+        let seq = self.next_seq;
+        self.record_full(t, seq, None, request);
+    }
+
+    /// Records one received request carrying an idempotent request id.
+    /// Returns `false` (and records nothing) when this pseudonym already
+    /// reported the same id — how a retried query stays single-counted in
+    /// the observer's view even though the provider answered it twice.
+    pub fn record_owned_unique(&mut self, t: f64, request_id: u64, request: Request) -> bool {
+        let seq = self.next_seq;
+        self.record_full(t, seq, Some(request_id), request)
+    }
+
+    /// Full-control record used by sharded server logs: an explicit
+    /// arrival sequence number `seq` (globally monotone across shards, so
+    /// [`ObserverLog::absorb`] reconstructs exact arrival order even for
+    /// equal timestamps) and an optional idempotent request id. Returns
+    /// `false` when the id was already seen for this pseudonym.
+    pub fn record_full(
+        &mut self,
+        t: f64,
+        seq: u64,
+        request_id: Option<u64>,
+        request: Request,
+    ) -> bool {
         let stream = self
             .streams
             .entry(request.pseudonym.clone())
@@ -137,8 +185,16 @@ impl ObserverLog {
                 self.order.push(request.pseudonym.clone());
                 Stream::default()
             });
+        if let Some(id) = request_id {
+            if !stream.seen.insert(id) {
+                return false;
+            }
+        }
+        self.next_seq = self.next_seq.max(seq + 1);
         stream.times.push(t);
+        stream.seqs.push(seq);
         stream.requests.push(request);
+        true
     }
 
     /// Pseudonyms in order of first appearance.
@@ -169,10 +225,20 @@ impl ObserverLog {
         self.requests_of(pseudonym).iter()
     }
 
-    /// Merges another log into this one, preserving per-stream time order
-    /// — how the server folds its per-shard logs into one observer view.
+    /// Merges another log into this one, preserving per-stream `(time,
+    /// arrival-sequence)` order — how the server folds its per-shard logs
+    /// into one observer view. The merge is *stable*: records with equal
+    /// timestamps keep their arrival-sequence order, so folding shards in
+    /// any order produces the same streams. Already-seen request ids are
+    /// carried over; records are deduplicated at record time (a pseudonym
+    /// always lands in one shard), not during the merge.
     pub fn absorb(&mut self, other: ObserverLog) {
-        let ObserverLog { order, mut streams } = other;
+        let ObserverLog {
+            order,
+            mut streams,
+            next_seq,
+        } = other;
+        self.next_seq = self.next_seq.max(next_seq);
         for pseudonym in order {
             let incoming = streams
                 .remove(&pseudonym)
@@ -432,6 +498,57 @@ mod tests {
         assert_eq!(both.times(), &[1.0, 2.0]);
         assert_eq!(merged.requests_of("a").len(), 1);
         assert_eq!(merged.requests_of("b").len(), 1);
+    }
+
+    /// Regression: `absorb` used to preserve time order but left the
+    /// relative order of equal timestamps to whichever log was folded in
+    /// first. With arrival sequence numbers the merge is stable — the same
+    /// streams come out no matter the fold order.
+    #[test]
+    fn absorb_breaks_timestamp_ties_by_arrival_sequence() {
+        let build = |seqs: &[u64]| {
+            let mut log = ObserverLog::default();
+            for &s in seqs {
+                // All at t = 5.0; the x-coordinate encodes the arrival seq.
+                log.record_full(5.0, s, None, request("p", vec![Point::new(s as f64, 0.0)]));
+            }
+            log
+        };
+        // One arrival order 0..6 split alternately across two shard logs.
+        let a = build(&[0, 2, 4]);
+        let b = build(&[1, 3, 5]);
+
+        let mut ab = a.clone();
+        ab.absorb(b.clone());
+        let mut ba = b;
+        ba.absorb(a);
+
+        let xs = |log: &ObserverLog| -> Vec<f64> {
+            log.requests_of("p")
+                .iter()
+                .map(|r| r.positions[0].x)
+                .collect()
+        };
+        assert_eq!(xs(&ab), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(xs(&ab), xs(&ba), "fold order must not change the stream");
+        assert_eq!(ab.stream("p").unwrap().times(), &[5.0; 6]);
+    }
+
+    #[test]
+    fn duplicate_request_ids_are_recorded_once() {
+        let mut log = ObserverLog::default();
+        let req = request("p", vec![Point::new(1.0, 1.0)]);
+        assert!(log.record_owned_unique(0.0, 7, req.clone()));
+        assert!(!log.record_owned_unique(30.0, 7, req.clone()));
+        assert!(log.record_owned_unique(30.0, 8, req.clone()));
+        assert_eq!(log.requests_of("p").len(), 2);
+        // Ids are scoped per pseudonym: another user may reuse id 7.
+        assert!(log.record_owned_unique(0.0, 7, request("q", vec![Point::new(2.0, 2.0)])));
+        // The seen set survives an absorb.
+        let mut merged = ObserverLog::default();
+        merged.absorb(log);
+        assert!(!merged.record_owned_unique(60.0, 8, req));
+        assert_eq!(merged.requests_of("p").len(), 2);
     }
 
     #[test]

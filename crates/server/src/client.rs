@@ -1,12 +1,24 @@
-//! Blocking protocol client used by the load generator and tests.
+//! Blocking protocol clients used by the load generator and tests.
+//!
+//! [`ServiceClient`] is the bare connection: one query in flight, typed
+//! outcomes, no second chances. [`RetryingClient`] wraps it with the
+//! fault-tolerance contract the paper's scheme needs — a user must
+//! *always* get the answer for its true position, so failed attempts are
+//! retried with exponential backoff + jitter, reconnecting when the
+//! connection is broken, and always resending the **same** request id so
+//! the server's observer log counts the report once no matter how many
+//! deliveries it took.
 
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use dummyloc_core::client::Request;
 use dummyloc_lbs::query::{QueryKind, ServiceResponse};
+use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, ServerError};
+use crate::fault::splitmix;
 use crate::proto::{
     write_frame, ClientFrame, FrameEvent, FrameReader, ServerFrame, DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -20,6 +32,8 @@ pub enum QueryOutcome {
     Answered(ServiceResponse),
     /// Bounced off the full work queue; not processed, safe to retry.
     Overloaded,
+    /// The deadline expired before an answer was sent; safe to retry.
+    Deadline,
 }
 
 /// One connection to a `dummyloc-server`, already past the `Hello`
@@ -33,10 +47,23 @@ pub struct ServiceClient {
 }
 
 impl ServiceClient {
-    /// Connects and performs the version handshake.
+    /// Connects and performs the version handshake, waiting forever for
+    /// the reply.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        Self::connect_with_timeout(addr, None)
+    }
+
+    /// Connects with a read timeout that covers the handshake itself, so
+    /// a server that accepts but never answers (e.g. under fault
+    /// injection) cannot hang the caller. The timeout stays in force for
+    /// later replies until [`ServiceClient::set_read_timeout`] changes it.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(timeout)?;
         let writer = BufWriter::new(stream.try_clone()?);
         let mut client = ServiceClient {
             reader: FrameReader::new(stream, DEFAULT_MAX_FRAME_BYTES),
@@ -51,11 +78,19 @@ impl ServiceClient {
         )?;
         match client.read_frame()? {
             ServerFrame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            ServerFrame::Busy { limit } => Err(ServerError::Busy { limit }),
             ServerFrame::Error { message, .. } => Err(ServerError::Handshake { message }),
             other => Err(ServerError::Protocol {
                 message: format!("unexpected handshake reply: {other:?}"),
             }),
         }
+    }
+
+    /// Caps how long one reply may take before reads fail with a timeout
+    /// error. `None` waits forever.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
     }
 
     fn read_frame(&mut self) -> Result<ServerFrame> {
@@ -74,11 +109,42 @@ impl ServiceClient {
     pub fn query(&mut self, t: f64, request: &Request, query: &QueryKind) -> Result<QueryOutcome> {
         let id = self.next_id;
         self.next_id += 1;
+        self.query_with_id(id, t, None, request, query)
+    }
+
+    /// Like [`ServiceClient::query`] with an explicit per-query deadline
+    /// (milliseconds of server-side budget).
+    pub fn query_with_deadline(
+        &mut self,
+        t: f64,
+        deadline_ms: Option<u64>,
+        request: &Request,
+        query: &QueryKind,
+    ) -> Result<QueryOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.query_with_id(id, t, deadline_ms, request, query)
+    }
+
+    /// Sends one query under a caller-chosen id — the primitive
+    /// [`RetryingClient`] builds on, since a retry must resend the *same*
+    /// id (it is the idempotency key). Callers managing ids themselves
+    /// must never reuse one for a different logical request.
+    pub fn query_with_id(
+        &mut self,
+        id: u64,
+        t: f64,
+        deadline_ms: Option<u64>,
+        request: &Request,
+        query: &QueryKind,
+    ) -> Result<QueryOutcome> {
+        self.next_id = self.next_id.max(id + 1);
         write_frame(
             &mut self.writer,
             &ClientFrame::Query {
                 id,
                 t,
+                deadline_ms,
                 request: request.clone(),
                 query: *query,
             },
@@ -90,6 +156,12 @@ impl ServiceClient {
                 }
                 ServerFrame::Overloaded { id: rid } if rid == id => {
                     return Ok(QueryOutcome::Overloaded);
+                }
+                ServerFrame::Deadline { id: rid } if rid == id => {
+                    return Ok(QueryOutcome::Deadline);
+                }
+                ServerFrame::Busy { limit } => {
+                    return Err(ServerError::Busy { limit });
                 }
                 ServerFrame::Error { kind, message, .. } => {
                     return Err(ServerError::Protocol {
@@ -121,5 +193,240 @@ impl ServiceClient {
     pub fn bye(mut self) -> Result<()> {
         write_frame(&mut self.writer, &ClientFrame::Bye)?;
         Ok(())
+    }
+}
+
+/// Retry knobs of a [`RetryingClient`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per query, including the first.
+    pub max_attempts: u32,
+    /// First backoff delay; doubles each further attempt.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling.
+    pub max_delay_ms: u64,
+    /// How long one attempt may wait for its reply before the connection
+    /// is declared broken and rebuilt.
+    pub attempt_timeout_ms: u64,
+    /// Fraction of each backoff randomized away (`0` = fixed delays,
+    /// `0.5` = sleep anywhere in `[delay/2, delay]`), so a thundering herd
+    /// of retrying clients decorrelates.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 5,
+            max_delay_ms: 200,
+            attempt_timeout_ms: 1_000,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Rejects nonsensical knob values.
+    pub fn validate(&self) -> Result<()> {
+        let err = |message: String| Err(ServerError::Config { message });
+        if self.max_attempts == 0 {
+            return err("retries: max-attempts must be at least 1".into());
+        }
+        if self.attempt_timeout_ms == 0 {
+            return err("retries: attempt-timeout-ms must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.jitter) || !self.jitter.is_finite() {
+            return err(format!(
+                "retries: jitter must be in [0, 1], got {}",
+                self.jitter
+            ));
+        }
+        if self.max_delay_ms < self.base_delay_ms {
+            return err("retries: max-delay-ms must be >= base-delay-ms".into());
+        }
+        Ok(())
+    }
+
+    /// The jittered backoff before attempt `attempt` (1-based; attempt 1
+    /// has no backoff). `unit` is a uniform sample in `[0, 1)`.
+    fn backoff(&self, attempt: u32, unit: f64) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(16);
+        let full = self
+            .base_delay_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_delay_ms) as f64;
+        Duration::from_millis((full * (1.0 - self.jitter * unit)) as u64)
+    }
+}
+
+/// Tallies of what a [`RetryingClient`] had to do to get its answers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetryStats {
+    /// Attempts beyond the first, summed over all queries.
+    pub retries: u64,
+    /// Connections rebuilt after an i/o or protocol failure.
+    pub reconnects: u64,
+    /// `Overloaded` bounces absorbed.
+    pub overloaded: u64,
+    /// `Deadline` misses absorbed.
+    pub deadline_misses: u64,
+    /// `Busy` bounces absorbed while connecting.
+    pub busy: u64,
+}
+
+/// A [`ServiceClient`] wrapped in the retry loop. Ids are allocated once
+/// per logical query and survive reconnects, so the server-side dedup can
+/// keep the observer log single-counted.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<ServiceClient>,
+    next_id: u64,
+    rng: u64,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// Creates a client for `addr`; connections are opened lazily. `seed`
+    /// drives the backoff jitter, keeping whole runs reproducible.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy, seed: u64) -> Result<Self> {
+        policy.validate()?;
+        Ok(RetryingClient {
+            addr: addr.into(),
+            policy,
+            conn: None,
+            next_id: 0,
+            rng: splitmix(seed ^ 0x9e37_79b9_7f4a_7c15),
+            stats: RetryStats::default(),
+        })
+    }
+
+    /// What the retry loop has absorbed so far.
+    pub fn stats(&self) -> &RetryStats {
+        &self.stats
+    }
+
+    fn unit(&mut self) -> f64 {
+        self.rng = splitmix(self.rng);
+        (self.rng >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn connection(&mut self) -> Result<&mut ServiceClient> {
+        if self.conn.is_none() {
+            // The timeout covers the handshake too: a faulty server that
+            // swallows the Hello reply must not hang the retry loop.
+            let client = ServiceClient::connect_with_timeout(
+                self.addr.as_str(),
+                Some(Duration::from_millis(self.policy.attempt_timeout_ms)),
+            )?;
+            self.conn = Some(client);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One logical query, retried until answered or the policy is
+    /// exhausted. Every attempt resends the same request id.
+    pub fn query(
+        &mut self,
+        t: f64,
+        deadline_ms: Option<u64>,
+        request: &Request,
+        query: &QueryKind,
+    ) -> Result<ServiceResponse> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut last = String::new();
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                self.stats.retries += 1;
+                let unit = self.unit();
+                std::thread::sleep(self.policy.backoff(attempt, unit));
+            }
+            let conn = match self.connection() {
+                Ok(c) => c,
+                Err(e) => {
+                    if let ServerError::Busy { .. } = e {
+                        self.stats.busy += 1;
+                    }
+                    last = e.to_string();
+                    continue;
+                }
+            };
+            match conn.query_with_id(id, t, deadline_ms, request, query) {
+                Ok(QueryOutcome::Answered(response)) => return Ok(response),
+                Ok(QueryOutcome::Overloaded) => {
+                    // The server is healthy, just full: back off on the
+                    // same connection.
+                    self.stats.overloaded += 1;
+                    last = "overloaded".to_string();
+                }
+                Ok(QueryOutcome::Deadline) => {
+                    self.stats.deadline_misses += 1;
+                    last = "deadline expired".to_string();
+                }
+                Err(e) => {
+                    // Timed out, garbled, or closed: this connection can no
+                    // longer be trusted to be frame-synchronized. Rebuild.
+                    self.conn = None;
+                    self.stats.reconnects += 1;
+                    last = e.to_string();
+                }
+            }
+        }
+        Err(ServerError::RetriesExhausted {
+            attempts: self.policy.max_attempts,
+            last,
+        })
+    }
+
+    /// Says goodbye on any open connection and returns the tallies.
+    pub fn finish(mut self) -> RetryStats {
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.bye();
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_down() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 10,
+            max_delay_ms: 45,
+            attempt_timeout_ms: 100,
+            jitter: 0.5,
+        };
+        assert_eq!(p.backoff(1, 0.0), Duration::ZERO);
+        assert_eq!(p.backoff(2, 0.0), Duration::from_millis(10));
+        assert_eq!(p.backoff(3, 0.0), Duration::from_millis(20));
+        assert_eq!(p.backoff(4, 0.0), Duration::from_millis(40));
+        assert_eq!(p.backoff(5, 0.0), Duration::from_millis(45)); // capped
+                                                                  // Full jitter sample halves the delay; never increases it.
+        assert_eq!(p.backoff(2, 0.999), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn policy_validation_rejects_nonsense() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let bad = |f: fn(&mut RetryPolicy)| {
+            let mut p = RetryPolicy::default();
+            f(&mut p);
+            p.validate().is_err()
+        };
+        assert!(bad(|p| p.max_attempts = 0));
+        assert!(bad(|p| p.attempt_timeout_ms = 0));
+        assert!(bad(|p| p.jitter = 1.5));
+        assert!(bad(|p| p.jitter = f64::NAN));
+        assert!(bad(|p| p.max_delay_ms = 0));
     }
 }

@@ -22,6 +22,23 @@ pub enum ServerError {
         /// The server's complaint.
         message: String,
     },
+    /// The server's accept gate was full (it sent a `Busy` frame).
+    Busy {
+        /// The server's advertised connection cap.
+        limit: u64,
+    },
+    /// Every retry attempt failed.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The final attempt's failure, rendered.
+        last: String,
+    },
+    /// A configuration value failed validation.
+    Config {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -31,6 +48,13 @@ impl fmt::Display for ServerError {
             ServerError::Json(e) => write!(f, "frame codec error: {e}"),
             ServerError::Protocol { message } => write!(f, "protocol error: {message}"),
             ServerError::Handshake { message } => write!(f, "handshake rejected: {message}"),
+            ServerError::Busy { limit } => {
+                write!(f, "server busy: connection cap {limit} reached")
+            }
+            ServerError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            ServerError::Config { message } => write!(f, "invalid configuration: {message}"),
         }
     }
 }

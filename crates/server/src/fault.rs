@@ -1,0 +1,368 @@
+//! Seeded, deterministic fault injection for the service layer.
+//!
+//! A [`FaultPlan`] names per-event rates for six hostile conditions:
+//! dropped, delayed, truncated and corrupted reply frames, stalled
+//! connections, and refused accepts. Rates are applied through
+//! low-discrepancy accumulators ([`Pacer`]) rather than independent coin
+//! flips: a rate `p` fires on the frame where the running sum of `p`
+//! crosses the next integer, with a seed-derived phase. That keeps runs
+//! with the same traffic volume hitting the same fault *counts* (any kind
+//! with `p ≥ 1/N` is guaranteed to fire within `N` events), which is what
+//! lets the chaos tests assert "every configured fault kind actually
+//! happened" without flaking.
+//!
+//! Injection happens on the server's *outbound* path — the client's frames
+//! always arrive intact, the replies suffer — which models a lossy or
+//! hostile network while keeping the request streams (and therefore the
+//! observer log the privacy analysis consumes) well-defined.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::ServerStats;
+
+/// Per-event fault rates, all in `[0, 1]`. `0` everywhere (the default)
+/// disables injection entirely and costs nothing on the hot path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the accumulator phases; same seed + same traffic ⇒ same
+    /// fault pattern.
+    pub seed: u64,
+    /// Rate of reply frames silently dropped.
+    pub drop: f64,
+    /// Rate of reply frames delayed by [`FaultPlan::delay_ms`].
+    pub delay: f64,
+    /// How long a delayed frame is held back, in milliseconds.
+    pub delay_ms: u64,
+    /// Rate of reply frames cut in half mid-line (framing survives, the
+    /// JSON does not).
+    pub truncate: f64,
+    /// Rate of reply frames with corrupted bytes.
+    pub corrupt: f64,
+    /// Rate at which a reply permanently stalls its connection: the frame
+    /// and everything after it are withheld while the socket stays open.
+    pub stall: f64,
+    /// Rate of accepted connections closed before any frame is served.
+    pub refuse_accept: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The all-zero plan: no faults injected.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            delay: 0.0,
+            delay_ms: 0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            stall: 0.0,
+            refuse_accept: 0.0,
+        }
+    }
+
+    /// Whether any rate is nonzero.
+    pub fn is_active(&self) -> bool {
+        [
+            self.drop,
+            self.delay,
+            self.truncate,
+            self.corrupt,
+            self.stall,
+            self.refuse_accept,
+        ]
+        .iter()
+        .any(|&p| p > 0.0)
+    }
+
+    /// Checks every rate is a probability; returns the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("fault-drop", self.drop),
+            ("fault-delay", self.delay),
+            ("fault-truncate", self.truncate),
+            ("fault-corrupt", self.corrupt),
+            ("fault-stall", self.stall),
+            ("fault-refuse", self.refuse_accept),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-point rate accumulator: `fire` returns true on exactly the calls
+/// where `phase + n·p` crosses an integer. Lock-free and shared by every
+/// connection, so rates apply to the server's total reply stream.
+#[derive(Debug)]
+struct Pacer {
+    acc: AtomicU64,
+    step: u64,
+}
+
+/// One unit in the accumulator's fixed-point representation.
+const ONE: u64 = 1 << 32;
+
+impl Pacer {
+    fn new(rate: f64, phase: u64) -> Self {
+        Pacer {
+            acc: AtomicU64::new(phase % ONE),
+            step: (rate.clamp(0.0, 1.0) * ONE as f64) as u64,
+        }
+    }
+
+    fn fire(&self) -> bool {
+        if self.step == 0 {
+            return false;
+        }
+        let prev = self.acc.fetch_add(self.step, Ordering::Relaxed);
+        (prev.wrapping_add(self.step)) / ONE > prev / ONE
+    }
+}
+
+/// SplitMix64 — derives independent accumulator phases from the plan seed
+/// (and, in the client, retry-jitter samples).
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// What the injector decided to do with one outbound frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Deliver unchanged.
+    Deliver,
+    /// Silently discard the frame.
+    Drop,
+    /// Deliver the first half of the line only.
+    Truncate,
+    /// Deliver with corrupted bytes.
+    Corrupt,
+    /// Withhold this frame and every later one on the connection.
+    Stall,
+}
+
+/// Shared injection state built from an active [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    drop: Pacer,
+    delay: Pacer,
+    delay_for: Duration,
+    truncate: Pacer,
+    corrupt: Pacer,
+    stall: Pacer,
+    refuse: Pacer,
+}
+
+impl FaultInjector {
+    /// Builds the shared injector, or `None` for an inactive plan.
+    pub fn from_plan(plan: &FaultPlan) -> Option<Arc<Self>> {
+        if !plan.is_active() {
+            return None;
+        }
+        let phase = |salt: u64| splitmix(plan.seed ^ salt);
+        Some(Arc::new(FaultInjector {
+            drop: Pacer::new(plan.drop, phase(0x01)),
+            delay: Pacer::new(plan.delay, phase(0x02)),
+            delay_for: Duration::from_millis(plan.delay_ms),
+            truncate: Pacer::new(plan.truncate, phase(0x03)),
+            corrupt: Pacer::new(plan.corrupt, phase(0x04)),
+            stall: Pacer::new(plan.stall, phase(0x05)),
+            refuse: Pacer::new(plan.refuse_accept, phase(0x06)),
+        }))
+    }
+
+    /// Whether the acceptor should close this freshly accepted connection.
+    pub fn refuse_accept(&self, stats: &ServerStats) -> bool {
+        if self.refuse.fire() {
+            stats.record_fault_refused();
+            return true;
+        }
+        false
+    }
+
+    /// Picks this frame's fate (precedence: stall > drop > truncate >
+    /// corrupt; a masked kind keeps its accumulated credit and fires on a
+    /// later frame) and applies the delay fault if due.
+    fn fate(&self, stats: &ServerStats) -> FrameFate {
+        if self.stall.fire() {
+            stats.record_fault_stalled();
+            return FrameFate::Stall;
+        }
+        if self.drop.fire() {
+            stats.record_fault_dropped();
+            return FrameFate::Drop;
+        }
+        if self.truncate.fire() {
+            stats.record_fault_truncated();
+            return FrameFate::Truncate;
+        }
+        if self.corrupt.fire() {
+            stats.record_fault_corrupted();
+            return FrameFate::Corrupt;
+        }
+        FrameFate::Deliver
+    }
+
+    /// Transmits one already-serialized frame line (no newline) through
+    /// the fault model. Returns the fate so the caller can latch `Stall`.
+    pub fn transmit<W: Write>(
+        &self,
+        w: &mut W,
+        line: &str,
+        stats: &ServerStats,
+    ) -> io::Result<FrameFate> {
+        let fate = self.fate(stats);
+        if matches!(fate, FrameFate::Stall | FrameFate::Drop) {
+            return Ok(fate);
+        }
+        if self.delay.fire() {
+            stats.record_fault_delayed();
+            std::thread::sleep(self.delay_for);
+        }
+        match fate {
+            FrameFate::Deliver => {
+                w.write_all(line.as_bytes())?;
+            }
+            FrameFate::Truncate => {
+                w.write_all(&line.as_bytes()[..line.len() / 2])?;
+            }
+            FrameFate::Corrupt => {
+                let mut bytes = line.as_bytes().to_vec();
+                corrupt_in_place(&mut bytes);
+                w.write_all(&bytes)?;
+            }
+            FrameFate::Stall | FrameFate::Drop => unreachable!("returned above"),
+        }
+        w.write_all(b"\n")?;
+        w.flush()?;
+        Ok(fate)
+    }
+}
+
+/// Mangles a serialized JSON line so it keeps its framing (no newline
+/// bytes introduced) but is guaranteed not to parse: JSON cannot start
+/// with `}`, and a mid-line quote is knocked out for good measure.
+fn corrupt_in_place(bytes: &mut [u8]) {
+    if let Some(b) = bytes.first_mut() {
+        *b = b'}';
+    }
+    let mid = bytes.len() / 2;
+    if let Some(b) = bytes.get_mut(mid) {
+        *b = if *b == b'#' { b'~' } else { b'#' };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(p: f64) -> FaultPlan {
+        FaultPlan {
+            seed: 9,
+            drop: p,
+            delay: p,
+            delay_ms: 0,
+            truncate: p,
+            corrupt: p,
+            stall: p,
+            refuse_accept: p,
+        }
+    }
+
+    #[test]
+    fn inactive_plan_builds_no_injector() {
+        assert!(FaultInjector::from_plan(&FaultPlan::none()).is_none());
+        assert!(!FaultPlan::none().is_active());
+        assert!(plan(0.1).is_active());
+    }
+
+    #[test]
+    fn rates_outside_unit_interval_are_rejected() {
+        assert!(plan(0.5).validate().is_ok());
+        assert!(plan(1.5).validate().is_err());
+        assert!(plan(-0.1).validate().is_err());
+        assert!(plan(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn pacer_fires_at_the_configured_rate() {
+        for rate in [0.01, 0.1, 0.5, 1.0] {
+            let pacer = Pacer::new(rate, splitmix(3));
+            let fired = (0..10_000).filter(|_| pacer.fire()).count();
+            let expect = (10_000.0 * rate) as i64;
+            assert!(
+                (fired as i64 - expect).abs() <= 1,
+                "rate {rate}: fired {fired}, expected ~{expect}"
+            );
+        }
+        let never = Pacer::new(0.0, 1234);
+        assert!((0..1000).all(|_| !never.fire()));
+    }
+
+    #[test]
+    fn pacer_guarantees_a_fire_within_one_over_p_events() {
+        // Worst-case phase still fires within ceil(1/p) + 1 events (the
+        // +1 absorbs the fixed-point truncation of the step).
+        for phase in [0, ONE / 3, ONE - 1] {
+            let pacer = Pacer::new(0.05, phase);
+            assert!((0..21).any(|_| pacer.fire()));
+        }
+    }
+
+    #[test]
+    fn truncate_and_corrupt_keep_framing_but_break_json() {
+        let stats = ServerStats::new();
+        let line = serde_json::to_string(&crate::proto::ServerFrame::Overloaded { id: 3 }).unwrap();
+
+        let mut corrupted = line.clone().into_bytes();
+        corrupt_in_place(&mut corrupted);
+        assert!(!corrupted.contains(&b'\n'));
+        let corrupted = String::from_utf8(corrupted).unwrap();
+        assert!(serde_json::from_str::<crate::proto::ServerFrame>(&corrupted).is_err());
+
+        // Drive a transmit with truncate rate 1: one line out, one '\n',
+        // and the payload does not parse.
+        let p = FaultPlan {
+            truncate: 1.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::from_plan(&p).unwrap();
+        let mut wire = Vec::new();
+        assert_eq!(
+            inj.transmit(&mut wire, &line, &stats).unwrap(),
+            FrameFate::Truncate
+        );
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.ends_with('\n'));
+        let payload = text.trim_end_matches('\n');
+        assert_eq!(payload.len(), line.len() / 2);
+        assert!(serde_json::from_str::<crate::proto::ServerFrame>(payload).is_err());
+        assert_eq!(stats.snapshot().faults.truncated, 1);
+    }
+
+    #[test]
+    fn same_seed_same_fate_sequence() {
+        let run = || {
+            let inj = FaultInjector::from_plan(&plan(0.3)).unwrap();
+            let stats = ServerStats::new();
+            (0..64).map(|_| inj.fate(&stats)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        assert!(run().iter().any(|f| *f != FrameFate::Deliver));
+    }
+}

@@ -17,10 +17,22 @@
 //!   [`dummyloc_lbs::ObserverLog`] for the adversary pipeline,
 //! * [`stats`] — relaxed atomic counters and fixed-bucket latency
 //!   histograms served over the protocol's `Stats` command,
-//! * [`client`] — a blocking protocol client,
+//! * [`client`] — a blocking protocol client plus [`RetryingClient`], the
+//!   retry loop (exponential backoff + jitter, reconnects, idempotent
+//!   request ids) that makes injected faults invisible to callers,
+//! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`]):
+//!   dropped/delayed/truncated/corrupted replies, stalled connections,
+//!   refused accepts — every one tallied in [`stats`],
+//! * [`options`] — validated [`ServeOptions`]/[`LoadgenOptions`] builders
+//!   shared by the CLI and tests,
 //! * [`loadgen`] — M concurrent simulated users (rickshaw tracks + MN/MLN
 //!   dummy generators) reporting throughput, latency percentiles and
 //!   per-user determinism digests.
+//!
+//! The server also enforces per-query deadlines (typed `Deadline` frames;
+//! expired queued jobs are cancelled unworked), an accept gate (typed
+//! `Busy` frame past `max_connections`) and idle-connection reaping — all
+//! observable in the `Stats` snapshot.
 //!
 //! # Example
 //!
@@ -54,16 +66,20 @@
 
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod loadgen;
+pub mod options;
 pub mod proto;
 pub mod server;
 pub mod shard;
 pub mod stats;
 
-pub use client::{QueryOutcome, ServiceClient};
+pub use client::{QueryOutcome, RetryPolicy, RetryStats, RetryingClient, ServiceClient};
 pub use error::{Result, ServerError};
+pub use fault::{FaultInjector, FaultPlan};
 pub use loadgen::{GeneratorChoice, LoadgenConfig, LoadgenReport};
+pub use options::{LoadgenOptions, ServeOptions};
 pub use proto::{ClientFrame, ErrorKind, ServerFrame, PROTOCOL_VERSION};
 pub use server::{spawn, ServerConfig, ServerHandle, ShutdownReport};
 pub use shard::ShardedLog;
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{FaultCounters, ServerStats, StatsSnapshot};

@@ -6,9 +6,12 @@
 //! same request sequences — and, against a server with the same POI seed,
 //! the exact same answers — run after run. The per-user answer digests in
 //! the report make that checkable: two runs with the same seed must
-//! produce identical `per_user_digest` vectors.
+//! produce identical `per_user_digest` vectors — *even against a server
+//! injecting faults*, because every user drives a [`RetryingClient`] that
+//! absorbs drops, stalls, garbled frames and `Overloaded`/`Deadline`
+//! bounces. Retries make faults invisible to the application.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dummyloc_core::client::Client;
 use dummyloc_core::generator::{
@@ -19,9 +22,13 @@ use dummyloc_lbs::query::QueryKind;
 use dummyloc_mobility::{RickshawConfig, RickshawModel};
 use serde::{Deserialize, Serialize};
 
-use crate::client::{QueryOutcome, ServiceClient};
+use crate::client::{RetryPolicy, RetryStats, RetryingClient, ServiceClient};
 use crate::error::{Result, ServerError};
 use crate::stats::StatsSnapshot;
+
+/// How long the post-run stats snapshot fetch may wait before the report
+/// ships without one.
+const STATS_FETCH_TIMEOUT: Duration = Duration::from_millis(2000);
 
 /// Which dummy algorithm the simulated users run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +83,11 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// The query every user issues each round.
     pub query: QueryKind,
+    /// Per-user retry behavior.
+    pub retry: RetryPolicy,
+    /// Per-query server-side deadline in milliseconds; `None` leaves it to
+    /// the server's default.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for LoadgenConfig {
@@ -90,7 +102,23 @@ impl Default for LoadgenConfig {
             tick: 30.0,
             seed: 1,
             query: QueryKind::NextBus,
+            retry: RetryPolicy::default(),
+            deadline_ms: None,
         }
+    }
+}
+
+impl LoadgenConfig {
+    /// Rejects nonsensical knob values before any thread is spawned.
+    pub fn validate(&self) -> Result<()> {
+        let err = |message: String| Err(ServerError::Config { message });
+        if self.users == 0 || self.rounds == 0 {
+            return err("loadgen needs at least one user and one round".into());
+        }
+        if self.dummy_count > 64 {
+            return err("dummy-count above 64 is surely a typo".into());
+        }
+        self.retry.validate()
     }
 }
 
@@ -118,11 +146,19 @@ pub struct LoadgenReport {
     pub rounds: usize,
     /// Queries sent.
     pub sent: u64,
-    /// Queries answered in full.
+    /// Queries answered in full (after any retries).
     pub answered: u64,
-    /// Queries bounced with `Overloaded`.
+    /// `Overloaded` bounces absorbed by retries.
     pub overloaded: u64,
-    /// Users whose session died on an error.
+    /// Retry attempts beyond each query's first.
+    pub retries: u64,
+    /// Connections rebuilt after i/o or protocol failures.
+    pub reconnects: u64,
+    /// `Deadline` misses absorbed by retries.
+    pub deadline_misses: u64,
+    /// `Busy` bounces absorbed while connecting.
+    pub busy_bounces: u64,
+    /// Users whose session died on an error (retries exhausted).
     pub user_errors: u64,
     /// Wall-clock duration of the run in seconds.
     pub elapsed_secs: f64,
@@ -142,7 +178,11 @@ struct UserOutcome {
     latencies_us: Vec<u64>,
     sent: u64,
     answered: u64,
-    overloaded: u64,
+    retry: RetryStats,
+    /// The error that ended this user's run early, if any. Kept inside
+    /// the outcome (rather than an `Err` return) so the retry tallies a
+    /// failing user accumulated still reach the aggregate report.
+    error: Option<String>,
 }
 
 fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
@@ -167,41 +207,58 @@ fn drive_user(
         })?;
     let mut rng = rng_from_seed(derive_seed(cfg.seed, user as u64));
     let mut client = Client::new(track.id().to_string(), generator, cfg.dummy_count);
-    let mut svc = ServiceClient::connect(cfg.addr.as_str())?;
+    // Jitter gets its own derived stream so request generation and backoff
+    // randomness cannot entangle.
+    let mut svc = RetryingClient::new(
+        cfg.addr.as_str(),
+        cfg.retry.clone(),
+        derive_seed(cfg.seed, 0xbac0ff ^ user as u64),
+    )?;
     let mut out = UserOutcome {
         digest: 0xcbf2_9ce4_8422_2325,
         latencies_us: Vec::with_capacity(cfg.rounds),
         sent: 0,
         answered: 0,
-        overloaded: 0,
+        retry: RetryStats::default(),
+        error: None,
     };
     for k in 0..cfg.rounds {
         let t = k as f64 * cfg.tick;
         let pos = track
             .position_at(t)
             .expect("fleet tracks span the whole run");
-        let round = if k == 0 {
+        let round = match if k == 0 {
             client.begin(&mut rng, pos)
         } else {
             client.step(&mut rng, pos, &NoDensity)
-        }
-        .map_err(|e| ServerError::Protocol {
-            message: format!("client protocol error: {e}"),
-        })?;
+        } {
+            Ok(round) => round,
+            Err(e) => {
+                out.error = Some(format!("client protocol error: {e}"));
+                break;
+            }
+        };
         let start = Instant::now();
         out.sent += 1;
-        match svc.query(t, &round.request, &cfg.query)? {
-            QueryOutcome::Answered(response) => {
-                out.latencies_us
-                    .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                out.answered += 1;
-                let rendered = serde_json::to_string(&response)?;
-                out.digest = fnv1a_fold(out.digest, rendered.as_bytes());
+        let response = match svc.query(t, cfg.deadline_ms, &round.request, &cfg.query) {
+            Ok(response) => response,
+            Err(e) => {
+                out.error = Some(e.to_string());
+                break;
             }
-            QueryOutcome::Overloaded => out.overloaded += 1,
+        };
+        out.latencies_us
+            .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        out.answered += 1;
+        match serde_json::to_string(&response) {
+            Ok(rendered) => out.digest = fnv1a_fold(out.digest, rendered.as_bytes()),
+            Err(e) => {
+                out.error = Some(e.to_string());
+                break;
+            }
         }
     }
-    svc.bye()?;
+    out.retry = svc.finish();
     Ok(out)
 }
 
@@ -217,11 +274,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// timing: the request streams and answer digests depend only on
 /// `config.seed` (and the server's POI database).
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
-    if config.users == 0 || config.rounds == 0 {
-        return Err(ServerError::Protocol {
-            message: "loadgen needs at least one user and one round".to_string(),
-        });
-    }
+    config.validate()?;
     // The fleet is generated from the master seed alone, so track shapes —
     // and therefore every true position — reproduce across runs.
     let model = RickshawModel::new(RickshawConfig::nara(), derive_seed(config.seed, 1_000_003));
@@ -250,7 +303,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
 
     let mut sent = 0;
     let mut answered = 0;
-    let mut overloaded = 0;
+    let mut retry = RetryStats::default();
     let mut user_errors = 0;
     let mut digests = Vec::with_capacity(config.users);
     let mut latencies: Vec<u64> = Vec::new();
@@ -259,10 +312,21 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
             Ok(u) => {
                 sent += u.sent;
                 answered += u.answered;
-                overloaded += u.overloaded;
-                digests.push(format!("{:016x}", u.digest));
+                retry.retries += u.retry.retries;
+                retry.reconnects += u.retry.reconnects;
+                retry.overloaded += u.retry.overloaded;
+                retry.deadline_misses += u.retry.deadline_misses;
+                retry.busy += u.retry.busy;
                 latencies.extend(u.latencies_us);
+                if u.error.is_some() {
+                    user_errors += 1;
+                    digests.push("error".to_string());
+                } else {
+                    digests.push(format!("{:016x}", u.digest));
+                }
             }
+            // Setup failures (bad generator config) and panics: no
+            // per-user tallies exist to salvage.
             Err(_) => {
                 user_errors += 1;
                 digests.push("error".to_string());
@@ -281,15 +345,22 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
             latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
         },
     };
-    let server_stats = ServiceClient::connect(config.addr.as_str())
-        .and_then(|mut c| c.stats())
-        .ok();
+    // Bounded fetch: under fault injection the snapshot reply itself may
+    // be dropped, and a missing snapshot must not hang the whole run.
+    let server_stats =
+        ServiceClient::connect_with_timeout(config.addr.as_str(), Some(STATS_FETCH_TIMEOUT))
+            .and_then(|mut c| c.stats())
+            .ok();
     Ok(LoadgenReport {
         users: config.users,
         rounds: config.rounds,
         sent,
         answered,
-        overloaded,
+        overloaded: retry.overloaded,
+        retries: retry.retries,
+        reconnects: retry.reconnects,
+        deadline_misses: retry.deadline_misses,
+        busy_bounces: retry.busy,
         user_errors,
         elapsed_secs: elapsed,
         throughput_rps: if elapsed > 0.0 {

@@ -1,0 +1,242 @@
+//! Validated builders for the serve and loadgen entry points.
+//!
+//! CLI parsing and tests used to assemble `ServerConfig`/`LoadgenConfig`
+//! structs field by field, each duplicating the same bounds checks (or
+//! forgetting them). [`ServeOptions`] and [`LoadgenOptions`] are the one
+//! shared front door: every setter is chainable, nothing is validated
+//! until [`ServeOptions::build`]/[`LoadgenOptions::build`], and a bad knob
+//! comes back as a typed [`ServerError::Config`] naming the offending
+//! flag instead of a half-started server.
+
+use std::time::Duration;
+
+use dummyloc_lbs::query::QueryKind;
+
+use crate::client::RetryPolicy;
+use crate::error::Result;
+use crate::fault::FaultPlan;
+use crate::loadgen::{GeneratorChoice, LoadgenConfig};
+use crate::server::ServerConfig;
+
+/// Chainable, validated builder for a [`ServerConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    config: ServerConfig,
+}
+
+impl ServeOptions {
+    /// Starts from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind address (`host:port`; port 0 lets the OS pick).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Worker threads answering queries.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Observer-log shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Bounded job-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Per-frame size cap in bytes.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.config.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Queries one connection may send before being cut off.
+    pub fn max_requests_per_conn(mut self, max: u64) -> Self {
+        self.config.max_requests_per_conn = max;
+        self
+    }
+
+    /// Concurrent-connection cap (`Busy` past it).
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.config.max_connections = max;
+        self
+    }
+
+    /// Reap connections idle this long; `None` never reaps.
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Deadline for queries that carry none of their own.
+    pub fn default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.default_deadline = deadline;
+        self
+    }
+
+    /// Fault-injection plan for the outbound path.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Test hook: artificial per-job service time.
+    pub fn worker_delay(mut self, delay: Option<Duration>) -> Self {
+        self.config.worker_delay = delay;
+        self
+    }
+
+    /// Validates every knob and returns the finished configuration.
+    pub fn build(self) -> Result<ServerConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Chainable, validated builder for a [`LoadgenConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenOptions {
+    config: LoadgenConfig,
+}
+
+impl LoadgenOptions {
+    /// Starts from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Server address (`host:port`).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Concurrent simulated users.
+    pub fn users(mut self, users: usize) -> Self {
+        self.config.users = users;
+        self
+    }
+
+    /// Service rounds per user.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.config.rounds = rounds;
+        self
+    }
+
+    /// Dummies per request (`k`).
+    pub fn dummy_count(mut self, k: usize) -> Self {
+        self.config.dummy_count = k;
+        self
+    }
+
+    /// Dummy-motion algorithm.
+    pub fn generator(mut self, generator: GeneratorChoice) -> Self {
+        self.config.generator = generator;
+        self
+    }
+
+    /// MN/MLN neighborhood half-extent in metres.
+    pub fn neighborhood_m(mut self, m: f64) -> Self {
+        self.config.m = m;
+        self
+    }
+
+    /// Simulated seconds between rounds.
+    pub fn tick(mut self, tick: f64) -> Self {
+        self.config.tick = tick;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// The query every user issues each round.
+    pub fn query(mut self, query: QueryKind) -> Self {
+        self.config.query = query;
+        self
+    }
+
+    /// Per-user retry behavior.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Per-query server-side deadline in milliseconds.
+    pub fn deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.config.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Validates every knob and returns the finished configuration.
+    pub fn build(self) -> Result<LoadgenConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServerError;
+
+    #[test]
+    fn serve_options_build_and_validate() {
+        let cfg = ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .shards(4)
+            .queue_depth(64)
+            .max_connections(16)
+            .idle_timeout(Some(Duration::from_millis(500)))
+            .default_deadline(Some(Duration::from_millis(250)))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.max_connections, 16);
+        assert_eq!(cfg.idle_timeout, Some(Duration::from_millis(500)));
+
+        let err = ServeOptions::new().workers(0).build().unwrap_err();
+        assert!(matches!(err, ServerError::Config { .. }), "{err}");
+        let bad_plan = FaultPlan {
+            drop: 2.0,
+            ..FaultPlan::none()
+        };
+        assert!(ServeOptions::new().faults(bad_plan).build().is_err());
+    }
+
+    #[test]
+    fn loadgen_options_build_and_validate() {
+        let cfg = LoadgenOptions::new()
+            .users(4)
+            .rounds(10)
+            .dummy_count(3)
+            .seed(9)
+            .deadline_ms(Some(500))
+            .retry(RetryPolicy::default())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.users, 4);
+        assert_eq!(cfg.deadline_ms, Some(500));
+
+        assert!(LoadgenOptions::new().users(0).build().is_err());
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        };
+        assert!(LoadgenOptions::new().retry(bad).build().is_err());
+    }
+}

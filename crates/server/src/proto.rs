@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 use crate::stats::StatsSnapshot;
 
 /// Version spoken by this build. Bumped on any incompatible frame change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added per-query deadlines plus the `Deadline` and `Busy`
+/// server frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default per-frame size cap (bytes, excluding the newline).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
@@ -32,10 +34,19 @@ pub enum ClientFrame {
     },
     /// One service round: answer every position of `request`.
     Query {
-        /// Client-chosen correlation id, echoed in the reply.
+        /// Client-chosen correlation id, echoed in the reply. Doubles as
+        /// the *idempotency key*: a retried query resends the same id, and
+        /// the server's observer log records each `(pseudonym, id)` pair
+        /// at most once. Clients must therefore never reuse an id for a
+        /// different logical request of the same pseudonym.
         id: u64,
         /// Service time of the round (seconds).
         t: f64,
+        /// Time budget in wall-clock milliseconds from server receipt;
+        /// work not finished inside it is answered with
+        /// [`ServerFrame::Deadline`] instead (queued jobs are cancelled).
+        /// `None` leaves the budget to the server's default.
+        deadline_ms: Option<u64>,
         /// The paper's message `S`: pseudonym plus `k+1` positions.
         request: Request,
         /// What to ask about each position.
@@ -72,6 +83,19 @@ pub enum ServerFrame {
         /// The rejected query's correlation id.
         id: u64,
     },
+    /// The query's deadline expired before an answer was produced. Queued
+    /// work is cancelled; either way no answer follows for this id and the
+    /// request is safe to retry.
+    Deadline {
+        /// The expired query's correlation id.
+        id: u64,
+    },
+    /// The accept gate is full; the connection is closed immediately after
+    /// this frame. Reconnect after a backoff.
+    Busy {
+        /// The server's connection cap.
+        limit: u64,
+    },
     /// The peer broke the protocol.
     Error {
         /// The offending query id, when one could be parsed.
@@ -94,6 +118,9 @@ pub enum ErrorKind {
     VersionMismatch,
     /// The connection exceeded its per-connection request budget.
     TooManyRequests,
+    /// The connection sat idle past the server's reap timeout and was
+    /// closed.
+    IdleTimeout,
 }
 
 /// Serializes one frame and writes it as a single line.
@@ -201,6 +228,7 @@ mod tests {
             ClientFrame::Query {
                 id: 7,
                 t: 30.0,
+                deadline_ms: Some(250),
                 request: Request {
                     pseudonym: "p1".into(),
                     positions: vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)],

@@ -11,7 +11,7 @@
 
 use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -22,7 +22,8 @@ use dummyloc_lbs::provider::{answer_request, ObserverLog};
 use dummyloc_lbs::query::QueryKind;
 use dummyloc_lbs::PoiDatabase;
 
-use crate::error::Result;
+use crate::error::{Result, ServerError};
+use crate::fault::{FaultInjector, FaultPlan, FrameFate};
 use crate::proto::{
     write_frame, ClientFrame, ErrorKind, FrameEvent, FrameReader, ServerFrame,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
@@ -46,6 +47,17 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Queries one connection may send before being cut off.
     pub max_requests_per_conn: u64,
+    /// Concurrent-connection cap; accepts past it are answered with a
+    /// `Busy` frame and closed.
+    pub max_connections: usize,
+    /// Reap connections that sit idle this long. `None` never reaps.
+    pub idle_timeout: Option<Duration>,
+    /// Deadline applied to queries that carry no `deadline_ms` of their
+    /// own. `None` means such queries never expire.
+    pub default_deadline: Option<Duration>,
+    /// Seeded fault-injection plan for the outbound path (replies and
+    /// accepts). The default all-zero plan injects nothing.
+    pub faults: FaultPlan,
     /// Test hook: artificial per-job service time, used to provoke
     /// overload deterministically.
     pub worker_delay: Option<Duration>,
@@ -60,8 +72,35 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             max_requests_per_conn: u64::MAX,
+            max_connections: 1024,
+            idle_timeout: None,
+            default_deadline: None,
+            faults: FaultPlan::none(),
             worker_delay: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Rejects nonsensical knob values before any socket is bound.
+    pub fn validate(&self) -> Result<()> {
+        let err = |message: String| Err(ServerError::Config { message });
+        if self.workers == 0 {
+            return err("workers must be at least 1".into());
+        }
+        if self.queue_depth == 0 {
+            return err("queue-depth must be at least 1".into());
+        }
+        if self.max_connections == 0 {
+            return err("max-connections must be at least 1".into());
+        }
+        if self.max_frame_bytes < 64 {
+            return err("max-frame-bytes must be at least 64".into());
+        }
+        if let Err(message) = self.faults.validate() {
+            return err(message);
+        }
+        Ok(())
     }
 }
 
@@ -72,6 +111,7 @@ struct Job {
     request: Request,
     query: QueryKind,
     enqueued: Instant,
+    deadline: Option<Instant>,
     reply: Sender<ServerFrame>,
 }
 
@@ -134,6 +174,7 @@ impl ServerHandle {
 /// Binds and starts a server over `pois`, returning once it accepts
 /// connections.
 pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
+    config.validate()?;
     let listener = TcpListener::bind(config.addr.as_str())?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -180,12 +221,30 @@ fn worker_loop(
     // Ends when every job sender (acceptor + connections) is gone and the
     // queue is drained — exactly the shutdown contract.
     while let Ok(job) = rx.recv() {
+        // Queued-expiry cancellation: a job whose deadline passed while it
+        // waited is answered with `Deadline` and never computed or logged.
+        if job.deadline.is_some_and(|dl| Instant::now() > dl) {
+            stats.record_deadline_queued();
+            let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
+            continue;
+        }
         if let Some(d) = delay {
             std::thread::sleep(d);
         }
         let response = answer_request(&pois, job.t, &job.request, &job.query);
+        // In-flight expiry: the answer exists but arrived too late to send.
+        // It is not logged either — the observer sees only what was served.
+        if job.deadline.is_some_and(|dl| Instant::now() > dl) {
+            stats.record_deadline_inflight();
+            let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
+            continue;
+        }
         let positions = job.request.positions.len();
-        log.record_owned(job.t, job.request);
+        // The query id doubles as the idempotency key: a retried query is
+        // answered again but recorded in the observer log only once.
+        if !log.record_unique(job.t, job.id, job.request) {
+            stats.record_dedup_hit();
+        }
         stats.record_answer(&job.query, positions, job.enqueued.elapsed());
         let _ = job.reply.send(ServerFrame::Answer {
             id: job.id,
@@ -201,19 +260,42 @@ fn accept_loop(
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
 ) {
+    let injector = FaultInjector::from_plan(&config.faults);
+    let active = Arc::new(AtomicUsize::new(0));
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     for incoming in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = incoming else { continue };
+        let Ok(mut stream) = incoming else { continue };
+        if let Some(inj) = &injector {
+            if inj.refuse_accept(&stats) {
+                // Refused-accept fault: close without a word, like a
+                // listener whose SYN backlog overflowed.
+                continue;
+            }
+        }
+        if active.load(Ordering::SeqCst) >= config.max_connections {
+            stats.record_busy();
+            let _ = write_frame(
+                &mut stream,
+                &ServerFrame::Busy {
+                    limit: config.max_connections as u64,
+                },
+            );
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
         stats.record_connection();
         let cfg = config.clone();
         let job_tx = job_tx.clone();
         let stats = Arc::clone(&stats);
         let shutdown = Arc::clone(&shutdown);
+        let injector = injector.clone();
+        let active = Arc::clone(&active);
         conns.push(std::thread::spawn(move || {
-            connection_loop(stream, cfg, job_tx, stats, shutdown)
+            connection_loop(stream, cfg, job_tx, stats, shutdown, injector);
+            active.fetch_sub(1, Ordering::SeqCst);
         }));
         conns.retain(|h| !h.is_finished());
     }
@@ -229,6 +311,7 @@ fn connection_loop(
     job_tx: Sender<Job>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
+    injector: Option<Arc<FaultInjector>>,
 ) {
     let _ = stream.set_nodelay(true);
     // Short read timeout so the reader can poll the shutdown flag.
@@ -237,18 +320,43 @@ fn connection_loop(
         return;
     };
     let (reply_tx, reply_rx) = channel::unbounded::<ServerFrame>();
-    let writer = std::thread::spawn(move || {
-        let mut w = BufWriter::new(write_half);
-        for frame in reply_rx.iter() {
-            if write_frame(&mut w, &frame).is_err() {
-                break;
+    let writer = {
+        let stats = Arc::clone(&stats);
+        std::thread::spawn(move || {
+            let mut w = BufWriter::new(write_half);
+            // Once a stall fault fires, the connection withholds this frame
+            // and every later one while the socket stays open — the reply
+            // channel keeps draining so queued workers never block on it.
+            let mut stalled = false;
+            for frame in reply_rx.iter() {
+                if stalled {
+                    continue;
+                }
+                match &injector {
+                    None => {
+                        if write_frame(&mut w, &frame).is_err() {
+                            break;
+                        }
+                    }
+                    Some(inj) => {
+                        let Ok(line) = serde_json::to_string(&frame) else {
+                            break;
+                        };
+                        match inj.transmit(&mut w, &line, &stats) {
+                            Ok(FrameFate::Stall) => stalled = true,
+                            Ok(_) => {}
+                            Err(_) => break,
+                        }
+                    }
+                }
             }
-        }
-    });
+        })
+    };
 
     let mut reader = FrameReader::new(stream, cfg.max_frame_bytes);
     let mut greeted = false;
     let mut served: u64 = 0;
+    let mut last_activity = Instant::now();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -261,10 +369,22 @@ fn connection_loop(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                if let Some(idle) = cfg.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        stats.record_idle_reap();
+                        let _ = reply_tx.send(ServerFrame::Error {
+                            id: None,
+                            kind: ErrorKind::IdleTimeout,
+                            message: format!("idle longer than {} ms", idle.as_millis()),
+                        });
+                        break;
+                    }
+                }
                 continue;
             }
             Err(_) => break,
         };
+        last_activity = Instant::now();
         match event {
             FrameEvent::Eof => break,
             FrameEvent::TooLarge => {
@@ -312,6 +432,7 @@ fn connection_loop(
                 Ok(ClientFrame::Query {
                     id,
                     t,
+                    deadline_ms,
                     request,
                     query,
                 }) => {
@@ -337,12 +458,16 @@ fn connection_loop(
                         });
                         break;
                     }
+                    let budget = deadline_ms
+                        .map(Duration::from_millis)
+                        .or(cfg.default_deadline);
                     let job = Job {
                         id,
                         t,
                         request,
                         query,
                         enqueued: Instant::now(),
+                        deadline: budget.map(|d| Instant::now() + d),
                         reply: reply_tx.clone(),
                     };
                     match job_tx.try_send(job) {

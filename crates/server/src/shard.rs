@@ -7,6 +7,8 @@
 //! per-pseudonym stream time-ordered as long as one user's requests are
 //! serialized (true for one connection: its frames are parsed in order).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use dummyloc_core::client::Request;
 use dummyloc_lbs::provider::ObserverLog;
 use parking_lot::RwLock;
@@ -22,9 +24,14 @@ pub fn shard_index(pseudonym: &str, shards: usize) -> usize {
 }
 
 /// The server's write-side observer state.
+///
+/// A single global arrival counter stamps every record with a sequence
+/// number, so folding the shards back together reconstructs the exact
+/// arrival order even when two shards logged the same timestamp.
 #[derive(Debug)]
 pub struct ShardedLog {
     shards: Vec<RwLock<ObserverLog>>,
+    next_seq: AtomicU64,
 }
 
 impl ShardedLog {
@@ -34,6 +41,7 @@ impl ShardedLog {
             shards: (0..shards.max(1))
                 .map(|_| RwLock::new(ObserverLog::default()))
                 .collect(),
+            next_seq: AtomicU64::new(0),
         }
     }
 
@@ -45,8 +53,20 @@ impl ShardedLog {
     /// Records one request under its pseudonym's shard, taking ownership
     /// (no clone on the hot path).
     pub fn record_owned(&self, t: f64, request: Request) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let i = shard_index(&request.pseudonym, self.shards.len());
-        self.shards[i].write().record_owned(t, request);
+        self.shards[i].write().record_full(t, seq, None, request);
+    }
+
+    /// Records one request at most once per `(pseudonym, request_id)` pair.
+    /// Returns `false` (recording nothing) when that id was already seen —
+    /// this is how a retried query stays a single observer-log entry.
+    pub fn record_unique(&self, t: f64, request_id: u64, request: Request) -> bool {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let i = shard_index(&request.pseudonym, self.shards.len());
+        self.shards[i]
+            .write()
+            .record_full(t, seq, Some(request_id), request)
     }
 
     /// Total requests across all shards.
@@ -111,6 +131,33 @@ mod tests {
             let times = stream.times();
             assert!(times.windows(2).all(|w| w[0] <= w[1]));
         }
+    }
+
+    #[test]
+    fn record_unique_skips_duplicate_request_ids() {
+        let log = ShardedLog::new(4);
+        assert!(log.record_unique(1.0, 7, req("u1", 1.0)));
+        assert!(!log.record_unique(2.0, 7, req("u1", 2.0))); // retry of id 7
+        assert!(log.record_unique(3.0, 8, req("u1", 3.0)));
+        assert!(log.record_unique(4.0, 7, req("u2", 4.0))); // ids scoped per pseudonym
+        assert_eq!(log.len(), 3);
+        let merged = log.merged();
+        assert_eq!(merged.stream("u1").unwrap().times(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_timestamps_merge_in_arrival_order() {
+        // Ten pseudonyms spread over 4 shards, all at t = 0: the merged
+        // per-shard fold must reproduce global arrival order via the
+        // sequence stamps, not shard iteration order.
+        let log = ShardedLog::new(4);
+        for k in 0..10 {
+            log.record_owned(0.0, req("shared", k as f64));
+        }
+        let merged = log.merged();
+        let stream = merged.stream("shared").unwrap();
+        let xs: Vec<f64> = stream.requests().iter().map(|r| r.positions[0].x).collect();
+        assert_eq!(xs, (0..10).map(|k| k as f64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -27,26 +27,37 @@ fn kind_index(query: &QueryKind) -> usize {
 
 /// Counters shared by every worker and connection thread. All plain
 /// relaxed atomics: the numbers are monotone tallies, not synchronization.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ServerStats {
     requests: AtomicU64,
     positions: AtomicU64,
     rejects: AtomicU64,
     protocol_errors: AtomicU64,
     connections: AtomicU64,
-    latency: [[AtomicU64; BUCKETS]; KINDS],
+    deadline_expired_queued: AtomicU64,
+    deadline_expired_inflight: AtomicU64,
+    busy_rejects: AtomicU64,
+    idle_reaped: AtomicU64,
+    dedup_hits: AtomicU64,
+    faults_dropped: AtomicU64,
+    faults_delayed: AtomicU64,
+    faults_truncated: AtomicU64,
+    faults_corrupted: AtomicU64,
+    faults_stalled: AtomicU64,
+    faults_refused_accepts: AtomicU64,
+    latency: Latency,
 }
 
-impl Default for ServerStats {
+/// Newtype so `ServerStats` can keep deriving `Default` (arrays of atomics
+/// have no `Default` impl of their own).
+#[derive(Debug)]
+struct Latency([[AtomicU64; BUCKETS]; KINDS]);
+
+impl Default for Latency {
     fn default() -> Self {
-        ServerStats {
-            requests: AtomicU64::new(0),
-            positions: AtomicU64::new(0),
-            rejects: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
-        }
+        Latency(std::array::from_fn(|_| {
+            std::array::from_fn(|_| AtomicU64::new(0))
+        }))
     }
 }
 
@@ -67,7 +78,7 @@ impl ServerStats {
             .iter()
             .position(|&ub| us <= ub)
             .unwrap_or(BUCKETS - 1);
-        self.latency[kind_index(query)][bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency.0[kind_index(query)][bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// One query bounced off the full work queue.
@@ -85,6 +96,63 @@ impl ServerStats {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One queued job cancelled because its deadline expired before a
+    /// worker picked it up.
+    pub fn record_deadline_queued(&self) {
+        self.deadline_expired_queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One job whose deadline expired while a worker was computing it.
+    pub fn record_deadline_inflight(&self) {
+        self.deadline_expired_inflight
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection bounced off the accept gate with `Busy`.
+    pub fn record_busy(&self) {
+        self.busy_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One idle connection reaped.
+    pub fn record_idle_reap(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One retried query whose duplicate report the observer log skipped.
+    pub fn record_dedup_hit(&self) {
+        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reply frame dropped by fault injection.
+    pub fn record_fault_dropped(&self) {
+        self.faults_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reply frame delayed by fault injection.
+    pub fn record_fault_delayed(&self) {
+        self.faults_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reply frame truncated by fault injection.
+    pub fn record_fault_truncated(&self) {
+        self.faults_truncated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reply frame corrupted by fault injection.
+    pub fn record_fault_corrupted(&self) {
+        self.faults_corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection stalled by fault injection.
+    pub fn record_fault_stalled(&self) {
+        self.faults_stalled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One accepted connection refused by fault injection.
+    pub fn record_fault_refused(&self) {
+        self.faults_refused_accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -93,11 +161,24 @@ impl ServerStats {
             rejects: self.rejects.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            deadline_expired_queued: self.deadline_expired_queued.load(Ordering::Relaxed),
+            deadline_expired_inflight: self.deadline_expired_inflight.load(Ordering::Relaxed),
+            busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            faults: FaultCounters {
+                dropped: self.faults_dropped.load(Ordering::Relaxed),
+                delayed: self.faults_delayed.load(Ordering::Relaxed),
+                truncated: self.faults_truncated.load(Ordering::Relaxed),
+                corrupted: self.faults_corrupted.load(Ordering::Relaxed),
+                stalled: self.faults_stalled.load(Ordering::Relaxed),
+                refused_accepts: self.faults_refused_accepts.load(Ordering::Relaxed),
+            },
             latency: (0..KINDS)
                 .map(|k| KindHistogram {
                     kind: KIND_LABELS[k].to_string(),
                     bucket_upper_us: LATENCY_BUCKETS_US.to_vec(),
-                    counts: self.latency[k]
+                    counts: self.latency.0[k]
                         .iter()
                         .map(|c| c.load(Ordering::Relaxed))
                         .collect(),
@@ -121,8 +202,39 @@ pub struct StatsSnapshot {
     pub protocol_errors: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Queued jobs cancelled because their deadline expired before a
+    /// worker picked them up.
+    pub deadline_expired_queued: u64,
+    /// Jobs whose deadline expired while a worker was computing them.
+    pub deadline_expired_inflight: u64,
+    /// Connections bounced off the accept gate with `Busy`.
+    pub busy_rejects: u64,
+    /// Idle connections reaped.
+    pub idle_reaped: u64,
+    /// Retried queries whose duplicate observer-log report was skipped.
+    pub dedup_hits: u64,
+    /// Injected-fault tallies (all zero when no fault plan is active).
+    pub faults: FaultCounters,
     /// Per-query-kind latency histogram.
     pub latency: Vec<KindHistogram>,
+}
+
+/// Tallies of injected faults, one per fault kind, so a chaos run can
+/// assert every configured fault actually fired.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Reply frames silently dropped.
+    pub dropped: u64,
+    /// Reply frames delayed before transmission.
+    pub delayed: u64,
+    /// Reply frames truncated mid-line.
+    pub truncated: u64,
+    /// Reply frames with corrupted bytes.
+    pub corrupted: u64,
+    /// Connections that stopped transmitting (stalled).
+    pub stalled: u64,
+    /// Accepted connections refused (closed without a handshake).
+    pub refused_accepts: u64,
 }
 
 /// Latency histogram of one query kind. `counts` has one entry per bound
@@ -166,12 +278,37 @@ mod tests {
         );
         s.record_reject();
         s.record_protocol_error();
+        s.record_deadline_queued();
+        s.record_deadline_inflight();
+        s.record_busy();
+        s.record_idle_reap();
+        s.record_dedup_hit();
+        s.record_fault_dropped();
+        s.record_fault_delayed();
+        s.record_fault_truncated();
+        s.record_fault_corrupted();
+        s.record_fault_stalled();
+        s.record_fault_refused();
         let snap = s.snapshot();
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.positions, 10);
         assert_eq!(snap.rejects, 1);
         assert_eq!(snap.protocol_errors, 1);
         assert_eq!(snap.connections, 1);
+        assert_eq!(snap.deadline_expired_queued, 1);
+        assert_eq!(snap.deadline_expired_inflight, 1);
+        assert_eq!(snap.busy_rejects, 1);
+        assert_eq!(snap.idle_reaped, 1);
+        assert_eq!(snap.dedup_hits, 1);
+        let all_one = FaultCounters {
+            dropped: 1,
+            delayed: 1,
+            truncated: 1,
+            corrupted: 1,
+            stalled: 1,
+            refused_accepts: 1,
+        };
+        assert_eq!(snap.faults, all_one);
         assert_eq!(snap.histogram_total("next_bus"), 2);
         let bus = &snap.latency[2];
         assert_eq!(bus.counts[0], 1); // 30 µs ≤ 50 µs

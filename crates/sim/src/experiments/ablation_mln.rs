@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{GeneratorKind, SimConfig, Simulation};
 use crate::report::{fmt, pct, Table};
-use crate::{workload, Result};
+use crate::Result;
 
 /// Parameters of the MLN ablation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,11 +102,6 @@ pub fn run(seed: u64, fleet: &Dataset, params: &MlnParams) -> Result<MlnResult> 
     Ok(MlnResult { mn_reference, rows })
 }
 
-/// Runs the sweep on the standard Nara workload.
-pub fn run_default(seed: u64) -> Result<MlnResult> {
-    run(seed, &workload::nara_fleet(seed), &MlnParams::default())
-}
-
 /// Renders the ablation table.
 pub fn render(result: &MlnResult) -> String {
     let mut table = Table::new(
@@ -142,6 +137,7 @@ pub fn render(result: &MlnResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload;
 
     #[test]
     fn sweep_produces_reference_and_rows() {

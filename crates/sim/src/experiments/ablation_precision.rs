@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{GeneratorKind, SimConfig, Simulation};
 use crate::report::{fmt, pct, Table};
-use crate::{workload, Result};
+use crate::Result;
 
 /// Parameters of the precision ablation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -130,15 +130,6 @@ pub fn run(seed: u64, fleet: &Dataset, params: &PrecisionParams) -> Result<Preci
     Ok(PrecisionResult { rows })
 }
 
-/// Runs the sweep on the standard Nara workload.
-pub fn run_default(seed: u64) -> Result<PrecisionResult> {
-    run(
-        seed,
-        &workload::nara_fleet(seed),
-        &PrecisionParams::default(),
-    )
-}
-
 /// Renders the ablation table.
 pub fn render(result: &PrecisionResult) -> String {
     let mut table = Table::new(
@@ -166,6 +157,7 @@ pub fn render(result: &PrecisionResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload;
 
     fn small() -> (Dataset, PrecisionParams) {
         (

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{GeneratorKind, SimConfig, Simulation};
 use crate::report::{fmt, pct, Table};
-use crate::{workload, Result};
+use crate::Result;
 
 /// Parameters of the radius ablation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,11 +106,6 @@ pub fn run(seed: u64, fleet: &Dataset, params: &RadiusParams) -> Result<RadiusRe
     Ok(RadiusResult { rows })
 }
 
-/// Runs the sweep on the standard Nara workload.
-pub fn run_default(seed: u64) -> Result<RadiusResult> {
-    run(seed, &workload::nara_fleet(seed), &RadiusParams::default())
-}
-
 /// Renders the ablation table.
 pub fn render(result: &RadiusResult) -> String {
     let mut table = Table::new(
@@ -140,6 +135,7 @@ pub fn render(result: &RadiusResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload;
 
     fn small() -> (Dataset, RadiusParams) {
         (

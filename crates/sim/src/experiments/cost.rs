@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{GeneratorKind, ServiceConfig, SimConfig, Simulation};
 use crate::report::{fmt, Table};
-use crate::{workload, Result};
+use crate::Result;
 
 /// Parameters of the cost sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,11 +94,6 @@ pub fn run(seed: u64, fleet: &Dataset, params: &CostParams) -> Result<CostResult
     Ok(CostResult { rows })
 }
 
-/// Runs the sweep on the standard Nara workload.
-pub fn run_default(seed: u64) -> Result<CostResult> {
-    run(seed, &workload::nara_fleet(seed), &CostParams::default())
-}
-
 /// Renders the cost table.
 pub fn render(result: &CostResult) -> String {
     let mut table = Table::new(
@@ -126,6 +121,7 @@ pub fn render(result: &CostResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload;
 
     #[test]
     fn cost_scales_linearly_with_dummies() {

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{GeneratorKind, SimConfig, Simulation};
 use crate::report::{pct, Table};
-use crate::{workload, Result};
+use crate::Result;
 
 /// Parameters of the Figure-7 sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,11 +104,6 @@ pub fn run(seed: u64, fleet: &Dataset, params: &Fig7Params) -> Result<Fig7Result
     })
 }
 
-/// Runs the sweep on the standard 39-rickshaw Nara workload.
-pub fn run_default(seed: u64) -> Result<Fig7Result> {
-    run(seed, &workload::nara_fleet(seed), &Fig7Params::default())
-}
-
 /// Renders the paper's figure as a table: one row per dummy count, one
 /// `F (%)` column per grid, plus the dummies-to-80 % summary.
 pub fn render(result: &Fig7Result, params: &Fig7Params) -> String {
@@ -152,6 +147,7 @@ pub fn render(result: &Fig7Result, params: &Fig7Params) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload;
 
     fn small_params() -> Fig7Params {
         Fig7Params {

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{GeneratorKind, SimConfig, Simulation};
 use crate::report::{fmt, Table};
-use crate::{workload, Result};
+use crate::Result;
 
 /// Parameters of the Figure-8 comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,11 +95,6 @@ pub fn run(seed: u64, fleet: &Dataset, params: &Fig8Params) -> Result<Fig8Result
     Ok(Fig8Result { rows })
 }
 
-/// Runs the comparison on the standard 39-rickshaw Nara workload.
-pub fn run_default(seed: u64) -> Result<Fig8Result> {
-    run(seed, &workload::nara_fleet(seed), &Fig8Params::default())
-}
-
 /// Renders the paper's figure as a table (percentages per bucket).
 pub fn render(result: &Fig8Result) -> String {
     let mut table = Table::new(
@@ -122,6 +117,7 @@ pub fn render(result: &Fig8Result) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload;
 
     fn small_fleet() -> Dataset {
         workload::nara_fleet_sized(12, 300.0, 4)

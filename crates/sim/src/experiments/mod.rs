@@ -14,8 +14,10 @@
 //!
 //! Each module exposes a parameter struct (defaults matching the paper), a
 //! `run` function returning a serializable result, and a `render` helper
-//! producing the printable table. The binaries in `dummyloc-bench` are
-//! thin wrappers over these.
+//! producing the printable table. The [`registry`] module wraps each one
+//! as an [`Experiment`] behind its paper-default parameters; the CLI and
+//! the `dummyloc-bench` binaries resolve experiments by name through the
+//! one [`Registry`] instead of hand-wired match arms.
 
 pub mod ablation_mln;
 pub mod ablation_precision;
@@ -24,8 +26,11 @@ pub mod cost;
 pub mod fig2;
 pub mod fig7;
 pub mod fig8;
+pub mod registry;
 pub mod table1;
 pub mod tracing;
+
+pub use registry::{Experiment, ExperimentReport, Registry};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

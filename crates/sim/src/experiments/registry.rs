@@ -1,0 +1,336 @@
+//! The unified experiment API: one [`Experiment`] trait, one [`Registry`].
+//!
+//! Every reproduced artifact used to export its own `run`/`run_default`
+//! free-function pair with slightly different shapes (`fig2::run()` took
+//! nothing, `table1::run(&Params)` ignored the seed, the rest took `(seed,
+//! fleet, params)`), and the CLI and every bench binary re-wrapped them by
+//! hand. The trait pins the one calling convention down — `run(seed,
+//! &Dataset)` with each experiment's paper-default parameters — and the
+//! registry is the single place an experiment name resolves to runnable
+//! code. `dummyloc-ext` registers its extension experiments into the same
+//! registry, so callers never hard-code the experiment list again.
+
+use dummyloc_trajectory::Dataset;
+use serde::Serialize;
+
+use super::{
+    ablation_mln, ablation_precision, ablation_radius, cost, fig2, fig7, fig8, table1, tracing,
+};
+use crate::Result;
+
+/// What one experiment run produced: the printable table and the same
+/// result serialized as pretty JSON (for `--json` sidecars).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Human-readable rendering (the paper table).
+    pub rendered: String,
+    /// The structured result as pretty-printed JSON.
+    pub json: String,
+}
+
+impl ExperimentReport {
+    /// Builds a report from a rendered table and a serializable result.
+    pub fn new<T: Serialize>(rendered: String, result: &T) -> Result<Self> {
+        Ok(ExperimentReport {
+            rendered,
+            json: serde_json::to_string_pretty(result)?,
+        })
+    }
+}
+
+/// One runnable paper artifact. Implementations run with their paper
+/// defaults; parameter sweeps beyond that call the underlying module
+/// functions directly.
+pub trait Experiment: Send + Sync {
+    /// Registry key, e.g. `"fig7"` — stable, kebab-case.
+    fn name(&self) -> &'static str;
+
+    /// One-line summary shown by `dummyloc experiments list`.
+    fn description(&self) -> &'static str;
+
+    /// Runs the experiment on `fleet` with master seed `seed`.
+    /// Workload-independent artifacts (e.g. `fig2`) ignore both.
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport>;
+}
+
+/// Name → experiment resolution. Insertion order is preserved (it is the
+/// listing order); registering a name twice replaces the earlier entry.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The nine experiments reproduced from the paper itself.
+    pub fn builtin() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(Fig7));
+        r.register(Box::new(Fig8));
+        r.register(Box::new(Table1));
+        r.register(Box::new(Fig2));
+        r.register(Box::new(Tracing));
+        r.register(Box::new(AblationRadius));
+        r.register(Box::new(AblationMln));
+        r.register(Box::new(AblationPrecision));
+        r.register(Box::new(Cost));
+        r
+    }
+
+    /// Adds (or replaces, on a name collision) one experiment.
+    pub fn register(&mut self, experiment: Box<dyn Experiment>) {
+        let name = experiment.name();
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.name() == name) {
+            *slot = experiment;
+        } else {
+            self.entries.push(experiment);
+        }
+    }
+
+    /// Resolves a name.
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(|e| e.as_ref())
+    }
+
+    /// Every registered name, in listing order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+
+    /// Iterates the experiments in listing order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.entries.iter().map(|e| e.as_ref())
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+struct Fig7;
+
+impl Experiment for Fig7 {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+    fn description(&self) -> &'static str {
+        "Figure 7 — ubiquity F (%) vs number of dummies for 8x8/10x10/12x12 grids"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport> {
+        let params = fig7::Fig7Params::default();
+        let r = fig7::run(seed, fleet, &params)?;
+        ExperimentReport::new(fig7::render(&r, &params), &r)
+    }
+}
+
+struct Fig8;
+
+impl Experiment for Fig8 {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+    fn description(&self) -> &'static str {
+        "Figure 8 — Shift(P) bucket distribution for Random / MN / MLN"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport> {
+        let r = fig8::run(seed, fleet, &fig8::Fig8Params::default())?;
+        ExperimentReport::new(fig8::render(&r), &r)
+    }
+}
+
+struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn description(&self) -> &'static str {
+        "Table 1 / Figure 3 — ubiquity & congestion of three example distributions"
+    }
+    fn run(&self, _seed: u64, _fleet: &Dataset) -> Result<ExperimentReport> {
+        let r = table1::run(&table1::Table1Params::default())?;
+        ExperimentReport::new(table1::render(&r), &r)
+    }
+}
+
+struct Fig2;
+
+impl Experiment for Fig2 {
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+    fn description(&self) -> &'static str {
+        "Figure 2 — AS_F / AS_P worked anonymity-set examples"
+    }
+    fn run(&self, _seed: u64, _fleet: &Dataset) -> Result<ExperimentReport> {
+        let r = fig2::run()?;
+        ExperimentReport::new(fig2::render(&r), &r)
+    }
+}
+
+struct Tracing;
+
+impl Experiment for Tracing {
+    fn name(&self) -> &'static str {
+        "tracing"
+    }
+    fn description(&self) -> &'static str {
+        "Figure 4 / §3 — traceability of cloaking vs dummies"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport> {
+        let r = tracing::run(seed, fleet, &tracing::TracingParams::default())?;
+        ExperimentReport::new(tracing::render(&r), &r)
+    }
+}
+
+struct AblationRadius;
+
+impl Experiment for AblationRadius {
+    fn name(&self) -> &'static str {
+        "ablation-radius"
+    }
+    fn description(&self) -> &'static str {
+        "A1 — neighborhood radius m sweep"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport> {
+        let r = ablation_radius::run(seed, fleet, &ablation_radius::RadiusParams::default())?;
+        ExperimentReport::new(ablation_radius::render(&r), &r)
+    }
+}
+
+struct AblationMln;
+
+impl Experiment for AblationMln {
+    fn name(&self) -> &'static str {
+        "ablation-mln"
+    }
+    fn description(&self) -> &'static str {
+        "A2 — MLN retry budget / threshold sweep"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport> {
+        let r = ablation_mln::run(seed, fleet, &ablation_mln::MlnParams::default())?;
+        ExperimentReport::new(ablation_mln::render(&r), &r)
+    }
+}
+
+struct AblationPrecision;
+
+impl Experiment for AblationPrecision {
+    fn name(&self) -> &'static str {
+        "ablation-precision"
+    }
+    fn description(&self) -> &'static str {
+        "A4 — wire-precision (quantization) sweep"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport> {
+        let r =
+            ablation_precision::run(seed, fleet, &ablation_precision::PrecisionParams::default())?;
+        ExperimentReport::new(ablation_precision::render(&r), &r)
+    }
+}
+
+struct Cost;
+
+impl Experiment for Cost {
+    fn name(&self) -> &'static str {
+        "cost"
+    }
+    fn description(&self) -> &'static str {
+        "A3 — bandwidth & provider work vs dummy count"
+    }
+    fn run(&self, seed: u64, fleet: &Dataset) -> Result<ExperimentReport> {
+        let r = cost::run(seed, fleet, &cost::CostParams::default())?;
+        ExperimentReport::new(cost::render(&r), &r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn builtin_registry_lists_all_nine_in_order() {
+        let r = Registry::builtin();
+        assert_eq!(
+            r.names(),
+            vec![
+                "fig7",
+                "fig8",
+                "table1",
+                "fig2",
+                "tracing",
+                "ablation-radius",
+                "ablation-mln",
+                "ablation-precision",
+                "cost",
+            ]
+        );
+        assert_eq!(r.len(), 9);
+        assert!(!r.is_empty());
+        assert!(r.get("fig7").is_some());
+        assert!(r.get("fig99").is_none());
+        for e in r.iter() {
+            assert!(!e.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn register_replaces_on_name_collision() {
+        struct FakeFig7;
+        impl Experiment for FakeFig7 {
+            fn name(&self) -> &'static str {
+                "fig7"
+            }
+            fn description(&self) -> &'static str {
+                "replacement"
+            }
+            fn run(&self, _seed: u64, _fleet: &Dataset) -> Result<ExperimentReport> {
+                ExperimentReport::new("fake".into(), &42u64)
+            }
+        }
+        let mut r = Registry::builtin();
+        r.register(Box::new(FakeFig7));
+        assert_eq!(r.len(), 9, "replacement must not grow the registry");
+        assert_eq!(r.get("fig7").unwrap().description(), "replacement");
+        // Listing order is unchanged: fig7 stays first.
+        assert_eq!(r.names()[0], "fig7");
+    }
+
+    #[test]
+    fn cheap_experiments_run_through_the_trait() {
+        // fig2 and table1 ignore the fleet, so an empty one keeps this fast.
+        let fleet = Dataset::default();
+        let r = Registry::builtin();
+        let fig2 = r.get("fig2").unwrap().run(0, &fleet).unwrap();
+        assert!(fig2.rendered.contains("|AS_F|"));
+        assert!(serde_json::from_str::<serde_json::Value>(&fig2.json).is_ok());
+        let t1 = r.get("table1").unwrap().run(0, &fleet).unwrap();
+        assert!(t1.rendered.contains("congestion"));
+    }
+
+    #[test]
+    fn seeded_experiment_runs_on_a_small_fleet() {
+        let fleet = workload::nara_fleet_sized(4, 120.0, 7);
+        let report = Registry::builtin()
+            .get("cost")
+            .unwrap()
+            .run(7, &fleet)
+            .unwrap();
+        assert!(!report.rendered.is_empty());
+        assert!(serde_json::from_str::<serde_json::Value>(&report.json).is_ok());
+    }
+}

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{GeneratorKind, SimConfig, Simulation};
 use crate::report::{fmt, Table};
-use crate::{workload, Result};
+use crate::Result;
 
 /// Parameters of the tracing experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -168,11 +168,6 @@ pub fn run(seed: u64, fleet: &Dataset, params: &TracingParams) -> Result<Tracing
     Ok(TracingResult { rows })
 }
 
-/// Runs the experiment on the standard Nara workload.
-pub fn run_default(seed: u64) -> Result<TracingResult> {
-    run(seed, &workload::nara_fleet(seed), &TracingParams::default())
-}
-
 /// Renders identification rates per technique and adversary.
 pub fn render(result: &TracingResult) -> String {
     let mut table = Table::new(
@@ -202,6 +197,7 @@ pub fn render(result: &TracingResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload;
 
     fn small_fleet() -> Dataset {
         workload::nara_fleet_sized(16, 600.0, 5)

@@ -37,4 +37,15 @@ echo "== tier-1: cargo build --release && cargo test"
 cargo build "${FLAGS[@]}" --release --workspace
 cargo test "${FLAGS[@]}" --workspace -q
 
+echo "== chaos integration tests (fault injection / deadlines / retries)"
+cargo test "${FLAGS[@]}" -p integration-tests --test server_chaos -q
+
+echo "== CLI experiment-registry smoke test"
+DUMMYLOC=target/release/dummyloc
+"$DUMMYLOC" experiments list
+for name in $("$DUMMYLOC" experiments list --names); do
+  echo "---- experiments run $name"
+  "$DUMMYLOC" experiments run "$name" --quick --seed 1 >/dev/null
+done
+
 echo "== all checks passed"

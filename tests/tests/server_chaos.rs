@@ -1,0 +1,357 @@
+//! Chaos integration tests for `dummyloc-server`: seeded fault injection
+//! must be fully absorbed by the client retry loop — same answers, no
+//! hung connections, every fault kind observable in the stats — and the
+//! deadline / busy / idle-reap paths must each produce their typed
+//! outcome exactly where designed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::{BBox, Point};
+use dummyloc_lbs::{PoiDatabase, QueryKind};
+use dummyloc_server::client::{QueryOutcome, RetryPolicy, RetryingClient, ServiceClient};
+use dummyloc_server::proto::{write_frame, ClientFrame, ServerFrame, PROTOCOL_VERSION};
+use dummyloc_server::server::spawn;
+use dummyloc_server::{FaultPlan, LoadgenOptions, ServeOptions, ServerError};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+fn pois() -> PoiDatabase {
+    PoiDatabase::generate(area(), 120, 42)
+}
+
+fn request(pseudonym: &str) -> Request {
+    Request {
+        pseudonym: pseudonym.to_string(),
+        positions: vec![Point::new(100.0, 100.0), Point::new(900.0, 400.0)],
+    }
+}
+
+/// A retry policy tuned for tests: fast attempts, fast backoff.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_delay_ms: 2,
+        max_delay_ms: 20,
+        attempt_timeout_ms: 250,
+        jitter: 0.5,
+    }
+}
+
+/// The acceptance gate for the whole fault layer: a loadgen run against a
+/// hostile server (drops, delays, truncation, corruption, stalls, refused
+/// accepts — all seeded) finishes with zero user errors, produces *the
+/// same per-user answer digests* as the fault-free run, and every
+/// injected fault kind shows up in the server's counters.
+#[test]
+fn chaos_run_is_invisible_to_users_and_fully_observable() {
+    let users = 8;
+    let rounds = 15;
+    let loadgen_cfg = |addr: String| {
+        LoadgenOptions::new()
+            .addr(addr)
+            .users(users)
+            .rounds(rounds)
+            .dummy_count(2)
+            .seed(77)
+            .retry(fast_retry())
+            .build()
+            .unwrap()
+    };
+
+    // Baseline: no faults.
+    let clean = spawn(
+        ServeOptions::new().addr("127.0.0.1:0").build().unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let clean_report =
+        dummyloc_server::loadgen::run(&loadgen_cfg(clean.addr().to_string())).unwrap();
+    let clean_stats = clean.shutdown().stats;
+    assert_eq!(clean_report.user_errors, 0);
+    assert_eq!(clean_report.answered, (users * rounds) as u64);
+    assert_eq!(clean_stats.faults, Default::default());
+
+    // Hostile: every fault kind at a rate the deterministic pacers are
+    // guaranteed to fire at least once for this traffic volume.
+    let plan = FaultPlan {
+        seed: 7,
+        drop: 0.03,
+        delay: 0.05,
+        delay_ms: 2,
+        truncate: 0.03,
+        corrupt: 0.03,
+        stall: 0.02,
+        refuse_accept: 0.25,
+    };
+    let chaotic = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .faults(plan)
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let chaos_report =
+        dummyloc_server::loadgen::run(&loadgen_cfg(chaotic.addr().to_string())).unwrap();
+    let started = Instant::now();
+    let chaos_stats = chaotic.shutdown().stats;
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "shutdown must not hang on stalled connections"
+    );
+
+    // Retries made every fault invisible: all queries answered, and the
+    // answer streams are byte-identical to the fault-free run.
+    assert_eq!(chaos_report.user_errors, 0, "{chaos_report:?}");
+    assert_eq!(chaos_report.answered, (users * rounds) as u64);
+    assert_eq!(
+        chaos_report.per_user_digest, clean_report.per_user_digest,
+        "faults must not change any user's answers"
+    );
+    assert!(chaos_report.retries > 0, "faults must have forced retries");
+
+    // Every injected fault kind is observable in the stats.
+    let f = &chaos_stats.faults;
+    assert!(f.dropped >= 1, "faults: {f:?}");
+    assert!(f.delayed >= 1, "faults: {f:?}");
+    assert!(f.truncated >= 1, "faults: {f:?}");
+    assert!(f.corrupted >= 1, "faults: {f:?}");
+    assert!(f.stalled >= 1, "faults: {f:?}");
+    assert!(f.refused_accepts >= 1, "faults: {f:?}");
+    // Retried queries were deduplicated, never double-recorded.
+    assert!(chaos_stats.dedup_hits > 0 || chaos_stats.requests >= (users * rounds) as u64);
+}
+
+/// Resending a request id replays the answer but records the request in
+/// the observer log exactly once — the idempotency contract retries rely
+/// on.
+#[test]
+fn retried_request_id_is_not_double_counted() {
+    let handle = spawn(
+        ServeOptions::new().addr("127.0.0.1:0").build().unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    let req = request("retry-user");
+    let query = QueryKind::NextBus;
+
+    let first = client.query_with_id(7, 0.0, None, &req, &query).unwrap();
+    let second = client.query_with_id(7, 0.0, None, &req, &query).unwrap();
+    let (QueryOutcome::Answered(a), QueryOutcome::Answered(b)) = (first, second) else {
+        panic!("both attempts must be answered");
+    };
+    assert_eq!(a, b, "a replayed id must produce the same answer");
+    // A different id from the same pseudonym still records.
+    client.query_with_id(8, 30.0, None, &req, &query).unwrap();
+    client.bye().unwrap();
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.dedup_hits, 1);
+    assert_eq!(
+        report.log.requests_of("retry-user").len(),
+        2,
+        "ids 7 (once) and 8"
+    );
+}
+
+/// With one slow worker and a burst of 1 ms deadlines, the first job dies
+/// in flight (computed but expired before send) and the queued rest are
+/// cancelled unworked — both observable, both answered with `Deadline`.
+#[test]
+fn deadline_expiry_splits_queued_from_inflight() {
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .worker_delay(Some(Duration::from_millis(40)))
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+
+    // Raw socket so the queries can be pipelined back-to-back.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        serde_json::from_str(&line),
+        Ok(ServerFrame::Hello { .. })
+    ));
+
+    let burst = 5;
+    for id in 0..burst {
+        write_frame(
+            &mut stream,
+            &ClientFrame::Query {
+                id,
+                t: 0.0,
+                deadline_ms: Some(1),
+                request: request("deadline-user"),
+                query: QueryKind::NextBus,
+            },
+        )
+        .unwrap();
+    }
+    stream.flush().unwrap();
+    let mut deadline_replies = 0;
+    for _ in 0..burst {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match serde_json::from_str::<ServerFrame>(&line).unwrap() {
+            ServerFrame::Deadline { .. } => deadline_replies += 1,
+            other => panic!("expected Deadline frames, got {other:?}"),
+        }
+    }
+    assert_eq!(deadline_replies, burst);
+
+    let report = handle.shutdown();
+    assert!(
+        report.stats.deadline_expired_inflight >= 1,
+        "the job holding the worker expires in flight: {:?}",
+        report.stats
+    );
+    assert!(
+        report.stats.deadline_expired_queued >= 1,
+        "jobs behind it are cancelled unworked: {:?}",
+        report.stats
+    );
+    // Expired queries never reach the observer log.
+    assert_eq!(report.log.requests_of("deadline-user").len(), 0);
+}
+
+/// Truncated and corrupted reply frames break the connection's framing;
+/// the retrying client rebuilds and re-asks until every query is
+/// answered, without double-recording any request.
+#[test]
+fn truncation_and_corruption_are_absorbed_by_retries() {
+    let plan = FaultPlan {
+        seed: 3,
+        truncate: 0.25,
+        corrupt: 0.25,
+        ..FaultPlan::none()
+    };
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .faults(plan)
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let mut client = RetryingClient::new(handle.addr().to_string(), fast_retry(), 11).unwrap();
+    let rounds = 12;
+    for k in 0..rounds {
+        let response = client
+            .query(
+                k as f64 * 30.0,
+                None,
+                &request("mangled-user"),
+                &QueryKind::NextBus,
+            )
+            .unwrap();
+        assert_eq!(response.answers.len(), 2);
+    }
+    let retry_stats = client.finish();
+    assert!(retry_stats.reconnects > 0, "{retry_stats:?}");
+
+    let report = handle.shutdown();
+    assert!(report.stats.faults.truncated >= 1, "{:?}", report.stats);
+    assert!(report.stats.faults.corrupted >= 1, "{:?}", report.stats);
+    assert_eq!(
+        report.log.requests_of("mangled-user").len(),
+        rounds,
+        "every query recorded exactly once despite retries"
+    );
+}
+
+/// Past `max_connections`, a new connection is turned away with a typed
+/// `Busy` frame before the handshake; the slot frees on disconnect.
+#[test]
+fn accept_gate_answers_busy_at_the_cap() {
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .max_connections(1)
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let first = ServiceClient::connect(handle.addr()).unwrap();
+    // Give the acceptor time to register the first connection.
+    std::thread::sleep(Duration::from_millis(50));
+    let second = ServiceClient::connect(handle.addr());
+    match second {
+        Err(ServerError::Busy { limit }) => assert_eq!(limit, 1),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    first.bye().unwrap();
+    // The freed slot admits a new connection (poll briefly: the acceptor
+    // decrements asynchronously).
+    let mut reconnected = None;
+    for _ in 0..50 {
+        match ServiceClient::connect(handle.addr()) {
+            Ok(c) => {
+                reconnected = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(reconnected.is_some(), "slot must free after disconnect");
+    drop(reconnected);
+
+    let stats = handle.shutdown().stats;
+    assert!(stats.busy_rejects >= 1, "{stats:?}");
+}
+
+/// A connection that goes quiet past the idle timeout is reaped with a
+/// typed `IdleTimeout` error and counted.
+#[test]
+fn idle_connections_are_reaped() {
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .idle_timeout(Some(Duration::from_millis(80)))
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    // Stay active across one idle window: queries reset the timer.
+    for k in 0..3 {
+        client
+            .query(k as f64, &request("idle-user"), &QueryKind::NextBus)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    // Now go quiet long enough to be reaped.
+    std::thread::sleep(Duration::from_millis(400));
+    let late = client.query(99.0, &request("idle-user"), &QueryKind::NextBus);
+    assert!(
+        late.is_err(),
+        "the reaped connection must be dead: {late:?}"
+    );
+
+    let stats = handle.shutdown().stats;
+    assert_eq!(stats.idle_reaped, 1, "{stats:?}");
+    assert_eq!(stats.requests, 3);
+}

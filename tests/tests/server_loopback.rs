@@ -137,6 +137,7 @@ fn query_before_hello_is_rejected() {
     let frame = ClientFrame::Query {
         id: 0,
         t: 0.0,
+        deadline_ms: None,
         request: Request {
             pseudonym: "p".to_string(),
             positions: vec![Point::new(1.0, 1.0)],
@@ -205,6 +206,9 @@ fn full_queue_answers_typed_overloaded() {
                         match client.query(t, &request, &QueryKind::NextBus).unwrap() {
                             QueryOutcome::Answered(_) => {}
                             QueryOutcome::Overloaded => bounced += 1,
+                            QueryOutcome::Deadline => {
+                                panic!("no deadline was set, none may expire")
+                            }
                         }
                     }
                     client.bye().unwrap();
@@ -247,14 +251,17 @@ fn loadgen_is_deterministic_and_counts_reconcile() {
 
     assert_eq!(a.user_errors, 0);
     assert_eq!(a.sent, 4 * 5);
-    assert_eq!(a.answered + a.overloaded, a.sent);
+    // Retries absorb overload bounces, so every query ends answered.
+    assert_eq!(a.answered, a.sent);
     assert_eq!(a.per_user_digest.len(), 4);
     assert_eq!(
         a.per_user_digest, b.per_user_digest,
         "fixed seed must reproduce every user's answer stream"
     );
-    // Server-side requests + rejects account for every query sent.
-    assert_eq!(stats_a.requests + stats_a.rejects, a.sent);
+    // Fault-free with a deep queue: exactly one server-side request per
+    // query, nothing bounced.
+    assert_eq!(stats_a.requests, a.sent);
+    assert_eq!(stats_a.rejects, 0);
     // Each request carried k + 1 = 4 positions.
     assert_eq!(stats_a.positions, stats_a.requests * 4);
 }
