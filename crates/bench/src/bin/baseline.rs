@@ -1,0 +1,167 @@
+//! Repo-level performance baseline, written to `BENCH_baseline.json`.
+//!
+//! Run via `scripts/bench.sh` (or directly with the offline patch flags).
+//! One process measures the three hot paths the roadmap cares about:
+//!
+//! 1. the simulation engine (quick Nara fleet → rounds per second),
+//! 2. the experiment harness (fig7/fig8 quick runs → wall seconds),
+//! 3. the TCP service (in-process server + seeded loadgen → throughput
+//!    and p50/p99/p99.9 latency).
+//!
+//! `--seed` fixes every workload; `--json PATH` overrides the output
+//! path; `--telemetry DIR` (default `results/`) receives the run
+//! manifest with the loadgen's `loadgen.*` counters embedded.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dummyloc_sim::engine::{SimConfig, Simulation};
+use dummyloc_telemetry::{RunManifest, Telemetry};
+use serde::Serialize;
+
+/// Simulation-engine throughput over the quick workload.
+#[derive(Serialize)]
+struct SimBaseline {
+    users: usize,
+    rounds: usize,
+    wall_secs: f64,
+    rounds_per_sec: f64,
+}
+
+/// Wall time of one quick named-experiment run.
+#[derive(Serialize)]
+struct ExperimentBaseline {
+    name: String,
+    wall_secs: f64,
+}
+
+/// Service throughput and client-observed latency tail.
+#[derive(Serialize)]
+struct ServerBaseline {
+    users: usize,
+    rounds: usize,
+    sent: u64,
+    answered: u64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    retry_overhead_us: u64,
+}
+
+/// The whole `BENCH_baseline.json` document.
+#[derive(Serialize)]
+struct Baseline {
+    seed: u64,
+    sim: SimBaseline,
+    experiments: Vec<ExperimentBaseline>,
+    server: ServerBaseline,
+}
+
+fn measure_sim(seed: u64) -> SimBaseline {
+    let fleet = dummyloc_sim::workload::nara_fleet_sized(16, 600.0, seed);
+    let sim = Simulation::new(SimConfig::nara_default(seed)).expect("sim config");
+    let started = Instant::now();
+    let outcome = sim.run(&fleet).expect("simulation run");
+    let wall_secs = started.elapsed().as_secs_f64();
+    SimBaseline {
+        users: fleet.len(),
+        rounds: outcome.rounds,
+        wall_secs,
+        rounds_per_sec: outcome.rounds as f64 / wall_secs.max(1e-9),
+    }
+}
+
+fn measure_experiment(name: &str, seed: u64) -> ExperimentBaseline {
+    let args = dummyloc_bench::CliArgs {
+        seed,
+        quick: true,
+        ..dummyloc_bench::CliArgs::default()
+    };
+    let started = Instant::now();
+    let _ = dummyloc_bench::run_named_with(name, &args);
+    ExperimentBaseline {
+        name: name.to_string(),
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
+    let area = dummyloc_geo::BBox::new(
+        dummyloc_geo::Point::new(0.0, 0.0),
+        dummyloc_geo::Point::new(2000.0, 2000.0),
+    )
+    .expect("service area");
+    let pois = dummyloc_lbs::PoiDatabase::generate(area, 200, 42);
+    let handle = dummyloc_server::spawn(dummyloc_server::ServerConfig::default(), pois)
+        .expect("server spawn");
+    let config = dummyloc_server::LoadgenConfig {
+        addr: handle.addr().to_string(),
+        users: 8,
+        rounds: 25,
+        seed,
+        ..dummyloc_server::LoadgenConfig::default()
+    };
+    let report =
+        dummyloc_server::loadgen::run_instrumented(&config, Some(telemetry)).expect("loadgen run");
+    handle.shutdown();
+    ServerBaseline {
+        users: report.users,
+        rounds: report.rounds,
+        sent: report.sent,
+        answered: report.answered,
+        throughput_rps: report.throughput_rps,
+        p50_us: report.latency.p50_us,
+        p99_us: report.latency.p99_us,
+        p999_us: report.latency.p999_us,
+        retry_overhead_us: report.retry_overhead_us,
+    }
+}
+
+fn main() {
+    let args = dummyloc_bench::parse_args();
+    let out_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_baseline.json"));
+
+    let telemetry = Telemetry::new(256);
+    let started = Instant::now();
+    let baseline = Baseline {
+        seed: args.seed,
+        sim: measure_sim(args.seed),
+        experiments: vec![
+            measure_experiment("fig7", args.seed),
+            measure_experiment("fig8", args.seed),
+        ],
+        server: measure_server(args.seed, &telemetry),
+    };
+
+    let json = dummyloc_sim::report::to_json(&baseline).expect("serializing baseline");
+    std::fs::write(&out_path, json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!(
+        "baseline: sim {:.0} rounds/s, server {:.0} rps (p50 {}us, p99 {}us, p99.9 {}us)",
+        baseline.sim.rounds_per_sec,
+        baseline.server.throughput_rps,
+        baseline.server.p50_us,
+        baseline.server.p99_us,
+        baseline.server.p999_us,
+    );
+    eprintln!("wrote {}", out_path.display());
+
+    if let Some(dir) = &args.telemetry {
+        let manifest = RunManifest::capture(
+            "bench-baseline",
+            args.seed,
+            &args.seed,
+            &telemetry.registry,
+            baseline.server.answered,
+            started.elapsed(),
+        );
+        match telemetry.write_run(dir, "baseline", &manifest) {
+            Ok(paths) => eprintln!("wrote {}", paths.manifest.display()),
+            Err(e) => eprintln!("warning: telemetry manifest not written: {e}"),
+        }
+    }
+}

@@ -10,13 +10,17 @@
 //! * `--seed N` — master seed (default 42; every run is deterministic),
 //! * `--json PATH` — also write the structured result as JSON,
 //! * `--quick` — a reduced workload for smoke runs (16 rickshaws, 10
-//!   minutes instead of 39 over an hour).
+//!   minutes instead of 39 over an hour),
+//! * `--telemetry DIR` — where the run manifest lands (default
+//!   `results/`; `--telemetry none` disables it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+use std::time::Instant;
 
+use dummyloc_telemetry::{RunManifest, Telemetry};
 use dummyloc_trajectory::Dataset;
 
 /// Default master seed used by `EXPERIMENTS.md`.
@@ -31,6 +35,8 @@ pub struct CliArgs {
     pub json: Option<PathBuf>,
     /// Reduced workload for smoke runs.
     pub quick: bool,
+    /// Where run manifests are written; `None` disables them.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for CliArgs {
@@ -39,6 +45,7 @@ impl Default for CliArgs {
             seed: DEFAULT_SEED,
             json: None,
             quick: false,
+            telemetry: Some(PathBuf::from("results")),
         }
     }
 }
@@ -65,6 +72,12 @@ pub fn parse_from(args: impl IntoIterator<Item = String>) -> CliArgs {
                 out.json = Some(PathBuf::from(v));
             }
             "--quick" => out.quick = true,
+            "--telemetry" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--telemetry needs a directory (or 'none')"));
+                out.telemetry = (v != "none").then(|| PathBuf::from(v));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument '{other}'")),
         }
@@ -76,7 +89,7 @@ fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
-    eprintln!("usage: <bin> [--seed N] [--json PATH] [--quick]");
+    eprintln!("usage: <bin> [--seed N] [--json PATH] [--quick] [--telemetry DIR|none]");
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }
 
@@ -109,6 +122,7 @@ pub fn emit<T: serde::Serialize>(args: &CliArgs, rendered: &str, result: &T) {
 /// never drift from what `dummyloc experiments run <name>` does.
 pub fn run_named(name: &str) {
     let args = parse_args();
+    let started = Instant::now();
     let report = run_named_with(name, &args);
     println!("{}", report.rendered);
     if let Some(path) = &args.json {
@@ -116,6 +130,35 @@ pub fn run_named(name: &str) {
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
     }
+    if let Some(dir) = &args.telemetry {
+        match write_bench_manifest(name, &args, dir, started) {
+            Ok(paths) => eprintln!("wrote {}", paths.manifest.display()),
+            // A bench result must not be discarded over an unwritable
+            // manifest directory (e.g. a read-only checkout).
+            Err(e) => eprintln!("warning: telemetry manifest not written: {e}"),
+        }
+    }
+}
+
+/// Captures and writes the manifest of one named-experiment run into
+/// `dir/<name>.manifest.json`.
+fn write_bench_manifest(
+    name: &str,
+    args: &CliArgs,
+    dir: &std::path::Path,
+    started: Instant,
+) -> std::io::Result<dummyloc_telemetry::RunPaths> {
+    let t = Telemetry::new(16);
+    t.registry.counter("bench.runs").inc();
+    let manifest = RunManifest::capture(
+        &format!("bench-{name}"),
+        args.seed,
+        &(name, args.quick),
+        &t.registry,
+        1,
+        started.elapsed(),
+    );
+    t.write_run(dir, name, &manifest)
 }
 
 /// Testable core of [`run_named`]: resolves and runs, returning the report.
@@ -144,13 +187,28 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let a = parse_from(
-            ["--seed", "7", "--json", "/tmp/x.json", "--quick"]
-                .into_iter()
-                .map(String::from),
+            [
+                "--seed",
+                "7",
+                "--json",
+                "/tmp/x.json",
+                "--quick",
+                "--telemetry",
+                "/tmp/t",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert_eq!(a.seed, 7);
         assert_eq!(a.json, Some(PathBuf::from("/tmp/x.json")));
         assert!(a.quick);
+        assert_eq!(a.telemetry, Some(PathBuf::from("/tmp/t")));
+    }
+
+    #[test]
+    fn telemetry_none_disables_the_manifest() {
+        let a = parse_from(["--telemetry", "none"].into_iter().map(String::from));
+        assert_eq!(a.telemetry, None);
     }
 
     #[test]

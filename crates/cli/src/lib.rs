@@ -12,7 +12,12 @@
 //!                    [--deadline-ms MS] [--fault-drop P] [--fault-delay P] ...
 //! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1 \
 //!                    [--retries N] [--deadline-ms MS]
+//! dummyloc metrics   127.0.0.1:7878 [--json]
 //! ```
+//!
+//! The global `--telemetry <dir>` flag (usable with simulate, experiment,
+//! loadgen and timed serve) writes a run manifest + event stream into the
+//! directory.
 //!
 //! The library half holds all the logic so it is testable; `main.rs` is a
 //! two-line wrapper.
@@ -23,10 +28,13 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
 use dummyloc_sim::viz::{ascii_heatmap, user_color, SvgScene};
 use dummyloc_sim::workload;
+use dummyloc_telemetry::{render_text, RunManifest, Telemetry};
 use dummyloc_trajectory::{io as tio, Dataset};
 
 /// CLI errors: either a usage problem (exit code 2) or a runtime failure
@@ -70,6 +78,14 @@ commands:
                seeded --fault-* injection knobs)
   loadgen      drive a running server with concurrent simulated users
                (retries with backoff: --retries, --retry-base-ms, ...)
+  metrics      scrape a running server's telemetry registry
+               (`metrics <addr> [--json]`)
+
+global flags:
+  --telemetry <dir>   write a run manifest (seed, config digest, git rev,
+                      throughput, metric snapshot) plus a JSONL event
+                      stream into <dir>; applies to simulate, experiment,
+                      loadgen and timed serve runs
 
 run `dummyloc <command> --help` for the command's flags";
 
@@ -137,17 +153,21 @@ impl Flags {
 /// Executes a full command line (without the program name); returns the
 /// text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    // The global --telemetry flag is stripped before dispatch so every
+    // command's own flag parsing stays oblivious to it.
+    let (args, telemetry) = extract_telemetry(args)?;
+    let telemetry = telemetry.as_deref();
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::Usage("no command given".into()));
     };
     match command.as_str() {
         "workload" => cmd_workload(&Flags::parse(rest)?),
-        "simulate" => cmd_simulate(&Flags::parse(rest)?),
+        "simulate" => cmd_simulate(&Flags::parse(rest)?, telemetry),
         "experiment" => {
             let Some((name, rest)) = rest.split_first() else {
                 return Err(CliError::Usage("experiment needs a name".into()));
             };
-            cmd_experiment(name, &Flags::parse(rest)?)
+            cmd_experiment(name, &Flags::parse(rest)?, telemetry)
         }
         "experiments" => {
             let Some((sub, rest)) = rest.split_first() else {
@@ -161,7 +181,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     let Some((name, rest)) = rest.split_first() else {
                         return Err(CliError::Usage("experiments run needs a name".into()));
                     };
-                    cmd_experiment(name, &Flags::parse(rest)?)
+                    cmd_experiment(name, &Flags::parse(rest)?, telemetry)
                 }
                 other => Err(CliError::Usage(format!(
                     "unknown experiments subcommand '{other}' (list | run)"
@@ -169,11 +189,39 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
         }
         "render" => cmd_render(&Flags::parse(rest)?),
-        "serve" => cmd_serve(&Flags::parse(rest)?),
-        "loadgen" => cmd_loadgen(&Flags::parse(rest)?),
+        "serve" => cmd_serve(&Flags::parse(rest)?, telemetry),
+        "loadgen" => cmd_loadgen(&Flags::parse(rest)?, telemetry),
+        "metrics" => {
+            let Some((addr, rest)) = rest.split_first() else {
+                return Err(CliError::Usage(
+                    "metrics needs a server address (host:port)".into(),
+                ));
+            };
+            cmd_metrics(addr, &Flags::parse(rest)?)
+        }
         "--help" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
+}
+
+/// Splits the global `--telemetry <dir>` flag out of the argument list.
+fn extract_telemetry(args: &[String]) -> Result<(Vec<String>, Option<PathBuf>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--telemetry" {
+            let Some(value) = args.get(i + 1).filter(|v| !v.starts_with("--")) else {
+                return Err(CliError::Usage("--telemetry needs a directory path".into()));
+            };
+            dir = Some(PathBuf::from(value));
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((rest, dir))
 }
 
 fn cmd_workload(flags: &Flags) -> Result<String, CliError> {
@@ -202,7 +250,7 @@ fn cmd_workload(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
-fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
+fn cmd_simulate(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
     let fleet = load_workload(flags)?;
     let seed: u64 = flags.num("seed", 42)?;
     let generator = parse_generator(flags)?;
@@ -214,8 +262,28 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         quantize: flags.has("quantize"),
         ..SimConfig::nara_default(seed)
     };
-    let sim = Simulation::new(config).map_err(runtime)?;
+    let bundle = telemetry.map(|dir| (dir, Telemetry::new(4096)));
+    let mut sim = Simulation::new(config).map_err(runtime)?;
+    if let Some((_, t)) = &bundle {
+        sim = sim.with_telemetry(Arc::clone(&t.registry));
+    }
+    let started = Instant::now();
     let outcome = sim.run(&fleet).map_err(runtime)?;
+    let telemetry_note = match &bundle {
+        None => None,
+        Some((dir, t)) => {
+            let manifest = RunManifest::capture(
+                "simulate",
+                seed,
+                &config,
+                &t.registry,
+                outcome.rounds as u64,
+                started.elapsed(),
+            );
+            let paths = t.write_run(dir, "simulate", &manifest).map_err(runtime)?;
+            Some(format!("wrote telemetry to {}", paths.manifest.display()))
+        }
+    };
     let (p0, p12, p35, p6) = outcome.shift_buckets.percentages();
     let mut out = String::new();
     let _ = writeln!(out, "rounds:        {}", outcome.rounds);
@@ -251,10 +319,13 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
         .map_err(runtime)?;
         let _ = writeln!(out, "wrote {path}");
     }
+    if let Some(note) = telemetry_note {
+        let _ = writeln!(out, "{note}");
+    }
     Ok(out)
 }
 
-fn cmd_experiment(name: &str, flags: &Flags) -> Result<String, CliError> {
+fn cmd_experiment(name: &str, flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
     let registry = dummyloc_ext::experiments::registry_with_extensions();
     let Some(experiment) = registry.get(name) else {
         return Err(CliError::Usage(format!(
@@ -263,16 +334,34 @@ fn cmd_experiment(name: &str, flags: &Flags) -> Result<String, CliError> {
         )));
     };
     let seed: u64 = flags.num("seed", 42)?;
-    let fleet = if flags.has("quick") {
+    let quick = flags.has("quick");
+    let fleet = if quick {
         workload::nara_fleet_sized(16, 600.0, seed)
     } else {
         workload::nara_fleet(seed)
     };
+    let started = Instant::now();
     let report = experiment.run(seed, &fleet).map_err(runtime)?;
     let mut out = report.rendered;
     if let Some(path) = flags.values.get("json") {
         std::fs::write(path, &report.json).map_err(runtime)?;
         let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(dir) = telemetry {
+        let t = Telemetry::new(16);
+        t.registry.counter("experiment.runs").inc();
+        let manifest = RunManifest::capture(
+            &format!("experiment-{name}"),
+            seed,
+            &(name, quick),
+            &t.registry,
+            1,
+            started.elapsed(),
+        );
+        let paths = t
+            .write_run(dir, &format!("experiment-{name}"), &manifest)
+            .map_err(runtime)?;
+        let _ = writeln!(out, "wrote telemetry to {}", paths.manifest.display());
     }
     Ok(out)
 }
@@ -314,7 +403,7 @@ fn cmd_render(flags: &Flags) -> Result<String, CliError> {
     Ok(format!("wrote {} tracks to {}", fleet.len(), out.display()))
 }
 
-fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
     use dummyloc_server::server::spawn;
     use dummyloc_server::{FaultPlan, ServeOptions};
     // The service area matches the loadgen's (and the experiments') Nara
@@ -367,7 +456,19 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
             let secs: f64 = v
                 .parse()
                 .map_err(|_| CliError::Usage(format!("flag --duration got invalid value '{v}'")))?;
+            let started = Instant::now();
             std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+            if let Some(dir) = telemetry {
+                let manifest = RunManifest::capture(
+                    "serve",
+                    flags.num("fault-seed", 1)?,
+                    &handle.addr().to_string(),
+                    handle.registry(),
+                    handle.stats().requests,
+                    started.elapsed(),
+                );
+                dummyloc_telemetry::write_run(dir, "serve", &manifest, &[]).map_err(runtime)?;
+            }
             let report = handle.shutdown();
             serde_json::to_string_pretty(&report.stats).map_err(runtime)
         }
@@ -378,7 +479,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     }
 }
 
-fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
+fn cmd_loadgen(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
     use dummyloc_server::loadgen::{self, GeneratorChoice};
     use dummyloc_server::{LoadgenOptions, RetryPolicy};
     let generator = match flags.get("generator", "mn").as_str() {
@@ -415,12 +516,39 @@ fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
         .deadline_ms(deadline_ms)
         .build()
         .map_err(|e| CliError::Usage(e.to_string()))?;
-    let report = loadgen::run(&config).map_err(runtime)?;
+    let bundle = telemetry.map(|dir| (dir, Telemetry::new(4096)));
+    let started = Instant::now();
+    let report =
+        loadgen::run_instrumented(&config, bundle.as_ref().map(|(_, t)| t)).map_err(runtime)?;
+    if let Some((dir, t)) = &bundle {
+        let manifest = RunManifest::capture(
+            "loadgen",
+            config.seed,
+            &config,
+            &t.registry,
+            report.answered,
+            started.elapsed(),
+        );
+        t.write_run(dir, "loadgen", &manifest).map_err(runtime)?;
+    }
     let json = serde_json::to_string_pretty(&report).map_err(runtime)?;
     if let Some(path) = flags.values.get("json") {
         std::fs::write(path, &json).map_err(runtime)?;
     }
     Ok(json)
+}
+
+fn cmd_metrics(addr: &str, flags: &Flags) -> Result<String, CliError> {
+    let timeout = std::time::Duration::from_millis(flags.num("timeout-ms", 2_000)?);
+    let mut client = dummyloc_server::ServiceClient::connect_with_timeout(addr, Some(timeout))
+        .map_err(runtime)?;
+    let snapshot = client.metrics().map_err(runtime)?;
+    let _ = client.bye();
+    if flags.has("json") {
+        serde_json::to_string_pretty(&snapshot).map_err(runtime)
+    } else {
+        Ok(render_text(&snapshot))
+    }
 }
 
 /// Optional duration flag in milliseconds; absent or 0 means "off".
@@ -709,6 +837,88 @@ mod tests {
             run(&args("experiments run")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn metrics_scrapes_a_live_server_and_telemetry_writes_a_manifest() {
+        let area = dummyloc_geo::BBox::new(
+            dummyloc_geo::Point::new(0.0, 0.0),
+            dummyloc_geo::Point::new(2000.0, 2000.0),
+        )
+        .unwrap();
+        let handle = dummyloc_server::spawn(
+            dummyloc_server::ServerConfig::default(),
+            dummyloc_lbs::PoiDatabase::generate(area, 80, 42),
+        )
+        .unwrap();
+        let dir = tmp("telemetry-run");
+        let out = run(&args(&format!(
+            "loadgen --addr {} --users 2 --rounds 3 --seed 9 --telemetry {}",
+            handle.addr(),
+            dir.display()
+        )))
+        .unwrap();
+        let report: dummyloc_server::LoadgenReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.answered, 6);
+        // The manifest landed next to the event stream and carries the
+        // loadgen counters.
+        let manifest: dummyloc_telemetry::RunManifest = serde_json::from_str(
+            &std::fs::read_to_string(dir.join("loadgen.manifest.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(manifest.tool, "loadgen");
+        assert_eq!(manifest.seed, 9);
+        assert_eq!(manifest.metrics.counter("loadgen.answered"), Some(6));
+        assert_eq!(
+            manifest
+                .metrics
+                .histogram("loadgen.latency_us")
+                .unwrap()
+                .count,
+            6
+        );
+        let events = std::fs::read_to_string(dir.join("loadgen.events.jsonl")).unwrap();
+        assert_eq!(events.matches("user.done").count(), 2);
+        // The metrics command scrapes non-zero server counters live.
+        let text = run(&args(&format!("metrics {}", handle.addr()))).unwrap();
+        assert!(text.contains("server.requests"), "{text}");
+        let json = run(&args(&format!("metrics {} --json", handle.addr()))).unwrap();
+        let snap: dummyloc_telemetry::RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap.counter("server.requests"), Some(6));
+        assert!(snap.histogram("server.latency.next_bus").unwrap().count > 0);
+        handle.shutdown();
+        assert!(matches!(run(&args("metrics")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args("loadgen --telemetry")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_with_telemetry_writes_phase_timings() {
+        let dir = tmp("telemetry-sim");
+        let out = run(&args(&format!(
+            "simulate --count 4 --duration 120 --telemetry {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote telemetry"), "{out}");
+        let manifest: dummyloc_telemetry::RunManifest = serde_json::from_str(
+            &std::fs::read_to_string(dir.join("simulate.manifest.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(manifest.tool, "simulate");
+        let rounds = manifest.metrics.counter("sim.rounds").unwrap();
+        assert!(rounds > 0);
+        assert_eq!(
+            manifest
+                .metrics
+                .histogram("sim.phase.dummy_gen_us")
+                .unwrap()
+                .count,
+            rounds
+        );
+        assert_eq!(manifest.throughput.events, rounds);
     }
 
     #[test]

@@ -11,10 +11,11 @@
 
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dummyloc_core::client::Request;
 use dummyloc_lbs::query::{QueryKind, ServiceResponse};
+use dummyloc_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, ServerError};
@@ -189,6 +190,23 @@ impl ServiceClient {
         }
     }
 
+    /// Fetches the server's full telemetry registry snapshot (the
+    /// protocol-v3 `Metrics` exchange).
+    pub fn metrics(&mut self) -> Result<RegistrySnapshot> {
+        write_frame(&mut self.writer, &ClientFrame::Metrics)?;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Metrics { snapshot } => return Ok(snapshot),
+                ServerFrame::Error { kind, message, .. } => {
+                    return Err(ServerError::Protocol {
+                        message: format!("{kind:?}: {message}"),
+                    });
+                }
+                _ => continue,
+            }
+        }
+    }
+
     /// Says goodbye and closes the connection.
     pub fn bye(mut self) -> Result<()> {
         write_frame(&mut self.writer, &ClientFrame::Bye)?;
@@ -263,6 +281,10 @@ impl RetryPolicy {
     }
 }
 
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 /// Tallies of what a [`RetryingClient`] had to do to get its answers.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RetryStats {
@@ -276,6 +298,11 @@ pub struct RetryStats {
     pub deadline_misses: u64,
     /// `Busy` bounces absorbed while connecting.
     pub busy: u64,
+    /// Wall-clock microseconds the retry loop spent on fault tolerance:
+    /// backoff sleeps plus failed attempts, summed over all queries. The
+    /// winning attempt's own latency is *not* included, so this is the
+    /// pure overhead the retry machinery added on top of a fault-free run.
+    pub overhead_us: u64,
 }
 
 /// A [`ServiceClient`] wrapped in the retry loop. Ids are allocated once
@@ -341,12 +368,14 @@ impl RetryingClient {
         let id = self.next_id;
         self.next_id += 1;
         let mut last = String::new();
+        let started = Instant::now();
         for attempt in 1..=self.policy.max_attempts {
             if attempt > 1 {
                 self.stats.retries += 1;
                 let unit = self.unit();
                 std::thread::sleep(self.policy.backoff(attempt, unit));
             }
+            let attempt_started = Instant::now();
             let conn = match self.connection() {
                 Ok(c) => c,
                 Err(e) => {
@@ -358,7 +387,12 @@ impl RetryingClient {
                 }
             };
             match conn.query_with_id(id, t, deadline_ms, request, query) {
-                Ok(QueryOutcome::Answered(response)) => return Ok(response),
+                Ok(QueryOutcome::Answered(response)) => {
+                    // Everything before the winning attempt began —
+                    // backoff sleeps and failed attempts — is overhead.
+                    self.stats.overhead_us += duration_us(attempt_started - started);
+                    return Ok(response);
+                }
                 Ok(QueryOutcome::Overloaded) => {
                     // The server is healthy, just full: back off on the
                     // same connection.
@@ -378,6 +412,8 @@ impl RetryingClient {
                 }
             }
         }
+        // Exhausted: the whole episode bought nothing, all of it overhead.
+        self.stats.overhead_us += duration_us(started.elapsed());
         Err(ServerError::RetriesExhausted {
             attempts: self.policy.max_attempts,
             last,
@@ -413,6 +449,38 @@ mod tests {
         assert_eq!(p.backoff(5, 0.0), Duration::from_millis(45)); // capped
                                                                   // Full jitter sample halves the delay; never increases it.
         assert_eq!(p.backoff(2, 0.999), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn exhausted_retries_count_backoff_as_overhead() {
+        // Bind a port, then drop the listener: connections are refused
+        // fast, so overhead is dominated by the deterministic backoffs
+        // (jitter 0 ⇒ 8 ms + 16 ms).
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 8,
+            max_delay_ms: 100,
+            attempt_timeout_ms: 200,
+            jitter: 0.0,
+        };
+        let mut client = RetryingClient::new(addr.to_string(), policy, 7).unwrap();
+        let request = Request {
+            pseudonym: "p".into(),
+            positions: vec![dummyloc_geo::Point::new(0.0, 0.0)],
+        };
+        let err = client.query(0.0, None, &request, &QueryKind::NextBus);
+        assert!(err.is_err());
+        let stats = client.finish();
+        assert_eq!(stats.retries, 2);
+        assert!(
+            stats.overhead_us >= 24_000,
+            "two backoffs of 8+16 ms must show up, got {} µs",
+            stats.overhead_us
+        );
     }
 
     #[test]

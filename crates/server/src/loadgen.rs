@@ -20,6 +20,7 @@ use dummyloc_core::generator::{
 use dummyloc_geo::rng::{derive_seed, rng_from_seed};
 use dummyloc_lbs::query::QueryKind;
 use dummyloc_mobility::{RickshawConfig, RickshawModel};
+use dummyloc_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::client::{RetryPolicy, RetryStats, RetryingClient, ServiceClient};
@@ -131,6 +132,9 @@ pub struct LatencySummary {
     pub p90_us: u64,
     /// 99th percentile.
     pub p99_us: u64,
+    /// 99.9th percentile — the tail that distinguishes a run with a few
+    /// slow retries from a uniformly slow one.
+    pub p999_us: u64,
     /// Worst observed.
     pub max_us: u64,
     /// Arithmetic mean.
@@ -160,6 +164,9 @@ pub struct LoadgenReport {
     pub busy_bounces: u64,
     /// Users whose session died on an error (retries exhausted).
     pub user_errors: u64,
+    /// Total wall-clock microseconds the retry machinery added on top of
+    /// a fault-free run (backoff sleeps + failed attempts, all users).
+    pub retry_overhead_us: u64,
     /// Wall-clock duration of the run in seconds.
     pub elapsed_secs: f64,
     /// Answered queries per wall-clock second.
@@ -274,6 +281,16 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// timing: the request streams and answer digests depend only on
 /// `config.seed` (and the server's POI database).
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
+    run_instrumented(config, None)
+}
+
+/// [`run`] with an optional telemetry bundle: counters and latency land in
+/// `telemetry.registry` under `loadgen.*`, one `user.done` event per
+/// finished user lands in `telemetry.recorder`.
+pub fn run_instrumented(
+    config: &LoadgenConfig,
+    telemetry: Option<&Telemetry>,
+) -> Result<LoadgenReport> {
     config.validate()?;
     // The fleet is generated from the master seed alone, so track shapes —
     // and therefore every true position — reproduce across runs.
@@ -307,7 +324,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
     let mut user_errors = 0;
     let mut digests = Vec::with_capacity(config.users);
     let mut latencies: Vec<u64> = Vec::new();
-    for r in results {
+    for (user, r) in results.into_iter().enumerate() {
         match r {
             Ok(u) => {
                 sent += u.sent;
@@ -317,6 +334,21 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
                 retry.overloaded += u.retry.overloaded;
                 retry.deadline_misses += u.retry.deadline_misses;
                 retry.busy += u.retry.busy;
+                retry.overhead_us += u.retry.overhead_us;
+                if let Some(t) = telemetry {
+                    let hist = t.registry.histogram_log2("loadgen.latency_us");
+                    for &us in &u.latencies_us {
+                        hist.record(us);
+                    }
+                    t.recorder.record(
+                        "user.done",
+                        vec![
+                            ("user".to_string(), user.to_string()),
+                            ("answered".to_string(), u.answered.to_string()),
+                            ("digest".to_string(), format!("{:016x}", u.digest)),
+                        ],
+                    );
+                }
                 latencies.extend(u.latencies_us);
                 if u.error.is_some() {
                     user_errors += 1;
@@ -333,11 +365,24 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
             }
         }
     }
+    if let Some(t) = telemetry {
+        t.registry.counter("loadgen.sent").add(sent);
+        t.registry.counter("loadgen.answered").add(answered);
+        t.registry.counter("loadgen.retries").add(retry.retries);
+        t.registry
+            .counter("loadgen.reconnects")
+            .add(retry.reconnects);
+        t.registry.counter("loadgen.user_errors").add(user_errors);
+        t.registry
+            .counter("loadgen.retry_overhead_us")
+            .add(retry.overhead_us);
+    }
     latencies.sort_unstable();
     let latency = LatencySummary {
         p50_us: percentile(&latencies, 50.0),
         p90_us: percentile(&latencies, 90.0),
         p99_us: percentile(&latencies, 99.0),
+        p999_us: percentile(&latencies, 99.9),
         max_us: latencies.last().copied().unwrap_or(0),
         mean_us: if latencies.is_empty() {
             0.0
@@ -362,6 +407,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
         deadline_misses: retry.deadline_misses,
         busy_bounces: retry.busy,
         user_errors,
+        retry_overhead_us: retry.overhead_us,
         elapsed_secs: elapsed,
         throughput_rps: if elapsed > 0.0 {
             answered as f64 / elapsed
@@ -372,4 +418,22 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport> {
         per_user_digest: digests,
         server_stats,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p999_separates_the_extreme_tail_from_p99() {
+        // 2000 samples: all fast except the slowest three. p99 stays in
+        // the bulk; p999 lands among the stragglers.
+        let mut samples: Vec<u64> = vec![100; 1997];
+        samples.extend([5_000, 6_000, 7_000]);
+        samples.sort_unstable();
+        assert_eq!(percentile(&samples, 99.0), 100);
+        assert_eq!(percentile(&samples, 99.9), 5_000);
+        assert_eq!(percentile(&samples, 100.0), 7_000);
+        assert_eq!(percentile(&[], 99.9), 0);
+    }
 }

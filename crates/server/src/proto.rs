@@ -12,14 +12,16 @@ use std::io::{self, Read, Write};
 
 use dummyloc_core::client::Request;
 use dummyloc_lbs::query::{QueryKind, ServiceResponse};
+use dummyloc_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 
 use crate::stats::StatsSnapshot;
 
 /// Version spoken by this build. Bumped on any incompatible frame change.
 /// Version 2 added per-query deadlines plus the `Deadline` and `Busy`
-/// server frames.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// server frames. Version 3 added the `Metrics` exchange serving the full
+/// telemetry registry snapshot.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Default per-frame size cap (bytes, excluding the newline).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
@@ -54,6 +56,9 @@ pub enum ClientFrame {
     },
     /// Request a counters snapshot.
     Stats,
+    /// Request the full telemetry registry snapshot (every named counter,
+    /// gauge and histogram) — what `dummyloc metrics <addr>` scrapes.
+    Metrics,
     /// Orderly goodbye.
     Bye,
 }
@@ -77,6 +82,11 @@ pub enum ServerFrame {
     Stats {
         /// Counter values at snapshot time.
         snapshot: StatsSnapshot,
+    },
+    /// Reply to [`ClientFrame::Metrics`].
+    Metrics {
+        /// The server's full metric registry at snapshot time.
+        snapshot: RegistrySnapshot,
     },
     /// The bounded work queue was full; the query was *not* processed.
     Overloaded {
@@ -236,6 +246,7 @@ mod tests {
                 query: QueryKind::NextBus,
             },
             ClientFrame::Stats,
+            ClientFrame::Metrics,
             ClientFrame::Bye,
         ];
         let mut wire = Vec::new();

@@ -147,6 +147,12 @@ impl ServerHandle {
         self.stats.snapshot()
     }
 
+    /// The telemetry registry the server's counters live on — the same
+    /// snapshot the protocol's `Metrics` frame serves.
+    pub fn registry(&self) -> &Arc<dummyloc_telemetry::MetricRegistry> {
+        self.stats.registry()
+    }
+
     /// Merged copy of the observer log as recorded so far.
     pub fn observer_log(&self) -> ObserverLog {
         self.log.merged()
@@ -426,6 +432,11 @@ fn connection_loop(
                 Ok(ClientFrame::Stats) => {
                     let _ = reply_tx.send(ServerFrame::Stats {
                         snapshot: stats.snapshot(),
+                    });
+                }
+                Ok(ClientFrame::Metrics) => {
+                    let _ = reply_tx.send(ServerFrame::Metrics {
+                        snapshot: stats.registry().snapshot(),
                     });
                 }
                 Ok(ClientFrame::Bye) => break,

@@ -1,9 +1,16 @@
-//! Lock-free server counters and the snapshot served over the protocol.
+//! Server counters and the snapshot served over the protocol.
+//!
+//! All tallies live in a shared [`MetricRegistry`] (DESIGN.md S14) so the
+//! server exposes one coherent metric namespace: the legacy `Stats` frame
+//! keeps its exact wire shape, while the `Metrics` frame serves the full
+//! registry snapshot. `ServerStats` pre-registers every handle at
+//! construction, so the record path is the registry's lock-free one.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use dummyloc_lbs::query::QueryKind;
+use dummyloc_telemetry::{Counter, Histogram, HistogramSnapshot, MetricRegistry};
 use serde::{Deserialize, Serialize};
 
 /// Histogram bucket upper bounds in microseconds; one implicit overflow
@@ -12,7 +19,6 @@ pub const LATENCY_BUCKETS_US: [u64; 10] = [
     50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 50_000, 100_000,
 ];
 
-const BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
 const KINDS: usize = 3;
 
 const KIND_LABELS: [&str; KINDS] = ["nearest_poi", "pois_in_range", "next_bus"];
@@ -25,163 +31,186 @@ fn kind_index(query: &QueryKind) -> usize {
     }
 }
 
-/// Counters shared by every worker and connection thread. All plain
-/// relaxed atomics: the numbers are monotone tallies, not synchronization.
-#[derive(Debug, Default)]
+/// Counters shared by every worker and connection thread, backed by the
+/// workspace metric registry. Recording touches only relaxed atomics
+/// through pre-registered handles.
+#[derive(Debug)]
 pub struct ServerStats {
-    requests: AtomicU64,
-    positions: AtomicU64,
-    rejects: AtomicU64,
-    protocol_errors: AtomicU64,
-    connections: AtomicU64,
-    deadline_expired_queued: AtomicU64,
-    deadline_expired_inflight: AtomicU64,
-    busy_rejects: AtomicU64,
-    idle_reaped: AtomicU64,
-    dedup_hits: AtomicU64,
-    faults_dropped: AtomicU64,
-    faults_delayed: AtomicU64,
-    faults_truncated: AtomicU64,
-    faults_corrupted: AtomicU64,
-    faults_stalled: AtomicU64,
-    faults_refused_accepts: AtomicU64,
-    latency: Latency,
+    registry: Arc<MetricRegistry>,
+    requests: Arc<Counter>,
+    positions: Arc<Counter>,
+    rejects: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    connections: Arc<Counter>,
+    deadline_expired_queued: Arc<Counter>,
+    deadline_expired_inflight: Arc<Counter>,
+    busy_rejects: Arc<Counter>,
+    idle_reaped: Arc<Counter>,
+    dedup_hits: Arc<Counter>,
+    faults_dropped: Arc<Counter>,
+    faults_delayed: Arc<Counter>,
+    faults_truncated: Arc<Counter>,
+    faults_corrupted: Arc<Counter>,
+    faults_stalled: Arc<Counter>,
+    faults_refused_accepts: Arc<Counter>,
+    latency: [Arc<Histogram>; KINDS],
 }
 
-/// Newtype so `ServerStats` can keep deriving `Default` (arrays of atomics
-/// have no `Default` impl of their own).
-#[derive(Debug)]
-struct Latency([[AtomicU64; BUCKETS]; KINDS]);
-
-impl Default for Latency {
+impl Default for ServerStats {
     fn default() -> Self {
-        Latency(std::array::from_fn(|_| {
-            std::array::from_fn(|_| AtomicU64::new(0))
-        }))
+        Self::new()
     }
 }
 
 impl ServerStats {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters on a private registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::on_registry(Arc::new(MetricRegistry::new()))
+    }
+
+    /// Counters registered on `registry` under the `server.*` namespace,
+    /// so the server's numbers appear in a shared run snapshot.
+    pub fn on_registry(registry: Arc<MetricRegistry>) -> Self {
+        let c = |name: &str| registry.counter(name);
+        let latency = std::array::from_fn(|k| {
+            registry.histogram(
+                &format!("server.latency.{}", KIND_LABELS[k]),
+                &LATENCY_BUCKETS_US,
+            )
+        });
+        ServerStats {
+            requests: c("server.requests"),
+            positions: c("server.positions"),
+            rejects: c("server.rejects"),
+            protocol_errors: c("server.protocol_errors"),
+            connections: c("server.connections"),
+            deadline_expired_queued: c("server.deadline_expired_queued"),
+            deadline_expired_inflight: c("server.deadline_expired_inflight"),
+            busy_rejects: c("server.busy_rejects"),
+            idle_reaped: c("server.idle_reaped"),
+            dedup_hits: c("server.dedup_hits"),
+            faults_dropped: c("server.faults.dropped"),
+            faults_delayed: c("server.faults.delayed"),
+            faults_truncated: c("server.faults.truncated"),
+            faults_corrupted: c("server.faults.corrupted"),
+            faults_stalled: c("server.faults.stalled"),
+            faults_refused_accepts: c("server.faults.refused_accepts"),
+            latency,
+            registry,
+        }
+    }
+
+    /// The registry the counters live on — the payload source of the
+    /// protocol's `Metrics` frame.
+    pub fn registry(&self) -> &Arc<MetricRegistry> {
+        &self.registry
     }
 
     /// One answered query: `positions` answers produced after `latency`
     /// in queue + service.
     pub fn record_answer(&self, query: &QueryKind, positions: usize, latency: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.positions
-            .fetch_add(positions as u64, Ordering::Relaxed);
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&ub| us <= ub)
-            .unwrap_or(BUCKETS - 1);
-        self.latency.0[kind_index(query)][bucket].fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.positions.add(positions as u64);
+        self.latency[kind_index(query)].record_duration(latency);
     }
 
     /// One query bounced off the full work queue.
     pub fn record_reject(&self) {
-        self.rejects.fetch_add(1, Ordering::Relaxed);
+        self.rejects.inc();
     }
 
     /// One malformed / oversized / out-of-protocol frame.
     pub fn record_protocol_error(&self) {
-        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.protocol_errors.inc();
     }
 
     /// One accepted connection.
     pub fn record_connection(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.connections.inc();
     }
 
     /// One queued job cancelled because its deadline expired before a
     /// worker picked it up.
     pub fn record_deadline_queued(&self) {
-        self.deadline_expired_queued.fetch_add(1, Ordering::Relaxed);
+        self.deadline_expired_queued.inc();
     }
 
     /// One job whose deadline expired while a worker was computing it.
     pub fn record_deadline_inflight(&self) {
-        self.deadline_expired_inflight
-            .fetch_add(1, Ordering::Relaxed);
+        self.deadline_expired_inflight.inc();
     }
 
     /// One connection bounced off the accept gate with `Busy`.
     pub fn record_busy(&self) {
-        self.busy_rejects.fetch_add(1, Ordering::Relaxed);
+        self.busy_rejects.inc();
     }
 
     /// One idle connection reaped.
     pub fn record_idle_reap(&self) {
-        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        self.idle_reaped.inc();
     }
 
     /// One retried query whose duplicate report the observer log skipped.
     pub fn record_dedup_hit(&self) {
-        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        self.dedup_hits.inc();
     }
 
     /// One reply frame dropped by fault injection.
     pub fn record_fault_dropped(&self) {
-        self.faults_dropped.fetch_add(1, Ordering::Relaxed);
+        self.faults_dropped.inc();
     }
 
     /// One reply frame delayed by fault injection.
     pub fn record_fault_delayed(&self) {
-        self.faults_delayed.fetch_add(1, Ordering::Relaxed);
+        self.faults_delayed.inc();
     }
 
     /// One reply frame truncated by fault injection.
     pub fn record_fault_truncated(&self) {
-        self.faults_truncated.fetch_add(1, Ordering::Relaxed);
+        self.faults_truncated.inc();
     }
 
     /// One reply frame corrupted by fault injection.
     pub fn record_fault_corrupted(&self) {
-        self.faults_corrupted.fetch_add(1, Ordering::Relaxed);
+        self.faults_corrupted.inc();
     }
 
     /// One connection stalled by fault injection.
     pub fn record_fault_stalled(&self) {
-        self.faults_stalled.fetch_add(1, Ordering::Relaxed);
+        self.faults_stalled.inc();
     }
 
     /// One accepted connection refused by fault injection.
     pub fn record_fault_refused(&self) {
-        self.faults_refused_accepts.fetch_add(1, Ordering::Relaxed);
+        self.faults_refused_accepts.inc();
     }
 
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            positions: self.positions.load(Ordering::Relaxed),
-            rejects: self.rejects.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
-            deadline_expired_queued: self.deadline_expired_queued.load(Ordering::Relaxed),
-            deadline_expired_inflight: self.deadline_expired_inflight.load(Ordering::Relaxed),
-            busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
-            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
-            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            positions: self.positions.get(),
+            rejects: self.rejects.get(),
+            protocol_errors: self.protocol_errors.get(),
+            connections: self.connections.get(),
+            deadline_expired_queued: self.deadline_expired_queued.get(),
+            deadline_expired_inflight: self.deadline_expired_inflight.get(),
+            busy_rejects: self.busy_rejects.get(),
+            idle_reaped: self.idle_reaped.get(),
+            dedup_hits: self.dedup_hits.get(),
             faults: FaultCounters {
-                dropped: self.faults_dropped.load(Ordering::Relaxed),
-                delayed: self.faults_delayed.load(Ordering::Relaxed),
-                truncated: self.faults_truncated.load(Ordering::Relaxed),
-                corrupted: self.faults_corrupted.load(Ordering::Relaxed),
-                stalled: self.faults_stalled.load(Ordering::Relaxed),
-                refused_accepts: self.faults_refused_accepts.load(Ordering::Relaxed),
+                dropped: self.faults_dropped.get(),
+                delayed: self.faults_delayed.get(),
+                truncated: self.faults_truncated.get(),
+                corrupted: self.faults_corrupted.get(),
+                stalled: self.faults_stalled.get(),
+                refused_accepts: self.faults_refused_accepts.get(),
             },
             latency: (0..KINDS)
                 .map(|k| KindHistogram {
                     kind: KIND_LABELS[k].to_string(),
                     bucket_upper_us: LATENCY_BUCKETS_US.to_vec(),
-                    counts: self.latency.0[k]
-                        .iter()
-                        .map(|c| c.load(Ordering::Relaxed))
-                        .collect(),
+                    counts: self.latency[k].snapshot().counts,
                 })
                 .collect(),
         }
@@ -247,6 +276,15 @@ pub struct KindHistogram {
     pub bucket_upper_us: Vec<u64>,
     /// Observations per bucket (last entry = over the largest bound).
     pub counts: Vec<u64>,
+}
+
+impl KindHistogram {
+    /// Upper-bound percentile estimate in microseconds (the last bound for
+    /// observations in the overflow bucket; 0 when empty).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        HistogramSnapshot::from_parts(self.bucket_upper_us.clone(), self.counts.clone())
+            .percentile(p)
+    }
 }
 
 impl StatsSnapshot {
@@ -319,5 +357,38 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn stats_share_the_registry_namespace() {
+        let s = ServerStats::new();
+        s.record_answer(&QueryKind::NextBus, 4, Duration::from_micros(30));
+        s.record_busy();
+        let reg = s.registry().snapshot();
+        assert_eq!(reg.counter("server.requests"), Some(1));
+        assert_eq!(reg.counter("server.positions"), Some(4));
+        assert_eq!(reg.counter("server.busy_rejects"), Some(1));
+        assert_eq!(reg.counter("server.faults.dropped"), Some(0));
+        let lat = reg.histogram("server.latency.next_bus").unwrap();
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.bounds, LATENCY_BUCKETS_US.to_vec());
+    }
+
+    #[test]
+    fn kind_histogram_percentiles_match_bucket_bounds() {
+        let s = ServerStats::new();
+        for _ in 0..98 {
+            s.record_answer(&QueryKind::NextBus, 1, Duration::from_micros(40));
+        }
+        s.record_answer(&QueryKind::NextBus, 1, Duration::from_micros(900));
+        s.record_answer(&QueryKind::NextBus, 1, Duration::from_micros(30_000));
+        let snap = s.snapshot();
+        let bus = &snap.latency[2];
+        assert_eq!(bus.percentile_us(50.0), 50); // 40 µs → ≤ 50 µs bucket
+        assert_eq!(bus.percentile_us(99.0), 1_000); // 900 µs → ≤ 1 ms bucket
+        assert_eq!(bus.percentile_us(99.9), 50_000); // 30 ms → ≤ 50 ms bucket
+        assert_eq!(bus.percentile_us(0.0), 50); // rank clamps to the first sample
+        let empty = &snap.latency[0];
+        assert_eq!(empty.percentile_us(99.0), 0);
     }
 }

@@ -1,5 +1,8 @@
 //! The discrete-time simulation loop.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use dummyloc_core::adversary::Adversary;
 use dummyloc_core::client::{Client, Request};
 use dummyloc_core::generator::{
@@ -13,6 +16,7 @@ use dummyloc_geo::{BBox, Grid, Point};
 use dummyloc_lbs::provider::Provider;
 use dummyloc_lbs::query::QueryKind;
 use dummyloc_lbs::PoiDatabase;
+use dummyloc_telemetry::MetricRegistry;
 use dummyloc_trajectory::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -173,6 +177,7 @@ impl SimOutcome {
 pub struct Simulation {
     config: SimConfig,
     grid: Grid,
+    telemetry: Option<Arc<MetricRegistry>>,
 }
 
 impl Simulation {
@@ -185,7 +190,19 @@ impl Simulation {
             });
         }
         let grid = Grid::square(config.area, config.grid_size)?;
-        Ok(Simulation { config, grid })
+        Ok(Simulation {
+            config,
+            grid,
+            telemetry: None,
+        })
+    }
+
+    /// Attaches a metric registry: every [`Simulation::run`] then reports
+    /// per-round phase timings (`sim.phase.*` histograms, µs) and the
+    /// `sim.rounds` / `sim.requests` counters into it.
+    pub fn with_telemetry(mut self, registry: Arc<MetricRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// The configuration in use.
@@ -231,6 +248,19 @@ impl Simulation {
             .service
             .map(|s| Provider::new(PoiDatabase::generate(cfg.area, s.poi_count, s.poi_seed)));
 
+        // Pre-register phase handles once; recording inside the loop is
+        // then lock-free.
+        let phases = self.telemetry.as_ref().map(|reg| {
+            (
+                reg.histogram_log2("sim.phase.dummy_gen_us"),
+                reg.histogram_log2("sim.phase.region_analysis_us"),
+                reg.histogram_log2("sim.phase.metrics_us"),
+                reg.histogram_log2("sim.phase.service_us"),
+                reg.counter("sim.rounds"),
+                reg.counter("sim.requests"),
+            )
+        });
+
         let rounds = ((end - start) / cfg.tick).floor() as usize + 1;
         let mut f_series = Vec::with_capacity(rounds);
         let mut cv_series = Vec::with_capacity(rounds);
@@ -245,9 +275,13 @@ impl Simulation {
             let t = start + k as f64 * cfg.tick;
             let snapshot = workload.snapshot(t);
             let mut pop = PopulationGrid::empty(&self.grid);
+            let mut d_gen = Duration::ZERO;
+            let mut d_region = Duration::ZERO;
+            let mut d_service = Duration::ZERO;
             for (i, maybe_pos) in snapshot.positions().iter().enumerate() {
                 // Within the common window every track is active.
                 let pos = maybe_pos.expect("common window guarantees activity");
+                let gen_started = Instant::now();
                 let round = if k == 0 {
                     clients[i].begin(&mut rngs[i], pos)?
                 } else {
@@ -266,16 +300,22 @@ impl Simulation {
                         None => clients[i].step(&mut rngs[i], pos, &NoDensity)?,
                     }
                 };
+                d_gen += gen_started.elapsed();
+                let region_started = Instant::now();
                 for &p in &round.request.positions {
                     pop.add(p)?;
                 }
+                d_region += region_started.elapsed();
                 if let Some(provider) = provider.as_mut() {
                     let query = cfg.service.expect("provider implies service config").query;
+                    let service_started = Instant::now();
                     provider.handle(t, &round.request, &query);
+                    d_service += service_started.elapsed();
                 }
                 last_truth[i] = round.truth_index;
                 streams[i].push(round.request);
             }
+            let metrics_started = Instant::now();
             f_series.push(ubiquity_f(&pop));
             cv_series.push(occupied_cv(&pop));
             if let Some(prev) = &prev_pop {
@@ -285,6 +325,16 @@ impl Simulation {
                 shift_regions += s.regions as u64;
             }
             prev_pop = Some(pop);
+            if let Some((h_gen, h_region, h_metrics, h_service, c_rounds, c_requests)) = &phases {
+                h_gen.record_duration(d_gen);
+                h_region.record_duration(d_region);
+                h_metrics.record_duration(metrics_started.elapsed());
+                if provider.is_some() {
+                    h_service.record_duration(d_service);
+                }
+                c_rounds.inc();
+                c_requests.add(users as u64);
+            }
         }
 
         let mean_f = if f_series.is_empty() {
@@ -444,6 +494,36 @@ mod tests {
         assert_eq!(cost.requests, 5 * 6);
         assert_eq!(cost.positions_per_request(), 4.0);
         assert!(cost.uplink_bytes > 0);
+    }
+
+    #[test]
+    fn telemetry_records_phases_and_counters() {
+        let reg = Arc::new(MetricRegistry::new());
+        let cfg = config(GeneratorKind::Mn { m: 100.0 }, 2);
+        let out = Simulation::new(cfg)
+            .unwrap()
+            .with_telemetry(Arc::clone(&reg))
+            .run(&fleet())
+            .unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.rounds"), Some(out.rounds as u64));
+        assert_eq!(snap.counter("sim.requests"), Some(5 * 6));
+        for phase in [
+            "sim.phase.dummy_gen_us",
+            "sim.phase.region_analysis_us",
+            "sim.phase.metrics_us",
+        ] {
+            let h = snap.histogram(phase).unwrap_or_else(|| panic!("{phase}"));
+            assert_eq!(h.count, out.rounds as u64, "{phase}");
+        }
+        // No service attached, so the service phase never recorded.
+        assert_eq!(snap.histogram("sim.phase.service_us").unwrap().count, 0);
+        // Instrumentation must not perturb the simulation itself.
+        let plain = Simulation::new(config(GeneratorKind::Mn { m: 100.0 }, 2))
+            .unwrap()
+            .run(&fleet())
+            .unwrap();
+        assert_eq!(out.f_series, plain.f_series);
     }
 
     #[test]

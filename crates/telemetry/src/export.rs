@@ -1,0 +1,170 @@
+//! Exporters: JSONL event streams, human-readable text dumps, and the
+//! on-disk layout of a run (`<prefix>.manifest.json` + `<prefix>.events.jsonl`).
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::manifest::RunManifest;
+use crate::metrics::RegistrySnapshot;
+use crate::recorder::Event;
+
+/// Writes `events` as JSON Lines: one event object per line.
+pub fn write_events_jsonl<W: Write>(mut w: W, events: &[Event]) -> io::Result<()> {
+    for event in events {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Renders a registry snapshot as an aligned human-readable dump — what
+/// `dummyloc metrics <addr>` prints.
+pub fn render_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    if snap.is_empty() {
+        out.push_str("(no metrics registered)\n");
+        return out;
+    }
+    let width = snap
+        .counters
+        .iter()
+        .map(|c| c.name.len())
+        .chain(snap.gauges.iter().map(|g| g.name.len()))
+        .chain(snap.histograms.iter().map(|h| h.name.len()))
+        .max()
+        .unwrap_or(0);
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for c in &snap.counters {
+            let _ = writeln!(out, "  {:width$}  {}", c.name, c.value);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for g in &snap.gauges {
+            let _ = writeln!(out, "  {:width$}  {}", g.name, g.value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms: {:w$}  {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "",
+            "count",
+            "p50",
+            "p99",
+            "p999",
+            "max",
+            w = width.saturating_sub(10)
+        );
+        for h in &snap.histograms {
+            let s = &h.histogram;
+            let _ = writeln!(
+                out,
+                "  {:width$}  {:>10} {:>10} {:>10} {:>10} {:>10}",
+                h.name,
+                s.count,
+                s.percentile(50.0),
+                s.percentile(99.0),
+                s.percentile(99.9),
+                s.max,
+            );
+        }
+    }
+    out
+}
+
+/// Where [`write_run`] put a run's artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunPaths {
+    /// The manifest JSON.
+    pub manifest: PathBuf,
+    /// The JSONL event stream.
+    pub events: PathBuf,
+}
+
+/// Writes one run's artifacts into `dir` (created if missing):
+/// `<prefix>.manifest.json` (pretty JSON) and `<prefix>.events.jsonl`.
+pub fn write_run(
+    dir: &Path,
+    prefix: &str,
+    manifest: &RunManifest,
+    events: &[Event],
+) -> io::Result<RunPaths> {
+    std::fs::create_dir_all(dir)?;
+    let paths = RunPaths {
+        manifest: dir.join(format!("{prefix}.manifest.json")),
+        events: dir.join(format!("{prefix}.events.jsonl")),
+    };
+    let json = serde_json::to_string_pretty(manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&paths.manifest, json)?;
+    let file = std::fs::File::create(&paths.events)?;
+    write_events_jsonl(io::BufWriter::new(file), events)?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricRegistry;
+    use crate::recorder::Recorder;
+    use std::time::Duration;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dummyloc-telemetry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn jsonl_round_trips_line_per_event() {
+        let r = Recorder::new(4);
+        r.record("a", vec![("k".into(), "v".into())]);
+        r.record("b", Vec::new());
+        let events = r.drain();
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, event) in lines.iter().zip(&events) {
+            let back: Event = serde_json::from_str(line).unwrap();
+            assert_eq!(&back, event);
+        }
+    }
+
+    #[test]
+    fn text_dump_lists_every_metric() {
+        let reg = MetricRegistry::new();
+        reg.counter("server.requests").add(12);
+        reg.gauge("server.active").set(3);
+        reg.histogram_log2("server.latency_us").record(100);
+        let text = render_text(&reg.snapshot());
+        assert!(text.contains("server.requests"), "{text}");
+        assert!(text.contains("12"), "{text}");
+        assert!(text.contains("server.active"), "{text}");
+        assert!(text.contains("server.latency_us"), "{text}");
+        assert!(render_text(&MetricRegistry::new().snapshot()).contains("no metrics"));
+    }
+
+    #[test]
+    fn write_run_lays_out_manifest_and_events() {
+        let reg = MetricRegistry::new();
+        reg.counter("n").inc();
+        let manifest = RunManifest::capture("test", 1, &"cfg", &reg, 1, Duration::from_millis(10));
+        let r = Recorder::new(4);
+        r.record("done", Vec::new());
+        let dir = tmp("run-layout");
+        let paths = write_run(&dir, "demo", &manifest, &r.drain()).unwrap();
+        assert!(paths.manifest.ends_with("demo.manifest.json"));
+        let back: RunManifest =
+            serde_json::from_str(&std::fs::read_to_string(&paths.manifest).unwrap()).unwrap();
+        assert_eq!(back, manifest);
+        let events = std::fs::read_to_string(&paths.events).unwrap();
+        assert_eq!(events.lines().count(), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Observability substrate for the dummyloc workspace (DESIGN.md S14).
+//!
+//! Every long-running part of the stack — the TCP query service, the
+//! simulation engine, the load generator, the bench harnesses — reports
+//! through this one crate so numbers are comparable across runs and
+//! subsystems:
+//!
+//! * [`metrics`] — a [`MetricRegistry`] of named atomic [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s (log₂ scale by default).
+//!   Recording is lock-free; snapshots are taken on demand and serialize
+//!   for the wire protocol's `Metrics` frame.
+//! * [`span`] — RAII [`Span`] timers that report elapsed microseconds
+//!   into a histogram and/or the event stream on drop.
+//! * [`recorder`] — a bounded, non-blocking structured-event ring buffer
+//!   ([`Recorder`]). A full or contended buffer drops-and-counts; it
+//!   never stalls a worker.
+//! * [`manifest`] — the [`RunManifest`] written alongside every
+//!   experiment/loadgen/bench run: seed, config digest, git revision,
+//!   wall time, throughput, full metric snapshot.
+//! * [`export`] — JSONL event streams, human text dumps, and the
+//!   `<prefix>.manifest.json` / `<prefix>.events.jsonl` run layout.
+//!
+//! # Example
+//!
+//! ```
+//! use dummyloc_telemetry::Telemetry;
+//! use std::time::Duration;
+//!
+//! let telemetry = Telemetry::new(1024);
+//! let answered = telemetry.registry.counter("demo.answered");
+//! {
+//!     let _span = telemetry.span("demo.round_us");
+//!     answered.inc();
+//! }
+//! telemetry.recorder.record("round.done", vec![("round".into(), "0".into())]);
+//! let manifest = telemetry.manifest("demo", 42, &"config", Duration::from_millis(5));
+//! assert_eq!(manifest.metrics.counter("demo.answered"), Some(1));
+//! assert_eq!(manifest.metrics.histogram("demo.round_us").unwrap().count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod manifest;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::Serialize;
+
+pub use export::{render_text, write_events_jsonl, write_run, RunPaths};
+pub use manifest::{config_digest, fnv1a, git_rev, RunManifest, Throughput};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricRegistry, RegistrySnapshot};
+pub use recorder::{Event, Recorder};
+pub use span::Span;
+
+/// The standard bundle a run carries around: one registry + one recorder.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Named metrics of the run.
+    pub registry: Arc<MetricRegistry>,
+    /// Structured-event buffer of the run.
+    pub recorder: Arc<Recorder>,
+}
+
+impl Telemetry {
+    /// A fresh bundle whose recorder holds at most `event_capacity`
+    /// undrained events.
+    pub fn new(event_capacity: usize) -> Self {
+        Telemetry {
+            registry: Arc::new(MetricRegistry::new()),
+            recorder: Arc::new(Recorder::new(event_capacity)),
+        }
+    }
+
+    /// An RAII timer recording into the log₂ histogram named `name` on
+    /// drop.
+    pub fn span(&self, name: &str) -> Span {
+        Span::timed(self.registry.histogram_log2(name))
+    }
+
+    /// Builds the run manifest: `events` defaults to everything the
+    /// recorder accepted.
+    pub fn manifest<C: Serialize>(
+        &self,
+        tool: &str,
+        seed: u64,
+        config: &C,
+        wall: Duration,
+    ) -> RunManifest {
+        RunManifest::capture(
+            tool,
+            seed,
+            config,
+            &self.registry,
+            self.recorder.recorded(),
+            wall,
+        )
+    }
+
+    /// Drains the recorder and writes `<prefix>.manifest.json` +
+    /// `<prefix>.events.jsonl` into `dir`.
+    pub fn write_run(
+        &self,
+        dir: &Path,
+        prefix: &str,
+        manifest: &RunManifest,
+    ) -> io::Result<RunPaths> {
+        write_run(dir, prefix, manifest, &self.recorder.drain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_wires_registry_recorder_and_manifest() {
+        let t = Telemetry::new(8);
+        t.registry.counter("x").add(3);
+        t.recorder.record("e", Vec::new());
+        {
+            let _s = t.span("phase_us");
+        }
+        let m = t.manifest("tool", 7, &42u64, Duration::from_millis(1));
+        assert_eq!(m.metrics.counter("x"), Some(3));
+        assert_eq!(m.throughput.events, 1);
+        let dir = std::env::temp_dir().join("dummyloc-telemetry-tests/bundle");
+        let paths = t.write_run(&dir, "t", &m).unwrap();
+        assert!(paths.manifest.exists());
+        assert!(paths.events.exists());
+        assert!(t.recorder.is_empty());
+    }
+}

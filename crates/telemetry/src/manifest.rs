@@ -1,0 +1,213 @@
+//! Run manifests: the machine-readable record written alongside every
+//! experiment, load-generation or bench run.
+//!
+//! A manifest names the tool, the seed, a digest of the exact
+//! configuration, the git revision the binary was built from (when the
+//! run happens inside a checkout), wall time, a throughput summary and a
+//! full [`RegistrySnapshot`]. Two identical seeded runs agree on every
+//! field except the wall-clock-derived ones — [`RunManifest::scrubbed`]
+//! removes exactly those, which is what the determinism tests compare.
+
+use std::path::Path;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{MetricRegistry, RegistrySnapshot};
+
+/// Events-per-second summary of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Work units completed (queries answered, rounds simulated, …).
+    pub events: u64,
+    /// `events` per wall-clock second.
+    pub per_sec: f64,
+}
+
+/// The manifest of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Which tool produced the run (`loadgen`, `simulate`, `bench-fig7`, …).
+    pub tool: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// FNV-1a digest (hex) of the canonical JSON of the run configuration.
+    pub config_digest: String,
+    /// Git revision of the enclosing checkout, when one exists.
+    pub git_rev: Option<String>,
+    /// Wall-clock start in milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_secs: f64,
+    /// Work-unit throughput summary.
+    pub throughput: Throughput,
+    /// Full metric snapshot at the end of the run.
+    pub metrics: RegistrySnapshot,
+}
+
+impl RunManifest {
+    /// Builds a manifest for a finished run: digests `config`, stamps the
+    /// wall clock, resolves the git revision from the current directory,
+    /// and snapshots `registry`.
+    pub fn capture<C: Serialize>(
+        tool: &str,
+        seed: u64,
+        config: &C,
+        registry: &MetricRegistry,
+        events: u64,
+        wall: Duration,
+    ) -> Self {
+        let wall_secs = wall.as_secs_f64();
+        RunManifest {
+            tool: tool.to_string(),
+            seed,
+            config_digest: config_digest(config),
+            git_rev: git_rev(),
+            started_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+                .unwrap_or(0)
+                .saturating_sub(wall.as_millis().min(u128::from(u64::MAX)) as u64),
+            wall_secs,
+            throughput: Throughput {
+                events,
+                per_sec: if wall_secs > 0.0 {
+                    events as f64 / wall_secs
+                } else {
+                    0.0
+                },
+            },
+            metrics: registry.snapshot(),
+        }
+    }
+
+    /// A copy with every wall-clock-derived field removed: start time and
+    /// duration zeroed, throughput rate zeroed (the event *count* is
+    /// kept), histogram timing distributions scrubbed. Two identical
+    /// seeded runs produce equal scrubbed manifests.
+    pub fn scrubbed(&self) -> RunManifest {
+        RunManifest {
+            tool: self.tool.clone(),
+            seed: self.seed,
+            config_digest: self.config_digest.clone(),
+            git_rev: self.git_rev.clone(),
+            started_unix_ms: 0,
+            wall_secs: 0.0,
+            throughput: Throughput {
+                events: self.throughput.events,
+                per_sec: 0.0,
+            },
+            metrics: self.metrics.scrub_timings(),
+        }
+    }
+}
+
+/// FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a digest (hex) of the canonical JSON rendering of `config`.
+/// Serialization failures degrade to a digest of the type name rather
+/// than failing the run — a manifest must never abort the work it
+/// describes.
+pub fn config_digest<C: Serialize>(config: &C) -> String {
+    let bytes =
+        serde_json::to_string(config).unwrap_or_else(|_| std::any::type_name::<C>().to_string());
+    format!("{:016x}", fnv1a(bytes.as_bytes()))
+}
+
+/// The commit hash of the git checkout enclosing the current directory,
+/// resolved without invoking git (reads `.git/HEAD`, following one level
+/// of `ref:` indirection through loose and packed refs). `None` outside a
+/// checkout or on any read failure.
+pub fn git_rev() -> Option<String> {
+    let start = std::env::current_dir().ok()?;
+    git_rev_from(&start)
+}
+
+/// [`git_rev`] starting the upward `.git` search from `start`.
+pub fn git_rev_from(start: &Path) -> Option<String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            let Some(reference) = head.strip_prefix("ref: ") else {
+                // Detached HEAD: the hash is right there.
+                return Some(head.to_string());
+            };
+            let reference = reference.trim();
+            if let Ok(rev) = std::fs::read_to_string(git.join(reference)) {
+                return Some(rev.trim().to_string());
+            }
+            let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+            return packed.lines().find_map(|line| {
+                let (rev, name) = line.split_once(' ')?;
+                (name == reference).then(|| rev.to_string())
+            });
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_config_sensitive() {
+        let a = config_digest(&("fig7", 42u64));
+        let b = config_digest(&("fig7", 42u64));
+        let c = config_digest(&("fig7", 43u64));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn capture_and_scrub() {
+        let reg = MetricRegistry::new();
+        reg.counter("runs").inc();
+        reg.histogram_log2("lat").record(77);
+        let m = RunManifest::capture("test", 9, &"cfg", &reg, 10, Duration::from_secs(2));
+        assert_eq!(m.tool, "test");
+        assert_eq!(m.seed, 9);
+        assert!((m.throughput.per_sec - 5.0).abs() < 1e-9);
+        assert_eq!(m.metrics.counter("runs"), Some(1));
+        let s = m.scrubbed();
+        assert_eq!(s.started_unix_ms, 0);
+        assert_eq!(s.wall_secs, 0.0);
+        assert_eq!(s.throughput.events, 10);
+        assert_eq!(s.throughput.per_sec, 0.0);
+        assert_eq!(s.metrics.histogram("lat").unwrap().sum, 0);
+        assert_eq!(s.metrics.histogram("lat").unwrap().count, 1);
+        // Round-trips through JSON.
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn git_rev_resolves_this_checkout() {
+        // The repo this test runs in is a git checkout, so a revision must
+        // resolve; outside one, None is the contract.
+        if let Some(rev) = git_rev() {
+            assert!(rev.len() >= 7, "unexpected revision {rev:?}");
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn git_rev_outside_checkout_is_none() {
+        assert_eq!(git_rev_from(Path::new("/")), None);
+    }
+}

@@ -1,0 +1,523 @@
+//! Named metrics: lock-free counters, gauges and fixed-bucket histograms
+//! behind one registry.
+//!
+//! The record path (`inc`/`add`/`set`/`record`) touches only relaxed
+//! atomics through pre-registered `Arc` handles — no lock, no allocation,
+//! no syscall — so it is safe to call from server workers and simulation
+//! hot loops. Registration and [`MetricRegistry::snapshot`] take a plain
+//! mutex; both are cold paths (startup and scrape time).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone tally. All operations are relaxed atomics: the value is a
+/// statistic, not a synchronization point.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, active connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrease).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets a [`Histogram::log2`] histogram carries: bounds
+/// 1, 2, 4, … 2²⁹ (in microseconds that spans 1 µs to ~9 minutes) plus
+/// the implicit overflow bucket.
+pub const LOG2_BUCKETS: usize = 30;
+
+/// A fixed-bucket histogram with inclusive upper bounds and one implicit
+/// overflow bucket. Recording is lock-free (one relaxed `fetch_add` per
+/// observation plus sum/max upkeep); the bucket layout is immutable after
+/// construction so snapshots need no coordination.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over explicit inclusive upper `bounds` (must be
+    /// non-empty and strictly increasing — a violated layout is a
+    /// programming error and panics).
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The standard log₂-scale layout: bounds 1, 2, 4, … 2^([`LOG2_BUCKETS`]−1).
+    pub fn log2() -> Self {
+        let bounds: Vec<u64> = (0..LOG2_BUCKETS as u32).map(|i| 1u64 << i).collect();
+        Self::with_bounds(&bounds)
+    }
+
+    /// The inclusive upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&ub| ub < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (the workspace's latency unit).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Point-in-time copy of every bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serialized view of one [`Histogram`]. `counts` has one entry per bound
+/// plus a final overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds.
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (last entry = over the largest bound).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Rebuilds a snapshot from raw bucket data (e.g. a wire-format
+    /// histogram that carries no sum/max); percentile estimates then fall
+    /// back to bucket bounds for the overflow bucket.
+    pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>) -> Self {
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds,
+            counts,
+            count,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Upper-bound percentile estimate: the inclusive bound of the bucket
+    /// containing the `p`-th percentile observation (the recorded maximum
+    /// for the overflow bucket). Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.min(self.count) {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow: the true value exceeds every bound; the
+                    // recorded max is exact, the last bound a floor.
+                    self.max.max(*self.bounds.last().expect("non-empty bounds"))
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of all observations (0 when empty or when the
+    /// snapshot was rebuilt without a sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One named counter value in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One named gauge value in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+/// One named histogram in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedHistogram {
+    /// Metric name.
+    pub name: String,
+    /// Bucket data at snapshot time.
+    pub histogram: HistogramSnapshot,
+}
+
+/// Serialized point-in-time copy of a whole [`MetricRegistry`], sorted by
+/// name so two snapshots of identical state compare equal. This is the
+/// payload of the wire protocol's `Metrics` frame and of [`crate::manifest::RunManifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, name-sorted.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<NamedHistogram>,
+}
+
+impl RegistrySnapshot {
+    /// Value of the named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Value of the named gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.histogram)
+    }
+
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A copy with every wall-clock-dependent quantity removed: histogram
+    /// bucket distributions, sums and maxima are zeroed while observation
+    /// *counts* (which are deterministic for a seeded run) are kept, and
+    /// counters whose name ends in `_us` — accumulated durations by the
+    /// naming convention — are zeroed as well.
+    /// Two identical seeded runs must produce equal scrubbed snapshots.
+    pub fn scrub_timings(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name.clone(),
+                    value: if c.name.ends_with("_us") { 0 } else { c.value },
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| NamedHistogram {
+                    name: h.name.clone(),
+                    histogram: HistogramSnapshot {
+                        bounds: h.histogram.bounds.clone(),
+                        counts: vec![0; h.histogram.counts.len()],
+                        count: h.histogram.count,
+                        sum: 0,
+                        max: 0,
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The registry: named metrics, get-or-register semantics, snapshot on
+/// demand. Cloneable handles ([`Arc<Counter>`] etc.) keep the record path
+/// lock-free; the registry itself is only locked to register or snapshot.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("registry lock")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("registry lock")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name`, registering it with `bounds` on first
+    /// use. A later call with different bounds returns the *existing*
+    /// histogram — the first registration wins.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("registry lock")
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::with_bounds(bounds))),
+        )
+    }
+
+    /// The histogram named `name` with the standard log₂ layout.
+    pub fn histogram_log2(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("registry lock")
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::log2())),
+        )
+    }
+
+    /// Point-in-time copy of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, c)| CounterSnapshot {
+                    name: name.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, g)| GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, h)| NamedHistogram {
+                    name: name.clone(),
+                    histogram: h.snapshot(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricRegistry::new();
+        let c = reg.counter("a.requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Get-or-register returns the same metric.
+        assert_eq!(reg.counter("a.requests").get(), 5);
+        let g = reg.gauge("a.depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.requests"), Some(5));
+        assert_eq!(snap.gauge("a.depth"), Some(4));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_inclusive_upper_bound() {
+        let h = Histogram::with_bounds(&[50, 100, 200]);
+        h.record(50); // bucket 0 (inclusive)
+        h.record(51); // bucket 1
+        h.record(200); // bucket 2
+        h.record(201); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 50 + 51 + 200 + 201);
+        assert_eq!(s.max, 201);
+    }
+
+    #[test]
+    fn log2_histogram_spans_microsecond_latencies() {
+        let h = Histogram::log2();
+        assert_eq!(h.bounds().len(), LOG2_BUCKETS);
+        assert_eq!(h.bounds()[0], 1);
+        h.record_duration(Duration::from_micros(3));
+        let s = h.snapshot();
+        // 3 µs lands in the (2, 4] bucket.
+        assert_eq!(s.counts[2], 1);
+    }
+
+    #[test]
+    fn percentile_estimates_from_buckets() {
+        let h = Histogram::with_bounds(&[10, 100, 1000]);
+        for _ in 0..98 {
+            h.record(5); // ≤ 10
+        }
+        h.record(500); // ≤ 1000
+        h.record(5000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), 10);
+        assert_eq!(s.percentile(99.0), 1000);
+        assert_eq!(s.percentile(100.0), 5000); // overflow → recorded max
+        assert_eq!(
+            HistogramSnapshot::from_parts(vec![], vec![]).percentile(50.0),
+            0
+        );
+        // Rebuilt without a max: overflow falls back to the last bound.
+        let parts = HistogramSnapshot::from_parts(vec![10, 100], vec![0, 0, 3]);
+        assert_eq!(parts.percentile(50.0), 100);
+        assert!((s.mean() - (98.0 * 5.0 + 500.0 + 5000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_round_trips() {
+        let reg = MetricRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.histogram_log2("m.lat").record(9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a.first");
+        assert_eq!(snap.counters[1].name, "z.last");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn scrub_timings_keeps_counts_zeroes_distribution() {
+        let reg = MetricRegistry::new();
+        reg.counter("runs").add(3);
+        reg.counter("overhead_us").add(1234);
+        let h = reg.histogram_log2("lat");
+        h.record(7);
+        h.record(900);
+        let scrubbed = reg.snapshot().scrub_timings();
+        assert_eq!(scrubbed.counter("runs"), Some(3));
+        assert_eq!(scrubbed.counter("overhead_us"), Some(0));
+        let hist = scrubbed.histogram("lat").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 0);
+        assert_eq!(hist.max, 0);
+        assert!(hist.counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn first_bounds_registration_wins() {
+        let reg = MetricRegistry::new();
+        let a = reg.histogram("h", &[1, 2, 3]);
+        let b = reg.histogram("h", &[100]);
+        assert_eq!(a.bounds(), b.bounds());
+    }
+}

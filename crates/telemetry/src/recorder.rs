@@ -1,0 +1,157 @@
+//! A bounded, non-blocking structured-event ring buffer.
+//!
+//! Workers on a hot path must never stall on observability: [`Recorder::record`]
+//! uses `try_lock` and a hard capacity, so under lock contention or
+//! overflow the event is *dropped and counted* instead of blocking the
+//! caller. The drop tally is itself observable, so a saturated recorder
+//! is visible rather than silent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One structured event: a name, a time offset from recorder creation,
+/// and string key/value fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Microseconds since the recorder was created.
+    pub t_us: u64,
+    /// Event name (dotted, e.g. `user.done`).
+    pub name: String,
+    /// Key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// The bounded event buffer. All recording is non-blocking.
+#[derive(Debug)]
+pub struct Recorder {
+    start: Instant,
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Recorder {
+    /// A recorder holding at most `capacity` undrained events.
+    pub fn new(capacity: usize) -> Self {
+        Recorder {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of undrained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event. Returns `false` when the event was dropped —
+    /// either the buffer is full or another thread holds the lock; in
+    /// both cases the caller continues immediately.
+    pub fn record(&self, name: &str, fields: Vec<(String, String)>) -> bool {
+        let t_us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let Ok(mut buf) = self.buf.try_lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        if buf.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        buf.push_back(Event {
+            t_us,
+            name: name.to_string(),
+            fields,
+        });
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Removes and returns every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf.lock().expect("recorder lock").drain(..).collect()
+    }
+
+    /// Events currently buffered (recorded and not yet drained).
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("recorder lock").len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events accepted over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped (overflow or contention) over the lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: &str, v: &str) -> Vec<(String, String)> {
+        vec![(k.to_string(), v.to_string())]
+    }
+
+    #[test]
+    fn records_in_order_and_drains() {
+        let r = Recorder::new(8);
+        assert!(r.record("a", kv("x", "1")));
+        assert!(r.record("b", Vec::new()));
+        assert_eq!(r.len(), 2);
+        let events = r.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].fields, kv("x", "1"));
+        assert_eq!(events[1].name, "b");
+        assert!(events[0].t_us <= events[1].t_us);
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 2);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts_instead_of_blocking() {
+        let r = Recorder::new(3);
+        for i in 0..5 {
+            r.record("e", kv("i", &i.to_string()));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 3);
+        assert_eq!(r.dropped(), 2);
+        // The survivors are the oldest three.
+        let names: Vec<String> = r
+            .drain()
+            .into_iter()
+            .map(|e| e.fields[0].1.clone())
+            .collect();
+        assert_eq!(names, vec!["0", "1", "2"]);
+        // Draining frees capacity again.
+        assert!(r.record("e", Vec::new()));
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let r = Recorder::new(4);
+        r.record("user.done", kv("digest", "abc"));
+        let events = r.drain();
+        let json = serde_json::to_string(&events[0]).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events[0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall time between its creation and drop, then
+//! records the elapsed microseconds into a [`Histogram`] and/or emits a
+//! structured event into a [`Recorder`]. Dropping is the only way a span
+//! reports, so every exit path of the timed scope — including early
+//! returns and panics during unwinding — is covered.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::Histogram;
+use crate::recorder::Recorder;
+
+/// A running timer; reports on drop.
+#[derive(Debug)]
+pub struct Span {
+    start: Instant,
+    hist: Option<Arc<Histogram>>,
+    event: Option<(Arc<Recorder>, String)>,
+}
+
+impl Span {
+    /// Times into `hist` (elapsed microseconds) on drop.
+    pub fn timed(hist: Arc<Histogram>) -> Self {
+        Span {
+            start: Instant::now(),
+            hist: Some(hist),
+            event: None,
+        }
+    }
+
+    /// Emits an event named `name` with a `us` field on drop.
+    pub fn traced(recorder: Arc<Recorder>, name: impl Into<String>) -> Self {
+        Span {
+            start: Instant::now(),
+            hist: None,
+            event: Some((recorder, name.into())),
+        }
+    }
+
+    /// Both: histogram sample and event.
+    pub fn timed_traced(
+        hist: Arc<Histogram>,
+        recorder: Arc<Recorder>,
+        name: impl Into<String>,
+    ) -> Self {
+        Span {
+            start: Instant::now(),
+            hist: Some(hist),
+            event: Some((recorder, name.into())),
+        }
+    }
+
+    /// Time elapsed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        if let Some(hist) = &self.hist {
+            hist.record(us);
+        }
+        if let Some((recorder, name)) = &self.event {
+            recorder.record(name, vec![("us".to_string(), us.to_string())]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricRegistry;
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = MetricRegistry::new();
+        let hist = reg.histogram_log2("op_us");
+        {
+            let _span = Span::timed(Arc::clone(&hist));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 1_000, "slept ≥ 1 ms, recorded {} µs", snap.max);
+    }
+
+    #[test]
+    fn span_emits_event_on_drop() {
+        let recorder = Arc::new(Recorder::new(4));
+        let reg = MetricRegistry::new();
+        let hist = reg.histogram_log2("op_us");
+        drop(Span::timed_traced(hist, Arc::clone(&recorder), "op"));
+        let events = recorder.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "op");
+        assert_eq!(events[0].fields[0].0, "us");
+    }
+
+    #[test]
+    fn early_return_still_reports() {
+        let reg = MetricRegistry::new();
+        let hist = reg.histogram_log2("op_us");
+        let run = |fail: bool| -> Result<(), ()> {
+            let _span = Span::timed(reg.histogram_log2("op_us"));
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        };
+        let _ = run(true);
+        let _ = run(false);
+        assert_eq!(hist.snapshot().count, 2);
+    }
+}

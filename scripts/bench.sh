@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json at the repo root: one seeded run of
+# the baseline binary (sim rounds/sec, quick fig7/fig8 wall time,
+# in-process server throughput + latency tail).
+#
+# Works online and in the offline growth container, same as check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATCH_FLAGS=(
+  --config "patch.crates-io.rand.path=\"$PWD/vendor/rand\""
+  --config "patch.crates-io.serde.path=\"$PWD/vendor/serde\""
+  --config "patch.crates-io.serde_json.path=\"$PWD/vendor/serde_json\""
+  --config "patch.crates-io.crossbeam.path=\"$PWD/vendor/crossbeam\""
+  --config "patch.crates-io.parking_lot.path=\"$PWD/vendor/parking_lot\""
+  --config "patch.crates-io.proptest.path=\"$PWD/vendor/proptest\""
+  --config "patch.crates-io.criterion.path=\"$PWD/vendor/criterion\""
+)
+
+FLAGS=()
+if ! cargo fetch >/dev/null 2>&1; then
+  echo "== crates.io unreachable; building offline against vendor/ shims"
+  FLAGS=("${PATCH_FLAGS[@]}" --offline)
+fi
+
+echo "== building baseline binary (release)"
+cargo build "${FLAGS[@]}" --release -p dummyloc-bench --bin baseline
+
+echo "== running baseline (seed 42)"
+target/release/baseline --seed 42 --json BENCH_baseline.json "$@"
+
+echo "== wrote BENCH_baseline.json"

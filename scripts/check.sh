@@ -40,6 +40,11 @@ cargo test "${FLAGS[@]}" --workspace -q
 echo "== chaos integration tests (fault injection / deadlines / retries)"
 cargo test "${FLAGS[@]}" -p integration-tests --test server_chaos -q
 
+echo "== telemetry: crate lints and cross-crate tests"
+cargo clippy "${FLAGS[@]}" -p dummyloc-telemetry --all-targets -- -D warnings
+cargo test "${FLAGS[@]}" -p dummyloc-telemetry -q
+cargo test "${FLAGS[@]}" -p integration-tests --test telemetry -q
+
 echo "== CLI experiment-registry smoke test"
 DUMMYLOC=target/release/dummyloc
 "$DUMMYLOC" experiments list
@@ -47,5 +52,17 @@ for name in $("$DUMMYLOC" experiments list --names); do
   echo "---- experiments run $name"
   "$DUMMYLOC" experiments run "$name" --quick --seed 1 >/dev/null
 done
+
+echo "== CLI metrics-scrape smoke test (serve + loadgen + metrics)"
+METRICS_ADDR=127.0.0.1:17911
+"$DUMMYLOC" serve --addr "$METRICS_ADDR" --duration 6 >/dev/null &
+SERVE_PID=$!
+sleep 1
+"$DUMMYLOC" loadgen --addr "$METRICS_ADDR" --users 4 --rounds 5 --seed 7 >/dev/null
+# No `grep -q` here: it closes the pipe on first match and the scraper
+# dies on SIGPIPE mid-print; plain grep drains its whole input.
+"$DUMMYLOC" metrics "$METRICS_ADDR" | grep "server.requests" >/dev/null
+"$DUMMYLOC" metrics "$METRICS_ADDR" --json | grep '"server.requests"' >/dev/null
+wait "$SERVE_PID"
 
 echo "== all checks passed"

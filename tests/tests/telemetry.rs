@@ -1,0 +1,152 @@
+//! Cross-crate telemetry tests: registry behavior under real thread
+//! contention, ring-buffer overflow accounting, the protocol's `Metrics`
+//! frame against a live server, and run-manifest determinism across two
+//! identically seeded loadgen runs.
+
+use std::sync::Arc;
+
+use dummyloc_server::{spawn, LoadgenConfig, ServerConfig, ServiceClient};
+use dummyloc_telemetry::{MetricRegistry, Recorder, RunManifest, Telemetry};
+
+/// A live server over a deterministic POI database on an OS-picked port.
+fn test_server() -> dummyloc_server::ServerHandle {
+    let area = dummyloc_geo::BBox::new(
+        dummyloc_geo::Point::new(0.0, 0.0),
+        dummyloc_geo::Point::new(2000.0, 2000.0),
+    )
+    .unwrap();
+    let pois = dummyloc_lbs::PoiDatabase::generate(area, 120, 42);
+    spawn(ServerConfig::default(), pois).unwrap()
+}
+
+#[test]
+fn contended_counters_and_histograms_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let reg = Arc::new(MetricRegistry::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                // Handles are registered concurrently on purpose: every
+                // thread must end up on the SAME metric.
+                let c = reg.counter("hits");
+                let g = reg.gauge("inflight");
+                let h = reg.histogram_log2("work_us");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1);
+                    g.add(-1);
+                    h.record(t as u64 * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("hits"), Some(THREADS as u64 * PER_THREAD));
+    assert_eq!(snap.gauge("inflight"), Some(0));
+    let h = snap.histogram("work_us").unwrap();
+    assert_eq!(h.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+}
+
+#[test]
+fn snapshots_taken_mid_run_are_internally_consistent() {
+    let reg = Arc::new(MetricRegistry::new());
+    let writer = {
+        let reg = Arc::clone(&reg);
+        std::thread::spawn(move || {
+            let h = reg.histogram_log2("lat");
+            for i in 0..50_000 {
+                h.record(i);
+            }
+        })
+    };
+    // Bucket totals may trail the observation count (counts land after the
+    // count increment, both relaxed) but must never exceed it.
+    for _ in 0..50 {
+        let snap = reg.snapshot();
+        if let Some(h) = snap.histogram("lat") {
+            assert!(h.counts.iter().sum::<u64>() <= h.count + 64);
+        }
+    }
+    writer.join().unwrap();
+    let h = reg.snapshot();
+    let h = h.histogram("lat").unwrap();
+    assert_eq!(h.count, 50_000);
+    assert_eq!(h.counts.iter().sum::<u64>(), 50_000);
+}
+
+#[test]
+fn ring_buffer_overflow_drops_and_counts_instead_of_blocking() {
+    let rec = Recorder::new(4);
+    for i in 0..10 {
+        rec.record("evt", vec![("i".to_string(), i.to_string())]);
+    }
+    assert_eq!(rec.recorded(), 4);
+    assert_eq!(rec.dropped(), 6);
+    let drained = rec.drain();
+    assert_eq!(drained.len(), 4);
+    // Oldest events survive: the ring refuses new entries when full
+    // rather than overwriting history.
+    assert_eq!(drained[0].fields[0].1, "0");
+    assert_eq!(drained[3].fields[0].1, "3");
+}
+
+#[test]
+fn metrics_frame_scrapes_live_server_counters() {
+    let handle = test_server();
+    let addr = handle.addr().to_string();
+
+    let config = LoadgenConfig {
+        addr: addr.clone(),
+        users: 3,
+        rounds: 4,
+        seed: 9,
+        ..LoadgenConfig::default()
+    };
+    let report = dummyloc_server::loadgen::run(&config).unwrap();
+    assert_eq!(report.answered, 12);
+
+    let mut client = ServiceClient::connect(&addr).unwrap();
+    let snap = client.metrics().unwrap();
+    assert_eq!(snap.counter("server.requests"), Some(12));
+    // 3 users x 4 rounds x (3 dummies + 1 true position).
+    assert_eq!(snap.counter("server.positions"), Some(48));
+    let lat = snap.histogram("server.latency.next_bus").unwrap();
+    assert_eq!(lat.count, 12);
+    handle.shutdown();
+}
+
+#[test]
+fn identically_seeded_runs_produce_identical_scrubbed_manifests() {
+    let run = || {
+        let handle = test_server();
+        let telemetry = Telemetry::new(1024);
+        let config = LoadgenConfig {
+            addr: handle.addr().to_string(),
+            users: 4,
+            rounds: 5,
+            seed: 31,
+            ..LoadgenConfig::default()
+        };
+        let report = dummyloc_server::loadgen::run_instrumented(&config, Some(&telemetry)).unwrap();
+        handle.shutdown();
+        let manifest = RunManifest::capture(
+            "loadgen",
+            config.seed,
+            &config.seed,
+            &telemetry.registry,
+            report.answered,
+            std::time::Duration::from_millis(1),
+        );
+        (manifest, report.per_user_digest)
+    };
+    let (a, digests_a) = run();
+    let (b, digests_b) = run();
+    // Raw manifests differ (timestamps, latency distributions); scrubbed
+    // ones must not.
+    assert_eq!(a.scrubbed(), b.scrubbed());
+    assert_eq!(digests_a, digests_b);
+    assert_eq!(a.scrubbed().metrics.counter("loadgen.answered"), Some(20));
+}
