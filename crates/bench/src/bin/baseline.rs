@@ -3,29 +3,39 @@
 //! Run via `scripts/bench.sh` (or directly with the offline patch flags).
 //! One process measures the three hot paths the roadmap cares about:
 //!
-//! 1. the simulation engine (quick Nara fleet → rounds per second),
+//! 1. the simulation engine (an enlarged Nara fleet → rounds per second,
+//!    measured serially and through [`ParallelEngine`]; the two outcomes
+//!    are asserted identical before either number is reported),
 //! 2. the experiment harness (fig7/fig8 quick runs → wall seconds),
 //! 3. the TCP service (in-process server + seeded loadgen → throughput
 //!    and p50/p99/p99.9 latency).
 //!
 //! `--seed` fixes every workload; `--json PATH` overrides the output
-//! path; `--telemetry DIR` (default `results/`) receives the run
-//! manifest with the loadgen's `loadgen.*` counters embedded.
+//! path; `--threads N` sets the parallel-engine worker count (default:
+//! available cores); `--telemetry DIR` (default `results/`) receives the
+//! run manifest with the loadgen's `loadgen.*` counters embedded.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use dummyloc_sim::engine::{SimConfig, Simulation};
+use dummyloc_sim::ParallelEngine;
 use dummyloc_telemetry::{RunManifest, Telemetry};
 use serde::Serialize;
 
-/// Simulation-engine throughput over the quick workload.
+/// Simulation-engine throughput, serial and parallel, over a workload
+/// sized so the serial wall time is comfortably above timer resolution
+/// (≥ 50 ms on the reference host).
 #[derive(Serialize)]
 struct SimBaseline {
     users: usize,
     rounds: usize,
     wall_secs: f64,
     rounds_per_sec: f64,
+    threads: usize,
+    parallel_wall_secs: f64,
+    parallel_rounds_per_sec: f64,
+    speedup: f64,
 }
 
 /// Wall time of one quick named-experiment run.
@@ -58,17 +68,48 @@ struct Baseline {
     server: ServerBaseline,
 }
 
-fn measure_sim(seed: u64) -> SimBaseline {
-    let fleet = dummyloc_sim::workload::nara_fleet_sized(16, 600.0, seed);
+fn measure_sim(seed: u64, threads: Option<usize>, quick: bool) -> SimBaseline {
+    // The old 16-user/10-minute workload finished in ~0.2 ms, so
+    // `wall_secs` was dominated by timer noise. Size the fleet so the
+    // serial pass takes ≥ 50 ms on the reference host.
+    let (users, duration) = if quick { (64, 1800.0) } else { (512, 7200.0) };
+    let fleet = dummyloc_sim::workload::nara_fleet_sized(users, duration, seed);
+
     let sim = Simulation::new(SimConfig::nara_default(seed)).expect("sim config");
     let started = Instant::now();
-    let outcome = sim.run(&fleet).expect("simulation run");
+    let serial = sim.run(&fleet).expect("serial simulation run");
     let wall_secs = started.elapsed().as_secs_f64();
+
+    let config = SimConfig::nara_default(seed);
+    let engine = match threads {
+        Some(n) => ParallelEngine::new(config, n),
+        None => ParallelEngine::with_default_threads(config),
+    }
+    .expect("parallel sim config");
+    let started = Instant::now();
+    let parallel = engine.run(&fleet).expect("parallel simulation run");
+    let parallel_wall_secs = started.elapsed().as_secs_f64();
+
+    // The headline determinism claim, enforced where the numbers are
+    // produced: the parallel engine must reproduce the serial outcome
+    // bit for bit before either throughput figure is reported.
+    assert_eq!(serial.rounds, parallel.rounds, "round count diverged");
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&serial.f_series),
+        bits(&parallel.f_series),
+        "parallel f-series diverged from serial"
+    );
+
     SimBaseline {
         users: fleet.len(),
-        rounds: outcome.rounds,
+        rounds: serial.rounds,
         wall_secs,
-        rounds_per_sec: outcome.rounds as f64 / wall_secs.max(1e-9),
+        rounds_per_sec: serial.rounds as f64 / wall_secs.max(1e-9),
+        threads: engine.threads(),
+        parallel_wall_secs,
+        parallel_rounds_per_sec: parallel.rounds as f64 / parallel_wall_secs.max(1e-9),
+        speedup: wall_secs / parallel_wall_secs.max(1e-9),
     }
 }
 
@@ -129,7 +170,7 @@ fn main() {
     let started = Instant::now();
     let baseline = Baseline {
         seed: args.seed,
-        sim: measure_sim(args.seed),
+        sim: measure_sim(args.seed, args.threads, args.quick),
         experiments: vec![
             measure_experiment("fig7", args.seed),
             measure_experiment("fig8", args.seed),
@@ -141,8 +182,11 @@ fn main() {
     std::fs::write(&out_path, json)
         .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
     println!(
-        "baseline: sim {:.0} rounds/s, server {:.0} rps (p50 {}us, p99 {}us, p99.9 {}us)",
+        "baseline: sim {:.0} rounds/s serial, {:.0} rounds/s on {} thread(s) ({:.2}x), server {:.0} rps (p50 {}us, p99 {}us, p99.9 {}us)",
         baseline.sim.rounds_per_sec,
+        baseline.sim.parallel_rounds_per_sec,
+        baseline.sim.threads,
+        baseline.sim.speedup,
         baseline.server.throughput_rps,
         baseline.server.p50_us,
         baseline.server.p99_us,

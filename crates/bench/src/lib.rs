@@ -37,6 +37,9 @@ pub struct CliArgs {
     pub quick: bool,
     /// Where run manifests are written; `None` disables them.
     pub telemetry: Option<PathBuf>,
+    /// Worker threads for parallel measurements; `None` means the
+    /// process default (available cores).
+    pub threads: Option<usize>,
 }
 
 impl Default for CliArgs {
@@ -46,6 +49,7 @@ impl Default for CliArgs {
             json: None,
             quick: false,
             telemetry: Some(PathBuf::from("results")),
+            threads: None,
         }
     }
 }
@@ -72,6 +76,15 @@ pub fn parse_from(args: impl IntoIterator<Item = String>) -> CliArgs {
                 out.json = Some(PathBuf::from(v));
             }
             "--quick" => out.quick = true,
+            "--threads" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
+                out.threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage("--threads must be an integer")),
+                );
+            }
             "--telemetry" => {
                 let v = it
                     .next()
@@ -89,7 +102,9 @@ fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
-    eprintln!("usage: <bin> [--seed N] [--json PATH] [--quick] [--telemetry DIR|none]");
+    eprintln!(
+        "usage: <bin> [--seed N] [--json PATH] [--quick] [--threads N] [--telemetry DIR|none]"
+    );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }
 
@@ -193,6 +208,8 @@ mod tests {
                 "--json",
                 "/tmp/x.json",
                 "--quick",
+                "--threads",
+                "4",
                 "--telemetry",
                 "/tmp/t",
             ]
@@ -202,6 +219,7 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.json, Some(PathBuf::from("/tmp/x.json")));
         assert!(a.quick);
+        assert_eq!(a.threads, Some(4));
         assert_eq!(a.telemetry, Some(PathBuf::from("/tmp/t")));
     }
 

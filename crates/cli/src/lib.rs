@@ -17,7 +17,10 @@
 //!
 //! The global `--telemetry <dir>` flag (usable with simulate, experiment,
 //! loadgen and timed serve) writes a run manifest + event stream into the
-//! directory.
+//! directory. The global `--threads <n>` flag sets the worker count for
+//! every parallel code path (simulation engine, experiment sweeps);
+//! results are byte-identical at any thread count, and `--threads 1`
+//! runs the serial engine outright.
 //!
 //! The library half holds all the logic so it is testable; `main.rs` is a
 //! two-line wrapper.
@@ -31,9 +34,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use dummyloc_sim::engine::{GeneratorKind, SimConfig, Simulation};
+use dummyloc_sim::engine::{GeneratorKind, SimConfig};
 use dummyloc_sim::viz::{ascii_heatmap, user_color, SvgScene};
 use dummyloc_sim::workload;
+use dummyloc_sim::ParallelEngine;
 use dummyloc_telemetry::{render_text, RunManifest, Telemetry};
 use dummyloc_trajectory::{io as tio, Dataset};
 
@@ -69,8 +73,9 @@ dummyloc — dummy-based location privacy toolkit
 commands:
   workload     generate a synthetic workload and write it as CSV
   simulate     run one simulation over a workload and report the metrics
-  experiments  list the experiment registry, or run one entry by name
-               (`experiments list [--names]`, `experiments run <name>`)
+  experiments  list the experiment registry, run one entry by name, or
+               run every entry (`experiments list [--names]`,
+               `experiments run <name>`, `experiments run-all`)
   experiment   alias for `experiments run <name>`
   render       draw a workload's trajectories as SVG
   serve        run the online LBS query service over TCP (supports
@@ -80,12 +85,19 @@ commands:
                (retries with backoff: --retries, --retry-base-ms, ...)
   metrics      scrape a running server's telemetry registry
                (`metrics <addr> [--json]`)
+  manifest     work with telemetry run manifests
+               (`manifest scrub <file> [--out <file>]` removes every
+               wall-clock- and thread-count-dependent field)
 
 global flags:
   --telemetry <dir>   write a run manifest (seed, config digest, git rev,
                       throughput, metric snapshot) plus a JSONL event
                       stream into <dir>; applies to simulate, experiment,
-                      loadgen and timed serve runs
+                      loadgen and timed serve runs (`none` disables)
+  --threads <n>       worker threads for the parallel simulation engine
+                      and experiment sweeps (default: available cores;
+                      0 restores that default). Output is byte-identical
+                      at any thread count; 1 runs fully serial
 
 run `dummyloc <command> --help` for the command's flags";
 
@@ -153,10 +165,14 @@ impl Flags {
 /// Executes a full command line (without the program name); returns the
 /// text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    // The global --telemetry flag is stripped before dispatch so every
-    // command's own flag parsing stays oblivious to it.
-    let (args, telemetry) = extract_telemetry(args)?;
+    // The global --telemetry and --threads flags are stripped before
+    // dispatch so every command's own flag parsing stays oblivious to
+    // them.
+    let (args, telemetry, threads) = extract_globals(args)?;
     let telemetry = telemetry.as_deref();
+    if let Some(n) = threads {
+        dummyloc_core::pool::set_default_threads(n);
+    }
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::Usage("no command given".into()));
     };
@@ -183,8 +199,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     };
                     cmd_experiment(name, &Flags::parse(rest)?, telemetry)
                 }
+                "run-all" => cmd_experiments_run_all(&Flags::parse(rest)?, telemetry),
                 other => Err(CliError::Usage(format!(
-                    "unknown experiments subcommand '{other}' (list | run)"
+                    "unknown experiments subcommand '{other}' (list | run | run-all)"
                 ))),
             }
         }
@@ -199,29 +216,62 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             cmd_metrics(addr, &Flags::parse(rest)?)
         }
+        "manifest" => {
+            let Some((sub, rest)) = rest.split_first() else {
+                return Err(CliError::Usage(
+                    "manifest needs a subcommand (scrub)".into(),
+                ));
+            };
+            match sub.as_str() {
+                "scrub" => {
+                    let Some((path, rest)) = rest.split_first() else {
+                        return Err(CliError::Usage("manifest scrub needs a file path".into()));
+                    };
+                    cmd_manifest_scrub(path, &Flags::parse(rest)?)
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown manifest subcommand '{other}' (scrub)"
+                ))),
+            }
+        }
         "--help" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
 }
 
-/// Splits the global `--telemetry <dir>` flag out of the argument list.
-fn extract_telemetry(args: &[String]) -> Result<(Vec<String>, Option<PathBuf>), CliError> {
+/// Splits the global `--telemetry <dir>` and `--threads <n>` flags out of
+/// the argument list.
+#[allow(clippy::type_complexity)]
+fn extract_globals(
+    args: &[String],
+) -> Result<(Vec<String>, Option<PathBuf>, Option<usize>), CliError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut dir = None;
+    let mut threads = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--telemetry" {
             let Some(value) = args.get(i + 1).filter(|v| !v.starts_with("--")) else {
                 return Err(CliError::Usage("--telemetry needs a directory path".into()));
             };
-            dir = Some(PathBuf::from(value));
+            // `--telemetry none` explicitly disables the manifest, same
+            // as the bench binaries' flag.
+            dir = (value != "none").then(|| PathBuf::from(value));
+            i += 2;
+        } else if args[i] == "--threads" {
+            let Some(value) = args.get(i + 1).filter(|v| !v.starts_with("--")) else {
+                return Err(CliError::Usage("--threads needs a worker count".into()));
+            };
+            threads = Some(value.parse().map_err(|_| {
+                CliError::Usage(format!("flag --threads got invalid value '{value}'"))
+            })?);
             i += 2;
         } else {
             rest.push(args[i].clone());
             i += 1;
         }
     }
-    Ok((rest, dir))
+    Ok((rest, dir, threads))
 }
 
 fn cmd_workload(flags: &Flags) -> Result<String, CliError> {
@@ -263,12 +313,12 @@ fn cmd_simulate(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliEr
         ..SimConfig::nara_default(seed)
     };
     let bundle = telemetry.map(|dir| (dir, Telemetry::new(4096)));
-    let mut sim = Simulation::new(config).map_err(runtime)?;
+    let mut engine = ParallelEngine::with_default_threads(config).map_err(runtime)?;
     if let Some((_, t)) = &bundle {
-        sim = sim.with_telemetry(Arc::clone(&t.registry));
+        engine = engine.with_telemetry(Arc::clone(&t.registry));
     }
     let started = Instant::now();
-    let outcome = sim.run(&fleet).map_err(runtime)?;
+    let outcome = engine.run(&fleet).map_err(runtime)?;
     let telemetry_note = match &bundle {
         None => None,
         Some((dir, t)) => {
@@ -287,6 +337,7 @@ fn cmd_simulate(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliEr
     let (p0, p12, p35, p6) = outcome.shift_buckets.percentages();
     let mut out = String::new();
     let _ = writeln!(out, "rounds:        {}", outcome.rounds);
+    let _ = writeln!(out, "threads:       {}", engine.threads());
     let _ = writeln!(out, "mean F:        {:.1}%", outcome.mean_f * 100.0);
     let _ = writeln!(
         out,
@@ -300,8 +351,9 @@ fn cmd_simulate(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliEr
             .streams
             .iter()
             .flat_map(|(reqs, _)| reqs[last].positions.iter().copied());
-        let pop = dummyloc_core::population::PopulationGrid::from_positions(sim.grid(), positions)
-            .map_err(runtime)?;
+        let pop =
+            dummyloc_core::population::PopulationGrid::from_positions(engine.grid(), positions)
+                .map_err(runtime)?;
         let _ = writeln!(out, "\nfinal-round population:\n{}", ascii_heatmap(&pop));
     }
     if let Some(path) = flags.values.get("json") {
@@ -364,6 +416,66 @@ fn cmd_experiment(name: &str, flags: &Flags, telemetry: Option<&Path>) -> Result
         let _ = writeln!(out, "wrote telemetry to {}", paths.manifest.display());
     }
     Ok(out)
+}
+
+fn cmd_experiments_run_all(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
+    let registry = dummyloc_ext::experiments::registry_with_extensions();
+    let seed: u64 = flags.num("seed", 42)?;
+    let quick = flags.has("quick");
+    let fleet = if quick {
+        workload::nara_fleet_sized(flags.num("count", 16)?, flags.num("duration", 600.0)?, seed)
+    } else {
+        workload::nara_fleet(seed)
+    };
+    let started = Instant::now();
+    let reports = registry.run_all(seed, &fleet).map_err(runtime)?;
+    let mut out = String::new();
+    for (name, report) in &reports {
+        let _ = writeln!(out, "== {name} ==");
+        let _ = writeln!(out, "{}", report.rendered.trim_end());
+        let _ = writeln!(out);
+    }
+    if let Some(dir) = flags.values.get("json") {
+        std::fs::create_dir_all(dir).map_err(runtime)?;
+        for (name, report) in &reports {
+            std::fs::write(Path::new(dir).join(format!("{name}.json")), &report.json)
+                .map_err(runtime)?;
+        }
+        let _ = writeln!(out, "wrote {} JSON reports to {dir}", reports.len());
+    }
+    if let Some(dir) = telemetry {
+        let t = Telemetry::new(16);
+        t.registry
+            .counter("experiment.runs")
+            .add(reports.len() as u64);
+        let manifest = RunManifest::capture(
+            "experiments-run-all",
+            seed,
+            &("run-all", quick),
+            &t.registry,
+            reports.len() as u64,
+            started.elapsed(),
+        );
+        let paths = t
+            .write_run(dir, "experiments-run-all", &manifest)
+            .map_err(runtime)?;
+        let _ = writeln!(out, "wrote telemetry to {}", paths.manifest.display());
+    }
+    Ok(out)
+}
+
+fn cmd_manifest_scrub(path: &str, flags: &Flags) -> Result<String, CliError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("open {path}: {e}")))?;
+    let manifest: RunManifest = serde_json::from_str(&raw).map_err(runtime)?;
+    let scrubbed = serde_json::to_string_pretty(&manifest.scrubbed()).map_err(runtime)?;
+    match flags.values.get("out") {
+        Some(out) => {
+            std::fs::write(out, &scrubbed).map_err(runtime)?;
+            Ok(format!("wrote {out}"))
+        }
+        None => Ok(scrubbed),
+    }
 }
 
 fn cmd_experiments_list(flags: &Flags) -> Result<String, CliError> {
@@ -634,6 +746,11 @@ mod tests {
         dir.join(name)
     }
 
+    /// `--threads` sets a process-wide default; tests that assert on a
+    /// specific thread count serialize through this lock so concurrent
+    /// tests cannot change the knob mid-run.
+    static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn flags_parse_values_and_switches() {
         let f = Flags::parse(&args("--count 5 --quick --out x.csv")).unwrap();
@@ -718,6 +835,100 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
         assert!(v["mean_f"].as_f64().unwrap() > 0.0);
         assert!(v["f_series"].as_array().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn simulate_is_thread_count_invariant() {
+        let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Same workload and seed at 1 vs 3 threads: the JSON summaries
+        // (every f64 printed with full precision by serde) must be
+        // byte-identical, and stdout differs only in the threads line.
+        let a_path = tmp("sim-threads-1.json");
+        let b_path = tmp("sim-threads-3.json");
+        let a = run(&args(&format!(
+            "simulate --count 5 --duration 150 --seed 8 --generator mln --threads 1 --json {}",
+            a_path.display()
+        )))
+        .unwrap();
+        let b = run(&args(&format!(
+            "simulate --count 5 --duration 150 --seed 8 --generator mln --threads 3 --json {}",
+            b_path.display()
+        )))
+        .unwrap();
+        assert!(a.contains("threads:       1"), "{a}");
+        assert!(b.contains("threads:       3"), "{b}");
+        assert_eq!(
+            std::fs::read_to_string(&a_path).unwrap(),
+            std::fs::read_to_string(&b_path).unwrap()
+        );
+        assert!(matches!(
+            run(&args("simulate --threads nope")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_scrub_makes_thread_counts_indistinguishable() {
+        let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir1 = tmp("scrub-threads-1");
+        let dir4 = tmp("scrub-threads-4");
+        for (threads, dir) in [(1, &dir1), (4, &dir4)] {
+            run(&args(&format!(
+                "simulate --count 4 --duration 120 --seed 6 --threads {threads} --telemetry {}",
+                dir.display()
+            )))
+            .unwrap();
+        }
+        let scrub = |dir: &PathBuf| {
+            run(&args(&format!(
+                "manifest scrub {}",
+                dir.join("simulate.manifest.json").display()
+            )))
+            .unwrap()
+        };
+        let one = scrub(&dir1);
+        let four = scrub(&dir4);
+        assert_eq!(one, four);
+        assert!(!one.contains(".worker."), "scrub must drop worker metrics");
+        // The unscrubbed 4-thread manifest does carry per-worker metrics.
+        let raw = std::fs::read_to_string(dir4.join("simulate.manifest.json")).unwrap();
+        assert!(raw.contains("sim.worker.0.step_us"), "{raw}");
+        // --out writes instead of printing.
+        let out_path = tmp("scrubbed.json");
+        let msg = run(&args(&format!(
+            "manifest scrub {} --out {}",
+            dir1.join("simulate.manifest.json").display(),
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        assert_eq!(std::fs::read_to_string(&out_path).unwrap(), one);
+        assert!(matches!(run(&args("manifest")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args("manifest scrub")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("manifest scrub /nonexistent.json")),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn experiments_run_all_renders_every_entry() {
+        let json_dir = tmp("run-all-json");
+        let out = run(&args(&format!(
+            "experiments run-all --quick --count 4 --duration 120 --seed 3 --json {}",
+            json_dir.display()
+        )))
+        .unwrap();
+        let registry = dummyloc_ext::experiments::registry_with_extensions();
+        for name in registry.names() {
+            assert!(out.contains(&format!("== {name} ==")), "missing {name}");
+            let json = std::fs::read_to_string(json_dir.join(format!("{name}.json"))).unwrap();
+            assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+        }
+        assert!(out.contains(&format!("wrote {} JSON reports", registry.len())));
     }
 
     #[test]
@@ -919,6 +1130,11 @@ mod tests {
             rounds
         );
         assert_eq!(manifest.throughput.events, rounds);
+        // `--telemetry none` disables the manifest instead of writing
+        // into a directory literally named "none".
+        let out = run(&args("simulate --count 4 --duration 120 --telemetry none")).unwrap();
+        assert!(!out.contains("wrote telemetry"), "{out}");
+        assert!(!Path::new("none").exists());
     }
 
     #[test]

@@ -19,6 +19,14 @@ pub enum CoreError {
         /// What went wrong.
         message: &'static str,
     },
+    /// Two [`crate::PopulationGrid`]s over different region partitions
+    /// were merged.
+    GridMismatch {
+        /// Region count of the receiving population.
+        expected: usize,
+        /// Region count of the population being merged in.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +37,12 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter {what}: {value}")
             }
             CoreError::Protocol { message } => write!(f, "protocol error: {message}"),
+            CoreError::GridMismatch { expected, got } => {
+                write!(
+                    f,
+                    "population grid mismatch: {expected} regions vs {got} regions"
+                )
+            }
         }
     }
 }

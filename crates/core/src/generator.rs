@@ -121,8 +121,11 @@ impl DensityView for OthersDensity<'_> {
 /// A dummy-motion algorithm.
 ///
 /// The trait is object-safe; the RNG comes in as `&mut dyn RngCore` so a
-/// boxed generator can still be driven from any seeded RNG.
-pub trait DummyGenerator {
+/// boxed generator can still be driven from any seeded RNG. `Send` is a
+/// supertrait so a boxed generator (and the [`crate::client::Client`]
+/// owning it) can migrate onto a worker thread of the parallel engine —
+/// generators are plain data, so every implementation satisfies it.
+pub trait DummyGenerator: Send {
     /// Short algorithm name used in experiment reports ("random", "mn",
     /// "mln", …).
     fn name(&self) -> &'static str;

@@ -75,13 +75,17 @@ pub mod cloaking;
 mod error;
 pub mod generator;
 pub mod metrics;
+pub mod pool;
 pub mod population;
+pub mod streams;
 
 pub use client::{Client, Request, Round};
 pub use error::CoreError;
 pub use generator::{DensityView, DummyGenerator, MlnGenerator, MnGenerator, RandomGenerator};
 pub use metrics::{congestion_p, shift_p, ubiquity_f, ShiftBuckets, ShiftStats};
+pub use pool::{PoolError, Shard, ThreadPool};
 pub use population::PopulationGrid;
+pub use streams::SeedTree;
 
 /// Result alias used throughout the core crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

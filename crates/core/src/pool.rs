@@ -1,0 +1,551 @@
+//! A small, work-stealing-free scoped thread pool.
+//!
+//! The parallel simulation engine and the experiment sweeps need exactly
+//! two shapes of fan-out, and this module provides both over
+//! `std::thread::scope` plus crossbeam channels — no other machinery:
+//!
+//! * [`ThreadPool::map`] — an order-preserving parallel map over a slice.
+//!   Items are handed out through a shared atomic cursor (first-come,
+//!   first-served, **no stealing**) and results come back through a
+//!   channel tagged with their input index, so the output order never
+//!   depends on scheduling.
+//! * [`ThreadPool::supersteps`] — a bulk-synchronous crew: the input
+//!   states are split into contiguous [`Shard`]s, one persistent worker
+//!   per shard, and a serial *driver* closure broadcasts one job per
+//!   round and collects every worker's output in shard order before the
+//!   next round starts. This is the engine's per-round user fan-out; the
+//!   workers live for the whole run, so per-round cost is two channel
+//!   hops instead of thread spawns.
+//!
+//! Panic containment: a panicking task never unwinds into (or hangs) the
+//! caller. The panic is caught on the worker, surfaced as
+//! [`PoolError::WorkerPanic`], and every worker is still joined before
+//! the pool call returns — `std::thread::scope` guarantees there are no
+//! leaked threads on any path.
+//!
+//! Determinism contract: the pool never reorders results. `map` output
+//! index `i` always holds `f(i, &items[i])`; `supersteps` outputs always
+//! arrive in shard order. Callers that keep per-item state independent
+//! (see [`crate::streams`]) therefore produce schedule-independent
+//! results at any thread count.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel;
+
+/// Process-wide default thread count used by [`ThreadPool::with_default`];
+/// `0` means "ask [`std::thread::available_parallelism`]".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default thread count (the CLI's `--threads`).
+/// `0` restores the automatic default (available parallelism).
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The resolved process-wide default thread count (always ≥ 1).
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Errors surfaced by pool executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker task panicked; the payload message is preserved.
+    WorkerPanic {
+        /// The panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::WorkerPanic { message } => write!(f, "pool worker panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// One contiguous slice of work assigned to one persistent worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Worker index, `0..workers`.
+    pub index: usize,
+    /// Offset of the shard's first item in the original input.
+    pub offset: usize,
+    /// Number of items in the shard (never 0).
+    pub len: usize,
+}
+
+/// A fixed-size scoped thread pool. The pool itself is just a thread
+/// count; workers exist only inside each call and are always joined
+/// before the call returns (there is no detached state to shut down
+/// separately — "shutdown" is the tail of every call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers; `0` is clamped to 1.
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// One worker per available core.
+    pub fn auto() -> Self {
+        ThreadPool::new(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The pool honoring the process-wide default ([`set_default_threads`]).
+    pub fn with_default() -> Self {
+        ThreadPool::new(default_threads())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when the pool runs everything on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// The balanced contiguous shard plan for `n` items: `min(threads, n)`
+    /// shards whose lengths differ by at most one, in input order. Empty
+    /// for `n == 0`.
+    pub fn plan(&self, n: usize) -> Vec<Shard> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        let base = n / workers;
+        let extra = n % workers;
+        let mut shards = Vec::with_capacity(workers);
+        let mut offset = 0;
+        for index in 0..workers {
+            let len = base + usize::from(index < extra);
+            shards.push(Shard { index, offset, len });
+            offset += len;
+        }
+        shards
+    }
+
+    /// Order-preserving parallel map: output `i` is `f(i, &items[i])`.
+    ///
+    /// Items are distributed dynamically (shared cursor, no stealing);
+    /// a zero-item input returns immediately without spawning anything.
+    /// A panicking task poisons the run: remaining items are abandoned,
+    /// all workers are joined, and the first panic is returned as
+    /// [`PoolError::WorkerPanic`].
+    pub fn map<I, O, F>(&self, items: &[I], f: F) -> Result<Vec<O>, PoolError>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.iter().enumerate() {
+                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(o) => out.push(o),
+                    Err(payload) => {
+                        return Err(PoolError::WorkerPanic {
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            return Ok(out);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let (tx, rx) = channel::unbounded::<Result<(usize, O), String>>();
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<String> = None;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let poisoned = &poisoned;
+                let f = &f;
+                s.spawn(move || loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                        Ok(o) => {
+                            if tx.send(Ok((i, o))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(payload) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let _ = tx.send(Err(panic_message(payload.as_ref())));
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for msg in rx.iter() {
+                match msg {
+                    Ok((i, o)) => slots[i] = Some(o),
+                    Err(message) => {
+                        first_panic.get_or_insert(message);
+                    }
+                }
+            }
+        });
+        match first_panic {
+            Some(message) => Err(PoolError::WorkerPanic { message }),
+            None => Ok(slots
+                .into_iter()
+                .map(|o| o.expect("unpoisoned map fills every slot"))
+                .collect()),
+        }
+    }
+
+    /// Bulk-synchronous execution over sharded state.
+    ///
+    /// `states` is split by [`ThreadPool::plan`]; each shard is moved onto
+    /// its own persistent worker. `drive` then runs on the calling thread
+    /// with a [`Conductor`]: every [`Conductor::round`] broadcasts one
+    /// shared input to all workers, each worker applies `step` to its
+    /// shard, and the round returns the outputs in shard order — a full
+    /// barrier between rounds. When `drive` returns, the job channels
+    /// close, every worker ships its shard back, and the reassembled
+    /// (input-ordered) states are returned alongside `drive`'s result.
+    ///
+    /// A `step` panic is contained on the worker: the current and every
+    /// later `round` call returns `Err`, `drive` still finishes, workers
+    /// are joined, and the call as a whole returns the panic as an error.
+    pub fn supersteps<St, In, Out, Step, Drive, R>(
+        &self,
+        states: Vec<St>,
+        step: Step,
+        drive: Drive,
+    ) -> Result<(Vec<St>, R), PoolError>
+    where
+        St: Send,
+        In: Send + Sync,
+        Out: Send,
+        Step: Fn(Shard, &mut [St], &In) -> Out + Sync,
+        Drive: FnOnce(&mut Conductor<In, Out>) -> R,
+    {
+        let shards = self.plan(states.len());
+        if shards.is_empty() {
+            let mut conductor = Conductor {
+                lanes: Vec::new(),
+                shards: Vec::new(),
+                poisoned: None,
+            };
+            let result = drive(&mut conductor);
+            return Ok((states, result));
+        }
+
+        // Carve the states into per-shard chunks (reverse order so each
+        // split_off is O(len of tail)).
+        let mut rest = states;
+        let mut chunks: Vec<Vec<St>> = Vec::with_capacity(shards.len());
+        for shard in shards.iter().rev() {
+            chunks.push(rest.split_off(shard.offset));
+        }
+        chunks.reverse();
+
+        let (back_tx, back_rx) = channel::unbounded::<(usize, Vec<St>)>();
+        let mut lanes = Vec::with_capacity(shards.len());
+        let mut worker_ends = Vec::with_capacity(shards.len());
+        for _ in &shards {
+            let (job_tx, job_rx) = channel::unbounded::<Arc<In>>();
+            let (out_tx, out_rx) = channel::unbounded::<Result<Out, String>>();
+            lanes.push(Lane { job_tx, out_rx });
+            worker_ends.push((job_rx, out_tx));
+        }
+
+        let (drive_result, panic) = std::thread::scope(|s| {
+            for ((shard, mut chunk), (job_rx, out_tx)) in
+                shards.iter().copied().zip(chunks).zip(worker_ends)
+            {
+                let step = &step;
+                let back_tx = back_tx.clone();
+                s.spawn(move || {
+                    for job in job_rx.iter() {
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| step(shard, &mut chunk, &job)));
+                        let msg = match outcome {
+                            Ok(out) => out_tx.send(Ok(out)).is_err(),
+                            Err(payload) => {
+                                let _ = out_tx.send(Err(panic_message(payload.as_ref())));
+                                true
+                            }
+                        };
+                        if msg {
+                            break;
+                        }
+                    }
+                    let _ = back_tx.send((shard.index, chunk));
+                });
+            }
+            drop(back_tx);
+            let mut conductor = Conductor {
+                lanes,
+                shards,
+                poisoned: None,
+            };
+            let result = drive(&mut conductor);
+            let Conductor {
+                lanes, poisoned, ..
+            } = conductor;
+            drop(lanes); // close job channels: workers drain, return state, exit
+            (result, poisoned)
+        });
+
+        let mut returned: Vec<(usize, Vec<St>)> = back_rx.iter().collect();
+        returned.sort_by_key(|(index, _)| *index);
+        let states = returned
+            .into_iter()
+            .flat_map(|(_, chunk)| chunk)
+            .collect::<Vec<_>>();
+        match panic {
+            Some(message) => Err(PoolError::WorkerPanic { message }),
+            None => Ok((states, drive_result)),
+        }
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::with_default()
+    }
+}
+
+/// One worker's channel pair inside [`ThreadPool::supersteps`].
+struct Lane<In, Out> {
+    job_tx: channel::Sender<Arc<In>>,
+    out_rx: channel::Receiver<Result<Out, String>>,
+}
+
+/// The driver's handle inside [`ThreadPool::supersteps`]: broadcasts one
+/// job per round and collects outputs in shard order.
+pub struct Conductor<In, Out> {
+    lanes: Vec<Lane<In, Out>>,
+    shards: Vec<Shard>,
+    poisoned: Option<String>,
+}
+
+impl<In, Out> Conductor<In, Out> {
+    /// Number of live workers (0 when the state vector was empty).
+    pub fn workers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The shard plan, in shard order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Runs one superstep: broadcasts `input` to every worker and waits
+    /// for all outputs, returned in shard order. With zero workers this
+    /// returns an empty vector immediately. After a worker panic, this
+    /// and every later call return `Err`.
+    pub fn round(&mut self, input: In) -> Result<Vec<Out>, PoolError> {
+        if let Some(message) = &self.poisoned {
+            return Err(PoolError::WorkerPanic {
+                message: message.clone(),
+            });
+        }
+        if self.lanes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let job = Arc::new(input);
+        for lane in &self.lanes {
+            // A send failure means the worker is gone (panicked earlier);
+            // the receive loop below will surface it.
+            let _ = lane.job_tx.send(Arc::clone(&job));
+        }
+        let mut outs = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            match lane.out_rx.recv() {
+                Ok(Ok(out)) => outs.push(out),
+                Ok(Err(message)) => {
+                    self.poisoned = Some(message.clone());
+                    return Err(PoolError::WorkerPanic { message });
+                }
+                Err(_) => {
+                    let message = "worker exited before answering".to_string();
+                    self.poisoned = Some(message.clone());
+                    return Err(PoolError::WorkerPanic { message });
+                }
+            }
+        }
+        Ok(outs)
+    }
+}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = ThreadPool::new(4)
+            .map(&items, |i, &x| x * 2 + i as u64)
+            .unwrap();
+        assert_eq!(out, (0..97).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_is_immediate() {
+        let out = ThreadPool::new(8).map(&[] as &[u8], |_, _| 0u8).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_panic_is_err() {
+        let items: Vec<u32> = (0..32).collect();
+        let err = ThreadPool::new(3)
+            .map(&items, |_, &x| {
+                if x == 7 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("boom at 7"), "{err}");
+    }
+
+    #[test]
+    fn plan_is_balanced_and_contiguous() {
+        let pool = ThreadPool::new(4);
+        let shards = pool.plan(10);
+        assert_eq!(shards.len(), 4);
+        let lens: Vec<usize> = shards.iter().map(|s| s.len).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+        let mut offset = 0;
+        for s in &shards {
+            assert_eq!(s.offset, offset);
+            offset += s.len;
+        }
+        assert_eq!(offset, 10);
+        assert!(pool.plan(0).is_empty());
+        assert_eq!(pool.plan(2).len(), 2);
+    }
+
+    #[test]
+    fn supersteps_round_trip_and_state_return() {
+        let states: Vec<u64> = (0..10).collect();
+        let (states, sums) = ThreadPool::new(3)
+            .supersteps(
+                states,
+                |_, chunk: &mut [u64], add: &u64| {
+                    let mut sum = 0;
+                    for s in chunk.iter_mut() {
+                        *s += add;
+                        sum += *s;
+                    }
+                    sum
+                },
+                |c| {
+                    let mut sums = Vec::new();
+                    for round in 1..=3u64 {
+                        sums.push(c.round(round).unwrap().iter().sum::<u64>());
+                    }
+                    sums
+                },
+            )
+            .unwrap();
+        // Each state gained 1+2+3 = 6; order is preserved.
+        assert_eq!(states, (0..10).map(|x| x + 6).collect::<Vec<_>>());
+        assert_eq!(sums.len(), 3);
+        assert_eq!(*sums.last().unwrap(), (0..10u64).map(|x| x + 6).sum());
+    }
+
+    #[test]
+    fn supersteps_zero_states_runs_driver_immediately() {
+        let (states, rounds) = ThreadPool::new(4)
+            .supersteps(
+                Vec::<u8>::new(),
+                |_, _: &mut [u8], _: &u8| 1u8,
+                |c| {
+                    assert_eq!(c.workers(), 0);
+                    c.round(9).unwrap().len()
+                },
+            )
+            .unwrap();
+        assert!(states.is_empty());
+        assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn supersteps_panic_poisons_round_and_returns_err() {
+        let result = ThreadPool::new(2).supersteps(
+            vec![1u8, 2, 3],
+            |shard, _: &mut [u8], round: &u32| {
+                if *round == 2 && shard.index == 1 {
+                    panic!("superstep kaput");
+                }
+                0u8
+            },
+            |c| {
+                assert!(c.round(1).is_ok());
+                let err = c.round(2).unwrap_err();
+                assert!(err.to_string().contains("kaput"));
+                // Poisoned: later rounds fail fast.
+                assert!(c.round(3).is_err());
+            },
+        );
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("kaput"), "{err}");
+    }
+
+    #[test]
+    fn default_threads_knob_round_trips() {
+        let before = default_threads();
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        assert_eq!(ThreadPool::with_default().threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+        assert_eq!(default_threads(), before);
+    }
+}

@@ -53,6 +53,25 @@ impl PopulationGrid {
         Ok(())
     }
 
+    /// Adds every count of `other` into `self` — the shard-merge used by
+    /// the parallel engine. Counts are plain integer sums, so merging in
+    /// any order produces the same population as counting all positions
+    /// on one thread. Fails if the two populations partition different
+    /// grids.
+    pub fn merge(&mut self, other: &PopulationGrid) -> Result<()> {
+        if self.grid != other.grid {
+            return Err(crate::CoreError::GridMismatch {
+                expected: self.counts.len(),
+                got: other.counts.len(),
+            });
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
     /// The region partition this population is counted over.
     pub fn grid(&self) -> &Grid {
         &self.grid

@@ -1,0 +1,93 @@
+//! Deterministic RNG stream splitting for parallel execution.
+//!
+//! Every stochastic component draws from an explicit `&mut impl Rng`, and
+//! the simulation gives each user an *independent* child stream derived
+//! from one master seed. That split is what makes the parallel engine
+//! safe: a user's stream depends only on `(master seed, user index)`,
+//! never on which worker runs the user, in what order users are stepped,
+//! or how many threads exist. [`SeedTree`] packages the scheme:
+//!
+//! * `child_seed(i)` is the SplitMix64-finalized mix of the root seed and
+//!   the stream index (see [`dummyloc_geo::rng::derive_seed`]) — pure
+//!   64-bit integer arithmetic, so the values are identical on every
+//!   platform and independent of the order children are created in;
+//! * `rng(i)` is the workspace-standard RNG seeded with `child_seed(i)`;
+//! * `subtree(i)` re-roots the tree for nested splits (per-experiment →
+//!   per-user → per-component) without ever sharing a stream.
+//!
+//! The property tests in `crates/core/tests/streams.rs` pin down the
+//! guarantees the equivalence suite relies on: child seeds are golden
+//! (platform-stable), creation-order-independent, and the resulting
+//! streams are pairwise non-overlapping over a million draws.
+
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use rand::rngs::StdRng;
+
+/// A root seed from which independent child streams are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    root: u64,
+}
+
+impl SeedTree {
+    /// A tree rooted at `root` (typically the experiment's master seed).
+    pub fn new(root: u64) -> Self {
+        SeedTree { root }
+    }
+
+    /// The root seed.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// The child seed of stream `index` — a pure function of
+    /// `(root, index)`, identical on every platform.
+    pub fn child_seed(&self, index: u64) -> u64 {
+        derive_seed(self.root, index)
+    }
+
+    /// The workspace-standard RNG for stream `index`.
+    pub fn rng(&self, index: u64) -> StdRng {
+        rng_from_seed(self.child_seed(index))
+    }
+
+    /// A tree rooted at child `index`, for nested stream splits.
+    pub fn subtree(&self, index: u64) -> SeedTree {
+        SeedTree::new(self.child_seed(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn child_seed_matches_derive_seed() {
+        let tree = SeedTree::new(42);
+        for i in 0..50 {
+            assert_eq!(tree.child_seed(i), derive_seed(42, i));
+        }
+        assert_eq!(tree.root(), 42);
+    }
+
+    #[test]
+    fn rng_matches_manually_derived_stream() {
+        let tree = SeedTree::new(7);
+        let mut a = tree.rng(3);
+        let mut b = rng_from_seed(derive_seed(7, 3));
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn subtree_re_roots() {
+        let tree = SeedTree::new(9);
+        assert_eq!(
+            tree.subtree(4).child_seed(2),
+            derive_seed(derive_seed(9, 4), 2)
+        );
+        assert_ne!(tree.subtree(4).child_seed(2), tree.child_seed(2));
+    }
+}

@@ -1,0 +1,219 @@
+//! Concurrency stress tests for the scoped thread pool.
+//!
+//! Unit tests in `src/pool.rs` cover the happy paths; this suite attacks
+//! the failure and lifecycle edges: a panicking task must surface as an
+//! `Err` (never a hang or an unwind into the caller), every worker must
+//! be joined before a pool call returns (proven by effect visibility),
+//! and zero-task submissions must return immediately. The churn loop at
+//! the bottom runs 5 iterations normally and 50 under `CHECK_STRESS=1`,
+//! which is how `scripts/check.sh` invokes it.
+
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use dummyloc_core::pool::{PoolError, ThreadPool};
+
+/// 50 iterations under `CHECK_STRESS=1` (the check-script soak), 5 in a
+/// plain `cargo test` so the suite stays fast.
+fn stress_iterations() -> usize {
+    if std::env::var("CHECK_STRESS").as_deref() == Ok("1") {
+        50
+    } else {
+        5
+    }
+}
+
+/// Runs `work` on a fresh thread and fails the test if it doesn't finish
+/// within `secs` — the "contained, not hung" half of the panic contract.
+fn finishes_within<T: Send + 'static>(secs: u64, work: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(work());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("pool call hung instead of returning")
+}
+
+#[test]
+fn map_panic_returns_err_instead_of_hanging() {
+    let err = finishes_within(30, || {
+        let items: Vec<u32> = (0..256).collect();
+        ThreadPool::new(4)
+            .map(&items, |_, &x| {
+                if x == 200 {
+                    panic!("map worker {x} failed");
+                }
+                x * 2
+            })
+            .unwrap_err()
+    });
+    assert!(matches!(&err, PoolError::WorkerPanic { message } if message.contains("200")));
+}
+
+#[test]
+fn non_string_panic_payloads_are_still_contained() {
+    let err = finishes_within(30, || {
+        let items = [1u8, 2, 3];
+        ThreadPool::new(2)
+            .map(&items, |_, &x| {
+                if x == 2 {
+                    panic_any(x); // not a &str or String
+                }
+                x
+            })
+            .unwrap_err()
+    });
+    assert_eq!(
+        err,
+        PoolError::WorkerPanic {
+            message: "worker panicked".to_string()
+        }
+    );
+}
+
+#[test]
+fn supersteps_panic_poisons_and_still_joins() {
+    let (r, steps) = finishes_within(30, || {
+        let steps = AtomicUsize::new(0);
+        let r = ThreadPool::new(3).supersteps(
+            (0..9u32).collect::<Vec<_>>(),
+            |shard, _chunk: &mut [u32], round: &u32| {
+                steps.fetch_add(1, Ordering::SeqCst);
+                if *round == 2 && shard.index == 0 {
+                    panic!("round two casualty");
+                }
+            },
+            |c| {
+                assert_eq!(c.workers(), 3);
+                assert!(c.round(1).is_ok());
+                assert!(c.round(2).is_err());
+                // Poisoned: every later round fails fast without waiting
+                // on the dead worker.
+                for round in 3..20 {
+                    assert!(c.round(round).is_err());
+                }
+            },
+        );
+        (r, steps.into_inner())
+    });
+    let err = r.unwrap_err();
+    assert!(matches!(&err, PoolError::WorkerPanic { message } if message.contains("casualty")));
+    // Round 1 ran on all 3 workers; round 2 reached at least the
+    // panicking worker; fail-fast rounds never reached any worker.
+    assert!((4..=6).contains(&steps), "unexpected step count {steps}");
+}
+
+#[test]
+fn every_worker_effect_is_visible_after_return() {
+    // Join-before-return proof: if any worker outlived the call, some of
+    // its increments could be missing here. Exact counts mean every
+    // worker finished (and was joined) before `map`/`supersteps` returned.
+    let tally = AtomicUsize::new(0);
+    let items: Vec<usize> = (0..512).collect();
+    let out = ThreadPool::new(8)
+        .map(&items, |_, &x| {
+            tally.fetch_add(1, Ordering::SeqCst);
+            x
+        })
+        .unwrap();
+    assert_eq!(out.len(), 512);
+    assert_eq!(tally.load(Ordering::SeqCst), 512);
+
+    let step_tally = AtomicUsize::new(0);
+    let (states, ()) = ThreadPool::new(4)
+        .supersteps(
+            (0..16u32).collect::<Vec<_>>(),
+            |_, chunk: &mut [u32], _: &u32| {
+                for s in chunk.iter_mut() {
+                    *s += 1;
+                    step_tally.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+            |c| {
+                for round in 0..10 {
+                    c.round(round).unwrap();
+                }
+            },
+        )
+        .unwrap();
+    assert_eq!(step_tally.load(Ordering::SeqCst), 16 * 10);
+    assert_eq!(states, (10..26u32).collect::<Vec<_>>());
+}
+
+#[test]
+fn zero_task_submissions_return_immediately() {
+    let started = Instant::now();
+    let out = ThreadPool::new(16).map(&[] as &[u64], |_, &x| x).unwrap();
+    assert!(out.is_empty());
+    let (states, outs) = ThreadPool::new(16)
+        .supersteps(
+            Vec::<u64>::new(),
+            |_, _: &mut [u64], _: &u64| 0u64,
+            |c| {
+                assert_eq!(c.workers(), 0);
+                c.round(1).unwrap()
+            },
+        )
+        .unwrap();
+    assert!(states.is_empty());
+    assert!(outs.is_empty());
+    // Generous bound: no thread spawns, no channel waits — if either
+    // empty path spun up workers and blocked, this would blow past it.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "empty submissions took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn churn_loop_survives_repeated_spawn_panic_shutdown_cycles() {
+    for iteration in 0..stress_iterations() {
+        let pool = ThreadPool::new(4);
+
+        // A clean map with real fan-out.
+        let items: Vec<u64> = (0..128).collect();
+        let doubled = pool.map(&items, |_, &x| x * 2).unwrap();
+        assert_eq!(doubled[127], 254);
+
+        // A panicking map on the same pool value (pools are per-call
+        // scoped, so a poisoned run must not taint the next one).
+        let err = pool
+            .map(&items, |_, &x| {
+                if x == iteration as u64 % 128 {
+                    panic!("churn {iteration}");
+                }
+                x
+            })
+            .unwrap_err();
+        assert!(matches!(err, PoolError::WorkerPanic { .. }));
+
+        // Immediately after the failure, a supersteps crew over shared
+        // state still runs to completion and returns its states in order.
+        let (states, sums) = pool
+            .supersteps(
+                (0..32u64).collect::<Vec<_>>(),
+                |_, chunk: &mut [u64], add: &u64| {
+                    let mut sum = 0;
+                    for s in chunk.iter_mut() {
+                        *s += add;
+                        sum += *s;
+                    }
+                    sum
+                },
+                |c| {
+                    let mut total = 0u64;
+                    for round in 1..=4u64 {
+                        total += c.round(round).unwrap().iter().sum::<u64>();
+                    }
+                    total
+                },
+            )
+            .unwrap();
+        // Each state gained 1+2+3+4 = 10.
+        assert_eq!(states, (10..42u64).collect::<Vec<_>>());
+        assert!(sums > 0);
+    }
+}

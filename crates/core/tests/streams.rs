@@ -1,0 +1,131 @@
+//! Seeded property tests for RNG stream splitting ([`SeedTree`]).
+//!
+//! The parallel engine's determinism claim rests on three stream
+//! properties, pinned down here: child seeds are *golden* (pure 64-bit
+//! integer math, identical on every platform), *creation-order
+//! independent* (a pure function of `(root, index)`), and the derived
+//! streams are *pairwise non-overlapping* over a million draws.
+//!
+//! Only `child_seed` values are pinned as golden constants — RNG draw
+//! values depend on the backing generator and may legitimately differ
+//! between rand versions, so draws are only ever compared to each other
+//! within one test process.
+
+use dummyloc_core::streams::SeedTree;
+use dummyloc_geo::rng::derive_seed;
+use proptest::prelude::*;
+use rand::RngCore;
+
+/// 8 streams × 125 000 draws = 10⁶ values: every one distinct, so no
+/// stream ever replays a value another stream produced (and no stream
+/// revisits its own output) over a simulation-scale horizon.
+#[test]
+fn million_draws_across_streams_are_pairwise_distinct() {
+    const STREAMS: u64 = 8;
+    const DRAWS: usize = 125_000;
+    let tree = SeedTree::new(42);
+    let mut all: Vec<u64> = Vec::with_capacity(STREAMS as usize * DRAWS);
+    for i in 0..STREAMS {
+        let mut rng = tree.rng(i);
+        for _ in 0..DRAWS {
+            all.push(rng.next_u64());
+        }
+    }
+    all.sort_unstable();
+    let duplicates = all.windows(2).filter(|w| w[0] == w[1]).count();
+    assert_eq!(
+        duplicates, 0,
+        "streams overlap: {duplicates} repeated draws"
+    );
+}
+
+/// The child seeds of the workspace's default master seed, frozen. These
+/// are pure SplitMix64 finalizer outputs; a change here means every
+/// recorded experiment result silently re-randomizes.
+#[test]
+fn child_seeds_match_golden_values() {
+    let tree = SeedTree::new(42);
+    assert_eq!(tree.child_seed(0), 0xa759_ea27_d472_7622);
+    assert_eq!(tree.child_seed(1), 0xbdd7_3226_2feb_6e95);
+    assert_eq!(tree.child_seed(2), 0xd963_9a00_6c85_adb0);
+    assert_eq!(tree.child_seed(3), 0x5fd3_0d2f_cbef_75e3);
+    // The finalizer maps the all-zero input to zero — a known SplitMix64
+    // quirk, frozen so nobody "fixes" it and shifts every stream.
+    assert_eq!(SeedTree::new(0).child_seed(0), 0);
+    assert_eq!(SeedTree::new(u64::MAX).child_seed(7), 0x8bde_40ab_8762_3c48);
+    // Nested splits compose by re-rooting.
+    assert_eq!(tree.subtree(1).child_seed(0), 0xb29e_d950_786f_5ae3);
+}
+
+proptest! {
+    /// `child_seed` is a pure function of `(root, index)`: any creation
+    /// order, any interleaving with other children, and any fresh tree
+    /// with the same root all agree.
+    #[test]
+    fn child_seeds_are_creation_order_independent(
+        root in any::<u64>(),
+        mut indices in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let tree = SeedTree::new(root);
+        let forward: Vec<u64> = indices.iter().map(|&i| tree.child_seed(i)).collect();
+        indices.reverse();
+        let backward: Vec<u64> =
+            indices.iter().map(|&i| SeedTree::new(root).child_seed(i)).collect();
+        let backward: Vec<u64> = backward.into_iter().rev().collect();
+        prop_assert_eq!(&forward, &backward);
+        // And each matches the underlying mix directly.
+        indices.reverse();
+        for (&i, &seed) in indices.iter().zip(&forward) {
+            prop_assert_eq!(seed, derive_seed(root, i));
+        }
+    }
+
+    /// Distinct stream indices give distinct child seeds (the finalizer
+    /// is a bijection composed with an index mix; collisions would mean
+    /// two users sharing a stream).
+    #[test]
+    fn distinct_indices_give_distinct_child_seeds(
+        root in any::<u64>(),
+        i in 0u64..4096,
+        offset in 1u64..4096,
+    ) {
+        let j = (i + offset) % 4096; // offset ∈ [1, 4096) ⇒ j ≠ i
+        let tree = SeedTree::new(root);
+        prop_assert_ne!(tree.child_seed(i), tree.child_seed(j));
+    }
+
+    /// Two streams from the same tree agree draw-for-draw with freshly
+    /// rebuilt copies of themselves, and (for the first draws) differ
+    /// from each other — the split is stable and actually splits.
+    #[test]
+    fn streams_are_stable_and_distinct(root in any::<u64>(), i in 0u64..512) {
+        let tree = SeedTree::new(root);
+        let mut a1 = tree.rng(i);
+        let mut a2 = SeedTree::new(root).rng(i);
+        let mut b = tree.rng(i + 1);
+        let mut same = 0;
+        for _ in 0..16 {
+            let x = a1.next_u64();
+            prop_assert_eq!(x, a2.next_u64());
+            if x == b.next_u64() {
+                same += 1;
+            }
+        }
+        prop_assert!(same < 16, "adjacent streams are identical");
+    }
+}
+
+/// `subtree` re-roots: the nested tree's children are the grandchildren
+/// of the parent, and never collide with the parent's own children.
+#[test]
+fn subtree_children_are_grandchildren() {
+    let tree = SeedTree::new(42);
+    for i in 0..8 {
+        let sub = tree.subtree(i);
+        assert_eq!(sub.root(), tree.child_seed(i));
+        for j in 0..8 {
+            assert_eq!(sub.child_seed(j), derive_seed(tree.child_seed(i), j));
+            assert_ne!(sub.child_seed(j), tree.child_seed(j));
+        }
+    }
+}

@@ -11,7 +11,8 @@ use dummyloc_core::generator::{
 };
 use dummyloc_core::metrics::{shift_p, ubiquity_f, ShiftBuckets};
 use dummyloc_core::population::PopulationGrid;
-use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_core::streams::SeedTree;
+use dummyloc_geo::rng::rng_from_seed;
 use dummyloc_geo::{BBox, Grid, Point};
 use dummyloc_lbs::provider::Provider;
 use dummyloc_lbs::query::QueryKind;
@@ -215,6 +216,12 @@ impl Simulation {
         &self.grid
     }
 
+    /// The attached metric registry, if any (shared with the parallel
+    /// engine so both record the same `sim.*` families).
+    pub(crate) fn telemetry(&self) -> Option<&Arc<MetricRegistry>> {
+        self.telemetry.as_ref()
+    }
+
     /// Runs the simulation over `workload`: every track becomes a client
     /// reporting its (interpolated) true position plus dummies each tick
     /// across the workload's common time window.
@@ -232,6 +239,7 @@ impl Simulation {
         }
 
         let users = workload.len();
+        let seeds = SeedTree::new(cfg.seed);
         let mut clients: Vec<Client<Box<dyn DummyGenerator>>> = Vec::with_capacity(users);
         let mut rngs = Vec::with_capacity(users);
         for (i, track) in workload.tracks().iter().enumerate() {
@@ -241,7 +249,7 @@ impl Simulation {
                 client = client.with_precision(self.grid.clone());
             }
             clients.push(client);
-            rngs.push(rng_from_seed(derive_seed(cfg.seed, i as u64)));
+            rngs.push(seeds.rng(i as u64));
         }
 
         let mut provider = cfg
@@ -365,7 +373,7 @@ impl Simulation {
 
 /// Coefficient of variation (std/mean) of the populations of occupied
 /// regions; 0 when at most one region is occupied.
-fn occupied_cv(pop: &PopulationGrid) -> f64 {
+pub(crate) fn occupied_cv(pop: &PopulationGrid) -> f64 {
     let occupied: Vec<f64> = pop
         .counts()
         .iter()

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use dummyloc_core::pool::PoolError;
 use dummyloc_core::CoreError;
 use dummyloc_geo::GeoError;
 use dummyloc_trajectory::TrajectoryError;
@@ -25,6 +26,8 @@ pub enum SimError {
     Geo(GeoError),
     /// Propagated trajectory error.
     Trajectory(TrajectoryError),
+    /// A parallel-engine worker failed (panic contained by the pool).
+    Parallel(PoolError),
     /// Report serialization failure.
     Json(serde_json::Error),
     /// Report I/O failure.
@@ -44,6 +47,7 @@ impl fmt::Display for SimError {
             SimError::Core(e) => write!(f, "core error: {e}"),
             SimError::Geo(e) => write!(f, "geometry error: {e}"),
             SimError::Trajectory(e) => write!(f, "trajectory error: {e}"),
+            SimError::Parallel(e) => write!(f, "parallel execution error: {e}"),
             SimError::Json(e) => write!(f, "json error: {e}"),
             SimError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -56,6 +60,7 @@ impl std::error::Error for SimError {
             SimError::Core(e) => Some(e),
             SimError::Geo(e) => Some(e),
             SimError::Trajectory(e) => Some(e),
+            SimError::Parallel(e) => Some(e),
             SimError::Json(e) => Some(e),
             SimError::Io(e) => Some(e),
             _ => None,
@@ -78,6 +83,12 @@ impl From<GeoError> for SimError {
 impl From<TrajectoryError> for SimError {
     fn from(e: TrajectoryError) -> Self {
         SimError::Trajectory(e)
+    }
+}
+
+impl From<PoolError> for SimError {
+    fn from(e: PoolError) -> Self {
+        SimError::Parallel(e)
     }
 }
 

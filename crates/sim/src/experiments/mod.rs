@@ -32,46 +32,21 @@ pub mod tracing;
 
 pub use registry::{Experiment, ExperimentReport, Registry};
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use dummyloc_core::pool::ThreadPool;
 
-use parking_lot::Mutex;
-
-/// Runs `f` over every item on a small thread pool, preserving input
-/// order. Parameter sweeps are embarrassingly parallel; this keeps the
-/// full Figure-7 sweep under a second on a laptop.
+/// Runs `f` over every item on the process-default thread pool,
+/// preserving input order. Parameter sweeps are embarrassingly parallel;
+/// this keeps the full Figure-7 sweep under a second on a laptop, and the
+/// CLI's `--threads 1` makes it fully serial.
 pub(crate) fn run_parallel<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let o = f(&items[i]);
-                out.lock()[i] = Some(o);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    out.into_inner()
-        .into_iter()
-        .map(|o| o.expect("every sweep slot is filled"))
-        .collect()
+    ThreadPool::with_default()
+        .map(items, |_, item| f(item))
+        .expect("sweep worker panicked")
 }
 
 #[cfg(test)]

@@ -91,6 +91,22 @@ impl Registry {
         }
     }
 
+    /// Runs every registered experiment on the process-default thread
+    /// pool and returns `(name, report)` pairs in listing order. Each
+    /// experiment derives its own randomness from `seed` alone, so the
+    /// reports are identical to running the experiments one by one — the
+    /// first failure (in listing order) is returned as the error.
+    pub fn run_all(
+        &self,
+        seed: u64,
+        fleet: &Dataset,
+    ) -> Result<Vec<(&'static str, ExperimentReport)>> {
+        let entries: Vec<&dyn Experiment> = self.iter().collect();
+        super::run_parallel(&entries, |e| e.run(seed, fleet).map(|r| (e.name(), r)))
+            .into_iter()
+            .collect()
+    }
+
     /// Resolves a name.
     pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
         self.entries
@@ -320,6 +336,60 @@ mod tests {
         assert!(serde_json::from_str::<serde_json::Value>(&fig2.json).is_ok());
         let t1 = r.get("table1").unwrap().run(0, &fleet).unwrap();
         assert!(t1.rendered.contains("congestion"));
+    }
+
+    #[test]
+    fn run_all_preserves_listing_order_and_propagates_failures() {
+        struct Ok1;
+        impl Experiment for Ok1 {
+            fn name(&self) -> &'static str {
+                "ok1"
+            }
+            fn description(&self) -> &'static str {
+                "cheap"
+            }
+            fn run(&self, seed: u64, _fleet: &Dataset) -> Result<ExperimentReport> {
+                ExperimentReport::new(format!("ok1 seed {seed}"), &seed)
+            }
+        }
+        struct Ok2;
+        impl Experiment for Ok2 {
+            fn name(&self) -> &'static str {
+                "ok2"
+            }
+            fn description(&self) -> &'static str {
+                "cheap"
+            }
+            fn run(&self, seed: u64, _fleet: &Dataset) -> Result<ExperimentReport> {
+                ExperimentReport::new(format!("ok2 seed {seed}"), &seed)
+            }
+        }
+        let mut r = Registry::new();
+        r.register(Box::new(Ok1));
+        r.register(Box::new(Ok2));
+        let reports = r.run_all(5, &Dataset::default()).unwrap();
+        assert_eq!(
+            reports.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec!["ok1", "ok2"]
+        );
+        assert_eq!(reports[0].1.rendered, "ok1 seed 5");
+
+        struct Broken;
+        impl Experiment for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn description(&self) -> &'static str {
+                "always fails"
+            }
+            fn run(&self, _seed: u64, _fleet: &Dataset) -> Result<ExperimentReport> {
+                Err(crate::SimError::InvalidConfig {
+                    message: "broken on purpose".into(),
+                })
+            }
+        }
+        r.register(Box::new(Broken));
+        assert!(r.run_all(5, &Dataset::default()).is_err());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! accumulates the paper's metrics:
 //!
 //! * [`engine`] — the [`engine::Simulation`] loop,
+//! * [`parallel`] — the [`parallel::ParallelEngine`]: the same loop with
+//!   users fanned out over worker threads, byte-identical at any thread
+//!   count,
 //! * [`workload`] — the standard 39-rickshaw Nara workload and the other
 //!   example workloads,
 //! * [`experiments`] — one module per paper figure/table plus the
@@ -40,6 +43,7 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod viz;
 pub mod workload;
@@ -48,6 +52,7 @@ mod error;
 
 pub use engine::{GeneratorKind, SimConfig, SimOutcome, Simulation};
 pub use error::SimError;
+pub use parallel::ParallelEngine;
 
 /// Result alias used throughout the simulation crate.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,471 @@
+//! The deterministic parallel simulation engine.
+//!
+//! [`ParallelEngine`] runs the exact computation of
+//! [`Simulation::run`](crate::engine::Simulation::run) with the per-round
+//! user loop fanned out over a [`ThreadPool`] crew, and its headline
+//! property is *byte-identical output at any thread count*. The argument,
+//! spelled out because the equivalence test suite leans on every clause:
+//!
+//! 1. **Independent randomness.** Every user draws from an RNG stream
+//!    derived only from `(master seed, user index)` (see
+//!    [`SeedTree`]); no stream is shared, so which worker steps a user —
+//!    and in what order — cannot change any draw.
+//! 2. **Commutative aggregation.** The only cross-user value built in
+//!    parallel is the per-round [`PopulationGrid`], and its counts are
+//!    plain integer sums ([`PopulationGrid::merge`]): merging per-shard
+//!    grids in any order equals counting every position serially.
+//! 3. **Canonical-order effects.** Everything order-sensitive — the
+//!    stateful LBS provider, request streams, metric series — is applied
+//!    by the driver thread in user order after the round barrier, exactly
+//!    as the serial loop would.
+//! 4. **Identical float schedule.** All `f64` metrics (`F`, `Shift(P)`,
+//!    congestion CV) are computed by the driver from the merged grid with
+//!    the same operations in the same order as the serial engine, so even
+//!    floating-point non-associativity cannot creep in.
+//!
+//! Rounds themselves stay sequential: round `k` consumes the round
+//! `k − 1` population (the MLN density view), which is a true data
+//! dependency. The parallelism is *within* a round, across users.
+//!
+//! With one thread the engine delegates to the serial loop outright, so
+//! `--threads 1` is not merely equivalent but literally the same code
+//! path.
+
+use std::time::{Duration, Instant};
+
+use dummyloc_core::client::{Client, Request};
+use dummyloc_core::generator::{DummyGenerator, NoDensity, OthersDensity};
+use dummyloc_core::metrics::{shift_p, ubiquity_f, ShiftBuckets};
+use dummyloc_core::pool::{Conductor, Shard, ThreadPool};
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_core::streams::SeedTree;
+use dummyloc_geo::{Grid, Point};
+use dummyloc_lbs::provider::Provider;
+use dummyloc_lbs::PoiDatabase;
+use dummyloc_telemetry::{Counter, Histogram, MetricRegistry};
+use dummyloc_trajectory::Dataset;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+use crate::engine::{occupied_cv, SimConfig, SimOutcome, Simulation};
+use crate::{Result, SimError};
+
+/// Everything one worker owns for one user: the client (generator state),
+/// the user's private RNG stream, and the previously reported positions
+/// (the "own data" MLN subtracts from the global density).
+struct UserState {
+    client: Client<Box<dyn DummyGenerator>>,
+    rng: StdRng,
+    prev_positions: Vec<Point>,
+}
+
+/// One round's broadcast input: the round number, every user's true
+/// position at this tick (indexed by user), and the previous round's
+/// merged population for the MLN density view.
+struct RoundJob {
+    k: usize,
+    positions: Vec<Point>,
+    prev_pop: Option<PopulationGrid>,
+}
+
+/// One worker's per-round output: its users' requests (in shard order),
+/// the shard-local population, and how long the step took (telemetry
+/// only — never feeds back into the simulation).
+struct ShardOut {
+    users: Vec<(Request, usize)>,
+    pop: PopulationGrid,
+    elapsed: Duration,
+}
+
+type ShardResult = std::result::Result<ShardOut, SimError>;
+
+/// What the driver accumulates across rounds (the serial loop's locals).
+struct Collected {
+    f_series: Vec<f64>,
+    cv_series: Vec<f64>,
+    shift_buckets: ShiftBuckets,
+    shift_sum: u64,
+    shift_regions: u64,
+    streams: Vec<Vec<Request>>,
+    last_truth: Vec<usize>,
+    provider: Option<Provider>,
+}
+
+/// A [`Simulation`] whose per-round user loop runs on a thread pool,
+/// with output guaranteed identical to the serial engine.
+#[derive(Debug, Clone)]
+pub struct ParallelEngine {
+    sim: Simulation,
+    pool: ThreadPool,
+}
+
+impl ParallelEngine {
+    /// Validates `config` and fixes the worker count (`0` → 1).
+    pub fn new(config: SimConfig, threads: usize) -> Result<Self> {
+        Ok(ParallelEngine {
+            sim: Simulation::new(config)?,
+            pool: ThreadPool::new(threads),
+        })
+    }
+
+    /// An engine honoring the process-wide default thread count (the
+    /// CLI's `--threads`; see [`dummyloc_core::pool::set_default_threads`]).
+    pub fn with_default_threads(config: SimConfig) -> Result<Self> {
+        Ok(ParallelEngine {
+            sim: Simulation::new(config)?,
+            pool: ThreadPool::with_default(),
+        })
+    }
+
+    /// Wraps an already-built simulation.
+    pub fn from_simulation(sim: Simulation, threads: usize) -> Self {
+        ParallelEngine {
+            sim,
+            pool: ThreadPool::new(threads),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Attaches a metric registry: the engine then reports the serial
+    /// loop's `sim.phase.*` / `sim.rounds` / `sim.requests` families plus
+    /// per-worker `sim.worker.{i}.*` metrics (which
+    /// [`dummyloc_telemetry::RunManifest::scrubbed`] drops, keeping
+    /// scrubbed manifests thread-count-invariant).
+    pub fn with_telemetry(mut self, registry: Arc<MetricRegistry>) -> Self {
+        self.sim = self.sim.with_telemetry(registry);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        self.sim.config()
+    }
+
+    /// The region grid metrics are computed over.
+    pub fn grid(&self) -> &Grid {
+        self.sim.grid()
+    }
+
+    /// Runs the simulation over `workload`; the result is byte-identical
+    /// to [`Simulation::run`] for every configuration and thread count.
+    pub fn run(&self, workload: &Dataset) -> Result<SimOutcome> {
+        if self.pool.is_serial() {
+            // Not just equivalent: the same code path.
+            return self.sim.run(workload);
+        }
+        self.run_sharded(workload)
+    }
+
+    fn run_sharded(&self, workload: &Dataset) -> Result<SimOutcome> {
+        let cfg = self.sim.config();
+        let grid = self.sim.grid();
+        let (start, end) = workload
+            .common_time_range()
+            .ok_or(SimError::NoCommonWindow)?;
+        if let Some(b) = workload.bounds() {
+            if !cfg.area.contains_bbox(&b) {
+                return Err(SimError::AreaMismatch {
+                    detail: format!("workload bounds {b:?} exceed service area {:?}", cfg.area),
+                });
+            }
+        }
+
+        let users = workload.len();
+        let seeds = SeedTree::new(cfg.seed);
+        let mut states: Vec<UserState> = Vec::with_capacity(users);
+        for (i, track) in workload.tracks().iter().enumerate() {
+            let generator = cfg.generator.build(cfg.area)?;
+            let mut client = Client::new(track.id(), generator, cfg.dummy_count);
+            if cfg.quantize {
+                client = client.with_precision(grid.clone());
+            }
+            states.push(UserState {
+                client,
+                rng: seeds.rng(i as u64),
+                prev_positions: Vec::new(),
+            });
+        }
+
+        let provider = cfg
+            .service
+            .map(|s| Provider::new(PoiDatabase::generate(cfg.area, s.poi_count, s.poi_seed)));
+
+        // Same phase families as the serial loop — one observation per
+        // round each, so scrubbed snapshots (which keep observation
+        // counts) match the serial engine's exactly.
+        let phases = self.sim.telemetry().map(|reg| {
+            (
+                reg.histogram_log2("sim.phase.dummy_gen_us"),
+                reg.histogram_log2("sim.phase.region_analysis_us"),
+                reg.histogram_log2("sim.phase.metrics_us"),
+                reg.histogram_log2("sim.phase.service_us"),
+                reg.counter("sim.rounds"),
+                reg.counter("sim.requests"),
+            )
+        });
+        // Per-worker visibility. Every name carries a `.worker.` segment:
+        // the manifest scrubber drops those, because they legitimately
+        // vary with the thread count.
+        let worker_stats: Option<Vec<(Arc<Histogram>, Arc<Counter>)>> =
+            self.sim.telemetry().map(|reg| {
+                self.pool
+                    .plan(users)
+                    .iter()
+                    .map(|s| {
+                        (
+                            reg.histogram_log2(&format!("sim.worker.{}.step_us", s.index)),
+                            reg.counter(&format!("sim.worker.{}.users", s.index)),
+                        )
+                    })
+                    .collect()
+            });
+
+        let rounds = ((end - start) / cfg.tick).floor() as usize + 1;
+
+        let step = |shard: Shard, chunk: &mut [UserState], job: &RoundJob| -> ShardResult {
+            let started = Instant::now();
+            let mut pop = PopulationGrid::empty(grid);
+            let mut out = Vec::with_capacity(chunk.len());
+            for (j, st) in chunk.iter_mut().enumerate() {
+                let pos = job.positions[shard.offset + j];
+                let round = if job.k == 0 {
+                    st.client.begin(&mut st.rng, pos)?
+                } else {
+                    match &job.prev_pop {
+                        Some(density) => {
+                            let view = OthersDensity::new(density, &st.prev_positions);
+                            st.client.step(&mut st.rng, pos, &view)?
+                        }
+                        None => st.client.step(&mut st.rng, pos, &NoDensity)?,
+                    }
+                };
+                for &p in &round.request.positions {
+                    pop.add(p).map_err(SimError::from)?;
+                }
+                st.prev_positions.clone_from(&round.request.positions);
+                out.push((round.request, round.truth_index));
+            }
+            Ok(ShardOut {
+                users: out,
+                pop,
+                elapsed: started.elapsed(),
+            })
+        };
+
+        let drive = |conductor: &mut Conductor<RoundJob, ShardResult>| -> Result<Collected> {
+            let mut c = Collected {
+                f_series: Vec::with_capacity(rounds),
+                cv_series: Vec::with_capacity(rounds),
+                shift_buckets: ShiftBuckets::default(),
+                shift_sum: 0,
+                shift_regions: 0,
+                streams: vec![Vec::with_capacity(rounds); users],
+                last_truth: vec![0usize; users],
+                provider,
+            };
+            let mut prev_pop: Option<PopulationGrid> = None;
+            for k in 0..rounds {
+                let t = start + k as f64 * cfg.tick;
+                let snapshot = workload.snapshot(t);
+                let positions: Vec<Point> = snapshot
+                    .positions()
+                    .iter()
+                    .map(|p| p.expect("common window guarantees activity"))
+                    .collect();
+                let gen_started = Instant::now();
+                let outs = conductor.round(RoundJob {
+                    k,
+                    positions,
+                    prev_pop: prev_pop.clone(),
+                })?;
+                let d_gen = gen_started.elapsed();
+
+                let region_started = Instant::now();
+                let mut pop = PopulationGrid::empty(grid);
+                let mut shard_outs = Vec::with_capacity(outs.len());
+                for out in outs {
+                    let so = out?;
+                    pop.merge(&so.pop).map_err(SimError::from)?;
+                    shard_outs.push(so);
+                }
+                let d_region = region_started.elapsed();
+
+                if let Some(stats) = &worker_stats {
+                    for (w, so) in shard_outs.iter().enumerate() {
+                        let (h_step, c_users) = &stats[w];
+                        h_step.record_duration(so.elapsed);
+                        c_users.add(so.users.len() as u64);
+                    }
+                }
+
+                // Order-sensitive effects in canonical user order: shards
+                // are contiguous and arrive in shard order, so flattening
+                // them walks users 0, 1, 2, …
+                let mut d_service = Duration::ZERO;
+                let mut i = 0usize;
+                for so in shard_outs {
+                    for (request, truth) in so.users {
+                        if let Some(provider) = c.provider.as_mut() {
+                            let query = cfg.service.expect("provider implies service config").query;
+                            let service_started = Instant::now();
+                            provider.handle(t, &request, &query);
+                            d_service += service_started.elapsed();
+                        }
+                        c.last_truth[i] = truth;
+                        c.streams[i].push(request);
+                        i += 1;
+                    }
+                }
+
+                let metrics_started = Instant::now();
+                c.f_series.push(ubiquity_f(&pop));
+                c.cv_series.push(occupied_cv(&pop));
+                if let Some(prev) = &prev_pop {
+                    let s = shift_p(prev, &pop);
+                    c.shift_buckets.merge(&s.buckets);
+                    c.shift_sum += (s.mean * s.regions as f64).round() as u64;
+                    c.shift_regions += s.regions as u64;
+                }
+                prev_pop = Some(pop);
+                if let Some((h_gen, h_region, h_metrics, h_service, c_rounds, c_requests)) = &phases
+                {
+                    h_gen.record_duration(d_gen);
+                    h_region.record_duration(d_region);
+                    h_metrics.record_duration(metrics_started.elapsed());
+                    if c.provider.is_some() {
+                        h_service.record_duration(d_service);
+                    }
+                    c_rounds.inc();
+                    c_requests.add(users as u64);
+                }
+            }
+            Ok(c)
+        };
+
+        let (_states, collected) = self.pool.supersteps(states, step, drive)?;
+        let c = collected?;
+
+        let mean_f = if c.f_series.is_empty() {
+            0.0
+        } else {
+            c.f_series.iter().sum::<f64>() / c.f_series.len() as f64
+        };
+        Ok(SimOutcome {
+            rounds,
+            mean_f,
+            f_series: c.f_series,
+            shift_buckets: c.shift_buckets,
+            shift_mean: if c.shift_regions > 0 {
+                c.shift_sum as f64 / c.shift_regions as f64
+            } else {
+                0.0
+            },
+            congestion_cv: if c.cv_series.is_empty() {
+                0.0
+            } else {
+                c.cv_series.iter().sum::<f64>() / c.cv_series.len() as f64
+            },
+            streams: c.streams.into_iter().zip(c.last_truth).collect(),
+            cost: c.provider.map(|p| *p.cost()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GeneratorKind;
+    use crate::workload;
+    use dummyloc_lbs::poi::Category;
+    use dummyloc_lbs::query::QueryKind;
+
+    fn config() -> SimConfig {
+        SimConfig {
+            grid_size: 8,
+            dummy_count: 3,
+            generator: GeneratorKind::Mln {
+                m: 100.0,
+                retry_budget: 3,
+            },
+            ..SimConfig::nara_default(11)
+        }
+    }
+
+    fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome) {
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(
+            a.f_series.iter().map(|f| f.to_bits()).collect::<Vec<u64>>(),
+            b.f_series.iter().map(|f| f.to_bits()).collect::<Vec<u64>>()
+        );
+        assert_eq!(a.mean_f.to_bits(), b.mean_f.to_bits());
+        assert_eq!(a.shift_buckets, b.shift_buckets);
+        assert_eq!(a.shift_mean.to_bits(), b.shift_mean.to_bits());
+        assert_eq!(a.congestion_cv.to_bits(), b.congestion_cv.to_bits());
+        assert_eq!(a.streams, b.streams);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn matches_serial_engine_exactly() {
+        let fleet = workload::nara_fleet_sized(7, 150.0, 3);
+        let serial = Simulation::new(config()).unwrap().run(&fleet).unwrap();
+        for threads in [2, 3, 5] {
+            let parallel = ParallelEngine::new(config(), threads)
+                .unwrap()
+                .run(&fleet)
+                .unwrap();
+            assert_outcomes_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn matches_serial_with_service_and_quantization() {
+        let fleet = workload::nara_fleet_sized(5, 120.0, 9);
+        let mut cfg = config();
+        cfg.quantize = true;
+        cfg.service = Some(crate::engine::ServiceConfig {
+            poi_count: 30,
+            poi_seed: 4,
+            query: QueryKind::NearestPoi {
+                category: Some(Category::Restaurant),
+            },
+        });
+        let serial = Simulation::new(cfg).unwrap().run(&fleet).unwrap();
+        let parallel = ParallelEngine::new(cfg, 4).unwrap().run(&fleet).unwrap();
+        assert_outcomes_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn one_thread_delegates_to_serial() {
+        let fleet = workload::nara_fleet_sized(4, 90.0, 2);
+        let engine = ParallelEngine::new(config(), 1).unwrap();
+        assert_eq!(engine.threads(), 1);
+        let a = engine.run(&fleet).unwrap();
+        let b = Simulation::new(config()).unwrap().run(&fleet).unwrap();
+        assert_outcomes_identical(&a, &b);
+    }
+
+    #[test]
+    fn more_threads_than_users_is_fine() {
+        let fleet = workload::nara_fleet_sized(3, 90.0, 2);
+        let serial = Simulation::new(config()).unwrap().run(&fleet).unwrap();
+        let parallel = ParallelEngine::new(config(), 16)
+            .unwrap()
+            .run(&fleet)
+            .unwrap();
+        assert_outcomes_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn parallel_rejects_bad_workloads_like_serial() {
+        let engine = ParallelEngine::new(config(), 3).unwrap();
+        assert!(matches!(
+            engine.run(&Dataset::new()),
+            Err(SimError::NoCommonWindow)
+        ));
+    }
+}

@@ -83,8 +83,10 @@ impl RunManifest {
 
     /// A copy with every wall-clock-derived field removed: start time and
     /// duration zeroed, throughput rate zeroed (the event *count* is
-    /// kept), histogram timing distributions scrubbed. Two identical
-    /// seeded runs produce equal scrubbed manifests.
+    /// kept), histogram timing distributions scrubbed, and per-worker
+    /// (`.worker.`-named) metrics dropped entirely — those vary with the
+    /// thread count even for a fixed seed. Two identical seeded runs
+    /// produce equal scrubbed manifests *at any thread count*.
     pub fn scrubbed(&self) -> RunManifest {
         RunManifest {
             tool: self.tool.clone(),
@@ -97,7 +99,7 @@ impl RunManifest {
                 events: self.throughput.events,
                 per_sec: 0.0,
             },
-            metrics: self.metrics.scrub_timings(),
+            metrics: self.metrics.drop_worker_metrics().scrub_timings(),
         }
     }
 }
@@ -194,6 +196,32 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn scrubbed_manifest_is_thread_count_invariant() {
+        // Two registries that agree on everything except per-worker
+        // metrics — as runs of the parallel engine at different thread
+        // counts do — scrub to the same manifest.
+        let build = |workers: usize| {
+            let reg = MetricRegistry::new();
+            reg.counter("sim.rounds").add(21);
+            reg.histogram_log2("sim.phase.dummy_gen_us").record(100);
+            for w in 0..workers {
+                reg.counter(&format!("sim.worker.{w}.users")).add(7);
+                reg.histogram_log2(&format!("sim.worker.{w}.step_us"))
+                    .record(50);
+            }
+            RunManifest::capture("simulate", 42, &"cfg", &reg, 21, Duration::from_millis(5))
+        };
+        let one = build(1).scrubbed();
+        let four = build(4).scrubbed();
+        assert_eq!(one, four);
+        assert!(one
+            .metrics
+            .counters
+            .iter()
+            .all(|c| !c.name.contains(".worker.")));
     }
 
     #[test]

@@ -277,6 +277,35 @@ impl RegistrySnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// A copy without any metric carrying a `.worker.` name segment.
+    /// Per-worker metrics (e.g. the parallel engine's
+    /// `sim.worker.3.step_us`) legitimately vary with the thread count,
+    /// so any snapshot meant to be thread-count-invariant — scrubbed run
+    /// manifests above all — must drop them entirely, names included.
+    pub fn drop_worker_metrics(&self) -> RegistrySnapshot {
+        let keep = |name: &str| !name.contains(".worker.");
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| keep(&c.name))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|g| keep(&g.name))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| keep(&h.name))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// A copy with every wall-clock-dependent quantity removed: histogram
     /// bucket distributions, sums and maxima are zeroed while observation
     /// *counts* (which are deterministic for a seeded run) are kept, and
@@ -511,6 +540,24 @@ mod tests {
         assert_eq!(hist.sum, 0);
         assert_eq!(hist.max, 0);
         assert!(hist.counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn drop_worker_metrics_removes_only_worker_names() {
+        let reg = MetricRegistry::new();
+        reg.counter("sim.rounds").add(4);
+        reg.counter("sim.worker.0.users").add(9);
+        reg.counter("sim.workers").add(2); // no `.worker.` segment: kept
+        reg.gauge("sim.worker.1.depth").set(3);
+        reg.histogram_log2("sim.phase.metrics_us").record(5);
+        reg.histogram_log2("sim.worker.1.step_us").record(5);
+        let kept = reg.snapshot().drop_worker_metrics();
+        assert_eq!(kept.counter("sim.rounds"), Some(4));
+        assert_eq!(kept.counter("sim.workers"), Some(2));
+        assert_eq!(kept.counter("sim.worker.0.users"), None);
+        assert_eq!(kept.gauge("sim.worker.1.depth"), None);
+        assert!(kept.histogram("sim.phase.metrics_us").is_some());
+        assert!(kept.histogram("sim.worker.1.step_us").is_none());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json at the repo root: one seeded run of
-# the baseline binary (sim rounds/sec, quick fig7/fig8 wall time,
-# in-process server throughput + latency tail).
+# the baseline binary (sim rounds/sec serial and parallel + speedup,
+# quick fig7/fig8 wall time, in-process server throughput + latency
+# tail). Pass --threads N to pin the parallel worker count (default:
+# available cores).
 #
 # Works online and in the offline growth container, same as check.sh.
 set -euo pipefail

@@ -40,6 +40,29 @@ cargo test "${FLAGS[@]}" --workspace -q
 echo "== chaos integration tests (fault injection / deadlines / retries)"
 cargo test "${FLAGS[@]}" -p integration-tests --test server_chaos -q
 
+echo "== parallel determinism: serial-vs-parallel equivalence suite"
+# Covers the raw engine and every registered experiment at 1/2/3/8
+# threads (bitwise f64 comparison), plus the pool/stream property tests.
+# CHECK_STRESS=1 turns the pool churn loop into a 50-iteration soak;
+# the default gate runs the fast 5-iteration version.
+cargo test "${FLAGS[@]}" -p integration-tests --test parallel_equivalence -q
+cargo test "${FLAGS[@]}" -p dummyloc-core --test pool --test streams -q
+
+echo "== parallel determinism: scrubbed manifests at 1 vs 4 threads"
+DUMMYLOC=target/release/dummyloc
+EQUIV_TMP=$(mktemp -d)
+trap 'rm -rf "$EQUIV_TMP"' EXIT
+for n in 1 4; do
+  "$DUMMYLOC" simulate --count 8 --duration 300 --seed 5 --threads "$n" \
+    --json "$EQUIV_TMP/sim-$n.json" --telemetry "$EQUIV_TMP/t$n" >/dev/null
+  "$DUMMYLOC" manifest scrub "$EQUIV_TMP/t$n/simulate.manifest.json" \
+    --out "$EQUIV_TMP/scrubbed-$n.json" >/dev/null
+done
+cmp "$EQUIV_TMP/sim-1.json" "$EQUIV_TMP/sim-4.json" \
+  || { echo "simulate JSON differs between 1 and 4 threads"; exit 1; }
+cmp "$EQUIV_TMP/scrubbed-1.json" "$EQUIV_TMP/scrubbed-4.json" \
+  || { echo "scrubbed manifests differ between 1 and 4 threads"; exit 1; }
+
 echo "== telemetry: crate lints and cross-crate tests"
 cargo clippy "${FLAGS[@]}" -p dummyloc-telemetry --all-targets -- -D warnings
 cargo test "${FLAGS[@]}" -p dummyloc-telemetry -q

@@ -1,0 +1,181 @@
+//! The headline claim of the parallel engine, enforced end to end:
+//! **parallel output is byte-identical to serial output** for the raw
+//! engine and for every registered experiment, at any thread count.
+//!
+//! Float comparisons are bitwise (`f64::to_bits`) — "close enough" would
+//! hide schedule-dependent reassociation, which is exactly the bug class
+//! this suite exists to catch. Experiment reports are compared as whole
+//! rendered strings and JSON documents.
+//!
+//! Tests that flip the process-wide default-thread knob serialize on
+//! [`KNOB`]; everything else pins thread counts explicitly and can run
+//! concurrently.
+
+use std::sync::Mutex;
+
+use dummyloc_ext::experiments::registry_with_extensions;
+use dummyloc_sim::engine::{GeneratorKind, ServiceConfig, SimConfig, SimOutcome, Simulation};
+use dummyloc_sim::{workload, ParallelEngine};
+
+/// Serializes tests that mutate the process-wide default thread count.
+static KNOB: Mutex<()> = Mutex::new(());
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn assert_identical(serial: &SimOutcome, parallel: &SimOutcome, label: &str) {
+    assert_eq!(serial.rounds, parallel.rounds, "{label}: rounds");
+    assert!(
+        bitwise_eq(&serial.f_series, &parallel.f_series),
+        "{label}: f_series diverged"
+    );
+    assert_eq!(
+        serial.mean_f.to_bits(),
+        parallel.mean_f.to_bits(),
+        "{label}: mean_f"
+    );
+    assert_eq!(
+        serial.shift_buckets, parallel.shift_buckets,
+        "{label}: shift_buckets"
+    );
+    assert_eq!(
+        serial.shift_mean.to_bits(),
+        parallel.shift_mean.to_bits(),
+        "{label}: shift_mean"
+    );
+    assert_eq!(
+        serial.congestion_cv.to_bits(),
+        parallel.congestion_cv.to_bits(),
+        "{label}: congestion_cv"
+    );
+    assert_eq!(serial.streams, parallel.streams, "{label}: request streams");
+    assert_eq!(serial.cost, parallel.cost, "{label}: provider cost");
+}
+
+#[test]
+fn raw_engine_is_identical_at_every_thread_count() {
+    let fleet = workload::nara_fleet_sized(11, 240.0, 17);
+    for generator in [
+        GeneratorKind::Random,
+        GeneratorKind::Mn { m: 120.0 },
+        GeneratorKind::Mln {
+            m: 120.0,
+            retry_budget: 3,
+        },
+    ] {
+        let config = SimConfig {
+            grid_size: 9,
+            dummy_count: 4,
+            generator,
+            ..SimConfig::nara_default(23)
+        };
+        let serial = ParallelEngine::new(config, 1).unwrap().run(&fleet).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = ParallelEngine::new(config, threads)
+                .unwrap()
+                .run(&fleet)
+                .unwrap();
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("{generator:?} at {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_with_service_and_quantization_is_thread_count_invariant() {
+    use dummyloc_lbs::poi::Category;
+    use dummyloc_lbs::query::QueryKind;
+
+    let fleet = workload::nara_fleet_sized(7, 180.0, 5);
+    let mut config = SimConfig {
+        grid_size: 8,
+        dummy_count: 3,
+        generator: GeneratorKind::Mn { m: 100.0 },
+        ..SimConfig::nara_default(31)
+    };
+    config.quantize = true;
+    config.service = Some(ServiceConfig {
+        poi_count: 40,
+        poi_seed: 6,
+        query: QueryKind::NearestPoi {
+            category: Some(Category::Restaurant),
+        },
+    });
+    // `--threads 1` must be the serial engine itself, not merely
+    // equivalent to it — compare against `Simulation::run` directly.
+    let serial = Simulation::new(config).unwrap().run(&fleet).unwrap();
+    for threads in [1, 2, 3, 8] {
+        let parallel = ParallelEngine::new(config, threads)
+            .unwrap()
+            .run(&fleet)
+            .unwrap();
+        assert_identical(&serial, &parallel, &format!("service at {threads} threads"));
+    }
+}
+
+#[test]
+fn every_registered_experiment_is_thread_count_invariant() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = registry_with_extensions();
+    let fleet = workload::nara_fleet_sized(8, 300.0, 42);
+
+    let run_at = |threads: usize| {
+        dummyloc_core::pool::set_default_threads(threads);
+        let reports: Vec<_> = registry
+            .iter()
+            .map(|e| (e.name(), e.run(42, &fleet).unwrap()))
+            .collect();
+        dummyloc_core::pool::set_default_threads(0);
+        reports
+    };
+
+    let serial = run_at(1);
+    assert!(serial.len() >= 13, "registry shrank to {}", serial.len());
+    let mut parallel_runs = Vec::new();
+    for threads in [2, 3, 8] {
+        let parallel = run_at(threads);
+        for ((name, one), (name_p, p)) in serial.iter().zip(&parallel) {
+            assert_eq!(name, name_p);
+            assert_eq!(
+                one.rendered, p.rendered,
+                "{name}: rendered table at {threads} threads"
+            );
+            assert_eq!(
+                one.json, p.json,
+                "{name}: JSON sidecar at {threads} threads"
+            );
+        }
+        parallel_runs.push(parallel);
+    }
+    // And two parallel runs at different thread counts match each other
+    // directly, not just through the serial reference.
+    assert_eq!(parallel_runs[0], parallel_runs[2], "2 vs 8 threads");
+}
+
+#[test]
+fn run_all_matches_individual_runs_at_any_thread_count() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = registry_with_extensions();
+    let fleet = workload::nara_fleet_sized(6, 240.0, 7);
+
+    dummyloc_core::pool::set_default_threads(1);
+    let serial = registry.run_all(7, &fleet).unwrap();
+    dummyloc_core::pool::set_default_threads(3);
+    let parallel = registry.run_all(7, &fleet).unwrap();
+    dummyloc_core::pool::set_default_threads(0);
+
+    assert_eq!(serial.len(), registry.names().len());
+    assert_eq!(
+        serial.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        registry.names(),
+        "run_all must preserve listing order"
+    );
+    for ((name, a), (name_b, b)) in serial.iter().zip(&parallel) {
+        assert_eq!(name, name_b);
+        assert_eq!(a, b, "{name}: run_all report diverged across threads");
+    }
+}
