@@ -8,7 +8,10 @@
 //!    are asserted identical before either number is reported),
 //! 2. the experiment harness (fig7/fig8 quick runs → wall seconds),
 //! 3. the TCP service (in-process server + seeded loadgen → throughput
-//!    and p50/p99/p99.9 latency).
+//!    and p50/p99/p99.9 latency), measured twice: without a WAL and with
+//!    the observer WAL at `fsync=always`, so the durability tax is a
+//!    first-class number in `BENCH_baseline.json` (`server` vs
+//!    `server_wal`).
 //!
 //! `--seed` fixes every workload; `--json PATH` overrides the output
 //! path; `--threads N` sets the parallel-engine worker count (default:
@@ -59,6 +62,25 @@ struct ServerBaseline {
     retry_overhead_us: u64,
 }
 
+/// Durability tax of the observer WAL: the identical loadgen workload
+/// against a server that appends and fsyncs every acknowledged record
+/// (`FsyncPolicy::Always`, the strictest policy and the serve default),
+/// reported next to the WAL-off `server` section.
+#[derive(Serialize)]
+struct WalBaseline {
+    fsync: String,
+    answered: u64,
+    /// Records the WAL accepted — must equal `answered`, asserted before
+    /// the number is reported.
+    appended: u64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    /// WAL-off rps divided by WAL-on rps; above 1.0 is what durability
+    /// costs in throughput.
+    slowdown_vs_no_wal: f64,
+}
+
 /// The whole `BENCH_baseline.json` document.
 #[derive(Serialize)]
 struct Baseline {
@@ -66,6 +88,7 @@ struct Baseline {
     sim: SimBaseline,
     experiments: Vec<ExperimentBaseline>,
     server: ServerBaseline,
+    server_wal: WalBaseline,
 }
 
 fn measure_sim(seed: u64, threads: Option<usize>, quick: bool) -> SimBaseline {
@@ -127,15 +150,28 @@ fn measure_experiment(name: &str, seed: u64) -> ExperimentBaseline {
     }
 }
 
-fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
+/// Spawns a server (with or without a WAL), drives the standard bench
+/// loadgen against it, and returns the report plus the server's final
+/// stats snapshot.
+fn run_server_loadgen(
+    seed: u64,
+    telemetry: Option<&Telemetry>,
+    wal: Option<dummyloc_server::WalConfig>,
+) -> (
+    dummyloc_server::LoadgenReport,
+    dummyloc_server::StatsSnapshot,
+) {
     let area = dummyloc_geo::BBox::new(
         dummyloc_geo::Point::new(0.0, 0.0),
         dummyloc_geo::Point::new(2000.0, 2000.0),
     )
     .expect("service area");
     let pois = dummyloc_lbs::PoiDatabase::generate(area, 200, 42);
-    let handle = dummyloc_server::spawn(dummyloc_server::ServerConfig::default(), pois)
-        .expect("server spawn");
+    let config = dummyloc_server::ServeOptions::new()
+        .wal(wal)
+        .build()
+        .expect("server config");
+    let handle = dummyloc_server::spawn(config, pois).expect("server spawn");
     let config = dummyloc_server::LoadgenConfig {
         addr: handle.addr().to_string(),
         users: 8,
@@ -144,8 +180,14 @@ fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
         ..dummyloc_server::LoadgenConfig::default()
     };
     let report =
-        dummyloc_server::loadgen::run_instrumented(&config, Some(telemetry)).expect("loadgen run");
+        dummyloc_server::loadgen::run_instrumented(&config, telemetry).expect("loadgen run");
+    let stats = handle.stats();
     handle.shutdown();
+    (report, stats)
+}
+
+fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
+    let (report, _) = run_server_loadgen(seed, Some(telemetry), None);
     ServerBaseline {
         users: report.users,
         rounds: report.rounds,
@@ -159,6 +201,33 @@ fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
     }
 }
 
+fn measure_server_wal(seed: u64, no_wal_rps: f64) -> WalBaseline {
+    let dir = std::env::temp_dir().join(format!("dummyloc-bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench WAL scratch dir");
+    let path = dir.join("baseline.wal");
+    let wal = dummyloc_server::WalConfig {
+        path: path.clone(),
+        fsync: dummyloc_server::FsyncPolicy::Always,
+    };
+    let (report, stats) = run_server_loadgen(seed, None, Some(wal));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Every acknowledged query must have hit the log before its Answer
+    // frame — otherwise the "durability tax" below measured nothing.
+    assert_eq!(
+        stats.wal.appended, report.answered,
+        "WAL appends diverged from acknowledged queries"
+    );
+    WalBaseline {
+        fsync: "always".to_string(),
+        answered: report.answered,
+        appended: stats.wal.appended,
+        throughput_rps: report.throughput_rps,
+        p50_us: report.latency.p50_us,
+        p99_us: report.latency.p99_us,
+        slowdown_vs_no_wal: no_wal_rps / report.throughput_rps.max(1e-9),
+    }
+}
+
 fn main() {
     let args = dummyloc_bench::parse_args();
     let out_path = args
@@ -168,6 +237,8 @@ fn main() {
 
     let telemetry = Telemetry::new(256);
     let started = Instant::now();
+    let server = measure_server(args.seed, &telemetry);
+    let server_wal = measure_server_wal(args.seed, server.throughput_rps);
     let baseline = Baseline {
         seed: args.seed,
         sim: measure_sim(args.seed, args.threads, args.quick),
@@ -175,7 +246,8 @@ fn main() {
             measure_experiment("fig7", args.seed),
             measure_experiment("fig8", args.seed),
         ],
-        server: measure_server(args.seed, &telemetry),
+        server,
+        server_wal,
     };
 
     let json = dummyloc_sim::report::to_json(&baseline).expect("serializing baseline");
@@ -191,6 +263,13 @@ fn main() {
         baseline.server.p50_us,
         baseline.server.p99_us,
         baseline.server.p999_us,
+    );
+    println!(
+        "baseline: wal(fsync=always) {:.0} rps (p50 {}us, p99 {}us), {:.2}x slower than no-WAL",
+        baseline.server_wal.throughput_rps,
+        baseline.server_wal.p50_us,
+        baseline.server_wal.p99_us,
+        baseline.server_wal.slowdown_vs_no_wal,
     );
     eprintln!("wrote {}", out_path.display());
 

@@ -3,13 +3,16 @@
 //! ```text
 //! dummyloc workload  --count 39 --duration 3600 --seed 42 --out fleet.csv
 //! dummyloc simulate  --workload fleet.csv --grid 12 --dummies 3 \
-//!                    --generator mn --m 120 --heatmap
+//!                    --generator mn --m 120 --heatmap \
+//!                    [--checkpoint DIR --checkpoint-every N] [--resume]
 //! dummyloc experiments list [--names]
-//! dummyloc experiments run fig7 [--seed 42] [--quick] [--json out.json]
+//! dummyloc experiments run fig7 [--seed 42] [--quick] [--json out.json] \
+//!                    [--checkpoint DIR] [--resume]
 //! dummyloc render    --workload fleet.csv --out tracks.svg
 //! dummyloc serve     --addr 127.0.0.1:7878 --workers 4 --pois 200 \
 //!                    [--max-connections N] [--idle-timeout-ms MS] \
-//!                    [--deadline-ms MS] [--fault-drop P] [--fault-delay P] ...
+//!                    [--deadline-ms MS] [--fault-drop P] [--fault-delay P] \
+//!                    [--wal FILE --wal-fsync always|every-N|os] ...
 //! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1 \
 //!                    [--retries N] [--deadline-ms MS]
 //! dummyloc metrics   127.0.0.1:7878 [--json]
@@ -34,10 +37,12 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use dummyloc_sim::checkpoint::workload_digest;
 use dummyloc_sim::engine::{GeneratorKind, SimConfig};
+use dummyloc_sim::experiments::ExperimentReport;
 use dummyloc_sim::viz::{ascii_heatmap, user_color, SvgScene};
 use dummyloc_sim::workload;
-use dummyloc_sim::ParallelEngine;
+use dummyloc_sim::{CheckpointSpec, ParallelEngine, SimCheckpoint};
 use dummyloc_telemetry::{render_text, RunManifest, Telemetry};
 use dummyloc_trajectory::{io as tio, Dataset};
 
@@ -73,14 +78,20 @@ dummyloc — dummy-based location privacy toolkit
 commands:
   workload     generate a synthetic workload and write it as CSV
   simulate     run one simulation over a workload and report the metrics
+               (--checkpoint <dir> --checkpoint-every <n> suspends state
+               periodically; --resume continues from the last checkpoint,
+               byte-identical to an uninterrupted run)
   experiments  list the experiment registry, run one entry by name, or
                run every entry (`experiments list [--names]`,
-               `experiments run <name>`, `experiments run-all`)
+               `experiments run <name>`, `experiments run-all`; with
+               --checkpoint <dir>, finished reports are cached and
+               --resume skips re-running them)
   experiment   alias for `experiments run <name>`
   render       draw a workload's trajectories as SVG
   serve        run the online LBS query service over TCP (supports
-               --max-connections, --idle-timeout-ms, --deadline-ms and
-               seeded --fault-* injection knobs)
+               --max-connections, --idle-timeout-ms, --deadline-ms,
+               seeded --fault-* injection knobs, and a crash-safe
+               observer log via --wal <file> --wal-fsync <policy>)
   loadgen      drive a running server with concurrent simulated users
                (retries with backoff: --retries, --retry-base-ms, ...)
   metrics      scrape a running server's telemetry registry
@@ -312,17 +323,65 @@ fn cmd_simulate(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliEr
         quantize: flags.has("quantize"),
         ..SimConfig::nara_default(seed)
     };
+    // Checkpoint/resume plumbing. `--checkpoint <dir>` names where the
+    // single rolling `latest.ckpt` lives; `--checkpoint-every <n>` turns
+    // periodic capture on; `--resume` loads `latest.ckpt` if present (a
+    // missing file starts fresh, so crash-loop scripts can pass --resume
+    // unconditionally). A resumed run is byte-identical to an
+    // uninterrupted one at any thread count.
+    let ckpt_every: usize = flags.num("checkpoint-every", 0)?;
+    let resume_wanted = flags.has("resume");
+    let ckpt_dir = flags.values.get("checkpoint").map(PathBuf::from);
+    if (ckpt_every > 0 || resume_wanted) && ckpt_dir.is_none() {
+        return Err(CliError::Usage(
+            "--checkpoint-every and --resume need --checkpoint <dir>".into(),
+        ));
+    }
+    if let Some(dir) = &ckpt_dir {
+        std::fs::create_dir_all(dir).map_err(runtime)?;
+    }
+    let ckpt_path = ckpt_dir.as_ref().map(|d| d.join("latest.ckpt"));
+    let resume_ckpt = match &ckpt_path {
+        Some(path) if resume_wanted && path.exists() => {
+            Some(SimCheckpoint::read_from(path).map_err(runtime)?)
+        }
+        _ => None,
+    };
+    let lineage = match &resume_ckpt {
+        None => None,
+        Some(c) => Some((
+            format!("{:016x}", c.digest().map_err(runtime)?),
+            c.completed_rounds as u64,
+        )),
+    };
     let bundle = telemetry.map(|dir| (dir, Telemetry::new(4096)));
     let mut engine = ParallelEngine::with_default_threads(config).map_err(runtime)?;
     if let Some((_, t)) = &bundle {
         engine = engine.with_telemetry(Arc::clone(&t.registry));
     }
     let started = Instant::now();
-    let outcome = engine.run(&fleet).map_err(runtime)?;
+    let mut captured = 0usize;
+    let outcome = {
+        let mut sink = |c: &SimCheckpoint| {
+            let path = ckpt_path
+                .as_ref()
+                .expect("--checkpoint-every was rejected without --checkpoint");
+            c.write_to(path)?;
+            captured += 1;
+            Ok(())
+        };
+        let spec = (ckpt_every > 0).then_some(CheckpointSpec {
+            every: ckpt_every,
+            sink: &mut sink,
+        });
+        engine
+            .run_session(&fleet, resume_ckpt.as_ref(), spec)
+            .map_err(runtime)?
+    };
     let telemetry_note = match &bundle {
         None => None,
         Some((dir, t)) => {
-            let manifest = RunManifest::capture(
+            let mut manifest = RunManifest::capture(
                 "simulate",
                 seed,
                 &config,
@@ -330,6 +389,9 @@ fn cmd_simulate(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliEr
                 outcome.rounds as u64,
                 started.elapsed(),
             );
+            if let Some((parent, round)) = &lineage {
+                manifest = manifest.with_resume(parent.clone(), *round);
+            }
             let paths = t.write_run(dir, "simulate", &manifest).map_err(runtime)?;
             Some(format!("wrote telemetry to {}", paths.manifest.display()))
         }
@@ -338,6 +400,22 @@ fn cmd_simulate(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliEr
     let mut out = String::new();
     let _ = writeln!(out, "rounds:        {}", outcome.rounds);
     let _ = writeln!(out, "threads:       {}", engine.threads());
+    if let Some((parent, round)) = &lineage {
+        let _ = writeln!(
+            out,
+            "resumed:       round {round} (parent checkpoint {parent})"
+        );
+    } else if resume_wanted {
+        let _ = writeln!(out, "resumed:       no checkpoint found, started fresh");
+    }
+    if captured > 0 {
+        let path = ckpt_path.as_ref().expect("captured implies a path");
+        let _ = writeln!(
+            out,
+            "checkpoints:   {captured} written to {}",
+            path.display()
+        );
+    }
     let _ = writeln!(out, "mean F:        {:.1}%", outcome.mean_f * 100.0);
     let _ = writeln!(
         out,
@@ -392,9 +470,32 @@ fn cmd_experiment(name: &str, flags: &Flags, telemetry: Option<&Path>) -> Result
     } else {
         workload::nara_fleet(seed)
     };
+    let cache = report_cache(flags, seed, quick, &fleet)?;
     let started = Instant::now();
-    let report = experiment.run(seed, &fleet).map_err(runtime)?;
+    let cached = match &cache {
+        Some((dir, key)) if flags.has("resume") => read_cached_report(dir, name, key),
+        _ => None,
+    };
+    let reused = cached.is_some();
+    let report = match cached {
+        Some(r) => r,
+        None => {
+            let r = experiment.run(seed, &fleet).map_err(runtime)?;
+            if let Some((dir, key)) = &cache {
+                write_cached_report(dir, name, key, &r)?;
+            }
+            r
+        }
+    };
+    let cache_key = cache.as_ref().map(|(_, key)| key.clone());
     let mut out = report.rendered;
+    if reused {
+        let _ = writeln!(
+            out,
+            "reused cached report (key {})",
+            cache_key.as_deref().unwrap_or("")
+        );
+    }
     if let Some(path) = flags.values.get("json") {
         std::fs::write(path, &report.json).map_err(runtime)?;
         let _ = writeln!(out, "wrote {path}");
@@ -402,7 +503,7 @@ fn cmd_experiment(name: &str, flags: &Flags, telemetry: Option<&Path>) -> Result
     if let Some(dir) = telemetry {
         let t = Telemetry::new(16);
         t.registry.counter("experiment.runs").inc();
-        let manifest = RunManifest::capture(
+        let mut manifest = RunManifest::capture(
             &format!("experiment-{name}"),
             seed,
             &(name, quick),
@@ -410,6 +511,9 @@ fn cmd_experiment(name: &str, flags: &Flags, telemetry: Option<&Path>) -> Result
             1,
             started.elapsed(),
         );
+        if reused {
+            manifest = manifest.with_resume(cache_key.clone().unwrap_or_default(), 1);
+        }
         let paths = t
             .write_run(dir, &format!("experiment-{name}"), &manifest)
             .map_err(runtime)?;
@@ -427,13 +531,45 @@ fn cmd_experiments_run_all(flags: &Flags, telemetry: Option<&Path>) -> Result<St
     } else {
         workload::nara_fleet(seed)
     };
+    let cache = report_cache(flags, seed, quick, &fleet)?;
+    let resume = flags.has("resume");
     let started = Instant::now();
-    let reports = registry.run_all(seed, &fleet).map_err(runtime)?;
+    let mut reused = 0u64;
+    let reports = match &cache {
+        None => registry.run_all(seed, &fleet).map_err(runtime)?,
+        // With a cache dir the experiments run one at a time so every
+        // finished report is persisted before the next starts; on
+        // --resume, persisted reports are reused instead of re-run. The
+        // unit of resume is one whole experiment — coarser than the
+        // round-level simulate checkpoints, but enough to survive a kill
+        // partway through the sweep without repeating finished entries.
+        Some((dir, key)) => {
+            let mut v = Vec::new();
+            for e in registry.iter() {
+                let name = e.name();
+                if resume {
+                    if let Some(r) = read_cached_report(dir, name, key) {
+                        reused += 1;
+                        v.push((name, r));
+                        continue;
+                    }
+                }
+                let r = e.run(seed, &fleet).map_err(runtime)?;
+                write_cached_report(dir, name, key, &r)?;
+                v.push((name, r));
+            }
+            v
+        }
+    };
     let mut out = String::new();
     for (name, report) in &reports {
         let _ = writeln!(out, "== {name} ==");
         let _ = writeln!(out, "{}", report.rendered.trim_end());
         let _ = writeln!(out);
+    }
+    if reused > 0 {
+        let (dir, _) = cache.as_ref().expect("reused implies a cache dir");
+        let _ = writeln!(out, "reused {reused} cached reports from {}", dir.display());
     }
     if let Some(dir) = flags.values.get("json") {
         std::fs::create_dir_all(dir).map_err(runtime)?;
@@ -448,7 +584,7 @@ fn cmd_experiments_run_all(flags: &Flags, telemetry: Option<&Path>) -> Result<St
         t.registry
             .counter("experiment.runs")
             .add(reports.len() as u64);
-        let manifest = RunManifest::capture(
+        let mut manifest = RunManifest::capture(
             "experiments-run-all",
             seed,
             &("run-all", quick),
@@ -456,6 +592,10 @@ fn cmd_experiments_run_all(flags: &Flags, telemetry: Option<&Path>) -> Result<St
             reports.len() as u64,
             started.elapsed(),
         );
+        if reused > 0 {
+            let (_, key) = cache.as_ref().expect("reused implies a cache key");
+            manifest = manifest.with_resume(key.clone(), reused);
+        }
         let paths = t
             .write_run(dir, "experiments-run-all", &manifest)
             .map_err(runtime)?;
@@ -517,7 +657,7 @@ fn cmd_render(flags: &Flags) -> Result<String, CliError> {
 
 fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
     use dummyloc_server::server::spawn;
-    use dummyloc_server::{FaultPlan, ServeOptions};
+    use dummyloc_server::{FaultPlan, FsyncPolicy, ServeOptions, WalConfig};
     // The service area matches the loadgen's (and the experiments') Nara
     // default, so loadgen users stay in bounds.
     let area = dummyloc_geo::BBox::new(
@@ -540,6 +680,22 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
         stall: flags.num("fault-stall", 0.0)?,
         refuse_accept: flags.num("fault-refuse", 0.0)?,
     };
+    // `--wal <path>` makes the observer log durable: every recorded query
+    // is appended to a write-ahead log and replayed on the next start, so
+    // a crash (even kill -9) loses no acknowledged observation.
+    let wal = match flags.values.get("wal") {
+        None => None,
+        Some(path) => {
+            let fsync: FsyncPolicy = flags
+                .get("wal-fsync", "always")
+                .parse()
+                .map_err(|e: String| CliError::Usage(format!("--wal-fsync: {e}")))?;
+            Some(WalConfig {
+                path: PathBuf::from(path),
+                fsync,
+            })
+        }
+    };
     let config = ServeOptions::new()
         .addr(flags.get("addr", "127.0.0.1:7878"))
         .workers(flags.num("workers", 4)?)
@@ -554,6 +710,7 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
         .idle_timeout(millis_flag(flags, "idle-timeout-ms")?)
         .default_deadline(millis_flag(flags, "deadline-ms")?)
         .faults(faults)
+        .wal(wal.clone())
         .build()
         .map_err(|e| CliError::Usage(e.to_string()))?;
     let handle = spawn(config, pois).map_err(runtime)?;
@@ -562,6 +719,22 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
         handle.addr(),
         dummyloc_server::PROTOCOL_VERSION
     );
+    if let Some(wc) = &wal {
+        let stats = handle.stats();
+        let torn = if stats.wal.torn_truncations > 0 {
+            format!(
+                " (truncated a torn tail of {} bytes)",
+                stats.wal.truncated_bytes
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "wal: replayed {} records from {}{torn}",
+            stats.wal.replayed,
+            wc.path.display()
+        );
+    }
     match flags.values.get("duration") {
         // Scriptable mode: serve for N seconds, then drain and report.
         Some(v) => {
@@ -683,6 +856,69 @@ fn parse_query(flags: &Flags) -> Result<dummyloc_lbs::QueryKind, CliError> {
             "unknown query '{other}' (bus, nearest, range)"
         ))),
     }
+}
+
+/// The experiment commands' `--checkpoint <dir>` report cache. Returns
+/// the directory (created if absent) plus the cache key: a digest of the
+/// seed, the `--quick` switch and the exact workload contents. `--resume`
+/// reuses a stored report only under an identical key, so changing any
+/// of those inputs invalidates the cache automatically.
+fn report_cache(
+    flags: &Flags,
+    seed: u64,
+    quick: bool,
+    fleet: &Dataset,
+) -> Result<Option<(PathBuf, String)>, CliError> {
+    let Some(dir) = flags.values.get("checkpoint") else {
+        if flags.has("resume") {
+            return Err(CliError::Usage("--resume needs --checkpoint <dir>".into()));
+        }
+        return Ok(None);
+    };
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(runtime)?;
+    let key = dummyloc_telemetry::config_digest(&(seed, quick, workload_digest(fleet)));
+    Ok(Some((dir, key)))
+}
+
+fn cached_report_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.report.json"))
+}
+
+/// Loads a cached experiment report if one exists *and* was written under
+/// the same cache key. Any unreadable, torn or key-mismatched file is
+/// treated as a miss (the experiment simply re-runs).
+fn read_cached_report(dir: &Path, name: &str, key: &str) -> Option<ExperimentReport> {
+    let raw = std::fs::read_to_string(cached_report_path(dir, name)).ok()?;
+    let v: serde_json::Value = serde_json::from_str(&raw).ok()?;
+    if v.get("key")?.as_str()? != key {
+        return None;
+    }
+    Some(ExperimentReport {
+        rendered: v.get("rendered")?.as_str()?.to_string(),
+        json: v.get("json")?.as_str()?.to_string(),
+    })
+}
+
+/// Persists one experiment report under `key`, atomically (tmp + rename)
+/// so a kill mid-write can never leave a torn entry a later `--resume`
+/// would trust.
+fn write_cached_report(
+    dir: &Path,
+    name: &str,
+    key: &str,
+    report: &ExperimentReport,
+) -> Result<(), CliError> {
+    let payload = serde_json::json!({
+        "key": key,
+        "rendered": report.rendered,
+        "json": report.json,
+    });
+    let path = cached_report_path(dir, name);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, serde_json::to_string(&payload).map_err(runtime)?).map_err(runtime)?;
+    std::fs::rename(&tmp, &path).map_err(runtime)?;
+    Ok(())
 }
 
 /// Loads the workload named by `--workload <path.csv|path.json>`, or
@@ -929,6 +1165,112 @@ mod tests {
             assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
         }
         assert!(out.contains(&format!("wrote {} JSON reports", registry.len())));
+    }
+
+    #[test]
+    fn simulate_checkpoint_resume_is_byte_identical() {
+        let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let ckpt_dir = tmp("sim-ckpt");
+        std::fs::remove_dir_all(&ckpt_dir).ok();
+        let base = "simulate --count 5 --duration 240 --seed 11 --generator mln";
+        // The uninterrupted reference run.
+        let full_json = tmp("sim-full.json");
+        run(&args(&format!(
+            "{base} --threads 2 --json {}",
+            full_json.display()
+        )))
+        .unwrap();
+        // A capturing run: every round rolls latest.ckpt, and the final
+        // round is never captured, so the file ends up holding a genuine
+        // mid-run state (round total-1).
+        let out = run(&args(&format!(
+            "{base} --threads 2 --checkpoint {} --checkpoint-every 1",
+            ckpt_dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("checkpoints:"), "{out}");
+        let ckpt = SimCheckpoint::read_from(&ckpt_dir.join("latest.ckpt")).unwrap();
+        assert!(ckpt.completed_rounds < ckpt.total_rounds);
+        // Resume at a *different* thread count with telemetry: the JSON
+        // summary must be byte-identical and the manifest must record
+        // lineage.
+        let resumed_json = tmp("sim-resumed.json");
+        let tele_dir = tmp("sim-resumed-tele");
+        let out = run(&args(&format!(
+            "{base} --threads 3 --checkpoint {} --resume --json {} --telemetry {}",
+            ckpt_dir.display(),
+            resumed_json.display(),
+            tele_dir.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains(&format!("resumed:       round {}", ckpt.completed_rounds)),
+            "{out}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&full_json).unwrap(),
+            std::fs::read_to_string(&resumed_json).unwrap()
+        );
+        let manifest: dummyloc_telemetry::RunManifest = serde_json::from_str(
+            &std::fs::read_to_string(tele_dir.join("simulate.manifest.json")).unwrap(),
+        )
+        .unwrap();
+        let lineage = manifest.resume.expect("resumed run records lineage");
+        assert_eq!(lineage.resumed_at_round, ckpt.completed_rounds as u64);
+        assert_eq!(lineage.parent, format!("{:016x}", ckpt.digest().unwrap()));
+        // --resume without a checkpoint file starts fresh rather than
+        // failing, so crash-loop scripts can pass it unconditionally.
+        std::fs::remove_dir_all(&ckpt_dir).ok();
+        let out = run(&args(&format!(
+            "{base} --checkpoint {} --resume",
+            ckpt_dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("started fresh"), "{out}");
+        // The flags demand a directory to act on.
+        assert!(matches!(
+            run(&args("simulate --count 2 --duration 60 --resume")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(
+                "simulate --count 2 --duration 60 --checkpoint-every 2"
+            )),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn experiment_report_cache_reuses_on_resume() {
+        let dir = tmp("exp-cache");
+        std::fs::remove_dir_all(&dir).ok();
+        let cmd = format!("experiment table1 --quick --checkpoint {}", dir.display());
+        let first = run(&args(&cmd)).unwrap();
+        assert!(dir.join("table1.report.json").exists());
+        // A resume reuses the cached report verbatim (and says so).
+        let second = run(&args(&format!("{cmd} --resume"))).unwrap();
+        assert!(second.contains("reused cached report"), "{second}");
+        assert!(second.starts_with(first.trim_end()));
+        // A different seed changes the key, so the cache misses and the
+        // stale entry is replaced rather than reused.
+        let reseeded = run(&args(&format!("{cmd} --resume --seed 7"))).unwrap();
+        assert!(!reseeded.contains("reused"), "{reseeded}");
+        assert!(matches!(
+            run(&args("experiment table1 --quick --resume")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_rejects_bad_wal_fsync_policy() {
+        assert!(matches!(
+            run(&args("serve --wal /tmp/x.wal --wal-fsync sometimes")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("serve --wal /tmp/x.wal --wal-fsync every-0")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -162,6 +162,24 @@ impl<G: DummyGenerator> Client<G> {
         self.dummies.clear();
     }
 
+    /// Restores a mid-session state from a checkpoint: the dummy positions
+    /// captured by [`Client::dummies`] are reinstated and the session is
+    /// marked started, so the next [`Client::step`] continues exactly
+    /// where the checkpointed session left off (given the same RNG state).
+    ///
+    /// Errors if the dummy count disagrees with the configuration — a
+    /// checkpoint for a different run must not be silently accepted.
+    pub fn resume_session(&mut self, dummies: Vec<Point>) -> Result<()> {
+        if dummies.len() != self.dummy_count {
+            return Err(CoreError::Protocol {
+                message: "checkpointed dummy count disagrees with configuration",
+            });
+        }
+        self.dummies = dummies;
+        self.started = true;
+        Ok(())
+    }
+
     fn check_in_area(&self, p: Point) -> Result<()> {
         if self.generator.area().contains(p) {
             Ok(())
@@ -348,6 +366,34 @@ mod tests {
         assert_eq!(round.truth_index, 0);
         let round = c.step(&mut rng, Point::new(2.0, 2.0), &NoDensity).unwrap();
         assert_eq!(round.request.positions, vec![Point::new(2.0, 2.0)]);
+    }
+
+    #[test]
+    fn resume_session_continues_identically() {
+        use dummyloc_geo::rng::SimRng;
+        // Run 5 rounds straight through…
+        let mut rng = SimRng::seed_from_u64(77);
+        let mut c = client(3);
+        c.begin(&mut rng, Point::new(500.0, 500.0)).unwrap();
+        c.step(&mut rng, Point::new(501.0, 500.0), &NoDensity)
+            .unwrap();
+        // …checkpoint here (dummies + RNG state)…
+        let saved_dummies = c.dummies().to_vec();
+        let saved_rng = rng.state();
+        let straight = c
+            .step(&mut rng, Point::new(502.0, 500.0), &NoDensity)
+            .unwrap();
+        // …and resume a fresh client from the checkpoint.
+        let mut rng2 = SimRng::from_state(saved_rng);
+        let mut c2 = client(3);
+        c2.resume_session(saved_dummies).unwrap();
+        let resumed = c2
+            .step(&mut rng2, Point::new(502.0, 500.0), &NoDensity)
+            .unwrap();
+        assert_eq!(straight, resumed);
+        // Wrong dummy count is rejected.
+        let mut c3 = client(2);
+        assert!(c3.resume_session(vec![Point::new(1.0, 1.0)]).is_err());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 use dummyloc_geo::CellId;
+use serde::{Deserialize, Serialize};
 
 use crate::population::PopulationGrid;
 
@@ -53,7 +54,7 @@ pub fn congestion_p(pop: &PopulationGrid, cell: CellId) -> u32 {
 }
 
 /// The paper's Figure-8 buckets for per-region `Shift(P)` values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ShiftBuckets {
     /// Regions whose population did not change (`shift = 0`).
     pub none: u64,

@@ -53,6 +53,24 @@ impl PopulationGrid {
         Ok(())
     }
 
+    /// Rebuilds a population from checkpointed raw counts (the inverse of
+    /// [`PopulationGrid::counts`]); fails if the count vector does not
+    /// match the grid's region count.
+    pub fn from_counts(grid: &Grid, counts: Vec<u32>) -> Result<Self> {
+        if counts.len() != grid.cell_count() {
+            return Err(crate::CoreError::GridMismatch {
+                expected: grid.cell_count(),
+                got: counts.len(),
+            });
+        }
+        let total = counts.iter().map(|&c| u64::from(c)).sum();
+        Ok(PopulationGrid {
+            grid: grid.clone(),
+            counts,
+            total,
+        })
+    }
+
     /// Adds every count of `other` into `self` — the shard-merge used by
     /// the parallel engine. Counts are plain integer sums, so merging in
     /// any order produces the same population as counting all positions

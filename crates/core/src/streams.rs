@@ -20,7 +20,7 @@
 //! (platform-stable), creation-order-independent, and the resulting
 //! streams are pairwise non-overlapping over a million draws.
 
-use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_geo::rng::{derive_seed, rng_from_seed, SimRng};
 use rand::rngs::StdRng;
 
 /// A root seed from which independent child streams are derived.
@@ -49,6 +49,13 @@ impl SeedTree {
     /// The workspace-standard RNG for stream `index`.
     pub fn rng(&self, index: u64) -> StdRng {
         rng_from_seed(self.child_seed(index))
+    }
+
+    /// The checkpointable RNG for stream `index` — same derivation
+    /// discipline as [`SeedTree::rng`], but with serializable state so a
+    /// simulation can suspend and resume the stream bit-for-bit.
+    pub fn sim_rng(&self, index: u64) -> SimRng {
+        SimRng::seed_from_u64(self.child_seed(index))
     }
 
     /// A tree rooted at child `index`, for nested stream splits.

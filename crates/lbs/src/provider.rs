@@ -255,6 +255,45 @@ impl ObserverLog {
         }
     }
 
+    /// FNV-1a digest of one pseudonym's time-ordered stream: timestamps
+    /// and every reported position folded bit-exactly (f64 bit patterns,
+    /// little-endian). Two logs agree on a pseudonym's digest iff they
+    /// recorded the same reports in the same order — the check the WAL
+    /// replay and crash-recovery suites rely on. `None` for unknown
+    /// pseudonyms.
+    pub fn stream_digest(&self, pseudonym: &str) -> Option<u64> {
+        let s = self.streams.get(pseudonym)?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let fold = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for (t, req) in s.times.iter().zip(&s.requests) {
+            fold(&mut h, &t.to_bits().to_le_bytes());
+            fold(&mut h, req.pseudonym.as_bytes());
+            for p in &req.positions {
+                fold(&mut h, &p.x.to_bits().to_le_bytes());
+                fold(&mut h, &p.y.to_bits().to_le_bytes());
+            }
+        }
+        Some(h)
+    }
+
+    /// [`ObserverLog::stream_digest`] for every pseudonym, sorted by
+    /// pseudonym — the canonical whole-log fingerprint (independent of
+    /// first-appearance order, which sharding perturbs).
+    pub fn stream_digests(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .order
+            .iter()
+            .map(|p| (p.clone(), self.stream_digest(p).expect("listed pseudonym")))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Total recorded requests.
     pub fn len(&self) -> usize {
         self.streams.values().map(|s| s.requests.len()).sum()
@@ -300,6 +339,15 @@ impl Provider {
     /// The POI database being served.
     pub fn pois(&self) -> &PoiDatabase {
         &self.pois
+    }
+
+    /// Restores checkpointed cost counters — the simulation engine's
+    /// resume path: the counters are a pure fold over the requests served
+    /// so far, so reinstating them (rather than replaying every request)
+    /// continues the accounting exactly. The observer log is *not*
+    /// restored; nothing in a simulation outcome reads it.
+    pub fn restore_cost(&mut self, cost: CostAccounting) {
+        self.cost = cost;
     }
 
     /// Accumulated cost counters.

@@ -21,8 +21,8 @@ use serde::{Deserialize, Serialize};
 use crate::error::{Result, ServerError};
 use crate::fault::splitmix;
 use crate::proto::{
-    write_frame, ClientFrame, FrameEvent, FrameReader, ServerFrame, DEFAULT_MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    write_frame, ClientFrame, ErrorKind, FrameEvent, FrameReader, ServerFrame,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::stats::StatsSnapshot;
 
@@ -35,6 +35,15 @@ pub enum QueryOutcome {
     Overloaded,
     /// The deadline expired before an answer was sent; safe to retry.
     Deadline,
+    /// The server answered this query's id with a typed error frame —
+    /// e.g. [`ErrorKind::Internal`] when the worker serving it panicked.
+    /// Safe to retry under the same id.
+    Failed {
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 /// One connection to a `dummyloc-server`, already past the `Hello`
@@ -163,6 +172,16 @@ impl ServiceClient {
                 }
                 ServerFrame::Busy { limit } => {
                     return Err(ServerError::Busy { limit });
+                }
+                ServerFrame::Error {
+                    id: Some(rid),
+                    kind,
+                    message,
+                } if rid == id => {
+                    // Query-scoped error (e.g. a contained worker panic):
+                    // the connection may still be healthy, so surface it
+                    // typed instead of tearing the client down.
+                    return Ok(QueryOutcome::Failed { kind, message });
                 }
                 ServerFrame::Error { kind, message, .. } => {
                     return Err(ServerError::Protocol {
@@ -298,6 +317,9 @@ pub struct RetryStats {
     pub deadline_misses: u64,
     /// `Busy` bounces absorbed while connecting.
     pub busy: u64,
+    /// Typed per-query error frames absorbed (e.g. contained worker
+    /// panics answered with `Internal`).
+    pub server_errors: u64,
     /// Wall-clock microseconds the retry loop spent on fault tolerance:
     /// backoff sleeps plus failed attempts, summed over all queries. The
     /// winning attempt's own latency is *not* included, so this is the
@@ -402,6 +424,17 @@ impl RetryingClient {
                 Ok(QueryOutcome::Deadline) => {
                     self.stats.deadline_misses += 1;
                     last = "deadline expired".to_string();
+                }
+                Ok(QueryOutcome::Failed { kind, message }) => {
+                    self.stats.server_errors += 1;
+                    // An Internal error leaves the connection healthy (the
+                    // worker respawned); anything else means the server is
+                    // about to close it, so rebuild before retrying.
+                    if kind != ErrorKind::Internal {
+                        self.conn = None;
+                        self.stats.reconnects += 1;
+                    }
+                    last = format!("{kind:?}: {message}");
                 }
                 Err(e) => {
                     // Timed out, garbled, or closed: this connection can no

@@ -17,9 +17,9 @@
 //! observer log the privacy analysis consumes) well-defined.
 
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -220,11 +220,17 @@ impl FaultInjector {
 
     /// Transmits one already-serialized frame line (no newline) through
     /// the fault model. Returns the fate so the caller can latch `Stall`.
+    ///
+    /// `cancel` bounds the delay fault: the sleep is sliced and abandoned
+    /// as soon as the flag is raised, so a server shutdown never waits
+    /// out a long injected delay (the frame is still delivered — only
+    /// the hold is cut short).
     pub fn transmit<W: Write>(
         &self,
         w: &mut W,
         line: &str,
         stats: &ServerStats,
+        cancel: &AtomicBool,
     ) -> io::Result<FrameFate> {
         let fate = self.fate(stats);
         if matches!(fate, FrameFate::Stall | FrameFate::Drop) {
@@ -232,7 +238,7 @@ impl FaultInjector {
         }
         if self.delay.fire() {
             stats.record_fault_delayed();
-            std::thread::sleep(self.delay_for);
+            sleep_unless(self.delay_for, cancel);
         }
         match fate {
             FrameFate::Deliver => {
@@ -251,6 +257,20 @@ impl FaultInjector {
         w.write_all(b"\n")?;
         w.flush()?;
         Ok(fate)
+    }
+}
+
+/// Sleeps up to `total`, in small slices, returning early once `cancel`
+/// is raised — the bounded-shutdown guarantee under delay faults.
+fn sleep_unless(total: Duration, cancel: &AtomicBool) {
+    const SLICE: Duration = Duration::from_millis(10);
+    let deadline = Instant::now() + total;
+    while !cancel.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        std::thread::sleep((deadline - now).min(SLICE));
     }
 }
 
@@ -344,7 +364,8 @@ mod tests {
         let inj = FaultInjector::from_plan(&p).unwrap();
         let mut wire = Vec::new();
         assert_eq!(
-            inj.transmit(&mut wire, &line, &stats).unwrap(),
+            inj.transmit(&mut wire, &line, &stats, &AtomicBool::new(false))
+                .unwrap(),
             FrameFate::Truncate
         );
         let text = String::from_utf8(wire).unwrap();
@@ -353,6 +374,28 @@ mod tests {
         assert_eq!(payload.len(), line.len() / 2);
         assert!(serde_json::from_str::<crate::proto::ServerFrame>(payload).is_err());
         assert_eq!(stats.snapshot().faults.truncated, 1);
+    }
+
+    #[test]
+    fn raised_cancel_flag_cuts_an_injected_delay_short() {
+        let p = FaultPlan {
+            delay: 1.0,
+            delay_ms: 60_000,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::from_plan(&p).unwrap();
+        let stats = ServerStats::new();
+        let mut wire = Vec::new();
+        let started = Instant::now();
+        let fate = inj
+            .transmit(&mut wire, "{}", &stats, &AtomicBool::new(true))
+            .unwrap();
+        // A 60 s injected delay returns immediately under cancellation,
+        // and the frame is still delivered intact.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(fate, FrameFate::Deliver);
+        assert_eq!(wire, b"{}\n");
+        assert_eq!(stats.snapshot().faults.delayed, 1);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`]):
 //!   dropped/delayed/truncated/corrupted replies, stalled connections,
 //!   refused accepts — every one tallied in [`stats`],
+//! * [`wal`] — the observer write-ahead log: length-prefixed checksummed
+//!   records appended before each `Answer` frame, replayed at startup
+//!   (torn tails truncated, never panicking), so a `kill -9` loses no
+//!   acknowledged query,
 //! * [`options`] — validated [`ServeOptions`]/[`LoadgenOptions`] builders
 //!   shared by the CLI and tests,
 //! * [`loadgen`] — M concurrent simulated users (rickshaw tracks + MN/MLN
@@ -73,6 +77,7 @@ pub mod proto;
 pub mod server;
 pub mod shard;
 pub mod stats;
+pub mod wal;
 
 pub use client::{QueryOutcome, RetryPolicy, RetryStats, RetryingClient, ServiceClient};
 pub use error::{Result, ServerError};
@@ -82,4 +87,5 @@ pub use options::{LoadgenOptions, ServeOptions};
 pub use proto::{ClientFrame, ErrorKind, ServerFrame, PROTOCOL_VERSION};
 pub use server::{spawn, ServerConfig, ServerHandle, ShutdownReport};
 pub use shard::ShardedLog;
-pub use stats::{FaultCounters, ServerStats, StatsSnapshot};
+pub use stats::{FaultCounters, ServerStats, StatsSnapshot, WalCounters};
+pub use wal::{FsyncPolicy, WalConfig};

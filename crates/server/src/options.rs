@@ -17,6 +17,7 @@ use crate::error::Result;
 use crate::fault::FaultPlan;
 use crate::loadgen::{GeneratorChoice, LoadgenConfig};
 use crate::server::ServerConfig;
+use crate::wal::WalConfig;
 
 /// Chainable, validated builder for a [`ServerConfig`].
 #[derive(Debug, Clone, Default)]
@@ -93,6 +94,19 @@ impl ServeOptions {
     /// Test hook: artificial per-job service time.
     pub fn worker_delay(mut self, delay: Option<Duration>) -> Self {
         self.config.worker_delay = delay;
+        self
+    }
+
+    /// Observer write-ahead log (replayed at startup, appended to while
+    /// serving). `None` keeps the observer log memory-only.
+    pub fn wal(mut self, wal: Option<WalConfig>) -> Self {
+        self.config.wal = wal;
+        self
+    }
+
+    /// Test hook: panic the worker serving this pseudonym.
+    pub fn panic_pseudonym(mut self, pseudonym: Option<String>) -> Self {
+        self.config.panic_pseudonym = pseudonym;
         self
     }
 
@@ -203,12 +217,18 @@ mod tests {
             .max_connections(16)
             .idle_timeout(Some(Duration::from_millis(500)))
             .default_deadline(Some(Duration::from_millis(250)))
+            .wal(Some(WalConfig::new("/tmp/does-not-matter.wal")))
             .build()
             .unwrap();
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.max_connections, 16);
         assert_eq!(cfg.idle_timeout, Some(Duration::from_millis(500)));
 
+        let bad_wal = WalConfig {
+            fsync: crate::wal::FsyncPolicy::EveryN(0),
+            ..WalConfig::new("/tmp/x.wal")
+        };
+        assert!(ServeOptions::new().wal(Some(bad_wal)).build().is_err());
         let err = ServeOptions::new().workers(0).build().unwrap_err();
         assert!(matches!(err, ServerError::Config { .. }), "{err}");
         let bad_plan = FaultPlan {

@@ -20,8 +20,10 @@ use crate::stats::StatsSnapshot;
 /// Version spoken by this build. Bumped on any incompatible frame change.
 /// Version 2 added per-query deadlines plus the `Deadline` and `Busy`
 /// server frames. Version 3 added the `Metrics` exchange serving the full
-/// telemetry registry snapshot.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// telemetry registry snapshot. Version 4 added the `Internal` error kind
+/// (a contained worker panic) and the WAL / worker-restart counters in
+/// the `Stats` snapshot.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Default per-frame size cap (bytes, excluding the newline).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
@@ -131,6 +133,10 @@ pub enum ErrorKind {
     /// The connection sat idle past the server's reap timeout and was
     /// closed.
     IdleTimeout,
+    /// The worker answering this query panicked. The panic was contained,
+    /// the worker respawned, and only this query was lost; it is safe to
+    /// retry under the same id.
+    Internal,
 }
 
 /// Serializes one frame and writes it as a single line.

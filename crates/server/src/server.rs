@@ -8,13 +8,24 @@
 //! explicit and memory stays bounded. Shutdown stops accepting, lets
 //! readers wind down, and drains every job already queued before workers
 //! exit (reply channels stay open while any queued job holds a sender).
+//!
+//! Two robustness layers ride on top: an optional observer
+//! [write-ahead log](crate::wal) makes every acknowledged query durable
+//! across a crash (startup replay rebuilds the exact
+//! [`ShardedLog`] state), and every worker runs under a supervision loop
+//! that contains panics — the affected connection gets a typed
+//! [`ErrorKind::Internal`] frame, the worker is respawned, and
+//! `server.worker.restarts` counts the incident.
 
 use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use dummyloc_core::client::Request;
@@ -30,6 +41,7 @@ use crate::proto::{
 };
 use crate::shard::ShardedLog;
 use crate::stats::{ServerStats, StatsSnapshot};
+use crate::wal::{self, WalConfig, WalRecord, WalWriter};
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -61,6 +73,14 @@ pub struct ServerConfig {
     /// Test hook: artificial per-job service time, used to provoke
     /// overload deterministically.
     pub worker_delay: Option<Duration>,
+    /// Observer write-ahead log. `None` keeps the log memory-only;
+    /// `Some` replays the file at startup and appends every committed
+    /// observer record before its `Answer` frame is sent.
+    pub wal: Option<WalConfig>,
+    /// Test hook: a worker panics when it serves a query whose pseudonym
+    /// equals this value — the deterministic trigger the supervision
+    /// tests use.
+    pub panic_pseudonym: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +97,8 @@ impl Default for ServerConfig {
             default_deadline: None,
             faults: FaultPlan::none(),
             worker_delay: None,
+            wal: None,
+            panic_pseudonym: None,
         }
     }
 }
@@ -99,6 +121,11 @@ impl ServerConfig {
         }
         if let Err(message) = self.faults.validate() {
             return err(message);
+        }
+        if let Some(wal) = &self.wal {
+            if wal.fsync == crate::wal::FsyncPolicy::EveryN(0) {
+                return err("wal fsync interval must be at least 1".into());
+            }
         }
         Ok(())
     }
@@ -123,6 +150,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     log: Arc<ShardedLog>,
+    wal: Option<Arc<Mutex<WalWriter>>>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -170,6 +198,11 @@ impl ServerHandle {
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
+        // Whatever the fsync policy, an orderly stop leaves the WAL on
+        // the platter.
+        if let Some(w) = &self.wal {
+            let _ = w.lock().sync();
+        }
         ShutdownReport {
             stats: self.stats.snapshot(),
             log: self.log.merged(),
@@ -189,6 +222,25 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
     let pois = Arc::new(pois);
     let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_depth.max(1));
 
+    // Replay-then-append: the WAL is restored into the sharded log before
+    // the first connection is accepted, so a restarted server continues
+    // the observer streams (and the arrival sequence) where the crashed
+    // one stopped.
+    let wal_writer = match &config.wal {
+        None => None,
+        Some(wc) => {
+            let summary = wal::replay(&wc.path, |r| {
+                if log.replay(r.t, r.seq, r.request_id, r.request) {
+                    stats.record_wal_replayed();
+                }
+            })?;
+            if summary.torn {
+                stats.record_wal_torn(summary.truncated_bytes);
+            }
+            Some(Arc::new(Mutex::new(WalWriter::open(wc)?)))
+        }
+    };
+
     let workers = (0..config.workers.max(1))
         .map(|_| {
             let rx = job_rx.clone();
@@ -196,7 +248,23 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
             let log = Arc::clone(&log);
             let stats = Arc::clone(&stats);
             let delay = config.worker_delay;
-            std::thread::spawn(move || worker_loop(rx, pois, log, stats, delay))
+            let wal = wal_writer.clone();
+            let panic_pseudonym = config.panic_pseudonym.clone();
+            std::thread::spawn(move || {
+                // Supervision loop: one `worker_loop` call is one worker
+                // incarnation. A contained panic retires it and the next
+                // iteration is the respawned replacement over the same
+                // queue — no job other than the panicking one is lost.
+                while let WorkerExit::Panicked = worker_loop(
+                    &rx,
+                    &pois,
+                    &log,
+                    &stats,
+                    delay,
+                    wal.as_ref(),
+                    panic_pseudonym.as_deref(),
+                ) {}
+            })
         })
         .collect();
     drop(job_rx);
@@ -212,51 +280,123 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
         shutdown,
         stats,
         log,
+        wal: wal_writer,
         accept: Some(accept),
         workers,
     })
 }
 
+/// Why one worker incarnation ended.
+enum WorkerExit {
+    /// The job queue closed and drained — orderly shutdown.
+    Drained,
+    /// A job panicked; the supervision loop should respawn the worker.
+    Panicked,
+}
+
+/// Best-effort text of a panic payload (`panic!` with a literal or a
+/// formatted string covers practically all of them).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
 fn worker_loop(
-    rx: Receiver<Job>,
-    pois: Arc<PoiDatabase>,
-    log: Arc<ShardedLog>,
-    stats: Arc<ServerStats>,
+    rx: &Receiver<Job>,
+    pois: &Arc<PoiDatabase>,
+    log: &Arc<ShardedLog>,
+    stats: &Arc<ServerStats>,
     delay: Option<Duration>,
-) {
+    wal: Option<&Arc<Mutex<WalWriter>>>,
+    panic_pseudonym: Option<&str>,
+) -> WorkerExit {
     // Ends when every job sender (acceptor + connections) is gone and the
     // queue is drained — exactly the shutdown contract.
     while let Ok(job) = rx.recv() {
-        // Queued-expiry cancellation: a job whose deadline passed while it
-        // waited is answered with `Deadline` and never computed or logged.
-        if job.deadline.is_some_and(|dl| Instant::now() > dl) {
-            stats.record_deadline_queued();
-            let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
-            continue;
+        let id = job.id;
+        let reply = job.reply.clone();
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            serve_job(job, pois, log, stats, delay, wal, panic_pseudonym)
+        }));
+        if let Err(payload) = outcome {
+            // The panic reaches exactly one connection, as a typed frame;
+            // every other connection never notices.
+            stats.record_worker_restart();
+            let _ = reply.send(ServerFrame::Error {
+                id: Some(id),
+                kind: ErrorKind::Internal,
+                message: format!("worker panicked: {}", panic_message(&*payload)),
+            });
+            return WorkerExit::Panicked;
         }
-        if let Some(d) = delay {
-            std::thread::sleep(d);
-        }
-        let response = answer_request(&pois, job.t, &job.request, &job.query);
-        // In-flight expiry: the answer exists but arrived too late to send.
-        // It is not logged either — the observer sees only what was served.
-        if job.deadline.is_some_and(|dl| Instant::now() > dl) {
-            stats.record_deadline_inflight();
-            let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
-            continue;
-        }
-        let positions = job.request.positions.len();
-        // The query id doubles as the idempotency key: a retried query is
-        // answered again but recorded in the observer log only once.
-        if !log.record_unique(job.t, job.id, job.request) {
-            stats.record_dedup_hit();
-        }
-        stats.record_answer(&job.query, positions, job.enqueued.elapsed());
-        let _ = job.reply.send(ServerFrame::Answer {
-            id: job.id,
-            response,
-        });
     }
+    WorkerExit::Drained
+}
+
+fn serve_job(
+    job: Job,
+    pois: &PoiDatabase,
+    log: &ShardedLog,
+    stats: &ServerStats,
+    delay: Option<Duration>,
+    wal: Option<&Arc<Mutex<WalWriter>>>,
+    panic_pseudonym: Option<&str>,
+) {
+    // Queued-expiry cancellation: a job whose deadline passed while it
+    // waited is answered with `Deadline` and never computed or logged.
+    if job.deadline.is_some_and(|dl| Instant::now() > dl) {
+        stats.record_deadline_queued();
+        let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
+        return;
+    }
+    if panic_pseudonym.is_some_and(|p| p == job.request.pseudonym) {
+        panic!("injected panic for pseudonym {:?}", job.request.pseudonym);
+    }
+    if let Some(d) = delay {
+        std::thread::sleep(d);
+    }
+    let response = answer_request(pois, job.t, &job.request, &job.query);
+    // In-flight expiry: the answer exists but arrived too late to send.
+    // It is not logged either — the observer sees only what was served.
+    if job.deadline.is_some_and(|dl| Instant::now() > dl) {
+        stats.record_deadline_inflight();
+        let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
+        return;
+    }
+    let positions = job.request.positions.len();
+    let wal_request = wal.map(|_| job.request.clone());
+    // The query id doubles as the idempotency key: a retried query is
+    // answered again but recorded in the observer log (and the WAL) only
+    // once — which is what makes replay-after-crash dedup-safe.
+    match log.record_unique_seq(job.t, job.id, job.request) {
+        None => stats.record_dedup_hit(),
+        Some(seq) => {
+            if let Some(w) = wal {
+                let record = WalRecord {
+                    t: job.t,
+                    seq,
+                    request_id: Some(job.id),
+                    request: wal_request.expect("cloned whenever the wal is on"),
+                };
+                // Durability before acknowledgement: the record hits the
+                // log before the Answer frame is queued below.
+                match w.lock().append(&record) {
+                    Ok(()) => stats.record_wal_append(),
+                    Err(_) => stats.record_wal_error(),
+                }
+            }
+        }
+    }
+    stats.record_answer(&job.query, positions, job.enqueued.elapsed());
+    let _ = job.reply.send(ServerFrame::Answer {
+        id: job.id,
+        response,
+    });
 }
 
 fn accept_loop(
@@ -328,6 +468,7 @@ fn connection_loop(
     let (reply_tx, reply_rx) = channel::unbounded::<ServerFrame>();
     let writer = {
         let stats = Arc::clone(&stats);
+        let shutdown = Arc::clone(&shutdown);
         std::thread::spawn(move || {
             let mut w = BufWriter::new(write_half);
             // Once a stall fault fires, the connection withholds this frame
@@ -348,7 +489,7 @@ fn connection_loop(
                         let Ok(line) = serde_json::to_string(&frame) else {
                             break;
                         };
-                        match inj.transmit(&mut w, &line, &stats) {
+                        match inj.transmit(&mut w, &line, &stats, &shutdown) {
                             Ok(FrameFate::Stall) => stalled = true,
                             Ok(_) => {}
                             Err(_) => break,

@@ -53,6 +53,12 @@ pub struct ServerStats {
     faults_corrupted: Arc<Counter>,
     faults_stalled: Arc<Counter>,
     faults_refused_accepts: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    wal_appended: Arc<Counter>,
+    wal_replayed: Arc<Counter>,
+    wal_torn_truncations: Arc<Counter>,
+    wal_truncated_bytes: Arc<Counter>,
+    wal_errors: Arc<Counter>,
     latency: [Arc<Histogram>; KINDS],
 }
 
@@ -95,6 +101,12 @@ impl ServerStats {
             faults_corrupted: c("server.faults.corrupted"),
             faults_stalled: c("server.faults.stalled"),
             faults_refused_accepts: c("server.faults.refused_accepts"),
+            worker_restarts: c("server.worker.restarts"),
+            wal_appended: c("server.wal.appended"),
+            wal_replayed: c("server.wal.replayed"),
+            wal_torn_truncations: c("server.wal.torn_truncations"),
+            wal_truncated_bytes: c("server.wal.truncated_bytes"),
+            wal_errors: c("server.wal.errors"),
             latency,
             registry,
         }
@@ -185,6 +197,33 @@ impl ServerStats {
         self.faults_refused_accepts.inc();
     }
 
+    /// One worker panic contained and the worker respawned.
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.inc();
+    }
+
+    /// One observer record appended to the WAL.
+    pub fn record_wal_append(&self) {
+        self.wal_appended.inc();
+    }
+
+    /// One observer record restored from the WAL at startup.
+    pub fn record_wal_replayed(&self) {
+        self.wal_replayed.inc();
+    }
+
+    /// One torn WAL tail truncated away during replay.
+    pub fn record_wal_torn(&self, truncated_bytes: u64) {
+        self.wal_torn_truncations.inc();
+        self.wal_truncated_bytes.add(truncated_bytes);
+    }
+
+    /// One WAL append that failed (the query was still answered; the
+    /// record is lost if the server now crashes).
+    pub fn record_wal_error(&self) {
+        self.wal_errors.inc();
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -205,6 +244,14 @@ impl ServerStats {
                 corrupted: self.faults_corrupted.get(),
                 stalled: self.faults_stalled.get(),
                 refused_accepts: self.faults_refused_accepts.get(),
+            },
+            worker_restarts: self.worker_restarts.get(),
+            wal: WalCounters {
+                appended: self.wal_appended.get(),
+                replayed: self.wal_replayed.get(),
+                torn_truncations: self.wal_torn_truncations.get(),
+                truncated_bytes: self.wal_truncated_bytes.get(),
+                errors: self.wal_errors.get(),
             },
             latency: (0..KINDS)
                 .map(|k| KindHistogram {
@@ -244,8 +291,27 @@ pub struct StatsSnapshot {
     pub dedup_hits: u64,
     /// Injected-fault tallies (all zero when no fault plan is active).
     pub faults: FaultCounters,
+    /// Worker panics contained (each one respawned its worker).
+    pub worker_restarts: u64,
+    /// Write-ahead-log tallies (all zero when the WAL is off).
+    pub wal: WalCounters,
     /// Per-query-kind latency histogram.
     pub latency: Vec<KindHistogram>,
+}
+
+/// Durability tallies of the observer write-ahead log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WalCounters {
+    /// Records appended since this process started.
+    pub appended: u64,
+    /// Records restored by startup replay.
+    pub replayed: u64,
+    /// Torn tails truncated away during replay (0 or 1 per startup).
+    pub torn_truncations: u64,
+    /// Bytes removed by those truncations.
+    pub truncated_bytes: u64,
+    /// Appends that failed (answered anyway, durability lost).
+    pub errors: u64,
 }
 
 /// Tallies of injected faults, one per fault kind, so a chaos run can
@@ -327,6 +393,11 @@ mod tests {
         s.record_fault_corrupted();
         s.record_fault_stalled();
         s.record_fault_refused();
+        s.record_worker_restart();
+        s.record_wal_append();
+        s.record_wal_replayed();
+        s.record_wal_torn(17);
+        s.record_wal_error();
         let snap = s.snapshot();
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.positions, 10);
@@ -347,6 +418,15 @@ mod tests {
             refused_accepts: 1,
         };
         assert_eq!(snap.faults, all_one);
+        assert_eq!(snap.worker_restarts, 1);
+        let wal = WalCounters {
+            appended: 1,
+            replayed: 1,
+            torn_truncations: 1,
+            truncated_bytes: 17,
+            errors: 1,
+        };
+        assert_eq!(snap.wal, wal);
         assert_eq!(snap.histogram_total("next_bus"), 2);
         let bus = &snap.latency[2];
         assert_eq!(bus.counts[0], 1); // 30 µs ≤ 50 µs

@@ -1,0 +1,417 @@
+//! Append-only write-ahead log for observer-log mutations.
+//!
+//! Every committed observer record — one per `(pseudonym, request id)`
+//! pair the server actually logged — is appended here *before* the
+//! `Answer` frame leaves the server, so a `kill -9` can never lose a
+//! query the client saw acknowledged. Each record is length-prefixed and
+//! checksummed:
+//!
+//! ```text
+//! [u32 payload-len LE][u64 FNV-1a(payload) LE][payload JSON]
+//! ```
+//!
+//! On startup the server replays the log through
+//! [`ShardedLog::replay`](crate::shard::ShardedLog::replay), restoring
+//! the exact sequence stamps and idempotency keys, so the rebuilt
+//! [`ObserverLog`](dummyloc_lbs::provider::ObserverLog) is byte-identical
+//! to the pre-crash one (verifiable via per-pseudonym stream digests). A
+//! torn final record — the telltale of a crash mid-append — is truncated
+//! away and counted; replay never panics and never drops a record whose
+//! bytes were fully committed.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use dummyloc_core::client::Request;
+use serde::{Deserialize, Serialize};
+
+/// Largest payload replay will attempt to read. A corrupted length
+/// prefix must not make recovery allocate gigabytes.
+const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Bytes of framing before each payload: `u32` length + `u64` checksum.
+const HEADER_BYTES: usize = 12;
+
+/// When appended records are flushed to the disk platter, trading
+/// durability against append latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: an acknowledged query survives power
+    /// loss, not just process death.
+    Always,
+    /// `fsync` after every `n` records: bounded loss window under power
+    /// failure, still zero loss on process crash.
+    EveryN(u64),
+    /// Never `fsync` explicitly; the OS page cache decides. Survives
+    /// `kill -9` (the page cache belongs to the kernel) but not power
+    /// loss.
+    Os,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "os" => Ok(FsyncPolicy::Os),
+            other => {
+                if let Some(n) = other.strip_prefix("every-") {
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("bad fsync interval in {other:?}"))?;
+                    if n == 0 {
+                        return Err("fsync interval must be at least 1".to_string());
+                    }
+                    return Ok(FsyncPolicy::EveryN(n));
+                }
+                Err(format!(
+                    "unknown fsync policy {other:?} (expected always, every-N or os)"
+                ))
+            }
+        }
+    }
+}
+
+/// Where and how durably the observer WAL is written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Log file; created if absent, replayed then appended to if present.
+    pub path: PathBuf,
+    /// Flush policy for appended records.
+    pub fsync: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// A WAL at `path` with the [`FsyncPolicy::Always`] safety default.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            path: path.into(),
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// One committed observer-log mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Service time of the round.
+    pub t: f64,
+    /// Global arrival sequence stamped by the sharded log.
+    pub seq: u64,
+    /// The query's idempotency key, when it had one.
+    pub request_id: Option<u64>,
+    /// The recorded message: pseudonym plus all `k+1` positions.
+    pub request: Request,
+}
+
+/// FNV-1a over one encoded payload.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes one record into its on-disk framing.
+pub fn encode_record(record: &WalRecord) -> io::Result<Vec<u8>> {
+    let payload = serde_json::to_vec(record)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if payload.len() as u64 > u64::from(MAX_RECORD_BYTES) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "wal record exceeds the size cap",
+        ));
+    }
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    Ok(buf)
+}
+
+/// What [`replay`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Intact records handed to the callback.
+    pub records: u64,
+    /// Whether a torn/corrupt tail was found (and truncated away).
+    pub torn: bool,
+    /// Bytes removed by the truncation.
+    pub truncated_bytes: u64,
+}
+
+/// Decodes every intact record of `bytes`, returning the records and the
+/// offset where decoding stopped (equal to `bytes.len()` iff the log is
+/// clean). Never panics, whatever the input.
+pub fn decode_all(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= HEADER_BYTES {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let checksum = u64::from_le_bytes(
+            bytes[offset + 4..offset + HEADER_BYTES]
+                .try_into()
+                .expect("8"),
+        );
+        if len > MAX_RECORD_BYTES {
+            break;
+        }
+        let start = offset + HEADER_BYTES;
+        let Some(end) = start.checked_add(len as usize) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[start..end];
+        if fnv1a(payload) != checksum {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(record) = serde_json::from_str::<WalRecord>(text) else {
+            break;
+        };
+        records.push(record);
+        offset = end;
+    }
+    (records, offset)
+}
+
+/// Reads `path` (a missing file is an empty log), applies every intact
+/// record in order, and truncates any torn tail in place so the next
+/// append continues from a clean end-of-log.
+pub fn replay<F: FnMut(WalRecord)>(path: &Path, mut apply: F) -> io::Result<ReplaySummary> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(ReplaySummary::default());
+        }
+        Err(e) => return Err(e),
+    }
+    let (records, clean_end) = decode_all(&bytes);
+    let summary = ReplaySummary {
+        records: records.len() as u64,
+        torn: clean_end < bytes.len(),
+        truncated_bytes: (bytes.len() - clean_end) as u64,
+    };
+    if summary.torn {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(clean_end as u64)?;
+        f.sync_all()?;
+    }
+    for record in records {
+        apply(record);
+    }
+    Ok(summary)
+}
+
+/// The append side of the log. One writer exists per server; workers
+/// serialize on it only for the duration of one `write_all`.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    policy: FsyncPolicy,
+    since_sync: u64,
+    appended: u64,
+}
+
+impl WalWriter {
+    /// Opens `path` for appending (creating it if needed). Call after
+    /// [`replay`] so a torn tail has already been truncated away.
+    pub fn open(config: &WalConfig) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&config.path)?;
+        Ok(WalWriter {
+            file,
+            policy: config.fsync,
+            since_sync: 0,
+            appended: 0,
+        })
+    }
+
+    /// Appends one record and applies the fsync policy. On return with
+    /// [`FsyncPolicy::Always`] the record is on the platter.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let buf = encode_record(record)?;
+        self.file.write_all(&buf)?;
+        self.appended += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::EveryN(n) => {
+                self.since_sync += 1;
+                if self.since_sync >= n {
+                    self.file.sync_data()?;
+                    self.since_sync = 0;
+                }
+            }
+            FsyncPolicy::Os => {}
+        }
+        Ok(())
+    }
+
+    /// Records appended through this writer (excludes replayed history).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Forces everything appended so far onto the platter, whatever the
+    /// policy; called on orderly shutdown.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.since_sync = 0;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::Point;
+
+    fn record(seq: u64) -> WalRecord {
+        WalRecord {
+            t: seq as f64 * 0.5,
+            seq,
+            request_id: Some(seq * 10),
+            request: Request {
+                pseudonym: format!("u{}", seq % 3),
+                positions: vec![Point::new(seq as f64, 1.0), Point::new(2.0, seq as f64)],
+            },
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dummyloc-wal-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(
+            "always".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::Always
+        );
+        assert_eq!("os".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Os);
+        assert_eq!(
+            "every-128".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::EveryN(128)
+        );
+        assert!("every-0".parse::<FsyncPolicy>().is_err());
+        assert!("every-x".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let records: Vec<WalRecord> = (0..20).map(record).collect();
+        let mut wire = Vec::new();
+        for r in &records {
+            wire.extend_from_slice(&encode_record(r).unwrap());
+        }
+        let (back, end) = decode_all(&wire);
+        assert_eq!(end, wire.len());
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_recovers_the_committed_prefix() {
+        // The crash model: the final record may be torn at any byte. Every
+        // cut must decode exactly the records whose bytes fully landed,
+        // and never panic.
+        let records: Vec<WalRecord> = (0..4).map(record).collect();
+        let mut wire = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            wire.extend_from_slice(&encode_record(r).unwrap());
+            boundaries.push(wire.len());
+        }
+        for cut in 0..=wire.len() {
+            let (back, end) = decode_all(&wire[..cut]);
+            let committed = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(back.len(), committed, "cut at {cut}");
+            assert_eq!(end, boundaries[committed], "cut at {cut}");
+            assert_eq!(back, records[..committed], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_decoding() {
+        let mut wire = encode_record(&record(1)).unwrap();
+        wire.extend_from_slice(&encode_record(&record(2)).unwrap());
+        // Flip one payload byte of the first record: both records are
+        // unreachable (the log is a stream, not a directory).
+        wire[HEADER_BYTES + 3] ^= 0xff;
+        let (back, end) = decode_all(&wire);
+        assert!(back.is_empty());
+        assert_eq!(end, 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut wire = vec![0u8; HEADER_BYTES];
+        wire[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let (back, end) = decode_all(&wire);
+        assert!(back.is_empty());
+        assert_eq!(end, 0);
+    }
+
+    #[test]
+    fn replay_truncates_torn_tail_and_continues() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open(&WalConfig {
+            path: path.clone(),
+            fsync: FsyncPolicy::EveryN(2),
+        })
+        .unwrap();
+        for seq in 0..3 {
+            writer.append(&record(seq)).unwrap();
+        }
+        writer.sync().unwrap();
+        assert_eq!(writer.appended(), 3);
+        drop(writer);
+
+        // Tear the final record mid-payload.
+        let full = std::fs::read(&path).unwrap();
+        let (_, clean) = decode_all(&full[..full.len() - 5]);
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let mut seen = Vec::new();
+        let summary = replay(&path, |r| seen.push(r)).unwrap();
+        assert_eq!(summary.records, 2);
+        assert!(summary.torn);
+        assert_eq!(summary.truncated_bytes, (full.len() - 5 - clean) as u64);
+        assert_eq!(seen, (0..2).map(record).collect::<Vec<_>>());
+
+        // The tear is gone: appending resumes from a clean end-of-log.
+        let mut writer = WalWriter::open(&WalConfig::new(path.clone())).unwrap();
+        writer.append(&record(9)).unwrap();
+        drop(writer);
+        let mut seen = Vec::new();
+        let summary = replay(&path, |r| seen.push(r)).unwrap();
+        assert!(!summary.torn);
+        assert_eq!(summary.records, 3);
+        assert_eq!(seen[2], record(9));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_an_empty_log() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let summary = replay(&path, |_| panic!("no records expected")).unwrap();
+        assert_eq!(summary, ReplaySummary::default());
+    }
+}

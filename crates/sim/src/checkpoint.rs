@@ -1,0 +1,405 @@
+//! Checkpoint/resume for simulations: suspend a run at a round boundary
+//! and later continue it **byte-identically** at any thread count.
+//!
+//! A [`SimCheckpoint`] captures everything round `k+1` depends on:
+//!
+//! * the full configuration (a resumed run must refuse a checkpoint for a
+//!   different one) and a digest of the workload;
+//! * per user: the RNG state ([`SimRng`](dummyloc_geo::rng::SimRng) —
+//!   restorable bit-for-bit, unlike `StdRng`), the current dummy
+//!   positions (the MN/MLN "memorized previous position of each dummy"),
+//!   the final truth index and the full request stream so far (the MLN
+//!   density view subtracts the *previous round's own positions*, and the
+//!   outcome reports whole streams);
+//! * the running metric series (`F`, congestion CV, `Shift(P)` buckets)
+//!   and the previous round's population grid;
+//! * the provider's cost counters when a service is attached.
+//!
+//! Every value that feeds a reported `f64` is stored losslessly: RNG
+//! states and counts as integers, `f64` series through `serde_json`'s
+//! exact shortest-round-trip rendering. That is what makes the resumed
+//! run's report *byte*-identical to an uninterrupted one, extending the
+//! parallel engine's serial-equivalence proof to interrupted execution.
+//!
+//! # On-disk format
+//!
+//! A checkpoint file is one header line followed by a JSON payload:
+//!
+//! ```text
+//! dummyloc-ckpt v1 <fnv1a-64 of payload, 16 hex digits>\n
+//! {...payload...}
+//! ```
+//!
+//! [`SimCheckpoint::write_to`] writes a temporary file and renames it into
+//! place, so a crash mid-write can never leave a torn checkpoint behind —
+//! the previous complete one survives. [`SimCheckpoint::read_from`]
+//! rejects unknown versions and checksum mismatches with a typed error.
+
+use std::path::Path;
+
+use dummyloc_core::client::Request;
+use dummyloc_core::metrics::ShiftBuckets;
+use dummyloc_geo::Point;
+use dummyloc_lbs::CostAccounting;
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::SimConfig;
+use crate::{Result, SimError};
+
+/// Current checkpoint format version; bumped on any incompatible change.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Header magic of a checkpoint file.
+const MAGIC: &str = "dummyloc-ckpt";
+
+/// One user's suspended state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserCheckpoint {
+    /// The user's RNG stream state (xoshiro256** words).
+    pub rng: [u64; 4],
+    /// Current dummy positions (exact motion state, not quantized).
+    pub dummies: Vec<Point>,
+    /// Truth index of the last completed round.
+    pub last_truth: usize,
+    /// Every request reported so far, in round order.
+    pub requests: Vec<Request>,
+}
+
+/// A complete suspended simulation at a round boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCheckpoint {
+    /// The configuration of the suspended run.
+    pub config: SimConfig,
+    /// Digest of the workload the run was started over (see
+    /// [`workload_digest`]); a resume with a different workload is
+    /// rejected.
+    pub workload_digest: u64,
+    /// Rounds fully completed (the next round to execute).
+    pub completed_rounds: usize,
+    /// Total rounds of the run (derived from the workload window; stored
+    /// for cross-checking and progress reporting).
+    pub total_rounds: usize,
+    /// Per-user suspended state, in user order.
+    pub users: Vec<UserCheckpoint>,
+    /// Ubiquity `F` of every completed round.
+    pub f_series: Vec<f64>,
+    /// Congestion CV of every completed round.
+    pub cv_series: Vec<f64>,
+    /// Accumulated `Shift(P)` buckets.
+    pub shift_buckets: ShiftBuckets,
+    /// Accumulated rounded shift sum (the engine's integer accumulator).
+    pub shift_sum: u64,
+    /// Accumulated shifted-region count.
+    pub shift_regions: u64,
+    /// The last completed round's population counts, row-major (the MLN
+    /// density input of the next round).
+    pub prev_pop: Vec<u32>,
+    /// Provider cost counters when a service is attached.
+    pub cost: Option<CostAccounting>,
+}
+
+impl SimCheckpoint {
+    /// Serializes to the on-disk format (header line + JSON payload).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let payload = serde_json::to_string(self)?;
+        let digest = fnv1a(payload.as_bytes());
+        let mut out = format!("{MAGIC} v{CHECKPOINT_VERSION} {digest:016x}\n").into_bytes();
+        out.extend_from_slice(payload.as_bytes());
+        Ok(out)
+    }
+
+    /// Parses and verifies the on-disk format.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let corrupt = |message: String| SimError::Checkpoint { message };
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| corrupt("missing header line".into()))?;
+        let header = std::str::from_utf8(&bytes[..newline])
+            .map_err(|_| corrupt("header is not UTF-8".into()))?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some(MAGIC) {
+            return Err(corrupt(format!("bad magic in header '{header}'")));
+        }
+        let version = parts
+            .next()
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| corrupt(format!("unparsable version in header '{header}'")))?;
+        if version != CHECKPOINT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported checkpoint version {version} (this build reads v{CHECKPOINT_VERSION})"
+            )));
+        }
+        let stored = parts
+            .next()
+            .and_then(|d| u64::from_str_radix(d, 16).ok())
+            .ok_or_else(|| corrupt(format!("unparsable checksum in header '{header}'")))?;
+        let payload = &bytes[newline + 1..];
+        let actual = fnv1a(payload);
+        if stored != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch: header says {stored:016x}, payload hashes to {actual:016x}"
+            )));
+        }
+        let payload =
+            std::str::from_utf8(payload).map_err(|_| corrupt("payload is not UTF-8".into()))?;
+        let ckpt: SimCheckpoint = serde_json::from_str(payload)?;
+        if ckpt
+            .users
+            .iter()
+            .any(|u| u.requests.len() != ckpt.completed_rounds)
+            || ckpt.f_series.len() != ckpt.completed_rounds
+            || ckpt.cv_series.len() != ckpt.completed_rounds
+        {
+            return Err(corrupt(
+                "inconsistent checkpoint: per-user streams and metric series \
+                 must all have completed_rounds entries"
+                    .into(),
+            ));
+        }
+        Ok(ckpt)
+    }
+
+    /// Writes atomically: a temporary sibling file is written, fsynced and
+    /// renamed over `path`, so an interrupted write leaves the previous
+    /// checkpoint (or nothing) — never a torn file.
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let bytes = self.encode()?;
+        let tmp = path.with_extension("tmp");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and verifies a checkpoint file.
+    pub fn read_from(path: &Path) -> Result<Self> {
+        Self::decode(&std::fs::read(path)?)
+    }
+
+    /// FNV-1a digest of the encoded checkpoint — the "parent run id" a
+    /// resumed run's manifest records as lineage. Deterministic for a
+    /// fixed seed and workload, so scrubbed manifests stay comparable.
+    pub fn digest(&self) -> Result<u64> {
+        Ok(fnv1a(&self.encode()?))
+    }
+
+    /// Verifies this checkpoint belongs to `(config, workload)` and has
+    /// not run past `rounds`.
+    pub(crate) fn verify_matches(
+        &self,
+        config: &SimConfig,
+        workload: &Dataset,
+        rounds: usize,
+    ) -> Result<()> {
+        let reject = |message: String| Err(SimError::Checkpoint { message });
+        if self.config != *config {
+            return reject("checkpoint was taken under a different configuration".into());
+        }
+        let digest = workload_digest(workload);
+        if self.workload_digest != digest {
+            return reject(format!(
+                "checkpoint workload digest {:016x} does not match this workload ({digest:016x})",
+                self.workload_digest
+            ));
+        }
+        if self.users.len() != workload.len() {
+            return reject(format!(
+                "checkpoint has {} users, workload has {}",
+                self.users.len(),
+                workload.len()
+            ));
+        }
+        if self.completed_rounds > rounds || self.total_rounds != rounds {
+            return reject(format!(
+                "checkpoint rounds ({} of {}) disagree with this run's {rounds}",
+                self.completed_rounds, self.total_rounds
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Periodic-checkpoint request threaded into a run: every `every`
+/// completed rounds the engine builds a [`SimCheckpoint`] and hands it to
+/// `sink` (which typically writes it to disk). The final round is not
+/// captured — a finished run has nothing left to resume.
+pub struct CheckpointSpec<'a> {
+    /// Capture after every this many completed rounds (`0` disables).
+    pub every: usize,
+    /// Receives each captured checkpoint.
+    pub sink: &'a mut dyn FnMut(&SimCheckpoint) -> Result<()>,
+}
+
+impl CheckpointSpec<'_> {
+    /// Whether the round that just completed should be captured.
+    pub(crate) fn wants(&self, completed: usize, total: usize) -> bool {
+        self.every > 0 && completed.is_multiple_of(self.every) && completed < total
+    }
+}
+
+impl std::fmt::Debug for CheckpointSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointSpec")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a digest of a workload: track count, ids, and every sample's
+/// `(t, x, y)` bit patterns. Two workloads agree iff they would drive a
+/// simulation identically.
+pub fn workload_digest(workload: &Dataset) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fold = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    fold(&mut h, &(workload.len() as u64).to_le_bytes());
+    for track in workload.tracks() {
+        fold(&mut h, track.id().as_bytes());
+        for p in track.points() {
+            fold(&mut h, &p.t.to_bits().to_le_bytes());
+            fold(&mut h, &p.pos.x.to_bits().to_le_bytes());
+            fold(&mut h, &p.pos.y.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GeneratorKind;
+
+    fn sample() -> SimCheckpoint {
+        SimCheckpoint {
+            config: SimConfig {
+                grid_size: 8,
+                dummy_count: 1,
+                generator: GeneratorKind::Mn { m: 100.0 },
+                ..SimConfig::nara_default(3)
+            },
+            workload_digest: 0xabcd,
+            completed_rounds: 2,
+            total_rounds: 5,
+            users: vec![UserCheckpoint {
+                rng: [1, 2, 3, 4],
+                dummies: vec![Point::new(1.5, 2.5)],
+                last_truth: 0,
+                requests: vec![
+                    Request {
+                        pseudonym: "u0".into(),
+                        positions: vec![Point::new(1.0, 1.0)],
+                    },
+                    Request {
+                        pseudonym: "u0".into(),
+                        positions: vec![Point::new(2.0, 2.0)],
+                    },
+                ],
+            }],
+            f_series: vec![0.125, 0.25],
+            cv_series: vec![0.0, 0.5],
+            shift_buckets: ShiftBuckets::default(),
+            shift_sum: 3,
+            shift_regions: 7,
+            prev_pop: vec![0; 64],
+            cost: None,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = sample();
+        let bytes = c.encode().unwrap();
+        let back = SimCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(
+            back.f_series
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            c.f_series.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let mut bytes = sample().encode().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            SimCheckpoint::decode(&bytes),
+            Err(SimError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let bytes = sample().encode().unwrap();
+        let s = String::from_utf8(bytes).unwrap();
+        let swapped = s.replacen("v1", "v9", 1);
+        let err = SimCheckpoint::decode(swapped.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_anywhere_never_panics() {
+        let bytes = sample().encode().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                SimCheckpoint::decode(&bytes[..cut]).is_err(),
+                "truncated checkpoint at {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_series_rejected() {
+        let mut c = sample();
+        c.f_series.pop();
+        let bytes = c.encode().unwrap();
+        assert!(matches!(
+            SimCheckpoint::decode(&bytes),
+            Err(SimError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn write_read_roundtrip_is_atomic_shaped() {
+        let dir = std::env::temp_dir().join(format!("ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("latest.ckpt");
+        let c = sample();
+        c.write_to(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed");
+        assert_eq!(SimCheckpoint::read_from(&path).unwrap(), c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_digest_is_content_sensitive() {
+        let a = crate::workload::nara_fleet_sized(3, 60.0, 1);
+        let b = crate::workload::nara_fleet_sized(3, 60.0, 1);
+        let c = crate::workload::nara_fleet_sized(3, 60.0, 2);
+        assert_eq!(workload_digest(&a), workload_digest(&b));
+        assert_ne!(workload_digest(&a), workload_digest(&c));
+    }
+}

@@ -12,7 +12,7 @@ use dummyloc_core::generator::{
 use dummyloc_core::metrics::{shift_p, ubiquity_f, ShiftBuckets};
 use dummyloc_core::population::PopulationGrid;
 use dummyloc_core::streams::SeedTree;
-use dummyloc_geo::rng::rng_from_seed;
+use dummyloc_geo::rng::{rng_from_seed, SimRng};
 use dummyloc_geo::{BBox, Grid, Point};
 use dummyloc_lbs::provider::Provider;
 use dummyloc_lbs::query::QueryKind;
@@ -21,6 +21,7 @@ use dummyloc_telemetry::MetricRegistry;
 use dummyloc_trajectory::Dataset;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CheckpointSpec, SimCheckpoint, UserCheckpoint};
 use crate::{Result, SimError};
 
 /// Which dummy algorithm a simulation uses (serializable for experiment
@@ -226,6 +227,22 @@ impl Simulation {
     /// reporting its (interpolated) true position plus dummies each tick
     /// across the workload's common time window.
     pub fn run(&self, workload: &Dataset) -> Result<SimOutcome> {
+        self.run_session(workload, None, None)
+    }
+
+    /// [`Simulation::run`] with suspend/resume: `resume` restores a prior
+    /// [`SimCheckpoint`] (verified against this configuration and
+    /// workload) and continues from its round boundary; `checkpoints`
+    /// periodically captures the running state. A resumed run's outcome
+    /// is byte-identical to the uninterrupted run's — every restored
+    /// value (RNG states, dummy positions, metric series) round-trips
+    /// losslessly through the checkpoint format.
+    pub fn run_session(
+        &self,
+        workload: &Dataset,
+        resume: Option<&SimCheckpoint>,
+        mut checkpoints: Option<CheckpointSpec<'_>>,
+    ) -> Result<SimOutcome> {
         let cfg = &self.config;
         let (start, end) = workload
             .common_time_range()
@@ -237,19 +254,33 @@ impl Simulation {
                 });
             }
         }
+        let rounds = ((end - start) / cfg.tick).floor() as usize + 1;
+        if let Some(ckpt) = resume {
+            ckpt.verify_matches(cfg, workload, rounds)?;
+        }
 
         let users = workload.len();
         let seeds = SeedTree::new(cfg.seed);
         let mut clients: Vec<Client<Box<dyn DummyGenerator>>> = Vec::with_capacity(users);
-        let mut rngs = Vec::with_capacity(users);
+        let mut rngs: Vec<SimRng> = Vec::with_capacity(users);
         for (i, track) in workload.tracks().iter().enumerate() {
             let generator = cfg.generator.build(cfg.area)?;
             let mut client = Client::new(track.id(), generator, cfg.dummy_count);
             if cfg.quantize {
                 client = client.with_precision(self.grid.clone());
             }
-            clients.push(client);
-            rngs.push(seeds.rng(i as u64));
+            match resume {
+                Some(ckpt) if ckpt.completed_rounds > 0 => {
+                    let u = &ckpt.users[i];
+                    client.resume_session(u.dummies.clone())?;
+                    clients.push(client);
+                    rngs.push(SimRng::from_state(u.rng));
+                }
+                _ => {
+                    clients.push(client);
+                    rngs.push(seeds.sim_rng(i as u64));
+                }
+            }
         }
 
         let mut provider = cfg
@@ -269,7 +300,6 @@ impl Simulation {
             )
         });
 
-        let rounds = ((end - start) / cfg.tick).floor() as usize + 1;
         let mut f_series = Vec::with_capacity(rounds);
         let mut cv_series = Vec::with_capacity(rounds);
         let mut shift_buckets = ShiftBuckets::default();
@@ -278,8 +308,30 @@ impl Simulation {
         let mut prev_pop: Option<PopulationGrid> = None;
         let mut streams: Vec<Vec<Request>> = vec![Vec::with_capacity(rounds); users];
         let mut last_truth = vec![0usize; users];
+        let mut first_round = 0usize;
+        if let Some(ckpt) = resume {
+            first_round = ckpt.completed_rounds;
+            f_series = ckpt.f_series.clone();
+            cv_series = ckpt.cv_series.clone();
+            shift_buckets = ckpt.shift_buckets;
+            shift_sum = ckpt.shift_sum;
+            shift_regions = ckpt.shift_regions;
+            if ckpt.completed_rounds > 0 {
+                prev_pop = Some(PopulationGrid::from_counts(
+                    &self.grid,
+                    ckpt.prev_pop.clone(),
+                )?);
+            }
+            for (i, u) in ckpt.users.iter().enumerate() {
+                streams[i] = u.requests.clone();
+                last_truth[i] = u.last_truth;
+            }
+            if let (Some(provider), Some(cost)) = (provider.as_mut(), ckpt.cost) {
+                provider.restore_cost(cost);
+            }
+        }
 
-        for k in 0..rounds {
+        for k in first_round..rounds {
             let t = start + k as f64 * cfg.tick;
             let snapshot = workload.snapshot(t);
             let mut pop = PopulationGrid::empty(&self.grid);
@@ -342,6 +394,37 @@ impl Simulation {
                 }
                 c_rounds.inc();
                 c_requests.add(users as u64);
+            }
+            if let Some(spec) = checkpoints.as_mut() {
+                let completed = k + 1;
+                if spec.wants(completed, rounds) {
+                    let ckpt = SimCheckpoint {
+                        config: *cfg,
+                        workload_digest: crate::checkpoint::workload_digest(workload),
+                        completed_rounds: completed,
+                        total_rounds: rounds,
+                        users: (0..users)
+                            .map(|i| UserCheckpoint {
+                                rng: rngs[i].state(),
+                                dummies: clients[i].dummies().to_vec(),
+                                last_truth: last_truth[i],
+                                requests: streams[i].clone(),
+                            })
+                            .collect(),
+                        f_series: f_series.clone(),
+                        cv_series: cv_series.clone(),
+                        shift_buckets,
+                        shift_sum,
+                        shift_regions,
+                        prev_pop: prev_pop
+                            .as_ref()
+                            .expect("a completed round leaves a population")
+                            .counts()
+                            .to_vec(),
+                        cost: provider.as_ref().map(|p| *p.cost()),
+                    };
+                    (spec.sink)(&ckpt)?;
+                }
             }
         }
 

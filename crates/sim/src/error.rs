@@ -20,6 +20,11 @@ pub enum SimError {
         /// What was wrong.
         message: String,
     },
+    /// A checkpoint failed to verify, decode, or match this run.
+    Checkpoint {
+        /// What was wrong.
+        message: String,
+    },
     /// Propagated core-library error.
     Core(CoreError),
     /// Propagated geometry error.
@@ -44,6 +49,7 @@ impl fmt::Display for SimError {
                 write!(f, "workload leaves the service area: {detail}")
             }
             SimError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            SimError::Checkpoint { message } => write!(f, "checkpoint error: {message}"),
             SimError::Core(e) => write!(f, "core error: {e}"),
             SimError::Geo(e) => write!(f, "geometry error: {e}"),
             SimError::Trajectory(e) => write!(f, "trajectory error: {e}"),

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod experiments;
 pub mod parallel;
@@ -50,6 +51,7 @@ pub mod workload;
 
 mod error;
 
+pub use checkpoint::{CheckpointSpec, SimCheckpoint};
 pub use engine::{GeneratorKind, SimConfig, SimOutcome, Simulation};
 pub use error::SimError;
 pub use parallel::ParallelEngine;

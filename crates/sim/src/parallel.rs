@@ -39,14 +39,15 @@ use dummyloc_core::metrics::{shift_p, ubiquity_f, ShiftBuckets};
 use dummyloc_core::pool::{Conductor, Shard, ThreadPool};
 use dummyloc_core::population::PopulationGrid;
 use dummyloc_core::streams::SeedTree;
+use dummyloc_geo::rng::SimRng;
 use dummyloc_geo::{Grid, Point};
 use dummyloc_lbs::provider::Provider;
 use dummyloc_lbs::PoiDatabase;
 use dummyloc_telemetry::{Counter, Histogram, MetricRegistry};
 use dummyloc_trajectory::Dataset;
-use rand::rngs::StdRng;
 use std::sync::Arc;
 
+use crate::checkpoint::{CheckpointSpec, SimCheckpoint, UserCheckpoint};
 use crate::engine::{occupied_cv, SimConfig, SimOutcome, Simulation};
 use crate::{Result, SimError};
 
@@ -55,7 +56,7 @@ use crate::{Result, SimError};
 /// (the "own data" MLN subtracts from the global density).
 struct UserState {
     client: Client<Box<dyn DummyGenerator>>,
-    rng: StdRng,
+    rng: SimRng,
     prev_positions: Vec<Point>,
 }
 
@@ -66,6 +67,9 @@ struct RoundJob {
     k: usize,
     positions: Vec<Point>,
     prev_pop: Option<PopulationGrid>,
+    /// Driver-chosen: this round ends in a checkpoint, so every worker
+    /// must snapshot its users' suspended state alongside the requests.
+    capture: bool,
 }
 
 /// One worker's per-round output: its users' requests (in shard order),
@@ -75,6 +79,11 @@ struct ShardOut {
     users: Vec<(Request, usize)>,
     pop: PopulationGrid,
     elapsed: Duration,
+    /// Per-user `(rng state, dummy positions)` snapshots, in shard order;
+    /// empty unless the round's [`RoundJob::capture`] was set. Snapshots
+    /// are pure per-user state, so flattening shards in shard order
+    /// yields exactly the serial engine's checkpoint.
+    snapshots: Vec<([u64; 4], Vec<Point>)>,
 }
 
 type ShardResult = std::result::Result<ShardOut, SimError>;
@@ -153,14 +162,33 @@ impl ParallelEngine {
     /// Runs the simulation over `workload`; the result is byte-identical
     /// to [`Simulation::run`] for every configuration and thread count.
     pub fn run(&self, workload: &Dataset) -> Result<SimOutcome> {
-        if self.pool.is_serial() {
-            // Not just equivalent: the same code path.
-            return self.sim.run(workload);
-        }
-        self.run_sharded(workload)
+        self.run_session(workload, None, None)
     }
 
-    fn run_sharded(&self, workload: &Dataset) -> Result<SimOutcome> {
+    /// [`ParallelEngine::run`] with suspend/resume (see
+    /// [`Simulation::run_session`]). Checkpoints are captured at round
+    /// barriers in canonical user order, so the checkpoint bytes — like
+    /// the outcome — are identical at any thread count, and a run may be
+    /// suspended at one thread count and resumed at another.
+    pub fn run_session(
+        &self,
+        workload: &Dataset,
+        resume: Option<&SimCheckpoint>,
+        checkpoints: Option<CheckpointSpec<'_>>,
+    ) -> Result<SimOutcome> {
+        if self.pool.is_serial() {
+            // Not just equivalent: the same code path.
+            return self.sim.run_session(workload, resume, checkpoints);
+        }
+        self.run_sharded(workload, resume, checkpoints)
+    }
+
+    fn run_sharded(
+        &self,
+        workload: &Dataset,
+        resume: Option<&SimCheckpoint>,
+        mut checkpoints: Option<CheckpointSpec<'_>>,
+    ) -> Result<SimOutcome> {
         let cfg = self.sim.config();
         let grid = self.sim.grid();
         let (start, end) = workload
@@ -174,6 +202,11 @@ impl ParallelEngine {
             }
         }
 
+        let rounds = ((end - start) / cfg.tick).floor() as usize + 1;
+        if let Some(ckpt) = resume {
+            ckpt.verify_matches(cfg, workload, rounds)?;
+        }
+
         let users = workload.len();
         let seeds = SeedTree::new(cfg.seed);
         let mut states: Vec<UserState> = Vec::with_capacity(users);
@@ -183,16 +216,37 @@ impl ParallelEngine {
             if cfg.quantize {
                 client = client.with_precision(grid.clone());
             }
-            states.push(UserState {
-                client,
-                rng: seeds.rng(i as u64),
-                prev_positions: Vec::new(),
-            });
+            match resume {
+                Some(ckpt) if ckpt.completed_rounds > 0 => {
+                    let u = &ckpt.users[i];
+                    client.resume_session(u.dummies.clone())?;
+                    states.push(UserState {
+                        client,
+                        rng: SimRng::from_state(u.rng),
+                        // The MLN density view subtracts last round's own
+                        // reported positions — the tail of the restored
+                        // stream.
+                        prev_positions: u
+                            .requests
+                            .last()
+                            .map(|r| r.positions.clone())
+                            .unwrap_or_default(),
+                    });
+                }
+                _ => states.push(UserState {
+                    client,
+                    rng: seeds.sim_rng(i as u64),
+                    prev_positions: Vec::new(),
+                }),
+            }
         }
 
-        let provider = cfg
+        let mut provider = cfg
             .service
             .map(|s| Provider::new(PoiDatabase::generate(cfg.area, s.poi_count, s.poi_seed)));
+        if let (Some(p), Some(cost)) = (provider.as_mut(), resume.and_then(|c| c.cost)) {
+            p.restore_cost(cost);
+        }
 
         // Same phase families as the serial loop — one observation per
         // round each, so scrubbed snapshots (which keep observation
@@ -224,8 +278,6 @@ impl ParallelEngine {
                     .collect()
             });
 
-        let rounds = ((end - start) / cfg.tick).floor() as usize + 1;
-
         let step = |shard: Shard, chunk: &mut [UserState], job: &RoundJob| -> ShardResult {
             let started = Instant::now();
             let mut pop = PopulationGrid::empty(grid);
@@ -249,13 +301,30 @@ impl ParallelEngine {
                 st.prev_positions.clone_from(&round.request.positions);
                 out.push((round.request, round.truth_index));
             }
+            let snapshots = if job.capture {
+                chunk
+                    .iter()
+                    .map(|st| (st.rng.state(), st.client.dummies().to_vec()))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             Ok(ShardOut {
                 users: out,
                 pop,
                 elapsed: started.elapsed(),
+                snapshots,
             })
         };
 
+        let workload_digest = resume
+            .map(|c| c.workload_digest)
+            .or_else(|| {
+                checkpoints
+                    .is_some()
+                    .then(|| crate::checkpoint::workload_digest(workload))
+            })
+            .unwrap_or(0);
         let drive = |conductor: &mut Conductor<RoundJob, ShardResult>| -> Result<Collected> {
             let mut c = Collected {
                 f_series: Vec::with_capacity(rounds),
@@ -268,7 +337,23 @@ impl ParallelEngine {
                 provider,
             };
             let mut prev_pop: Option<PopulationGrid> = None;
-            for k in 0..rounds {
+            let mut first_round = 0usize;
+            if let Some(ckpt) = resume {
+                first_round = ckpt.completed_rounds;
+                c.f_series = ckpt.f_series.clone();
+                c.cv_series = ckpt.cv_series.clone();
+                c.shift_buckets = ckpt.shift_buckets;
+                c.shift_sum = ckpt.shift_sum;
+                c.shift_regions = ckpt.shift_regions;
+                if ckpt.completed_rounds > 0 {
+                    prev_pop = Some(PopulationGrid::from_counts(grid, ckpt.prev_pop.clone())?);
+                }
+                for (i, u) in ckpt.users.iter().enumerate() {
+                    c.streams[i] = u.requests.clone();
+                    c.last_truth[i] = u.last_truth;
+                }
+            }
+            for k in first_round..rounds {
                 let t = start + k as f64 * cfg.tick;
                 let snapshot = workload.snapshot(t);
                 let positions: Vec<Point> = snapshot
@@ -276,11 +361,15 @@ impl ParallelEngine {
                     .iter()
                     .map(|p| p.expect("common window guarantees activity"))
                     .collect();
+                let capture = checkpoints
+                    .as_ref()
+                    .is_some_and(|spec| spec.wants(k + 1, rounds));
                 let gen_started = Instant::now();
                 let outs = conductor.round(RoundJob {
                     k,
                     positions,
                     prev_pop: prev_pop.clone(),
+                    capture,
                 })?;
                 let d_gen = gen_started.elapsed();
 
@@ -306,8 +395,10 @@ impl ParallelEngine {
                 // are contiguous and arrive in shard order, so flattening
                 // them walks users 0, 1, 2, …
                 let mut d_service = Duration::ZERO;
+                let mut round_snapshots: Vec<([u64; 4], Vec<Point>)> = Vec::new();
                 let mut i = 0usize;
                 for so in shard_outs {
+                    round_snapshots.extend(so.snapshots);
                     for (request, truth) in so.users {
                         if let Some(provider) = c.provider.as_mut() {
                             let query = cfg.service.expect("provider implies service config").query;
@@ -341,6 +432,39 @@ impl ParallelEngine {
                     }
                     c_rounds.inc();
                     c_requests.add(users as u64);
+                }
+                if capture {
+                    let spec = checkpoints
+                        .as_mut()
+                        .expect("capture implies a checkpoint spec");
+                    let ckpt = SimCheckpoint {
+                        config: *cfg,
+                        workload_digest,
+                        completed_rounds: k + 1,
+                        total_rounds: rounds,
+                        users: round_snapshots
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, (rng, dummies))| UserCheckpoint {
+                                rng,
+                                dummies,
+                                last_truth: c.last_truth[i],
+                                requests: c.streams[i].clone(),
+                            })
+                            .collect(),
+                        f_series: c.f_series.clone(),
+                        cv_series: c.cv_series.clone(),
+                        shift_buckets: c.shift_buckets,
+                        shift_sum: c.shift_sum,
+                        shift_regions: c.shift_regions,
+                        prev_pop: prev_pop
+                            .as_ref()
+                            .expect("a completed round leaves a population")
+                            .counts()
+                            .to_vec(),
+                        cost: c.provider.as_ref().map(|p| *p.cost()),
+                    };
+                    (spec.sink)(&ckpt)?;
                 }
             }
             Ok(c)
@@ -466,6 +590,100 @@ mod tests {
         assert!(matches!(
             engine.run(&Dataset::new()),
             Err(SimError::NoCommonWindow)
+        ));
+    }
+
+    fn run_capturing(
+        threads: usize,
+        fleet: &Dataset,
+        every: usize,
+    ) -> (SimOutcome, Vec<SimCheckpoint>) {
+        let engine = ParallelEngine::new(config(), threads).unwrap();
+        let mut ckpts = Vec::new();
+        let mut sink = |c: &SimCheckpoint| {
+            ckpts.push(c.clone());
+            Ok(())
+        };
+        let outcome = engine
+            .run_session(
+                fleet,
+                None,
+                Some(CheckpointSpec {
+                    every,
+                    sink: &mut sink,
+                }),
+            )
+            .unwrap();
+        (outcome, ckpts)
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_is_bitwise_identical() {
+        let fleet = workload::nara_fleet_sized(6, 150.0, 5);
+        let (full, ckpts) = run_capturing(1, &fleet, 1);
+        assert_eq!(ckpts.len(), full.rounds - 1);
+        for ckpt in &ckpts {
+            for threads in [1, 4] {
+                let engine = ParallelEngine::new(config(), threads).unwrap();
+                let resumed = engine.run_session(&fleet, Some(ckpt), None).unwrap();
+                assert_outcomes_identical(&full, &resumed);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_thread_count_invariant() {
+        let fleet = workload::nara_fleet_sized(7, 150.0, 9);
+        let (serial_out, serial_ckpts) = run_capturing(1, &fleet, 2);
+        assert!(!serial_ckpts.is_empty());
+        for threads in [2, 5] {
+            let (out, ckpts) = run_capturing(threads, &fleet, 2);
+            assert_outcomes_identical(&serial_out, &out);
+            assert_eq!(serial_ckpts.len(), ckpts.len());
+            for (a, b) in serial_ckpts.iter().zip(&ckpts) {
+                assert_eq!(a.encode().unwrap(), b.encode().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn suspend_at_one_thread_count_resume_at_another() {
+        let fleet = workload::nara_fleet_sized(6, 150.0, 7);
+        let (full, ckpts) = run_capturing(3, &fleet, 3);
+        let mid = &ckpts[ckpts.len() / 2];
+        // Round-trip through the wire encoding so the test covers the
+        // exact bytes a crash-resume would read back from disk.
+        let restored = SimCheckpoint::decode(&mid.encode().unwrap()).unwrap();
+        for threads in [1, 2, 4] {
+            let engine = ParallelEngine::new(config(), threads).unwrap();
+            let resumed = engine.run_session(&fleet, Some(&restored), None).unwrap();
+            assert_outcomes_identical(&full, &resumed);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_run() {
+        let fleet = workload::nara_fleet_sized(5, 150.0, 3);
+        let (_, ckpts) = run_capturing(2, &fleet, 2);
+        let ckpt = &ckpts[0];
+
+        // Different seed => different config digest.
+        let other_cfg = SimConfig {
+            seed: 999,
+            ..config()
+        };
+        let engine = ParallelEngine::new(other_cfg, 2).unwrap();
+        assert!(matches!(
+            engine.run_session(&fleet, Some(ckpt), None),
+            Err(SimError::Checkpoint { .. })
+        ));
+
+        // Different workload => digest mismatch.
+        let other_fleet = workload::nara_fleet_sized(5, 150.0, 4);
+        let engine = ParallelEngine::new(config(), 2).unwrap();
+        assert!(matches!(
+            engine.run_session(&other_fleet, Some(ckpt), None),
+            Err(SimError::Checkpoint { .. })
         ));
     }
 }

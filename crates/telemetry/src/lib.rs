@@ -55,7 +55,7 @@ use std::time::Duration;
 use serde::Serialize;
 
 pub use export::{render_text, write_events_jsonl, write_run, RunPaths};
-pub use manifest::{config_digest, fnv1a, git_rev, RunManifest, Throughput};
+pub use manifest::{config_digest, fnv1a, git_rev, ResumeLineage, RunManifest, Throughput};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricRegistry, RegistrySnapshot};
 pub use recorder::{Event, Recorder};
 pub use span::Span;

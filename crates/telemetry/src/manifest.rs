@@ -24,6 +24,20 @@ pub struct Throughput {
     pub per_sec: f64,
 }
 
+/// Where a resumed run picked up from. Both fields are derived from the
+/// checkpoint contents (never the wall clock), so two runs that resume
+/// from the same checkpoint record identical lineage and scrubbed
+/// manifests stay comparable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumeLineage {
+    /// Digest (16 hex digits) of the checkpoint the run resumed from —
+    /// the "parent run id".
+    pub parent: String,
+    /// Work units already complete at resume time (simulation rounds, or
+    /// cached experiment reports reused).
+    pub resumed_at_round: u64,
+}
+
 /// The manifest of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -43,6 +57,8 @@ pub struct RunManifest {
     pub throughput: Throughput,
     /// Full metric snapshot at the end of the run.
     pub metrics: RegistrySnapshot,
+    /// Lineage of a resumed run; `None` for an uninterrupted one.
+    pub resume: Option<ResumeLineage>,
 }
 
 impl RunManifest {
@@ -78,7 +94,19 @@ impl RunManifest {
                 },
             },
             metrics: registry.snapshot(),
+            resume: None,
         }
+    }
+
+    /// Records that this run resumed from a checkpoint: `parent` is the
+    /// checkpoint digest (16 hex digits), `resumed_at_round` the work
+    /// already completed when the run picked up.
+    pub fn with_resume(mut self, parent: String, resumed_at_round: u64) -> Self {
+        self.resume = Some(ResumeLineage {
+            parent,
+            resumed_at_round,
+        });
+        self
     }
 
     /// A copy with every wall-clock-derived field removed: start time and
@@ -100,6 +128,10 @@ impl RunManifest {
                 per_sec: 0.0,
             },
             metrics: self.metrics.drop_worker_metrics().scrub_timings(),
+            // Lineage is checkpoint-derived, not wall-clock-derived: a
+            // resumed run *should* compare unequal to an uninterrupted
+            // one unless it resumed from the same checkpoint.
+            resume: self.resume.clone(),
         }
     }
 }
@@ -222,6 +254,26 @@ mod tests {
             .counters
             .iter()
             .all(|c| !c.name.contains(".worker.")));
+    }
+
+    #[test]
+    fn resume_lineage_survives_scrubbing_and_round_trips() {
+        let reg = MetricRegistry::new();
+        let fresh = RunManifest::capture("simulate", 7, &"cfg", &reg, 5, Duration::from_secs(1));
+        assert_eq!(fresh.resume, None);
+        let resumed = fresh.clone().with_resume("00deadbeef00cafe".into(), 3);
+        let lineage = resumed.resume.clone().unwrap();
+        assert_eq!(lineage.parent, "00deadbeef00cafe");
+        assert_eq!(lineage.resumed_at_round, 3);
+        // Scrubbing keeps lineage (it is checkpoint-derived, so two runs
+        // resuming from the same checkpoint still compare equal) …
+        assert_eq!(resumed.scrubbed().resume, Some(lineage));
+        // … which also means a resumed run is distinguishable from an
+        // uninterrupted one.
+        assert_ne!(fresh.scrubbed(), resumed.scrubbed());
+        let json = serde_json::to_string(&resumed).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resumed);
     }
 
     #[test]

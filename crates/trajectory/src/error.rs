@@ -41,6 +41,25 @@ pub enum TrajectoryError {
         /// What was wrong.
         message: String,
     },
+    /// A numeric CSV field parsed but is unusable: NaN, infinite, or
+    /// beyond [`crate::io::COORD_LIMIT`].
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field (`timestamp`, `x coordinate`, ...).
+        field: &'static str,
+        /// The raw token as it appeared in the input.
+        value: String,
+    },
+    /// A deserialized coordinate or timestamp lies beyond
+    /// [`crate::io::COORD_LIMIT`] (finite, but far outside any plausible
+    /// service area — a poisoned input).
+    OutOfRange {
+        /// Id of the offending trajectory.
+        id: String,
+        /// Index of the offending sample.
+        index: usize,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
     /// An underlying JSON (de)serialization failure.
@@ -69,6 +88,14 @@ impl fmt::Display for TrajectoryError {
             TrajectoryError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            TrajectoryError::InvalidValue { line, field, value } => write!(
+                f,
+                "invalid value on line {line}: {field} '{value}' must be finite and within \u{b1}1e12"
+            ),
+            TrajectoryError::OutOfRange { id, index } => write!(
+                f,
+                "trajectory '{id}': coordinate beyond \u{b1}1e12 at sample {index}"
+            ),
             TrajectoryError::Io(e) => write!(f, "i/o error: {e}"),
             TrajectoryError::Json(e) => write!(f, "json error: {e}"),
         }

@@ -14,6 +14,13 @@ use dummyloc_geo::Point;
 
 use crate::{Dataset, Result, Trajectory, TrajectoryBuilder, TrajectoryError};
 
+/// Largest magnitude accepted for timestamps and coordinates read from
+/// external files. Values beyond it are finite but meaningless for any
+/// service area this library models (metres-scale grids), and typically
+/// indicate a corrupted or poisoned input — they are rejected with a
+/// typed error instead of silently propagating into the geometry.
+pub const COORD_LIMIT: f64 = 1e12;
+
 /// Writes a dataset as `id,t,x,y` CSV with a header line.
 ///
 /// Samples are written track by track in time order, so the output parses
@@ -64,11 +71,25 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset> {
                 })
             }
         };
-        let parse_f64 = |s: &str, what: &str| -> Result<f64> {
-            s.trim().parse::<f64>().map_err(|e| TrajectoryError::Parse {
-                line: lineno + 1,
-                message: format!("bad {what} '{s}': {e}"),
-            })
+        let parse_f64 = |s: &str, what: &'static str| -> Result<f64> {
+            let v = s
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| TrajectoryError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad {what} '{s}': {e}"),
+                })?;
+            // `parse::<f64>` happily accepts "NaN" and "inf"; a poisoned
+            // trace must fail here, naming the line and field, not deep
+            // inside the builder.
+            if !v.is_finite() || v.abs() > COORD_LIMIT {
+                return Err(TrajectoryError::InvalidValue {
+                    line: lineno + 1,
+                    field: what,
+                    value: s.trim().to_string(),
+                });
+            }
+            Ok(v)
         };
         let t = parse_f64(t, "timestamp")?;
         let x = parse_f64(x, "x coordinate")?;
@@ -101,11 +122,20 @@ pub fn write_json<W: Write>(dataset: &Dataset, w: W) -> Result<()> {
 /// (the JSON may come from outside the library).
 pub fn read_json<R: Read>(r: R) -> Result<Dataset> {
     let raw: Dataset = serde_json::from_reader(r)?;
-    // serde bypasses the builder, so replay each track through it.
+    // serde bypasses the builder, so replay each track through it. The
+    // builder rejects NaN/infinite samples; the range check rejects
+    // finite-but-absurd ones the same way the CSV reader does.
     let mut dataset = Dataset::new();
     for track in raw.tracks() {
         let mut b = TrajectoryBuilder::with_capacity(track.id(), track.len());
-        for p in track.points() {
+        for (index, p) in track.points().iter().enumerate() {
+            if p.t.abs() > COORD_LIMIT || p.pos.x.abs() > COORD_LIMIT || p.pos.y.abs() > COORD_LIMIT
+            {
+                return Err(TrajectoryError::OutOfRange {
+                    id: track.id().to_string(),
+                    index,
+                });
+            }
             b.push(p.t, p.pos);
         }
         dataset.push(b.build()?)?;
@@ -204,6 +234,60 @@ mod tests {
         write_csv(&ds, &mut buf).unwrap();
         let back = read_csv(buf.as_slice()).unwrap();
         assert_eq!(back.tracks()[0].id(), "weird,id%x");
+    }
+
+    #[test]
+    fn csv_rejects_nan_inf_and_out_of_range_naming_line_and_field() {
+        // "NaN" and "inf" parse as f64 — they must still be rejected.
+        let err = read_csv("id,t,x,y\na,0,NaN,2\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                TrajectoryError::InvalidValue { line: 2, field: "x coordinate", value } if value == "NaN"
+            ),
+            "{err}"
+        );
+        let err = read_csv("a,inf,1,2\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TrajectoryError::InvalidValue {
+                    line: 1,
+                    field: "timestamp",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = read_csv("a,0,1,-1e30\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TrajectoryError::InvalidValue {
+                    line: 1,
+                    field: "y coordinate",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // The limit itself is still accepted.
+        assert!(read_csv(format!("a,0,{COORD_LIMIT},0\n").as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn json_rejects_non_finite_and_out_of_range_samples() {
+        let nan = r#"{"tracks":[{"id":"x","points":[
+            {"t":0.0,"pos":{"x":NaN,"y":0.0}}]}]}"#;
+        assert!(read_json(nan.as_bytes()).is_err());
+        let huge = r#"{"tracks":[{"id":"x","points":[
+            {"t":0.0,"pos":{"x":0.0,"y":0.0}},
+            {"t":1.0,"pos":{"x":1.0e30,"y":0.0}}]}]}"#;
+        let err = read_json(huge.as_bytes()).unwrap_err();
+        assert!(
+            matches!(&err, TrajectoryError::OutOfRange { id, index: 1 } if id == "x"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -88,4 +88,56 @@ sleep 1
 "$DUMMYLOC" metrics "$METRICS_ADDR" --json | grep '"server.requests"' >/dev/null
 wait "$SERVE_PID"
 
+echo "== crash recovery: simulate checkpoint/resume byte-identity"
+CK_DIR="$EQUIV_TMP/ckpt"
+"$DUMMYLOC" simulate --count 8 --duration 300 --seed 5 --threads 1 \
+  --json "$EQUIV_TMP/full.json" >/dev/null
+"$DUMMYLOC" simulate --count 8 --duration 300 --seed 5 --threads 1 \
+  --checkpoint "$CK_DIR" --checkpoint-every 3 \
+  --json "$EQUIV_TMP/ckpt-run.json" >/dev/null
+test -f "$CK_DIR/latest.ckpt" || { echo "no checkpoint written"; exit 1; }
+cmp "$EQUIV_TMP/full.json" "$EQUIV_TMP/ckpt-run.json" \
+  || { echo "checkpointing perturbed the simulate JSON"; exit 1; }
+# Resume from the last checkpoint at a different thread count: the
+# replayed tail must land on byte-identical output.
+"$DUMMYLOC" simulate --count 8 --duration 300 --seed 5 --threads 4 \
+  --checkpoint "$CK_DIR" --resume --json "$EQUIV_TMP/resumed.json" >/dev/null
+cmp "$EQUIV_TMP/full.json" "$EQUIV_TMP/resumed.json" \
+  || { echo "resumed simulate JSON diverged from uninterrupted run"; exit 1; }
+
+echo "== crash recovery: WAL survives kill -9 mid-service"
+# One crash/restart cycle by default; CHECK_STRESS=1 runs three, with the
+# WAL accumulating acknowledged queries across every lifetime. Every
+# cycle redrives the whole (seed-fixed) workload with 5 more rounds than
+# the last: the already-acknowledged prefix dedups against replayed
+# state — proving the replay actually restored it — and only the 20 new
+# queries append.
+WAL_ADDR=127.0.0.1:17912
+WAL_FILE="$EQUIV_TMP/observer.wal"
+CYCLES=1
+[ "${CHECK_STRESS:-0}" = "1" ] && CYCLES=3
+PER_CYCLE=20 # 4 users x 5 new rounds per cycle
+for cycle in $(seq 1 "$CYCLES"); do
+  "$DUMMYLOC" serve --addr "$WAL_ADDR" --wal "$WAL_FILE" --duration 30 \
+    > "$EQUIV_TMP/serve-$cycle.log" &
+  WAL_PID=$!
+  sleep 1
+  expected=$(( PER_CYCLE * (cycle - 1) ))
+  grep "wal: replayed $expected records" "$EQUIV_TMP/serve-$cycle.log" \
+    || { echo "cycle $cycle: expected $expected replayed records"; exit 1; }
+  "$DUMMYLOC" loadgen --addr "$WAL_ADDR" --users 4 --rounds $(( 5 * cycle )) \
+    --seed 7 >/dev/null
+  kill -9 "$WAL_PID"
+  wait "$WAL_PID" 2>/dev/null || true
+done
+# Final restart: every acknowledged query from every lifetime replays.
+"$DUMMYLOC" serve --addr "$WAL_ADDR" --wal "$WAL_FILE" --duration 6 \
+  > "$EQUIV_TMP/serve-final.log" &
+WAL_PID=$!
+sleep 1
+grep "wal: replayed $(( PER_CYCLE * CYCLES )) records" "$EQUIV_TMP/serve-final.log" \
+  || { echo "restart lost acknowledged queries"; cat "$EQUIV_TMP/serve-final.log"; exit 1; }
+"$DUMMYLOC" metrics "$WAL_ADDR" | grep "server.wal.replayed" >/dev/null
+wait "$WAL_PID"
+
 echo "== all checks passed"

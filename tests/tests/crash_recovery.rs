@@ -1,0 +1,403 @@
+//! Crash-injection recovery suite: the durability layer's end-to-end
+//! guarantees under real process death and interrupted runs.
+//!
+//! * A WAL-backed server killed with SIGKILL mid-traffic loses **no
+//!   acknowledged query**: the restarted process replays the log and,
+//!   after the client retries everything under the same idempotent ids,
+//!   its observer log is indistinguishable from a never-crashed one.
+//! * A WAL whose final record was torn at *any* byte offset recovers the
+//!   committed prefix, truncates the tail in place and accepts appends.
+//! * A simulation aborted at a random round boundary resumes from its
+//!   on-disk checkpoint **bitwise identical** to an uninterrupted run,
+//!   at `--threads 1` and at higher thread counts.
+//!
+//! The kill -9 harness re-execs this test binary: the `#[ignore]`d
+//! `crash_child_serve_forever` entry point runs a WAL-backed server until
+//! killed, and publishes its ephemeral address through a file.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::rng::{derive_seed, rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Point};
+use dummyloc_lbs::{PoiDatabase, QueryKind};
+use dummyloc_server::client::{QueryOutcome, ServiceClient};
+use dummyloc_server::server::{spawn, ServerHandle};
+use dummyloc_server::wal::{self, FsyncPolicy, WalConfig, WalRecord, WalWriter};
+use dummyloc_server::ServeOptions;
+use dummyloc_sim::engine::{GeneratorKind, SimConfig};
+use dummyloc_sim::{workload, CheckpointSpec, ParallelEngine, SimCheckpoint, SimError};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+fn pois() -> PoiDatabase {
+    PoiDatabase::generate(area(), 100, 42)
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dummyloc-crash-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_with_wal(wal: &Path) -> ServerHandle {
+    let config = ServeOptions::new()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .wal(Some(WalConfig {
+            path: wal.to_path_buf(),
+            fsync: FsyncPolicy::Always,
+        }))
+        .build()
+        .unwrap();
+    spawn(config, pois()).unwrap()
+}
+
+/// A deterministic request stream for one simulated user.
+fn user_requests(user: u64, rounds: usize) -> Vec<(f64, Request)> {
+    let mut rng = rng_from_seed(derive_seed(7700, user));
+    (0..rounds)
+        .map(|k| {
+            let positions = (0..3).map(|_| sample_uniform(&mut rng, &area())).collect();
+            (
+                k as f64 * 30.0,
+                Request {
+                    pseudonym: format!("user-{user}"),
+                    positions,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Re-exec helper, not a test: runs a WAL-backed server until killed.
+/// The parent sets the env vars, so a stray `--ignored` run is a no-op.
+#[test]
+#[ignore = "re-exec entry point for the kill -9 harness"]
+fn crash_child_serve_forever() {
+    let Ok(wal_path) = std::env::var("DUMMYLOC_CRASH_WAL") else {
+        return;
+    };
+    let addr_file = std::env::var("DUMMYLOC_CRASH_ADDR_FILE").expect("harness sets both vars");
+    let handle = spawn_with_wal(Path::new(&wal_path));
+    // Publish the bound address atomically so the parent never reads a
+    // half-written line.
+    let tmp = format!("{addr_file}.tmp");
+    std::fs::write(&tmp, handle.addr().to_string()).unwrap();
+    std::fs::rename(&tmp, &addr_file).unwrap();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn spawn_child(wal: &Path, addr_file: &Path) -> Child {
+    Command::new(std::env::current_exe().unwrap())
+        .args([
+            "crash_child_serve_forever",
+            "--exact",
+            "--ignored",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("DUMMYLOC_CRASH_WAL", wal)
+        .env("DUMMYLOC_CRASH_ADDR_FILE", addr_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("re-exec the test binary")
+}
+
+fn wait_for_addr(addr_file: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(addr_file) {
+            if !s.is_empty() {
+                return s;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child server never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// SIGKILL a WAL-backed server mid-traffic; the restart replays every
+/// acknowledged query, retried queries dedup instead of double-logging,
+/// and the final observer log matches a server that never crashed.
+#[test]
+fn kill_nine_mid_traffic_loses_no_acknowledged_query() {
+    let dir = scratch_dir("kill9");
+    let wal = dir.join("observer.wal");
+    let addr_file = dir.join("addr.txt");
+    let mut child = spawn_child(&wal, &addr_file);
+    let addr = wait_for_addr(&addr_file);
+
+    let users: u64 = 2;
+    let rounds = 12;
+    let acked = 5;
+    let query = QueryKind::NextBus;
+
+    // Phase 1: each user gets the first `acked` queries answered — these
+    // are the ones the crash must not lose.
+    let mut clients: Vec<ServiceClient> = (0..users)
+        .map(|_| ServiceClient::connect_with_timeout(&addr, Some(Duration::from_secs(20))).unwrap())
+        .collect();
+    for (u, client) in clients.iter_mut().enumerate() {
+        for (k, (t, request)) in user_requests(u as u64, rounds)
+            .iter()
+            .take(acked)
+            .enumerate()
+        {
+            let outcome = client
+                .query_with_id(k as u64, *t, None, request, &query)
+                .unwrap();
+            assert!(
+                matches!(outcome, QueryOutcome::Answered(_)),
+                "user {u} round {k}: {outcome:?}"
+            );
+        }
+    }
+
+    // Phase 2: kill -9. No graceful shutdown, no drain, no final fsync
+    // beyond the per-record policy.
+    child.kill().unwrap();
+    child.wait().unwrap();
+    drop(clients);
+
+    // Phase 3: restart over the same WAL, in-process this time. Replay
+    // restores exactly the acknowledged records (nothing was in flight at
+    // kill time, so no torn tail either).
+    let recovered = spawn_with_wal(&wal);
+    let stats = recovered.stats();
+    assert_eq!(stats.wal.replayed, users * acked as u64);
+    assert_eq!(stats.wal.torn_truncations, 0);
+
+    // Phase 4: the client-side crash story — retry *everything* under the
+    // same idempotent ids. Replayed rounds dedup; the rest get recorded.
+    let mut client = ServiceClient::connect(recovered.addr()).unwrap();
+    for u in 0..users {
+        for (k, (t, request)) in user_requests(u, rounds).iter().enumerate() {
+            // Ids are per-pseudonym, so reusing 0..rounds per user is the
+            // same id scheme as phase 1.
+            let outcome = client
+                .query_with_id(k as u64, *t, None, request, &query)
+                .unwrap();
+            assert!(matches!(outcome, QueryOutcome::Answered(_)));
+        }
+    }
+    let stats = recovered.stats();
+    assert_eq!(stats.dedup_hits, users * acked as u64);
+    assert_eq!(stats.wal.appended, users * (rounds - acked) as u64);
+
+    // Phase 5: a pristine server that saw each query exactly once agrees
+    // on every per-pseudonym stream digest.
+    let pristine = spawn(dummyloc_server::ServerConfig::default(), pois()).unwrap();
+    let mut reference = ServiceClient::connect(pristine.addr()).unwrap();
+    for u in 0..users {
+        for (k, (t, request)) in user_requests(u, rounds).iter().enumerate() {
+            reference
+                .query_with_id(k as u64, *t, None, request, &query)
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        recovered.observer_log().stream_digests(),
+        pristine.observer_log().stream_digests()
+    );
+    recovered.shutdown();
+    pristine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A second restart replays what the first restart's traffic appended:
+/// recovery composes across any number of crashes.
+#[test]
+fn recovery_composes_across_repeated_crashes() {
+    let dir = scratch_dir("repeat");
+    let wal = dir.join("observer.wal");
+    let query = QueryKind::NextBus;
+    let requests = user_requests(0, 9);
+
+    // Three "process lifetimes", each acknowledging three more rounds and
+    // then dying without a shutdown (dropping the handle's threads is as
+    // close as in-process gets; the WAL was fsynced per record either way).
+    for life in 0..3 {
+        let handle = spawn_with_wal(&wal);
+        assert_eq!(handle.stats().wal.replayed, life * 3);
+        let mut client = ServiceClient::connect(handle.addr()).unwrap();
+        for (k, (t, request)) in requests.iter().enumerate().skip(life as usize * 3).take(3) {
+            client
+                .query_with_id(k as u64, *t, None, request, &query)
+                .unwrap();
+        }
+        // No shutdown: leak the handle's threads like a dying process
+        // leaks everything. The next spawn must see all records anyway.
+        std::mem::forget(handle);
+    }
+
+    let final_handle = spawn_with_wal(&wal);
+    assert_eq!(final_handle.stats().wal.replayed, 9);
+    let pristine = spawn(dummyloc_server::ServerConfig::default(), pois()).unwrap();
+    let mut reference = ServiceClient::connect(pristine.addr()).unwrap();
+    for (k, (t, request)) in requests.iter().enumerate() {
+        reference
+            .query_with_id(k as u64, *t, None, request, &query)
+            .unwrap();
+    }
+    assert_eq!(
+        final_handle.observer_log().stream_digests(),
+        pristine.observer_log().stream_digests()
+    );
+    final_handle.shutdown();
+    pristine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Write a real WAL file, then tear its final record at every byte
+/// offset: each truncation recovers exactly the committed prefix, fixes
+/// the file in place, and leaves it appendable.
+#[test]
+fn torn_wal_file_recovers_at_every_truncation_offset() {
+    let dir = scratch_dir("torn");
+    let records: Vec<WalRecord> = user_requests(3, 4)
+        .into_iter()
+        .enumerate()
+        .map(|(k, (t, request))| WalRecord {
+            t,
+            seq: k as u64,
+            request_id: Some(k as u64),
+            request,
+        })
+        .collect();
+    let mut wire = Vec::new();
+    let mut committed = 0usize;
+    for (i, r) in records.iter().enumerate() {
+        if i + 1 == records.len() {
+            committed = wire.len();
+        }
+        wire.extend_from_slice(&wal::encode_record(r).unwrap());
+    }
+
+    let path = dir.join("torn.wal");
+    for cut in committed..=wire.len() {
+        std::fs::write(&path, &wire[..cut]).unwrap();
+        let mut got = Vec::new();
+        let summary = wal::replay(&path, |r| got.push(r)).unwrap();
+        let whole_tail_landed = cut == wire.len();
+        let expect = if whole_tail_landed {
+            &records[..]
+        } else {
+            &records[..records.len() - 1]
+        };
+        assert_eq!(got, expect, "cut at {cut}");
+        assert_eq!(summary.records, expect.len() as u64);
+        assert_eq!(summary.torn, cut != committed && !whole_tail_landed);
+        // The file was truncated to a clean end-of-log in place …
+        let clean_len = if whole_tail_landed {
+            wire.len()
+        } else {
+            committed
+        };
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len as u64);
+        // … so appending continues without corrupting earlier records.
+        let config = WalConfig {
+            path: path.clone(),
+            fsync: FsyncPolicy::Os,
+        };
+        let mut writer = WalWriter::open(&config).unwrap();
+        writer.append(records.last().unwrap()).unwrap();
+        drop(writer);
+        let mut after = Vec::new();
+        let summary = wal::replay(&path, |r| after.push(r)).unwrap();
+        assert!(!summary.torn);
+        assert_eq!(after.len(), expect.len() + 1);
+        assert_eq!(after.last(), records.last());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Abort a simulation at a seeded-random round boundary (the checkpoint
+/// sink "crashes" the run after rolling `latest.ckpt`), then resume from
+/// the file. The resumed outcome must be bitwise identical to an
+/// uninterrupted run — serially and at a higher thread count.
+#[test]
+fn interrupted_simulation_resumes_bitwise_identical() {
+    let fleet = workload::nara_fleet_sized(6, 420.0, 5);
+    let config = SimConfig {
+        grid_size: 10,
+        dummy_count: 2,
+        generator: GeneratorKind::Mln {
+            m: 150.0,
+            retry_budget: 3,
+        },
+        ..SimConfig::nara_default(5)
+    };
+    let reference =
+        ParallelEngine::from_simulation(dummyloc_sim::Simulation::new(config).unwrap(), 1)
+            .run(&fleet)
+            .unwrap();
+    assert!(reference.rounds >= 4, "workload too short for this test");
+
+    let dir = scratch_dir("sim-resume");
+    let ckpt_path = dir.join("latest.ckpt");
+    for trial in 0..3u64 {
+        // Crash after a seeded-random number of completed rounds (never
+        // the final round — a finished run has nothing to resume).
+        let crash_after = 1 + (derive_seed(31337, trial) % (reference.rounds as u64 - 2)) as usize;
+        let threads = [1usize, 4][trial as usize % 2];
+        let engine = ParallelEngine::from_simulation(
+            dummyloc_sim::Simulation::new(config).unwrap(),
+            threads,
+        );
+        let mut captured = 0usize;
+        let crashed = {
+            let mut sink = |c: &SimCheckpoint| {
+                c.write_to(&ckpt_path)?;
+                captured += 1;
+                if captured == crash_after {
+                    return Err(SimError::Checkpoint {
+                        message: "injected crash".into(),
+                    });
+                }
+                Ok(())
+            };
+            engine.run_session(
+                &fleet,
+                None,
+                Some(CheckpointSpec {
+                    every: 1,
+                    sink: &mut sink,
+                }),
+            )
+        };
+        assert!(crashed.is_err(), "trial {trial}: the injected crash fires");
+
+        let ckpt = SimCheckpoint::read_from(&ckpt_path).unwrap();
+        assert_eq!(ckpt.completed_rounds, crash_after);
+        for resume_threads in [1usize, 4] {
+            let engine = ParallelEngine::from_simulation(
+                dummyloc_sim::Simulation::new(config).unwrap(),
+                resume_threads,
+            );
+            let resumed = engine.run_session(&fleet, Some(&ckpt), None).unwrap();
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&resumed.f_series), bits(&reference.f_series));
+            assert_eq!(resumed.mean_f.to_bits(), reference.mean_f.to_bits());
+            assert_eq!(resumed.shift_mean.to_bits(), reference.shift_mean.to_bits());
+            assert_eq!(
+                resumed.congestion_cv.to_bits(),
+                reference.congestion_cv.to_bits()
+            );
+            assert_eq!(resumed.shift_buckets, reference.shift_buckets);
+            assert_eq!(resumed.streams, reference.streams);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

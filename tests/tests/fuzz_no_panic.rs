@@ -1,0 +1,123 @@
+//! Fuzz properties for the byte-facing parsers: arbitrary input must
+//! never panic, and honest input must round-trip. The crash-recovery
+//! story rests on these — a recovery path that can panic on a corrupt
+//! file is just a slower crash.
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::Point;
+use dummyloc_server::proto::{
+    write_frame, ClientFrame, FrameEvent, FrameReader, DEFAULT_MAX_FRAME_BYTES,
+};
+use dummyloc_server::wal::{self, WalRecord};
+use dummyloc_sim::SimCheckpoint;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary bytes through the frame reader: every call terminates
+    /// with a frame, EOF or TooLarge — never a panic — and attempting to
+    /// parse whatever comes out must error, not abort.
+    #[test]
+    fn frame_reader_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+        cap in 1usize..512,
+    ) {
+        let mut reader = FrameReader::new(&bytes[..], cap);
+        let mut frames = 0usize;
+        // `Eof` and `TooLarge` both terminate the stream.
+        while let FrameEvent::Frame(line) = reader.next_frame().unwrap() {
+            frames += 1;
+            // Parsing hostile lines is allowed to fail, not to panic.
+            let _ = serde_json::from_str::<ClientFrame>(&line);
+            prop_assert!(frames <= bytes.len() + 1, "reader must consume input");
+        }
+    }
+
+    /// An honest frame written with `write_frame` survives any split of
+    /// the wire into a prefix the reader sees first.
+    #[test]
+    fn written_frames_round_trip(
+        id in any::<u64>(),
+        pseudonym in prop::collection::vec(any::<u8>(), 0..24),
+        xs in prop::collection::vec(-1.0e6f64..1.0e6, 1..6),
+    ) {
+        let frame = ClientFrame::Query {
+            id,
+            t: 30.0,
+            deadline_ms: None,
+            request: Request {
+                pseudonym: String::from_utf8_lossy(&pseudonym).into_owned(),
+                positions: xs.iter().map(|&x| Point::new(x, -x)).collect(),
+            },
+            query: dummyloc_lbs::QueryKind::NextBus,
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut reader = FrameReader::new(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        let FrameEvent::Frame(line) = reader.next_frame().unwrap() else {
+            return Err(TestCaseError::fail("expected one frame"));
+        };
+        let back: ClientFrame = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    /// WAL recovery over arbitrary bytes: `decode_all` never panics,
+    /// never reads past the input, and always stops at a record boundary
+    /// it actually validated.
+    #[test]
+    fn wal_decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let (records, end) = wal::decode_all(&bytes);
+        prop_assert!(end <= bytes.len());
+        // Decoding the clean prefix again reproduces the same records —
+        // truncation at `end` is a fixed point, which is what lets replay
+        // truncate the file in place and continue.
+        let (again, end_again) = wal::decode_all(&bytes[..end]);
+        prop_assert_eq!(end_again, end);
+        prop_assert_eq!(again, records);
+    }
+
+    /// Committed records followed by arbitrary garbage: the garbage never
+    /// corrupts the committed prefix (FNV-1a checksums catch it) and the
+    /// cut lands exactly at the end of the last intact record.
+    #[test]
+    fn wal_garbage_tail_never_reaches_committed_records(
+        n in 0usize..5,
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let records: Vec<WalRecord> = (0..n)
+            .map(|k| WalRecord {
+                t: k as f64 * 30.0,
+                seq: k as u64,
+                request_id: Some(k as u64),
+                request: Request {
+                    pseudonym: format!("u{k}"),
+                    positions: vec![Point::new(k as f64, 1.0)],
+                },
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for r in &records {
+            wire.extend_from_slice(&wal::encode_record(r).unwrap());
+        }
+        let committed = wire.len();
+        wire.extend_from_slice(&garbage);
+        let (got, end) = wal::decode_all(&wire);
+        // The prefix always survives; the garbage may *accidentally*
+        // decode further only by forging a length, checksum and JSON
+        // payload all at once — then it still ends on a validated record.
+        prop_assert!(got.len() >= records.len());
+        prop_assert_eq!(&got[..records.len()], &records[..]);
+        prop_assert!(end >= committed);
+    }
+
+    /// Checkpoint decoding never panics on arbitrary bytes.
+    #[test]
+    fn checkpoint_decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let _ = SimCheckpoint::decode(&bytes);
+    }
+}

@@ -35,6 +35,31 @@ fn fleet_json_round_trip() {
     assert_eq!(fleet, restored);
 }
 
+/// Poisoned-fixture regression: corrupted external traces (NaN samples,
+/// absurd out-of-range coordinates) must be rejected with typed errors at
+/// ingest, never silently propagate into the geometry.
+#[test]
+fn poisoned_fixtures_are_rejected_with_typed_errors() {
+    use dummyloc_trajectory::TrajectoryError;
+
+    let csv = include_str!("../fixtures/poisoned.csv");
+    let err = io::read_csv(csv.as_bytes()).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            TrajectoryError::InvalidValue { line: 4, field: "x coordinate", value } if value == "NaN"
+        ),
+        "{err}"
+    );
+
+    let json = include_str!("../fixtures/poisoned.json");
+    let err = io::read_json(json.as_bytes()).unwrap_err();
+    assert!(
+        matches!(&err, TrajectoryError::OutOfRange { id, index: 1 } if id == "rickshaw-2"),
+        "{err}"
+    );
+}
+
 #[test]
 fn experiments_are_seed_deterministic() {
     use dummyloc_sim::experiments::{fig7, fig8};

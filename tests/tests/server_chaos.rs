@@ -355,3 +355,117 @@ fn idle_connections_are_reaped() {
     assert_eq!(stats.idle_reaped, 1, "{stats:?}");
     assert_eq!(stats.requests, 3);
 }
+
+/// Satellite (b) of the durability PR: `shutdown` must complete within a
+/// hard bound even while a `FaultPlan` holds frames in long injected
+/// delays and stalls. The delay sleep is sliced against the shutdown
+/// flag, so a 30 s hold never extends the stop.
+#[test]
+fn shutdown_under_stall_and_delay_faults_is_bounded() {
+    let plan = FaultPlan {
+        seed: 13,
+        delay: 1.0,       // every reply held...
+        delay_ms: 30_000, // ...for 30 s, far past the asserted bound
+        stall: 0.2,
+        ..FaultPlan::none()
+    };
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .faults(plan)
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    // Park several queries behind the delayed/stalled writer, then pull
+    // the plug while their replies are still held back. Raw frames: the
+    // test must not wait for the (30 s delayed) replies itself.
+    let mut streams = Vec::new();
+    for u in 0..4 {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        for k in 0..3u64 {
+            write_frame(
+                &mut stream,
+                &ClientFrame::Query {
+                    id: k,
+                    t: k as f64,
+                    deadline_ms: None,
+                    request: request(&format!("stall-{u}")),
+                    query: QueryKind::NextBus,
+                },
+            )
+            .unwrap();
+        }
+        streams.push(stream);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let started = Instant::now();
+    let report = handle.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "shutdown took {elapsed:?} under delay/stall faults"
+    );
+    assert!(
+        report.stats.faults.delayed >= 1,
+        "{:?}",
+        report.stats.faults
+    );
+}
+
+/// Worker supervision: a panicking job produces a typed `Internal` error
+/// on exactly the affected connection, the worker is respawned (the
+/// restart is counted), and every other connection keeps being served.
+#[test]
+fn worker_panic_is_contained_respawned_and_counted() {
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .panic_pseudonym(Some("poison".to_string()))
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+
+    let mut victim = ServiceClient::connect(handle.addr()).unwrap();
+    let mut bystander = ServiceClient::connect(handle.addr()).unwrap();
+
+    // Interleave poisoned queries with healthy ones: each poisoned job
+    // kills one worker incarnation, each healthy one proves a respawned
+    // worker picked the queue back up.
+    for k in 0..3u64 {
+        let outcome = victim.query(k as f64, &request("poison"), &QueryKind::NextBus);
+        match outcome {
+            Ok(QueryOutcome::Failed {
+                kind: dummyloc_server::ErrorKind::Internal,
+                message,
+            }) => assert!(message.contains("panic"), "{message}"),
+            other => panic!("expected a typed Internal error, got {other:?}"),
+        }
+        let healthy = bystander
+            .query(k as f64, &request("healthy"), &QueryKind::NextBus)
+            .unwrap();
+        assert!(
+            matches!(healthy, QueryOutcome::Answered(_)),
+            "bystander must be unaffected: {healthy:?}"
+        );
+    }
+
+    let stats = handle.shutdown().stats;
+    assert!(
+        stats.worker_restarts >= 3,
+        "expected >= 3 restarts, got {}",
+        stats.worker_restarts
+    );
+    assert_eq!(stats.requests, 3, "only the healthy queries are answered");
+}

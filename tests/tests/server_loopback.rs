@@ -176,8 +176,17 @@ fn per_connection_request_cap_is_enforced() {
     let query = QueryKind::NextBus;
     assert!(client.query(t, &request, &query).is_ok());
     assert!(client.query(t + 1.0, &request, &query).is_ok());
-    let third = client.query(t + 2.0, &request, &query);
-    assert!(third.is_err(), "third query should be refused: {third:?}");
+    let third = client.query(t + 2.0, &request, &query).unwrap();
+    assert!(
+        matches!(
+            third,
+            QueryOutcome::Failed {
+                kind: ErrorKind::TooManyRequests,
+                ..
+            }
+        ),
+        "third query should be refused: {third:?}"
+    );
     handle.shutdown();
 }
 
@@ -208,6 +217,9 @@ fn full_queue_answers_typed_overloaded() {
                             QueryOutcome::Overloaded => bounced += 1,
                             QueryOutcome::Deadline => {
                                 panic!("no deadline was set, none may expire")
+                            }
+                            QueryOutcome::Failed { kind, message } => {
+                                panic!("no faults are injected, none may fail: {kind:?} {message}")
                             }
                         }
                     }

@@ -4,6 +4,20 @@
 //! sampling semantics matching `rand`'s documented behavior for the methods
 //! implemented. See `vendor/README.md` for scope and caveats.
 
+/// Opaque error type mirroring `rand::Error` — only needed so that
+/// workspace types can implement the real crate's `try_fill_bytes`
+/// signature; the deterministic generators here never fail.
+#[derive(Debug)]
+pub struct Error(());
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
 /// A source of raw randomness (subset of `rand_core::RngCore`).
 pub trait RngCore {
     /// Next 32 random bits.
@@ -21,6 +35,13 @@ pub trait RngCore {
             let bytes = self.next_u64().to_le_bytes();
             rest.copy_from_slice(&bytes[..rest.len()]);
         }
+    }
+    /// Fallible fill — infallible for every generator in this shim, but
+    /// present (with a default, unlike the real trait) so one `impl`
+    /// block compiles against both the shim and real `rand` 0.8.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
     }
 }
 

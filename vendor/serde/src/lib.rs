@@ -220,6 +220,24 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                parsed
+                    .try_into()
+                    .map_err(|_| Error::custom("array length mismatch"))
+            }
+            Value::Array(items) => Err(Error::custom(format!(
+                "invalid length: expected array of {N}, found {}",
+                items.len()
+            ))),
+            _ => Err(type_err("array", v)),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         self.as_slice().to_value()

@@ -59,6 +59,11 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(write::compact(&value.to_value()))
 }
 
+/// Serializes to a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
 /// Serializes to a pretty JSON string (two-space indent).
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(write::pretty(&value.to_value()))
