@@ -81,6 +81,41 @@ struct WalBaseline {
     slowdown_vs_no_wal: f64,
 }
 
+/// Durability tax of the full store stack: the identical loadgen
+/// workload against a server running the WAL *and* the log-structured
+/// store (small flush threshold, so segment flushes and WAL truncations
+/// happen mid-run), reported next to the WAL-only `server_wal` section.
+#[derive(Serialize)]
+struct StoreBaseline {
+    flush_threshold_bytes: usize,
+    answered: u64,
+    /// Records the store accepted — must equal `answered`, asserted
+    /// before the number is reported.
+    appended: u64,
+    /// Segment flushes (each one also truncated the WAL).
+    flushes: u64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    /// WAL-only rps divided by WAL+store rps; above 1.0 is what the
+    /// store costs on top of the WAL.
+    slowdown_vs_wal_only: f64,
+}
+
+/// One point of the cold-start comparison: recovering one history from
+/// a full WAL replay versus opening the store's manifest. The store's
+/// whole point is that `store_open_ms` stays flat while `wal_replay_ms`
+/// grows with history length.
+#[derive(Serialize)]
+struct StoreRecoveryPoint {
+    records: u64,
+    wal_bytes: u64,
+    wal_replay_ms: f64,
+    store_open_ms: f64,
+    /// `wal_replay_ms / store_open_ms`.
+    speedup: f64,
+}
+
 /// The whole `BENCH_baseline.json` document.
 #[derive(Serialize)]
 struct Baseline {
@@ -89,6 +124,8 @@ struct Baseline {
     experiments: Vec<ExperimentBaseline>,
     server: ServerBaseline,
     server_wal: WalBaseline,
+    server_store: StoreBaseline,
+    store_recovery: Vec<StoreRecoveryPoint>,
 }
 
 fn measure_sim(seed: u64, threads: Option<usize>, quick: bool) -> SimBaseline {
@@ -157,6 +194,7 @@ fn run_server_loadgen(
     seed: u64,
     telemetry: Option<&Telemetry>,
     wal: Option<dummyloc_server::WalConfig>,
+    store: Option<dummyloc_server::LogStoreConfig>,
 ) -> (
     dummyloc_server::LoadgenReport,
     dummyloc_server::StatsSnapshot,
@@ -169,6 +207,7 @@ fn run_server_loadgen(
     let pois = dummyloc_lbs::PoiDatabase::generate(area, 200, 42);
     let config = dummyloc_server::ServeOptions::new()
         .wal(wal)
+        .store(store)
         .build()
         .expect("server config");
     let handle = dummyloc_server::spawn(config, pois).expect("server spawn");
@@ -187,7 +226,7 @@ fn run_server_loadgen(
 }
 
 fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
-    let (report, _) = run_server_loadgen(seed, Some(telemetry), None);
+    let (report, _) = run_server_loadgen(seed, Some(telemetry), None, None);
     ServerBaseline {
         users: report.users,
         rounds: report.rounds,
@@ -209,7 +248,7 @@ fn measure_server_wal(seed: u64, no_wal_rps: f64) -> WalBaseline {
         path: path.clone(),
         fsync: dummyloc_server::FsyncPolicy::Always,
     };
-    let (report, stats) = run_server_loadgen(seed, None, Some(wal));
+    let (report, stats) = run_server_loadgen(seed, None, Some(wal), None);
     let _ = std::fs::remove_dir_all(&dir);
     // Every acknowledged query must have hit the log before its Answer
     // frame — otherwise the "durability tax" below measured nothing.
@@ -228,6 +267,144 @@ fn measure_server_wal(seed: u64, no_wal_rps: f64) -> WalBaseline {
     }
 }
 
+fn measure_server_store(seed: u64, wal_only_rps: f64) -> StoreBaseline {
+    let dir = std::env::temp_dir().join(format!("dummyloc-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench store scratch dir");
+    let wal = dummyloc_server::WalConfig {
+        path: dir.join("baseline.wal"),
+        fsync: dummyloc_server::FsyncPolicy::Always,
+    };
+    // 8 KiB is a few dozen records: the loadgen run crosses the threshold
+    // repeatedly, so the measured path includes real segment flushes and
+    // WAL truncations, not just memtable appends.
+    let flush_threshold_bytes = 8 * 1024;
+    let store = dummyloc_server::LogStoreConfig {
+        flush_threshold_bytes,
+        ..dummyloc_server::LogStoreConfig::new(dir.join("store"))
+    };
+    let (report, stats) = run_server_loadgen(seed, None, Some(wal), Some(store));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        stats.store.appended, report.answered,
+        "store appends diverged from acknowledged queries"
+    );
+    assert!(
+        stats.store.flushes > 0,
+        "the small threshold must flush mid-run"
+    );
+    StoreBaseline {
+        flush_threshold_bytes,
+        answered: report.answered,
+        appended: stats.store.appended,
+        flushes: stats.store.flushes,
+        throughput_rps: report.throughput_rps,
+        p50_us: report.latency.p50_us,
+        p99_us: report.latency.p99_us,
+        slowdown_vs_wal_only: wal_only_rps / report.throughput_rps.max(1e-9),
+    }
+}
+
+/// Cold-start recovery at three history lengths: a full-WAL replay into
+/// the in-memory backend versus opening a fully-flushed store (manifest
+/// read only — no record payload is touched).
+fn measure_store_recovery(seed: u64) -> Vec<StoreRecoveryPoint> {
+    use dummyloc_store::Storage as _;
+    let dir = std::env::temp_dir().join(format!("dummyloc-bench-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench recovery scratch dir");
+
+    let mut points = Vec::new();
+    for (i, records) in [1_000u64, 4_000, 16_000].into_iter().enumerate() {
+        let area = dummyloc_geo::BBox::new(
+            dummyloc_geo::Point::new(0.0, 0.0),
+            dummyloc_geo::Point::new(2000.0, 2000.0),
+        )
+        .expect("service area");
+        let mut rng =
+            dummyloc_geo::rng::rng_from_seed(dummyloc_geo::rng::derive_seed(seed, i as u64));
+        let history: Vec<dummyloc_server::wal::WalRecord> = (0..records)
+            .map(|k| dummyloc_server::wal::WalRecord {
+                t: k as f64 * 30.0,
+                seq: k,
+                request_id: Some(k),
+                request: dummyloc_core::client::Request {
+                    pseudonym: format!("user-{}", k % 64),
+                    positions: (0..3)
+                        .map(|_| dummyloc_geo::rng::sample_uniform(&mut rng, &area))
+                        .collect(),
+                },
+            })
+            .collect();
+
+        let wal_path = dir.join(format!("history-{records}.wal"));
+        let mut writer = dummyloc_server::wal::WalWriter::open(&dummyloc_server::WalConfig {
+            path: wal_path.clone(),
+            fsync: dummyloc_server::FsyncPolicy::Os,
+        })
+        .expect("bench WAL");
+        for r in &history {
+            writer.append(r).expect("bench WAL append");
+        }
+        drop(writer);
+        let wal_bytes = std::fs::metadata(&wal_path)
+            .expect("bench WAL metadata")
+            .len();
+
+        // Build the store image the server would have at the same point:
+        // everything flushed, WAL truncated (so the replay side carries
+        // the full history and the store side carries none of it).
+        let store_dir = dir.join(format!("store-{records}"));
+        let config = dummyloc_server::LogStoreConfig::new(&store_dir);
+        let (mut store, _) = dummyloc_store::LogStore::open(config.clone()).expect("bench store");
+        for r in &history {
+            store
+                .append(dummyloc_store::StoreRecord {
+                    t: r.t,
+                    seq: r.seq,
+                    request_id: r.request_id,
+                    request: r.request.clone(),
+                })
+                .expect("bench store append");
+        }
+        store.flush().expect("bench store flush");
+        drop(store);
+
+        let started = Instant::now();
+        let mut replayed = dummyloc_store::MemoryBackend::default();
+        dummyloc_server::wal::replay(&wal_path, |r| {
+            replayed
+                .append(dummyloc_store::StoreRecord {
+                    t: r.t,
+                    seq: r.seq,
+                    request_id: r.request_id,
+                    request: r.request,
+                })
+                .expect("bench replay append");
+        })
+        .expect("bench WAL replay");
+        let wal_replay_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let started = Instant::now();
+        let (reopened, _) = dummyloc_store::LogStore::open(config).expect("bench store reopen");
+        let store_open_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // The two recoveries must agree before either time is reported.
+        assert_eq!(
+            reopened.stream_digests(),
+            replayed.stream_digests(),
+            "store recovery diverged from WAL replay at {records} records"
+        );
+        points.push(StoreRecoveryPoint {
+            records,
+            wal_bytes,
+            wal_replay_ms,
+            store_open_ms,
+            speedup: wal_replay_ms / store_open_ms.max(1e-9),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    points
+}
+
 fn main() {
     let args = dummyloc_bench::parse_args();
     let out_path = args
@@ -239,6 +416,7 @@ fn main() {
     let started = Instant::now();
     let server = measure_server(args.seed, &telemetry);
     let server_wal = measure_server_wal(args.seed, server.throughput_rps);
+    let server_store = measure_server_store(args.seed, server_wal.throughput_rps);
     let baseline = Baseline {
         seed: args.seed,
         sim: measure_sim(args.seed, args.threads, args.quick),
@@ -248,6 +426,8 @@ fn main() {
         ],
         server,
         server_wal,
+        server_store,
+        store_recovery: measure_store_recovery(args.seed),
     };
 
     let json = dummyloc_sim::report::to_json(&baseline).expect("serializing baseline");
@@ -271,6 +451,18 @@ fn main() {
         baseline.server_wal.p99_us,
         baseline.server_wal.slowdown_vs_no_wal,
     );
+    println!(
+        "baseline: wal+store {:.0} rps ({} flushes, {:.2}x vs WAL-only)",
+        baseline.server_store.throughput_rps,
+        baseline.server_store.flushes,
+        baseline.server_store.slowdown_vs_wal_only,
+    );
+    for p in &baseline.store_recovery {
+        println!(
+            "baseline: cold start @ {} records: wal replay {:.1} ms, store open {:.1} ms ({:.0}x)",
+            p.records, p.wal_replay_ms, p.store_open_ms, p.speedup,
+        );
+    }
     eprintln!("wrote {}", out_path.display());
 
     if let Some(dir) = &args.telemetry {

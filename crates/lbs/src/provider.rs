@@ -1,130 +1,27 @@
 //! The service provider: answers every position, remembers everything.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The observer state itself lives in `dummyloc-store`: [`ObserverLog`]
+//! here is a thin façade over a pluggable [`Storage`] backend. The
+//! default (and the only backend the in-process provider ever uses) is
+//! the in-memory map, whose semantics are unchanged from when it lived
+//! in this file; the server can point the same trait at the durable
+//! log-structured store.
 
 use dummyloc_core::client::Request;
 use dummyloc_geo::Point;
+use dummyloc_store::memory::MemoryBackend;
+use dummyloc_store::Storage;
 
 use crate::cost::{CostAccounting, CostModel};
 use crate::poi::{Category, PoiDatabase};
 use crate::query::{Answer, BusAnswer, PoiInfo, QueryKind, ServiceResponse};
 
-/// One pseudonym's stream, stored as parallel arrays so request sequences
-/// can be handed to adversaries as a borrowed `&[Request]` slice without
-/// cloning. Each record carries an arrival sequence number so merges stay
-/// stable even for equal timestamps, and a set of already-seen request
-/// ids so a retried (idempotent) report is never double-counted.
-#[derive(Debug, Clone, Default)]
-struct Stream {
-    times: Vec<f64>,
-    seqs: Vec<u64>,
-    requests: Vec<Request>,
-    seen: HashSet<u64>,
-}
+pub use dummyloc_store::memory::{StreamView, TimeIter};
 
-impl Stream {
-    /// Appends `other` preserving `(time, sequence)` order: a plain append
-    /// when `other` starts no earlier than this stream ends (the common
-    /// case when merging shard logs that each saw disjoint pseudonyms or
-    /// disjoint time windows), a stable two-way merge otherwise. Ties on
-    /// the timestamp are broken by arrival sequence, then by taking this
-    /// stream's record first — so the merge result does not depend on
-    /// which shard happened to be folded in first.
-    fn merge(&mut self, other: Stream) {
-        self.seen.extend(other.seen);
-        let in_order = match (
-            self.times.last().zip(self.seqs.last()),
-            other.times.first().zip(other.seqs.first()),
-        ) {
-            (Some((&ta, &sa)), Some((&tb, &sb))) => ta < tb || (ta == tb && sa <= sb),
-            _ => true,
-        };
-        let (mut bt, mut bs, mut br) = (other.times, other.seqs, other.requests);
-        if in_order {
-            self.times.append(&mut bt);
-            self.seqs.append(&mut bs);
-            self.requests.append(&mut br);
-            return;
-        }
-        let at = std::mem::take(&mut self.times);
-        let as_ = std::mem::take(&mut self.seqs);
-        let mut a_req = std::mem::take(&mut self.requests).into_iter();
-        let mut b_req = br.into_iter();
-        let (mut ai, mut bi) = (0, 0);
-        while ai < at.len() || bi < bt.len() {
-            let take_a = if ai == at.len() {
-                false
-            } else if bi == bt.len() {
-                true
-            } else {
-                at[ai] < bt[bi] || (at[ai] == bt[bi] && as_[ai] <= bs[bi])
-            };
-            if take_a {
-                self.times.push(at[ai]);
-                self.seqs.push(as_[ai]);
-                self.requests.push(a_req.next().expect("parallel vecs"));
-                ai += 1;
-            } else {
-                self.times.push(bt[bi]);
-                self.seqs.push(bs[bi]);
-                self.requests.push(b_req.next().expect("parallel vecs"));
-                bi += 1;
-            }
-        }
-    }
-}
-
-/// Borrowed view of one pseudonym's time-ordered stream: parallel
-/// timestamp and request slices of equal length.
-#[derive(Debug, Clone, Copy)]
-pub struct StreamView<'a> {
-    times: &'a [f64],
-    requests: &'a [Request],
-}
-
-impl<'a> StreamView<'a> {
-    /// Number of recorded requests.
-    pub fn len(&self) -> usize {
-        self.requests.len()
-    }
-
-    /// Whether the stream is empty.
-    pub fn is_empty(&self) -> bool {
-        self.requests.is_empty()
-    }
-
-    /// Receive times, parallel to [`StreamView::requests`].
-    pub fn times(&self) -> &'a [f64] {
-        self.times
-    }
-
-    /// The requests in receive order.
-    pub fn requests(&self) -> &'a [Request] {
-        self.requests
-    }
-
-    /// `(time, request)` pairs in receive order.
-    pub fn iter(&self) -> std::iter::Zip<TimeIter<'a>, std::slice::Iter<'a, Request>> {
-        self.times.iter().copied().zip(self.requests.iter())
-    }
-
-    /// The most recent `(time, request)` pair.
-    pub fn last(&self) -> Option<(f64, &'a Request)> {
-        Some((*self.times.last()?, self.requests.last()?))
-    }
-}
-
-/// Iterator over a stream's receive times.
-pub type TimeIter<'a> = std::iter::Copied<std::slice::Iter<'a, f64>>;
-
-impl<'a> IntoIterator for StreamView<'a> {
-    type Item = (f64, &'a Request);
-    type IntoIter = std::iter::Zip<TimeIter<'a>, std::slice::Iter<'a, Request>>;
-
-    fn into_iter(self) -> Self::IntoIter {
-        self.iter()
-    }
-}
+/// Message used when a borrowed-slice API is called on a non-memory
+/// backend: those views borrow RAM that a durable backend does not keep.
+const MEMORY_ONLY: &str = "this ObserverLog API needs the in-memory backend; \
+     durable backends are queried through `storage()` (scan/snapshot/digests)";
 
 /// Everything an honest-but-curious provider retains about its users:
 /// per-pseudonym, the full time-ordered sequence of received requests.
@@ -133,28 +30,72 @@ impl<'a> IntoIterator for StreamView<'a> {
 /// observer (*"users cannot prevent service providers from analyzing
 /// motion patterns using the stored true position data"*); the adversary
 /// models in `dummyloc-core` consume these streams.
-#[derive(Debug, Clone, Default)]
+///
+/// The log delegates to a pluggable [`Storage`] backend. Constructed via
+/// [`Default`] it wraps the in-memory map ([`MemoryBackend`]) and every
+/// method below behaves exactly as it always has; constructed via
+/// [`ObserverLog::with_storage`] it can sit on any backend, with the
+/// borrowed-slice views ([`ObserverLog::requests_of`],
+/// [`ObserverLog::stream`], …) remaining memory-only (they hand out
+/// references into RAM that a durable backend does not keep — use
+/// [`ObserverLog::storage`] scans there).
+#[derive(Debug)]
 pub struct ObserverLog {
-    order: Vec<String>,
-    streams: HashMap<String, Stream>,
-    next_seq: u64,
+    storage: Box<dyn Storage>,
 }
 
-/// What [`ObserverLog::requests_of`] returns for unknown pseudonyms.
-static NO_REQUESTS: &[Request] = &[];
+impl Default for ObserverLog {
+    fn default() -> Self {
+        ObserverLog {
+            storage: Box::new(MemoryBackend::default()),
+        }
+    }
+}
+
+impl Clone for ObserverLog {
+    /// Cloning requires the in-memory backend (the provider and the
+    /// server's shard-merging path only ever clone RAM-backed logs).
+    fn clone(&self) -> Self {
+        ObserverLog {
+            storage: Box::new(self.mem().clone()),
+        }
+    }
+}
 
 impl ObserverLog {
+    /// A log over an explicit storage backend.
+    pub fn with_storage(storage: Box<dyn Storage>) -> Self {
+        ObserverLog { storage }
+    }
+
+    /// The backend, for trait-level access (scans, snapshots, flushes).
+    pub fn storage(&self) -> &dyn Storage {
+        self.storage.as_ref()
+    }
+
+    /// Mutable access to the backend.
+    pub fn storage_mut(&mut self) -> &mut dyn Storage {
+        self.storage.as_mut()
+    }
+
+    fn mem(&self) -> &MemoryBackend {
+        self.storage.as_memory().expect(MEMORY_ONLY)
+    }
+
+    fn mem_mut(&mut self) -> &mut MemoryBackend {
+        self.storage.as_memory_mut().expect(MEMORY_ONLY)
+    }
+
     /// Records one received request at time `t` (clones the request; the
     /// server's ingest path uses [`ObserverLog::record_owned`]).
     pub fn record(&mut self, t: f64, request: &Request) {
-        self.record_owned(t, request.clone());
+        self.mem_mut().record(t, request);
     }
 
     /// Records one received request at time `t`, taking ownership so the
     /// hot path never clones position vectors.
     pub fn record_owned(&mut self, t: f64, request: Request) {
-        let seq = self.next_seq;
-        self.record_full(t, seq, None, request);
+        self.mem_mut().record_owned(t, request);
     }
 
     /// Records one received request carrying an idempotent request id.
@@ -162,8 +103,7 @@ impl ObserverLog {
     /// reported the same id — how a retried query stays single-counted in
     /// the observer's view even though the provider answered it twice.
     pub fn record_owned_unique(&mut self, t: f64, request_id: u64, request: Request) -> bool {
-        let seq = self.next_seq;
-        self.record_full(t, seq, Some(request_id), request)
+        self.mem_mut().record_owned_unique(t, request_id, request)
     }
 
     /// Full-control record used by sharded server logs: an explicit
@@ -178,36 +118,29 @@ impl ObserverLog {
         request_id: Option<u64>,
         request: Request,
     ) -> bool {
-        let stream = self
-            .streams
-            .entry(request.pseudonym.clone())
-            .or_insert_with(|| {
-                self.order.push(request.pseudonym.clone());
-                Stream::default()
-            });
-        if let Some(id) = request_id {
-            if !stream.seen.insert(id) {
-                return false;
-            }
-        }
-        self.next_seq = self.next_seq.max(seq + 1);
-        stream.times.push(t);
-        stream.seqs.push(seq);
-        stream.requests.push(request);
-        true
+        self.mem_mut().record_full(t, seq, request_id, request)
+    }
+
+    /// Seeds a pseudonym's seen-id set without recording anything — the
+    /// server's store-recovery path (see
+    /// [`MemoryBackend::preload_seen`]).
+    pub fn preload_seen(&mut self, pseudonym: &str, ids: impl IntoIterator<Item = u64>) {
+        self.mem_mut().preload_seen(pseudonym, ids);
+    }
+
+    /// Advances the internal sequence counter past `next`.
+    pub fn advance_seq(&mut self, next: u64) {
+        self.mem_mut().advance_seq(next);
     }
 
     /// Pseudonyms in order of first appearance.
     pub fn pseudonyms(&self) -> &[String] {
-        &self.order
+        self.mem().pseudonyms()
     }
 
     /// The time-ordered request stream of one pseudonym.
     pub fn stream(&self, pseudonym: &str) -> Option<StreamView<'_>> {
-        self.streams.get(pseudonym).map(|s| StreamView {
-            times: &s.times,
-            requests: &s.requests,
-        })
+        self.mem().stream(pseudonym)
     }
 
     /// The request sequence of one pseudonym without timestamps — the
@@ -215,14 +148,12 @@ impl ObserverLog {
     /// consumes. Borrowed: unknown pseudonyms yield an empty slice, and
     /// no request is ever cloned.
     pub fn requests_of(&self, pseudonym: &str) -> &[Request] {
-        self.streams
-            .get(pseudonym)
-            .map_or(NO_REQUESTS, |s| &s.requests)
+        self.mem().requests_of(pseudonym)
     }
 
     /// Iterates one pseudonym's requests in receive order without cloning.
     pub fn iter_requests_of(&self, pseudonym: &str) -> std::slice::Iter<'_, Request> {
-        self.requests_of(pseudonym).iter()
+        self.mem().iter_requests_of(pseudonym)
     }
 
     /// Merges another log into this one, preserving per-stream `(time,
@@ -232,27 +163,9 @@ impl ObserverLog {
     /// any order produces the same streams. Already-seen request ids are
     /// carried over; records are deduplicated at record time (a pseudonym
     /// always lands in one shard), not during the merge.
-    pub fn absorb(&mut self, other: ObserverLog) {
-        let ObserverLog {
-            order,
-            mut streams,
-            next_seq,
-        } = other;
-        self.next_seq = self.next_seq.max(next_seq);
-        for pseudonym in order {
-            let incoming = streams
-                .remove(&pseudonym)
-                .expect("order lists every stream");
-            match self.streams.entry(pseudonym.clone()) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    self.order.push(pseudonym);
-                    e.insert(incoming);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().merge(incoming);
-                }
-            }
-        }
+    pub fn absorb(&mut self, mut other: ObserverLog) {
+        let incoming = std::mem::take(other.storage.as_memory_mut().expect(MEMORY_ONLY));
+        self.mem_mut().absorb(incoming);
     }
 
     /// FNV-1a digest of one pseudonym's time-ordered stream: timestamps
@@ -260,48 +173,27 @@ impl ObserverLog {
     /// little-endian). Two logs agree on a pseudonym's digest iff they
     /// recorded the same reports in the same order — the check the WAL
     /// replay and crash-recovery suites rely on. `None` for unknown
-    /// pseudonyms.
+    /// pseudonyms. Works on every backend (digests are part of the
+    /// [`Storage`] contract and bit-identical across backends).
     pub fn stream_digest(&self, pseudonym: &str) -> Option<u64> {
-        let s = self.streams.get(pseudonym)?;
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let fold = |h: &mut u64, bytes: &[u8]| {
-            for &b in bytes {
-                *h ^= u64::from(b);
-                *h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        for (t, req) in s.times.iter().zip(&s.requests) {
-            fold(&mut h, &t.to_bits().to_le_bytes());
-            fold(&mut h, req.pseudonym.as_bytes());
-            for p in &req.positions {
-                fold(&mut h, &p.x.to_bits().to_le_bytes());
-                fold(&mut h, &p.y.to_bits().to_le_bytes());
-            }
-        }
-        Some(h)
+        self.storage.stream_digest(pseudonym)
     }
 
     /// [`ObserverLog::stream_digest`] for every pseudonym, sorted by
     /// pseudonym — the canonical whole-log fingerprint (independent of
     /// first-appearance order, which sharding perturbs).
     pub fn stream_digests(&self) -> Vec<(String, u64)> {
-        let mut out: Vec<(String, u64)> = self
-            .order
-            .iter()
-            .map(|p| (p.clone(), self.stream_digest(p).expect("listed pseudonym")))
-            .collect();
-        out.sort();
-        out
+        self.storage.stream_digests()
     }
 
     /// Total recorded requests.
     pub fn len(&self) -> usize {
-        self.streams.values().map(|s| s.requests.len()).sum()
+        self.storage.len() as usize
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.streams.is_empty()
+        self.storage.is_empty()
     }
 }
 
@@ -597,6 +489,66 @@ mod tests {
         merged.absorb(log);
         assert!(!merged.record_owned_unique(60.0, 8, req));
         assert_eq!(merged.requests_of("p").len(), 2);
+    }
+
+    /// Satellite regression for the storage seam: an `ObserverLog` over
+    /// an explicitly-injected `MemoryBackend` behaves identically to the
+    /// default-constructed one — same streams, same borrowed views, same
+    /// digests — and the digest recipe is byte-identical to what this
+    /// file computed before the extraction.
+    #[test]
+    fn storage_seam_preserves_observer_semantics() {
+        let drive = |log: &mut ObserverLog| {
+            assert!(log.record_owned_unique(0.0, 0, request("a", vec![Point::new(1.0, 2.0)])));
+            assert!(!log.record_owned_unique(5.0, 0, request("a", vec![Point::new(9.0, 9.0)])));
+            log.record(10.0, &request("b", vec![Point::new(3.0, 4.0)]));
+            log.record_owned(20.0, request("a", vec![Point::new(5.0, 6.0)]));
+        };
+        let mut legacy = ObserverLog::default();
+        let mut seamed =
+            ObserverLog::with_storage(Box::new(dummyloc_store::MemoryBackend::default()));
+        drive(&mut legacy);
+        drive(&mut seamed);
+
+        assert_eq!(legacy.stream_digests(), seamed.stream_digests());
+        assert_eq!(legacy.pseudonyms(), seamed.pseudonyms());
+        assert_eq!(legacy.requests_of("a"), seamed.requests_of("a"));
+        assert_eq!(
+            legacy.stream("a").unwrap().times(),
+            seamed.stream("a").unwrap().times()
+        );
+        assert_eq!(legacy.len(), 3);
+
+        // The digest recipe is pinned: the historic inline FNV-1a fold,
+        // recomputed here by hand, must match what the backend reports.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let fold = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for (t, req) in legacy.stream("a").unwrap().iter() {
+            fold(&mut h, &t.to_bits().to_le_bytes());
+            fold(&mut h, req.pseudonym.as_bytes());
+            for p in &req.positions {
+                fold(&mut h, &p.x.to_bits().to_le_bytes());
+                fold(&mut h, &p.y.to_bits().to_le_bytes());
+            }
+        }
+        assert_eq!(legacy.stream_digest("a"), Some(h));
+
+        // Clones are deep, and absorbing into an empty log reproduces
+        // the source exactly.
+        let cloned = legacy.clone();
+        let mut merged = ObserverLog::default();
+        merged.absorb(legacy);
+        assert_eq!(cloned.stream_digests(), merged.stream_digests());
+        assert_eq!(cloned.stream_digests(), seamed.stream_digests());
+
+        // Trait-level access reaches the same state.
+        assert_eq!(seamed.storage().pseudonym_list().len(), 2);
+        assert!(seamed.storage().as_memory().is_some());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   records appended before each `Answer` frame, replayed at startup
 //!   (torn tails truncated, never panicking), so a `kill -9` loses no
 //!   acknowledged query,
+//! * durable store integration — with [`ServerConfig::store`] the server
+//!   also appends every committed record to a
+//!   [`dummyloc_store::LogStore`]; startup recovers from the store's
+//!   manifest and replays only the WAL tail past its durable frontier,
+//!   and each memtable flush truncates the WAL back to empty, keeping
+//!   cold-start time bounded by the tail instead of the full history,
 //! * [`options`] — validated [`ServeOptions`]/[`LoadgenOptions`] builders
 //!   shared by the CLI and tests,
 //! * [`loadgen`] — M concurrent simulated users (rickshaw tracks + MN/MLN
@@ -80,12 +86,13 @@ pub mod stats;
 pub mod wal;
 
 pub use client::{QueryOutcome, RetryPolicy, RetryStats, RetryingClient, ServiceClient};
+pub use dummyloc_store::{LogStoreConfig, DEFAULT_FLUSH_THRESHOLD_BYTES};
 pub use error::{Result, ServerError};
 pub use fault::{FaultInjector, FaultPlan};
 pub use loadgen::{GeneratorChoice, LoadgenConfig, LoadgenReport};
 pub use options::{LoadgenOptions, ServeOptions};
 pub use proto::{ClientFrame, ErrorKind, ServerFrame, PROTOCOL_VERSION};
-pub use server::{spawn, ServerConfig, ServerHandle, ShutdownReport};
+pub use server::{spawn, ServerConfig, ServerHandle, ShutdownReport, StoreRecoverySummary};
 pub use shard::ShardedLog;
-pub use stats::{FaultCounters, ServerStats, StatsSnapshot, WalCounters};
+pub use stats::{FaultCounters, ServerStats, StatsSnapshot, StoreCounters, WalCounters};
 pub use wal::{FsyncPolicy, WalConfig};

@@ -18,6 +18,7 @@ use crate::fault::FaultPlan;
 use crate::loadgen::{GeneratorChoice, LoadgenConfig};
 use crate::server::ServerConfig;
 use crate::wal::WalConfig;
+use dummyloc_store::LogStoreConfig;
 
 /// Chainable, validated builder for a [`ServerConfig`].
 #[derive(Debug, Clone, Default)]
@@ -101,6 +102,14 @@ impl ServeOptions {
     /// serving). `None` keeps the observer log memory-only.
     pub fn wal(mut self, wal: Option<WalConfig>) -> Self {
         self.config.wal = wal;
+        self
+    }
+
+    /// Durable observer store (recovered at startup, appended to while
+    /// serving; each flush truncates the WAL). `None` leaves durability
+    /// to the WAL alone.
+    pub fn store(mut self, store: Option<LogStoreConfig>) -> Self {
+        self.config.store = store;
         self
     }
 
@@ -223,6 +232,17 @@ mod tests {
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.max_connections, 16);
         assert_eq!(cfg.idle_timeout, Some(Duration::from_millis(500)));
+
+        let bad_store = LogStoreConfig {
+            flush_threshold_bytes: 0,
+            ..LogStoreConfig::new("/tmp/does-not-matter-store")
+        };
+        assert!(ServeOptions::new().store(Some(bad_store)).build().is_err());
+        let ok_store = ServeOptions::new()
+            .store(Some(LogStoreConfig::new("/tmp/does-not-matter-store")))
+            .build()
+            .unwrap();
+        assert!(ok_store.store.is_some());
 
         let bad_wal = WalConfig {
             fsync: crate::wal::FsyncPolicy::EveryN(0),

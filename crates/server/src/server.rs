@@ -32,6 +32,9 @@ use dummyloc_core::client::Request;
 use dummyloc_lbs::provider::{answer_request, ObserverLog};
 use dummyloc_lbs::query::QueryKind;
 use dummyloc_lbs::PoiDatabase;
+use dummyloc_store::{
+    LogStore, LogStoreConfig, RecoveryInfo, Storage, StoreRecord, StoreStats as BackendStats,
+};
 
 use crate::error::{Result, ServerError};
 use crate::fault::{FaultInjector, FaultPlan, FrameFate};
@@ -77,6 +80,14 @@ pub struct ServerConfig {
     /// `Some` replays the file at startup and appends every committed
     /// observer record before its `Answer` frame is sent.
     pub wal: Option<WalConfig>,
+    /// Durable observer store. `None` keeps durability WAL-only (or off).
+    /// `Some` opens a [`LogStore`] at startup, recovers the observer
+    /// state from its manifest, replays only the WAL records *past* the
+    /// store's last durable sequence, and from then on appends every
+    /// committed observer record to both; each successful memtable flush
+    /// truncates the WAL, so the WAL stays a short tail instead of the
+    /// full history.
+    pub store: Option<LogStoreConfig>,
     /// Test hook: a worker panics when it serves a query whose pseudonym
     /// equals this value — the deterministic trigger the supervision
     /// tests use.
@@ -98,6 +109,7 @@ impl Default for ServerConfig {
             faults: FaultPlan::none(),
             worker_delay: None,
             wal: None,
+            store: None,
             panic_pseudonym: None,
         }
     }
@@ -127,6 +139,11 @@ impl ServerConfig {
                 return err("wal fsync interval must be at least 1".into());
             }
         }
+        if let Some(store) = &self.store {
+            if let Err(e) = store.validate() {
+                return err(format!("store: {e}"));
+            }
+        }
         Ok(())
     }
 }
@@ -142,6 +159,71 @@ struct Job {
     reply: Sender<ServerFrame>,
 }
 
+/// The durability sinks, held under one mutex so the WAL append, the
+/// store append and any flush-triggered WAL truncation happen atomically
+/// with respect to other workers. Sequence stamps are taken *inside*
+/// this lock (see `serve_job`), which is what guarantees both files see
+/// records in nondecreasing `seq` order — the contract tail replay and
+/// [`Storage::append`] rely on.
+#[derive(Debug, Default)]
+struct Durable {
+    wal: Option<WalWriter>,
+    store: Option<LogStore>,
+    /// Set when a store append failed: the WAL is then the only complete
+    /// copy of the history and must never be truncated again.
+    store_missed: bool,
+}
+
+impl Durable {
+    /// Persists one committed observer record to whichever sinks are
+    /// configured. A flush that made the memtable durable lets the WAL
+    /// be emptied: everything in it up to this record is now in a
+    /// committed segment.
+    fn append(&mut self, record: &WalRecord, stats: &ServerStats) {
+        if let Some(w) = &mut self.wal {
+            match w.append(record) {
+                Ok(()) => stats.record_wal_append(),
+                Err(_) => stats.record_wal_error(),
+            }
+        }
+        let Some(s) = &mut self.store else { return };
+        let out = s.append(StoreRecord {
+            t: record.t,
+            seq: record.seq,
+            request_id: record.request_id,
+            request: record.request.clone(),
+        });
+        let st = s.store_stats();
+        stats.set_store_occupancy(st.segments, st.memtable_bytes);
+        match out {
+            Ok(outcome) => {
+                stats.record_store_append();
+                if outcome.flushed {
+                    stats.record_store_flush();
+                    self.truncate_wal(stats);
+                }
+            }
+            Err(_) => {
+                self.store_missed = true;
+                stats.record_store_error();
+            }
+        }
+    }
+
+    /// Empties the WAL after its contents became durable in the store.
+    fn truncate_wal(&mut self, stats: &ServerStats) {
+        if self.store_missed {
+            return;
+        }
+        if let Some(w) = &mut self.wal {
+            match w.truncate() {
+                Ok(()) => stats.record_store_wal_truncation(),
+                Err(_) => stats.record_wal_error(),
+            }
+        }
+    }
+}
+
 /// A running server. Dropping the handle leaves the server running
 /// detached; call [`ServerHandle::shutdown`] for an orderly stop.
 #[derive(Debug)]
@@ -150,9 +232,35 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     log: Arc<ShardedLog>,
-    wal: Option<Arc<Mutex<WalWriter>>>,
+    durable: Option<Arc<Mutex<Durable>>>,
+    store_recovery: Option<StoreRecoverySummary>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// What startup recovery restored — the numbers the CLI prints on boot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreRecoverySummary {
+    /// Records already durable in store segments (not re-read; the
+    /// manifest alone restores their digests and idempotency keys).
+    pub durable_records: u64,
+    /// Segment files referenced by the committed manifest.
+    pub segments: u64,
+    /// Pseudonym streams with durable state.
+    pub streams: u64,
+    /// Orphan segment files (crash leftovers) deleted at open.
+    pub orphans_removed: u64,
+    /// WAL-tail records replayed on top of the durable state.
+    pub tail_replayed: u64,
+    /// Wall-clock milliseconds the whole recovery took.
+    pub recovery_ms: u64,
+}
+
+/// Maps a store failure at startup into the server's error type.
+fn store_error(e: dummyloc_store::StoreError) -> ServerError {
+    ServerError::Config {
+        message: format!("store: {e}"),
+    }
 }
 
 /// Final state returned by [`ServerHandle::shutdown`] after the drain.
@@ -162,6 +270,11 @@ pub struct ShutdownReport {
     pub stats: StatsSnapshot,
     /// The complete merged observer log.
     pub log: ObserverLog,
+    /// Sorted per-pseudonym digests as the (flushed) durable store sees
+    /// them; `None` when no store was configured. Equal to the merged
+    /// log's digests whenever the store kept up (the invariant the
+    /// equivalence tests pin down).
+    pub store_digests: Option<Vec<(String, u64)>>,
 }
 
 impl ServerHandle {
@@ -186,6 +299,31 @@ impl ServerHandle {
         self.log.merged()
     }
 
+    /// Per-pseudonym stream digests as the durable store sees them
+    /// (memtable included), sorted by pseudonym. `None` when no store is
+    /// configured. When a store is on, this is the durability authority
+    /// the crash tests compare against.
+    pub fn store_digests(&self) -> Option<Vec<(String, u64)>> {
+        let durable = self.durable.as_ref()?;
+        let guard = durable.lock();
+        let store = guard.store.as_ref()?;
+        let mut digests = store.stream_digests();
+        digests.sort();
+        Some(digests)
+    }
+
+    /// Occupancy snapshot of the durable store (`None` without one).
+    pub fn store_stats(&self) -> Option<BackendStats> {
+        let durable = self.durable.as_ref()?;
+        let guard = durable.lock();
+        Some(guard.store.as_ref()?.store_stats())
+    }
+
+    /// What startup recovery restored (`None` without a store).
+    pub fn store_recovery(&self) -> Option<StoreRecoverySummary> {
+        self.store_recovery
+    }
+
     /// Graceful stop: stop accepting, let connections wind down, drain
     /// every queued job, then join all threads.
     pub fn shutdown(mut self) -> ShutdownReport {
@@ -198,14 +336,33 @@ impl ServerHandle {
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
-        // Whatever the fsync policy, an orderly stop leaves the WAL on
-        // the platter.
-        if let Some(w) = &self.wal {
-            let _ = w.lock().sync();
+        // Whatever the fsync policy, an orderly stop leaves every durable
+        // sink consistent: the store flushes its memtable into a
+        // committed segment (emptying the WAL), and the WAL is synced.
+        if let Some(d) = &self.durable {
+            let mut d = d.lock();
+            match d.store.as_mut().map(|s| s.flush()) {
+                None => {}
+                Some(Ok(out)) => {
+                    if out.segment.is_some() {
+                        self.stats.record_store_flush();
+                    }
+                    d.truncate_wal(&self.stats);
+                }
+                Some(Err(_)) => {
+                    d.store_missed = true;
+                    self.stats.record_store_error();
+                }
+            }
+            if let Some(w) = &mut d.wal {
+                let _ = w.sync();
+            }
         }
+        let store_digests = self.store_digests();
         ShutdownReport {
             stats: self.stats.snapshot(),
             log: self.log.merged(),
+            store_digests,
         }
     }
 }
@@ -222,23 +379,105 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
     let pois = Arc::new(pois);
     let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_depth.max(1));
 
-    // Replay-then-append: the WAL is restored into the sharded log before
-    // the first connection is accepted, so a restarted server continues
-    // the observer streams (and the arrival sequence) where the crashed
-    // one stopped.
-    let wal_writer = match &config.wal {
-        None => None,
-        Some(wc) => {
-            let summary = wal::replay(&wc.path, |r| {
-                if log.replay(r.t, r.seq, r.request_id, r.request) {
-                    stats.record_wal_replayed();
+    // Recovery runs before the first connection is accepted, in two
+    // layers. With a store, its committed manifest restores the durable
+    // state — stream digests, idempotency keys and the arrival sequence
+    // — without reading one record payload, and the WAL then replays
+    // only the short tail past the store's last durable sequence.
+    // Without a store, the WAL replays the full history as before.
+    let recovery_started = Instant::now();
+    let mut store_recovery = None;
+    let durable = if config.wal.is_none() && config.store.is_none() {
+        None
+    } else {
+        let mut summary = StoreRecoverySummary::default();
+        let mut store = match &config.store {
+            None => None,
+            Some(sc) => {
+                let (store, info) = LogStore::open(sc.clone()).map_err(store_error)?;
+                for (pseudonym, ids) in store.seen_ids() {
+                    log.preload_stream(&pseudonym, &ids);
                 }
-            })?;
-            if summary.torn {
-                stats.record_wal_torn(summary.truncated_bytes);
+                if let Some(last) = store.last_durable_seq() {
+                    log.advance_seq(last + 1);
+                }
+                let RecoveryInfo {
+                    durable_records,
+                    segments,
+                    streams,
+                    orphans_removed,
+                } = info;
+                summary.durable_records = durable_records;
+                summary.segments = segments;
+                summary.streams = streams;
+                summary.orphans_removed = orphans_removed;
+                Some(store)
             }
-            Some(Arc::new(Mutex::new(WalWriter::open(wc)?)))
+        };
+        let store_last_durable = store.as_ref().and_then(|s| s.last_durable_seq());
+        let wal_writer = match &config.wal {
+            None => None,
+            Some(wc) => {
+                let replay_summary = wal::replay(&wc.path, |r| {
+                    // Records at or below the store's durable frontier are
+                    // already in a committed segment (the crash landed
+                    // between a flush and the WAL truncation); only the
+                    // tail past it is news.
+                    if store_last_durable.is_some_and(|last| r.seq <= last) {
+                        return;
+                    }
+                    let for_store = store.as_ref().map(|_| r.request.clone());
+                    if log.replay(r.t, r.seq, r.request_id, r.request) {
+                        stats.record_wal_replayed();
+                        summary.tail_replayed += 1;
+                        if let Some(s) = &mut store {
+                            match s.append(StoreRecord {
+                                t: r.t,
+                                seq: r.seq,
+                                request_id: r.request_id,
+                                request: for_store.expect("cloned when the store is on"),
+                            }) {
+                                Ok(_) => stats.record_store_replayed(),
+                                Err(_) => stats.record_store_error(),
+                            }
+                        }
+                    }
+                })?;
+                if replay_summary.torn {
+                    stats.record_wal_torn(replay_summary.truncated_bytes);
+                }
+                Some(WalWriter::open(wc)?)
+            }
+        };
+        let mut durable = Durable {
+            wal: wal_writer,
+            store,
+            store_missed: false,
+        };
+        // The whole tail is in the store now: flush it into a committed
+        // segment and reset the WAL, so the next crash replays only
+        // records newer than this boot.
+        match durable.store.as_mut().map(|s| s.flush()) {
+            None => {}
+            Some(Ok(out)) => {
+                if out.segment.is_some() {
+                    stats.record_store_flush();
+                }
+                durable.truncate_wal(&stats);
+            }
+            Some(Err(_)) => {
+                durable.store_missed = true;
+                stats.record_store_error();
+            }
         }
+        if let Some(s) = &durable.store {
+            let st = s.store_stats();
+            stats.set_store_occupancy(st.segments, st.memtable_bytes);
+            summary.recovery_ms = recovery_started.elapsed().as_millis() as u64;
+            stats.set_store_recovery_ms(summary.recovery_ms);
+            store_recovery = Some(summary);
+        }
+        Some(Arc::new(Mutex::new(durable)))
     };
 
     let workers = (0..config.workers.max(1))
@@ -248,7 +487,7 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
             let log = Arc::clone(&log);
             let stats = Arc::clone(&stats);
             let delay = config.worker_delay;
-            let wal = wal_writer.clone();
+            let durable = durable.clone();
             let panic_pseudonym = config.panic_pseudonym.clone();
             std::thread::spawn(move || {
                 // Supervision loop: one `worker_loop` call is one worker
@@ -261,7 +500,7 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
                     &log,
                     &stats,
                     delay,
-                    wal.as_ref(),
+                    durable.as_ref(),
                     panic_pseudonym.as_deref(),
                 ) {}
             })
@@ -280,7 +519,8 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
         shutdown,
         stats,
         log,
-        wal: wal_writer,
+        durable,
+        store_recovery,
         accept: Some(accept),
         workers,
     })
@@ -312,7 +552,7 @@ fn worker_loop(
     log: &Arc<ShardedLog>,
     stats: &Arc<ServerStats>,
     delay: Option<Duration>,
-    wal: Option<&Arc<Mutex<WalWriter>>>,
+    durable: Option<&Arc<Mutex<Durable>>>,
     panic_pseudonym: Option<&str>,
 ) -> WorkerExit {
     // Ends when every job sender (acceptor + connections) is gone and the
@@ -321,7 +561,7 @@ fn worker_loop(
         let id = job.id;
         let reply = job.reply.clone();
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            serve_job(job, pois, log, stats, delay, wal, panic_pseudonym)
+            serve_job(job, pois, log, stats, delay, durable, panic_pseudonym)
         }));
         if let Err(payload) = outcome {
             // The panic reaches exactly one connection, as a typed frame;
@@ -344,7 +584,7 @@ fn serve_job(
     log: &ShardedLog,
     stats: &ServerStats,
     delay: Option<Duration>,
-    wal: Option<&Arc<Mutex<WalWriter>>>,
+    durable: Option<&Arc<Mutex<Durable>>>,
     panic_pseudonym: Option<&str>,
 ) {
     // Queued-expiry cancellation: a job whose deadline passed while it
@@ -369,25 +609,36 @@ fn serve_job(
         return;
     }
     let positions = job.request.positions.len();
-    let wal_request = wal.map(|_| job.request.clone());
     // The query id doubles as the idempotency key: a retried query is
-    // answered again but recorded in the observer log (and the WAL) only
-    // once — which is what makes replay-after-crash dedup-safe.
-    match log.record_unique_seq(job.t, job.id, job.request) {
-        None => stats.record_dedup_hit(),
-        Some(seq) => {
-            if let Some(w) = wal {
-                let record = WalRecord {
-                    t: job.t,
-                    seq,
-                    request_id: Some(job.id),
-                    request: wal_request.expect("cloned whenever the wal is on"),
-                };
-                // Durability before acknowledgement: the record hits the
-                // log before the Answer frame is queued below.
-                match w.lock().append(&record) {
-                    Ok(()) => stats.record_wal_append(),
-                    Err(_) => stats.record_wal_error(),
+    // answered again but recorded in the observer log (and the durable
+    // sinks) only once — which is what makes replay-after-crash
+    // dedup-safe.
+    match durable {
+        None => {
+            if log.record_unique_seq(job.t, job.id, job.request).is_none() {
+                stats.record_dedup_hit();
+            }
+        }
+        Some(d) => {
+            let record_request = job.request.clone();
+            // The durable lock is held *across* the sequence-stamping
+            // record call, so the WAL and the store see records in the
+            // same nondecreasing seq order the stamps were issued in —
+            // the contract store recovery (tail replay past the durable
+            // frontier) depends on. Durability before acknowledgement:
+            // the record hits the sinks before the Answer frame is
+            // queued below.
+            let mut d = d.lock();
+            match log.record_unique_seq(job.t, job.id, job.request) {
+                None => stats.record_dedup_hit(),
+                Some(seq) => {
+                    let record = WalRecord {
+                        t: job.t,
+                        seq,
+                        request_id: Some(job.id),
+                        request: record_request,
+                    };
+                    d.append(&record, stats);
                 }
             }
         }

@@ -91,6 +91,24 @@ impl ShardedLog {
         recorded
     }
 
+    /// Marks `ids` of `pseudonym` as already recorded without adding any
+    /// records — how durable-store recovery restores idempotency: the
+    /// store holds the historical records, the live log only needs to
+    /// refuse their retries.
+    pub fn preload_stream(&self, pseudonym: &str, ids: &[u64]) {
+        let i = shard_index(pseudonym, self.shards.len());
+        self.shards[i]
+            .write()
+            .preload_seen(pseudonym, ids.iter().copied());
+    }
+
+    /// Moves the arrival counter to at least `next`, so traffic after a
+    /// durable-store recovery continues the global sequence instead of
+    /// re-issuing stamps the store already holds.
+    pub fn advance_seq(&self, next: u64) {
+        self.next_seq.fetch_max(next, Ordering::Relaxed);
+    }
+
     /// Total requests across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
@@ -208,6 +226,23 @@ mod tests {
         let merged = rebuilt.merged();
         let stream = merged.stream("u0").unwrap();
         assert_eq!(stream.times().last(), Some(&99.0));
+    }
+
+    #[test]
+    fn preload_and_advance_restore_recovery_state() {
+        // The durable-store recovery path: ids become duplicate-refusing
+        // without any records, and new stamps continue past the durable
+        // sequence.
+        let log = ShardedLog::new(4);
+        log.preload_stream("u1", &[7, 8]);
+        log.advance_seq(100);
+        assert!(log.is_empty());
+        assert!(!log.record_unique(1.0, 7, req("u1", 1.0))); // replay of durable id
+        assert_eq!(
+            log.record_unique_seq(2.0, 9, req("u1", 2.0)),
+            Some(101) // seq 100 was burned by the deduped attempt above
+        );
+        assert_eq!(log.len(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dummyloc_lbs::query::QueryKind;
-use dummyloc_telemetry::{Counter, Histogram, HistogramSnapshot, MetricRegistry};
+use dummyloc_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricRegistry};
 use serde::{Deserialize, Serialize};
 
 /// Histogram bucket upper bounds in microseconds; one implicit overflow
@@ -59,6 +59,15 @@ pub struct ServerStats {
     wal_torn_truncations: Arc<Counter>,
     wal_truncated_bytes: Arc<Counter>,
     wal_errors: Arc<Counter>,
+    store_appended: Arc<Counter>,
+    store_replayed: Arc<Counter>,
+    store_flushes: Arc<Counter>,
+    store_compactions: Arc<Counter>,
+    store_errors: Arc<Counter>,
+    store_wal_truncations: Arc<Counter>,
+    store_segments: Arc<Gauge>,
+    store_memtable_bytes: Arc<Gauge>,
+    store_recovery_ms: Arc<Gauge>,
     latency: [Arc<Histogram>; KINDS],
 }
 
@@ -107,6 +116,15 @@ impl ServerStats {
             wal_torn_truncations: c("server.wal.torn_truncations"),
             wal_truncated_bytes: c("server.wal.truncated_bytes"),
             wal_errors: c("server.wal.errors"),
+            store_appended: c("server.store.appended"),
+            store_replayed: c("server.store.replayed"),
+            store_flushes: c("server.store.flushes"),
+            store_compactions: c("server.store.compactions"),
+            store_errors: c("server.store.errors"),
+            store_wal_truncations: c("server.store.wal_truncations"),
+            store_segments: registry.gauge("server.store.segments"),
+            store_memtable_bytes: registry.gauge("server.store.memtable_bytes"),
+            store_recovery_ms: registry.gauge("server.store.recovery_ms"),
             latency,
             registry,
         }
@@ -224,6 +242,50 @@ impl ServerStats {
         self.wal_errors.inc();
     }
 
+    /// One observer record appended to the durable store's memtable.
+    pub fn record_store_append(&self) {
+        self.store_appended.inc();
+    }
+
+    /// One WAL-tail record re-applied to the store during recovery.
+    pub fn record_store_replayed(&self) {
+        self.store_replayed.inc();
+    }
+
+    /// One memtable flush that committed a segment.
+    pub fn record_store_flush(&self) {
+        self.store_flushes.inc();
+    }
+
+    /// One compaction that merged the segment set.
+    pub fn record_store_compaction(&self) {
+        self.store_compactions.inc();
+    }
+
+    /// One store operation that failed (the query was still answered;
+    /// durability falls back to the WAL alone).
+    pub fn record_store_error(&self) {
+        self.store_errors.inc();
+    }
+
+    /// One WAL truncation after a successful flush made its records
+    /// durable in the store.
+    pub fn record_store_wal_truncation(&self) {
+        self.store_wal_truncations.inc();
+    }
+
+    /// Updates the store occupancy gauges after an append/flush/compact.
+    pub fn set_store_occupancy(&self, segments: u64, memtable_bytes: u64) {
+        self.store_segments.set(segments as i64);
+        self.store_memtable_bytes.set(memtable_bytes as i64);
+    }
+
+    /// Records how long startup recovery (store open + preload + WAL
+    /// tail replay) took.
+    pub fn set_store_recovery_ms(&self, ms: u64) {
+        self.store_recovery_ms.set(ms as i64);
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -252,6 +314,14 @@ impl ServerStats {
                 torn_truncations: self.wal_torn_truncations.get(),
                 truncated_bytes: self.wal_truncated_bytes.get(),
                 errors: self.wal_errors.get(),
+            },
+            store: StoreCounters {
+                appended: self.store_appended.get(),
+                replayed: self.store_replayed.get(),
+                flushes: self.store_flushes.get(),
+                compactions: self.store_compactions.get(),
+                errors: self.store_errors.get(),
+                wal_truncations: self.store_wal_truncations.get(),
             },
             latency: (0..KINDS)
                 .map(|k| KindHistogram {
@@ -295,6 +365,8 @@ pub struct StatsSnapshot {
     pub worker_restarts: u64,
     /// Write-ahead-log tallies (all zero when the WAL is off).
     pub wal: WalCounters,
+    /// Durable-store tallies (all zero when no `--store` is configured).
+    pub store: StoreCounters,
     /// Per-query-kind latency histogram.
     pub latency: Vec<KindHistogram>,
 }
@@ -312,6 +384,24 @@ pub struct WalCounters {
     pub truncated_bytes: u64,
     /// Appends that failed (answered anyway, durability lost).
     pub errors: u64,
+}
+
+/// Durability tallies of the pluggable observer store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StoreCounters {
+    /// Records appended to the store since this process started.
+    pub appended: u64,
+    /// WAL-tail records re-applied to the store during recovery.
+    pub replayed: u64,
+    /// Memtable flushes that committed a segment.
+    pub flushes: u64,
+    /// Compactions that merged the segment set.
+    pub compactions: u64,
+    /// Store operations that failed (answered anyway; the WAL still
+    /// holds the record).
+    pub errors: u64,
+    /// WAL truncations performed after a successful flush.
+    pub wal_truncations: u64,
 }
 
 /// Tallies of injected faults, one per fault kind, so a chaos run can
@@ -398,6 +488,14 @@ mod tests {
         s.record_wal_replayed();
         s.record_wal_torn(17);
         s.record_wal_error();
+        s.record_store_append();
+        s.record_store_replayed();
+        s.record_store_flush();
+        s.record_store_compaction();
+        s.record_store_error();
+        s.record_store_wal_truncation();
+        s.set_store_occupancy(3, 4096);
+        s.set_store_recovery_ms(12);
         let snap = s.snapshot();
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.positions, 10);
@@ -427,6 +525,19 @@ mod tests {
             errors: 1,
         };
         assert_eq!(snap.wal, wal);
+        let store = StoreCounters {
+            appended: 1,
+            replayed: 1,
+            flushes: 1,
+            compactions: 1,
+            errors: 1,
+            wal_truncations: 1,
+        };
+        assert_eq!(snap.store, store);
+        let reg = s.registry().snapshot();
+        assert_eq!(reg.gauge("server.store.segments"), Some(3));
+        assert_eq!(reg.gauge("server.store.memtable_bytes"), Some(4096));
+        assert_eq!(reg.gauge("server.store.recovery_ms"), Some(12));
         assert_eq!(snap.histogram_total("next_bus"), 2);
         let bus = &snap.latency[2];
         assert_eq!(bus.counts[0], 1); // 30 µs ≤ 50 µs

@@ -272,6 +272,16 @@ impl WalWriter {
         self.since_sync = 0;
         self.file.sync_data()
     }
+
+    /// Empties the log in place, once every record in it is durable
+    /// elsewhere (a storage backend just flushed a segment covering it).
+    /// The file stays open in append mode, so later appends land at the
+    /// new (zero) end of file.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.since_sync = 0;
+        self.file.sync_data()
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +414,26 @@ mod tests {
         assert!(!summary.torn);
         assert_eq!(summary.records, 3);
         assert_eq!(seen[2], record(9));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_empties_the_log_and_appends_continue() {
+        let path = temp_path("truncate");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open(&WalConfig::new(path.clone())).unwrap();
+        for seq in 0..3 {
+            writer.append(&record(seq)).unwrap();
+        }
+        writer.truncate().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // The open append handle keeps working after set_len(0).
+        writer.append(&record(7)).unwrap();
+        drop(writer);
+        let mut seen = Vec::new();
+        let summary = replay(&path, |r| seen.push(r)).unwrap();
+        assert!(!summary.torn);
+        assert_eq!(seen, vec![record(7)]);
         let _ = std::fs::remove_file(&path);
     }
 

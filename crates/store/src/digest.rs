@@ -1,0 +1,74 @@
+//! The FNV-1a digest recipe shared by every backend.
+//!
+//! A pseudonym's stream digest folds, per record in stream order: the
+//! receive time's f64 bit pattern (little-endian), the pseudonym bytes,
+//! and each reported position's x/y bit patterns. This is bit-for-bit
+//! the fold `ObserverLog::stream_digest` has always used, so digests
+//! computed by the in-memory map, the log-structured store, and a WAL
+//! replay are directly comparable — the equality every crash-recovery
+//! test in this repo asserts.
+
+use dummyloc_core::client::Request;
+
+/// FNV-1a 64-bit offset basis — the digest of an empty stream.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds bytes into a running FNV-1a state.
+pub fn fold_bytes(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// One-shot FNV-1a of a byte slice (checksums for segments/manifests).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET_BASIS;
+    fold_bytes(&mut h, bytes);
+    h
+}
+
+/// Folds one observed report into a running stream digest.
+pub fn fold_report(h: &mut u64, t: f64, request: &Request) {
+    fold_bytes(h, &t.to_bits().to_le_bytes());
+    fold_bytes(h, request.pseudonym.as_bytes());
+    for p in &request.positions {
+        fold_bytes(h, &p.x.to_bits().to_le_bytes());
+        fold_bytes(h, &p.y.to_bits().to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::Point;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fold_report_is_order_sensitive() {
+        let r1 = Request {
+            pseudonym: "p".into(),
+            positions: vec![Point::new(1.0, 2.0)],
+        };
+        let r2 = Request {
+            pseudonym: "p".into(),
+            positions: vec![Point::new(3.0, 4.0)],
+        };
+        let mut a = FNV_OFFSET_BASIS;
+        fold_report(&mut a, 0.0, &r1);
+        fold_report(&mut a, 1.0, &r2);
+        let mut b = FNV_OFFSET_BASIS;
+        fold_report(&mut b, 1.0, &r2);
+        fold_report(&mut b, 0.0, &r1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,330 @@
+//! Pluggable storage for observer state.
+//!
+//! The paper's honest-but-curious provider retains every `1+k`-position
+//! request stream it ever receives; the adversary pipeline replays those
+//! streams against trackers. Everywhere else in the workspace that state
+//! lives in RAM ([`MemoryBackend`], extracted verbatim from the old
+//! `ObserverLog` internals) — this crate adds a durable sibling,
+//! [`LogStore`], an embedded log-structured store so a provider restart
+//! recovers from a compact on-disk image instead of replaying its entire
+//! write-ahead log:
+//!
+//! * [`Storage`] — the backend trait: append a report, scan a
+//!   pseudonym's stream, snapshot/restore the whole log, and stable
+//!   per-stream FNV-1a digests (bit-exact across backends, the currency
+//!   of every crash-recovery proof in this repo),
+//! * [`memory`] — the in-memory map, byte-for-byte the semantics the
+//!   provider always had (stable `(time, seq)` merges, per-pseudonym
+//!   idempotent request-id dedup, borrowed stream views),
+//! * [`segment`] — length-prefixed FNV-checksummed segment files written
+//!   in `(pseudonym, seq)`-sorted runs, with a buffered reader for cold
+//!   scans ([`segment::SegmentReader`]),
+//! * [`manifest`] — the checksummed JSON manifest that makes flushes and
+//!   compactions atomic (write segment → fsync → commit manifest via
+//!   tmp + rename) and carries per-stream recovery state: record count,
+//!   running digest, last sequence number and the seen request-id set,
+//! * [`log`] — [`LogStore`]: memtable + threshold flush + explicit
+//!   (background-free) compaction over the two modules above.
+//!
+//! # Recovery contract
+//!
+//! [`Storage::append`] callers that intend to recover by WAL *tail*
+//! replay must append in nondecreasing `seq` order (the server
+//! serializes sequence assignment and append under one lock). Then at
+//! any crash point the durable store holds exactly the records with
+//! `seq <= last_durable_seq()`, and replaying only WAL records past that
+//! sequence number reconstructs the identical per-stream digests that a
+//! full WAL replay into a [`MemoryBackend`] would produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use dummyloc_core::client::Request;
+use serde::{Deserialize, Serialize};
+
+pub mod digest;
+pub mod log;
+pub mod manifest;
+pub mod memory;
+pub mod segment;
+
+pub use log::{LogStore, LogStoreConfig, RecoveryInfo, DEFAULT_FLUSH_THRESHOLD_BYTES};
+pub use memory::{MemoryBackend, StreamView, TimeIter};
+
+/// One observed report: the unit every backend stores.
+///
+/// Mirrors the server's WAL record — a receive time, the globally
+/// monotone arrival sequence number, the idempotent request id (when the
+/// protocol supplied one) and the full `1+k`-position request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreRecord {
+    /// Receive time (simulation seconds).
+    pub t: f64,
+    /// Global arrival sequence number.
+    pub seq: u64,
+    /// Idempotent request id, if the ingest path carried one.
+    pub request_id: Option<u64>,
+    /// The full request as received.
+    pub request: Request,
+}
+
+/// What [`Storage::append`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// `false` when the record was an idempotent duplicate (same
+    /// pseudonym, same request id) and nothing was stored.
+    pub recorded: bool,
+    /// `true` when the append pushed the memtable past its threshold and
+    /// a flush ran. Callers pairing the store with a WAL truncate the
+    /// WAL when they see this.
+    pub flushed: bool,
+}
+
+/// What a [`Storage::flush`] wrote.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// Records moved from the memtable into the new segment.
+    pub records: u64,
+    /// Bytes of the new segment file (0 when nothing was flushed).
+    pub bytes: u64,
+    /// File name of the new segment, when one was written.
+    pub segment: Option<String>,
+}
+
+/// What a [`Storage::compact`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Segment files before compaction.
+    pub segments_before: u64,
+    /// Segment files after compaction (1, or unchanged when there was
+    /// nothing to merge).
+    pub segments_after: u64,
+    /// Durable records carried through the merge.
+    pub records: u64,
+    /// Bytes of the merged segment (0 when compaction was a no-op).
+    pub bytes: u64,
+}
+
+/// Point-in-time counters for a backend, serializable for `store stats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Backend name: `"memory"` or `"log"`.
+    pub backend: String,
+    /// Segment files currently referenced by the manifest.
+    pub segments: u64,
+    /// Total bytes across referenced segment files.
+    pub segment_bytes: u64,
+    /// Records durable in segments.
+    pub durable_records: u64,
+    /// Records still in the memtable.
+    pub memtable_records: u64,
+    /// Approximate encoded bytes held in the memtable.
+    pub memtable_bytes: u64,
+    /// Durable + memtable records.
+    pub total_records: u64,
+    /// Distinct pseudonym streams.
+    pub streams: u64,
+    /// Highest sequence number appended (durable or not).
+    pub last_seq: Option<u64>,
+    /// Highest sequence number durable in segments.
+    pub last_durable_seq: Option<u64>,
+    /// Flushes performed by this instance.
+    pub flushes: u64,
+    /// Compactions performed by this instance.
+    pub compactions: u64,
+}
+
+/// Everything that can go wrong in a storage backend.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure while touching `path`.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A file failed validation (bad magic, checksum, or structure).
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// A configuration value failed validation.
+    Config {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store i/o error at {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, message } => {
+                write!(f, "store corruption in {}: {message}", path.display())
+            }
+            StoreError::Config { message } => write!(f, "invalid store configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience alias.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// A backend for observer state.
+///
+/// Two implementations ship: [`MemoryBackend`] (the provider's historic
+/// in-RAM map, zero behavior change) and [`LogStore`] (durable,
+/// log-structured). The contract both uphold:
+///
+/// * **Dedup** — a record whose `(pseudonym, request_id)` pair was
+///   already recorded is dropped ([`AppendOutcome::recorded`] false),
+///   exactly the provider's idempotent-retry semantics.
+/// * **Digests** — [`Storage::stream_digest`] folds a pseudonym's
+///   records in stream order with the same FNV-1a recipe regardless of
+///   backend (see [`digest`]), so cross-backend equality checks are
+///   byte-exact.
+/// * **Seq order** — callers that recover via WAL-tail replay must
+///   append in nondecreasing `seq` order (see the crate docs).
+pub trait Storage: Send + Sync + fmt::Debug {
+    /// Appends one record; dedups by `(pseudonym, request_id)`.
+    fn append(&mut self, record: StoreRecord) -> StoreResult<AppendOutcome>;
+
+    /// All records of one pseudonym in stream (`seq`) order. Unknown
+    /// pseudonyms yield an empty vector.
+    fn scan(&self, pseudonym: &str) -> StoreResult<Vec<StoreRecord>>;
+
+    /// Every record in the store in global `seq` order — the export path.
+    fn snapshot(&self) -> StoreResult<Vec<StoreRecord>>;
+
+    /// Bulk-appends a snapshot, returning `(recorded, duplicates)` — the
+    /// import path.
+    fn restore(&mut self, records: Vec<StoreRecord>) -> StoreResult<(u64, u64)> {
+        let mut recorded = 0u64;
+        let mut duplicates = 0u64;
+        for record in records {
+            if self.append(record)?.recorded {
+                recorded += 1;
+            } else {
+                duplicates += 1;
+            }
+        }
+        Ok((recorded, duplicates))
+    }
+
+    /// Pseudonyms in order of first appearance (owned; the memory
+    /// backend also offers a borrowed view).
+    fn pseudonym_list(&self) -> Vec<String>;
+
+    /// Total records stored.
+    fn len(&self) -> u64;
+
+    /// Whether nothing has been stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest sequence number appended, durable or not.
+    fn last_seq(&self) -> Option<u64>;
+
+    /// Highest sequence number that would survive `kill -9` right now
+    /// (`None` for in-memory backends, which lose everything).
+    fn last_durable_seq(&self) -> Option<u64>;
+
+    /// FNV-1a digest of one pseudonym's stream; `None` when unknown.
+    fn stream_digest(&self, pseudonym: &str) -> Option<u64>;
+
+    /// [`Storage::stream_digest`] for every pseudonym, sorted by
+    /// pseudonym — the canonical whole-log fingerprint.
+    fn stream_digests(&self) -> Vec<(String, u64)>;
+
+    /// Forces buffered records to durable storage (no-op for memory).
+    fn flush(&mut self) -> StoreResult<FlushOutcome>;
+
+    /// Merges all durable segments into one sorted run (no-op for
+    /// memory). Digests and counts are invariant under compaction.
+    fn compact(&mut self) -> StoreResult<CompactOutcome>;
+
+    /// Point-in-time counters.
+    fn store_stats(&self) -> StoreStats;
+
+    /// Downcast hook: `Some` when this backend is the in-memory map,
+    /// unlocking its borrowed-slice APIs (`requests_of`, `stream`, …).
+    fn as_memory(&self) -> Option<&MemoryBackend> {
+        None
+    }
+
+    /// Mutable variant of [`Storage::as_memory`].
+    fn as_memory_mut(&mut self) -> Option<&mut MemoryBackend> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::Point;
+
+    fn record(pseudonym: &str, seq: u64, id: Option<u64>) -> StoreRecord {
+        StoreRecord {
+            t: seq as f64 * 30.0,
+            seq,
+            request_id: id,
+            request: Request {
+                pseudonym: pseudonym.into(),
+                positions: vec![Point::new(seq as f64, 1.0), Point::new(2.0, seq as f64)],
+            },
+        }
+    }
+
+    #[test]
+    fn restore_counts_duplicates() {
+        let mut backend = MemoryBackend::default();
+        let records = vec![
+            record("a", 0, Some(1)),
+            record("a", 1, Some(1)), // duplicate id for "a"
+            record("b", 2, Some(1)), // ids are scoped per pseudonym
+        ];
+        let (recorded, duplicates) = backend.restore(records).unwrap();
+        assert_eq!((recorded, duplicates), (2, 1));
+        assert_eq!(backend.len(), 2);
+    }
+
+    #[test]
+    fn store_record_json_round_trips() {
+        let r = record("p", 7, Some(9));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: StoreRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn error_display_names_the_path() {
+        let e = StoreError::Corrupt {
+            path: PathBuf::from("/x/MANIFEST"),
+            message: "bad checksum".into(),
+        };
+        assert!(e.to_string().contains("/x/MANIFEST"));
+        let e = StoreError::Config {
+            message: "zero threshold".into(),
+        };
+        assert!(e.to_string().contains("zero threshold"));
+    }
+}

@@ -1,0 +1,825 @@
+//! [`LogStore`]: the embedded log-structured backend.
+//!
+//! Writes buffer in an in-memory memtable (already framed, so flushing
+//! is a concatenation); when the memtable crosses a byte threshold it is
+//! flushed as one `(pseudonym, seq)`-sorted segment file and the
+//! manifest is committed atomically. Compaction is explicit and
+//! background-free (`dummyloc store compact`): all segments merge into
+//! one sorted run, with digests and counts invariant by construction —
+//! compaction rewrites files, never stream state.
+//!
+//! Crash windows, all of which recover to a consistent store:
+//!
+//! 1. crash while writing a segment → the manifest never referenced it;
+//!    [`LogStore::open`] deletes the orphan,
+//! 2. crash after the segment is fsynced but before the manifest commit
+//!    → same as (1): the durable prefix is simply one flush shorter and
+//!    the WAL tail one flush longer,
+//! 3. crash after the manifest commit but before the caller truncates
+//!    its WAL → harmless: tail replay filters records with
+//!    `seq <= last_durable_seq`,
+//! 4. crash mid-compaction → either the old manifest still references
+//!    the old segments (the merged file is an orphan) or the new
+//!    manifest references the merged file (the old segments are stale);
+//!    both are cleaned at open and describe identical stream state.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::digest::{fold_report, FNV_OFFSET_BASIS};
+use crate::manifest::{Manifest, SegmentMeta, StreamMeta};
+use crate::segment::{encode_frame, SegmentReader, SEGMENT_MAGIC};
+use crate::{
+    AppendOutcome, CompactOutcome, FlushOutcome, Storage, StoreError, StoreRecord, StoreResult,
+    StoreStats,
+};
+
+/// Default memtable flush threshold: 1 MiB of framed record bytes.
+pub const DEFAULT_FLUSH_THRESHOLD_BYTES: usize = 1 << 20;
+
+/// Manifest file name inside the store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// Where and how a [`LogStore`] lives on disk.
+#[derive(Debug, Clone)]
+pub struct LogStoreConfig {
+    /// Store directory (created if missing).
+    pub dir: PathBuf,
+    /// Memtable size that triggers a flush on append.
+    pub flush_threshold_bytes: usize,
+}
+
+impl LogStoreConfig {
+    /// A config with the default flush threshold.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        LogStoreConfig {
+            dir: dir.into(),
+            flush_threshold_bytes: DEFAULT_FLUSH_THRESHOLD_BYTES,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> StoreResult<()> {
+        if self.flush_threshold_bytes == 0 {
+            return Err(StoreError::Config {
+                message: "flush_threshold_bytes must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What [`LogStore::open`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Records already durable in segments.
+    pub durable_records: u64,
+    /// Referenced segment files.
+    pub segments: u64,
+    /// Pseudonym streams with durable state.
+    pub streams: u64,
+    /// Unreferenced segment files deleted (crash leftovers).
+    pub orphans_removed: u64,
+}
+
+/// Durable per-stream state, mirrored from the committed manifest.
+#[derive(Debug, Clone, Default)]
+struct DurableStream {
+    records: u64,
+    digest: u64,
+    last_seq: u64,
+    ids: HashSet<u64>,
+}
+
+/// Buffered (not yet durable) per-stream state.
+#[derive(Debug, Default)]
+struct MemStream {
+    /// Records with their already-encoded frames, in append (seq) order.
+    records: Vec<(StoreRecord, Vec<u8>)>,
+    ids: HashSet<u64>,
+}
+
+/// The embedded log-structured store. See the module docs for the
+/// on-disk layout and crash-consistency argument.
+#[derive(Debug)]
+pub struct LogStore {
+    config: LogStoreConfig,
+    segments: Vec<SegmentMeta>,
+    next_segment_id: u64,
+    durable_records: u64,
+    last_durable_seq: Option<u64>,
+    /// Pseudonyms in first-appearance order (durable first, then
+    /// memtable-only).
+    order: Vec<String>,
+    durable: HashMap<String, DurableStream>,
+    mem: HashMap<String, MemStream>,
+    mem_bytes: usize,
+    mem_records: u64,
+    last_seq: Option<u64>,
+    flushes: u64,
+    compactions: u64,
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+impl LogStore {
+    /// Opens (creating if needed) the store at `config.dir`: reads the
+    /// committed manifest, restores per-stream recovery state, and
+    /// deletes unreferenced segment files left by a crash mid-flush or
+    /// mid-compaction.
+    pub fn open(config: LogStoreConfig) -> StoreResult<(LogStore, RecoveryInfo)> {
+        config.validate()?;
+        fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, e))?;
+        let tmp = config.dir.join(MANIFEST_TMP);
+        if tmp.exists() {
+            fs::remove_file(&tmp).map_err(|e| io_err(&tmp, e))?;
+        }
+        let manifest_path = config.dir.join(MANIFEST_FILE);
+        let manifest = if manifest_path.exists() {
+            let bytes = fs::read(&manifest_path).map_err(|e| io_err(&manifest_path, e))?;
+            Manifest::decode(&bytes).map_err(|message| StoreError::Corrupt {
+                path: manifest_path.clone(),
+                message,
+            })?
+        } else {
+            Manifest::default()
+        };
+
+        let referenced: HashSet<&str> = manifest.segments.iter().map(|s| s.file.as_str()).collect();
+        let mut orphans_removed = 0u64;
+        for entry in fs::read_dir(&config.dir).map_err(|e| io_err(&config.dir, e))? {
+            let entry = entry.map_err(|e| io_err(&config.dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("seg-") && name.ends_with(".seg") && !referenced.contains(name) {
+                fs::remove_file(entry.path()).map_err(|e| io_err(&entry.path(), e))?;
+                orphans_removed += 1;
+            }
+        }
+        for seg in &manifest.segments {
+            let path = config.dir.join(&seg.file);
+            if !path.exists() {
+                return Err(StoreError::Corrupt {
+                    path,
+                    message: "manifest references a missing segment".into(),
+                });
+            }
+        }
+
+        let mut order = Vec::with_capacity(manifest.streams.len());
+        let mut durable = HashMap::with_capacity(manifest.streams.len());
+        for s in &manifest.streams {
+            order.push(s.pseudonym.clone());
+            durable.insert(
+                s.pseudonym.clone(),
+                DurableStream {
+                    records: s.records,
+                    digest: s.digest,
+                    last_seq: s.last_seq,
+                    ids: s.ids.iter().copied().collect(),
+                },
+            );
+        }
+        let info = RecoveryInfo {
+            durable_records: manifest.durable_records,
+            segments: manifest.segments.len() as u64,
+            streams: manifest.streams.len() as u64,
+            orphans_removed,
+        };
+        let store = LogStore {
+            last_seq: manifest.last_durable_seq,
+            last_durable_seq: manifest.last_durable_seq,
+            durable_records: manifest.durable_records,
+            next_segment_id: manifest.next_segment_id,
+            segments: manifest.segments,
+            order,
+            durable,
+            mem: HashMap::new(),
+            mem_bytes: 0,
+            mem_records: 0,
+            flushes: 0,
+            compactions: 0,
+            config,
+        };
+        Ok((store, info))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Per-stream seen request ids of the durable prefix — what a server
+    /// preloads into its RAM shards after recovery so retries of
+    /// pre-crash queries still dedup.
+    pub fn seen_ids(&self) -> Vec<(String, Vec<u64>)> {
+        self.order
+            .iter()
+            .filter_map(|p| {
+                let d = self.durable.get(p)?;
+                let mut ids: Vec<u64> = d.ids.iter().copied().collect();
+                ids.sort_unstable();
+                Some((p.clone(), ids))
+            })
+            .collect()
+    }
+
+    /// Flushes performed by this instance.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Compactions performed by this instance.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    fn manifest(&self) -> Manifest {
+        Manifest {
+            next_segment_id: self.next_segment_id,
+            durable_records: self.durable_records,
+            last_durable_seq: self.last_durable_seq,
+            segments: self.segments.clone(),
+            streams: self
+                .order
+                .iter()
+                .filter_map(|p| {
+                    let d = self.durable.get(p)?;
+                    let mut ids: Vec<u64> = d.ids.iter().copied().collect();
+                    ids.sort_unstable();
+                    Some(StreamMeta {
+                        pseudonym: p.clone(),
+                        records: d.records,
+                        digest: d.digest,
+                        last_seq: d.last_seq,
+                        ids,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Atomically commits the manifest: tmp + fsync + rename (+ a
+    /// best-effort directory fsync).
+    fn commit_manifest(&self) -> StoreResult<()> {
+        let tmp = self.config.dir.join(MANIFEST_TMP);
+        let final_path = self.config.dir.join(MANIFEST_FILE);
+        let bytes = self.manifest().encode();
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        fs::rename(&tmp, &final_path).map_err(|e| io_err(&final_path, e))?;
+        if let Ok(d) = File::open(&self.config.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    fn write_segment(&mut self, frames: &[&[u8]]) -> StoreResult<(String, u64)> {
+        let name = format!("seg-{:06}.seg", self.next_segment_id);
+        let path = self.config.dir.join(&name);
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let mut bytes = SEGMENT_MAGIC.len() as u64;
+        f.write_all(SEGMENT_MAGIC).map_err(|e| io_err(&path, e))?;
+        for frame in frames {
+            f.write_all(frame).map_err(|e| io_err(&path, e))?;
+            bytes += frame.len() as u64;
+        }
+        f.sync_all().map_err(|e| io_err(&path, e))?;
+        self.next_segment_id += 1;
+        Ok((name, bytes))
+    }
+
+    fn flush_inner(&mut self) -> StoreResult<FlushOutcome> {
+        if self.mem_records == 0 {
+            return Ok(FlushOutcome::default());
+        }
+        // One sorted run: streams in sorted pseudonym order, records
+        // within a stream in seq order.
+        let mut names: Vec<String> = self.mem.keys().cloned().collect();
+        names.sort_unstable();
+        let mut mem = std::mem::take(&mut self.mem);
+        for stream in mem.values_mut() {
+            stream.records.sort_by_key(|(r, _)| r.seq);
+        }
+        let frames: Vec<&[u8]> = names
+            .iter()
+            .flat_map(|p| mem[p].records.iter().map(|(_, f)| f.as_slice()))
+            .collect();
+        let (file, bytes) = match self.write_segment(&frames) {
+            Ok(v) => v,
+            Err(e) => {
+                // Put the memtable back: the records are not durable and
+                // must not be dropped just because a flush failed.
+                self.mem = mem;
+                return Err(e);
+            }
+        };
+        drop(frames);
+
+        let records = self.mem_records;
+        let mut max_seq = self.last_durable_seq;
+        for p in &names {
+            let stream = mem.remove(p).expect("listed stream");
+            let d = self.durable.entry(p.clone()).or_insert_with(|| {
+                // Pseudonym first seen in this memtable: the digest
+                // starts at the FNV offset basis.
+                DurableStream {
+                    digest: FNV_OFFSET_BASIS,
+                    ..DurableStream::default()
+                }
+            });
+            for (record, _) in &stream.records {
+                fold_report(&mut d.digest, record.t, &record.request);
+                d.last_seq = d.last_seq.max(record.seq);
+                max_seq = Some(max_seq.map_or(record.seq, |m| m.max(record.seq)));
+            }
+            d.records += stream.records.len() as u64;
+            d.ids.extend(stream.ids);
+        }
+        self.segments.push(SegmentMeta {
+            file: file.clone(),
+            records,
+            bytes,
+        });
+        self.durable_records += records;
+        self.last_durable_seq = max_seq;
+        self.mem_bytes = 0;
+        self.mem_records = 0;
+        self.commit_manifest()?;
+        self.flushes += 1;
+        Ok(FlushOutcome {
+            records,
+            bytes,
+            segment: Some(file),
+        })
+    }
+
+    fn read_all_segments(&self) -> StoreResult<Vec<StoreRecord>> {
+        let mut all = Vec::with_capacity(self.durable_records as usize);
+        for seg in &self.segments {
+            let path = self.config.dir.join(&seg.file);
+            let reader = SegmentReader::open(&path).map_err(|e| io_err(&path, e))?;
+            for record in reader {
+                all.push(record.map_err(|message| StoreError::Corrupt {
+                    path: path.clone(),
+                    message,
+                })?);
+            }
+        }
+        if all.len() as u64 != self.durable_records {
+            return Err(StoreError::Corrupt {
+                path: self.config.dir.join(MANIFEST_FILE),
+                message: format!(
+                    "segments hold {} records but the manifest says {}",
+                    all.len(),
+                    self.durable_records
+                ),
+            });
+        }
+        Ok(all)
+    }
+
+    fn memtable_records(&self, pseudonym: &str) -> impl Iterator<Item = &StoreRecord> {
+        self.mem
+            .get(pseudonym)
+            .into_iter()
+            .flat_map(|s| s.records.iter().map(|(r, _)| r))
+    }
+}
+
+impl Storage for LogStore {
+    fn append(&mut self, record: StoreRecord) -> StoreResult<AppendOutcome> {
+        let pseudonym = record.request.pseudonym.clone();
+        if let Some(id) = record.request_id {
+            let durable_hit = self
+                .durable
+                .get(&pseudonym)
+                .is_some_and(|d| d.ids.contains(&id));
+            let mem_hit = self
+                .mem
+                .get(&pseudonym)
+                .is_some_and(|m| m.ids.contains(&id));
+            if durable_hit || mem_hit {
+                return Ok(AppendOutcome {
+                    recorded: false,
+                    flushed: false,
+                });
+            }
+        }
+        if !self.durable.contains_key(&pseudonym) && !self.mem.contains_key(&pseudonym) {
+            self.order.push(pseudonym.clone());
+        }
+        let frame = encode_frame(&record);
+        self.mem_bytes += frame.len();
+        self.mem_records += 1;
+        self.last_seq = Some(self.last_seq.map_or(record.seq, |m| m.max(record.seq)));
+        let stream = self.mem.entry(pseudonym).or_default();
+        if let Some(id) = record.request_id {
+            stream.ids.insert(id);
+        }
+        stream.records.push((record, frame));
+        let mut flushed = false;
+        if self.mem_bytes >= self.config.flush_threshold_bytes {
+            self.flush_inner()?;
+            flushed = true;
+        }
+        Ok(AppendOutcome {
+            recorded: true,
+            flushed,
+        })
+    }
+
+    fn scan(&self, pseudonym: &str) -> StoreResult<Vec<StoreRecord>> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            let path = self.config.dir.join(&seg.file);
+            let reader = SegmentReader::open(&path).map_err(|e| io_err(&path, e))?;
+            for record in reader {
+                let record = record.map_err(|message| StoreError::Corrupt {
+                    path: path.clone(),
+                    message,
+                })?;
+                if record.request.pseudonym == pseudonym {
+                    out.push(record);
+                }
+            }
+        }
+        out.extend(self.memtable_records(pseudonym).cloned());
+        out.sort_by_key(|r| r.seq);
+        Ok(out)
+    }
+
+    fn snapshot(&self) -> StoreResult<Vec<StoreRecord>> {
+        let mut all = self.read_all_segments()?;
+        for p in &self.order {
+            all.extend(self.memtable_records(p).cloned());
+        }
+        all.sort_by_key(|r| r.seq);
+        Ok(all)
+    }
+
+    fn pseudonym_list(&self) -> Vec<String> {
+        self.order.clone()
+    }
+
+    fn len(&self) -> u64 {
+        self.durable_records + self.mem_records
+    }
+
+    fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    fn last_durable_seq(&self) -> Option<u64> {
+        self.last_durable_seq
+    }
+
+    fn stream_digest(&self, pseudonym: &str) -> Option<u64> {
+        let durable = self.durable.get(pseudonym);
+        let in_mem = self.mem.contains_key(pseudonym);
+        if durable.is_none() && !in_mem {
+            return None;
+        }
+        let mut h = durable.map_or(FNV_OFFSET_BASIS, |d| d.digest);
+        for record in self.memtable_records(pseudonym) {
+            fold_report(&mut h, record.t, &record.request);
+        }
+        Some(h)
+    }
+
+    fn stream_digests(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .order
+            .iter()
+            .map(|p| (p.clone(), self.stream_digest(p).expect("listed pseudonym")))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn flush(&mut self) -> StoreResult<FlushOutcome> {
+        self.flush_inner()
+    }
+
+    fn compact(&mut self) -> StoreResult<CompactOutcome> {
+        self.flush_inner()?;
+        let segments_before = self.segments.len() as u64;
+        if segments_before <= 1 {
+            return Ok(CompactOutcome {
+                segments_before,
+                segments_after: segments_before,
+                records: self.durable_records,
+                bytes: 0,
+            });
+        }
+        let mut all = self.read_all_segments()?;
+        all.sort_by(|a, b| {
+            (a.request.pseudonym.as_str(), a.seq).cmp(&(b.request.pseudonym.as_str(), b.seq))
+        });
+        let frames: Vec<Vec<u8>> = all.iter().map(encode_frame).collect();
+        let frame_refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let (file, bytes) = self.write_segment(&frame_refs)?;
+        let old = std::mem::replace(
+            &mut self.segments,
+            vec![SegmentMeta {
+                file,
+                records: all.len() as u64,
+                bytes,
+            }],
+        );
+        // Stream state (counts, digests, ids, sequence numbers) is
+        // untouched: compaction rewrites files, not history.
+        self.commit_manifest()?;
+        for seg in old {
+            // Best effort: a leftover is an unreferenced file that the
+            // next open deletes.
+            let _ = fs::remove_file(self.config.dir.join(&seg.file));
+        }
+        self.compactions += 1;
+        Ok(CompactOutcome {
+            segments_before,
+            segments_after: 1,
+            records: self.durable_records,
+            bytes,
+        })
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            backend: "log".into(),
+            segments: self.segments.len() as u64,
+            segment_bytes: self.segments.iter().map(|s| s.bytes).sum(),
+            durable_records: self.durable_records,
+            memtable_records: self.mem_records,
+            memtable_bytes: self.mem_bytes as u64,
+            total_records: self.len(),
+            streams: self.order.len() as u64,
+            last_seq: self.last_seq,
+            last_durable_seq: self.last_durable_seq,
+            flushes: self.flushes,
+            compactions: self.compactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+    use dummyloc_core::client::Request;
+    use dummyloc_geo::Point;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch(name: &str) -> PathBuf {
+        let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join("dummyloc-store-tests")
+            .join(format!("{name}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(pseudonym: &str, seq: u64) -> StoreRecord {
+        StoreRecord {
+            t: seq as f64 * 30.0,
+            seq,
+            request_id: Some(seq),
+            request: Request {
+                pseudonym: pseudonym.into(),
+                positions: vec![Point::new(seq as f64, 0.5), Point::new(-1.0, seq as f64)],
+            },
+        }
+    }
+
+    fn fill(store: &mut LogStore, users: usize, rounds: u64) {
+        let mut seq = 0u64;
+        for round in 0..rounds {
+            for user in 0..users {
+                let mut r = record(&format!("user-{user}"), seq);
+                r.request_id = Some(round);
+                store.append(r).unwrap();
+                seq += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn digests_match_memory_backend_at_any_flush_point() {
+        for threshold in [1, 200, usize::MAX >> 1] {
+            let dir = scratch("digest-parity");
+            let mut config = LogStoreConfig::new(&dir);
+            config.flush_threshold_bytes = threshold;
+            let (mut store, _) = LogStore::open(config).unwrap();
+            let mut memory = MemoryBackend::default();
+            let mut seq = 0;
+            for round in 0..10u64 {
+                for user in 0..4 {
+                    let mut r = record(&format!("user-{user}"), seq);
+                    r.request_id = Some(round);
+                    memory.append(r.clone()).unwrap();
+                    store.append(r).unwrap();
+                    seq += 1;
+                }
+            }
+            assert_eq!(store.stream_digests(), memory.stream_digests());
+            store.flush().unwrap();
+            assert_eq!(store.stream_digests(), memory.stream_digests());
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn reopen_restores_digests_ids_and_seq() {
+        let dir = scratch("reopen");
+        let (mut store, info) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert_eq!(info, RecoveryInfo::default());
+        fill(&mut store, 3, 5);
+        let digests = store.stream_digests();
+        let last_seq = store.last_seq();
+        store.flush().unwrap();
+
+        let (reopened, info) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert_eq!(info.durable_records, 15);
+        assert_eq!(info.segments, 1);
+        assert_eq!(info.streams, 3);
+        assert_eq!(reopened.stream_digests(), digests);
+        assert_eq!(reopened.last_durable_seq(), last_seq);
+        assert_eq!(
+            reopened.seen_ids(),
+            vec![
+                ("user-0".to_string(), vec![0, 1, 2, 3, 4]),
+                ("user-1".to_string(), vec![0, 1, 2, 3, 4]),
+                ("user-2".to_string(), vec![0, 1, 2, 3, 4]),
+            ]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicates_dedup_across_memtable_and_segments() {
+        let dir = scratch("dedup");
+        let (mut store, _) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert!(store.append(record("p", 0)).unwrap().recorded);
+        // Memtable hit.
+        assert!(!store.append(record("p", 0)).unwrap().recorded);
+        store.flush().unwrap();
+        // Durable hit.
+        assert!(!store.append(record("p", 0)).unwrap().recorded);
+        // Ids are scoped per pseudonym.
+        assert!(store.append(record("q", 0)).unwrap().recorded);
+        assert_eq!(store.len(), 2);
+
+        // ...and survive reopen.
+        store.flush().unwrap();
+        let (mut reopened, _) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert!(!reopened.append(record("p", 0)).unwrap().recorded);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_and_snapshot_return_seq_ordered_records() {
+        let dir = scratch("scan");
+        let mut config = LogStoreConfig::new(&dir);
+        config.flush_threshold_bytes = 150; // several tiny segments
+        let (mut store, _) = LogStore::open(config).unwrap();
+        fill(&mut store, 2, 6);
+        let p = store.scan("user-0").unwrap();
+        assert_eq!(p.len(), 6);
+        assert!(p.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(store.scan("nobody").unwrap().is_empty());
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.len(), 12);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_is_digest_and_scan_invariant() {
+        let dir = scratch("compact");
+        let mut config = LogStoreConfig::new(&dir);
+        config.flush_threshold_bytes = 150;
+        let (mut store, _) = LogStore::open(config).unwrap();
+        fill(&mut store, 3, 8);
+        store.flush().unwrap();
+        let digests = store.stream_digests();
+        let snap = store.snapshot().unwrap();
+        assert!(store.store_stats().segments > 1);
+
+        let outcome = store.compact().unwrap();
+        assert!(outcome.segments_before > 1);
+        assert_eq!(outcome.segments_after, 1);
+        assert_eq!(store.stream_digests(), digests);
+        assert_eq!(store.snapshot().unwrap(), snap);
+        assert_eq!(store.store_stats().segments, 1);
+        // Old segment files are gone.
+        let seg_files = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".seg")
+            })
+            .count();
+        assert_eq!(seg_files, 1);
+
+        // Compacting a single segment is a no-op.
+        let again = store.compact().unwrap();
+        assert_eq!(again.segments_before, 1);
+        assert_eq!(store.stream_digests(), digests);
+
+        // Reopen: identical state.
+        let (reopened, _) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert_eq!(reopened.stream_digests(), digests);
+        assert_eq!(reopened.snapshot().unwrap(), snap);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphan_segments_are_removed_at_open() {
+        let dir = scratch("orphan");
+        let (mut store, _) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        fill(&mut store, 2, 3);
+        store.flush().unwrap();
+        let digests = store.stream_digests();
+
+        // Crash image: a partial segment written but never referenced.
+        fs::write(dir.join("seg-009999.seg"), b"dlseg01\n\x05\x00\x00").unwrap();
+        let (reopened, info) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert_eq!(info.orphans_removed, 1);
+        assert_eq!(reopened.stream_digests(), digests);
+        assert!(!dir.join("seg-009999.seg").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_referenced_segment_is_corruption() {
+        let dir = scratch("missing-seg");
+        let (mut store, _) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        fill(&mut store, 1, 2);
+        store.flush().unwrap();
+        let seg = store.store_stats();
+        assert_eq!(seg.segments, 1);
+        let name = store.segments[0].file.clone();
+        drop(store);
+        fs::remove_file(dir.join(name)).unwrap();
+        assert!(matches!(
+            LogStore::open(LogStoreConfig::new(&dir)),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threshold_flushes_happen_inside_append() {
+        let dir = scratch("threshold");
+        let mut config = LogStoreConfig::new(&dir);
+        config.flush_threshold_bytes = 1;
+        let (mut store, _) = LogStore::open(config).unwrap();
+        let out = store.append(record("p", 0)).unwrap();
+        assert!(out.recorded && out.flushed);
+        assert_eq!(store.store_stats().memtable_records, 0);
+        assert_eq!(store.last_durable_seq(), Some(0));
+        assert_eq!(store.flushes(), 1);
+        assert!(LogStoreConfig {
+            dir: dir.clone(),
+            flush_threshold_bytes: 0
+        }
+        .validate()
+        .is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_flush_and_stats_are_benign() {
+        let dir = scratch("empty");
+        let (mut store, _) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert_eq!(store.flush().unwrap(), FlushOutcome::default());
+        assert!(store.is_empty());
+        let stats = store.store_stats();
+        assert_eq!(stats.backend, "log");
+        assert_eq!(stats.total_records, 0);
+        assert_eq!(store.stream_digest("nobody"), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

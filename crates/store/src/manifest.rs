@@ -1,0 +1,156 @@
+//! The store manifest: the single source of truth for what is durable.
+//!
+//! A manifest is one file, committed atomically (write to `MANIFEST.tmp`,
+//! fsync, rename over `MANIFEST`), holding a checksummed header line and
+//! a JSON body:
+//!
+//! ```text
+//! dlstore-manifest-v1 <fnv1a(body) as 16 hex digits>\n
+//! { ...json body... }
+//! ```
+//!
+//! The body lists the referenced segment files and, per pseudonym
+//! stream, the complete recovery state: durable record count, the
+//! running stream digest, the last durable sequence number, and the set
+//! of seen request ids. Recovery therefore reads *one small file*
+//! instead of re-decoding every historical request — that is the whole
+//! reason cold start beats full WAL replay.
+//!
+//! Segment files are only ever referenced by a committed manifest after
+//! they are fully written and fsynced. A crash between those two steps
+//! leaves an unreferenced (orphan) segment, which
+//! [`LogStore::open`](crate::LogStore::open) deletes; a crash after the
+//! commit but before old segments are unlinked (compaction) leaves
+//! stale files, deleted the same way. Either way the committed manifest
+//! describes a consistent store.
+
+use serde::{Deserialize, Serialize};
+
+use crate::digest::fnv1a;
+
+/// Header tag of every manifest file.
+pub const MANIFEST_MAGIC: &str = "dlstore-manifest-v1";
+
+/// One referenced segment file.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name relative to the store directory (`seg-000001.seg`).
+    pub file: String,
+    /// Records in the segment.
+    pub records: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Recovery state of one pseudonym stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamMeta {
+    /// The pseudonym.
+    pub pseudonym: String,
+    /// Durable records in this stream.
+    pub records: u64,
+    /// Running FNV-1a digest over the durable prefix, in stream order.
+    pub digest: u64,
+    /// Highest durable sequence number in this stream.
+    pub last_seq: u64,
+    /// Idempotent request ids already recorded (sorted for determinism).
+    pub ids: Vec<u64>,
+}
+
+/// The manifest body: everything [`LogStore`](crate::LogStore) needs to
+/// recover without reading a single record payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Next segment file number to allocate.
+    pub next_segment_id: u64,
+    /// Total durable records across all segments.
+    pub durable_records: u64,
+    /// Highest durable sequence number, `None` for an empty store. WAL
+    /// tail replay starts past this.
+    pub last_durable_seq: Option<u64>,
+    /// Referenced segment files, oldest first.
+    pub segments: Vec<SegmentMeta>,
+    /// Per-stream recovery state, in order of first appearance.
+    pub streams: Vec<StreamMeta>,
+}
+
+impl Manifest {
+    /// Serializes with the checksummed header line.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = serde_json::to_vec(self).expect("manifest serializes");
+        let mut out = format!("{MANIFEST_MAGIC} {:016x}\n", fnv1a(&body)).into_bytes();
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses and validates a manifest file. Errors (never panics) on a
+    /// missing or malformed header, a checksum mismatch, or a body that
+    /// is not the expected JSON.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, String> {
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("missing manifest header line")?;
+        let header = std::str::from_utf8(&bytes[..newline])
+            .map_err(|_| "header is not utf-8".to_string())?;
+        let body = &bytes[newline + 1..];
+        let sum_hex = header
+            .strip_prefix(MANIFEST_MAGIC)
+            .ok_or("bad manifest magic")?
+            .trim();
+        let sum = u64::from_str_radix(sum_hex, 16).map_err(|_| "malformed checksum".to_string())?;
+        if fnv1a(body) != sum {
+            return Err("manifest checksum mismatch".into());
+        }
+        let body = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+        serde_json::from_str(body).map_err(|e| format!("manifest body: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            next_segment_id: 3,
+            durable_records: 12,
+            last_durable_seq: Some(41),
+            segments: vec![SegmentMeta {
+                file: "seg-000001.seg".into(),
+                records: 12,
+                bytes: 1234,
+            }],
+            streams: vec![StreamMeta {
+                pseudonym: "user-0".into(),
+                records: 12,
+                digest: u64::MAX - 1,
+                last_seq: 41,
+                ids: vec![0, 1, 2],
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        let empty = Manifest::default();
+        assert_eq!(Manifest::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_tampering() {
+        let mut bytes = sample().encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(Manifest::decode(&bytes).unwrap_err().contains("checksum"));
+        assert!(Manifest::decode(b"").unwrap_err().contains("header"));
+        assert!(Manifest::decode(b"wrong magic\n{}")
+            .unwrap_err()
+            .contains("magic"));
+        assert!(Manifest::decode(b"dlstore-manifest-v1 zz\n{}")
+            .unwrap_err()
+            .contains("checksum"));
+    }
+}

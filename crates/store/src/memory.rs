@@ -1,0 +1,467 @@
+//! The in-memory backend: the provider's historic observer-log map,
+//! extracted behind [`Storage`] with zero behavior change.
+//!
+//! Streams are parallel arrays so request sequences can be handed to
+//! adversaries as borrowed `&[Request]` slices without cloning; merges
+//! are stable on `(time, arrival-sequence)`; idempotent request ids are
+//! deduplicated per pseudonym. All of that predates this crate — it
+//! moved here verbatim so the durable [`LogStore`](crate::LogStore) and
+//! the RAM map answer to one trait.
+
+use std::collections::{HashMap, HashSet};
+
+use dummyloc_core::client::Request;
+
+use crate::digest::{fold_report, FNV_OFFSET_BASIS};
+use crate::{
+    AppendOutcome, CompactOutcome, FlushOutcome, Storage, StoreRecord, StoreResult, StoreStats,
+};
+
+/// One pseudonym's stream, stored as parallel arrays so request sequences
+/// can be handed to adversaries as a borrowed `&[Request]` slice without
+/// cloning. Each record carries an arrival sequence number so merges stay
+/// stable even for equal timestamps, and a set of already-seen request
+/// ids so a retried (idempotent) report is never double-counted.
+#[derive(Debug, Clone, Default)]
+struct Stream {
+    times: Vec<f64>,
+    seqs: Vec<u64>,
+    ids: Vec<Option<u64>>,
+    requests: Vec<Request>,
+    seen: HashSet<u64>,
+}
+
+impl Stream {
+    /// Appends `other` preserving `(time, sequence)` order: a plain append
+    /// when `other` starts no earlier than this stream ends (the common
+    /// case when merging shard logs that each saw disjoint pseudonyms or
+    /// disjoint time windows), a stable two-way merge otherwise. Ties on
+    /// the timestamp are broken by arrival sequence, then by taking this
+    /// stream's record first — so the merge result does not depend on
+    /// which shard happened to be folded in first.
+    fn merge(&mut self, other: Stream) {
+        self.seen.extend(other.seen);
+        let in_order = match (
+            self.times.last().zip(self.seqs.last()),
+            other.times.first().zip(other.seqs.first()),
+        ) {
+            (Some((&ta, &sa)), Some((&tb, &sb))) => ta < tb || (ta == tb && sa <= sb),
+            _ => true,
+        };
+        let (mut bt, mut bs, mut bid, mut br) =
+            (other.times, other.seqs, other.ids, other.requests);
+        if in_order {
+            self.times.append(&mut bt);
+            self.seqs.append(&mut bs);
+            self.ids.append(&mut bid);
+            self.requests.append(&mut br);
+            return;
+        }
+        let at = std::mem::take(&mut self.times);
+        let as_ = std::mem::take(&mut self.seqs);
+        let a_ids = std::mem::take(&mut self.ids);
+        let mut a_req = std::mem::take(&mut self.requests).into_iter();
+        let mut b_req = br.into_iter();
+        let (mut ai, mut bi) = (0, 0);
+        while ai < at.len() || bi < bt.len() {
+            let take_a = if ai == at.len() {
+                false
+            } else if bi == bt.len() {
+                true
+            } else {
+                at[ai] < bt[bi] || (at[ai] == bt[bi] && as_[ai] <= bs[bi])
+            };
+            if take_a {
+                self.times.push(at[ai]);
+                self.seqs.push(as_[ai]);
+                self.ids.push(a_ids[ai]);
+                self.requests.push(a_req.next().expect("parallel vecs"));
+                ai += 1;
+            } else {
+                self.times.push(bt[bi]);
+                self.seqs.push(bs[bi]);
+                self.ids.push(bid[bi]);
+                self.requests.push(b_req.next().expect("parallel vecs"));
+                bi += 1;
+            }
+        }
+    }
+}
+
+/// Borrowed view of one pseudonym's time-ordered stream: parallel
+/// timestamp and request slices of equal length.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamView<'a> {
+    times: &'a [f64],
+    requests: &'a [Request],
+}
+
+impl<'a> StreamView<'a> {
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Receive times, parallel to [`StreamView::requests`].
+    pub fn times(&self) -> &'a [f64] {
+        self.times
+    }
+
+    /// The requests in receive order.
+    pub fn requests(&self) -> &'a [Request] {
+        self.requests
+    }
+
+    /// `(time, request)` pairs in receive order.
+    pub fn iter(&self) -> std::iter::Zip<TimeIter<'a>, std::slice::Iter<'a, Request>> {
+        self.times.iter().copied().zip(self.requests.iter())
+    }
+
+    /// The most recent `(time, request)` pair.
+    pub fn last(&self) -> Option<(f64, &'a Request)> {
+        Some((*self.times.last()?, self.requests.last()?))
+    }
+}
+
+/// Iterator over a stream's receive times.
+pub type TimeIter<'a> = std::iter::Copied<std::slice::Iter<'a, f64>>;
+
+impl<'a> IntoIterator for StreamView<'a> {
+    type Item = (f64, &'a Request);
+    type IntoIter = std::iter::Zip<TimeIter<'a>, std::slice::Iter<'a, Request>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// What [`MemoryBackend::requests_of`] returns for unknown pseudonyms.
+static NO_REQUESTS: &[Request] = &[];
+
+/// The in-memory storage backend: per-pseudonym, the full time-ordered
+/// sequence of received requests, kept entirely in RAM.
+///
+/// This is precisely the input the paper's threat model gives the
+/// observer (*"users cannot prevent service providers from analyzing
+/// motion patterns using the stored true position data"*); the adversary
+/// models in `dummyloc-core` consume these streams.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBackend {
+    order: Vec<String>,
+    streams: HashMap<String, Stream>,
+    next_seq: u64,
+}
+
+impl MemoryBackend {
+    /// Records one received request at time `t` (clones the request; hot
+    /// paths use [`MemoryBackend::record_owned`]).
+    pub fn record(&mut self, t: f64, request: &Request) {
+        self.record_owned(t, request.clone());
+    }
+
+    /// Records one received request at time `t`, taking ownership so the
+    /// hot path never clones position vectors.
+    pub fn record_owned(&mut self, t: f64, request: Request) {
+        let seq = self.next_seq;
+        self.record_full(t, seq, None, request);
+    }
+
+    /// Records one received request carrying an idempotent request id.
+    /// Returns `false` (and records nothing) when this pseudonym already
+    /// reported the same id.
+    pub fn record_owned_unique(&mut self, t: f64, request_id: u64, request: Request) -> bool {
+        let seq = self.next_seq;
+        self.record_full(t, seq, Some(request_id), request)
+    }
+
+    /// Full-control record used by sharded server logs: an explicit
+    /// arrival sequence number `seq` (globally monotone across shards, so
+    /// [`MemoryBackend::absorb`] reconstructs exact arrival order even
+    /// for equal timestamps) and an optional idempotent request id.
+    /// Returns `false` when the id was already seen for this pseudonym.
+    pub fn record_full(
+        &mut self,
+        t: f64,
+        seq: u64,
+        request_id: Option<u64>,
+        request: Request,
+    ) -> bool {
+        let stream = self
+            .streams
+            .entry(request.pseudonym.clone())
+            .or_insert_with(|| {
+                self.order.push(request.pseudonym.clone());
+                Stream::default()
+            });
+        if let Some(id) = request_id {
+            if !stream.seen.insert(id) {
+                return false;
+            }
+        }
+        self.next_seq = self.next_seq.max(seq + 1);
+        stream.times.push(t);
+        stream.seqs.push(seq);
+        stream.ids.push(request_id);
+        stream.requests.push(request);
+        true
+    }
+
+    /// Seeds a pseudonym's seen-id set without recording anything — the
+    /// server's recovery path when a durable store already holds the
+    /// records: the RAM log keeps only the WAL tail, but must still
+    /// dedup retries of queries acknowledged before the crash.
+    pub fn preload_seen(&mut self, pseudonym: &str, ids: impl IntoIterator<Item = u64>) {
+        let stream = match self.streams.get_mut(pseudonym) {
+            Some(s) => s,
+            None => {
+                self.order.push(pseudonym.to_string());
+                self.streams.entry(pseudonym.to_string()).or_default()
+            }
+        };
+        stream.seen.extend(ids);
+    }
+
+    /// Advances the internal sequence counter so future
+    /// [`MemoryBackend::record_owned`] calls stamp past `next`.
+    pub fn advance_seq(&mut self, next: u64) {
+        self.next_seq = self.next_seq.max(next);
+    }
+
+    /// Pseudonyms in order of first appearance (borrowed).
+    pub fn pseudonyms(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The time-ordered request stream of one pseudonym.
+    pub fn stream(&self, pseudonym: &str) -> Option<StreamView<'_>> {
+        self.streams.get(pseudonym).map(|s| StreamView {
+            times: &s.times,
+            requests: &s.requests,
+        })
+    }
+
+    /// The request sequence of one pseudonym without timestamps.
+    /// Borrowed: unknown pseudonyms yield an empty slice, and no request
+    /// is ever cloned.
+    pub fn requests_of(&self, pseudonym: &str) -> &[Request] {
+        self.streams
+            .get(pseudonym)
+            .map_or(NO_REQUESTS, |s| &s.requests)
+    }
+
+    /// Iterates one pseudonym's requests in receive order without cloning.
+    pub fn iter_requests_of(&self, pseudonym: &str) -> std::slice::Iter<'_, Request> {
+        self.requests_of(pseudonym).iter()
+    }
+
+    /// Merges another backend into this one, preserving per-stream
+    /// `(time, arrival-sequence)` order — how the server folds its
+    /// per-shard logs into one observer view. The merge is *stable*:
+    /// records with equal timestamps keep their arrival-sequence order,
+    /// so folding shards in any order produces the same streams.
+    pub fn absorb(&mut self, other: MemoryBackend) {
+        let MemoryBackend {
+            order,
+            mut streams,
+            next_seq,
+        } = other;
+        self.next_seq = self.next_seq.max(next_seq);
+        for pseudonym in order {
+            let incoming = streams
+                .remove(&pseudonym)
+                .expect("order lists every stream");
+            match self.streams.entry(pseudonym.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.order.push(pseudonym);
+                    e.insert(incoming);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(incoming);
+                }
+            }
+        }
+    }
+
+    /// Record count as `usize` (the historic signature).
+    pub fn record_count(&self) -> usize {
+        self.streams.values().map(|s| s.requests.len()).sum()
+    }
+}
+
+impl Storage for MemoryBackend {
+    fn append(&mut self, record: StoreRecord) -> StoreResult<AppendOutcome> {
+        let recorded = self.record_full(record.t, record.seq, record.request_id, record.request);
+        Ok(AppendOutcome {
+            recorded,
+            flushed: false,
+        })
+    }
+
+    fn scan(&self, pseudonym: &str) -> StoreResult<Vec<StoreRecord>> {
+        let Some(s) = self.streams.get(pseudonym) else {
+            return Ok(Vec::new());
+        };
+        Ok(s.times
+            .iter()
+            .zip(&s.seqs)
+            .zip(&s.ids)
+            .zip(&s.requests)
+            .map(|(((&t, &seq), &request_id), request)| StoreRecord {
+                t,
+                seq,
+                request_id,
+                request: request.clone(),
+            })
+            .collect())
+    }
+
+    fn snapshot(&self) -> StoreResult<Vec<StoreRecord>> {
+        let mut all = Vec::with_capacity(self.record_count());
+        for pseudonym in &self.order {
+            all.extend(self.scan(pseudonym)?);
+        }
+        // Stable on seq: equal sequence numbers (possible only through
+        // manual `record_full` calls) keep first-appearance order.
+        all.sort_by_key(|r| r.seq);
+        Ok(all)
+    }
+
+    fn pseudonym_list(&self) -> Vec<String> {
+        self.order.clone()
+    }
+
+    fn len(&self) -> u64 {
+        self.record_count() as u64
+    }
+
+    fn last_seq(&self) -> Option<u64> {
+        self.next_seq.checked_sub(1)
+    }
+
+    fn last_durable_seq(&self) -> Option<u64> {
+        None
+    }
+
+    fn stream_digest(&self, pseudonym: &str) -> Option<u64> {
+        let s = self.streams.get(pseudonym)?;
+        let mut h = FNV_OFFSET_BASIS;
+        for (t, req) in s.times.iter().zip(&s.requests) {
+            fold_report(&mut h, *t, req);
+        }
+        Some(h)
+    }
+
+    fn stream_digests(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .order
+            .iter()
+            .map(|p| (p.clone(), self.stream_digest(p).expect("listed pseudonym")))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn flush(&mut self) -> StoreResult<FlushOutcome> {
+        Ok(FlushOutcome::default())
+    }
+
+    fn compact(&mut self) -> StoreResult<CompactOutcome> {
+        Ok(CompactOutcome::default())
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        let records = self.len();
+        StoreStats {
+            backend: "memory".into(),
+            memtable_records: records,
+            total_records: records,
+            streams: self.order.len() as u64,
+            last_seq: self.last_seq(),
+            ..StoreStats::default()
+        }
+    }
+
+    fn as_memory(&self) -> Option<&MemoryBackend> {
+        Some(self)
+    }
+
+    fn as_memory_mut(&mut self) -> Option<&mut MemoryBackend> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::Point;
+
+    fn request(pseudonym: &str, positions: Vec<Point>) -> Request {
+        Request {
+            pseudonym: pseudonym.into(),
+            positions,
+        }
+    }
+
+    #[test]
+    fn scan_preserves_ids_and_order() {
+        let mut m = MemoryBackend::default();
+        assert!(m.record_owned_unique(0.0, 7, request("p", vec![Point::new(1.0, 1.0)])));
+        m.record_owned(30.0, request("p", vec![Point::new(2.0, 2.0)]));
+        let scanned = m.scan("p").unwrap();
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].request_id, Some(7));
+        assert_eq!(scanned[1].request_id, None);
+        assert!(scanned[0].seq < scanned[1].seq);
+        assert!(m.scan("zz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_globally_seq_ordered() {
+        let mut m = MemoryBackend::default();
+        m.record_full(5.0, 3, None, request("b", vec![Point::new(3.0, 0.0)]));
+        m.record_full(5.0, 1, None, request("a", vec![Point::new(1.0, 0.0)]));
+        m.record_full(5.0, 2, None, request("b", vec![Point::new(2.0, 0.0)]));
+        let snap = m.snapshot().unwrap();
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn preload_seen_dedups_without_recording() {
+        let mut m = MemoryBackend::default();
+        m.preload_seen("p", [4, 5]);
+        assert_eq!(m.len(), 0);
+        assert!(!m.record_owned_unique(0.0, 4, request("p", vec![Point::new(1.0, 1.0)])));
+        assert!(m.record_owned_unique(0.0, 6, request("p", vec![Point::new(1.0, 1.0)])));
+        assert_eq!(m.len(), 1);
+        // Preloading an existing stream only widens its seen set.
+        m.preload_seen("p", [9]);
+        assert!(!m.record_owned_unique(0.0, 9, request("p", vec![Point::new(1.0, 1.0)])));
+        assert_eq!(m.pseudonyms(), &["p".to_string()]);
+    }
+
+    #[test]
+    fn advance_seq_moves_the_stamp_forward() {
+        let mut m = MemoryBackend::default();
+        m.advance_seq(10);
+        m.record_owned(0.0, request("p", vec![Point::new(1.0, 1.0)]));
+        assert_eq!(m.scan("p").unwrap()[0].seq, 10);
+        assert_eq!(m.last_seq(), Some(10));
+    }
+
+    #[test]
+    fn digest_matches_manual_fold() {
+        let mut m = MemoryBackend::default();
+        let req = request("p", vec![Point::new(1.5, -2.5)]);
+        m.record(10.0, &req);
+        let mut h = FNV_OFFSET_BASIS;
+        fold_report(&mut h, 10.0, &req);
+        assert_eq!(m.stream_digest("p"), Some(h));
+        assert_eq!(Storage::stream_digests(&m), vec![("p".to_string(), h)]);
+    }
+}

@@ -26,9 +26,10 @@ use dummyloc_lbs::{PoiDatabase, QueryKind};
 use dummyloc_server::client::{QueryOutcome, ServiceClient};
 use dummyloc_server::server::{spawn, ServerHandle};
 use dummyloc_server::wal::{self, FsyncPolicy, WalConfig, WalRecord, WalWriter};
-use dummyloc_server::ServeOptions;
+use dummyloc_server::{LogStoreConfig, ServeOptions};
 use dummyloc_sim::engine::{GeneratorKind, SimConfig};
 use dummyloc_sim::{workload, CheckpointSpec, ParallelEngine, SimCheckpoint, SimError};
+use dummyloc_store::{segment, MemoryBackend, Storage, StoreRecord};
 
 fn area() -> BBox {
     BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
@@ -46,12 +47,23 @@ fn scratch_dir(name: &str) -> PathBuf {
 }
 
 fn spawn_with_wal(wal: &Path) -> ServerHandle {
+    spawn_with_durability(wal, None)
+}
+
+/// Spawns a server with a per-record-fsync WAL and, optionally, a durable
+/// store with the given flush threshold (small thresholds force flushes —
+/// and WAL truncations — mid-traffic).
+fn spawn_with_durability(wal: &Path, store: Option<(&Path, usize)>) -> ServerHandle {
     let config = ServeOptions::new()
         .addr("127.0.0.1:0")
         .workers(2)
         .wal(Some(WalConfig {
             path: wal.to_path_buf(),
             fsync: FsyncPolicy::Always,
+        }))
+        .store(store.map(|(dir, flush_threshold_bytes)| LogStoreConfig {
+            flush_threshold_bytes,
+            ..LogStoreConfig::new(dir)
         }))
         .build()
         .unwrap();
@@ -84,7 +96,18 @@ fn crash_child_serve_forever() {
         return;
     };
     let addr_file = std::env::var("DUMMYLOC_CRASH_ADDR_FILE").expect("harness sets both vars");
-    let handle = spawn_with_wal(Path::new(&wal_path));
+    // With DUMMYLOC_CRASH_STORE the child also runs the durable store,
+    // at a deliberately tiny flush threshold so segments and WAL
+    // truncations happen while the parent is still driving traffic.
+    let store_dir = std::env::var("DUMMYLOC_CRASH_STORE").ok();
+    let flush_bytes: usize = std::env::var("DUMMYLOC_CRASH_FLUSH_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
+    let handle = spawn_with_durability(
+        Path::new(&wal_path),
+        store_dir.as_deref().map(|d| (Path::new(d), flush_bytes)),
+    );
     // Publish the bound address atomically so the parent never reads a
     // half-written line.
     let tmp = format!("{addr_file}.tmp");
@@ -96,7 +119,12 @@ fn crash_child_serve_forever() {
 }
 
 fn spawn_child(wal: &Path, addr_file: &Path) -> Child {
-    Command::new(std::env::current_exe().unwrap())
+    spawn_child_with_store(wal, addr_file, None)
+}
+
+fn spawn_child_with_store(wal: &Path, addr_file: &Path, store: Option<(&Path, usize)>) -> Child {
+    let mut command = Command::new(std::env::current_exe().unwrap());
+    command
         .args([
             "crash_child_serve_forever",
             "--exact",
@@ -107,9 +135,13 @@ fn spawn_child(wal: &Path, addr_file: &Path) -> Child {
         .env("DUMMYLOC_CRASH_WAL", wal)
         .env("DUMMYLOC_CRASH_ADDR_FILE", addr_file)
         .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("re-exec the test binary")
+        .stderr(Stdio::null());
+    if let Some((dir, flush_bytes)) = store {
+        command
+            .env("DUMMYLOC_CRASH_STORE", dir)
+            .env("DUMMYLOC_CRASH_FLUSH_BYTES", flush_bytes.to_string());
+    }
+    command.spawn().expect("re-exec the test binary")
 }
 
 fn wait_for_addr(addr_file: &Path) -> String {
@@ -257,6 +289,233 @@ fn recovery_composes_across_repeated_crashes() {
     );
     final_handle.shutdown();
     pristine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGKILL a server running the durable store (tiny flush threshold, so
+/// real segments and WAL truncations happened mid-traffic): the restart
+/// recovers from the manifest plus the short WAL tail, retried queries
+/// dedup against the recovered id sets, and the final store digests are
+/// byte-identical to a server that never crashed.
+#[test]
+fn kill_nine_with_store_recovers_identical_digests() {
+    let dir = scratch_dir("kill9-store");
+    let wal = dir.join("observer.wal");
+    let store_dir = dir.join("store");
+    let addr_file = dir.join("addr.txt");
+    // ~512 bytes is two-three records: every few appends flush a segment
+    // and truncate the WAL, so the kill lands on a real mixed image.
+    let flush_bytes = 512;
+    let mut child = spawn_child_with_store(&wal, &addr_file, Some((&store_dir, flush_bytes)));
+    let addr = wait_for_addr(&addr_file);
+
+    let users: u64 = 2;
+    let rounds = 12;
+    let acked = 7;
+    let query = QueryKind::NextBus;
+
+    let mut clients: Vec<ServiceClient> = (0..users)
+        .map(|_| ServiceClient::connect_with_timeout(&addr, Some(Duration::from_secs(20))).unwrap())
+        .collect();
+    for (u, client) in clients.iter_mut().enumerate() {
+        for (k, (t, request)) in user_requests(u as u64, rounds)
+            .iter()
+            .take(acked)
+            .enumerate()
+        {
+            let outcome = client
+                .query_with_id(k as u64, *t, None, request, &query)
+                .unwrap();
+            assert!(
+                matches!(outcome, QueryOutcome::Answered(_)),
+                "user {u} round {k}: {outcome:?}"
+            );
+        }
+    }
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    drop(clients);
+
+    // Restart over the same WAL + store. The manifest restores the
+    // durable prefix without reading a record payload; WAL tail replay
+    // restores only what landed after the last flush.
+    let recovered = spawn_with_durability(&wal, Some((&store_dir, flush_bytes)));
+    let recovery = recovered.store_recovery().unwrap();
+    assert_eq!(
+        recovery.durable_records + recovery.tail_replayed,
+        users * acked as u64,
+        "{recovery:?}"
+    );
+    assert!(
+        recovery.segments >= 1,
+        "the tiny threshold must have flushed pre-crash: {recovery:?}"
+    );
+    assert!(
+        recovered.stats().wal.replayed < users * acked as u64,
+        "tail replay must be shorter than the full history"
+    );
+
+    // The client-side crash story: retry everything under the same
+    // idempotent ids. Recovered rounds dedup; the rest get recorded.
+    let mut client = ServiceClient::connect(recovered.addr()).unwrap();
+    for u in 0..users {
+        for (k, (t, request)) in user_requests(u, rounds).iter().enumerate() {
+            let outcome = client
+                .query_with_id(k as u64, *t, None, request, &query)
+                .unwrap();
+            assert!(matches!(outcome, QueryOutcome::Answered(_)));
+        }
+    }
+    assert_eq!(recovered.stats().dedup_hits, users * acked as u64);
+
+    // A pristine in-memory server that saw each query exactly once agrees
+    // on every stream digest — the recipe is pinned across backends.
+    let pristine = spawn(dummyloc_server::ServerConfig::default(), pois()).unwrap();
+    let mut reference = ServiceClient::connect(pristine.addr()).unwrap();
+    for u in 0..users {
+        for (k, (t, request)) in user_requests(u, rounds).iter().enumerate() {
+            reference
+                .query_with_id(k as u64, *t, None, request, &query)
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        recovered.store_digests().unwrap(),
+        pristine.observer_log().stream_digests()
+    );
+    recovered.shutdown();
+    pristine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Deterministic crash images around the store's two commit points. A
+/// flush writes the segment *then* commits the manifest; a compaction
+/// writes the merged segment *then* commits *then* deletes the old
+/// files; the WAL truncate comes last. Crashing between any two of those
+/// steps leaves: an uncommitted (possibly torn) orphan segment, a merged
+/// orphan next to the old manifest, stale segment files next to a new
+/// manifest, or a committed manifest with an untruncated WAL. Every one
+/// of these images must recover digests identical to a full-WAL replay.
+#[test]
+fn flush_and_compaction_crash_images_recover_identical_digests() {
+    let dir = scratch_dir("store-images");
+    let rounds = 10;
+    let users = 2usize;
+    let per_user: Vec<Vec<(f64, Request)>> = (0..users)
+        .map(|u| user_requests(u as u64, rounds))
+        .collect();
+    let mut records: Vec<WalRecord> = Vec::new();
+    for k in 0..rounds {
+        for stream in per_user.iter() {
+            let (t, request) = &stream[k];
+            records.push(WalRecord {
+                t: *t,
+                seq: records.len() as u64,
+                request_id: Some(k as u64),
+                request: request.clone(),
+            });
+        }
+    }
+    let as_store = |r: &WalRecord| StoreRecord {
+        t: r.t,
+        seq: r.seq,
+        request_id: r.request_id,
+        request: r.request.clone(),
+    };
+
+    // The oracle: the full history through the in-memory backend.
+    let mut reference = MemoryBackend::default();
+    for r in &records {
+        reference.append(as_store(r)).unwrap();
+    }
+    let expect = reference.stream_digests();
+
+    let write_full_wal = |path: &Path| {
+        let config = WalConfig {
+            path: path.to_path_buf(),
+            fsync: FsyncPolicy::Os,
+        };
+        let mut writer = WalWriter::open(&config).unwrap();
+        for r in &records {
+            writer.append(r).unwrap();
+        }
+    };
+    // A store whose durable prefix is `durable` records, split into
+    // `segments` flushes — the state just before the simulated crash.
+    let build_store = |dir: &Path, durable: usize, segments: usize| {
+        let (mut store, _) = dummyloc_store::LogStore::open(LogStoreConfig::new(dir)).unwrap();
+        for (i, chunk) in records[..durable]
+            .chunks(durable.div_ceil(segments))
+            .enumerate()
+        {
+            for r in chunk {
+                store.append(as_store(r)).unwrap();
+            }
+            let out = store.flush().unwrap();
+            assert!(out.segment.is_some(), "chunk {i} must flush");
+        }
+        store
+    };
+    let check = |name: &str, wal: &Path, store_dir: &Path, orphans: u64| {
+        let handle = spawn_with_durability(wal, Some((store_dir, 1 << 20)));
+        let recovery = handle.store_recovery().unwrap();
+        assert_eq!(recovery.orphans_removed, orphans, "{name}: {recovery:?}");
+        assert_eq!(handle.store_digests().unwrap(), expect, "{name}");
+        handle.shutdown();
+    };
+
+    // Image A — crash mid-flush: the segment file hit disk (torn, even)
+    // but the manifest never committed, and the WAL was never truncated.
+    let a = dir.join("a");
+    std::fs::create_dir_all(&a).unwrap();
+    let wal_a = a.join("observer.wal");
+    write_full_wal(&wal_a);
+    let store_a = a.join("store");
+    drop(build_store(&store_a, 12, 2));
+    let orphan: Vec<StoreRecord> = records[12..16].iter().map(as_store).collect();
+    let mut torn = segment::encode_segment(&orphan);
+    torn.truncate(torn.len() - 7);
+    std::fs::write(store_a.join("seg-000099.seg"), torn).unwrap();
+    check("mid-flush", &wal_a, &store_a, 1);
+
+    // Image B — crash mid-compaction, before the manifest commit: the
+    // merged run exists as an orphan next to the old (still
+    // authoritative) manifest and segments.
+    let b = dir.join("b");
+    std::fs::create_dir_all(&b).unwrap();
+    let wal_b = b.join("observer.wal");
+    write_full_wal(&wal_b);
+    let store_b = b.join("store");
+    drop(build_store(&store_b, 12, 3));
+    let merged: Vec<StoreRecord> = records[..12].iter().map(as_store).collect();
+    std::fs::write(
+        store_b.join("seg-000100.seg"),
+        segment::encode_segment(&merged),
+    )
+    .unwrap();
+    check("mid-compaction", &wal_b, &store_b, 1);
+
+    // Image C — crash after the compaction's manifest commit but before
+    // the old segment files were deleted (and before the WAL truncate):
+    // stale files next to a manifest that no longer references them.
+    let c = dir.join("c");
+    std::fs::create_dir_all(&c).unwrap();
+    let wal_c = c.join("observer.wal");
+    write_full_wal(&wal_c);
+    let store_c = c.join("store");
+    let mut store = build_store(&store_c, 12, 3);
+    let outcome = store.compact().unwrap();
+    assert_eq!(outcome.segments_after, 1);
+    drop(store);
+    let stale: Vec<StoreRecord> = records[..4].iter().map(as_store).collect();
+    std::fs::write(
+        store_c.join("seg-000001.seg"),
+        segment::encode_segment(&stale),
+    )
+    .unwrap();
+    check("post-compaction-commit", &wal_c, &store_c, 1);
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
