@@ -62,6 +62,29 @@ struct ServerBaseline {
     retry_overhead_us: u64,
 }
 
+/// One point of the protocol-v4 batch sweep: the standard workload at a
+/// fixed number of rounds bundled per request frame.
+#[derive(Serialize)]
+struct V4Point {
+    batch: usize,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Protocol v4 (binary framing + batching) against the same workload and
+/// server as the v3 `server` section. The headline `throughput_rps` is
+/// the best sweep point; `speedup_vs_v3` divides it by the v3 JSON
+/// lockstep rps measured in the same process.
+#[derive(Serialize)]
+struct V4Baseline {
+    answered: u64,
+    throughput_rps: f64,
+    best_batch: usize,
+    speedup_vs_v3: f64,
+    sweep: Vec<V4Point>,
+}
+
 /// Durability tax of the observer WAL: the identical loadgen workload
 /// against a server that appends and fsyncs every acknowledged record
 /// (`FsyncPolicy::Always`, the strictest policy and the serve default),
@@ -123,6 +146,7 @@ struct Baseline {
     sim: SimBaseline,
     experiments: Vec<ExperimentBaseline>,
     server: ServerBaseline,
+    server_v4: V4Baseline,
     server_wal: WalBaseline,
     server_store: StoreBaseline,
     store_recovery: Vec<StoreRecoveryPoint>,
@@ -195,6 +219,8 @@ fn run_server_loadgen(
     telemetry: Option<&Telemetry>,
     wal: Option<dummyloc_server::WalConfig>,
     store: Option<dummyloc_server::LogStoreConfig>,
+    proto: dummyloc_server::ProtoVersion,
+    batch: usize,
 ) -> (
     dummyloc_server::LoadgenReport,
     dummyloc_server::StatsSnapshot,
@@ -216,6 +242,8 @@ fn run_server_loadgen(
         users: 8,
         rounds: 25,
         seed,
+        proto,
+        batch,
         ..dummyloc_server::LoadgenConfig::default()
     };
     let report =
@@ -226,7 +254,17 @@ fn run_server_loadgen(
 }
 
 fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
-    let (report, _) = run_server_loadgen(seed, Some(telemetry), None, None);
+    // Pinned to v3 JSON lockstep so the `server`/`server_wal`/
+    // `server_store` trio stays comparable with baselines recorded
+    // before protocol v4 existed.
+    let (report, _) = run_server_loadgen(
+        seed,
+        Some(telemetry),
+        None,
+        None,
+        dummyloc_server::ProtoVersion::V3Json,
+        1,
+    );
     ServerBaseline {
         users: report.users,
         rounds: report.rounds,
@@ -240,6 +278,44 @@ fn measure_server(seed: u64, telemetry: &Telemetry) -> ServerBaseline {
     }
 }
 
+fn measure_server_v4(seed: u64, v3_rps: f64) -> V4Baseline {
+    // Identical workload to the v3 `server` section (8 users x 25
+    // rounds, no WAL), swept over how many rounds each user bundles per
+    // binary Batch frame. batch=1 isolates the framing win; batch=25
+    // (a whole user's run in one frame) isolates the round-trip win.
+    let mut sweep = Vec::new();
+    let mut answered = 0;
+    for batch in [1usize, 8, 25] {
+        let (report, _) = run_server_loadgen(
+            seed,
+            None,
+            None,
+            None,
+            dummyloc_server::ProtoVersion::V4Binary,
+            batch,
+        );
+        answered = report.answered;
+        sweep.push(V4Point {
+            batch,
+            throughput_rps: report.throughput_rps,
+            p50_us: report.latency.p50_us,
+            p99_us: report.latency.p99_us,
+        });
+    }
+    let (best_rps, best_batch) = sweep
+        .iter()
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+        .map(|p| (p.throughput_rps, p.batch))
+        .expect("non-empty sweep");
+    V4Baseline {
+        answered,
+        throughput_rps: best_rps,
+        best_batch,
+        speedup_vs_v3: best_rps / v3_rps.max(1e-9),
+        sweep,
+    }
+}
+
 fn measure_server_wal(seed: u64, no_wal_rps: f64) -> WalBaseline {
     let dir = std::env::temp_dir().join(format!("dummyloc-bench-wal-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench WAL scratch dir");
@@ -248,7 +324,14 @@ fn measure_server_wal(seed: u64, no_wal_rps: f64) -> WalBaseline {
         path: path.clone(),
         fsync: dummyloc_server::FsyncPolicy::Always,
     };
-    let (report, stats) = run_server_loadgen(seed, None, Some(wal), None);
+    let (report, stats) = run_server_loadgen(
+        seed,
+        None,
+        Some(wal),
+        None,
+        dummyloc_server::ProtoVersion::V3Json,
+        1,
+    );
     let _ = std::fs::remove_dir_all(&dir);
     // Every acknowledged query must have hit the log before its Answer
     // frame — otherwise the "durability tax" below measured nothing.
@@ -282,7 +365,14 @@ fn measure_server_store(seed: u64, wal_only_rps: f64) -> StoreBaseline {
         flush_threshold_bytes,
         ..dummyloc_server::LogStoreConfig::new(dir.join("store"))
     };
-    let (report, stats) = run_server_loadgen(seed, None, Some(wal), Some(store));
+    let (report, stats) = run_server_loadgen(
+        seed,
+        None,
+        Some(wal),
+        Some(store),
+        dummyloc_server::ProtoVersion::V3Json,
+        1,
+    );
     let _ = std::fs::remove_dir_all(&dir);
     assert_eq!(
         stats.store.appended, report.answered,
@@ -415,6 +505,7 @@ fn main() {
     let telemetry = Telemetry::new(256);
     let started = Instant::now();
     let server = measure_server(args.seed, &telemetry);
+    let server_v4 = measure_server_v4(args.seed, server.throughput_rps);
     let server_wal = measure_server_wal(args.seed, server.throughput_rps);
     let server_store = measure_server_store(args.seed, server_wal.throughput_rps);
     let baseline = Baseline {
@@ -425,6 +516,7 @@ fn main() {
             measure_experiment("fig8", args.seed),
         ],
         server,
+        server_v4,
         server_wal,
         server_store,
         store_recovery: measure_store_recovery(args.seed),
@@ -443,6 +535,19 @@ fn main() {
         baseline.server.p50_us,
         baseline.server.p99_us,
         baseline.server.p999_us,
+    );
+    println!(
+        "baseline: v4(binary) {:.0} rps at batch={} ({:.2}x vs v3 json); sweep {}",
+        baseline.server_v4.throughput_rps,
+        baseline.server_v4.best_batch,
+        baseline.server_v4.speedup_vs_v3,
+        baseline
+            .server_v4
+            .sweep
+            .iter()
+            .map(|p| format!("b{}={:.0}rps", p.batch, p.throughput_rps))
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     println!(
         "baseline: wal(fsync=always) {:.0} rps (p50 {}us, p99 {}us), {:.2}x slower than no-WAL",

@@ -10,12 +10,14 @@
 //!                    [--checkpoint DIR] [--resume]
 //! dummyloc render    --workload fleet.csv --out tracks.svg
 //! dummyloc serve     --addr 127.0.0.1:7878 --workers 4 --pois 200 \
-//!                    [--max-connections N] [--idle-timeout-ms MS] \
+//!                    [--proto v4|v3] [--max-connections N] \
+//!                    [--idle-timeout-ms MS] \
 //!                    [--deadline-ms MS] [--fault-drop P] [--fault-delay P] \
 //!                    [--wal FILE --wal-fsync always|every-N|os] \
 //!                    [--store DIR --store-flush-bytes N] ...
 //! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1 \
-//!                    [--retries N] [--deadline-ms MS]
+//!                    [--proto v4|v3] [--batch N] [--retries N] \
+//!                    [--deadline-ms MS]
 //! dummyloc metrics   127.0.0.1:7878 [--json]
 //! dummyloc store     stats|digests|compact <dir> [--json]
 //! dummyloc store     export <dir> --out FILE [--chunk N]
@@ -92,15 +94,19 @@ commands:
                --resume skips re-running them)
   experiment   alias for `experiments run <name>`
   render       draw a workload's trajectories as SVG
-  serve        run the online LBS query service over TCP (supports
-               --max-connections, --idle-timeout-ms, --deadline-ms,
+  serve        run the online LBS query service over TCP (speaks both
+               protocol v4 binary frames and v3 JSON on one port;
+               --proto v3 pins JSON-only; supports --max-connections,
+               --idle-timeout-ms, --deadline-ms,
                seeded --fault-* injection knobs, a crash-safe
                observer log via --wal <file> --wal-fsync <policy>, and
                a durable segment store via --store <dir>
                [--store-flush-bytes <n>] that keeps cold-start recovery
                fast by replaying only the WAL tail)
   loadgen      drive a running server with concurrent simulated users
-               (retries with backoff: --retries, --retry-base-ms, ...)
+               (--proto v4|v3 selects the wire protocol, --batch <n>
+               bundles n rounds per request frame; retries with
+               backoff: --retries, --retry-base-ms, ...)
   metrics      scrape a running server's telemetry registry
                (`metrics <addr> [--json]`)
   manifest     work with telemetry run manifests
@@ -686,7 +692,7 @@ fn cmd_render(flags: &Flags) -> Result<String, CliError> {
 
 fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
     use dummyloc_server::server::spawn;
-    use dummyloc_server::{FaultPlan, FsyncPolicy, ServeOptions, WalConfig};
+    use dummyloc_server::{FaultPlan, FsyncPolicy, ProtoVersion, ServeOptions, WalConfig};
     // The service area matches the loadgen's (and the experiments') Nara
     // default, so loadgen users stay in bounds.
     let area = dummyloc_geo::BBox::new(
@@ -738,8 +744,15 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
             ..dummyloc_server::LogStoreConfig::new(dir)
         }),
     };
+    // `--proto v3` pins a JSON-only server: binary openings are refused
+    // with a typed version mismatch and v4 clients fall back to v3.
+    let max_proto: ProtoVersion = flags
+        .get("proto", "v4")
+        .parse()
+        .map_err(|e: String| CliError::Usage(format!("--proto: {e}")))?;
     let config = ServeOptions::new()
         .addr(flags.get("addr", "127.0.0.1:7878"))
+        .max_proto(max_proto)
         .workers(flags.num("workers", 4)?)
         .shards(flags.num("shards", 8)?)
         .queue_depth(flags.num("queue", 1024)?)
@@ -758,9 +771,10 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
         .map_err(|e| CliError::Usage(e.to_string()))?;
     let handle = spawn(config, pois).map_err(runtime)?;
     println!(
-        "dummyloc-server listening on {} (protocol v{})",
+        "dummyloc-server listening on {} (protocol v{}..v{})",
         handle.addr(),
-        dummyloc_server::PROTOCOL_VERSION
+        dummyloc_server::MIN_PROTOCOL_VERSION,
+        max_proto.version()
     );
     if let (Some(sc), Some(recovery)) = (&store, handle.store_recovery()) {
         println!(
@@ -980,7 +994,7 @@ fn cmd_store(sub: &str, dir: &str, flags: &Flags) -> Result<String, CliError> {
 
 fn cmd_loadgen(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
     use dummyloc_server::loadgen::{self, GeneratorChoice};
-    use dummyloc_server::{LoadgenOptions, RetryPolicy};
+    use dummyloc_server::{LoadgenOptions, ProtoVersion, RetryPolicy};
     let generator = match flags.get("generator", "mn").as_str() {
         "mn" => GeneratorChoice::Mn,
         "mln" => GeneratorChoice::Mln,
@@ -1001,6 +1015,10 @@ fn cmd_loadgen(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliErr
         jitter: flags.num("retry-jitter", defaults.jitter)?,
     };
     let deadline_ms = millis_flag(flags, "deadline-ms")?.map(|d| d.as_millis() as u64);
+    let proto: ProtoVersion = flags
+        .get("proto", "v4")
+        .parse()
+        .map_err(|e: String| CliError::Usage(format!("--proto: {e}")))?;
     let config = LoadgenOptions::new()
         .addr(flags.get("addr", "127.0.0.1:7878"))
         .users(flags.num("users", 8)?)
@@ -1013,6 +1031,8 @@ fn cmd_loadgen(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliErr
         .query(query)
         .retry(retry)
         .deadline_ms(deadline_ms)
+        .proto(proto)
+        .batch(flags.num("batch", 1)?)
         .build()
         .map_err(|e| CliError::Usage(e.to_string()))?;
     let bundle = telemetry.map(|dir| (dir, Telemetry::new(4096)));

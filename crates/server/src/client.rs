@@ -1,15 +1,20 @@
 //! Blocking protocol clients used by the load generator and tests.
 //!
-//! [`ServiceClient`] is the bare connection: one query in flight, typed
-//! outcomes, no second chances. [`RetryingClient`] wraps it with the
-//! fault-tolerance contract the paper's scheme needs — a user must
-//! *always* get the answer for its true position, so failed attempts are
-//! retried with exponential backoff + jitter, reconnecting when the
-//! connection is broken, and always resending the **same** request id so
-//! the server's observer log counts the report once no matter how many
-//! deliveries it took.
+//! [`ServiceClient`] is the bare connection: typed outcomes, no second
+//! chances. [`RetryingClient`] wraps it with the fault-tolerance contract
+//! the paper's scheme needs — a user must *always* get the answer for its
+//! true position, so failed attempts are retried with exponential
+//! backoff plus jitter, reconnecting when the connection is broken, and
+//! always resending the **same** request id so the server's observer log
+//! counts the report once no matter how many deliveries it took.
+//!
+//! Both implement the [`Client`] trait (one round or one batch of rounds
+//! per call) and both are built through [`ClientBuilder`], which selects
+//! the protocol version at connect time: v4 binary by default, with an
+//! automatic one-shot fallback to v3 JSON when the server turns the
+//! binary handshake away — so one code path serves old and new servers.
 
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
@@ -18,13 +23,134 @@ use dummyloc_lbs::query::{QueryKind, ServiceResponse};
 use dummyloc_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{self, ProtoVersion, RawEvent, Transport, BINARY_MAGIC};
 use crate::error::{Result, ServerError};
 use crate::fault::splitmix;
-use crate::proto::{
-    write_frame, ClientFrame, ErrorKind, FrameEvent, FrameReader, ServerFrame,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
-};
+use crate::proto::{ClientFrame, ErrorKind, QuerySpec, ServerFrame, DEFAULT_MAX_FRAME_BYTES};
 use crate::stats::StatsSnapshot;
+
+/// The protocol surface both clients share: one service round, or one
+/// batch of independent rounds, per call.
+///
+/// Named `round` (not `query`) so [`ServiceClient`]'s richer inherent
+/// query methods keep working unshadowed; a *round* is the paper's unit —
+/// one `1+k`-positions message answered in full.
+pub trait Client {
+    /// Performs one service round, returning the full response or an
+    /// error once the implementation gives up.
+    fn round(
+        &mut self,
+        t: f64,
+        deadline_ms: Option<u64>,
+        request: &Request,
+        query: &QueryKind,
+    ) -> Result<ServiceResponse>;
+
+    /// Performs several independent rounds, returning responses in item
+    /// order. Over protocol v4 the whole batch travels as one frame; a
+    /// v3 connection degrades to lockstep rounds with identical results.
+    fn round_batch(&mut self, items: &[BatchItem]) -> Result<Vec<ServiceResponse>>;
+}
+
+/// One round inside a [`Client::round_batch`] call — everything a query
+/// needs except its id, which the client allocates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// Service time of the round (seconds).
+    pub t: f64,
+    /// Per-query deadline in milliseconds; `None` uses the server default.
+    pub deadline_ms: Option<u64>,
+    /// The paper's message `S`: pseudonym plus `k+1` positions.
+    pub request: Request,
+    /// What to ask about each position.
+    pub query: QueryKind,
+}
+
+/// Connect-time configuration shared by both clients: one place that
+/// knows how to dial, handshake and version-negotiate.
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    proto: ProtoVersion,
+    timeout: Option<Duration>,
+}
+
+impl ClientBuilder {
+    /// A builder for `addr` with the defaults: protocol v4 (binary) with
+    /// automatic fallback to v3, no read timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        ClientBuilder {
+            addr: addr.into(),
+            proto: ProtoVersion::V4Binary,
+            timeout: None,
+        }
+    }
+
+    /// Pins the protocol version. Pinning [`ProtoVersion::V3Json`] also
+    /// disables the fallback (there is nothing older to fall back to).
+    pub fn proto(mut self, proto: ProtoVersion) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// Read timeout covering the handshake and later replies.
+    pub fn timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Connects a bare [`ServiceClient`]. A v4 attempt refused with a
+    /// version mismatch (a JSON-pinned server) reconnects once speaking
+    /// v3 — the negotiation story from the client side.
+    pub fn connect(&self) -> Result<ServiceClient> {
+        match ServiceClient::connect_once(self.addr.as_str(), self.timeout, self.proto) {
+            Ok(client) => Ok(client),
+            Err(ConnectFail::VersionMismatch(message)) => {
+                if self.proto == ProtoVersion::V4Binary {
+                    ServiceClient::connect_once(
+                        self.addr.as_str(),
+                        self.timeout,
+                        ProtoVersion::V3Json,
+                    )
+                    .map_err(ConnectFail::into_error)
+                } else {
+                    Err(ServerError::Handshake { message })
+                }
+            }
+            Err(fail) => Err(fail.into_error()),
+        }
+    }
+
+    /// Builds a lazily-connecting [`RetryingClient`] that dials with this
+    /// builder's protocol settings on every (re)connect.
+    pub fn retrying(&self, policy: RetryPolicy, seed: u64) -> Result<RetryingClient> {
+        policy.validate()?;
+        Ok(RetryingClient {
+            builder: self.clone(),
+            policy,
+            conn: None,
+            next_id: 0,
+            rng: splitmix(seed ^ 0x9e37_79b9_7f4a_7c15),
+            stats: RetryStats::default(),
+        })
+    }
+}
+
+/// Why one connect attempt failed — kept apart from [`ServerError`] so
+/// the builder can recognize the one failure worth a protocol downgrade.
+enum ConnectFail {
+    VersionMismatch(String),
+    Other(ServerError),
+}
+
+impl ConnectFail {
+    fn into_error(self) -> ServerError {
+        match self {
+            ConnectFail::VersionMismatch(message) => ServerError::Handshake { message },
+            ConnectFail::Other(e) => e,
+        }
+    }
+}
 
 /// How the server disposed of one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,18 +173,21 @@ pub enum QueryOutcome {
 }
 
 /// One connection to a `dummyloc-server`, already past the `Hello`
-/// handshake. Queries are issued in lockstep (send, then wait for the
-/// matching reply).
+/// handshake. Single queries are issued in lockstep (send, then wait for
+/// the matching reply); [`ServiceClient::query_batch`] pipelines a whole
+/// batch before collecting.
 #[derive(Debug)]
 pub struct ServiceClient {
-    reader: FrameReader<TcpStream>,
+    reader: codec::FrameReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    proto: ProtoVersion,
     next_id: u64,
 }
 
 impl ServiceClient {
     /// Connects and performs the version handshake, waiting forever for
-    /// the reply.
+    /// the reply. Speaks v4 binary, falling back to v3 JSON if the server
+    /// refuses — shorthand for [`ClientBuilder::connect`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         Self::connect_with_timeout(addr, None)
     }
@@ -71,29 +200,75 @@ impl ServiceClient {
         addr: impl ToSocketAddrs,
         timeout: Option<Duration>,
     ) -> Result<Self> {
+        match Self::connect_once(&addr, timeout, ProtoVersion::V4Binary) {
+            Err(ConnectFail::VersionMismatch(_)) => {
+                Self::connect_once(&addr, timeout, ProtoVersion::V3Json)
+                    .map_err(ConnectFail::into_error)
+            }
+            other => other.map_err(ConnectFail::into_error),
+        }
+    }
+
+    /// One dial + handshake at a pinned version; no fallback.
+    fn connect_once(
+        addr: &(impl ToSocketAddrs + ?Sized),
+        timeout: Option<Duration>,
+        proto: ProtoVersion,
+    ) -> std::result::Result<Self, ConnectFail> {
+        Self::handshake(addr, timeout, proto).map_err(|e| match e {
+            ServerError::Handshake { message } if message.starts_with("version mismatch") => {
+                ConnectFail::VersionMismatch(message)
+            }
+            other => ConnectFail::Other(other),
+        })
+    }
+
+    fn handshake(
+        addr: &(impl ToSocketAddrs + ?Sized),
+        timeout: Option<Duration>,
+        proto: ProtoVersion,
+    ) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(timeout)?;
         let writer = BufWriter::new(stream.try_clone()?);
         let mut client = ServiceClient {
-            reader: FrameReader::new(stream, DEFAULT_MAX_FRAME_BYTES),
+            // Replies are auto-detected rather than pinned to `proto`:
+            // pre-handshake frames (e.g. `Busy` from the acceptor) arrive
+            // as JSON even on a connection that will go binary.
+            reader: codec::FrameReader::auto(stream, DEFAULT_MAX_FRAME_BYTES),
             writer,
+            proto,
             next_id: 0,
         };
-        write_frame(
-            &mut client.writer,
-            &ClientFrame::Hello {
-                version: PROTOCOL_VERSION,
-            },
-        )?;
+        if proto.transport() == Transport::Binary {
+            // The magic byte sequence is what flips the server's reader
+            // into binary mode; everything after it is framed.
+            client.writer.write_all(&BINARY_MAGIC)?;
+        }
+        client.send_frame(&ClientFrame::Hello {
+            version: proto.version(),
+        })?;
         match client.read_frame()? {
-            ServerFrame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            ServerFrame::Hello { version } if version == proto.version() => Ok(client),
             ServerFrame::Busy { limit } => Err(ServerError::Busy { limit }),
+            ServerFrame::Error {
+                kind: ErrorKind::VersionMismatch,
+                message,
+                ..
+            } => Err(ServerError::Handshake {
+                message: format!("version mismatch: {message}"),
+            }),
             ServerFrame::Error { message, .. } => Err(ServerError::Handshake { message }),
             other => Err(ServerError::Protocol {
                 message: format!("unexpected handshake reply: {other:?}"),
             }),
         }
+    }
+
+    /// Which protocol version the handshake settled on.
+    pub fn proto(&self) -> ProtoVersion {
+        self.proto
     }
 
     /// Caps how long one reply may take before reads fail with a timeout
@@ -103,13 +278,20 @@ impl ServiceClient {
         Ok(())
     }
 
+    fn send_frame(&mut self, frame: &ClientFrame) -> Result<()> {
+        let bytes = codec::encode_client_frame(frame, self.proto.transport())?;
+        self.writer.write_all(&bytes)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
     fn read_frame(&mut self) -> Result<ServerFrame> {
         match self.reader.next_frame()? {
-            FrameEvent::Frame(line) => Ok(serde_json::from_str(&line)?),
-            FrameEvent::Eof => Err(ServerError::Protocol {
+            RawEvent::Frame(raw) => Ok(codec::decode_server_frame(&raw)?),
+            RawEvent::Eof => Err(ServerError::Protocol {
                 message: "server closed the connection".to_string(),
             }),
-            FrameEvent::TooLarge => Err(ServerError::Protocol {
+            RawEvent::TooLarge => Err(ServerError::Protocol {
                 message: "oversized server frame".to_string(),
             }),
         }
@@ -149,16 +331,13 @@ impl ServiceClient {
         query: &QueryKind,
     ) -> Result<QueryOutcome> {
         self.next_id = self.next_id.max(id + 1);
-        write_frame(
-            &mut self.writer,
-            &ClientFrame::Query {
-                id,
-                t,
-                deadline_ms,
-                request: request.clone(),
-                query: *query,
-            },
-        )?;
+        self.send_frame(&ClientFrame::Query {
+            id,
+            t,
+            deadline_ms,
+            request: request.clone(),
+            query: *query,
+        })?;
         loop {
             match self.read_frame()? {
                 ServerFrame::Answer { id: rid, response } if rid == id => {
@@ -193,9 +372,102 @@ impl ServiceClient {
         }
     }
 
+    /// Sends a whole batch of independent queries as one request and
+    /// collects every reply, returning outcomes in item order. Over v4
+    /// this is a single `Batch` frame — the paper's `1+k`-positions
+    /// message shape extended to `n` rounds; over v3 the queries are
+    /// pipelined as individual frames with identical semantics.
+    pub fn query_batch(&mut self, items: &[BatchItem]) -> Result<Vec<QueryOutcome>> {
+        let base = self.next_id;
+        self.next_id += items.len() as u64;
+        let specs: Vec<QuerySpec> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| QuerySpec {
+                id: base + i as u64,
+                t: item.t,
+                deadline_ms: item.deadline_ms,
+                request: item.request.clone(),
+                query: item.query,
+            })
+            .collect();
+        self.query_batch_with_ids(specs)
+    }
+
+    /// The explicit-id batch primitive [`RetryingClient`] builds on: a
+    /// retry resends the *same* ids, so the server's idempotency dedup
+    /// keeps the observer log single-counted. Ids must be distinct within
+    /// the batch; outcomes come back in `specs` order.
+    pub fn query_batch_with_ids(&mut self, specs: Vec<QuerySpec>) -> Result<Vec<QueryOutcome>> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ids: Vec<u64> = specs.iter().map(|s| s.id).collect();
+        if let Some(max_id) = ids.iter().max() {
+            self.next_id = self.next_id.max(max_id + 1);
+        }
+        match self.proto.transport() {
+            Transport::Binary => {
+                self.send_frame(&ClientFrame::Batch { queries: specs })?;
+            }
+            Transport::Json => {
+                // v3 has no Batch frame; pipeline the queries back to back
+                // so a JSON connection still gets one network round-trip.
+                for spec in specs {
+                    let bytes = codec::encode_client_frame(
+                        &ClientFrame::Query {
+                            id: spec.id,
+                            t: spec.t,
+                            deadline_ms: spec.deadline_ms,
+                            request: spec.request,
+                            query: spec.query,
+                        },
+                        Transport::Json,
+                    )?;
+                    self.writer.write_all(&bytes)?;
+                }
+                self.writer.flush()?;
+            }
+        }
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; ids.len()];
+        let mut pending = ids.len();
+        let slot = |id: u64| ids.iter().position(|&i| i == id);
+        while pending > 0 {
+            let (idx, outcome) = match self.read_frame()? {
+                ServerFrame::Answer { id, response } => {
+                    (slot(id), QueryOutcome::Answered(response))
+                }
+                ServerFrame::Overloaded { id } => (slot(id), QueryOutcome::Overloaded),
+                ServerFrame::Deadline { id } => (slot(id), QueryOutcome::Deadline),
+                ServerFrame::Busy { limit } => return Err(ServerError::Busy { limit }),
+                ServerFrame::Error {
+                    id: Some(id),
+                    kind,
+                    message,
+                } if slot(id).is_some() => (slot(id), QueryOutcome::Failed { kind, message }),
+                ServerFrame::Error { kind, message, .. } => {
+                    return Err(ServerError::Protocol {
+                        message: format!("{kind:?}: {message}"),
+                    });
+                }
+                _ => continue,
+            };
+            if let Some(idx) = idx {
+                if outcomes[idx].is_none() {
+                    pending -= 1;
+                }
+                outcomes[idx] = Some(outcome);
+            }
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("all collected"))
+            .collect())
+    }
+
     /// Fetches the server's counter snapshot.
     pub fn stats(&mut self) -> Result<StatsSnapshot> {
-        write_frame(&mut self.writer, &ClientFrame::Stats)?;
+        self.send_frame(&ClientFrame::Stats)?;
         loop {
             match self.read_frame()? {
                 ServerFrame::Stats { snapshot } => return Ok(snapshot),
@@ -212,7 +484,7 @@ impl ServiceClient {
     /// Fetches the server's full telemetry registry snapshot (the
     /// protocol-v3 `Metrics` exchange).
     pub fn metrics(&mut self) -> Result<RegistrySnapshot> {
-        write_frame(&mut self.writer, &ClientFrame::Metrics)?;
+        self.send_frame(&ClientFrame::Metrics)?;
         loop {
             match self.read_frame()? {
                 ServerFrame::Metrics { snapshot } => return Ok(snapshot),
@@ -228,8 +500,46 @@ impl ServiceClient {
 
     /// Says goodbye and closes the connection.
     pub fn bye(mut self) -> Result<()> {
-        write_frame(&mut self.writer, &ClientFrame::Bye)?;
+        self.send_frame(&ClientFrame::Bye)?;
         Ok(())
+    }
+}
+
+impl Client for ServiceClient {
+    fn round(
+        &mut self,
+        t: f64,
+        deadline_ms: Option<u64>,
+        request: &Request,
+        query: &QueryKind,
+    ) -> Result<ServiceResponse> {
+        let id = self.next_id;
+        self.next_id += 1;
+        outcome_to_response(self.query_with_id(id, t, deadline_ms, request, query)?)
+    }
+
+    fn round_batch(&mut self, items: &[BatchItem]) -> Result<Vec<ServiceResponse>> {
+        self.query_batch(items)?
+            .into_iter()
+            .map(outcome_to_response)
+            .collect()
+    }
+}
+
+/// A bare connection has no second chances: anything short of an answer
+/// is an error at the [`Client`] trait level.
+fn outcome_to_response(outcome: QueryOutcome) -> Result<ServiceResponse> {
+    match outcome {
+        QueryOutcome::Answered(response) => Ok(response),
+        QueryOutcome::Overloaded => Err(ServerError::Protocol {
+            message: "query bounced: server overloaded".to_string(),
+        }),
+        QueryOutcome::Deadline => Err(ServerError::Protocol {
+            message: "query bounced: deadline expired".to_string(),
+        }),
+        QueryOutcome::Failed { kind, message } => Err(ServerError::Protocol {
+            message: format!("{kind:?}: {message}"),
+        }),
     }
 }
 
@@ -332,7 +642,7 @@ pub struct RetryStats {
 /// keep the observer log single-counted.
 #[derive(Debug)]
 pub struct RetryingClient {
-    addr: String,
+    builder: ClientBuilder,
     policy: RetryPolicy,
     conn: Option<ServiceClient>,
     next_id: u64,
@@ -341,18 +651,12 @@ pub struct RetryingClient {
 }
 
 impl RetryingClient {
-    /// Creates a client for `addr`; connections are opened lazily. `seed`
-    /// drives the backoff jitter, keeping whole runs reproducible.
+    /// Creates a client for `addr` with the default protocol choice (v4,
+    /// falling back to v3); connections are opened lazily. `seed` drives
+    /// the backoff jitter, keeping whole runs reproducible. Pin a version
+    /// with [`ClientBuilder::retrying`] instead.
     pub fn new(addr: impl Into<String>, policy: RetryPolicy, seed: u64) -> Result<Self> {
-        policy.validate()?;
-        Ok(RetryingClient {
-            addr: addr.into(),
-            policy,
-            conn: None,
-            next_id: 0,
-            rng: splitmix(seed ^ 0x9e37_79b9_7f4a_7c15),
-            stats: RetryStats::default(),
-        })
+        ClientBuilder::new(addr).retrying(policy, seed)
     }
 
     /// What the retry loop has absorbed so far.
@@ -369,10 +673,11 @@ impl RetryingClient {
         if self.conn.is_none() {
             // The timeout covers the handshake too: a faulty server that
             // swallows the Hello reply must not hang the retry loop.
-            let client = ServiceClient::connect_with_timeout(
-                self.addr.as_str(),
-                Some(Duration::from_millis(self.policy.attempt_timeout_ms)),
-            )?;
+            let client = self
+                .builder
+                .clone()
+                .timeout(Some(Duration::from_millis(self.policy.attempt_timeout_ms)))
+                .connect()?;
             self.conn = Some(client);
         }
         Ok(self.conn.as_mut().expect("just connected"))
@@ -453,12 +758,121 @@ impl RetryingClient {
         })
     }
 
+    /// One logical batch of independent queries, retried until every
+    /// member is answered or the policy is exhausted. Ids are allocated
+    /// once up front; each retry resends **only the still-unanswered
+    /// members** under their original ids, so answered queries are never
+    /// re-served and the observer log stays single-counted.
+    pub fn query_batch(&mut self, items: &[BatchItem]) -> Result<Vec<ServiceResponse>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.next_id;
+        self.next_id += items.len() as u64;
+        let mut results: Vec<Option<ServiceResponse>> = vec![None; items.len()];
+        let mut last = String::new();
+        let started = Instant::now();
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                self.stats.retries += 1;
+                let unit = self.unit();
+                std::thread::sleep(self.policy.backoff(attempt, unit));
+            }
+            let attempt_started = Instant::now();
+            let unresolved: Vec<usize> =
+                (0..items.len()).filter(|&i| results[i].is_none()).collect();
+            let specs: Vec<QuerySpec> = unresolved
+                .iter()
+                .map(|&i| QuerySpec {
+                    id: base + i as u64,
+                    t: items[i].t,
+                    deadline_ms: items[i].deadline_ms,
+                    request: items[i].request.clone(),
+                    query: items[i].query,
+                })
+                .collect();
+            let conn = match self.connection() {
+                Ok(c) => c,
+                Err(e) => {
+                    if let ServerError::Busy { .. } = e {
+                        self.stats.busy += 1;
+                    }
+                    last = e.to_string();
+                    continue;
+                }
+            };
+            match conn.query_batch_with_ids(specs) {
+                Ok(outcomes) => {
+                    let mut rebuild = false;
+                    for (&i, outcome) in unresolved.iter().zip(outcomes) {
+                        match outcome {
+                            QueryOutcome::Answered(response) => results[i] = Some(response),
+                            QueryOutcome::Overloaded => {
+                                self.stats.overloaded += 1;
+                                last = "overloaded".to_string();
+                            }
+                            QueryOutcome::Deadline => {
+                                self.stats.deadline_misses += 1;
+                                last = "deadline expired".to_string();
+                            }
+                            QueryOutcome::Failed { kind, message } => {
+                                self.stats.server_errors += 1;
+                                if kind != ErrorKind::Internal {
+                                    rebuild = true;
+                                }
+                                last = format!("{kind:?}: {message}");
+                            }
+                        }
+                    }
+                    if results.iter().all(|r| r.is_some()) {
+                        self.stats.overhead_us += duration_us(attempt_started - started);
+                        return Ok(results.into_iter().map(|r| r.expect("all set")).collect());
+                    }
+                    if rebuild {
+                        self.conn = None;
+                        self.stats.reconnects += 1;
+                    }
+                }
+                Err(e) => {
+                    // The connection died mid-collection; members whose
+                    // replies were lost are resent under the same ids, and
+                    // the server's idempotency dedup keeps the observer
+                    // log single-counted for any it already served.
+                    self.conn = None;
+                    self.stats.reconnects += 1;
+                    last = e.to_string();
+                }
+            }
+        }
+        self.stats.overhead_us += duration_us(started.elapsed());
+        Err(ServerError::RetriesExhausted {
+            attempts: self.policy.max_attempts,
+            last,
+        })
+    }
+
     /// Says goodbye on any open connection and returns the tallies.
     pub fn finish(mut self) -> RetryStats {
         if let Some(conn) = self.conn.take() {
             let _ = conn.bye();
         }
         self.stats
+    }
+}
+
+impl Client for RetryingClient {
+    fn round(
+        &mut self,
+        t: f64,
+        deadline_ms: Option<u64>,
+        request: &Request,
+        query: &QueryKind,
+    ) -> Result<ServiceResponse> {
+        self.query(t, deadline_ms, request, query)
+    }
+
+    fn round_batch(&mut self, items: &[BatchItem]) -> Result<Vec<ServiceResponse>> {
+        self.query_batch(items)
     }
 }
 

@@ -1,0 +1,1186 @@
+//! The shared frame codec: one encode/decode path for both transports.
+//!
+//! Protocol v4 introduces a length-prefixed binary framing next to the
+//! newline-delimited JSON the server has always spoken. Both transports
+//! carry the *same* typed frames ([`ClientFrame`](crate::proto::ClientFrame)
+//! / [`ServerFrame`](crate::proto::ServerFrame)); only the bytes differ:
+//!
+//! * **JSON (v3)** — one serde_json value per `\n`-terminated line.
+//!   Self-describing, greppable, the debuggability fallback.
+//! * **Binary (v4)** — the connection opens with the 4-byte
+//!   [`BINARY_MAGIC`], then each frame is
+//!   `[u32 payload-len LE][u32 FNV-1a(payload) LE][payload]` where the
+//!   payload is a tag byte plus fixed-width little-endian fields. No
+//!   field names, no number formatting, no per-byte scanning for a
+//!   delimiter — the dominant per-request cost of the JSON path is gone.
+//!
+//! The first magic byte (`0xD4`) can never begin a JSON frame (JSON text
+//! is valid UTF-8 starting with a value character), so one peek at the
+//! first byte of a connection identifies the transport. [`FrameReader`]
+//! does exactly that, then enforces one size cap and one framing
+//! discipline for whichever transport it found — server, client and
+//! loadgen all read through it, and every framing failure is one
+//! [`CodecError`].
+//!
+//! The payload checksum makes binary corruption *deterministically*
+//! detectable: a frame whose bytes were damaged in flight (the chaos
+//! suite's truncate/corrupt faults) fails the checksum instead of
+//! gambling on whether the garbled payload still decodes.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::str::FromStr;
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::Point;
+use dummyloc_lbs::poi::Category;
+use dummyloc_lbs::query::{Answer, BusAnswer, PoiInfo, QueryKind, ServiceResponse};
+use serde::{Deserialize, Serialize};
+
+use crate::proto::{ClientFrame, ErrorKind, QuerySpec, ServerFrame};
+
+/// First bytes of every binary-transport connection. `0xD4` is not valid
+/// leading UTF-8 for any JSON value, so the transports cannot be confused.
+pub const BINARY_MAGIC: [u8; 4] = [0xD4, b'L', b'B', b'4'];
+
+/// Bytes of framing before each binary payload: `u32` length + `u32`
+/// FNV-1a checksum.
+pub const BINARY_HEADER_BYTES: usize = 8;
+
+/// Which protocol version a client speaks — and, because the version
+/// determines the transport, how its bytes look on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtoVersion {
+    /// Protocol v3: newline-delimited JSON frames.
+    V3Json,
+    /// Protocol v4: length-prefixed, checksummed binary frames (with
+    /// batching).
+    V4Binary,
+}
+
+impl ProtoVersion {
+    /// The handshake version number this protocol level announces.
+    pub fn version(self) -> u32 {
+        match self {
+            ProtoVersion::V3Json => 3,
+            ProtoVersion::V4Binary => 4,
+        }
+    }
+
+    /// The wire transport this protocol level uses.
+    pub fn transport(self) -> Transport {
+        match self {
+            ProtoVersion::V3Json => Transport::Json,
+            ProtoVersion::V4Binary => Transport::Binary,
+        }
+    }
+}
+
+impl FromStr for ProtoVersion {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "v3" | "3" | "json" => Ok(ProtoVersion::V3Json),
+            "v4" | "4" | "binary" => Ok(ProtoVersion::V4Binary),
+            other => Err(format!("unknown protocol {other:?} (expected v3 or v4)")),
+        }
+    }
+}
+
+impl fmt::Display for ProtoVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoVersion::V3Json => write!(f, "v3"),
+            ProtoVersion::V4Binary => write!(f, "v4"),
+        }
+    }
+}
+
+/// The two byte-level framings a connection can use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Newline-delimited JSON lines.
+    Json,
+    /// Magic-prefixed stream of `[len][checksum][payload]` frames.
+    Binary,
+}
+
+/// Everything that can go wrong encoding or decoding a frame — the one
+/// error type both transports and all three protocol endpoints share.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The input ended in the middle of a value.
+    Truncated,
+    /// The bytes are structurally invalid (bad tag, trailing garbage,
+    /// non-UTF-8 string, …).
+    Invalid(&'static str),
+    /// A JSON frame (or a JSON-embedded payload) failed to parse.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame payload ended mid-value"),
+            CodecError::Invalid(what) => write!(f, "invalid frame payload: {what}"),
+            CodecError::Json(e) => write!(f, "json frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for CodecError {
+    fn from(e: serde_json::Error) -> Self {
+        CodecError::Json(e)
+    }
+}
+
+impl From<CodecError> for io::Error {
+    fn from(e: CodecError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// FNV-1a (32-bit) over one payload.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Binary payload primitives.
+// ---------------------------------------------------------------------
+
+/// Read cursor over one binary payload. Every `take_*` bounds-checks, so
+/// hostile input errors instead of panicking.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string.
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid("non-utf8 string"))
+    }
+
+    /// A `u32` element count, sanity-bounded by the bytes actually left
+    /// (each element is at least one byte) so a forged count cannot make
+    /// the decoder allocate gigabytes.
+    fn count(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn option<T>(
+        &mut self,
+        inner: impl FnOnce(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(inner(self)?)),
+            _ => Err(CodecError::Invalid("option discriminant")),
+        }
+    }
+
+    /// The whole payload must be consumed: leftovers mean the frame was
+    /// not what its tag claimed.
+    fn done(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid("trailing payload bytes"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_option<T>(out: &mut Vec<u8>, v: Option<&T>, inner: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            inner(out, v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary codecs for the protocol vocabulary.
+// ---------------------------------------------------------------------
+
+fn put_point(out: &mut Vec<u8>, p: &Point) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+fn get_point(cur: &mut Cur) -> Result<Point, CodecError> {
+    Ok(Point::new(cur.f64()?, cur.f64()?))
+}
+
+fn put_request(out: &mut Vec<u8>, r: &Request) {
+    put_string(out, &r.pseudonym);
+    put_u32(out, r.positions.len() as u32);
+    for p in &r.positions {
+        put_point(out, p);
+    }
+}
+
+fn get_request(cur: &mut Cur) -> Result<Request, CodecError> {
+    let pseudonym = cur.string()?;
+    let n = cur.count()?;
+    let mut positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        positions.push(get_point(cur)?);
+    }
+    Ok(Request {
+        pseudonym,
+        positions,
+    })
+}
+
+fn category_tag(c: Category) -> u8 {
+    match c {
+        Category::Restaurant => 0,
+        Category::BusStop => 1,
+        Category::Landmark => 2,
+        Category::Clinic => 3,
+        Category::Shop => 4,
+    }
+}
+
+fn category_from(tag: u8) -> Result<Category, CodecError> {
+    Ok(match tag {
+        0 => Category::Restaurant,
+        1 => Category::BusStop,
+        2 => Category::Landmark,
+        3 => Category::Clinic,
+        4 => Category::Shop,
+        _ => return Err(CodecError::Invalid("category tag")),
+    })
+}
+
+fn put_query_kind(out: &mut Vec<u8>, q: &QueryKind) {
+    match q {
+        QueryKind::NearestPoi { category } => {
+            out.push(0);
+            put_option(out, category.as_ref(), |o, c| o.push(category_tag(*c)));
+        }
+        QueryKind::PoisInRange { radius } => {
+            out.push(1);
+            put_f64(out, *radius);
+        }
+        QueryKind::NextBus => out.push(2),
+    }
+}
+
+fn get_query_kind(cur: &mut Cur) -> Result<QueryKind, CodecError> {
+    Ok(match cur.u8()? {
+        0 => QueryKind::NearestPoi {
+            category: cur.option(|c| category_from(c.u8()?))?,
+        },
+        1 => QueryKind::PoisInRange { radius: cur.f64()? },
+        2 => QueryKind::NextBus,
+        _ => return Err(CodecError::Invalid("query-kind tag")),
+    })
+}
+
+fn put_poi_info(out: &mut Vec<u8>, p: &PoiInfo) {
+    put_u64(out, p.id);
+    put_string(out, &p.name);
+    out.push(category_tag(p.category));
+    put_point(out, &p.pos);
+    put_f64(out, p.distance);
+}
+
+fn get_poi_info(cur: &mut Cur) -> Result<PoiInfo, CodecError> {
+    Ok(PoiInfo {
+        id: cur.u64()?,
+        name: cur.string()?,
+        category: category_from(cur.u8()?)?,
+        pos: get_point(cur)?,
+        distance: cur.f64()?,
+    })
+}
+
+fn put_answer(out: &mut Vec<u8>, a: &Answer) {
+    match a {
+        Answer::NearestPoi(poi) => {
+            out.push(0);
+            put_option(out, poi.as_ref(), put_poi_info);
+        }
+        Answer::PoisInRange(pois) => {
+            out.push(1);
+            put_u32(out, pois.len() as u32);
+            for p in pois {
+                put_poi_info(out, p);
+            }
+        }
+        Answer::NextBus(bus) => {
+            out.push(2);
+            put_option(out, bus.as_ref(), |o, b| {
+                put_poi_info(o, &b.stop);
+                put_f64(o, b.arrival);
+            });
+        }
+    }
+}
+
+fn get_answer(cur: &mut Cur) -> Result<Answer, CodecError> {
+    Ok(match cur.u8()? {
+        0 => Answer::NearestPoi(cur.option(get_poi_info)?),
+        1 => {
+            let n = cur.count()?;
+            let mut pois = Vec::with_capacity(n);
+            for _ in 0..n {
+                pois.push(get_poi_info(cur)?);
+            }
+            Answer::PoisInRange(pois)
+        }
+        2 => Answer::NextBus(cur.option(|c| {
+            Ok(BusAnswer {
+                stop: get_poi_info(c)?,
+                arrival: c.f64()?,
+            })
+        })?),
+        _ => return Err(CodecError::Invalid("answer tag")),
+    })
+}
+
+fn put_response(out: &mut Vec<u8>, r: &ServiceResponse) {
+    put_u32(out, r.answers.len() as u32);
+    for a in &r.answers {
+        put_answer(out, a);
+    }
+}
+
+fn get_response(cur: &mut Cur) -> Result<ServiceResponse, CodecError> {
+    let n = cur.count()?;
+    let mut answers = Vec::with_capacity(n);
+    for _ in 0..n {
+        answers.push(get_answer(cur)?);
+    }
+    Ok(ServiceResponse { answers })
+}
+
+fn put_query_spec(out: &mut Vec<u8>, s: &QuerySpec) {
+    put_u64(out, s.id);
+    put_f64(out, s.t);
+    put_option(out, s.deadline_ms.as_ref(), |o, d| put_u64(o, *d));
+    put_request(out, &s.request);
+    put_query_kind(out, &s.query);
+}
+
+fn get_query_spec(cur: &mut Cur) -> Result<QuerySpec, CodecError> {
+    Ok(QuerySpec {
+        id: cur.u64()?,
+        t: cur.f64()?,
+        deadline_ms: cur.option(|c| c.u64())?,
+        request: get_request(cur)?,
+        query: get_query_kind(cur)?,
+    })
+}
+
+fn error_kind_tag(k: ErrorKind) -> u8 {
+    match k {
+        ErrorKind::Malformed => 0,
+        ErrorKind::FrameTooLarge => 1,
+        ErrorKind::VersionMismatch => 2,
+        ErrorKind::TooManyRequests => 3,
+        ErrorKind::IdleTimeout => 4,
+        ErrorKind::Internal => 5,
+    }
+}
+
+fn error_kind_from(tag: u8) -> Result<ErrorKind, CodecError> {
+    Ok(match tag {
+        0 => ErrorKind::Malformed,
+        1 => ErrorKind::FrameTooLarge,
+        2 => ErrorKind::VersionMismatch,
+        3 => ErrorKind::TooManyRequests,
+        4 => ErrorKind::IdleTimeout,
+        5 => ErrorKind::Internal,
+        _ => return Err(CodecError::Invalid("error-kind tag")),
+    })
+}
+
+/// Serializes one client frame into a binary payload (tag + body, no
+/// length/checksum header).
+pub fn encode_client_payload(frame: &ClientFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match frame {
+        ClientFrame::Hello { version } => {
+            out.push(1);
+            put_u32(&mut out, *version);
+        }
+        ClientFrame::Query {
+            id,
+            t,
+            deadline_ms,
+            request,
+            query,
+        } => {
+            out.push(2);
+            put_query_spec(
+                &mut out,
+                &QuerySpec {
+                    id: *id,
+                    t: *t,
+                    deadline_ms: *deadline_ms,
+                    request: request.clone(),
+                    query: *query,
+                },
+            );
+        }
+        ClientFrame::Batch { queries } => {
+            out.push(3);
+            put_u32(&mut out, queries.len() as u32);
+            for q in queries {
+                put_query_spec(&mut out, q);
+            }
+        }
+        ClientFrame::Stats => out.push(4),
+        ClientFrame::Metrics => out.push(5),
+        ClientFrame::Bye => out.push(6),
+    }
+    out
+}
+
+/// Decodes one binary client payload. The whole payload must be consumed.
+pub fn decode_client_payload(payload: &[u8]) -> Result<ClientFrame, CodecError> {
+    let mut cur = Cur::new(payload);
+    let frame = match cur.u8()? {
+        1 => ClientFrame::Hello {
+            version: cur.u32()?,
+        },
+        2 => {
+            let s = get_query_spec(&mut cur)?;
+            ClientFrame::Query {
+                id: s.id,
+                t: s.t,
+                deadline_ms: s.deadline_ms,
+                request: s.request,
+                query: s.query,
+            }
+        }
+        3 => {
+            let n = cur.count()?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(get_query_spec(&mut cur)?);
+            }
+            ClientFrame::Batch { queries }
+        }
+        4 => ClientFrame::Stats,
+        5 => ClientFrame::Metrics,
+        6 => ClientFrame::Bye,
+        _ => return Err(CodecError::Invalid("client frame tag")),
+    };
+    cur.done()?;
+    Ok(frame)
+}
+
+/// Serializes one server frame into a binary payload. The `Stats` and
+/// `Metrics` snapshots travel as embedded JSON — they are diagnostics,
+/// not the hot path, and their schemas evolve too often for fixed-width
+/// encoding to pay off.
+pub fn encode_server_payload(frame: &ServerFrame) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(64);
+    match frame {
+        ServerFrame::Hello { version } => {
+            out.push(1);
+            put_u32(&mut out, *version);
+        }
+        ServerFrame::Answer { id, response } => {
+            out.push(2);
+            put_u64(&mut out, *id);
+            put_response(&mut out, response);
+        }
+        ServerFrame::Stats { snapshot } => {
+            out.push(3);
+            out.extend_from_slice(&serde_json::to_vec(snapshot)?);
+        }
+        ServerFrame::Metrics { snapshot } => {
+            out.push(4);
+            out.extend_from_slice(&serde_json::to_vec(snapshot)?);
+        }
+        ServerFrame::Overloaded { id } => {
+            out.push(5);
+            put_u64(&mut out, *id);
+        }
+        ServerFrame::Deadline { id } => {
+            out.push(6);
+            put_u64(&mut out, *id);
+        }
+        ServerFrame::Busy { limit } => {
+            out.push(7);
+            put_u64(&mut out, *limit);
+        }
+        ServerFrame::Error { id, kind, message } => {
+            out.push(8);
+            put_option(&mut out, id.as_ref(), |o, v| put_u64(o, *v));
+            out.push(error_kind_tag(*kind));
+            put_string(&mut out, message);
+        }
+    }
+    Ok(out)
+}
+
+/// Takes the rest of the payload as a UTF-8 JSON document (the encoding
+/// the snapshot-carrying frames embed their bodies in).
+fn take_json<'a>(cur: &mut Cur<'a>) -> Result<&'a str, CodecError> {
+    let bytes = cur.take(cur.remaining())?;
+    std::str::from_utf8(bytes).map_err(|_| CodecError::Invalid("embedded JSON is not UTF-8"))
+}
+
+/// Decodes one binary server payload. The whole payload must be consumed.
+pub fn decode_server_payload(payload: &[u8]) -> Result<ServerFrame, CodecError> {
+    let mut cur = Cur::new(payload);
+    let frame = match cur.u8()? {
+        1 => ServerFrame::Hello {
+            version: cur.u32()?,
+        },
+        2 => ServerFrame::Answer {
+            id: cur.u64()?,
+            response: get_response(&mut cur)?,
+        },
+        3 => {
+            let snapshot = serde_json::from_str(take_json(&mut cur)?)?;
+            ServerFrame::Stats { snapshot }
+        }
+        4 => {
+            let snapshot = serde_json::from_str(take_json(&mut cur)?)?;
+            ServerFrame::Metrics { snapshot }
+        }
+        5 => ServerFrame::Overloaded { id: cur.u64()? },
+        6 => ServerFrame::Deadline { id: cur.u64()? },
+        7 => ServerFrame::Busy { limit: cur.u64()? },
+        8 => ServerFrame::Error {
+            id: cur.option(|c| c.u64())?,
+            kind: error_kind_from(cur.u8()?)?,
+            message: cur.string()?,
+        },
+        _ => return Err(CodecError::Invalid("server frame tag")),
+    };
+    cur.done()?;
+    Ok(frame)
+}
+
+/// Wraps one binary payload in its wire framing (`len` + checksum).
+pub fn frame_binary(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(BINARY_HEADER_BYTES + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, fnv1a32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Serializes one frame as a single JSON line (the v3 transport). Shared
+/// by the server, the client and the loadgen — the one JSON write path.
+pub fn write_json_frame<W: Write, T: Serialize>(w: &mut W, frame: &T) -> io::Result<()> {
+    let line = serde_json::to_string(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// The unified reader.
+// ---------------------------------------------------------------------
+
+/// One frame's raw bytes, tagged by the transport that carried it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawFrame {
+    /// One JSON line (without the newline).
+    Json(String),
+    /// One verified binary payload (checksum already checked).
+    Binary(Vec<u8>),
+}
+
+/// What [`FrameReader::next_frame`] produced.
+#[derive(Debug)]
+pub enum RawEvent {
+    /// One complete frame.
+    Frame(RawFrame),
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// The current frame exceeded the size cap; the stream is no longer
+    /// frame-synchronized and the connection should be closed.
+    TooLarge,
+}
+
+/// Incremental frame reader over either transport.
+///
+/// Created with [`FrameReader::auto`], the transport is detected from the
+/// first byte on the wire: [`BINARY_MAGIC`] opens a binary stream,
+/// anything else is a JSON line stream. [`FrameReader::json`] pins the
+/// JSON transport (the v3 reader). Either way the size cap is enforced
+/// *while* reading — a hostile peer cannot balloon memory with one giant
+/// frame — and read timeouts (`WouldBlock`/`TimedOut`) propagate as `Err`
+/// with all partial bytes retained for the next call, which is how the
+/// server polls its shutdown flag without dropping data.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    max: usize,
+    transport: Option<Transport>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`, detecting the transport from the first byte.
+    pub fn auto(inner: R, max_frame_bytes: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            max: max_frame_bytes,
+            transport: None,
+        }
+    }
+
+    /// Wraps `inner` pinned to the JSON line transport.
+    pub fn json(inner: R, max_frame_bytes: usize) -> Self {
+        FrameReader {
+            transport: Some(Transport::Json),
+            ..Self::auto(inner, max_frame_bytes)
+        }
+    }
+
+    /// The wrapped stream (e.g. to set socket options).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// The detected transport, once known.
+    pub fn transport(&self) -> Option<Transport> {
+        self.transport
+    }
+
+    /// Compacts consumed bytes, then reads one chunk. Returns the number
+    /// of fresh bytes (0 = EOF).
+    fn fill(&mut self) -> io::Result<usize> {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = self.inner.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Reads until one full frame, EOF, or the cap is hit.
+    pub fn next_frame(&mut self) -> io::Result<RawEvent> {
+        loop {
+            let avail = self.buf.len() - self.start;
+            match self.transport {
+                None => {
+                    if avail == 0 {
+                        if self.fill()? == 0 {
+                            return Ok(RawEvent::Eof);
+                        }
+                        continue;
+                    }
+                    if self.buf[self.start] != BINARY_MAGIC[0] {
+                        self.transport = Some(Transport::Json);
+                        continue;
+                    }
+                    if avail < BINARY_MAGIC.len() {
+                        if self.fill()? == 0 {
+                            return Ok(RawEvent::Eof);
+                        }
+                        continue;
+                    }
+                    if self.buf[self.start..self.start + BINARY_MAGIC.len()] != BINARY_MAGIC {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "bad binary-transport magic",
+                        ));
+                    }
+                    self.start += BINARY_MAGIC.len();
+                    self.transport = Some(Transport::Binary);
+                }
+                Some(Transport::Json) => {
+                    if let Some(nl) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                        let end = self.start + nl;
+                        let line = String::from_utf8_lossy(&self.buf[self.start..end]).into_owned();
+                        self.advance(end + 1);
+                        return Ok(RawEvent::Frame(RawFrame::Json(line)));
+                    }
+                    if avail > self.max {
+                        return Ok(RawEvent::TooLarge);
+                    }
+                    if self.fill()? == 0 {
+                        if self.buf.len() > self.start {
+                            // Final unterminated line: deliver it.
+                            let line =
+                                String::from_utf8_lossy(&self.buf[self.start..]).into_owned();
+                            self.buf.clear();
+                            self.start = 0;
+                            return Ok(RawEvent::Frame(RawFrame::Json(line)));
+                        }
+                        return Ok(RawEvent::Eof);
+                    }
+                }
+                Some(Transport::Binary) => {
+                    if avail >= BINARY_HEADER_BYTES {
+                        let len = u32::from_le_bytes(
+                            self.buf[self.start..self.start + 4].try_into().expect("4"),
+                        ) as usize;
+                        if len > self.max {
+                            return Ok(RawEvent::TooLarge);
+                        }
+                        let total = BINARY_HEADER_BYTES + len;
+                        if avail >= total {
+                            let checksum = u32::from_le_bytes(
+                                self.buf[self.start + 4..self.start + 8]
+                                    .try_into()
+                                    .expect("4"),
+                            );
+                            let payload = self.buf
+                                [self.start + BINARY_HEADER_BYTES..self.start + total]
+                                .to_vec();
+                            self.advance(self.start + total);
+                            if fnv1a32(&payload) != checksum {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    "binary frame checksum mismatch",
+                                ));
+                            }
+                            return Ok(RawEvent::Frame(RawFrame::Binary(payload)));
+                        }
+                    }
+                    if self.fill()? == 0 {
+                        // A partial binary frame at EOF has no salvageable
+                        // prefix — unlike a JSON line, it was never
+                        // delimiter-terminated to begin with.
+                        return Ok(RawEvent::Eof);
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self, to: usize) {
+        self.start = to;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+}
+
+/// Decodes one raw frame as a client frame, whichever transport carried
+/// it.
+pub fn decode_client_frame(raw: &RawFrame) -> Result<ClientFrame, CodecError> {
+    match raw {
+        RawFrame::Json(line) => Ok(serde_json::from_str(line)?),
+        RawFrame::Binary(payload) => decode_client_payload(payload),
+    }
+}
+
+/// Decodes one raw frame as a server frame, whichever transport carried
+/// it.
+pub fn decode_server_frame(raw: &RawFrame) -> Result<ServerFrame, CodecError> {
+    match raw {
+        RawFrame::Json(line) => Ok(serde_json::from_str(line)?),
+        RawFrame::Binary(payload) => decode_server_payload(payload),
+    }
+}
+
+/// Encodes one server frame for `transport` and hands the bytes to
+/// `emit` — the server's single outbound encode path.
+pub fn encode_server_frame(
+    frame: &ServerFrame,
+    transport: Transport,
+) -> Result<Vec<u8>, CodecError> {
+    match transport {
+        Transport::Json => {
+            let mut line = serde_json::to_vec(frame)?;
+            line.push(b'\n');
+            Ok(line)
+        }
+        Transport::Binary => Ok(frame_binary(&encode_server_payload(frame)?)),
+    }
+}
+
+/// Encodes one client frame for `transport` (no transport magic — the
+/// caller writes [`BINARY_MAGIC`] once at connect time).
+pub fn encode_client_frame(
+    frame: &ClientFrame,
+    transport: Transport,
+) -> Result<Vec<u8>, CodecError> {
+    match transport {
+        Transport::Json => {
+            let mut line = serde_json::to_vec(frame)?;
+            line.push(b'\n');
+            Ok(line)
+        }
+        Transport::Binary => Ok(frame_binary(&encode_client_payload(frame))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION};
+
+    fn sample_request(k: u64) -> Request {
+        Request {
+            pseudonym: format!("user-{k}"),
+            positions: vec![Point::new(k as f64, -1.5), Point::new(0.25, k as f64)],
+        }
+    }
+
+    fn sample_specs(n: u64) -> Vec<QuerySpec> {
+        (0..n)
+            .map(|k| QuerySpec {
+                id: k * 3,
+                t: k as f64 * 30.0,
+                deadline_ms: (k % 2 == 0).then_some(250 + k),
+                request: sample_request(k),
+                query: match k % 3 {
+                    0 => QueryKind::NearestPoi {
+                        category: Some(Category::Clinic),
+                    },
+                    1 => QueryKind::PoisInRange { radius: 120.5 },
+                    _ => QueryKind::NextBus,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn proto_version_parses_and_displays() {
+        assert_eq!("v3".parse::<ProtoVersion>().unwrap(), ProtoVersion::V3Json);
+        assert_eq!(
+            "binary".parse::<ProtoVersion>().unwrap(),
+            ProtoVersion::V4Binary
+        );
+        assert_eq!(ProtoVersion::V4Binary.to_string(), "v4");
+        assert_eq!(ProtoVersion::V3Json.version(), 3);
+        assert_eq!(ProtoVersion::V4Binary.version(), 4);
+        assert!("v5".parse::<ProtoVersion>().is_err());
+    }
+
+    #[test]
+    fn client_frames_round_trip_binary() {
+        let frames = vec![
+            ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            ClientFrame::Query {
+                id: 7,
+                t: 30.0,
+                deadline_ms: Some(250),
+                request: sample_request(7),
+                query: QueryKind::NearestPoi { category: None },
+            },
+            ClientFrame::Batch {
+                queries: sample_specs(5),
+            },
+            ClientFrame::Stats,
+            ClientFrame::Metrics,
+            ClientFrame::Bye,
+        ];
+        for f in &frames {
+            let payload = encode_client_payload(f);
+            assert_eq!(&decode_client_payload(&payload).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip_binary() {
+        let response = ServiceResponse {
+            answers: vec![
+                Answer::NearestPoi(Some(PoiInfo {
+                    id: 9,
+                    name: "喫茶店".into(),
+                    category: Category::Restaurant,
+                    pos: Point::new(1.0, 2.0),
+                    distance: 42.5,
+                })),
+                Answer::NearestPoi(None),
+                Answer::PoisInRange(vec![]),
+                Answer::NextBus(Some(BusAnswer {
+                    stop: PoiInfo {
+                        id: 1,
+                        name: "stop".into(),
+                        category: Category::BusStop,
+                        pos: Point::new(-3.0, 0.5),
+                        distance: 7.25,
+                    },
+                    arrival: 36_000.0,
+                })),
+            ],
+        };
+        let frames = vec![
+            ServerFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            ServerFrame::Answer { id: 12, response },
+            ServerFrame::Overloaded { id: 3 },
+            ServerFrame::Deadline { id: 4 },
+            ServerFrame::Busy { limit: 64 },
+            ServerFrame::Error {
+                id: Some(5),
+                kind: ErrorKind::Internal,
+                message: "worker panicked".into(),
+            },
+            ServerFrame::Error {
+                id: None,
+                kind: ErrorKind::Malformed,
+                message: String::new(),
+            },
+        ];
+        for f in &frames {
+            let payload = encode_server_payload(f).unwrap();
+            assert_eq!(&decode_server_payload(&payload).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn stats_frame_round_trips_via_embedded_json() {
+        let stats = crate::stats::ServerStats::new();
+        let frame = ServerFrame::Stats {
+            snapshot: stats.snapshot(),
+        };
+        let payload = encode_server_payload(&frame).unwrap();
+        assert_eq!(decode_server_payload(&payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_client_payload(&ClientFrame::Bye);
+        payload.push(0);
+        assert!(matches!(
+            decode_client_payload(&payload),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_payloads_error_instead_of_panicking() {
+        for seed in 0u64..256 {
+            let mut x = seed;
+            let bytes: Vec<u8> = (0..(seed as usize % 64))
+                .map(|_| {
+                    x = crate::fault::splitmix(x);
+                    (x & 0xff) as u8
+                })
+                .collect();
+            let _ = decode_client_payload(&bytes);
+            let _ = decode_server_payload(&bytes);
+        }
+        // A forged element count larger than the remaining bytes must not
+        // drive a huge allocation.
+        let mut forged = vec![3u8];
+        put_u32(&mut forged, u32::MAX);
+        assert!(decode_client_payload(&forged).is_err());
+    }
+
+    #[test]
+    fn reader_detects_binary_after_magic_and_verifies_checksums() {
+        let frame = ClientFrame::Batch {
+            queries: sample_specs(3),
+        };
+        let mut wire = BINARY_MAGIC.to_vec();
+        wire.extend_from_slice(&frame_binary(&encode_client_payload(&frame)));
+        wire.extend_from_slice(&frame_binary(&encode_client_payload(&ClientFrame::Bye)));
+
+        let mut reader = FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+            panic!("expected a frame");
+        };
+        assert_eq!(reader.transport(), Some(Transport::Binary));
+        assert_eq!(decode_client_frame(&raw).unwrap(), frame);
+        let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+            panic!("expected Bye");
+        };
+        assert_eq!(decode_client_frame(&raw).unwrap(), ClientFrame::Bye);
+        assert!(matches!(reader.next_frame().unwrap(), RawEvent::Eof));
+
+        // Flip one payload byte: the checksum catches it deterministically.
+        let flip = wire.len() - 1;
+        let mut bad = wire.clone();
+        bad[flip] ^= 0x01;
+        let mut reader = FrameReader::auto(&bad[..], DEFAULT_MAX_FRAME_BYTES);
+        let _first = reader.next_frame().unwrap();
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn reader_still_speaks_json_lines() {
+        let wire = b"{\"Bye\":null}\n{\"Stats\":null}\n";
+        let mut reader = FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+            panic!("expected a frame");
+        };
+        assert_eq!(reader.transport(), Some(Transport::Json));
+        assert_eq!(decode_client_frame(&raw).unwrap(), ClientFrame::Bye);
+        let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+            panic!("expected a frame");
+        };
+        assert_eq!(decode_client_frame(&raw).unwrap(), ClientFrame::Stats);
+        assert!(matches!(reader.next_frame().unwrap(), RawEvent::Eof));
+    }
+
+    #[test]
+    fn oversized_binary_frame_is_rejected_before_buffering() {
+        let mut wire = BINARY_MAGIC.to_vec();
+        put_u32(&mut wire, 1 << 20);
+        put_u32(&mut wire, 0);
+        wire.extend_from_slice(&[0u8; 64]);
+        let mut reader = FrameReader::auto(&wire[..], 1024);
+        assert!(matches!(reader.next_frame().unwrap(), RawEvent::TooLarge));
+    }
+
+    #[test]
+    fn partial_binary_frames_survive_split_reads() {
+        struct Chunks<'a>(Vec<&'a [u8]>);
+        impl Read for Chunks<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                let c = self.0.remove(0);
+                buf[..c.len()].copy_from_slice(c);
+                Ok(c.len())
+            }
+        }
+        let frame = ClientFrame::Query {
+            id: 1,
+            t: 0.0,
+            deadline_ms: None,
+            request: sample_request(1),
+            query: QueryKind::NextBus,
+        };
+        let mut wire = BINARY_MAGIC.to_vec();
+        wire.extend_from_slice(&frame_binary(&encode_client_payload(&frame)));
+        // Split at every offset: the reader must reassemble regardless.
+        for cut in 1..wire.len() {
+            let mut reader = FrameReader::auto(
+                Chunks(vec![&wire[..cut], &wire[cut..]]),
+                DEFAULT_MAX_FRAME_BYTES,
+            );
+            let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+                panic!("cut at {cut}: expected a frame");
+            };
+            assert_eq!(decode_client_frame(&raw).unwrap(), frame, "cut at {cut}");
+            assert!(matches!(reader.next_frame().unwrap(), RawEvent::Eof));
+        }
+    }
+
+    #[test]
+    fn max_size_batch_round_trips() {
+        // Fill a batch until just under the default cap — the "paper's
+        // 1+k positions, many users per syscall" extreme.
+        let mut queries = Vec::new();
+        let mut k = 0u64;
+        loop {
+            let candidate = QuerySpec {
+                id: k,
+                t: k as f64,
+                deadline_ms: None,
+                request: Request {
+                    pseudonym: format!("batch-user-{k}"),
+                    positions: (0..5).map(|i| Point::new(i as f64, k as f64)).collect(),
+                },
+                query: QueryKind::NextBus,
+            };
+            queries.push(candidate);
+            let frame = ClientFrame::Batch {
+                queries: queries.clone(),
+            };
+            if encode_client_payload(&frame).len() > DEFAULT_MAX_FRAME_BYTES - 256 {
+                queries.pop();
+                break;
+            }
+            k += 1;
+        }
+        assert!(queries.len() > 300, "cap should fit hundreds of queries");
+        let frame = ClientFrame::Batch { queries };
+        let payload = encode_client_payload(&frame);
+        assert!(payload.len() <= DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(decode_client_payload(&payload).unwrap(), frame);
+
+        // And through the reader, framed.
+        let mut wire = BINARY_MAGIC.to_vec();
+        wire.extend_from_slice(&frame_binary(&payload));
+        let mut reader = FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+            panic!("expected the batch frame");
+        };
+        assert_eq!(decode_client_frame(&raw).unwrap(), frame);
+    }
+}

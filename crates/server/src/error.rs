@@ -80,3 +80,14 @@ impl From<serde_json::Error> for ServerError {
         ServerError::Json(e)
     }
 }
+
+impl From<crate::codec::CodecError> for ServerError {
+    fn from(e: crate::codec::CodecError) -> Self {
+        match e {
+            crate::codec::CodecError::Json(e) => ServerError::Json(e),
+            other => ServerError::Protocol {
+                message: other.to_string(),
+            },
+        }
+    }
+}

@@ -218,8 +218,8 @@ impl FaultInjector {
         FrameFate::Deliver
     }
 
-    /// Transmits one already-serialized frame line (no newline) through
-    /// the fault model. Returns the fate so the caller can latch `Stall`.
+    /// Transmits one already-serialized frame through the fault model.
+    /// Returns the fate so the caller can latch `Stall`.
     ///
     /// `cancel` bounds the delay fault: the sleep is sliced and abandoned
     /// as soon as the flag is raised, so a server shutdown never waits
@@ -228,7 +228,7 @@ impl FaultInjector {
     pub fn transmit<W: Write>(
         &self,
         w: &mut W,
-        line: &str,
+        frame: FrameBytes<'_>,
         stats: &ServerStats,
         cancel: &AtomicBool,
     ) -> io::Result<FrameFate> {
@@ -240,24 +240,51 @@ impl FaultInjector {
             stats.record_fault_delayed();
             sleep_unless(self.delay_for, cancel);
         }
-        match fate {
-            FrameFate::Deliver => {
+        match (fate, frame) {
+            (FrameFate::Deliver, FrameBytes::Json(line)) => {
                 w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
             }
-            FrameFate::Truncate => {
+            (FrameFate::Truncate, FrameBytes::Json(line)) => {
                 w.write_all(&line.as_bytes()[..line.len() / 2])?;
+                w.write_all(b"\n")?;
             }
-            FrameFate::Corrupt => {
+            (FrameFate::Corrupt, FrameBytes::Json(line)) => {
                 let mut bytes = line.as_bytes().to_vec();
                 corrupt_in_place(&mut bytes);
                 w.write_all(&bytes)?;
+                w.write_all(b"\n")?;
             }
-            FrameFate::Stall | FrameFate::Drop => unreachable!("returned above"),
+            (FrameFate::Deliver, FrameBytes::Binary(bytes)) => {
+                w.write_all(bytes)?;
+            }
+            (FrameFate::Truncate, FrameBytes::Binary(bytes)) => {
+                // A binary frame has no terminator: the cut leaves a torn
+                // frame the reader detects via its length prefix /
+                // checksum.
+                w.write_all(&bytes[..bytes.len() / 2])?;
+            }
+            (FrameFate::Corrupt, FrameBytes::Binary(bytes)) => {
+                let mut bytes = bytes.to_vec();
+                corrupt_binary_in_place(&mut bytes);
+                w.write_all(&bytes)?;
+            }
+            (FrameFate::Stall | FrameFate::Drop, _) => unreachable!("returned above"),
         }
-        w.write_all(b"\n")?;
         w.flush()?;
         Ok(fate)
     }
+}
+
+/// One serialized reply frame, tagged by the transport framing it uses —
+/// the fault model mangles JSON lines and binary frames differently
+/// because their framing disciplines differ.
+#[derive(Debug, Clone, Copy)]
+pub enum FrameBytes<'a> {
+    /// One JSON line, *without* its trailing newline.
+    Json(&'a str),
+    /// One complete binary frame (header + payload).
+    Binary(&'a [u8]),
 }
 
 /// Sleeps up to `total`, in small slices, returning early once `cancel`
@@ -285,6 +312,21 @@ fn corrupt_in_place(bytes: &mut [u8]) {
     if let Some(b) = bytes.get_mut(mid) {
         *b = if *b == b'#' { b'~' } else { b'#' };
     }
+}
+
+/// Flips one payload byte of a binary frame, leaving the length prefix
+/// intact so the stream stays frame-synchronized — the payload checksum
+/// is what must catch the damage.
+fn corrupt_binary_in_place(bytes: &mut [u8]) {
+    let idx = if bytes.len() > 8 {
+        8 + (bytes.len() - 8) / 2
+    } else if bytes.len() > 4 {
+        // Header-only frame: damage the checksum itself.
+        4
+    } else {
+        return;
+    };
+    bytes[idx] ^= 0xff;
 }
 
 #[cfg(test)]
@@ -364,8 +406,13 @@ mod tests {
         let inj = FaultInjector::from_plan(&p).unwrap();
         let mut wire = Vec::new();
         assert_eq!(
-            inj.transmit(&mut wire, &line, &stats, &AtomicBool::new(false))
-                .unwrap(),
+            inj.transmit(
+                &mut wire,
+                FrameBytes::Json(&line),
+                &stats,
+                &AtomicBool::new(false)
+            )
+            .unwrap(),
             FrameFate::Truncate
         );
         let text = String::from_utf8(wire).unwrap();
@@ -374,6 +421,66 @@ mod tests {
         assert_eq!(payload.len(), line.len() / 2);
         assert!(serde_json::from_str::<crate::proto::ServerFrame>(payload).is_err());
         assert_eq!(stats.snapshot().faults.truncated, 1);
+    }
+
+    #[test]
+    fn binary_truncate_and_corrupt_are_caught_by_the_codec() {
+        use crate::codec::{self, FrameReader, RawEvent, Transport};
+        let stats = ServerStats::new();
+        let frame = codec::encode_server_frame(
+            &crate::proto::ServerFrame::Overloaded { id: 3 },
+            Transport::Binary,
+        )
+        .unwrap();
+
+        // Corrupt: framing survives (length prefix intact) but the
+        // checksum rejects the payload.
+        let p = FaultPlan {
+            corrupt: 1.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::from_plan(&p).unwrap();
+        let mut wire = Vec::new();
+        assert_eq!(
+            inj.transmit(
+                &mut wire,
+                FrameBytes::Binary(&frame),
+                &stats,
+                &AtomicBool::new(false)
+            )
+            .unwrap(),
+            FrameFate::Corrupt
+        );
+        assert_eq!(wire.len(), frame.len());
+        let mut stream = codec::BINARY_MAGIC.to_vec();
+        stream.extend_from_slice(&wire);
+        let mut reader = FrameReader::auto(&stream[..], 1 << 16);
+        assert!(reader.next_frame().is_err(), "checksum must reject");
+
+        // Truncate: the torn frame never completes, so the reader sees
+        // EOF without producing a frame (a live socket would keep
+        // waiting — the client's attempt timeout fires instead).
+        let p = FaultPlan {
+            truncate: 1.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::from_plan(&p).unwrap();
+        let mut wire = Vec::new();
+        assert_eq!(
+            inj.transmit(
+                &mut wire,
+                FrameBytes::Binary(&frame),
+                &stats,
+                &AtomicBool::new(false)
+            )
+            .unwrap(),
+            FrameFate::Truncate
+        );
+        assert_eq!(wire.len(), frame.len() / 2);
+        let mut stream = codec::BINARY_MAGIC.to_vec();
+        stream.extend_from_slice(&wire);
+        let mut reader = FrameReader::auto(&stream[..], 1 << 16);
+        assert!(matches!(reader.next_frame().unwrap(), RawEvent::Eof));
     }
 
     #[test]
@@ -388,7 +495,12 @@ mod tests {
         let mut wire = Vec::new();
         let started = Instant::now();
         let fate = inj
-            .transmit(&mut wire, "{}", &stats, &AtomicBool::new(true))
+            .transmit(
+                &mut wire,
+                FrameBytes::Json("{}"),
+                &stats,
+                &AtomicBool::new(true),
+            )
             .unwrap();
         // A 60 s injected delay returns immediately under cancellation,
         // and the frame is still delivered intact.

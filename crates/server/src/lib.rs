@@ -6,8 +6,12 @@
 //! in-process; this crate serves it over TCP, pointing at the ROADMAP's
 //! production-scale north star:
 //!
-//! * [`proto`] — newline-delimited, length-checked JSON frames with a
-//!   version handshake and typed error / `Overloaded` frames,
+//! * [`proto`] — the typed frame vocabulary (version handshake, queries,
+//!   batches, typed error / `Overloaded` frames),
+//! * [`codec`] — the single encode/decode path under it: protocol v4's
+//!   length-prefixed checksummed binary framing next to the v3
+//!   newline-delimited JSON fallback, with transport auto-detection so
+//!   one server port speaks both,
 //! * [`server`] — acceptor + per-connection readers + a fixed worker pool
 //!   over one bounded `crossbeam` queue; answers come from the same
 //!   [`dummyloc_lbs::answer_request`] the in-process [`Provider`]
@@ -75,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod error;
 pub mod fault;
 pub mod loadgen;
@@ -85,13 +90,19 @@ pub mod shard;
 pub mod stats;
 pub mod wal;
 
-pub use client::{QueryOutcome, RetryPolicy, RetryStats, RetryingClient, ServiceClient};
+pub use client::{
+    BatchItem, Client, ClientBuilder, QueryOutcome, RetryPolicy, RetryStats, RetryingClient,
+    ServiceClient,
+};
+pub use codec::{CodecError, ProtoVersion, Transport};
 pub use dummyloc_store::{LogStoreConfig, DEFAULT_FLUSH_THRESHOLD_BYTES};
 pub use error::{Result, ServerError};
 pub use fault::{FaultInjector, FaultPlan};
 pub use loadgen::{GeneratorChoice, LoadgenConfig, LoadgenReport};
 pub use options::{LoadgenOptions, ServeOptions};
-pub use proto::{ClientFrame, ErrorKind, ServerFrame, PROTOCOL_VERSION};
+pub use proto::{
+    ClientFrame, ErrorKind, QuerySpec, ServerFrame, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 pub use server::{spawn, ServerConfig, ServerHandle, ShutdownReport, StoreRecoverySummary};
 pub use shard::ShardedLog;
 pub use stats::{FaultCounters, ServerStats, StatsSnapshot, StoreCounters, WalCounters};

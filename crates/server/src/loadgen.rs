@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 
-use dummyloc_core::client::Client;
+use dummyloc_core::client::Client as CoreClient;
 use dummyloc_core::generator::{
     DensityThreshold, DummyGenerator, MlnGenerator, MnGenerator, NoDensity, RandomGenerator,
 };
@@ -23,7 +23,8 @@ use dummyloc_mobility::{RickshawConfig, RickshawModel};
 use dummyloc_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
-use crate::client::{RetryPolicy, RetryStats, RetryingClient, ServiceClient};
+use crate::client::{BatchItem, ClientBuilder, RetryPolicy, RetryStats, ServiceClient};
+use crate::codec::ProtoVersion;
 use crate::error::{Result, ServerError};
 use crate::stats::StatsSnapshot;
 
@@ -89,6 +90,14 @@ pub struct LoadgenConfig {
     /// Per-query server-side deadline in milliseconds; `None` leaves it to
     /// the server's default.
     pub deadline_ms: Option<u64>,
+    /// Protocol version to dial with (v4 binary falls back to v3 JSON if
+    /// the server refuses).
+    pub proto: ProtoVersion,
+    /// Rounds bundled per request. `1` reproduces the classic lockstep
+    /// client; larger values ship each group as one protocol-v4 `Batch`
+    /// frame (or a v3 pipeline), trading per-round latency attribution
+    /// for round-trips.
+    pub batch: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -105,6 +114,8 @@ impl Default for LoadgenConfig {
             query: QueryKind::NextBus,
             retry: RetryPolicy::default(),
             deadline_ms: None,
+            proto: ProtoVersion::V4Binary,
+            batch: 1,
         }
     }
 }
@@ -118,6 +129,12 @@ impl LoadgenConfig {
         }
         if self.dummy_count > 64 {
             return err("dummy-count above 64 is surely a typo".into());
+        }
+        if self.batch == 0 {
+            return err("batch must be at least 1".into());
+        }
+        if self.batch > 1_000 {
+            return err("batch above 1000 would exceed frame limits".into());
         }
         self.retry.validate()
     }
@@ -213,14 +230,15 @@ fn drive_user(
             message: format!("generator config invalid: {e}"),
         })?;
     let mut rng = rng_from_seed(derive_seed(cfg.seed, user as u64));
-    let mut client = Client::new(track.id().to_string(), generator, cfg.dummy_count);
+    let mut client = CoreClient::new(track.id().to_string(), generator, cfg.dummy_count);
     // Jitter gets its own derived stream so request generation and backoff
     // randomness cannot entangle.
-    let mut svc = RetryingClient::new(
-        cfg.addr.as_str(),
-        cfg.retry.clone(),
-        derive_seed(cfg.seed, 0xbac0ff ^ user as u64),
-    )?;
+    let mut svc = ClientBuilder::new(cfg.addr.as_str())
+        .proto(cfg.proto)
+        .retrying(
+            cfg.retry.clone(),
+            derive_seed(cfg.seed, 0xbac0ff ^ user as u64),
+        )?;
     let mut out = UserOutcome {
         digest: 0xcbf2_9ce4_8422_2325,
         latencies_us: Vec::with_capacity(cfg.rounds),
@@ -229,39 +247,57 @@ fn drive_user(
         retry: RetryStats::default(),
         error: None,
     };
-    for k in 0..cfg.rounds {
-        let t = k as f64 * cfg.tick;
-        let pos = track
-            .position_at(t)
-            .expect("fleet tracks span the whole run");
-        let round = match if k == 0 {
-            client.begin(&mut rng, pos)
-        } else {
-            client.step(&mut rng, pos, &NoDensity)
-        } {
-            Ok(round) => round,
-            Err(e) => {
-                out.error = Some(format!("client protocol error: {e}"));
-                break;
-            }
-        };
+    // The dummy-motion stream is response-independent (the paper's client
+    // chooses dummies before the answer arrives), so a whole group of
+    // rounds can be generated up front and shipped as one batch without
+    // changing any request — batch size never changes the digests.
+    'rounds: for chunk_start in (0..cfg.rounds).step_by(cfg.batch.max(1)) {
+        let chunk = chunk_start..(chunk_start + cfg.batch).min(cfg.rounds);
+        let mut items = Vec::with_capacity(chunk.len());
+        for k in chunk {
+            let t = k as f64 * cfg.tick;
+            let pos = track
+                .position_at(t)
+                .expect("fleet tracks span the whole run");
+            let round = match if k == 0 {
+                client.begin(&mut rng, pos)
+            } else {
+                client.step(&mut rng, pos, &NoDensity)
+            } {
+                Ok(round) => round,
+                Err(e) => {
+                    out.error = Some(format!("client protocol error: {e}"));
+                    break 'rounds;
+                }
+            };
+            items.push(BatchItem {
+                t,
+                deadline_ms: cfg.deadline_ms,
+                request: round.request,
+                query: cfg.query,
+            });
+        }
         let start = Instant::now();
-        out.sent += 1;
-        let response = match svc.query(t, cfg.deadline_ms, &round.request, &cfg.query) {
-            Ok(response) => response,
+        out.sent += items.len() as u64;
+        let responses = match svc.query_batch(&items) {
+            Ok(responses) => responses,
             Err(e) => {
                 out.error = Some(e.to_string());
                 break;
             }
         };
-        out.latencies_us
-            .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-        out.answered += 1;
-        match serde_json::to_string(&response) {
-            Ok(rendered) => out.digest = fnv1a_fold(out.digest, rendered.as_bytes()),
-            Err(e) => {
-                out.error = Some(e.to_string());
-                break;
+        // Every round in the group shares the group's wall-clock span:
+        // they were all in flight from first send to last reply.
+        let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        for response in responses {
+            out.latencies_us.push(elapsed_us);
+            out.answered += 1;
+            match serde_json::to_string(&response) {
+                Ok(rendered) => out.digest = fnv1a_fold(out.digest, rendered.as_bytes()),
+                Err(e) => {
+                    out.error = Some(e.to_string());
+                    break 'rounds;
+                }
             }
         }
     }

@@ -13,6 +13,7 @@ use std::time::Duration;
 use dummyloc_lbs::query::QueryKind;
 
 use crate::client::RetryPolicy;
+use crate::codec::ProtoVersion;
 use crate::error::Result;
 use crate::fault::FaultPlan;
 use crate::loadgen::{GeneratorChoice, LoadgenConfig};
@@ -119,6 +120,14 @@ impl ServeOptions {
         self
     }
 
+    /// Newest protocol version the server will negotiate down from.
+    /// [`ProtoVersion::V3Json`] pins a JSON-only server (binary openings
+    /// are turned away with a typed version mismatch).
+    pub fn max_proto(mut self, proto: ProtoVersion) -> Self {
+        self.config.max_proto = proto;
+        self
+    }
+
     /// Validates every knob and returns the finished configuration.
     pub fn build(self) -> Result<ServerConfig> {
         self.config.validate()?;
@@ -204,6 +213,19 @@ impl LoadgenOptions {
         self
     }
 
+    /// Protocol version each user dials with (v4 falls back to v3 when
+    /// the server refuses the binary handshake).
+    pub fn proto(mut self, proto: ProtoVersion) -> Self {
+        self.config.proto = proto;
+        self
+    }
+
+    /// Rounds bundled per request (1 = classic lockstep).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
     /// Validates every knob and returns the finished configuration.
     pub fn build(self) -> Result<LoadgenConfig> {
         self.config.validate()?;
@@ -267,12 +289,17 @@ mod tests {
             .seed(9)
             .deadline_ms(Some(500))
             .retry(RetryPolicy::default())
+            .proto(ProtoVersion::V3Json)
+            .batch(5)
             .build()
             .unwrap();
         assert_eq!(cfg.users, 4);
         assert_eq!(cfg.deadline_ms, Some(500));
+        assert_eq!(cfg.proto, ProtoVersion::V3Json);
+        assert_eq!(cfg.batch, 5);
 
         assert!(LoadgenOptions::new().users(0).build().is_err());
+        assert!(LoadgenOptions::new().batch(0).build().is_err());
         let bad = RetryPolicy {
             max_attempts: 0,
             ..Default::default()

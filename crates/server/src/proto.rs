@@ -1,12 +1,21 @@
-//! The wire protocol: newline-delimited, length-checked JSON frames.
+//! The typed protocol vocabulary and its version story.
 //!
-//! Every frame is one JSON value on one line. A connection opens with a
-//! `Hello` exchange carrying [`PROTOCOL_VERSION`]; the server answers
-//! queries out of order (frames carry client-chosen `id`s), rejects work
-//! it cannot queue with a typed [`ServerFrame::Overloaded`], and reports
-//! protocol violations with [`ServerFrame::Error`] frames. Frames longer
-//! than the configured cap are rejected *before* being buffered in full,
-//! so a hostile peer cannot balloon server memory with one giant line.
+//! A connection opens with a `Hello` exchange carrying the client's
+//! protocol version; the server negotiates down to any version in
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and echoes the
+//! version it accepted. The server answers queries out of order (frames
+//! carry client-chosen `id`s), rejects work it cannot queue with a typed
+//! [`ServerFrame::Overloaded`], and reports protocol violations with
+//! [`ServerFrame::Error`] frames. Frames longer than the configured cap
+//! are rejected *before* being buffered in full, so a hostile peer
+//! cannot balloon server memory with one giant frame.
+//!
+//! The *bytes* of a frame are the [`crate::codec`] module's business:
+//! protocol v3 carries these frames as newline-delimited JSON lines,
+//! protocol v4 as length-prefixed checksummed binary. The JSON helpers
+//! re-exported here ([`write_frame`], [`FrameReader`]) are kept as the
+//! stable v3 surface — they are thin wrappers over the codec pinned to
+//! the JSON transport.
 
 use std::io::{self, Read, Write};
 
@@ -15,15 +24,20 @@ use dummyloc_lbs::query::{QueryKind, ServiceResponse};
 use dummyloc_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{self, RawEvent, RawFrame};
 use crate::stats::StatsSnapshot;
 
 /// Version spoken by this build. Bumped on any incompatible frame change.
 /// Version 2 added per-query deadlines plus the `Deadline` and `Busy`
 /// server frames. Version 3 added the `Metrics` exchange serving the full
-/// telemetry registry snapshot. Version 4 added the `Internal` error kind
-/// (a contained worker panic) and the WAL / worker-restart counters in
-/// the `Stats` snapshot.
+/// telemetry registry snapshot. Version 4 is the binary transport: the
+/// same frames length-prefix-framed and checksummed instead of JSON-on-a-
+/// line, plus first-class request batching ([`ClientFrame::Batch`]).
 pub const PROTOCOL_VERSION: u32 = 4;
+
+/// Oldest version the server still serves. Version 3 clients speak JSON
+/// and never send `Batch`; both remain fully supported via negotiation.
+pub const MIN_PROTOCOL_VERSION: u32 = 3;
 
 /// Default per-frame size cap (bytes, excluding the newline).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
@@ -56,6 +70,16 @@ pub enum ClientFrame {
         /// What to ask about each position.
         query: QueryKind,
     },
+    /// Several independent queries in one frame (protocol v4). Each entry
+    /// is answered individually — `Answer`/`Overloaded`/`Deadline` frames
+    /// per id, in any order — so a batch amortizes framing and syscalls
+    /// without changing reply semantics. The paper's 1+k-positions
+    /// message for a whole fleet tick maps naturally onto one `Batch`.
+    Batch {
+        /// The batched queries; ids follow the same idempotency rules as
+        /// [`ClientFrame::Query`].
+        queries: Vec<QuerySpec>,
+    },
     /// Request a counters snapshot.
     Stats,
     /// Request the full telemetry registry snapshot (every named counter,
@@ -63,6 +87,22 @@ pub enum ClientFrame {
     Metrics,
     /// Orderly goodbye.
     Bye,
+}
+
+/// One query inside a [`ClientFrame::Batch`] — the same fields as
+/// [`ClientFrame::Query`], as a standalone value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Client-chosen correlation id / idempotency key.
+    pub id: u64,
+    /// Service time of the round (seconds).
+    pub t: f64,
+    /// Per-query deadline in milliseconds; `None` uses the server default.
+    pub deadline_ms: Option<u64>,
+    /// The paper's message `S`: pseudonym plus `k+1` positions.
+    pub request: Request,
+    /// What to ask about each position.
+    pub query: QueryKind,
 }
 
 /// Frames the server may send.
@@ -139,13 +179,10 @@ pub enum ErrorKind {
     Internal,
 }
 
-/// Serializes one frame and writes it as a single line.
+/// Serializes one frame and writes it as a single JSON line (the v3
+/// transport). Delegates to [`codec::write_json_frame`].
 pub fn write_frame<W: Write, T: Serialize>(w: &mut W, frame: &T) -> io::Result<()> {
-    let line = serde_json::to_string(frame)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    w.write_all(line.as_bytes())?;
-    w.write_all(b"\n")?;
-    w.flush()
+    codec::write_json_frame(w, frame)
 }
 
 /// What [`FrameReader::next_frame`] produced.
@@ -160,73 +197,43 @@ pub enum FrameEvent {
     TooLarge,
 }
 
-/// Incremental line reader that enforces the frame-size cap *while*
-/// reading and survives read timeouts (a timeout leaves any partial line
-/// buffered for the next call — the server uses this to poll its shutdown
-/// flag without dropping bytes).
+/// Incremental *JSON line* reader: [`codec::FrameReader`] pinned to the
+/// JSON transport. It enforces the frame-size cap *while* reading,
+/// survives read timeouts (a timeout leaves any partial line buffered for
+/// the next call — the server uses this to poll its shutdown flag without
+/// dropping bytes), and never errors on arbitrary input bytes: any byte
+/// soup is just lines. For transport auto-detection (v4 binary) use
+/// [`codec::FrameReader::auto`].
 #[derive(Debug)]
 pub struct FrameReader<R> {
-    inner: R,
-    buf: Vec<u8>,
-    start: usize,
-    max: usize,
+    inner: codec::FrameReader<R>,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Wraps `inner`, capping frames at `max_frame_bytes`.
     pub fn new(inner: R, max_frame_bytes: usize) -> Self {
         FrameReader {
-            inner,
-            buf: Vec::new(),
-            start: 0,
-            max: max_frame_bytes,
+            inner: codec::FrameReader::json(inner, max_frame_bytes),
         }
     }
 
     /// The wrapped stream (e.g. to set socket options).
     pub fn get_ref(&self) -> &R {
-        &self.inner
+        self.inner.get_ref()
     }
 
     /// Reads until one full line, EOF, or the cap is hit. Timeout errors
     /// (`WouldBlock`/`TimedOut`) propagate as `Err` with the partial line
     /// retained.
     pub fn next_frame(&mut self) -> io::Result<FrameEvent> {
-        loop {
-            if let Some(nl) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
-                let end = self.start + nl;
-                let line = String::from_utf8_lossy(&self.buf[self.start..end]).into_owned();
-                self.start = end + 1;
-                if self.start == self.buf.len() {
-                    self.buf.clear();
-                    self.start = 0;
-                }
-                return Ok(FrameEvent::Frame(line));
+        Ok(match self.inner.next_frame()? {
+            RawEvent::Frame(RawFrame::Json(line)) => FrameEvent::Frame(line),
+            RawEvent::Frame(RawFrame::Binary(_)) => {
+                unreachable!("json-pinned reader produced a binary frame")
             }
-            if self.buf.len() - self.start > self.max {
-                return Ok(FrameEvent::TooLarge);
-            }
-            // Compact consumed bytes before growing the buffer.
-            if self.start > 0 {
-                self.buf.drain(..self.start);
-                self.start = 0;
-            }
-            let mut chunk = [0u8; 4096];
-            match self.inner.read(&mut chunk) {
-                Ok(0) => {
-                    if self.buf.len() > self.start {
-                        // Final unterminated line: deliver it.
-                        let line = String::from_utf8_lossy(&self.buf[self.start..]).into_owned();
-                        self.buf.clear();
-                        self.start = 0;
-                        return Ok(FrameEvent::Frame(line));
-                    }
-                    return Ok(FrameEvent::Eof);
-                }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) => return Err(e),
-            }
-        }
+            RawEvent::Eof => FrameEvent::Eof,
+            RawEvent::TooLarge => FrameEvent::TooLarge,
+        })
     }
 }
 
@@ -250,6 +257,18 @@ mod tests {
                     positions: vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)],
                 },
                 query: QueryKind::NextBus,
+            },
+            ClientFrame::Batch {
+                queries: vec![QuerySpec {
+                    id: 8,
+                    t: 60.0,
+                    deadline_ms: None,
+                    request: Request {
+                        pseudonym: "p2".into(),
+                        positions: vec![Point::new(5.0, 6.0)],
+                    },
+                    query: QueryKind::NearestPoi { category: None },
+                }],
             },
             ClientFrame::Stats,
             ClientFrame::Metrics,

@@ -16,11 +16,19 @@
 //! that contains panics — the affected connection gets a typed
 //! [`ErrorKind::Internal`] frame, the worker is respawned, and
 //! `server.worker.restarts` counts the incident.
+//!
+//! Protocol v4 reshapes the hot path without changing those contracts:
+//! the per-connection reader auto-detects the transport (binary magic vs
+//! JSON) via [`codec::FrameReader::auto`], `Batch` frames fan out into
+//! individual jobs, jobs route to *per-worker* queues keyed by pseudonym
+//! shard (no multi-consumer contention on one queue), and each worker
+//! drains a micro-batch per wakeup so overlapping WAL tickets coalesce
+//! into one group-commit `fsync`.
 
-use std::io::{self, BufWriter};
+use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -36,15 +44,20 @@ use dummyloc_store::{
     LogStore, LogStoreConfig, RecoveryInfo, Storage, StoreRecord, StoreStats as BackendStats,
 };
 
+use crate::codec::{self, ProtoVersion, RawEvent, Transport};
 use crate::error::{Result, ServerError};
-use crate::fault::{FaultInjector, FaultPlan, FrameFate};
+use crate::fault::{FaultInjector, FaultPlan, FrameBytes, FrameFate};
 use crate::proto::{
-    write_frame, ClientFrame, ErrorKind, FrameEvent, FrameReader, ServerFrame,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    write_frame, ClientFrame, ErrorKind, QuerySpec, ServerFrame, DEFAULT_MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION,
 };
-use crate::shard::ShardedLog;
+use crate::shard::{shard_index, ShardedLog};
 use crate::stats::{ServerStats, StatsSnapshot};
-use crate::wal::{self, WalConfig, WalRecord, WalWriter};
+use crate::wal::{self, WalConfig, WalRecord, WalTicket, WalWriter};
+
+/// Most jobs one worker drains per wakeup. Bounds reply-latency skew
+/// inside a micro-batch while still coalescing WAL flushes.
+const WORKER_MICRO_BATCH: usize = 64;
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -92,6 +105,11 @@ pub struct ServerConfig {
     /// equals this value — the deterministic trigger the supervision
     /// tests use.
     pub panic_pseudonym: Option<String>,
+    /// Newest protocol level this server negotiates. The default
+    /// ([`ProtoVersion::V4Binary`]) serves both transports; pinning
+    /// [`ProtoVersion::V3Json`] refuses binary connections with a typed
+    /// `VersionMismatch`, which is how `serve --proto v3` behaves.
+    pub max_proto: ProtoVersion,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +129,7 @@ impl Default for ServerConfig {
             wal: None,
             store: None,
             panic_pseudonym: None,
+            max_proto: ProtoVersion::V4Binary,
         }
     }
 }
@@ -176,17 +195,25 @@ struct Durable {
 
 impl Durable {
     /// Persists one committed observer record to whichever sinks are
-    /// configured. A flush that made the memtable durable lets the WAL
-    /// be emptied: everything in it up to this record is now in a
-    /// committed segment.
-    fn append(&mut self, record: &WalRecord, stats: &ServerStats) {
+    /// configured, returning the WAL ticket the caller must wait out
+    /// *outside* the durability lock — that hand-off is what lets
+    /// concurrent workers share one group-commit `fsync`. A flush that
+    /// made the memtable durable lets the WAL be emptied: everything in
+    /// it up to this record is now in a committed segment.
+    fn append(&mut self, record: &WalRecord, stats: &ServerStats) -> Option<WalTicket> {
+        let mut ticket = None;
         if let Some(w) = &mut self.wal {
-            match w.append(record) {
-                Ok(()) => stats.record_wal_append(),
+            match w.append_group(record) {
+                Ok(t) => {
+                    stats.record_wal_append();
+                    ticket = Some(t);
+                }
                 Err(_) => stats.record_wal_error(),
             }
         }
-        let Some(s) = &mut self.store else { return };
+        let Some(s) = &mut self.store else {
+            return ticket;
+        };
         let out = s.append(StoreRecord {
             t: record.t,
             seq: record.seq,
@@ -208,6 +235,7 @@ impl Durable {
                 stats.record_store_error();
             }
         }
+        ticket
     }
 
     /// Empties the WAL after its contents became durable in the store.
@@ -377,7 +405,15 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
     let stats = Arc::new(ServerStats::new());
     let log = Arc::new(ShardedLog::new(config.shards));
     let pois = Arc::new(pois);
-    let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_depth.max(1));
+    // Per-worker bounded queues, routed by pseudonym shard: one producer
+    // set, one consumer each, no cross-worker contention, and a user's
+    // queries always serialize onto the same worker (so per-pseudonym
+    // observer-log order is the arrival order).
+    let worker_count = config.workers.max(1);
+    let per_worker_depth = (config.queue_depth.max(1) / worker_count).max(1);
+    let (job_txs, job_rxs): (Vec<Sender<Job>>, Vec<Receiver<Job>>) = (0..worker_count)
+        .map(|_| channel::bounded::<Job>(per_worker_depth))
+        .unzip();
 
     // Recovery runs before the first connection is accepted, in two
     // layers. With a store, its committed manifest restores the durable
@@ -480,9 +516,9 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
         Some(Arc::new(Mutex::new(durable)))
     };
 
-    let workers = (0..config.workers.max(1))
-        .map(|_| {
-            let rx = job_rx.clone();
+    let workers = job_rxs
+        .into_iter()
+        .map(|rx| {
             let pois = Arc::clone(&pois);
             let log = Arc::clone(&log);
             let stats = Arc::clone(&stats);
@@ -506,12 +542,11 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
             })
         })
         .collect();
-    drop(job_rx);
 
     let accept = {
         let stats = Arc::clone(&stats);
         let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || accept_loop(listener, config, job_tx, stats, shutdown))
+        std::thread::spawn(move || accept_loop(listener, config, job_txs, stats, shutdown))
     };
 
     Ok(ServerHandle {
@@ -555,30 +590,75 @@ fn worker_loop(
     durable: Option<&Arc<Mutex<Durable>>>,
     panic_pseudonym: Option<&str>,
 ) -> WorkerExit {
-    // Ends when every job sender (acceptor + connections) is gone and the
-    // queue is drained — exactly the shutdown contract.
-    while let Ok(job) = rx.recv() {
-        let id = job.id;
-        let reply = job.reply.clone();
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            serve_job(job, pois, log, stats, delay, durable, panic_pseudonym)
-        }));
-        if let Err(payload) = outcome {
-            // The panic reaches exactly one connection, as a typed frame;
-            // every other connection never notices.
-            stats.record_worker_restart();
-            let _ = reply.send(ServerFrame::Error {
-                id: Some(id),
-                kind: ErrorKind::Internal,
-                message: format!("worker panicked: {}", panic_message(&*payload)),
-            });
+    // One iteration = one micro-batch: block for the first job, opportun-
+    // istically drain more, prepare them all (appending WAL bytes under
+    // the durability lock but *not* flushing), then wait out the WAL
+    // tickets together — overlapping tickets coalesce into one leader
+    // `fsync` — and only then release the reply frames. Durability still
+    // strictly precedes acknowledgement; it is just amortized.
+    //
+    // The loop ends when every job sender (acceptor + connections) is
+    // gone and the queue is drained — exactly the shutdown contract.
+    let mut panicked = false;
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < WORKER_MICRO_BATCH {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let mut replies: Vec<(Sender<ServerFrame>, ServerFrame, Option<WalTicket>)> =
+            Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let id = job.id;
+            let reply = job.reply.clone();
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                prepare_job(job, pois, log, stats, delay, durable, panic_pseudonym)
+            }));
+            match outcome {
+                Ok((frame, ticket)) => replies.push((reply, frame, ticket)),
+                Err(payload) => {
+                    // The panic reaches exactly one connection, as a typed
+                    // frame; the rest of the batch is still served before
+                    // the supervision loop respawns this worker.
+                    stats.record_worker_restart();
+                    replies.push((
+                        reply,
+                        ServerFrame::Error {
+                            id: Some(id),
+                            kind: ErrorKind::Internal,
+                            message: format!("worker panicked: {}", panic_message(&*payload)),
+                        },
+                        None,
+                    ));
+                    panicked = true;
+                }
+            }
+        }
+        for (_, _, ticket) in &replies {
+            if let Some(t) = ticket {
+                match t.wait() {
+                    Ok(true) => stats.record_wal_sync(),
+                    Ok(false) => {}
+                    Err(_) => stats.record_wal_error(),
+                }
+            }
+        }
+        for (reply, frame, _) in replies {
+            let _ = reply.send(frame);
+        }
+        if panicked {
             return WorkerExit::Panicked;
         }
     }
     WorkerExit::Drained
 }
 
-fn serve_job(
+/// Computes one job's reply frame and stages its durability, *without*
+/// sending anything: the caller owns ticket waiting and frame delivery so
+/// a whole micro-batch shares the flush.
+fn prepare_job(
     job: Job,
     pois: &PoiDatabase,
     log: &ShardedLog,
@@ -586,13 +666,12 @@ fn serve_job(
     delay: Option<Duration>,
     durable: Option<&Arc<Mutex<Durable>>>,
     panic_pseudonym: Option<&str>,
-) {
+) -> (ServerFrame, Option<WalTicket>) {
     // Queued-expiry cancellation: a job whose deadline passed while it
     // waited is answered with `Deadline` and never computed or logged.
     if job.deadline.is_some_and(|dl| Instant::now() > dl) {
         stats.record_deadline_queued();
-        let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
-        return;
+        return (ServerFrame::Deadline { id: job.id }, None);
     }
     if panic_pseudonym.is_some_and(|p| p == job.request.pseudonym) {
         panic!("injected panic for pseudonym {:?}", job.request.pseudonym);
@@ -605,14 +684,14 @@ fn serve_job(
     // It is not logged either — the observer sees only what was served.
     if job.deadline.is_some_and(|dl| Instant::now() > dl) {
         stats.record_deadline_inflight();
-        let _ = job.reply.send(ServerFrame::Deadline { id: job.id });
-        return;
+        return (ServerFrame::Deadline { id: job.id }, None);
     }
     let positions = job.request.positions.len();
     // The query id doubles as the idempotency key: a retried query is
     // answered again but recorded in the observer log (and the durable
     // sinks) only once — which is what makes replay-after-crash
     // dedup-safe.
+    let mut ticket = None;
     match durable {
         None => {
             if log.record_unique_seq(job.t, job.id, job.request).is_none() {
@@ -625,9 +704,8 @@ fn serve_job(
             // record call, so the WAL and the store see records in the
             // same nondecreasing seq order the stamps were issued in —
             // the contract store recovery (tail replay past the durable
-            // frontier) depends on. Durability before acknowledgement:
-            // the record hits the sinks before the Answer frame is
-            // queued below.
+            // frontier) depends on. The flush wait happens on the ticket
+            // *outside* this lock, in the worker's batch pass.
             let mut d = d.lock();
             match log.record_unique_seq(job.t, job.id, job.request) {
                 None => stats.record_dedup_hit(),
@@ -638,22 +716,25 @@ fn serve_job(
                         request_id: Some(job.id),
                         request: record_request,
                     };
-                    d.append(&record, stats);
+                    ticket = d.append(&record, stats);
                 }
             }
         }
     }
     stats.record_answer(&job.query, positions, job.enqueued.elapsed());
-    let _ = job.reply.send(ServerFrame::Answer {
-        id: job.id,
-        response,
-    });
+    (
+        ServerFrame::Answer {
+            id: job.id,
+            response,
+        },
+        ticket,
+    )
 }
 
 fn accept_loop(
     listener: TcpListener,
     config: ServerConfig,
-    job_tx: Sender<Job>,
+    job_txs: Vec<Sender<Job>>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
 ) {
@@ -685,27 +766,36 @@ fn accept_loop(
         active.fetch_add(1, Ordering::SeqCst);
         stats.record_connection();
         let cfg = config.clone();
-        let job_tx = job_tx.clone();
+        let job_txs = job_txs.clone();
         let stats = Arc::clone(&stats);
         let shutdown = Arc::clone(&shutdown);
         let injector = injector.clone();
         let active = Arc::clone(&active);
         conns.push(std::thread::spawn(move || {
-            connection_loop(stream, cfg, job_tx, stats, shutdown, injector);
+            connection_loop(stream, cfg, job_txs, stats, shutdown, injector);
             active.fetch_sub(1, Ordering::SeqCst);
         }));
         conns.retain(|h| !h.is_finished());
     }
-    drop(job_tx);
+    drop(job_txs);
     for c in conns {
         let _ = c.join();
     }
 }
 
+/// Writer-side transport flag values (`AtomicU8`): the reader thread
+/// publishes the detected transport, the writer thread encodes per it.
+/// Unknown encodes as JSON — the only frames sent pre-detection are
+/// handshake-phase errors a JSON peer can read and a binary peer's
+/// auto-detecting reply reader tolerates.
+const TRANSPORT_UNKNOWN: u8 = 0;
+const TRANSPORT_JSON: u8 = 1;
+const TRANSPORT_BINARY: u8 = 2;
+
 fn connection_loop(
     stream: TcpStream,
     cfg: ServerConfig,
-    job_tx: Sender<Job>,
+    job_txs: Vec<Sender<Job>>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     injector: Option<Arc<FaultInjector>>,
@@ -716,31 +806,63 @@ fn connection_loop(
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let transport_flag = Arc::new(AtomicU8::new(TRANSPORT_UNKNOWN));
     let (reply_tx, reply_rx) = channel::unbounded::<ServerFrame>();
     let writer = {
         let stats = Arc::clone(&stats);
         let shutdown = Arc::clone(&shutdown);
+        let transport_flag = Arc::clone(&transport_flag);
         std::thread::spawn(move || {
             let mut w = BufWriter::new(write_half);
             // Once a stall fault fires, the connection withholds this frame
             // and every later one while the socket stays open — the reply
             // channel keeps draining so queued workers never block on it.
             let mut stalled = false;
+            let mut magic_sent = false;
             for frame in reply_rx.iter() {
                 if stalled {
                     continue;
                 }
+                let transport = if transport_flag.load(Ordering::Acquire) == TRANSPORT_BINARY {
+                    Transport::Binary
+                } else {
+                    Transport::Json
+                };
+                // The reply stream mirrors the request stream's preamble:
+                // one magic sequence before the first binary frame flips
+                // the client's auto-detecting reader into binary mode.
+                // JSON frames only precede it on connections the server
+                // is about to close (Busy, handshake refusals), so a
+                // surviving binary reply stream always opens with magic.
+                if transport == Transport::Binary && !magic_sent {
+                    if w.write_all(&codec::BINARY_MAGIC).is_err() {
+                        break;
+                    }
+                    magic_sent = true;
+                }
+                let Ok(bytes) = codec::encode_server_frame(&frame, transport) else {
+                    break;
+                };
                 match &injector {
                     None => {
-                        if write_frame(&mut w, &frame).is_err() {
+                        if w.write_all(&bytes).and_then(|_| w.flush()).is_err() {
                             break;
                         }
                     }
                     Some(inj) => {
-                        let Ok(line) = serde_json::to_string(&frame) else {
-                            break;
+                        let fb = match transport {
+                            Transport::Binary => FrameBytes::Binary(&bytes),
+                            Transport::Json => {
+                                // Strip the trailing newline: the injector
+                                // owns JSON line termination.
+                                let Ok(line) = std::str::from_utf8(&bytes[..bytes.len() - 1])
+                                else {
+                                    break;
+                                };
+                                FrameBytes::Json(line)
+                            }
                         };
-                        match inj.transmit(&mut w, &line, &stats, &shutdown) {
+                        match inj.transmit(&mut w, fb, &stats, &shutdown) {
                             Ok(FrameFate::Stall) => stalled = true,
                             Ok(_) => {}
                             Err(_) => break,
@@ -751,11 +873,11 @@ fn connection_loop(
         })
     };
 
-    let mut reader = FrameReader::new(stream, cfg.max_frame_bytes);
+    let mut reader = codec::FrameReader::auto(stream, cfg.max_frame_bytes);
     let mut greeted = false;
     let mut served: u64 = 0;
     let mut last_activity = Instant::now();
-    loop {
+    'conn: loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -780,12 +902,39 @@ fn connection_loop(
                 }
                 continue;
             }
+            // Framing-level binary errors (bad magic, checksum mismatch):
+            // the stream is not trustworthy, close without a frame.
             Err(_) => break,
         };
+        // Publish the transport the reader detected. A binary connection
+        // against a JSON-pinned server is refused right here, before any
+        // frame is decoded — the refusal itself goes out as JSON, which
+        // the client's auto-detecting reply reader handles.
+        match reader.transport() {
+            Some(Transport::Binary) => {
+                if cfg.max_proto != ProtoVersion::V4Binary {
+                    stats.record_protocol_error();
+                    let _ = reply_tx.send(ServerFrame::Error {
+                        id: None,
+                        kind: ErrorKind::VersionMismatch,
+                        message: format!(
+                            "server speaks protocol {} (json); binary framing needs v4",
+                            cfg.max_proto
+                        ),
+                    });
+                    break;
+                }
+                transport_flag.store(TRANSPORT_BINARY, Ordering::Release);
+            }
+            Some(Transport::Json) => {
+                transport_flag.store(TRANSPORT_JSON, Ordering::Release);
+            }
+            None => {}
+        }
         last_activity = Instant::now();
-        match event {
-            FrameEvent::Eof => break,
-            FrameEvent::TooLarge => {
+        let raw = match event {
+            RawEvent::Eof => break,
+            RawEvent::TooLarge => {
                 stats.record_protocol_error();
                 let _ = reply_tx.send(ServerFrame::Error {
                     id: None,
@@ -794,99 +943,154 @@ fn connection_loop(
                 });
                 break;
             }
-            FrameEvent::Frame(line) => match serde_json::from_str::<ClientFrame>(&line) {
-                Err(e) => {
+            RawEvent::Frame(raw) => raw,
+        };
+        match codec::decode_client_frame(&raw) {
+            Err(e) => {
+                stats.record_protocol_error();
+                let _ = reply_tx.send(ServerFrame::Error {
+                    id: None,
+                    kind: ErrorKind::Malformed,
+                    message: e.to_string(),
+                });
+                break;
+            }
+            Ok(ClientFrame::Hello { version }) => {
+                let max = cfg.max_proto.version();
+                if !(MIN_PROTOCOL_VERSION..=max).contains(&version) {
                     stats.record_protocol_error();
                     let _ = reply_tx.send(ServerFrame::Error {
                         id: None,
-                        kind: ErrorKind::Malformed,
-                        message: e.to_string(),
+                        kind: ErrorKind::VersionMismatch,
+                        message: format!(
+                            "server speaks versions {MIN_PROTOCOL_VERSION}..={max}, client sent {version}"
+                        ),
                     });
                     break;
                 }
-                Ok(ClientFrame::Hello { version }) => {
-                    if version != PROTOCOL_VERSION {
-                        stats.record_protocol_error();
-                        let _ = reply_tx.send(ServerFrame::Error {
-                            id: None,
-                            kind: ErrorKind::VersionMismatch,
-                            message: format!(
-                                "server speaks version {PROTOCOL_VERSION}, client sent {version}"
-                            ),
-                        });
-                        break;
-                    }
-                    greeted = true;
-                    let _ = reply_tx.send(ServerFrame::Hello {
-                        version: PROTOCOL_VERSION,
-                    });
-                }
-                Ok(ClientFrame::Stats) => {
-                    let _ = reply_tx.send(ServerFrame::Stats {
-                        snapshot: stats.snapshot(),
-                    });
-                }
-                Ok(ClientFrame::Metrics) => {
-                    let _ = reply_tx.send(ServerFrame::Metrics {
-                        snapshot: stats.registry().snapshot(),
-                    });
-                }
-                Ok(ClientFrame::Bye) => break,
-                Ok(ClientFrame::Query {
+                greeted = true;
+                // Echo the *client's* version: the negotiated level is
+                // the one both ends speak.
+                let _ = reply_tx.send(ServerFrame::Hello { version });
+            }
+            Ok(ClientFrame::Stats) => {
+                let _ = reply_tx.send(ServerFrame::Stats {
+                    snapshot: stats.snapshot(),
+                });
+            }
+            Ok(ClientFrame::Metrics) => {
+                let _ = reply_tx.send(ServerFrame::Metrics {
+                    snapshot: stats.registry().snapshot(),
+                });
+            }
+            Ok(ClientFrame::Bye) => break,
+            Ok(ClientFrame::Query {
+                id,
+                t,
+                deadline_ms,
+                request,
+                query,
+            }) => {
+                let spec = QuerySpec {
                     id,
                     t,
                     deadline_ms,
                     request,
                     query,
-                }) => {
-                    if !greeted {
-                        stats.record_protocol_error();
-                        let _ = reply_tx.send(ServerFrame::Error {
-                            id: Some(id),
-                            kind: ErrorKind::Malformed,
-                            message: "Hello must precede Query".to_string(),
-                        });
-                        break;
-                    }
-                    served += 1;
-                    if served > cfg.max_requests_per_conn {
-                        stats.record_protocol_error();
-                        let _ = reply_tx.send(ServerFrame::Error {
-                            id: Some(id),
-                            kind: ErrorKind::TooManyRequests,
-                            message: format!(
-                                "connection exceeded {} requests",
-                                cfg.max_requests_per_conn
-                            ),
-                        });
-                        break;
-                    }
-                    let budget = deadline_ms
-                        .map(Duration::from_millis)
-                        .or(cfg.default_deadline);
-                    let job = Job {
-                        id,
-                        t,
-                        request,
-                        query,
-                        enqueued: Instant::now(),
-                        deadline: budget.map(|d| Instant::now() + d),
-                        reply: reply_tx.clone(),
-                    };
-                    match job_tx.try_send(job) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(job)) => {
-                            stats.record_reject();
-                            let _ = reply_tx.send(ServerFrame::Overloaded { id: job.id });
-                        }
-                        Err(TrySendError::Disconnected(_)) => break,
+                };
+                if enqueue_query(
+                    spec,
+                    &cfg,
+                    &job_txs,
+                    &reply_tx,
+                    &stats,
+                    &mut greeted,
+                    &mut served,
+                )
+                .is_break()
+                {
+                    break 'conn;
+                }
+            }
+            Ok(ClientFrame::Batch { queries }) => {
+                stats.record_batch();
+                for spec in queries {
+                    if enqueue_query(
+                        spec,
+                        &cfg,
+                        &job_txs,
+                        &reply_tx,
+                        &stats,
+                        &mut greeted,
+                        &mut served,
+                    )
+                    .is_break()
+                    {
+                        break 'conn;
                     }
                 }
-            },
+            }
         }
     }
     // In-flight jobs still hold reply senders; the writer drains every
     // queued answer before exiting.
     drop(reply_tx);
     let _ = writer.join();
+}
+
+/// Validates and enqueues one query (standalone or batch member) onto its
+/// pseudonym shard's worker queue. `Break` means the connection must
+/// close (protocol violation or a dead queue).
+fn enqueue_query(
+    spec: QuerySpec,
+    cfg: &ServerConfig,
+    job_txs: &[Sender<Job>],
+    reply_tx: &Sender<ServerFrame>,
+    stats: &ServerStats,
+    greeted: &mut bool,
+    served: &mut u64,
+) -> std::ops::ControlFlow<()> {
+    use std::ops::ControlFlow;
+    if !*greeted {
+        stats.record_protocol_error();
+        let _ = reply_tx.send(ServerFrame::Error {
+            id: Some(spec.id),
+            kind: ErrorKind::Malformed,
+            message: "Hello must precede Query".to_string(),
+        });
+        return ControlFlow::Break(());
+    }
+    *served += 1;
+    if *served > cfg.max_requests_per_conn {
+        stats.record_protocol_error();
+        let _ = reply_tx.send(ServerFrame::Error {
+            id: Some(spec.id),
+            kind: ErrorKind::TooManyRequests,
+            message: format!("connection exceeded {} requests", cfg.max_requests_per_conn),
+        });
+        return ControlFlow::Break(());
+    }
+    let budget = spec
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(cfg.default_deadline);
+    let worker = shard_index(&spec.request.pseudonym, job_txs.len());
+    let job = Job {
+        id: spec.id,
+        t: spec.t,
+        request: spec.request,
+        query: spec.query,
+        enqueued: Instant::now(),
+        deadline: budget.map(|d| Instant::now() + d),
+        reply: reply_tx.clone(),
+    };
+    match job_txs[worker].try_send(job) {
+        Ok(()) => ControlFlow::Continue(()),
+        Err(TrySendError::Full(job)) => {
+            stats.record_reject();
+            let _ = reply_tx.send(ServerFrame::Overloaded { id: job.id });
+            ControlFlow::Continue(())
+        }
+        Err(TrySendError::Disconnected(_)) => ControlFlow::Break(()),
+    }
 }

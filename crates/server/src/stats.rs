@@ -54,7 +54,9 @@ pub struct ServerStats {
     faults_stalled: Arc<Counter>,
     faults_refused_accepts: Arc<Counter>,
     worker_restarts: Arc<Counter>,
+    batches: Arc<Counter>,
     wal_appended: Arc<Counter>,
+    wal_syncs: Arc<Counter>,
     wal_replayed: Arc<Counter>,
     wal_torn_truncations: Arc<Counter>,
     wal_truncated_bytes: Arc<Counter>,
@@ -111,7 +113,9 @@ impl ServerStats {
             faults_stalled: c("server.faults.stalled"),
             faults_refused_accepts: c("server.faults.refused_accepts"),
             worker_restarts: c("server.worker.restarts"),
+            batches: c("server.batches"),
             wal_appended: c("server.wal.appended"),
+            wal_syncs: c("server.wal.syncs"),
             wal_replayed: c("server.wal.replayed"),
             wal_torn_truncations: c("server.wal.torn_truncations"),
             wal_truncated_bytes: c("server.wal.truncated_bytes"),
@@ -220,9 +224,21 @@ impl ServerStats {
         self.worker_restarts.inc();
     }
 
+    /// One `Batch` frame fanned out into individual jobs.
+    pub fn record_batch(&self) {
+        self.batches.inc();
+    }
+
     /// One observer record appended to the WAL.
     pub fn record_wal_append(&self) {
         self.wal_appended.inc();
+    }
+
+    /// One group-commit `fsync` led on behalf of a commit group. The
+    /// ratio `wal.appended / wal.syncs` is the achieved group-commit
+    /// amortization under `--wal-fsync always`.
+    pub fn record_wal_sync(&self) {
+        self.wal_syncs.inc();
     }
 
     /// One observer record restored from the WAL at startup.
@@ -308,12 +324,14 @@ impl ServerStats {
                 refused_accepts: self.faults_refused_accepts.get(),
             },
             worker_restarts: self.worker_restarts.get(),
+            batches: self.batches.get(),
             wal: WalCounters {
                 appended: self.wal_appended.get(),
                 replayed: self.wal_replayed.get(),
                 torn_truncations: self.wal_torn_truncations.get(),
                 truncated_bytes: self.wal_truncated_bytes.get(),
                 errors: self.wal_errors.get(),
+                syncs: self.wal_syncs.get(),
             },
             store: StoreCounters {
                 appended: self.store_appended.get(),
@@ -363,6 +381,8 @@ pub struct StatsSnapshot {
     pub faults: FaultCounters,
     /// Worker panics contained (each one respawned its worker).
     pub worker_restarts: u64,
+    /// `Batch` frames fanned out (protocol v4).
+    pub batches: u64,
     /// Write-ahead-log tallies (all zero when the WAL is off).
     pub wal: WalCounters,
     /// Durable-store tallies (all zero when no `--store` is configured).
@@ -384,6 +404,9 @@ pub struct WalCounters {
     pub truncated_bytes: u64,
     /// Appends that failed (answered anyway, durability lost).
     pub errors: u64,
+    /// Group-commit `fsync`s issued; `appended / syncs` is the achieved
+    /// amortization under `always`.
+    pub syncs: u64,
 }
 
 /// Durability tallies of the pluggable observer store.
@@ -484,7 +507,9 @@ mod tests {
         s.record_fault_stalled();
         s.record_fault_refused();
         s.record_worker_restart();
+        s.record_batch();
         s.record_wal_append();
+        s.record_wal_sync();
         s.record_wal_replayed();
         s.record_wal_torn(17);
         s.record_wal_error();
@@ -517,12 +542,14 @@ mod tests {
         };
         assert_eq!(snap.faults, all_one);
         assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.batches, 1);
         let wal = WalCounters {
             appended: 1,
             replayed: 1,
             torn_truncations: 1,
             truncated_bytes: 17,
             errors: 1,
+            syncs: 1,
         };
         assert_eq!(snap.wal, wal);
         let store = StoreCounters {

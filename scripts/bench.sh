@@ -2,8 +2,10 @@
 # Regenerates BENCH_baseline.json at the repo root: one seeded run of
 # the baseline binary (sim rounds/sec serial and parallel + speedup,
 # quick fig7/fig8 wall time, in-process server throughput + latency
-# tail). Pass --threads N to pin the parallel worker count (default:
-# available cores).
+# tail — v3 JSON lockstep, the v4 binary batch sweep with its
+# speedup-vs-v3 ratio, and the WAL/store durability-tax ratios). Pass
+# --threads N to pin the parallel worker count (default: available
+# cores).
 #
 # Works online and in the offline growth container, same as check.sh.
 set -euo pipefail

@@ -88,6 +88,52 @@ sleep 1
 "$DUMMYLOC" metrics "$METRICS_ADDR" --json | grep '"server.requests"' >/dev/null
 wait "$SERVE_PID"
 
+echo "== mixed-protocol loopback smoke (v3 + v4 concurrently, same workload)"
+# One server, two concurrent load generators on the same seed: a v3 JSON
+# lockstep client and a v4 binary batching client. Transport negotiation
+# is per-connection, so both shapes interleave on the same accept loop —
+# and the per-user answer digests must come out identical.
+MIX_ADDR=127.0.0.1:17914
+"$DUMMYLOC" serve --addr "$MIX_ADDR" --duration 8 >/dev/null &
+MIX_PID=$!
+sleep 1
+"$DUMMYLOC" loadgen --addr "$MIX_ADDR" --proto v3 --users 4 --rounds 6 --seed 11 \
+  --json "$EQUIV_TMP/mix-v3.json" >/dev/null &
+V3_PID=$!
+"$DUMMYLOC" loadgen --addr "$MIX_ADDR" --proto v4 --batch 3 --users 4 --rounds 6 --seed 11 \
+  --json "$EQUIV_TMP/mix-v4.json" >/dev/null
+wait "$V3_PID"
+for f in mix-v3 mix-v4; do
+  grep '"user_errors": 0' "$EQUIV_TMP/$f.json" >/dev/null \
+    || { echo "$f: user errors in mixed-protocol run"; exit 1; }
+  sed -n '/"per_user_digest"/,/\]/p' "$EQUIV_TMP/$f.json" > "$EQUIV_TMP/$f.digests"
+done
+test -s "$EQUIV_TMP/mix-v3.digests" || { echo "no digests in v3 report"; exit 1; }
+cmp "$EQUIV_TMP/mix-v3.digests" "$EQUIV_TMP/mix-v4.digests" \
+  || { echo "v3 and v4 digests diverged on the same workload"; exit 1; }
+wait "$MIX_PID"
+
+echo "== group-commit WAL: batched v4 queries survive kill -9 (fsync=always)"
+# Every answer in a v4 batch rides one group fsync; the ack contract is
+# unchanged — after a hard kill, every acknowledged query must replay.
+GC_ADDR=127.0.0.1:17915
+GC_WAL="$EQUIV_TMP/group-commit.wal"
+"$DUMMYLOC" serve --addr "$GC_ADDR" --wal "$GC_WAL" --wal-fsync always --duration 30 \
+  > "$EQUIV_TMP/gc-serve-1.log" &
+GC_PID=$!
+sleep 1
+"$DUMMYLOC" loadgen --addr "$GC_ADDR" --proto v4 --batch 5 --users 4 --rounds 10 \
+  --seed 13 >/dev/null
+kill -9 "$GC_PID"
+wait "$GC_PID" 2>/dev/null || true
+"$DUMMYLOC" serve --addr "$GC_ADDR" --wal "$GC_WAL" --duration 6 \
+  > "$EQUIV_TMP/gc-serve-2.log" &
+GC_PID=$!
+sleep 1
+grep "wal: replayed 40 records" "$EQUIV_TMP/gc-serve-2.log" \
+  || { echo "group commit lost acknowledged batched queries"; cat "$EQUIV_TMP/gc-serve-2.log"; exit 1; }
+wait "$GC_PID"
+
 echo "== crash recovery: simulate checkpoint/resume byte-identity"
 CK_DIR="$EQUIV_TMP/ckpt"
 "$DUMMYLOC" simulate --count 8 --duration 300 --seed 5 --threads 1 \

@@ -5,8 +5,10 @@
 
 use dummyloc_core::client::Request;
 use dummyloc_geo::Point;
+use dummyloc_server::codec::{self, RawEvent, RawFrame, Transport, BINARY_MAGIC};
 use dummyloc_server::proto::{
-    write_frame, ClientFrame, FrameEvent, FrameReader, DEFAULT_MAX_FRAME_BYTES,
+    write_frame, ClientFrame, FrameEvent, FrameReader, QuerySpec, ServerFrame,
+    DEFAULT_MAX_FRAME_BYTES,
 };
 use dummyloc_server::wal::{self, WalRecord};
 use dummyloc_sim::SimCheckpoint;
@@ -113,6 +115,179 @@ proptest! {
         prop_assert!(got.len() >= records.len());
         prop_assert_eq!(&got[..records.len()], &records[..]);
         prop_assert!(end >= committed);
+    }
+
+    /// Arbitrary bytes through the auto-detecting codec reader (the v4
+    /// server's actual ingress path): every call terminates with a frame,
+    /// EOF, TooLarge or a clean `Err` — never a panic — and decoding
+    /// whatever comes out must error, not abort.
+    #[test]
+    fn codec_auto_reader_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+        cap in 1usize..512,
+        with_magic in any::<bool>(),
+    ) {
+        let mut wire = Vec::new();
+        if with_magic {
+            // Half the cases open with the honest preamble, so the
+            // binary header/checksum path sees the hostile bytes too.
+            wire.extend_from_slice(&BINARY_MAGIC);
+        }
+        wire.extend_from_slice(&bytes);
+        let mut reader = codec::FrameReader::auto(&wire[..], cap);
+        let mut frames = 0usize;
+        // EOF and TooLarge terminate the stream; a checksum or magic
+        // mismatch surfaces as a clean io::Error — all of them end the
+        // loop, none of them abort.
+        while let Ok(RawEvent::Frame(raw)) = reader.next_frame() {
+            frames += 1;
+            // Hostile frames may fail to decode — never abort.
+            let _ = codec::decode_client_frame(&raw);
+            let _ = codec::decode_server_frame(&raw);
+            prop_assert!(frames <= wire.len() + 1, "reader must consume input");
+        }
+    }
+
+    /// Arbitrary bytes through the payload decoders directly (no framing
+    /// in the way): error or frame, never a panic.
+    #[test]
+    fn codec_payload_decoders_never_panic_on_arbitrary_bytes(
+        payload in prop::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let _ = codec::decode_client_payload(&payload);
+        let _ = codec::decode_server_payload(&payload);
+    }
+
+    /// Honest v4 client frames survive the full binary wire path:
+    /// encode → magic-prefixed stream → auto reader → decode.
+    #[test]
+    fn binary_client_frames_round_trip(
+        id in any::<u64>(),
+        t in -1.0e6f64..1.0e6,
+        has_deadline in any::<bool>(),
+        deadline_val in any::<u64>(),
+        pseudonym in prop::collection::vec(any::<u8>(), 0..24),
+        xs in prop::collection::vec(-1.0e6f64..1.0e6, 1..6),
+        n_batch in 0usize..5,
+    ) {
+        let deadline = has_deadline.then_some(deadline_val);
+        let spec = |k: u64| QuerySpec {
+            id: id.wrapping_add(k),
+            t,
+            deadline_ms: deadline,
+            request: Request {
+                pseudonym: String::from_utf8_lossy(&pseudonym).into_owned(),
+                positions: xs.iter().map(|&x| Point::new(x, -x)).collect(),
+            },
+            query: dummyloc_lbs::QueryKind::NextBus,
+        };
+        let frames = vec![
+            ClientFrame::Hello { version: 4 },
+            ClientFrame::Query {
+                id,
+                t,
+                deadline_ms: deadline,
+                request: spec(0).request,
+                query: dummyloc_lbs::QueryKind::NearestPoi { category: None },
+            },
+            ClientFrame::Batch {
+                queries: (0..n_batch as u64).map(spec).collect(),
+            },
+            ClientFrame::Stats,
+            ClientFrame::Metrics,
+            ClientFrame::Bye,
+        ];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&BINARY_MAGIC);
+        for frame in &frames {
+            wire.extend_from_slice(&codec::encode_client_frame(frame, Transport::Binary).unwrap());
+        }
+        let mut reader = codec::FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        for frame in &frames {
+            let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+                return Err(TestCaseError::fail("expected one frame per encode"));
+            };
+            prop_assert!(matches!(raw, RawFrame::Binary(_)));
+            prop_assert_eq!(&codec::decode_client_frame(&raw).unwrap(), frame);
+        }
+        prop_assert!(matches!(reader.next_frame().unwrap(), RawEvent::Eof));
+    }
+
+    /// Honest v4 server frames survive the same binary wire path the
+    /// reply stream uses.
+    #[test]
+    fn binary_server_frames_round_trip(
+        id in any::<u64>(),
+        version in any::<u32>(),
+        limit in any::<u64>(),
+        message_bytes in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let message = String::from_utf8_lossy(&message_bytes).into_owned();
+        let frames = vec![
+            ServerFrame::Hello { version },
+            ServerFrame::Overloaded { id },
+            ServerFrame::Deadline { id },
+            ServerFrame::Busy { limit },
+            ServerFrame::Error {
+                id: Some(id),
+                kind: dummyloc_server::ErrorKind::Malformed,
+                message,
+            },
+        ];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&BINARY_MAGIC);
+        for frame in &frames {
+            wire.extend_from_slice(&codec::encode_server_frame(frame, Transport::Binary).unwrap());
+        }
+        let mut reader = codec::FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        for frame in &frames {
+            let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+                return Err(TestCaseError::fail("expected one frame per encode"));
+            };
+            prop_assert_eq!(&codec::decode_server_frame(&raw).unwrap(), frame);
+        }
+        prop_assert!(matches!(reader.next_frame().unwrap(), RawEvent::Eof));
+    }
+
+    /// Flipping any single byte of an honest binary frame (header or
+    /// payload) is detected — decoded-but-different is the one outcome
+    /// the checksum must rule out.
+    #[test]
+    fn binary_corruption_never_decodes_to_a_different_frame(
+        id in any::<u64>(),
+        flip in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let frame = ClientFrame::Query {
+            id,
+            t: 30.0,
+            deadline_ms: Some(250),
+            request: Request {
+                pseudonym: "u1".into(),
+                positions: vec![Point::new(1.0, 2.0)],
+            },
+            query: dummyloc_lbs::QueryKind::NextBus,
+        };
+        let encoded = codec::encode_client_frame(&frame, Transport::Binary).unwrap();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&BINARY_MAGIC);
+        wire.extend_from_slice(&encoded);
+        let at = BINARY_MAGIC.len() + flip % encoded.len();
+        wire[at] ^= 1 << bit;
+        let mut reader = codec::FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+        match reader.next_frame() {
+            // A length-field flip may leave the reader waiting for bytes
+            // that never come (Eof) or over the cap (TooLarge); a payload
+            // or checksum flip is an InvalidData error. If a frame does
+            // come out (the flip forged a consistent header), decoding it
+            // must not silently produce a *different* query.
+            Ok(RawEvent::Frame(raw)) => {
+                if let Ok(got) = codec::decode_client_frame(&raw) {
+                    prop_assert_eq!(got, frame);
+                }
+            }
+            Ok(RawEvent::Eof) | Ok(RawEvent::TooLarge) | Err(_) => {}
+        }
     }
 
     /// Checkpoint decoding never panics on arbitrary bytes.
@@ -230,4 +405,71 @@ proptest! {
             prop_assert!(Manifest::decode(&bad).is_err());
         }
     }
+}
+
+/// A batch grown to just under the frame-size cap round-trips intact,
+/// and one more query tips the same frame over the cap into `TooLarge`
+/// (not a panic, not a truncated decode).
+#[test]
+fn max_size_binary_batch_round_trips_and_cap_is_sharp() {
+    let spec = |id: u64| QuerySpec {
+        id,
+        t: id as f64 * 30.0,
+        deadline_ms: Some(250),
+        request: Request {
+            pseudonym: format!("user-{id}"),
+            positions: (0..4).map(|k| Point::new(id as f64, k as f64)).collect(),
+        },
+        query: dummyloc_lbs::QueryKind::NextBus,
+    };
+
+    // Grow until the *next* query would overflow the cap.
+    let mut queries = Vec::new();
+    let encoded = loop {
+        queries.push(spec(queries.len() as u64));
+        let candidate = ClientFrame::Batch {
+            queries: {
+                let mut q = queries.clone();
+                q.push(spec(q.len() as u64));
+                q
+            },
+        };
+        let grown = codec::encode_client_frame(&candidate, Transport::Binary).unwrap();
+        if grown.len() - codec::BINARY_HEADER_BYTES > DEFAULT_MAX_FRAME_BYTES {
+            break codec::encode_client_frame(
+                &ClientFrame::Batch {
+                    queries: queries.clone(),
+                },
+                Transport::Binary,
+            )
+            .unwrap();
+        }
+    };
+    assert!(
+        encoded.len() > DEFAULT_MAX_FRAME_BYTES / 2,
+        "batch should approach the cap, got {} bytes",
+        encoded.len()
+    );
+
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&BINARY_MAGIC);
+    wire.extend_from_slice(&encoded);
+    let mut reader = codec::FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+    let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+        panic!("expected the max-size batch as one frame");
+    };
+    let ClientFrame::Batch { queries: back } = codec::decode_client_frame(&raw).unwrap() else {
+        panic!("expected a Batch frame back");
+    };
+    assert_eq!(back, queries);
+
+    // One more query overflows the cap: the reader reports TooLarge.
+    queries.push(spec(queries.len() as u64));
+    let over =
+        codec::encode_client_frame(&ClientFrame::Batch { queries }, Transport::Binary).unwrap();
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&BINARY_MAGIC);
+    wire.extend_from_slice(&over);
+    let mut reader = codec::FrameReader::auto(&wire[..], DEFAULT_MAX_FRAME_BYTES);
+    assert!(matches!(reader.next_frame().unwrap(), RawEvent::TooLarge));
 }

@@ -1,0 +1,147 @@
+//! Cross-version protocol interop: a v3 JSON client, a v4 binary client
+//! and a batching v4 client must all extract byte-identical answer
+//! streams from the same server — and a v4 client dialing a v3-pinned
+//! server must fall back and still match. "Identical" is checked against
+//! an in-process oracle that replays the loadgen's exact request
+//! generation through [`answer_request`] with no server in the way, so a
+//! transport bug cannot hide behind a matching-but-wrong pair of runs.
+
+use dummyloc_core::client::Client as CoreClient;
+use dummyloc_core::generator::{DummyGenerator, MnGenerator, NoDensity};
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_lbs::provider::answer_request;
+use dummyloc_lbs::{PoiDatabase, QueryKind};
+use dummyloc_mobility::{RickshawConfig, RickshawModel};
+use dummyloc_server::client::ClientBuilder;
+use dummyloc_server::loadgen::{self, LoadgenConfig};
+use dummyloc_server::{ProtoVersion, ServeOptions};
+
+fn pois() -> PoiDatabase {
+    let area = dummyloc_geo::BBox::new(
+        dummyloc_geo::Point::new(0.0, 0.0),
+        dummyloc_geo::Point::new(2000.0, 2000.0),
+    )
+    .unwrap();
+    PoiDatabase::generate(area, 120, 42)
+}
+
+fn loadgen_config(addr: String, proto: ProtoVersion, batch: usize) -> LoadgenConfig {
+    LoadgenConfig {
+        addr,
+        users: 4,
+        rounds: 10,
+        seed: 7,
+        query: QueryKind::NearestPoi { category: None },
+        proto,
+        batch,
+        ..LoadgenConfig::default()
+    }
+}
+
+/// Replays the loadgen's request generation (same fleet, same derived RNG
+/// streams, same MN generator) against [`answer_request`] directly and
+/// folds each user's answers with the same FNV-1a digest the report uses.
+fn oracle_digests(cfg: &LoadgenConfig, pois: &PoiDatabase) -> Vec<String> {
+    let fnv1a_fold = |mut h: u64, bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    };
+    let model = RickshawModel::new(RickshawConfig::nara(), derive_seed(cfg.seed, 1_000_003));
+    let duration = cfg.rounds as f64 * cfg.tick;
+    let fleet = model.generate_fleet(cfg.seed, cfg.users, 0.0, duration);
+    fleet
+        .tracks()
+        .iter()
+        .enumerate()
+        .map(|(user, track)| {
+            let area = RickshawConfig::nara().area;
+            let generator: Box<dyn DummyGenerator> =
+                Box::new(MnGenerator::new(area, cfg.m).unwrap());
+            let mut rng = rng_from_seed(derive_seed(cfg.seed, user as u64));
+            let mut client = CoreClient::new(track.id().to_string(), generator, cfg.dummy_count);
+            let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+            for k in 0..cfg.rounds {
+                let t = k as f64 * cfg.tick;
+                let pos = track.position_at(t).unwrap();
+                let round = if k == 0 {
+                    client.begin(&mut rng, pos)
+                } else {
+                    client.step(&mut rng, pos, &NoDensity)
+                }
+                .unwrap();
+                let response = answer_request(pois, t, &round.request, &cfg.query);
+                let rendered = serde_json::to_string(&response).unwrap();
+                digest = fnv1a_fold(digest, rendered.as_bytes());
+            }
+            format!("{digest:016x}")
+        })
+        .collect()
+}
+
+/// One v4 server; a v3 lockstep client, a v4 lockstep client and a v4
+/// batching client (batch 7 does not divide 10 — the tail group is
+/// short) all produce the oracle's digests.
+#[test]
+fn all_protocol_shapes_match_the_oracle_against_a_v4_server() {
+    let handle = dummyloc_server::spawn(ServeOptions::new().build().unwrap(), pois()).unwrap();
+    let addr = handle.addr().to_string();
+    let expected = oracle_digests(
+        &loadgen_config(addr.clone(), ProtoVersion::V4Binary, 1),
+        &pois(),
+    );
+
+    for (proto, batch) in [
+        (ProtoVersion::V3Json, 1),
+        (ProtoVersion::V4Binary, 1),
+        (ProtoVersion::V4Binary, 7),
+    ] {
+        let cfg = loadgen_config(addr.clone(), proto, batch);
+        let report = loadgen::run(&cfg).unwrap();
+        assert_eq!(report.user_errors, 0, "{proto} batch={batch}");
+        assert_eq!(
+            report.answered,
+            (cfg.users * cfg.rounds) as u64,
+            "{proto} batch={batch}"
+        );
+        assert_eq!(
+            report.per_user_digest, expected,
+            "{proto} batch={batch} diverged from the in-process oracle"
+        );
+    }
+    handle.shutdown();
+}
+
+/// A v3-pinned server refuses the binary opening; the v4 client falls
+/// back to v3 JSON transparently and still matches the oracle — batched,
+/// which on the JSON wire means a pipelined group of Query frames.
+#[test]
+fn v4_client_falls_back_against_a_v3_pinned_server_and_matches_the_oracle() {
+    let handle = dummyloc_server::spawn(
+        ServeOptions::new()
+            .max_proto(ProtoVersion::V3Json)
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // The negotiated connection really is v3 after the fallback.
+    let svc = ClientBuilder::new(addr.clone())
+        .proto(ProtoVersion::V4Binary)
+        .connect()
+        .unwrap();
+    assert_eq!(svc.proto(), ProtoVersion::V3Json);
+    drop(svc);
+
+    let cfg = loadgen_config(addr, ProtoVersion::V4Binary, 4);
+    let expected = oracle_digests(&cfg, &pois());
+    let report = loadgen::run(&cfg).unwrap();
+    assert_eq!(report.user_errors, 0);
+    assert_eq!(report.answered, (cfg.users * cfg.rounds) as u64);
+    assert_eq!(report.per_user_digest, expected);
+    handle.shutdown();
+}
