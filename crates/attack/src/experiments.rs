@@ -1,0 +1,419 @@
+//! The `attack-*` experiments: identification probability vs `k`.
+//!
+//! Each sweep replays the client loop over the workload with `k = 1..4`
+//! dummies per user, hands the observer-side streams to three
+//! adversaries — the uniform [`RandomGuesser`] floor, the greedy
+//! [`ContinuityTracker`] (the paper-level observer), and this crate's
+//! full [`PipelineTracker`] — and reports per-`k` identification rates.
+//! The expected ordering is the whole point of the subsystem:
+//!
+//! * `attack-random` — the pipeline identifies nearly every user: the
+//!   velocity gate and Viterbi penalties shred teleporting dummies;
+//! * `attack-mn` / `attack-mln` — the pipeline is pushed back to the
+//!   `1/(k+1)` chance line at realistic `k`: temporally consistent
+//!   dummies survive even an optimal decoder, the paper's claim;
+//! * `attack-linkage` — with rotating pseudonyms, relink accuracy
+//!   collapses from near-certainty at `k = 0` toward the `1/users`
+//!   floor as dummies blur the decoded tails.
+//!
+//! Users are attacked in parallel on the shared pool with one seed per
+//! stream from a [`SeedTree`], so reports are byte-identical at any
+//! `--threads` setting.
+//!
+//! [`RandomGuesser`]: dummyloc_core::adversary::RandomGuesser
+//! [`ContinuityTracker`]: dummyloc_core::adversary::ContinuityTracker
+
+use dummyloc_core::adversary::{Adversary, ChainScore, ContinuityTracker, RandomGuesser};
+use dummyloc_core::generator::{DummyGenerator, MlnGenerator, MnGenerator, RandomGenerator};
+use dummyloc_core::pool::ThreadPool;
+use dummyloc_core::SeedTree;
+use dummyloc_geo::rng::rng_from_seed;
+use dummyloc_sim::experiments::{Experiment, ExperimentReport, Registry};
+use dummyloc_sim::report::{fmt, Table};
+use dummyloc_trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::linkage::relink;
+use crate::observe::{into_streams, observe, ObserveConfig, Rotation};
+use crate::pipeline::PipelineTracker;
+use crate::AttackConfig;
+
+/// Dummy counts swept by every attack experiment.
+const KS: [usize; 4] = [1, 2, 3, 4];
+
+/// Which dummy algorithm an attack sweep targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// The random strawman — teleporting dummies.
+    Random,
+    /// Moving in a neighborhood, `m = 120`.
+    Mn,
+    /// MN with the density-aware retry (MLN), `m = 120`.
+    Mln,
+}
+
+impl GeneratorKind {
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GeneratorKind::Random => "random",
+            GeneratorKind::Mn => "mn (m=120)",
+            GeneratorKind::Mln => "mln (m=120)",
+        }
+    }
+
+    fn generator(&self, config: &ObserveConfig) -> Box<dyn DummyGenerator> {
+        let area = config.area;
+        match self {
+            GeneratorKind::Random => Box::new(RandomGenerator::new(area).expect("valid area")),
+            GeneratorKind::Mn => Box::new(MnGenerator::new(area, 120.0).expect("valid m")),
+            GeneratorKind::Mln => Box::new(MlnGenerator::new(area, 120.0).expect("valid m")),
+        }
+    }
+}
+
+/// One `k` of an attack sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackRow {
+    /// Dummies per user.
+    pub k: usize,
+    /// The `1/(k+1)` chance floor.
+    pub chance: f64,
+    /// Uniform-guess identification rate.
+    pub random_rate: f64,
+    /// Greedy continuity-tracker rate (the paper-level observer).
+    pub greedy_rate: f64,
+    /// Full pipeline rate (filters + Viterbi).
+    pub pipeline_rate: f64,
+    /// Mean fraction of candidate chains surviving the filters.
+    pub mean_plausible: f64,
+}
+
+/// One attack sweep: a generator under all three observers across `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackResult {
+    /// Attacked dummy algorithm.
+    pub generator: String,
+    /// Users in the workload.
+    pub users: usize,
+    /// One row per swept `k`.
+    pub rows: Vec<AttackRow>,
+}
+
+/// Runs one identification sweep. Streams are synthesized serially (the
+/// MLN density view couples users within a round); the attack itself is
+/// per-user parallel on the process-default pool.
+///
+/// # Panics
+///
+/// Panics if a pool worker panics — attack workers are panic-free by
+/// construction, so that is a bug.
+pub fn attack_sweep(seed: u64, fleet: &Dataset, kind: GeneratorKind) -> AttackResult {
+    let attack_config = AttackConfig::nara_default();
+    let pipeline = PipelineTracker::new(attack_config);
+    let greedy = ContinuityTracker::new(ChainScore::MaxStep);
+    let tree = SeedTree::new(seed);
+    let pool = ThreadPool::with_default();
+    let mut rows = Vec::with_capacity(KS.len());
+    for (ki, &k) in KS.iter().enumerate() {
+        let kt = tree.subtree(ki as u64);
+        let mut config = ObserveConfig::nara_default(kt.child_seed(0));
+        config.dummies = k;
+        let streams = into_streams(observe(fleet, &config, |_| kind.generator(&config)));
+        let adversary_seeds = kt.subtree(1);
+        let hits = pool
+            .map(&streams, |i, (requests, truth)| {
+                let mut rng = rng_from_seed(adversary_seeds.child_seed(i as u64));
+                let random_hit = RandomGuesser.identify(&mut rng, requests) == Some(*truth);
+                let greedy_hit = greedy.identify(&mut rng, requests) == Some(*truth);
+                let verdict = pipeline.verdict(requests).expect("streams are non-empty");
+                let pipeline_hit = verdict.path.final_index == *truth;
+                let plausible_share = verdict.plausible as f64 / verdict.candidates as f64;
+                (random_hit, greedy_hit, pipeline_hit, plausible_share)
+            })
+            .expect("attack workers don't panic");
+        let n = streams.len() as f64;
+        let count = |pick: fn(&(bool, bool, bool, f64)) -> bool| {
+            hits.iter().filter(|h| pick(h)).count() as f64 / n
+        };
+        rows.push(AttackRow {
+            k,
+            chance: 1.0 / (k + 1) as f64,
+            random_rate: count(|h| h.0),
+            greedy_rate: count(|h| h.1),
+            pipeline_rate: count(|h| h.2),
+            mean_plausible: hits.iter().map(|h| h.3).sum::<f64>() / n,
+        });
+    }
+    AttackResult {
+        generator: kind.label().to_string(),
+        users: fleet.len(),
+        rows,
+    }
+}
+
+/// Renders an attack sweep table.
+pub fn render_attack(result: &AttackResult) -> String {
+    let mut table = Table::new(
+        format!(
+            "attack — {} vs layered observer ({} users)",
+            result.generator, result.users
+        ),
+        &[
+            "k",
+            "chance",
+            "random rate",
+            "greedy rate",
+            "pipeline rate",
+            "plausible share",
+        ],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.k.to_string(),
+            fmt(r.chance, 2),
+            fmt(r.random_rate, 2),
+            fmt(r.greedy_rate, 2),
+            fmt(r.pipeline_rate, 2),
+            fmt(r.mean_plausible, 2),
+        ]);
+    }
+    table.render()
+}
+
+/// One `k` of the linkage sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkageRow {
+    /// Dummies per user.
+    pub k: usize,
+    /// Rotation boundaries examined.
+    pub boundaries: usize,
+    /// Cross-pseudonym relink accuracy (chance = `1/users`).
+    pub relink_rate: f64,
+}
+
+/// The full linkage result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkageResult {
+    /// Users in the workload (fixes the chance level `1/users`).
+    pub users: usize,
+    /// Rounds per pseudonym segment.
+    pub period: usize,
+    /// Silent rounds at each change.
+    pub silent_rounds: usize,
+    /// One row per swept `k`.
+    pub rows: Vec<LinkageRow>,
+}
+
+/// Runs the cross-pseudonym linkage sweep: pseudonyms rotate every 8
+/// rounds with 1 silent round, `k` sweeps 0..3.
+pub fn linkage_sweep(seed: u64, fleet: &Dataset) -> LinkageResult {
+    let attack_config = AttackConfig::nara_default();
+    let rotation = Rotation {
+        period: 8,
+        silent_rounds: 1,
+    };
+    let tree = SeedTree::new(seed);
+    let mut rows = Vec::new();
+    for (ki, &k) in [0usize, 1, 2, 3].iter().enumerate() {
+        let mut config = ObserveConfig::nara_default(tree.child_seed(ki as u64));
+        config.dummies = k;
+        config.rotation = Some(rotation);
+        let area = config.area;
+        let segments = observe(fleet, &config, |_| {
+            Box::new(MnGenerator::new(area, 120.0).expect("valid m")) as Box<dyn DummyGenerator>
+        });
+        let outcome = relink(&segments, &attack_config);
+        rows.push(LinkageRow {
+            k,
+            boundaries: outcome.boundaries,
+            relink_rate: outcome.relink_rate(),
+        });
+    }
+    LinkageResult {
+        users: fleet.len(),
+        period: rotation.period,
+        silent_rounds: rotation.silent_rounds,
+        rows,
+    }
+}
+
+/// Renders the linkage table.
+pub fn render_linkage(result: &LinkageResult) -> String {
+    let mut table = Table::new(
+        format!(
+            "attack-linkage — relink accuracy across pseudonym changes ({} users; chance {:.3}; period {}, silence {})",
+            result.users,
+            1.0 / result.users as f64,
+            result.period,
+            result.silent_rounds
+        ),
+        &["k", "boundaries", "relink rate"],
+    );
+    for r in &result.rows {
+        table.row(&[
+            r.k.to_string(),
+            r.boundaries.to_string(),
+            fmt(r.relink_rate, 3),
+        ]);
+    }
+    table.render()
+}
+
+struct AttackExperiment {
+    kind: GeneratorKind,
+}
+
+impl Experiment for AttackExperiment {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            GeneratorKind::Random => "attack-random",
+            GeneratorKind::Mn => "attack-mn",
+            GeneratorKind::Mln => "attack-mln",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        match self.kind {
+            GeneratorKind::Random => {
+                "Layered attack pipeline vs random dummies: identification rate per k"
+            }
+            GeneratorKind::Mn => "Layered attack pipeline vs MN dummies: identification rate per k",
+            GeneratorKind::Mln => {
+                "Layered attack pipeline vs MLN dummies: identification rate per k"
+            }
+        }
+    }
+
+    fn run(&self, seed: u64, fleet: &Dataset) -> dummyloc_sim::Result<ExperimentReport> {
+        let result = attack_sweep(seed, fleet, self.kind);
+        ExperimentReport::new(render_attack(&result), &result)
+    }
+}
+
+struct LinkageExperiment;
+
+impl Experiment for LinkageExperiment {
+    fn name(&self) -> &'static str {
+        "attack-linkage"
+    }
+
+    fn description(&self) -> &'static str {
+        "Cross-pseudonym linkage attack: relink accuracy per k under rotation"
+    }
+
+    fn run(&self, seed: u64, fleet: &Dataset) -> dummyloc_sim::Result<ExperimentReport> {
+        let result = linkage_sweep(seed, fleet);
+        ExperimentReport::new(render_linkage(&result), &result)
+    }
+}
+
+/// Registers the four attack experiments.
+pub fn register_all(registry: &mut Registry) {
+    registry.register(Box::new(AttackExperiment {
+        kind: GeneratorKind::Random,
+    }));
+    registry.register(Box::new(AttackExperiment {
+        kind: GeneratorKind::Mn,
+    }));
+    registry.register(Box::new(AttackExperiment {
+        kind: GeneratorKind::Mln,
+    }));
+    registry.register(Box::new(LinkageExperiment));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_sim::workload;
+
+    fn fleet() -> Dataset {
+        workload::nara_fleet_sized(8, 600.0, 23)
+    }
+
+    #[test]
+    fn random_dummies_are_shredded_and_mn_survives() {
+        let f = fleet();
+        let random = attack_sweep(101, &f, GeneratorKind::Random);
+        let mn = attack_sweep(101, &f, GeneratorKind::Mn);
+        for (r, m) in random.rows.iter().zip(&mn.rows) {
+            assert!(
+                r.pipeline_rate >= 0.75,
+                "random k={} pipeline {}",
+                r.k,
+                r.pipeline_rate
+            );
+            // MN keeps the pipeline within shot of the chance floor —
+            // and far below its grip on random dummies.
+            assert!(
+                m.pipeline_rate <= m.chance + 0.3,
+                "mn k={} pipeline {} chance {}",
+                m.k,
+                m.pipeline_rate,
+                m.chance
+            );
+            assert!(r.pipeline_rate > m.pipeline_rate);
+            // Filters: random chains die, MN chains all survive.
+            assert!(r.mean_plausible < 0.8);
+            assert!(m.mean_plausible > 0.95);
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_per_seed() {
+        let f = fleet();
+        let a = attack_sweep(7, &f, GeneratorKind::Mn);
+        let b = attack_sweep(7, &f, GeneratorKind::Mn);
+        assert_eq!(a, b);
+        let c = attack_sweep(8, &f, GeneratorKind::Mn);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn linkage_weakens_with_dummies() {
+        let result = linkage_sweep(31, &fleet());
+        assert_eq!(result.rows.len(), 4);
+        let bare = result.rows[0].relink_rate;
+        assert!(bare >= 0.5, "bare relink {bare}");
+        for r in &result.rows {
+            assert!(r.boundaries > 0);
+        }
+        // With dummies the decoded tails mislead: never better than bare.
+        for r in &result.rows[1..] {
+            assert!(r.relink_rate <= bare + 1e-9);
+        }
+    }
+
+    #[test]
+    fn registry_gains_the_attack_family() {
+        let mut registry = Registry::builtin();
+        let before = registry.len();
+        register_all(&mut registry);
+        assert_eq!(registry.len(), before + 4);
+        let names = registry.names();
+        assert_eq!(
+            &names[before..],
+            &["attack-random", "attack-mn", "attack-mln", "attack-linkage"]
+        );
+        assert!(registry.get("attack-mn").is_some());
+    }
+
+    #[test]
+    fn experiment_reports_render_and_serialize() {
+        let registry = {
+            let mut r = Registry::new();
+            register_all(&mut r);
+            r
+        };
+        let f = workload::nara_fleet_sized(4, 300.0, 5);
+        for name in ["attack-random", "attack-linkage"] {
+            let report = registry
+                .get(name)
+                .expect("registered")
+                .run(3, &f)
+                .expect("runs");
+            assert!(report.rendered.contains("attack"));
+            assert!(report.json.contains("rows"));
+        }
+    }
+}

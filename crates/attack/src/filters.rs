@@ -1,0 +1,309 @@
+//! Consistency filters: motion-plausibility gates over candidate chains.
+//!
+//! The paper's informal security claim is that dummies are safe when
+//! they are *temporally consistent*. These filters make the converse
+//! operational: an observer links each round's candidate positions into
+//! chains (minimum-cost assignment against the chains' current heads)
+//! and flags two kinds of physical implausibility:
+//!
+//! * **velocity** — a step longer than `max_speed · tick`; nothing in
+//!   the workload moves that fast, so the chain is a fabrication;
+//! * **turn angle** — a heading reversal sharper than `max_turn_deg`
+//!   where *both* adjacent steps exceed `min_turn_step`; momentum makes
+//!   a U-turn at speed implausible, while short steps (dwells, GPS
+//!   noise) are exempt.
+//!
+//! A chain with any violation is implausible and is excluded from the
+//! Viterbi scoring in [`pipeline`](crate::pipeline). Random dummies
+//! violate the velocity gate almost every round; MN/MLN dummies (steps
+//! bounded by `m·√2`) and the true rickshaw track never trigger either
+//! gate under the Nara defaults, so the filters alone cannot tell them
+//! apart — exactly the paper's claim.
+
+use dummyloc_core::hungarian::min_cost_assignment;
+use dummyloc_geo::Point;
+
+use crate::AttackConfig;
+
+/// Chains shorter than this never inform the cost scale (meters).
+const MIN_SCALE_M: f64 = 1.0;
+
+/// One candidate trajectory tracked incrementally across rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedChain {
+    /// Head position (most recent round).
+    pub last: Point,
+    /// Position one round before the head, once the chain has ≥ 1 step.
+    pub prev: Option<Point>,
+    /// Index of the head in the most recent round's positions.
+    pub final_index: usize,
+    /// Number of steps linked so far.
+    pub steps: usize,
+    /// Running mean step length (meters).
+    pub mean_step: f64,
+    /// Steps that exceeded the velocity bound.
+    pub velocity_violations: usize,
+    /// Heading reversals at speed.
+    pub turn_violations: usize,
+}
+
+impl TrackedChain {
+    fn seed(p: Point, index: usize) -> Self {
+        TrackedChain {
+            last: p,
+            prev: None,
+            final_index: index,
+            steps: 0,
+            mean_step: 0.0,
+            velocity_violations: 0,
+            turn_violations: 0,
+        }
+    }
+
+    /// Whether the chain passed every gate so far.
+    pub fn plausible(&self) -> bool {
+        self.velocity_violations == 0 && self.turn_violations == 0
+    }
+
+    fn advance(&mut self, p: Point, index: usize, config: &AttackConfig) {
+        let step = self.last.distance(&p);
+        if step > config.max_step() {
+            self.velocity_violations += 1;
+        }
+        if let Some(prev) = self.prev {
+            let prev_step = prev.distance(&self.last);
+            if prev_step >= config.min_turn_step && step >= config.min_turn_step {
+                let ax = self.last.x - prev.x;
+                let ay = self.last.y - prev.y;
+                let bx = p.x - self.last.x;
+                let by = p.y - self.last.y;
+                let dot = ax * bx + ay * by;
+                let cos = dot / (prev_step * step);
+                if cos < config.max_turn_deg.to_radians().cos() {
+                    self.turn_violations += 1;
+                }
+            }
+        }
+        self.steps += 1;
+        self.mean_step += (step - self.mean_step) / self.steps as f64;
+        self.prev = Some(self.last);
+        self.last = p;
+        self.final_index = index;
+    }
+
+    /// Distance scale used to normalize linking costs: the chain's mean
+    /// step, floored so fresh or dwelling chains don't divide by ~zero.
+    fn scale(&self) -> f64 {
+        if self.steps == 0 {
+            MIN_SCALE_M
+        } else {
+            self.mean_step.max(MIN_SCALE_M)
+        }
+    }
+}
+
+/// Links rounds of candidate positions into chains and keeps per-chain
+/// plausibility verdicts, in O(candidates) memory regardless of stream
+/// length — the shape the streaming storage scan needs.
+#[derive(Debug, Clone)]
+pub struct ChainTracker {
+    config: AttackConfig,
+    chains: Vec<TrackedChain>,
+}
+
+impl ChainTracker {
+    /// An empty tracker.
+    pub fn new(config: &AttackConfig) -> Self {
+        ChainTracker {
+            config: *config,
+            chains: Vec::new(),
+        }
+    }
+
+    /// Feeds one round of candidate positions.
+    ///
+    /// Linking is a minimum-cost assignment of chain heads to positions
+    /// with costs normalized by each chain's own motion scale (a fast
+    /// mover jumping 100 m is less surprising than a dweller doing so).
+    /// Extra positions start fresh chains; starved chains are dropped.
+    pub fn push(&mut self, positions: &[Point]) {
+        if positions.is_empty() {
+            return;
+        }
+        if self.chains.is_empty() {
+            self.chains = positions
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| TrackedChain::seed(p, i))
+                .collect();
+            return;
+        }
+        let n = self.chains.len();
+        let m = positions.len();
+        let cost = |chain: &TrackedChain, p: &Point| chain.last.distance(p) / chain.scale();
+        let mut next: Vec<TrackedChain> = Vec::with_capacity(m);
+        if n <= m {
+            let matrix: Vec<Vec<f64>> = self
+                .chains
+                .iter()
+                .map(|c| positions.iter().map(|p| cost(c, p)).collect())
+                .collect();
+            let (assignment, _) = min_cost_assignment(&matrix);
+            let mut taken = vec![false; m];
+            for (ci, &pi) in assignment.iter().enumerate() {
+                taken[pi] = true;
+                let mut chain = self.chains[ci].clone();
+                chain.advance(positions[pi], pi, &self.config);
+                next.push(chain);
+            }
+            for (pi, &p) in positions.iter().enumerate() {
+                if !taken[pi] {
+                    next.push(TrackedChain::seed(p, pi));
+                }
+            }
+        } else {
+            // More chains than positions: assign each position its chain
+            // (transposed problem); unmatched chains starve and drop.
+            let matrix: Vec<Vec<f64>> = positions
+                .iter()
+                .map(|p| self.chains.iter().map(|c| cost(c, p)).collect())
+                .collect();
+            let (assignment, _) = min_cost_assignment(&matrix);
+            for (pi, &ci) in assignment.iter().enumerate() {
+                let mut chain = self.chains[ci].clone();
+                chain.advance(positions[pi], pi, &self.config);
+                next.push(chain);
+            }
+        }
+        next.sort_by_key(|c| c.final_index);
+        self.chains = next;
+    }
+
+    /// The tracked chains, ordered by their final index.
+    pub fn chains(&self) -> &[TrackedChain] {
+        &self.chains
+    }
+
+    /// Final indices (into the last round's positions) of chains that
+    /// passed every gate, ascending.
+    pub fn plausible_indices(&self) -> Vec<usize> {
+        self.chains
+            .iter()
+            .filter(|c| c.plausible())
+            .map(|c| c.final_index)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AttackConfig {
+        AttackConfig::nara_default()
+    }
+
+    fn push_rounds(tracker: &mut ChainTracker, rounds: &[Vec<Point>]) {
+        for r in rounds {
+            tracker.push(r);
+        }
+    }
+
+    #[test]
+    fn smooth_walker_stays_plausible_while_teleporter_is_pruned() {
+        let mut tracker = ChainTracker::new(&cfg());
+        let rounds: Vec<Vec<Point>> = (0..10)
+            .map(|t| {
+                vec![
+                    Point::new(t as f64 * 50.0, 0.0),
+                    Point::new((t * 700 % 1900) as f64, (t * 1100 % 1900) as f64),
+                ]
+            })
+            .collect();
+        push_rounds(&mut tracker, &rounds);
+        assert_eq!(tracker.chains().len(), 2);
+        assert_eq!(tracker.plausible_indices(), vec![0]);
+        let teleporter = &tracker.chains()[1];
+        assert!(teleporter.velocity_violations > 0);
+    }
+
+    #[test]
+    fn turn_gate_flags_reversals_at_speed_only() {
+        let c = cfg();
+        // Long out-and-back: 300 m east, then 300 m west — a reversal at
+        // speed. Both steps exceed min_turn_step (250 m).
+        let mut chain = TrackedChain::seed(Point::new(0.0, 0.0), 0);
+        chain.advance(Point::new(300.0, 0.0), 0, &c);
+        chain.advance(Point::new(0.0, 0.0), 0, &c);
+        assert_eq!(chain.turn_violations, 1);
+
+        // The same shape at dwell scale is exempt.
+        let mut small = TrackedChain::seed(Point::new(0.0, 0.0), 0);
+        small.advance(Point::new(100.0, 0.0), 0, &c);
+        small.advance(Point::new(0.0, 0.0), 0, &c);
+        assert_eq!(small.turn_violations, 0);
+    }
+
+    #[test]
+    fn linking_follows_positions_across_index_shuffles() {
+        let mut tracker = ChainTracker::new(&cfg());
+        for t in 0..10 {
+            let smooth = Point::new(t as f64 * 40.0, 0.0);
+            let jumpy = Point::new((t * 613 % 1700) as f64, (t * 911 % 1700) as f64);
+            let positions = if t % 2 == 0 {
+                vec![smooth, jumpy]
+            } else {
+                vec![jumpy, smooth]
+            };
+            tracker.push(&positions);
+        }
+        // Final round t = 9 (odd): the smooth walker sits at index 1.
+        assert_eq!(tracker.plausible_indices(), vec![1]);
+    }
+
+    #[test]
+    fn varying_candidate_counts_grow_and_starve_chains() {
+        let mut tracker = ChainTracker::new(&cfg());
+        tracker.push(&[Point::new(0.0, 0.0), Point::new(500.0, 500.0)]);
+        tracker.push(&[
+            Point::new(10.0, 0.0),
+            Point::new(510.0, 500.0),
+            Point::new(1500.0, 1500.0),
+        ]);
+        assert_eq!(tracker.chains().len(), 3);
+        tracker.push(&[Point::new(20.0, 0.0), Point::new(520.0, 500.0)]);
+        assert_eq!(tracker.chains().len(), 2);
+        for c in tracker.chains() {
+            assert!(c.final_index < 2);
+        }
+    }
+
+    #[test]
+    fn empty_round_is_a_no_op() {
+        let mut tracker = ChainTracker::new(&cfg());
+        tracker.push(&[]);
+        assert!(tracker.chains().is_empty());
+        tracker.push(&[Point::new(1.0, 1.0)]);
+        tracker.push(&[]);
+        assert_eq!(tracker.chains().len(), 1);
+        assert_eq!(tracker.chains()[0].steps, 0);
+    }
+
+    #[test]
+    fn mn_scale_steps_never_violate_gates() {
+        // A random-walk chain with steps ≤ 170 m (MN at m = 120) stays
+        // plausible: this is the filters-can't-break-MN property.
+        let c = cfg();
+        let mut chain = TrackedChain::seed(Point::new(1000.0, 1000.0), 0);
+        let mut x = 1000.0;
+        let mut y = 1000.0;
+        for t in 0..50 {
+            let dx = ((t * 37 % 240) as f64) - 120.0;
+            let dy = ((t * 53 % 240) as f64) - 120.0;
+            x += dx;
+            y += dy;
+            chain.advance(Point::new(x, y), 0, &c);
+        }
+        assert!(chain.plausible());
+    }
+}

@@ -1,0 +1,136 @@
+//! The adversary subsystem: attacks that try to break the dummy schemes.
+//!
+//! The ICDE 2005 paper argues MN/MLN dummies defeat an observer because
+//! every candidate stream is *temporally consistent*. The core crate's
+//! [`adversary`](dummyloc_core::adversary) models test that claim with
+//! greedy linking; this crate escalates to the strongest observer we can
+//! build from the observer log alone, in three layers:
+//!
+//! * [`filters`] — per-chain plausibility gates: a velocity bound (no
+//!   human/vehicle outruns `max_speed`) and a turn-angle bound (no mover
+//!   reverses at speed). Chains that violate either are discarded before
+//!   scoring.
+//! * [`viterbi`] — an HMM over the service-area grid: candidate positions
+//!   are emissions, transitions are penalized by how many grid rings a
+//!   step crosses beyond the plausible reach, and a streaming Viterbi
+//!   pass decodes the most plausible trajectory among the `1 + k`
+//!   interleaved streams.
+//! * [`linkage`] — the cross-pseudonym attack: when pseudonyms rotate,
+//!   decoded trajectory tails are matched to decoded heads across the
+//!   change by motion continuity (minimum-cost assignment over predicted
+//!   positions), measuring how much anonymity a pseudonym switch buys.
+//!
+//! [`pipeline`] composes the layers into one [`Adversary`]
+//! (filters prune, Viterbi scores) and runs it over in-memory
+//! [`ObserverLog`](dummyloc_lbs::provider::ObserverLog)s or any durable
+//! [`Storage`](dummyloc_store::Storage) backend without materializing
+//! streams. [`observe`] synthesizes observer-side request streams from a
+//! workload, and [`experiments`] packages the identification-rate sweeps
+//! (`attack-random`, `attack-mn`, `attack-mln`, `attack-linkage`) for the
+//! shared experiment registry.
+//!
+//! [`Adversary`]: dummyloc_core::adversary::Adversary
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod filters;
+pub mod linkage;
+pub mod observe;
+pub mod pipeline;
+pub mod viterbi;
+
+use dummyloc_geo::{BBox, Grid, Point};
+
+pub use filters::ChainTracker;
+pub use linkage::relink;
+pub use pipeline::{
+    attack_observer_log, attack_storage, PipelineTracker, PseudonymReport, StreamDecoder,
+    StreamVerdict,
+};
+pub use viterbi::ViterbiDecoder;
+
+/// Tuning knobs shared by every layer of the attack pipeline.
+///
+/// The defaults are calibrated against the Nara workload: rickshaws
+/// cruise at 1.5–4 m/s and MN/MLN dummies step at most `m·√2 ≈ 170` m
+/// per 30 s round, so a 7 m/s speed bound (210 m per round) passes every
+/// legitimate mover while random dummies (mean jump ≈ 1 km) blow through
+/// it almost every round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// Service area the observer assumes (must contain the workload).
+    pub area: BBox,
+    /// Cells per side of the HMM discretization grid.
+    pub grid_size: u32,
+    /// Seconds between rounds, as estimated by the observer.
+    pub tick: f64,
+    /// Fastest plausible mover in m/s; drives both the velocity gate and
+    /// the Viterbi free-transition radius.
+    pub max_speed: f64,
+    /// Largest plausible heading change (degrees) between two consecutive
+    /// *long* steps — momentum makes reversals at speed implausible.
+    pub max_turn_deg: f64,
+    /// Steps shorter than this (meters) never trigger the turn gate:
+    /// below it, dwells and GPS noise dominate heading.
+    pub min_turn_step: f64,
+    /// Viterbi cost per grid ring beyond the plausible reach; only the
+    /// relative scale matters.
+    pub ring_penalty: f64,
+}
+
+impl AttackConfig {
+    /// Defaults matching the engine's Nara setting.
+    pub fn nara_default() -> Self {
+        AttackConfig {
+            area: BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0))
+                .expect("static bounds"),
+            grid_size: 24,
+            tick: 30.0,
+            max_speed: 7.0,
+            max_turn_deg: 150.0,
+            min_turn_step: 250.0,
+            ring_penalty: 1.0,
+        }
+    }
+
+    /// Largest plausible per-round displacement in meters.
+    pub fn max_step(&self) -> f64 {
+        self.max_speed * self.tick
+    }
+
+    /// The HMM discretization grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate area/grid combination — configs are
+    /// attack-setup internals where that is a bug.
+    pub fn grid(&self) -> Grid {
+        Grid::square(self.area, self.grid_size).expect("valid attack grid")
+    }
+
+    /// Chebyshev cell distance reachable by a plausible mover in one
+    /// round; transitions within this many rings cost nothing.
+    pub fn free_ring(&self, grid: &Grid) -> u32 {
+        let cell = grid.cell_width().min(grid.cell_height());
+        (self.max_step() / cell).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nara_default_is_consistent() {
+        let cfg = AttackConfig::nara_default();
+        assert!((cfg.max_step() - 210.0).abs() < 1e-9);
+        let grid = cfg.grid();
+        // 2000 m / 24 cells ≈ 83 m: a 210 m reach spans 3 rings.
+        assert_eq!(cfg.free_ring(&grid), 3);
+        // The turn gate must sit above the fastest legitimate step, or
+        // the true track would accumulate false violations.
+        assert!(cfg.min_turn_step > cfg.max_step());
+    }
+}

@@ -1,0 +1,255 @@
+//! Cross-pseudonym linkage: re-identifying users across pseudonym
+//! changes.
+//!
+//! Rotating pseudonyms only helps if the observer cannot stitch the old
+//! stream to the new one. This attack tries exactly that, from motion
+//! continuity alone:
+//!
+//! 1. every segment is decoded with the full pipeline
+//!    ([`StreamDecoder`](crate::pipeline::StreamDecoder)), yielding the
+//!    most plausible trajectory *within* the segment — its head
+//!    (decoded start) and tail (decoded end plus last per-round step);
+//! 2. at each rotation boundary, every old segment's tail is
+//!    extrapolated across the gap (`tail + step · gap_rounds` — silent
+//!    rounds widen the gap and blur the prediction);
+//! 3. predicted positions are matched to the new segments' decoded
+//!    heads by minimum-cost assignment, with a
+//!    [`GridIndex`](dummyloc_index::GridIndex) pre-pass that caps the
+//!    candidate set per tail (far-away heads get a flat large cost).
+//!
+//! The relink rate — matched pairs that really belong to the same user —
+//! measures how much anonymity the pseudonym switch bought: 1 means
+//! rotation was cosmetic, `1/users` means the observer is guessing.
+//! Dummies help here too: with `k` dummies per request the decoded tail
+//! is the *dummy's* tail `k/(k+1)` of the time, so the prediction points
+//! somewhere useless and the relink rate collapses toward chance.
+
+use dummyloc_core::hungarian::min_cost_assignment;
+use dummyloc_geo::Point;
+use dummyloc_index::{GridIndex, PointIndex};
+use serde::{Deserialize, Serialize};
+
+use crate::observe::SegmentObservation;
+use crate::pipeline::StreamDecoder;
+use crate::AttackConfig;
+
+/// Flat cost assigned to pairs the index pre-pass ruled out; finite (the
+/// assignment solver requires it) but far above any real distance.
+const FAR_COST: f64 = 1.0e9;
+
+/// How many nearest heads each tail keeps as real candidates.
+const NEIGHBORS: usize = 8;
+
+/// Outcome of the linkage attack over one observed session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkageOutcome {
+    /// Rotation boundaries examined (old/new segment pairs per user).
+    pub boundaries: usize,
+    /// Tail→head matches that named the right user.
+    pub correct: usize,
+}
+
+impl LinkageOutcome {
+    /// Fraction of boundary crossings the observer re-linked correctly.
+    pub fn relink_rate(&self) -> f64 {
+        if self.boundaries == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.boundaries as f64
+        }
+    }
+}
+
+struct DecodedSegment {
+    user: usize,
+    start_round: usize,
+    last_round: usize,
+    head: Point,
+    tail: Point,
+    step: (f64, f64),
+}
+
+fn decode(seg: &SegmentObservation, config: &AttackConfig) -> Option<DecodedSegment> {
+    let mut decoder = StreamDecoder::new(config);
+    for r in &seg.requests {
+        decoder.push_request(r);
+    }
+    let verdict = decoder.finish()?;
+    Some(DecodedSegment {
+        user: seg.user,
+        start_round: seg.start_round,
+        last_round: seg.start_round + verdict.rounds - 1,
+        head: verdict.path.start,
+        tail: verdict.path.tail,
+        step: verdict.path.tail_step.unwrap_or((0.0, 0.0)),
+    })
+}
+
+/// Runs the linkage attack over a session's segments (as produced by
+/// [`observe`](crate::observe::observe) with rotation enabled).
+///
+/// Segments are grouped by ordinal: boundary `g` matches every user's
+/// segment `g` against every user's segment `g + 1`. Users missing
+/// either side of a boundary sit that boundary out.
+pub fn relink(segments: &[SegmentObservation], config: &AttackConfig) -> LinkageOutcome {
+    let max_segment = segments.iter().map(|s| s.segment).max().unwrap_or(0);
+    let mut outcome = LinkageOutcome {
+        boundaries: 0,
+        correct: 0,
+    };
+    for g in 0..max_segment {
+        let tails: Vec<DecodedSegment> = segments
+            .iter()
+            .filter(|s| s.segment == g)
+            .filter_map(|s| decode(s, config))
+            .collect();
+        let heads: Vec<DecodedSegment> = segments
+            .iter()
+            .filter(|s| s.segment == g + 1)
+            .filter_map(|s| decode(s, config))
+            .collect();
+        if tails.is_empty() || heads.is_empty() {
+            continue;
+        }
+
+        // Index the decoded heads so each tail only prices its local
+        // neighborhood exactly; everything else gets the flat far cost.
+        let mut index: GridIndex<usize> = GridIndex::new(config.grid());
+        for (j, h) in heads.iter().enumerate() {
+            index
+                .insert(config.area.clamp(h.head), j)
+                .expect("clamped point is inside the area");
+        }
+
+        let predictions: Vec<Point> = tails
+            .iter()
+            .map(|t| {
+                let gap = heads
+                    .iter()
+                    .map(|h| h.start_round.saturating_sub(t.last_round))
+                    .min()
+                    .unwrap_or(1)
+                    .max(1) as f64;
+                Point::new(t.tail.x + t.step.0 * gap, t.tail.y + t.step.1 * gap)
+            })
+            .collect();
+
+        // tails ≤ heads is guaranteed per boundary only when counts
+        // match; transpose if rotation left fewer heads.
+        let (rows, cols, transposed) = if tails.len() <= heads.len() {
+            (tails.len(), heads.len(), false)
+        } else {
+            (heads.len(), tails.len(), true)
+        };
+        let mut matrix = vec![vec![FAR_COST; cols]; rows];
+        for (i, p) in predictions.iter().enumerate() {
+            for e in index.k_nearest(config.area.clamp(*p), NEIGHBORS) {
+                let j = *e.item();
+                let d = p.distance(&heads[j].head);
+                if transposed {
+                    matrix[j][i] = d;
+                } else {
+                    matrix[i][j] = d;
+                }
+            }
+        }
+        let (assignment, _) = min_cost_assignment(&matrix);
+        outcome.boundaries += rows.min(tails.len());
+        for (r, &c) in assignment.iter().enumerate() {
+            let (tail, head) = if transposed { (c, r) } else { (r, c) };
+            if tails[tail].user == heads[head].user {
+                outcome.correct += 1;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_core::client::Request;
+
+    fn cfg() -> AttackConfig {
+        AttackConfig::nara_default()
+    }
+
+    /// A bare (no-dummy) segment walking east at 60 m/round.
+    fn walker_segment(
+        user: usize,
+        segment: usize,
+        start_round: usize,
+        origin: Point,
+        rounds: usize,
+    ) -> SegmentObservation {
+        let requests = (0..rounds)
+            .map(|t| Request {
+                pseudonym: format!("u{user}#{segment}"),
+                positions: vec![Point::new(
+                    origin.x + (start_round + t) as f64 * 60.0,
+                    origin.y,
+                )],
+            })
+            .collect();
+        SegmentObservation {
+            user,
+            segment,
+            start_round,
+            requests,
+            final_truth_index: 0,
+        }
+    }
+
+    #[test]
+    fn bare_streams_relink_perfectly() {
+        // Three users on parallel lanes, one rotation, no silence: the
+        // extrapolated tails land exactly on the next heads.
+        let mut segments = Vec::new();
+        for u in 0..3 {
+            let origin = Point::new(0.0, 300.0 + u as f64 * 500.0);
+            segments.push(walker_segment(u, 0, 0, origin, 8));
+            segments.push(walker_segment(u, 1, 8, origin, 8));
+        }
+        let out = relink(&segments, &cfg());
+        assert_eq!(out.boundaries, 3);
+        assert_eq!(out.correct, 3);
+        assert!((out.relink_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffled_users_still_relink_by_continuity() {
+        // Same setup but the users' segment order in the slice is mixed:
+        // matching must go by motion, not by position in the input.
+        let mut segments = Vec::new();
+        for &u in &[2usize, 0, 1] {
+            let origin = Point::new(0.0, 300.0 + u as f64 * 500.0);
+            segments.push(walker_segment(u, 1, 8, origin, 8));
+            segments.push(walker_segment(u, 0, 0, origin, 8));
+        }
+        let out = relink(&segments, &cfg());
+        assert_eq!(out.correct, 3);
+    }
+
+    #[test]
+    fn no_rotation_means_no_boundaries() {
+        let segments = vec![walker_segment(0, 0, 0, Point::new(0.0, 500.0), 8)];
+        let out = relink(&segments, &cfg());
+        assert_eq!(out.boundaries, 0);
+        assert_eq!(out.relink_rate(), 0.0);
+    }
+
+    #[test]
+    fn uneven_segment_counts_are_tolerated() {
+        // User 1 disappears after the rotation: the remaining boundary
+        // still scores, transposition handles tails > heads.
+        let mut segments = Vec::new();
+        for u in 0..2 {
+            let origin = Point::new(0.0, 400.0 + u as f64 * 700.0);
+            segments.push(walker_segment(u, 0, 0, origin, 8));
+        }
+        segments.push(walker_segment(0, 1, 8, Point::new(0.0, 400.0), 8));
+        let out = relink(&segments, &cfg());
+        assert_eq!(out.boundaries, 1);
+        assert_eq!(out.correct, 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Observer-side stream synthesis.
+//!
+//! The attack experiments need exactly what a curious service provider
+//! holds: per-pseudonym request streams, with ground truth kept on the
+//! side for scoring. This module drives the core client loop over a
+//! workload — every round each user reports its true position plus `k`
+//! dummies, MLN-style generators see the previous round's other-users
+//! density, and pseudonyms optionally rotate — and returns the streams
+//! segment by segment. It intentionally mirrors the engine's client loop
+//! rather than depending on `dummyloc-ext` (the extension crate sits
+//! *above* this one in the dependency order, so it can register the
+//! attack experiments).
+
+use dummyloc_core::client::{Client, Request};
+use dummyloc_core::generator::{DummyGenerator, NoDensity, OthersDensity};
+use dummyloc_core::population::PopulationGrid;
+use dummyloc_geo::rng::{derive_seed, rng_from_seed};
+use dummyloc_geo::{BBox, Grid, Point};
+use dummyloc_trajectory::Dataset;
+
+/// Pseudonym rotation policy for [`observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rotation {
+    /// Rounds per pseudonym segment (≥ 1).
+    pub period: usize,
+    /// Silent rounds between segments; the user keeps moving but reports
+    /// nothing.
+    pub silent_rounds: usize,
+}
+
+/// Configuration of one observed session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObserveConfig {
+    /// Service area (must contain the workload).
+    pub area: BBox,
+    /// Region grid for the MLN density view.
+    pub grid_size: u32,
+    /// Dummies per user.
+    pub dummies: usize,
+    /// Seconds between rounds.
+    pub tick: f64,
+    /// Master seed for client randomness.
+    pub seed: u64,
+    /// Pseudonym rotation, or `None` for one segment per user.
+    pub rotation: Option<Rotation>,
+}
+
+impl ObserveConfig {
+    /// Defaults matching the engine's Nara setting.
+    pub fn nara_default(seed: u64) -> Self {
+        ObserveConfig {
+            area: BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0))
+                .expect("static bounds"),
+            grid_size: 12,
+            dummies: 3,
+            tick: 30.0,
+            seed,
+            rotation: None,
+        }
+    }
+}
+
+/// One pseudonym segment as the observer sees it, with the ground truth
+/// the experiments score against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentObservation {
+    /// Ground-truth user index in the workload.
+    pub user: usize,
+    /// Segment ordinal for that user (0 = before any rotation).
+    pub segment: usize,
+    /// Global round index of the segment's first request.
+    pub start_round: usize,
+    /// Requests in time order (shared pseudonym).
+    pub requests: Vec<Request>,
+    /// Index of the true position in the final request.
+    pub final_truth_index: usize,
+}
+
+/// Runs the client loop and returns every pseudonym segment, ordered by
+/// user then segment. `make_generator` is called once per user; the
+/// generator instance persists across that user's segments, but dummy
+/// positions are re-initialized at each segment start (a fresh pseudonym
+/// must not inherit linkable dummies).
+///
+/// # Panics
+///
+/// Panics if the workload has no common window, leaves the area, or the
+/// configuration is degenerate — observation runs are experiment
+/// internals where these are setup bugs.
+pub fn observe<F>(
+    fleet: &Dataset,
+    config: &ObserveConfig,
+    mut make_generator: F,
+) -> Vec<SegmentObservation>
+where
+    F: FnMut(usize) -> Box<dyn DummyGenerator>,
+{
+    assert!(
+        config.tick.is_finite() && config.tick > 0.0,
+        "tick must be positive"
+    );
+    if let Some(r) = config.rotation {
+        assert!(r.period >= 1, "rotation period must be at least 1 round");
+    }
+    let (start, end) = fleet
+        .common_time_range()
+        .expect("workload has a common window");
+    let grid = Grid::square(config.area, config.grid_size).expect("valid grid config");
+    let users = fleet.len();
+
+    let mut clients: Vec<Client<Box<dyn DummyGenerator>>> = (0..users)
+        .map(|i| Client::new(fleet.tracks()[i].id(), make_generator(i), config.dummies))
+        .collect();
+    let mut rngs: Vec<_> = (0..users)
+        .map(|i| rng_from_seed(derive_seed(config.seed, i as u64)))
+        .collect();
+
+    let rounds = ((end - start) / config.tick).floor() as usize + 1;
+    let mut done: Vec<Vec<SegmentObservation>> = vec![Vec::new(); users];
+    let mut current: Vec<SegmentObservation> = (0..users)
+        .map(|user| SegmentObservation {
+            user,
+            segment: 0,
+            start_round: 0,
+            requests: Vec::new(),
+            final_truth_index: 0,
+        })
+        .collect();
+    let mut prev_pop: Option<PopulationGrid> = None;
+    let mut emitted_in_segment = 0usize;
+    let mut silence_left = 0usize;
+
+    for round in 0..rounds {
+        let t = start + round as f64 * config.tick;
+        if silence_left > 0 {
+            // Radio silence: everyone moves, nobody transmits; the
+            // observer's density snapshot goes stale.
+            silence_left -= 1;
+            prev_pop = None;
+            continue;
+        }
+        let snapshot = fleet.snapshot(t);
+        let mut pop = PopulationGrid::empty(&grid);
+        for (i, maybe_pos) in snapshot.positions().iter().enumerate() {
+            let pos = maybe_pos.expect("common window guarantees activity");
+            let fresh_segment = current[i].requests.is_empty();
+            let out = if fresh_segment {
+                current[i].start_round = round;
+                clients[i].reset();
+                clients[i]
+                    .begin(&mut rngs[i], pos)
+                    .expect("position inside area")
+            } else {
+                match &prev_pop {
+                    Some(density) => {
+                        let own_prev: &[Point] = current[i]
+                            .requests
+                            .last()
+                            .map(|r| r.positions.as_slice())
+                            .unwrap_or(&[]);
+                        let view = OthersDensity::new(density, own_prev);
+                        clients[i]
+                            .step(&mut rngs[i], pos, &view)
+                            .expect("position inside area")
+                    }
+                    None => clients[i]
+                        .step(&mut rngs[i], pos, &NoDensity)
+                        .expect("position inside area"),
+                }
+            };
+            for &p in &out.request.positions {
+                pop.add(p).expect("reported positions stay inside the area");
+            }
+            // Segments get distinct pseudonyms so the observer cannot key
+            // on the identifier.
+            let mut request = out.request;
+            request.pseudonym = format!("{}#{}", request.pseudonym, current[i].segment);
+            current[i].final_truth_index = out.truth_index;
+            current[i].requests.push(request);
+        }
+        prev_pop = Some(pop);
+        emitted_in_segment += 1;
+
+        if let Some(r) = config.rotation {
+            if emitted_in_segment >= r.period {
+                for i in 0..users {
+                    let segment = current[i].segment + 1;
+                    let seg = std::mem::replace(
+                        &mut current[i],
+                        SegmentObservation {
+                            user: i,
+                            segment,
+                            start_round: 0,
+                            requests: Vec::new(),
+                            final_truth_index: 0,
+                        },
+                    );
+                    done[i].push(seg);
+                }
+                emitted_in_segment = 0;
+                silence_left = r.silent_rounds;
+                prev_pop = None;
+            }
+        }
+    }
+    for i in 0..users {
+        if !current[i].requests.is_empty() {
+            let seg = std::mem::take(&mut current[i].requests);
+            done[i].push(SegmentObservation {
+                requests: seg,
+                ..current[i].clone()
+            });
+        }
+    }
+    done.into_iter().flatten().collect()
+}
+
+/// Flattens observations into the `(stream, truth)` pairs the core
+/// adversary API consumes.
+pub fn into_streams(segments: Vec<SegmentObservation>) -> Vec<(Vec<Request>, usize)> {
+    segments
+        .into_iter()
+        .map(|s| (s.requests, s.final_truth_index))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_core::generator::MnGenerator;
+    use dummyloc_sim::workload;
+
+    fn fleet() -> Dataset {
+        workload::nara_fleet_sized(4, 600.0, 11)
+    }
+
+    fn mn_factory(area: BBox) -> impl FnMut(usize) -> Box<dyn DummyGenerator> {
+        move |_| Box::new(MnGenerator::new(area, 120.0).expect("valid m"))
+    }
+
+    #[test]
+    fn non_rotating_observation_is_one_segment_per_user() {
+        let config = ObserveConfig::nara_default(3);
+        let segs = observe(&fleet(), &config, mn_factory(config.area));
+        assert_eq!(segs.len(), 4);
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.user, i);
+            assert_eq!(s.segment, 0);
+            assert_eq!(s.start_round, 0);
+            // 600 s at 30 s tick → 21 rounds, 1 + 3 candidates each.
+            assert_eq!(s.requests.len(), 21);
+            assert!(s.requests.iter().all(|r| r.positions.len() == 4));
+            assert!(s.final_truth_index < 4);
+        }
+    }
+
+    #[test]
+    fn rotation_records_segment_start_rounds() {
+        let mut config = ObserveConfig::nara_default(3);
+        config.rotation = Some(Rotation {
+            period: 8,
+            silent_rounds: 2,
+        });
+        let segs = observe(&fleet(), &config, mn_factory(config.area));
+        // 21 rounds: 8 + silence 2 + 8 + silence 2 + 1 → 3 segments/user.
+        assert_eq!(segs.len(), 12);
+        let u0: Vec<_> = segs.iter().filter(|s| s.user == 0).collect();
+        assert_eq!(
+            u0.iter().map(|s| s.start_round).collect::<Vec<_>>(),
+            vec![0, 10, 20]
+        );
+        assert_eq!(u0[0].requests.len(), 8);
+        assert_eq!(u0[2].requests.len(), 1);
+        // Pseudonyms differ across segments and agree within.
+        let p0 = &u0[0].requests[0].pseudonym;
+        assert!(u0[0].requests.iter().all(|r| &r.pseudonym == p0));
+        assert_ne!(p0, &u0[1].requests[0].pseudonym);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = ObserveConfig::nara_default(5);
+        let f = fleet();
+        let a = observe(&f, &config, mn_factory(config.area));
+        let b = observe(&f, &config, mn_factory(config.area));
+        assert_eq!(a, b);
+        let mut config2 = config;
+        config2.seed = 6;
+        let c = observe(&f, &config2, mn_factory(config.area));
+        assert_ne!(a, c);
+    }
+}

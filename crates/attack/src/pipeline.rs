@@ -1,0 +1,352 @@
+//! The composed attack pipeline: filters prune, Viterbi scores.
+//!
+//! [`StreamDecoder`] runs the [`ChainTracker`](crate::filters::ChainTracker)
+//! and the [`ViterbiDecoder`](crate::viterbi::ViterbiDecoder) side by
+//! side over one pseudonym stream, round by round, in O(candidates)
+//! memory. At the end, candidates whose chain violated a plausibility
+//! gate are excluded and the minimum-cost Viterbi path over the
+//! survivors is the observer's guess (falling back to all candidates if
+//! the gates were too aggressive).
+//!
+//! [`PipelineTracker`] packages that as a core
+//! [`Adversary`](dummyloc_core::adversary::Adversary) so it slots into
+//! the existing identification-rate machinery, and
+//! [`attack_storage`]/[`attack_observer_log`] walk a whole observer
+//! state — any durable [`Storage`](dummyloc_store::Storage) backend or
+//! an in-memory [`ObserverLog`] — via the streaming per-pseudonym scan,
+//! never materializing a stream as a `Vec`.
+
+use dummyloc_core::adversary::Adversary;
+use dummyloc_core::client::Request;
+use dummyloc_lbs::provider::ObserverLog;
+use dummyloc_store::{Storage, StoreResult};
+use dummyloc_telemetry::Telemetry;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::filters::ChainTracker;
+use crate::viterbi::{BestPath, ViterbiDecoder};
+use crate::AttackConfig;
+
+/// What the pipeline concluded about one pseudonym stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamVerdict {
+    /// Rounds observed.
+    pub rounds: usize,
+    /// Candidates in the final round (`1 + k` under full adoption).
+    pub candidates: usize,
+    /// Chains that passed every plausibility gate.
+    pub plausible: usize,
+    /// Whether the filters actually narrowed the Viterbi choice.
+    pub gated: bool,
+    /// The decoded path (guess = `path.final_index`).
+    pub path: BestPath,
+}
+
+/// Streaming per-pseudonym attack state; feed rounds with
+/// [`push_request`](Self::push_request), read [`finish`](Self::finish).
+#[derive(Debug, Clone)]
+pub struct StreamDecoder {
+    chains: ChainTracker,
+    viterbi: ViterbiDecoder,
+}
+
+impl StreamDecoder {
+    /// A fresh decoder for one pseudonym.
+    pub fn new(config: &AttackConfig) -> Self {
+        StreamDecoder {
+            chains: ChainTracker::new(config),
+            viterbi: ViterbiDecoder::new(config),
+        }
+    }
+
+    /// Feeds one round of candidate positions.
+    pub fn push(&mut self, positions: &[dummyloc_geo::Point]) {
+        self.chains.push(positions);
+        self.viterbi.push(positions);
+    }
+
+    /// Feeds one observed request.
+    pub fn push_request(&mut self, request: &Request) {
+        self.push(&request.positions);
+    }
+
+    /// The pipeline's verdict, or `None` for an empty stream.
+    pub fn finish(&self) -> Option<StreamVerdict> {
+        let survivors = self.chains.plausible_indices();
+        let candidates = self.viterbi.costs().len();
+        let gated = !survivors.is_empty() && survivors.len() < candidates;
+        let path = if survivors.is_empty() {
+            // Gates pruned everyone (bounds too tight for this stream):
+            // fall back to the unrestricted decoder.
+            self.viterbi.best()?
+        } else {
+            self.viterbi.best_among(&survivors)?
+        };
+        Some(StreamVerdict {
+            rounds: self.viterbi.rounds(),
+            candidates,
+            plausible: survivors.len(),
+            gated,
+            path,
+        })
+    }
+}
+
+/// The full pipeline as a core adversary: consistency filters, then
+/// Viterbi decoding among the survivors.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineTracker {
+    config: AttackConfig,
+}
+
+impl PipelineTracker {
+    /// A pipeline with the given tuning.
+    pub fn new(config: AttackConfig) -> Self {
+        PipelineTracker { config }
+    }
+
+    /// Runs the pipeline over a complete stream.
+    pub fn verdict(&self, requests: &[Request]) -> Option<StreamVerdict> {
+        let mut decoder = StreamDecoder::new(&self.config);
+        for r in requests {
+            decoder.push_request(r);
+        }
+        decoder.finish()
+    }
+}
+
+impl Adversary for PipelineTracker {
+    fn name(&self) -> &'static str {
+        "attack-pipeline"
+    }
+
+    fn identify(&self, _rng: &mut dyn RngCore, requests: &[Request]) -> Option<usize> {
+        self.verdict(requests).map(|v| v.path.final_index)
+    }
+}
+
+/// One line of an attack run over stored observer state. Ground truth is
+/// not in the store, so this reports the guess and its evidence, not a
+/// hit/miss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PseudonymReport {
+    /// The attacked pseudonym.
+    pub pseudonym: String,
+    /// Rounds observed.
+    pub rounds: usize,
+    /// Candidates in the final round.
+    pub candidates: usize,
+    /// Chains that passed every plausibility gate.
+    pub plausible: usize,
+    /// Guessed index of the true position in the final request.
+    pub guess: usize,
+    /// Viterbi cost of the decoded path.
+    pub cost: f64,
+    /// Runner-up cost minus decoded cost (confidence; 0 on a tie).
+    pub margin: f64,
+}
+
+fn report_for(pseudonym: &str, verdict: &StreamVerdict) -> PseudonymReport {
+    PseudonymReport {
+        pseudonym: pseudonym.to_string(),
+        rounds: verdict.rounds,
+        candidates: verdict.candidates,
+        plausible: verdict.plausible,
+        guess: verdict.path.final_index,
+        cost: verdict.path.cost,
+        margin: verdict.path.margin,
+    }
+}
+
+fn attack_streams<'a, I, S>(
+    pseudonyms: Vec<String>,
+    open: I,
+    config: &AttackConfig,
+    telemetry: Option<&Telemetry>,
+) -> StoreResult<Vec<PseudonymReport>>
+where
+    I: Fn(&str) -> StoreResult<S>,
+    S: Iterator<Item = StoreResult<Request>> + 'a,
+{
+    let mut reports = Vec::with_capacity(pseudonyms.len());
+    for name in &pseudonyms {
+        let _span = telemetry.map(|t| t.span("attack.stream"));
+        let mut decoder = StreamDecoder::new(config);
+        for request in open(name)? {
+            decoder.push_request(&request?);
+        }
+        let Some(verdict) = decoder.finish() else {
+            continue;
+        };
+        if let Some(t) = telemetry {
+            t.registry.counter("attack.streams").inc();
+            t.registry
+                .counter("attack.rounds")
+                .add(verdict.rounds as u64);
+            t.registry
+                .counter("attack.pruned_chains")
+                .add((verdict.candidates - verdict.plausible) as u64);
+        }
+        reports.push(report_for(name, &verdict));
+    }
+    Ok(reports)
+}
+
+/// Attacks every pseudonym held by a storage backend, streaming each
+/// stream via [`Storage::scan_stream`] (works on cold durable logs
+/// larger than RAM). Reports are ordered by pseudonym so runs over
+/// different backends holding the same data compare bytewise.
+pub fn attack_storage(
+    storage: &dyn Storage,
+    config: &AttackConfig,
+    telemetry: Option<&Telemetry>,
+) -> StoreResult<Vec<PseudonymReport>> {
+    let mut pseudonyms = storage.pseudonym_list();
+    pseudonyms.sort();
+    attack_streams(
+        pseudonyms,
+        |name| {
+            Ok(storage
+                .scan_stream(name)?
+                .map(|r| r.map(|record| record.request)))
+        },
+        config,
+        telemetry,
+    )
+}
+
+/// Attacks every pseudonym in an observer log (any backend).
+pub fn attack_observer_log(
+    log: &ObserverLog,
+    config: &AttackConfig,
+    telemetry: Option<&Telemetry>,
+) -> StoreResult<Vec<PseudonymReport>> {
+    let mut pseudonyms = log.pseudonyms().to_vec();
+    pseudonyms.sort();
+    attack_streams(pseudonyms, |name| log.scan_stream(name), config, telemetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dummyloc_geo::rng::rng_from_seed;
+    use dummyloc_geo::Point;
+    use dummyloc_store::{LogStore, LogStoreConfig, MemoryBackend, StoreRecord};
+
+    fn cfg() -> AttackConfig {
+        AttackConfig::nara_default()
+    }
+
+    /// Candidate 0 teleports, candidate 1 walks smoothly.
+    fn telltale_stream() -> Vec<Request> {
+        (0..12)
+            .map(|t| Request {
+                pseudonym: "p".into(),
+                positions: vec![
+                    Point::new((t * 701 % 1900) as f64, (t * 997 % 1900) as f64),
+                    Point::new(100.0 + t as f64 * 60.0, 500.0),
+                ],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_catches_the_teleporter() {
+        let adv = PipelineTracker::new(cfg());
+        let mut rng = rng_from_seed(1);
+        assert_eq!(adv.identify(&mut rng, &telltale_stream()), Some(1));
+        let v = adv.verdict(&telltale_stream()).expect("non-empty");
+        assert_eq!(v.candidates, 2);
+        assert_eq!(v.plausible, 1);
+        assert!(v.gated);
+        assert_eq!(v.rounds, 12);
+    }
+
+    #[test]
+    fn empty_stream_has_no_verdict() {
+        let adv = PipelineTracker::new(cfg());
+        let mut rng = rng_from_seed(2);
+        assert_eq!(adv.identify(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn all_smooth_stream_falls_to_index_tiebreak() {
+        let requests: Vec<Request> = (0..10)
+            .map(|t| Request {
+                pseudonym: "p".into(),
+                positions: vec![
+                    Point::new(t as f64 * 40.0, 200.0),
+                    Point::new(1800.0 - t as f64 * 40.0, 1800.0),
+                ],
+            })
+            .collect();
+        let v = PipelineTracker::new(cfg())
+            .verdict(&requests)
+            .expect("non-empty");
+        assert_eq!(v.plausible, 2);
+        assert!(!v.gated);
+        assert_eq!(v.path.final_index, 0);
+        assert_eq!(v.path.cost, 0.0);
+    }
+
+    #[test]
+    fn storage_attack_matches_in_memory_attack_across_backends() {
+        let config = cfg();
+        let streams: Vec<Vec<Request>> = vec![telltale_stream(), {
+            let mut s = telltale_stream();
+            for r in &mut s {
+                r.pseudonym = "q".into();
+                r.positions.reverse();
+            }
+            s
+        }];
+
+        let mut log = ObserverLog::default();
+        let dir = std::env::temp_dir().join("dummyloc-attack-pipeline-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut store, _recovery) =
+            LogStore::open(LogStoreConfig::new(dir)).expect("open scratch store");
+        let mut seq = 0u64;
+        for stream in &streams {
+            for (i, r) in stream.iter().enumerate() {
+                log.record(i as f64, r);
+                store
+                    .append(StoreRecord {
+                        t: i as f64,
+                        seq,
+                        request_id: None,
+                        request: r.clone(),
+                    })
+                    .expect("append");
+                seq += 1;
+            }
+        }
+
+        let from_log = attack_observer_log(&log, &config, None).expect("log attack");
+        let from_store = attack_storage(&store, &config, None).expect("store attack");
+        let from_memory =
+            attack_storage(&MemoryBackend::default(), &config, None).expect("empty attack");
+        assert_eq!(from_log, from_store);
+        assert!(from_memory.is_empty());
+        assert_eq!(from_log.len(), 2);
+        assert_eq!(from_log[0].pseudonym, "p");
+        assert_eq!(from_log[0].guess, 1);
+        // "q" is "p" with slots reversed: the smooth walker is index 0.
+        assert_eq!(from_log[1].guess, 0);
+    }
+
+    #[test]
+    fn telemetry_counts_streams_rounds_and_pruning() {
+        let t = Telemetry::new(16);
+        let mut log = ObserverLog::default();
+        for (i, r) in telltale_stream().iter().enumerate() {
+            log.record(i as f64, r);
+        }
+        attack_observer_log(&log, &cfg(), Some(&t)).expect("attack");
+        let m = t.registry.snapshot();
+        assert_eq!(m.counter("attack.streams"), Some(1));
+        assert_eq!(m.counter("attack.rounds"), Some(12));
+        assert_eq!(m.counter("attack.pruned_chains"), Some(1));
+    }
+}

@@ -1,0 +1,5 @@
+//! Adversary sweep: cross-pseudonym linkage across rotation boundaries.
+
+fn main() {
+    dummyloc_bench::run_named("attack-linkage");
+}

@@ -1,0 +1,5 @@
+//! Adversary sweep: the attack pipeline against MN dummies.
+
+fn main() {
+    dummyloc_bench::run_named("attack-mn");
+}

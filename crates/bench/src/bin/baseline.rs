@@ -7,7 +7,11 @@
 //!    measured serially and through [`ParallelEngine`]; the two outcomes
 //!    are asserted identical before either number is reported),
 //! 2. the experiment harness (fig7/fig8 quick runs → wall seconds),
-//! 3. the TCP service (in-process server + seeded loadgen → throughput
+//! 3. the adversary pipeline (`attack` section: identification rate vs
+//!    `k` for random/MN/MLN dummies plus wall time, with the headline
+//!    ordering — random shredded, MN/MLN near chance — asserted before
+//!    the numbers are written),
+//! 4. the TCP service (in-process server + seeded loadgen → throughput
 //!    and p50/p99/p99.9 latency), measured twice: without a WAL and with
 //!    the observer WAL at `fsync=always`, so the durability tax is a
 //!    first-class number in `BENCH_baseline.json` (`server` vs
@@ -139,12 +143,39 @@ struct StoreRecoveryPoint {
     speedup: f64,
 }
 
+/// One `k` of the adversary sweep: the full attack pipeline (consistency
+/// filters + Viterbi decoding) against each dummy algorithm.
+#[derive(Serialize)]
+struct AttackPoint {
+    k: usize,
+    /// The `1/(k+1)` chance floor.
+    chance: f64,
+    /// Pipeline identification rate against teleporting random dummies.
+    random_rate: f64,
+    /// Pipeline identification rate against MN dummies.
+    mn_rate: f64,
+    /// Pipeline identification rate against MLN dummies.
+    mln_rate: f64,
+}
+
+/// The adversary subsystem's headline result as a regression-pinned
+/// number: random dummies are shredded while MN/MLN hold the pipeline
+/// near the chance floor. Both claims are asserted before the numbers
+/// are reported.
+#[derive(Serialize)]
+struct AttackBaseline {
+    users: usize,
+    wall_secs: f64,
+    points: Vec<AttackPoint>,
+}
+
 /// The whole `BENCH_baseline.json` document.
 #[derive(Serialize)]
 struct Baseline {
     seed: u64,
     sim: SimBaseline,
     experiments: Vec<ExperimentBaseline>,
+    attack: AttackBaseline,
     server: ServerBaseline,
     server_v4: V4Baseline,
     server_wal: WalBaseline,
@@ -208,6 +239,63 @@ fn measure_experiment(name: &str, seed: u64) -> ExperimentBaseline {
     ExperimentBaseline {
         name: name.to_string(),
         wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn measure_attack(seed: u64, quick: bool) -> AttackBaseline {
+    use dummyloc_attack::experiments::{attack_sweep, GeneratorKind};
+    let (users, duration) = if quick { (8, 600.0) } else { (24, 1800.0) };
+    let fleet = dummyloc_sim::workload::nara_fleet_sized(users, duration, seed);
+    let started = Instant::now();
+    let random = attack_sweep(seed, &fleet, GeneratorKind::Random);
+    let mn = attack_sweep(seed, &fleet, GeneratorKind::Mn);
+    let mln = attack_sweep(seed, &fleet, GeneratorKind::Mln);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let points: Vec<AttackPoint> = random
+        .rows
+        .iter()
+        .zip(&mn.rows)
+        .zip(&mln.rows)
+        .map(|((r, mn), mln)| {
+            assert_eq!(r.k, mn.k);
+            assert_eq!(r.k, mln.k);
+            AttackPoint {
+                k: r.k,
+                chance: r.chance,
+                random_rate: r.pipeline_rate,
+                mn_rate: mn.pipeline_rate,
+                mln_rate: mln.pipeline_rate,
+            }
+        })
+        .collect();
+
+    // The subsystem's reason to exist, enforced where the numbers are
+    // produced: the pipeline shreds inconsistent dummies but stays near
+    // the chance floor against the paper's schemes.
+    for p in &points {
+        assert!(
+            p.random_rate >= 0.75,
+            "pipeline should identify random dummies at k={} (got {})",
+            p.k,
+            p.random_rate
+        );
+        if p.k >= 3 {
+            assert!(
+                p.mn_rate <= p.chance + 0.3 && p.mln_rate <= p.chance + 0.3,
+                "MN/MLN should pin the pipeline near chance at k={} (got {}/{} vs {})",
+                p.k,
+                p.mn_rate,
+                p.mln_rate,
+                p.chance
+            );
+        }
+    }
+
+    AttackBaseline {
+        users: fleet.len(),
+        wall_secs,
+        points,
     }
 }
 
@@ -515,6 +603,7 @@ fn main() {
             measure_experiment("fig7", args.seed),
             measure_experiment("fig8", args.seed),
         ],
+        attack: measure_attack(args.seed, args.quick),
         server,
         server_v4,
         server_wal,
@@ -535,6 +624,21 @@ fn main() {
         baseline.server.p50_us,
         baseline.server.p99_us,
         baseline.server.p999_us,
+    );
+    println!(
+        "baseline: attack ({} users, {:.1}s) {}",
+        baseline.attack.users,
+        baseline.attack.wall_secs,
+        baseline
+            .attack
+            .points
+            .iter()
+            .map(|p| format!(
+                "k={}: random {:.2}, mn {:.2}, mln {:.2} (chance {:.2})",
+                p.k, p.random_rate, p.mn_rate, p.mln_rate, p.chance
+            ))
+            .collect::<Vec<_>>()
+            .join("; "),
     );
     println!(
         "baseline: v4(binary) {:.0} rps at batch={} ({:.2}x vs v3 json); sweep {}",

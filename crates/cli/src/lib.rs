@@ -22,6 +22,8 @@
 //! dummyloc store     stats|digests|compact <dir> [--json]
 //! dummyloc store     export <dir> --out FILE [--chunk N]
 //! dummyloc store     import <dir> (--in FILE | --wal FILE)
+//! dummyloc attack    <dir> [--json out.json] [--grid 24] [--tick 30] \
+//!                    [--max-speed 7]
 //! ```
 //!
 //! The global `--telemetry <dir>` flag (usable with simulate, experiment,
@@ -116,6 +118,11 @@ commands:
                (`store stats <dir> [--json]`, `store digests <dir>`,
                `store compact <dir>`, `store export <dir> --out <file>`,
                `store import <dir> --in <file> | --wal <file>`)
+  attack       run the adversary pipeline (consistency filters + Viterbi
+               decoding) over every pseudonym in a durable observer
+               store (`attack <dir> [--json <file>] [--grid <n>]
+               [--tick <s>] [--max-speed <m/s>]`); streams the store,
+               reports the guessed true position per pseudonym
 
 global flags:
   --telemetry <dir>   write a run manifest (seed, config digest, git rev,
@@ -279,6 +286,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 )));
             }
             cmd_store(sub, dir, &Flags::parse(rest)?)
+        }
+        "attack" => {
+            let Some((dir, rest)) = rest.split_first() else {
+                return Err(CliError::Usage("attack needs a store directory".into()));
+            };
+            if dir.starts_with("--") {
+                return Err(CliError::Usage(
+                    "attack needs the store directory before any flags".into(),
+                ));
+            }
+            cmd_attack(dir, &Flags::parse(rest)?, telemetry)
         }
         "--help" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -656,12 +674,41 @@ fn cmd_manifest_scrub(path: &str, flags: &Flags) -> Result<String, CliError> {
 fn cmd_experiments_list(flags: &Flags) -> Result<String, CliError> {
     let registry = dummyloc_ext::experiments::registry_with_extensions();
     if flags.has("names") {
+        // Scripts iterate this form: keep it flat, one bare name per
+        // line, no grouping.
         return Ok(registry.names().join("\n"));
     }
+    let builtin = dummyloc_sim::experiments::Registry::builtin().names();
+    let family = |name: &str| {
+        if builtin.contains(&name) {
+            "sim"
+        } else if name.starts_with("attack-") {
+            "attack"
+        } else {
+            "ext"
+        }
+    };
     let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
     let mut out = String::new();
-    for e in registry.iter() {
-        let _ = writeln!(out, "{:width$}  {}", e.name(), e.description());
+    for (title, key) in [
+        ("sim — paper artifacts", "sim"),
+        ("ext — extensions beyond the paper", "ext"),
+        ("attack — adversary pipeline", "attack"),
+    ] {
+        let group: Vec<_> = registry
+            .iter()
+            .filter(|e| family(e.name()) == key)
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        if !out.is_empty() {
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "{title}:");
+        for e in group {
+            let _ = writeln!(out, "  {:width$}  {}", e.name(), e.description());
+        }
     }
     Ok(out)
 }
@@ -990,6 +1037,78 @@ fn cmd_store(sub: &str, dir: &str, flags: &Flags) -> Result<String, CliError> {
         }
         _ => unreachable!("subcommand validated above"),
     }
+}
+
+fn cmd_attack(dir: &str, flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
+    use dummyloc_attack::{attack_storage, AttackConfig};
+    use dummyloc_sim::report::{fmt, Table};
+    use dummyloc_store::{LogStore, LogStoreConfig};
+
+    let mut config = AttackConfig::nara_default();
+    config.grid_size = flags.num("grid", config.grid_size)?;
+    config.tick = flags.num("tick", config.tick)?;
+    config.max_speed = flags.num("max-speed", config.max_speed)?;
+    let positive = |v: f64| v.is_finite() && v > 0.0;
+    if config.grid_size == 0 || !positive(config.tick) || !positive(config.max_speed) {
+        return Err(CliError::Usage(
+            "attack needs --grid >= 1 and positive --tick / --max-speed".into(),
+        ));
+    }
+
+    let (store, _info) =
+        LogStore::open(LogStoreConfig::new(dir)).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let started = Instant::now();
+    let bundle = telemetry.map(|_| Telemetry::new(1024));
+    let reports = attack_storage(&store, &config, bundle.as_ref())
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+
+    let mut table = Table::new(
+        format!("attack — {} pseudonym streams in {dir}", reports.len()),
+        &[
+            "pseudonym",
+            "rounds",
+            "candidates",
+            "plausible",
+            "guess",
+            "cost",
+            "margin",
+        ],
+    );
+    for r in &reports {
+        table.row(&[
+            r.pseudonym.clone(),
+            r.rounds.to_string(),
+            r.candidates.to_string(),
+            r.plausible.to_string(),
+            r.guess.to_string(),
+            fmt(r.cost, 1),
+            fmt(r.margin, 1),
+        ]);
+    }
+    let mut out = table.render();
+    if let Some(path) = flags.values.get("json") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&reports).map_err(runtime)?,
+        )
+        .map_err(runtime)?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let (Some(dir_path), Some(t)) = (telemetry, &bundle) {
+        let manifest = RunManifest::capture(
+            "attack",
+            0,
+            &(dir, config.grid_size, config.tick, config.max_speed),
+            &t.registry,
+            reports.len() as u64,
+            started.elapsed(),
+        );
+        let paths = t
+            .write_run(dir_path, "attack", &manifest)
+            .map_err(runtime)?;
+        let _ = writeln!(out, "wrote telemetry to {}", paths.manifest.display());
+    }
+    Ok(out)
 }
 
 fn cmd_loadgen(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError> {
@@ -1600,11 +1719,19 @@ mod tests {
         assert!(listing.contains("fig7"));
         assert!(listing.contains("adoption"));
         assert!(listing.contains("ubiquity"));
+        // The human-facing listing groups by family.
+        assert!(listing.contains("sim — paper artifacts:"), "{listing}");
+        assert!(listing.contains("ext — extensions beyond the paper:"));
+        assert!(listing.contains("attack — adversary pipeline:"));
         let names = run(&args("experiments list --names")).unwrap();
+        // The scriptable form stays flat: bare names, no headers.
+        assert!(!names.contains("paper artifacts"));
         let names: Vec<&str> = names.lines().collect();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 17);
         assert_eq!(names[0], "fig7");
         assert_eq!(names[12], "adoption");
+        assert_eq!(names[13], "attack-random");
+        assert_eq!(names[16], "attack-linkage");
         // `experiments run` and the `experiment` alias agree.
         let via_run = run(&args("experiments run fig2 --quick")).unwrap();
         assert!(via_run.contains("|AS_F|"));
@@ -1622,6 +1749,82 @@ mod tests {
         ));
         assert!(matches!(
             run(&args("experiments run")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn attack_decodes_a_durable_store() {
+        use dummyloc_store::{LogStore, LogStoreConfig, Storage, StoreRecord};
+        let dir = tmp("attack-store");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut store, _info) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        // Candidate 0 teleports around the area; candidate 1 walks.
+        for t in 0u64..10 {
+            store
+                .append(StoreRecord {
+                    t: t as f64,
+                    seq: t,
+                    request_id: None,
+                    request: dummyloc_core::client::Request {
+                        pseudonym: "u-0".into(),
+                        positions: vec![
+                            dummyloc_geo::Point::new(
+                                (t * 701 % 1900) as f64,
+                                (t * 997 % 1900) as f64,
+                            ),
+                            dummyloc_geo::Point::new(100.0 + t as f64 * 60.0, 500.0),
+                        ],
+                    },
+                })
+                .unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+
+        let json_path = tmp("attack-report.json");
+        let out = run(&args(&format!(
+            "attack {} --json {}",
+            dir.display(),
+            json_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("1 pseudonym streams"), "{out}");
+        assert!(out.contains("u-0"), "{out}");
+        let reports: Vec<dummyloc_attack::PseudonymReport> =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].guess, 1);
+        assert_eq!(reports[0].plausible, 1);
+
+        // Telemetry lands a manifest carrying the attack counters.
+        let tdir = tmp("attack-telemetry");
+        run(&args(&format!(
+            "attack {} --telemetry {}",
+            dir.display(),
+            tdir.display()
+        )))
+        .unwrap();
+        let manifest: dummyloc_telemetry::RunManifest = serde_json::from_str(
+            &std::fs::read_to_string(tdir.join("attack.manifest.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(manifest.tool, "attack");
+        assert_eq!(manifest.metrics.counter("attack.streams"), Some(1));
+        assert_eq!(manifest.metrics.counter("attack.rounds"), Some(10));
+
+        // Usage errors: missing dir, flags before dir, bad tuning.
+        assert!(matches!(run(&args("attack")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args("attack --grid 8")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&format!("attack {} --grid 0", dir.display()))),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&format!("attack {} --max-speed -1", dir.display()))),
             Err(CliError::Usage(_))
         ));
     }

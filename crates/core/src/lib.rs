@@ -29,6 +29,8 @@
 //! * [`adversary`] — observer models that try to pick the true position
 //!   out of each request stream; these operationalize "the provider cannot
 //!   distinguish true position data" as a measurable identification rate.
+//! * [`hungarian`] — exact minimum-cost assignment, the linking substrate
+//!   shared by the extension and attack crates' observers.
 //!
 //! # Quickstart
 //!
@@ -74,6 +76,7 @@ pub mod client;
 pub mod cloaking;
 mod error;
 pub mod generator;
+pub mod hungarian;
 pub mod metrics;
 pub mod pool;
 pub mod population;
@@ -82,6 +85,7 @@ pub mod streams;
 pub use client::{Client, Request, Round};
 pub use error::CoreError;
 pub use generator::{DensityView, DummyGenerator, MlnGenerator, MnGenerator, RandomGenerator};
+pub use hungarian::min_cost_assignment;
 pub use metrics::{congestion_p, shift_p, ubiquity_f, ShiftBuckets, ShiftStats};
 pub use pool::{PoolError, Shard, ThreadPool};
 pub use population::PopulationGrid;

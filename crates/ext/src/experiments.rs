@@ -572,11 +572,13 @@ pub fn register_all(registry: &mut Registry) {
     registry.register(Box::new(AdoptionExperiment));
 }
 
-/// The full experiment registry: the paper's nine artifacts plus the four
-/// extensions — what the CLI and the bench binaries resolve names against.
+/// The full experiment registry: the paper's nine artifacts, the four
+/// extensions, and the four adversary (`attack-*`) sweeps — what the CLI
+/// and the bench binaries resolve names against.
 pub fn registry_with_extensions() -> Registry {
     let mut registry = Registry::builtin();
     register_all(&mut registry);
+    dummyloc_attack::experiments::register_all(&mut registry);
     registry
 }
 
@@ -586,19 +588,24 @@ mod tests {
     use dummyloc_sim::workload;
 
     #[test]
-    fn full_registry_has_thirteen_entries_in_order() {
+    fn full_registry_has_seventeen_entries_in_order() {
         let r = registry_with_extensions();
-        assert_eq!(r.len(), 13);
+        assert_eq!(r.len(), 17);
         let names = r.names();
         assert_eq!(names[..9], Registry::builtin().names()[..]);
         assert_eq!(
-            &names[9..],
+            &names[9..13],
             &["ext-tracing", "mix-zones", "realism", "adoption"]
+        );
+        assert_eq!(
+            &names[13..],
+            &["attack-random", "attack-mn", "attack-mln", "attack-linkage"]
         );
         // Registering twice must not duplicate entries.
         let mut again = registry_with_extensions();
         register_all(&mut again);
-        assert_eq!(again.len(), 13);
+        dummyloc_attack::experiments::register_all(&mut again);
+        assert_eq!(again.len(), 17);
     }
 
     fn small_fleet() -> Dataset {

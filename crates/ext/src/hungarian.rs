@@ -1,240 +1,6 @@
-//! Exact minimum-cost assignment (the Hungarian algorithm, `O(n²m)`).
-//!
-//! Used by the [`OptimalTracker`](crate::optimal_tracker::OptimalTracker)
-//! to link candidate positions across rounds and by the
-//! [`mix_zones`](crate::mix_zones) re-linking attack to match streams
-//! across pseudonym changes. The implementation is the classic
-//! potentials-based formulation for rectangular matrices with
-//! `rows ≤ cols`.
+//! Compatibility re-export: the Hungarian solver moved to
+//! [`dummyloc_core::hungarian`] so the `dummyloc-attack` subsystem can
+//! link candidates without depending on this crate. Existing
+//! `dummyloc_ext::hungarian::min_cost_assignment` imports keep working.
 
-/// Solves the assignment problem for a `rows × cols` cost matrix with
-/// `rows ≤ cols`: returns, per row, the column it is assigned, plus the
-/// total cost. Every row is assigned exactly one distinct column.
-///
-/// Costs must be finite. An empty matrix yields an empty assignment.
-///
-/// ```
-/// use dummyloc_ext::hungarian::min_cost_assignment;
-///
-/// let cost = vec![
-///     vec![4.0, 2.0, 8.0],
-///     vec![3.0, 5.0, 9.0],
-///     vec![6.0, 7.0, 2.0],
-/// ];
-/// let (assignment, total) = min_cost_assignment(&cost);
-/// assert_eq!(assignment, vec![1, 0, 2]);
-/// assert_eq!(total, 7.0);
-/// ```
-///
-/// # Panics
-///
-/// Panics if `rows > cols`, rows have inconsistent lengths, or any cost
-/// is non-finite — all programmer errors in matrix construction.
-pub fn min_cost_assignment(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
-    let n = cost.len();
-    if n == 0 {
-        return (Vec::new(), 0.0);
-    }
-    let m = cost[0].len();
-    assert!(
-        n <= m,
-        "assignment needs rows ({n}) <= cols ({m}); transpose the matrix"
-    );
-    for (i, row) in cost.iter().enumerate() {
-        assert_eq!(row.len(), m, "row {i} has inconsistent length");
-        assert!(
-            row.iter().all(|c| c.is_finite()),
-            "row {i} contains a non-finite cost"
-        );
-    }
-
-    // 1-based potentials formulation; p[j] = row matched to column j.
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; m + 1];
-    let mut p = vec![0usize; m + 1];
-    let mut way = vec![0usize; m + 1];
-
-    for i in 1..=n {
-        p[0] = i;
-        let mut j0 = 0usize;
-        let mut minv = vec![f64::INFINITY; m + 1];
-        let mut used = vec![false; m + 1];
-        loop {
-            used[j0] = true;
-            let i0 = p[j0];
-            let mut delta = f64::INFINITY;
-            let mut j1 = 0usize;
-            for j in 1..=m {
-                if !used[j] {
-                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
-                    if cur < minv[j] {
-                        minv[j] = cur;
-                        way[j] = j0;
-                    }
-                    if minv[j] < delta {
-                        delta = minv[j];
-                        j1 = j;
-                    }
-                }
-            }
-            for j in 0..=m {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
-                } else {
-                    minv[j] -= delta;
-                }
-            }
-            j0 = j1;
-            if p[j0] == 0 {
-                break;
-            }
-        }
-        // Augment along the found path.
-        loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
-    }
-
-    let mut assignment = vec![usize::MAX; n];
-    let mut total = 0.0;
-    for j in 1..=m {
-        if p[j] != 0 {
-            assignment[p[j] - 1] = j - 1;
-            total += cost[p[j] - 1][j - 1];
-        }
-    }
-    debug_assert!(assignment.iter().all(|&j| j != usize::MAX));
-    (assignment, total)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Brute-force optimum over all row→column injections.
-    fn brute_force(cost: &[Vec<f64>]) -> f64 {
-        let n = cost.len();
-        let m = cost[0].len();
-        let mut cols: Vec<usize> = (0..m).collect();
-        let mut best = f64::INFINITY;
-        permute(&mut cols, n, &mut |perm| {
-            let total: f64 = perm
-                .iter()
-                .take(n)
-                .enumerate()
-                .map(|(i, &j)| cost[i][j])
-                .sum();
-            if total < best {
-                best = total;
-            }
-        });
-        best
-    }
-
-    /// Enumerates all length-`k` prefixes of permutations of `items`.
-    fn permute(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
-        fn go(items: &mut Vec<usize>, depth: usize, k: usize, f: &mut impl FnMut(&[usize])) {
-            if depth == k {
-                f(items);
-                return;
-            }
-            for i in depth..items.len() {
-                items.swap(depth, i);
-                go(items, depth + 1, k, f);
-                items.swap(depth, i);
-            }
-        }
-        go(items, 0, k, f);
-    }
-
-    #[test]
-    fn empty_and_single() {
-        let (a, c) = min_cost_assignment(&[]);
-        assert!(a.is_empty());
-        assert_eq!(c, 0.0);
-        let (a, c) = min_cost_assignment(&[vec![7.0]]);
-        assert_eq!(a, vec![0]);
-        assert_eq!(c, 7.0);
-    }
-
-    #[test]
-    fn textbook_square_instance() {
-        // Known optimum: (0→1, 1→0, 2→2) = 2 + 3 + 2 = 7? Check by brute.
-        let cost = vec![
-            vec![4.0, 2.0, 8.0],
-            vec![3.0, 5.0, 9.0],
-            vec![6.0, 7.0, 2.0],
-        ];
-        let (a, total) = min_cost_assignment(&cost);
-        assert_eq!(total, brute_force(&cost));
-        assert_eq!(a, vec![1, 0, 2]);
-        assert_eq!(total, 7.0);
-    }
-
-    #[test]
-    fn rectangular_uses_best_columns() {
-        let cost = vec![vec![10.0, 1.0, 10.0, 10.0], vec![10.0, 10.0, 10.0, 2.0]];
-        let (a, total) = min_cost_assignment(&cost);
-        assert_eq!(a, vec![1, 3]);
-        assert_eq!(total, 3.0);
-    }
-
-    #[test]
-    fn assignment_is_injective() {
-        let cost = vec![
-            vec![1.0, 1.0, 1.0],
-            vec![1.0, 1.0, 1.0],
-            vec![1.0, 1.0, 1.0],
-        ];
-        let (a, total) = min_cost_assignment(&cost);
-        let mut sorted = a.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), 3);
-        assert_eq!(total, 3.0);
-    }
-
-    #[test]
-    fn matches_brute_force_on_random_instances() {
-        use rand::Rng;
-        let mut rng = dummyloc_geo::rng::rng_from_seed(9);
-        for case in 0..200 {
-            let n = rng.gen_range(1..=5);
-            let m = rng.gen_range(n..=6);
-            let cost: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..m).map(|_| rng.gen_range(0.0..100.0)).collect())
-                .collect();
-            let (a, total) = min_cost_assignment(&cost);
-            let expect = brute_force(&cost);
-            assert!(
-                (total - expect).abs() < 1e-9,
-                "case {case}: hungarian {total} vs brute {expect} for {cost:?}"
-            );
-            // Check the reported assignment actually sums to the total.
-            let recomputed: f64 = a.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
-            assert!((recomputed - total).abs() < 1e-9);
-            let mut cols = a.clone();
-            cols.sort_unstable();
-            cols.dedup();
-            assert_eq!(cols.len(), n, "columns must be distinct");
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "transpose")]
-    fn more_rows_than_cols_panics() {
-        min_cost_assignment(&[vec![1.0], vec![2.0]]);
-    }
-
-    #[test]
-    #[should_panic(expected = "non-finite")]
-    fn non_finite_cost_panics() {
-        min_cost_assignment(&[vec![f64::NAN]]);
-    }
-}
+pub use dummyloc_core::hungarian::min_cost_assignment;

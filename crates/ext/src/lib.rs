@@ -6,8 +6,8 @@
 //! follow-up work ("Location Traceability of Users in Location-based
 //! Services") points toward:
 //!
-//! * [`hungarian`] — an exact `O(n³)` minimum-cost assignment solver, the
-//!   substrate for everything below,
+//! * [`hungarian`] — re-export of `dummyloc_core::hungarian`, the exact
+//!   `O(n³)` minimum-cost assignment solver underlying everything below,
 //! * [`optimal_tracker`] — the strongest linking observer: per-round
 //!   *optimal* (not greedy) matching of candidate positions into chains,
 //! * [`entropy`] — graded privacy metrics: the observer's belief

@@ -156,6 +156,25 @@ impl ObserverLog {
         self.mem().iter_requests_of(pseudonym)
     }
 
+    /// Streams one pseudonym's requests in receive order without
+    /// materializing the whole stream — unlike the borrowed views above
+    /// this works on **any** backend (it rides
+    /// [`Storage::scan_stream`]), so the attack pipeline can walk a
+    /// durable log bigger than RAM. Unknown pseudonyms yield an empty
+    /// iterator; backend decode failures surface as `Err` items.
+    pub fn scan_stream<'a>(
+        &'a self,
+        pseudonym: &str,
+    ) -> dummyloc_store::StoreResult<
+        Box<dyn Iterator<Item = dummyloc_store::StoreResult<Request>> + 'a>,
+    > {
+        Ok(Box::new(
+            self.storage
+                .scan_stream(pseudonym)?
+                .map(|r| r.map(|rec| rec.request)),
+        ))
+    }
+
     /// Merges another log into this one, preserving per-stream `(time,
     /// arrival-sequence)` order — how the server folds its per-shard logs
     /// into one observer view. The merge is *stable*: records with equal

@@ -211,6 +211,23 @@ pub trait Storage: Send + Sync + fmt::Debug {
     /// pseudonyms yield an empty vector.
     fn scan(&self, pseudonym: &str) -> StoreResult<Vec<StoreRecord>>;
 
+    /// Streams one pseudonym's records in `seq` order without
+    /// materializing the whole stream up front — the cold-scan path the
+    /// attack pipeline walks over recovered server images, sized so a
+    /// log bigger than RAM can still be scanned. Unknown pseudonyms
+    /// yield an empty iterator; decode failures surface as `Err` items.
+    ///
+    /// The default implementation falls back to [`Storage::scan`];
+    /// [`MemoryBackend`] and [`LogStore`] override it with genuinely
+    /// incremental iterators (the log store k-way-merges its segment
+    /// readers with the memtable instead of loading every segment).
+    fn scan_stream<'a>(
+        &'a self,
+        pseudonym: &str,
+    ) -> StoreResult<Box<dyn Iterator<Item = StoreResult<StoreRecord>> + 'a>> {
+        Ok(Box::new(self.scan(pseudonym)?.into_iter().map(Ok)))
+    }
+
     /// Every record in the store in global `seq` order — the export path.
     fn snapshot(&self) -> StoreResult<Vec<StoreRecord>>;
 

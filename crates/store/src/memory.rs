@@ -320,6 +320,32 @@ impl Storage for MemoryBackend {
             .collect())
     }
 
+    fn scan_stream<'a>(
+        &'a self,
+        pseudonym: &str,
+    ) -> StoreResult<Box<dyn Iterator<Item = StoreResult<StoreRecord>> + 'a>> {
+        let Some(s) = self.streams.get(pseudonym) else {
+            return Ok(Box::new(std::iter::empty()));
+        };
+        // Lazy per-record clones over the parallel arrays: nothing is
+        // materialized beyond the record currently yielded.
+        Ok(Box::new(
+            s.times
+                .iter()
+                .zip(&s.seqs)
+                .zip(&s.ids)
+                .zip(&s.requests)
+                .map(|(((&t, &seq), &request_id), request)| {
+                    Ok(StoreRecord {
+                        t,
+                        seq,
+                        request_id,
+                        request: request.clone(),
+                    })
+                }),
+        ))
+    }
+
     fn snapshot(&self) -> StoreResult<Vec<StoreRecord>> {
         let mut all = Vec::with_capacity(self.record_count());
         for pseudonym in &self.order {
@@ -429,6 +455,23 @@ mod tests {
         let snap = m.snapshot().unwrap();
         let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scan_stream_matches_scan() {
+        let mut m = MemoryBackend::default();
+        assert!(m.record_owned_unique(0.0, 7, request("p", vec![Point::new(1.0, 1.0)])));
+        m.record_owned(30.0, request("p", vec![Point::new(2.0, 2.0)]));
+        m.record_owned(60.0, request("q", vec![Point::new(3.0, 3.0)]));
+        for p in ["p", "q"] {
+            let streamed: Vec<StoreRecord> = m
+                .scan_stream(p)
+                .unwrap()
+                .collect::<StoreResult<_>>()
+                .unwrap();
+            assert_eq!(streamed, m.scan(p).unwrap());
+        }
+        assert_eq!(m.scan_stream("zz").unwrap().count(), 0);
     }
 
     #[test]

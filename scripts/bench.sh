@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json at the repo root: one seeded run of
 # the baseline binary (sim rounds/sec serial and parallel + speedup,
-# quick fig7/fig8 wall time, in-process server throughput + latency
-# tail — v3 JSON lockstep, the v4 binary batch sweep with its
-# speedup-vs-v3 ratio, and the WAL/store durability-tax ratios). Pass
-# --threads N to pin the parallel worker count (default: available
-# cores).
+# quick fig7/fig8 wall time, the adversary pipeline's identification
+# rate vs k for random/MN/MLN dummies — with the random ≫ MN ≳ MLN
+# ordering asserted before the numbers are written — and in-process
+# server throughput + latency tail: v3 JSON lockstep, the v4 binary
+# batch sweep with its speedup-vs-v3 ratio, and the WAL/store
+# durability-tax ratios). Pass --threads N to pin the parallel worker
+# count (default: available cores).
 #
 # Works online and in the offline growth container, same as check.sh.
 set -euo pipefail

@@ -69,6 +69,8 @@ cargo test "${FLAGS[@]}" -p dummyloc-telemetry -q
 cargo test "${FLAGS[@]}" -p integration-tests --test telemetry -q
 
 echo "== CLI experiment-registry smoke test"
+# Iterates every registered experiment — the paper artifacts, the ext
+# extensions, and the attack-* adversary sweeps — in quick mode.
 DUMMYLOC=target/release/dummyloc
 "$DUMMYLOC" experiments list
 for name in $("$DUMMYLOC" experiments list --names); do
@@ -230,5 +232,18 @@ cmp "$EQUIV_TMP/digests-crashed.txt" "$EQUIV_TMP/digests-ref.txt" \
 "$DUMMYLOC" store digests "$STORE_DIR" | cmp - "$EQUIV_TMP/digests-ref.txt" \
   || { echo "store compact changed digests"; exit 1; }
 "$DUMMYLOC" store stats "$STORE_DIR" --json | grep '"segments": 1' >/dev/null
+
+echo "== adversary loopback: attack the stores the service just wrote"
+# The crashed-and-recovered store and the WAL-replay oracle store hold
+# identical per-pseudonym streams (digests matched above), so the attack
+# pipeline must reach identical verdicts over both — attack reports are
+# sorted by pseudonym precisely so backends compare bytewise.
+"$DUMMYLOC" attack "$STORE_DIR" --json "$EQUIV_TMP/attack-crashed.json" \
+  > "$EQUIV_TMP/attack-crashed.txt"
+grep "6 pseudonym streams" "$EQUIV_TMP/attack-crashed.txt" >/dev/null \
+  || { echo "attack did not see all 6 loadgen streams"; cat "$EQUIV_TMP/attack-crashed.txt"; exit 1; }
+"$DUMMYLOC" attack "$EQUIV_TMP/ref-store" --json "$EQUIV_TMP/attack-ref.json" >/dev/null
+cmp "$EQUIV_TMP/attack-crashed.json" "$EQUIV_TMP/attack-ref.json" \
+  || { echo "attack verdicts diverged between equal-digest stores"; exit 1; }
 
 echo "== all checks passed"

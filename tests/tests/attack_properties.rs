@@ -1,0 +1,210 @@
+//! The adversary subsystem's contract, enforced end to end:
+//!
+//! 1. **Consistent dummies are safe**: when every candidate in a stream
+//!    moves plausibly, the pipeline cannot beat the `1/(k+1)` chance
+//!    floor — its guess degenerates to a deterministic tie-break, so the
+//!    identification rate over shuffled streams sits at chance.
+//! 2. **Teleporting dummies are shredded**: dummies that jump around the
+//!    area violate the velocity gate almost every round, and the
+//!    pipeline finds the one smooth walker nearly always.
+//! 3. **Attack experiments are schedule-independent**: every `attack-*`
+//!    registry entry renders byte-identical reports at 1 and 4 threads.
+//!
+//! Rate assertions use wide statistical margins (hundreds of independent
+//! streams, tolerances several sigma out) so the suite never flakes;
+//! per-stream invariants (costs, gate counts) are exact and also checked
+//! under proptest-generated seeds.
+
+use std::sync::Mutex;
+
+use dummyloc_attack::{AttackConfig, PipelineTracker};
+use dummyloc_core::client::Request;
+use dummyloc_geo::rng::{derive_seed, rng_from_seed, sample_uniform};
+use dummyloc_geo::{BBox, Point};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Serializes tests that mutate the process-wide default thread count.
+static KNOB: Mutex<()> = Mutex::new(());
+
+const ROUNDS: usize = 12;
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).expect("static bounds")
+}
+
+/// A plausible mover: uniform start, each step at most `step` meters per
+/// axis (≈ MN's `±m` box), clamped to the area. Steps stay well under
+/// both the velocity gate and the turn gate's minimum step.
+fn smooth_walk(rng: &mut impl Rng, step: f64) -> Vec<Point> {
+    let area = area();
+    let mut at = sample_uniform(rng, &area);
+    (0..ROUNDS)
+        .map(|_| {
+            let next = Point::new(
+                at.x + rng.gen_range(-step..step),
+                at.y + rng.gen_range(-step..step),
+            );
+            at = area.clamp(next);
+            at
+        })
+        .collect()
+}
+
+/// A teleporting dummy: an independent uniform position every round
+/// (mean jump ≈ 1 km, far beyond any plausible mover).
+fn teleporter(rng: &mut impl Rng) -> Vec<Point> {
+    let area = area();
+    (0..ROUNDS).map(|_| sample_uniform(rng, &area)).collect()
+}
+
+/// Interleaves one truth walk with `k` dummy tracks, shuffling the slot
+/// order independently every round (as the client does). Returns the
+/// requests plus the truth's slot in the final round.
+fn build_stream(
+    truth: Vec<Point>,
+    dummies: Vec<Vec<Point>>,
+    rng: &mut impl Rng,
+) -> (Vec<Request>, usize) {
+    let mut tracks = vec![truth];
+    tracks.extend(dummies);
+    let mut order: Vec<usize> = (0..tracks.len()).collect();
+    let mut final_truth = 0;
+    let requests = (0..ROUNDS)
+        .map(|t| {
+            order.shuffle(rng);
+            final_truth = order.iter().position(|&w| w == 0).expect("truth present");
+            Request {
+                pseudonym: "p".into(),
+                positions: order.iter().map(|&w| tracks[w][t]).collect(),
+            }
+        })
+        .collect();
+    (requests, final_truth)
+}
+
+/// Runs `streams` independent synthetic streams and returns the
+/// identification rate plus the mean fraction of chains that survived
+/// the plausibility gates.
+fn identification_rate(k: usize, streams: usize, seed: u64, teleport: bool) -> (f64, f64) {
+    let pipeline = PipelineTracker::new(AttackConfig::nara_default());
+    let mut hits = 0;
+    let mut plausible_share = 0.0;
+    for s in 0..streams {
+        let mut rng = rng_from_seed(derive_seed(seed, s as u64));
+        let truth = smooth_walk(&mut rng, 120.0);
+        let dummies: Vec<Vec<Point>> = (0..k)
+            .map(|_| {
+                if teleport {
+                    teleporter(&mut rng)
+                } else {
+                    smooth_walk(&mut rng, 120.0)
+                }
+            })
+            .collect();
+        let (requests, truth_slot) = build_stream(truth, dummies, &mut rng);
+        let verdict = pipeline.verdict(&requests).expect("non-empty stream");
+        plausible_share += verdict.plausible as f64 / verdict.candidates as f64;
+        if verdict.path.final_index == truth_slot {
+            hits += 1;
+        }
+    }
+    (
+        hits as f64 / streams as f64,
+        plausible_share / streams as f64,
+    )
+}
+
+#[test]
+fn consistent_dummies_hold_the_pipeline_at_chance() {
+    for k in [1usize, 3] {
+        let chance = 1.0 / (k + 1) as f64;
+        let (rate, plausible) = identification_rate(k, 200, 0xC0FFEE + k as u64, false);
+        // Binomial sd at n=200 is ≤ 0.036; a 0.12 band is > 3 sigma.
+        assert!(
+            (rate - chance).abs() < 0.12,
+            "k={k}: rate {rate} should sit at chance {chance}"
+        );
+        // Smooth walkers survive the gates except for the rare crossing
+        // that the Hungarian linker momentarily mislinks.
+        assert!(
+            plausible > 0.9,
+            "k={k}: only {plausible} of smooth chains survived the gates"
+        );
+    }
+}
+
+#[test]
+fn teleporting_dummies_are_identified_almost_surely() {
+    for k in [1usize, 3] {
+        let (rate, plausible) = identification_rate(k, 100, 0xBADD + k as u64, true);
+        assert!(rate >= 0.9, "k={k}: rate {rate} should be >= 0.9");
+        // The gates must be doing the work, not just the Viterbi scores:
+        // most teleporting chains die before scoring.
+        assert!(
+            plausible < 0.7,
+            "k={k}: {plausible} of chains survived despite teleporting dummies"
+        );
+    }
+}
+
+#[test]
+fn attack_experiments_are_thread_count_invariant() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = dummyloc_ext::experiments::registry_with_extensions();
+    let fleet = dummyloc_sim::workload::nara_fleet_sized(6, 300.0, 9);
+    let attack_names: Vec<&str> = registry
+        .names()
+        .into_iter()
+        .filter(|n| n.starts_with("attack-"))
+        .collect();
+    assert_eq!(attack_names.len(), 4, "all four attack sweeps registered");
+
+    let run_at = |threads: usize| {
+        dummyloc_core::pool::set_default_threads(threads);
+        let reports: Vec<_> = registry
+            .iter()
+            .filter(|e| e.name().starts_with("attack-"))
+            .map(|e| (e.name(), e.run(9, &fleet).unwrap()))
+            .collect();
+        dummyloc_core::pool::set_default_threads(0);
+        reports
+    };
+    let serial = run_at(1);
+    let parallel = run_at(4);
+    for ((name, a), (name_p, b)) in serial.iter().zip(&parallel) {
+        assert_eq!(name, name_p);
+        assert_eq!(a.rendered, b.rendered, "{name}: rendered at 4 threads");
+        assert_eq!(a.json, b.json, "{name}: JSON sidecar at 4 threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-stream invariants under arbitrary seeds: an all-smooth
+    /// candidate set always decodes at zero Viterbi cost with a zero
+    /// margin (no candidate is distinguishable), and adding a teleporter
+    /// always trips the gates.
+    #[test]
+    fn gates_separate_walkers_from_teleporters(seed in any::<u64>(), k in 1usize..=4) {
+        let pipeline = PipelineTracker::new(AttackConfig::nara_default());
+        let mut rng = rng_from_seed(seed);
+
+        let all_smooth: Vec<Vec<Point>> = (0..k).map(|_| smooth_walk(&mut rng, 120.0)).collect();
+        let (requests, _) = build_stream(smooth_walk(&mut rng, 120.0), all_smooth, &mut rng);
+        let verdict = pipeline.verdict(&requests).expect("non-empty");
+        prop_assert!(verdict.plausible >= 1);
+        prop_assert_eq!(verdict.path.cost, 0.0);
+        prop_assert_eq!(verdict.path.margin, 0.0);
+
+        let mut dummies: Vec<Vec<Point>> = (0..k - 1).map(|_| smooth_walk(&mut rng, 120.0)).collect();
+        dummies.push(teleporter(&mut rng));
+        let (requests, _) = build_stream(smooth_walk(&mut rng, 120.0), dummies, &mut rng);
+        let verdict = pipeline.verdict(&requests).expect("non-empty");
+        // The teleporter (at least) is gated out before scoring.
+        prop_assert!(verdict.plausible <= k);
+        prop_assert!(verdict.gated || verdict.plausible == 0);
+    }
+}
