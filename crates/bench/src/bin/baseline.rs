@@ -129,6 +129,29 @@ struct StoreBaseline {
     slowdown_vs_wal_only: f64,
 }
 
+/// Background size-tiered compaction racing a hot appender: one thread
+/// appends and flushes segments while a compactor thread runs the same
+/// plan → merge → commit cycle the server's background compactor uses.
+/// Digest invariance against an in-memory oracle and convergence of the
+/// segment count to the tier policy are both asserted before any number
+/// is reported.
+#[derive(Serialize)]
+struct StoreCompactionBaseline {
+    records: u64,
+    compact_tiers: usize,
+    /// Segment flushes the appender performed.
+    flushes: u64,
+    /// Tiered merges the concurrent compactor committed.
+    compactions: u64,
+    /// Input segments consumed across all merges.
+    segments_in: u64,
+    /// Bytes written into merged segments.
+    bytes_merged: u64,
+    /// Segments left once no tier is full anymore.
+    final_segments: u64,
+    wall_secs: f64,
+}
+
 /// One point of the cold-start comparison: recovering one history from
 /// a full WAL replay versus opening the store's manifest. The store's
 /// whole point is that `store_open_ms` stays flat while `wal_replay_ms`
@@ -180,6 +203,7 @@ struct Baseline {
     server_v4: V4Baseline,
     server_wal: WalBaseline,
     server_store: StoreBaseline,
+    store_compaction: StoreCompactionBaseline,
     store_recovery: Vec<StoreRecoveryPoint>,
 }
 
@@ -409,8 +433,8 @@ fn measure_server_wal(seed: u64, no_wal_rps: f64) -> WalBaseline {
     std::fs::create_dir_all(&dir).expect("bench WAL scratch dir");
     let path = dir.join("baseline.wal");
     let wal = dummyloc_server::WalConfig {
-        path: path.clone(),
         fsync: dummyloc_server::FsyncPolicy::Always,
+        ..dummyloc_server::WalConfig::new(path.clone())
     };
     let (report, stats) = run_server_loadgen(
         seed,
@@ -442,8 +466,8 @@ fn measure_server_store(seed: u64, wal_only_rps: f64) -> StoreBaseline {
     let dir = std::env::temp_dir().join(format!("dummyloc-bench-store-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench store scratch dir");
     let wal = dummyloc_server::WalConfig {
-        path: dir.join("baseline.wal"),
         fsync: dummyloc_server::FsyncPolicy::Always,
+        ..dummyloc_server::WalConfig::new(dir.join("baseline.wal"))
     };
     // 8 KiB is a few dozen records: the loadgen run crosses the threshold
     // repeatedly, so the measured path includes real segment flushes and
@@ -515,8 +539,8 @@ fn measure_store_recovery(seed: u64) -> Vec<StoreRecoveryPoint> {
 
         let wal_path = dir.join(format!("history-{records}.wal"));
         let mut writer = dummyloc_server::wal::WalWriter::open(&dummyloc_server::WalConfig {
-            path: wal_path.clone(),
             fsync: dummyloc_server::FsyncPolicy::Os,
+            ..dummyloc_server::WalConfig::new(wal_path.clone())
         })
         .expect("bench WAL");
         for r in &history {
@@ -583,6 +607,115 @@ fn measure_store_recovery(seed: u64) -> Vec<StoreRecoveryPoint> {
     points
 }
 
+fn measure_store_compaction(seed: u64) -> StoreCompactionBaseline {
+    use dummyloc_store::Storage as _;
+    let dir = std::env::temp_dir().join(format!("dummyloc-bench-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let compact_tiers = 4usize;
+    let records = 8_000u64;
+    let config = dummyloc_store::LogStoreConfig {
+        flush_threshold_bytes: 2048,
+        compact_tiers,
+        ..dummyloc_store::LogStoreConfig::new(dir.join("store"))
+    };
+    let (store, _) = dummyloc_store::LogStore::open(config).expect("bench compaction store");
+    let store = std::sync::Arc::new(std::sync::Mutex::new(store));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let started = Instant::now();
+    let compactor = {
+        let store = std::sync::Arc::clone(&store);
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut runs = 0u64;
+            let mut segments_in = 0u64;
+            let mut bytes = 0u64;
+            loop {
+                // Same split-phase shape as the server's background
+                // compactor: plan under the lock, merge I/O without it,
+                // commit the manifest swap under it again.
+                let plan = store.lock().unwrap().tiered_plan();
+                let Some(plan) = plan else {
+                    if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        return (runs, segments_in, bytes);
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    continue;
+                };
+                let inputs = plan.inputs() as u64;
+                let merged = plan.merge().expect("bench merge");
+                if let Some(out) = store
+                    .lock()
+                    .unwrap()
+                    .commit_tiered(merged)
+                    .expect("bench commit")
+                {
+                    runs += 1;
+                    segments_in += inputs;
+                    bytes += out.bytes;
+                }
+            }
+        })
+    };
+
+    let area = dummyloc_geo::BBox::new(
+        dummyloc_geo::Point::new(0.0, 0.0),
+        dummyloc_geo::Point::new(2000.0, 2000.0),
+    )
+    .expect("service area");
+    let mut rng = dummyloc_geo::rng::rng_from_seed(dummyloc_geo::rng::derive_seed(seed, 77));
+    let mut oracle = dummyloc_store::MemoryBackend::default();
+    for k in 0..records {
+        let record = dummyloc_store::StoreRecord {
+            t: k as f64 * 30.0,
+            seq: k,
+            request_id: Some(k),
+            request: dummyloc_core::client::Request {
+                pseudonym: format!("user-{}", k % 32),
+                positions: (0..3)
+                    .map(|_| dummyloc_geo::rng::sample_uniform(&mut rng, &area))
+                    .collect(),
+            },
+        };
+        oracle.append(record.clone()).expect("oracle append");
+        store.lock().unwrap().append(record).expect("bench append");
+    }
+    store.lock().unwrap().flush().expect("bench final flush");
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let (compactions, segments_in, bytes_merged) = compactor.join().expect("compactor join");
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut store = std::sync::Arc::try_unwrap(store)
+        .expect("compactor joined")
+        .into_inner()
+        .unwrap();
+    // Convergence: the compactor drained every full tier before exiting.
+    assert!(
+        store.tiered_plan().is_none(),
+        "a full tier survived the drain"
+    );
+    assert!(compactions > 0, "the concurrent compactor never ran");
+    // The headline invariant: racing merges changed nothing observable.
+    assert_eq!(
+        store.stream_digests(),
+        oracle.stream_digests(),
+        "concurrent tiered compaction diverged from the in-memory oracle"
+    );
+    let stats = store.store_stats();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    StoreCompactionBaseline {
+        records,
+        compact_tiers,
+        flushes: stats.flushes,
+        compactions,
+        segments_in,
+        bytes_merged,
+        final_segments: stats.segments,
+        wall_secs,
+    }
+}
+
 fn main() {
     let args = dummyloc_bench::parse_args();
     let out_path = args
@@ -608,6 +741,7 @@ fn main() {
         server_v4,
         server_wal,
         server_store,
+        store_compaction: measure_store_compaction(args.seed),
         store_recovery: measure_store_recovery(args.seed),
     };
 
@@ -665,6 +799,17 @@ fn main() {
         baseline.server_store.throughput_rps,
         baseline.server_store.flushes,
         baseline.server_store.slowdown_vs_wal_only,
+    );
+    println!(
+        "baseline: tiered compaction under fire: {} records, {} flushes -> {} merges \
+         ({} segments in, {} bytes), {} segments left, {:.2}s",
+        baseline.store_compaction.records,
+        baseline.store_compaction.flushes,
+        baseline.store_compaction.compactions,
+        baseline.store_compaction.segments_in,
+        baseline.store_compaction.bytes_merged,
+        baseline.store_compaction.final_segments,
+        baseline.store_compaction.wall_secs,
     );
     for p in &baseline.store_recovery {
         println!(

@@ -14,7 +14,8 @@
 //!                    [--idle-timeout-ms MS] \
 //!                    [--deadline-ms MS] [--fault-drop P] [--fault-delay P] \
 //!                    [--wal FILE --wal-fsync always|every-N|os] \
-//!                    [--store DIR --store-flush-bytes N] ...
+//!                    [--store DIR --store-flush-bytes N \
+//!                     --store-compact-tiers N] ...
 //! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1 \
 //!                    [--proto v4|v3] [--batch N] [--retries N] \
 //!                    [--deadline-ms MS]
@@ -104,7 +105,10 @@ commands:
                observer log via --wal <file> --wal-fsync <policy>, and
                a durable segment store via --store <dir>
                [--store-flush-bytes <n>] that keeps cold-start recovery
-               fast by replaying only the WAL tail)
+               fast by replaying only the WAL tail; a background
+               size-tiered compactor folds same-sized segments together,
+               --store-compact-tiers <n> sets the per-tier trigger,
+               0 disables)
   loadgen      drive a running server with concurrent simulated users
                (--proto v4|v3 selects the wire protocol, --batch <n>
                bundles n rounds per request frame; retries with
@@ -773,8 +777,8 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
                 .parse()
                 .map_err(|e: String| CliError::Usage(format!("--wal-fsync: {e}")))?;
             Some(WalConfig {
-                path: PathBuf::from(path),
                 fsync,
+                ..WalConfig::new(PathBuf::from(path))
             })
         }
     };
@@ -787,6 +791,10 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
             flush_threshold_bytes: flags.num(
                 "store-flush-bytes",
                 dummyloc_server::DEFAULT_FLUSH_THRESHOLD_BYTES,
+            )?,
+            compact_tiers: flags.num(
+                "store-compact-tiers",
+                dummyloc_server::DEFAULT_COMPACT_TIERS,
             )?,
             ..dummyloc_server::LogStoreConfig::new(dir)
         }),
@@ -919,6 +927,8 @@ fn cmd_store(sub: &str, dir: &str, flags: &Flags) -> Result<String, CliError> {
                     .last_durable_seq
                     .map_or_else(|| "none".to_string(), |s| s.to_string())
             );
+            let _ = writeln!(out, "tiered compactions: {}", stats.tiered_compactions);
+            let _ = writeln!(out, "dir-fsync errors: {}", stats.dir_fsync_errors);
             Ok(out)
         }
         "digests" => {
@@ -2041,6 +2051,12 @@ mod tests {
         // options builder before any socket is bound.
         assert!(matches!(
             run(&args("serve --store /tmp/x --store-flush-bytes 0")),
+            Err(CliError::Usage(_))
+        ));
+        // A one-segment "tier" can never terminate: compaction would
+        // rewrite the same segment forever. 0 (off) and >= 2 are valid.
+        assert!(matches!(
+            run(&args("serve --store /tmp/x --store-compact-tiers 1")),
             Err(CliError::Usage(_))
         ));
     }

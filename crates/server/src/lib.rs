@@ -95,7 +95,7 @@ pub use client::{
     ServiceClient,
 };
 pub use codec::{CodecError, ProtoVersion, Transport};
-pub use dummyloc_store::{LogStoreConfig, DEFAULT_FLUSH_THRESHOLD_BYTES};
+pub use dummyloc_store::{LogStoreConfig, DEFAULT_COMPACT_TIERS, DEFAULT_FLUSH_THRESHOLD_BYTES};
 pub use error::{Result, ServerError};
 pub use fault::{FaultInjector, FaultPlan};
 pub use loadgen::{GeneratorChoice, LoadgenConfig, LoadgenReport};

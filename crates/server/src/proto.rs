@@ -106,6 +106,10 @@ pub struct QuerySpec {
 }
 
 /// Frames the server may send.
+// Frames are transient wire objects, decoded, handled and dropped one at a
+// time — the size skew from the inline `StatsSnapshot` never sits in a hot
+// collection, so boxing it would only complicate every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServerFrame {
     /// Handshake acknowledgement.

@@ -222,6 +222,7 @@ impl Durable {
         });
         let st = s.store_stats();
         stats.set_store_occupancy(st.segments, st.memtable_bytes);
+        stats.set_store_dir_fsync_errors(st.dir_fsync_errors);
         match out {
             Ok(outcome) => {
                 stats.record_store_append();
@@ -264,6 +265,7 @@ pub struct ServerHandle {
     store_recovery: Option<StoreRecoverySummary>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 /// What startup recovery restored — the numbers the CLI prints on boot.
@@ -364,6 +366,12 @@ impl ServerHandle {
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
+        // The compactor checks the shutdown flag between merges; joining
+        // it before the final flush means no background manifest swap
+        // races the orderly-stop flush below.
+        if let Some(c) = self.compactor.take() {
+            let _ = c.join();
+        }
         // Whatever the fsync policy, an orderly stop leaves every durable
         // sink consistent: the store flushes its memtable into a
         // committed segment (emptying the WAL), and the WAL is synced.
@@ -454,7 +462,7 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
         let wal_writer = match &config.wal {
             None => None,
             Some(wc) => {
-                let replay_summary = wal::replay(&wc.path, |r| {
+                let replay_summary = wal::replay_vfs(&*wc.vfs, &wc.path, |r| {
                     // Records at or below the store's durable frontier are
                     // already in a committed segment (the crash landed
                     // between a flush and the WAL truncation); only the
@@ -509,6 +517,7 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
         if let Some(s) = &durable.store {
             let st = s.store_stats();
             stats.set_store_occupancy(st.segments, st.memtable_bytes);
+            stats.set_store_dir_fsync_errors(st.dir_fsync_errors);
             summary.recovery_ms = recovery_started.elapsed().as_millis() as u64;
             stats.set_store_recovery_ms(summary.recovery_ms);
             store_recovery = Some(summary);
@@ -543,6 +552,22 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
         })
         .collect();
 
+    // Background size-tiered compactor: only when a store is on and the
+    // policy is enabled. Same supervision contract as the workers — a
+    // contained panic respawns the loop and bumps `worker.restarts`.
+    let compact_tiers = config.store.as_ref().map_or(0, |s| s.compact_tiers);
+    let compactor = match (&durable, compact_tiers) {
+        (Some(durable), tiers) if tiers > 0 => {
+            let durable = Arc::clone(durable);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            Some(std::thread::spawn(move || {
+                while let WorkerExit::Panicked = compactor_loop(&durable, &stats, &shutdown) {}
+            }))
+        }
+        _ => None,
+    };
+
     let accept = {
         let stats = Arc::clone(&stats);
         let shutdown = Arc::clone(&shutdown);
@@ -558,7 +583,59 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
         store_recovery,
         accept: Some(accept),
         workers,
+        compactor,
     })
+}
+
+/// How long the compactor sleeps when no tier is full. Short enough that
+/// a burst of flushes is folded down promptly, long enough to stay off
+/// the durability lock on an idle server.
+const COMPACTOR_IDLE: Duration = Duration::from_millis(10);
+
+/// One incarnation of the background compactor. Split-phase: the plan is
+/// taken under the durability lock, the merge I/O runs with the lock
+/// *released* (segment files are immutable and the output is invisible
+/// until committed), and only the manifest swap re-takes the lock. A
+/// plan invalidated while unlocked (an explicit `compact()` ran
+/// underneath) commits as `Ok(None)` and simply retries.
+fn compactor_loop(
+    durable: &Arc<Mutex<Durable>>,
+    stats: &Arc<ServerStats>,
+    shutdown: &Arc<AtomicBool>,
+) -> WorkerExit {
+    let exit = panic::catch_unwind(AssertUnwindSafe(|| {
+        while !shutdown.load(Ordering::SeqCst) {
+            let plan = {
+                let mut d = durable.lock();
+                d.store.as_mut().and_then(|s| s.tiered_plan())
+            };
+            let Some(plan) = plan else {
+                std::thread::sleep(COMPACTOR_IDLE);
+                continue;
+            };
+            let segments_in = plan.inputs() as u64;
+            let merged = plan.merge();
+            let mut d = durable.lock();
+            let Some(s) = d.store.as_mut() else { continue };
+            match merged.and_then(|m| s.commit_tiered(m)) {
+                Ok(Some(out)) => {
+                    stats.record_store_tiered_compaction(segments_in, out.bytes);
+                    let st = s.store_stats();
+                    stats.set_store_occupancy(st.segments, st.memtable_bytes);
+                    stats.set_store_dir_fsync_errors(st.dir_fsync_errors);
+                }
+                Ok(None) => {}
+                Err(_) => stats.record_store_error(),
+            }
+        }
+    }));
+    match exit {
+        Ok(()) => WorkerExit::Drained,
+        Err(_) => {
+            stats.record_worker_restart();
+            WorkerExit::Panicked
+        }
+    }
 }
 
 /// Why one worker incarnation ended.

@@ -67,6 +67,10 @@ pub struct ServerStats {
     store_compactions: Arc<Counter>,
     store_errors: Arc<Counter>,
     store_wal_truncations: Arc<Counter>,
+    store_compact_runs: Arc<Counter>,
+    store_compact_segments_in: Arc<Counter>,
+    store_compact_bytes: Arc<Counter>,
+    store_dir_fsync_errors: Arc<Gauge>,
     store_segments: Arc<Gauge>,
     store_memtable_bytes: Arc<Gauge>,
     store_recovery_ms: Arc<Gauge>,
@@ -126,6 +130,10 @@ impl ServerStats {
             store_compactions: c("server.store.compactions"),
             store_errors: c("server.store.errors"),
             store_wal_truncations: c("server.store.wal_truncations"),
+            store_compact_runs: c("server.store.compact.runs"),
+            store_compact_segments_in: c("server.store.compact.segments_in"),
+            store_compact_bytes: c("server.store.compact.bytes"),
+            store_dir_fsync_errors: registry.gauge("server.store.dir_fsync_errors"),
             store_segments: registry.gauge("server.store.segments"),
             store_memtable_bytes: registry.gauge("server.store.memtable_bytes"),
             store_recovery_ms: registry.gauge("server.store.recovery_ms"),
@@ -290,6 +298,20 @@ impl ServerStats {
         self.store_wal_truncations.inc();
     }
 
+    /// One background size-tiered compaction that committed: it merged
+    /// `segments_in` input segments into one `bytes`-sized run.
+    pub fn record_store_tiered_compaction(&self, segments_in: u64, bytes: u64) {
+        self.store_compact_runs.inc();
+        self.store_compact_segments_in.add(segments_in);
+        self.store_compact_bytes.add(bytes);
+    }
+
+    /// Mirrors the store's cumulative count of manifest-commit directory
+    /// fsyncs that failed (commit succeeded, durability unconfirmed).
+    pub fn set_store_dir_fsync_errors(&self, errors: u64) {
+        self.store_dir_fsync_errors.set(errors as i64);
+    }
+
     /// Updates the store occupancy gauges after an append/flush/compact.
     pub fn set_store_occupancy(&self, segments: u64, memtable_bytes: u64) {
         self.store_segments.set(segments as i64);
@@ -340,6 +362,10 @@ impl ServerStats {
                 compactions: self.store_compactions.get(),
                 errors: self.store_errors.get(),
                 wal_truncations: self.store_wal_truncations.get(),
+                compact_runs: self.store_compact_runs.get(),
+                compact_segments_in: self.store_compact_segments_in.get(),
+                compact_bytes: self.store_compact_bytes.get(),
+                dir_fsync_errors: self.store_dir_fsync_errors.get() as u64,
             },
             latency: (0..KINDS)
                 .map(|k| KindHistogram {
@@ -425,6 +451,15 @@ pub struct StoreCounters {
     pub errors: u64,
     /// WAL truncations performed after a successful flush.
     pub wal_truncations: u64,
+    /// Background size-tiered compactions committed.
+    pub compact_runs: u64,
+    /// Input segments consumed by those compactions.
+    pub compact_segments_in: u64,
+    /// Bytes of merged output those compactions wrote.
+    pub compact_bytes: u64,
+    /// Manifest-commit directory fsyncs that failed (cumulative; the
+    /// commits themselves succeeded).
+    pub dir_fsync_errors: u64,
 }
 
 /// Tallies of injected faults, one per fault kind, so a chaos run can
@@ -519,6 +554,8 @@ mod tests {
         s.record_store_compaction();
         s.record_store_error();
         s.record_store_wal_truncation();
+        s.record_store_tiered_compaction(4, 2048);
+        s.set_store_dir_fsync_errors(2);
         s.set_store_occupancy(3, 4096);
         s.set_store_recovery_ms(12);
         let snap = s.snapshot();
@@ -559,9 +596,15 @@ mod tests {
             compactions: 1,
             errors: 1,
             wal_truncations: 1,
+            compact_runs: 1,
+            compact_segments_in: 4,
+            compact_bytes: 2048,
+            dir_fsync_errors: 2,
         };
         assert_eq!(snap.store, store);
         let reg = s.registry().snapshot();
+        assert_eq!(reg.counter("server.store.compact.runs"), Some(1));
+        assert_eq!(reg.gauge("server.store.dir_fsync_errors"), Some(2));
         assert_eq!(reg.gauge("server.store.segments"), Some(3));
         assert_eq!(reg.gauge("server.store.memtable_bytes"), Some(4096));
         assert_eq!(reg.gauge("server.store.recovery_ms"), Some(12));

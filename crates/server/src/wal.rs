@@ -28,14 +28,14 @@
 //! batch window instead of one per record — the difference between the
 //! `server_wal` slowdown ratio and 1.0.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use dummyloc_core::client::Request;
+use dummyloc_store::vfs::{real_vfs, RealVfs, Vfs, VfsFile};
 use serde::{Deserialize, Serialize};
 
 /// Largest payload replay will attempt to read. A corrupted length
@@ -87,20 +87,35 @@ impl FromStr for FsyncPolicy {
 }
 
 /// Where and how durably the observer WAL is written.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct WalConfig {
     /// Log file; created if absent, replayed then appended to if present.
     pub path: PathBuf,
     /// Flush policy for appended records.
     pub fsync: FsyncPolicy,
+    /// Filesystem every WAL syscall is routed through (the real one by
+    /// default; fault suites substitute `FaultVfs`).
+    pub vfs: Arc<dyn Vfs>,
 }
 
+// Equality compares what the config *asks for* (path + policy), not
+// which filesystem object carries it out.
+impl PartialEq for WalConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path && self.fsync == other.fsync
+    }
+}
+
+impl Eq for WalConfig {}
+
 impl WalConfig {
-    /// A WAL at `path` with the [`FsyncPolicy::Always`] safety default.
+    /// A WAL at `path` with the [`FsyncPolicy::Always`] safety default on
+    /// the real filesystem.
     pub fn new(path: impl Into<PathBuf>) -> Self {
         WalConfig {
             path: path.into(),
             fsync: FsyncPolicy::Always,
+            vfs: real_vfs(),
         }
     }
 }
@@ -195,20 +210,29 @@ pub fn decode_all(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, offset)
 }
 
-/// Reads `path` (a missing file is an empty log), applies every intact
-/// record in order, and truncates any torn tail in place so the next
-/// append continues from a clean end-of-log.
-pub fn replay<F: FnMut(WalRecord)>(path: &Path, mut apply: F) -> io::Result<ReplaySummary> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
+/// [`replay_vfs`] on the real filesystem.
+pub fn replay<F: FnMut(WalRecord)>(path: &Path, apply: F) -> io::Result<ReplaySummary> {
+    replay_vfs(&RealVfs, path, apply)
+}
+
+/// Reads `path` through `vfs` (a missing file is an empty log), applies
+/// every intact record in order, and truncates any torn tail in place so
+/// the next append continues from a clean end-of-log. Runs before the
+/// [`WalWriter`] exists, so the tail truncation cannot race a commit
+/// group — the *writer's* own [`WalWriter::truncate`] is the one that
+/// must (and does) go through the shared append handle.
+pub fn replay_vfs<F: FnMut(WalRecord)>(
+    vfs: &dyn Vfs,
+    path: &Path,
+    mut apply: F,
+) -> io::Result<ReplaySummary> {
+    let bytes = match vfs.read(path) {
+        Ok(bytes) => bytes,
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
             return Ok(ReplaySummary::default());
         }
         Err(e) => return Err(e),
-    }
+    };
     let (records, clean_end) = decode_all(&bytes);
     let summary = ReplaySummary {
         records: records.len() as u64,
@@ -216,7 +240,7 @@ pub fn replay<F: FnMut(WalRecord)>(path: &Path, mut apply: F) -> io::Result<Repl
         truncated_bytes: (bytes.len() - clean_end) as u64,
     };
     if summary.torn {
-        let f = OpenOptions::new().write(true).open(path)?;
+        let f = vfs.open_write(path)?;
         f.set_len(clean_end as u64)?;
         f.sync_all()?;
     }
@@ -284,7 +308,7 @@ pub struct WalTicket {
     target: u64,
     /// The rendezvous, present only when the policy requires a flush
     /// before acknowledging ([`FsyncPolicy::Always`]).
-    sync: Option<(Arc<GroupSync>, Arc<File>)>,
+    sync: Option<(Arc<GroupSync>, Arc<dyn VfsFile>)>,
 }
 
 impl WalTicket {
@@ -332,7 +356,7 @@ impl WalTicket {
 /// concurrent workers share flushes.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: Arc<File>,
+    file: Arc<dyn VfsFile>,
     policy: FsyncPolicy,
     since_sync: u64,
     appended: u64,
@@ -343,12 +367,9 @@ impl WalWriter {
     /// Opens `path` for appending (creating it if needed). Call after
     /// [`replay`] so a torn tail has already been truncated away.
     pub fn open(config: &WalConfig) -> io::Result<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&config.path)?;
+        let file = config.vfs.open_append(&config.path)?;
         Ok(WalWriter {
-            file: Arc::new(file),
+            file: Arc::from(file),
             policy: config.fsync,
             since_sync: 0,
             appended: 0,
@@ -364,7 +385,7 @@ impl WalWriter {
     /// return an already-satisfied ticket.
     pub fn append_group(&mut self, record: &WalRecord) -> io::Result<WalTicket> {
         let buf = encode_record(record)?;
-        (&*self.file).write_all(&buf)?;
+        self.file.write_all(&buf)?;
         self.appended += 1;
         self.group.appended.store(self.appended, Ordering::Release);
         match self.policy {
@@ -522,8 +543,8 @@ mod tests {
         let path = temp_path("torn");
         let _ = std::fs::remove_file(&path);
         let mut writer = WalWriter::open(&WalConfig {
-            path: path.clone(),
             fsync: FsyncPolicy::EveryN(2),
+            ..WalConfig::new(path.clone())
         })
         .unwrap();
         for seq in 0..3 {
@@ -614,8 +635,8 @@ mod tests {
         let path = temp_path("group-osn");
         let _ = std::fs::remove_file(&path);
         let mut writer = WalWriter::open(&WalConfig {
-            path: path.clone(),
             fsync: FsyncPolicy::EveryN(2),
+            ..WalConfig::new(path.clone())
         })
         .unwrap();
         for seq in 0..4 {
@@ -627,6 +648,101 @@ mod tests {
         replay(&path, |_| count += 1).unwrap();
         assert_eq!(count, 4);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_racing_commit_groups_never_loses_post_truncate_records() {
+        // Regression (ISSUE 9 satellite): the truncate path must go
+        // through the writer's shared append handle — never a separate
+        // reopen — so a truncate racing a commit group leaves exactly
+        // the records appended after the last truncate, all replayable,
+        // with every ticket satisfied and no torn tail.
+        let path = temp_path("truncate-race");
+        let _ = std::fs::remove_file(&path);
+        let writer = Arc::new(Mutex::new(
+            WalWriter::open(&WalConfig::new(path.clone())).unwrap(),
+        ));
+        let epoch = Arc::new(AtomicU64::new(0));
+        let appended: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let writer = Arc::clone(&writer);
+            let epoch = Arc::clone(&epoch);
+            let appended = Arc::clone(&appended);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let seq = t * 100 + i;
+                    let ticket = {
+                        let mut w = writer.lock().unwrap();
+                        let ticket = w.append_group(&record(seq)).unwrap();
+                        appended
+                            .lock()
+                            .unwrap()
+                            .push((epoch.load(Ordering::SeqCst), seq));
+                        ticket
+                    };
+                    // The fsync rendezvous runs outside the writer lock,
+                    // exactly where a truncate can slip in.
+                    ticket.wait().unwrap();
+                }
+            }));
+        }
+        {
+            let writer = Arc::clone(&writer);
+            let epoch = Arc::clone(&epoch);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let mut w = writer.lock().unwrap();
+                    w.truncate().unwrap();
+                    epoch.fetch_add(1, Ordering::SeqCst);
+                    drop(w);
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_epoch = epoch.load(Ordering::SeqCst);
+        let expected: Vec<u64> = appended
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(e, _)| *e == final_epoch)
+            .map(|(_, s)| *s)
+            .collect();
+        let mut seen = Vec::new();
+        let summary = replay(&path, |r| seen.push(r.seq)).unwrap();
+        assert!(!summary.torn);
+        assert_eq!(seen, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_vfs_truncates_torn_tails_through_the_vfs() {
+        use dummyloc_store::vfs::FaultVfs;
+        let vfs = FaultVfs::new();
+        let path = PathBuf::from("/wal/log");
+        let mut wire = Vec::new();
+        for seq in 0..3 {
+            wire.extend_from_slice(&encode_record(&record(seq)).unwrap());
+        }
+        let clean = wire.len();
+        wire.extend_from_slice(&wire.clone()[..7]); // torn tail
+        let f = vfs.create(&path).unwrap();
+        f.write_all(&wire).unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        let mut seen = Vec::new();
+        let summary = replay_vfs(&vfs, &path, |r| seen.push(r.seq)).unwrap();
+        assert_eq!(summary.records, 3);
+        assert!(summary.torn);
+        assert_eq!(summary.truncated_bytes, 7);
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(vfs.len(&path).unwrap(), clean as u64);
+        // Missing files are an empty log through any vfs.
+        let summary = replay_vfs(&vfs, Path::new("/wal/none"), |_| panic!()).unwrap();
+        assert_eq!(summary, ReplaySummary::default());
     }
 
     #[test]

@@ -166,15 +166,20 @@ impl SimCheckpoint {
     /// renamed over `path`, so an interrupted write leaves the previous
     /// checkpoint (or nothing) — never a torn file.
     pub fn write_to(&self, path: &Path) -> Result<()> {
+        self.write_to_vfs(&dummyloc_store::vfs::RealVfs, path)
+    }
+
+    /// [`SimCheckpoint::write_to`] against an explicit [`Vfs`], which is
+    /// how the fault-injection suite proves the tmp/fsync/rename dance
+    /// really does leave the previous checkpoint intact when any of the
+    /// three syscalls fails.
+    pub fn write_to_vfs(&self, vfs: &dyn dummyloc_store::vfs::Vfs, path: &Path) -> Result<()> {
         let bytes = self.encode()?;
         let tmp = path.with_extension("tmp");
-        {
-            use std::io::Write;
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
+        let f = vfs.create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        vfs.rename(&tmp, path)?;
         Ok(())
     }
 

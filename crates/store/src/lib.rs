@@ -51,9 +51,13 @@ pub mod log;
 pub mod manifest;
 pub mod memory;
 pub mod segment;
+pub mod vfs;
 
-pub use log::{LogStore, LogStoreConfig, RecoveryInfo, DEFAULT_FLUSH_THRESHOLD_BYTES};
+pub use log::{
+    LogStore, LogStoreConfig, RecoveryInfo, DEFAULT_COMPACT_TIERS, DEFAULT_FLUSH_THRESHOLD_BYTES,
+};
 pub use memory::{MemoryBackend, StreamView, TimeIter};
+pub use vfs::{real_vfs, FaultVfs, RealVfs, Vfs, VfsFile};
 
 /// One observed report: the unit every backend stores.
 ///
@@ -136,6 +140,12 @@ pub struct StoreStats {
     pub flushes: u64,
     /// Compactions performed by this instance.
     pub compactions: u64,
+    /// Size-tiered (background-policy) compactions performed by this
+    /// instance.
+    pub tiered_compactions: u64,
+    /// Manifest-commit directory fsyncs that failed (the commit itself
+    /// succeeded; its durability could not be confirmed).
+    pub dir_fsync_errors: u64,
 }
 
 /// Everything that can go wrong in a storage backend.

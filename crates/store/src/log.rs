@@ -24,13 +24,13 @@
 //!    both are cleaned at open and describe identical stream state.
 
 use std::collections::{HashMap, HashSet};
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::digest::{fold_report, FNV_OFFSET_BASIS};
 use crate::manifest::{Manifest, SegmentMeta, StreamMeta};
 use crate::segment::{encode_frame, SegmentReader, SEGMENT_MAGIC};
+use crate::vfs::{real_vfs, Vfs};
 use crate::{
     AppendOutcome, CompactOutcome, FlushOutcome, Storage, StoreError, StoreRecord, StoreResult,
     StoreStats,
@@ -38,6 +38,10 @@ use crate::{
 
 /// Default memtable flush threshold: 1 MiB of framed record bytes.
 pub const DEFAULT_FLUSH_THRESHOLD_BYTES: usize = 1 << 20;
+
+/// Default size-tiered compaction trigger: merge a size tier once it
+/// holds this many same-sized segments.
+pub const DEFAULT_COMPACT_TIERS: usize = 4;
 
 /// Manifest file name inside the store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -51,14 +55,25 @@ pub struct LogStoreConfig {
     pub dir: PathBuf,
     /// Memtable size that triggers a flush on append.
     pub flush_threshold_bytes: usize,
+    /// Same-sized segments per tier that trigger a size-tiered merge
+    /// (0 disables tiered compaction; 1 is rejected — it would rewrite
+    /// every segment forever).
+    pub compact_tiers: usize,
+    /// Filesystem every store syscall is routed through. Production
+    /// configs carry [`crate::vfs::RealVfs`]; fault suites substitute
+    /// [`crate::vfs::FaultVfs`].
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl LogStoreConfig {
-    /// A config with the default flush threshold.
+    /// A config with the default flush threshold, the default tier
+    /// policy, and the real filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         LogStoreConfig {
             dir: dir.into(),
             flush_threshold_bytes: DEFAULT_FLUSH_THRESHOLD_BYTES,
+            compact_tiers: DEFAULT_COMPACT_TIERS,
+            vfs: real_vfs(),
         }
     }
 
@@ -67,6 +82,11 @@ impl LogStoreConfig {
         if self.flush_threshold_bytes == 0 {
             return Err(StoreError::Config {
                 message: "flush_threshold_bytes must be at least 1".into(),
+            });
+        }
+        if self.compact_tiers == 1 {
+            return Err(StoreError::Config {
+                message: "compact_tiers must be 0 (disabled) or at least 2".into(),
             });
         }
         Ok(())
@@ -122,6 +142,8 @@ pub struct LogStore {
     last_seq: Option<u64>,
     flushes: u64,
     compactions: u64,
+    tiered_compactions: u64,
+    dir_fsync_errors: u64,
 }
 
 fn io_err(path: &Path, source: std::io::Error) -> StoreError {
@@ -138,14 +160,18 @@ impl LogStore {
     /// mid-compaction.
     pub fn open(config: LogStoreConfig) -> StoreResult<(LogStore, RecoveryInfo)> {
         config.validate()?;
-        fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, e))?;
+        let vfs = Arc::clone(&config.vfs);
+        vfs.create_dir_all(&config.dir)
+            .map_err(|e| io_err(&config.dir, e))?;
         let tmp = config.dir.join(MANIFEST_TMP);
-        if tmp.exists() {
-            fs::remove_file(&tmp).map_err(|e| io_err(&tmp, e))?;
+        if vfs.exists(&tmp) {
+            vfs.remove(&tmp).map_err(|e| io_err(&tmp, e))?;
         }
         let manifest_path = config.dir.join(MANIFEST_FILE);
-        let manifest = if manifest_path.exists() {
-            let bytes = fs::read(&manifest_path).map_err(|e| io_err(&manifest_path, e))?;
+        let manifest = if vfs.exists(&manifest_path) {
+            let bytes = vfs
+                .read(&manifest_path)
+                .map_err(|e| io_err(&manifest_path, e))?;
             Manifest::decode(&bytes).map_err(|message| StoreError::Corrupt {
                 path: manifest_path.clone(),
                 message,
@@ -156,18 +182,22 @@ impl LogStore {
 
         let referenced: HashSet<&str> = manifest.segments.iter().map(|s| s.file.as_str()).collect();
         let mut orphans_removed = 0u64;
-        for entry in fs::read_dir(&config.dir).map_err(|e| io_err(&config.dir, e))? {
-            let entry = entry.map_err(|e| io_err(&config.dir, e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if name.starts_with("seg-") && name.ends_with(".seg") && !referenced.contains(name) {
-                fs::remove_file(entry.path()).map_err(|e| io_err(&entry.path(), e))?;
+        for name in vfs
+            .read_dir(&config.dir)
+            .map_err(|e| io_err(&config.dir, e))?
+        {
+            if name.starts_with("seg-")
+                && name.ends_with(".seg")
+                && !referenced.contains(name.as_str())
+            {
+                let path = config.dir.join(&name);
+                vfs.remove(&path).map_err(|e| io_err(&path, e))?;
                 orphans_removed += 1;
             }
         }
         for seg in &manifest.segments {
             let path = config.dir.join(&seg.file);
-            if !path.exists() {
+            if !vfs.exists(&path) {
                 return Err(StoreError::Corrupt {
                     path,
                     message: "manifest references a missing segment".into(),
@@ -208,6 +238,8 @@ impl LogStore {
             mem_records: 0,
             flushes: 0,
             compactions: 0,
+            tiered_compactions: 0,
+            dir_fsync_errors: 0,
             config,
         };
         Ok((store, info))
@@ -243,6 +275,20 @@ impl LogStore {
         self.compactions
     }
 
+    /// Size-tiered (background-policy) compactions performed by this
+    /// instance.
+    pub fn tiered_compactions(&self) -> u64 {
+        self.tiered_compactions
+    }
+
+    /// Directory-fsync failures observed at manifest commits. The commit
+    /// itself still succeeded (tmp write + fsync + rename all passed);
+    /// this counts the cases where the *rename's* durability could not
+    /// be confirmed — silent before, surfaced in `store stats` now.
+    pub fn dir_fsync_errors(&self) -> u64 {
+        self.dir_fsync_errors
+    }
+
     fn manifest(&self) -> Manifest {
         Manifest {
             next_segment_id: self.next_segment_id,
@@ -268,20 +314,25 @@ impl LogStore {
         }
     }
 
-    /// Atomically commits the manifest: tmp + fsync + rename (+ a
-    /// best-effort directory fsync).
-    fn commit_manifest(&self) -> StoreResult<()> {
+    /// Atomically commits the manifest: tmp + fsync + rename + directory
+    /// fsync. A directory-fsync failure does not fail the commit (the
+    /// rename itself succeeded and the data is consistent either way),
+    /// but it is no longer swallowed: it increments `dir_fsync_errors`,
+    /// surfaced in [`StoreStats`] and `store stats`.
+    fn commit_manifest(&mut self) -> StoreResult<()> {
         let tmp = self.config.dir.join(MANIFEST_TMP);
         let final_path = self.config.dir.join(MANIFEST_FILE);
         let bytes = self.manifest().encode();
+        let vfs = Arc::clone(&self.config.vfs);
         {
-            let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            let f = vfs.create(&tmp).map_err(|e| io_err(&tmp, e))?;
             f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
             f.sync_all().map_err(|e| io_err(&tmp, e))?;
         }
-        fs::rename(&tmp, &final_path).map_err(|e| io_err(&final_path, e))?;
-        if let Ok(d) = File::open(&self.config.dir) {
-            let _ = d.sync_all();
+        vfs.rename(&tmp, &final_path)
+            .map_err(|e| io_err(&final_path, e))?;
+        if vfs.sync_dir(&self.config.dir).is_err() {
+            self.dir_fsync_errors += 1;
         }
         Ok(())
     }
@@ -289,11 +340,10 @@ impl LogStore {
     fn write_segment(&mut self, frames: &[&[u8]]) -> StoreResult<(String, u64)> {
         let name = format!("seg-{:06}.seg", self.next_segment_id);
         let path = self.config.dir.join(&name);
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)
+        let f = self
+            .config
+            .vfs
+            .create(&path)
             .map_err(|e| io_err(&path, e))?;
         let mut bytes = SEGMENT_MAGIC.len() as u64;
         f.write_all(SEGMENT_MAGIC).map_err(|e| io_err(&path, e))?;
@@ -375,7 +425,8 @@ impl LogStore {
         let mut all = Vec::with_capacity(self.durable_records as usize);
         for seg in &self.segments {
             let path = self.config.dir.join(&seg.file);
-            let reader = SegmentReader::open(&path).map_err(|e| io_err(&path, e))?;
+            let reader =
+                SegmentReader::open(&*self.config.vfs, &path).map_err(|e| io_err(&path, e))?;
             for record in reader {
                 all.push(record.map_err(|message| StoreError::Corrupt {
                     path: path.clone(),
@@ -401,6 +452,179 @@ impl LogStore {
             .get(pseudonym)
             .into_iter()
             .flat_map(|s| s.records.iter().map(|(r, _)| r))
+    }
+
+    /// Plans one size-tiered merge, or `None` when no tier is full.
+    ///
+    /// Segments bucket by the power-of-two order of their byte size
+    /// ("same-sized" in STCS terms); the fullest bucket with at least
+    /// `compact_tiers` members is merged. The plan only *reads* store
+    /// state (plus reserving a segment id for the output file, so a
+    /// concurrent flush can never collide with the merge's output name —
+    /// a burned id on a failed merge is harmless). The expensive merge
+    /// I/O in [`TieredPlan::merge`] then runs without any reference to
+    /// the store: a background thread drops the store lock, merges, and
+    /// re-locks only for [`LogStore::commit_tiered`].
+    pub fn tiered_plan(&mut self) -> Option<TieredPlan> {
+        if self.config.compact_tiers == 0 || self.segments.len() < self.config.compact_tiers {
+            return None;
+        }
+        let mut tiers: HashMap<u32, Vec<SegmentMeta>> = HashMap::new();
+        for seg in &self.segments {
+            tiers
+                .entry(size_tier(seg.bytes))
+                .or_default()
+                .push(seg.clone());
+        }
+        let inputs = tiers
+            .into_values()
+            .filter(|members| members.len() >= self.config.compact_tiers)
+            .max_by_key(|members| members.len())?;
+        let out_file = format!("seg-{:06}.seg", self.next_segment_id);
+        self.next_segment_id += 1;
+        Some(TieredPlan {
+            inputs,
+            out_file,
+            dir: self.config.dir.clone(),
+            vfs: Arc::clone(&self.config.vfs),
+        })
+    }
+
+    /// Commits a finished tiered merge: splices the merged segment in
+    /// place of its inputs and commits the manifest. Returns `Ok(None)`
+    /// — merge discarded, its output removed — when the inputs are no
+    /// longer all referenced (an explicit `compact()` ran underneath the
+    /// background merge). Stream state is untouched: like explicit
+    /// compaction, a tiered merge rewrites files, never history.
+    pub fn commit_tiered(&mut self, merged: MergedSegment) -> StoreResult<Option<CompactOutcome>> {
+        let input_names: HashSet<&str> = merged.inputs.iter().map(|s| s.file.as_str()).collect();
+        let referenced = self
+            .segments
+            .iter()
+            .filter(|s| input_names.contains(s.file.as_str()))
+            .count();
+        if referenced != merged.inputs.len() {
+            // The store moved on while we merged; the output is an
+            // orphan. Best effort: the next open deletes leftovers.
+            let _ = self
+                .config
+                .vfs
+                .remove(&self.config.dir.join(&merged.meta.file));
+            return Ok(None);
+        }
+        let segments_before = self.segments.len() as u64;
+        let first = self
+            .segments
+            .iter()
+            .position(|s| input_names.contains(s.file.as_str()))
+            .expect("inputs verified referenced");
+        let old_segments = self.segments.clone();
+        self.segments
+            .retain(|s| !input_names.contains(s.file.as_str()));
+        self.segments.insert(first, merged.meta.clone());
+        if let Err(e) = self.commit_manifest() {
+            // Roll the in-memory view back to the manifest that is
+            // still on disk; the merged file becomes an orphan.
+            self.segments = old_segments;
+            let _ = self
+                .config
+                .vfs
+                .remove(&self.config.dir.join(&merged.meta.file));
+            return Err(e);
+        }
+        for seg in &merged.inputs {
+            let _ = self.config.vfs.remove(&self.config.dir.join(&seg.file));
+        }
+        self.tiered_compactions += 1;
+        Ok(Some(CompactOutcome {
+            segments_before,
+            segments_after: self.segments.len() as u64,
+            records: merged.meta.records,
+            bytes: merged.meta.bytes,
+        }))
+    }
+
+    /// One full plan → merge → commit cycle, for callers without a
+    /// background thread (tests, `dummyloc store compact --tiered`-style
+    /// paths). `Ok(None)` when no tier is full.
+    pub fn compact_tiered_once(&mut self) -> StoreResult<Option<CompactOutcome>> {
+        let Some(plan) = self.tiered_plan() else {
+            return Ok(None);
+        };
+        let merged = plan.merge()?;
+        self.commit_tiered(merged)
+    }
+}
+
+/// The size tier (power-of-two order of byte size) a segment falls in.
+fn size_tier(bytes: u64) -> u32 {
+    u64::BITS - bytes.max(1).leading_zeros()
+}
+
+/// A planned size-tiered merge: which segments to merge and where the
+/// output goes. Produced under the store lock by
+/// [`LogStore::tiered_plan`]; [`TieredPlan::merge`] is then safe to run
+/// with no lock held at all — segment files are immutable once
+/// referenced, and the output file is invisible until
+/// [`LogStore::commit_tiered`] references it.
+#[derive(Debug)]
+pub struct TieredPlan {
+    inputs: Vec<SegmentMeta>,
+    out_file: String,
+    dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+/// A merged-but-uncommitted segment: the output of [`TieredPlan::merge`],
+/// fully written and fsynced but referenced by no manifest yet.
+#[derive(Debug)]
+pub struct MergedSegment {
+    inputs: Vec<SegmentMeta>,
+    meta: SegmentMeta,
+}
+
+impl TieredPlan {
+    /// Input segments this plan will merge.
+    pub fn inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Reads the input segments, merges them into one
+    /// `(pseudonym, seq)`-sorted run, and writes + fsyncs the output
+    /// file. Lock-free by construction (see the type docs).
+    pub fn merge(&self) -> StoreResult<MergedSegment> {
+        let mut all = Vec::new();
+        for seg in &self.inputs {
+            let path = self.dir.join(&seg.file);
+            let reader = SegmentReader::open(&*self.vfs, &path).map_err(|e| io_err(&path, e))?;
+            for record in reader {
+                all.push(record.map_err(|message| StoreError::Corrupt {
+                    path: path.clone(),
+                    message,
+                })?);
+            }
+        }
+        all.sort_by(|a, b| {
+            (a.request.pseudonym.as_str(), a.seq).cmp(&(b.request.pseudonym.as_str(), b.seq))
+        });
+        let path = self.dir.join(&self.out_file);
+        let f = self.vfs.create(&path).map_err(|e| io_err(&path, e))?;
+        let mut bytes = SEGMENT_MAGIC.len() as u64;
+        f.write_all(SEGMENT_MAGIC).map_err(|e| io_err(&path, e))?;
+        for record in &all {
+            let frame = encode_frame(record);
+            f.write_all(&frame).map_err(|e| io_err(&path, e))?;
+            bytes += frame.len() as u64;
+        }
+        f.sync_all().map_err(|e| io_err(&path, e))?;
+        Ok(MergedSegment {
+            inputs: self.inputs.clone(),
+            meta: SegmentMeta {
+                file: self.out_file.clone(),
+                records: all.len() as u64,
+                bytes,
+            },
+        })
     }
 }
 
@@ -526,7 +750,8 @@ impl Storage for LogStore {
         let mut out = Vec::new();
         for seg in &self.segments {
             let path = self.config.dir.join(&seg.file);
-            let reader = SegmentReader::open(&path).map_err(|e| io_err(&path, e))?;
+            let reader =
+                SegmentReader::open(&*self.config.vfs, &path).map_err(|e| io_err(&path, e))?;
             for record in reader {
                 let record = record.map_err(|message| StoreError::Corrupt {
                     path: path.clone(),
@@ -554,7 +779,8 @@ impl Storage for LogStore {
         > = Vec::with_capacity(self.segments.len() + 1);
         for seg in &self.segments {
             let path = self.config.dir.join(&seg.file);
-            let reader = SegmentReader::open(&path).map_err(|e| io_err(&path, e))?;
+            let reader =
+                SegmentReader::open(&*self.config.vfs, &path).map_err(|e| io_err(&path, e))?;
             let scan: Box<dyn Iterator<Item = StoreResult<StoreRecord>> + 'a> =
                 Box::new(SegmentScan {
                     path,
@@ -659,7 +885,7 @@ impl Storage for LogStore {
         for seg in old {
             // Best effort: a leftover is an unreferenced file that the
             // next open deletes.
-            let _ = fs::remove_file(self.config.dir.join(&seg.file));
+            let _ = self.config.vfs.remove(&self.config.dir.join(&seg.file));
         }
         self.compactions += 1;
         Ok(CompactOutcome {
@@ -684,6 +910,8 @@ impl Storage for LogStore {
             last_durable_seq: self.last_durable_seq,
             flushes: self.flushes,
             compactions: self.compactions,
+            tiered_compactions: self.tiered_compactions,
+            dir_fsync_errors: self.dir_fsync_errors,
         }
     }
 }
@@ -694,6 +922,7 @@ mod tests {
     use crate::memory::MemoryBackend;
     use dummyloc_core::client::Request;
     use dummyloc_geo::Point;
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static SCRATCH: AtomicU64 = AtomicU64::new(0);
@@ -957,11 +1186,98 @@ mod tests {
         assert_eq!(store.last_durable_seq(), Some(0));
         assert_eq!(store.flushes(), 1);
         assert!(LogStoreConfig {
-            dir: dir.clone(),
-            flush_threshold_bytes: 0
+            flush_threshold_bytes: 0,
+            ..LogStoreConfig::new(&dir)
         }
         .validate()
         .is_err());
+        assert!(LogStoreConfig {
+            compact_tiers: 1,
+            ..LogStoreConfig::new(&dir)
+        }
+        .validate()
+        .is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_compaction_merges_full_tiers_and_is_invariant() {
+        let dir = scratch("tiered");
+        let mut config = LogStoreConfig::new(&dir);
+        config.flush_threshold_bytes = usize::MAX >> 1;
+        config.compact_tiers = 3;
+        let (mut store, _) = LogStore::open(config).unwrap();
+        // Same-shaped flushes land in the same size tier.
+        let mut seq = 0;
+        for _ in 0..4 {
+            for user in 0..2 {
+                store.append(record(&format!("user-{user}"), seq)).unwrap();
+                seq += 1;
+            }
+            store.flush().unwrap();
+        }
+        assert_eq!(store.store_stats().segments, 4);
+        let digests = store.stream_digests();
+        let snap = store.snapshot().unwrap();
+
+        let outcome = store.compact_tiered_once().unwrap().unwrap();
+        assert_eq!(outcome.segments_before, 4);
+        assert!(outcome.segments_after < 4);
+        assert_eq!(store.stream_digests(), digests);
+        assert_eq!(store.snapshot().unwrap(), snap);
+        assert_eq!(store.tiered_compactions(), 1);
+        assert_eq!(store.store_stats().tiered_compactions, 1);
+
+        // Reopen sees the same state and no leftovers.
+        drop(store);
+        let (reopened, info) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert_eq!(info.orphans_removed, 0);
+        assert_eq!(reopened.stream_digests(), digests);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_plan_respects_policy_bounds() {
+        let dir = scratch("tiered-bounds");
+        let mut config = LogStoreConfig::new(&dir);
+        config.compact_tiers = 0; // disabled
+        let (mut store, _) = LogStore::open(config).unwrap();
+        fill(&mut store, 2, 2);
+        store.flush().unwrap();
+        assert!(store.tiered_plan().is_none());
+        assert!(store.compact_tiered_once().unwrap().is_none());
+        drop(store);
+
+        // Too few segments for the tier: no plan.
+        let mut config = LogStoreConfig::new(&dir);
+        config.compact_tiers = 4;
+        let (mut store, _) = LogStore::open(config).unwrap();
+        assert!(store.tiered_plan().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tiered_commit_is_discarded() {
+        let dir = scratch("tiered-stale");
+        let mut config = LogStoreConfig::new(&dir);
+        config.compact_tiers = 2;
+        let (mut store, _) = LogStore::open(config).unwrap();
+        for seq in 0..3 {
+            store.append(record("p", seq)).unwrap();
+            store.flush().unwrap();
+        }
+        let digests = store.stream_digests();
+        let plan = store.tiered_plan().unwrap();
+        let merged = plan.merge().unwrap();
+        // An explicit compaction runs underneath the background merge.
+        store.compact().unwrap();
+        assert!(store.commit_tiered(merged).unwrap().is_none());
+        assert_eq!(store.stream_digests(), digests);
+        assert_eq!(store.tiered_compactions(), 0);
+        // The discarded output is not on disk (removed or orphaned).
+        drop(store);
+        let (reopened, _) = LogStore::open(LogStoreConfig::new(&dir)).unwrap();
+        assert_eq!(reopened.stream_digests(), digests);
         fs::remove_dir_all(&dir).ok();
     }
 

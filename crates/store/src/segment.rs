@@ -32,7 +32,6 @@
 //! but the workspace forbids `unsafe`, so buffered I/O is the one
 //! implementation.
 
-use std::fs::File;
 use std::io::{self, BufReader, Read};
 use std::path::Path;
 
@@ -40,6 +39,7 @@ use dummyloc_core::client::Request;
 use dummyloc_geo::Point;
 
 use crate::digest::fnv1a;
+use crate::vfs::{Vfs, VfsFile};
 use crate::StoreRecord;
 
 /// First bytes of every segment file.
@@ -208,19 +208,30 @@ pub fn decode_segment(bytes: &[u8]) -> Result<Vec<StoreRecord>, String> {
     Ok(records)
 }
 
+/// `io::Read` adapter over a [`VfsFile`] handle, so the buffered reader
+/// below works over any [`Vfs`]. Each buffer refill is one VFS read op.
+#[derive(Debug)]
+struct VfsRead(Box<dyn VfsFile>);
+
+impl Read for VfsRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
 /// Buffered streaming reader over one segment file — the cold-scan path,
 /// which never loads a whole segment into memory at once.
 #[derive(Debug)]
 pub struct SegmentReader {
-    reader: BufReader<File>,
+    reader: BufReader<VfsRead>,
     offset: usize,
 }
 
 impl SegmentReader {
-    /// Opens a segment file and validates its magic.
-    pub fn open(path: &Path) -> io::Result<Self> {
-        let file = File::open(path)?;
-        let mut reader = BufReader::new(file);
+    /// Opens a segment file through `vfs` and validates its magic.
+    pub fn open(vfs: &dyn Vfs, path: &Path) -> io::Result<Self> {
+        let file = vfs.open_read(path)?;
+        let mut reader = BufReader::new(VfsRead(file));
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
         if &magic != SEGMENT_MAGIC {
@@ -352,7 +363,7 @@ mod tests {
         let path = dir.join("seg-000001.seg");
         let records: Vec<StoreRecord> = (0..20).map(|k| record("q", k, None)).collect();
         std::fs::write(&path, encode_segment(&records)).unwrap();
-        let streamed: Vec<StoreRecord> = SegmentReader::open(&path)
+        let streamed: Vec<StoreRecord> = SegmentReader::open(&crate::vfs::RealVfs, &path)
             .unwrap()
             .map(|r| r.unwrap())
             .collect();
@@ -368,7 +379,9 @@ mod tests {
         let bytes = encode_segment(&[record("q", 0, None)]);
         std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
         let results: Vec<Result<StoreRecord, String>> =
-            SegmentReader::open(&path).unwrap().collect();
+            SegmentReader::open(&crate::vfs::RealVfs, &path)
+                .unwrap()
+                .collect();
         assert_eq!(results.len(), 1);
         assert!(results[0].as_ref().unwrap_err().contains("torn"));
         std::fs::remove_file(&path).ok();

@@ -1,0 +1,725 @@
+//! Virtual filesystem layer: every syscall the store (and the server's
+//! WAL, and the sim's checkpoint writer) issues goes through a [`Vfs`].
+//!
+//! Production code runs on [`RealVfs`], a zero-cost passthrough to
+//! `std::fs`. Tests run on [`FaultVfs`], a deterministic in-memory disk
+//! that can hurt you in exactly three ways, at exactly the syscall index
+//! you choose (the op-indexed analogue of the server's seeded
+//! `FaultPlan`):
+//!
+//! * **errno injection** — the Nth syscall returns a chosen errno
+//!   (`EIO`, `ENOSPC`, `EINTR`) without touching the virtual disk;
+//! * **short write** — the Nth syscall, if it is a write, persists only
+//!   a prefix of its buffer into the page cache and then fails with
+//!   `EIO` (a torn write the caller *is* told about);
+//! * **power cut** — the virtual disk freezes atomically to its last
+//!   *synced* image mid-operation; every later syscall fails until
+//!   [`FaultVfs::revive`], after which the test reopens the torn image
+//!   in-process — the `kill -9` experience without a process boundary.
+//!
+//! The crash model mirrors a kernel page cache: every file carries a
+//! `persisted` image (what survives a power cut) and a `current` image
+//! (what open handles and readers see). `sync_data`/`sync_all` promote
+//! `current` to `persisted`. One documented simplification: *metadata*
+//! operations (create, rename, remove) are durable immediately — the
+//! fault matrix exercises torn data and failed syscalls, not journal
+//! reordering of directory entries.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// `EIO`: low-level I/O failure.
+pub const EIO: i32 = 5;
+/// `EINTR`: interrupted syscall.
+pub const EINTR: i32 = 4;
+/// `ENOSPC`: the disk is full.
+pub const ENOSPC: i32 = 28;
+
+/// Builds an `io::Error` carrying a raw errno, the same shape the OS
+/// would hand back (`libc`-free: the workspace adds no dependencies).
+pub fn errno(code: i32) -> io::Error {
+    io::Error::from_raw_os_error(code)
+}
+
+/// One open file handle. Methods take `&self` because callers share
+/// handles across threads (the WAL writer holds its log file in an
+/// `Arc` and group-commit leaders sync it from any worker).
+pub trait VfsFile: Send + Sync + Debug {
+    /// Writes the whole buffer at the handle's cursor (append handles
+    /// write at end-of-file).
+    fn write_all(&self, buf: &[u8]) -> io::Result<()>;
+    /// Reads up to `buf.len()` bytes at the handle's cursor.
+    fn read(&self, buf: &mut [u8]) -> io::Result<usize>;
+    /// Flushes file data to durable storage.
+    fn sync_data(&self) -> io::Result<()>;
+    /// Flushes file data and metadata to durable storage.
+    fn sync_all(&self) -> io::Result<()>;
+    /// Truncates (or extends with zeros) to `len` bytes.
+    fn set_len(&self, len: u64) -> io::Result<()>;
+}
+
+/// The filesystem operations the store, WAL and checkpoint writer use.
+/// Implementations are shared behind `Arc<dyn Vfs>` in the configs that
+/// carry them.
+pub trait Vfs: Send + Sync + Debug {
+    /// Creates (truncating if present) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens an existing file for reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens (creating if absent) a file whose writes land at end-of-file.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens an existing file for writing without truncating it.
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically renames `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) directly inside a directory.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<String>>;
+    /// Creates a directory and any missing ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs a directory, making renames/creates inside it durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists (a pure metadata probe; never faulted).
+    fn exists(&self, path: &Path) -> bool;
+    /// Current length of a file in bytes.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// The default [`Vfs`]: a shared handle to the real filesystem.
+pub fn real_vfs() -> Arc<dyn Vfs> {
+    Arc::new(RealVfs)
+}
+
+/// Passthrough [`Vfs`] over `std::fs` — what production configs carry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn write_all(&self, buf: &[u8]) -> io::Result<()> {
+        (&self.0).write_all(buf)
+    }
+
+    fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        (&self.0).read(buf)
+    }
+
+    fn sync_data(&self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn sync_all(&self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(File::open(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+}
+
+/// What kind of syscall an op-trace entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `create` / `create_dir_all`.
+    Create,
+    /// `open_read` / `open_append` / `open_write`.
+    Open,
+    /// A handle `read` or a whole-file `read`.
+    Read,
+    /// A handle `write_all`.
+    Write,
+    /// `sync_data` / `sync_all` on a file handle.
+    Sync,
+    /// `set_len`.
+    SetLen,
+    /// `rename`.
+    Rename,
+    /// `remove`.
+    Remove,
+    /// `read_dir`.
+    ReadDir,
+    /// `sync_dir`.
+    SyncDir,
+}
+
+/// The three ways [`FaultVfs`] can hurt a syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with this errno; the virtual disk is untouched.
+    Errno(i32),
+    /// Persist only a prefix of the write's buffer, then fail with
+    /// `EIO`. On a non-write syscall this degrades to `Errno(EIO)`.
+    ShortWrite,
+    /// Freeze the disk to its last synced image and fail every syscall
+    /// from here on (until [`FaultVfs::revive`]).
+    PowerCut,
+}
+
+/// The canonical errno rotation the sampled fault matrix draws from.
+pub const FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::Errno(EIO),
+    FaultKind::Errno(ENOSPC),
+    FaultKind::Errno(EINTR),
+    FaultKind::ShortWrite,
+    FaultKind::PowerCut,
+];
+
+/// One file on the virtual disk: the synced image and the live (page
+/// cache) image.
+#[derive(Debug, Default, Clone)]
+struct FileEntry {
+    persisted: Vec<u8>,
+    current: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct FaultDisk {
+    files: HashMap<PathBuf, FileEntry>,
+    dirs: HashSet<PathBuf>,
+    ops: u64,
+    trace: Vec<(OpKind, PathBuf)>,
+    faults: Vec<(u64, FaultKind)>,
+    cut: bool,
+}
+
+/// What the fault gate decided about one syscall.
+enum Gate {
+    Pass,
+    Short,
+}
+
+impl FaultDisk {
+    /// Counts the syscall, applies any fault armed at its index, and
+    /// freezes the disk on a power cut.
+    fn gate(&mut self, op: OpKind, path: &Path) -> io::Result<Gate> {
+        if self.cut {
+            return Err(errno(EIO));
+        }
+        let idx = self.ops;
+        self.ops += 1;
+        self.trace.push((op, path.to_path_buf()));
+        let Some(pos) = self.faults.iter().position(|(at, _)| *at == idx) else {
+            return Ok(Gate::Pass);
+        };
+        let (_, kind) = self.faults.remove(pos);
+        match kind {
+            FaultKind::Errno(code) => Err(errno(code)),
+            FaultKind::ShortWrite if op == OpKind::Write => Ok(Gate::Short),
+            FaultKind::ShortWrite => Err(errno(EIO)),
+            FaultKind::PowerCut => {
+                self.power_cut();
+                Err(errno(EIO))
+            }
+        }
+    }
+
+    /// Atomically freezes every file to its synced image.
+    fn power_cut(&mut self) {
+        self.cut = true;
+        for entry in self.files.values_mut() {
+            entry.current = entry.persisted.clone();
+        }
+    }
+
+    fn entry_or_not_found(&self, path: &Path) -> io::Result<&FileEntry> {
+        self.files
+            .get(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such virtual file"))
+    }
+}
+
+/// Deterministic in-memory faulting filesystem. Cloning shares the same
+/// virtual disk, so a test can keep a control handle while the store
+/// owns another.
+#[derive(Debug, Clone, Default)]
+pub struct FaultVfs {
+    disk: Arc<Mutex<FaultDisk>>,
+}
+
+impl FaultVfs {
+    /// An empty, fault-free virtual disk.
+    pub fn new() -> Self {
+        FaultVfs::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FaultDisk> {
+        self.disk.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Syscalls issued so far — the index space faults are armed in.
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// The full `(kind, path)` trace of every syscall so far.
+    pub fn trace(&self) -> Vec<(OpKind, PathBuf)> {
+        self.lock().trace.clone()
+    }
+
+    /// Arms one fault at syscall index `at_op` (0-based over the ops
+    /// issued after this call's present). Faults are one-shot.
+    pub fn inject(&self, at_op: u64, kind: FaultKind) {
+        self.lock().faults.push((at_op, kind));
+    }
+
+    /// Disarms every pending fault.
+    pub fn clear_faults(&self) {
+        self.lock().faults.clear();
+    }
+
+    /// Whether a power cut froze the disk.
+    pub fn is_cut(&self) -> bool {
+        self.lock().cut
+    }
+
+    /// Brings a power-cut disk back: the live image becomes the synced
+    /// image (everything unsynced is gone), pending faults are cleared,
+    /// and syscalls work again — reopening now reads the torn image.
+    pub fn revive(&self) {
+        let mut disk = self.lock();
+        if !disk.cut {
+            for entry in disk.files.values_mut() {
+                entry.current = entry.persisted.clone();
+            }
+        }
+        disk.cut = false;
+        disk.faults.clear();
+    }
+
+    /// The synced (crash-surviving) image of one file, if it exists.
+    pub fn persisted(&self, path: &Path) -> Option<Vec<u8>> {
+        self.lock().files.get(path).map(|e| e.persisted.clone())
+    }
+}
+
+/// SplitMix64 — the seed-expansion step the server's `FaultPlan` uses,
+/// reproduced here so seeded fault schedules stay dependency-free.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministically samples up to `cases` distinct `(op index, fault)`
+/// pairs out of a matrix of `op_count` injection points × the
+/// [`FAULT_KINDS`] rotation — the bounded schedule the CI gate walks
+/// when the full per-syscall matrix would be too slow.
+pub fn sample_faults(seed: u64, op_count: u64, cases: usize) -> Vec<(u64, FaultKind)> {
+    let total = op_count.saturating_mul(FAULT_KINDS.len() as u64);
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut picked = HashSet::new();
+    let mut out = Vec::new();
+    let mut state = seed;
+    // Draw with a bounded retry budget so a near-exhaustive request
+    // still terminates; duplicates are simply skipped.
+    for draw in 0..cases.saturating_mul(8) {
+        if out.len() >= cases || out.len() as u64 >= total {
+            break;
+        }
+        state = splitmix(state ^ (draw as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let cell = state % total;
+        if picked.insert(cell) {
+            let at = cell / FAULT_KINDS.len() as u64;
+            let kind = FAULT_KINDS[(cell % FAULT_KINDS.len() as u64) as usize];
+            out.push((at, kind));
+        }
+    }
+    out.sort_by_key(|(at, _)| *at);
+    out
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    disk: Arc<Mutex<FaultDisk>>,
+    path: PathBuf,
+    append: bool,
+    pos: Mutex<u64>,
+}
+
+impl FaultFile {
+    fn lock_disk(&self) -> MutexGuard<'_, FaultDisk> {
+        self.disk.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&self, buf: &[u8]) -> io::Result<()> {
+        let mut disk = self.lock_disk();
+        let gate = disk.gate(OpKind::Write, &self.path)?;
+        let written = match gate {
+            Gate::Pass => buf,
+            // A torn write: half the buffer lands, the caller sees EIO.
+            Gate::Short => &buf[..buf.len() / 2],
+        };
+        let entry = disk.files.entry(self.path.clone()).or_default();
+        if self.append {
+            entry.current.extend_from_slice(written);
+        } else {
+            let mut pos = self.pos.lock().unwrap_or_else(|e| e.into_inner());
+            let at = *pos as usize;
+            if entry.current.len() < at + written.len() {
+                entry.current.resize(at + written.len(), 0);
+            }
+            entry.current[at..at + written.len()].copy_from_slice(written);
+            *pos += written.len() as u64;
+        }
+        match gate {
+            Gate::Pass => Ok(()),
+            Gate::Short => Err(errno(EIO)),
+        }
+    }
+
+    fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut disk = self.lock_disk();
+        disk.gate(OpKind::Read, &self.path)?;
+        let entry = disk.entry_or_not_found(&self.path)?;
+        let mut pos = self.pos.lock().unwrap_or_else(|e| e.into_inner());
+        let at = (*pos as usize).min(entry.current.len());
+        let n = (entry.current.len() - at).min(buf.len());
+        buf[..n].copy_from_slice(&entry.current[at..at + n]);
+        *pos += n as u64;
+        Ok(n)
+    }
+
+    fn sync_data(&self) -> io::Result<()> {
+        self.sync_all()
+    }
+
+    fn sync_all(&self) -> io::Result<()> {
+        let mut disk = self.lock_disk();
+        disk.gate(OpKind::Sync, &self.path)?;
+        if let Some(entry) = disk.files.get_mut(&self.path) {
+            entry.persisted = entry.current.clone();
+        }
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        let mut disk = self.lock_disk();
+        disk.gate(OpKind::SetLen, &self.path)?;
+        let entry = disk.files.entry(self.path.clone()).or_default();
+        entry.current.resize(len as usize, 0);
+        let mut pos = self.pos.lock().unwrap_or_else(|e| e.into_inner());
+        *pos = (*pos).min(len);
+        Ok(())
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Create, path)?;
+        disk.files.insert(path.to_path_buf(), FileEntry::default());
+        Ok(Box::new(FaultFile {
+            disk: Arc::clone(&self.disk),
+            path: path.to_path_buf(),
+            append: false,
+            pos: Mutex::new(0),
+        }))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Open, path)?;
+        disk.entry_or_not_found(path)?;
+        Ok(Box::new(FaultFile {
+            disk: Arc::clone(&self.disk),
+            path: path.to_path_buf(),
+            append: false,
+            pos: Mutex::new(0),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Open, path)?;
+        disk.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(FaultFile {
+            disk: Arc::clone(&self.disk),
+            path: path.to_path_buf(),
+            append: true,
+            pos: Mutex::new(0),
+        }))
+    }
+
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Open, path)?;
+        disk.entry_or_not_found(path)?;
+        Ok(Box::new(FaultFile {
+            disk: Arc::clone(&self.disk),
+            path: path.to_path_buf(),
+            append: false,
+            pos: Mutex::new(0),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Read, path)?;
+        Ok(disk.entry_or_not_found(path)?.current.clone())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Rename, from)?;
+        let entry = disk
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such virtual file"))?;
+        disk.files.insert(to.to_path_buf(), entry);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Remove, path)?;
+        disk.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such virtual file"))
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::ReadDir, path)?;
+        let mut names: Vec<String> = disk
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(path))
+            .filter_map(|p| p.file_name()?.to_str().map(str::to_string))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::Create, path)?;
+        let mut at = Some(path);
+        while let Some(p) = at {
+            disk.dirs.insert(p.to_path_buf());
+            at = p.parent();
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let mut disk = self.lock();
+        disk.gate(OpKind::SyncDir, path)?;
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let disk = self.lock();
+        disk.files.contains_key(path) || disk.dirs.contains(path)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        let disk = self.lock();
+        Ok(disk.entry_or_not_found(path)?.current.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PathBuf {
+        PathBuf::from("/v").join(name)
+    }
+
+    #[test]
+    fn real_vfs_round_trips_files_and_dirs() {
+        let dir = std::env::temp_dir().join(format!("dummyloc-vfs-{}", std::process::id()));
+        let vfs = RealVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let path = dir.join("a.bin");
+        let f = vfs.create(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        assert_eq!(vfs.len(&path).unwrap(), 5);
+        assert!(vfs.exists(&path));
+        let g = vfs.open_append(&path).unwrap();
+        g.write_all(b" world").unwrap();
+        g.sync_data().unwrap();
+        drop(g);
+        let r = vfs.open_read(&path).unwrap();
+        let mut buf = [0u8; 16];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello world");
+        let renamed = dir.join("b.bin");
+        vfs.rename(&path, &renamed).unwrap();
+        assert!(vfs.read_dir(&dir).unwrap().contains(&"b.bin".to_string()));
+        vfs.sync_dir(&dir).unwrap();
+        let w = vfs.open_write(&renamed).unwrap();
+        w.set_len(5).unwrap();
+        drop(w);
+        assert_eq!(vfs.read(&renamed).unwrap(), b"hello");
+        vfs.remove(&renamed).unwrap();
+        assert!(!vfs.exists(&renamed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_vfs_behaves_like_a_filesystem_when_unfaulted() {
+        let vfs = FaultVfs::new();
+        vfs.create_dir_all(&p("")).unwrap();
+        let f = vfs.create(&p("x")).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&p("x")).unwrap(), b"abc");
+        let a = vfs.open_append(&p("x")).unwrap();
+        a.write_all(b"def").unwrap();
+        drop(a);
+        assert_eq!(vfs.read(&p("x")).unwrap(), b"abcdef");
+        vfs.rename(&p("x"), &p("y")).unwrap();
+        assert!(!vfs.exists(&p("x")));
+        assert_eq!(vfs.len(&p("y")).unwrap(), 6);
+        assert_eq!(vfs.read_dir(&p("")).unwrap(), vec!["y".to_string()]);
+        assert!(vfs.open_read(&p("x")).is_err());
+        assert!(vfs.remove(&p("x")).is_err());
+        vfs.remove(&p("y")).unwrap();
+    }
+
+    #[test]
+    fn errno_faults_fire_once_at_their_index() {
+        let vfs = FaultVfs::new();
+        let f = vfs.create(&p("x")).unwrap(); // op 0
+        vfs.inject(1, FaultKind::Errno(ENOSPC));
+        let err = f.write_all(b"abc").unwrap_err(); // op 1: faulted
+        assert_eq!(err.raw_os_error(), Some(ENOSPC));
+        f.write_all(b"abc").unwrap(); // op 2: clean again
+        assert_eq!(vfs.op_count(), 3);
+        assert_eq!(vfs.trace()[1].0, OpKind::Write);
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix_and_errors() {
+        let vfs = FaultVfs::new();
+        let f = vfs.create(&p("x")).unwrap(); // op 0
+        vfs.inject(1, FaultKind::ShortWrite);
+        let err = f.write_all(b"abcdef").unwrap_err(); // op 1
+        assert_eq!(err.raw_os_error(), Some(EIO));
+        drop(f);
+        assert_eq!(vfs.read(&p("x")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn power_cut_freezes_to_the_synced_image() {
+        let vfs = FaultVfs::new();
+        let f = vfs.create(&p("x")).unwrap(); // op 0
+        f.write_all(b"synced").unwrap(); // op 1
+        f.sync_all().unwrap(); // op 2
+        f.write_all(b" pending").unwrap(); // op 3 (never synced)
+        vfs.inject(4, FaultKind::PowerCut);
+        assert!(f.sync_all().is_err()); // op 4: the lights go out
+        assert!(vfs.is_cut());
+        // Everything fails while the disk is down.
+        assert!(vfs.read(&p("x")).is_err());
+        vfs.revive();
+        // The unsynced suffix is gone; the synced prefix survived.
+        assert_eq!(vfs.read(&p("x")).unwrap(), b"synced");
+    }
+
+    #[test]
+    fn revive_without_a_cut_just_drops_unsynced_data() {
+        let vfs = FaultVfs::new();
+        let f = vfs.create(&p("x")).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.sync_all().unwrap();
+        f.write_all(b"tail").unwrap();
+        drop(f);
+        vfs.revive();
+        assert_eq!(vfs.read(&p("x")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn sampled_schedules_are_deterministic_bounded_and_in_range() {
+        let a = sample_faults(42, 100, 32);
+        let b = sample_faults(42, 100, 32);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.iter().all(|(at, _)| *at < 100));
+        let c = sample_faults(43, 100, 32);
+        assert_ne!(a, c);
+        // A near-exhaustive request saturates instead of spinning.
+        assert!(sample_faults(1, 2, 64).len() <= 10);
+        assert!(sample_faults(1, 0, 8).is_empty());
+    }
+}

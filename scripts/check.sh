@@ -40,6 +40,12 @@ cargo test "${FLAGS[@]}" --workspace -q
 echo "== chaos integration tests (fault injection / deadlines / retries)"
 cargo test "${FLAGS[@]}" -p integration-tests --test server_chaos -q
 
+echo "== store faults: errno/short-write/power-cut injection in every durability syscall"
+# Seeded 32-cell sample per window by default; CHECK_STRESS=1 walks the
+# full per-syscall × per-fault matrix (hundreds of cells, still fast —
+# the virtual disk is in-memory).
+cargo test "${FLAGS[@]}" -p integration-tests --test store_faults -q
+
 echo "== parallel determinism: serial-vs-parallel equivalence suite"
 # Covers the raw engine and every registered experiment at 1/2/3/8
 # threads (bitwise f64 comparison), plus the pool/stream property tests.

@@ -58,8 +58,8 @@ fn spawn_with_durability(wal: &Path, store: Option<(&Path, usize)>) -> ServerHan
         .addr("127.0.0.1:0")
         .workers(2)
         .wal(Some(WalConfig {
-            path: wal.to_path_buf(),
             fsync: FsyncPolicy::Always,
+            ..WalConfig::new(wal.to_path_buf())
         }))
         .store(store.map(|(dir, flush_threshold_bytes)| LogStoreConfig {
             flush_threshold_bytes,
@@ -433,8 +433,8 @@ fn flush_and_compaction_crash_images_recover_identical_digests() {
 
     let write_full_wal = |path: &Path| {
         let config = WalConfig {
-            path: path.to_path_buf(),
             fsync: FsyncPolicy::Os,
+            ..WalConfig::new(path.to_path_buf())
         };
         let mut writer = WalWriter::open(&config).unwrap();
         for r in &records {
@@ -567,8 +567,8 @@ fn torn_wal_file_recovers_at_every_truncation_offset() {
         assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len as u64);
         // … so appending continues without corrupting earlier records.
         let config = WalConfig {
-            path: path.clone(),
             fsync: FsyncPolicy::Os,
+            ..WalConfig::new(path.clone())
         };
         let mut writer = WalWriter::open(&config).unwrap();
         writer.append(records.last().unwrap()).unwrap();
@@ -658,5 +658,83 @@ fn interrupted_simulation_resumes_bitwise_identical() {
             assert_eq!(resumed.streams, reference.streams);
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The background size-tiered compactor runs while queries are being
+/// acknowledged: with a tiny flush threshold and a two-segment tier
+/// trigger, the segment count converges to the tier policy instead of
+/// growing one segment per flush, the merges are visible in the
+/// `server.store.compact.*` counters, and the final digests are
+/// byte-identical to a compaction-free server over the same workload.
+#[test]
+fn background_compaction_converges_under_live_traffic() {
+    let dir = scratch_dir("bg-compact");
+    let spawn_store_only = |store_dir: &Path, compact_tiers: usize| {
+        let config = ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .store(Some(LogStoreConfig {
+                flush_threshold_bytes: 512,
+                compact_tiers,
+                ..LogStoreConfig::new(store_dir)
+            }))
+            .build()
+            .unwrap();
+        spawn(config, pois()).unwrap()
+    };
+    let drive = |handle: &ServerHandle| {
+        let query = QueryKind::NextBus;
+        for user in 0..4u64 {
+            let mut client = ServiceClient::connect(handle.addr()).unwrap();
+            for (k, (t, request)) in user_requests(user, 40).iter().enumerate() {
+                client
+                    .query_with_id(user * 1000 + k as u64, *t, None, request, &query)
+                    .unwrap();
+            }
+        }
+    };
+
+    let compacted = spawn_store_only(&dir.join("tiered"), 2);
+    drive(&compacted);
+    // The appends are acknowledged; now wait for the compactor to fold
+    // every full tier. Converged means at most one segment per size
+    // tier — far below the several dozen flushes the traffic forced.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let (flushes, segments) = loop {
+        let stats = compacted.store_stats().expect("store is configured");
+        let flushes = compacted.stats().store.flushes;
+        if (stats.segments <= 10 && compacted.stats().store.compact_runs > 0)
+            || Instant::now() > deadline
+        {
+            break (flushes, stats.segments);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let snap = compacted.stats();
+    assert!(
+        snap.store.compact_runs > 0,
+        "background compactor never committed a merge"
+    );
+    assert!(
+        segments <= 10 && segments < flushes,
+        "segment count failed to converge: {segments} segments after {flushes} flushes"
+    );
+    assert!(snap.store.compact_segments_in >= 2 * snap.store.compact_runs);
+    assert!(snap.store.compact_bytes > 0);
+    let reg = compacted.registry().snapshot();
+    assert_eq!(
+        reg.counter("server.store.compact.runs"),
+        Some(snap.store.compact_runs)
+    );
+
+    // Digest invariance against a compaction-free server: background
+    // merges rewrite files, never history.
+    let reference = spawn_store_only(&dir.join("flat"), 0);
+    drive(&reference);
+    assert_eq!(reference.stats().store.compact_runs, 0);
+    let compacted_digests = compacted.shutdown().store_digests.unwrap();
+    let reference_digests = reference.shutdown().store_digests.unwrap();
+    assert_eq!(compacted_digests, reference_digests);
     std::fs::remove_dir_all(&dir).ok();
 }

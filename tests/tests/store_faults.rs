@@ -1,0 +1,475 @@
+//! Per-syscall fault injection over every durability path.
+//!
+//! The [`FaultVfs`] counts every filesystem syscall the store, WAL and
+//! checkpoint writer issue. For each *window* — a memtable flush, an
+//! explicit compaction's manifest commit, a WAL append, a size-tiered
+//! compaction cycle, a checkpoint rewrite — a fault-free probe run
+//! measures how many syscalls the window takes, and the matrix then
+//! replays the identical workload once per `(syscall index, fault kind)`
+//! cell, injecting `EIO`, `ENOSPC`, `EINTR`, a short write, or a power
+//! cut at exactly that syscall.
+//!
+//! The contract under fire, for every cell:
+//!
+//! * the faulted operation returns a **typed error** (or succeeds) —
+//!   it never panics;
+//! * after a simulated crash+restart (`revive` + reopen from the synced
+//!   image) the observable state is **byte-equal** to one of exactly two
+//!   oracles: the state just before the operation, or the state after
+//!   it succeeded — no third, silently-diverged state exists;
+//! * recovery itself is clean — a second reopen finds zero orphans.
+//!
+//! `CHECK_STRESS=1` walks the full matrix; the default gate walks a
+//! seeded 32-cell sample per window (`sample_faults`), so CI stays fast
+//! while nightly stress covers every cell.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::Point;
+use dummyloc_server::wal::{self, WalConfig, WalWriter};
+use dummyloc_server::FsyncPolicy;
+use dummyloc_sim::engine::SimConfig;
+use dummyloc_sim::{workload, CheckpointSpec, ParallelEngine, SimCheckpoint};
+use dummyloc_store::digest::{fold_report, FNV_OFFSET_BASIS};
+use dummyloc_store::vfs::{sample_faults, FaultKind, FaultVfs, Vfs, FAULT_KINDS};
+use dummyloc_store::{LogStore, LogStoreConfig, Storage, StoreError, StoreRecord};
+use proptest::prelude::*;
+
+const STORE_DIR: &str = "/store";
+const WAL_PATH: &str = "/wal.log";
+
+fn rec(pseudonym: &str, seq: u64) -> StoreRecord {
+    StoreRecord {
+        t: seq as f64 * 30.0,
+        seq,
+        request_id: Some(seq),
+        request: Request {
+            pseudonym: pseudonym.into(),
+            positions: vec![
+                Point::new(seq as f64, 0.5 * seq as f64),
+                Point::new(1.0 + seq as f64, 2.0),
+            ],
+        },
+    }
+}
+
+fn store_config(
+    vfs: &FaultVfs,
+    flush_threshold_bytes: usize,
+    compact_tiers: usize,
+) -> LogStoreConfig {
+    LogStoreConfig {
+        flush_threshold_bytes,
+        compact_tiers,
+        vfs: Arc::new(vfs.clone()),
+        ..LogStoreConfig::new(STORE_DIR)
+    }
+}
+
+/// Maps a store error to its typed description, panicking on the one
+/// class a faulted syscall must never produce (`Config` means the store
+/// misattributed an I/O failure).
+fn typed(e: StoreError) -> String {
+    match &e {
+        StoreError::Io { .. } | StoreError::Corrupt { .. } => e.to_string(),
+        StoreError::Config { .. } => panic!("fault surfaced as a config error: {e}"),
+    }
+}
+
+/// Crash+restart observation of a store disk: revive to the synced
+/// image, reopen (counting orphans), fingerprint digests and segment
+/// layout, and prove a second reopen is clean.
+fn observe_store(vfs: &FaultVfs) -> Vec<String> {
+    vfs.revive();
+    let (store, info) =
+        LogStore::open(store_config(vfs, usize::MAX, 0)).expect("reopen after fault");
+    let mut lines: Vec<String> = store
+        .stream_digests()
+        .into_iter()
+        .map(|(p, d)| format!("{p} {d:016x}"))
+        .collect();
+    let stats = store.store_stats();
+    lines.push(format!(
+        "segments {} records {}",
+        stats.segments, stats.durable_records
+    ));
+    drop(store);
+    let (_, second) = LogStore::open(store_config(vfs, usize::MAX, 0)).expect("second reopen");
+    assert_eq!(
+        second.orphans_removed, 0,
+        "first reopen must already have removed every orphan (got {info:?} then {second:?})"
+    );
+    lines
+}
+
+/// Crash+restart observation of a WAL disk: revive, replay (which also
+/// truncates any torn tail), and fingerprint the surviving records.
+fn observe_wal(vfs: &FaultVfs) -> Vec<String> {
+    vfs.revive();
+    let mut lines = Vec::new();
+    wal::replay_vfs(vfs, Path::new(WAL_PATH), |r| {
+        lines.push(format!("{} {}", r.request.pseudonym, r.seq));
+    })
+    .expect("replay after fault");
+    // Replay truncated the tail; a second replay must be torn-free.
+    let clean = wal::replay_vfs(vfs, Path::new(WAL_PATH), |_| {}).expect("second replay");
+    assert!(!clean.torn, "replay left a torn tail behind");
+    assert_eq!(clean.records as usize, lines.len());
+    lines
+}
+
+/// The generic per-syscall matrix driver. `setup` builds identical
+/// pre-state on a fresh virtual disk, `op` is the operation under fire
+/// (its success/typed-failure is the first assertion), `observe` is the
+/// crash+restart fingerprint. Every injected cell must land on the
+/// pre-op or post-op oracle.
+fn run_window<S>(
+    name: &str,
+    setup: &dyn Fn(&FaultVfs) -> S,
+    op: &dyn Fn(&mut S) -> Result<(), String>,
+    observe: &dyn Fn(&FaultVfs) -> Vec<String>,
+) {
+    // Probe: how many syscalls does the window span?
+    let vfs = FaultVfs::new();
+    let mut state = setup(&vfs);
+    let base = vfs.op_count();
+    op(&mut state).unwrap_or_else(|e| panic!("{name}: fault-free probe failed: {e}"));
+    let window_ops = vfs.op_count() - base;
+    assert!(window_ops > 0, "{name}: window issued no syscalls");
+
+    // Oracles: crash right before the op, and right after it succeeded.
+    let vfs = FaultVfs::new();
+    drop(setup(&vfs));
+    let pre = observe(&vfs);
+    let vfs = FaultVfs::new();
+    let mut state = setup(&vfs);
+    op(&mut state).unwrap_or_else(|e| panic!("{name}: oracle op failed: {e}"));
+    drop(state);
+    let post = observe(&vfs);
+
+    let cells: Vec<(u64, FaultKind)> = if std::env::var("CHECK_STRESS").is_ok() {
+        (0..window_ops)
+            .flat_map(|i| FAULT_KINDS.iter().map(move |k| (i, *k)))
+            .collect()
+    } else {
+        sample_faults(0xFA17 ^ name.len() as u64, window_ops, 32)
+    };
+    assert!(!cells.is_empty(), "{name}: empty fault schedule");
+    eprintln!(
+        "{name}: window spans {window_ops} syscalls; injecting {} of {} matrix cells",
+        cells.len(),
+        window_ops * FAULT_KINDS.len() as u64,
+    );
+
+    for (i, kind) in cells {
+        let vfs = FaultVfs::new();
+        let mut state = setup(&vfs);
+        vfs.inject(vfs.op_count() + i, kind);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&mut state)));
+        let outcome = match outcome {
+            Ok(r) => r,
+            Err(_) => panic!("{name}: op PANICKED with {kind:?} at window syscall {i}"),
+        };
+        drop(state);
+        let got = observe(&vfs);
+        assert!(
+            got == pre || got == post,
+            "{name}: {kind:?} at window syscall {i} diverged from both oracles\n\
+             op result: {outcome:?}\npre:  {pre:?}\npost: {post:?}\ngot:  {got:?}"
+        );
+    }
+}
+
+/// Window 1: a memtable flush (segment write + manifest commit).
+#[test]
+fn fault_matrix_flush() {
+    run_window(
+        "flush",
+        &|vfs| {
+            let (mut store, _) = LogStore::open(store_config(vfs, usize::MAX, 0)).unwrap();
+            for seq in 0..6 {
+                let p = ["alice", "bob", "carol"][seq as usize % 3];
+                store.append(rec(p, seq)).unwrap();
+            }
+            store
+        },
+        &|store| store.flush().map(|_| ()).map_err(typed),
+        &observe_store,
+    );
+}
+
+/// Window 2: an explicit `compact()` — the manifest-swap commit point.
+#[test]
+fn fault_matrix_explicit_compact() {
+    run_window(
+        "compact",
+        &|vfs| {
+            let (mut store, _) = LogStore::open(store_config(vfs, usize::MAX, 0)).unwrap();
+            for batch in 0..3u64 {
+                for k in 0..4u64 {
+                    let seq = batch * 4 + k;
+                    let p = ["alice", "bob"][(seq % 2) as usize];
+                    store.append(rec(p, seq)).unwrap();
+                }
+                store.flush().unwrap();
+            }
+            store
+        },
+        &|store| store.compact().map(|_| ()).map_err(typed),
+        &observe_store,
+    );
+}
+
+/// Window 3: one WAL append under `fsync always` (frame write + the
+/// group-commit leader's sync).
+#[test]
+fn fault_matrix_wal_append() {
+    run_window(
+        "wal-append",
+        &|vfs| {
+            let config = WalConfig {
+                fsync: FsyncPolicy::Always,
+                vfs: Arc::new(vfs.clone()),
+                ..WalConfig::new(WAL_PATH)
+            };
+            let mut writer = WalWriter::open(&config).unwrap();
+            for seq in 0..3 {
+                writer
+                    .append(&wal::WalRecord {
+                        t: seq as f64,
+                        seq,
+                        request_id: Some(seq),
+                        request: rec("alice", seq).request,
+                    })
+                    .unwrap();
+            }
+            writer
+        },
+        &|writer| {
+            writer
+                .append(&wal::WalRecord {
+                    t: 3.0,
+                    seq: 3,
+                    request_id: Some(3),
+                    request: rec("alice", 3).request,
+                })
+                .map_err(|e| {
+                    assert!(e.raw_os_error().is_some(), "untyped WAL error: {e}");
+                    e.to_string()
+                })
+        },
+        &observe_wal,
+    );
+}
+
+/// Window 4: one full size-tiered compaction cycle — the exact
+/// plan → merge → commit sequence the background compactor thread runs.
+#[test]
+fn fault_matrix_tiered_compaction() {
+    run_window(
+        "tiered",
+        &|vfs| {
+            let (mut store, _) = LogStore::open(store_config(vfs, usize::MAX, 3)).unwrap();
+            let mut seq = 0u64;
+            for _batch in 0..3 {
+                for _ in 0..3 {
+                    store.append(rec("alice", seq)).unwrap();
+                    store.append(rec("bob", seq + 1)).unwrap();
+                    seq += 2;
+                }
+                store.flush().unwrap();
+            }
+            assert_eq!(store.store_stats().segments, 3);
+            store
+        },
+        &|store| {
+            store
+                .compact_tiered_once()
+                .map(|out| assert!(out.is_some(), "full tier must produce a merge"))
+                .map_err(typed)
+        },
+        &observe_store,
+    );
+}
+
+/// Window 5: a checkpoint rewrite over an existing checkpoint. Any
+/// fault in the tmp/fsync/rename dance must leave either the old or the
+/// new checkpoint — decodable — at the target path.
+#[test]
+fn fault_matrix_checkpoint_rewrite() {
+    // Capture two genuine consecutive checkpoints from a tiny run.
+    let fleet = workload::nara_fleet_sized(3, 150.0, 7);
+    let config = SimConfig::nara_default(7);
+    let mut captured: Vec<SimCheckpoint> = Vec::new();
+    let engine = ParallelEngine::from_simulation(dummyloc_sim::Simulation::new(config).unwrap(), 1);
+    let mut sink = |c: &SimCheckpoint| {
+        captured.push(c.clone());
+        Ok(())
+    };
+    engine
+        .run_session(
+            &fleet,
+            None,
+            Some(CheckpointSpec {
+                every: 1,
+                sink: &mut sink,
+            }),
+        )
+        .unwrap();
+    assert!(
+        captured.len() >= 2,
+        "run too short to capture two checkpoints"
+    );
+    let (v1, v2) = (captured[0].clone(), captured[1].clone());
+    let path = Path::new("/ckpt/latest.ckpt");
+
+    run_window(
+        "checkpoint",
+        &|vfs| {
+            vfs.create_dir_all(Path::new("/ckpt")).unwrap();
+            v1.write_to_vfs(vfs, path).unwrap();
+            (vfs.clone(), v2.clone())
+        },
+        &|(vfs, next)| next.write_to_vfs(vfs, path).map_err(|e| e.to_string()),
+        &|vfs| {
+            vfs.revive();
+            let bytes = vfs.read(path).expect("checkpoint file survives any fault");
+            let ckpt = SimCheckpoint::decode(&bytes).expect("surviving checkpoint decodes");
+            vec![format!("rounds {}", ckpt.completed_rounds)]
+        },
+    );
+}
+
+/// Satellite: `scan_stream` over a store spanning several segments plus
+/// a non-empty memtable must agree with `scan` record-for-record, stay
+/// seq-ordered, and drop idempotent duplicates exactly once.
+#[test]
+fn scan_stream_spans_segments_and_memtable() {
+    let vfs = FaultVfs::new();
+    let (mut store, _) = LogStore::open(store_config(&vfs, usize::MAX, 0)).unwrap();
+    let names = ["alice", "bob", "carol"];
+    let mut seq = 0u64;
+    for _batch in 0..3 {
+        for k in 0..6u64 {
+            store.append(rec(names[(k % 3) as usize], seq)).unwrap();
+            seq += 1;
+        }
+        store.flush().unwrap();
+    }
+    // Memtable leftovers plus one duplicate that must be deduped.
+    for k in 0..4u64 {
+        store.append(rec(names[(k % 3) as usize], seq)).unwrap();
+        seq += 1;
+    }
+    let dup = rec("alice", 0);
+    assert!(!store.append(dup).unwrap().recorded, "duplicate must drop");
+    assert_eq!(store.store_stats().segments, 3);
+    assert!(store.store_stats().memtable_records > 0);
+
+    for p in names {
+        let streamed: Vec<StoreRecord> = store
+            .scan_stream(p)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let scanned = store.scan(p).unwrap();
+        assert_eq!(streamed, scanned, "{p}: stream and scan disagree");
+        assert!(
+            streamed.windows(2).all(|w| w[0].seq < w[1].seq),
+            "{p}: stream not in strict seq order"
+        );
+        let mut h = FNV_OFFSET_BASIS;
+        for r in &streamed {
+            fold_report(&mut h, r.t, &r.request);
+        }
+        assert_eq!(
+            store.stream_digest(p),
+            Some(h),
+            "{p}: digest of the streamed records diverges"
+        );
+    }
+    // "alice" holds seqs 0,3,6,... — the duplicate did not append.
+    let alice = store.scan("alice").unwrap();
+    assert_eq!(alice.iter().filter(|r| r.seq == 0).count(), 1);
+}
+
+/// Applies one proptest-chosen interleaving of appends and flushes.
+fn apply_ops(store: &mut LogStore, ops: &[(u8, bool)]) {
+    let names = ["alice", "bob", "carol", "dave"];
+    for (seq, (who, flush)) in ops.iter().enumerate() {
+        store
+            .append(rec(names[(*who % 4) as usize], seq as u64))
+            .unwrap();
+        if *flush {
+            store.flush().unwrap();
+        }
+    }
+    store.flush().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Explicit and tiered compaction are digest-invariant and
+    /// idempotent for arbitrary append/flush interleavings.
+    #[test]
+    fn compaction_is_digest_invariant_and_idempotent(
+        ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..40),
+        tiered_first in any::<bool>(),
+    ) {
+        let vfs = FaultVfs::new();
+        let (mut store, _) = LogStore::open(store_config(&vfs, usize::MAX, 2)).unwrap();
+        apply_ops(&mut store, &ops);
+        let before_digests = store.stream_digests();
+        let before_snapshot = store.snapshot().unwrap();
+
+        if tiered_first {
+            while store.compact_tiered_once().unwrap().is_some() {}
+        }
+        store.compact().unwrap();
+        prop_assert_eq!(&store.stream_digests(), &before_digests);
+        prop_assert_eq!(&store.snapshot().unwrap(), &before_snapshot);
+
+        // Idempotence: a second pass changes nothing further.
+        let once = store.store_stats();
+        store.compact().unwrap();
+        prop_assert!(store.compact_tiered_once().unwrap().is_none());
+        prop_assert_eq!(store.store_stats().segments, once.segments);
+        prop_assert_eq!(&store.stream_digests(), &before_digests);
+
+        // Reopen: the compacted image recovers to the same digests.
+        drop(store);
+        let (reopened, info) = LogStore::open(store_config(&vfs, usize::MAX, 2)).unwrap();
+        prop_assert_eq!(info.orphans_removed, 0);
+        prop_assert_eq!(&reopened.stream_digests(), &before_digests);
+    }
+
+    /// A faulted background compaction never damages the committed
+    /// manifest: whatever syscall dies, the pre-compaction store stays
+    /// readable with its digests intact.
+    #[test]
+    fn faulted_tiered_compaction_preserves_the_manifest(
+        ops in prop::collection::vec((any::<u8>(), any::<bool>()), 8..32),
+        fault_cell in any::<u64>(),
+    ) {
+        let vfs = FaultVfs::new();
+        let (mut store, _) = LogStore::open(store_config(&vfs, usize::MAX, 2)).unwrap();
+        apply_ops(&mut store, &ops);
+        let before = store.stream_digests();
+        if store.tiered_plan().is_none() {
+            return Ok(()); // interleaving produced < 2 same-tier segments
+        }
+
+        let base = vfs.op_count();
+        let kind = FAULT_KINDS[(fault_cell % FAULT_KINDS.len() as u64) as usize];
+        vfs.inject(base + fault_cell % 24, kind);
+        let _ = store.compact_tiered_once(); // typed Ok or Err, either way
+        drop(store);
+
+        vfs.revive();
+        let (reopened, _) = LogStore::open(store_config(&vfs, usize::MAX, 2)).unwrap();
+        prop_assert_eq!(reopened.stream_digests(), before);
+    }
+}
