@@ -15,7 +15,12 @@
 //!    and p50/p99/p99.9 latency), measured twice: without a WAL and with
 //!    the observer WAL at `fsync=always`, so the durability tax is a
 //!    first-class number in `BENCH_baseline.json` (`server` vs
-//!    `server_wal`).
+//!    `server_wal`),
+//! 5. the overload control plane (`server_overload` section: a paced
+//!    open-loop sweep at ~0.5x/1x/2x nominal capacity with client
+//!    retries off; goodput(2x) >= 0.7x goodput(1x), hints on every
+//!    bounce, and accepted-requests == observer-log records are all
+//!    asserted before the numbers are written).
 //!
 //! `--seed` fixes every workload; `--json PATH` overrides the output
 //! path; `--threads N` sets the parallel-engine worker count (default:
@@ -129,6 +134,53 @@ struct StoreBaseline {
     slowdown_vs_wal_only: f64,
 }
 
+/// One point of the overload sweep: the paced open-loop loadgen offering
+/// a fixed multiple of the server's nominal capacity.
+#[derive(Serialize)]
+struct OverloadPoint {
+    /// Offered load as a multiple of nominal capacity.
+    offered_x: f64,
+    /// Offered queries per second (the pacing schedule).
+    offered_rps: f64,
+    sent: u64,
+    answered: u64,
+    /// Rounds the paced loop gave up on (bounced with retries off).
+    dropped: u64,
+    /// Answered queries per wall second — the number that must survive
+    /// saturation.
+    goodput_rps: f64,
+    /// Server-side rejects split by cause.
+    rejects_admission: u64,
+    rejects_shed: u64,
+    rejects_queue_full: u64,
+    /// Bounces that carried a server `retry_after_ms` hint.
+    hinted_bounces: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// The overload control plane's headline claim as a regression-pinned
+/// number: a deadline-aware, shedding server keeps its goodput when
+/// offered twice its capacity instead of collapsing. The sweep drives
+/// the same paced open-loop workload at ~0.5x / 1x / 2x nominal
+/// capacity (workers / worker_delay) with client retries off, so every
+/// bounce is visible. Asserted before the numbers are written:
+/// goodput at 2x stays >= 0.7x the goodput at 1x, overload actually
+/// occurred at 2x, every bounce carried a backpressure hint, and every
+/// accepted request landed in the merged observer log.
+#[derive(Serialize)]
+struct OverloadBaseline {
+    workers: usize,
+    worker_delay_ms: u64,
+    queue_depth: usize,
+    deadline_ms: u64,
+    /// Nominal capacity in queries per second: `workers / worker_delay`.
+    capacity_rps: f64,
+    /// `goodput(2x) / goodput(1x)` — the anti-collapse ratio.
+    goodput_2x_over_1x: f64,
+    points: Vec<OverloadPoint>,
+}
+
 /// Background size-tiered compaction racing a hot appender: one thread
 /// appends and flushes segments while a compactor thread runs the same
 /// plan → merge → commit cycle the server's background compactor uses.
@@ -203,6 +255,7 @@ struct Baseline {
     server_v4: V4Baseline,
     server_wal: WalBaseline,
     server_store: StoreBaseline,
+    server_overload: OverloadBaseline,
     store_compaction: StoreCompactionBaseline,
     store_recovery: Vec<StoreRecoveryPoint>,
 }
@@ -506,6 +559,135 @@ fn measure_server_store(seed: u64, wal_only_rps: f64) -> StoreBaseline {
     }
 }
 
+fn measure_server_overload(seed: u64) -> OverloadBaseline {
+    // A deliberately small server so the sweep saturates it quickly: two
+    // workers at 4 ms per job give a nominal capacity of 500 qps. The
+    // admission/CoDel defaults stay on — they are what is being measured.
+    let workers = 2usize;
+    let worker_delay_ms = 4u64;
+    let queue_depth = 16usize;
+    let deadline_ms = 50u64;
+    let capacity_rps = workers as f64 / (worker_delay_ms as f64 / 1e3);
+
+    let area = dummyloc_geo::BBox::new(
+        dummyloc_geo::Point::new(0.0, 0.0),
+        dummyloc_geo::Point::new(2000.0, 2000.0),
+    )
+    .expect("service area");
+
+    // Retries off: a bounced round is dropped and counted, never resent,
+    // so offered load stays exactly on schedule and goodput is honest.
+    let no_retry = dummyloc_server::RetryPolicy {
+        max_attempts: 1,
+        ..dummyloc_server::RetryPolicy::default()
+    };
+
+    // More connections than queue slots, each a blocking lockstep user:
+    // only then can the paced schedule put the server genuinely past its
+    // queue, instead of the clients self-throttling (closed-loop style)
+    // below the overload point.
+    let users = 48usize;
+    let secs_per_point = 1.5f64;
+    let mut points = Vec::new();
+    for offered_x in [0.5f64, 1.0, 2.0] {
+        let offered_rps = capacity_rps * offered_x;
+        let rounds = ((offered_rps * secs_per_point) / users as f64).ceil() as usize;
+        let pois = dummyloc_lbs::PoiDatabase::generate(area, 200, 42);
+        let handle = dummyloc_server::spawn(
+            dummyloc_server::ServeOptions::new()
+                .workers(workers)
+                .queue_depth(queue_depth)
+                .worker_delay(Some(std::time::Duration::from_millis(worker_delay_ms)))
+                .build()
+                .expect("overload server config"),
+            pois,
+        )
+        .expect("overload server spawn");
+        let config = dummyloc_server::LoadgenOptions::new()
+            .addr(handle.addr().to_string())
+            .users(users)
+            .rounds(rounds)
+            .seed(seed)
+            .retry(no_retry.clone())
+            .deadline_ms(Some(deadline_ms))
+            .rate(Some(offered_rps))
+            .build()
+            .expect("overload loadgen config");
+        let report = dummyloc_server::loadgen::run(&config).expect("overload loadgen run");
+        let shutdown = handle.shutdown();
+        let stats = &shutdown.stats;
+
+        // The accounting that makes the sweep trustworthy: the server
+        // accepted exactly what the client saw answered, and every one
+        // of those accepted requests landed in the merged observer log.
+        assert_eq!(
+            stats.requests, report.answered,
+            "accepted requests diverged from answered queries at {offered_x}x"
+        );
+        assert_eq!(
+            shutdown.log.storage().len(),
+            stats.requests,
+            "an accepted request is missing from the observer log at {offered_x}x"
+        );
+        // Backpressure is only useful if it says when to come back:
+        // every bounce the client saw must have carried a hint.
+        assert_eq!(
+            report.hinted_bounces,
+            report.overloaded + report.busy_bounces,
+            "a bounce without a retry_after_ms hint at {offered_x}x"
+        );
+
+        points.push(OverloadPoint {
+            offered_x,
+            offered_rps,
+            sent: report.sent,
+            answered: report.answered,
+            dropped: report.round_errors,
+            goodput_rps: report.throughput_rps,
+            rejects_admission: stats.rejections.admission,
+            rejects_shed: stats.rejections.shed,
+            rejects_queue_full: stats.rejections.queue_full,
+            hinted_bounces: report.hinted_bounces,
+            p50_us: report.latency.p50_us,
+            p99_us: report.latency.p99_us,
+        });
+    }
+
+    let goodput_at = |x: f64| {
+        points
+            .iter()
+            .find(|p| p.offered_x == x)
+            .map(|p| p.goodput_rps)
+            .expect("sweep point")
+    };
+    let goodput_2x_over_1x = goodput_at(2.0) / goodput_at(1.0).max(1e-9);
+    // The anti-collapse claim, enforced where the number is produced: a
+    // server offered twice its capacity must keep at least 70% of the
+    // goodput it had at the saturation point, not fall off a cliff.
+    assert!(
+        goodput_2x_over_1x >= 0.7,
+        "goodput collapsed under 2x overload: {:.0} rps at 2x vs {:.0} rps at 1x",
+        goodput_at(2.0),
+        goodput_at(1.0)
+    );
+    let at_2x = points.last().expect("sweep ran");
+    assert!(
+        at_2x.dropped > 0
+            || at_2x.rejects_admission + at_2x.rejects_shed + at_2x.rejects_queue_full > 0,
+        "the 2x point never overloaded the server — the sweep measured nothing"
+    );
+
+    OverloadBaseline {
+        workers,
+        worker_delay_ms,
+        queue_depth,
+        deadline_ms,
+        capacity_rps,
+        goodput_2x_over_1x,
+        points,
+    }
+}
+
 /// Cold-start recovery at three history lengths: a full-WAL replay into
 /// the in-memory backend versus opening a fully-flushed store (manifest
 /// read only — no record payload is touched).
@@ -729,6 +911,7 @@ fn main() {
     let server_v4 = measure_server_v4(args.seed, server.throughput_rps);
     let server_wal = measure_server_wal(args.seed, server.throughput_rps);
     let server_store = measure_server_store(args.seed, server_wal.throughput_rps);
+    let server_overload = measure_server_overload(args.seed);
     let baseline = Baseline {
         seed: args.seed,
         sim: measure_sim(args.seed, args.threads, args.quick),
@@ -741,6 +924,7 @@ fn main() {
         server_v4,
         server_wal,
         server_store,
+        server_overload,
         store_compaction: measure_store_compaction(args.seed),
         store_recovery: measure_store_recovery(args.seed),
     };
@@ -799,6 +983,26 @@ fn main() {
         baseline.server_store.throughput_rps,
         baseline.server_store.flushes,
         baseline.server_store.slowdown_vs_wal_only,
+    );
+    println!(
+        "baseline: overload ({} workers @ {}ms -> {:.0} qps nominal): {}; goodput(2x)/goodput(1x) = {:.2}",
+        baseline.server_overload.workers,
+        baseline.server_overload.worker_delay_ms,
+        baseline.server_overload.capacity_rps,
+        baseline
+            .server_overload
+            .points
+            .iter()
+            .map(|p| format!(
+                "{}x: {:.0} rps goodput, {} dropped, {} shed",
+                p.offered_x,
+                p.goodput_rps,
+                p.dropped,
+                p.rejects_admission + p.rejects_shed + p.rejects_queue_full
+            ))
+            .collect::<Vec<_>>()
+            .join("; "),
+        baseline.server_overload.goodput_2x_over_1x,
     );
     println!(
         "baseline: tiered compaction under fire: {} records, {} flushes -> {} merges \

@@ -13,12 +13,16 @@
 //!                    [--proto v4|v3] [--max-connections N] \
 //!                    [--idle-timeout-ms MS] \
 //!                    [--deadline-ms MS] [--fault-drop P] [--fault-delay P] \
+//!                    [--no-admission] [--codel-target-ms MS] \
+//!                    [--worker-delay-ms MS] \
+//!                    [--drain-file PATH --drain-timeout-ms MS] \
 //!                    [--wal FILE --wal-fsync always|every-N|os] \
 //!                    [--store DIR --store-flush-bytes N \
 //!                     --store-compact-tiers N] ...
 //! dummyloc loadgen   --addr 127.0.0.1:7878 --users 8 --rounds 20 --seed 1 \
 //!                    [--proto v4|v3] [--batch N] [--retries N] \
-//!                    [--deadline-ms MS]
+//!                    [--deadline-ms MS] [--rate RPS] [--hedge] \
+//!                    [--breaker-threshold N --breaker-open-ms MS]
 //! dummyloc metrics   127.0.0.1:7878 [--json]
 //! dummyloc store     stats|digests|compact <dir> [--json]
 //! dummyloc store     export <dir> --out FILE [--chunk N]
@@ -108,11 +112,24 @@ commands:
                fast by replaying only the WAL tail; a background
                size-tiered compactor folds same-sized segments together,
                --store-compact-tiers <n> sets the per-tier trigger,
-               0 disables)
+               0 disables; overload knobs: deadline-aware admission is
+               on by default (--no-admission turns it off),
+               --codel-target-ms <ms> sheds queued jobs older than the
+               sojourn target, --worker-delay-ms <ms> throttles each
+               worker per job (a known small capacity for overload
+               drills), and touching the --drain-file <path>
+               drains gracefully — stop accepting, answer in-flight
+               work within --drain-timeout-ms, flush WAL/store — then
+               prints the final stats JSON and exits)
   loadgen      drive a running server with concurrent simulated users
                (--proto v4|v3 selects the wire protocol, --batch <n>
                bundles n rounds per request frame; retries with
-               backoff: --retries, --retry-base-ms, ...)
+               backoff: --retries, --retry-base-ms, ...; --rate <rps>
+               switches to an open-loop paced offered load whose
+               latency is measured from scheduled send times;
+               --breaker-threshold <n> --breaker-open-ms <ms> arm the
+               per-user circuit breaker, --hedge re-sends a read once
+               its first attempt passes the observed p99)
   metrics      scrape a running server's telemetry registry
                (`metrics <addr> [--json]`)
   manifest     work with telemetry run manifests
@@ -805,6 +822,18 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
         .get("proto", "v4")
         .parse()
         .map_err(|e: String| CliError::Usage(format!("--proto: {e}")))?;
+    // `--drain-file <path>`: the scriptable drain trigger. The server
+    // polls for the file; the moment it exists it drains — stops
+    // accepting, answers everything already queued (bounded by
+    // --drain-timeout-ms), flushes WAL/store — and exits with the final
+    // stats JSON. A file beats a signal here: it needs no unsafe code
+    // and works identically from any shell.
+    let drain_file = match (flags.values.get("drain-file"), flags.has("drain-file")) {
+        (Some(p), _) => Some(PathBuf::from(p)),
+        (None, true) => return Err(CliError::Usage("--drain-file needs a path".into())),
+        (None, false) => None,
+    };
+    let drain_grace = std::time::Duration::from_millis(flags.num("drain-timeout-ms", 5_000)?);
     let config = ServeOptions::new()
         .addr(flags.get("addr", "127.0.0.1:7878"))
         .max_proto(max_proto)
@@ -819,6 +848,11 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
         .max_connections(flags.num("max-connections", 1024)?)
         .idle_timeout(millis_flag(flags, "idle-timeout-ms")?)
         .default_deadline(millis_flag(flags, "deadline-ms")?)
+        .admission(!flags.has("no-admission"))
+        .codel_target(millis_flag(flags, "codel-target-ms")?)
+        // A per-job worker throttle, surfaced so scripts can stand up a
+        // server with a known small capacity and drive it past it.
+        .worker_delay(millis_flag(flags, "worker-delay-ms")?)
         .faults(faults)
         .wal(wal.clone())
         .store(store.clone())
@@ -857,33 +891,57 @@ fn cmd_serve(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliError
             wc.path.display()
         );
     }
-    match flags.values.get("duration") {
-        // Scriptable mode: serve for N seconds, then drain and report.
-        Some(v) => {
-            let secs: f64 = v
-                .parse()
-                .map_err(|_| CliError::Usage(format!("flag --duration got invalid value '{v}'")))?;
-            let started = Instant::now();
-            std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
-            if let Some(dir) = telemetry {
-                let manifest = RunManifest::capture(
-                    "serve",
-                    flags.num("fault-seed", 1)?,
-                    &handle.addr().to_string(),
-                    handle.registry(),
-                    handle.stats().requests,
-                    started.elapsed(),
-                );
-                dummyloc_telemetry::write_run(dir, "serve", &manifest, &[]).map_err(runtime)?;
+    let duration = match flags.values.get("duration") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| CliError::Usage(format!("flag --duration got invalid value '{v}'")))?,
+        ),
+    };
+    let started = Instant::now();
+    // One loop serves all three exits: drain-file touch, --duration
+    // expiry, or (with neither) run until the process is killed. The
+    // poll stays coarse when nothing is being watched.
+    let poll = if drain_file.is_some() || duration.is_some() {
+        std::time::Duration::from_millis(20)
+    } else {
+        std::time::Duration::from_secs(60)
+    };
+    let drained = loop {
+        if let Some(path) = &drain_file {
+            if path.exists() {
+                break true;
             }
-            let report = handle.shutdown();
-            serde_json::to_string_pretty(&report.stats).map_err(runtime)
         }
-        // Default: serve until the process is killed.
-        None => loop {
-            std::thread::sleep(std::time::Duration::from_secs(60));
-        },
+        if let Some(secs) = duration {
+            if started.elapsed().as_secs_f64() >= secs.max(0.0) {
+                break false;
+            }
+        }
+        std::thread::sleep(poll);
+    };
+    if let Some(dir) = telemetry {
+        let manifest = RunManifest::capture(
+            "serve",
+            flags.num("fault-seed", 1)?,
+            &handle.addr().to_string(),
+            handle.registry(),
+            handle.stats().requests,
+            started.elapsed(),
+        );
+        dummyloc_telemetry::write_run(dir, "serve", &manifest, &[]).map_err(runtime)?;
     }
+    let report = if drained {
+        let report = handle.drain(drain_grace);
+        println!(
+            "drain: answered in-flight work and flushed durable state ({} requests total)",
+            report.stats.requests
+        );
+        report
+    } else {
+        handle.shutdown()
+    };
+    serde_json::to_string_pretty(&report.stats).map_err(runtime)
 }
 
 /// Offline maintenance of a durable observer store. Every subcommand
@@ -1142,7 +1200,13 @@ fn cmd_loadgen(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliErr
         max_delay_ms: flags.num("retry-max-ms", defaults.max_delay_ms)?,
         attempt_timeout_ms: flags.num("attempt-timeout-ms", defaults.attempt_timeout_ms)?,
         jitter: flags.num("retry-jitter", defaults.jitter)?,
+        breaker_threshold: flags.num("breaker-threshold", defaults.breaker_threshold)?,
+        breaker_open_ms: flags.num("breaker-open-ms", defaults.breaker_open_ms)?,
+        hedge: flags.has("hedge"),
     };
+    // `--rate 0` (or absent) keeps the classic closed loop; any other
+    // value is an open-loop offered rate in queries per second.
+    let rate = Some(flags.num::<f64>("rate", 0.0)?).filter(|&r| r != 0.0);
     let deadline_ms = millis_flag(flags, "deadline-ms")?.map(|d| d.as_millis() as u64);
     let proto: ProtoVersion = flags
         .get("proto", "v4")
@@ -1162,6 +1226,7 @@ fn cmd_loadgen(flags: &Flags, telemetry: Option<&Path>) -> Result<String, CliErr
         .deadline_ms(deadline_ms)
         .proto(proto)
         .batch(flags.num("batch", 1)?)
+        .rate(rate)
         .build()
         .map_err(|e| CliError::Usage(e.to_string()))?;
     let bundle = telemetry.map(|dir| (dir, Telemetry::new(4096)));
@@ -1952,6 +2017,23 @@ mod tests {
         ));
         assert!(matches!(
             run(&args("loadgen --users 0")),
+            Err(CliError::Usage(_))
+        ));
+        // Overload knobs go through the same builders.
+        assert!(matches!(
+            run(&args("loadgen --rate -3")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("loadgen --rate 100 --batch 4")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("loadgen --breaker-threshold 2 --breaker-open-ms 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("serve --drain-file")),
             Err(CliError::Usage(_))
         ));
     }

@@ -132,6 +132,10 @@ impl ClientBuilder {
             next_id: 0,
             rng: splitmix(seed ^ 0x9e37_79b9_7f4a_7c15),
             stats: RetryStats::default(),
+            breaker: BreakerState::Closed,
+            consecutive_bounces: 0,
+            latency_samples: Vec::new(),
+            latency_pos: 0,
         })
     }
 }
@@ -157,8 +161,13 @@ impl ConnectFail {
 pub enum QueryOutcome {
     /// Answered in full — one answer per reported position.
     Answered(ServiceResponse),
-    /// Bounced off the full work queue; not processed, safe to retry.
-    Overloaded,
+    /// Bounced without being processed — full queue, admission control,
+    /// or queue-aging shed; safe to retry. `retry_after_ms` is the
+    /// server's backoff hint when it sent one.
+    Overloaded {
+        /// Server-computed retry hint (milliseconds), if provided.
+        retry_after_ms: Option<u64>,
+    },
     /// The deadline expired before an answer was sent; safe to retry.
     Deadline,
     /// The server answered this query's id with a typed error frame —
@@ -251,7 +260,13 @@ impl ServiceClient {
         })?;
         match client.read_frame()? {
             ServerFrame::Hello { version } if version == proto.version() => Ok(client),
-            ServerFrame::Busy { limit } => Err(ServerError::Busy { limit }),
+            ServerFrame::Busy {
+                limit,
+                retry_after_ms,
+            } => Err(ServerError::Busy {
+                limit,
+                retry_after_ms,
+            }),
             ServerFrame::Error {
                 kind: ErrorKind::VersionMismatch,
                 message,
@@ -343,14 +358,23 @@ impl ServiceClient {
                 ServerFrame::Answer { id: rid, response } if rid == id => {
                     return Ok(QueryOutcome::Answered(response));
                 }
-                ServerFrame::Overloaded { id: rid } if rid == id => {
-                    return Ok(QueryOutcome::Overloaded);
+                ServerFrame::Overloaded {
+                    id: rid,
+                    retry_after_ms,
+                } if rid == id => {
+                    return Ok(QueryOutcome::Overloaded { retry_after_ms });
                 }
                 ServerFrame::Deadline { id: rid } if rid == id => {
                     return Ok(QueryOutcome::Deadline);
                 }
-                ServerFrame::Busy { limit } => {
-                    return Err(ServerError::Busy { limit });
+                ServerFrame::Busy {
+                    limit,
+                    retry_after_ms,
+                } => {
+                    return Err(ServerError::Busy {
+                        limit,
+                        retry_after_ms,
+                    });
                 }
                 ServerFrame::Error {
                     id: Some(rid),
@@ -437,9 +461,19 @@ impl ServiceClient {
                 ServerFrame::Answer { id, response } => {
                     (slot(id), QueryOutcome::Answered(response))
                 }
-                ServerFrame::Overloaded { id } => (slot(id), QueryOutcome::Overloaded),
+                ServerFrame::Overloaded { id, retry_after_ms } => {
+                    (slot(id), QueryOutcome::Overloaded { retry_after_ms })
+                }
                 ServerFrame::Deadline { id } => (slot(id), QueryOutcome::Deadline),
-                ServerFrame::Busy { limit } => return Err(ServerError::Busy { limit }),
+                ServerFrame::Busy {
+                    limit,
+                    retry_after_ms,
+                } => {
+                    return Err(ServerError::Busy {
+                        limit,
+                        retry_after_ms,
+                    })
+                }
                 ServerFrame::Error {
                     id: Some(id),
                     kind,
@@ -531,7 +565,7 @@ impl Client for ServiceClient {
 fn outcome_to_response(outcome: QueryOutcome) -> Result<ServiceResponse> {
     match outcome {
         QueryOutcome::Answered(response) => Ok(response),
-        QueryOutcome::Overloaded => Err(ServerError::Protocol {
+        QueryOutcome::Overloaded { .. } => Err(ServerError::Protocol {
             message: "query bounced: server overloaded".to_string(),
         }),
         QueryOutcome::Deadline => Err(ServerError::Protocol {
@@ -559,6 +593,18 @@ pub struct RetryPolicy {
     /// `0.5` = sleep anywhere in `[delay/2, delay]`), so a thundering herd
     /// of retrying clients decorrelates.
     pub jitter: f64,
+    /// Consecutive explicit bounces (`Busy` or `Overloaded`) that trip
+    /// the circuit breaker open. `0` disables the breaker entirely —
+    /// the default, so plain retry behaviour is unchanged.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before admitting one
+    /// half-open probe. Ignored while the breaker is disabled.
+    pub breaker_open_ms: u64,
+    /// Hedge slow reads: once enough answer latencies are sampled, the
+    /// first attempt's read timeout shrinks to the observed p99, and a
+    /// read that outlives it is abandoned and immediately resent under
+    /// the same id (the server's idempotency dedup makes this safe).
+    pub hedge: bool,
 }
 
 impl Default for RetryPolicy {
@@ -569,6 +615,9 @@ impl Default for RetryPolicy {
             max_delay_ms: 200,
             attempt_timeout_ms: 1_000,
             jitter: 0.5,
+            breaker_threshold: 0,
+            breaker_open_ms: 500,
+            hedge: false,
         }
     }
 }
@@ -592,6 +641,9 @@ impl RetryPolicy {
         if self.max_delay_ms < self.base_delay_ms {
             return err("retries: max-delay-ms must be >= base-delay-ms".into());
         }
+        if self.breaker_threshold > 0 && self.breaker_open_ms == 0 {
+            return err("retries: breaker-open-ms must be positive when the breaker is on".into());
+        }
         Ok(())
     }
 
@@ -612,6 +664,16 @@ impl RetryPolicy {
 
 fn duration_us(d: Duration) -> u64 {
     d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Whether an attempt failed because the socket read timed out (the
+/// hedge's trigger), as opposed to a garbled or closed connection.
+fn is_timeout(e: &ServerError) -> bool {
+    matches!(
+        e,
+        ServerError::Io(io)
+            if matches!(io.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+    )
 }
 
 /// Tallies of what a [`RetryingClient`] had to do to get its answers.
@@ -635,7 +697,44 @@ pub struct RetryStats {
     /// winning attempt's own latency is *not* included, so this is the
     /// pure overhead the retry machinery added on top of a fault-free run.
     pub overhead_us: u64,
+    /// Bounces (`Busy` or `Overloaded`) that carried a server-computed
+    /// `retry_after_ms` hint; each one replaced an exponential backoff
+    /// with the server's own estimate.
+    pub hinted: u64,
+    /// First attempts abandoned at the hedge timeout (p99 of sampled
+    /// answer latencies) and immediately resent. Every hedge also
+    /// rebuilds the connection, so `hedges` is a subset of `reconnects`.
+    pub hedges: u64,
+    /// Closed→Open breaker transitions.
+    pub breaker_opens: u64,
+    /// Open→HalfOpen transitions (a probe was admitted).
+    pub breaker_half_opens: u64,
+    /// HalfOpen→Closed transitions (the probe succeeded).
+    pub breaker_closes: u64,
+    /// Calls failed fast with [`ServerError::CircuitOpen`] while the
+    /// breaker was open — no network traffic was generated for these.
+    pub breaker_fast_fails: u64,
 }
+
+/// The circuit breaker's three classic states. `Closed` passes traffic;
+/// `Open` fails fast until its window elapses; `HalfOpen` admits exactly
+/// one probe whose outcome decides between `Closed` and another `Open`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// How many answer latencies the hedge keeps (a ring); enough for a
+/// stable p99 without unbounded growth.
+const HEDGE_SAMPLE_CAP: usize = 512;
+/// Answers observed before hedging arms — a p99 of three samples is
+/// noise, not a signal.
+const HEDGE_MIN_SAMPLES: usize = 20;
+/// Floor for the hedge timeout so a microsecond-fast server cannot make
+/// the client abandon every read instantly.
+const HEDGE_MIN_DELAY: Duration = Duration::from_millis(1);
 
 /// A [`ServiceClient`] wrapped in the retry loop. Ids are allocated once
 /// per logical query and survive reconnects, so the server-side dedup can
@@ -648,6 +747,13 @@ pub struct RetryingClient {
     next_id: u64,
     rng: u64,
     stats: RetryStats,
+    breaker: BreakerState,
+    consecutive_bounces: u32,
+    /// Ring buffer of answered-attempt latencies (µs) feeding the hedge's
+    /// p99; written even when hedging is off (it is cheap) so flipping
+    /// the knob mid-run starts from real data.
+    latency_samples: Vec<u64>,
+    latency_pos: usize,
 }
 
 impl RetryingClient {
@@ -669,6 +775,26 @@ impl RetryingClient {
         (self.rng >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// The sleep honoring a server `retry_after_ms` hint before attempt
+    /// `attempt`. The hint is a floor, not a schedule: every client
+    /// bounced off the same full queue receives the same estimate, and
+    /// all of them returning at exactly that instant recreates the
+    /// collision that bounced them. Two defenses keep a sustained-
+    /// saturation herd from livelocking: jitter stretches the herd
+    /// across `[ms, ms * (1 + jitter))`, and the hint never *caps* the
+    /// exponential backoff — a query bounced many times in a row is
+    /// exactly what the escalation exists for, so the larger of the two
+    /// wins. `Some(0)` is the hedge's "retry immediately" and stays 0.
+    fn hint_sleep(&mut self, ms: u64, attempt: u32) -> Duration {
+        if ms == 0 {
+            return Duration::ZERO;
+        }
+        let unit = self.unit();
+        let hinted = Duration::from_millis((ms as f64 * (1.0 + self.policy.jitter * unit)) as u64);
+        let unit = self.unit();
+        hinted.max(self.policy.backoff(attempt, unit))
+    }
+
     fn connection(&mut self) -> Result<&mut ServiceClient> {
         if self.conn.is_none() {
             // The timeout covers the handshake too: a faulty server that
@@ -683,6 +809,84 @@ impl RetryingClient {
         Ok(self.conn.as_mut().expect("just connected"))
     }
 
+    /// Gate at the top of every attempt. `Closed` and `HalfOpen` pass;
+    /// `Open` either fails fast or — once its window has elapsed —
+    /// transitions to `HalfOpen` and admits this attempt as the probe.
+    fn breaker_admit(&mut self) -> Result<()> {
+        if self.policy.breaker_threshold == 0 {
+            return Ok(());
+        }
+        match self.breaker {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { until } => {
+                let now = Instant::now();
+                if now >= until {
+                    self.breaker = BreakerState::HalfOpen;
+                    self.stats.breaker_half_opens += 1;
+                    Ok(())
+                } else {
+                    self.stats.breaker_fast_fails += 1;
+                    Err(ServerError::CircuitOpen {
+                        retry_after_ms: duration_us(until - now).div_ceil(1_000),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Records one explicit bounce (`Busy` or `Overloaded`). Crossing the
+    /// threshold — or bouncing the half-open probe — opens the breaker.
+    fn breaker_bounce(&mut self) {
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        self.consecutive_bounces = self.consecutive_bounces.saturating_add(1);
+        let reopen = self.breaker == BreakerState::HalfOpen;
+        if reopen || self.consecutive_bounces >= self.policy.breaker_threshold {
+            self.breaker = BreakerState::Open {
+                until: Instant::now() + Duration::from_millis(self.policy.breaker_open_ms),
+            };
+            self.stats.breaker_opens += 1;
+            self.consecutive_bounces = 0;
+        }
+    }
+
+    /// Records a served attempt: resets the bounce streak and closes a
+    /// half-open breaker whose probe this was.
+    fn breaker_success(&mut self) {
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        self.consecutive_bounces = 0;
+        if self.breaker == BreakerState::HalfOpen {
+            self.breaker = BreakerState::Closed;
+            self.stats.breaker_closes += 1;
+        }
+    }
+
+    fn record_latency_sample(&mut self, us: u64) {
+        if self.latency_samples.len() < HEDGE_SAMPLE_CAP {
+            self.latency_samples.push(us);
+        } else {
+            self.latency_samples[self.latency_pos] = us;
+            self.latency_pos = (self.latency_pos + 1) % HEDGE_SAMPLE_CAP;
+        }
+    }
+
+    /// The read timeout for a hedged first attempt: the p99 of sampled
+    /// answer latencies, once enough samples exist to mean something.
+    fn hedge_delay(&self) -> Option<Duration> {
+        if !self.policy.hedge || self.latency_samples.len() < HEDGE_MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort_unstable();
+        let rank = (sorted.len() * 99).div_ceil(100).max(1) - 1;
+        let delay = Duration::from_micros(sorted[rank]).max(HEDGE_MIN_DELAY);
+        // Never hedge later than the attempt timeout would fire anyway.
+        Some(delay.min(Duration::from_millis(self.policy.attempt_timeout_ms)))
+    }
+
     /// One logical query, retried until answered or the policy is
     /// exhausted. Every attempt resends the same request id.
     pub fn query(
@@ -695,35 +899,82 @@ impl RetryingClient {
         let id = self.next_id;
         self.next_id += 1;
         let mut last = String::new();
+        // A bounce carrying `retry_after_ms` replaces the next attempt's
+        // exponential backoff with the server's own estimate. `Some(0)`
+        // doubles as "retry immediately" after a hedge.
+        let mut hint_ms: Option<u64> = None;
         let started = Instant::now();
         for attempt in 1..=self.policy.max_attempts {
+            // Fail fast while the breaker is open: no sleep, no network.
+            self.breaker_admit()?;
             if attempt > 1 {
                 self.stats.retries += 1;
-                let unit = self.unit();
-                std::thread::sleep(self.policy.backoff(attempt, unit));
+                let sleep = match hint_ms.take() {
+                    Some(ms) => self.hint_sleep(ms, attempt),
+                    None => {
+                        let unit = self.unit();
+                        self.policy.backoff(attempt, unit)
+                    }
+                };
+                std::thread::sleep(sleep);
             }
             let attempt_started = Instant::now();
-            let conn = match self.connection() {
-                Ok(c) => c,
-                Err(e) => {
-                    if let ServerError::Busy { .. } = e {
-                        self.stats.busy += 1;
+            if let Err(e) = self.connection() {
+                if let ServerError::Busy { retry_after_ms, .. } = &e {
+                    self.stats.busy += 1;
+                    if let Some(ms) = retry_after_ms {
+                        self.stats.hinted += 1;
+                        hint_ms = Some(*ms);
                     }
-                    last = e.to_string();
-                    continue;
+                    self.breaker_bounce();
                 }
+                last = e.to_string();
+                continue;
+            }
+            // Hedged first attempt: shrink the read timeout to the p99 of
+            // observed answers; a read that outlives it is abandoned and
+            // resent immediately. Retries keep the full attempt timeout —
+            // hedging a retry would just thrash a slow server.
+            let hedge = if attempt == 1 {
+                self.hedge_delay()
+            } else {
+                None
             };
-            match conn.query_with_id(id, t, deadline_ms, request, query) {
+            if let (Some(d), Some(conn)) = (hedge, self.conn.as_ref()) {
+                let _ = conn.set_read_timeout(Some(d));
+            }
+            let outcome = self.conn.as_mut().expect("just connected").query_with_id(
+                id,
+                t,
+                deadline_ms,
+                request,
+                query,
+            );
+            if hedge.is_some() {
+                if let Some(conn) = self.conn.as_ref() {
+                    let _ = conn.set_read_timeout(Some(Duration::from_millis(
+                        self.policy.attempt_timeout_ms,
+                    )));
+                }
+            }
+            match outcome {
                 Ok(QueryOutcome::Answered(response)) => {
+                    self.breaker_success();
+                    self.record_latency_sample(duration_us(attempt_started.elapsed()));
                     // Everything before the winning attempt began —
                     // backoff sleeps and failed attempts — is overhead.
                     self.stats.overhead_us += duration_us(attempt_started - started);
                     return Ok(response);
                 }
-                Ok(QueryOutcome::Overloaded) => {
+                Ok(QueryOutcome::Overloaded { retry_after_ms }) => {
                     // The server is healthy, just full: back off on the
-                    // same connection.
+                    // same connection, for as long as the server said.
                     self.stats.overloaded += 1;
+                    if let Some(ms) = retry_after_ms {
+                        self.stats.hinted += 1;
+                        hint_ms = Some(ms);
+                    }
+                    self.breaker_bounce();
                     last = "overloaded".to_string();
                 }
                 Ok(QueryOutcome::Deadline) => {
@@ -746,7 +997,16 @@ impl RetryingClient {
                     // longer be trusted to be frame-synchronized. Rebuild.
                     self.conn = None;
                     self.stats.reconnects += 1;
-                    last = e.to_string();
+                    if hedge.is_some() && is_timeout(&e) {
+                        // The hedge fired, not a fault: resend right away
+                        // under the same id. The stale answer (if any) dies
+                        // with the abandoned connection.
+                        self.stats.hedges += 1;
+                        hint_ms = Some(0);
+                        last = "hedged".to_string();
+                    } else {
+                        last = e.to_string();
+                    }
                 }
             }
         }
@@ -771,12 +1031,20 @@ impl RetryingClient {
         self.next_id += items.len() as u64;
         let mut results: Vec<Option<ServiceResponse>> = vec![None; items.len()];
         let mut last = String::new();
+        let mut hint_ms: Option<u64> = None;
         let started = Instant::now();
         for attempt in 1..=self.policy.max_attempts {
+            self.breaker_admit()?;
             if attempt > 1 {
                 self.stats.retries += 1;
-                let unit = self.unit();
-                std::thread::sleep(self.policy.backoff(attempt, unit));
+                let sleep = match hint_ms.take() {
+                    Some(ms) => self.hint_sleep(ms, attempt),
+                    None => {
+                        let unit = self.unit();
+                        self.policy.backoff(attempt, unit)
+                    }
+                };
+                std::thread::sleep(sleep);
             }
             let attempt_started = Instant::now();
             let unresolved: Vec<usize> =
@@ -791,24 +1059,40 @@ impl RetryingClient {
                     query: items[i].query,
                 })
                 .collect();
-            let conn = match self.connection() {
-                Ok(c) => c,
-                Err(e) => {
-                    if let ServerError::Busy { .. } = e {
-                        self.stats.busy += 1;
+            if let Err(e) = self.connection() {
+                if let ServerError::Busy { retry_after_ms, .. } = &e {
+                    self.stats.busy += 1;
+                    if let Some(ms) = retry_after_ms {
+                        self.stats.hinted += 1;
+                        hint_ms = Some(*ms);
                     }
-                    last = e.to_string();
-                    continue;
+                    self.breaker_bounce();
                 }
-            };
+                last = e.to_string();
+                continue;
+            }
+            let conn = self.conn.as_mut().expect("just connected");
             match conn.query_batch_with_ids(specs) {
                 Ok(outcomes) => {
                     let mut rebuild = false;
+                    let mut answered = 0u64;
+                    let mut bounced = 0u64;
                     for (&i, outcome) in unresolved.iter().zip(outcomes) {
                         match outcome {
-                            QueryOutcome::Answered(response) => results[i] = Some(response),
-                            QueryOutcome::Overloaded => {
+                            QueryOutcome::Answered(response) => {
+                                results[i] = Some(response);
+                                answered += 1;
+                            }
+                            QueryOutcome::Overloaded { retry_after_ms } => {
                                 self.stats.overloaded += 1;
+                                bounced += 1;
+                                if let Some(ms) = retry_after_ms {
+                                    self.stats.hinted += 1;
+                                    // Several members may carry hints; the
+                                    // largest wins — sleeping the longest
+                                    // predicted drain covers them all.
+                                    hint_ms = Some(hint_ms.unwrap_or(0).max(ms));
+                                }
                                 last = "overloaded".to_string();
                             }
                             QueryOutcome::Deadline => {
@@ -823,6 +1107,14 @@ impl RetryingClient {
                                 last = format!("{kind:?}: {message}");
                             }
                         }
+                    }
+                    // Breaker accounting treats the batch as one call: any
+                    // answer proves the server is serving; an all-bounce
+                    // batch is one bounce in the consecutive streak.
+                    if answered > 0 {
+                        self.breaker_success();
+                    } else if bounced > 0 {
+                        self.breaker_bounce();
                     }
                     if results.iter().all(|r| r.is_some()) {
                         self.stats.overhead_us += duration_us(attempt_started - started);
@@ -888,6 +1180,7 @@ mod tests {
             max_delay_ms: 45,
             attempt_timeout_ms: 100,
             jitter: 0.5,
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff(1, 0.0), Duration::ZERO);
         assert_eq!(p.backoff(2, 0.0), Duration::from_millis(10));
@@ -913,6 +1206,7 @@ mod tests {
             max_delay_ms: 100,
             attempt_timeout_ms: 200,
             jitter: 0.0,
+            ..RetryPolicy::default()
         };
         let mut client = RetryingClient::new(addr.to_string(), policy, 7).unwrap();
         let request = Request {
@@ -943,5 +1237,97 @@ mod tests {
         assert!(bad(|p| p.jitter = 1.5));
         assert!(bad(|p| p.jitter = f64::NAN));
         assert!(bad(|p| p.max_delay_ms = 0));
+        assert!(bad(|p| {
+            p.breaker_threshold = 3;
+            p.breaker_open_ms = 0;
+        }));
+    }
+
+    fn breaker_client(threshold: u32, open_ms: u64) -> RetryingClient {
+        let policy = RetryPolicy {
+            breaker_threshold: threshold,
+            breaker_open_ms: open_ms,
+            ..RetryPolicy::default()
+        };
+        RetryingClient::new("127.0.0.1:1", policy, 3).unwrap()
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let mut c = breaker_client(3, 20);
+        // Two bounces stay closed; the third opens.
+        c.breaker_bounce();
+        c.breaker_bounce();
+        assert!(c.breaker_admit().is_ok());
+        c.breaker_bounce();
+        assert_eq!(c.stats.breaker_opens, 1);
+        // Open: fail fast with a millisecond hint, no network.
+        match c.breaker_admit() {
+            Err(ServerError::CircuitOpen { retry_after_ms }) => {
+                assert!(retry_after_ms <= 20, "hint {retry_after_ms} ms");
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        assert_eq!(c.stats.breaker_fast_fails, 1);
+        // After the window: half-open admits the probe...
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(c.breaker_admit().is_ok());
+        assert_eq!(c.stats.breaker_half_opens, 1);
+        // ...and a served probe closes the breaker for good.
+        c.breaker_success();
+        assert_eq!(c.stats.breaker_closes, 1);
+        assert!(c.breaker_admit().is_ok());
+        assert_eq!(c.breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn bounced_halfopen_probe_reopens_immediately() {
+        let mut c = breaker_client(2, 15);
+        c.breaker_bounce();
+        c.breaker_bounce();
+        assert_eq!(c.stats.breaker_opens, 1);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(c.breaker_admit().is_ok()); // half-open probe
+        c.breaker_bounce(); // probe bounced: one strike reopens
+        assert_eq!(c.stats.breaker_opens, 2);
+        assert!(c.breaker_admit().is_err());
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut c = breaker_client(0, 100);
+        for _ in 0..1_000 {
+            c.breaker_bounce();
+        }
+        assert!(c.breaker_admit().is_ok());
+        assert_eq!(c.stats.breaker_opens, 0);
+    }
+
+    #[test]
+    fn hedge_delay_needs_samples_then_tracks_p99() {
+        let policy = RetryPolicy {
+            hedge: true,
+            attempt_timeout_ms: 1_000,
+            ..RetryPolicy::default()
+        };
+        let mut c = RetryingClient::new("127.0.0.1:1", policy, 3).unwrap();
+        assert_eq!(c.hedge_delay(), None, "cold: not enough samples");
+        // 99 fast answers and one 500 ms straggler: p99 lands on the
+        // straggler's neighborhood, not the fast mass.
+        for _ in 0..99 {
+            c.record_latency_sample(2_000);
+        }
+        c.record_latency_sample(500_000);
+        let d = c.hedge_delay().expect("armed after enough samples");
+        assert!(d >= Duration::from_millis(2), "got {d:?}");
+        assert!(d <= Duration::from_millis(500), "got {d:?}");
+        // The attempt timeout is a hard ceiling.
+        c.record_latency_sample(10_000_000);
+        for _ in 0..HEDGE_SAMPLE_CAP {
+            c.record_latency_sample(10_000_000);
+        }
+        assert_eq!(c.hedge_delay(), Some(Duration::from_millis(1_000)));
+        // And the ring never grows past its cap.
+        assert!(c.latency_samples.len() <= HEDGE_SAMPLE_CAP);
     }
 }

@@ -234,6 +234,19 @@ impl<'a> Cur<'a> {
         }
     }
 
+    /// An [`Cur::option`] that may also be *absent entirely* — the
+    /// trailing-field compatibility read. A payload from a peer predating
+    /// the field simply ends here; `None` in that case.
+    fn trailing_option<T>(
+        &mut self,
+        inner: impl FnOnce(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, CodecError> {
+        if self.remaining() == 0 {
+            return Ok(None);
+        }
+        self.option(inner)
+    }
+
     /// The whole payload must be consumed: leftovers mean the frame was
     /// not what its tag claimed.
     fn done(self) -> Result<(), CodecError> {
@@ -571,17 +584,22 @@ pub fn encode_server_payload(frame: &ServerFrame) -> Result<Vec<u8>, CodecError>
             out.push(4);
             out.extend_from_slice(&serde_json::to_vec(snapshot)?);
         }
-        ServerFrame::Overloaded { id } => {
+        ServerFrame::Overloaded { id, retry_after_ms } => {
             out.push(5);
             put_u64(&mut out, *id);
+            put_option(&mut out, retry_after_ms.as_ref(), |o, v| put_u64(o, *v));
         }
         ServerFrame::Deadline { id } => {
             out.push(6);
             put_u64(&mut out, *id);
         }
-        ServerFrame::Busy { limit } => {
+        ServerFrame::Busy {
+            limit,
+            retry_after_ms,
+        } => {
             out.push(7);
             put_u64(&mut out, *limit);
+            put_option(&mut out, retry_after_ms.as_ref(), |o, v| put_u64(o, *v));
         }
         ServerFrame::Error { id, kind, message } => {
             out.push(8);
@@ -619,9 +637,18 @@ pub fn decode_server_payload(payload: &[u8]) -> Result<ServerFrame, CodecError> 
             let snapshot = serde_json::from_str(take_json(&mut cur)?)?;
             ServerFrame::Metrics { snapshot }
         }
-        5 => ServerFrame::Overloaded { id: cur.u64()? },
+        // Tags 5 and 7 read `retry_after_ms` only if bytes remain: a
+        // pre-hint v4 peer ends the payload right after the first field,
+        // and both shapes must keep decoding (compatible extension).
+        5 => ServerFrame::Overloaded {
+            id: cur.u64()?,
+            retry_after_ms: cur.trailing_option(|c| c.u64())?,
+        },
         6 => ServerFrame::Deadline { id: cur.u64()? },
-        7 => ServerFrame::Busy { limit: cur.u64()? },
+        7 => ServerFrame::Busy {
+            limit: cur.u64()?,
+            retry_after_ms: cur.trailing_option(|c| c.u64())?,
+        },
         8 => ServerFrame::Error {
             id: cur.option(|c| c.u64())?,
             kind: error_kind_from(cur.u8()?)?,
@@ -989,9 +1016,23 @@ mod tests {
                 version: PROTOCOL_VERSION,
             },
             ServerFrame::Answer { id: 12, response },
-            ServerFrame::Overloaded { id: 3 },
+            ServerFrame::Overloaded {
+                id: 3,
+                retry_after_ms: None,
+            },
+            ServerFrame::Overloaded {
+                id: 3,
+                retry_after_ms: Some(125),
+            },
             ServerFrame::Deadline { id: 4 },
-            ServerFrame::Busy { limit: 64 },
+            ServerFrame::Busy {
+                limit: 64,
+                retry_after_ms: None,
+            },
+            ServerFrame::Busy {
+                limit: 64,
+                retry_after_ms: Some(40),
+            },
             ServerFrame::Error {
                 id: Some(5),
                 kind: ErrorKind::Internal,
@@ -1017,6 +1058,46 @@ mod tests {
         };
         let payload = encode_server_payload(&frame).unwrap();
         assert_eq!(decode_server_payload(&payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn pre_hint_reject_payloads_still_decode() {
+        // A v4 peer built before `retry_after_ms` ends Overloaded/Busy
+        // right after the first u64. The lenient trailing read must map
+        // that to `None`, and JSON from such a peer (no field at all)
+        // must deserialize the same way.
+        let mut old_overloaded = vec![5u8];
+        put_u64(&mut old_overloaded, 9);
+        assert_eq!(
+            decode_server_payload(&old_overloaded).unwrap(),
+            ServerFrame::Overloaded {
+                id: 9,
+                retry_after_ms: None,
+            }
+        );
+        let mut old_busy = vec![7u8];
+        put_u64(&mut old_busy, 32);
+        assert_eq!(
+            decode_server_payload(&old_busy).unwrap(),
+            ServerFrame::Busy {
+                limit: 32,
+                retry_after_ms: None,
+            }
+        );
+        let json: ServerFrame = serde_json::from_str(r#"{"Overloaded":{"id":9}}"#).unwrap();
+        assert_eq!(
+            json,
+            ServerFrame::Overloaded {
+                id: 9,
+                retry_after_ms: None,
+            }
+        );
+        // An absent hint serializes as an explicit `null`, which an *old*
+        // consumer's struct decoder skips as an unknown key — and this
+        // build's decoder reads back as `None`. Round-trip proves both.
+        let line = serde_json::to_string(&json).unwrap();
+        let back: ServerFrame = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, json);
     }
 
     #[test]

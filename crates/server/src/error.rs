@@ -26,6 +26,15 @@ pub enum ServerError {
     Busy {
         /// The server's advertised connection cap.
         limit: u64,
+        /// Server-computed backoff hint, when the server provided one.
+        retry_after_ms: Option<u64>,
+    },
+    /// The client-side circuit breaker is open: recent consecutive
+    /// bounces crossed the threshold, so the call failed fast without
+    /// touching the network. Retry after the breaker's open window.
+    CircuitOpen {
+        /// Milliseconds until the breaker admits a half-open probe.
+        retry_after_ms: u64,
     },
     /// Every retry attempt failed.
     RetriesExhausted {
@@ -48,8 +57,21 @@ impl fmt::Display for ServerError {
             ServerError::Json(e) => write!(f, "frame codec error: {e}"),
             ServerError::Protocol { message } => write!(f, "protocol error: {message}"),
             ServerError::Handshake { message } => write!(f, "handshake rejected: {message}"),
-            ServerError::Busy { limit } => {
-                write!(f, "server busy: connection cap {limit} reached")
+            ServerError::Busy {
+                limit,
+                retry_after_ms,
+            } => {
+                write!(f, "server busy: connection cap {limit} reached")?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after {ms} ms)")?;
+                }
+                Ok(())
+            }
+            ServerError::CircuitOpen { retry_after_ms } => {
+                write!(
+                    f,
+                    "circuit breaker open: failing fast, next probe in {retry_after_ms} ms"
+                )
             }
             ServerError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")

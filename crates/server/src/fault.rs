@@ -389,7 +389,11 @@ mod tests {
     #[test]
     fn truncate_and_corrupt_keep_framing_but_break_json() {
         let stats = ServerStats::new();
-        let line = serde_json::to_string(&crate::proto::ServerFrame::Overloaded { id: 3 }).unwrap();
+        let line = serde_json::to_string(&crate::proto::ServerFrame::Overloaded {
+            id: 3,
+            retry_after_ms: None,
+        })
+        .unwrap();
 
         let mut corrupted = line.clone().into_bytes();
         corrupt_in_place(&mut corrupted);
@@ -428,7 +432,10 @@ mod tests {
         use crate::codec::{self, FrameReader, RawEvent, Transport};
         let stats = ServerStats::new();
         let frame = codec::encode_server_frame(
-            &crate::proto::ServerFrame::Overloaded { id: 3 },
+            &crate::proto::ServerFrame::Overloaded {
+                id: 3,
+                retry_after_ms: None,
+            },
             Transport::Binary,
         )
         .unwrap();

@@ -48,6 +48,19 @@
 //! `Busy` frame past `max_connections`) and idle-connection reaping — all
 //! observable in the `Stats` snapshot.
 //!
+//! On top of those sits the overload control plane: deadline-aware
+//! admission (reject at enqueue when the predicted queue wait — per-kind
+//! service-time EWMA × shard depth — already exceeds the deadline
+//! budget), CoDel-style queue aging (jobs whose sojourn passed
+//! [`ServerConfig::codel_target`] are shed at dequeue), server-computed
+//! `retry_after_ms` hints on every `Overloaded`/`Busy` bounce, a graceful
+//! [`ServerHandle::drain`] that answers in-flight work and flushes
+//! durable state while turning new work away, and — client side — hint
+//! honoring, a per-endpoint circuit breaker and optional hedged reads in
+//! [`RetryingClient`]. [`loadgen`] gains an open-loop paced mode
+//! ([`LoadgenConfig::rate`]) whose latency is measured from scheduled
+//! send times, so saturation cannot hide in coordinated omission.
+//!
 //! # Example
 //!
 //! ```
@@ -105,5 +118,8 @@ pub use proto::{
 };
 pub use server::{spawn, ServerConfig, ServerHandle, ShutdownReport, StoreRecoverySummary};
 pub use shard::ShardedLog;
-pub use stats::{FaultCounters, ServerStats, StatsSnapshot, StoreCounters, WalCounters};
+pub use stats::{
+    FaultCounters, RejectCause, RejectionCounters, ServerStats, StatsSnapshot, StoreCounters,
+    WalCounters,
+};
 pub use wal::{FsyncPolicy, WalConfig};

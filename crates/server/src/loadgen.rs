@@ -98,6 +98,15 @@ pub struct LoadgenConfig {
     /// frame (or a v3 pipeline), trading per-round latency attribution
     /// for round-trips.
     pub batch: usize,
+    /// Open-loop pacing: total offered queries per second across all
+    /// users. `None` (the default) is the classic closed loop — each user
+    /// sends as fast as the server answers, which silently slows the
+    /// offered load when the server slows (coordinated omission). With a
+    /// rate, every round has a *scheduled* send time the server cannot
+    /// push back, latency is measured from that schedule, and a
+    /// behind-schedule round is sent late (never skipped) with the
+    /// backlog wait counted in its latency.
+    pub rate: Option<f64>,
 }
 
 impl Default for LoadgenConfig {
@@ -116,6 +125,7 @@ impl Default for LoadgenConfig {
             deadline_ms: None,
             proto: ProtoVersion::V4Binary,
             batch: 1,
+            rate: None,
         }
     }
 }
@@ -135,6 +145,14 @@ impl LoadgenConfig {
         }
         if self.batch > 1_000 {
             return err("batch above 1000 would exceed frame limits".into());
+        }
+        if let Some(rate) = self.rate {
+            if !rate.is_finite() || rate <= 0.0 {
+                return err(format!("rate must be a positive number of rps, got {rate}"));
+            }
+            if self.batch != 1 {
+                return err("rate paces individual rounds; it requires batch = 1".into());
+            }
         }
         self.retry.validate()
     }
@@ -179,8 +197,25 @@ pub struct LoadgenReport {
     pub deadline_misses: u64,
     /// `Busy` bounces absorbed while connecting.
     pub busy_bounces: u64,
+    /// Bounces (either kind) that carried a server `retry_after_ms` hint.
+    pub hinted_bounces: u64,
+    /// Hedged first attempts (abandoned at the p99 timeout and resent).
+    pub hedges: u64,
+    /// Client circuit breakers tripped open.
+    pub breaker_opens: u64,
+    /// Open→half-open breaker transitions (probes admitted).
+    pub breaker_half_opens: u64,
+    /// Half-open probes that succeeded and closed their breaker.
+    pub breaker_closes: u64,
+    /// Queries failed fast while a breaker was open (no network traffic).
+    pub breaker_fast_fails: u64,
     /// Users whose session died on an error (retries exhausted).
     pub user_errors: u64,
+    /// Rounds abandoned after their retries were exhausted in paced
+    /// (open-loop) mode, where an error skips the round instead of
+    /// killing the user — under deliberate overload, dropped rounds are
+    /// data, not failures.
+    pub round_errors: u64,
     /// Total wall-clock microseconds the retry machinery added on top of
     /// a fault-free run (backoff sleeps + failed attempts, all users).
     pub retry_overhead_us: u64,
@@ -202,6 +237,7 @@ struct UserOutcome {
     latencies_us: Vec<u64>,
     sent: u64,
     answered: u64,
+    round_errors: u64,
     retry: RetryStats,
     /// The error that ended this user's run early, if any. Kept inside
     /// the outcome (rather than an `Err` return) so the retry tallies a
@@ -244,9 +280,18 @@ fn drive_user(
         latencies_us: Vec::with_capacity(cfg.rounds),
         sent: 0,
         answered: 0,
+        round_errors: 0,
         retry: RetryStats::default(),
         error: None,
     };
+    // Open-loop pacing: round `k` of this user is *scheduled* at
+    // `start + (user + k·users)/rate` — the fleet interleaves evenly at
+    // the aggregate rate, and each user's own sends are `users/rate`
+    // apart. The schedule is fixed up front; the server can make a round
+    // late but never make the next one start later.
+    let pace = cfg
+        .rate
+        .map(|rate| (Instant::now(), user as f64 / rate, cfg.users as f64 / rate));
     // The dummy-motion stream is response-independent (the paper's client
     // chooses dummies before the answer arrives), so a whole group of
     // rounds can be generated up front and shipped as one batch without
@@ -277,11 +322,35 @@ fn drive_user(
                 query: cfg.query,
             });
         }
-        let start = Instant::now();
+        // Closed loop: the clock starts at the actual send. Open loop:
+        // it starts at the *scheduled* send — waiting out a late schedule
+        // is the server's fault and belongs in the latency (the
+        // coordinated-omission correction); a round that is behind
+        // schedule goes out immediately, never skipped.
+        let start = match pace {
+            None => Instant::now(),
+            Some((pace_start, offset, interval)) => {
+                let scheduled =
+                    pace_start + Duration::from_secs_f64(offset + chunk_start as f64 * interval);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                scheduled
+            }
+        };
         out.sent += items.len() as u64;
         let responses = match svc.query_batch(&items) {
             Ok(responses) => responses,
             Err(e) => {
+                // Open loop tolerates a lost round — under deliberate
+                // overload, exhausted retries on some rounds are the
+                // expected outcome, not a dead user. The closed loop
+                // keeps its strict contract: any error ends the session.
+                if pace.is_some() {
+                    out.round_errors += items.len() as u64;
+                    continue;
+                }
                 out.error = Some(e.to_string());
                 break;
             }
@@ -356,6 +425,7 @@ pub fn run_instrumented(
 
     let mut sent = 0;
     let mut answered = 0;
+    let mut round_errors = 0;
     let mut retry = RetryStats::default();
     let mut user_errors = 0;
     let mut digests = Vec::with_capacity(config.users);
@@ -365,12 +435,19 @@ pub fn run_instrumented(
             Ok(u) => {
                 sent += u.sent;
                 answered += u.answered;
+                round_errors += u.round_errors;
                 retry.retries += u.retry.retries;
                 retry.reconnects += u.retry.reconnects;
                 retry.overloaded += u.retry.overloaded;
                 retry.deadline_misses += u.retry.deadline_misses;
                 retry.busy += u.retry.busy;
                 retry.overhead_us += u.retry.overhead_us;
+                retry.hinted += u.retry.hinted;
+                retry.hedges += u.retry.hedges;
+                retry.breaker_opens += u.retry.breaker_opens;
+                retry.breaker_half_opens += u.retry.breaker_half_opens;
+                retry.breaker_closes += u.retry.breaker_closes;
+                retry.breaker_fast_fails += u.retry.breaker_fast_fails;
                 if let Some(t) = telemetry {
                     let hist = t.registry.histogram_log2("loadgen.latency_us");
                     for &us in &u.latencies_us {
@@ -442,7 +519,14 @@ pub fn run_instrumented(
         reconnects: retry.reconnects,
         deadline_misses: retry.deadline_misses,
         busy_bounces: retry.busy,
+        hinted_bounces: retry.hinted,
+        hedges: retry.hedges,
+        breaker_opens: retry.breaker_opens,
+        breaker_half_opens: retry.breaker_half_opens,
+        breaker_closes: retry.breaker_closes,
+        breaker_fast_fails: retry.breaker_fast_fails,
         user_errors,
+        round_errors,
         retry_overhead_us: retry.overhead_us,
         elapsed_secs: elapsed,
         throughput_rps: if elapsed > 0.0 {

@@ -128,6 +128,25 @@ impl ServeOptions {
         self
     }
 
+    /// Deadline-aware admission control: reject a query at enqueue when
+    /// the predicted queue wait already exceeds its deadline budget.
+    /// On by default; it only ever fires for queries that *have* a
+    /// deadline and after at least one answer has warmed the
+    /// service-time estimate.
+    pub fn admission(mut self, on: bool) -> Self {
+        self.config.admission = on;
+        self
+    }
+
+    /// Queue-aging (CoDel-style) sojourn target: a queued job older than
+    /// this is shed with a hinted `Overloaded` instead of being computed.
+    /// `None` (the default) disables shedding; `Some(0)` is rejected at
+    /// build time.
+    pub fn codel_target(mut self, target: Option<Duration>) -> Self {
+        self.config.codel_target = target;
+        self
+    }
+
     /// Validates every knob and returns the finished configuration.
     pub fn build(self) -> Result<ServerConfig> {
         self.config.validate()?;
@@ -226,6 +245,14 @@ impl LoadgenOptions {
         self
     }
 
+    /// Open-loop pacing: total offered queries per second across all
+    /// users. `None` (the default) is the classic closed loop. Requires
+    /// `batch == 1`.
+    pub fn rate(mut self, rate: Option<f64>) -> Self {
+        self.config.rate = rate;
+        self
+    }
+
     /// Validates every knob and returns the finished configuration.
     pub fn build(self) -> Result<LoadgenConfig> {
         self.config.validate()?;
@@ -302,6 +329,42 @@ mod tests {
         assert!(LoadgenOptions::new().batch(0).build().is_err());
         let bad = RetryPolicy {
             max_attempts: 0,
+            ..Default::default()
+        };
+        assert!(LoadgenOptions::new().retry(bad).build().is_err());
+    }
+
+    #[test]
+    fn overload_knobs_validate() {
+        // Admission is on by default and can be switched off.
+        let cfg = ServeOptions::new().build().unwrap();
+        assert!(cfg.admission);
+        let cfg = ServeOptions::new().admission(false).build().unwrap();
+        assert!(!cfg.admission);
+        // A sojourn target must be positive; zero would shed everything.
+        let cfg = ServeOptions::new()
+            .codel_target(Some(Duration::from_millis(20)))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.codel_target, Some(Duration::from_millis(20)));
+        assert!(ServeOptions::new()
+            .codel_target(Some(Duration::ZERO))
+            .build()
+            .is_err());
+        // An offered rate must be positive and paces single rounds only.
+        let cfg = LoadgenOptions::new().rate(Some(250.0)).build().unwrap();
+        assert_eq!(cfg.rate, Some(250.0));
+        assert!(LoadgenOptions::new().rate(Some(0.0)).build().is_err());
+        assert!(LoadgenOptions::new().rate(Some(f64::NAN)).build().is_err());
+        assert!(LoadgenOptions::new()
+            .rate(Some(100.0))
+            .batch(4)
+            .build()
+            .is_err());
+        // Breaker knobs ride the retry policy.
+        let bad = RetryPolicy {
+            breaker_threshold: 2,
+            breaker_open_ms: 0,
             ..Default::default()
         };
         assert!(LoadgenOptions::new().retry(bad).build().is_err());

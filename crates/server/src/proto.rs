@@ -33,6 +33,12 @@ use crate::stats::StatsSnapshot;
 /// telemetry registry snapshot. Version 4 is the binary transport: the
 /// same frames length-prefix-framed and checksummed instead of JSON-on-a-
 /// line, plus first-class request batching ([`ClientFrame::Batch`]).
+///
+/// Within v4, the `retry_after_ms` hint on [`ServerFrame::Overloaded`]
+/// and [`ServerFrame::Busy`] is a *compatible* extension: JSON omits the
+/// field when absent and ignores it when unknown, and the binary decoder
+/// accepts both the old short payload and the extended one — so the
+/// version number did not move.
 pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Oldest version the server still serves. Version 3 clients speak JSON
@@ -134,10 +140,19 @@ pub enum ServerFrame {
         /// The server's full metric registry at snapshot time.
         snapshot: RegistrySnapshot,
     },
-    /// The bounded work queue was full; the query was *not* processed.
+    /// The query was rejected without being processed — the bounded work
+    /// queue was full, the admission controller predicted its deadline
+    /// could not survive the queue wait, or queue aging shed it. Safe to
+    /// retry after the hinted delay.
     Overloaded {
         /// The rejected query's correlation id.
         id: u64,
+        /// Server-computed backoff hint in milliseconds: the predicted
+        /// time until the queue has drained enough for a retry to be
+        /// worth sending. `None` from pre-hint servers (the JSON key is
+        /// absent and the binary payload ends early — both decode to
+        /// `None`); clients fall back to their own exponential backoff.
+        retry_after_ms: Option<u64>,
     },
     /// The query's deadline expired before an answer was produced. Queued
     /// work is cancelled; either way no answer follows for this id and the
@@ -151,6 +166,9 @@ pub enum ServerFrame {
     Busy {
         /// The server's connection cap.
         limit: u64,
+        /// Server-computed backoff hint in milliseconds (same contract as
+        /// [`ServerFrame::Overloaded::retry_after_ms`]).
+        retry_after_ms: Option<u64>,
     },
     /// The peer broke the protocol.
     Error {

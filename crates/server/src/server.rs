@@ -28,7 +28,7 @@
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,7 +52,7 @@ use crate::proto::{
     MIN_PROTOCOL_VERSION,
 };
 use crate::shard::{shard_index, ShardedLog};
-use crate::stats::{ServerStats, StatsSnapshot};
+use crate::stats::{RejectCause, ServerStats, StatsSnapshot};
 use crate::wal::{self, WalConfig, WalRecord, WalTicket, WalWriter};
 
 /// Most jobs one worker drains per wakeup. Bounds reply-latency skew
@@ -110,6 +110,18 @@ pub struct ServerConfig {
     /// [`ProtoVersion::V3Json`] refuses binary connections with a typed
     /// `VersionMismatch`, which is how `serve --proto v3` behaves.
     pub max_proto: ProtoVersion,
+    /// Deadline-aware admission control. When on (the default), a query
+    /// whose deadline budget is smaller than the predicted queue wait —
+    /// the per-kind EWMA of service time times the target worker's queue
+    /// depth — is bounced with `Overloaded` *at enqueue time*, before it
+    /// can waste a queue slot and a worker wakeup only to expire.
+    /// Queries without a deadline are never admission-rejected.
+    pub admission: bool,
+    /// CoDel-style queue aging: a queued job whose sojourn exceeded this
+    /// target is shed with `Overloaded` at dequeue (as long as newer work
+    /// is waiting behind it), bounding how stale the work a worker spends
+    /// time on can get. `None` (the default) disables shedding.
+    pub codel_target: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +142,8 @@ impl Default for ServerConfig {
             store: None,
             panic_pseudonym: None,
             max_proto: ProtoVersion::V4Binary,
+            admission: true,
+            codel_target: None,
         }
     }
 }
@@ -163,7 +177,93 @@ impl ServerConfig {
                 return err(format!("store: {e}"));
             }
         }
+        if self.codel_target == Some(Duration::ZERO) {
+            return err("codel-target must be positive (omit it to disable shedding)".into());
+        }
         Ok(())
+    }
+}
+
+/// Backoff hints never promise a retry sooner than this…
+const MIN_RETRY_HINT_MS: u64 = 1;
+/// …or later than this.
+const MAX_RETRY_HINT_MS: u64 = 5_000;
+/// EWMA smoothing: `new = old + (sample - old) / 8`.
+const EWMA_SHIFT: u32 = 3;
+
+/// The shared overload state: per-kind service-time EWMAs feeding the
+/// admission predictor and every `retry_after_ms` hint, plus the drain
+/// flag that flips the whole plane into go-away mode.
+#[derive(Debug, Default)]
+struct OverloadControl {
+    /// EWMA of service time per query kind, microseconds, updated by
+    /// workers as they finish jobs. Zero = no sample yet (cold start
+    /// admits everything — the controller only ever rejects on evidence).
+    ewma_us: [AtomicU64; 3],
+    draining: AtomicBool,
+}
+
+fn kind_slot(query: &QueryKind) -> usize {
+    match query {
+        QueryKind::NearestPoi { .. } => 0,
+        QueryKind::PoisInRange { .. } => 1,
+        QueryKind::NextBus => 2,
+    }
+}
+
+impl OverloadControl {
+    /// Folds one measured service time into the kind's EWMA and returns
+    /// the new value.
+    fn observe(&self, query: &QueryKind, service_us: u64) -> u64 {
+        let slot = &self.ewma_us[kind_slot(query)];
+        // Racy read-modify-write is fine: the EWMA is a heuristic and
+        // every lost update is replaced by the next sample.
+        let old = slot.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            service_us
+        } else {
+            old + (service_us >> EWMA_SHIFT) - (old >> EWMA_SHIFT)
+        };
+        slot.store(new, Ordering::Relaxed);
+        new
+    }
+
+    /// Current EWMA for a kind (microseconds; 0 = cold).
+    fn ewma_us(&self, query: &QueryKind) -> u64 {
+        self.ewma_us[kind_slot(query)].load(Ordering::Relaxed)
+    }
+
+    /// Slowest kind's EWMA — the pessimistic horizon used where no kind
+    /// is known (the accept gate).
+    fn max_ewma_us(&self) -> u64 {
+        self.ewma_us
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Predicted queue wait for a job landing behind `depth` queued jobs
+    /// of the same shard: EWMA service time × depth.
+    fn predicted_wait(&self, query: &QueryKind, depth: usize) -> Duration {
+        Duration::from_micros(self.ewma_us(query).saturating_mul(depth as u64))
+    }
+
+    /// The `retry_after_ms` hint for a bounce seen at queue depth
+    /// `depth`: the predicted time for the backlog (plus the bounced job)
+    /// to drain, clamped into a sane band so a cold EWMA still hints a
+    /// minimal pause and a catastrophic backlog does not banish a client.
+    fn retry_hint_ms(&self, ewma_us: u64, depth: usize) -> u64 {
+        (ewma_us.saturating_mul(depth as u64 + 1) / 1_000)
+            .clamp(MIN_RETRY_HINT_MS, MAX_RETRY_HINT_MS)
+    }
+
+    fn set_draining(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 }
 
@@ -255,14 +355,17 @@ impl Durable {
 
 /// A running server. Dropping the handle leaves the server running
 /// detached; call [`ServerHandle::shutdown`] for an orderly stop.
-#[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    overload: Arc<OverloadControl>,
     stats: Arc<ServerStats>,
     log: Arc<ShardedLog>,
     durable: Option<Arc<Mutex<Durable>>>,
     store_recovery: Option<StoreRecoverySummary>,
+    // Held only to observe queue occupancy during a drain; dropped in
+    // `shutdown` before the workers are joined so their queues close.
+    job_txs: Vec<Sender<Job>>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     compactor: Option<JoinHandle<()>>,
@@ -354,6 +457,38 @@ impl ServerHandle {
         self.store_recovery
     }
 
+    /// Flips the server into drain mode without stopping it: the accept
+    /// gate answers every new connection `Busy` (with a retry hint), and
+    /// established connections bounce *new* queries with hinted
+    /// `Overloaded` frames while in-flight and queued work is still
+    /// answered. Idempotent; [`ServerHandle::drain`] calls it.
+    pub fn start_drain(&self) {
+        self.overload.set_draining();
+    }
+
+    /// Whether drain mode is on.
+    pub fn is_draining(&self) -> bool {
+        self.overload.is_draining()
+    }
+
+    /// Graceful drain: stop admitting work ([`ServerHandle::start_drain`]),
+    /// wait up to `grace` for the queues to empty — every job already
+    /// accepted is answered — then run the full [`ServerHandle::shutdown`]
+    /// sequence, which flushes the store, truncates and syncs the WAL,
+    /// and joins every thread. On a quiet server this returns as soon as
+    /// the backlog clears, not after the full grace period.
+    pub fn drain(self, grace: Duration) -> ShutdownReport {
+        self.start_drain();
+        let deadline = Instant::now() + grace;
+        while Instant::now() < deadline {
+            if self.job_txs.iter().all(|tx| tx.is_empty()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shutdown()
+    }
+
     /// Graceful stop: stop accepting, let connections wind down, drain
     /// every queued job, then join all threads.
     pub fn shutdown(mut self) -> ShutdownReport {
@@ -363,6 +498,9 @@ impl ServerHandle {
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
+        // The acceptor's sender clones died with it; releasing the
+        // handle's own lets the worker queues close and drain out.
+        self.job_txs.clear();
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
@@ -410,6 +548,7 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr.as_str())?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let overload = Arc::new(OverloadControl::default());
     let stats = Arc::new(ServerStats::new());
     let log = Arc::new(ShardedLog::new(config.shards));
     let pois = Arc::new(pois);
@@ -470,17 +609,22 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
                     if store_last_durable.is_some_and(|last| r.seq <= last) {
                         return;
                     }
-                    let for_store = store.as_ref().map(|_| r.request.clone());
+                    // The store's copy is built as a typed record *before*
+                    // `log.replay` consumes the request, so the two sinks
+                    // can never disagree about what was replayed and no
+                    // ordering change here can leave the store arm holding
+                    // nothing to append.
+                    let for_store = store.as_ref().map(|_| StoreRecord {
+                        t: r.t,
+                        seq: r.seq,
+                        request_id: r.request_id,
+                        request: r.request.clone(),
+                    });
                     if log.replay(r.t, r.seq, r.request_id, r.request) {
                         stats.record_wal_replayed();
                         summary.tail_replayed += 1;
-                        if let Some(s) = &mut store {
-                            match s.append(StoreRecord {
-                                t: r.t,
-                                seq: r.seq,
-                                request_id: r.request_id,
-                                request: for_store.expect("cloned when the store is on"),
-                            }) {
+                        if let (Some(s), Some(record)) = (&mut store, for_store) {
+                            match s.append(record) {
                                 Ok(_) => stats.record_store_replayed(),
                                 Err(_) => stats.record_store_error(),
                             }
@@ -534,6 +678,8 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
             let delay = config.worker_delay;
             let durable = durable.clone();
             let panic_pseudonym = config.panic_pseudonym.clone();
+            let overload = Arc::clone(&overload);
+            let codel = config.codel_target;
             std::thread::spawn(move || {
                 // Supervision loop: one `worker_loop` call is one worker
                 // incarnation. A contained panic retires it and the next
@@ -547,6 +693,8 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
                     delay,
                     durable.as_ref(),
                     panic_pseudonym.as_deref(),
+                    &overload,
+                    codel,
                 ) {}
             })
         })
@@ -571,16 +719,22 @@ pub fn spawn(config: ServerConfig, pois: PoiDatabase) -> Result<ServerHandle> {
     let accept = {
         let stats = Arc::clone(&stats);
         let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || accept_loop(listener, config, job_txs, stats, shutdown))
+        let overload = Arc::clone(&overload);
+        let job_txs = job_txs.clone();
+        std::thread::spawn(move || {
+            accept_loop(listener, config, job_txs, stats, shutdown, overload)
+        })
     };
 
     Ok(ServerHandle {
         addr,
         shutdown,
+        overload,
         stats,
         log,
         durable,
         store_recovery,
+        job_txs,
         accept: Some(accept),
         workers,
         compactor,
@@ -658,6 +812,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: &Receiver<Job>,
     pois: &Arc<PoiDatabase>,
@@ -666,6 +821,8 @@ fn worker_loop(
     delay: Option<Duration>,
     durable: Option<&Arc<Mutex<Durable>>>,
     panic_pseudonym: Option<&str>,
+    overload: &Arc<OverloadControl>,
+    codel_target: Option<Duration>,
 ) -> WorkerExit {
     // One iteration = one micro-batch: block for the first job, opportun-
     // istically drain more, prepare them all (appending WAL bytes under
@@ -687,11 +844,47 @@ fn worker_loop(
         }
         let mut replies: Vec<(Sender<ServerFrame>, ServerFrame, Option<WalTicket>)> =
             Vec::with_capacity(jobs.len());
-        for job in jobs {
+        let batch_len = jobs.len();
+        for (i, job) in jobs.into_iter().enumerate() {
             let id = job.id;
             let reply = job.reply.clone();
+            // CoDel-flavoured queue aging: a job that sat queued longer
+            // than the sojourn target is shed with a hinted `Overloaded`
+            // instead of being computed — stale work is the first thing a
+            // saturated server should stop doing. Two carve-outs keep the
+            // policy safe: a job whose *deadline* already expired goes
+            // through `prepare_job` so it is counted (and answered) as a
+            // deadline miss, not a shed; and the very last pending job is
+            // always served so a drained queue makes forward progress —
+            // shedding everything would collapse goodput to zero.
+            if let Some(target) = codel_target {
+                let more_pending = i + 1 < batch_len || !rx.is_empty();
+                let expired = job.deadline.is_some_and(|dl| Instant::now() > dl);
+                if job.enqueued.elapsed() > target && more_pending && !expired {
+                    stats.record_reject(RejectCause::Shed);
+                    let hint = overload.retry_hint_ms(overload.ewma_us(&job.query), rx.len());
+                    replies.push((
+                        reply,
+                        ServerFrame::Overloaded {
+                            id,
+                            retry_after_ms: Some(hint),
+                        },
+                        None,
+                    ));
+                    continue;
+                }
+            }
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                prepare_job(job, pois, log, stats, delay, durable, panic_pseudonym)
+                prepare_job(
+                    job,
+                    pois,
+                    log,
+                    stats,
+                    delay,
+                    durable,
+                    panic_pseudonym,
+                    overload,
+                )
             }));
             match outcome {
                 Ok((frame, ticket)) => replies.push((reply, frame, ticket)),
@@ -735,6 +928,7 @@ fn worker_loop(
 /// Computes one job's reply frame and stages its durability, *without*
 /// sending anything: the caller owns ticket waiting and frame delivery so
 /// a whole micro-batch shares the flush.
+#[allow(clippy::too_many_arguments)]
 fn prepare_job(
     job: Job,
     pois: &PoiDatabase,
@@ -743,6 +937,7 @@ fn prepare_job(
     delay: Option<Duration>,
     durable: Option<&Arc<Mutex<Durable>>>,
     panic_pseudonym: Option<&str>,
+    overload: &OverloadControl,
 ) -> (ServerFrame, Option<WalTicket>) {
     // Queued-expiry cancellation: a job whose deadline passed while it
     // waited is answered with `Deadline` and never computed or logged.
@@ -753,10 +948,16 @@ fn prepare_job(
     if panic_pseudonym.is_some_and(|p| p == job.request.pseudonym) {
         panic!("injected panic for pseudonym {:?}", job.request.pseudonym);
     }
+    let service_start = Instant::now();
     if let Some(d) = delay {
         std::thread::sleep(d);
     }
     let response = answer_request(pois, job.t, &job.request, &job.query);
+    // Feed the admission predictor: per-kind EWMA of observed service
+    // time (injected delay included — it models compute cost).
+    let service_us = u64::try_from(service_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let ewma = overload.observe(&job.query, service_us);
+    stats.set_ewma_service_us(&job.query, ewma);
     // In-flight expiry: the answer exists but arrived too late to send.
     // It is not logged either — the observer sees only what was served.
     if job.deadline.is_some_and(|dl| Instant::now() > dl) {
@@ -814,6 +1015,7 @@ fn accept_loop(
     job_txs: Vec<Sender<Job>>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
+    overload: Arc<OverloadControl>,
 ) {
     let injector = FaultInjector::from_plan(&config.faults);
     let active = Arc::new(AtomicUsize::new(0));
@@ -830,12 +1032,32 @@ fn accept_loop(
                 continue;
             }
         }
+        // Both refusal paths carry a server-computed backoff hint: the
+        // predicted time to work off everything currently queued, which
+        // is exactly how long a well-behaved client should stay away.
+        let queued: usize = job_txs.iter().map(|tx| tx.len()).sum();
+        let hint = overload.retry_hint_ms(overload.max_ewma_us(), queued);
+        if overload.is_draining() {
+            // Draining: in-flight work is still being answered but no new
+            // connection may join. `Busy` (not a hard error) tells a
+            // retrying client to find another replica or come back later.
+            stats.record_busy();
+            let _ = write_frame(
+                &mut stream,
+                &ServerFrame::Busy {
+                    limit: config.max_connections as u64,
+                    retry_after_ms: Some(hint),
+                },
+            );
+            continue;
+        }
         if active.load(Ordering::SeqCst) >= config.max_connections {
             stats.record_busy();
             let _ = write_frame(
                 &mut stream,
                 &ServerFrame::Busy {
                     limit: config.max_connections as u64,
+                    retry_after_ms: Some(hint),
                 },
             );
             continue;
@@ -848,8 +1070,9 @@ fn accept_loop(
         let shutdown = Arc::clone(&shutdown);
         let injector = injector.clone();
         let active = Arc::clone(&active);
+        let overload = Arc::clone(&overload);
         conns.push(std::thread::spawn(move || {
-            connection_loop(stream, cfg, job_txs, stats, shutdown, injector);
+            connection_loop(stream, cfg, job_txs, stats, shutdown, injector, overload);
             active.fetch_sub(1, Ordering::SeqCst);
         }));
         conns.retain(|h| !h.is_finished());
@@ -869,6 +1092,7 @@ const TRANSPORT_UNKNOWN: u8 = 0;
 const TRANSPORT_JSON: u8 = 1;
 const TRANSPORT_BINARY: u8 = 2;
 
+#[allow(clippy::too_many_arguments)]
 fn connection_loop(
     stream: TcpStream,
     cfg: ServerConfig,
@@ -876,6 +1100,7 @@ fn connection_loop(
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     injector: Option<Arc<FaultInjector>>,
+    overload: Arc<OverloadControl>,
 ) {
     let _ = stream.set_nodelay(true);
     // Short read timeout so the reader can poll the shutdown flag.
@@ -1081,6 +1306,7 @@ fn connection_loop(
                     &job_txs,
                     &reply_tx,
                     &stats,
+                    &overload,
                     &mut greeted,
                     &mut served,
                 )
@@ -1098,6 +1324,7 @@ fn connection_loop(
                         &job_txs,
                         &reply_tx,
                         &stats,
+                        &overload,
                         &mut greeted,
                         &mut served,
                     )
@@ -1118,12 +1345,14 @@ fn connection_loop(
 /// Validates and enqueues one query (standalone or batch member) onto its
 /// pseudonym shard's worker queue. `Break` means the connection must
 /// close (protocol violation or a dead queue).
+#[allow(clippy::too_many_arguments)]
 fn enqueue_query(
     spec: QuerySpec,
     cfg: &ServerConfig,
     job_txs: &[Sender<Job>],
     reply_tx: &Sender<ServerFrame>,
     stats: &ServerStats,
+    overload: &OverloadControl,
     greeted: &mut bool,
     served: &mut u64,
 ) -> std::ops::ControlFlow<()> {
@@ -1152,6 +1381,38 @@ fn enqueue_query(
         .map(Duration::from_millis)
         .or(cfg.default_deadline);
     let worker = shard_index(&spec.request.pseudonym, job_txs.len());
+    let depth = job_txs[worker].len();
+    // A drain-mode server answers what it already accepted but takes on
+    // nothing new, even on established connections. Counted under the
+    // admission cause: the decision is "don't enqueue", same as below.
+    if overload.is_draining() {
+        stats.record_reject(RejectCause::Admission);
+        let hint = overload.retry_hint_ms(overload.ewma_us(&spec.query), depth);
+        let _ = reply_tx.send(ServerFrame::Overloaded {
+            id: spec.id,
+            retry_after_ms: Some(hint),
+        });
+        return ControlFlow::Continue(());
+    }
+    // Deadline-aware admission: if the predicted queue wait (per-kind
+    // service-time EWMA × shard depth) already exceeds the deadline
+    // budget, the request is doomed — reject it *now*, before it wastes
+    // a queue slot and a worker's time producing a `Deadline` miss. A
+    // cold EWMA (no observations yet) predicts zero and admits
+    // everything, so an idle server never speculatively bounces.
+    if cfg.admission {
+        if let Some(budget) = budget {
+            if overload.predicted_wait(&spec.query, depth) > budget {
+                stats.record_reject(RejectCause::Admission);
+                let hint = overload.retry_hint_ms(overload.ewma_us(&spec.query), depth);
+                let _ = reply_tx.send(ServerFrame::Overloaded {
+                    id: spec.id,
+                    retry_after_ms: Some(hint),
+                });
+                return ControlFlow::Continue(());
+            }
+        }
+    }
     let job = Job {
         id: spec.id,
         t: spec.t,
@@ -1164,8 +1425,12 @@ fn enqueue_query(
     match job_txs[worker].try_send(job) {
         Ok(()) => ControlFlow::Continue(()),
         Err(TrySendError::Full(job)) => {
-            stats.record_reject();
-            let _ = reply_tx.send(ServerFrame::Overloaded { id: job.id });
+            stats.record_reject(RejectCause::QueueFull);
+            let hint = overload.retry_hint_ms(overload.ewma_us(&job.query), depth);
+            let _ = reply_tx.send(ServerFrame::Overloaded {
+                id: job.id,
+                retry_after_ms: Some(hint),
+            });
             ControlFlow::Continue(())
         }
         Err(TrySendError::Disconnected(_)) => ControlFlow::Break(()),

@@ -31,6 +31,22 @@ fn kind_index(query: &QueryKind) -> usize {
     }
 }
 
+/// Why one query was turned away without being processed. All three
+/// causes answer the same [`Overloaded`](crate::proto::ServerFrame)
+/// frame on the wire; the cause only matters for the operator-facing
+/// tallies (and for tests asserting *which* control loop fired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// The bounded work queue had no slot (the pre-admission behavior).
+    QueueFull,
+    /// The admission controller predicted the deadline could not survive
+    /// the queue wait and refused to enqueue.
+    Admission,
+    /// Queue aging (CoDel-style) shed the job at dequeue because its
+    /// sojourn exceeded the target.
+    Shed,
+}
+
 /// Counters shared by every worker and connection thread, backed by the
 /// workspace metric registry. Recording touches only relaxed atomics
 /// through pre-registered handles.
@@ -40,6 +56,9 @@ pub struct ServerStats {
     requests: Arc<Counter>,
     positions: Arc<Counter>,
     rejects: Arc<Counter>,
+    reject_queue_full: Arc<Counter>,
+    reject_admission: Arc<Counter>,
+    reject_shed: Arc<Counter>,
     protocol_errors: Arc<Counter>,
     connections: Arc<Counter>,
     deadline_expired_queued: Arc<Counter>,
@@ -74,6 +93,7 @@ pub struct ServerStats {
     store_segments: Arc<Gauge>,
     store_memtable_bytes: Arc<Gauge>,
     store_recovery_ms: Arc<Gauge>,
+    ewma_service_us: [Arc<Gauge>; KINDS],
     latency: [Arc<Histogram>; KINDS],
 }
 
@@ -99,10 +119,16 @@ impl ServerStats {
                 &LATENCY_BUCKETS_US,
             )
         });
+        let ewma_service_us = std::array::from_fn(|k| {
+            registry.gauge(&format!("server.ewma_service_us.{}", KIND_LABELS[k]))
+        });
         ServerStats {
             requests: c("server.requests"),
             positions: c("server.positions"),
             rejects: c("server.rejects"),
+            reject_queue_full: c("server.reject.queue_full"),
+            reject_admission: c("server.reject.admission"),
+            reject_shed: c("server.reject.shed"),
             protocol_errors: c("server.protocol_errors"),
             connections: c("server.connections"),
             deadline_expired_queued: c("server.deadline_expired_queued"),
@@ -137,6 +163,7 @@ impl ServerStats {
             store_segments: registry.gauge("server.store.segments"),
             store_memtable_bytes: registry.gauge("server.store.memtable_bytes"),
             store_recovery_ms: registry.gauge("server.store.recovery_ms"),
+            ewma_service_us,
             latency,
             registry,
         }
@@ -156,9 +183,22 @@ impl ServerStats {
         self.latency[kind_index(query)].record_duration(latency);
     }
 
-    /// One query bounced off the full work queue.
-    pub fn record_reject(&self) {
+    /// One query turned away with an `Overloaded` frame. `server.rejects`
+    /// stays the all-causes total (its historical meaning); the cause
+    /// lands in its own `server.reject.*` counter.
+    pub fn record_reject(&self, cause: RejectCause) {
         self.rejects.inc();
+        match cause {
+            RejectCause::QueueFull => self.reject_queue_full.inc(),
+            RejectCause::Admission => self.reject_admission.inc(),
+            RejectCause::Shed => self.reject_shed.inc(),
+        }
+    }
+
+    /// Publishes the admission controller's current per-kind EWMA of
+    /// service time, so the prediction feeding rejects is observable.
+    pub fn set_ewma_service_us(&self, query: &QueryKind, us: u64) {
+        self.ewma_service_us[kind_index(query)].set(us as i64);
     }
 
     /// One malformed / oversized / out-of-protocol frame.
@@ -330,6 +370,12 @@ impl ServerStats {
             requests: self.requests.get(),
             positions: self.positions.get(),
             rejects: self.rejects.get(),
+            rejections: RejectionCounters {
+                queue_full: self.reject_queue_full.get(),
+                admission: self.reject_admission.get(),
+                shed: self.reject_shed.get(),
+                accept_gate: self.busy_rejects.get(),
+            },
             protocol_errors: self.protocol_errors.get(),
             connections: self.connections.get(),
             deadline_expired_queued: self.deadline_expired_queued.get(),
@@ -386,8 +432,15 @@ pub struct StatsSnapshot {
     /// Positions answered (truth and dummies alike — the paper's `k+1`
     /// cost multiplier shows up here).
     pub positions: u64,
-    /// Queries rejected with `Overloaded`.
+    /// Queries rejected with `Overloaded` (all causes).
     pub rejects: u64,
+    /// The same rejects split by cause, plus the accept gate's `Busy`
+    /// bounces — the one place every way of turning work away is
+    /// accounted. `rejections.accept_gate` mirrors `busy_rejects`; the
+    /// three queue-side causes sum to `rejects`. Snapshots from builds
+    /// that predate this block parse with all four causes zero (see the
+    /// hand-written `Deserialize` on [`RejectionCounters`]).
+    pub rejections: RejectionCounters,
     /// Malformed / oversized / out-of-protocol frames seen.
     pub protocol_errors: u64,
     /// Connections accepted.
@@ -415,6 +468,47 @@ pub struct StatsSnapshot {
     pub store: StoreCounters,
     /// Per-query-kind latency histogram.
     pub latency: Vec<KindHistogram>,
+}
+
+/// Every way the server turns work away, in one block — the accept
+/// gate's `Busy` and the three queue-side `Overloaded` causes were
+/// previously counted in unrelated fields with nothing tying them
+/// together.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RejectionCounters {
+    /// `Overloaded` because the bounded work queue had no slot.
+    pub queue_full: u64,
+    /// `Overloaded` because admission predicted a doomed deadline.
+    pub admission: u64,
+    /// `Overloaded` because queue aging shed the job at dequeue.
+    pub shed: u64,
+    /// `Busy` bounces at the accept gate (mirrors `busy_rejects`).
+    pub accept_gate: u64,
+}
+
+// Hand-written so snapshots serialized by builds that predate the block
+// still parse: a missing `rejections` key reaches this impl as `Null`
+// (the codec's missing-field convention) and zero-fills, which is the
+// `#[serde(default)]` the derive layer doesn't offer.
+impl serde::Deserialize for RejectionCounters {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::Error> {
+        if matches!(v, serde::value::Value::Null) {
+            return Ok(Self::default());
+        }
+        Ok(Self {
+            queue_full: serde::__private::field(v, "queue_full")?,
+            admission: serde::__private::field(v, "admission")?,
+            shed: serde::__private::field(v, "shed")?,
+            accept_gate: serde::__private::field(v, "accept_gate")?,
+        })
+    }
+}
+
+impl RejectionCounters {
+    /// All rejections, every cause and both frame types.
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.admission + self.shed + self.accept_gate
+    }
 }
 
 /// Durability tallies of the observer write-ahead log.
@@ -528,7 +622,10 @@ mod tests {
             2,
             Duration::from_secs(5),
         );
-        s.record_reject();
+        s.record_reject(RejectCause::QueueFull);
+        s.record_reject(RejectCause::Admission);
+        s.record_reject(RejectCause::Shed);
+        s.set_ewma_service_us(&QueryKind::NextBus, 420);
         s.record_protocol_error();
         s.record_deadline_queued();
         s.record_deadline_inflight();
@@ -561,7 +658,21 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.positions, 10);
-        assert_eq!(snap.rejects, 1);
+        assert_eq!(snap.rejects, 3);
+        assert_eq!(
+            snap.rejections,
+            RejectionCounters {
+                queue_full: 1,
+                admission: 1,
+                shed: 1,
+                accept_gate: 1,
+            }
+        );
+        assert_eq!(snap.rejections.total(), 4);
+        assert_eq!(
+            snap.rejections.queue_full + snap.rejections.admission + snap.rejections.shed,
+            snap.rejects
+        );
         assert_eq!(snap.protocol_errors, 1);
         assert_eq!(snap.connections, 1);
         assert_eq!(snap.deadline_expired_queued, 1);
@@ -603,6 +714,10 @@ mod tests {
         };
         assert_eq!(snap.store, store);
         let reg = s.registry().snapshot();
+        assert_eq!(reg.counter("server.reject.queue_full"), Some(1));
+        assert_eq!(reg.counter("server.reject.admission"), Some(1));
+        assert_eq!(reg.counter("server.reject.shed"), Some(1));
+        assert_eq!(reg.gauge("server.ewma_service_us.next_bus"), Some(420));
         assert_eq!(reg.counter("server.store.compact.runs"), Some(1));
         assert_eq!(reg.gauge("server.store.dir_fsync_errors"), Some(2));
         assert_eq!(reg.gauge("server.store.segments"), Some(3));
@@ -618,6 +733,25 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn old_snapshots_without_the_rejection_block_still_parse() {
+        // A snapshot serialized by a pre-hint server has no `rejections`
+        // key; the hand-written default on `RejectionCounters` must
+        // zero-fill it instead of failing the whole Stats exchange
+        // against an old peer.
+        let snap = ServerStats::new().snapshot();
+        let json = serde_json::to_value(&snap);
+        let mut stripped = serde::value::Map::new();
+        for (k, v) in json.as_object().expect("snapshot is an object").iter() {
+            if k != "rejections" {
+                stripped.insert(k.clone(), v.clone());
+            }
+        }
+        let back: StatsSnapshot =
+            serde_json::from_value(&serde::value::Value::Object(stripped)).unwrap();
+        assert_eq!(back.rejections, RejectionCounters::default());
     }
 
     #[test]

@@ -5,9 +5,11 @@
 # rate vs k for random/MN/MLN dummies — with the random ≫ MN ≳ MLN
 # ordering asserted before the numbers are written — and in-process
 # server throughput + latency tail: v3 JSON lockstep, the v4 binary
-# batch sweep with its speedup-vs-v3 ratio, and the WAL/store
-# durability-tax ratios). Pass --threads N to pin the parallel worker
-# count (default: available cores).
+# batch sweep with its speedup-vs-v3 ratio, the WAL/store
+# durability-tax ratios, and the overload sweep: paced open-loop load at
+# ~0.5x/1x/2x nominal capacity, with goodput(2x) >= 0.7x goodput(1x)
+# asserted before the numbers are written). Pass --threads N to pin the
+# parallel worker count (default: available cores).
 #
 # Works online and in the offline growth container, same as check.sh.
 set -euo pipefail

@@ -239,6 +239,75 @@ cmp "$EQUIV_TMP/digests-crashed.txt" "$EQUIV_TMP/digests-ref.txt" \
   || { echo "store compact changed digests"; exit 1; }
 "$DUMMYLOC" store stats "$STORE_DIR" --json | grep '"segments": 1' >/dev/null
 
+echo "== overload control: hints on every bounce, breaker recovery, graceful drain"
+# A deliberately tiny server — one worker throttled to 4 ms per job
+# (~250 qps nominal), a shallow queue, durable store, drain-file armed —
+# driven at ~2x capacity by the paced open-loop loadgen. Retries stay on
+# (hint-floored, escalating, jittered), so every query is eventually
+# answered and the drained store must hold the complete workload.
+OL_ADDR=127.0.0.1:17916
+OL_WAL="$EQUIV_TMP/ol.wal"
+OL_STORE="$EQUIV_TMP/ol-store"
+OL_DRAIN="$EQUIV_TMP/ol.drain"
+"$DUMMYLOC" serve --addr "$OL_ADDR" --workers 1 --worker-delay-ms 4 --queue 8 \
+  --wal "$OL_WAL" --store "$OL_STORE" \
+  --drain-file "$OL_DRAIN" --drain-timeout-ms 5000 --duration 60 \
+  > "$EQUIV_TMP/ol-serve.log" &
+OL_PID=$!
+sleep 1
+"$DUMMYLOC" loadgen --addr "$OL_ADDR" --users 24 --rounds 20 --rate 500 --seed 9 \
+  --retries 20 --json "$EQUIV_TMP/ol-loadgen.json" >/dev/null
+ol_field() { sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$EQUIV_TMP/ol-loadgen.json" | head -1; }
+# Overload actually happened, nothing was lost to it...
+grep '"user_errors": 0' "$EQUIV_TMP/ol-loadgen.json" >/dev/null \
+  || { echo "overload run killed a user"; exit 1; }
+grep '"round_errors": 0' "$EQUIV_TMP/ol-loadgen.json" >/dev/null \
+  || { echo "overload run dropped rounds despite retries"; exit 1; }
+OL_OVER=$(ol_field overloaded); OL_BUSY=$(ol_field busy_bounces)
+[ "$OL_OVER" -gt 0 ] || { echo "2x offered load never bounced"; exit 1; }
+# ...and every bounce carried a server retry_after_ms hint.
+[ "$(ol_field hinted_bounces)" -eq $(( OL_OVER + OL_BUSY )) ] \
+  || { echo "a bounce arrived without a retry_after_ms hint"; exit 1; }
+# Graceful drain: touch the drain file, the server answers what it holds,
+# flushes the store, prints its final stats, and exits on its own.
+touch "$OL_DRAIN"
+wait "$OL_PID"
+grep "drain: answered in-flight work" "$EQUIV_TMP/ol-serve.log" >/dev/null \
+  || { echo "drain-file touch did not drain the server"; cat "$EQUIV_TMP/ol-serve.log"; exit 1; }
+# The drained store equals the oracle: the same workload against an
+# unthrottled WAL-only server, imported into a fresh store. (The paced
+# run above retried until everything was answered, so content-wise the
+# two workloads are identical.)
+OL_REF_WAL="$EQUIV_TMP/ol-ref.wal"
+"$DUMMYLOC" serve --addr "$OL_ADDR" --wal "$OL_REF_WAL" --duration 8 >/dev/null &
+OL_REF_PID=$!
+sleep 1
+"$DUMMYLOC" loadgen --addr "$OL_ADDR" --users 24 --rounds 20 --seed 9 >/dev/null
+wait "$OL_REF_PID"
+"$DUMMYLOC" store import "$EQUIV_TMP/ol-ref-store" --wal "$OL_REF_WAL" >/dev/null
+"$DUMMYLOC" store digests "$OL_STORE" > "$EQUIV_TMP/ol-digests.txt"
+"$DUMMYLOC" store digests "$EQUIV_TMP/ol-ref-store" | cmp - "$EQUIV_TMP/ol-digests.txt" \
+  || { echo "drained store diverged from the fault-free oracle"; exit 1; }
+# The breaker drill runs against its own throttled (storeless) server so
+# rounds its fast-fails drop cannot perturb the digest comparison above.
+# Marginal overload (~1.2x capacity) is the interesting regime: bounces
+# trip the aggressive breaker, the shed load frees queue slots, and the
+# half-open probes land in them — so it must trip, probe, AND recover.
+OL_BRK_ADDR=127.0.0.1:17917
+OL_BRK_DRAIN="$EQUIV_TMP/ol-brk.drain"
+"$DUMMYLOC" serve --addr "$OL_BRK_ADDR" --workers 1 --worker-delay-ms 4 --queue 4 \
+  --drain-file "$OL_BRK_DRAIN" --duration 30 >/dev/null &
+OL_BRK_PID=$!
+sleep 1
+"$DUMMYLOC" loadgen --addr "$OL_BRK_ADDR" --users 16 --rounds 40 --rate 300 --seed 9 \
+  --retries 8 --breaker-threshold 1 --breaker-open-ms 50 \
+  --json "$EQUIV_TMP/ol-breaker.json" >/dev/null
+ol_brk() { sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$EQUIV_TMP/ol-breaker.json" | head -1; }
+[ "$(ol_brk breaker_opens)" -gt 0 ] || { echo "breaker never opened past capacity"; exit 1; }
+[ "$(ol_brk breaker_closes)" -gt 0 ] || { echo "breaker never recovered"; exit 1; }
+touch "$OL_BRK_DRAIN"
+wait "$OL_BRK_PID"
+
 echo "== adversary loopback: attack the stores the service just wrote"
 # The crashed-and-recovered store and the WAL-replay oracle store hold
 # identical per-pseudonym streams (digests matched above), so the attack

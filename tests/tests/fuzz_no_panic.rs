@@ -225,9 +225,23 @@ proptest! {
         let message = String::from_utf8_lossy(&message_bytes).into_owned();
         let frames = vec![
             ServerFrame::Hello { version },
-            ServerFrame::Overloaded { id },
+            ServerFrame::Overloaded {
+                id,
+                retry_after_ms: None,
+            },
+            ServerFrame::Overloaded {
+                id,
+                retry_after_ms: Some(limit % 5_000),
+            },
             ServerFrame::Deadline { id },
-            ServerFrame::Busy { limit },
+            ServerFrame::Busy {
+                limit,
+                retry_after_ms: None,
+            },
+            ServerFrame::Busy {
+                limit,
+                retry_after_ms: Some(id % 5_000),
+            },
             ServerFrame::Error {
                 id: Some(id),
                 kind: dummyloc_server::ErrorKind::Malformed,

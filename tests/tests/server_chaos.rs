@@ -39,6 +39,7 @@ fn fast_retry() -> RetryPolicy {
         max_delay_ms: 20,
         attempt_timeout_ms: 250,
         jitter: 0.5,
+        ..RetryPolicy::default()
     }
 }
 
@@ -299,7 +300,14 @@ fn accept_gate_answers_busy_at_the_cap() {
     std::thread::sleep(Duration::from_millis(50));
     let second = ServiceClient::connect(handle.addr());
     match second {
-        Err(ServerError::Busy { limit }) => assert_eq!(limit, 1),
+        Err(ServerError::Busy {
+            limit,
+            retry_after_ms,
+        }) => {
+            assert_eq!(limit, 1);
+            // Every accept-gate bounce carries a server-computed hint.
+            assert!(retry_after_ms.is_some(), "Busy must carry retry_after_ms");
+        }
         other => panic!("expected Busy, got {other:?}"),
     }
     first.bye().unwrap();
@@ -354,6 +362,122 @@ fn idle_connections_are_reaped() {
     let stats = handle.shutdown().stats;
     assert_eq!(stats.idle_reaped, 1, "{stats:?}");
     assert_eq!(stats.requests, 3);
+}
+
+/// The idle reaper on the v4 binary transport: a binary connection that
+/// exchanges real frames and then goes quiet is reaped exactly like a
+/// JSON one — the earlier idle test rides `ServiceClient`, this one
+/// drives the raw binary wire so the reap path is proven per transport.
+#[test]
+fn idle_reap_covers_the_binary_transport() {
+    use dummyloc_server::codec::{self, RawEvent, Transport, BINARY_MAGIC};
+    use dummyloc_server::proto::DEFAULT_MAX_FRAME_BYTES;
+    use std::io::Write as _;
+
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .idle_timeout(Some(Duration::from_millis(80)))
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(&BINARY_MAGIC).unwrap();
+    let encode =
+        |frame: &ClientFrame| codec::encode_client_frame(frame, Transport::Binary).unwrap();
+    stream
+        .write_all(&encode(&ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+        }))
+        .unwrap();
+    stream
+        .write_all(&encode(&ClientFrame::Query {
+            id: 1,
+            t: 0.0,
+            deadline_ms: None,
+            request: request("binary-idle"),
+            query: QueryKind::NextBus,
+        }))
+        .unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = codec::FrameReader::auto(stream.try_clone().unwrap(), DEFAULT_MAX_FRAME_BYTES);
+    let mut next = || match reader.next_frame().unwrap() {
+        RawEvent::Frame(raw) => Some(codec::decode_server_frame(&raw).unwrap()),
+        _ => None,
+    };
+    assert!(matches!(next(), Some(ServerFrame::Hello { .. })));
+    assert!(matches!(next(), Some(ServerFrame::Answer { .. })));
+
+    // Quiet past the idle window: the server must cut the connection.
+    std::thread::sleep(Duration::from_millis(400));
+    let reaped_at = Instant::now();
+    // A pre-close typed error frame is fine; EOF / reset ends it.
+    while let Ok(RawEvent::Frame(_)) = reader.next_frame() {}
+    assert!(
+        reaped_at.elapsed() < Duration::from_secs(5),
+        "the reaped socket must reach EOF promptly"
+    );
+
+    let stats = handle.shutdown().stats;
+    assert_eq!(stats.idle_reaped, 1, "{stats:?}");
+    assert_eq!(stats.requests, 1);
+}
+
+/// The accept gate's pre-handshake `Busy` must be readable by a v4
+/// binary dialer: the bounce goes out as a JSON line before any
+/// transport negotiation, and the v4 client's auto-detecting reply
+/// reader is what keeps that parseable.
+#[test]
+fn pre_handshake_busy_reaches_a_binary_dialer() {
+    use dummyloc_server::codec::{self, RawEvent, Transport, BINARY_MAGIC};
+    use dummyloc_server::proto::DEFAULT_MAX_FRAME_BYTES;
+    use std::io::Write as _;
+
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .max_connections(1)
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let first = ServiceClient::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Dial like a v4 client. The server may close right after writing
+    // Busy, so the dial bytes are allowed to fail mid-write.
+    let _ = stream.write_all(&BINARY_MAGIC);
+    let _ = stream.write_all(
+        &codec::encode_client_frame(
+            &ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Transport::Binary,
+        )
+        .unwrap(),
+    );
+    let mut reader = codec::FrameReader::auto(stream, DEFAULT_MAX_FRAME_BYTES);
+    let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+        panic!("expected a pre-handshake Busy frame");
+    };
+    match codec::decode_server_frame(&raw).unwrap() {
+        ServerFrame::Busy {
+            limit,
+            retry_after_ms,
+        } => {
+            assert_eq!(limit, 1);
+            assert!(retry_after_ms.is_some_and(|ms| ms >= 1));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    first.bye().unwrap();
+    let stats = handle.shutdown().stats;
+    assert!(stats.busy_rejects >= 1, "{stats:?}");
 }
 
 /// Satellite (b) of the durability PR: `shutdown` must complete within a

@@ -214,7 +214,11 @@ fn full_queue_answers_typed_overloaded() {
                     for (t, request) in user_requests(user, rounds) {
                         match client.query(t, &request, &QueryKind::NextBus).unwrap() {
                             QueryOutcome::Answered(_) => {}
-                            QueryOutcome::Overloaded => bounced += 1,
+                            QueryOutcome::Overloaded { retry_after_ms } => {
+                                // Every bounce carries a usable hint.
+                                assert!(retry_after_ms.is_some_and(|ms| ms >= 1));
+                                bounced += 1;
+                            }
                             QueryOutcome::Deadline => {
                                 panic!("no deadline was set, none may expire")
                             }

@@ -1,0 +1,442 @@
+//! Overload control plane, end to end: deadline-aware admission must turn
+//! doomed work away *before* it queues, CoDel-style aging must bound the
+//! sojourn of what does queue, every bounce must carry a usable
+//! `retry_after_ms` hint, the client breaker must trip and probe against
+//! a real draining server, hedged reads must fire on dropped replies, and
+//! a graceful drain must answer everything in flight while leaving the
+//! durable store digest-equal to an in-process oracle.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use dummyloc_core::client::Request;
+use dummyloc_geo::{BBox, Point};
+use dummyloc_lbs::{PoiDatabase, QueryKind};
+use dummyloc_server::client::{RetryPolicy, RetryingClient};
+use dummyloc_server::codec::{self, RawEvent, Transport, BINARY_MAGIC};
+use dummyloc_server::proto::{
+    write_frame, ClientFrame, ServerFrame, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use dummyloc_server::server::spawn;
+use dummyloc_server::{FaultPlan, LogStoreConfig, ServeOptions, ServerError};
+use dummyloc_store::{LogStore, Storage, StoreRecord};
+
+fn area() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)).unwrap()
+}
+
+fn pois() -> PoiDatabase {
+    PoiDatabase::generate(area(), 120, 42)
+}
+
+fn request(pseudonym: &str) -> Request {
+    Request {
+        pseudonym: pseudonym.to_string(),
+        positions: vec![Point::new(100.0, 100.0), Point::new(900.0, 400.0)],
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dummyloc-overload-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A pipelining JSON connection: send frames back to back, read replies
+/// later. The JSON wire keeps the raw-socket plumbing minimal; the v4
+/// binary path is covered by `server_chaos` and the interop suite.
+struct Pipe {
+    stream: TcpStream,
+    reader: std::io::BufReader<TcpStream>,
+}
+
+impl Pipe {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut &stream,
+            &ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let mut pipe = Pipe {
+            reader: std::io::BufReader::new(stream.try_clone().unwrap()),
+            stream,
+        };
+        let hello = pipe.read_frame();
+        assert!(matches!(hello, ServerFrame::Hello { .. }), "{hello:?}");
+        pipe
+    }
+
+    fn send(&mut self, id: u64, t: f64, deadline_ms: Option<u64>, pseudonym: &str) {
+        write_frame(
+            &mut self.stream,
+            &ClientFrame::Query {
+                id,
+                t,
+                deadline_ms,
+                request: request(pseudonym),
+                query: QueryKind::NextBus,
+            },
+        )
+        .unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn read_frame(&mut self) -> ServerFrame {
+        use std::io::BufRead as _;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        serde_json::from_str(&line).unwrap()
+    }
+}
+
+/// Admission control: once the service-time estimate is warm, a query
+/// whose deadline budget cannot survive the predicted queue wait is
+/// rejected at enqueue — with a hint — and never reaches a worker, while
+/// identical queries without a deadline keep being accepted.
+#[test]
+fn admission_rejects_doomed_deadlines_before_queueing() {
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .worker_delay(Some(Duration::from_millis(30)))
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let mut pipe = Pipe::connect(handle.addr());
+
+    // Warm the per-kind EWMA: each answered NextBus costs ~30 ms.
+    for id in 0..4u64 {
+        pipe.send(id, id as f64, None, "warm-user");
+        let frame = pipe.read_frame();
+        assert!(matches!(frame, ServerFrame::Answer { .. }), "{frame:?}");
+    }
+
+    // Occupy the worker and stack the queue with patient (no-deadline)
+    // work, then ask for a 1 ms deadline behind it: the predicted wait
+    // (~30 ms x queued) already exceeds the budget, so admission must
+    // bounce it at enqueue instead of letting it die in the queue.
+    for id in 10..14u64 {
+        pipe.send(id, 100.0, None, "warm-user");
+    }
+    pipe.send(99, 200.0, Some(1), "warm-user");
+    let mut answered = 0;
+    let mut admission_bounces = 0;
+    for _ in 0..5 {
+        match pipe.read_frame() {
+            ServerFrame::Answer { .. } => answered += 1,
+            ServerFrame::Overloaded { id, retry_after_ms } => {
+                assert_eq!(id, 99, "only the doomed-deadline query may bounce");
+                assert!(
+                    retry_after_ms.is_some_and(|ms| ms >= 1),
+                    "admission bounces carry a hint"
+                );
+                admission_bounces += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(answered, 4, "patient work is unaffected");
+    assert_eq!(admission_bounces, 1);
+
+    let stats = handle.shutdown().stats;
+    assert_eq!(stats.rejections.admission, 1, "{stats:?}");
+    assert_eq!(
+        stats.rejects,
+        stats.rejections.queue_full + stats.rejections.admission + stats.rejections.shed,
+        "the per-cause split must reconcile with the total"
+    );
+    // The rejected query never became a request (it was refused at
+    // enqueue, not cancelled mid-queue as a deadline expiry would be).
+    assert_eq!(stats.deadline_expired_queued, 0, "{stats:?}");
+}
+
+/// CoDel-style aging: with a sojourn target far below the service time, a
+/// burst is cut down at dequeue — stale queued jobs are shed with hinted
+/// `Overloaded` frames instead of being computed late — but the last
+/// pending job is always served, so goodput never collapses to zero.
+#[test]
+fn codel_sheds_stale_queued_jobs_but_keeps_goodput() {
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .worker_delay(Some(Duration::from_millis(25)))
+            .codel_target(Some(Duration::from_millis(10)))
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let mut pipe = Pipe::connect(handle.addr());
+
+    let burst = 6u64;
+    for id in 0..burst {
+        pipe.send(id, id as f64, None, "codel-user");
+    }
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..burst {
+        match pipe.read_frame() {
+            ServerFrame::Answer { .. } => answered += 1,
+            ServerFrame::Overloaded { retry_after_ms, .. } => {
+                assert!(
+                    retry_after_ms.is_some_and(|ms| ms >= 1),
+                    "shed bounces carry a hint"
+                );
+                shed += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(answered + shed, burst);
+    // The first job (served while fresh) and the final pending job (the
+    // shed pass never drains the queue to nothing) are both answered.
+    assert!(answered >= 2, "answered {answered} of {burst}");
+    assert!(shed >= 1, "a 25 ms service time must blow a 10 ms target");
+
+    let stats = handle.shutdown().stats;
+    assert_eq!(stats.rejections.shed, shed, "{stats:?}");
+    // Shed queries never reach the observer log or a worker's answer
+    // path: requests counts only computed answers.
+    assert_eq!(stats.requests, answered, "{stats:?}");
+}
+
+/// The circuit breaker against a real server: healthy traffic keeps it
+/// closed; a drained server's hinted bounces trip it open after the
+/// configured run of consecutive bounces; while open, calls fail fast
+/// with `CircuitOpen` and no network traffic; after `breaker_open_ms` a
+/// half-open probe goes out and — still draining — reopens it.
+#[test]
+fn breaker_trips_fast_fails_and_probes_against_a_draining_server() {
+    let handle = spawn(
+        ServeOptions::new().addr("127.0.0.1:0").build().unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_delay_ms: 1,
+        max_delay_ms: 2,
+        attempt_timeout_ms: 500,
+        jitter: 0.0,
+        breaker_threshold: 2,
+        breaker_open_ms: 80,
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryingClient::new(handle.addr().to_string(), policy, 5).unwrap();
+
+    // Healthy: answered, breaker stays closed.
+    let response = client
+        .query(0.0, None, &request("breaker-user"), &QueryKind::NextBus)
+        .unwrap();
+    assert_eq!(response.answers.len(), 2);
+
+    // Drain mode: every new query on the live connection bounces with a
+    // hinted Overloaded. Two bounces per call x one call = threshold.
+    handle.start_drain();
+    let err = client.query(30.0, None, &request("breaker-user"), &QueryKind::NextBus);
+    assert!(err.is_err(), "a draining server must bounce: {err:?}");
+
+    // Open: the very next call fails fast without touching the network.
+    let before = Instant::now();
+    match client.query(60.0, None, &request("breaker-user"), &QueryKind::NextBus) {
+        Err(ServerError::CircuitOpen { retry_after_ms }) => {
+            assert!(retry_after_ms <= 80, "hint bounded by open window");
+        }
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    assert!(
+        before.elapsed() < Duration::from_millis(50),
+        "fast-fail must not wait on the server"
+    );
+
+    // After the open window a half-open probe is admitted; the server is
+    // still draining, so the probe bounces and the breaker reopens.
+    std::thread::sleep(Duration::from_millis(120));
+    let probe = client.query(90.0, None, &request("breaker-user"), &QueryKind::NextBus);
+    assert!(probe.is_err(), "{probe:?}");
+
+    let stats = client.finish();
+    assert!(stats.breaker_opens >= 2, "{stats:?}");
+    assert_eq!(stats.breaker_half_opens, 1, "{stats:?}");
+    assert!(stats.breaker_fast_fails >= 1, "{stats:?}");
+    assert!(stats.hinted >= 2, "drain bounces carry hints: {stats:?}");
+    assert_eq!(stats.breaker_closes, 0, "nothing recovered while draining");
+    handle.shutdown();
+}
+
+/// Hedged reads: against a server that drops replies, the retrying client
+/// first learns a p99 from answered queries, then abandons a dropped
+/// reply at the hedge timeout instead of burning the full attempt
+/// timeout — and every query is still answered exactly once.
+#[test]
+fn hedged_reads_cut_losses_on_dropped_replies() {
+    let plan = FaultPlan {
+        seed: 23,
+        drop: 0.2,
+        ..FaultPlan::none()
+    };
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .faults(plan)
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_delay_ms: 1,
+        max_delay_ms: 4,
+        attempt_timeout_ms: 150,
+        jitter: 0.0,
+        hedge: true,
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryingClient::new(handle.addr().to_string(), policy, 9).unwrap();
+    let rounds = 60;
+    for k in 0..rounds {
+        let response = client
+            .query(
+                k as f64 * 30.0,
+                None,
+                &request("hedge-user"),
+                &QueryKind::NextBus,
+            )
+            .unwrap();
+        assert_eq!(response.answers.len(), 2);
+    }
+    let stats = client.finish();
+    assert!(
+        stats.hedges >= 1,
+        "a 20% drop rate over {rounds} rounds must hedge at least once: {stats:?}"
+    );
+
+    let report = handle.shutdown();
+    assert!(report.stats.faults.dropped >= 1, "{:?}", report.stats);
+    assert_eq!(
+        report.log.requests_of("hedge-user").len(),
+        rounds,
+        "hedged retries reuse the idempotent id — recorded exactly once"
+    );
+}
+
+/// Graceful drain with durability: every query already accepted keeps its
+/// answer, new work is turned away with hints, and after the drain the
+/// on-disk store is digest-identical to an oracle store fed the same
+/// records in-process — nothing acknowledged is lost or reordered.
+#[test]
+fn drain_answers_inflight_work_and_store_matches_the_oracle() {
+    let store_dir = scratch_dir("drain-store");
+    let oracle_dir = scratch_dir("drain-oracle");
+    let handle = spawn(
+        ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .workers(1)
+            .worker_delay(Some(Duration::from_millis(20)))
+            .store(Some(LogStoreConfig::new(&store_dir)))
+            .build()
+            .unwrap(),
+        pois(),
+    )
+    .unwrap();
+    let mut pipe = Pipe::connect(handle.addr());
+
+    // Queue up work, then drain while most of it is still pending. The
+    // first answer is the synchronization point: the connection's reader
+    // thread enqueues strictly in order, so by the time the 20 ms worker
+    // has answered query 0 the whole pipelined burst is in the queue.
+    let burst = 8u64;
+    for id in 0..burst {
+        pipe.send(id, id as f64 * 30.0, None, "drain-user");
+    }
+    let first = pipe.read_frame();
+    assert!(matches!(first, ServerFrame::Answer { .. }), "{first:?}");
+    assert!(!handle.is_draining());
+    let report = handle.drain(Duration::from_secs(5));
+
+    // Every accepted query was answered before the stop.
+    for _ in 1..burst {
+        let frame = pipe.read_frame();
+        assert!(
+            matches!(frame, ServerFrame::Answer { .. }),
+            "drain must answer queued work: {frame:?}"
+        );
+    }
+    assert_eq!(report.stats.requests, burst);
+    assert_eq!(report.log.requests_of("drain-user").len(), burst as usize);
+
+    // The drained store equals an oracle fed the identical records.
+    let (mut oracle, _info) = LogStore::open(LogStoreConfig::new(&oracle_dir)).unwrap();
+    for id in 0..burst {
+        oracle
+            .append(StoreRecord {
+                t: id as f64 * 30.0,
+                seq: id,
+                request_id: Some(id),
+                request: request("drain-user"),
+            })
+            .unwrap();
+    }
+    oracle.flush().unwrap();
+    let mut expected = oracle.stream_digests();
+    expected.sort();
+    let (drained, _info) = LogStore::open(LogStoreConfig::new(&store_dir)).unwrap();
+    let mut got = drained.stream_digests();
+    got.sort();
+    assert_eq!(got, expected, "drained store diverged from the oracle");
+
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::fs::remove_dir_all(&oracle_dir).ok();
+}
+
+/// Drain mode at the accept gate: a server in drain turns new connections
+/// away with a hinted `Busy` — visible even to a v4 binary dialer, whose
+/// auto-detecting reader must parse the pre-handshake JSON bounce.
+#[test]
+fn draining_accept_gate_bounces_new_connections_with_hints() {
+    let handle = spawn(
+        ServeOptions::new().addr("127.0.0.1:0").build().unwrap(),
+        pois(),
+    )
+    .unwrap();
+    handle.start_drain();
+    assert!(handle.is_draining());
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Dial exactly like a v4 client: magic, then a binary Hello. The
+    // server may already have closed after writing Busy, so the writes
+    // are allowed to fail.
+    let _ = stream.write_all(&BINARY_MAGIC);
+    let hello = codec::encode_client_frame(
+        &ClientFrame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        Transport::Binary,
+    )
+    .unwrap();
+    let _ = stream.write_all(&hello);
+    let mut reader = codec::FrameReader::auto(stream, DEFAULT_MAX_FRAME_BYTES);
+    let RawEvent::Frame(raw) = reader.next_frame().unwrap() else {
+        panic!("expected a pre-handshake Busy frame");
+    };
+    match codec::decode_server_frame(&raw).unwrap() {
+        ServerFrame::Busy { retry_after_ms, .. } => {
+            assert!(retry_after_ms.is_some_and(|ms| ms >= 1))
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    let stats = handle.shutdown().stats;
+    assert!(stats.busy_rejects >= 1, "{stats:?}");
+}
